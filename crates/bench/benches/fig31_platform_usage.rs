@@ -1,0 +1,34 @@
+//! FIG-31: regenerate "Platform usage" — popularity ranking of operators
+//! and widgets across the simulated hackathon's executed flow files.
+//!
+//! The paper's figure 31 is a bar dashboard of the most-used operators and
+//! widgets during Race2Insights. Expected shape: group/filter-style
+//! operators and the common chart widgets dominate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shareinsights_hackathon::{figures, run_hackathon, HackathonConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // The simulation itself is the expensive fixture (every practice and
+    // competition run executes on the real platform); build it once.
+    let outcome = run_hackathon(&HackathonConfig {
+        teams: 52, // the paper's roster
+        ..Default::default()
+    });
+
+    // Emit the regenerated figure so the bench log doubles as the
+    // EXPERIMENTS.md record.
+    let figs = figures::extract(&outcome);
+    eprintln!("\n{}", figs.fig31_text());
+
+    c.bench_function("fig31/extract_usage_from_telemetry", |b| {
+        b.iter(|| {
+            let usage = outcome.platform.log().usage();
+            black_box(usage.top_operators().len() + usage.top_widgets().len())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

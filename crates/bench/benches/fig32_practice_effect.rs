@@ -1,0 +1,43 @@
+//! FIG-32: regenerate "Does practice matter?" — per-team practice runs vs
+//! competition runs, with finalists/winners annotated.
+//!
+//! Expected shape (matching the paper's observation): the finalist and
+//! winner markers cluster toward the high-practice end of the scatter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shareinsights_hackathon::{figures, run_hackathon, HackathonConfig};
+use std::hint::black_box;
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let (mx, my) = (xs.iter().sum::<f64>() / n, ys.iter().sum::<f64>() / n);
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum::<f64>().sqrt();
+    let sy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum::<f64>().sqrt();
+    cov / (sx * sy)
+}
+
+fn bench(c: &mut Criterion) {
+    let outcome = run_hackathon(&HackathonConfig {
+        teams: 52,
+        ..Default::default()
+    });
+    let figs = figures::extract(&outcome);
+    eprintln!("\n{}", figs.fig32_text());
+
+    let xs: Vec<f64> = outcome.teams.iter().map(|t| t.practice_runs as f64).collect();
+    let ys: Vec<f64> = outcome.teams.iter().map(|t| t.score as f64).collect();
+    eprintln!(
+        "fig32 summary: corr(practice, score) = {:.2}; finalists {:?}; winners {:?}\n",
+        pearson(&xs, &ys),
+        outcome.finalists(),
+        outcome.winners()
+    );
+
+    c.bench_function("fig32/extract_scatter", |b| {
+        b.iter(|| black_box(figures::extract(&outcome).fig32.len()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

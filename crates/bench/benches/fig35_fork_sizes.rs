@@ -1,0 +1,37 @@
+//! FIG-35: regenerate "Fork to go" — each team's flow-file size in bytes at
+//! competition start (every team forks a help/sample dashboard).
+//!
+//! Expected shape: all starting sizes are non-trivially large (nobody
+//! starts from an empty file), clustered by which sample was forked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shareinsights_collab::Repository;
+use shareinsights_hackathon::{dataset_roster, figures, run_hackathon, HackathonConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let outcome = run_hackathon(&HackathonConfig {
+        teams: 52,
+        ..Default::default()
+    });
+    let figs = figures::extract(&outcome);
+    eprintln!("\n{}", figs.fig35_text());
+    let min = figs.fig35.iter().map(|b| b.size_bytes).min().unwrap_or(0);
+    let max = figs.fig35.iter().map(|b| b.size_bytes).max().unwrap_or(0);
+    eprintln!("fig35 summary: starting sizes {min}..{max} bytes across 7 samples\n");
+
+    // Also time the fork operation itself (the mechanism behind the figure).
+    let sample = dataset_roster()[0].sample_flow();
+    let repo = Repository::new("help");
+    repo.commit("main", "organizers", "sample", &sample);
+    let mut i = 0u64;
+    c.bench_function("fig35/fork_dashboard", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(repo.fork(&format!("team_{i}"), "main", "bench").unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

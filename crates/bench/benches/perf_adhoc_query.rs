@@ -1,0 +1,59 @@
+//! PERF-ADHOC: §4.4's ad-hoc query API
+//! (`/ds/<dataset>/groupby/<col>/<agg>/<col>`) — latency of the URL query
+//! language across endpoint sizes, including parse cost and paging.
+//!
+//! Expected shape: sub-millisecond at dashboard-endpoint sizes (endpoints
+//! hold aggregated data, so tens of thousands of rows is already large),
+//! scaling linearly with rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shareinsights_bench::fact_table;
+use shareinsights_server::query::{parse_ops, run_query};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let segments = [
+        "filter", "tag", "tag3", "groupby", "key", "sum", "v", "sort", "sum_v", "desc", "limit",
+        "10",
+    ];
+
+    c.bench_function("perf_adhoc/parse_url_ops", |b| {
+        b.iter(|| black_box(parse_ops(&segments).unwrap().len()))
+    });
+
+    let mut group = c.benchmark_group("perf_adhoc/run");
+    for &rows in &[1_000usize, 10_000, 100_000] {
+        let table = fact_table(rows, 300, 11);
+        let ops = parse_ops(&segments).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| black_box(run_query(&table, &ops).unwrap().num_rows()))
+        });
+    }
+    group.finish();
+
+    // End-to-end through the router (includes JSON serialisation).
+    use shareinsights_core::Platform;
+    use shareinsights_server::{Request, Server};
+    let platform = Platform::new();
+    platform.upload_data(
+        "bench",
+        "data.csv",
+        shareinsights_tabular::io::csv::write_csv(&fact_table(20_000, 300, 12), ','),
+    );
+    platform
+        .save_flow(
+            "bench",
+            "D:\n  data: [key, v, tag]\nD.data:\n  source: 'data.csv'\n  format: csv\nT:\n  agg:\n    type: groupby\n    groupby: [key, tag]\n    aggregates:\n    - operator: sum\n      apply_on: v\n      out_field: v\nF:\n  +D.ep: D.data | T.agg\n",
+        )
+        .unwrap();
+    platform.run_dashboard("bench").unwrap();
+    let server = Server::new(platform);
+    let url = "/bench/ds/ep/groupby/tag/sum/v/sort/sum_v/desc/limit/5";
+    assert!(server.handle(&Request::get(url)).is_ok());
+    c.bench_function("perf_adhoc/full_rest_roundtrip", |b| {
+        b.iter(|| black_box(server.handle(&Request::get(url)).body.len()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

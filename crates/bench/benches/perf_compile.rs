@@ -1,0 +1,51 @@
+//! PERF-COMPILE: §4.1 flow-file compilation services — lex + parse + DAG
+//! construction + schema propagation + optimization, across flow-file
+//! sizes.
+//!
+//! Expected shape: compilation stays in the low-millisecond range even for
+//! flow files an order of magnitude larger than the paper's listings,
+//! keeping the save→run loop interactive (the property §4.5.3 point 4
+//! depends on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shareinsights_bench::wide_flow_file;
+use shareinsights_engine::compile::{compile, CompileEnv};
+use shareinsights_engine::TaskRegistry;
+use shareinsights_flowfile::parse_flow_file;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut parse_group = c.benchmark_group("perf_compile/parse");
+    for &flows in &[10usize, 50, 200, 500] {
+        let src = wide_flow_file(flows);
+        parse_group.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, _| {
+            b.iter(|| black_box(parse_flow_file("bench", &src).unwrap().flows.len()))
+        });
+    }
+    parse_group.finish();
+
+    let mut compile_group = c.benchmark_group("perf_compile/full_pipeline");
+    for &flows in &[10usize, 50, 200, 500] {
+        let src = wide_flow_file(flows);
+        let ff = parse_flow_file("bench", &src).unwrap();
+        let reg = TaskRegistry::new();
+        compile_group.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, _| {
+            b.iter(|| {
+                let env = CompileEnv::bare(&reg);
+                black_box(compile(&ff, &env).unwrap().flows.len())
+            })
+        });
+    }
+    compile_group.finish();
+
+    // Report bytes-per-flow for context.
+    let src = wide_flow_file(200);
+    eprintln!(
+        "\nPERF-COMPILE fixture: 200-flow file is {} bytes ({} lines)\n",
+        src.len(),
+        src.lines().count()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! PERF-CUBE: §4.1's two execution contexts — widget interaction through
+//! the in-memory data cube vs re-running the batch pipeline on every
+//! selection change.
+//!
+//! Expected shape: a cold cube evaluation costs roughly one in-memory
+//! filter+groupby; a cached repeat is near-free; re-running the batch
+//! pipeline (what a platform without the interactive context would do) is
+//! one-plus orders of magnitude slower — the architectural reason the
+//! paper compiles widget flows to a separate runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shareinsights_bench::{compile_src, ctx_with, fact_table, FILTER_GROUP_SRC};
+use shareinsights_engine::exec::Executor;
+use shareinsights_engine::optimizer::OptimizerConfig;
+use shareinsights_engine::selection::{Selection, StaticSelections};
+use shareinsights_engine::task::{FilterSource, NamedTask, TaskKind};
+use shareinsights_tabular::ops::{AggregateSpec, GroupBy};
+use shareinsights_tabular::agg::AggKind;
+use shareinsights_widgets::DataCube;
+use std::hint::black_box;
+
+fn interaction_tasks() -> Vec<NamedTask> {
+    vec![
+        NamedTask {
+            name: "filter_by_key".into(),
+            kind: TaskKind::FilterBySource {
+                columns: vec!["key".into()],
+                source: FilterSource::Widget("list".into()),
+                source_columns: vec!["text".into()],
+            },
+        },
+        NamedTask {
+            name: "agg".into(),
+            kind: TaskKind::GroupBy {
+                builtin: GroupBy::with_aggregates(
+                    &["tag"],
+                    vec![AggregateSpec::new(AggKind::Sum, "v", "total")],
+                ),
+                custom: vec![],
+            },
+        },
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_interaction");
+    for &rows in &[10_000usize, 100_000] {
+        let endpoint = fact_table(rows, 200, 9);
+
+        // Interactive context: the data cube.
+        let cube = DataCube::new(endpoint.clone());
+        let selections = StaticSelections::new();
+        let tasks = interaction_tasks();
+        let mut tick = 0u64;
+        group.bench_with_input(BenchmarkId::new("cube_cold", rows), &rows, |b, _| {
+            b.iter(|| {
+                tick += 1;
+                // Globally unique selection every iteration: guaranteed
+                // cache miss, so this measures a full filter+groupby scan.
+                selections.set(
+                    "list",
+                    "text",
+                    Selection::Values(vec![format!("k{}", tick % 200).into(), format!("u{tick}").into()]),
+                );
+                black_box(cube.eval("w", &tasks, &selections).unwrap().num_rows())
+            })
+        });
+        selections.set("list", "text", Selection::Values(vec!["k1".into()]));
+        cube.eval("w", &tasks, &selections).unwrap();
+        group.bench_with_input(BenchmarkId::new("cube_cached", rows), &rows, |b, _| {
+            b.iter(|| black_box(cube.eval("w", &tasks, &selections).unwrap().num_rows()))
+        });
+
+        // The alternative: re-run the batch pipeline per interaction.
+        let pipeline = compile_src(FILTER_GROUP_SRC, OptimizerConfig::default());
+        let ctx = ctx_with(endpoint);
+        let exec = Executor::default();
+        group.bench_with_input(BenchmarkId::new("batch_rerun", rows), &rows, |b, _| {
+            b.iter(|| black_box(exec.execute(&pipeline, &ctx).unwrap().stats.total_micros))
+        });
+    }
+    group.finish();
+
+    eprintln!("\nPERF-CUBE: cube cache stats are printed by the dashboards; see also");
+    eprintln!("the ipl_flow_group example, whose interactions all route through the cube.\n");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Shared bench fixtures: workload generators and pipeline builders used
+//! across the per-figure bench targets.
+
+use shareinsights_connectors::Catalog;
+use shareinsights_engine::compile::{compile, CompileEnv, CompiledPipeline};
+use shareinsights_engine::exec::ExecContext;
+use shareinsights_engine::optimizer::OptimizerConfig;
+use shareinsights_engine::TaskRegistry;
+use shareinsights_flowfile::parse_flow_file;
+use shareinsights_tabular::{Row, Table};
+
+/// A synthetic fact table: `key` in [0, cardinality), `v` numeric, `tag`
+/// short text.
+pub fn fact_table(rows: usize, cardinality: usize, seed: u64) -> Table {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let out: Vec<Row> = (0..rows)
+        .map(|_| {
+            let k = rng.random_range(0..cardinality);
+            Row(vec![
+                format!("k{k}").into(),
+                shareinsights_tabular::Value::Int(rng.random_range(0..1000)),
+                format!("tag{}", k % 17).into(),
+            ])
+        })
+        .collect();
+    Table::from_rows(&["key", "v", "tag"], &out).expect("rectangular")
+}
+
+/// Compile a flow-file source with the given optimizer configuration.
+pub fn compile_src(src: &str, optimizer: OptimizerConfig) -> CompiledPipeline {
+    let ff = parse_flow_file("bench", src).expect("valid flow file");
+    let reg = TaskRegistry::new();
+    let mut env = CompileEnv::bare(&reg);
+    env.optimizer = optimizer;
+    compile(&ff, &env).expect("compiles")
+}
+
+/// An execution context with one injected table named `data`.
+pub fn ctx_with(table: Table) -> ExecContext {
+    ExecContext::new(Catalog::new()).with_table("data", table)
+}
+
+/// The standard filter→groupby pipeline used by several benches.
+pub const FILTER_GROUP_SRC: &str = r#"
+D:
+  data: [key, v, tag]
+T:
+  keep:
+    type: filter_by
+    filter_expression: v > 500
+  agg:
+    type: groupby
+    groupby: [key]
+    aggregates:
+    - operator: sum
+      apply_on: v
+      out_field: total
+F:
+  +D.out: D.data | T.keep | T.agg
+"#;
+
+/// A join pipeline over two injected tables `l` and `r`.
+pub const JOIN_SRC: &str = r#"
+D:
+  l: [key, v, tag]
+  r: [key, w, tag2]
+T:
+  j:
+    type: join
+    left: l by key
+    right: r by key
+    join_condition: inner
+    project:
+      l_key: key
+      l_v: v
+      r_w: w
+F:
+  +D.out: (D.l, D.r) | T.j
+"#;
+
+/// Build a flow file with `n` chained flows for the compile benches.
+pub fn wide_flow_file(n_flows: usize) -> String {
+    let mut src = String::from("D:\n  src0: [a, b, c]\nT:\n");
+    for i in 0..n_flows {
+        src.push_str(&format!(
+            "  t{i}:\n    type: filter_by\n    filter_expression: b > {i}\n"
+        ));
+    }
+    src.push_str("F:\n");
+    for i in 0..n_flows {
+        let input = if i == 0 {
+            "src0".to_string()
+        } else {
+            format!("sink{}", i - 1)
+        };
+        src.push_str(&format!("  +D.sink{i}: D.{input} | T.t{i}\n"));
+    }
+    src
+}

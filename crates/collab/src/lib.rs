@@ -1,0 +1,26 @@
+//! # shareinsights-collab
+//!
+//! Collaboration services (§4.5 of the paper).
+//!
+//! * [`store`] — a DVCS-style content-addressed commit store over flow-file
+//!   text, with branches and merges ("CRUD operations on flow files map to
+//!   source commits", §4.5.1).
+//! * [`merge`] — the *section-aware* three-way merge §4.5.1 motivates:
+//!   "since the flow file has clearly demarcated sections, the anxieties
+//!   with merging and repeated branching should be significantly lower."
+//!   Edits to different named items never conflict; same-item divergence is
+//!   reported as a conflict in flow-file vocabulary.
+//! * [`registry`] — the publish/shared-objects registry (§3.4.1, §4.5.3):
+//!   named data objects published by one dashboard and consumed by others,
+//!   and the flow-file groups they induce.
+//! * Forking ([`store::Repository::fork`]) — §5.2.2 observation 3: "teams
+//!   'forked' off existing (help or sample) dashboards to get started";
+//!   figure 35 plots the resulting starting flow-file sizes.
+
+pub mod merge;
+pub mod registry;
+pub mod store;
+
+pub use merge::{merge_flow_files, merge_texts, MergeConflict, MergeOutcome};
+pub use registry::{PublishRegistry, SharedObject};
+pub use store::{Commit, CommitId, Repository, StoreError};

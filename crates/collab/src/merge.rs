@@ -1,0 +1,389 @@
+//! Section-aware three-way merge of flow files.
+//!
+//! The unit of merge is the *named item*: a data object, a task, a widget,
+//! a flow (keyed by its output), or the layout as a whole. For each item:
+//!
+//! * changed on one side only → take that side;
+//! * changed identically on both → take it;
+//! * changed differently on both → conflict, reported in flow-file
+//!   vocabulary (`task 'T.players_count' edited on both branches`);
+//! * added on one side → taken; added differently on both → conflict.
+//!
+//! This is exactly the benefit §4.5.1 claims for demarcated sections: two
+//! analysts editing different tasks (or one editing a widget and another a
+//! flow) always merge clean.
+
+use shareinsights_flowfile::ast::{FlowFile, LayoutDef};
+use shareinsights_flowfile::parser::parse_flow_file;
+use shareinsights_flowfile::serialize::to_text;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One unresolved conflict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeConflict {
+    /// Section letter (D/T/F/W/L).
+    pub section: char,
+    /// Item name (`"<layout>"` for L).
+    pub item: String,
+    /// Human-readable description.
+    pub description: String,
+}
+
+impl fmt::Display for MergeConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.section, self.item, self.description)
+    }
+}
+
+/// Merge result: the merged file plus any conflicts (ours wins in the
+/// merged text where conflicted, so callers can still materialise it).
+#[derive(Debug, Clone)]
+pub struct MergeOutcome {
+    /// The merged flow file.
+    pub merged: FlowFile,
+    /// Conflicts needing human resolution.
+    pub conflicts: Vec<MergeConflict>,
+}
+
+impl MergeOutcome {
+    /// True when the merge was clean.
+    pub fn is_clean(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+
+    /// The merged flow-file text.
+    pub fn text(&self) -> String {
+        to_text(&self.merged)
+    }
+}
+
+/// Three-way merge of flow-file *texts*; parses all three and merges the
+/// ASTs.
+pub fn merge_texts(
+    name: &str,
+    base: &str,
+    ours: &str,
+    theirs: &str,
+) -> Result<MergeOutcome, shareinsights_flowfile::diag::FlowError> {
+    let base = parse_flow_file(name, base)?;
+    let ours = parse_flow_file(name, ours)?;
+    let theirs = parse_flow_file(name, theirs)?;
+    Ok(merge_flow_files(&base, &ours, &theirs))
+}
+
+/// Generic three-way item merge over a keyed collection.
+#[allow(clippy::too_many_arguments)]
+fn merge_items<T: Clone + PartialEq>(
+    section: char,
+    base: &[T],
+    ours: &[T],
+    theirs: &[T],
+    key: impl Fn(&T) -> String,
+    normalize: impl Fn(&T) -> T,
+    out: &mut Vec<T>,
+    conflicts: &mut Vec<MergeConflict>,
+) {
+    let find = |items: &[T], k: &str| -> Option<T> {
+        items.iter().find(|i| key(i) == k).map(&normalize)
+    };
+    let mut keys: Vec<String> = Vec::new();
+    let mut seen = BTreeSet::new();
+    for item in ours.iter().chain(theirs.iter()).chain(base.iter()) {
+        let k = key(item);
+        if seen.insert(k.clone()) {
+            keys.push(k);
+        }
+    }
+
+    for k in keys {
+        let b = find(base, &k);
+        let o = find(ours, &k);
+        let t = find(theirs, &k);
+        match (b, o, t) {
+            // Unchanged or same on both sides.
+            (_, Some(o), Some(t)) if o == t => out.push(o),
+            // Only ours differs (theirs matches base or is absent like base).
+            (Some(b), Some(o), Some(t)) => {
+                if t == b {
+                    out.push(o);
+                } else if o == b {
+                    out.push(t);
+                } else {
+                    conflicts.push(MergeConflict {
+                        section,
+                        item: k.clone(),
+                        description: "edited differently on both branches".into(),
+                    });
+                    out.push(o); // ours wins in the materialised text
+                }
+            }
+            // Deleted on one side, unchanged on the other → delete.
+            (Some(b), Some(o), None) => {
+                if o == b {
+                    // deleted by theirs, untouched by ours
+                } else {
+                    conflicts.push(MergeConflict {
+                        section,
+                        item: k.clone(),
+                        description: "edited here but deleted on the other branch".into(),
+                    });
+                    out.push(o);
+                }
+            }
+            (Some(b), None, Some(t)) => {
+                if t == b {
+                    // deleted by ours
+                } else {
+                    conflicts.push(MergeConflict {
+                        section,
+                        item: k.clone(),
+                        description: "deleted here but edited on the other branch".into(),
+                    });
+                    out.push(t);
+                }
+            }
+            (Some(_), None, None) => {} // deleted on both
+            // Added on one side only.
+            (None, Some(o), None) => out.push(o),
+            (None, None, Some(t)) => out.push(t),
+            // Added on both sides (o != t — the equal case matched above).
+            (None, Some(o), Some(_)) => {
+                conflicts.push(MergeConflict {
+                    section,
+                    item: k.clone(),
+                    description: "added differently on both branches".into(),
+                });
+                out.push(o);
+            }
+            (None, None, None) => unreachable!("key came from some side"),
+        }
+    }
+}
+
+/// Three-way merge of parsed flow files.
+pub fn merge_flow_files(base: &FlowFile, ours: &FlowFile, theirs: &FlowFile) -> MergeOutcome {
+    let mut merged = FlowFile {
+        name: ours.name.clone(),
+        ..Default::default()
+    };
+    let mut conflicts = Vec::new();
+
+    merge_items(
+        'D',
+        &base.data,
+        &ours.data,
+        &theirs.data,
+        |d| d.name.clone(),
+        |d| {
+            let mut d = d.clone();
+            d.line = 0;
+            d
+        },
+        &mut merged.data,
+        &mut conflicts,
+    );
+    merge_items(
+        'T',
+        &base.tasks,
+        &ours.tasks,
+        &theirs.tasks,
+        |t| t.name.clone(),
+        |t| {
+            let mut t = t.clone();
+            t.line = 0;
+            t
+        },
+        &mut merged.tasks,
+        &mut conflicts,
+    );
+    merge_items(
+        'F',
+        &base.flows,
+        &ours.flows,
+        &theirs.flows,
+        |f| f.output.clone(),
+        |f| {
+            let mut f = f.clone();
+            f.line = 0;
+            f
+        },
+        &mut merged.flows,
+        &mut conflicts,
+    );
+    merge_items(
+        'W',
+        &base.widgets,
+        &ours.widgets,
+        &theirs.widgets,
+        |w| w.name.clone(),
+        |w| {
+            let mut w = w.clone();
+            w.line = 0;
+            w
+        },
+        &mut merged.widgets,
+        &mut conflicts,
+    );
+
+    // Layout: a single item.
+    let norm = |l: &Option<LayoutDef>| -> Option<LayoutDef> {
+        l.as_ref().map(|l| {
+            let mut l = l.clone();
+            l.line = 0;
+            l
+        })
+    };
+    let (b, o, t) = (norm(&base.layout), norm(&ours.layout), norm(&theirs.layout));
+    merged.layout = match (b, o.clone(), t.clone()) {
+        (_, o2, t2) if o2 == t2 => o2,
+        (b2, o2, t2) => {
+            if t2 == b2 {
+                o2
+            } else if o2 == b2 {
+                t2
+            } else {
+                conflicts.push(MergeConflict {
+                    section: 'L',
+                    item: "<layout>".into(),
+                    description: "layout edited differently on both branches".into(),
+                });
+                o2
+            }
+        }
+    };
+
+    MergeOutcome { merged, conflicts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"
+D:
+  tweets: [date, team, count]
+T:
+  by_team:
+    type: groupby
+    groupby: [team]
+  keep:
+    type: filter_by
+    filter_expression: count > 0
+F:
+  +D.team_counts: D.tweets | T.by_team
+W:
+  cloud:
+    type: WordCloud
+    source: D.team_counts
+    text: team
+    size: count
+L:
+  rows:
+  - [span12: W.cloud]
+"#;
+
+    #[test]
+    fn disjoint_section_edits_merge_clean() {
+        // Ours edits a task; theirs adds a widget. §4.5.1's promise.
+        let ours = BASE.replace("count > 0", "count > 5");
+        let theirs = BASE.replace(
+            "W:\n  cloud:",
+            "W:\n  grid:\n    type: DataGrid\n    source: D.team_counts\n  cloud:",
+        );
+        let out = merge_texts("d", BASE, &ours, &theirs).unwrap();
+        assert!(out.is_clean(), "{:?}", out.conflicts);
+        assert_eq!(out.merged.widgets.len(), 2);
+        let keep = out.merged.task("keep").unwrap();
+        assert_eq!(
+            keep.params.get_scalar("filter_expression"),
+            Some("count > 5")
+        );
+    }
+
+    #[test]
+    fn same_item_divergence_conflicts() {
+        let ours = BASE.replace("count > 0", "count > 5");
+        let theirs = BASE.replace("count > 0", "count > 9");
+        let out = merge_texts("d", BASE, &ours, &theirs).unwrap();
+        assert_eq!(out.conflicts.len(), 1);
+        let c = &out.conflicts[0];
+        assert_eq!(c.section, 'T');
+        assert_eq!(c.item, "keep");
+        assert!(c.to_string().contains("edited differently"));
+        // Ours wins in the materialised text.
+        assert_eq!(
+            out.merged.task("keep").unwrap().params.get_scalar("filter_expression"),
+            Some("count > 5")
+        );
+    }
+
+    #[test]
+    fn identical_edits_merge_clean() {
+        let both = BASE.replace("count > 0", "count > 7");
+        let out = merge_texts("d", BASE, &both, &both).unwrap();
+        assert!(out.is_clean());
+    }
+
+    #[test]
+    fn delete_vs_edit_conflicts() {
+        // Theirs deletes the 'keep' task; ours edits it.
+        let ours = BASE.replace("count > 0", "count > 5");
+        let theirs = BASE.replace(
+            "  keep:\n    type: filter_by\n    filter_expression: count > 0\n",
+            "",
+        );
+        let out = merge_texts("d", BASE, &ours, &theirs).unwrap();
+        assert_eq!(out.conflicts.len(), 1);
+        assert!(out.conflicts[0].description.contains("deleted"));
+    }
+
+    #[test]
+    fn delete_vs_untouched_deletes() {
+        let theirs = BASE.replace(
+            "  keep:\n    type: filter_by\n    filter_expression: count > 0\n",
+            "",
+        );
+        let out = merge_texts("d", BASE, BASE, &theirs).unwrap();
+        assert!(out.is_clean());
+        assert!(out.merged.task("keep").is_none());
+    }
+
+    #[test]
+    fn both_add_same_name_differently_conflicts() {
+        let ours = BASE.replace(
+            "T:\n",
+            "T:\n  extra:\n    type: limit\n    limit: 5\n",
+        );
+        let theirs = BASE.replace(
+            "T:\n",
+            "T:\n  extra:\n    type: limit\n    limit: 9\n",
+        );
+        let out = merge_texts("d", BASE, &ours, &theirs).unwrap();
+        assert_eq!(out.conflicts.len(), 1);
+        assert!(out.conflicts[0].description.contains("added differently"));
+    }
+
+    #[test]
+    fn layout_is_one_item() {
+        let ours = BASE.replace("span12: W.cloud", "span6: W.cloud");
+        let theirs = BASE.replace("span12: W.cloud", "span4: W.cloud");
+        let out = merge_texts("d", BASE, &ours, &theirs).unwrap();
+        assert_eq!(out.conflicts.len(), 1);
+        assert_eq!(out.conflicts[0].section, 'L');
+
+        // Layout edited on one side only: clean.
+        let out = merge_texts("d", BASE, &ours, BASE).unwrap();
+        assert!(out.is_clean());
+        assert_eq!(out.merged.layout.unwrap().rows[0][0].span, 6);
+    }
+
+    #[test]
+    fn merged_text_reparses() {
+        let ours = BASE.replace("count > 0", "count > 5");
+        let out = merge_texts("d", BASE, &ours, BASE).unwrap();
+        let text = out.text();
+        let reparsed = parse_flow_file("d", &text).unwrap();
+        assert_eq!(reparsed.tasks.len(), out.merged.tasks.len());
+    }
+}

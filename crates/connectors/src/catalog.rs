@@ -1,0 +1,320 @@
+//! The [`Catalog`]: connector + format registries and the resolution path
+//! from a flow-file data-object configuration to a [`Table`].
+
+use crate::connector::{infer_protocol, Connector, FetchRequest, Payload};
+use crate::error::{ConnectorError, Result};
+use crate::file::{DataFolder, FileConnector};
+use crate::format::{CsvFormat, DataFormat, FormatSpec, JsonFormat, RecordFormat, XmlFormat};
+use crate::ftp::FtpSimConnector;
+use crate::http::HttpSimConnector;
+use crate::jdbc::JdbcSimConnector;
+use parking_lot::RwLock;
+use shareinsights_tabular::Table;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A data-object configuration, decoupled from the flowfile crate's AST so
+/// the connector layer stays independent (the engine converts between the
+/// two).
+#[derive(Debug, Clone, Default)]
+pub struct DataObjectConfig {
+    /// Declared columns (bare names).
+    pub columns: Vec<String>,
+    /// Optional `=>` paths aligned with `columns`.
+    pub paths: Vec<Option<String>>,
+    /// `source:` string.
+    pub source: Option<String>,
+    /// Explicit `protocol:`; inferred from `source` when absent.
+    pub protocol: Option<String>,
+    /// Explicit `format:`; inferred from the payload hint when absent.
+    pub format: Option<String>,
+    /// CSV `separator:`.
+    pub separator: Option<char>,
+    /// XML `record_element:`.
+    pub record_element: Option<String>,
+    /// `request_type:` for HTTP.
+    pub request_type: Option<String>,
+    /// `http_headers:`.
+    pub headers: BTreeMap<String, String>,
+    /// Extra connector parameters (e.g. `query:` for JDBC).
+    pub params: BTreeMap<String, String>,
+}
+
+/// Registries of connectors and formats — the extension surface of §4.2.
+#[derive(Clone)]
+pub struct Catalog {
+    connectors: Arc<RwLock<BTreeMap<String, Arc<dyn Connector>>>>,
+    formats: Arc<RwLock<BTreeMap<String, Arc<dyn DataFormat>>>>,
+    folder: DataFolder,
+    http: HttpSimConnector,
+    ftp: FtpSimConnector,
+    jdbc: JdbcSimConnector,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Catalog {
+    /// A catalog with all built-in connectors and formats registered.
+    pub fn new() -> Self {
+        let folder = DataFolder::new();
+        let http = HttpSimConnector::new();
+        let ftp = FtpSimConnector::new();
+        let jdbc = JdbcSimConnector::new();
+        let cat = Catalog {
+            connectors: Arc::new(RwLock::new(BTreeMap::new())),
+            formats: Arc::new(RwLock::new(BTreeMap::new())),
+            folder: folder.clone(),
+            http: http.clone(),
+            ftp: ftp.clone(),
+            jdbc: jdbc.clone(),
+        };
+        cat.register_connector(Arc::new(FileConnector::new(folder)));
+        cat.register_connector(Arc::new(http));
+        cat.register_connector(Arc::new(ftp));
+        cat.register_connector(Arc::new(jdbc));
+        cat.register_format(Arc::new(CsvFormat));
+        cat.register_format(Arc::new(JsonFormat));
+        cat.register_format(Arc::new(XmlFormat));
+        cat.register_format(Arc::new(RecordFormat));
+        cat
+    }
+
+    /// Register (or replace) a connector — the Connectors extension API.
+    pub fn register_connector(&self, connector: Arc<dyn Connector>) {
+        self.connectors
+            .write()
+            .insert(connector.protocol().to_string(), connector);
+    }
+
+    /// Register (or replace) a format — the Data formats extension API.
+    pub fn register_format(&self, format: Arc<dyn DataFormat>) {
+        self.formats
+            .write()
+            .insert(format.name().to_string(), format);
+    }
+
+    /// Registered protocol names.
+    pub fn protocols(&self) -> Vec<String> {
+        self.connectors.read().keys().cloned().collect()
+    }
+
+    /// Registered format names.
+    pub fn formats(&self) -> Vec<String> {
+        self.formats.read().keys().cloned().collect()
+    }
+
+    /// The dashboard data folder served by the file connector.
+    pub fn data_folder(&self) -> &DataFolder {
+        &self.folder
+    }
+
+    /// The simulated HTTP service (register fixture routes here).
+    pub fn http(&self) -> &HttpSimConnector {
+        &self.http
+    }
+
+    /// The simulated FTP service.
+    pub fn ftp(&self) -> &FtpSimConnector {
+        &self.ftp
+    }
+
+    /// The simulated JDBC service.
+    pub fn jdbc(&self) -> &JdbcSimConnector {
+        &self.jdbc
+    }
+
+    /// Resolve a data-object configuration to a table: pick the connector,
+    /// fetch, pick the decoder, decode against the declared schema.
+    pub fn load(&self, cfg: &DataObjectConfig) -> Result<Table> {
+        let source = cfg.source.as_deref().ok_or_else(|| {
+            ConnectorError::BadConfig("data object has no 'source:' configured".into())
+        })?;
+        let protocol = cfg
+            .protocol
+            .clone()
+            .unwrap_or_else(|| infer_protocol(source).to_string());
+        let connector = self
+            .connectors
+            .read()
+            .get(&protocol)
+            .cloned()
+            .ok_or_else(|| ConnectorError::UnknownProtocol(protocol.clone()))?;
+
+        let request = FetchRequest {
+            source: source.to_string(),
+            request_type: cfg.request_type.clone(),
+            headers: cfg.headers.clone(),
+            params: cfg.params.clone(),
+        };
+        let payload = connector.fetch(&request)?;
+        match payload {
+            Payload::Table(t) => {
+                if cfg.columns.is_empty() {
+                    Ok(t)
+                } else {
+                    Ok(t.project(&cfg.columns)?)
+                }
+            }
+            Payload::Bytes { data, format_hint } => {
+                let format_name = cfg
+                    .format
+                    .clone()
+                    .or(format_hint)
+                    .ok_or_else(|| {
+                        ConnectorError::BadConfig(format!(
+                            "cannot determine format for '{source}'; set 'format:'"
+                        ))
+                    })?;
+                let format = self
+                    .formats
+                    .read()
+                    .get(&format_name)
+                    .cloned()
+                    .ok_or_else(|| ConnectorError::UnknownFormat(format_name.clone()))?;
+                let spec = FormatSpec {
+                    columns: cfg.columns.clone(),
+                    paths: if cfg.paths.len() == cfg.columns.len() {
+                        cfg.paths.clone()
+                    } else {
+                        vec![None; cfg.columns.len()]
+                    },
+                    separator: cfg.separator,
+                    has_header: true,
+                    record_element: cfg.record_element.clone(),
+                };
+                format.decode(&data, &spec)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_tabular::row;
+
+    #[test]
+    fn loads_csv_from_data_folder() {
+        // The figure-4 configuration: csv file in the dashboard data folder.
+        let cat = Catalog::new();
+        cat.data_folder()
+            .put_text("stackoverflow.csv", "p,q,a,t\npig,1,2,big\n");
+        let cfg = DataObjectConfig {
+            columns: vec!["project".into(), "question".into(), "answer".into(), "tags".into()],
+            source: Some("stackoverflow.csv".into()),
+            format: Some("csv".into()),
+            separator: Some(','),
+            ..Default::default()
+        };
+        let t = cat.load(&cfg).unwrap();
+        assert_eq!(t.schema().names(), vec!["project", "question", "answer", "tags"]);
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn loads_json_api_with_headers() {
+        // The figure-6 configuration: provider API with X-Access-Key.
+        let cat = Catalog::new();
+        cat.http().route_with_auth(
+            "https://api.stackexchange.com/2.2/questions",
+            &[("X-Access-Key", "XXX")],
+            r#"{"items": [{"title": "how to pig", "tags": ["pig"]}]}"#,
+            Some("json"),
+        );
+        let mut cfg = DataObjectConfig {
+            columns: vec!["question".into(), "tags".into()],
+            paths: vec![Some("title".into()), Some("tags".into())],
+            source: Some(
+                "https://api.stackexchange.com/2.2/questions?order=desc&site=stackoverflow".into(),
+            ),
+            protocol: Some("http".into()),
+            format: Some("json".into()),
+            request_type: Some("get".into()),
+            ..Default::default()
+        };
+        cfg.headers.insert("X-Access-Key".into(), "XXX".into());
+        let t = cat.load(&cfg).unwrap();
+        assert_eq!(t.value(0, "question").unwrap().to_string(), "how to pig");
+
+        cfg.headers.clear();
+        assert!(cat.load(&cfg).is_err(), "auth enforced");
+    }
+
+    #[test]
+    fn loads_jdbc_table_with_projection() {
+        let cat = Catalog::new();
+        cat.jdbc().put_table(
+            "db",
+            "t",
+            Table::from_rows(&["a", "b"], &[row![1i64, 2i64]]).unwrap(),
+        );
+        let cfg = DataObjectConfig {
+            columns: vec!["b".into()],
+            source: Some("jdbc:si://db/t".into()),
+            ..Default::default()
+        };
+        let t = cat.load(&cfg).unwrap();
+        assert_eq!(t.schema().names(), vec!["b"]);
+    }
+
+    #[test]
+    fn protocol_and_format_inference() {
+        let cat = Catalog::new();
+        cat.data_folder().put_text("d.csv", "x\n5\n");
+        let cfg = DataObjectConfig {
+            source: Some("d.csv".into()),
+            ..Default::default()
+        };
+        let t = cat.load(&cfg).unwrap();
+        assert_eq!(t.value(0, "x").unwrap().as_int(), Some(5));
+    }
+
+    #[test]
+    fn missing_source_and_unknown_names() {
+        let cat = Catalog::new();
+        assert!(cat.load(&DataObjectConfig::default()).is_err());
+        let cfg = DataObjectConfig {
+            source: Some("x".into()),
+            protocol: Some("gopher".into()),
+            ..Default::default()
+        };
+        assert!(matches!(cat.load(&cfg), Err(ConnectorError::UnknownProtocol(_))));
+        cat.data_folder().put_text("noext", "a\n1\n");
+        let cfg = DataObjectConfig {
+            source: Some("noext".into()),
+            ..Default::default()
+        };
+        assert!(cat.load(&cfg).unwrap_err().to_string().contains("format"));
+    }
+
+    #[test]
+    fn custom_format_extension() {
+        // §4.2: users can bring their own data formats.
+        struct UpperCsv;
+        impl DataFormat for UpperCsv {
+            fn name(&self) -> &str {
+                "uppercsv"
+            }
+            fn decode(&self, bytes: &[u8], spec: &FormatSpec) -> Result<Table> {
+                let text = std::str::from_utf8(bytes)
+                    .map_err(|_| ConnectorError::Decode("utf8".into()))?
+                    .to_uppercase();
+                CsvFormat.decode(text.as_bytes(), spec)
+            }
+        }
+        let cat = Catalog::new();
+        cat.register_format(Arc::new(UpperCsv));
+        cat.data_folder().put_text("x.custom", "name\npig\n");
+        let cfg = DataObjectConfig {
+            source: Some("x.custom".into()),
+            format: Some("uppercsv".into()),
+            ..Default::default()
+        };
+        let t = cat.load(&cfg).unwrap();
+        assert_eq!(t.value(0, "NAME").unwrap().to_string(), "PIG");
+    }
+}

@@ -1,0 +1,84 @@
+//! Connector-layer errors.
+
+use std::fmt;
+
+/// Result alias for connector operations.
+pub type Result<T, E = ConnectorError> = std::result::Result<T, E>;
+
+/// Errors raised when fetching or decoding a data object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectorError {
+    /// No connector is registered for the requested protocol.
+    UnknownProtocol(String),
+    /// No format decoder is registered for the requested format.
+    UnknownFormat(String),
+    /// The source (file, URL, table) was not found.
+    NotFound {
+        /// Protocol that performed the lookup.
+        protocol: String,
+        /// The source string.
+        source: String,
+    },
+    /// The remote service rejected the request (simulated 4xx).
+    Rejected {
+        /// Protocol.
+        protocol: String,
+        /// Why (e.g. "missing header X-Access-Key").
+        reason: String,
+    },
+    /// Decoding the payload failed.
+    Decode(String),
+    /// The data-object configuration is incomplete or contradictory.
+    BadConfig(String),
+}
+
+impl fmt::Display for ConnectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectorError::UnknownProtocol(p) => write!(f, "no connector for protocol '{p}'"),
+            ConnectorError::UnknownFormat(p) => write!(f, "no decoder for format '{p}'"),
+            ConnectorError::NotFound { protocol, source } => {
+                write!(f, "{protocol}: source '{source}' not found")
+            }
+            ConnectorError::Rejected { protocol, reason } => {
+                write!(f, "{protocol}: request rejected: {reason}")
+            }
+            ConnectorError::Decode(m) => write!(f, "payload decode failed: {m}"),
+            ConnectorError::BadConfig(m) => write!(f, "bad data object configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectorError {}
+
+impl From<shareinsights_tabular::TabularError> for ConnectorError {
+    fn from(e: shareinsights_tabular::TabularError) -> Self {
+        ConnectorError::Decode(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        let cases = [
+            ConnectorError::UnknownProtocol("gopher".into()),
+            ConnectorError::UnknownFormat("yaml".into()),
+            ConnectorError::NotFound {
+                protocol: "file".into(),
+                source: "x.csv".into(),
+            },
+            ConnectorError::Rejected {
+                protocol: "http".into(),
+                reason: "missing header".into(),
+            },
+            ConnectorError::Decode("bad json".into()),
+            ConnectorError::BadConfig("no source".into()),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! File connector over a dashboard's data folder.
+//!
+//! §4.3.2: "users can upload dashboard data to a 'data' folder. All data
+//! files in this folder can be referred in the data object configuration
+//! using relative paths from this data folder." [`DataFolder`] is that
+//! folder — in-memory for determinism, loadable from a real directory when
+//! examples want disk fixtures.
+
+use crate::connector::{infer_format_from_source, Connector, FetchRequest, Payload};
+use crate::error::{ConnectorError, Result};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// An in-memory file tree: relative path → bytes. Cheap to clone (shared).
+#[derive(Debug, Clone, Default)]
+pub struct DataFolder {
+    files: Arc<RwLock<BTreeMap<String, Vec<u8>>>>,
+}
+
+impl DataFolder {
+    /// Empty folder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a text file.
+    pub fn put_text(&self, path: impl Into<String>, content: impl Into<String>) {
+        self.files
+            .write()
+            .insert(normalize(&path.into()), content.into().into_bytes());
+    }
+
+    /// Store a binary file.
+    pub fn put_bytes(&self, path: impl Into<String>, content: Vec<u8>) {
+        self.files.write().insert(normalize(&path.into()), content);
+    }
+
+    /// Fetch a file's bytes.
+    pub fn get(&self, path: &str) -> Option<Vec<u8>> {
+        self.files.read().get(&normalize(path)).cloned()
+    }
+
+    /// List stored paths.
+    pub fn list(&self) -> Vec<String> {
+        self.files.read().keys().cloned().collect()
+    }
+
+    /// Number of stored files.
+    pub fn len(&self) -> usize {
+        self.files.read().len()
+    }
+
+    /// True when no files are stored.
+    pub fn is_empty(&self) -> bool {
+        self.files.read().is_empty()
+    }
+
+    /// Load every regular file under a real directory (relative paths).
+    /// Used by examples that ship disk fixtures.
+    pub fn from_dir(dir: &std::path::Path) -> std::io::Result<Self> {
+        let folder = DataFolder::new();
+        fn walk(
+            folder: &DataFolder,
+            base: &std::path::Path,
+            dir: &std::path::Path,
+        ) -> std::io::Result<()> {
+            for entry in std::fs::read_dir(dir)? {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    walk(folder, base, &path)?;
+                } else {
+                    let rel = path
+                        .strip_prefix(base)
+                        .unwrap_or(&path)
+                        .to_string_lossy()
+                        .to_string();
+                    folder.put_bytes(rel, std::fs::read(&path)?);
+                }
+            }
+            Ok(())
+        }
+        walk(&folder, dir, dir)?;
+        Ok(folder)
+    }
+}
+
+fn normalize(path: &str) -> String {
+    path.trim().trim_start_matches("./").to_string()
+}
+
+/// Connector serving `protocol: file` data objects from a [`DataFolder`].
+#[derive(Debug, Clone)]
+pub struct FileConnector {
+    folder: DataFolder,
+}
+
+impl FileConnector {
+    /// Wrap a folder.
+    pub fn new(folder: DataFolder) -> Self {
+        FileConnector { folder }
+    }
+
+    /// The folder served.
+    pub fn folder(&self) -> &DataFolder {
+        &self.folder
+    }
+}
+
+impl Connector for FileConnector {
+    fn protocol(&self) -> &str {
+        "file"
+    }
+
+    fn fetch(&self, request: &FetchRequest) -> Result<Payload> {
+        match self.folder.get(&request.source) {
+            Some(data) => Ok(Payload::Bytes {
+                data,
+                format_hint: infer_format_from_source(&request.source).map(str::to_string),
+            }),
+            None => Err(ConnectorError::NotFound {
+                protocol: "file".into(),
+                source: request.source.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let folder = DataFolder::new();
+        folder.put_text("stackoverflow.csv", "a,b\n1,2\n");
+        folder.put_bytes("bin/data.rec", vec![1, 2, 3]);
+        assert_eq!(folder.len(), 2);
+        assert_eq!(folder.get("stackoverflow.csv").unwrap(), b"a,b\n1,2\n");
+        assert_eq!(folder.get("./stackoverflow.csv").unwrap(), b"a,b\n1,2\n");
+        assert!(folder.get("missing.csv").is_none());
+        assert_eq!(folder.list(), vec!["bin/data.rec", "stackoverflow.csv"]);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = DataFolder::new();
+        let b = a.clone();
+        a.put_text("x", "1");
+        assert!(b.get("x").is_some(), "clone sees writes");
+    }
+
+    #[test]
+    fn connector_fetch_with_hint() {
+        let folder = DataFolder::new();
+        folder.put_text("data/tweets.json", "{}");
+        let c = FileConnector::new(folder);
+        assert_eq!(c.protocol(), "file");
+        match c.fetch(&FetchRequest::for_source("data/tweets.json")).unwrap() {
+            Payload::Bytes { data, format_hint } => {
+                assert_eq!(data, b"{}");
+                assert_eq!(format_hint.as_deref(), Some("json"));
+            }
+            _ => panic!("expected bytes"),
+        }
+        let err = c.fetch(&FetchRequest::for_source("nope.csv")).unwrap_err();
+        assert!(matches!(err, ConnectorError::NotFound { .. }));
+    }
+}

@@ -1,0 +1,251 @@
+//! Simulated JDBC connector: an in-memory database of named tables plus a
+//! minimal `SELECT` evaluator for the paper's "ad-hoc queries over JDBC"
+//! (§3.2).
+//!
+//! Source syntax: `jdbc:si://<database>/<table>` fetches a whole table;
+//! adding a `query` parameter evaluates
+//! `SELECT <cols|*> FROM <table> [WHERE <expr>] [LIMIT <n>]` with the
+//! expression language of the tabular crate.
+
+use crate::connector::{Connector, FetchRequest, Payload};
+use crate::error::{ConnectorError, Result};
+use parking_lot::RwLock;
+use shareinsights_tabular::expr::parse_expr;
+use shareinsights_tabular::Table;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A deterministic in-process database server.
+#[derive(Clone, Default)]
+pub struct JdbcSimConnector {
+    databases: Arc<RwLock<BTreeMap<String, BTreeMap<String, Table>>>>,
+}
+
+impl JdbcSimConnector {
+    /// Empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create/replace a table in a database.
+    pub fn put_table(&self, database: &str, table: &str, data: Table) {
+        self.databases
+            .write()
+            .entry(database.to_string())
+            .or_default()
+            .insert(table.to_string(), data);
+    }
+
+    /// List tables in a database.
+    pub fn tables(&self, database: &str) -> Vec<String> {
+        self.databases
+            .read()
+            .get(database)
+            .map(|db| db.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn split_url(url: &str) -> Result<(String, String)> {
+        let rest = url
+            .strip_prefix("jdbc:si://")
+            .ok_or_else(|| ConnectorError::BadConfig(format!("not a jdbc:si url: '{url}'")))?;
+        let (db, table) = rest
+            .split_once('/')
+            .ok_or_else(|| ConnectorError::BadConfig(format!("jdbc url needs db/table: '{url}'")))?;
+        if db.is_empty() || table.is_empty() {
+            return Err(ConnectorError::BadConfig(format!("jdbc url malformed: '{url}'")));
+        }
+        Ok((db.to_string(), table.to_string()))
+    }
+
+    /// Evaluate `SELECT cols FROM table [WHERE expr] [LIMIT n]` against a
+    /// table. The `FROM` table name must match `table_name` (the one the
+    /// URL addressed).
+    fn run_query(query: &str, table_name: &str, table: &Table) -> Result<Table> {
+        let q = query.trim();
+        let lower = q.to_ascii_lowercase();
+        if !lower.starts_with("select ") {
+            return Err(ConnectorError::BadConfig(format!(
+                "only SELECT queries are supported, got '{q}'"
+            )));
+        }
+        let from_pos = lower
+            .find(" from ")
+            .ok_or_else(|| ConnectorError::BadConfig("SELECT needs FROM".into()))?;
+        let cols_part = q[7..from_pos].trim();
+        let after_from = &q[from_pos + 6..];
+        let lower_after = after_from.to_ascii_lowercase();
+
+        let (table_part, rest) = match lower_after.find(" where ") {
+            Some(p) => (&after_from[..p], Some(&after_from[p + 7..])),
+            None => match lower_after.find(" limit ") {
+                Some(p) => (&after_from[..p], Some(&after_from[p..])),
+                None => (after_from, None),
+            },
+        };
+        if table_part.trim() != table_name {
+            return Err(ConnectorError::BadConfig(format!(
+                "query FROM '{}' does not match source table '{table_name}'",
+                table_part.trim()
+            )));
+        }
+
+        // Split optional WHERE / LIMIT from the remainder.
+        let mut where_expr: Option<&str> = None;
+        let mut limit: Option<usize> = None;
+        if let Some(rest) = rest {
+            let rl = rest.to_ascii_lowercase();
+            if let Some(stripped) = rl.strip_prefix(" limit ").or_else(|| rl.strip_prefix("limit ")) {
+                limit = Some(stripped.trim().parse().map_err(|_| {
+                    ConnectorError::BadConfig("LIMIT needs a number".into())
+                })?);
+            } else {
+                match rl.find(" limit ") {
+                    Some(p) => {
+                        where_expr = Some(&rest[..p]);
+                        limit = Some(rest[p + 7..].trim().parse().map_err(|_| {
+                            ConnectorError::BadConfig("LIMIT needs a number".into())
+                        })?);
+                    }
+                    None => where_expr = Some(rest),
+                }
+            }
+        }
+
+        let mut out = table.clone();
+        if let Some(w) = where_expr {
+            let expr = parse_expr(w.trim()).map_err(|e| ConnectorError::BadConfig(e.to_string()))?;
+            out = shareinsights_tabular::ops::filter_by_expr(&out, &expr)?;
+        }
+        if cols_part != "*" {
+            let cols: Vec<String> = cols_part
+                .split(',')
+                .map(|c| c.trim().to_string())
+                .filter(|c| !c.is_empty())
+                .collect();
+            out = out.project(&cols)?;
+        }
+        if let Some(n) = limit {
+            out = out.limit(n);
+        }
+        Ok(out)
+    }
+}
+
+impl Connector for JdbcSimConnector {
+    fn protocol(&self) -> &str {
+        "jdbc"
+    }
+
+    fn fetch(&self, request: &FetchRequest) -> Result<Payload> {
+        let (db, table_name) = Self::split_url(&request.source)?;
+        let databases = self.databases.read();
+        let table = databases
+            .get(&db)
+            .and_then(|d| d.get(&table_name))
+            .ok_or_else(|| ConnectorError::NotFound {
+                protocol: "jdbc".into(),
+                source: request.source.clone(),
+            })?;
+        match request.params.get("query") {
+            Some(q) => Ok(Payload::Table(Self::run_query(q, &table_name, table)?)),
+            None => Ok(Payload::Table(table.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_tabular::row;
+
+    fn seed() -> JdbcSimConnector {
+        let jdbc = JdbcSimConnector::new();
+        jdbc.put_table(
+            "warehouse",
+            "sales",
+            Table::from_rows(
+                &["region", "units", "revenue"],
+                &[
+                    row!["north", 10i64, 100.0],
+                    row!["south", 5i64, 50.0],
+                    row!["north", 7i64, 70.0],
+                ],
+            )
+            .unwrap(),
+        );
+        jdbc
+    }
+
+    #[test]
+    fn whole_table_fetch() {
+        let jdbc = seed();
+        match jdbc
+            .fetch(&FetchRequest::for_source("jdbc:si://warehouse/sales"))
+            .unwrap()
+        {
+            Payload::Table(t) => assert_eq!(t.num_rows(), 3),
+            _ => panic!("expected table"),
+        }
+        assert_eq!(jdbc.tables("warehouse"), vec!["sales"]);
+    }
+
+    #[test]
+    fn adhoc_select_where_limit() {
+        let jdbc = seed();
+        let req = FetchRequest::for_source("jdbc:si://warehouse/sales")
+            .with_param("query", "SELECT region, units FROM sales WHERE units > 6 LIMIT 1");
+        match jdbc.fetch(&req).unwrap() {
+            Payload::Table(t) => {
+                assert_eq!(t.num_rows(), 1);
+                assert_eq!(t.schema().names(), vec!["region", "units"]);
+                assert_eq!(t.value(0, "units").unwrap().as_int(), Some(10));
+            }
+            _ => panic!("expected table"),
+        }
+    }
+
+    #[test]
+    fn select_star_and_plain_where() {
+        let jdbc = seed();
+        let req = FetchRequest::for_source("jdbc:si://warehouse/sales")
+            .with_param("query", "select * from sales where region == 'north'");
+        match jdbc.fetch(&req).unwrap() {
+            Payload::Table(t) => assert_eq!(t.num_rows(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn bad_queries_rejected() {
+        let jdbc = seed();
+        for (q, msg) in [
+            ("DELETE FROM sales", "only SELECT"),
+            ("SELECT * FROM other", "does not match"),
+            ("SELECT *", "needs FROM"),
+            ("SELECT nope FROM sales", "not found"),
+            ("SELECT * FROM sales LIMIT abc", "needs a number"),
+        ] {
+            let req = FetchRequest::for_source("jdbc:si://warehouse/sales").with_param("query", q);
+            let err = jdbc.fetch(&req).unwrap_err();
+            assert!(err.to_string().contains(msg), "{q}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_db_or_table() {
+        let jdbc = seed();
+        assert!(matches!(
+            jdbc.fetch(&FetchRequest::for_source("jdbc:si://other/sales")),
+            Err(ConnectorError::NotFound { .. })
+        ));
+        assert!(matches!(
+            jdbc.fetch(&FetchRequest::for_source("jdbc:si://warehouse/none")),
+            Err(ConnectorError::NotFound { .. })
+        ));
+        assert!(matches!(
+            jdbc.fetch(&FetchRequest::for_source("jdbc:si://bad")),
+            Err(ConnectorError::BadConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,39 @@
+//! # shareinsights-connectors
+//!
+//! Protocol connectors and data formats (§3.2 + §4.2 of the paper).
+//!
+//! The platform "provides popular protocol connectors — such as File (local,
+//! remote), HTTP/S, FTP, JDBC — and recognizes popular data payload formats
+//! such as CSV, AVRO, XML and JSON documents". The [`Connector`] and format
+//! traits here are the §4.2 extension points; the built-ins are:
+//!
+//! * [`file::FileConnector`] — reads from a dashboard's data folder (the
+//!   folder the paper's SFTP interface uploads into, §4.3.2), backed by an
+//!   in-memory [`file::DataFolder`];
+//! * [`http::HttpSimConnector`] — a deterministic in-process HTTP service:
+//!   fixture routes, required-header checks (`X-Access-Key`), query-string
+//!   matching. Stands in for live provider APIs (offline environment; the
+//!   connector surface — URL, headers, `request_type` — is fully exercised);
+//! * [`ftp::FtpSimConnector`] — per-host file trees;
+//! * [`jdbc::JdbcSimConnector`] — an in-memory database with named tables
+//!   and a minimal `SELECT` evaluator for the paper's "ad-hoc queries over
+//!   JDBC".
+//!
+//! [`catalog::Catalog`] bundles registries of both and resolves a flow
+//! file's data-object configuration (protocol + source + format + schema)
+//! into a [`Table`](shareinsights_tabular::Table) — the call the engine
+//! makes for every source data object.
+
+pub mod catalog;
+pub mod connector;
+pub mod error;
+pub mod file;
+pub mod format;
+pub mod ftp;
+pub mod http;
+pub mod jdbc;
+
+pub use catalog::Catalog;
+pub use connector::{Connector, FetchRequest, Payload};
+pub use error::{ConnectorError, Result};
+pub use format::{DataFormat, FormatSpec};

@@ -1,0 +1,226 @@
+//! Dataset discovery — §6 future work, implemented: "Since data is
+//! published on the platform, it potentially allows for discovery of
+//! data-sets to enrich an existing data pipeline."
+//!
+//! Given a data object's schema, [`suggest_enrichments`] ranks every
+//! published shared object by join compatibility: shared column names
+//! (candidate join keys) weighted by whether the key looks unique on the
+//! published side (a clean dimension join) and by how many *new* columns
+//! the enrichment would add.
+
+use crate::meta::profile_table;
+use shareinsights_collab::PublishRegistry;
+use shareinsights_tabular::Schema;
+use std::collections::BTreeSet;
+
+/// One enrichment suggestion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Enrichment {
+    /// Published object name (`D.<name>` usable directly in a flow).
+    pub publish_name: String,
+    /// Producing dashboard (provenance).
+    pub producer: String,
+    /// Columns shared with the query schema — candidate join keys.
+    pub join_keys: Vec<String>,
+    /// Columns the join would add.
+    pub new_columns: Vec<String>,
+    /// True when some join key is unique on the published side (safe
+    /// dimension-style left join; no fan-out).
+    pub key_is_unique: bool,
+    /// Ranking score.
+    pub score: f64,
+}
+
+impl Enrichment {
+    /// A ready-to-paste join task snippet for the flow file.
+    pub fn task_snippet(&self, local_object: &str) -> String {
+        let key = self.join_keys.first().map(String::as_str).unwrap_or("<key>");
+        format!(
+            "  enrich_with_{name}:\n    type: join\n    left: {local} by {key}\n    right: {name} by {key}\n    join_condition: left outer\n",
+            name = self.publish_name,
+            local = local_object,
+        )
+    }
+}
+
+/// Rank published objects by how well they could enrich `schema`.
+///
+/// `exclude_producer` omits a dashboard's own publications (you don't
+/// enrich a pipeline with its own outputs).
+pub fn suggest_enrichments(
+    schema: &Schema,
+    registry: &PublishRegistry,
+    exclude_producer: Option<&str>,
+) -> Vec<Enrichment> {
+    let local: BTreeSet<&str> = schema.names().into_iter().collect();
+    let mut out = Vec::new();
+    for name in registry.names() {
+        let Some(shared) = registry.get(&name) else {
+            continue;
+        };
+        if exclude_producer == Some(shared.producer.as_str()) {
+            continue;
+        }
+        let shared_cols: Vec<String> = shared
+            .schema
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let join_keys: Vec<String> = shared_cols
+            .iter()
+            .filter(|c| local.contains(c.as_str()))
+            .cloned()
+            .collect();
+        if join_keys.is_empty() {
+            continue;
+        }
+        let new_columns: Vec<String> = shared_cols
+            .iter()
+            .filter(|c| !local.contains(c.as_str()))
+            .cloned()
+            .collect();
+        if new_columns.is_empty() {
+            continue; // nothing gained
+        }
+        // Key uniqueness: check the snapshot when available.
+        let key_is_unique = shared
+            .snapshot
+            .as_ref()
+            .map(|t| {
+                let profiles = profile_table(&name, t);
+                join_keys.iter().any(|k| {
+                    profiles
+                        .iter()
+                        .any(|p| &p.column == k && p.looks_like_key())
+                })
+            })
+            .unwrap_or(false);
+        let score = new_columns.len() as f64
+            + join_keys.len() as f64 * 0.5
+            + if key_is_unique { 2.0 } else { 0.0 };
+        out.push(Enrichment {
+            publish_name: name,
+            producer: shared.producer,
+            join_keys,
+            new_columns,
+            key_is_unique,
+            score,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| a.publish_name.cmp(&b.publish_name))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_tabular::{row, DataType, Table};
+
+    fn registry() -> PublishRegistry {
+        let reg = PublishRegistry::new();
+        // A clean dimension: unique team key, adds 2 columns.
+        reg.publish(
+            "dim_teams",
+            "ipl_processing",
+            "dim_teams",
+            Schema::of(&[
+                ("team", DataType::Utf8),
+                ("team_fullName", DataType::Utf8),
+                ("color", DataType::Utf8),
+            ]),
+            Some(
+                Table::from_rows(
+                    &["team", "team_fullName", "color"],
+                    &[
+                        row!["CSK", "Chennai Super Kings", "#f9cd05"],
+                        row!["MI", "Mumbai Indians", "#004ba0"],
+                    ],
+                )
+                .unwrap(),
+            ),
+        )
+        .unwrap();
+        // A fact table sharing 'team' but non-unique.
+        reg.publish(
+            "team_tweets",
+            "ipl_processing",
+            "team_tweets",
+            Schema::of(&[
+                ("date", DataType::Utf8),
+                ("team", DataType::Utf8),
+                ("noOfTweets", DataType::Int64),
+            ]),
+            Some(
+                Table::from_rows(
+                    &["date", "team", "noOfTweets"],
+                    &[row!["d1", "CSK", 3i64], row!["d2", "CSK", 5i64]],
+                )
+                .unwrap(),
+            ),
+        )
+        .unwrap();
+        // Unrelated object: no shared columns.
+        reg.publish(
+            "tickets",
+            "service_desk",
+            "tickets",
+            Schema::of(&[("ticket_id", DataType::Utf8)]),
+            None,
+        )
+        .unwrap();
+        reg
+    }
+
+    #[test]
+    fn ranks_clean_dimension_joins_first() {
+        let my_schema = Schema::of(&[
+            ("team", DataType::Utf8),
+            ("score", DataType::Int64),
+        ]);
+        let suggestions = suggest_enrichments(&my_schema, &registry(), None);
+        assert_eq!(suggestions.len(), 2, "tickets excluded (no shared columns)");
+        assert_eq!(suggestions[0].publish_name, "dim_teams");
+        assert!(suggestions[0].key_is_unique);
+        assert_eq!(suggestions[0].join_keys, vec!["team"]);
+        assert_eq!(
+            suggestions[0].new_columns,
+            vec!["team_fullName", "color"]
+        );
+        assert_eq!(suggestions[1].publish_name, "team_tweets");
+        assert!(!suggestions[1].key_is_unique);
+    }
+
+    #[test]
+    fn excludes_own_producer_and_no_gain() {
+        let my_schema = Schema::of(&[("team", DataType::Utf8)]);
+        let all = suggest_enrichments(&my_schema, &registry(), None);
+        let filtered = suggest_enrichments(&my_schema, &registry(), Some("ipl_processing"));
+        assert!(all.len() > filtered.len());
+        assert!(filtered.is_empty());
+
+        // An object whose columns are a subset of ours adds nothing.
+        let wide = Schema::of(&[
+            ("team", DataType::Utf8),
+            ("team_fullName", DataType::Utf8),
+            ("color", DataType::Utf8),
+        ]);
+        let s = suggest_enrichments(&wide, &registry(), None);
+        assert!(s.iter().all(|e| e.publish_name != "dim_teams"));
+    }
+
+    #[test]
+    fn snippet_is_valid_flowfile_syntax() {
+        let my_schema = Schema::of(&[("team", DataType::Utf8), ("n", DataType::Int64)]);
+        let s = suggest_enrichments(&my_schema, &registry(), None);
+        let snippet = s[0].task_snippet("my_data");
+        let src = format!("T:\n{snippet}");
+        let ff = shareinsights_flowfile::parse_flow_file("t", &src).unwrap();
+        assert_eq!(ff.tasks[0].task_type, "join");
+    }
+}

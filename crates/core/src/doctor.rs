@@ -1,0 +1,305 @@
+//! Error pin-pointing — §6 future work, implemented: "since the flow file
+//! is an abstraction layer, more work needs to be done to enable users to
+//! pin-point errors quickly (without leaking the underlying engine errors
+//! or debug logs)".
+//!
+//! [`explain`] turns a platform error into a [`Diagnosis`]: the flow-file
+//! element involved, its source line where known, and concrete suggestions
+//! — most usefully "did you mean …" corrections for misspelled columns,
+//! tasks and data objects, computed by edit distance against what the flow
+//! file actually declares.
+
+use crate::error::PlatformError;
+use shareinsights_engine::EngineError;
+use shareinsights_flowfile::ast::FlowFile;
+
+/// A user-facing diagnosis of a failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnosis {
+    /// What failed, in flow-file vocabulary.
+    pub summary: String,
+    /// Source line of the implicated element (0 = unknown).
+    pub line: usize,
+    /// Concrete next steps.
+    pub suggestions: Vec<String>,
+}
+
+/// Damerau–Levenshtein distance (optimal string alignment variant).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let mut prev2: Vec<usize> = vec![0; m + 1];
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur: Vec<usize> = vec![0; m + 1];
+    for i in 1..=n {
+        cur[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                cur[j] = cur[j].min(prev2[j - 2] + 1);
+            }
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// The closest candidates to `name` within a sane distance budget.
+pub fn closest<'a>(name: &str, candidates: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+    let budget = (name.len() / 3).clamp(1, 3);
+    let mut scored: Vec<(usize, &str)> = candidates
+        .into_iter()
+        .map(|c| (edit_distance(name, c), c))
+        .filter(|(d, _)| *d <= budget && *d > 0)
+        .collect();
+    scored.sort();
+    scored.into_iter().take(3).map(|(_, c)| c.to_string()).collect()
+}
+
+/// Extract a `'quoted'` name from an error message (the engine's errors
+/// consistently quote the offending identifier).
+fn quoted(message: &str) -> Option<&str> {
+    let start = message.find('\'')? + 1;
+    let end = start + message[start..].find('\'')?;
+    Some(&message[start..end])
+}
+
+/// All column names the flow file mentions anywhere — the candidate pool
+/// for column typo correction.
+fn known_columns(ff: &FlowFile) -> Vec<String> {
+    let mut cols: Vec<String> = Vec::new();
+    for d in &ff.data {
+        for c in &d.columns {
+            if !cols.contains(&c.name) {
+                cols.push(c.name.clone());
+            }
+        }
+    }
+    for t in &ff.tasks {
+        for key in ["out_field", "output"] {
+            if let Some(v) = t.params.get_scalar(key) {
+                if !cols.contains(&v.to_string()) {
+                    cols.push(v.to_string());
+                }
+            }
+        }
+        if let Some(shareinsights_flowfile::config::ConfigValue::List(aggs)) =
+            t.params.get("aggregates")
+        {
+            for a in aggs {
+                if let Some(of) = a.as_map().and_then(|m| m.get_scalar("out_field")) {
+                    if !cols.contains(&of.to_string()) {
+                        cols.push(of.to_string());
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Explain a platform error against the flow file it arose from.
+pub fn explain(error: &PlatformError, ff: &FlowFile) -> Diagnosis {
+    match error {
+        PlatformError::Compile(e) | PlatformError::Execute(e) => explain_engine(e, ff),
+        PlatformError::FlowFile(fe) => {
+            let first = fe.first();
+            Diagnosis {
+                summary: first.message.clone(),
+                line: first.line,
+                suggestions: vec![
+                    "check section indentation (two spaces) and that every task has a 'type:'"
+                        .to_string(),
+                ],
+            }
+        }
+        other => Diagnosis {
+            summary: other.to_string(),
+            line: 0,
+            suggestions: vec![],
+        },
+    }
+}
+
+fn explain_engine(e: &EngineError, ff: &FlowFile) -> Diagnosis {
+    match e {
+        EngineError::SchemaMismatch { task, flow, message } => {
+            let line = ff.task(task).map(|t| t.line).unwrap_or(0);
+            let mut suggestions = Vec::new();
+            if message.contains("not found") {
+                if let Some(missing) = quoted(message) {
+                    let close = closest(missing, known_columns(ff).iter().map(String::as_str));
+                    if !close.is_empty() {
+                        suggestions.push(format!(
+                            "did you mean {}?",
+                            close
+                                .iter()
+                                .map(|c| format!("'{c}'"))
+                                .collect::<Vec<_>>()
+                                .join(" or ")
+                        ));
+                    }
+                }
+                suggestions.push(format!(
+                    "the columns available to 'T.{task}' are set by whatever precedes it in flow 'D.{flow}' — check the task order"
+                ));
+            }
+            Diagnosis {
+                summary: format!("task 'T.{task}' in flow 'D.{flow}': {message}"),
+                line,
+                suggestions,
+            }
+        }
+        EngineError::TaskConfig { task, message } => {
+            let line = ff.task(task).map(|t| t.line).unwrap_or(0);
+            let mut suggestions = Vec::new();
+            if message.contains("unknown task type") {
+                if let Some(bad) = quoted(message) {
+                    let builtins = [
+                        "filter_by", "groupby", "join", "map", "topn", "sort", "distinct",
+                        "limit", "union", "project", "parallel",
+                    ];
+                    let close = closest(bad, builtins.iter().copied());
+                    if !close.is_empty() {
+                        suggestions.push(format!("did you mean type: {}?", close.join(" / ")));
+                    } else {
+                        suggestions.push(
+                            "register the extension with Platform::tasks().register_task(...) before saving"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            Diagnosis {
+                summary: format!("task 'T.{task}': {message}"),
+                line,
+                suggestions,
+            }
+        }
+        EngineError::UnresolvedData { object, context } => {
+            let known: Vec<&str> = ff.data.iter().map(|d| d.name.as_str()).collect();
+            let close = closest(object, known.iter().copied());
+            let mut suggestions = vec![format!(
+                "declare 'D.{object}' with a source, produce it with a flow, or publish it from another dashboard"
+            )];
+            if !close.is_empty() {
+                suggestions.insert(0, format!("did you mean 'D.{}'?", close[0]));
+            }
+            Diagnosis {
+                summary: format!("'D.{object}' used by {context} cannot be resolved"),
+                line: 0,
+                suggestions,
+            }
+        }
+        EngineError::Cycle { path } => Diagnosis {
+            summary: format!("flows form a cycle: {}", path.join(" -> ")),
+            line: ff
+                .flows
+                .iter()
+                .find(|f| path.contains(&f.output))
+                .map(|f| f.line)
+                .unwrap_or(0),
+            suggestions: vec![
+                "break the cycle by introducing an intermediate data object produced by only one flow"
+                    .to_string(),
+            ],
+        },
+        other => Diagnosis {
+            summary: other.to_string(),
+            line: 0,
+            suggestions: vec![],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use shareinsights_flowfile::parse_flow_file;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("teh", "the"), 1, "transposition");
+        assert_eq!(edit_distance("noOfTweets", "noOfTweet"), 1);
+    }
+
+    #[test]
+    fn closest_respects_budget() {
+        let c = closest("projct", ["project", "year", "noOfBugs"]);
+        assert_eq!(c, vec!["project"]);
+        assert!(closest("zzzzzz", ["project", "year"]).is_empty());
+        assert!(closest("project", ["project"]).is_empty(), "exact match is not a typo");
+    }
+
+    #[test]
+    fn suggests_column_correction() {
+        let src = "D:\n  data: [project, year, noOfBugs]\nT:\n  f:\n    type: filter_by\n    filter_expression: projct < 3\nF:\n  +D.out: D.data | T.f\n";
+        let platform = Platform::new();
+        let err = platform.save_flow("d", src).err();
+        // Validation passes (column checks happen at compile); run compile.
+        assert!(err.is_none());
+        let compile_err = platform.compile_dashboard("d").unwrap_err();
+        let ff = parse_flow_file("d", src).unwrap();
+        let diag = explain(&compile_err, &ff);
+        assert!(diag.summary.contains("T.f"));
+        assert!(diag.line > 0, "points at the task's line");
+        assert!(
+            diag.suggestions.iter().any(|s| s.contains("'project'")),
+            "{:?}",
+            diag.suggestions
+        );
+    }
+
+    #[test]
+    fn suggests_out_field_columns_too() {
+        // The misspelled column was produced by an upstream groupby.
+        let src = "D:\n  data: [k, v]\nT:\n  g:\n    type: groupby\n    groupby: [k]\n    aggregates:\n    - operator: sum\n      apply_on: v\n      out_field: total\n  f:\n    type: filter_by\n    filter_expression: totl > 5\nF:\n  +D.out: D.data | T.g | T.f\n";
+        let platform = Platform::new();
+        platform.save_flow("d", src).unwrap();
+        let err = platform.compile_dashboard("d").unwrap_err();
+        let ff = parse_flow_file("d", src).unwrap();
+        let diag = explain(&err, &ff);
+        assert!(
+            diag.suggestions.iter().any(|s| s.contains("'total'")),
+            "{:?}",
+            diag.suggestions
+        );
+    }
+
+    #[test]
+    fn suggests_task_type_correction() {
+        let src = "D:\n  data: [k]\nT:\n  g:\n    type: gruopby\n    groupby: [k]\nF:\n  +D.out: D.data | T.g\n";
+        let platform = Platform::new();
+        platform.save_flow("d", src).unwrap();
+        let err = platform.compile_dashboard("d").unwrap_err();
+        let ff = parse_flow_file("d", src).unwrap();
+        let diag = explain(&err, &ff);
+        assert!(
+            diag.suggestions.iter().any(|s| s.contains("groupby")),
+            "{:?}",
+            diag.suggestions
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_lines() {
+        let platform = Platform::new();
+        let err = platform.save_flow("d", "Q:\n  x: 1\n").unwrap_err();
+        let diag = explain(&err, &FlowFile::default());
+        assert_eq!(diag.line, 1);
+        assert!(!diag.suggestions.is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! Platform-level error type unifying every layer's failures, always in
+//! flow-file vocabulary.
+
+use std::fmt;
+
+/// Result alias.
+pub type Result<T, E = PlatformError> = std::result::Result<T, E>;
+
+/// Any failure surfaced to a dashboard author.
+#[derive(Debug, Clone)]
+pub enum PlatformError {
+    /// The flow file failed to parse or validate.
+    FlowFile(shareinsights_flowfile::FlowError),
+    /// Compilation failed.
+    Compile(shareinsights_engine::EngineError),
+    /// Execution failed.
+    Execute(shareinsights_engine::EngineError),
+    /// Widget/dashboard construction failed.
+    Widget(shareinsights_widgets::WidgetError),
+    /// Collaboration (store/merge/publish) failure.
+    Collab(String),
+    /// No dashboard with that name.
+    NoDashboard(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::FlowFile(e) => write!(f, "flow file error:\n{e}"),
+            PlatformError::Compile(e) => write!(f, "compile error: {e}"),
+            PlatformError::Execute(e) => write!(f, "execution error: {e}"),
+            PlatformError::Widget(e) => write!(f, "widget error: {e}"),
+            PlatformError::Collab(m) => write!(f, "collaboration error: {m}"),
+            PlatformError::NoDashboard(d) => write!(f, "no dashboard '{d}'"),
+            PlatformError::Other(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<shareinsights_flowfile::FlowError> for PlatformError {
+    fn from(e: shareinsights_flowfile::FlowError) -> Self {
+        PlatformError::FlowFile(e)
+    }
+}
+
+impl From<shareinsights_widgets::WidgetError> for PlatformError {
+    fn from(e: shareinsights_widgets::WidgetError) -> Self {
+        PlatformError::Widget(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = PlatformError::NoDashboard("x".into());
+        assert_eq!(e.to_string(), "no dashboard 'x'");
+        let e: PlatformError =
+            shareinsights_flowfile::FlowError::single(3, "bad section").into();
+        assert!(e.to_string().contains("line 3"));
+    }
+}

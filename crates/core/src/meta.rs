@@ -1,0 +1,321 @@
+//! Auto-constructed meta-dashboards — §6 future work, implemented:
+//! "We want to auto-construct meta-dashboards which provide statistics and
+//! analysis of all the data columns used in the data pipeline. Since data
+//! cleaning is a non-trivial activity, we believe this feature would be of
+//! immense help for huge data sizes."
+//!
+//! [`profile_table`] computes per-column statistics; [`build_meta_dashboard`]
+//! materialises them for every data object a run produced and synthesises a
+//! real flow file + endpoint so the profile is itself a dashboard on the
+//! platform (browseable over `/ds`, renderable with the stock widgets).
+
+use crate::dashboard::RunReport;
+use shareinsights_tabular::{Column, Row, Table, Value};
+use std::collections::HashMap;
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnProfile {
+    /// Data object the column belongs to.
+    pub object: String,
+    /// Column name.
+    pub column: String,
+    /// Logical type name.
+    pub data_type: String,
+    /// Total rows.
+    pub rows: usize,
+    /// Null cells.
+    pub nulls: usize,
+    /// Distinct non-null values.
+    pub distinct: usize,
+    /// Minimum value (textual), when any non-null value exists.
+    pub min: Option<String>,
+    /// Maximum value (textual).
+    pub max: Option<String>,
+    /// Most frequent value and its count.
+    pub top_value: Option<(String, usize)>,
+    /// String cells with leading/trailing whitespace (a §5.2.2-obs-4
+    /// cleaning smell).
+    pub padded: usize,
+}
+
+impl ColumnProfile {
+    /// Null ratio in [0, 1].
+    pub fn null_ratio(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / self.rows as f64
+        }
+    }
+
+    /// True when the column looks like a key (all values distinct,
+    /// no nulls, non-empty).
+    pub fn looks_like_key(&self) -> bool {
+        self.rows > 0 && self.nulls == 0 && self.distinct == self.rows
+    }
+}
+
+/// Profile every column of a table.
+pub fn profile_table(object: &str, table: &Table) -> Vec<ColumnProfile> {
+    table
+        .schema()
+        .fields()
+        .iter()
+        .zip(table.columns())
+        .map(|(field, col)| profile_column(object, field.name(), col))
+        .collect()
+}
+
+fn profile_column(object: &str, name: &str, col: &Column) -> ColumnProfile {
+    let rows = col.len();
+    let mut nulls = 0usize;
+    let mut padded = 0usize;
+    let mut counts: HashMap<Value, usize> = HashMap::new();
+    let mut min: Option<Value> = None;
+    let mut max: Option<Value> = None;
+    for i in 0..rows {
+        let v = col.value(i);
+        if v.is_null() {
+            nulls += 1;
+            continue;
+        }
+        if let Some(s) = v.as_str() {
+            if s != s.trim() {
+                padded += 1;
+            }
+        }
+        if min.as_ref().is_none_or(|m| v < *m) {
+            min = Some(v.clone());
+        }
+        if max.as_ref().is_none_or(|m| v > *m) {
+            max = Some(v.clone());
+        }
+        *counts.entry(v).or_default() += 1;
+    }
+    let top_value = counts
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+        .map(|(v, c)| (v.to_string(), *c));
+    ColumnProfile {
+        object: object.to_string(),
+        column: name.to_string(),
+        data_type: col.data_type().to_string(),
+        rows,
+        nulls,
+        distinct: counts.len(),
+        min: min.map(|v| v.to_string()),
+        max: max.map(|v| v.to_string()),
+        top_value,
+        padded,
+    }
+}
+
+/// The materialised meta-dashboard: a profile table (one row per column of
+/// every profiled object) plus a generated flow file that visualises it.
+#[derive(Debug, Clone)]
+pub struct MetaDashboard {
+    /// One row per (object, column).
+    pub profile: Table,
+    /// A complete flow file rendering the profile with stock widgets.
+    pub flow_text: String,
+    /// Columns flagged as cleaning candidates (high nulls / padding / mixed
+    /// case duplicates).
+    pub warnings: Vec<String>,
+}
+
+/// Build the meta-dashboard for everything a run materialised.
+pub fn build_meta_dashboard(run: &RunReport) -> MetaDashboard {
+    build_meta_from_tables(run.result.tables.iter().map(|(n, t)| (n.as_str(), t)))
+}
+
+/// Build the meta-dashboard from any set of named tables.
+pub fn build_meta_from_tables<'a>(
+    tables: impl IntoIterator<Item = (&'a str, &'a Table)>,
+) -> MetaDashboard {
+    let mut profiles: Vec<ColumnProfile> = Vec::new();
+    for (name, table) in tables {
+        profiles.extend(profile_table(name, table));
+    }
+    profiles.sort_by(|a, b| (&a.object, &a.column).cmp(&(&b.object, &b.column)));
+
+    let rows: Vec<Row> = profiles
+        .iter()
+        .map(|p| {
+            Row(vec![
+                p.object.clone().into(),
+                p.column.clone().into(),
+                p.data_type.clone().into(),
+                Value::Int(p.rows as i64),
+                Value::Int(p.nulls as i64),
+                Value::Int(p.distinct as i64),
+                p.min.clone().map(Value::Str).unwrap_or(Value::Null),
+                p.max.clone().map(Value::Str).unwrap_or(Value::Null),
+                p.top_value
+                    .as_ref()
+                    .map(|(v, c)| Value::Str(format!("{v} ({c})")))
+                    .unwrap_or(Value::Null),
+                Value::Int(p.padded as i64),
+            ])
+        })
+        .collect();
+    let profile = Table::from_rows(
+        &[
+            "object", "column", "type", "rows", "nulls", "distinct", "min", "max", "top_value",
+            "padded",
+        ],
+        &rows,
+    )
+    .expect("profile rows are rectangular");
+
+    let mut warnings = Vec::new();
+    for p in &profiles {
+        if p.null_ratio() > 0.2 && p.rows > 0 {
+            warnings.push(format!(
+                "D.{}.{}: {:.0}% null — consider a null filter task",
+                p.object,
+                p.column,
+                p.null_ratio() * 100.0
+            ));
+        }
+        if p.padded > 0 {
+            warnings.push(format!(
+                "D.{}.{}: {} cells have stray whitespace — consider a trimming map task",
+                p.object, p.column, p.padded
+            ));
+        }
+    }
+
+    // The generated dashboard: grid of profiles + null bar, filterable by
+    // object (interaction flow, like any dashboard).
+    let flow_text = r#"
+D:
+  column_profiles: [object, column, type, rows, nulls, distinct, min, max, top_value, padded]
+D.column_profiles:
+  endpoint: true
+T:
+  filter_by_object:
+    type: filter_by
+    filter_by: [object]
+    filter_source: W.objects
+    filter_val: [text]
+  object_names:
+    type: distinct
+    columns: [object]
+W:
+  objects:
+    type: List
+    source: D.column_profiles | T.object_names
+    text: object
+  profile_grid:
+    type: DataGrid
+    source: D.column_profiles | T.filter_by_object
+  null_bar:
+    type: Bar
+    source: D.column_profiles | T.filter_by_object
+    x: column
+    y: nulls
+L:
+  description: Data Quality Meta-Dashboard
+  rows:
+  - [span3: W.objects, span9: W.profile_grid]
+  - [span12: W.null_bar]
+"#
+    .to_string();
+
+    MetaDashboard {
+        profile,
+        flow_text,
+        warnings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use shareinsights_tabular::row;
+
+    fn sample() -> Table {
+        Table::from_rows(
+            &["id", "name", "score"],
+            &[
+                row![1i64, "alice", 0.5],
+                row![2i64, " bob ", Value::Null],
+                row![3i64, "alice", 0.9],
+                row![4i64, Value::Null, 0.9],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn profile_statistics() {
+        let profiles = profile_table("users", &sample());
+        assert_eq!(profiles.len(), 3);
+        let id = &profiles[0];
+        assert_eq!(id.column, "id");
+        assert_eq!((id.rows, id.nulls, id.distinct), (4, 0, 4));
+        assert!(id.looks_like_key());
+        assert_eq!(id.min.as_deref(), Some("1"));
+        assert_eq!(id.max.as_deref(), Some("4"));
+
+        let name = &profiles[1];
+        assert_eq!(name.nulls, 1);
+        assert_eq!(name.distinct, 2, "alice (twice) and ' bob '");
+        assert_eq!(name.padded, 1);
+        assert_eq!(name.top_value, Some(("alice".to_string(), 2)));
+        assert!(!name.looks_like_key());
+
+        let score = &profiles[2];
+        assert_eq!(score.nulls, 1);
+        assert!((score.null_ratio() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_table_profiles_cleanly() {
+        let t = Table::from_rows(&["a"], &[]).unwrap();
+        let p = profile_table("empty", &t);
+        assert_eq!(p[0].rows, 0);
+        assert_eq!(p[0].min, None);
+        assert_eq!(p[0].null_ratio(), 0.0);
+    }
+
+    #[test]
+    fn meta_dashboard_is_a_runnable_dashboard() {
+        // Run a real pipeline, build its meta-dashboard, then load the
+        // generated flow file back onto the platform and interact with it —
+        // the §6 feature closing the loop.
+        let platform = Platform::new();
+        platform.upload_data("d", "data.csv", "k,v\na,1\na,\nb,3\n");
+        platform
+            .save_flow(
+                "d",
+                "D:\n  data: [k, v]\nD.data:\n  source: 'data.csv'\n  format: csv\nT:\n  g:\n    type: groupby\n    groupby: [k]\nF:\n  +D.out: D.data | T.g\n",
+            )
+            .unwrap();
+        let run = platform.run_dashboard("d").unwrap();
+        let meta = build_meta_dashboard(&run);
+
+        // Profiles cover both the source and the sink.
+        let objects: std::collections::BTreeSet<String> = (0..meta.profile.num_rows())
+            .map(|i| meta.profile.value(i, "object").unwrap().to_string())
+            .collect();
+        assert!(objects.contains("data") && objects.contains("out"));
+        // The null in v was noticed.
+        assert!(meta.warnings.iter().any(|w| w.contains("null")), "{:?}", meta.warnings);
+
+        // The generated flow file loads and renders through the platform's
+        // one-call API.
+        let (meta2, dash) = platform.open_meta_dashboard("d").unwrap();
+        assert_eq!(meta2.profile, meta.profile);
+        let node = dash.render_widget("profile_grid", 20).unwrap();
+        assert!(node.lines.iter().any(|l| l.contains("nulls")));
+        dash.select("objects", "text", vec!["data".into()]).unwrap();
+        let filtered = dash.data_of("profile_grid").unwrap();
+        assert!(filtered.num_rows() > 0);
+        for i in 0..filtered.num_rows() {
+            assert_eq!(filtered.value(i, "object").unwrap().to_string(), "data");
+        }
+    }
+}

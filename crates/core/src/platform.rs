@@ -1,0 +1,759 @@
+//! The [`Platform`]: figure 24's block diagram as one object.
+
+use crate::dashboard::{Dashboard, RunReport};
+use crate::error::{PlatformError, Result};
+use crate::telemetry::{usage_of, RunEvent, RunKind, RunLog};
+use parking_lot::RwLock;
+use shareinsights_collab::PublishRegistry;
+use shareinsights_connectors::Catalog;
+use shareinsights_engine::compile::{compile, CompileEnv, CompiledPipeline};
+use shareinsights_engine::exec::{ExecContext, Executor};
+use shareinsights_engine::optimizer::OptimizerConfig;
+use shareinsights_engine::TaskRegistry;
+use shareinsights_flowfile::parser::parse_flow_file;
+use shareinsights_flowfile::validate::ValidateOptions;
+use shareinsights_flowfile::Severity;
+use shareinsights_tabular::Schema;
+use shareinsights_widgets::{DashboardRuntime, WidgetRegistry};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The declared (all-Utf8) schema of a flow-file data object, used as the
+/// discovery fallback before a run has materialised real types.
+pub(crate) fn declared_schema_of(
+    obj: &shareinsights_flowfile::ast::DataObject,
+) -> Option<Schema> {
+    if obj.columns.is_empty() {
+        None
+    } else {
+        Schema::all_utf8(&obj.column_names()).ok()
+    }
+}
+
+/// The ShareInsights platform.
+#[derive(Clone)]
+pub struct Platform {
+    catalog: Catalog,
+    tasks: TaskRegistry,
+    widgets: WidgetRegistry,
+    publish: PublishRegistry,
+    log: RunLog,
+    dashboards: Arc<RwLock<BTreeMap<String, Dashboard>>>,
+    /// Executor used for batch runs.
+    pub executor: Executor,
+    /// Optimizer configuration applied at compile time.
+    pub optimizer: OptimizerConfig,
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Platform {
+    /// A platform with built-in connectors, formats, tasks and widgets.
+    pub fn new() -> Platform {
+        Platform {
+            catalog: Catalog::new(),
+            tasks: TaskRegistry::new(),
+            widgets: WidgetRegistry::new(),
+            publish: PublishRegistry::new(),
+            log: RunLog::new(),
+            dashboards: Arc::new(RwLock::new(BTreeMap::new())),
+            executor: Executor::default(),
+            optimizer: OptimizerConfig::default(),
+        }
+    }
+
+    // --- extension services (§4.2) -------------------------------------
+
+    /// Connector/format catalog (register extensions, seed fixtures).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Task extension registry.
+    pub fn tasks(&self) -> &TaskRegistry {
+        &self.tasks
+    }
+
+    /// Widget extension registry.
+    pub fn widgets(&self) -> &WidgetRegistry {
+        &self.widgets
+    }
+
+    /// Shared-objects registry.
+    pub fn publish_registry(&self) -> &PublishRegistry {
+        &self.publish
+    }
+
+    /// Telemetry log.
+    pub fn log(&self) -> &RunLog {
+        &self.log
+    }
+
+    // --- development services (§4.3) ------------------------------------
+
+    /// Upload a file into a dashboard's data folder (the SFTP interface of
+    /// §4.3.2). Data objects reference it by the bare relative path.
+    pub fn upload_data(&self, dashboard: &str, path: &str, content: impl Into<String>) {
+        self.catalog
+            .data_folder()
+            .put_text(format!("{dashboard}/{path}"), content);
+    }
+
+    /// Upload binary data.
+    pub fn upload_bytes(&self, dashboard: &str, path: &str, content: Vec<u8>) {
+        self.catalog
+            .data_folder()
+            .put_bytes(format!("{dashboard}/{path}"), content);
+    }
+
+    /// Create an empty dashboard (the `/dashboards/<name>/create` URL).
+    pub fn create_dashboard(&self, name: &str) -> Result<()> {
+        let mut dashboards = self.dashboards.write();
+        if dashboards.contains_key(name) {
+            return Err(PlatformError::Other(format!(
+                "dashboard '{name}' already exists"
+            )));
+        }
+        dashboards.insert(name.to_string(), Dashboard::new(name));
+        Ok(())
+    }
+
+    /// Dashboard names.
+    pub fn dashboard_names(&self) -> Vec<String> {
+        self.dashboards.read().keys().cloned().collect()
+    }
+
+    /// A dashboard snapshot.
+    pub fn dashboard(&self, name: &str) -> Result<Dashboard> {
+        self.dashboards
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PlatformError::NoDashboard(name.to_string()))
+    }
+
+    /// Save (commit) flow-file text for a dashboard, parsing and validating
+    /// it. Returns validation warnings; errors reject the save.
+    pub fn save_flow(&self, name: &str, text: &str) -> Result<Vec<shareinsights_flowfile::Diagnostic>> {
+        self.save_flow_as(name, text, "analyst")
+    }
+
+    /// Save with an author label (the hackathon simulator names teams).
+    pub fn save_flow_as(
+        &self,
+        name: &str,
+        text: &str,
+        author: &str,
+    ) -> Result<Vec<shareinsights_flowfile::Diagnostic>> {
+        // Auto-create on first save — matching the create-by-URL workflow.
+        if !self.dashboards.read().contains_key(name) {
+            self.create_dashboard(name)?;
+        }
+        let parse_result = parse_flow_file(name, text);
+        let ast = match parse_result {
+            Ok(ast) => ast,
+            Err(e) => {
+                self.log.record(RunEvent {
+                    dashboard: name.to_string(),
+                    kind: RunKind::Save,
+                    success: false,
+                    error: Some(e.to_string()),
+                    flow_bytes: text.len(),
+                    operators: vec![],
+                    widgets: vec![],
+                    seq: 0,
+                });
+                return Err(e.into());
+            }
+        };
+        let opts = ValidateOptions {
+            extra_tasks: self.tasks.task_names(),
+            shared_data: self.publish.names(),
+        };
+        let diags = shareinsights_flowfile::validate::validate_with(&ast, &opts);
+        if diags.iter().any(|d| d.severity == Severity::Error) {
+            self.log.record(RunEvent {
+                dashboard: name.to_string(),
+                kind: RunKind::Save,
+                success: false,
+                error: Some(
+                    diags
+                        .iter()
+                        .filter(|d| d.severity == Severity::Error)
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; "),
+                ),
+                flow_bytes: text.len(),
+                operators: vec![],
+                widgets: vec![],
+                seq: 0,
+            });
+            return Err(shareinsights_flowfile::FlowError::from_diagnostics(diags).into());
+        }
+        let (operators, widget_types) = usage_of(&ast);
+        {
+            let mut dashboards = self.dashboards.write();
+            let d = dashboards.get_mut(name).expect("created above");
+            d.repo.commit("main", author, "save", text);
+            d.text = text.to_string();
+            d.ast = ast;
+        }
+        self.log.record(RunEvent {
+            dashboard: name.to_string(),
+            kind: RunKind::Save,
+            success: true,
+            error: None,
+            flow_bytes: text.len(),
+            operators,
+            widgets: widget_types,
+            seq: 0,
+        });
+        Ok(diags)
+    }
+
+    /// Fork an existing dashboard under a new name (§5.2.2 obs. 3).
+    pub fn fork_dashboard(&self, from: &str, to: &str, author: &str) -> Result<()> {
+        let source = self.dashboard(from)?;
+        if self.dashboards.read().contains_key(to) {
+            return Err(PlatformError::Other(format!("dashboard '{to}' already exists")));
+        }
+        let repo = source
+            .repo
+            .fork(to, "main", author)
+            .map_err(|e| PlatformError::Collab(e.to_string()))?;
+        let ast = parse_flow_file(to, &source.text)?;
+        // Forks also copy the source dashboard's data folder namespace.
+        for path in self.catalog.data_folder().list() {
+            if let Some(rest) = path.strip_prefix(&format!("{from}/")) {
+                if let Some(bytes) = self.catalog.data_folder().get(&path) {
+                    self.catalog
+                        .data_folder()
+                        .put_bytes(format!("{to}/{rest}"), bytes);
+                }
+            }
+        }
+        let dash = Dashboard {
+            name: to.to_string(),
+            repo,
+            text: source.text.clone(),
+            ast,
+            endpoint_tables: BTreeMap::new(),
+        };
+        self.dashboards.write().insert(to.to_string(), dash);
+        self.log.record(RunEvent {
+            dashboard: to.to_string(),
+            kind: RunKind::Fork,
+            success: true,
+            error: None,
+            flow_bytes: source.text.len(),
+            operators: vec![],
+            widgets: vec![],
+            seq: 0,
+        });
+        Ok(())
+    }
+
+    // --- compilation + execution (§4.1) ---------------------------------
+
+    fn dict_loader(&self, dashboard: &str) -> impl Fn(&str) -> Option<String> + '_ {
+        let dash = dashboard.to_string();
+        move |path: &str| {
+            let folder = self.catalog.data_folder();
+            folder
+                .get(&format!("{dash}/{path}"))
+                .or_else(|| folder.get(path))
+                .and_then(|b| String::from_utf8(b).ok())
+        }
+    }
+
+    /// Shared schemas visible to a compiling dashboard.
+    fn shared_schemas(&self) -> BTreeMap<String, Schema> {
+        self.publish
+            .names()
+            .into_iter()
+            .filter_map(|n| self.publish.get(&n).map(|o| (n, o.schema)))
+            .collect()
+    }
+
+    /// Compile a dashboard's current flow file.
+    pub fn compile_dashboard(&self, name: &str) -> Result<CompiledPipeline> {
+        let dash = self.dashboard(name)?;
+        let loader = self.dict_loader(name);
+        let env = CompileEnv {
+            registry: &self.tasks,
+            load_text: &loader,
+            shared_schemas: self.shared_schemas(),
+            optimizer: self.optimizer.clone(),
+        };
+        let result = compile(&dash.ast, &env).map_err(PlatformError::Compile);
+        self.log.record(RunEvent {
+            dashboard: name.to_string(),
+            kind: RunKind::Compile,
+            success: result.is_ok(),
+            error: result.as_ref().err().map(|e| e.to_string()),
+            flow_bytes: dash.flow_bytes(),
+            operators: vec![],
+            widgets: vec![],
+            seq: 0,
+        });
+        let mut pipeline = result?;
+        // Rewrite source paths into the dashboard's data-folder namespace
+        // when a namespaced file exists.
+        for cfg in pipeline.sources.values_mut() {
+            if let Some(src) = &cfg.source {
+                let namespaced = format!("{name}/{src}");
+                if self.catalog.data_folder().get(&namespaced).is_some() {
+                    cfg.source = Some(namespaced);
+                }
+            }
+        }
+        Ok(pipeline)
+    }
+
+    /// Compile and run a dashboard's batch flows; publishes shared objects
+    /// and stores endpoint tables for consumption.
+    pub fn run_dashboard(&self, name: &str) -> Result<RunReport> {
+        let pipeline = self.compile_dashboard(name)?;
+        let dash = self.dashboard(name)?;
+
+        // Resolve shared inputs into the execution context.
+        let mut ctx = ExecContext::new(self.catalog.clone());
+        for flow in &pipeline.flows {
+            for input in &flow.inputs {
+                if !pipeline.sources.contains_key(input)
+                    && !pipeline.graph.is_produced(input)
+                    && !ctx.tables.contains_key(input)
+                {
+                    if let Some(shared) = self.publish.resolve(input, name) {
+                        if let Some(snapshot) = shared.snapshot {
+                            ctx.tables.insert(input.clone(), snapshot);
+                        }
+                    }
+                }
+            }
+        }
+
+        let exec_result = self.executor.execute(&pipeline, &ctx);
+        let (operators, widget_types) = usage_of(&dash.ast);
+        self.log.record(RunEvent {
+            dashboard: name.to_string(),
+            kind: RunKind::Run,
+            success: exec_result.is_ok(),
+            error: exec_result.as_ref().err().map(|e| e.to_string()),
+            flow_bytes: dash.flow_bytes(),
+            operators,
+            widgets: widget_types,
+            seq: 0,
+        });
+        let result = exec_result.map_err(PlatformError::Execute)?;
+
+        // Publish shared objects with fresh snapshots.
+        let mut published = Vec::new();
+        for (local, publish_name) in &pipeline.published {
+            if let Some(table) = result.table(local) {
+                self.publish
+                    .publish(
+                        publish_name,
+                        name,
+                        local,
+                        table.schema().clone(),
+                        Some(table.clone()),
+                    )
+                    .map_err(PlatformError::Collab)?;
+                published.push((publish_name.clone(), table.num_rows()));
+            }
+        }
+
+        // Stash endpoint tables on the dashboard for widget consumption.
+        let report = RunReport {
+            result,
+            published,
+            warnings: vec![],
+        };
+        let endpoint_tables = report.endpoint_tables();
+        if let Some(d) = self.dashboards.write().get_mut(name) {
+            d.endpoint_tables = endpoint_tables;
+        }
+        Ok(report)
+    }
+
+    /// Upload a stylesheet for a dashboard (§4.2 Styling / §4.3.2: the SFTP
+    /// interface has "appropriately named folders for task, widgets etc" —
+    /// stylesheets land beside the data).
+    pub fn upload_stylesheet(&self, dashboard: &str, css: &str) -> Result<()> {
+        // Validate at upload time so authors get immediate feedback.
+        shareinsights_widgets::Stylesheet::parse(css)
+            .map_err(|e| PlatformError::Other(e.to_string()))?;
+        self.catalog
+            .data_folder()
+            .put_text(format!("{dashboard}/__style.css"), css);
+        Ok(())
+    }
+
+    /// Open and render a dashboard, applying its uploaded stylesheet (when
+    /// any) to the render tree.
+    pub fn render_dashboard(
+        &self,
+        name: &str,
+        max_items: usize,
+    ) -> Result<shareinsights_widgets::RenderNode> {
+        let runtime = self.open_dashboard(name)?;
+        let mut tree = runtime.render(max_items)?;
+        if let Some(css) = self
+            .catalog
+            .data_folder()
+            .get(&format!("{name}/__style.css"))
+            .and_then(|b| String::from_utf8(b).ok())
+        {
+            let sheet = shareinsights_widgets::Stylesheet::parse(&css)
+                .map_err(|e| PlatformError::Other(e.to_string()))?;
+            shareinsights_widgets::apply_styles(&mut tree, &sheet);
+        }
+        Ok(tree)
+    }
+
+    /// Run a dashboard and open its auto-constructed data-quality
+    /// meta-dashboard (§6 future work): per-column statistics over every
+    /// table the pipeline materialised, served as a real dashboard named
+    /// `<name>__meta`.
+    pub fn open_meta_dashboard(
+        &self,
+        name: &str,
+    ) -> Result<(crate::meta::MetaDashboard, DashboardRuntime)> {
+        let run = self.run_dashboard(name)?;
+        let meta = crate::meta::build_meta_dashboard(&run);
+        let meta_name = format!("{name}__meta");
+        // (Re)save the generated flow file; re-saving an existing meta
+        // dashboard just commits a new version.
+        self.save_flow_as(&meta_name, &meta.flow_text, "platform")?;
+        let mut endpoints = BTreeMap::new();
+        endpoints.insert("column_profiles".to_string(), meta.profile.clone());
+        if let Some(d) = self.dashboards.write().get_mut(&meta_name) {
+            d.endpoint_tables = endpoints.clone();
+        }
+        let dash = self.dashboard(&meta_name)?;
+        let runtime = DashboardRuntime::build(&dash.ast, &endpoints, &self.tasks, &self.widgets)?;
+        Ok((meta, runtime))
+    }
+
+    /// Enrichment suggestions (§6 dataset discovery) for a data object of a
+    /// dashboard: published shared objects joinable with its schema.
+    pub fn suggest_enrichments(
+        &self,
+        dashboard: &str,
+        object: &str,
+    ) -> Result<Vec<crate::discovery::Enrichment>> {
+        let dash = self.dashboard(dashboard)?;
+        // Prefer the materialised schema (post-run types); fall back to the
+        // declared column list.
+        let schema = dash
+            .endpoint_tables
+            .get(object)
+            .map(|t| t.schema().clone())
+            .or_else(|| {
+                dash.ast
+                    .data_object(object)
+                    .and_then(crate::platform::declared_schema_of)
+            })
+            .ok_or_else(|| {
+                PlatformError::Other(format!(
+                    "no data object 'D.{object}' on dashboard '{dashboard}' (run it first?)"
+                ))
+            })?;
+        Ok(crate::discovery::suggest_enrichments(
+            &schema,
+            &self.publish,
+            Some(dashboard),
+        ))
+    }
+
+    /// Diagnose a platform error against a dashboard's current flow file
+    /// (§6 error pin-pointing).
+    pub fn diagnose(&self, dashboard: &str, error: &PlatformError) -> crate::doctor::Diagnosis {
+        let ff = self
+            .dashboard(dashboard)
+            .map(|d| d.ast)
+            .unwrap_or_default();
+        crate::doctor::explain(error, &ff)
+    }
+
+    /// Open a dashboard interactively: build its widget runtime over local
+    /// endpoint tables plus shared objects resolved by name (§3.7.2).
+    pub fn open_dashboard(&self, name: &str) -> Result<DashboardRuntime> {
+        let dash = self.dashboard(name)?;
+        let mut endpoints = dash.endpoint_tables.clone();
+        // Also make every run-produced table available: widgets may read
+        // intermediate objects within the same dashboard.
+        for (obj, t) in &dash.endpoint_tables {
+            endpoints.entry(obj.clone()).or_insert_with(|| t.clone());
+        }
+        // Resolve widget sources against the shared registry.
+        for w in &dash.ast.widgets {
+            if let Some(shareinsights_flowfile::ast::WidgetSource::Flow { input, .. }) = &w.source
+            {
+                if !endpoints.contains_key(input) {
+                    if let Some(shared) = self.publish.resolve(input, name) {
+                        if let Some(snapshot) = shared.snapshot {
+                            endpoints.insert(input.clone(), snapshot);
+                        }
+                    }
+                }
+            }
+        }
+        let runtime = DashboardRuntime::build(&dash.ast, &endpoints, &self.tasks, &self.widgets);
+        let (operators, widget_types) = usage_of(&dash.ast);
+        self.log.record(RunEvent {
+            dashboard: name.to_string(),
+            kind: RunKind::Open,
+            success: runtime.is_ok(),
+            error: runtime.as_ref().err().map(|e| e.to_string()),
+            flow_bytes: dash.flow_bytes(),
+            operators,
+            widgets: widget_types,
+            seq: 0,
+        });
+        Ok(runtime?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROCESSING: &str = r#"
+D:
+  tweets: [date, player]
+D.tweets:
+  source: 'tweets.csv'
+  format: csv
+T:
+  players_count:
+    type: groupby
+    groupby: [date, player]
+F:
+  D.players_tweets: D.tweets | T.players_count
+  D.players_tweets:
+    endpoint: true
+    publish: players_tweets
+"#;
+
+    const CONSUMPTION: &str = r#"
+W:
+  cloud:
+    type: WordCloud
+    source: D.players_tweets | T.agg
+    text: player
+    size: total
+T:
+  agg:
+    type: groupby
+    groupby: [player]
+    aggregates:
+    - operator: sum
+      apply_on: count
+      out_field: total
+"#;
+
+    fn seeded() -> Platform {
+        let p = Platform::new();
+        p.upload_data(
+            "ipl_processing",
+            "tweets.csv",
+            "date,player\nd1,dhoni\nd1,dhoni\nd1,kohli\nd2,dhoni\n",
+        );
+        p
+    }
+
+    #[test]
+    fn full_processing_then_consumption_cycle() {
+        // §3.7's two-dashboard data-sharing pattern, end to end.
+        let platform = seeded();
+        platform.save_flow("ipl_processing", PROCESSING).unwrap();
+        let run = platform.run_dashboard("ipl_processing").unwrap();
+        assert_eq!(run.published, vec![("players_tweets".to_string(), 3)]);
+
+        platform.save_flow("ipl_dashboard", CONSUMPTION).unwrap();
+        let dash = platform.open_dashboard("ipl_dashboard").unwrap();
+        let node = dash.render_widget("cloud", 10).unwrap();
+        assert_eq!(node.lines[0], "dhoni (3)");
+
+        // The group formed (§4.5.3).
+        assert_eq!(
+            platform.publish_registry().group_of("players_tweets"),
+            vec!["ipl_processing", "ipl_dashboard"]
+        );
+    }
+
+    #[test]
+    fn save_rejects_invalid_and_logs() {
+        let platform = Platform::new();
+        let err = platform
+            .save_flow("bad", "F:\n  D.x: D.ghost | T.missing\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown task"));
+        let events = platform.log().events();
+        assert_eq!(events.len(), 1);
+        assert!(!events[0].success);
+        assert!(events[0].error.as_ref().unwrap().contains("T.missing"));
+    }
+
+    #[test]
+    fn fork_copies_text_history_and_data() {
+        let platform = seeded();
+        platform.save_flow("ipl_processing", PROCESSING).unwrap();
+        platform
+            .fork_dashboard("ipl_processing", "team_7", "team7")
+            .unwrap();
+        let forked = platform.dashboard("team_7").unwrap();
+        assert_eq!(forked.text, PROCESSING);
+        assert!(forked.repo.forked_from().is_some());
+        // The data folder namespace was copied, so the fork runs as-is.
+        let run = platform.run_dashboard("team_7").unwrap();
+        assert!(run.result.table("players_tweets").is_some());
+        // Telemetry recorded the fork with the starting size.
+        assert_eq!(platform.log().count("team_7", RunKind::Fork), 1);
+        assert_eq!(
+            platform.log().starting_sizes().get("team_7"),
+            Some(&PROCESSING.len())
+        );
+    }
+
+    #[test]
+    fn duplicate_dashboard_rejected() {
+        let platform = Platform::new();
+        platform.create_dashboard("a").unwrap();
+        assert!(platform.create_dashboard("a").is_err());
+        assert!(platform.dashboard("ghost").is_err());
+    }
+
+    #[test]
+    fn custom_task_extension_runs_in_flow() {
+        // §5.2.2 obs. 2: a custom task looks identical in the flow file.
+        use shareinsights_engine::ext::FnTask;
+        let platform = Platform::new();
+        platform.tasks().register_task(Arc::new(FnTask::new(
+            "predict_resolution",
+            |s: &shareinsights_tabular::Schema| {
+                s.with_field(shareinsights_tabular::Field::new(
+                    "predicted_days",
+                    shareinsights_tabular::DataType::Int64,
+                ))
+                .map_err(|e| shareinsights_engine::EngineError::Internal(e.to_string()))
+            },
+            |t: &shareinsights_tabular::Table| {
+                let col = t.column("description").map_err(|e| {
+                    shareinsights_engine::ext::exec_err("predict_resolution", e)
+                })?;
+                let vals: Vec<shareinsights_tabular::Value> = (0..t.num_rows())
+                    .map(|i| {
+                        let d = col.str_at(i).unwrap_or("");
+                        let days = if d.contains("backup") { 7 } else { 2 };
+                        shareinsights_tabular::Value::Int(days)
+                    })
+                    .collect();
+                t.with_column(
+                    "predicted_days",
+                    shareinsights_tabular::Column::from_values(&vals),
+                )
+                .map_err(|e| shareinsights_engine::ext::exec_err("predict_resolution", e))
+            },
+        )));
+        platform.upload_data(
+            "tickets",
+            "tickets.csv",
+            "id,description\n1,backup failed\n2,login broken\n",
+        );
+        let src = r#"
+D:
+  tickets: [id, description]
+D.tickets:
+  source: 'tickets.csv'
+  format: csv
+T:
+  predictor:
+    type: predict_resolution
+F:
+  +D.predictions: D.tickets | T.predictor
+"#;
+        platform.save_flow("tickets", src).unwrap();
+        let run = platform.run_dashboard("tickets").unwrap();
+        let out = run.result.table("predictions").unwrap();
+        assert_eq!(out.value(0, "predicted_days").unwrap().as_int(), Some(7));
+        assert_eq!(out.value(1, "predicted_days").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn stylesheet_applies_to_render_tree() {
+        // §4.2 Styling: widget names as CSS targets.
+        let platform = seeded();
+        platform.save_flow("ipl_processing", PROCESSING).unwrap();
+        platform.run_dashboard("ipl_processing").unwrap();
+        platform.save_flow("ipl_dashboard", CONSUMPTION).unwrap();
+        platform
+            .upload_stylesheet(
+                "ipl_dashboard",
+                "cloud { color: gold; }\n.WordCloud { max-words: 30; }",
+            )
+            .unwrap();
+        let tree = platform.render_dashboard("ipl_dashboard", 5).unwrap();
+        let cloud = &tree.children[0];
+        assert_eq!(cloud.name, "cloud");
+        assert!(cloud.lines[0].contains("color=gold"), "{:?}", cloud.lines);
+        assert!(cloud.lines[0].contains("max-words=30"));
+        // Invalid CSS rejected at upload.
+        assert!(platform.upload_stylesheet("ipl_dashboard", "x {").is_err());
+    }
+
+    #[test]
+    fn default_selection_preselects_figure12_style() {
+        let platform = seeded();
+        platform.save_flow("ipl_processing", PROCESSING).unwrap();
+        platform.run_dashboard("ipl_processing").unwrap();
+        let src = r#"
+W:
+  picker:
+    type: List
+    source: D.players_tweets | T.names
+    text: player
+    default_selection: true
+    default_selection_key: text
+    default_selection_value: 'dhoni'
+  detail:
+    type: DataGrid
+    source: D.players_tweets | T.filter_players
+T:
+  names:
+    type: distinct
+    columns: [player]
+  filter_players:
+    type: filter_by
+    filter_by: [player]
+    filter_source: W.picker
+    filter_val: [text]
+"#;
+        platform.save_flow("viewer", src).unwrap();
+        let dash = platform.open_dashboard("viewer").unwrap();
+        // Without any user click, the detail grid is already filtered.
+        let data = dash.data_of("detail").unwrap();
+        assert!(data.num_rows() > 0);
+        for i in 0..data.num_rows() {
+            assert_eq!(data.value(i, "player").unwrap().to_string(), "dhoni");
+        }
+    }
+
+    #[test]
+    fn usage_telemetry_accumulates() {
+        let platform = seeded();
+        platform.save_flow("ipl_processing", PROCESSING).unwrap();
+        platform.run_dashboard("ipl_processing").unwrap();
+        platform.run_dashboard("ipl_processing").unwrap();
+        let usage = platform.log().usage();
+        assert_eq!(usage.operators.get("groupby"), Some(&2));
+        assert_eq!(platform.log().count("ipl_processing", RunKind::Run), 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! Platform telemetry: the application/execution logs the paper's §5.2.1
+//! dashboards were built from ("the data generated during the competition —
+//! application logs, flow file growth, error messages, execution logs —
+//! were used to build dashboards … figure 31 highlights the popular
+//! operators and widgets").
+
+use parking_lot::RwLock;
+use shareinsights_flowfile::ast::FlowFile;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// What kind of platform operation an event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunKind {
+    /// Flow file saved (a commit).
+    Save,
+    /// Compilation attempt.
+    Compile,
+    /// Batch execution (a "run" in figure 32's sense).
+    Run,
+    /// Dashboard opened / interaction session.
+    Open,
+    /// Fork of another dashboard.
+    Fork,
+}
+
+/// One telemetry event.
+#[derive(Debug, Clone)]
+pub struct RunEvent {
+    /// Dashboard name.
+    pub dashboard: String,
+    /// Operation.
+    pub kind: RunKind,
+    /// Success?
+    pub success: bool,
+    /// Error text when failed.
+    pub error: Option<String>,
+    /// Flow-file size in bytes at the time.
+    pub flow_bytes: usize,
+    /// Task types used (type name per task, with multiplicity).
+    pub operators: Vec<String>,
+    /// Widget types used (with multiplicity).
+    pub widgets: Vec<String>,
+    /// Monotonic sequence number.
+    pub seq: u64,
+}
+
+/// Aggregated operator/widget usage — the figure-31 series.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UsageCounts {
+    /// operator (task type) -> occurrences.
+    pub operators: BTreeMap<String, usize>,
+    /// widget type -> occurrences.
+    pub widgets: BTreeMap<String, usize>,
+}
+
+impl UsageCounts {
+    /// Operators ranked by popularity (descending, name tiebreak).
+    pub fn top_operators(&self) -> Vec<(&str, usize)> {
+        let mut v: Vec<(&str, usize)> = self
+            .operators
+            .iter()
+            .map(|(k, &c)| (k.as_str(), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Widgets ranked by popularity.
+    pub fn top_widgets(&self) -> Vec<(&str, usize)> {
+        let mut v: Vec<(&str, usize)> = self
+            .widgets
+            .iter()
+            .map(|(k, &c)| (k.as_str(), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+}
+
+/// Extract the operator/widget usage of one flow file.
+pub fn usage_of(ff: &FlowFile) -> (Vec<String>, Vec<String>) {
+    let operators = ff.tasks.iter().map(|t| t.task_type.clone()).collect();
+    let widgets = ff.widgets.iter().map(|w| w.widget_type.clone()).collect();
+    (operators, widgets)
+}
+
+/// The platform's append-only event log.
+#[derive(Debug, Clone, Default)]
+pub struct RunLog {
+    events: Arc<RwLock<Vec<RunEvent>>>,
+}
+
+impl RunLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event (sequence assigned).
+    pub fn record(&self, mut event: RunEvent) {
+        let mut events = self.events.write();
+        event.seq = events.len() as u64 + 1;
+        events.push(event);
+    }
+
+    /// Snapshot of all events.
+    pub fn events(&self) -> Vec<RunEvent> {
+        self.events.read().clone()
+    }
+
+    /// Number of events of a kind for a dashboard (figure 32's per-team run
+    /// counts).
+    pub fn count(&self, dashboard: &str, kind: RunKind) -> usize {
+        self.events
+            .read()
+            .iter()
+            .filter(|e| e.dashboard == dashboard && e.kind == kind)
+            .count()
+    }
+
+    /// Usage aggregated over all successful compile/run events —
+    /// regenerates figure 31.
+    pub fn usage(&self) -> UsageCounts {
+        let mut counts = UsageCounts::default();
+        for e in self.events.read().iter() {
+            if !e.success || !matches!(e.kind, RunKind::Run | RunKind::Open) {
+                continue;
+            }
+            for op in &e.operators {
+                *counts.operators.entry(op.clone()).or_default() += 1;
+            }
+            for w in &e.widgets {
+                *counts.widgets.entry(w.clone()).or_default() += 1;
+            }
+        }
+        counts
+    }
+
+    /// The flow-file byte sizes at each dashboard's *first* event — the
+    /// figure-35 "fork to go" series when first events are forks.
+    pub fn starting_sizes(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for e in self.events.read().iter() {
+            out.entry(e.dashboard.clone()).or_insert(e.flow_bytes);
+        }
+        out
+    }
+
+    /// Error messages of failed events (observation 7's debugging data).
+    pub fn errors(&self) -> Vec<(String, String)> {
+        self.events
+            .read()
+            .iter()
+            .filter_map(|e| {
+                e.error
+                    .as_ref()
+                    .map(|msg| (e.dashboard.clone(), msg.clone()))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_flowfile::parse_flow_file;
+
+    fn event(dash: &str, kind: RunKind, ops: &[&str], widgets: &[&str], bytes: usize) -> RunEvent {
+        RunEvent {
+            dashboard: dash.into(),
+            kind,
+            success: true,
+            error: None,
+            flow_bytes: bytes,
+            operators: ops.iter().map(|s| s.to_string()).collect(),
+            widgets: widgets.iter().map(|s| s.to_string()).collect(),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn usage_aggregates_runs_only() {
+        let log = RunLog::new();
+        log.record(event("t1", RunKind::Run, &["groupby", "filter_by"], &["WordCloud"], 100));
+        log.record(event("t2", RunKind::Run, &["groupby"], &["WordCloud", "Slider"], 200));
+        log.record(event("t2", RunKind::Save, &["join"], &[], 200)); // ignored
+        let mut failed = event("t3", RunKind::Run, &["join"], &[], 50);
+        failed.success = false;
+        failed.error = Some("boom".into());
+        log.record(failed); // ignored in usage, shows in errors
+
+        let usage = log.usage();
+        assert_eq!(usage.operators.get("groupby"), Some(&2));
+        assert_eq!(usage.operators.get("join"), None);
+        assert_eq!(usage.top_widgets()[0], ("WordCloud", 2));
+        assert_eq!(log.errors(), vec![("t3".to_string(), "boom".to_string())]);
+    }
+
+    #[test]
+    fn counts_and_starting_sizes() {
+        let log = RunLog::new();
+        log.record(event("team5", RunKind::Fork, &[], &[], 1500));
+        log.record(event("team5", RunKind::Run, &[], &[], 1800));
+        log.record(event("team5", RunKind::Run, &[], &[], 2500));
+        assert_eq!(log.count("team5", RunKind::Run), 2);
+        assert_eq!(log.count("team5", RunKind::Fork), 1);
+        assert_eq!(log.starting_sizes().get("team5"), Some(&1500));
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.events()[2].seq, 3);
+    }
+
+    #[test]
+    fn usage_of_flowfile() {
+        let ff = parse_flow_file(
+            "t",
+            "T:\n  a:\n    type: groupby\n    groupby: [x]\n  b:\n    type: filter_by\n    filter_expression: x > 1\nW:\n  w:\n    type: WordCloud\n    source: D.d\n    text: x\n    size: y\n",
+        )
+        .unwrap();
+        let (ops, widgets) = usage_of(&ff);
+        assert_eq!(ops, vec!["groupby", "filter_by"]);
+        assert_eq!(widgets, vec!["WordCloud"]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Controlled data corruption.
+//!
+//! §5.2.2 observation 4: "During the actual competition, the real data
+//! provided forced teams to define more elaborate pipelines to cleanse the
+//! data." The OBS-4 bench regenerates that effect by corrupting clean
+//! synthetic tables in measured ways and counting how many extra cleaning
+//! tasks a pipeline needs to recover.
+
+use crate::rng::SeededRng;
+use shareinsights_tabular::{Row, Table, Value};
+
+/// What fraction of cells/rows each corruption touches.
+#[derive(Debug, Clone)]
+pub struct DirtyConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability a string cell gains stray surrounding whitespace.
+    pub whitespace_rate: f64,
+    /// Probability a date-looking cell is rewritten in a different format.
+    pub date_mangle_rate: f64,
+    /// Probability a cell becomes null.
+    pub null_rate: f64,
+    /// Probability a row is duplicated.
+    pub duplicate_rate: f64,
+    /// Probability a string cell changes letter case.
+    pub case_rate: f64,
+}
+
+impl Default for DirtyConfig {
+    fn default() -> Self {
+        DirtyConfig {
+            seed: 99,
+            whitespace_rate: 0.05,
+            date_mangle_rate: 0.05,
+            null_rate: 0.03,
+            duplicate_rate: 0.02,
+            case_rate: 0.05,
+        }
+    }
+}
+
+fn looks_like_iso_date(s: &str) -> bool {
+    let b = s.as_bytes();
+    b.len() == 10
+        && b[4] == b'-'
+        && b[7] == b'-'
+        && b.iter().enumerate().all(|(i, c)| {
+            if i == 4 || i == 7 {
+                *c == b'-'
+            } else {
+                c.is_ascii_digit()
+            }
+        })
+}
+
+/// Corrupt a table per the config. Row count grows by duplicates only.
+pub fn corrupt(table: &Table, cfg: &DirtyConfig) -> Table {
+    let mut rng = SeededRng::new(cfg.seed);
+    let names: Vec<String> = table
+        .schema()
+        .names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows: Vec<Row> = Vec::with_capacity(table.num_rows());
+    for i in 0..table.num_rows() {
+        let mut row = table.row(i);
+        for cell in row.0.iter_mut() {
+            if rng.chance(cfg.null_rate) {
+                *cell = Value::Null;
+                continue;
+            }
+            if let Value::Str(s) = cell {
+                if looks_like_iso_date(s) && rng.chance(cfg.date_mangle_rate) {
+                    // Rewrite 2013-05-02 as 02/05/2013 — the classic
+                    // regional-format landmine.
+                    let (y, m, d) = (&s[..4], &s[5..7], &s[8..10]);
+                    *cell = Value::Str(format!("{d}/{m}/{y}"));
+                    continue;
+                }
+                if rng.chance(cfg.whitespace_rate) {
+                    *cell = Value::Str(format!("  {s} "));
+                    continue;
+                }
+                if rng.chance(cfg.case_rate) {
+                    *cell = Value::Str(s.to_uppercase());
+                }
+            }
+        }
+        let dup = rng.chance(cfg.duplicate_rate);
+        rows.push(row.clone());
+        if dup {
+            rows.push(row);
+        }
+    }
+    Table::from_rows(&names, &rows).expect("corrupted table keeps shape")
+}
+
+/// Quality report comparing a table against cleanliness invariants —
+/// what a meta-dashboard (§6 future work: auto-constructed data-quality
+/// dashboards) would surface per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Total rows.
+    pub rows: usize,
+    /// Exact duplicate rows (beyond the first occurrence).
+    pub duplicate_rows: usize,
+    /// Null cells across all columns.
+    pub null_cells: usize,
+    /// String cells with leading/trailing whitespace.
+    pub padded_cells: usize,
+    /// Cells in `dd/MM/yyyy` format in columns that also contain ISO dates.
+    pub mixed_format_dates: usize,
+}
+
+/// Measure data-quality violations.
+pub fn assess(table: &Table) -> QualityReport {
+    use std::collections::HashSet;
+    let mut seen: HashSet<Row> = HashSet::new();
+    let mut duplicate_rows = 0;
+    let mut null_cells = 0;
+    let mut padded_cells = 0;
+    let mut mixed_format_dates = 0;
+
+    // Per column: does it contain ISO dates at all?
+    let mut col_has_iso = vec![false; table.num_columns()];
+    for (ci, col) in table.columns().iter().enumerate() {
+        for i in 0..table.num_rows() {
+            if col.str_at(i).is_some_and(looks_like_iso_date) {
+                col_has_iso[ci] = true;
+                break;
+            }
+        }
+    }
+
+    for i in 0..table.num_rows() {
+        let row = table.row(i);
+        if !seen.insert(row.clone()) {
+            duplicate_rows += 1;
+        }
+        for (ci, v) in row.iter().enumerate() {
+            match v {
+                Value::Null => null_cells += 1,
+                Value::Str(s) => {
+                    if s != s.trim() {
+                        padded_cells += 1;
+                    }
+                    if col_has_iso[ci] && s.len() == 10 && s.as_bytes()[2] == b'/' {
+                        mixed_format_dates += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    QualityReport {
+        rows: table.num_rows(),
+        duplicate_rows,
+        null_cells,
+        padded_cells,
+        mixed_format_dates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_tabular::row;
+
+    fn clean() -> Table {
+        let rows: Vec<Row> = (0..200)
+            .map(|i| row![format!("2013-05-{:02}", (i % 28) + 1), format!("name{i}"), i as i64])
+            .collect();
+        Table::from_rows(&["date", "name", "n"], &rows).unwrap()
+    }
+
+    #[test]
+    fn clean_table_assesses_clean() {
+        let r = assess(&clean());
+        assert_eq!(
+            r,
+            QualityReport {
+                rows: 200,
+                duplicate_rows: 0,
+                null_cells: 0,
+                padded_cells: 0,
+                mixed_format_dates: 0
+            }
+        );
+    }
+
+    #[test]
+    fn corruption_introduces_measured_violations() {
+        let dirty = corrupt(&clean(), &DirtyConfig::default());
+        let r = assess(&dirty);
+        assert!(r.rows > 200, "duplicates grow the table");
+        assert!(r.null_cells > 0);
+        assert!(r.padded_cells > 0);
+        assert!(r.mixed_format_dates > 0);
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let a = corrupt(&clean(), &DirtyConfig::default());
+        let b = corrupt(&clean(), &DirtyConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_rates_are_identity() {
+        let cfg = DirtyConfig {
+            whitespace_rate: 0.0,
+            date_mangle_rate: 0.0,
+            null_rate: 0.0,
+            duplicate_rate: 0.0,
+            case_rate: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(corrupt(&clean(), &cfg), clean());
+    }
+
+    #[test]
+    fn iso_date_detector() {
+        assert!(looks_like_iso_date("2013-05-02"));
+        assert!(!looks_like_iso_date("02/05/2013"));
+        assert!(!looks_like_iso_date("2013-5-2"));
+        assert!(!looks_like_iso_date("hello"));
+    }
+}

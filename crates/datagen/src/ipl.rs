@@ -1,0 +1,436 @@
+//! IPL tweet generator: the stand-in for the Gnip twitter feed the paper's
+//! tweet-analysis dashboard ingests (§3.7, appendix A).
+//!
+//! Generates:
+//! * raw tweets as NDJSON documents with the Gnip shape
+//!   (`created_at`, `text`, `user.location`) — exactly what the
+//!   `ipl_tweets` data object maps with `=>` paths;
+//! * the `players.txt` dictionary (surface forms → canonical names);
+//! * the `teams.csv` dictionary;
+//! * the `dim_teams`, `team_players` and `lat_long` reference tables of
+//!   appendix A.1.
+//!
+//! Volumes are zipf-skewed per team and day-shaped (match days spike), so
+//! downstream streamgraphs and word clouds have realistic structure.
+
+use crate::rng::SeededRng;
+use shareinsights_tabular::io::json::quote_json;
+use shareinsights_tabular::row;
+use shareinsights_tabular::{Row, Table};
+
+/// An IPL team with its reference attributes.
+#[derive(Debug, Clone)]
+pub struct Team {
+    /// Short code, e.g. `CSK`.
+    pub code: &'static str,
+    /// Full franchise name.
+    pub full_name: &'static str,
+    /// Dashboard sort order.
+    pub sort_order: i64,
+    /// Brand colour.
+    pub color: &'static str,
+    /// Home city (drives location skew).
+    pub home_city: &'static str,
+}
+
+/// The eight franchises the generator models.
+pub const TEAMS: [Team; 8] = [
+    Team { code: "CSK", full_name: "Chennai Super Kings", sort_order: 1, color: "#f9cd05", home_city: "chennai" },
+    Team { code: "MI", full_name: "Mumbai Indians", sort_order: 2, color: "#004ba0", home_city: "mumbai" },
+    Team { code: "RCB", full_name: "Royal Challengers Bangalore", sort_order: 3, color: "#ec1c24", home_city: "bangalore" },
+    Team { code: "KKR", full_name: "Kolkata Knight Riders", sort_order: 4, color: "#3a225d", home_city: "kolkata" },
+    Team { code: "RR", full_name: "Rajasthan Royals", sort_order: 5, color: "#254aa5", home_city: "jaipur" },
+    Team { code: "SRH", full_name: "Sunrisers Hyderabad", sort_order: 6, color: "#ff822a", home_city: "hyderabad" },
+    Team { code: "KXIP", full_name: "Kings XI Punjab", sort_order: 7, color: "#d71920", home_city: "chandigarh" },
+    Team { code: "DD", full_name: "Delhi Daredevils", sort_order: 8, color: "#17449b", home_city: "delhi" },
+];
+
+/// `(canonical name, surface forms, team code)` for the player dictionary.
+pub const PLAYERS: [(&str, &[&str], &str); 16] = [
+    ("MS Dhoni", &["dhoni", "msd", "mahi", "thala"], "CSK"),
+    ("Suresh Raina", &["raina", "chinna thala"], "CSK"),
+    ("Rohit Sharma", &["rohit", "hitman"], "MI"),
+    ("Kieron Pollard", &["pollard", "polly"], "MI"),
+    ("Virat Kohli", &["kohli", "vk", "cheeku"], "RCB"),
+    ("Chris Gayle", &["gayle", "universe boss"], "RCB"),
+    ("AB de Villiers", &["abd", "de villiers", "mr 360"], "RCB"),
+    ("Gautam Gambhir", &["gambhir", "gauti"], "KKR"),
+    ("Sunil Narine", &["narine"], "KKR"),
+    ("Shane Watson", &["watson", "watto"], "RR"),
+    ("Ajinkya Rahane", &["rahane", "jinks"], "RR"),
+    ("Shikhar Dhawan", &["dhawan", "gabbar"], "SRH"),
+    ("Dale Steyn", &["steyn"], "SRH"),
+    ("David Miller", &["miller", "killer miller"], "KXIP"),
+    ("Glenn Maxwell", &["maxwell", "maxi"], "KXIP"),
+    ("Virender Sehwag", &["sehwag", "viru"], "DD"),
+];
+
+const CITIES: [&str; 12] = [
+    "Mumbai", "Delhi", "Chennai", "Kolkata", "Bangalore", "Hyderabad", "Jaipur", "Pune",
+    "Ahmedabad", "Chandigarh", "Lucknow", "Kochi",
+];
+
+const PHRASES: [&str; 14] = [
+    "what a six by",
+    "brilliant catch from",
+    "cant believe that shot by",
+    "superb bowling spell by",
+    "another boundary for",
+    "huge wicket falls",
+    "this match is on fire",
+    "great finish coming up",
+    "momentum shifting now",
+    "powerplay madness",
+    "death overs drama",
+    "century loading for",
+    "dot ball pressure building",
+    "strategic timeout taken",
+];
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct IplConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Total tweets to generate.
+    pub tweets: usize,
+    /// Tournament start date (epoch days).
+    pub start_day: i32,
+    /// Tournament length in days.
+    pub days: usize,
+}
+
+impl Default for IplConfig {
+    fn default() -> Self {
+        IplConfig {
+            seed: 42,
+            tweets: 5_000,
+            // 2013-05-02, the date the paper's date slider starts at.
+            start_day: shareinsights_tabular::datefmt::days_from_civil(2013, 5, 2),
+            days: 26,
+        }
+    }
+}
+
+/// Generated IPL corpus: raw NDJSON plus the reference tables.
+#[derive(Debug, Clone)]
+pub struct IplCorpus {
+    /// NDJSON tweets in the Gnip document shape.
+    pub tweets_ndjson: String,
+    /// `players.txt` dictionary content (`surface => Canonical`).
+    pub players_dict: String,
+    /// `teams.csv` dictionary content.
+    pub teams_dict: String,
+    /// `dim_teams` reference table.
+    pub dim_teams: Table,
+    /// `team_players` reference table.
+    pub team_players: Table,
+    /// `lat_long` state-to-coordinates table.
+    pub lat_long: Table,
+}
+
+/// Generate an IPL corpus.
+pub fn generate(cfg: &IplConfig) -> IplCorpus {
+    let mut rng = SeededRng::new(cfg.seed);
+    let mut ndjson = String::with_capacity(cfg.tweets * 160);
+
+    // Precompute per-team day weights: each team spikes on its "match days".
+    let mut team_day_weight = vec![vec![1.0f64; cfg.days]; TEAMS.len()];
+    for (ti, _) in TEAMS.iter().enumerate() {
+        for (d, w) in team_day_weight[ti].iter_mut().enumerate() {
+            if (d + ti) % 4 == 0 {
+                *w = 6.0; // match day spike
+            }
+        }
+    }
+
+    for _ in 0..cfg.tweets {
+        // Zipf-skewed team popularity.
+        let ti = rng.zipf(TEAMS.len(), 0.9);
+        let team = &TEAMS[ti];
+        let day = rng.weighted_index(&team_day_weight[ti]);
+        let abs_day = cfg.start_day + day as i32;
+        let (y, mo, dd) = shareinsights_tabular::datefmt::civil_from_days(abs_day);
+        let hh = rng.int_range(8, 23);
+        let mi = rng.int_range(0, 59);
+        let ss = rng.int_range(0, 59);
+        let weekday = shareinsights_tabular::datefmt::weekday_from_days(abs_day);
+        let wd = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"][weekday as usize];
+        let mon = ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"]
+            [(mo - 1) as usize];
+        let created = format!("{wd} {mon} {dd:02} {hh:02}:{mi:02}:{ss:02} +0530 {y:04}");
+
+        // Body: phrase + team mention (usually) + player mention (often).
+        let mut body = String::new();
+        #[allow(clippy::explicit_auto_deref)]
+        {
+            body.push_str(*rng.pick(&PHRASES));
+        }
+        if rng.chance(0.85) {
+            body.push(' ');
+            body.push_str(team.code);
+        }
+        if rng.chance(0.7) {
+            // Pick a player, biased to this team's players.
+            let candidates: Vec<usize> = (0..PLAYERS.len())
+                .filter(|&pi| PLAYERS[pi].2 == team.code)
+                .collect();
+            let pi = if !candidates.is_empty() && rng.chance(0.8) {
+                candidates[rng.index(candidates.len())]
+            } else {
+                rng.index(PLAYERS.len())
+            };
+            let (_, surfaces, _) = PLAYERS[pi];
+            body.push(' ');
+            #[allow(clippy::explicit_auto_deref)]
+            {
+                body.push_str(*rng.pick(surfaces));
+            }
+        }
+        if rng.chance(0.3) {
+            body.push_str(" ipl2013");
+        }
+
+        // Location skewed to the team's home city; some noise/missing.
+        let location = if rng.chance(0.12) {
+            None
+        } else if rng.chance(0.5) {
+            Some(format!(
+                "{}, India",
+                capitalize(team.home_city)
+            ))
+        } else {
+            Some(rng.pick(&CITIES).to_string())
+        };
+
+        ndjson.push_str("{\"created_at\": ");
+        ndjson.push_str(&quote_json(&created));
+        ndjson.push_str(", \"text\": ");
+        ndjson.push_str(&quote_json(&body));
+        ndjson.push_str(", \"user\": {");
+        if let Some(loc) = location {
+            ndjson.push_str("\"location\": ");
+            ndjson.push_str(&quote_json(&loc));
+        }
+        ndjson.push_str("}}\n");
+    }
+
+    IplCorpus {
+        tweets_ndjson: ndjson,
+        players_dict: players_dict(),
+        teams_dict: teams_dict(),
+        dim_teams: dim_teams(),
+        team_players: team_players(),
+        lat_long: lat_long(),
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+/// The `players.txt` dictionary content.
+pub fn players_dict() -> String {
+    let mut out = String::from("# surface form => canonical player name\n");
+    for (canonical, surfaces, _) in PLAYERS {
+        for s in surfaces {
+            out.push_str(&format!("{s} => {canonical}\n"));
+        }
+    }
+    out
+}
+
+/// The `teams.csv` dictionary content (surface form, canonical full name).
+pub fn teams_dict() -> String {
+    let mut out = String::new();
+    for t in &TEAMS {
+        out.push_str(&format!("{},{}\n", t.code.to_lowercase(), t.full_name));
+        out.push_str(&format!("{},{}\n", t.full_name.to_lowercase(), t.full_name));
+    }
+    out
+}
+
+/// The `dim_teams` reference table of appendix A.1.
+pub fn dim_teams() -> Table {
+    let rows: Vec<Row> = TEAMS
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            row![
+                (i + 1) as i64,
+                t.code,
+                t.full_name,
+                t.sort_order,
+                t.color,
+                0i64
+            ]
+        })
+        .collect();
+    Table::from_rows(
+        &["team_number", "team", "team_fullName", "sort_order", "color", "noOfTweets"],
+        &rows,
+    )
+    .expect("static dim_teams")
+}
+
+/// The `team_players` reference table of appendix A.1.
+pub fn team_players() -> Table {
+    let rows: Vec<Row> = PLAYERS
+        .iter()
+        .enumerate()
+        .map(|(i, (canonical, _, team))| {
+            let full = TEAMS
+                .iter()
+                .find(|t| t.code == *team)
+                .map(|t| t.full_name)
+                .unwrap_or("");
+            row![*canonical, full, *team, (i + 1) as i64, 0i64]
+        })
+        .collect();
+    Table::from_rows(
+        &["player", "team_fullName", "team", "player_id", "noOfTweets"],
+        &rows,
+    )
+    .expect("static team_players")
+}
+
+/// The `lat_long` table: state to map-marker coordinates.
+pub fn lat_long() -> Table {
+    let states: [(&str, f64, f64); 14] = [
+        ("Maharashtra", 19.075, 72.877),
+        ("Delhi", 28.704, 77.102),
+        ("Tamil Nadu", 13.082, 80.270),
+        ("West Bengal", 22.572, 88.363),
+        ("Karnataka", 12.971, 77.594),
+        ("Telangana", 17.385, 78.486),
+        ("Rajasthan", 26.912, 75.787),
+        ("Gujarat", 23.022, 72.571),
+        ("Punjab", 30.733, 76.779),
+        ("Uttar Pradesh", 26.846, 80.946),
+        ("Kerala", 9.931, 76.267),
+        ("Madhya Pradesh", 23.259, 77.412),
+        ("Bihar", 25.594, 85.137),
+        ("Jharkhand", 23.344, 85.309),
+    ];
+    let rows: Vec<Row> = states
+        .iter()
+        .map(|(s, lat, lon)| row![*s, format!("{lat},{lon}"), *lat, *lon])
+        .collect();
+    Table::from_rows(&["state", "point_one", "point_two", "point_three"], &rows)
+        .expect("static lat_long")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_tabular::io::json::{read_json_records, PathMapping};
+    use shareinsights_tabular::text::ExtractDict;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = generate(&IplConfig::default());
+        let b = generate(&IplConfig::default());
+        assert_eq!(a.tweets_ndjson, b.tweets_ndjson);
+        let c = generate(&IplConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        assert_ne!(a.tweets_ndjson, c.tweets_ndjson);
+    }
+
+    #[test]
+    fn ndjson_parses_with_figure18_mapping() {
+        let corpus = generate(&IplConfig {
+            tweets: 200,
+            ..Default::default()
+        });
+        let mapping = PathMapping::new(vec![
+            ("postedTime".into(), "created_at".into()),
+            ("body".into(), "text".into()),
+            ("location".into(), "user.location".into()),
+        ]);
+        let t = read_json_records(&corpus.tweets_ndjson, &mapping).unwrap();
+        assert_eq!(t.num_rows(), 200);
+        assert_eq!(t.schema().names(), vec!["postedTime", "body", "location"]);
+        // Some tweets have no location (the generator's missing-data rate).
+        let nulls = t.column("location").unwrap().null_count();
+        assert!(nulls > 0 && nulls < 200, "nulls: {nulls}");
+    }
+
+    #[test]
+    fn created_at_matches_twitter_format() {
+        let corpus = generate(&IplConfig {
+            tweets: 50,
+            ..Default::default()
+        });
+        let pat = shareinsights_tabular::datefmt::DatePattern::compile(
+            "E MMM dd HH:mm:ss Z yyyy",
+        )
+        .unwrap();
+        for line in corpus.tweets_ndjson.lines() {
+            let doc = shareinsights_tabular::io::json::parse_json(line).unwrap();
+            let created = doc.path("created_at").unwrap().as_str().unwrap();
+            assert!(pat.parse(created).is_ok(), "unparseable: {created}");
+        }
+    }
+
+    #[test]
+    fn players_dict_extracts_from_tweets() {
+        let corpus = generate(&IplConfig {
+            tweets: 500,
+            ..Default::default()
+        });
+        let dict = ExtractDict::parse(&corpus.players_dict);
+        assert!(dict.len() >= 30);
+        let mut hits = 0;
+        for line in corpus.tweets_ndjson.lines() {
+            let doc = shareinsights_tabular::io::json::parse_json(line).unwrap();
+            let text = doc.path("text").unwrap().as_str().unwrap();
+            if dict.extract_first(text).is_some() {
+                hits += 1;
+            }
+        }
+        assert!(hits > 200, "player mentions: {hits}/500");
+    }
+
+    #[test]
+    fn reference_tables_are_consistent() {
+        let dim = dim_teams();
+        let tp = team_players();
+        assert_eq!(dim.num_rows(), TEAMS.len());
+        assert_eq!(tp.num_rows(), PLAYERS.len());
+        // Every player's team full name exists in dim_teams.
+        let full_names: Vec<String> = (0..dim.num_rows())
+            .map(|i| dim.value(i, "team_fullName").unwrap().to_string())
+            .collect();
+        for i in 0..tp.num_rows() {
+            let f = tp.value(i, "team_fullName").unwrap().to_string();
+            assert!(full_names.contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn team_volume_is_skewed() {
+        let corpus = generate(&IplConfig {
+            tweets: 2_000,
+            ..Default::default()
+        });
+        let dict = ExtractDict::parse(&corpus.teams_dict);
+        let mut counts = std::collections::HashMap::<String, usize>::new();
+        for line in corpus.tweets_ndjson.lines() {
+            let doc = shareinsights_tabular::io::json::parse_json(line).unwrap();
+            let text = doc.path("text").unwrap().as_str().unwrap();
+            if let Some(team) = dict.extract_first(text) {
+                *counts.entry(team.to_string()).or_default() += 1;
+            }
+        }
+        let mut v: Vec<usize> = counts.values().copied().collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(v.len() >= 6, "most teams mentioned: {v:?}");
+        assert!(v[0] > v[v.len() - 1] * 2, "zipf head-heaviness: {v:?}");
+    }
+}

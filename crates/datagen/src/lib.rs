@@ -1,0 +1,23 @@
+//! # shareinsights-datagen
+//!
+//! Seeded synthetic dataset generators replacing the paper's proprietary
+//! data feeds (Gnip IPL tweets, Apache SVN/JIRA/Stack Overflow dumps,
+//! enterprise hackathon data-sets). Every generator is deterministic given
+//! a seed, so tests, examples and benches are reproducible.
+//!
+//! | module | paper source | what it generates |
+//! |---|---|---|
+//! | [`ipl`] | Gnip twitter feed (§3.7) | hierarchical JSON tweets with teams, players, cities, skewed volumes; plus the `players.txt`/`teams.csv` dictionaries and `lat_long` reference table |
+//! | [`apache`] | apache.org project data (§3) | per-project check-ins, bugs, emails, releases, contributors, Stack Overflow traffic |
+//! | [`tickets`] | hackathon enterprise data (§5) | service-desk tickets with categories, keywords and resolution times |
+//! | [`retail`] | hackathon enterprise data (§5) | retail sales transactions with reference data |
+//! | [`dirty`] | §5.2.2 obs. 4 | controlled corruption of any table: bad dates, stray whitespace, wrong-type cells, duplicate rows |
+
+pub mod apache;
+pub mod dirty;
+pub mod ipl;
+pub mod retail;
+pub mod rng;
+pub mod tickets;
+
+pub use rng::SeededRng;

@@ -1,0 +1,140 @@
+//! Retail sales generator — a second enterprise-flavoured hackathon
+//! dataset (§5.1: "transaction as well as reference data about business
+//! entities"), used by the `branderstanding`-style example (figure 34).
+
+use crate::rng::SeededRng;
+use shareinsights_tabular::datefmt::civil_from_days;
+use shareinsights_tabular::row;
+use shareinsights_tabular::{Row, Table};
+
+/// `(brand, category, unit price, popularity weight)`.
+pub const PRODUCTS: [(&str, &str, f64, f64); 12] = [
+    ("Acme Cola", "beverages", 1.5, 4.0),
+    ("Acme Diet", "beverages", 1.5, 2.0),
+    ("Zest Tea", "beverages", 2.0, 1.5),
+    ("Crunchy Oats", "breakfast", 4.0, 2.5),
+    ("Morning Flakes", "breakfast", 3.5, 2.0),
+    ("Choco Pops", "breakfast", 4.5, 1.0),
+    ("Fresh Soap", "personal-care", 2.5, 3.0),
+    ("Silk Shampoo", "personal-care", 6.0, 2.0),
+    ("Mint Paste", "personal-care", 3.0, 2.5),
+    ("Super Clean", "household", 5.0, 1.5),
+    ("Bright Wash", "household", 7.0, 1.0),
+    ("Spark Wipes", "household", 3.0, 0.8),
+];
+
+const REGIONS: [&str; 5] = ["north", "south", "east", "west", "central"];
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct RetailConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of transaction rows.
+    pub transactions: usize,
+    /// First sale date (epoch days).
+    pub start_day: i32,
+    /// Window length in days.
+    pub days: usize,
+}
+
+impl Default for RetailConfig {
+    fn default() -> Self {
+        RetailConfig {
+            seed: 13,
+            transactions: 5_000,
+            start_day: shareinsights_tabular::datefmt::days_from_civil(2014, 6, 1),
+            days: 90,
+        }
+    }
+}
+
+/// Generated retail corpus: transactions plus product reference data.
+#[derive(Debug, Clone)]
+pub struct RetailCorpus {
+    /// `[date, brand, region, units, revenue]`.
+    pub sales: Table,
+    /// `[brand, category, unit_price]`.
+    pub products: Table,
+}
+
+/// Generate the corpus.
+pub fn generate(cfg: &RetailConfig) -> RetailCorpus {
+    let mut rng = SeededRng::new(cfg.seed);
+    let weights: Vec<f64> = PRODUCTS.iter().map(|p| p.3).collect();
+    let mut sales_rows: Vec<Row> = Vec::with_capacity(cfg.transactions);
+    for _ in 0..cfg.transactions {
+        let pi = rng.weighted_index(&weights);
+        let (brand, _, price, _) = PRODUCTS[pi];
+        let day = cfg.start_day + rng.index(cfg.days) as i32;
+        let (y, m, d) = civil_from_days(day);
+        // Weekend uplift.
+        let wd = shareinsights_tabular::datefmt::weekday_from_days(day);
+        let base_units = if wd >= 5 { 8.0 } else { 5.0 };
+        let units = rng.count_around(base_units).max(1) as i64;
+        let revenue = (units as f64 * price * 100.0).round() / 100.0;
+        sales_rows.push(row![
+            format!("{y:04}-{m:02}-{d:02}"),
+            brand,
+            *rng.pick(&REGIONS),
+            units,
+            revenue
+        ]);
+    }
+    let product_rows: Vec<Row> = PRODUCTS
+        .iter()
+        .map(|(b, c, p, _)| row![*b, *c, *p])
+        .collect();
+    RetailCorpus {
+        sales: Table::from_rows(&["date", "brand", "region", "units", "revenue"], &sales_rows)
+            .expect("sales table"),
+        products: Table::from_rows(&["brand", "category", "unit_price"], &product_rows)
+            .expect("products table"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_joined_consistency() {
+        let a = generate(&RetailConfig::default());
+        let b = generate(&RetailConfig::default());
+        assert_eq!(a.sales, b.sales);
+        // Every sales brand exists in the product reference table.
+        let brands: Vec<String> = (0..a.products.num_rows())
+            .map(|i| a.products.value(i, "brand").unwrap().to_string())
+            .collect();
+        for i in 0..a.sales.num_rows().min(500) {
+            let brand = a.sales.value(i, "brand").unwrap().to_string();
+            assert!(brands.contains(&brand));
+        }
+    }
+
+    #[test]
+    fn revenue_matches_units_times_price() {
+        let c = generate(&RetailConfig::default());
+        for i in 0..c.sales.num_rows().min(200) {
+            let brand = c.sales.value(i, "brand").unwrap().to_string();
+            let units = c.sales.value(i, "units").unwrap().as_int().unwrap();
+            let revenue = c.sales.value(i, "revenue").unwrap().as_float().unwrap();
+            let price = PRODUCTS.iter().find(|p| p.0 == brand).unwrap().2;
+            assert!((revenue - units as f64 * price).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn popular_brands_sell_more() {
+        let c = generate(&RetailConfig::default());
+        let mut counts = std::collections::HashMap::<String, usize>::new();
+        for i in 0..c.sales.num_rows() {
+            *counts
+                .entry(c.sales.value(i, "brand").unwrap().to_string())
+                .or_default() += 1;
+        }
+        let cola = counts.get("Acme Cola").copied().unwrap_or(0);
+        let wipes = counts.get("Spark Wipes").copied().unwrap_or(0);
+        assert!(cola > wipes * 2, "cola {cola} vs wipes {wipes}");
+    }
+}

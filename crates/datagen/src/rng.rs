@@ -1,0 +1,155 @@
+//! Thin wrapper over `rand` giving every generator the same seeded,
+//! reproducible source plus the weighted/zipfian helpers the generators
+//! share.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG with dataset-generation helpers.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: StdRng,
+}
+
+impl SeededRng {
+    /// Construct from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over empty range");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn int_range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty int range");
+        self.inner.random_range(lo..=hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Pick one element uniformly.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Pick an index with probability proportional to `weights`.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must be positive");
+        let mut x = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Zipf-distributed index in `[0, n)` with exponent `s` — the skew the
+    /// IPL tweet volumes and word frequencies follow.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        // Inverse-CDF over precomputable harmonic weights would allocate;
+        // for generator use, rejection-free linear scan over n is fine
+        // because n is small (teams, players, word vocabulary).
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+        }
+        let mut x = self.unit() * total;
+        for k in 1..=n {
+            x -= 1.0 / (k as f64).powf(s);
+            if x <= 0.0 {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+
+    /// Poisson-ish non-negative count with the given mean (normal
+    /// approximation clipped at zero — good enough for volume shaping).
+    pub fn count_around(&mut self, mean: f64) -> usize {
+        let u1: f64 = self.unit().max(1e-12);
+        let u2: f64 = self.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (mean + z * mean.sqrt()).round().max(0.0) as usize
+    }
+
+    /// Access the underlying `rand` RNG for anything else.
+    pub fn raw(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SeededRng::new(7);
+        let mut b = SeededRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.index(1000), b.index(1000));
+        }
+        let mut c = SeededRng::new(8);
+        let same = (0..100).filter(|_| a.index(1000) == c.index(1000)).count();
+        assert!(same < 10, "different seeds should diverge");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = SeededRng::new(1);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[r.weighted_index(&[8.0, 1.0, 1.0])] += 1;
+        }
+        assert!(counts[0] > 7_000, "heavy item dominates: {counts:?}");
+        assert!(counts[1] > 0 && counts[2] > 0);
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let mut r = SeededRng::new(2);
+        let mut counts = vec![0usize; 20];
+        for _ in 0..20_000 {
+            counts[r.zipf(20, 1.0)] += 1;
+        }
+        assert!(counts[0] > counts[10] * 3, "{counts:?}");
+        assert!(counts[0] > counts[19] * 5);
+    }
+
+    #[test]
+    fn count_around_is_nonnegative_and_centred() {
+        let mut r = SeededRng::new(3);
+        let mean: f64 = (0..5_000).map(|_| r.count_around(50.0) as f64).sum::<f64>() / 5_000.0;
+        assert!((mean - 50.0).abs() < 3.0, "mean {mean}");
+        assert_eq!(r.count_around(0.0), 0);
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut r = SeededRng::new(4);
+        for _ in 0..1000 {
+            let v = r.int_range(-5, 5);
+            assert!((-5..=5).contains(&v));
+            assert!(r.index(3) < 3);
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Service-desk ticket generator — the enterprise dataset behind the
+//! hackathon's "Service Desk Ticket Analysis" dashboard (figure 33) and the
+//! custom task one winning team wrote to predict resolution dates from
+//! ticket keywords (§5.2.2 observation 2).
+
+use crate::rng::SeededRng;
+use shareinsights_tabular::datefmt::civil_from_days;
+use shareinsights_tabular::row;
+use shareinsights_tabular::{Row, Table};
+
+/// `(category, keywords, mean resolution days)` — keyword presence drives
+/// resolution time, which is exactly the signal the custom predictor task
+/// learns.
+pub const CATEGORIES: [(&str, &[&str], f64); 6] = [
+    ("network", &["vpn", "wifi", "dns", "proxy"], 2.0),
+    ("hardware", &["laptop", "monitor", "keyboard", "disk"], 5.0),
+    ("access", &["password", "login", "permission", "account"], 1.0),
+    ("email", &["outlook", "mailbox", "spam", "calendar"], 1.5),
+    ("software", &["install", "license", "crash", "update"], 3.0),
+    ("database", &["backup", "restore", "query", "replication"], 7.0),
+];
+
+const FILLER: [&str; 10] = [
+    "user reports issue with",
+    "urgent help needed for",
+    "intermittent problem affecting",
+    "please investigate",
+    "ticket raised regarding",
+    "escalated case about",
+    "repeated failure of",
+    "new request for",
+    "follow up on",
+    "cannot proceed due to",
+];
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TicketsConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of tickets.
+    pub tickets: usize,
+    /// First open date (epoch days).
+    pub start_day: i32,
+    /// Window length in days.
+    pub days: usize,
+}
+
+impl Default for TicketsConfig {
+    fn default() -> Self {
+        TicketsConfig {
+            seed: 11,
+            tickets: 2_000,
+            start_day: shareinsights_tabular::datefmt::days_from_civil(2014, 1, 1),
+            days: 180,
+        }
+    }
+}
+
+fn iso(day: i32) -> String {
+    let (y, m, d) = civil_from_days(day);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Generate a ticket table: `[ticket_id, opened, closed, category, priority,
+/// description, resolution_days]`.
+pub fn generate(cfg: &TicketsConfig) -> Table {
+    let mut rng = SeededRng::new(cfg.seed);
+    let mut rows: Vec<Row> = Vec::with_capacity(cfg.tickets);
+    for id in 0..cfg.tickets {
+        let (category, keywords, mean_days) = CATEGORIES[rng.zipf(CATEGORIES.len(), 0.7)];
+        let opened = cfg.start_day + rng.index(cfg.days) as i32;
+        let priority = ["low", "medium", "high", "critical"][rng.weighted_index(&[4.0, 3.0, 2.0, 1.0])];
+        let priority_factor = match priority {
+            "critical" => 0.4,
+            "high" => 0.7,
+            "medium" => 1.0,
+            _ => 1.4,
+        };
+        let resolution = (rng.count_around(mean_days * priority_factor) as i64).max(0);
+        let closed = opened + resolution as i32;
+        let keyword = rng.pick(keywords);
+        let description = format!("{} {} {}", rng.pick(&FILLER), keyword, category);
+        rows.push(row![
+            format!("TCK-{id:05}"),
+            iso(opened),
+            iso(closed),
+            category,
+            priority,
+            description,
+            resolution
+        ]);
+    }
+    Table::from_rows(
+        &["ticket_id", "opened", "closed", "category", "priority", "description", "resolution_days"],
+        &rows,
+    )
+    .expect("tickets table")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let a = generate(&TicketsConfig::default());
+        let b = generate(&TicketsConfig::default());
+        assert_eq!(a, b);
+        assert_eq!(a.num_rows(), 2_000);
+        assert_eq!(a.num_columns(), 7);
+    }
+
+    #[test]
+    fn keywords_predict_resolution() {
+        // Database tickets (mean 7d) should take longer than access (1d) —
+        // the signal the custom predictor task exploits.
+        let t = generate(&TicketsConfig::default());
+        let mut db = (0i64, 0i64);
+        let mut access = (0i64, 0i64);
+        for i in 0..t.num_rows() {
+            let cat = t.value(i, "category").unwrap().to_string();
+            let days = t.value(i, "resolution_days").unwrap().as_int().unwrap();
+            if cat == "database" {
+                db = (db.0 + days, db.1 + 1);
+            } else if cat == "access" {
+                access = (access.0 + days, access.1 + 1);
+            }
+        }
+        assert!(db.1 > 10 && access.1 > 10);
+        let (db_avg, acc_avg) = (db.0 as f64 / db.1 as f64, access.0 as f64 / access.1 as f64);
+        assert!(db_avg > acc_avg * 2.0, "db {db_avg} vs access {acc_avg}");
+    }
+
+    #[test]
+    fn closed_never_before_opened() {
+        let t = generate(&TicketsConfig::default());
+        for i in 0..t.num_rows() {
+            let opened = t.value(i, "opened").unwrap().to_string();
+            let closed = t.value(i, "closed").unwrap().to_string();
+            assert!(closed >= opened, "{opened} -> {closed}");
+        }
+    }
+
+    #[test]
+    fn descriptions_contain_category_keywords() {
+        let t = generate(&TicketsConfig::default());
+        for i in 0..50 {
+            let cat = t.value(i, "category").unwrap().to_string();
+            let desc = t.value(i, "description").unwrap().to_string();
+            let (_, keywords, _) = CATEGORIES.iter().find(|(c, _, _)| *c == cat).unwrap();
+            assert!(
+                keywords.iter().any(|k| desc.contains(k)),
+                "desc '{desc}' lacks {cat} keywords"
+            );
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Engine-layer errors.
+//!
+//! Compile errors always name the flow-file element (task, flow, data
+//! object) they arose in — the abstraction-preserving diagnostics the
+//! paper's §5.2.2 observation 7 asks for.
+
+use std::fmt;
+
+/// Result alias.
+pub type Result<T, E = EngineError> = std::result::Result<T, E>;
+
+/// Errors from compilation or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A task configuration is invalid for its declared type.
+    TaskConfig {
+        /// Task name.
+        task: String,
+        /// What is wrong.
+        message: String,
+    },
+    /// The flow graph has a cycle.
+    Cycle {
+        /// The data objects on the cycle, in order.
+        path: Vec<String>,
+    },
+    /// A task is used against a schema missing required columns.
+    SchemaMismatch {
+        /// Task name.
+        task: String,
+        /// Flow output it is used in.
+        flow: String,
+        /// Underlying schema error text.
+        message: String,
+    },
+    /// A data object could not be resolved to a source or upstream flow.
+    UnresolvedData {
+        /// Object name.
+        object: String,
+        /// Context (flow/widget).
+        context: String,
+    },
+    /// Fetch/decode failed for a source object.
+    Source {
+        /// Object name.
+        object: String,
+        /// Connector error text.
+        message: String,
+    },
+    /// A kernel failed at execution time.
+    Execution {
+        /// Task name (or `flow <name>`).
+        task: String,
+        /// Error text.
+        message: String,
+    },
+    /// Anything else.
+    Internal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::TaskConfig { task, message } => {
+                write!(f, "task 'T.{task}': {message}")
+            }
+            EngineError::Cycle { path } => {
+                write!(f, "flows form a cycle: {}", path.join(" -> "))
+            }
+            EngineError::SchemaMismatch { task, flow, message } => {
+                write!(f, "task 'T.{task}' in flow 'D.{flow}': {message}")
+            }
+            EngineError::UnresolvedData { object, context } => {
+                write!(
+                    f,
+                    "data object 'D.{object}' used by {context} has no source, no producing flow, and no shared match"
+                )
+            }
+            EngineError::Source { object, message } => {
+                write!(f, "loading 'D.{object}' failed: {message}")
+            }
+            EngineError::Execution { task, message } => {
+                write!(f, "executing 'T.{task}' failed: {message}")
+            }
+            EngineError::Internal(m) => write!(f, "internal engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_use_flowfile_vocabulary() {
+        let e = EngineError::TaskConfig {
+            task: "players_count".into(),
+            message: "groupby needs a 'groupby:' column list".into(),
+        };
+        assert!(e.to_string().contains("T.players_count"));
+
+        let e = EngineError::Cycle {
+            path: vec!["a".into(), "b".into(), "a".into()],
+        };
+        assert_eq!(e.to_string(), "flows form a cycle: a -> b -> a");
+
+        let e = EngineError::UnresolvedData {
+            object: "ghost".into(),
+            context: "flow 'D.out'".into(),
+        };
+        assert!(e.to_string().contains("D.ghost"));
+        assert!(e.to_string().contains("shared match"));
+    }
+}

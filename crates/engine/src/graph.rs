@@ -1,0 +1,301 @@
+//! The flow graph: data objects as nodes, flows as hyper-edges.
+//!
+//! §3.4.2: users only write *linear* flows, but because sinks can feed
+//! other flows, "it is possible to build up arbitrarily complicated
+//! transformation paths. On submission, the platform internally builds a
+//! directed acyclic graph (DAG) from the collection of flows." This module
+//! is that construction: edges, cycle detection with the offending path in
+//! the diagnostic, topological order, and reachability for dead-sink
+//! elimination.
+
+use crate::error::{EngineError, Result};
+use shareinsights_flowfile::ast::Flow;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The dependency graph over data-object names.
+#[derive(Debug, Clone, Default)]
+pub struct FlowGraph {
+    /// object -> objects it depends on (flow inputs).
+    dependencies: BTreeMap<String, Vec<String>>,
+    /// object -> objects depending on it.
+    dependents: BTreeMap<String, Vec<String>>,
+    /// Objects that are flow outputs.
+    produced: BTreeSet<String>,
+    /// All nodes (inputs and outputs).
+    nodes: BTreeSet<String>,
+}
+
+impl FlowGraph {
+    /// Build from a flow list.
+    pub fn build(flows: &[Flow]) -> Result<FlowGraph> {
+        let mut g = FlowGraph::default();
+        for f in flows {
+            g.nodes.insert(f.output.clone());
+            g.produced.insert(f.output.clone());
+            let deps = g.dependencies.entry(f.output.clone()).or_default();
+            for i in &f.inputs {
+                g.nodes.insert(i.clone());
+                deps.push(i.clone());
+                g.dependents
+                    .entry(i.clone())
+                    .or_default()
+                    .push(f.output.clone());
+            }
+        }
+        g.check_acyclic()?;
+        Ok(g)
+    }
+
+    /// All node names.
+    pub fn nodes(&self) -> impl Iterator<Item = &str> {
+        self.nodes.iter().map(String::as_str)
+    }
+
+    /// True when the object is produced by some flow (a sink); false for
+    /// pure sources.
+    pub fn is_produced(&self, object: &str) -> bool {
+        self.produced.contains(object)
+    }
+
+    /// Pure sources: nodes no flow produces.
+    pub fn sources(&self) -> Vec<&str> {
+        self.nodes
+            .iter()
+            .filter(|n| !self.produced.contains(*n))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Direct dependencies of an object.
+    pub fn dependencies_of(&self, object: &str) -> &[String] {
+        self.dependencies
+            .get(object)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Direct dependents of an object.
+    pub fn dependents_of(&self, object: &str) -> &[String] {
+        self.dependents
+            .get(object)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    fn check_acyclic(&self) -> Result<()> {
+        // DFS with colouring; reconstruct the cycle path for the message.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour: BTreeMap<&str, Colour> =
+            self.nodes.iter().map(|n| (n.as_str(), Colour::White)).collect();
+
+        fn dfs<'a>(
+            node: &'a str,
+            g: &'a FlowGraph,
+            colour: &mut BTreeMap<&'a str, Colour>,
+            stack: &mut Vec<&'a str>,
+        ) -> Option<Vec<String>> {
+            colour.insert(node, Colour::Grey);
+            stack.push(node);
+            for dep in g.dependencies_of(node) {
+                match colour.get(dep.as_str()).copied().unwrap_or(Colour::White) {
+                    Colour::Grey => {
+                        // Found a cycle: slice the stack from dep onward.
+                        let start = stack.iter().position(|n| *n == dep).unwrap_or(0);
+                        let mut path: Vec<String> =
+                            stack[start..].iter().map(|s| s.to_string()).collect();
+                        path.push(dep.clone());
+                        return Some(path);
+                    }
+                    Colour::White => {
+                        if let Some(c) = dfs(dep, g, colour, stack) {
+                            return Some(c);
+                        }
+                    }
+                    Colour::Black => {}
+                }
+            }
+            stack.pop();
+            colour.insert(node, Colour::Black);
+            None
+        }
+
+        let names: Vec<&str> = self.nodes.iter().map(String::as_str).collect();
+        for n in names {
+            if colour[n] == Colour::White {
+                let mut stack = Vec::new();
+                if let Some(path) = dfs(n, self, &mut colour, &mut stack) {
+                    return Err(EngineError::Cycle { path });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Topological order of *produced* objects: every flow's inputs come
+    /// before its output. Deterministic (name-ordered among ready nodes).
+    pub fn topo_order(&self) -> Vec<String> {
+        let mut indegree: BTreeMap<&str, usize> = BTreeMap::new();
+        for n in &self.produced {
+            let deg = self
+                .dependencies_of(n)
+                .iter()
+                .filter(|d| self.produced.contains(*d))
+                .count();
+            indegree.insert(n.as_str(), deg);
+        }
+        let mut queue: VecDeque<&str> = indegree
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(n, _)| *n)
+            .collect();
+        let mut order = Vec::with_capacity(self.produced.len());
+        while let Some(n) = queue.pop_front() {
+            order.push(n.to_string());
+            for dep in self.dependents_of(n) {
+                if let Some(d) = indegree.get_mut(dep.as_str()) {
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push_back(dep.as_str());
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), self.produced.len(), "acyclic by construction");
+        order
+    }
+
+    /// Every object transitively needed to produce `targets` (including the
+    /// targets themselves) — the live set for dead-sink elimination.
+    pub fn needed_for(&self, targets: &[impl AsRef<str>]) -> BTreeSet<String> {
+        let mut live = BTreeSet::new();
+        let mut stack: Vec<String> = targets.iter().map(|t| t.as_ref().to_string()).collect();
+        while let Some(n) = stack.pop() {
+            if live.insert(n.clone()) {
+                for dep in self.dependencies_of(&n) {
+                    stack.push(dep.clone());
+                }
+            }
+        }
+        live
+    }
+
+    /// Execution levels: flows whose outputs share a level have no
+    /// dependencies between them and may run concurrently.
+    pub fn levels(&self) -> Vec<Vec<String>> {
+        let mut level_of: BTreeMap<&str, usize> = BTreeMap::new();
+        for n in self.topo_order() {
+            let lvl = self
+                .dependencies_of(&n)
+                .iter()
+                .filter(|d| self.produced.contains(*d))
+                .map(|d| level_of.get(d.as_str()).copied().unwrap_or(0) + 1)
+                .max()
+                .unwrap_or(0);
+            // Keys borrow from self; look the node back up for a stable ref.
+            let key = self
+                .produced
+                .get(n.as_str())
+                .expect("topo order yields produced nodes");
+            level_of.insert(key.as_str(), lvl);
+        }
+        let max_level = level_of.values().copied().max().map_or(0, |m| m + 1);
+        let mut levels = vec![Vec::new(); max_level];
+        for (n, l) in level_of {
+            levels[l].push(n.to_string());
+        }
+        levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(output: &str, inputs: &[&str]) -> Flow {
+        Flow {
+            output: output.to_string(),
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            tasks: vec!["t".to_string()],
+            endpoint_alias: false,
+            line: 0,
+        }
+    }
+
+    #[test]
+    fn builds_ipl_shaped_dag() {
+        // The appendix-A.1 topology (trimmed).
+        let flows = vec![
+            flow("players_tweets", &["ipl_tweets"]),
+            flow("player_tweets", &["players_tweets", "team_players"]),
+            flow("teams_tweets", &["ipl_tweets"]),
+            flow("team_tweets", &["teams_tweets", "dim_teams"]),
+        ];
+        let g = FlowGraph::build(&flows).unwrap();
+        assert_eq!(
+            g.sources(),
+            vec!["dim_teams", "ipl_tweets", "team_players"]
+        );
+        let topo = g.topo_order();
+        let pos = |n: &str| topo.iter().position(|x| x == n).unwrap();
+        assert!(pos("players_tweets") < pos("player_tweets"));
+        assert!(pos("teams_tweets") < pos("team_tweets"));
+    }
+
+    #[test]
+    fn detects_cycles_with_path() {
+        let flows = vec![
+            flow("a", &["c"]),
+            flow("b", &["a"]),
+            flow("c", &["b"]),
+        ];
+        let err = FlowGraph::build(&flows).unwrap_err();
+        let EngineError::Cycle { path } = err else { panic!() };
+        assert_eq!(path.len(), 4, "closed path: {path:?}");
+        assert_eq!(path.first(), path.last());
+    }
+
+    #[test]
+    fn self_cycle_detected() {
+        let err = FlowGraph::build(&[flow("a", &["a"])]).unwrap_err();
+        assert!(matches!(err, EngineError::Cycle { .. }));
+    }
+
+    #[test]
+    fn needed_for_prunes_dead_branches() {
+        let flows = vec![
+            flow("live", &["src"]),
+            flow("dead", &["src2"]),
+            flow("final", &["live"]),
+        ];
+        let g = FlowGraph::build(&flows).unwrap();
+        let live = g.needed_for(&["final"]);
+        assert!(live.contains("final") && live.contains("live") && live.contains("src"));
+        assert!(!live.contains("dead") && !live.contains("src2"));
+    }
+
+    #[test]
+    fn levels_group_independent_flows() {
+        let flows = vec![
+            flow("a", &["src"]),
+            flow("b", &["src"]),
+            flow("c", &["a", "b"]),
+        ];
+        let g = FlowGraph::build(&flows).unwrap();
+        let levels = g.levels();
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0], vec!["a", "b"]);
+        assert_eq!(levels[1], vec!["c"]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = FlowGraph::build(&[]).unwrap();
+        assert!(g.topo_order().is_empty());
+        assert!(g.levels().is_empty());
+    }
+}

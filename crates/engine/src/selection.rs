@@ -1,0 +1,99 @@
+//! Widget selection state as seen by the engine.
+//!
+//! Interaction flows filter by values "retrieved from widget X's widget
+//! column property" (figure 15). The engine stays decoupled from the widget
+//! crate through [`SelectionProvider`]: at execution time a `filter_by`
+//! task with a `filter_source: W.<widget>` asks the provider for that
+//! widget's current selection.
+
+use parking_lot::RwLock;
+use shareinsights_tabular::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A widget's current selection, keyed by widget column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selection {
+    /// Discrete selected values (list widgets, bubble selection).
+    Values(Vec<Value>),
+    /// An inclusive range (sliders).
+    Range(Value, Value),
+}
+
+/// Resolves `(widget, widget column)` to the current selection.
+pub trait SelectionProvider: Send + Sync {
+    /// The selection, or `None` when nothing is selected (no constraint).
+    fn selection(&self, widget: &str, column: &str) -> Option<Selection>;
+}
+
+/// A simple map-backed provider used by tests, the server's headless mode
+/// and the hackathon simulator.
+#[derive(Debug, Clone, Default)]
+pub struct StaticSelections {
+    map: Arc<RwLock<HashMap<(String, String), Selection>>>,
+}
+
+impl StaticSelections {
+    /// Empty provider (everything unconstrained).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set a selection.
+    pub fn set(&self, widget: &str, column: &str, selection: Selection) {
+        self.map
+            .write()
+            .insert((widget.to_string(), column.to_string()), selection);
+    }
+
+    /// Clear a widget column's selection.
+    pub fn clear(&self, widget: &str, column: &str) {
+        self.map
+            .write()
+            .remove(&(widget.to_string(), column.to_string()));
+    }
+}
+
+impl SelectionProvider for StaticSelections {
+    fn selection(&self, widget: &str, column: &str) -> Option<Selection> {
+        self.map
+            .read()
+            .get(&(widget.to_string(), column.to_string()))
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let s = StaticSelections::new();
+        assert!(s.selection("teams", "text").is_none());
+        s.set("teams", "text", Selection::Values(vec!["CSK".into()]));
+        assert_eq!(
+            s.selection("teams", "text"),
+            Some(Selection::Values(vec!["CSK".into()]))
+        );
+        s.set(
+            "ipl_duration",
+            "value",
+            Selection::Range("2013-05-02".into(), "2013-05-10".into()),
+        );
+        assert!(matches!(
+            s.selection("ipl_duration", "value"),
+            Some(Selection::Range(_, _))
+        ));
+        s.clear("teams", "text");
+        assert!(s.selection("teams", "text").is_none());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = StaticSelections::new();
+        let b = a.clone();
+        a.set("w", "c", Selection::Values(vec![Value::Int(1)]));
+        assert!(b.selection("w", "c").is_some());
+    }
+}

@@ -1,0 +1,1239 @@
+//! Task interpretation: from a flow file's `T.` section entries to typed,
+//! executable [`TaskKind`]s with schema propagation.
+//!
+//! Tasks are *context-typed* (§3.3): a definition names the columns it
+//! consumes and is validated against the schema of whatever data object it
+//! is piped after. [`TaskKind::output_schema`] is that validation;
+//! [`TaskKind::execute`] is the batch kernel.
+
+use crate::error::{EngineError, Result};
+use crate::ext::TaskRegistry;
+use crate::selection::{Selection, SelectionProvider};
+use shareinsights_flowfile::ast::{DataRef, TaskDef};
+use shareinsights_flowfile::config::{ConfigMap, ConfigValue};
+use shareinsights_tabular::agg::{AggKind, AggregateFunction};
+use shareinsights_tabular::expr::{parse_expr, Expr};
+use shareinsights_tabular::ops::{
+    self, AggregateSpec, DateMap, ExtractMap, FilterByValues, GroupBy, JoinCondition, JoinSpec,
+    LocationMap, ProjectSpec, SortKey, TopN, WordsMap,
+};
+use shareinsights_tabular::text::{ExtractDict, Gazetteer};
+use shareinsights_tabular::{DataType, Field, Row, Schema, Table, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Where an interactive filter's allowed values come from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterSource {
+    /// A widget's current selection (`filter_source: W.teams`).
+    Widget(String),
+    /// Another data object's column values (semijoin).
+    Data(String),
+}
+
+/// A custom aggregate reference inside a groupby.
+#[derive(Clone)]
+pub struct CustomAgg {
+    /// The registered aggregate.
+    pub func: Arc<dyn AggregateFunction>,
+    /// Input column.
+    pub apply_on: String,
+    /// Output column.
+    pub out_field: String,
+}
+
+impl std::fmt::Debug for CustomAgg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CustomAgg({} on {})", self.func.name(), self.apply_on)
+    }
+}
+
+/// A join task with its input-object bindings.
+#[derive(Debug, Clone)]
+pub struct JoinTask {
+    /// Left input data-object name (`left: players_tweets by player`).
+    pub left_name: String,
+    /// Right input data-object name.
+    pub right_name: String,
+    /// The kernel spec.
+    pub spec: JoinSpec,
+}
+
+/// A compiled task: its flow-file name plus the typed kind.
+#[derive(Debug, Clone)]
+pub struct NamedTask {
+    /// Flow-file task name.
+    pub name: String,
+    /// Interpreted kind.
+    pub kind: TaskKind,
+}
+
+/// Every executable task shape.
+#[derive(Clone)]
+pub enum TaskKind {
+    /// `filter_by` with a `filter_expression`.
+    FilterExpr(Expr),
+    /// `filter_by` with `filter_source` (interaction / semijoin filter).
+    FilterBySource {
+        /// Columns of the *input* being filtered.
+        columns: Vec<String>,
+        /// Where allowed values come from.
+        source: FilterSource,
+        /// Columns on the source side (`filter_val`), aligned with
+        /// `columns`; defaults to the same names.
+        source_columns: Vec<String>,
+    },
+    /// `groupby`.
+    GroupBy {
+        /// Built-in portion (may be empty when all aggregates are custom).
+        builtin: GroupBy,
+        /// Custom aggregates resolved from the registry.
+        custom: Vec<CustomAgg>,
+    },
+    /// `join`.
+    Join(JoinTask),
+    /// `map` / `operator: date`.
+    MapDate(DateMap),
+    /// `map` / `operator: extract`.
+    MapExtract(ExtractMap),
+    /// `map` / `operator: extract_location`.
+    MapLocation(LocationMap),
+    /// `map` / `operator: extract_words`.
+    MapWords(WordsMap),
+    /// `map` with a custom scalar operator from the registry.
+    MapCustom {
+        /// The operator.
+        op: Arc<dyn crate::ext::ScalarOperator>,
+        /// Input column.
+        input: String,
+        /// Output column.
+        output: String,
+    },
+    /// `topn`.
+    TopN(TopN),
+    /// `sort` / `orderby`.
+    Sort(Vec<SortKey>),
+    /// `distinct`.
+    Distinct(Vec<String>),
+    /// `limit`.
+    Limit(usize),
+    /// `union` — combines all fan-in inputs.
+    Union,
+    /// `project` — keep/reorder columns (used by the optimizer too).
+    Project(Vec<String>),
+    /// `parallel` composite (figure 20).
+    Parallel(Vec<NamedTask>),
+    /// Registered extension task (§4.2 categories 3/4).
+    Custom(Arc<dyn crate::ext::CustomTask>),
+}
+
+impl std::fmt::Debug for TaskKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskKind::FilterExpr(e) => write!(f, "FilterExpr({e})"),
+            TaskKind::FilterBySource { columns, .. } => write!(f, "FilterBySource({columns:?})"),
+            TaskKind::GroupBy { builtin, .. } => write!(f, "GroupBy({:?})", builtin.keys),
+            TaskKind::Join(j) => write!(f, "Join({} x {})", j.left_name, j.right_name),
+            TaskKind::MapDate(m) => write!(f, "MapDate({})", m.input_column),
+            TaskKind::MapExtract(m) => write!(f, "MapExtract({})", m.input_column),
+            TaskKind::MapLocation(m) => write!(f, "MapLocation({})", m.input_column),
+            TaskKind::MapWords(m) => write!(f, "MapWords({})", m.input_column),
+            TaskKind::MapCustom { input, output, .. } => {
+                write!(f, "MapCustom({input} -> {output})")
+            }
+            TaskKind::TopN(t) => write!(f, "TopN(limit {})", t.limit),
+            TaskKind::Sort(keys) => write!(f, "Sort({} keys)", keys.len()),
+            TaskKind::Distinct(c) => write!(f, "Distinct({c:?})"),
+            TaskKind::Limit(n) => write!(f, "Limit({n})"),
+            TaskKind::Union => write!(f, "Union"),
+            TaskKind::Project(c) => write!(f, "Project({c:?})"),
+            TaskKind::Parallel(ts) => write!(f, "Parallel({} tasks)", ts.len()),
+            TaskKind::Custom(c) => write!(f, "Custom({})", c.name()),
+        }
+    }
+}
+
+/// What a task needs from its surroundings at interpretation time.
+pub struct InterpretEnv<'a> {
+    /// Extension registry.
+    pub registry: &'a TaskRegistry,
+    /// Loader for dictionary files (`dict: players.txt`) from the dashboard
+    /// data folder.
+    pub load_text: &'a dyn Fn(&str) -> Option<String>,
+    /// All task definitions (for `parallel` composites).
+    pub all_tasks: &'a [TaskDef],
+}
+
+fn cfg_err(task: &str, message: impl Into<String>) -> EngineError {
+    EngineError::TaskConfig {
+        task: task.to_string(),
+        message: message.into(),
+    }
+}
+
+fn scalar_param<'m>(params: &'m ConfigMap, key: &str) -> Option<&'m str> {
+    params.get_scalar(key)
+}
+
+fn list_param(params: &ConfigMap, key: &str) -> Vec<String> {
+    match params.get(key) {
+        Some(v) => v.scalar_items().into_iter().map(str::to_string).collect(),
+        None => Vec::new(),
+    }
+}
+
+/// Interpret one task definition.
+pub fn interpret_task(def: &TaskDef, env: &InterpretEnv<'_>) -> Result<NamedTask> {
+    interpret_task_inner(def, env, 0)
+}
+
+fn interpret_task_inner(def: &TaskDef, env: &InterpretEnv<'_>, depth: usize) -> Result<NamedTask> {
+    if depth > 8 {
+        return Err(cfg_err(&def.name, "parallel tasks nested too deeply (cycle?)"));
+    }
+    let name = def.name.as_str();
+    let kind = match def.task_type.as_str() {
+        "filter_by" | "filterby" | "filter" => interpret_filter(def)?,
+        "groupby" | "group_by" | "group" => interpret_groupby(def, env)?,
+        "join" => interpret_join(def)?,
+        "map" => interpret_map(def, env)?,
+        "topn" | "top_n" => interpret_topn(def)?,
+        "sort" | "orderby" | "order_by" => {
+            let keys = parse_sort_keys(def, "orderby_column")
+                .or_else(|_| parse_sort_keys(def, "orderby"))?;
+            TaskKind::Sort(keys)
+        }
+        "distinct" | "dedup" => TaskKind::Distinct(list_param(&def.params, "columns")),
+        "limit" => {
+            let n = scalar_param(&def.params, "limit")
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| cfg_err(name, "limit needs 'limit: <count>'"))?;
+            TaskKind::Limit(n)
+        }
+        "union" => TaskKind::Union,
+        "project" | "select" => {
+            let cols = list_param(&def.params, "columns");
+            if cols.is_empty() {
+                return Err(cfg_err(name, "project needs 'columns: [..]'"));
+            }
+            TaskKind::Project(cols)
+        }
+        "parallel" => {
+            let subs = list_param(&def.params, "parallel");
+            if subs.is_empty() {
+                return Err(cfg_err(name, "parallel needs a 'parallel: [T.a, T.b]' list"));
+            }
+            let mut tasks = Vec::with_capacity(subs.len());
+            for s in subs {
+                let sub_name = match DataRef::parse(&s) {
+                    Some(DataRef::Task(t)) => t,
+                    _ => return Err(cfg_err(name, format!("parallel items must be T.*, got '{s}'"))),
+                };
+                let sub_def = env
+                    .all_tasks
+                    .iter()
+                    .find(|t| t.name == sub_name)
+                    .ok_or_else(|| cfg_err(name, format!("parallel references unknown task 'T.{sub_name}'")))?;
+                tasks.push(interpret_task_inner(sub_def, env, depth + 1)?);
+            }
+            TaskKind::Parallel(tasks)
+        }
+        custom => match env.registry.task(custom) {
+            Some(t) => TaskKind::Custom(t),
+            None => {
+                return Err(cfg_err(
+                    name,
+                    format!("unknown task type '{custom}' (not built-in, not a registered extension)"),
+                ))
+            }
+        },
+    };
+    Ok(NamedTask {
+        name: name.to_string(),
+        kind,
+    })
+}
+
+fn interpret_filter(def: &TaskDef) -> Result<TaskKind> {
+    let name = def.name.as_str();
+    if let Some(expr_text) = scalar_param(&def.params, "filter_expression") {
+        let expr = parse_expr(expr_text).map_err(|e| cfg_err(name, e.to_string()))?;
+        return Ok(TaskKind::FilterExpr(expr));
+    }
+    let columns = list_param(&def.params, "filter_by");
+    if columns.is_empty() {
+        return Err(cfg_err(
+            name,
+            "filter_by needs 'filter_expression:' or a 'filter_by: [columns]' list",
+        ));
+    }
+    let source = match scalar_param(&def.params, "filter_source") {
+        Some(s) => match DataRef::parse(s) {
+            Some(DataRef::Widget(w)) => FilterSource::Widget(w),
+            Some(DataRef::Data(d)) => FilterSource::Data(d),
+            _ => return Err(cfg_err(name, format!("filter_source must be W.* or D.*, got '{s}'"))),
+        },
+        None => {
+            return Err(cfg_err(
+                name,
+                "filter_by with columns needs a 'filter_source:' (widget or data object)",
+            ))
+        }
+    };
+    let mut source_columns = list_param(&def.params, "filter_val");
+    if source_columns.is_empty() {
+        source_columns = columns.clone();
+    }
+    Ok(TaskKind::FilterBySource {
+        columns,
+        source,
+        source_columns,
+    })
+}
+
+fn interpret_groupby(def: &TaskDef, env: &InterpretEnv<'_>) -> Result<TaskKind> {
+    let name = def.name.as_str();
+    let keys = list_param(&def.params, "groupby");
+    if keys.is_empty() {
+        return Err(cfg_err(name, "groupby needs a 'groupby: [columns]' list"));
+    }
+    let mut builtin_aggs = Vec::new();
+    let mut custom = Vec::new();
+    if let Some(ConfigValue::List(items)) = def.params.get("aggregates") {
+        for item in items {
+            let Some(m) = item.as_map() else {
+                return Err(cfg_err(name, "each aggregate must be an 'operator/apply_on/out_field' block"));
+            };
+            let op = m
+                .get_scalar("operator")
+                .ok_or_else(|| cfg_err(name, "aggregate missing 'operator:'"))?;
+            let apply_on = m
+                .get_scalar("apply_on")
+                .ok_or_else(|| cfg_err(name, "aggregate missing 'apply_on:'"))?
+                .to_string();
+            let out_field = m
+                .get_scalar("out_field")
+                .ok_or_else(|| cfg_err(name, "aggregate missing 'out_field:'"))?
+                .to_string();
+            match AggKind::parse(op) {
+                Some(kind) => builtin_aggs.push(AggregateSpec::new(kind, apply_on, out_field)),
+                None => match env.registry.aggregate(op) {
+                    Some(func) => custom.push(CustomAgg {
+                        func,
+                        apply_on,
+                        out_field,
+                    }),
+                    None => {
+                        return Err(cfg_err(
+                            name,
+                            format!("unknown aggregate operator '{op}' (not built-in, not registered)"),
+                        ))
+                    }
+                },
+            }
+        }
+    }
+    let mut builtin = GroupBy::with_aggregates(&keys, builtin_aggs);
+    builtin.orderby_aggregates = def
+        .params
+        .get_bool("orderby_aggregates")
+        .unwrap_or(false);
+    Ok(TaskKind::GroupBy { builtin, custom })
+}
+
+/// Parse `left: players_tweets by player` / `right: team_players by player,team`.
+fn parse_join_side(name: &str, text: &str) -> Result<(String, Vec<String>)> {
+    let lower = text.to_ascii_lowercase();
+    let by = lower
+        .find(" by ")
+        .ok_or_else(|| cfg_err(name, format!("join side must be '<object> by <keys>', got '{text}'")))?;
+    let obj = text[..by].trim().to_string();
+    let keys: Vec<String> = text[by + 4..]
+        .split(',')
+        .map(|k| k.trim().to_string())
+        .filter(|k| !k.is_empty())
+        .collect();
+    if obj.is_empty() || keys.is_empty() {
+        return Err(cfg_err(name, format!("join side malformed: '{text}'")));
+    }
+    Ok((obj, keys))
+}
+
+fn interpret_join(def: &TaskDef) -> Result<TaskKind> {
+    let name = def.name.as_str();
+    let left_text = scalar_param(&def.params, "left")
+        .ok_or_else(|| cfg_err(name, "join needs 'left: <object> by <keys>'"))?;
+    let right_text = scalar_param(&def.params, "right")
+        .ok_or_else(|| cfg_err(name, "join needs 'right: <object> by <keys>'"))?;
+    let (left_name, left_keys) = parse_join_side(name, left_text)?;
+    let (right_name, right_keys) = parse_join_side(name, right_text)?;
+    let condition = match scalar_param(&def.params, "join_condition") {
+        Some(c) => JoinCondition::parse(c)
+            .ok_or_else(|| cfg_err(name, format!("unknown join_condition '{c}'")))?,
+        None => JoinCondition::Inner,
+    };
+    // Projection: keys are `<object>_<column>`, values the output names.
+    let mut projection = Vec::new();
+    if let Some(ConfigValue::Map(proj)) = def.params.get("project") {
+        for (key, v, _) in proj.entries() {
+            let out = v
+                .as_scalar()
+                .ok_or_else(|| cfg_err(name, format!("projection '{key}' must map to a column name")))?;
+            let (from_left, column) = if let Some(rest) = strip_prefix_ci(key, &left_name) {
+                (true, rest)
+            } else if let Some(rest) = strip_prefix_ci(key, &right_name) {
+                (false, rest)
+            } else {
+                return Err(cfg_err(
+                    name,
+                    format!("projection key '{key}' must start with '{left_name}_' or '{right_name}_'"),
+                ));
+            };
+            projection.push(ProjectSpec {
+                from_left,
+                column,
+                rename: out.to_string(),
+            });
+        }
+    }
+    Ok(TaskKind::Join(JoinTask {
+        left_name,
+        right_name,
+        spec: JoinSpec {
+            left_keys,
+            right_keys,
+            condition,
+            projection,
+        },
+    }))
+}
+
+/// Case-insensitive `<object>_` prefix strip (paper listings mix cases:
+/// `dim_teams_Team`).
+fn strip_prefix_ci(key: &str, object: &str) -> Option<String> {
+    let prefix = format!("{object}_");
+    if key.len() > prefix.len() && key[..prefix.len()].eq_ignore_ascii_case(&prefix) {
+        Some(key[prefix.len()..].to_string())
+    } else {
+        None
+    }
+}
+
+fn interpret_map(def: &TaskDef, env: &InterpretEnv<'_>) -> Result<TaskKind> {
+    let name = def.name.as_str();
+    let operator = scalar_param(&def.params, "operator")
+        .ok_or_else(|| cfg_err(name, "map needs 'operator:'"))?;
+    let transform = scalar_param(&def.params, "transform")
+        .ok_or_else(|| cfg_err(name, "map needs 'transform: <column>'"))?
+        .to_string();
+    let output = scalar_param(&def.params, "output")
+        .ok_or_else(|| cfg_err(name, "map needs 'output: <column>'"))?
+        .to_string();
+    Ok(match operator {
+        "date" => {
+            let input_format = scalar_param(&def.params, "input_format")
+                .ok_or_else(|| cfg_err(name, "date map needs 'input_format:'"))?;
+            let output_format = scalar_param(&def.params, "output_format")
+                .ok_or_else(|| cfg_err(name, "date map needs 'output_format:'"))?;
+            // Validate patterns at compile time so bad formats fail the
+            // compile, not row 1_000_000 of the run.
+            shareinsights_tabular::datefmt::DatePattern::compile(input_format)
+                .map_err(|e| cfg_err(name, e.to_string()))?;
+            shareinsights_tabular::datefmt::DatePattern::compile(output_format)
+                .map_err(|e| cfg_err(name, e.to_string()))?;
+            TaskKind::MapDate(DateMap {
+                input_column: transform,
+                input_format: input_format.to_string(),
+                output_format: output_format.to_string(),
+                output_column: output,
+                lenient: def.params.get_bool("lenient").unwrap_or(true),
+            })
+        }
+        "extract" => {
+            let dict_file = scalar_param(&def.params, "dict")
+                .ok_or_else(|| cfg_err(name, "extract map needs 'dict: <file>'"))?;
+            let content = (env.load_text)(dict_file).ok_or_else(|| {
+                cfg_err(name, format!("dictionary file '{dict_file}' not found in the data folder"))
+            })?;
+            let dict = ExtractDict::parse(&content);
+            if dict.is_empty() {
+                return Err(cfg_err(name, format!("dictionary '{dict_file}' has no entries")));
+            }
+            TaskKind::MapExtract(ExtractMap {
+                input_column: transform,
+                dict,
+                output_column: output,
+                explode: def.params.get_bool("explode").unwrap_or(true),
+            })
+        }
+        "extract_location" => {
+            let country = scalar_param(&def.params, "country").unwrap_or("IND").to_string();
+            TaskKind::MapLocation(LocationMap {
+                input_column: transform,
+                gazetteer: Gazetteer::india_default(),
+                country,
+                output_column: output,
+            })
+        }
+        "extract_words" => TaskKind::MapWords(WordsMap {
+            input_column: transform,
+            output_column: output,
+            min_len: scalar_param(&def.params, "min_len")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(3),
+        }),
+        custom => match env.registry.operator(custom) {
+            Some(op) => TaskKind::MapCustom {
+                op,
+                input: transform,
+                output,
+            },
+            None => {
+                return Err(cfg_err(
+                    name,
+                    format!("unknown map operator '{custom}' (not built-in, not registered)"),
+                ))
+            }
+        },
+    })
+}
+
+fn interpret_topn(def: &TaskDef) -> Result<TaskKind> {
+    let name = def.name.as_str();
+    let groupby = list_param(&def.params, "groupby");
+    let order_by = parse_sort_keys(def, "orderby_column")?;
+    let limit = scalar_param(&def.params, "limit")
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(|| cfg_err(name, "topn needs 'limit: <count>'"))?;
+    Ok(TaskKind::TopN(TopN {
+        groupby,
+        order_by,
+        limit,
+    }))
+}
+
+fn parse_sort_keys(def: &TaskDef, param: &str) -> Result<Vec<SortKey>> {
+    let items = list_param(&def.params, param);
+    if items.is_empty() {
+        return Err(cfg_err(
+            &def.name,
+            format!("needs '{param}: [column ASC|DESC, ...]'"),
+        ));
+    }
+    items
+        .iter()
+        .map(|s| {
+            SortKey::parse(s)
+                .ok_or_else(|| cfg_err(&def.name, format!("bad sort key '{s}' in '{param}'")))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Schema propagation
+// ---------------------------------------------------------------------------
+
+impl TaskKind {
+    /// True when the task consumes exactly its single input row-by-row
+    /// (chunkable by the parallel executor).
+    pub fn is_row_local(&self) -> bool {
+        matches!(
+            self,
+            TaskKind::FilterExpr(_)
+                | TaskKind::MapDate(_)
+                | TaskKind::MapExtract(_)
+                | TaskKind::MapLocation(_)
+                | TaskKind::MapWords(_)
+                | TaskKind::MapCustom { .. }
+        )
+    }
+
+    /// Number of inputs the task consumes (None = any).
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            TaskKind::Join(_) => Some(2),
+            TaskKind::Union => None,
+            TaskKind::Parallel(_) => Some(1),
+            _ => Some(1),
+        }
+    }
+
+    /// Columns this task reads from its input(s) — drives projection
+    /// pruning. `None` = reads everything (custom tasks).
+    pub fn input_columns(&self) -> Option<Vec<String>> {
+        match self {
+            TaskKind::FilterExpr(e) => Some(e.referenced_columns()),
+            TaskKind::FilterBySource { columns, .. } => Some(columns.clone()),
+            TaskKind::GroupBy { builtin, custom } => {
+                let mut cols = builtin.keys.clone();
+                for a in &builtin.aggregates {
+                    cols.push(a.apply_on.clone());
+                }
+                for c in custom {
+                    cols.push(c.apply_on.clone());
+                }
+                Some(cols)
+            }
+            TaskKind::Join(j) => {
+                let mut cols = j.spec.left_keys.clone();
+                cols.extend(j.spec.right_keys.clone());
+                for p in &j.spec.projection {
+                    cols.push(p.column.clone());
+                }
+                if j.spec.projection.is_empty() {
+                    None // default projection keeps everything
+                } else {
+                    Some(cols)
+                }
+            }
+            TaskKind::MapDate(m) => Some(vec![m.input_column.clone()]),
+            TaskKind::MapExtract(m) => Some(vec![m.input_column.clone()]),
+            TaskKind::MapLocation(m) => Some(vec![m.input_column.clone()]),
+            TaskKind::MapWords(m) => Some(vec![m.input_column.clone()]),
+            TaskKind::MapCustom { input, .. } => Some(vec![input.clone()]),
+            TaskKind::TopN(t) => {
+                let mut cols = t.groupby.clone();
+                cols.extend(t.order_by.iter().map(|k| k.column.clone()));
+                Some(cols)
+            }
+            TaskKind::Sort(keys) => Some(keys.iter().map(|k| k.column.clone()).collect()),
+            TaskKind::Distinct(cols) => {
+                if cols.is_empty() {
+                    None
+                } else {
+                    Some(cols.clone())
+                }
+            }
+            TaskKind::Limit(_) | TaskKind::Union => None,
+            TaskKind::Project(cols) => Some(cols.clone()),
+            TaskKind::Parallel(tasks) => {
+                let mut all = Vec::new();
+                for t in tasks {
+                    match t.kind.input_columns() {
+                        Some(cols) => all.extend(cols),
+                        None => return None,
+                    }
+                }
+                Some(all)
+            }
+            TaskKind::Custom(_) => None,
+        }
+    }
+
+    /// Output schema given the input schema(s); validates use-site columns.
+    pub fn output_schema(&self, task_name: &str, inputs: &[Schema]) -> Result<Schema> {
+        let sch_err = |e: shareinsights_tabular::TabularError| EngineError::SchemaMismatch {
+            task: task_name.to_string(),
+            flow: String::new(),
+            message: e.to_string(),
+        };
+        let single = || -> Result<&Schema> {
+            inputs.first().ok_or_else(|| EngineError::Internal(format!(
+                "task '{task_name}' got no input schema"
+            )))
+        };
+        match self {
+            TaskKind::FilterExpr(e) => {
+                let s = single()?;
+                s.require(&e.referenced_columns()).map_err(sch_err)?;
+                Ok(s.clone())
+            }
+            TaskKind::FilterBySource { columns, .. } => {
+                let s = single()?;
+                s.require(columns).map_err(sch_err)?;
+                Ok(s.clone())
+            }
+            TaskKind::GroupBy { builtin, custom } => {
+                let s = single()?;
+                let mut out = builtin.output_schema(s).map_err(sch_err)?;
+                for c in custom {
+                    let in_ty = s.field(&c.apply_on).map_err(sch_err)?.data_type();
+                    out = out.upsert_field(Field::new(&c.out_field, c.func.output_type(in_ty)));
+                }
+                Ok(out)
+            }
+            TaskKind::Join(j) => {
+                if inputs.len() != 2 {
+                    return Err(EngineError::SchemaMismatch {
+                        task: task_name.to_string(),
+                        flow: String::new(),
+                        message: format!("join needs exactly 2 inputs, got {}", inputs.len()),
+                    });
+                }
+                j.spec.output_schema(&inputs[0], &inputs[1]).map_err(sch_err)
+            }
+            TaskKind::MapDate(m) => {
+                let s = single()?;
+                s.require(std::slice::from_ref(&m.input_column)).map_err(sch_err)?;
+                Ok(s.upsert_field(Field::new(&m.output_column, DataType::Utf8)))
+            }
+            TaskKind::MapExtract(m) => {
+                let s = single()?;
+                s.require(std::slice::from_ref(&m.input_column)).map_err(sch_err)?;
+                Ok(s.upsert_field(Field::new(&m.output_column, DataType::Utf8)))
+            }
+            TaskKind::MapLocation(m) => {
+                let s = single()?;
+                s.require(std::slice::from_ref(&m.input_column)).map_err(sch_err)?;
+                Ok(s.upsert_field(Field::new(&m.output_column, DataType::Utf8)))
+            }
+            TaskKind::MapWords(m) => {
+                let s = single()?;
+                s.require(std::slice::from_ref(&m.input_column)).map_err(sch_err)?;
+                Ok(s.upsert_field(Field::new(&m.output_column, DataType::Utf8)))
+            }
+            TaskKind::MapCustom { input, output, .. } => {
+                let s = single()?;
+                s.require(std::slice::from_ref(input)).map_err(sch_err)?;
+                // A custom scalar operator's result type is unknown until it
+                // runs; declare Utf8-compatible Null (unifies later).
+                Ok(s.upsert_field(Field::new(output, DataType::Null)))
+            }
+            TaskKind::TopN(t) => {
+                let s = single()?;
+                s.require(&t.groupby).map_err(sch_err)?;
+                s.require(&t.order_by.iter().map(|k| k.column.clone()).collect::<Vec<_>>())
+                    .map_err(sch_err)?;
+                Ok(s.clone())
+            }
+            TaskKind::Sort(keys) => {
+                let s = single()?;
+                s.require(&keys.iter().map(|k| k.column.clone()).collect::<Vec<_>>())
+                    .map_err(sch_err)?;
+                Ok(s.clone())
+            }
+            TaskKind::Distinct(cols) => {
+                let s = single()?;
+                s.require(cols).map_err(sch_err)?;
+                Ok(s.clone())
+            }
+            TaskKind::Limit(_) => Ok(single()?.clone()),
+            TaskKind::Union => {
+                let mut iter = inputs.iter();
+                let first = iter
+                    .next()
+                    .ok_or_else(|| EngineError::Internal("union with no inputs".into()))?;
+                let mut acc = first.clone();
+                for s in iter {
+                    acc = acc.unify(s).map_err(sch_err)?;
+                }
+                Ok(acc)
+            }
+            TaskKind::Project(cols) => single()?.project(cols).map_err(sch_err),
+            TaskKind::Parallel(tasks) => {
+                let mut schema = single()?.clone();
+                for t in tasks {
+                    schema = t.kind.output_schema(&t.name, &[schema])?;
+                }
+                Ok(schema)
+            }
+            TaskKind::Custom(c) => c.output_schema(single()?),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Runtime context a task may need: widget selections and shared tables for
+/// semijoin filters.
+pub struct TaskRuntime<'a> {
+    /// Selection provider (None = no selections; filters become no-ops).
+    pub selections: Option<&'a dyn SelectionProvider>,
+    /// Lookup of already-materialised data objects by name.
+    pub lookup_table: &'a dyn Fn(&str) -> Option<Table>,
+}
+
+impl<'a> TaskRuntime<'a> {
+    /// A runtime with no selections and no shared tables.
+    pub fn empty() -> TaskRuntime<'static> {
+        TaskRuntime {
+            selections: None,
+            lookup_table: &|_| None,
+        }
+    }
+}
+
+fn exec_err(task: &str, e: impl std::fmt::Display) -> EngineError {
+    EngineError::Execution {
+        task: task.to_string(),
+        message: e.to_string(),
+    }
+}
+
+impl TaskKind {
+    /// Execute the task on its inputs (columnar kernels).
+    pub fn execute(&self, task_name: &str, inputs: &[Table], rt: &TaskRuntime<'_>) -> Result<Table> {
+        let single = || -> Result<&Table> {
+            inputs.first().ok_or_else(|| {
+                EngineError::Internal(format!("task '{task_name}' got no input"))
+            })
+        };
+        match self {
+            TaskKind::FilterExpr(e) => {
+                ops::filter_by_expr(single()?, e).map_err(|er| exec_err(task_name, er))
+            }
+            TaskKind::FilterBySource {
+                columns,
+                source,
+                source_columns,
+            } => execute_filter_by_source(task_name, single()?, columns, source, source_columns, rt),
+            TaskKind::GroupBy { builtin, custom } => {
+                execute_groupby(task_name, single()?, builtin, custom)
+            }
+            TaskKind::Join(j) => {
+                if inputs.len() != 2 {
+                    return Err(exec_err(
+                        task_name,
+                        format!("join needs 2 inputs, got {}", inputs.len()),
+                    ));
+                }
+                ops::join(&inputs[0], &inputs[1], &j.spec).map_err(|e| exec_err(task_name, e))
+            }
+            TaskKind::MapDate(m) => {
+                ops::map_date(single()?, m).map_err(|e| exec_err(task_name, e))
+            }
+            TaskKind::MapExtract(m) => {
+                ops::map_extract(single()?, m).map_err(|e| exec_err(task_name, e))
+            }
+            TaskKind::MapLocation(m) => {
+                ops::map_extract_location(single()?, m).map_err(|e| exec_err(task_name, e))
+            }
+            TaskKind::MapWords(m) => {
+                ops::map_extract_words(single()?, m).map_err(|e| exec_err(task_name, e))
+            }
+            TaskKind::MapCustom { op, input, output } => {
+                let t = single()?;
+                let col = t.column(input).map_err(|e| exec_err(task_name, e))?;
+                let values: Vec<Value> = (0..t.num_rows()).map(|i| op.apply(&col.value(i))).collect();
+                t.with_column(output, shareinsights_tabular::Column::from_values(&values))
+                    .map_err(|e| exec_err(task_name, e))
+            }
+            TaskKind::TopN(t) => ops::topn(single()?, t).map_err(|e| exec_err(task_name, e)),
+            TaskKind::Sort(keys) => ops::sort(single()?, keys).map_err(|e| exec_err(task_name, e)),
+            TaskKind::Distinct(cols) => {
+                ops::distinct(single()?, cols).map_err(|e| exec_err(task_name, e))
+            }
+            TaskKind::Limit(n) => Ok(single()?.limit(*n)),
+            TaskKind::Union => {
+                ops::union_all(inputs).map_err(|e| exec_err(task_name, e))
+            }
+            TaskKind::Project(cols) => {
+                single()?.project(cols).map_err(|e| exec_err(task_name, e))
+            }
+            TaskKind::Parallel(tasks) => {
+                let mut current = single()?.clone();
+                for t in tasks {
+                    current = t.kind.execute(&t.name, std::slice::from_ref(&current), rt)?;
+                }
+                Ok(current)
+            }
+            TaskKind::Custom(c) => c.execute(single()?),
+        }
+    }
+}
+
+fn execute_filter_by_source(
+    task_name: &str,
+    input: &Table,
+    columns: &[String],
+    source: &FilterSource,
+    source_columns: &[String],
+    rt: &TaskRuntime<'_>,
+) -> Result<Table> {
+    match source {
+        FilterSource::Widget(widget) => {
+            let Some(provider) = rt.selections else {
+                return Ok(input.clone()); // no interaction context: show all
+            };
+            let mut current = input.clone();
+            for (i, col) in columns.iter().enumerate() {
+                let src_col = source_columns
+                    .get(i)
+                    .or_else(|| source_columns.first())
+                    .map(String::as_str)
+                    .unwrap_or("value");
+                match provider.selection(widget, src_col) {
+                    Some(Selection::Values(vals)) => {
+                        let spec = FilterByValues::single(col.clone(), vals);
+                        current = ops::filter_by_values(&current, &spec)
+                            .map_err(|e| exec_err(task_name, e))?;
+                    }
+                    Some(Selection::Range(lo, hi)) => {
+                        let range = FilterByValues::range(col.clone(), lo, hi);
+                        current = ops::filter::filter_by_range(&current, &range)
+                            .map_err(|e| exec_err(task_name, e))?;
+                    }
+                    None => {} // unconstrained
+                }
+            }
+            Ok(current)
+        }
+        FilterSource::Data(object) => {
+            let Some(source_table) = (rt.lookup_table)(object) else {
+                return Err(exec_err(
+                    task_name,
+                    format!("filter_source 'D.{object}' is not materialised"),
+                ));
+            };
+            let mut current = input.clone();
+            for (i, col) in columns.iter().enumerate() {
+                let src_col = source_columns
+                    .get(i)
+                    .or_else(|| source_columns.first())
+                    .map(String::as_str)
+                    .unwrap_or(col.as_str());
+                let src = source_table
+                    .column(src_col)
+                    .map_err(|e| exec_err(task_name, e))?;
+                let values: Vec<Value> = src.iter().filter(|v| !v.is_null()).collect();
+                let spec = FilterByValues::single(col.clone(), values);
+                current =
+                    ops::filter_by_values(&current, &spec).map_err(|e| exec_err(task_name, e))?;
+            }
+            Ok(current)
+        }
+    }
+}
+
+fn execute_groupby(
+    task_name: &str,
+    input: &Table,
+    builtin: &GroupBy,
+    custom: &[CustomAgg],
+) -> Result<Table> {
+    if custom.is_empty() {
+        return ops::groupby(input, builtin).map_err(|e| exec_err(task_name, e));
+    }
+    // Mixed path: run the builtin part (or bare keys) and then attach
+    // custom aggregates computed per group.
+    let base = if builtin.aggregates.is_empty() {
+        // Avoid the spurious default count when only custom aggs exist.
+        let keys_only = GroupBy {
+            keys: builtin.keys.clone(),
+            aggregates: vec![AggregateSpec::new(AggKind::CountAll, "", "__count_tmp")],
+            orderby_aggregates: false,
+        };
+        let t = ops::groupby(input, &keys_only).map_err(|e| exec_err(task_name, e))?;
+        t.project(&builtin.keys).map_err(|e| exec_err(task_name, e))?
+    } else {
+        ops::groupby(input, builtin).map_err(|e| exec_err(task_name, e))?
+    };
+
+    // Bucket input rows per key.
+    let key_cols: Vec<_> = builtin
+        .keys
+        .iter()
+        .map(|k| input.column(k).cloned())
+        .collect::<shareinsights_tabular::Result<Vec<_>>>()
+        .map_err(|e| exec_err(task_name, e))?;
+    let mut buckets: HashMap<Row, Vec<usize>> = HashMap::new();
+    for i in 0..input.num_rows() {
+        let key = Row(key_cols.iter().map(|c| c.value(i)).collect());
+        buckets.entry(key).or_default().push(i);
+    }
+
+    let base_key_cols: Vec<_> = builtin
+        .keys
+        .iter()
+        .map(|k| base.column(k).cloned())
+        .collect::<shareinsights_tabular::Result<Vec<_>>>()
+        .map_err(|e| exec_err(task_name, e))?;
+
+    let mut out = base.clone();
+    for cagg in custom {
+        let src = input
+            .column(&cagg.apply_on)
+            .map_err(|e| exec_err(task_name, e))?;
+        let mut vals = Vec::with_capacity(base.num_rows());
+        for g in 0..base.num_rows() {
+            let key = Row(base_key_cols.iter().map(|c| c.value(g)).collect());
+            let rows = buckets.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+            let bag: Vec<Value> = rows.iter().map(|&i| src.value(i)).collect();
+            vals.push(
+                cagg.func
+                    .aggregate(&bag)
+                    .map_err(|e| exec_err(task_name, e))?,
+            );
+        }
+        out = out
+            .with_column(&cagg.out_field, shareinsights_tabular::Column::from_values(&vals))
+            .map_err(|e| exec_err(task_name, e))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_flowfile::parse_flow_file;
+    use shareinsights_tabular::row;
+
+    fn env_with<'a>(
+        registry: &'a TaskRegistry,
+        all_tasks: &'a [TaskDef],
+        load: &'a dyn Fn(&str) -> Option<String>,
+    ) -> InterpretEnv<'a> {
+        InterpretEnv {
+            registry,
+            load_text: load,
+            all_tasks,
+        }
+    }
+
+    fn interpret_src(src: &str, task: &str) -> Result<NamedTask> {
+        let ff = parse_flow_file("t", src).unwrap();
+        let reg = TaskRegistry::new();
+        let loader = |name: &str| -> Option<String> {
+            (name == "players.txt").then(|| "dhoni => MS Dhoni\nkohli => Virat Kohli".to_string())
+        };
+        let def = ff.task(task).expect("task exists").clone();
+        let env = env_with(&reg, &ff.tasks, &loader);
+        interpret_task(&def, &env)
+    }
+
+    #[test]
+    fn interprets_paper_figure7_filter() {
+        let t = interpret_src(
+            "T:\n  classification:\n    type: filter_by\n    filter_expression: rating < 3\n",
+            "classification",
+        )
+        .unwrap();
+        assert!(matches!(t.kind, TaskKind::FilterExpr(_)));
+    }
+
+    #[test]
+    fn interprets_paper_figure8_groupby() {
+        let src = "T:\n  get_svn_jira_count:\n    type: groupby\n    groupby: [project, year]\n    aggregates:\n    - operator: sum\n      apply_on: noOfCheckins\n      out_field: total_checkins\n    - operator: sum\n      apply_on: noOfBugs\n      out_field: total_jira\n";
+        let t = interpret_src(src, "get_svn_jira_count").unwrap();
+        let TaskKind::GroupBy { builtin, custom } = &t.kind else {
+            panic!("expected groupby")
+        };
+        assert_eq!(builtin.keys, vec!["project", "year"]);
+        assert_eq!(builtin.aggregates.len(), 2);
+        assert!(custom.is_empty());
+        // Schema propagation on the paper's svn_jira_summary shape.
+        let input = Schema::of(&[
+            ("project", DataType::Utf8),
+            ("year", DataType::Int64),
+            ("noOfBugs", DataType::Int64),
+            ("noOfCheckins", DataType::Int64),
+        ]);
+        let out = t.kind.output_schema(&t.name, &[input]).unwrap();
+        assert_eq!(
+            out.names(),
+            vec!["project", "year", "total_checkins", "total_jira"]
+        );
+    }
+
+    #[test]
+    fn interprets_paper_join_with_projection() {
+        let src = "T:\n  join_player_team:\n    type: join\n    left: players_tweets by player\n    right: team_players by player\n    join_condition: left outer\n    project:\n      players_tweets_date: date\n      players_tweets_count: noOfTweets\n      team_players_team: team\n";
+        let t = interpret_src(src, "join_player_team").unwrap();
+        let TaskKind::Join(j) = &t.kind else { panic!() };
+        assert_eq!(j.left_name, "players_tweets");
+        assert_eq!(j.spec.condition, JoinCondition::LeftOuter);
+        assert_eq!(j.spec.projection.len(), 3);
+        assert!(j.spec.projection[2].rename == "team" && !j.spec.projection[2].from_left);
+    }
+
+    #[test]
+    fn interprets_map_date_and_validates_pattern() {
+        let src = "T:\n  norm_ipldate:\n    type: map\n    operator: date\n    transform: postedTime\n    input_format: 'E MMM dd HH:mm:ss Z yyyy'\n    output_format: yyyy-MM-dd\n    output: date\n";
+        let t = interpret_src(src, "norm_ipldate").unwrap();
+        assert!(matches!(t.kind, TaskKind::MapDate(_)));
+
+        let bad = "T:\n  bad:\n    type: map\n    operator: date\n    transform: x\n    input_format: 'QQQQ'\n    output_format: yyyy\n    output: y\n";
+        let err = interpret_src(bad, "bad").unwrap_err();
+        assert!(err.to_string().contains("T.bad"));
+    }
+
+    #[test]
+    fn interprets_extract_with_dict_loading() {
+        let src = "T:\n  extract_players:\n    type: map\n    operator: extract\n    transform: body\n    dict: players.txt\n    output: player\n";
+        let t = interpret_src(src, "extract_players").unwrap();
+        let TaskKind::MapExtract(m) = &t.kind else { panic!() };
+        assert_eq!(m.dict.len(), 2);
+        assert!(m.explode);
+
+        let missing = "T:\n  e:\n    type: map\n    operator: extract\n    transform: body\n    dict: nope.txt\n    output: p\n";
+        let err = interpret_src(missing, "e").unwrap_err();
+        assert!(err.to_string().contains("nope.txt"));
+    }
+
+    #[test]
+    fn interprets_parallel_composite() {
+        let src = "T:\n  pipeline:\n    parallel: [T.a, T.b]\n  a:\n    type: map\n    operator: extract_words\n    transform: body\n    output: word\n  b:\n    type: limit\n    limit: 5\n";
+        let t = interpret_src(src, "pipeline").unwrap();
+        let TaskKind::Parallel(subs) = &t.kind else { panic!() };
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].name, "a");
+    }
+
+    #[test]
+    fn interprets_topn() {
+        let src = "T:\n  topwords:\n    type: topn\n    groupby: [date]\n    orderby_column: [count DESC]\n    limit: 20\n";
+        let t = interpret_src(src, "topwords").unwrap();
+        let TaskKind::TopN(tn) = &t.kind else { panic!() };
+        assert_eq!(tn.limit, 20);
+        assert_eq!(tn.order_by[0].column, "count");
+    }
+
+    #[test]
+    fn unknown_type_suggests_extensions() {
+        let err = interpret_src("T:\n  x:\n    type: frobnicate\n", "x").unwrap_err();
+        assert!(err.to_string().contains("registered extension"));
+    }
+
+    #[test]
+    fn filter_by_source_executes_with_selection() {
+        // The figure-15 interaction filter.
+        let src = "T:\n  filter_projects:\n    type: filter_by\n    filter_by: [project]\n    filter_source: W.project_category_bubble\n    filter_val: [text]\n";
+        let t = interpret_src(src, "filter_projects").unwrap();
+        let table = Table::from_rows(
+            &["project", "n"],
+            &[row!["pig", 1i64], row!["hive", 2i64]],
+        )
+        .unwrap();
+
+        // No provider -> pass-through.
+        let out = t
+            .kind
+            .execute(&t.name, std::slice::from_ref(&table), &TaskRuntime::empty())
+            .unwrap();
+        assert_eq!(out.num_rows(), 2);
+
+        // With a selection -> filters.
+        let sel = crate::selection::StaticSelections::new();
+        sel.set(
+            "project_category_bubble",
+            "text",
+            Selection::Values(vec!["pig".into()]),
+        );
+        let rt = TaskRuntime {
+            selections: Some(&sel),
+            lookup_table: &|_| None,
+        };
+        let out = t.kind.execute(&t.name, std::slice::from_ref(&table), &rt).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, "project").unwrap().to_string(), "pig");
+    }
+
+    #[test]
+    fn filter_by_range_selection() {
+        let src = "T:\n  filter_by_date:\n    type: filter_by\n    filter_by: [date]\n    filter_source: W.ipl_duration\n";
+        let t = interpret_src(src, "filter_by_date").unwrap();
+        let table = Table::from_rows(
+            &["date"],
+            &[row!["2013-05-01"], row!["2013-05-05"], row!["2013-05-20"]],
+        )
+        .unwrap();
+        let sel = crate::selection::StaticSelections::new();
+        sel.set(
+            "ipl_duration",
+            "date",
+            Selection::Range("2013-05-02".into(), "2013-05-10".into()),
+        );
+        let rt = TaskRuntime {
+            selections: Some(&sel),
+            lookup_table: &|_| None,
+        };
+        let out = t.kind.execute(&t.name, std::slice::from_ref(&table), &rt).unwrap();
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn semijoin_filter_from_data_object() {
+        let src = "T:\n  keep_known:\n    type: filter_by\n    filter_by: [team]\n    filter_source: D.dim_teams\n    filter_val: [team]\n";
+        let t = interpret_src(src, "keep_known").unwrap();
+        let table = Table::from_rows(&["team"], &[row!["CSK"], row!["XXX"]]).unwrap();
+        let dim = Table::from_rows(&["team"], &[row!["CSK"], row!["MI"]]).unwrap();
+        let rt = TaskRuntime {
+            selections: None,
+            lookup_table: &move |name| (name == "dim_teams").then(|| dim.clone()),
+        };
+        let out = t.kind.execute(&t.name, std::slice::from_ref(&table), &rt).unwrap();
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn custom_aggregate_in_groupby() {
+        struct Range01;
+        impl AggregateFunction for Range01 {
+            fn name(&self) -> &str {
+                "spread"
+            }
+            fn output_type(&self, _input: DataType) -> DataType {
+                DataType::Float64
+            }
+            fn aggregate(&self, values: &[Value]) -> shareinsights_tabular::Result<Value> {
+                let nums: Vec<f64> = values.iter().filter_map(|v| v.as_float()).collect();
+                if nums.is_empty() {
+                    return Ok(Value::Null);
+                }
+                let max = nums.iter().cloned().fold(f64::MIN, f64::max);
+                let min = nums.iter().cloned().fold(f64::MAX, f64::min);
+                Ok(Value::Float(max - min))
+            }
+        }
+        let ff = parse_flow_file(
+            "t",
+            "T:\n  g:\n    type: groupby\n    groupby: [k]\n    aggregates:\n    - operator: spread\n      apply_on: v\n      out_field: v_spread\n",
+        )
+        .unwrap();
+        let reg = TaskRegistry::new();
+        reg.register_aggregate(Arc::new(Range01));
+        let loader = |_: &str| None;
+        let env = env_with(&reg, &ff.tasks, &loader);
+        let t = interpret_task(ff.task("g").unwrap(), &env).unwrap();
+
+        let table = Table::from_rows(
+            &["k", "v"],
+            &[row!["a", 1i64], row!["a", 5i64], row!["b", 2i64]],
+        )
+        .unwrap();
+        let out = t
+            .kind
+            .execute(&t.name, std::slice::from_ref(&table), &TaskRuntime::empty())
+            .unwrap();
+        assert_eq!(out.schema().names(), vec!["k", "v_spread"]);
+        assert_eq!(out.value(0, "v_spread").unwrap(), Value::Float(4.0));
+        assert_eq!(out.value(1, "v_spread").unwrap(), Value::Float(0.0));
+    }
+
+    #[test]
+    fn parallel_composes_schemas_and_rows() {
+        let src = "T:\n  pipe:\n    parallel: [T.d, T.w]\n  d:\n    type: map\n    operator: date\n    transform: posted\n    input_format: yyyy-MM-dd\n    output_format: 'yyyy/MM/dd'\n    output: date\n  w:\n    type: map\n    operator: extract_words\n    transform: body\n    output: word\n";
+        let t = interpret_src(src, "pipe").unwrap();
+        let table = Table::from_rows(
+            &["posted", "body"],
+            &[row!["2013-05-02", "great match today"]],
+        )
+        .unwrap();
+        let schema = t
+            .kind
+            .output_schema(&t.name, &[table.schema().clone()])
+            .unwrap();
+        assert_eq!(schema.names(), vec!["posted", "body", "date", "word"]);
+        let out = t
+            .kind
+            .execute(&t.name, std::slice::from_ref(&table), &TaskRuntime::empty())
+            .unwrap();
+        assert_eq!(out.num_rows(), 3, "one row per word");
+        assert_eq!(out.value(0, "date").unwrap().to_string(), "2013/05/02");
+    }
+
+    #[test]
+    fn input_columns_for_pruning() {
+        let t = interpret_src(
+            "T:\n  f:\n    type: filter_by\n    filter_expression: a < 3 and b == 'x'\n",
+            "f",
+        )
+        .unwrap();
+        assert_eq!(
+            t.kind.input_columns(),
+            Some(vec!["a".to_string(), "b".to_string()])
+        );
+    }
+}

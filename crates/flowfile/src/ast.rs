@@ -1,0 +1,337 @@
+//! Typed abstract syntax of a flow file.
+
+use crate::config::ConfigMap;
+use std::fmt;
+
+/// A reference to a named object in one of the sections: `D.x`, `T.x`,
+/// `W.x`. Widgets being data objects (§3.5.1) is encoded here: a task's
+/// `filter_source` holds a [`DataRef::Widget`] while a flow input holds a
+/// [`DataRef::Data`], and both flow through the same machinery.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataRef {
+    /// A data object (`D.name`).
+    Data(String),
+    /// A task (`T.name`).
+    Task(String),
+    /// A widget treated as a data object (`W.name`).
+    Widget(String),
+}
+
+impl DataRef {
+    /// Parse `D.x` / `T.x` / `W.x` (whitespace after the dot tolerated — the
+    /// paper's listings contain `D. name` artefacts).
+    pub fn parse(s: &str) -> Option<DataRef> {
+        let t = s.trim();
+        let (prefix, rest) = t.split_once('.')?;
+        let name = rest.trim();
+        if name.is_empty() || !is_identifier(name) {
+            return None;
+        }
+        match prefix.trim() {
+            "D" => Some(DataRef::Data(name.to_string())),
+            "T" => Some(DataRef::Task(name.to_string())),
+            "W" => Some(DataRef::Widget(name.to_string())),
+            _ => None,
+        }
+    }
+
+    /// The bare name without the section prefix.
+    pub fn name(&self) -> &str {
+        match self {
+            DataRef::Data(n) | DataRef::Task(n) | DataRef::Widget(n) => n,
+        }
+    }
+}
+
+impl fmt::Display for DataRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataRef::Data(n) => write!(f, "D.{n}"),
+            DataRef::Task(n) => write!(f, "T.{n}"),
+            DataRef::Widget(n) => write!(f, "W.{n}"),
+        }
+    }
+}
+
+/// True for `IDENTIFIER` per the appendix-B lexer: letters then
+/// letters/digits/underscores.
+pub fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// One column of a data object's schema: a bare name, or a `name => path`
+/// mapping into a hierarchical payload (figures 6 and 18).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSpec {
+    /// Column name.
+    pub name: String,
+    /// Optional payload path (`user.location`).
+    pub path: Option<String>,
+}
+
+impl ColumnSpec {
+    /// Bare column.
+    pub fn plain(name: impl Into<String>) -> Self {
+        ColumnSpec {
+            name: name.into(),
+            path: None,
+        }
+    }
+
+    /// Mapped column.
+    pub fn mapped(name: impl Into<String>, path: impl Into<String>) -> Self {
+        ColumnSpec {
+            name: name.into(),
+            path: Some(path.into()),
+        }
+    }
+}
+
+/// A data object: schema declaration plus detail properties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataObject {
+    /// Name (unique within the D section).
+    pub name: String,
+    /// Declared columns (may be empty for detail-only objects such as
+    /// published-object consumers).
+    pub columns: Vec<ColumnSpec>,
+    /// Detail properties from the `D.<name>:` block (`source`, `format`,
+    /// `separator`, `protocol`, `http_headers`, …).
+    pub props: ConfigMap,
+    /// `endpoint: true` — exposed to dashboards over the data API (§3.4.1).
+    pub endpoint: bool,
+    /// `publish: <name>` — shared with other dashboards under this name.
+    pub publish: Option<String>,
+    /// Source line of the declaration.
+    pub line: usize,
+}
+
+impl DataObject {
+    /// Declared column names in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+/// A task definition: a named, typed, parameterised transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskDef {
+    /// Name (unique within the T section).
+    pub name: String,
+    /// Task type (`filter_by`, `groupby`, `join`, `map`, `topn`,
+    /// `parallel`, or a custom/extension type).
+    pub task_type: String,
+    /// Remaining parameters, uninterpreted at this level (the engine and
+    /// widget layers interpret them per type).
+    pub params: ConfigMap,
+    /// Source line.
+    pub line: usize,
+}
+
+/// One flow: fan-in inputs piped through tasks into an output data object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flow {
+    /// Output data object name.
+    pub output: String,
+    /// Input data object names (≥1).
+    pub inputs: Vec<String>,
+    /// Task names in pipe order (≥1 per the appendix-B grammar).
+    pub tasks: Vec<String>,
+    /// `+D.name:` endpoint shorthand used on the flow head (figure 9).
+    pub endpoint_alias: bool,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A widget's `source:` — either a flow over a data object, or a static
+/// literal list (the date slider's `['2013-05-02', '2013-05-27']`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WidgetSource {
+    /// `D.x | T.a | T.b` (tasks may be empty: `source: D.dim_teams`).
+    Flow {
+        /// Input data object.
+        input: String,
+        /// Interaction-flow task names.
+        tasks: Vec<String>,
+    },
+    /// A static list of scalar values.
+    Static(Vec<String>),
+}
+
+/// A widget definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WidgetDef {
+    /// Name (unique within the W section).
+    pub name: String,
+    /// Widget type (`BubbleChart`, `WordCloud`, `Slider`, `Layout`,
+    /// `TabLayout`, custom…).
+    pub widget_type: String,
+    /// Data source.
+    pub source: Option<WidgetSource>,
+    /// All other attributes (data bindings + visual attributes),
+    /// uninterpreted here.
+    pub params: ConfigMap,
+    /// Source line.
+    pub line: usize,
+}
+
+/// One cell of a layout row: a column span and the widget shown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutCell {
+    /// Width in grid columns (1–12).
+    pub span: u8,
+    /// Widget name (sans `W.`).
+    pub widget: String,
+}
+
+/// The layout section: a grid of rows of cells.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LayoutDef {
+    /// Dashboard description line.
+    pub description: Option<String>,
+    /// Rows, each a list of cells.
+    pub rows: Vec<Vec<LayoutCell>>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A parsed flow file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlowFile {
+    /// Dashboard name (not part of the text; assigned by the platform).
+    pub name: String,
+    /// Data objects in declaration order.
+    pub data: Vec<DataObject>,
+    /// Tasks in declaration order.
+    pub tasks: Vec<TaskDef>,
+    /// Flows in declaration order.
+    pub flows: Vec<Flow>,
+    /// Widgets in declaration order.
+    pub widgets: Vec<WidgetDef>,
+    /// Layout, when present.
+    pub layout: Option<LayoutDef>,
+}
+
+impl FlowFile {
+    /// Look up a data object by name.
+    pub fn data_object(&self, name: &str) -> Option<&DataObject> {
+        self.data.iter().find(|d| d.name == name)
+    }
+
+    /// Look up a task by name.
+    pub fn task(&self, name: &str) -> Option<&TaskDef> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Look up a widget by name.
+    pub fn widget(&self, name: &str) -> Option<&WidgetDef> {
+        self.widgets.iter().find(|w| w.name == name)
+    }
+
+    /// Flows producing endpoint data (either via `endpoint: true` props or
+    /// the `+` alias).
+    pub fn endpoint_objects(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .data
+            .iter()
+            .filter(|d| d.endpoint)
+            .map(|d| d.name.as_str())
+            .collect();
+        for f in &self.flows {
+            if f.endpoint_alias && !out.contains(&f.output.as_str()) {
+                out.push(f.output.as_str());
+            }
+        }
+        out
+    }
+
+    /// True when the file is data-processing-mode only (§3.7.1): no widgets
+    /// and no layout.
+    pub fn is_data_processing_mode(&self) -> bool {
+        self.widgets.is_empty() && self.layout.is_none()
+    }
+
+    /// True when the file is consumption-mode only: no flows of its own
+    /// (all widget sources reference published objects).
+    pub fn is_consumption_mode(&self) -> bool {
+        self.flows.is_empty() && !self.widgets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataref_parse_and_display() {
+        assert_eq!(DataRef::parse("D.x"), Some(DataRef::Data("x".into())));
+        assert_eq!(DataRef::parse(" T.my_task "), Some(DataRef::Task("my_task".into())));
+        assert_eq!(DataRef::parse("W.bubble"), Some(DataRef::Widget("bubble".into())));
+        assert_eq!(DataRef::parse("D. spaced"), Some(DataRef::Data("spaced".into())));
+        assert_eq!(DataRef::parse("X.x"), None);
+        assert_eq!(DataRef::parse("D."), None);
+        assert_eq!(DataRef::parse("noprefix"), None);
+        assert_eq!(DataRef::parse("D.bad name"), None);
+        assert_eq!(DataRef::Data("x".into()).to_string(), "D.x");
+    }
+
+    #[test]
+    fn identifier_rules() {
+        assert!(is_identifier("abc_123"));
+        assert!(is_identifier("_private"));
+        assert!(!is_identifier("1abc"));
+        assert!(!is_identifier(""));
+        assert!(!is_identifier("a-b"));
+    }
+
+    #[test]
+    fn endpoint_objects_merge_props_and_alias() {
+        let mut ff = FlowFile::default();
+        ff.data.push(DataObject {
+            name: "a".into(),
+            columns: vec![],
+            props: Default::default(),
+            endpoint: true,
+            publish: None,
+            line: 1,
+        });
+        ff.flows.push(Flow {
+            output: "b".into(),
+            inputs: vec!["a".into()],
+            tasks: vec!["t".into()],
+            endpoint_alias: true,
+            line: 2,
+        });
+        assert_eq!(ff.endpoint_objects(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn mode_detection() {
+        let mut processing = FlowFile::default();
+        processing.flows.push(Flow {
+            output: "o".into(),
+            inputs: vec!["i".into()],
+            tasks: vec!["t".into()],
+            endpoint_alias: false,
+            line: 1,
+        });
+        assert!(processing.is_data_processing_mode());
+        assert!(!processing.is_consumption_mode());
+
+        let mut consumption = FlowFile::default();
+        consumption.widgets.push(WidgetDef {
+            name: "w".into(),
+            widget_type: "List".into(),
+            source: None,
+            params: Default::default(),
+            line: 1,
+        });
+        assert!(consumption.is_consumption_mode());
+        assert!(!consumption.is_data_processing_mode());
+    }
+}

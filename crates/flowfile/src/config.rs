@@ -1,0 +1,741 @@
+//! Generic configuration-tree parser: the indentation-structured, YAML-like
+//! surface the flow file is written in.
+//!
+//! This stage knows nothing about sections or semantics; it turns text into
+//! an ordered tree of [`ConfigValue`]s. Supported syntax (everything the
+//! paper's listings use):
+//!
+//! * `key: value` and `key:` followed by an indented block;
+//! * block lists with `- item` (scalar, `key: value` map start, or inline
+//!   list);
+//! * inline lists `[a, b, c]`, possibly spanning lines, whose items may be
+//!   `a => b` path mappings or `span12: W.x` pairs;
+//! * `'single'` / `"double"` quoted scalars;
+//! * `#` comments (outside quotes);
+//! * flow continuations: lines ending in `|` or `,`, unbalanced brackets,
+//!   and lines starting with `|` merge with their neighbours.
+
+use crate::diag::{FlowError, Result};
+
+/// An ordered key/value map preserving declaration order and source lines.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConfigMap {
+    entries: Vec<(String, ConfigValue, usize)>,
+}
+
+impl ConfigMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an entry (duplicate keys allowed at this level; semantic
+    /// layers reject them where appropriate).
+    pub fn push(&mut self, key: impl Into<String>, value: ConfigValue, line: usize) {
+        self.entries.push((key.into(), value, line));
+    }
+
+    /// Entries in declaration order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &ConfigValue, usize)> {
+        self.entries.iter().map(|(k, v, l)| (k.as_str(), v, *l))
+    }
+
+    /// First value for a key.
+    pub fn get(&self, key: &str) -> Option<&ConfigValue> {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, v, _)| v)
+    }
+
+    /// First value's source line for a key.
+    pub fn line_of(&self, key: &str) -> Option<usize> {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, _, l)| *l)
+    }
+
+    /// First scalar value for a key.
+    pub fn get_scalar(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            ConfigValue::Scalar(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Scalar parsed as bool (`true`/`false`).
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        match self.get_scalar(key)? {
+            "true" | "True" | "TRUE" => Some(true),
+            "false" | "False" | "FALSE" => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when a key exists.
+    pub fn contains(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+/// A parsed configuration value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigValue {
+    /// A scalar (quotes already stripped).
+    Scalar(String),
+    /// A list (block `-` items or inline `[...]`).
+    List(Vec<ConfigValue>),
+    /// A nested map.
+    Map(ConfigMap),
+}
+
+impl ConfigValue {
+    /// Scalar payload, if this is one.
+    pub fn as_scalar(&self) -> Option<&str> {
+        match self {
+            ConfigValue::Scalar(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// List items, if this is a list.
+    pub fn as_list(&self) -> Option<&[ConfigValue]> {
+        match self {
+            ConfigValue::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Map, if this is one.
+    pub fn as_map(&self) -> Option<&ConfigMap> {
+        match self {
+            ConfigValue::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Scalar list items (errors elsewhere if non-scalar items appear).
+    pub fn scalar_items(&self) -> Vec<&str> {
+        match self {
+            ConfigValue::List(items) => items.iter().filter_map(|i| i.as_scalar()).collect(),
+            ConfigValue::Scalar(s) => vec![s.as_str()],
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    indent: usize,
+    text: String,
+    lineno: usize,
+}
+
+/// Strip a comment (unquoted `#`) from a raw line; returns the retained
+/// prefix.
+fn strip_comment(line: &str) -> &str {
+    let mut quote: Option<char> = None;
+    for (i, c) in line.char_indices() {
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => match c {
+                '\'' | '"' => quote = Some(c),
+                '#' => return &line[..i],
+                _ => {}
+            },
+        }
+    }
+    line
+}
+
+/// Count net bracket balance and whether the line ends mid-expression.
+fn scan_line(text: &str) -> (i32, bool) {
+    let mut balance = 0i32;
+    let mut quote: Option<char> = None;
+    for c in text.chars() {
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => match c {
+                '\'' | '"' => quote = Some(c),
+                '[' | '(' => balance += 1,
+                ']' | ')' => balance -= 1,
+                _ => {}
+            },
+        }
+    }
+    let trimmed = text.trim_end();
+    let open_ended = trimmed.ends_with('|') || trimmed.ends_with(',');
+    (balance, open_ended)
+}
+
+/// Preprocess: strip comments, drop blanks, compute indents, merge
+/// continuation lines.
+fn preprocess(source: &str) -> Result<Vec<Line>> {
+    let mut raw: Vec<Line> = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        let lineno = i + 1;
+        if line.contains('\t') {
+            return Err(FlowError::single(
+                lineno,
+                "tabs are not allowed for indentation; use spaces",
+            ));
+        }
+        let stripped = strip_comment(line);
+        let trimmed_end = stripped.trim_end();
+        if trimmed_end.trim().is_empty() {
+            continue;
+        }
+        let indent = trimmed_end.len() - trimmed_end.trim_start().len();
+        raw.push(Line {
+            indent,
+            text: trimmed_end.trim_start().to_string(),
+            lineno,
+        });
+    }
+
+    // Merge continuations.
+    let mut merged: Vec<Line> = Vec::new();
+    for line in raw {
+        let join_with_prev = if let Some(prev) = merged.last() {
+            let (balance, open_ended) = scan_line(&prev.text);
+            balance > 0 || open_ended || line.text.starts_with('|')
+        } else {
+            false
+        };
+        if join_with_prev {
+            let prev = merged.last_mut().expect("checked non-empty");
+            prev.text.push(' ');
+            prev.text.push_str(&line.text);
+        } else {
+            merged.push(line);
+        }
+    }
+    // Validate every merged line is bracket-balanced.
+    for l in &merged {
+        let (balance, _) = scan_line(&l.text);
+        if balance != 0 {
+            return Err(FlowError::single(
+                l.lineno,
+                format!("unbalanced brackets in '{}'", truncate(&l.text)),
+            ));
+        }
+    }
+    Ok(merged)
+}
+
+fn truncate(s: &str) -> String {
+    if s.len() > 60 {
+        format!("{}…", &s[..60])
+    } else {
+        s.to_string()
+    }
+}
+
+/// Strip matching surrounding quotes from a scalar.
+fn unquote(s: &str) -> String {
+    let t = s.trim();
+    if t.len() >= 2 {
+        let first = t.chars().next().unwrap();
+        if (first == '\'' || first == '"') && t.ends_with(first) {
+            return t[1..t.len() - 1].to_string();
+        }
+    }
+    t.to_string()
+}
+
+/// Find the first `:` that separates a key from a value (outside quotes and
+/// brackets, and not part of `://`).
+fn split_key_value(text: &str) -> Option<(String, String)> {
+    let mut quote: Option<char> = None;
+    let mut depth = 0i32;
+    let bytes = text.as_bytes();
+    for (i, c) in text.char_indices() {
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => match c {
+                '\'' | '"' => quote = Some(c),
+                '[' | '(' => depth += 1,
+                ']' | ')' => depth -= 1,
+                ':' if depth == 0 => {
+                    // skip '::' or '://'
+                    if bytes.get(i + 1) == Some(&b'/') {
+                        continue;
+                    }
+                    let key = text[..i].trim().to_string();
+                    let value = text[i + 1..].trim().to_string();
+                    if key.is_empty() {
+                        return None;
+                    }
+                    // Keys are identifier-ish tokens (allowing D./T./W./+
+                    // prefixes and internal spaces from `D. name` PDF
+                    // artefacts). Reject keys containing pipe characters —
+                    // those are flow expressions, not keys.
+                    if key.contains('|') {
+                        return None;
+                    }
+                    return Some((key, value));
+                }
+                _ => {}
+            },
+        }
+    }
+    None
+}
+
+/// Split inline-list content on top-level commas.
+fn split_top_level_commas(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut quote: Option<char> = None;
+    let mut depth = 0i32;
+    for c in text.chars() {
+        match quote {
+            Some(q) => {
+                cur.push(c);
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => match c {
+                '\'' | '"' => {
+                    quote = Some(c);
+                    cur.push(c);
+                }
+                '[' | '(' => {
+                    depth += 1;
+                    cur.push(c);
+                }
+                ']' | ')' => {
+                    depth -= 1;
+                    cur.push(c);
+                }
+                ',' if depth == 0 => out.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            },
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out.into_iter()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Parse an inline value: `[...]` list, or scalar.
+fn parse_inline_value(text: &str, lineno: usize) -> ConfigValue {
+    let t = text.trim();
+    if t.starts_with('[') && t.ends_with(']') {
+        let inner = &t[1..t.len() - 1];
+        let items = split_top_level_commas(inner)
+            .into_iter()
+            .map(|item| {
+                // An item may itself be `key: value` (layout cells).
+                if let Some((k, v)) = split_key_value(&item) {
+                    let mut m = ConfigMap::new();
+                    m.push(k, parse_inline_value(&v, lineno), lineno);
+                    ConfigValue::Map(m)
+                } else {
+                    ConfigValue::Scalar(unquote(&item))
+                }
+            })
+            .collect();
+        ConfigValue::List(items)
+    } else {
+        ConfigValue::Scalar(unquote(t))
+    }
+}
+
+fn is_dash(text: &str) -> bool {
+    text.starts_with("- ") || text == "-"
+}
+
+/// Parse the value that follows a `key:` whose inline value was empty: a
+/// deeper block, or (YAML style) a dash list at the *same* indent as the
+/// key — the paper's `rows:` / `- [span12: …]` layout listings use the
+/// latter.
+fn parse_block_value(lines: &[Line], start: &mut usize, key_indent: usize) -> Result<ConfigValue> {
+    if *start < lines.len() {
+        if lines[*start].indent > key_indent {
+            return parse_block(lines, start, key_indent as i64);
+        }
+        if lines[*start].indent == key_indent && is_dash(&lines[*start].text) {
+            return parse_list(lines, start, key_indent);
+        }
+    }
+    Ok(ConfigValue::Scalar(String::new()))
+}
+
+/// Parse consecutive `- item` entries at exactly `list_indent`.
+fn parse_list(lines: &[Line], start: &mut usize, list_indent: usize) -> Result<ConfigValue> {
+    let mut items = Vec::new();
+    while *start < lines.len()
+        && lines[*start].indent == list_indent
+        && is_dash(&lines[*start].text)
+    {
+        let dash_line = lines[*start].clone();
+        let after_dash = dash_line.text[1..].trim_start().to_string();
+        // Content after '-' behaves as if indented two past the dash.
+        let virtual_indent = list_indent + 2;
+        if after_dash.is_empty() {
+            // `-` alone: value is the following deeper block.
+            *start += 1;
+            if *start < lines.len() && lines[*start].indent > list_indent {
+                items.push(parse_block(lines, start, list_indent as i64)?);
+            } else {
+                items.push(ConfigValue::Scalar(String::new()));
+            }
+            continue;
+        }
+        if let Some((key, value)) = split_key_value(&after_dash) {
+            let mut map = ConfigMap::new();
+            if value.is_empty() {
+                *start += 1;
+                map.push(
+                    key,
+                    parse_block_value(lines, start, virtual_indent)?,
+                    dash_line.lineno,
+                );
+            } else {
+                map.push(
+                    key,
+                    parse_inline_value(&value, dash_line.lineno),
+                    dash_line.lineno,
+                );
+                *start += 1;
+            }
+            // Further map entries of this item: at or beyond the virtual
+            // indent.
+            while *start < lines.len()
+                && lines[*start].indent >= virtual_indent
+                && !is_dash(&lines[*start].text)
+            {
+                let l = lines[*start].clone();
+                if let Some((k, v)) = split_key_value(&l.text) {
+                    if v.is_empty() {
+                        *start += 1;
+                        let nested = parse_block_value(lines, start, l.indent)?;
+                        map.push(k, nested, l.lineno);
+                    } else {
+                        map.push(k, parse_inline_value(&v, l.lineno), l.lineno);
+                        *start += 1;
+                    }
+                } else {
+                    return Err(FlowError::single(
+                        l.lineno,
+                        format!(
+                            "expected 'key: value' inside list item, got '{}'",
+                            truncate(&l.text)
+                        ),
+                    ));
+                }
+            }
+            items.push(ConfigValue::Map(map));
+        } else {
+            items.push(parse_inline_value(&after_dash, dash_line.lineno));
+            *start += 1;
+        }
+    }
+    Ok(ConfigValue::List(items))
+}
+
+/// Recursive block parser. `lines[start..]` with indent > `parent_indent`
+/// belong to this block.
+fn parse_block(lines: &[Line], start: &mut usize, parent_indent: i64) -> Result<ConfigValue> {
+    debug_assert!(*start < lines.len());
+    let block_indent = lines[*start].indent;
+    if (block_indent as i64) <= parent_indent {
+        return Err(FlowError::single(
+            lines[*start].lineno,
+            "internal: parse_block called on dedented line",
+        ));
+    }
+
+    if is_dash(&lines[*start].text) {
+        return parse_list(lines, start, block_indent);
+    }
+
+    // Not a list: map entries or bare scalars.
+    let mut map = ConfigMap::new();
+    let mut scalars: Vec<(String, usize)> = Vec::new();
+    while *start < lines.len() && lines[*start].indent >= block_indent {
+        let l = lines[*start].clone();
+        if l.indent > block_indent {
+            return Err(FlowError::single(
+                l.lineno,
+                format!("unexpected indentation for '{}'", truncate(&l.text)),
+            ));
+        }
+        if is_dash(&l.text) {
+            // A dash at map level belongs to the preceding key, which
+            // parse_block_value consumes; reaching one here is a stray.
+            return Err(FlowError::single(
+                l.lineno,
+                format!("list item '{}' has no preceding 'key:'", truncate(&l.text)),
+            ));
+        }
+        match split_key_value(&l.text) {
+            Some((key, value)) => {
+                if value.is_empty() {
+                    *start += 1;
+                    let v = parse_block_value(lines, start, block_indent)?;
+                    map.push(key, v, l.lineno);
+                } else {
+                    map.push(key, parse_inline_value(&value, l.lineno), l.lineno);
+                    *start += 1;
+                }
+            }
+            None => {
+                scalars.push((l.text.clone(), l.lineno));
+                *start += 1;
+            }
+        }
+    }
+
+    match (map.is_empty(), scalars.len()) {
+        (true, 0) => Ok(ConfigValue::Map(map)),
+        (true, 1) => Ok(parse_inline_value(&scalars[0].0, scalars[0].1)),
+        (true, _) => {
+            // Multiple bare scalars: a wrapped flow expression — join.
+            let joined = scalars
+                .iter()
+                .map(|(s, _)| s.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            Ok(ConfigValue::Scalar(joined))
+        }
+        (false, 0) => Ok(ConfigValue::Map(map)),
+        (false, _) => Err(FlowError::single(
+            scalars[0].1,
+            format!(
+                "cannot mix bare values with 'key: value' entries ('{}')",
+                truncate(&scalars[0].0)
+            ),
+        )),
+    }
+}
+
+/// Parse a whole document into its top-level map.
+pub fn parse_config(source: &str) -> Result<ConfigMap> {
+    let lines = preprocess(source)?;
+    if lines.is_empty() {
+        return Ok(ConfigMap::new());
+    }
+    if lines[0].indent != 0 {
+        return Err(FlowError::single(
+            lines[0].lineno,
+            "first entry must start at column 0",
+        ));
+    }
+    let mut start = 0usize;
+    let v = parse_block(&lines, &mut start, -1)?;
+    if start != lines.len() {
+        return Err(FlowError::single(
+            lines[start].lineno,
+            format!("unexpected content '{}'", truncate(&lines[start].text)),
+        ));
+    }
+    match v {
+        ConfigValue::Map(m) => Ok(m),
+        _ => Err(FlowError::single(
+            lines[0].lineno,
+            "top level of a flow file must be 'Section: ...' entries",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_block_entries() {
+        let m = parse_config("a: 1\nb:\n  c: two\n  d: 'three'\n").unwrap();
+        assert_eq!(m.get_scalar("a"), Some("1"));
+        let b = m.get("b").unwrap().as_map().unwrap();
+        assert_eq!(b.get_scalar("c"), Some("two"));
+        assert_eq!(b.get_scalar("d"), Some("three"), "quotes stripped");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let m = parse_config("# header\na: 1  # trailing\n\n\nb: '#notcomment'\n").unwrap();
+        assert_eq!(m.get_scalar("a"), Some("1"));
+        assert_eq!(m.get_scalar("b"), Some("#notcomment"));
+    }
+
+    #[test]
+    fn inline_lists_with_mappings() {
+        let m = parse_config("cols: [project, question => title, tags]\n").unwrap();
+        let items = m.get("cols").unwrap().as_list().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[1].as_scalar(), Some("question => title"));
+    }
+
+    #[test]
+    fn multiline_inline_list() {
+        let src = "ipl_tweets: [\n  postedTime => created_at,\n  body => text,\n  location => user.location\n]\n";
+        let m = parse_config(src).unwrap();
+        let items = m.get("ipl_tweets").unwrap().as_list().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[2].as_scalar(), Some("location => user.location"));
+    }
+
+    #[test]
+    fn block_lists_of_maps() {
+        let src = "aggregates:\n- operator: sum\n  apply_on: noOfCheckins\n  out_field: total_checkins\n- operator: sum\n  apply_on: noOfBugs\n  out_field: total_jira\n";
+        let m = parse_config(src).unwrap();
+        let aggs = m.get("aggregates").unwrap().as_list().unwrap();
+        assert_eq!(aggs.len(), 2);
+        let a0 = aggs[0].as_map().unwrap();
+        assert_eq!(a0.get_scalar("operator"), Some("sum"));
+        assert_eq!(a0.get_scalar("out_field"), Some("total_checkins"));
+    }
+
+    #[test]
+    fn layout_row_cells() {
+        let src = "rows:\n- [span12: W.apache_custom_widget]\n- [span4: W.a, span8: W.b]\n";
+        let m = parse_config(src).unwrap();
+        let rows = m.get("rows").unwrap().as_list().unwrap();
+        assert_eq!(rows.len(), 2);
+        let row1 = rows[1].as_list().unwrap();
+        assert_eq!(row1.len(), 2);
+        let cell = row1[0].as_map().unwrap();
+        assert_eq!(cell.get_scalar("span4"), Some("W.a"));
+    }
+
+    #[test]
+    fn flow_continuation_pipe_at_eol() {
+        let src = "F:\n  D.players_tweets: D.ipl_tweets |\n    T.players_pipeline |\n    T.players_count\n";
+        let m = parse_config(src).unwrap();
+        let f = m.get("F").unwrap().as_map().unwrap();
+        assert_eq!(
+            f.get_scalar("D.players_tweets"),
+            Some("D.ipl_tweets | T.players_pipeline | T.players_count")
+        );
+    }
+
+    #[test]
+    fn flow_continuation_pipe_at_bol() {
+        let src = "F:\n  D.temp: D.releases\n  | T.calculate_total_release\n";
+        let m = parse_config(src).unwrap();
+        let f = m.get("F").unwrap().as_map().unwrap();
+        assert_eq!(
+            f.get_scalar("D.temp"),
+            Some("D.releases | T.calculate_total_release")
+        );
+    }
+
+    #[test]
+    fn flow_as_block_value() {
+        // figure 9: flow expression as a block under the key.
+        let src = "F:\n  D.checkin_jira_emails:\n    D.svn_jira_summary | T.get_svn_jira_count\n";
+        let m = parse_config(src).unwrap();
+        let f = m.get("F").unwrap().as_map().unwrap();
+        assert_eq!(
+            f.get_scalar("D.checkin_jira_emails"),
+            Some("D.svn_jira_summary | T.get_svn_jira_count")
+        );
+    }
+
+    #[test]
+    fn fan_in_parenthesised_multiline() {
+        let src = "F:\n  D.rel_qa_tags: (D.temp_release_count,\n    D.stack_summary\n  ) | T.combine_stack_summary\n";
+        let m = parse_config(src).unwrap();
+        let f = m.get("F").unwrap().as_map().unwrap();
+        let flow = f.get_scalar("D.rel_qa_tags").unwrap();
+        assert!(flow.starts_with("(D.temp_release_count"));
+        assert!(flow.ends_with("| T.combine_stack_summary"));
+    }
+
+    #[test]
+    fn nested_list_item_with_block_map() {
+        // MapMarker markers: `- marker1:` opening a nested block.
+        let src = "markers:\n- marker1:\n    type: circle_marker\n    size: big\n";
+        let m = parse_config(src).unwrap();
+        let markers = m.get("markers").unwrap().as_list().unwrap();
+        let item = markers[0].as_map().unwrap();
+        let inner = item.get("marker1").unwrap().as_map().unwrap();
+        assert_eq!(inner.get_scalar("type"), Some("circle_marker"));
+        assert_eq!(inner.get_scalar("size"), Some("big"));
+    }
+
+    #[test]
+    fn tab_layout_tabs() {
+        let src = "tabs:\n- name: 'Player'\n  body: W.playertweetstab\n- name: 'Word'\n  body: W.wordtweetstab\n";
+        let m = parse_config(src).unwrap();
+        let tabs = m.get("tabs").unwrap().as_list().unwrap();
+        assert_eq!(tabs.len(), 2);
+        assert_eq!(tabs[1].as_map().unwrap().get_scalar("name"), Some("Word"));
+    }
+
+    #[test]
+    fn url_values_not_split_on_colon() {
+        let src = "source: https://api.stackexchange.com/2.2/questions?order=desc\n";
+        let m = parse_config(src).unwrap();
+        assert_eq!(
+            m.get_scalar("source"),
+            Some("https://api.stackexchange.com/2.2/questions?order=desc")
+        );
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = parse_config("a:\n\tb: 1\n").unwrap_err();
+        assert_eq!(err.first().line, 2);
+        assert!(err.first().message.contains("tabs"));
+
+        let err = parse_config("cols: [a, b\n").unwrap_err();
+        assert!(err.first().message.contains("unbalanced"));
+    }
+
+    #[test]
+    fn mixing_scalars_and_entries_rejected() {
+        let err = parse_config("a:\n  plainvalue\n  k: v\n").unwrap_err();
+        assert!(err.first().message.contains("cannot mix"));
+    }
+
+    #[test]
+    fn empty_value_no_children_is_empty_scalar() {
+        let m = parse_config("a: 1\nendpoint:\n").unwrap();
+        assert_eq!(m.get_scalar("endpoint"), Some(""));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(parse_config("").unwrap().is_empty());
+        assert!(parse_config("# only comments\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_preserved_in_order() {
+        let m = parse_config("a: 1\na: 2\n").unwrap();
+        let keys: Vec<&str> = m.entries().map(|(k, _, _)| k).collect();
+        assert_eq!(keys, vec!["a", "a"]);
+        assert_eq!(m.get_scalar("a"), Some("1"), "get returns first");
+    }
+}

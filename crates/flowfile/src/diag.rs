@@ -1,0 +1,133 @@
+//! Diagnostics with source positions.
+//!
+//! §5.2.2 observation 7 records that error reporting which leaks the
+//! underlying engine breaks the abstraction — the most popular debugging
+//! strategy became "roll back and re-add". Diagnostics here therefore speak
+//! flow-file vocabulary (sections, data objects, tasks, widgets) and always
+//! carry a line number.
+
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; the file still compiles.
+    Warning,
+    /// The file is rejected.
+    Error,
+}
+
+/// One message tied to a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity.
+    pub severity: Severity,
+    /// 1-based source line (0 = whole file).
+    pub line: usize,
+    /// Message in flow-file vocabulary.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error at a line.
+    pub fn error(line: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// A warning at a line.
+    pub fn warning(line: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        if self.line == 0 {
+            write!(f, "{sev}: {}", self.message)
+        } else {
+            write!(f, "{sev} (line {}): {}", self.line, self.message)
+        }
+    }
+}
+
+/// Error type carrying one or more diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowError {
+    /// All collected diagnostics (at least one error).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl FlowError {
+    /// Single-diagnostic error.
+    pub fn single(line: usize, message: impl Into<String>) -> Self {
+        FlowError {
+            diagnostics: vec![Diagnostic::error(line, message)],
+        }
+    }
+
+    /// From a diagnostic list (keeps warnings for context).
+    pub fn from_diagnostics(diagnostics: Vec<Diagnostic>) -> Self {
+        FlowError { diagnostics }
+    }
+
+    /// The first error diagnostic.
+    pub fn first(&self) -> &Diagnostic {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .unwrap_or(&self.diagnostics[0])
+    }
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Result alias for flow-file operations.
+pub type Result<T, E = FlowError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_severity() {
+        let d = Diagnostic::error(12, "unknown task 'T.foo'");
+        assert_eq!(d.to_string(), "error (line 12): unknown task 'T.foo'");
+        let d = Diagnostic::warning(0, "unused data object");
+        assert_eq!(d.to_string(), "warning: unused data object");
+    }
+
+    #[test]
+    fn first_prefers_errors() {
+        let e = FlowError::from_diagnostics(vec![
+            Diagnostic::warning(1, "w"),
+            Diagnostic::error(2, "e"),
+        ]);
+        assert_eq!(e.first().line, 2);
+        let multi = e.to_string();
+        assert!(multi.contains("w") && multi.contains("e"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Parser for flow pipe expressions — the F-section value grammar of
+//! appendix B:
+//!
+//! ```text
+//! flow := '('? D.input (',' D.input)* ')'? ('|' T.task)+
+//! ```
+//!
+//! Widget sources reuse the same shape with a single input and zero-or-more
+//! tasks (`source: D.dim_teams` is a bare input).
+
+use crate::ast::DataRef;
+use crate::diag::{FlowError, Result};
+
+/// A parsed pipe expression: inputs (fan-in) and the task chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowExpr {
+    /// Input data-object names (≥1).
+    pub inputs: Vec<String>,
+    /// Task names in pipe order.
+    pub tasks: Vec<String>,
+}
+
+/// Parse a flow expression.
+///
+/// `require_task` enforces the F-section grammar's one-or-more tasks; widget
+/// sources pass `false`.
+pub fn parse_flow_expr(text: &str, line: usize, require_task: bool) -> Result<FlowExpr> {
+    let mut segments = split_pipes(text);
+    if segments.is_empty() {
+        return Err(FlowError::single(line, "empty flow expression"));
+    }
+    let head = segments.remove(0);
+
+    // Head: either `(D.a, D.b)` or a single `D.a`.
+    let head_trim = head.trim();
+    let inputs: Vec<String> = if head_trim.starts_with('(') {
+        if !head_trim.ends_with(')') {
+            return Err(FlowError::single(
+                line,
+                format!("fan-in list must close with ')': '{head_trim}'"),
+            ));
+        }
+        let inner = &head_trim[1..head_trim.len() - 1];
+        let parts: Vec<&str> = inner.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        if parts.is_empty() {
+            return Err(FlowError::single(line, "empty fan-in list '()'"));
+        }
+        parts
+            .iter()
+            .map(|p| match DataRef::parse(p) {
+                Some(DataRef::Data(n)) => Ok(n),
+                _ => Err(FlowError::single(
+                    line,
+                    format!("flow inputs must be data objects (D.*), got '{p}'"),
+                )),
+            })
+            .collect::<Result<Vec<_>>>()?
+    } else {
+        match DataRef::parse(head_trim) {
+            Some(DataRef::Data(n)) => vec![n],
+            _ => {
+                return Err(FlowError::single(
+                    line,
+                    format!("flow must start with a data object (D.*), got '{head_trim}'"),
+                ))
+            }
+        }
+    };
+
+    // Tail: tasks.
+    let mut tasks = Vec::with_capacity(segments.len());
+    for seg in &segments {
+        match DataRef::parse(seg.trim()) {
+            Some(DataRef::Task(n)) => tasks.push(n),
+            _ => {
+                return Err(FlowError::single(
+                    line,
+                    format!("pipe stages must be tasks (T.*), got '{}'", seg.trim()),
+                ))
+            }
+        }
+    }
+    if require_task && tasks.is_empty() {
+        return Err(FlowError::single(
+            line,
+            "a flow needs at least one task after the inputs (grammar: ('|' T.task)+)",
+        ));
+    }
+    if inputs.len() > 1 && tasks.is_empty() {
+        return Err(FlowError::single(
+            line,
+            "a multi-input source needs a task to combine its inputs",
+        ));
+    }
+    Ok(FlowExpr { inputs, tasks })
+}
+
+/// Split on `|` outside parentheses/quotes.
+fn split_pipes(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0i32;
+    let mut quote: Option<char> = None;
+    for c in text.chars() {
+        match quote {
+            Some(q) => {
+                cur.push(c);
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => match c {
+                '\'' | '"' => {
+                    quote = Some(c);
+                    cur.push(c);
+                }
+                '(' => {
+                    depth += 1;
+                    cur.push(c);
+                }
+                ')' => {
+                    depth -= 1;
+                    cur.push(c);
+                }
+                '|' if depth == 0 => out.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            },
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out.into_iter()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_input_chain() {
+        let f = parse_flow_expr(
+            "D.ipl_tweets | T.players_pipeline | T.players_count",
+            1,
+            true,
+        )
+        .unwrap();
+        assert_eq!(f.inputs, vec!["ipl_tweets"]);
+        assert_eq!(f.tasks, vec!["players_pipeline", "players_count"]);
+    }
+
+    #[test]
+    fn fan_in() {
+        let f = parse_flow_expr(
+            "(D.players_tweets, D.team_players) | T.join_player_team",
+            1,
+            true,
+        )
+        .unwrap();
+        assert_eq!(f.inputs, vec!["players_tweets", "team_players"]);
+        assert_eq!(f.tasks, vec!["join_player_team"]);
+    }
+
+    #[test]
+    fn widget_source_without_tasks() {
+        let f = parse_flow_expr("D.dim_teams", 1, false).unwrap();
+        assert_eq!(f.inputs, vec!["dim_teams"]);
+        assert!(f.tasks.is_empty());
+    }
+
+    #[test]
+    fn grammar_requires_a_task_in_flows() {
+        let err = parse_flow_expr("D.dim_teams", 1, true).unwrap_err();
+        assert!(err.first().message.contains("at least one task"));
+    }
+
+    #[test]
+    fn multi_input_needs_combiner() {
+        assert!(parse_flow_expr("(D.a, D.b)", 1, false).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_prefixes() {
+        assert!(parse_flow_expr("T.x | T.y", 1, true).is_err());
+        assert!(parse_flow_expr("D.a | D.b", 1, true).is_err());
+        assert!(parse_flow_expr("D.a | W.w", 1, true).is_err());
+        assert!(parse_flow_expr("(D.a, T.b) | T.c", 1, true).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_flow_expr("", 1, true).is_err());
+        assert!(parse_flow_expr("(D.a, D.b | T.c", 1, true).is_err());
+        assert!(parse_flow_expr("() | T.c", 1, true).is_err());
+    }
+
+    #[test]
+    fn tolerates_pdf_spacing() {
+        let f = parse_flow_expr("D. svn_jira_summary | T. get_svn_jira_count", 1, true).unwrap();
+        assert_eq!(f.inputs, vec!["svn_jira_summary"]);
+        assert_eq!(f.tasks, vec!["get_svn_jira_count"]);
+    }
+}

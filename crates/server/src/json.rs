@@ -1,0 +1,104 @@
+//! JSON serialisation of tables for the data API.
+
+use shareinsights_tabular::{Table, Value};
+
+/// JSON-escape and quote a string.
+pub fn quote(s: &str) -> String {
+    shareinsights_tabular::io::json::quote_json(s)
+}
+
+fn value_to_json(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            if f.is_finite() {
+                f.to_string()
+            } else {
+                "null".to_string()
+            }
+        }
+        Value::Str(s) => quote(s),
+        Value::Date(_) => quote(&v.to_string()),
+    }
+}
+
+/// Serialise a table as `{"columns": [...], "rows": [[...]]}` — the payload
+/// shape the figure-28 endpoint browse returns.
+pub fn table_to_json(table: &Table) -> String {
+    let mut out = String::from("{\"columns\": [");
+    for (i, name) in table.schema().names().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&quote(name));
+    }
+    out.push_str("], \"rows\": [");
+    for r in 0..table.num_rows() {
+        if r > 0 {
+            out.push_str(", ");
+        }
+        out.push('[');
+        for (c, col) in table.columns().iter().enumerate() {
+            if c > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&value_to_json(&col.value(r)));
+        }
+        out.push(']');
+    }
+    out.push_str(&format!("], \"total_rows\": {}}}", table.num_rows()));
+    out
+}
+
+/// Serialise a string list as a JSON array.
+pub fn string_list(items: &[impl AsRef<str>]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&quote(s.as_ref()));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_tabular::row;
+
+    #[test]
+    fn table_serialises_and_reparses() {
+        let t = Table::from_rows(
+            &["name", "n", "f"],
+            &[row!["a\"quote", 1i64, 2.5], row![Value::Null, 2i64, Value::Null]],
+        )
+        .unwrap();
+        let json = table_to_json(&t);
+        let doc = shareinsights_tabular::io::json::parse_json(&json).unwrap();
+        assert_eq!(doc.path("total_rows").unwrap().to_value().as_int(), Some(2));
+        assert_eq!(doc.path("rows.0.0").unwrap().as_str(), Some("a\"quote"));
+        assert_eq!(
+            doc.path("rows.1.0"),
+            Some(&shareinsights_tabular::io::json::JsonValue::Null)
+        );
+        assert_eq!(doc.path("columns.2").unwrap().as_str(), Some("f"));
+    }
+
+    #[test]
+    fn string_list_escapes() {
+        assert_eq!(string_list(&["a", "b\"c"]), r#"["a", "b\"c"]"#);
+        assert_eq!(string_list(&[] as &[&str]), "[]");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        let t = Table::from_rows(&["f"], &[row![f64::NAN]]).unwrap();
+        let json = table_to_json(&t);
+        assert!(json.contains("null"));
+        shareinsights_tabular::io::json::parse_json(&json).unwrap();
+    }
+}

@@ -1,0 +1,29 @@
+//! # shareinsights-server
+//!
+//! The development/data REST surface of §4.3–4.4, as an in-process router
+//! (deterministic and offline; the URL grammar, status codes and payload
+//! shapes are what the paper specifies):
+//!
+//! | route | paper reference |
+//! |---|---|
+//! | `GET /dashboards` | dashboard listing |
+//! | `POST /dashboards/<name>/create` | §4.3.1 create-by-URL |
+//! | `PUT /dashboards/<name>/flow` | editor save |
+//! | `GET /dashboards/<name>/flow` | editor load |
+//! | `POST /dashboards/<name>/run` | execute the pipeline |
+//! | `GET /dashboards/<name>/explore` | §4.4 data explorer (headless mode, figure 29) |
+//! | `GET /<dashboard>/ds` | figure 27: endpoint data listing |
+//! | `GET /<dashboard>/ds/<dataset>` | figure 28: browse endpoint data (`?limit=&offset=`) |
+//! | `GET /<dashboard>/ds/<dataset>/groupby/<col>/<agg>/<col>` | figure 30: ad-hoc query |
+//!
+//! Ad-hoc query paths compose left to right:
+//! `/ds/sales/filter/region/north/groupby/brand/sum/revenue/limit/10`.
+
+pub mod http;
+pub mod json;
+pub mod query;
+pub mod router;
+
+pub use http::{Method, Request, Response, Status};
+pub use json::table_to_json;
+pub use router::Server;

@@ -1,0 +1,231 @@
+//! The ad-hoc query language over endpoint data (§4.4, figure 30).
+//!
+//! The paper's example URL is
+//! `/ds/<dataset>/groupby/<column>/<aggregate-function>/<column>`. The
+//! grammar here generalises that to a left-to-right pipeline of path
+//! segments:
+//!
+//! ```text
+//! ops      := op*
+//! op       := 'groupby' '/' col '/' aggfn '/' col
+//!           | 'filter' '/' col '/' value
+//!           | 'sort' '/' col '/' ('asc'|'desc')
+//!           | 'distinct' '/' col
+//!           | 'limit' '/' n
+//! ```
+
+use shareinsights_tabular::agg::AggKind;
+use shareinsights_tabular::ops::{
+    distinct, filter_by_values, groupby, sort, AggregateSpec, FilterByValues, GroupBy, SortKey,
+    SortOrder,
+};
+use shareinsights_tabular::{Table, Value};
+
+/// A parsed query operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOp {
+    /// `groupby/<col>/<agg>/<col>`
+    GroupBy {
+        /// Grouping column.
+        key: String,
+        /// Aggregate function.
+        agg: AggKind,
+        /// Aggregated column.
+        apply_on: String,
+    },
+    /// `filter/<col>/<value>`
+    Filter {
+        /// Column.
+        column: String,
+        /// Value (type-inferred).
+        value: Value,
+    },
+    /// `sort/<col>/<asc|desc>`
+    Sort {
+        /// Column.
+        column: String,
+        /// Direction.
+        order: SortOrder,
+    },
+    /// `distinct/<col>`
+    Distinct(String),
+    /// `limit/<n>`
+    Limit(usize),
+}
+
+/// Parse the path segments following the dataset name.
+pub fn parse_ops(segments: &[&str]) -> Result<Vec<QueryOp>, String> {
+    let mut ops = Vec::new();
+    let mut i = 0;
+    while i < segments.len() {
+        match segments[i] {
+            "groupby" => {
+                if i + 3 >= segments.len() && segments.len() < i + 4 {
+                    return Err("groupby needs /groupby/<column>/<agg>/<column>".into());
+                }
+                let key = segments.get(i + 1).ok_or("groupby missing column")?;
+                let aggname = segments.get(i + 2).ok_or("groupby missing aggregate")?;
+                let apply_on = segments.get(i + 3).ok_or("groupby missing target column")?;
+                let agg = AggKind::parse(aggname)
+                    .ok_or_else(|| format!("unknown aggregate function '{aggname}'"))?;
+                ops.push(QueryOp::GroupBy {
+                    key: key.to_string(),
+                    agg,
+                    apply_on: apply_on.to_string(),
+                });
+                i += 4;
+            }
+            "filter" => {
+                let column = segments.get(i + 1).ok_or("filter missing column")?;
+                let value = segments.get(i + 2).ok_or("filter missing value")?;
+                ops.push(QueryOp::Filter {
+                    column: column.to_string(),
+                    value: Value::infer(value),
+                });
+                i += 3;
+            }
+            "sort" => {
+                let column = segments.get(i + 1).ok_or("sort missing column")?;
+                let dir = segments.get(i + 2).ok_or("sort missing direction")?;
+                let order =
+                    SortOrder::parse(dir).ok_or_else(|| format!("bad sort direction '{dir}'"))?;
+                ops.push(QueryOp::Sort {
+                    column: column.to_string(),
+                    order,
+                });
+                i += 3;
+            }
+            "distinct" => {
+                let column = segments.get(i + 1).ok_or("distinct missing column")?;
+                ops.push(QueryOp::Distinct(column.to_string()));
+                i += 2;
+            }
+            "limit" => {
+                let n = segments.get(i + 1).ok_or("limit missing count")?;
+                let n: usize = n.parse().map_err(|_| format!("bad limit '{n}'"))?;
+                ops.push(QueryOp::Limit(n));
+                i += 2;
+            }
+            other => return Err(format!("unknown query operation '{other}'")),
+        }
+    }
+    Ok(ops)
+}
+
+/// Evaluate a query pipeline against a dataset snapshot.
+pub fn run_query(table: &Table, ops: &[QueryOp]) -> Result<Table, String> {
+    let mut current = table.clone();
+    for op in ops {
+        current = match op {
+            QueryOp::GroupBy { key, agg, apply_on } => {
+                let out_field = format!("{}_{}", agg.name(), apply_on);
+                let cfg = GroupBy::with_aggregates(
+                    std::slice::from_ref(key),
+                    vec![AggregateSpec::new(*agg, apply_on.clone(), out_field)],
+                );
+                groupby(&current, &cfg).map_err(|e| e.to_string())?
+            }
+            QueryOp::Filter { column, value } => {
+                let spec = FilterByValues::single(column.clone(), vec![value.clone()]);
+                filter_by_values(&current, &spec).map_err(|e| e.to_string())?
+            }
+            QueryOp::Sort { column, order } => {
+                let key = SortKey {
+                    column: column.clone(),
+                    order: *order,
+                };
+                sort(&current, &[key]).map_err(|e| e.to_string())?
+            }
+            QueryOp::Distinct(column) => {
+                distinct(&current, std::slice::from_ref(column)).map_err(|e| e.to_string())?
+            }
+            QueryOp::Limit(n) => current.limit(*n),
+        };
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_tabular::row;
+
+    fn projects() -> Table {
+        Table::from_rows(
+            &["category", "project", "stars"],
+            &[
+                row!["big-data", "pig", 10i64],
+                row!["big-data", "spark", 40i64],
+                row!["web", "tomcat", 20i64],
+                row!["web", "httpd", 15i64],
+                row!["web", "struts", 5i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure30_groupby_count() {
+        // /ds/projects/groupby/category/count/project
+        let ops = parse_ops(&["groupby", "category", "count", "project"]).unwrap();
+        let out = run_query(&projects(), &ops).unwrap();
+        assert_eq!(out.schema().names(), vec!["category", "count_project"]);
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, "count_project").unwrap().as_int(), Some(2));
+        assert_eq!(out.value(1, "count_project").unwrap().as_int(), Some(3));
+    }
+
+    #[test]
+    fn chained_pipeline() {
+        let ops = parse_ops(&[
+            "filter", "category", "web", "groupby", "category", "sum", "stars", "limit", "1",
+        ])
+        .unwrap();
+        let out = run_query(&projects(), &ops).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, "sum_stars").unwrap().as_int(), Some(40));
+    }
+
+    #[test]
+    fn sort_and_distinct() {
+        let ops = parse_ops(&["sort", "stars", "desc", "limit", "2"]).unwrap();
+        let out = run_query(&projects(), &ops).unwrap();
+        assert_eq!(out.value(0, "project").unwrap().to_string(), "spark");
+
+        let ops = parse_ops(&["distinct", "category"]).unwrap();
+        let out = run_query(&projects(), &ops).unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn numeric_filter_values_infer() {
+        let ops = parse_ops(&["filter", "stars", "20"]).unwrap();
+        let out = run_query(&projects(), &ops).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, "project").unwrap().to_string(), "tomcat");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_ops(&["groupby", "a"]).is_err());
+        assert!(parse_ops(&["groupby", "a", "bogus", "b"])
+            .unwrap_err()
+            .contains("unknown aggregate"));
+        assert!(parse_ops(&["warp", "9"]).unwrap_err().contains("unknown query operation"));
+        assert!(parse_ops(&["limit", "abc"]).is_err());
+        assert!(parse_ops(&["sort", "a", "sideways"]).is_err());
+    }
+
+    #[test]
+    fn runtime_errors_name_columns() {
+        let ops = parse_ops(&["groupby", "ghost", "count", "project"]).unwrap();
+        let err = run_query(&projects(), &ops).unwrap_err();
+        assert!(err.contains("ghost"));
+    }
+
+    #[test]
+    fn empty_ops_is_identity() {
+        let out = run_query(&projects(), &[]).unwrap();
+        assert_eq!(out.num_rows(), 5);
+    }
+}

@@ -1,0 +1,433 @@
+//! The route table over a [`Platform`].
+
+use crate::http::{Method, Request, Response, Status};
+use crate::json::{string_list, table_to_json};
+use crate::query::{parse_ops, run_query};
+use shareinsights_core::Platform;
+use shareinsights_tabular::Table;
+
+/// The in-process REST server wrapping a platform instance.
+#[derive(Clone)]
+pub struct Server {
+    platform: Platform,
+}
+
+impl Server {
+    /// Wrap a platform.
+    pub fn new(platform: Platform) -> Server {
+        Server { platform }
+    }
+
+    /// The wrapped platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Dispatch a request.
+    pub fn handle(&self, request: &Request) -> Response {
+        let segments = request.segments();
+        match (request.method, segments.as_slice()) {
+            (Method::Get, ["dashboards"]) => {
+                Response::json(string_list(&self.platform.dashboard_names()))
+            }
+            (Method::Post, ["dashboards", name, "create"]) => {
+                match self.platform.create_dashboard(name) {
+                    Ok(()) => Response {
+                        status: Status::Created,
+                        body: format!("{{\"dashboard\": {}}}", crate::json::quote(name)),
+                        content_type: "application/json",
+                    },
+                    Err(e) => Response::error(Status::Conflict, e.to_string()),
+                }
+            }
+            (Method::Put, ["dashboards", name, "flow"]) => {
+                match self.platform.save_flow(name, &request.body) {
+                    Ok(warnings) => {
+                        let w: Vec<String> = warnings.iter().map(|d| d.to_string()).collect();
+                        Response::json(format!("{{\"saved\": true, \"warnings\": {}}}", string_list(&w)))
+                    }
+                    Err(e) => Response::error(Status::Unprocessable, e.to_string()),
+                }
+            }
+            (Method::Get, ["dashboards", name, "flow"]) => match self.platform.dashboard(name) {
+                Ok(d) => Response::text(d.text),
+                Err(e) => Response::error(Status::NotFound, e.to_string()),
+            },
+            (Method::Post, ["dashboards", name, "run"]) => {
+                match self.platform.run_dashboard(name) {
+                    Ok(report) => {
+                        let endpoints: Vec<String> =
+                            report.result.endpoints.to_vec();
+                        Response::json(format!(
+                            "{{\"endpoints\": {}, \"published\": {}, \"source_rows\": {}}}",
+                            string_list(&endpoints),
+                            string_list(
+                                &report
+                                    .published
+                                    .iter()
+                                    .map(|(n, r)| format!("{n}:{r}"))
+                                    .collect::<Vec<_>>()
+                            ),
+                            report.result.stats.source_rows
+                        ))
+                    }
+                    Err(e) => Response::error(Status::Unprocessable, e.to_string()),
+                }
+            }
+            (Method::Post, ["dashboards", from, "fork", to]) => {
+                match self.platform.fork_dashboard(from, to, "api") {
+                    Ok(()) => Response {
+                        status: Status::Created,
+                        body: format!("{{\"forked\": {}}}", crate::json::quote(to)),
+                        content_type: "application/json",
+                    },
+                    Err(e) => Response::error(Status::Conflict, e.to_string()),
+                }
+            }
+            (Method::Get, ["dashboards", name, "explore"]) => self.explore(name),
+            (Method::Get, ["dashboards", name, "meta"]) => self.meta(name),
+            (Method::Get, ["dashboards", name, "suggest", object]) => {
+                self.suggest(name, object)
+            }
+            (Method::Get, ["dashboards", name, "log"]) => self.commit_log(name),
+            // Data API: /<dashboard>/ds[...]
+            (Method::Get, [dashboard, "ds"]) => self.list_endpoints(dashboard),
+            (Method::Get, [dashboard, "ds", rest @ ..]) if !rest.is_empty() => {
+                self.dataset(request, dashboard, rest[0], &rest[1..])
+            }
+            _ => Response::error(
+                Status::NotFound,
+                format!("no route for {} {}", request.method, request.path),
+            ),
+        }
+    }
+
+    fn endpoint_table(&self, dashboard: &str, dataset: &str) -> Result<Table, Response> {
+        let d = self
+            .platform
+            .dashboard(dashboard)
+            .map_err(|e| Response::error(Status::NotFound, e.to_string()))?;
+        match d.endpoint_tables.get(dataset) {
+            Some(t) => Ok(t.clone()),
+            None => {
+                // Shared objects are also browsable by name.
+                match self
+                    .platform
+                    .publish_registry()
+                    .get(dataset)
+                    .and_then(|o| o.snapshot)
+                {
+                    Some(t) => Ok(t),
+                    None => Err(Response::error(
+                        Status::NotFound,
+                        format!("no endpoint data '{dataset}' on dashboard '{dashboard}' (run it first?)"),
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Figure 27: list endpoint data names.
+    fn list_endpoints(&self, dashboard: &str) -> Response {
+        match self.platform.dashboard(dashboard) {
+            Ok(d) => {
+                let names: Vec<String> = d.endpoint_tables.keys().cloned().collect();
+                Response::json(string_list(&names))
+            }
+            Err(e) => Response::error(Status::NotFound, e.to_string()),
+        }
+    }
+
+    /// Figure 28 browse + figure 30 ad-hoc queries.
+    fn dataset(
+        &self,
+        request: &Request,
+        dashboard: &str,
+        dataset: &str,
+        ops_segments: &[&str],
+    ) -> Response {
+        let table = match self.endpoint_table(dashboard, dataset) {
+            Ok(t) => t,
+            Err(resp) => return resp,
+        };
+        let ops = match parse_ops(ops_segments) {
+            Ok(ops) => ops,
+            Err(e) => return Response::error(Status::BadRequest, e),
+        };
+        let result = match run_query(&table, &ops) {
+            Ok(t) => t,
+            Err(e) => return Response::error(Status::BadRequest, e),
+        };
+        // Paging on the final result.
+        let offset = request.query_usize("offset").unwrap_or(0);
+        let limit = request.query_usize("limit").unwrap_or(result.num_rows());
+        let page = result.slice(offset, limit);
+        Response::json(table_to_json(&page))
+    }
+
+    /// §6 meta-dashboard: run + profile every column, return the profile as
+    /// JSON plus the data-quality warnings.
+    fn meta(&self, dashboard: &str) -> Response {
+        match self.platform.open_meta_dashboard(dashboard) {
+            Ok((meta, _runtime)) => {
+                let warnings = crate::json::string_list(&meta.warnings);
+                Response::json(format!(
+                    "{{\"profile\": {}, \"warnings\": {warnings}}}",
+                    table_to_json(&meta.profile)
+                ))
+            }
+            Err(e) => Response::error(Status::Unprocessable, e.to_string()),
+        }
+    }
+
+    /// §6 dataset discovery: enrichment suggestions for one data object.
+    fn suggest(&self, dashboard: &str, object: &str) -> Response {
+        match self.platform.suggest_enrichments(dashboard, object) {
+            Ok(suggestions) => {
+                let items: Vec<String> = suggestions
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{} via [{}] adds [{}]{}",
+                            s.publish_name,
+                            s.join_keys.join(","),
+                            s.new_columns.join(","),
+                            if s.key_is_unique { " (unique key)" } else { "" }
+                        )
+                    })
+                    .collect();
+                Response::json(crate::json::string_list(&items))
+            }
+            Err(e) => Response::error(Status::NotFound, e.to_string()),
+        }
+    }
+
+    /// Commit history (§4.5.1: CRUD operations map to source commits).
+    fn commit_log(&self, dashboard: &str) -> Response {
+        match self.platform.dashboard(dashboard) {
+            Ok(d) => match d.repo.log("main") {
+                Ok(log) => {
+                    let items: Vec<String> = log
+                        .iter()
+                        .map(|c| format!("{} {} {}: {}", c.seq, &c.id.0[..8], c.author, c.message))
+                        .collect();
+                    Response::json(crate::json::string_list(&items))
+                }
+                Err(e) => Response::error(Status::NotFound, e.to_string()),
+            },
+            Err(e) => Response::error(Status::NotFound, e.to_string()),
+        }
+    }
+
+    /// Figure 29: the data explorer runs the dashboard headless and shows
+    /// every endpoint as a pretty table.
+    fn explore(&self, dashboard: &str) -> Response {
+        let d = match self.platform.dashboard(dashboard) {
+            Ok(d) => d,
+            Err(e) => return Response::error(Status::NotFound, e.to_string()),
+        };
+        if d.endpoint_tables.is_empty() {
+            return Response::text(format!(
+                "dashboard '{dashboard}' has no endpoint data yet; POST /dashboards/{dashboard}/run first"
+            ));
+        }
+        let mut out = String::new();
+        for (name, table) in &d.endpoint_tables {
+            out.push_str(&format!("== {name} ({} rows) ==\n", table.num_rows()));
+            out.push_str(&table.pretty(25));
+            out.push('\n');
+        }
+        Response::text(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FLOW: &str = r#"
+D:
+  sales: [region, brand, revenue]
+D.sales:
+  source: 'sales.csv'
+  format: csv
+T:
+  by_brand:
+    type: groupby
+    groupby: [region, brand]
+    aggregates:
+    - operator: sum
+      apply_on: revenue
+      out_field: revenue
+F:
+  +D.brand_sales: D.sales | T.by_brand
+"#;
+
+    fn served() -> Server {
+        let platform = Platform::new();
+        platform.upload_data(
+            "retail",
+            "sales.csv",
+            "region,brand,revenue\nnorth,acme,10\nnorth,acme,5\nsouth,zest,20\nnorth,zest,1\n",
+        );
+        let server = Server::new(platform);
+        assert!(server
+            .handle(&Request::new(Method::Put, "/dashboards/retail/flow").with_body(FLOW))
+            .is_ok());
+        assert!(server
+            .handle(&Request::new(Method::Post, "/dashboards/retail/run"))
+            .is_ok());
+        server
+    }
+
+    #[test]
+    fn create_save_run_cycle_over_http() {
+        let server = served();
+        let r = server.handle(&Request::get("/dashboards"));
+        assert!(r.body.contains("retail"));
+        let r = server.handle(&Request::get("/retail/ds"));
+        assert_eq!(r.body, "[\"brand_sales\"]");
+    }
+
+    #[test]
+    fn browse_endpoint_with_paging() {
+        let server = served();
+        let r = server.handle(&Request::get("/retail/ds/brand_sales"));
+        assert!(r.is_ok());
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        assert_eq!(doc.path("total_rows").unwrap().to_value().as_int(), Some(3));
+
+        let r = server.handle(&Request::get("/retail/ds/brand_sales?limit=1&offset=1"));
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        assert_eq!(doc.path("total_rows").unwrap().to_value().as_int(), Some(1));
+    }
+
+    #[test]
+    fn figure30_adhoc_query_url() {
+        let server = served();
+        let r = server.handle(&Request::get(
+            "/retail/ds/brand_sales/groupby/region/count/brand",
+        ));
+        assert!(r.is_ok(), "{}", r.body);
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        assert_eq!(doc.path("columns.1").unwrap().as_str(), Some("count_brand"));
+        assert_eq!(doc.path("rows.0.1").unwrap().to_value().as_int(), Some(2));
+    }
+
+    #[test]
+    fn chained_query_url() {
+        let server = served();
+        let r = server.handle(&Request::get(
+            "/retail/ds/brand_sales/filter/region/north/sort/revenue/desc/limit/1",
+        ));
+        assert!(r.is_ok());
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        assert_eq!(doc.path("rows.0.1").unwrap().as_str(), Some("acme"));
+    }
+
+    #[test]
+    fn explorer_headless_mode() {
+        let server = served();
+        let r = server.handle(&Request::get("/dashboards/retail/explore"));
+        assert!(r.is_ok());
+        assert!(r.body.contains("== brand_sales (3 rows) =="));
+        assert!(r.body.contains("region"));
+    }
+
+    #[test]
+    fn errors_have_useful_statuses() {
+        let server = served();
+        let r = server.handle(&Request::get("/ghost/ds"));
+        assert_eq!(r.status, Status::NotFound);
+        let r = server.handle(&Request::get("/retail/ds/ghost_data"));
+        assert_eq!(r.status, Status::NotFound);
+        assert!(r.body.contains("run it first"));
+        let r = server.handle(&Request::get("/retail/ds/brand_sales/warp/9"));
+        assert_eq!(r.status, Status::BadRequest);
+        let r = server.handle(&Request::new(Method::Put, "/dashboards/bad/flow").with_body("Q:\n  x: 1\n"));
+        assert_eq!(r.status, Status::Unprocessable);
+        let r = server.handle(&Request::new(Method::Post, "/dashboards/retail/create"));
+        assert_eq!(r.status, Status::Conflict);
+        let r = server.handle(&Request::get("/no/such/route/here"));
+        assert_eq!(r.status, Status::NotFound);
+    }
+
+    #[test]
+    fn fork_route() {
+        let server = served();
+        let r = server.handle(&Request::new(Method::Post, "/dashboards/retail/fork/team_1"));
+        assert_eq!(r.status, Status::Created);
+        let r = server.handle(&Request::get("/dashboards/team_1/flow"));
+        assert!(r.body.contains("brand_sales"));
+    }
+
+    #[test]
+    fn meta_route_profiles_columns() {
+        let server = served();
+        let r = server.handle(&Request::get("/dashboards/retail/meta"));
+        assert!(r.is_ok(), "{}", r.body);
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        // Profile covers sales (source) and brand_sales (sink) columns.
+        let cols = doc.path("profile.columns").unwrap();
+        assert!(cols.to_string().contains("nulls"));
+        assert!(r.body.contains("brand_sales"));
+        // The generated meta dashboard now exists.
+        let r = server.handle(&Request::get("/dashboards/retail__meta/flow"));
+        assert!(r.body.contains("Data Quality Meta-Dashboard"));
+    }
+
+    #[test]
+    fn suggest_route_finds_joinable_shared_objects() {
+        let server = served();
+        // Publish a dimension from another dashboard sharing 'brand'.
+        server
+            .platform()
+            .publish_registry()
+            .publish(
+                "brand_dim",
+                "other_dash",
+                "brands",
+                shareinsights_tabular::Schema::of(&[
+                    ("brand", shareinsights_tabular::DataType::Utf8),
+                    ("owner", shareinsights_tabular::DataType::Utf8),
+                ]),
+                None,
+            )
+            .unwrap();
+        let r = server.handle(&Request::get("/dashboards/retail/suggest/brand_sales"));
+        assert!(r.is_ok(), "{}", r.body);
+        assert!(r.body.contains("brand_dim"), "{}", r.body);
+        assert!(r.body.contains("adds [owner]"), "{}", r.body);
+
+        let r = server.handle(&Request::get("/dashboards/retail/suggest/ghost"));
+        assert_eq!(r.status, Status::NotFound);
+    }
+
+    #[test]
+    fn commit_log_route() {
+        let server = served();
+        server.handle(&Request::new(Method::Put, "/dashboards/retail/flow").with_body(FLOW));
+        let r = server.handle(&Request::get("/dashboards/retail/log"));
+        assert!(r.is_ok());
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        assert!(doc.items().len() >= 2, "{}", r.body);
+        assert!(r.body.contains("save"));
+    }
+
+    #[test]
+    fn shared_objects_browsable_from_consumers() {
+        let server = served();
+        // Publish from 'retail', then browse the shared name from another
+        // dashboard.
+        let with_publish = FLOW.replace(
+            "F:\n  +D.brand_sales: D.sales | T.by_brand\n",
+            "F:\n  +D.brand_sales: D.sales | T.by_brand\n  D.brand_sales:\n    publish: brand_sales\n",
+        );
+        server
+            .handle(&Request::new(Method::Put, "/dashboards/retail/flow").with_body(&with_publish));
+        server.handle(&Request::new(Method::Post, "/dashboards/retail/run"));
+        server.handle(&Request::new(Method::Post, "/dashboards/viewer/create"));
+        let r = server.handle(&Request::get("/viewer/ds/brand_sales"));
+        assert!(r.is_ok(), "{}", r.body);
+    }
+}

@@ -1,0 +1,335 @@
+//! Aggregate functions for `groupby` tasks.
+//!
+//! The paper's groupby task configures a list of aggregates
+//! (`operator: sum / apply_on: noOfCheckins / out_field: total_checkins`,
+//! figure 8) and defaults to a bare row count when none is given
+//! (figure 23). User-defined aggregates are one of the four extension task
+//! categories (§4.2); [`AggregateFunction`] is that extension point.
+
+use crate::datatype::DataType;
+use crate::error::{Result, TabularError};
+use crate::value::Value;
+use std::fmt;
+
+/// Built-in aggregate operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// Sum of numeric values (nulls skipped).
+    Sum,
+    /// Count of non-null values.
+    Count,
+    /// Count of all rows including nulls (`count_all` / bare groupby).
+    CountAll,
+    /// Arithmetic mean of numeric values.
+    Avg,
+    /// Minimum by value ordering.
+    Min,
+    /// Maximum by value ordering.
+    Max,
+    /// First non-null value encountered.
+    First,
+    /// Last non-null value encountered.
+    Last,
+    /// Count of distinct non-null values.
+    CountDistinct,
+    /// Concatenate string representations with `,`.
+    Collect,
+}
+
+impl AggKind {
+    /// Parse the flow-file operator name.
+    pub fn parse(name: &str) -> Option<AggKind> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "sum" => AggKind::Sum,
+            "count" => AggKind::Count,
+            "count_all" | "countall" => AggKind::CountAll,
+            "avg" | "mean" | "average" => AggKind::Avg,
+            "min" => AggKind::Min,
+            "max" => AggKind::Max,
+            "first" => AggKind::First,
+            "last" => AggKind::Last,
+            "count_distinct" | "countdistinct" | "distinct" => AggKind::CountDistinct,
+            "collect" | "concat" => AggKind::Collect,
+            _ => return None,
+        })
+    }
+
+    /// Canonical flow-file name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggKind::Sum => "sum",
+            AggKind::Count => "count",
+            AggKind::CountAll => "count_all",
+            AggKind::Avg => "avg",
+            AggKind::Min => "min",
+            AggKind::Max => "max",
+            AggKind::First => "first",
+            AggKind::Last => "last",
+            AggKind::CountDistinct => "count_distinct",
+            AggKind::Collect => "collect",
+        }
+    }
+
+    /// Result type given the input column type.
+    pub fn output_type(self, input: DataType) -> DataType {
+        match self {
+            AggKind::Sum => {
+                if input == DataType::Float64 {
+                    DataType::Float64
+                } else {
+                    DataType::Int64
+                }
+            }
+            AggKind::Count | AggKind::CountAll | AggKind::CountDistinct => DataType::Int64,
+            AggKind::Avg => DataType::Float64,
+            AggKind::Min | AggKind::Max | AggKind::First | AggKind::Last => input,
+            AggKind::Collect => DataType::Utf8,
+        }
+    }
+
+    /// Create a fresh accumulator for this aggregate.
+    pub fn accumulator(self) -> Accumulator {
+        Accumulator::new(self)
+    }
+}
+
+impl fmt::Display for AggKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Running state for one aggregate over one group.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    kind: AggKind,
+    count: i64,
+    sum_i: i64,
+    sum_f: f64,
+    saw_float: bool,
+    extreme: Option<Value>,
+    first: Option<Value>,
+    last: Option<Value>,
+    distinct: std::collections::HashSet<Value>,
+    collected: Vec<String>,
+}
+
+impl Accumulator {
+    fn new(kind: AggKind) -> Self {
+        Accumulator {
+            kind,
+            count: 0,
+            sum_i: 0,
+            sum_f: 0.0,
+            saw_float: false,
+            extreme: None,
+            first: None,
+            last: None,
+            distinct: std::collections::HashSet::new(),
+            collected: Vec::new(),
+        }
+    }
+
+    /// Feed one value into the accumulator.
+    pub fn update(&mut self, v: &Value) -> Result<()> {
+        if self.kind == AggKind::CountAll {
+            self.count += 1;
+            return Ok(());
+        }
+        if v.is_null() {
+            return Ok(());
+        }
+        match self.kind {
+            AggKind::Count => self.count += 1,
+            AggKind::Sum | AggKind::Avg => {
+                // Strings parse numerically when possible — schema-light CSV
+                // columns are often Utf8 but numeric in content.
+                let f = numeric_of(v).ok_or_else(|| TabularError::TypeMismatch {
+                    expected: "numeric".into(),
+                    actual: v.data_type().to_string(),
+                    context: format!("{} aggregate", self.kind),
+                })?;
+                self.count += 1;
+                self.sum_f += f;
+                match v.as_int() {
+                    Some(i) if !matches!(v, Value::Float(_)) => self.sum_i += i,
+                    _ => self.saw_float = true,
+                }
+                if matches!(v, Value::Str(_)) && v.as_int().is_none() {
+                    self.saw_float = true;
+                }
+            }
+            AggKind::Min => {
+                if self.extreme.as_ref().is_none_or(|e| v < e) {
+                    self.extreme = Some(v.clone());
+                }
+            }
+            AggKind::Max => {
+                if self.extreme.as_ref().is_none_or(|e| v > e) {
+                    self.extreme = Some(v.clone());
+                }
+            }
+            AggKind::First => {
+                if self.first.is_none() {
+                    self.first = Some(v.clone());
+                }
+            }
+            AggKind::Last => self.last = Some(v.clone()),
+            AggKind::CountDistinct => {
+                self.distinct.insert(v.clone());
+            }
+            AggKind::Collect => self.collected.push(v.to_string()),
+            AggKind::CountAll => unreachable!(),
+        }
+        Ok(())
+    }
+
+    /// Produce the final aggregate value.
+    pub fn finish(self) -> Value {
+        match self.kind {
+            AggKind::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.saw_float {
+                    Value::Float(self.sum_f)
+                } else {
+                    Value::Int(self.sum_i)
+                }
+            }
+            AggKind::Count | AggKind::CountAll => Value::Int(self.count),
+            AggKind::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum_f / self.count as f64)
+                }
+            }
+            AggKind::Min | AggKind::Max => self.extreme.unwrap_or(Value::Null),
+            AggKind::First => self.first.unwrap_or(Value::Null),
+            AggKind::Last => self.last.unwrap_or(Value::Null),
+            AggKind::CountDistinct => Value::Int(self.distinct.len() as i64),
+            AggKind::Collect => Value::Str(self.collected.join(",")),
+        }
+    }
+}
+
+fn numeric_of(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        Value::Str(s) => s.trim().parse::<f64>().ok(),
+        _ => None,
+    }
+}
+
+/// Extension point for user-defined aggregates (§4.2, category 2:
+/// "transforming a bag of values into a point value").
+pub trait AggregateFunction: Send + Sync {
+    /// Registered name, referenced from flow files as `operator: <name>`.
+    fn name(&self) -> &str;
+    /// Result type for a given input type.
+    fn output_type(&self, input: DataType) -> DataType;
+    /// Reduce a bag of values to a point value.
+    fn aggregate(&self, values: &[Value]) -> Result<Value>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(kind: AggKind, vals: &[Value]) -> Value {
+        let mut acc = kind.accumulator();
+        for v in vals {
+            acc.update(v).unwrap();
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn sum_stays_integer_for_ints() {
+        let v = run(AggKind::Sum, &[Value::Int(1), Value::Int(2), Value::Null]);
+        assert_eq!(v, Value::Int(3));
+        let v = run(AggKind::Sum, &[Value::Int(1), Value::Float(0.5)]);
+        assert_eq!(v, Value::Float(1.5));
+    }
+
+    #[test]
+    fn sum_parses_numeric_strings() {
+        let v = run(AggKind::Sum, &[Value::Str("10".into()), Value::Str("2.5".into())]);
+        assert_eq!(v, Value::Float(12.5));
+    }
+
+    #[test]
+    fn sum_rejects_non_numeric() {
+        let mut acc = AggKind::Sum.accumulator();
+        assert!(acc.update(&Value::Str("abc".into())).is_err());
+    }
+
+    #[test]
+    fn count_vs_count_all() {
+        let vals = [Value::Int(1), Value::Null, Value::Int(2)];
+        assert_eq!(run(AggKind::Count, &vals), Value::Int(2));
+        assert_eq!(run(AggKind::CountAll, &vals), Value::Int(3));
+    }
+
+    #[test]
+    fn avg_min_max() {
+        let vals = [Value::Int(2), Value::Int(4), Value::Null];
+        assert_eq!(run(AggKind::Avg, &vals), Value::Float(3.0));
+        assert_eq!(run(AggKind::Min, &vals), Value::Int(2));
+        assert_eq!(run(AggKind::Max, &vals), Value::Int(4));
+    }
+
+    #[test]
+    fn empty_group_yields_null_or_zero() {
+        assert_eq!(run(AggKind::Sum, &[]), Value::Null);
+        assert_eq!(run(AggKind::Avg, &[]), Value::Null);
+        assert_eq!(run(AggKind::Count, &[]), Value::Int(0));
+        assert_eq!(run(AggKind::Min, &[]), Value::Null);
+    }
+
+    #[test]
+    fn first_last_collect_distinct() {
+        let vals = [
+            Value::Str("a".into()),
+            Value::Null,
+            Value::Str("b".into()),
+            Value::Str("a".into()),
+        ];
+        assert_eq!(run(AggKind::First, &vals), Value::Str("a".into()));
+        assert_eq!(run(AggKind::Last, &vals), Value::Str("a".into()));
+        assert_eq!(run(AggKind::CountDistinct, &vals), Value::Int(2));
+        assert_eq!(run(AggKind::Collect, &vals), Value::Str("a,b,a".into()));
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(AggKind::parse("sum"), Some(AggKind::Sum));
+        assert_eq!(AggKind::parse("SUM"), Some(AggKind::Sum));
+        assert_eq!(AggKind::parse("mean"), Some(AggKind::Avg));
+        assert_eq!(AggKind::parse("bogus"), None);
+        for k in [
+            AggKind::Sum,
+            AggKind::Count,
+            AggKind::CountAll,
+            AggKind::Avg,
+            AggKind::Min,
+            AggKind::Max,
+            AggKind::First,
+            AggKind::Last,
+            AggKind::CountDistinct,
+            AggKind::Collect,
+        ] {
+            assert_eq!(AggKind::parse(k.name()), Some(k), "roundtrip {k}");
+        }
+    }
+
+    #[test]
+    fn output_types() {
+        assert_eq!(AggKind::Sum.output_type(DataType::Int64), DataType::Int64);
+        assert_eq!(AggKind::Sum.output_type(DataType::Float64), DataType::Float64);
+        assert_eq!(AggKind::Avg.output_type(DataType::Int64), DataType::Float64);
+        assert_eq!(AggKind::Min.output_type(DataType::Utf8), DataType::Utf8);
+        assert_eq!(AggKind::Collect.output_type(DataType::Int64), DataType::Utf8);
+    }
+}

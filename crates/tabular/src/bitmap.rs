@@ -1,0 +1,257 @@
+//! Validity bitmap used by [`crate::Column`] to track nulls, and by filter
+//! kernels to represent selection masks without materialising boolean
+//! vectors.
+
+/// A densely packed bitmap over `len` bits backed by `u64` words.
+///
+/// Bit `i` set means "valid" (for validity maps) or "selected" (for filter
+/// masks). Trailing bits beyond `len` in the last word are kept zero so that
+/// [`Bitmap::count_ones`] and word-level operations stay exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Create a bitmap of `len` bits, all cleared.
+    pub fn new_cleared(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Create a bitmap of `len` bits, all set.
+    pub fn new_set(len: usize) -> Self {
+        let mut bm = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Create a bitmap from a boolean slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut bm = Bitmap::new_cleared(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                bm.set(i);
+            }
+        }
+        bm
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap tracks zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len`.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Read bit `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Count of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when every bit is set.
+    pub fn all_set(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// True when no bit is set.
+    pub fn none_set(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Bitwise AND with another bitmap of the same length.
+    ///
+    /// # Panics
+    /// Panics when lengths differ.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Bitwise OR with another bitmap of the same length.
+    ///
+    /// # Panics
+    /// Panics when lengths differ.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Bitwise NOT (within `len`).
+    pub fn not(&self) -> Bitmap {
+        let mut bm = Bitmap {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Iterate over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Collect set-bit indices into a vector (row selection order).
+    pub fn ones(&self) -> Vec<usize> {
+        self.iter_ones().collect()
+    }
+
+    /// Append a bit, growing the bitmap by one.
+    pub fn push(&mut self, bit: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        self.len += 1;
+        if bit {
+            self.set(self.len - 1);
+        }
+    }
+
+    /// Extend with all bits of `other`.
+    pub fn extend_from(&mut self, other: &Bitmap) {
+        for i in 0..other.len {
+            self.push(other.get(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut bm = Bitmap::new_cleared(130);
+        assert_eq!(bm.len(), 130);
+        bm.set(0);
+        bm.set(64);
+        bm.set(129);
+        assert!(bm.get(0) && bm.get(64) && bm.get(129));
+        assert!(!bm.get(1) && !bm.get(65));
+        assert_eq!(bm.count_ones(), 3);
+        bm.clear(64);
+        assert!(!bm.get(64));
+        assert_eq!(bm.count_ones(), 2);
+    }
+
+    #[test]
+    fn new_set_masks_tail() {
+        let bm = Bitmap::new_set(70);
+        assert_eq!(bm.count_ones(), 70);
+        assert!(bm.all_set());
+        let inv = bm.not();
+        assert!(inv.none_set());
+    }
+
+    #[test]
+    fn and_or_not() {
+        let a = Bitmap::from_bools(&[true, true, false, false]);
+        let b = Bitmap::from_bools(&[true, false, true, false]);
+        assert_eq!(a.and(&b).ones(), vec![0]);
+        assert_eq!(a.or(&b).ones(), vec![0, 1, 2]);
+        assert_eq!(a.not().ones(), vec![2, 3]);
+    }
+
+    #[test]
+    fn iter_ones_crosses_word_boundary() {
+        let mut bm = Bitmap::new_cleared(200);
+        for i in [0usize, 63, 64, 127, 128, 199] {
+            bm.set(i);
+        }
+        assert_eq!(bm.ones(), vec![0, 63, 64, 127, 128, 199]);
+    }
+
+    #[test]
+    fn push_and_extend() {
+        let mut bm = Bitmap::new_cleared(0);
+        assert!(bm.is_empty());
+        for i in 0..100 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 100);
+        assert_eq!(bm.count_ones(), 34);
+        let mut other = Bitmap::new_cleared(0);
+        other.extend_from(&bm);
+        assert_eq!(other, bm);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let bm = Bitmap::new_cleared(3);
+        bm.get(3);
+    }
+}

@@ -1,0 +1,737 @@
+//! Expression language used by `filter_by` tasks.
+//!
+//! The paper configures filter tasks with textual expressions such as
+//! `filter_expression: rating < 3` (§3.3, figure 7). This module defines the
+//! expression AST, a recursive-descent parser for the surface syntax, and
+//! both vectorised (column mask) and scalar (row) evaluation.
+//!
+//! Grammar (precedence low→high):
+//!
+//! ```text
+//! or_expr   := and_expr ( 'or' and_expr )*
+//! and_expr  := not_expr ( 'and' not_expr )*
+//! not_expr  := 'not' not_expr | cmp_expr
+//! cmp_expr  := add_expr ( ('<'|'<='|'>'|'>='|'=='|'='|'!='|'in'|'contains') add_expr )?
+//! add_expr  := mul_expr ( ('+'|'-') mul_expr )*
+//! mul_expr  := primary ( ('*'|'/'|'%') primary )*
+//! primary   := number | string | 'true' | 'false' | 'null' | identifier
+//!            | '(' or_expr ')' | '[' literal, ... ']'
+//! ```
+
+use crate::bitmap::Bitmap;
+use crate::error::{Result, TabularError};
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Binary comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==` (also accepted as `=`)
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    fn apply(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+        }
+    }
+
+    /// Surface syntax for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl ArithOp {
+    /// Surface syntax for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+        }
+    }
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(String),
+    /// Literal value.
+    Literal(Value),
+    /// Comparison between two sub-expressions.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic between two sub-expressions.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Logical AND.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// Membership test against a literal list: `team in ['CSK', 'MI']`.
+    InList(Box<Expr>, Vec<Value>),
+    /// Substring test: `body contains 'dhoni'`.
+    Contains(Box<Expr>, Box<Expr>),
+    /// Null test, produced by `x == null` normalisation.
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand: column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Shorthand: literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Shorthand: comparison.
+    pub fn cmp(op: CmpOp, l: Expr, r: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(l), Box::new(r))
+    }
+
+    /// Column names referenced anywhere in the tree (sorted, deduplicated) —
+    /// the engine uses this for schema checking and projection pushdown.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut set = BTreeSet::new();
+        self.collect_columns(&mut set);
+        set.into_iter().collect()
+    }
+
+    fn collect_columns(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Column(c) => {
+                out.insert(c.clone());
+            }
+            Expr::Literal(_) => {}
+            Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Contains(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(e) | Expr::IsNull(e) => e.collect_columns(out),
+            Expr::InList(e, _) => e.collect_columns(out),
+        }
+    }
+
+    /// Evaluate against a single row context.
+    pub fn eval_row(&self, lookup: &dyn Fn(&str) -> Option<Value>) -> Result<Value> {
+        match self {
+            Expr::Column(c) => lookup(c).ok_or_else(|| TabularError::column_not_found(c, &[] as &[&str])),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Cmp(op, a, b) => {
+                let (va, vb) = (a.eval_row(lookup)?, b.eval_row(lookup)?);
+                // SQL-ish semantics: comparisons against null are false
+                // (not null-propagating three-valued logic — the flow-file
+                // language has no IS NULL surface syntax besides == null).
+                if va.is_null() || vb.is_null() {
+                    return Ok(Value::Bool(matches!(
+                        (op, va.is_null() && vb.is_null()),
+                        (CmpOp::Eq, true) | (CmpOp::Ne, false)
+                    ) && *op == CmpOp::Eq
+                        || (*op == CmpOp::Ne && !(va.is_null() && vb.is_null()))));
+                }
+                Ok(Value::Bool(op.apply(compare_coerced(&va, &vb))))
+            }
+            Expr::Arith(op, a, b) => {
+                let (va, vb) = (a.eval_row(lookup)?, b.eval_row(lookup)?);
+                if va.is_null() || vb.is_null() {
+                    return Ok(Value::Null);
+                }
+                arith(*op, &va, &vb)
+            }
+            Expr::And(a, b) => Ok(Value::Bool(
+                truthy(&a.eval_row(lookup)?) && truthy(&b.eval_row(lookup)?),
+            )),
+            Expr::Or(a, b) => Ok(Value::Bool(
+                truthy(&a.eval_row(lookup)?) || truthy(&b.eval_row(lookup)?),
+            )),
+            Expr::Not(e) => Ok(Value::Bool(!truthy(&e.eval_row(lookup)?))),
+            Expr::InList(e, list) => {
+                let v = e.eval_row(lookup)?;
+                Ok(Value::Bool(list.iter().any(|l| values_eq_coerced(l, &v))))
+            }
+            Expr::Contains(a, b) => {
+                let (va, vb) = (a.eval_row(lookup)?, b.eval_row(lookup)?);
+                match (va.as_str(), vb.as_str()) {
+                    (Some(h), Some(n)) => Ok(Value::Bool(h.contains(n))),
+                    _ => Ok(Value::Bool(false)),
+                }
+            }
+            Expr::IsNull(e) => Ok(Value::Bool(e.eval_row(lookup)?.is_null())),
+        }
+    }
+
+    /// Vectorised evaluation producing a selection mask over a table.
+    pub fn eval_mask(&self, table: &Table) -> Result<Bitmap> {
+        // Validate referenced columns once up front for a clean diagnostic.
+        for c in self.referenced_columns() {
+            table.schema().index_of(&c)?;
+        }
+        let n = table.num_rows();
+        let mut mask = Bitmap::new_cleared(n);
+        for i in 0..n {
+            let lookup = |name: &str| -> Option<Value> {
+                table
+                    .schema()
+                    .index_of(name)
+                    .ok()
+                    .map(|ci| table.column_at(ci).value(i))
+            };
+            if truthy(&self.eval_row(&lookup)?) {
+                mask.set(i);
+            }
+        }
+        Ok(mask)
+    }
+}
+
+/// "Truthiness" of an expression result: only `Bool(true)`.
+fn truthy(v: &Value) -> bool {
+    matches!(v, Value::Bool(true))
+}
+
+/// Compare two values, coercing string↔number when one side is a numeric
+/// literal and the other a string column (common with schema-light CSVs).
+fn compare_coerced(a: &Value, b: &Value) -> std::cmp::Ordering {
+    match (a, b) {
+        (Value::Str(s), Value::Int(_) | Value::Float(_)) => {
+            if let Ok(f) = s.trim().parse::<f64>() {
+                return Value::Float(f).cmp(b);
+            }
+            a.cmp(b)
+        }
+        (Value::Int(_) | Value::Float(_), Value::Str(s)) => {
+            if let Ok(f) = s.trim().parse::<f64>() {
+                return a.cmp(&Value::Float(f));
+            }
+            a.cmp(b)
+        }
+        _ => a.cmp(b),
+    }
+}
+
+fn values_eq_coerced(a: &Value, b: &Value) -> bool {
+    compare_coerced(a, b) == std::cmp::Ordering::Equal
+}
+
+fn arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value> {
+    let err = || TabularError::InvalidOperation(format!(
+        "arithmetic {} on non-numeric values '{a}' and '{b}'",
+        op.symbol()
+    ));
+    // String + string concatenates.
+    if op == ArithOp::Add {
+        if let (Value::Str(x), Value::Str(y)) = (a, b) {
+            return Ok(Value::Str(format!("{x}{y}")));
+        }
+    }
+    let (x, y) = (a.as_float().ok_or_else(err)?, b.as_float().ok_or_else(err)?);
+    let int_int = matches!((a, b), (Value::Int(_), Value::Int(_)));
+    let r = match op {
+        ArithOp::Add => x + y,
+        ArithOp::Sub => x - y,
+        ArithOp::Mul => x * y,
+        ArithOp::Div => {
+            if y == 0.0 {
+                return Ok(Value::Null);
+            }
+            x / y
+        }
+        ArithOp::Mod => {
+            if y == 0.0 {
+                return Ok(Value::Null);
+            }
+            x % y
+        }
+    };
+    if int_int && r.fract() == 0.0 && op != ArithOp::Div {
+        Ok(Value::Int(r as i64))
+    } else {
+        Ok(Value::Float(r))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => f.write_str(c),
+            Expr::Literal(Value::Str(s)) => write!(f, "'{s}'"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Cmp(op, a, b) => write!(f, "{a} {} {b}", op.symbol()),
+            Expr::Arith(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Expr::And(a, b) => write!(f, "({a} and {b})"),
+            Expr::Or(a, b) => write!(f, "({a} or {b})"),
+            Expr::Not(e) => write!(f, "not {e}"),
+            Expr::InList(e, list) => {
+                write!(f, "{e} in [")?;
+                for (i, v) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match v {
+                        Value::Str(s) => write!(f, "'{s}'")?,
+                        v => write!(f, "{v}")?,
+                    }
+                }
+                write!(f, "]")
+            }
+            Expr::Contains(a, b) => write!(f, "{a} contains {b}"),
+            Expr::IsNull(e) => write!(f, "{e} == null"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+/// Parse a filter expression from its flow-file surface syntax.
+pub fn parse_expr(src: &str) -> Result<Expr> {
+    let mut p = Parser { src, pos: 0 };
+    let e = p.parse_or()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(e)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> TabularError {
+        TabularError::ExprParse {
+            message: msg.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume a keyword: must be followed by a non-identifier char.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = self.rest();
+        if rest.len() >= kw.len()
+            && rest[..kw.len()].eq_ignore_ascii_case(kw)
+            && !rest[kw.len()..]
+                .starts_with(|c: char| c.is_alphanumeric() || c == '_')
+        {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("and") {
+            let right = self.parse_not()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            Ok(Expr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_cmp()
+        }
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr> {
+        let left = self.parse_add()?;
+        self.skip_ws();
+        let op = if self.eat("<=") {
+            Some(CmpOp::Le)
+        } else if self.eat(">=") {
+            Some(CmpOp::Ge)
+        } else if self.eat("==") {
+            Some(CmpOp::Eq)
+        } else if self.eat("!=") {
+            Some(CmpOp::Ne)
+        } else if self.eat("<") {
+            Some(CmpOp::Lt)
+        } else if self.eat(">") {
+            Some(CmpOp::Gt)
+        } else if self.eat("=") {
+            Some(CmpOp::Eq)
+        } else if self.eat_kw("in") {
+            let list = self.parse_literal_list()?;
+            return Ok(Expr::InList(Box::new(left), list));
+        } else if self.eat_kw("contains") {
+            let right = self.parse_add()?;
+            return Ok(Expr::Contains(Box::new(left), Box::new(right)));
+        } else {
+            None
+        };
+        match op {
+            Some(op) => {
+                let right = self.parse_add()?;
+                // Normalise `x == null` / `x != null` to IsNull forms.
+                if let Expr::Literal(Value::Null) = right {
+                    return Ok(match op {
+                        CmpOp::Eq => Expr::IsNull(Box::new(left)),
+                        CmpOp::Ne => Expr::Not(Box::new(Expr::IsNull(Box::new(left)))),
+                        _ => Expr::Cmp(op, Box::new(left), Box::new(right)),
+                    });
+                }
+                Ok(Expr::Cmp(op, Box::new(left), Box::new(right)))
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn parse_add(&mut self) -> Result<Expr> {
+        let mut left = self.parse_mul()?;
+        loop {
+            self.skip_ws();
+            let op = if self.eat("+") {
+                ArithOp::Add
+            } else if self.rest().starts_with('-')
+                && !self.rest()[1..].starts_with(|c: char| c.is_ascii_digit())
+            {
+                self.pos += 1;
+                ArithOp::Sub
+            } else if self.rest().starts_with('-') && matches!(left, Expr::Column(_) | Expr::Arith(..)) {
+                // `a -1` after a column is subtraction, not a negative literal.
+                self.pos += 1;
+                ArithOp::Sub
+            } else {
+                break;
+            };
+            let right = self.parse_mul()?;
+            left = Expr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr> {
+        let mut left = self.parse_primary()?;
+        loop {
+            self.skip_ws();
+            let op = if self.eat("*") {
+                ArithOp::Mul
+            } else if self.eat("/") {
+                ArithOp::Div
+            } else if self.eat("%") {
+                ArithOp::Mod
+            } else {
+                break;
+            };
+            let right = self.parse_primary()?;
+            left = Expr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_literal_list(&mut self) -> Result<Vec<Value>> {
+        self.skip_ws();
+        if !self.eat("[") {
+            return Err(self.err("expected '[' after 'in'"));
+        }
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat("]") {
+                break;
+            }
+            match self.parse_primary()? {
+                Expr::Literal(v) => out.push(v),
+                Expr::Column(name) => out.push(Value::Str(name)),
+                _ => return Err(self.err("expected literal in list")),
+            }
+            self.skip_ws();
+            if self.eat(",") {
+                continue;
+            }
+            if self.eat("]") {
+                break;
+            }
+            return Err(self.err("expected ',' or ']' in list"));
+        }
+        Ok(out)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        self.skip_ws();
+        let rest = self.rest();
+        let first = rest.chars().next().ok_or_else(|| self.err("unexpected end of expression"))?;
+
+        if first == '(' {
+            self.pos += 1;
+            let e = self.parse_or()?;
+            if !self.eat(")") {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(e);
+        }
+        if first == '\'' || first == '"' {
+            let quote = first;
+            let mut s = String::new();
+            let mut iter = rest.char_indices().skip(1);
+            for (i, c) in &mut iter {
+                if c == quote {
+                    self.pos += i + 1;
+                    return Ok(Expr::Literal(Value::Str(s)));
+                }
+                s.push(c);
+            }
+            return Err(self.err("unterminated string literal"));
+        }
+        if first.is_ascii_digit()
+            || (first == '-' && rest[1..].starts_with(|c: char| c.is_ascii_digit()))
+            || (first == '.' && rest[1..].starts_with(|c: char| c.is_ascii_digit()))
+        {
+            let end = rest
+                .char_indices()
+                .skip(1)
+                .find(|(_, c)| !(c.is_ascii_digit() || *c == '.' || *c == 'e' || *c == 'E'))
+                .map(|(i, _)| i)
+                .unwrap_or(rest.len());
+            let tok = &rest[..end];
+            self.pos += end;
+            if let Ok(i) = tok.parse::<i64>() {
+                return Ok(Expr::Literal(Value::Int(i)));
+            }
+            return tok
+                .parse::<f64>()
+                .map(|f| Expr::Literal(Value::Float(f)))
+                .map_err(|_| self.err("invalid numeric literal"));
+        }
+        if first.is_alphabetic() || first == '_' {
+            let end = rest
+                .char_indices()
+                .find(|(_, c)| !(c.is_alphanumeric() || *c == '_' || *c == '.'))
+                .map(|(i, _)| i)
+                .unwrap_or(rest.len());
+            let ident = &rest[..end];
+            self.pos += end;
+            return Ok(match ident {
+                "true" => Expr::Literal(Value::Bool(true)),
+                "false" => Expr::Literal(Value::Bool(false)),
+                "null" => Expr::Literal(Value::Null),
+                _ => Expr::Column(ident.to_string()),
+            });
+        }
+        Err(self.err("unexpected character"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::Schema;
+    use crate::datatype::DataType;
+    use crate::column::Column;
+
+    fn table() -> Table {
+        Table::new(
+            Schema::of(&[
+                ("rating", DataType::Int64),
+                ("team", DataType::Utf8),
+                ("score", DataType::Float64),
+            ]),
+            vec![
+                Column::int([1, 3, 5, 2]),
+                Column::utf8(["CSK", "MI", "CSK", "RCB"]),
+                Column::float([0.5, 0.7, 0.1, 0.9]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_paper_filter_expression() {
+        let e = parse_expr("rating < 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::cmp(CmpOp::Lt, Expr::col("rating"), Expr::lit(3i64))
+        );
+        let mask = e.eval_mask(&table()).unwrap();
+        assert_eq!(mask.ones(), vec![0, 3]);
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let e = parse_expr("rating < 3 and team == 'CSK'").unwrap();
+        assert_eq!(e.eval_mask(&table()).unwrap().ones(), vec![0]);
+        let e = parse_expr("rating >= 5 or score > 0.8").unwrap();
+        assert_eq!(e.eval_mask(&table()).unwrap().ones(), vec![2, 3]);
+        let e = parse_expr("not (team == 'CSK')").unwrap();
+        assert_eq!(e.eval_mask(&table()).unwrap().ones(), vec![1, 3]);
+    }
+
+    #[test]
+    fn in_list_and_contains() {
+        let e = parse_expr("team in ['CSK', 'RCB']").unwrap();
+        assert_eq!(e.eval_mask(&table()).unwrap().ones(), vec![0, 2, 3]);
+        let e = parse_expr("team contains 'C'").unwrap();
+        assert_eq!(e.eval_mask(&table()).unwrap().ones(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let e = parse_expr("rating * 2 + 1 > 5").unwrap();
+        // ratings 1,3,5,2 -> 3,7,11,5 -> >5 at rows 1,2
+        assert_eq!(e.eval_mask(&table()).unwrap().ones(), vec![1, 2]);
+        let e = parse_expr("rating + 2 * 2 == 5").unwrap();
+        assert_eq!(e.eval_mask(&table()).unwrap().ones(), vec![0]);
+    }
+
+    #[test]
+    fn division_by_zero_yields_null_not_panic() {
+        let e = parse_expr("rating / 0 == 1").unwrap();
+        assert!(e.eval_mask(&table()).unwrap().none_set());
+    }
+
+    #[test]
+    fn null_comparison_semantics() {
+        let t = Table::from_rows(&["x"], &[row![1i64], row![Value::Null]]).unwrap();
+        let e = parse_expr("x == null").unwrap();
+        assert_eq!(e.eval_mask(&t).unwrap().ones(), vec![1]);
+        let e = parse_expr("x != null").unwrap();
+        assert_eq!(e.eval_mask(&t).unwrap().ones(), vec![0]);
+        let e = parse_expr("x < 5").unwrap();
+        assert_eq!(e.eval_mask(&t).unwrap().ones(), vec![0], "null < 5 is false");
+    }
+
+    #[test]
+    fn string_number_coercion() {
+        let t = Table::from_rows(&["v"], &[row!["10"], row!["9"], row!["abc"]]).unwrap();
+        let e = parse_expr("v > 9").unwrap();
+        // "10" > 9 numerically; "9" is not; "abc" unparseable -> string cmp vs number -> rank order
+        let ones = e.eval_mask(&t).unwrap().ones();
+        assert!(ones.contains(&0));
+        assert!(!ones.contains(&1));
+    }
+
+    #[test]
+    fn referenced_columns_sorted_unique() {
+        let e = parse_expr("b < 1 and a > 2 or b == 3").unwrap();
+        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn missing_column_is_an_error() {
+        let e = parse_expr("nope == 1").unwrap();
+        let err = e.eval_mask(&table()).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("a <").is_err());
+        assert!(parse_expr("a == 'unterminated").is_err());
+        assert!(parse_expr("a in [1, ").is_err());
+        assert!(parse_expr("(a == 1").is_err());
+        assert!(parse_expr("a == 1 extra").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        for src in [
+            "rating < 3",
+            "(a and b)",
+            "x in ['p', 'q']",
+            "not y",
+            "name contains 'z'",
+        ] {
+            let e = parse_expr(src).unwrap();
+            let printed = e.to_string();
+            let e2 = parse_expr(&printed).unwrap();
+            assert_eq!(e, e2, "roundtrip of '{src}' via '{printed}'");
+        }
+    }
+
+    #[test]
+    fn negative_literals() {
+        let e = parse_expr("rating > -1").unwrap();
+        assert_eq!(e.eval_mask(&table()).unwrap().count_ones(), 4);
+    }
+}

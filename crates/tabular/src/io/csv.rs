@@ -1,0 +1,309 @@
+//! CSV reader/writer with RFC-4180 quoting and configurable separator
+//! (the data section's `separator: ','` parameter, figure 4).
+
+use crate::column::Column;
+use crate::error::{Result, TabularError};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+
+/// CSV parse/serialise options.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field separator (default `,`).
+    pub separator: char,
+    /// Whether the first record is a header row (default true). When false
+    /// the caller must pass explicit column names.
+    pub has_header: bool,
+    /// Explicit column names overriding/replacing the header — the flow
+    /// file's schema declaration (`stack_summary: [project, question, ...]`)
+    /// takes precedence over whatever the file says.
+    pub column_names: Option<Vec<String>>,
+    /// Infer cell types (default true); when false all columns are Utf8.
+    pub infer_types: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            separator: ',',
+            has_header: true,
+            column_names: None,
+            infer_types: true,
+        }
+    }
+}
+
+/// Split CSV content into records of raw string fields.
+fn parse_records(content: &str, sep: char) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = content.chars().peekable();
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        // Quote inside unquoted field: keep literal.
+                        field.push('"');
+                    }
+                }
+                c if c == sep => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TabularError::Format {
+            format: "csv",
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    // Drop fully empty trailing records (files ending in blank lines).
+    while records
+        .last()
+        .is_some_and(|r| r.len() == 1 && r[0].is_empty())
+    {
+        records.pop();
+    }
+    Ok(records)
+}
+
+/// Read CSV text into a table.
+pub fn read_csv(content: &str, opts: &CsvOptions) -> Result<Table> {
+    let mut records = parse_records(content, opts.separator)?;
+    let names: Vec<String> = match (&opts.column_names, opts.has_header) {
+        (Some(names), true) => {
+            if !records.is_empty() {
+                records.remove(0);
+            }
+            names.clone()
+        }
+        (Some(names), false) => names.clone(),
+        (None, true) => {
+            if records.is_empty() {
+                return Err(TabularError::Format {
+                    format: "csv",
+                    message: "empty input with no explicit column names".into(),
+                });
+            }
+            records.remove(0).into_iter().map(|s| s.trim().to_string()).collect()
+        }
+        (None, false) => {
+            let width = records.first().map_or(0, |r| r.len());
+            (0..width).map(|i| format!("col{i}")).collect()
+        }
+    };
+
+    let width = names.len();
+    for (li, r) in records.iter().enumerate() {
+        if r.len() != width {
+            return Err(TabularError::Format {
+                format: "csv",
+                message: format!(
+                    "record {} has {} fields, expected {width}",
+                    li + if opts.has_header { 2 } else { 1 },
+                    r.len()
+                ),
+            });
+        }
+    }
+
+    let mut columns = Vec::with_capacity(width);
+    let mut fields = Vec::with_capacity(width);
+    for ci in 0..width {
+        let vals: Vec<Value> = records
+            .iter()
+            .map(|r| {
+                if opts.infer_types {
+                    Value::infer(&r[ci])
+                } else if r[ci].is_empty() {
+                    Value::Null
+                } else {
+                    Value::Str(r[ci].clone())
+                }
+            })
+            .collect();
+        let col = Column::from_values(&vals);
+        fields.push(crate::schema::Field::new(&names[ci], col.data_type()));
+        columns.push(col);
+    }
+    Table::new(Schema::new(fields)?, columns)
+}
+
+fn needs_quoting(s: &str, sep: char) -> bool {
+    s.contains(sep) || s.contains('"') || s.contains('\n') || s.contains('\r')
+}
+
+/// Serialise a table to CSV text with a header row.
+pub fn write_csv(table: &Table, sep: char) -> String {
+    let mut out = String::new();
+    let quote = |s: &str| -> String {
+        if needs_quoting(s, sep) {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let header: Vec<String> = table
+        .schema()
+        .names()
+        .iter()
+        .map(|n| quote(n))
+        .collect();
+    out.push_str(&header.join(&sep.to_string()));
+    out.push('\n');
+    for i in 0..table.num_rows() {
+        let row: Vec<String> = table
+            .columns()
+            .iter()
+            .map(|c| quote(&c.value(i).to_string()))
+            .collect();
+        out.push_str(&row.join(&sep.to_string()));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+
+    #[test]
+    fn basic_read_with_header_and_inference() {
+        let t = read_csv(
+            "project,year,stars\npig,2013,4.5\nhive,2014,3\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(t.schema().names(), vec!["project", "year", "stars"]);
+        assert_eq!(t.schema().field("year").unwrap().data_type(), DataType::Int64);
+        assert_eq!(t.schema().field("stars").unwrap().data_type(), DataType::Float64);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn explicit_names_override_header() {
+        let opts = CsvOptions {
+            column_names: Some(vec!["a".into(), "b".into()]),
+            ..Default::default()
+        };
+        let t = read_csv("x,y\n1,2\n", &opts).unwrap();
+        assert_eq!(t.schema().names(), vec!["a", "b"]);
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn headerless_with_names() {
+        let opts = CsvOptions {
+            has_header: false,
+            column_names: Some(vec!["a".into(), "b".into()]),
+            ..Default::default()
+        };
+        let t = read_csv("1,2\n3,4\n", &opts).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn quoting_and_escapes() {
+        let t = read_csv(
+            "text,n\n\"hello, world\",1\n\"say \"\"hi\"\"\",2\n\"multi\nline\",3\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.value(0, "text").unwrap().to_string(), "hello, world");
+        assert_eq!(t.value(1, "text").unwrap().to_string(), "say \"hi\"");
+        assert_eq!(t.value(2, "text").unwrap().to_string(), "multi\nline");
+    }
+
+    #[test]
+    fn custom_separator() {
+        let opts = CsvOptions {
+            separator: '|',
+            ..Default::default()
+        };
+        let t = read_csv("a|b\n1|2\n", &opts).unwrap();
+        assert_eq!(t.schema().names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn empty_cells_are_null() {
+        let t = read_csv("a,b\n1,\n,2\n", &CsvOptions::default()).unwrap();
+        assert!(t.value(0, "b").unwrap().is_null());
+        assert!(t.value(1, "a").unwrap().is_null());
+    }
+
+    #[test]
+    fn crlf_and_trailing_newlines() {
+        let t = read_csv("a,b\r\n1,2\r\n\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn ragged_record_errors_with_line() {
+        let err = read_csv("a,b\n1,2,3\n", &CsvOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("record 2"));
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(read_csv("a\n\"oops\n", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_via_writer() {
+        let src = "text,n\n\"a,b\",1\nplain,2\n";
+        let t = read_csv(src, &CsvOptions::default()).unwrap();
+        let written = write_csv(&t, ',');
+        let t2 = read_csv(&written, &CsvOptions::default()).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn no_inference_keeps_strings() {
+        let opts = CsvOptions {
+            infer_types: false,
+            ..Default::default()
+        };
+        let t = read_csv("a\n42\n", &opts).unwrap();
+        assert_eq!(t.schema().field("a").unwrap().data_type(), DataType::Utf8);
+    }
+}

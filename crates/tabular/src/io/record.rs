@@ -1,0 +1,258 @@
+//! Compact binary record format (the platform's Avro stand-in).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   "SIR1" (4 bytes)
+//! ncols   u32
+//! per column: name_len u32, name bytes, type tag u8
+//! nrows   u64
+//! per row, per column: presence u8 (0 = null, 1 = value), then the value:
+//!   bool   -> u8
+//!   int64  -> i64
+//!   float64-> f64 bits
+//!   utf8   -> len u32 + bytes
+//!   date   -> i32
+//! ```
+//!
+//! The format preserves schema and nulls exactly, so round-trips are
+//! lossless — the property the platform needs to pass intermediate data
+//! objects between flows without reinference.
+
+use crate::column::{Column, ColumnBuilder};
+use crate::datatype::DataType;
+use crate::error::{Result, TabularError};
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::Value;
+
+const MAGIC: &[u8; 4] = b"SIR1";
+
+fn err(msg: impl Into<String>) -> TabularError {
+    TabularError::Format {
+        format: "record",
+        message: msg.into(),
+    }
+}
+
+fn type_tag(t: DataType) -> u8 {
+    match t {
+        DataType::Null => 0,
+        DataType::Bool => 1,
+        DataType::Int64 => 2,
+        DataType::Float64 => 3,
+        DataType::Utf8 => 4,
+        DataType::Date => 5,
+    }
+}
+
+fn tag_type(tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        0 => DataType::Null,
+        1 => DataType::Bool,
+        2 => DataType::Int64,
+        3 => DataType::Float64,
+        4 => DataType::Utf8,
+        5 => DataType::Date,
+        t => return Err(err(format!("unknown type tag {t}"))),
+    })
+}
+
+/// Serialise a table to the binary record format.
+pub fn write_records(table: &Table) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + table.approx_bytes());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(table.num_columns() as u32).to_le_bytes());
+    for f in table.schema().fields() {
+        out.extend_from_slice(&(f.name().len() as u32).to_le_bytes());
+        out.extend_from_slice(f.name().as_bytes());
+        out.push(type_tag(f.data_type()));
+    }
+    out.extend_from_slice(&(table.num_rows() as u64).to_le_bytes());
+    for i in 0..table.num_rows() {
+        for c in table.columns() {
+            let v = c.value(i);
+            if v.is_null() {
+                out.push(0);
+                continue;
+            }
+            out.push(1);
+            match v {
+                Value::Bool(b) => out.push(b as u8),
+                Value::Int(x) => out.extend_from_slice(&x.to_le_bytes()),
+                Value::Float(x) => out.extend_from_slice(&x.to_bits().to_le_bytes()),
+                Value::Str(s) => {
+                    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    out.extend_from_slice(s.as_bytes());
+                }
+                Value::Date(d) => out.extend_from_slice(&d.to_le_bytes()),
+                Value::Null => unreachable!(),
+            }
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(err("truncated input"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32> {
+        Ok(i32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let raw = self.bytes(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| err("invalid utf-8 in string"))
+    }
+}
+
+/// Deserialise a table from the binary record format.
+pub fn read_records(buf: &[u8]) -> Result<Table> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.bytes(4)? != MAGIC {
+        return Err(err("bad magic (not a SIR1 record payload)"));
+    }
+    let ncols = r.u32()? as usize;
+    if ncols > 1_000_000 {
+        return Err(err("implausible column count"));
+    }
+    let mut fields = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let name = r.str()?;
+        let ty = tag_type(r.u8()?)?;
+        fields.push(Field::new(name, ty));
+    }
+    let nrows = r.u64()? as usize;
+    let mut builders: Vec<ColumnBuilder> = fields
+        .iter()
+        .map(|f| ColumnBuilder::with_capacity(f.data_type(), nrows))
+        .collect();
+    for _ in 0..nrows {
+        for (f, b) in fields.iter().zip(&mut builders) {
+            let present = r.u8()?;
+            if present == 0 {
+                b.push_null();
+                continue;
+            }
+            if present != 1 {
+                return Err(err(format!("bad presence byte {present}")));
+            }
+            let v = match f.data_type() {
+                DataType::Bool => Value::Bool(r.u8()? != 0),
+                DataType::Int64 => Value::Int(r.i64()?),
+                DataType::Float64 => Value::Float(f64::from_bits(r.u64()?)),
+                DataType::Utf8 => Value::Str(r.str()?),
+                DataType::Date => Value::Date(r.i32()?),
+                DataType::Null => {
+                    return Err(err("non-null cell in null-typed column"))
+                }
+            };
+            b.push_coerced(&v)?;
+        }
+    }
+    if r.pos != buf.len() {
+        return Err(err("trailing bytes after last row"));
+    }
+    let columns: Vec<Column> = builders.into_iter().map(ColumnBuilder::finish).collect();
+    Table::new(Schema::new(fields)?, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn sample() -> Table {
+        Table::from_rows(
+            &["name", "n", "score", "flag"],
+            &[
+                row!["pig", 1i64, 0.5, true],
+                row![Value::Null, 2i64, Value::Null, false],
+                row!["hive", Value::Null, 1.25, Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_schema_and_nulls() {
+        let t = sample();
+        let bytes = write_records(&t);
+        let back = read_records(&bytes).unwrap();
+        assert_eq!(t, back);
+        assert!(t.schema().same_shape(back.schema()));
+    }
+
+    #[test]
+    fn roundtrip_empty_table() {
+        let t = Table::from_rows(&["a"], &[]).unwrap();
+        let back = read_records(&write_records(&t)).unwrap();
+        assert_eq!(back.num_rows(), 0);
+        assert_eq!(back.schema().names(), vec!["a"]);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(read_records(b"NOPE").is_err());
+        assert!(read_records(b"").is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = write_records(&sample());
+        for cut in [4, 8, 12, bytes.len() / 2, bytes.len() - 1] {
+            assert!(read_records(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = write_records(&sample());
+        bytes.push(0xFF);
+        assert!(read_records(&bytes).is_err());
+    }
+
+    #[test]
+    fn float_bits_exact() {
+        let t = Table::from_rows(
+            &["f"],
+            &[row![f64::MAX], row![f64::MIN_POSITIVE], row![-0.0]],
+        )
+        .unwrap();
+        let back = read_records(&write_records(&t)).unwrap();
+        for i in 0..3 {
+            let a = t.value(i, "f").unwrap().as_float().unwrap();
+            let b = back.value(i, "f").unwrap().as_float().unwrap();
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

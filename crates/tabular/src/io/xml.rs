@@ -1,0 +1,347 @@
+//! Minimal XML record reader.
+//!
+//! Maps documents of the common "repeated record element" shape to rows:
+//!
+//! ```xml
+//! <projects>
+//!   <project><name>pig</name><year>2013</year></project>
+//!   <project><name>hive</name><year>2014</year></project>
+//! </projects>
+//! ```
+//!
+//! Each occurrence of `record_element` becomes a row; its child elements'
+//! text contents become cells, and attributes on the record element become
+//! cells too (attributes win on name clash, matching common export tools).
+//! Supports entities (`&amp;` etc.), comments, CDATA, self-closing tags and
+//! an XML declaration — enough for the platform's `format: 'xml'` payloads.
+
+use crate::column::Column;
+use crate::error::{Result, TabularError};
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+fn err(msg: impl Into<String>) -> TabularError {
+    TabularError::Format {
+        format: "xml",
+        message: msg.into(),
+    }
+}
+
+fn decode_entities(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        if let Some(semi) = rest.find(';') {
+            let entity = &rest[1..semi];
+            let decoded = match entity {
+                "amp" => Some('&'),
+                "lt" => Some('<'),
+                "gt" => Some('>'),
+                "quot" => Some('"'),
+                "apos" => Some('\''),
+                e if e.starts_with("#x") || e.starts_with("#X") => {
+                    u32::from_str_radix(&e[2..], 16).ok().and_then(char::from_u32)
+                }
+                e if e.starts_with('#') => {
+                    e[1..].parse::<u32>().ok().and_then(char::from_u32)
+                }
+                _ => None,
+            };
+            match decoded {
+                Some(c) => {
+                    out.push(c);
+                    rest = &rest[semi + 1..];
+                }
+                None => {
+                    out.push('&');
+                    rest = &rest[1..];
+                }
+            }
+        } else {
+            out.push('&');
+            rest = &rest[1..];
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// One parsed element: name, attributes, children, text.
+#[derive(Debug, Clone)]
+struct Element {
+    name: String,
+    attrs: BTreeMap<String, String>,
+    children: Vec<Element>,
+    text: String,
+}
+
+struct XmlParser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_misc(&mut self) {
+        loop {
+            let rest = self.rest();
+            let trimmed = rest.trim_start();
+            self.pos += rest.len() - trimmed.len();
+            if trimmed.starts_with("<?") {
+                match trimmed.find("?>") {
+                    Some(end) => self.pos += end + 2,
+                    None => {
+                        self.pos = self.src.len();
+                        return;
+                    }
+                }
+            } else if trimmed.starts_with("<!--") {
+                match trimmed.find("-->") {
+                    Some(end) => self.pos += end + 3,
+                    None => {
+                        self.pos = self.src.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<Element> {
+        self.skip_misc();
+        if !self.rest().starts_with('<') {
+            return Err(err(format!("expected '<' at offset {}", self.pos)));
+        }
+        self.pos += 1;
+        // Tag name.
+        let name_end = self
+            .rest()
+            .find(|c: char| c.is_whitespace() || c == '>' || c == '/')
+            .ok_or_else(|| err("unterminated start tag"))?;
+        let name = self.rest()[..name_end].to_string();
+        if name.is_empty() {
+            return Err(err(format!("empty tag name at offset {}", self.pos)));
+        }
+        self.pos += name_end;
+
+        // Attributes.
+        let mut attrs = BTreeMap::new();
+        loop {
+            let rest = self.rest();
+            let trimmed = rest.trim_start();
+            self.pos += rest.len() - trimmed.len();
+            if trimmed.starts_with("/>") {
+                self.pos += 2;
+                return Ok(Element {
+                    name,
+                    attrs,
+                    children: Vec::new(),
+                    text: String::new(),
+                });
+            }
+            if trimmed.starts_with('>') {
+                self.pos += 1;
+                break;
+            }
+            // attr="value"
+            let eq = trimmed
+                .find('=')
+                .ok_or_else(|| err("malformed attribute"))?;
+            let attr_name = trimmed[..eq].trim().to_string();
+            let after = &trimmed[eq + 1..];
+            let quote = after
+                .chars()
+                .next()
+                .filter(|c| *c == '"' || *c == '\'')
+                .ok_or_else(|| err("attribute value must be quoted"))?;
+            let vstart = 1;
+            let vend = after[vstart..]
+                .find(quote)
+                .ok_or_else(|| err("unterminated attribute value"))?;
+            let value = decode_entities(&after[vstart..vstart + vend]);
+            attrs.insert(attr_name, value);
+            self.pos += eq + 1 + vstart + vend + 1;
+        }
+
+        // Content: text, children, CDATA, comments, until </name>.
+        let mut children = Vec::new();
+        let mut text = String::new();
+        loop {
+            let rest = self.rest();
+            if rest.is_empty() {
+                return Err(err(format!("unterminated element <{name}>")));
+            }
+            if let Some(next_lt) = rest.find('<') {
+                text.push_str(&decode_entities(&rest[..next_lt]));
+                self.pos += next_lt;
+                let rest = self.rest();
+                if rest.starts_with("</") {
+                    let end = rest.find('>').ok_or_else(|| err("unterminated end tag"))?;
+                    let closing = rest[2..end].trim();
+                    if closing != name {
+                        return Err(err(format!(
+                            "mismatched end tag: expected </{name}>, got </{closing}>"
+                        )));
+                    }
+                    self.pos += end + 1;
+                    return Ok(Element {
+                        name,
+                        attrs,
+                        children,
+                        text: text.trim().to_string(),
+                    });
+                } else if rest.starts_with("<!--") {
+                    let end = rest.find("-->").ok_or_else(|| err("unterminated comment"))?;
+                    self.pos += end + 3;
+                } else if rest.starts_with("<![CDATA[") {
+                    let end = rest
+                        .find("]]>")
+                        .ok_or_else(|| err("unterminated CDATA"))?;
+                    text.push_str(&rest[9..end]);
+                    self.pos += end + 3;
+                } else {
+                    children.push(self.parse_element()?);
+                }
+            } else {
+                return Err(err(format!("unterminated element <{name}>")));
+            }
+        }
+    }
+}
+
+/// Parse an XML document and extract rows from every occurrence of
+/// `record_element` anywhere under the root.
+pub fn read_xml_records(content: &str, record_element: &str) -> Result<Table> {
+    let mut parser = XmlParser {
+        src: content,
+        pos: 0,
+    };
+    let root = parser.parse_element()?;
+    parser.skip_misc();
+    if parser.pos != parser.src.len() {
+        return Err(err("trailing content after root element"));
+    }
+
+    let mut records: Vec<&Element> = Vec::new();
+    collect_records(&root, record_element, &mut records);
+
+    // Column order: first-seen order across all records.
+    let mut names: Vec<String> = Vec::new();
+    let mut rows: Vec<BTreeMap<&str, Value>> = Vec::with_capacity(records.len());
+    for rec in &records {
+        let mut cells: BTreeMap<&str, Value> = BTreeMap::new();
+        for child in &rec.children {
+            if !names.iter().any(|n| n == &child.name) {
+                names.push(child.name.clone());
+            }
+            cells.insert(child.name.as_str(), Value::infer(&child.text));
+        }
+        for (k, v) in &rec.attrs {
+            if !names.iter().any(|n| n == k) {
+                names.push(k.clone());
+            }
+            cells.insert(k.as_str(), Value::infer(v));
+        }
+        rows.push(cells);
+    }
+
+    let mut fields = Vec::with_capacity(names.len());
+    let mut columns = Vec::with_capacity(names.len());
+    for name in &names {
+        let vals: Vec<Value> = rows
+            .iter()
+            .map(|r| r.get(name.as_str()).cloned().unwrap_or(Value::Null))
+            .collect();
+        let col = Column::from_values(&vals);
+        fields.push(Field::new(name, col.data_type()));
+        columns.push(col);
+    }
+    Table::new(Schema::new(fields)?, columns)
+}
+
+fn collect_records<'e>(el: &'e Element, name: &str, out: &mut Vec<&'e Element>) {
+    if el.name == name {
+        out.push(el);
+        return; // do not recurse into a record looking for nested records
+    }
+    for c in &el.children {
+        collect_records(c, name, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+
+    const DOC: &str = r#"<?xml version="1.0"?>
+<projects>
+  <!-- apache projects -->
+  <project id="1"><name>pig</name><year>2013</year></project>
+  <project id="2"><name>hive &amp; hcat</name><year>2014</year></project>
+  <project id="3"><name><![CDATA[a <raw> name]]></name><year>2015</year></project>
+</projects>"#;
+
+    #[test]
+    fn reads_records_with_children_and_attrs() {
+        let t = read_xml_records(DOC, "project").unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.schema().names(), vec!["name", "year", "id"]);
+        assert_eq!(t.value(0, "name").unwrap().to_string(), "pig");
+        assert_eq!(t.value(1, "name").unwrap().to_string(), "hive & hcat");
+        assert_eq!(t.value(2, "name").unwrap().to_string(), "a <raw> name");
+        assert_eq!(t.schema().field("year").unwrap().data_type(), DataType::Int64);
+        assert_eq!(t.value(0, "id").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn missing_fields_are_null() {
+        let doc = "<r><row><a>1</a><b>2</b></row><row><a>3</a></row></r>";
+        let t = read_xml_records(doc, "row").unwrap();
+        assert!(t.value(1, "b").unwrap().is_null());
+    }
+
+    #[test]
+    fn self_closing_and_empty() {
+        let doc = "<r><row a='1'/><row a='2'/></r>";
+        let t = read_xml_records(doc, "row").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(1, "a").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn no_matching_records_gives_empty_table() {
+        let t = read_xml_records("<root><x>1</x></root>", "nothing").unwrap();
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_columns(), 0);
+    }
+
+    #[test]
+    fn numeric_character_entities() {
+        let doc = "<r><row><t>caf&#233; &#x263A;</t></row></r>";
+        let t = read_xml_records(doc, "row").unwrap();
+        assert_eq!(t.value(0, "t").unwrap().to_string(), "café ☺");
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        for bad in [
+            "<a><b></a>",
+            "<a>",
+            "<a></a><b></b>",
+            "<a attr=oops></a>",
+            "not xml",
+        ] {
+            assert!(read_xml_records(bad, "r").is_err(), "{bad}");
+        }
+    }
+}

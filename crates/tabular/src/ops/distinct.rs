@@ -1,0 +1,74 @@
+//! Distinct rows (deduplication), optionally on a key subset.
+
+use crate::error::Result;
+use crate::row::Row;
+use crate::table::Table;
+use std::collections::HashSet;
+
+/// Keep the first occurrence of each distinct key. With an empty `columns`
+/// list the whole row is the key. Output preserves all columns and input
+/// order of first occurrences.
+pub fn distinct(table: &Table, columns: &[impl AsRef<str>]) -> Result<Table> {
+    let key_cols: Vec<_> = if columns.is_empty() {
+        table.columns().to_vec()
+    } else {
+        columns
+            .iter()
+            .map(|c| table.column(c.as_ref()).cloned())
+            .collect::<Result<Vec<_>>>()?
+    };
+    let mut seen: HashSet<Row> = HashSet::new();
+    let mut keep = Vec::new();
+    for i in 0..table.num_rows() {
+        let key = Row(key_cols.iter().map(|c| c.value(i)).collect());
+        if seen.insert(key) {
+            keep.push(i);
+        }
+    }
+    Ok(table.take(&keep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::Value;
+
+    fn t() -> Table {
+        Table::from_rows(
+            &["team", "city"],
+            &[
+                row!["CSK", "Chennai"],
+                row!["MI", "Mumbai"],
+                row!["CSK", "Chennai"],
+                row!["CSK", "Pune"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn whole_row_distinct() {
+        let out = distinct(&t(), &[] as &[&str]).unwrap();
+        assert_eq!(out.num_rows(), 3);
+    }
+
+    #[test]
+    fn key_subset_distinct_keeps_first() {
+        let out = distinct(&t(), &["team"]).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, "city").unwrap(), Value::Str("Chennai".into()));
+    }
+
+    #[test]
+    fn nulls_are_one_key() {
+        let t = Table::from_rows(&["x"], &[row![Value::Null], row![Value::Null], row![1i64]])
+            .unwrap();
+        assert_eq!(distinct(&t, &[] as &[&str]).unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        assert!(distinct(&t(), &["nope"]).is_err());
+    }
+}

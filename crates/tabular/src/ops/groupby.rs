@@ -1,0 +1,482 @@
+//! Hash group-by with aggregates (the paper's `groupby` task, figures 8
+//! and 23).
+
+use crate::agg::AggKind;
+use crate::column::Column;
+use crate::datatype::DataType;
+use crate::error::Result;
+use crate::row::Row;
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// One aggregate in a `groupby` task: `operator` applied to `apply_on`,
+/// emitted as `out_field`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregateSpec {
+    /// Aggregate operator (`operator: sum`).
+    pub operator: AggKind,
+    /// Input column (`apply_on: noOfCheckins`). Ignored for `CountAll`.
+    pub apply_on: String,
+    /// Output column name (`out_field: total_checkins`).
+    pub out_field: String,
+}
+
+impl AggregateSpec {
+    /// Convenience constructor.
+    pub fn new(operator: AggKind, apply_on: impl Into<String>, out_field: impl Into<String>) -> Self {
+        AggregateSpec {
+            operator,
+            apply_on: apply_on.into(),
+            out_field: out_field.into(),
+        }
+    }
+}
+
+/// Full `groupby` task configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupBy {
+    /// Grouping key columns (`groupby: [project, year]`).
+    pub keys: Vec<String>,
+    /// Aggregates; when empty a bare `count` column is produced, matching
+    /// figure 23 where `players_count` groups by `[date, player]` and emits
+    /// `count`.
+    pub aggregates: Vec<AggregateSpec>,
+    /// When true, order output rows by the aggregate value descending
+    /// (`orderby_aggregates: true` in appendix A.2).
+    pub orderby_aggregates: bool,
+}
+
+impl GroupBy {
+    /// Group by keys with a default count aggregate.
+    pub fn counting(keys: &[impl AsRef<str>]) -> Self {
+        GroupBy {
+            keys: keys.iter().map(|k| k.as_ref().to_string()).collect(),
+            aggregates: Vec::new(),
+            orderby_aggregates: false,
+        }
+    }
+
+    /// Group by keys with explicit aggregates.
+    pub fn with_aggregates(keys: &[impl AsRef<str>], aggregates: Vec<AggregateSpec>) -> Self {
+        GroupBy {
+            keys: keys.iter().map(|k| k.as_ref().to_string()).collect(),
+            aggregates,
+            orderby_aggregates: false,
+        }
+    }
+
+    /// Effective aggregate list (the bare-count default when none given).
+    pub fn effective_aggregates(&self) -> Vec<AggregateSpec> {
+        if self.aggregates.is_empty() {
+            vec![AggregateSpec::new(AggKind::CountAll, "", "count")]
+        } else {
+            self.aggregates.clone()
+        }
+    }
+
+    /// Output schema for a given input schema: key columns (original types)
+    /// followed by one column per aggregate.
+    pub fn output_schema(&self, input: &Schema) -> Result<Schema> {
+        let mut fields = Vec::new();
+        for k in &self.keys {
+            fields.push(input.field(k)?.clone());
+        }
+        for a in self.effective_aggregates() {
+            let in_ty = if a.operator == AggKind::CountAll {
+                DataType::Null
+            } else {
+                input.field(&a.apply_on)?.data_type()
+            };
+            fields.push(Field::new(&a.out_field, a.operator.output_type(in_ty)));
+        }
+        Schema::new(fields)
+    }
+}
+
+/// Execute a group-by. Output group order follows first occurrence of each
+/// key in the input (deterministic), unless `orderby_aggregates` sorts by
+/// the first aggregate descending.
+pub fn groupby(table: &Table, cfg: &GroupBy) -> Result<Table> {
+    if let Some(fast) = try_groupby_fast(table, cfg)? {
+        return Ok(fast);
+    }
+    groupby_generic(table, cfg)
+}
+
+/// Specialized kernel for the overwhelmingly common shape in the paper's
+/// pipelines: one string key, aggregates that are `sum`/`count`/`count_all`
+/// over integer columns. Avoids per-row `Row`/`Value` allocation — the
+/// generic path's dominant cost. Returns `Ok(None)` when the shape doesn't
+/// match (the generic path takes over).
+fn try_groupby_fast(table: &Table, cfg: &GroupBy) -> Result<Option<Table>> {
+    use crate::column::Column as C;
+    if cfg.keys.len() != 1 {
+        return Ok(None);
+    }
+    let aggs = cfg.effective_aggregates();
+    let key_col = table.column(&cfg.keys[0])?;
+    let C::Utf8 {
+        data: key_data,
+        validity: key_validity,
+    } = key_col.as_ref()
+    else {
+        return Ok(None);
+    };
+    if key_validity.count_ones() != key_data.len() {
+        return Ok(None); // null keys: generic path handles the grouping
+    }
+
+    // Resolve aggregate inputs: each must be CountAll, or Sum/Count over a
+    // null-free Int64 column.
+    enum FastAgg<'a> {
+        Sum(&'a [i64]),
+        // Count over a null-free column degenerates to CountAll, but keeping
+        // the variant distinct documents which flow-file spelling produced it.
+        Count,
+        CountAll,
+    }
+    let mut fast_aggs: Vec<FastAgg<'_>> = Vec::with_capacity(aggs.len());
+    for a in &aggs {
+        match a.operator {
+            AggKind::CountAll => fast_aggs.push(FastAgg::CountAll),
+            AggKind::Sum | AggKind::Count => {
+                let col = table.column(&a.apply_on)?;
+                let C::Int64 { data, validity } = col.as_ref() else {
+                    return Ok(None);
+                };
+                if validity.count_ones() != data.len() {
+                    return Ok(None);
+                }
+                fast_aggs.push(match a.operator {
+                    AggKind::Sum => FastAgg::Sum(data),
+                    _ => FastAgg::Count,
+                });
+            }
+            _ => return Ok(None),
+        }
+    }
+
+    let mut index: HashMap<&str, usize> = HashMap::with_capacity(1024);
+    let mut keys: Vec<&str> = Vec::new();
+    let mut acc: Vec<Vec<i64>> = vec![Vec::new(); fast_aggs.len()];
+    for (i, key) in key_data.iter().enumerate() {
+        let gid = match index.get(key.as_str()) {
+            Some(&g) => g,
+            None => {
+                let g = keys.len();
+                index.insert(key.as_str(), g);
+                keys.push(key.as_str());
+                for a in acc.iter_mut() {
+                    a.push(0);
+                }
+                g
+            }
+        };
+        for (ai, fa) in fast_aggs.iter().enumerate() {
+            acc[ai][gid] += match fa {
+                FastAgg::Sum(data) => data[i],
+                FastAgg::Count | FastAgg::CountAll => 1,
+            };
+        }
+        let _ = i;
+    }
+
+    let mut order: Vec<usize> = (0..keys.len()).collect();
+    if cfg.orderby_aggregates && !acc.is_empty() {
+        order.sort_by(|&a, &b| acc[0][b].cmp(&acc[0][a]));
+    }
+
+    let key_out = Column::utf8(order.iter().map(|&g| keys[g].to_string()));
+    let mut columns = vec![key_out];
+    for a in &acc {
+        columns.push(Column::int(order.iter().map(|&g| a[g])));
+    }
+    let mut fields = vec![table.schema().field(&cfg.keys[0])?.clone()];
+    for a in &aggs {
+        fields.push(Field::new(&a.out_field, DataType::Int64));
+    }
+    Ok(Some(Table::new(Schema::new(fields)?, columns)?))
+}
+
+fn groupby_generic(table: &Table, cfg: &GroupBy) -> Result<Table> {
+    let aggs = cfg.effective_aggregates();
+    // Resolve columns up front.
+    let key_cols: Vec<_> = cfg
+        .keys
+        .iter()
+        .map(|k| table.column(k).cloned())
+        .collect::<Result<Vec<_>>>()?;
+    let agg_cols: Vec<Option<_>> = aggs
+        .iter()
+        .map(|a| {
+            if a.operator == AggKind::CountAll {
+                Ok(None)
+            } else {
+                table.column(&a.apply_on).cloned().map(Some)
+            }
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    // Group index: key row -> group id, first-seen order.
+    let mut groups: HashMap<Row, usize> = HashMap::new();
+    let mut key_rows: Vec<Row> = Vec::new();
+    let mut accs: Vec<Vec<crate::agg::Accumulator>> = Vec::new();
+
+    for i in 0..table.num_rows() {
+        let key = Row(key_cols.iter().map(|c| c.value(i)).collect());
+        let gid = *groups.entry(key.clone()).or_insert_with(|| {
+            key_rows.push(key.clone());
+            accs.push(aggs.iter().map(|a| a.operator.accumulator()).collect());
+            key_rows.len() - 1
+        });
+        for (ai, col) in agg_cols.iter().enumerate() {
+            let v = match col {
+                Some(c) => c.value(i),
+                None => Value::Null, // CountAll ignores the value
+            };
+            accs[gid][ai].update(&v)?;
+        }
+    }
+
+    // Materialise output columns.
+    let n_groups = key_rows.len();
+    let mut out_values: Vec<Vec<Value>> = vec![Vec::with_capacity(n_groups); cfg.keys.len() + aggs.len()];
+    let mut finished: Vec<Vec<Value>> = accs
+        .into_iter()
+        .map(|group_accs| group_accs.into_iter().map(|a| a.finish()).collect())
+        .collect();
+
+    // Optional ordering by first aggregate, descending.
+    let mut order: Vec<usize> = (0..n_groups).collect();
+    if cfg.orderby_aggregates && !finished.is_empty() {
+        order.sort_by(|&a, &b| finished[b][0].cmp(&finished[a][0]));
+    }
+
+    for &g in &order {
+        for (ci, v) in key_rows[g].iter().enumerate() {
+            out_values[ci].push(v.clone());
+        }
+        for (ai, v) in finished[g].drain(..).enumerate() {
+            out_values[cfg.keys.len() + ai].push(v);
+        }
+    }
+
+    let schema = cfg.output_schema(table.schema())?;
+    let columns: Vec<Column> = out_values
+        .iter()
+        .zip(schema.fields())
+        .map(|(vals, f)| {
+            // Honour the declared output type where possible; fall back to
+            // inference for heterogenous results.
+            let col = Column::from_values(vals);
+            col.cast(f.data_type()).unwrap_or(col)
+        })
+        .collect();
+    // Schema types may have been adjusted by fallback; rebuild from columns.
+    let fields: Vec<Field> = schema
+        .fields()
+        .iter()
+        .zip(&columns)
+        .map(|(f, c)| {
+            if c.data_type() == DataType::Null {
+                f.clone()
+            } else {
+                f.retyped(c.data_type())
+            }
+        })
+        .collect();
+    Table::new(Schema::new(fields)?, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn svn_jira() -> Table {
+        Table::from_rows(
+            &["project", "year", "noOfBugs", "noOfCheckins"],
+            &[
+                row!["pig", 2013i64, 5i64, 100i64],
+                row!["pig", 2013i64, 3i64, 50i64],
+                row!["pig", 2014i64, 7i64, 80i64],
+                row!["hive", 2013i64, 2i64, 30i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_figure8_composite_key_sums() {
+        // figure 8: groupby [project, year] with sum aggregates.
+        let cfg = GroupBy::with_aggregates(
+            &["project", "year"],
+            vec![
+                AggregateSpec::new(AggKind::Sum, "noOfCheckins", "total_checkins"),
+                AggregateSpec::new(AggKind::Sum, "noOfBugs", "total_jira"),
+            ],
+        );
+        let out = groupby(&svn_jira(), &cfg).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(
+            out.schema().names(),
+            vec!["project", "year", "total_checkins", "total_jira"]
+        );
+        // First-seen order: (pig,2013), (pig,2014), (hive,2013)
+        assert_eq!(out.value(0, "total_checkins").unwrap(), Value::Int(150));
+        assert_eq!(out.value(0, "total_jira").unwrap(), Value::Int(8));
+        assert_eq!(out.value(2, "total_checkins").unwrap(), Value::Int(30));
+    }
+
+    #[test]
+    fn paper_figure23_bare_count_default() {
+        // figure 23: groupby [date, player] with no aggregates -> count.
+        let t = Table::from_rows(
+            &["date", "player"],
+            &[
+                row!["d1", "dhoni"],
+                row!["d1", "dhoni"],
+                row!["d1", "kohli"],
+                row!["d2", "dhoni"],
+            ],
+        )
+        .unwrap();
+        let out = groupby(&t, &GroupBy::counting(&["date", "player"])).unwrap();
+        assert_eq!(out.schema().names(), vec!["date", "player", "count"]);
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.value(0, "count").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn orderby_aggregates_sorts_descending() {
+        let t = Table::from_rows(
+            &["word"],
+            &[row!["a"], row!["b"], row!["b"], row!["b"], row!["c"], row!["c"]],
+        )
+        .unwrap();
+        let mut cfg = GroupBy::counting(&["word"]);
+        cfg.orderby_aggregates = true;
+        let out = groupby(&t, &cfg).unwrap();
+        let counts: Vec<i64> = (0..3)
+            .map(|i| out.value(i, "count").unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(counts, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn null_keys_group_together() {
+        let t = Table::from_rows(
+            &["k", "v"],
+            &[row![Value::Null, 1i64], row![Value::Null, 2i64], row!["x", 3i64]],
+        )
+        .unwrap();
+        let cfg = GroupBy::with_aggregates(
+            &["k"],
+            vec![AggregateSpec::new(AggKind::Sum, "v", "s")],
+        );
+        let out = groupby(&t, &cfg).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, "s").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let t = Table::from_rows(&["k", "v"], &[]).unwrap();
+        let out = groupby(&t, &GroupBy::counting(&["k"])).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(out.schema().names(), vec!["k", "count"]);
+    }
+
+    #[test]
+    fn missing_key_column_errors() {
+        assert!(groupby(&svn_jira(), &GroupBy::counting(&["nope"])).is_err());
+        let cfg = GroupBy::with_aggregates(
+            &["project"],
+            vec![AggregateSpec::new(AggKind::Sum, "nope", "s")],
+        );
+        assert!(groupby(&svn_jira(), &cfg).is_err());
+    }
+
+    #[test]
+    fn avg_produces_float() {
+        let cfg = GroupBy::with_aggregates(
+            &["project"],
+            vec![AggregateSpec::new(AggKind::Avg, "noOfBugs", "avg_bugs")],
+        );
+        let out = groupby(&svn_jira(), &cfg).unwrap();
+        assert_eq!(
+            out.schema().field("avg_bugs").unwrap().data_type(),
+            DataType::Float64
+        );
+        assert_eq!(out.value(0, "avg_bugs").unwrap(), Value::Float(5.0));
+    }
+
+    #[test]
+    fn fast_path_matches_generic_path() {
+        // The single-key/int-sum specialization must be invisible: same
+        // rows, same order, same schema as the generic kernel.
+        let rows: Vec<Row> = (0..500)
+            .map(|i| {
+                crate::row![
+                    format!("k{}", i % 37),
+                    (i % 11) as i64,
+                    (i % 7) as i64
+                ]
+            })
+            .collect();
+        let t = Table::from_rows(&["key", "a", "b"], &rows).unwrap();
+        for orderby in [false, true] {
+            let mut cfg = GroupBy::with_aggregates(
+                &["key"],
+                vec![
+                    AggregateSpec::new(AggKind::Sum, "a", "sum_a"),
+                    AggregateSpec::new(AggKind::Count, "b", "n_b"),
+                    AggregateSpec::new(AggKind::CountAll, "", "n"),
+                ],
+            );
+            cfg.orderby_aggregates = orderby;
+            let fast = try_groupby_fast(&t, &cfg).unwrap().expect("shape matches");
+            let generic = groupby_generic(&t, &cfg).unwrap();
+            assert_eq!(fast, generic, "orderby={orderby}");
+            assert!(fast.schema().same_shape(generic.schema()));
+        }
+    }
+
+    #[test]
+    fn fast_path_declines_unsupported_shapes() {
+        let t = Table::from_rows(
+            &["k", "v"],
+            &[crate::row!["a", 1.5], crate::row!["b", 2.5]],
+        )
+        .unwrap();
+        // Float aggregate column: decline.
+        let cfg = GroupBy::with_aggregates(
+            &["k"],
+            vec![AggregateSpec::new(AggKind::Sum, "v", "s")],
+        );
+        assert!(try_groupby_fast(&t, &cfg).unwrap().is_none());
+        // Multi-key: decline.
+        let cfg = GroupBy::counting(&["k", "v"]);
+        assert!(try_groupby_fast(&t, &cfg).unwrap().is_none());
+        // Avg: decline.
+        let cfg = GroupBy::with_aggregates(
+            &["k"],
+            vec![AggregateSpec::new(AggKind::Avg, "v", "m")],
+        );
+        assert!(try_groupby_fast(&t, &cfg).unwrap().is_none());
+        // Null keys: decline (generic path groups them).
+        let t = Table::from_rows(&["k", "v"], &[crate::row![Value::Null, 1i64]]).unwrap();
+        let cfg = GroupBy::counting(&["k"]);
+        assert!(try_groupby_fast(&t, &cfg).unwrap().is_none());
+    }
+
+    #[test]
+    fn reduces_columns() {
+        // §3.3: group operations reduce columns.
+        let out = groupby(&svn_jira(), &GroupBy::counting(&["project"])).unwrap();
+        assert_eq!(out.schema().len(), 2);
+        assert!(out.schema().len() < svn_jira().schema().len());
+    }
+}

@@ -1,0 +1,163 @@
+//! Multi-key stable sort.
+
+use crate::error::Result;
+use crate::table::Table;
+use std::cmp::Ordering;
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortOrder {
+    /// Ascending (default).
+    #[default]
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+impl SortOrder {
+    /// Parse `ASC` / `DESC` (case-insensitive).
+    pub fn parse(s: &str) -> Option<SortOrder> {
+        match s.to_ascii_lowercase().as_str() {
+            "asc" | "ascending" => Some(SortOrder::Asc),
+            "desc" | "descending" => Some(SortOrder::Desc),
+            _ => None,
+        }
+    }
+}
+
+/// One sort key: column plus direction. The flow-file spelling is
+/// `orderby_column: [count DESC]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortKey {
+    /// Column name.
+    pub column: String,
+    /// Direction.
+    pub order: SortOrder,
+}
+
+impl SortKey {
+    /// Ascending key.
+    pub fn asc(column: impl Into<String>) -> Self {
+        SortKey {
+            column: column.into(),
+            order: SortOrder::Asc,
+        }
+    }
+
+    /// Descending key.
+    pub fn desc(column: impl Into<String>) -> Self {
+        SortKey {
+            column: column.into(),
+            order: SortOrder::Desc,
+        }
+    }
+
+    /// Parse `"count DESC"` / `"count"` flow-file forms.
+    pub fn parse(s: &str) -> Option<SortKey> {
+        let mut parts = s.split_whitespace();
+        let column = parts.next()?.to_string();
+        let order = match parts.next() {
+            Some(tok) => SortOrder::parse(tok)?,
+            None => SortOrder::Asc,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(SortKey { column, order })
+    }
+}
+
+/// Stable multi-key sort; equal keys keep input order.
+pub fn sort(table: &Table, keys: &[SortKey]) -> Result<Table> {
+    let cols: Vec<_> = keys
+        .iter()
+        .map(|k| table.column(&k.column).cloned())
+        .collect::<Result<Vec<_>>>()?;
+    let mut indices: Vec<usize> = (0..table.num_rows()).collect();
+    indices.sort_by(|&a, &b| {
+        for (key, col) in keys.iter().zip(&cols) {
+            let ord = col.value(a).cmp(&col.value(b));
+            let ord = match key.order {
+                SortOrder::Asc => ord,
+                SortOrder::Desc => ord.reverse(),
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    Ok(table.take(&indices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::Value;
+
+    fn t() -> Table {
+        Table::from_rows(
+            &["team", "pts"],
+            &[
+                row!["MI", 3i64],
+                row!["CSK", 5i64],
+                row!["MI", 1i64],
+                row!["CSK", 5i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_key_desc() {
+        let out = sort(&t(), &[SortKey::desc("pts")]).unwrap();
+        let pts: Vec<i64> = (0..4)
+            .map(|i| out.value(i, "pts").unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(pts, vec![5, 5, 3, 1]);
+    }
+
+    #[test]
+    fn multi_key_and_stability() {
+        let out = sort(&t(), &[SortKey::asc("team"), SortKey::desc("pts")]).unwrap();
+        let rows: Vec<(String, i64)> = (0..4)
+            .map(|i| {
+                (
+                    out.value(i, "team").unwrap().to_string(),
+                    out.value(i, "pts").unwrap().as_int().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                ("CSK".into(), 5),
+                ("CSK".into(), 5),
+                ("MI".into(), 3),
+                ("MI".into(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn nulls_sort_first_ascending() {
+        let t = Table::from_rows(&["x"], &[row![2i64], row![Value::Null], row![1i64]]).unwrap();
+        let out = sort(&t, &[SortKey::asc("x")]).unwrap();
+        assert!(out.value(0, "x").unwrap().is_null());
+    }
+
+    #[test]
+    fn parse_key_forms() {
+        assert_eq!(SortKey::parse("count DESC"), Some(SortKey::desc("count")));
+        assert_eq!(SortKey::parse("count desc"), Some(SortKey::desc("count")));
+        assert_eq!(SortKey::parse("name"), Some(SortKey::asc("name")));
+        assert_eq!(SortKey::parse("a b c"), None);
+        assert_eq!(SortKey::parse("a sideways"), None);
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        assert!(sort(&t(), &[SortKey::asc("nope")]).is_err());
+    }
+}

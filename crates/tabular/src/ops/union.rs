@@ -1,0 +1,53 @@
+//! Vertical union of same-shaped tables (multi-source fan-in, §3.4).
+
+use crate::error::{Result, TabularError};
+use crate::table::Table;
+
+/// Concatenate tables top to bottom; schemas must share column names in
+/// order, types widen per the lossy lattice.
+pub fn union_all(tables: &[Table]) -> Result<Table> {
+    let mut iter = tables.iter();
+    let first = iter
+        .next()
+        .ok_or_else(|| TabularError::InvalidOperation("union of zero tables".into()))?;
+    let mut acc = first.clone();
+    for t in iter {
+        acc = acc.concat(t)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::datatype::DataType;
+
+    #[test]
+    fn unions_and_widens() {
+        let a = Table::from_rows(&["x", "y"], &[row![1i64, "a"]]).unwrap();
+        let b = Table::from_rows(&["x", "y"], &[row![2.5, "b"]]).unwrap();
+        let u = union_all(&[a, b]).unwrap();
+        assert_eq!(u.num_rows(), 2);
+        assert_eq!(u.schema().field("x").unwrap().data_type(), DataType::Float64);
+    }
+
+    #[test]
+    fn zero_tables_is_an_error() {
+        assert!(union_all(&[]).is_err());
+    }
+
+    #[test]
+    fn single_table_identity() {
+        let a = Table::from_rows(&["x"], &[row![1i64]]).unwrap();
+        let u = union_all(std::slice::from_ref(&a)).unwrap();
+        assert_eq!(u, a);
+    }
+
+    #[test]
+    fn mismatched_names_error() {
+        let a = Table::from_rows(&["x"], &[row![1i64]]).unwrap();
+        let b = Table::from_rows(&["z"], &[row![1i64]]).unwrap();
+        assert!(union_all(&[a, b]).is_err());
+    }
+}

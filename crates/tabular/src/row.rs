@@ -1,0 +1,114 @@
+//! Row-oriented view types.
+//!
+//! The engine is columnar, but several boundaries are naturally row-shaped:
+//! payload decoding, the naive baseline executor, the server API's JSON-ish
+//! responses, and test assertions. [`Row`] is the bridging type.
+
+use crate::value::Value;
+
+/// An owned row of dynamic values, positionally aligned with a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    /// Empty row.
+    pub fn new() -> Self {
+        Row(Vec::new())
+    }
+
+    /// Row from values.
+    pub fn from_values(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the row has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Cell by position.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// Append a cell.
+    pub fn push(&mut self, v: Value) {
+        self.0.push(v);
+    }
+
+    /// Iterate cells.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+
+    /// Project the row onto the given positions, cloning cells.
+    pub fn project(&self, positions: &[usize]) -> Row {
+        Row(positions.iter().map(|&i| self.0[i].clone()).collect())
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row(v)
+    }
+}
+
+impl std::ops::Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl IntoIterator for Row {
+    type Item = Value;
+    type IntoIter = std::vec::IntoIter<Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+/// Build a [`Row`] from heterogenous literals: `row![1i64, "x", 2.5]`.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::row::Row(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_mixed_rows() {
+        let r = row![1i64, "x", 2.5, true];
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0], Value::Int(1));
+        assert_eq!(r[1], Value::Str("x".into()));
+        assert_eq!(r[2], Value::Float(2.5));
+        assert_eq!(r[3], Value::Bool(true));
+    }
+
+    #[test]
+    fn project_reorders() {
+        let r = row![1i64, 2i64, 3i64];
+        let p = r.project(&[2, 0]);
+        assert_eq!(p, row![3i64, 1i64]);
+    }
+
+    #[test]
+    fn rows_are_ord_and_hash() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(row![1i64, "a"]);
+        set.insert(row![1i64, "a"]);
+        assert_eq!(set.len(), 1);
+        assert!(row![1i64] < row![2i64]);
+    }
+}

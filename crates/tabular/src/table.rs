@@ -1,0 +1,425 @@
+//! [`Table`]: an immutable bundle of a schema and equally long columns.
+
+use crate::bitmap::Bitmap;
+use crate::column::{Column, ColumnBuilder, ColumnRef};
+use crate::datatype::DataType;
+use crate::error::{Result, TabularError};
+use crate::row::Row;
+use crate::schema::{Field, Schema, SchemaRef};
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable table: a [`Schema`] plus one [`Column`] per field, all of
+/// equal length. Columns are `Arc`-shared so projections and endpoint
+/// snapshots are cheap.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: SchemaRef,
+    columns: Vec<ColumnRef>,
+    rows: usize,
+}
+
+impl Table {
+    /// Build a table, validating column count and lengths against the
+    /// schema.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Table> {
+        Table::from_refs(
+            Arc::new(schema),
+            columns.into_iter().map(Arc::new).collect(),
+        )
+    }
+
+    /// Build from shared handles.
+    pub fn from_refs(schema: SchemaRef, columns: Vec<ColumnRef>) -> Result<Table> {
+        if schema.len() != columns.len() {
+            return Err(TabularError::LengthMismatch {
+                left: schema.len(),
+                right: columns.len(),
+                context: "table construction (schema vs columns)".into(),
+            });
+        }
+        let rows = columns.first().map_or(0, |c| c.len());
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            if c.len() != rows {
+                return Err(TabularError::LengthMismatch {
+                    left: rows,
+                    right: c.len(),
+                    context: format!("column '{}'", f.name()),
+                });
+            }
+            // A column may be narrower (Null unifies with anything) but not
+            // a different concrete type than its field declares.
+            if c.data_type() != DataType::Null && c.data_type() != f.data_type() {
+                return Err(TabularError::TypeMismatch {
+                    expected: f.data_type().to_string(),
+                    actual: c.data_type().to_string(),
+                    context: format!("column '{}'", f.name()),
+                });
+            }
+        }
+        Ok(Table {
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    /// A zero-row table with the given schema.
+    pub fn empty(schema: Schema) -> Table {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Arc::new(ColumnBuilder::new(f.data_type()).finish()))
+            .collect();
+        Table {
+            schema: Arc::new(schema),
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// Build a table from rows, inferring column types from the values.
+    /// The schema supplies names; inferred types override its types.
+    pub fn from_rows(names: &[impl AsRef<str>], rows: &[Row]) -> Result<Table> {
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != names.len() {
+                return Err(TabularError::LengthMismatch {
+                    left: names.len(),
+                    right: r.len(),
+                    context: format!("row {i}"),
+                });
+            }
+        }
+        let mut fields = Vec::with_capacity(names.len());
+        let mut columns = Vec::with_capacity(names.len());
+        for (ci, name) in names.iter().enumerate() {
+            let vals: Vec<Value> = rows.iter().map(|r| r[ci].clone()).collect();
+            let col = Column::from_values(&vals);
+            fields.push(Field::new(name.as_ref(), col.data_type()));
+            columns.push(col);
+        }
+        Table::new(Schema::new(fields)?, columns)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Shared schema handle.
+    pub fn schema_ref(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    /// Row count.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the table has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Column handle by position.
+    pub fn column_at(&self, i: usize) -> &ColumnRef {
+        &self.columns[i]
+    }
+
+    /// Column handle by name.
+    pub fn column(&self, name: &str) -> Result<&ColumnRef> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// All column handles.
+    pub fn columns(&self) -> &[ColumnRef] {
+        &self.columns
+    }
+
+    /// Cell accessor.
+    pub fn value(&self, row: usize, column: &str) -> Result<Value> {
+        Ok(self.column(column)?.value(row))
+    }
+
+    /// Materialise row `i`.
+    pub fn row(&self, i: usize) -> Row {
+        Row(self.columns.iter().map(|c| c.value(i)).collect())
+    }
+
+    /// Materialise every row (test/serialisation path — O(rows × cols)).
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.rows).map(|i| self.row(i)).collect()
+    }
+
+    /// Zero-copy projection onto named columns in the given order.
+    pub fn project(&self, names: &[impl AsRef<str>]) -> Result<Table> {
+        let schema = self.schema.project(names)?;
+        let columns = names
+            .iter()
+            .map(|n| Ok(Arc::clone(&self.columns[self.schema.index_of(n.as_ref())?])))
+            .collect::<Result<Vec<_>>>()?;
+        Table::from_refs(Arc::new(schema), columns)
+    }
+
+    /// New table with `column` appended (or replacing a same-named column).
+    pub fn with_column(&self, name: &str, column: Column) -> Result<Table> {
+        if column.len() != self.rows {
+            return Err(TabularError::LengthMismatch {
+                left: self.rows,
+                right: column.len(),
+                context: format!("with_column '{name}'"),
+            });
+        }
+        let field = Field::new(name, column.data_type());
+        let schema = self.schema.upsert_field(field);
+        let mut columns = self.columns.clone();
+        match self.schema.index_of(name) {
+            Ok(i) => columns[i] = Arc::new(column),
+            Err(_) => columns.push(Arc::new(column)),
+        }
+        Table::from_refs(Arc::new(schema), columns)
+    }
+
+    /// Gather rows by index into a new table.
+    pub fn take(&self, indices: &[usize]) -> Table {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Arc::new(c.take(indices)))
+            .collect();
+        Table {
+            schema: Arc::clone(&self.schema),
+            columns,
+            rows: indices.len(),
+        }
+    }
+
+    /// Filter rows by a selection bitmap.
+    pub fn filter(&self, mask: &Bitmap) -> Table {
+        self.take(&mask.ones())
+    }
+
+    /// First `n` rows.
+    pub fn limit(&self, n: usize) -> Table {
+        let n = n.min(self.rows);
+        self.take(&(0..n).collect::<Vec<_>>())
+    }
+
+    /// Rows `[offset, offset+len)` clamped to the table.
+    pub fn slice(&self, offset: usize, len: usize) -> Table {
+        let start = offset.min(self.rows);
+        let end = (offset + len).min(self.rows);
+        self.take(&(start..end).collect::<Vec<_>>())
+    }
+
+    /// Vertical concatenation; schemas must have the same column names in
+    /// order, types widen per the lossy lattice.
+    pub fn concat(&self, other: &Table) -> Result<Table> {
+        let schema = self.schema.unify(other.schema())?;
+        let mut columns = Vec::with_capacity(self.columns.len());
+        for (i, f) in schema.fields().iter().enumerate() {
+            let a = self.columns[i].cast(f.data_type()).unwrap_or_else(|_| {
+                // unify_lossy guarantees Utf8 fallback casts succeed; a
+                // failure here would be an internal invariant break.
+                panic!("concat cast failed for column '{}'", f.name())
+            });
+            let b = other.columns[i]
+                .cast(f.data_type())
+                .unwrap_or_else(|_| panic!("concat cast failed for column '{}'", f.name()));
+            columns.push(Arc::new(a.concat(&b)?));
+        }
+        Table::from_refs(Arc::new(schema), columns)
+    }
+
+    /// Render the first `max_rows` rows as an aligned text grid — the shape
+    /// the paper's data explorer (§4.4, figure 29) shows for endpoint data.
+    pub fn pretty(&self, max_rows: usize) -> String {
+        let names = self.schema.names();
+        let shown = self.rows.min(max_rows);
+        let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
+        for r in 0..shown {
+            let row: Vec<String> = self.columns.iter().map(|c| c.value(r).to_string()).collect();
+            for (w, cell) in widths.iter_mut().zip(&row) {
+                *w = (*w).max(cell.len());
+            }
+            cells.push(row);
+        }
+        let mut out = String::new();
+        let fmt_row = |vals: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (v, w) in vals.iter().zip(widths) {
+                line.push_str(&format!(" {v:<w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        let header: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        out.push_str(&fmt_row(&header, &widths));
+        out.push_str(&format!(
+            "|{}\n",
+            widths
+                .iter()
+                .map(|w| format!("{:-<1$}|", "", w + 2))
+                .collect::<String>()
+        ));
+        for row in &cells {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        if self.rows > shown {
+            out.push_str(&format!("... {} more rows\n", self.rows - shown));
+        }
+        out
+    }
+
+    /// Approximate in-memory size in bytes: the metric the optimizer uses
+    /// when minimising data transferred to the client (§6).
+    pub fn approx_bytes(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| match c.as_ref() {
+                Column::Bool { data, .. } => data.len(),
+                Column::Int64 { data, .. } => data.len() * 8,
+                Column::Float64 { data, .. } => data.len() * 8,
+                Column::Date { data, .. } => data.len() * 4,
+                Column::Utf8 { data, .. } => {
+                    data.iter().map(|s| s.len() + 24).sum::<usize>()
+                }
+                Column::Null { .. } => 0,
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pretty(20))
+    }
+}
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema.same_shape(other.schema()) && self.to_rows() == other.to_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn sample() -> Table {
+        Table::new(
+            Schema::of(&[
+                ("project", DataType::Utf8),
+                ("year", DataType::Int64),
+                ("commits", DataType::Int64),
+            ]),
+            vec![
+                Column::utf8(["pig", "spark", "pig", "hive"]),
+                Column::int([2013, 2013, 2014, 2014]),
+                Column::int([120, 340, 95, 60]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths_and_types() {
+        let bad = Table::new(
+            Schema::of(&[("a", DataType::Int64), ("b", DataType::Int64)]),
+            vec![Column::int([1, 2]), Column::int([1])],
+        );
+        assert!(bad.is_err());
+        let bad = Table::new(
+            Schema::of(&[("a", DataType::Int64)]),
+            vec![Column::utf8(["x"])],
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn from_rows_infers_schema() {
+        let t = Table::from_rows(
+            &["name", "score"],
+            &[row!["a", 1i64], row!["b", 2.5], row!["c", Value::Null]],
+        )
+        .unwrap();
+        assert_eq!(t.schema().field("score").unwrap().data_type(), DataType::Float64);
+        assert_eq!(t.num_rows(), 3);
+        assert!(t.value(2, "score").unwrap().is_null());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Table::from_rows(&["a", "b"], &[row![1i64]]).is_err());
+    }
+
+    #[test]
+    fn projection_is_zero_copy() {
+        let t = sample();
+        let p = t.project(&["commits", "project"]).unwrap();
+        assert_eq!(p.schema().names(), vec!["commits", "project"]);
+        assert!(Arc::ptr_eq(p.column("commits").unwrap(), t.column("commits").unwrap()));
+    }
+
+    #[test]
+    fn with_column_appends_and_replaces() {
+        let t = sample();
+        let t2 = t
+            .with_column("stars", Column::int([1, 2, 3, 4]))
+            .unwrap();
+        assert_eq!(t2.num_columns(), 4);
+        let t3 = t2
+            .with_column("stars", Column::float([0.1, 0.2, 0.3, 0.4]))
+            .unwrap();
+        assert_eq!(t3.num_columns(), 4);
+        assert_eq!(
+            t3.schema().field("stars").unwrap().data_type(),
+            DataType::Float64
+        );
+        assert!(t.with_column("bad", Column::int([1])).is_err());
+    }
+
+    #[test]
+    fn take_filter_limit_slice() {
+        let t = sample();
+        let taken = t.take(&[3, 0]);
+        assert_eq!(taken.value(0, "project").unwrap(), Value::Str("hive".into()));
+        let mask = Bitmap::from_bools(&[true, false, false, true]);
+        assert_eq!(t.filter(&mask).num_rows(), 2);
+        assert_eq!(t.limit(2).num_rows(), 2);
+        assert_eq!(t.limit(99).num_rows(), 4);
+        assert_eq!(t.slice(1, 2).num_rows(), 2);
+        assert_eq!(t.slice(3, 5).num_rows(), 1);
+    }
+
+    #[test]
+    fn concat_unifies() {
+        let a = Table::from_rows(&["x"], &[row![1i64]]).unwrap();
+        let b = Table::from_rows(&["x"], &[row![2.5]]).unwrap();
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.num_rows(), 2);
+        assert_eq!(c.schema().field("x").unwrap().data_type(), DataType::Float64);
+    }
+
+    #[test]
+    fn pretty_prints_header_and_overflow() {
+        let t = sample();
+        let s = t.pretty(2);
+        assert!(s.contains("project"));
+        assert!(s.contains("... 2 more rows"));
+    }
+
+    #[test]
+    fn approx_bytes_positive() {
+        assert!(sample().approx_bytes() > 0);
+        assert_eq!(Table::empty(Schema::empty()).approx_bytes(), 0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Text-processing primitives for the unstructured-data map operators.
+//!
+//! The IPL pipeline (§3.7.1) extracts player/team mentions from tweet bodies
+//! via a user-supplied dictionary mapping surface forms (nicknames,
+//! abbreviations) to canonical names, extracts words for the tag cloud, and
+//! extracts Indian cities from free-form user locations. These are the
+//! building blocks behind the `extract`, `extract_words` and
+//! `extract_location` operator types.
+
+use std::collections::HashMap;
+
+/// A dictionary mapping surface forms to canonical names.
+///
+/// Loaded from the `dict:` parameter of an `extract` map task (the paper's
+/// `players.txt` / `teams.csv`). File syntax: one entry per line,
+/// `surface_form,canonical_name` (CSV) or `surface_form => canonical_name`;
+/// a line with a single token maps the token to itself. `#` starts a
+/// comment. Matching is case-insensitive on word boundaries.
+#[derive(Debug, Clone, Default)]
+pub struct ExtractDict {
+    /// lowercase surface form -> canonical name
+    entries: HashMap<String, String>,
+    /// maximum number of words in any surface form (bounds n-gram scan)
+    max_words: usize,
+}
+
+impl ExtractDict {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse dictionary file content.
+    pub fn parse(content: &str) -> Self {
+        let mut d = ExtractDict::new();
+        for line in content.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (surface, canonical) = if let Some((s, c)) = line.split_once("=>") {
+                (s.trim(), c.trim())
+            } else if let Some((s, c)) = line.split_once(',') {
+                (s.trim(), c.trim())
+            } else {
+                (line, line)
+            };
+            if !surface.is_empty() {
+                d.insert(surface, canonical);
+            }
+        }
+        d
+    }
+
+    /// Add one mapping.
+    pub fn insert(&mut self, surface: &str, canonical: &str) {
+        let words = surface.split_whitespace().count().max(1);
+        self.max_words = self.max_words.max(words);
+        self.entries
+            .insert(surface.to_lowercase(), canonical.to_string());
+    }
+
+    /// Number of surface forms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the dictionary has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Direct lookup of a lowercase surface form.
+    pub fn lookup(&self, surface: &str) -> Option<&str> {
+        self.entries.get(&surface.to_lowercase()).map(|s| s.as_str())
+    }
+
+    /// Find the first canonical name whose surface form occurs in `text`
+    /// (scanning word n-grams up to the longest surface form, longest match
+    /// preferred at each position).
+    pub fn extract_first(&self, text: &str) -> Option<&str> {
+        self.extract_all(text).into_iter().next()
+    }
+
+    /// All canonical names mentioned in `text`, in order of first
+    /// occurrence, deduplicated.
+    pub fn extract_all(&self, text: &str) -> Vec<&str> {
+        let tokens = tokenize(text);
+        let mut found: Vec<&str> = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let mut matched = 0;
+            // Longest-match-first over n-grams starting at token i.
+            for n in (1..=self.max_words.min(tokens.len() - i)).rev() {
+                let gram = tokens[i..i + n].join(" ");
+                if let Some(canon) = self.entries.get(&gram) {
+                    if !found.contains(&canon.as_str()) {
+                        found.push(canon.as_str());
+                    }
+                    matched = n;
+                    break;
+                }
+            }
+            i += matched.max(1);
+        }
+        found
+    }
+}
+
+/// Lowercased word tokens: alphanumeric runs (apostrophes and `#`/`@`
+/// prefixes are stripped, so `@msdhoni` tokenizes as `msdhoni`).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '\'' {
+            if c != '\'' {
+                cur.extend(c.to_lowercase());
+            }
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Minimal English stopword list used by `extract_words` so tag clouds show
+/// content words (the paper's figure 17 word clouds show players and teams,
+/// not articles).
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "is", "are", "was", "were", "be", "been", "and", "or", "but", "not", "of",
+    "in", "on", "at", "to", "for", "with", "by", "from", "as", "it", "its", "this", "that",
+    "these", "those", "i", "you", "he", "she", "we", "they", "my", "your", "his", "her", "our",
+    "their", "me", "him", "them", "so", "if", "then", "than", "too", "very", "just", "rt",
+    "via", "amp", "will", "can", "all", "what", "when", "who", "how", "up", "out", "no", "yes",
+    "do", "did", "done", "have", "has", "had", "about", "into", "over", "after", "before",
+];
+
+/// Extract content words from text: tokens of at least `min_len` characters
+/// that are not stopwords and not pure numbers.
+pub fn extract_words(text: &str, min_len: usize) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| {
+            t.len() >= min_len
+                && !STOPWORDS.contains(&t.as_str())
+                && !t.chars().all(|c| c.is_ascii_digit())
+        })
+        .collect()
+}
+
+/// A gazetteer of locations mapping city names to a canonical region
+/// (state), used by the `extract_location` operator
+/// (`match: city / country: IND / output: state` in figure 21).
+#[derive(Debug, Clone, Default)]
+pub struct Gazetteer {
+    /// lowercase city -> (state, country)
+    cities: HashMap<String, (String, String)>,
+}
+
+impl Gazetteer {
+    /// Empty gazetteer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a city.
+    pub fn insert(&mut self, city: &str, state: &str, country: &str) {
+        self.cities.insert(
+            city.to_lowercase(),
+            (state.to_string(), country.to_string()),
+        );
+    }
+
+    /// Number of registered cities.
+    pub fn len(&self) -> usize {
+        self.cities.len()
+    }
+
+    /// True when the gazetteer has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.cities.is_empty()
+    }
+
+    /// The default gazetteer of major Indian cities used by the IPL
+    /// dashboard reproduction.
+    pub fn india_default() -> Self {
+        let mut g = Gazetteer::new();
+        for (city, state) in [
+            ("mumbai", "Maharashtra"),
+            ("pune", "Maharashtra"),
+            ("nagpur", "Maharashtra"),
+            ("delhi", "Delhi"),
+            ("new delhi", "Delhi"),
+            ("chennai", "Tamil Nadu"),
+            ("coimbatore", "Tamil Nadu"),
+            ("kolkata", "West Bengal"),
+            ("bangalore", "Karnataka"),
+            ("bengaluru", "Karnataka"),
+            ("mysore", "Karnataka"),
+            ("hyderabad", "Telangana"),
+            ("jaipur", "Rajasthan"),
+            ("ahmedabad", "Gujarat"),
+            ("surat", "Gujarat"),
+            ("chandigarh", "Punjab"),
+            ("mohali", "Punjab"),
+            ("amritsar", "Punjab"),
+            ("lucknow", "Uttar Pradesh"),
+            ("kanpur", "Uttar Pradesh"),
+            ("kochi", "Kerala"),
+            ("bhopal", "Madhya Pradesh"),
+            ("indore", "Madhya Pradesh"),
+            ("patna", "Bihar"),
+            ("ranchi", "Jharkhand"),
+            ("guwahati", "Assam"),
+            ("bhubaneswar", "Odisha"),
+            ("cuttack", "Odisha"),
+            ("visakhapatnam", "Andhra Pradesh"),
+            ("vijayawada", "Andhra Pradesh"),
+        ] {
+            g.insert(city, state, "IND");
+        }
+        g
+    }
+
+    /// Extract the state for the first known city mentioned in a free-form
+    /// location string, filtered to `country`.
+    pub fn extract_state(&self, location: &str, country: &str) -> Option<&str> {
+        let tokens = tokenize(location);
+        // Two-word cities first (e.g. "new delhi").
+        for w in (1..=2).rev() {
+            for window in tokens.windows(w) {
+                let candidate = window.join(" ");
+                if let Some((state, c)) = self.cities.get(&candidate) {
+                    if c == country {
+                        return Some(state.as_str());
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_strips_punctuation_and_lowers() {
+        assert_eq!(
+            tokenize("Go CSK!! @msdhoni's SIX, #IPL2013"),
+            vec!["go", "csk", "msdhonis", "six", "ipl2013"]
+        );
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ...").is_empty());
+    }
+
+    #[test]
+    fn dict_parse_formats() {
+        let d = ExtractDict::parse(
+            "# player dictionary\nmsd => MS Dhoni\nmahi,MS Dhoni\nthala => MS Dhoni\nkohli\n",
+        );
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.lookup("MSD"), Some("MS Dhoni"));
+        assert_eq!(d.lookup("kohli"), Some("kohli"));
+        assert_eq!(d.lookup("missing"), None);
+    }
+
+    #[test]
+    fn extract_prefers_longest_match() {
+        let mut d = ExtractDict::new();
+        d.insert("dhoni", "MS Dhoni");
+        d.insert("ms dhoni", "MS Dhoni");
+        d.insert("rohit", "Rohit Sharma");
+        let found = d.extract_all("What a finish by MS Dhoni! rohit watched.");
+        assert_eq!(found, vec!["MS Dhoni", "Rohit Sharma"]);
+    }
+
+    #[test]
+    fn extract_dedups_by_canonical() {
+        let mut d = ExtractDict::new();
+        d.insert("msd", "MS Dhoni");
+        d.insert("dhoni", "MS Dhoni");
+        let found = d.extract_all("msd msd dhoni");
+        assert_eq!(found, vec!["MS Dhoni"]);
+    }
+
+    #[test]
+    fn extract_first_none_when_absent() {
+        let d = ExtractDict::parse("kohli => Virat Kohli");
+        assert_eq!(d.extract_first("no players here"), None);
+        assert_eq!(d.extract_first("KOHLI century"), Some("Virat Kohli"));
+    }
+
+    #[test]
+    fn extract_words_filters_stopwords_and_numbers() {
+        let words = extract_words("The CSK won by 23 runs and it was great", 3);
+        assert_eq!(words, vec!["csk", "won", "runs", "great"]);
+    }
+
+    #[test]
+    fn gazetteer_extracts_states() {
+        let g = Gazetteer::india_default();
+        assert_eq!(g.extract_state("Mumbai, India", "IND"), Some("Maharashtra"));
+        assert_eq!(g.extract_state("living in new delhi", "IND"), Some("Delhi"));
+        assert_eq!(g.extract_state("London, UK", "IND"), None);
+        assert_eq!(g.extract_state("", "IND"), None);
+    }
+
+    #[test]
+    fn gazetteer_country_filter() {
+        let mut g = Gazetteer::new();
+        g.insert("springfield", "Illinois", "USA");
+        assert_eq!(g.extract_state("springfield", "IND"), None);
+        assert_eq!(g.extract_state("springfield", "USA"), Some("Illinois"));
+    }
+}

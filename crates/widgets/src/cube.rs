@@ -1,0 +1,281 @@
+//! The interactive data cube.
+//!
+//! §4.1: the widget sections compile to "a data cube (in JavaScript) for
+//! ad-hoc widget interaction (group, filter etc)". This is that component:
+//! it holds an endpoint table in memory and evaluates interaction-flow task
+//! chains against the *current selection state*, caching results per
+//! selection fingerprint so repeated interactions are O(lookup).
+
+use crate::error::{Result, WidgetError};
+use parking_lot::Mutex;
+use shareinsights_engine::selection::SelectionProvider;
+use shareinsights_engine::task::{NamedTask, TaskKind, TaskRuntime};
+use shareinsights_tabular::Table;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A cube over one endpoint data object, with a task chain per widget.
+pub struct DataCube {
+    base: Table,
+    cache: Mutex<HashMap<u64, Arc<Table>>>,
+    /// Cache hit/miss counters (observability for PERF-CUBE).
+    hits: Mutex<(u64, u64)>,
+}
+
+impl DataCube {
+    /// Build over an endpoint snapshot.
+    pub fn new(base: Table) -> Self {
+        DataCube {
+            base,
+            cache: Mutex::new(HashMap::new()),
+            hits: Mutex::new((0, 0)),
+        }
+    }
+
+    /// The underlying endpoint table.
+    pub fn base(&self) -> &Table {
+        &self.base
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        *self.hits.lock()
+    }
+
+    /// The widget/column pairs a task chain depends on — the selection
+    /// *fingerprint domain*. Only these affect the result, so the cache key
+    /// hashes only their current values.
+    pub fn dependencies(tasks: &[NamedTask]) -> BTreeSet<(String, String)> {
+        let mut deps = BTreeSet::new();
+        for t in tasks {
+            collect_deps(&t.kind, &mut deps);
+        }
+        deps
+    }
+
+    /// Evaluate a task chain under the given selections.
+    pub fn eval(
+        &self,
+        widget: &str,
+        tasks: &[NamedTask],
+        selections: &dyn SelectionProvider,
+    ) -> Result<Arc<Table>> {
+        let key = fingerprint(widget, tasks, selections);
+        if let Some(hit) = self.cache.lock().get(&key).cloned() {
+            self.hits.lock().0 += 1;
+            return Ok(hit);
+        }
+        self.hits.lock().1 += 1;
+        let lookup = |_: &str| None;
+        let rt = TaskRuntime {
+            selections: Some(selections),
+            lookup_table: &lookup,
+        };
+        let mut current = self.base.clone();
+        for t in tasks {
+            current = t
+                .kind
+                .execute(&t.name, std::slice::from_ref(&current), &rt)
+                .map_err(|e| WidgetError::Flow {
+                    widget: widget.to_string(),
+                    message: e.to_string(),
+                })?;
+        }
+        let arc = Arc::new(current);
+        self.cache.lock().insert(key, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Drop all cached results (called when the endpoint data itself is
+    /// refreshed by a batch run).
+    pub fn invalidate(&self) {
+        self.cache.lock().clear();
+    }
+}
+
+fn collect_deps(kind: &TaskKind, deps: &mut BTreeSet<(String, String)>) {
+    match kind {
+        TaskKind::FilterBySource {
+            source: shareinsights_engine::task::FilterSource::Widget(w),
+            source_columns,
+            columns,
+            ..
+        } => {
+            for (i, _) in columns.iter().enumerate() {
+                let col = source_columns
+                    .get(i)
+                    .or_else(|| source_columns.first())
+                    .cloned()
+                    .unwrap_or_else(|| "value".to_string());
+                deps.insert((w.clone(), col));
+            }
+        }
+        TaskKind::Parallel(subs) => {
+            for s in subs {
+                collect_deps(&s.kind, deps);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn fingerprint(widget: &str, tasks: &[NamedTask], selections: &dyn SelectionProvider) -> u64 {
+    let mut h = DefaultHasher::new();
+    widget.hash(&mut h);
+    for t in tasks {
+        t.name.hash(&mut h);
+    }
+    for (w, c) in DataCube::dependencies(tasks) {
+        w.hash(&mut h);
+        c.hash(&mut h);
+        match selections.selection(&w, &c) {
+            Some(shareinsights_engine::Selection::Values(vals)) => {
+                1u8.hash(&mut h);
+                for v in vals {
+                    v.hash(&mut h);
+                }
+            }
+            Some(shareinsights_engine::Selection::Range(lo, hi)) => {
+                2u8.hash(&mut h);
+                lo.hash(&mut h);
+                hi.hash(&mut h);
+            }
+            None => 0u8.hash(&mut h),
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_engine::selection::{Selection, StaticSelections};
+    use shareinsights_engine::task::FilterSource;
+    use shareinsights_tabular::ops::{AggregateSpec, GroupBy};
+    use shareinsights_tabular::agg::AggKind;
+    use shareinsights_tabular::row;
+
+    fn team_tweets() -> Table {
+        Table::from_rows(
+            &["date", "team", "noOfTweets"],
+            &[
+                row!["2013-05-02", "CSK", 100i64],
+                row!["2013-05-02", "MI", 80i64],
+                row!["2013-05-03", "CSK", 60i64],
+                row!["2013-05-10", "RCB", 40i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn filter_by_team() -> NamedTask {
+        NamedTask {
+            name: "filter_by_team".into(),
+            kind: TaskKind::FilterBySource {
+                columns: vec!["team".into()],
+                source: FilterSource::Widget("teams".into()),
+                source_columns: vec!["text".into()],
+            },
+        }
+    }
+
+    fn aggregate_by_team() -> NamedTask {
+        NamedTask {
+            name: "aggregate_by_team".into(),
+            kind: TaskKind::GroupBy {
+                builtin: GroupBy::with_aggregates(
+                    &["team"],
+                    vec![AggregateSpec::new(AggKind::Sum, "noOfTweets", "noOfTweets")],
+                ),
+                custom: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn evaluates_interaction_flow() {
+        let cube = DataCube::new(team_tweets());
+        let sel = StaticSelections::new();
+        let tasks = vec![filter_by_team(), aggregate_by_team()];
+
+        // No selection: all teams aggregated.
+        let out = cube.eval("w", &tasks, &sel).unwrap();
+        assert_eq!(out.num_rows(), 3);
+
+        // Select CSK: one row, 160 tweets.
+        sel.set("teams", "text", Selection::Values(vec!["CSK".into()]));
+        let out = cube.eval("w", &tasks, &sel).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, "noOfTweets").unwrap().as_int(), Some(160));
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_and_distinguishes_selections() {
+        let cube = DataCube::new(team_tweets());
+        let sel = StaticSelections::new();
+        let tasks = vec![filter_by_team(), aggregate_by_team()];
+
+        cube.eval("w", &tasks, &sel).unwrap();
+        cube.eval("w", &tasks, &sel).unwrap();
+        assert_eq!(cube.cache_stats(), (1, 1), "second call hits");
+
+        sel.set("teams", "text", Selection::Values(vec!["MI".into()]));
+        let out = cube.eval("w", &tasks, &sel).unwrap();
+        assert_eq!(out.value(0, "team").unwrap().to_string(), "MI");
+        assert_eq!(cube.cache_stats(), (1, 2), "new selection misses");
+    }
+
+    #[test]
+    fn unrelated_selection_changes_still_hit() {
+        // Changing a widget the chain doesn't depend on must not bust the
+        // cache — the fingerprint only covers dependencies.
+        let cube = DataCube::new(team_tweets());
+        let sel = StaticSelections::new();
+        let tasks = vec![filter_by_team()];
+        cube.eval("w", &tasks, &sel).unwrap();
+        sel.set("other_widget", "text", Selection::Values(vec!["x".into()]));
+        cube.eval("w", &tasks, &sel).unwrap();
+        assert_eq!(cube.cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn dependencies_extracted() {
+        let deps = DataCube::dependencies(&[filter_by_team(), aggregate_by_team()]);
+        assert_eq!(deps.len(), 1);
+        assert!(deps.contains(&("teams".to_string(), "text".to_string())));
+    }
+
+    #[test]
+    fn invalidate_clears_cache() {
+        let cube = DataCube::new(team_tweets());
+        let sel = StaticSelections::new();
+        let tasks = vec![aggregate_by_team()];
+        cube.eval("w", &tasks, &sel).unwrap();
+        cube.invalidate();
+        cube.eval("w", &tasks, &sel).unwrap();
+        assert_eq!(cube.cache_stats(), (0, 2));
+    }
+
+    #[test]
+    fn range_selection_on_dates() {
+        let cube = DataCube::new(team_tweets());
+        let sel = StaticSelections::new();
+        let tasks = vec![NamedTask {
+            name: "filter_by_date".into(),
+            kind: TaskKind::FilterBySource {
+                columns: vec!["date".into()],
+                source: FilterSource::Widget("ipl_duration".into()),
+                source_columns: vec!["date".into()],
+            },
+        }];
+        sel.set(
+            "ipl_duration",
+            "date",
+            Selection::Range("2013-05-02".into(), "2013-05-03".into()),
+        );
+        let out = cube.eval("w", &tasks, &sel).unwrap();
+        assert_eq!(out.num_rows(), 3);
+    }
+}

@@ -1,0 +1,633 @@
+//! Dashboard runtime: widget instances, selection state, interaction
+//! propagation, and rendering.
+//!
+//! Building a runtime wires every widget's `source:` chain to a
+//! [`DataCube`] over the endpoint table it reads. Selecting a value on one
+//! widget and re-rendering another evaluates the downstream interaction
+//! flows against the new selection state — figure 13's "project selection
+//! updates project details", without event handlers.
+
+use crate::cube::DataCube;
+use crate::error::{Result, WidgetError};
+use crate::model::{binding_spec, validate_bindings};
+use crate::registry::WidgetRegistry;
+use crate::render::{render_widget, RenderNode};
+use parking_lot::RwLock;
+use shareinsights_engine::selection::{Selection, SelectionProvider};
+use shareinsights_engine::task::{interpret_task, InterpretEnv, NamedTask};
+use shareinsights_engine::TaskRegistry;
+use shareinsights_flowfile::ast::{DataRef, FlowFile, WidgetDef, WidgetSource};
+use shareinsights_flowfile::config::ConfigValue;
+use shareinsights_tabular::{Table, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// A widget bound to its data and holding its selection state.
+pub struct WidgetInstance {
+    /// The flow-file definition.
+    pub def: WidgetDef,
+    /// Interaction-flow tasks (empty for direct sources).
+    tasks: Vec<NamedTask>,
+    /// The cube serving this widget (None for static/sourceless widgets).
+    cube: Option<Arc<DataCube>>,
+    /// Static source values (sliders).
+    static_values: Vec<String>,
+    /// Selected values per widget column.
+    selected: RwLock<HashMap<String, Vec<Value>>>,
+    /// Range selection (sliders).
+    range: RwLock<Option<(Value, Value)>>,
+    /// Whether selections are ranges.
+    range_selection: bool,
+}
+
+impl WidgetInstance {
+    /// Record a discrete selection on a widget column (e.g. clicking the
+    /// `pig` bubble sets column `text` to `["pig"]`).
+    pub fn select(&self, column: &str, values: Vec<Value>) {
+        self.selected.write().insert(column.to_string(), values);
+    }
+
+    /// Clear a column's selection.
+    pub fn clear_selection(&self, column: &str) {
+        self.selected.write().remove(column);
+    }
+
+    /// Set a slider range.
+    pub fn set_range(&self, lo: Value, hi: Value) {
+        *self.range.write() = Some((lo, hi));
+    }
+
+    /// The widget's current selection for a requested column, resolving
+    /// widget-column names to selections (§3.5.1: widget columns behave as
+    /// data columns).
+    pub fn selection_for(&self, column: &str) -> Option<Selection> {
+        if self.range_selection {
+            if let Some((lo, hi)) = self.range.read().clone() {
+                return Some(Selection::Range(lo, hi));
+            }
+            // Default slider range: its static bounds.
+            if self.static_values.len() >= 2 {
+                return Some(Selection::Range(
+                    Value::Str(self.static_values[0].clone()),
+                    Value::Str(self.static_values[self.static_values.len() - 1].clone()),
+                ));
+            }
+            return None;
+        }
+        let selected = self.selected.read();
+        if let Some(vals) = selected.get(column) {
+            return Some(Selection::Values(vals.clone()));
+        }
+        // Permissive fallback: a single recorded selection answers any
+        // column query (mirrors the paper's loose widget-column binding).
+        if selected.len() == 1 {
+            return selected.values().next().cloned().map(Selection::Values);
+        }
+        None
+    }
+
+    /// The column a widget attribute binds to. Marker attributes of
+    /// `MapMarker` widgets are nested inside the `markers:` list and are
+    /// searched there.
+    pub fn binding(&self, attr: &str) -> Option<String> {
+        if let Some(col) = self.def.params.get_scalar(attr) {
+            return Some(col.to_string());
+        }
+        if let Some(ConfigValue::List(markers)) = self.def.params.get("markers") {
+            for marker in markers {
+                if let Some(m) = marker.as_map() {
+                    for (_, v, _) in m.entries() {
+                        if let Some(col) = v.as_map().and_then(|inner| inner.get_scalar(attr)) {
+                            return Some(col.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The live dashboard: widgets + shared selection state over endpoints.
+pub struct DashboardRuntime {
+    widgets: BTreeMap<String, Arc<WidgetInstance>>,
+    cubes: BTreeMap<String, Arc<DataCube>>,
+    registry: WidgetRegistry,
+    layout_rows: Vec<Vec<(u8, String)>>,
+}
+
+impl std::fmt::Debug for DashboardRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DashboardRuntime")
+            .field("widgets", &self.widgets.keys().collect::<Vec<_>>())
+            .field("cubes", &self.cubes.keys().collect::<Vec<_>>())
+            .field("layout_rows", &self.layout_rows)
+            .finish()
+    }
+}
+
+/// Selection provider view over the dashboard (what interaction filters
+/// consult).
+struct DashboardSelections {
+    widgets: BTreeMap<String, Arc<WidgetInstance>>,
+}
+
+impl SelectionProvider for DashboardSelections {
+    fn selection(&self, widget: &str, column: &str) -> Option<Selection> {
+        self.widgets.get(widget)?.selection_for(column)
+    }
+}
+
+impl DashboardRuntime {
+    /// Build a runtime from a flow file and its endpoint tables.
+    ///
+    /// `endpoints` maps data-object names to materialised tables (the
+    /// output of a batch run, or shared objects from other dashboards).
+    pub fn build(
+        ff: &FlowFile,
+        endpoints: &BTreeMap<String, Table>,
+        task_registry: &TaskRegistry,
+        widget_registry: &WidgetRegistry,
+    ) -> Result<DashboardRuntime> {
+        let loader = |_: &str| None;
+        let env = InterpretEnv {
+            registry: task_registry,
+            load_text: &loader,
+            all_tasks: &ff.tasks,
+        };
+
+        let mut cubes: BTreeMap<String, Arc<DataCube>> = BTreeMap::new();
+        let mut widgets: BTreeMap<String, Arc<WidgetInstance>> = BTreeMap::new();
+
+        for def in &ff.widgets {
+            let info = binding_spec(&def.widget_type);
+            let custom = widget_registry.get(&def.widget_type);
+            if info.is_none() && custom.is_none() {
+                return Err(WidgetError::UnknownType {
+                    widget: def.name.clone(),
+                    widget_type: def.widget_type.clone(),
+                });
+            }
+            let range_selection = info.map(|i| i.range_selection).unwrap_or(false)
+                || custom.as_ref().is_some_and(|c| c.range_selection());
+
+            let (tasks, cube, static_values, schema) = match &def.source {
+                Some(WidgetSource::Flow { input, tasks }) => {
+                    let table = endpoints.get(input).ok_or_else(|| WidgetError::MissingSource {
+                        widget: def.name.clone(),
+                        source: input.clone(),
+                    })?;
+                    let cube = cubes
+                        .entry(input.clone())
+                        .or_insert_with(|| Arc::new(DataCube::new(table.clone())))
+                        .clone();
+                    let mut named = Vec::with_capacity(tasks.len());
+                    for tname in tasks {
+                        let tdef = ff.task(tname).ok_or_else(|| WidgetError::Flow {
+                            widget: def.name.clone(),
+                            message: format!("unknown task 'T.{tname}'"),
+                        })?;
+                        named.push(interpret_task(tdef, &env).map_err(|e| WidgetError::Flow {
+                            widget: def.name.clone(),
+                            message: e.to_string(),
+                        })?);
+                    }
+                    // The schema after the chain (for binding validation):
+                    // derive by propagating; fall back to the base schema.
+                    let mut schema = table.schema().clone();
+                    let mut ok = true;
+                    for t in &named {
+                        match t.kind.output_schema(&t.name, &[schema.clone()]) {
+                            Ok(s) => schema = s,
+                            Err(_) => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    let schema = ok.then_some(schema);
+                    (named, Some(cube), Vec::new(), schema)
+                }
+                Some(WidgetSource::Static(values)) => {
+                    (Vec::new(), None, values.clone(), None)
+                }
+                None => (Vec::new(), None, Vec::new(), None),
+            };
+
+            match &custom {
+                Some(factory) => factory.validate(def, schema.as_ref())?,
+                None => validate_bindings(def, schema.as_ref())?,
+            }
+
+            let instance = Arc::new(WidgetInstance {
+                def: def.clone(),
+                tasks,
+                cube,
+                static_values,
+                selected: RwLock::new(HashMap::new()),
+                range: RwLock::new(None),
+                range_selection,
+            });
+            // Figure 12: `default_selection: true` pre-selects a value
+            // (`default_selection_key: text` / `default_selection_value:
+            // 'pig'`), so dependent widgets render populated on first load.
+            if def.params.get_bool("default_selection").unwrap_or(false) {
+                let key = def
+                    .params
+                    .get_scalar("default_selection_key")
+                    .unwrap_or("text");
+                if let Some(value) = def.params.get_scalar("default_selection_value") {
+                    instance.select(key, vec![Value::Str(value.to_string())]);
+                }
+            }
+            widgets.insert(def.name.clone(), instance);
+        }
+
+        let layout_rows = ff
+            .layout
+            .as_ref()
+            .map(|l| {
+                l.rows
+                    .iter()
+                    .map(|row| row.iter().map(|c| (c.span, c.widget.clone())).collect())
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        Ok(DashboardRuntime {
+            widgets,
+            cubes,
+            registry: widget_registry.clone(),
+            layout_rows,
+        })
+    }
+
+    /// Widget instance by name.
+    pub fn widget(&self, name: &str) -> Option<&Arc<WidgetInstance>> {
+        self.widgets.get(name)
+    }
+
+    /// All widget names.
+    pub fn widget_names(&self) -> Vec<&str> {
+        self.widgets.keys().map(String::as_str).collect()
+    }
+
+    /// Record a discrete selection (a user click) on a widget column.
+    pub fn select(&self, widget: &str, column: &str, values: Vec<Value>) -> Result<()> {
+        self.widgets
+            .get(widget)
+            .ok_or_else(|| WidgetError::Invalid(format!("no widget '{widget}'")))?
+            .select(column, values);
+        Ok(())
+    }
+
+    /// Set a slider range.
+    pub fn set_range(&self, widget: &str, lo: Value, hi: Value) -> Result<()> {
+        self.widgets
+            .get(widget)
+            .ok_or_else(|| WidgetError::Invalid(format!("no widget '{widget}'")))?
+            .set_range(lo, hi);
+        Ok(())
+    }
+
+    fn selections(&self) -> DashboardSelections {
+        DashboardSelections {
+            widgets: self.widgets.clone(),
+        }
+    }
+
+    /// Evaluate one widget's data under the current selection state.
+    pub fn data_of(&self, widget: &str) -> Result<Table> {
+        let inst = self
+            .widgets
+            .get(widget)
+            .ok_or_else(|| WidgetError::Invalid(format!("no widget '{widget}'")))?;
+        match (&inst.cube, inst.static_values.is_empty()) {
+            (Some(cube), _) => {
+                let sels = self.selections();
+                Ok((*cube.eval(widget, &inst.tasks, &sels)?).clone())
+            }
+            (None, false) => {
+                let rows: Vec<shareinsights_tabular::Row> = inst
+                    .static_values
+                    .iter()
+                    .map(|v| shareinsights_tabular::Row(vec![Value::Str(v.clone())]))
+                    .collect();
+                Table::from_rows(&["value"], &rows)
+                    .map_err(|e| WidgetError::Invalid(e.to_string()))
+            }
+            (None, true) => Table::from_rows(&["value"], &[])
+                .map_err(|e| WidgetError::Invalid(e.to_string())),
+        }
+    }
+
+    /// Render one widget (resolving sub-layouts and tabs recursively).
+    pub fn render_widget(&self, name: &str, max_items: usize) -> Result<RenderNode> {
+        let inst = self
+            .widgets
+            .get(name)
+            .ok_or_else(|| WidgetError::Invalid(format!("no widget '{name}'")))?;
+        match inst.def.widget_type.as_str() {
+            "Layout" => {
+                let mut children = Vec::new();
+                if let Some(ConfigValue::List(rows)) = inst.def.params.get("rows") {
+                    for row in rows {
+                        for cell in row.as_list().unwrap_or(&[]) {
+                            if let Some(m) = cell.as_map() {
+                                for (_, v, _) in m.entries() {
+                                    if let Some(DataRef::Widget(w)) =
+                                        v.as_scalar().and_then(DataRef::parse)
+                                    {
+                                        children.push(self.render_widget(&w, max_items)?);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(RenderNode::container(name, "Layout", children))
+            }
+            "TabLayout" => {
+                let mut children = Vec::new();
+                if let Some(ConfigValue::List(tabs)) = inst.def.params.get("tabs") {
+                    for tab in tabs {
+                        if let Some(body) = tab.as_map().and_then(|m| m.get_scalar("body")) {
+                            if let Some(DataRef::Widget(w)) = DataRef::parse(body) {
+                                children.push(self.render_widget(&w, max_items)?);
+                            }
+                        }
+                    }
+                }
+                Ok(RenderNode::container(name, "TabLayout", children))
+            }
+            wtype => {
+                let table = self.data_of(name)?;
+                if let Some(factory) = self.registry.get(wtype) {
+                    return Ok(factory.render(&inst.def, &table));
+                }
+                let inst2 = Arc::clone(inst);
+                let binder = move |attr: &str| inst2.binding(attr);
+                Ok(render_widget(name, wtype, &table, &binder, max_items))
+            }
+        }
+    }
+
+    /// Render the whole dashboard per the layout section.
+    pub fn render(&self, max_items: usize) -> Result<RenderNode> {
+        let mut children = Vec::new();
+        if self.layout_rows.is_empty() {
+            for name in self.widgets.keys() {
+                children.push(self.render_widget(name, max_items)?);
+            }
+        } else {
+            for row in &self.layout_rows {
+                for (_, widget) in row {
+                    children.push(self.render_widget(widget, max_items)?);
+                }
+            }
+        }
+        Ok(RenderNode::container("dashboard", "Dashboard", children))
+    }
+
+    /// Layout rows as `(span, widget)` lists (consumed by the layout
+    /// solver).
+    pub fn layout_rows(&self) -> &[Vec<(u8, String)>] {
+        &self.layout_rows
+    }
+
+    /// Cache statistics summed over all cubes.
+    pub fn cube_stats(&self) -> (u64, u64) {
+        self.cubes
+            .values()
+            .map(|c| c.cache_stats())
+            .fold((0, 0), |(h, m), (ch, cm)| (h + ch, m + cm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_flowfile::parse_flow_file;
+    use shareinsights_tabular::row;
+
+    const DASH: &str = r#"
+W:
+  teams:
+    type: List
+    source: D.dim_teams
+    text: team
+
+  ipl_duration:
+    type: Slider
+    source: ['2013-05-02', '2013-05-27']
+    range: true
+
+  relative_teamtweets:
+    type: Streamgraph
+    source: D.team_tweets | T.filter_by_date | T.filter_by_team
+    x: date
+    y: noOfTweets
+    serie: team
+
+T:
+  filter_by_date:
+    type: filter_by
+    filter_by: [date]
+    filter_source: W.ipl_duration
+
+  filter_by_team:
+    type: filter_by
+    filter_by: [team]
+    filter_source: W.teams
+    filter_val: [text]
+
+L:
+  description: Clash of Titans
+  rows:
+  - [span12: W.teams]
+  - [span11: W.ipl_duration]
+  - [span11: W.relative_teamtweets]
+"#;
+
+    fn endpoints() -> BTreeMap<String, Table> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "dim_teams".to_string(),
+            Table::from_rows(&["team"], &[row!["CSK"], row!["MI"], row!["RCB"]]).unwrap(),
+        );
+        m.insert(
+            "team_tweets".to_string(),
+            Table::from_rows(
+                &["date", "team", "noOfTweets"],
+                &[
+                    row!["2013-05-02", "CSK", 100i64],
+                    row!["2013-05-03", "MI", 80i64],
+                    row!["2013-06-01", "CSK", 10i64],
+                ],
+            )
+            .unwrap(),
+        );
+        m
+    }
+
+    fn build() -> DashboardRuntime {
+        let ff = parse_flow_file("ipl", DASH).unwrap();
+        DashboardRuntime::build(
+            &ff,
+            &endpoints(),
+            &TaskRegistry::new(),
+            &WidgetRegistry::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_and_lists_widgets() {
+        let dash = build();
+        assert_eq!(
+            dash.widget_names(),
+            vec!["ipl_duration", "relative_teamtweets", "teams"]
+        );
+    }
+
+    #[test]
+    fn slider_default_range_filters_dates() {
+        let dash = build();
+        // The slider's static bounds [05-02, 05-27] exclude the June row.
+        let data = dash.data_of("relative_teamtweets").unwrap();
+        assert_eq!(data.num_rows(), 2);
+    }
+
+    #[test]
+    fn selection_propagates_to_downstream_widget() {
+        let dash = build();
+        dash.select("teams", "text", vec!["CSK".into()]).unwrap();
+        let data = dash.data_of("relative_teamtweets").unwrap();
+        assert_eq!(data.num_rows(), 1);
+        assert_eq!(data.value(0, "team").unwrap().to_string(), "CSK");
+
+        dash.set_range("ipl_duration", "2013-05-01".into(), "2013-06-30".into())
+            .unwrap();
+        let data = dash.data_of("relative_teamtweets").unwrap();
+        assert_eq!(data.num_rows(), 2, "wider range admits the June row");
+    }
+
+    #[test]
+    fn renders_by_layout_order() {
+        let dash = build();
+        let tree = dash.render(10).unwrap();
+        assert_eq!(tree.children.len(), 3);
+        assert_eq!(tree.children[0].name, "teams");
+        assert_eq!(tree.children[1].widget_type, "Slider");
+        let printed = tree.to_string();
+        assert!(printed.contains("- CSK"));
+    }
+
+    #[test]
+    fn repeated_renders_hit_cube_cache() {
+        let dash = build();
+        dash.render(10).unwrap();
+        dash.render(10).unwrap();
+        let (hits, misses) = dash.cube_stats();
+        assert!(hits >= misses, "second render served from cache: {hits}/{misses}");
+    }
+
+    #[test]
+    fn missing_endpoint_is_a_clear_error() {
+        let ff = parse_flow_file(
+            "t",
+            "W:\n  w:\n    type: List\n    source: D.ghost\n    text: x\n",
+        )
+        .unwrap();
+        let err = DashboardRuntime::build(
+            &ff,
+            &BTreeMap::new(),
+            &TaskRegistry::new(),
+            &WidgetRegistry::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, WidgetError::MissingSource { .. }));
+    }
+
+    #[test]
+    fn unknown_widget_type_rejected() {
+        let ff = parse_flow_file("t", "W:\n  w:\n    type: HoloDeck\n").unwrap();
+        let err = DashboardRuntime::build(
+            &ff,
+            &BTreeMap::new(),
+            &TaskRegistry::new(),
+            &WidgetRegistry::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, WidgetError::UnknownType { .. }));
+    }
+
+    #[test]
+    fn binding_validated_against_post_flow_schema() {
+        // The widget binds to a column produced by its interaction chain's
+        // groupby output, not the raw endpoint.
+        let src = r#"
+W:
+  cloud:
+    type: WordCloud
+    source: D.words | T.agg
+    text: word
+    size: total
+T:
+  agg:
+    type: groupby
+    groupby: [word]
+    aggregates:
+    - operator: sum
+      apply_on: count
+      out_field: total
+"#;
+        let ff = parse_flow_file("t", src).unwrap();
+        let mut eps = BTreeMap::new();
+        eps.insert(
+            "words".to_string(),
+            Table::from_rows(
+                &["word", "count"],
+                &[row!["six", 3i64], row!["six", 2i64], row!["four", 1i64]],
+            )
+            .unwrap(),
+        );
+        let dash = DashboardRuntime::build(
+            &ff,
+            &eps,
+            &TaskRegistry::new(),
+            &WidgetRegistry::new(),
+        )
+        .unwrap();
+        let node = dash.render_widget("cloud", 5).unwrap();
+        assert_eq!(node.lines[0], "six (5)");
+    }
+
+    #[test]
+    fn tab_layout_renders_children() {
+        let src = r#"
+W:
+  inner:
+    type: List
+    source: D.d
+    text: x
+  tabs:
+    type: TabLayout
+    tabs:
+    - name: 'A'
+      body: W.inner
+"#;
+        let ff = parse_flow_file("t", src).unwrap();
+        let mut eps = BTreeMap::new();
+        eps.insert(
+            "d".to_string(),
+            Table::from_rows(&["x"], &[row!["hello"]]).unwrap(),
+        );
+        let dash =
+            DashboardRuntime::build(&ff, &eps, &TaskRegistry::new(), &WidgetRegistry::new())
+                .unwrap();
+        let node = dash.render_widget("tabs", 5).unwrap();
+        assert_eq!(node.children.len(), 1);
+        assert_eq!(node.children[0].lines[0], "- hello");
+    }
+}

@@ -1,0 +1,126 @@
+//! Widget-layer errors.
+
+use std::fmt;
+
+/// Result alias.
+pub type Result<T, E = WidgetError> = std::result::Result<T, E>;
+
+/// Errors raised while building or interacting with dashboards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WidgetError {
+    /// A widget type is neither built-in nor registered.
+    UnknownType {
+        /// Widget name.
+        widget: String,
+        /// Its declared type.
+        widget_type: String,
+    },
+    /// A required data attribute is missing from the widget config.
+    MissingBinding {
+        /// Widget name.
+        widget: String,
+        /// The attribute (`text`, `size`, …).
+        attribute: &'static str,
+    },
+    /// A data attribute binds to a column the source schema lacks.
+    BadBinding {
+        /// Widget name.
+        widget: String,
+        /// Attribute.
+        attribute: String,
+        /// The missing column.
+        column: String,
+        /// Columns the source actually has.
+        available: Vec<String>,
+    },
+    /// The widget's source data object is not available as an endpoint.
+    MissingSource {
+        /// Widget name.
+        widget: String,
+        /// Source data object.
+        source: String,
+    },
+    /// Evaluating the widget's interaction flow failed.
+    Flow {
+        /// Widget name.
+        widget: String,
+        /// Underlying engine error text.
+        message: String,
+    },
+    /// Anything else.
+    Invalid(String),
+}
+
+impl fmt::Display for WidgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WidgetError::UnknownType {
+                widget,
+                widget_type,
+            } => write!(
+                f,
+                "widget '{widget}': unknown type '{widget_type}' (not built-in, not registered)"
+            ),
+            WidgetError::MissingBinding { widget, attribute } => {
+                write!(f, "widget '{widget}': missing required data attribute '{attribute}:'")
+            }
+            WidgetError::BadBinding {
+                widget,
+                attribute,
+                column,
+                available,
+            } => write!(
+                f,
+                "widget '{widget}': attribute '{attribute}' binds to column '{column}' which the source lacks (has: [{}])",
+                available.join(", ")
+            ),
+            WidgetError::MissingSource { widget, source } => write!(
+                f,
+                "widget '{widget}': source 'D.{source}' is not an available endpoint data object"
+            ),
+            WidgetError::Flow { widget, message } => {
+                write!(f, "widget '{widget}': interaction flow failed: {message}")
+            }
+            WidgetError::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for WidgetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let cases = [
+            WidgetError::UnknownType {
+                widget: "w".into(),
+                widget_type: "HoloDeck".into(),
+            },
+            WidgetError::MissingBinding {
+                widget: "w".into(),
+                attribute: "text",
+            },
+            WidgetError::BadBinding {
+                widget: "w".into(),
+                attribute: "size".into(),
+                column: "total".into(),
+                available: vec!["a".into()],
+            },
+            WidgetError::MissingSource {
+                widget: "w".into(),
+                source: "d".into(),
+            },
+            WidgetError::Flow {
+                widget: "w".into(),
+                message: "boom".into(),
+            },
+            WidgetError::Invalid("x".into()),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

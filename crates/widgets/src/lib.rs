@@ -1,0 +1,37 @@
+//! # shareinsights-widgets
+//!
+//! The widget layer (§3.5 of the paper): widget types with data/visual
+//! attribute bindings, the interactive **data cube** that evaluates widget
+//! flows, widget-to-widget interaction, and a deterministic render tree
+//! standing in for the browser dashboard.
+//!
+//! Key ideas reproduced faithfully:
+//!
+//! * **Widgets are data objects** (§3.5.1): a [`WidgetInstance`] exposes its
+//!   current selection through the engine's
+//!   [`SelectionProvider`](shareinsights_engine::SelectionProvider), so the
+//!   very same `filter_by` task configuration works in batch flows and
+//!   interaction flows.
+//! * **Interaction is a flow** (figure 14): a widget's `source:` is a task
+//!   chain over an endpoint data object, evaluated by the [`cube::DataCube`]
+//!   whenever an upstream selection changes — no event handlers, no
+//!   imperative glue.
+//! * **Custom widgets** (§4.2 Widgets API): the [`registry::WidgetFactory`]
+//!   trait admits new widget types that are indistinguishable from
+//!   built-ins in the flow file.
+
+pub mod cube;
+pub mod dashboard;
+pub mod error;
+pub mod model;
+pub mod registry;
+pub mod render;
+pub mod style;
+
+pub use cube::DataCube;
+pub use dashboard::{DashboardRuntime, WidgetInstance};
+pub use error::{Result, WidgetError};
+pub use model::{binding_spec, WidgetTypeInfo};
+pub use registry::{WidgetFactory, WidgetRegistry};
+pub use render::RenderNode;
+pub use style::{apply_styles, Stylesheet};

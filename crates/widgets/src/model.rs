@@ -1,0 +1,262 @@
+//! Built-in widget types and their data-attribute binding specs.
+//!
+//! "Every widget has a set of attributes which associate (or bind) with
+//! data source columns. These attributes are called data attributes or
+//! widget columns. The remaining attributes of a widget are visual
+//! attributes" (§3.5). The binding spec per type is what lets the platform
+//! validate a widget against its (endpoint) source schema at compile time.
+
+use crate::error::{Result, WidgetError};
+use shareinsights_flowfile::ast::WidgetDef;
+use shareinsights_flowfile::config::ConfigValue;
+use shareinsights_tabular::Schema;
+
+/// Binding requirements of a widget type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WidgetTypeInfo {
+    /// Canonical type name as written in flow files.
+    pub name: &'static str,
+    /// Data attributes that must be present and bind to source columns.
+    pub required: &'static [&'static str],
+    /// Data attributes that may be present; when present they must bind.
+    pub optional: &'static [&'static str],
+    /// Whether the widget needs a data source at all.
+    pub needs_source: bool,
+    /// Whether selections on this widget are ranges (sliders) rather than
+    /// discrete values.
+    pub range_selection: bool,
+}
+
+/// Binding specs for every built-in widget type; `None` for unknown types
+/// (the registry may still know them).
+pub fn binding_spec(widget_type: &str) -> Option<&'static WidgetTypeInfo> {
+    const SPECS: &[WidgetTypeInfo] = &[
+        WidgetTypeInfo {
+            name: "BubbleChart",
+            required: &["text", "size"],
+            optional: &["legend_text", "color"],
+            needs_source: true,
+            range_selection: false,
+        },
+        WidgetTypeInfo {
+            name: "Streamgraph",
+            required: &["x", "y", "serie"],
+            optional: &["color"],
+            needs_source: true,
+            range_selection: false,
+        },
+        WidgetTypeInfo {
+            name: "WordCloud",
+            required: &["text", "size"],
+            optional: &[],
+            needs_source: true,
+            range_selection: false,
+        },
+        WidgetTypeInfo {
+            name: "MapMarker",
+            required: &[],
+            optional: &[],
+            needs_source: true,
+            range_selection: false,
+        },
+        WidgetTypeInfo {
+            name: "Slider",
+            required: &[],
+            optional: &[],
+            needs_source: true,
+            range_selection: true,
+        },
+        WidgetTypeInfo {
+            name: "List",
+            required: &["text"],
+            optional: &[],
+            needs_source: true,
+            range_selection: false,
+        },
+        WidgetTypeInfo {
+            name: "Pie",
+            required: &["text", "size"],
+            optional: &["color"],
+            needs_source: true,
+            range_selection: false,
+        },
+        WidgetTypeInfo {
+            name: "Line",
+            required: &["x", "y"],
+            optional: &["serie", "color"],
+            needs_source: true,
+            range_selection: false,
+        },
+        WidgetTypeInfo {
+            name: "Bar",
+            required: &["x", "y"],
+            optional: &["serie", "color"],
+            needs_source: true,
+            range_selection: false,
+        },
+        WidgetTypeInfo {
+            name: "DataGrid",
+            required: &[],
+            optional: &[],
+            needs_source: true,
+            range_selection: false,
+        },
+        WidgetTypeInfo {
+            name: "HTML",
+            required: &[],
+            optional: &[],
+            needs_source: false,
+            range_selection: false,
+        },
+        WidgetTypeInfo {
+            name: "Layout",
+            required: &[],
+            optional: &[],
+            needs_source: false,
+            range_selection: false,
+        },
+        WidgetTypeInfo {
+            name: "TabLayout",
+            required: &[],
+            optional: &[],
+            needs_source: false,
+            range_selection: false,
+        },
+    ];
+    SPECS.iter().find(|s| s.name == widget_type)
+}
+
+/// The data-attribute bindings a widget declares: `(attribute, column)`.
+pub fn bindings_of(def: &WidgetDef) -> Vec<(String, String)> {
+    let Some(info) = binding_spec(&def.widget_type) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for attr in info.required.iter().chain(info.optional.iter()) {
+        if let Some(col) = def.params.get_scalar(attr) {
+            out.push((attr.to_string(), col.to_string()));
+        }
+    }
+    // MapMarker bindings are nested in the markers list.
+    if def.widget_type == "MapMarker" {
+        if let Some(ConfigValue::List(markers)) = def.params.get("markers") {
+            for marker in markers {
+                if let Some(m) = marker.as_map() {
+                    for (_, v, _) in m.entries() {
+                        if let Some(inner) = v.as_map() {
+                            for attr in ["latlong_value", "markersize", "fill_color"] {
+                                if let Some(col) = inner.get_scalar(attr) {
+                                    out.push((attr.to_string(), col.to_string()));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Validate a widget's data attributes against the schema its source
+/// produces. `schema == None` (unknown source shape) skips column checks
+/// but still enforces required attributes.
+pub fn validate_bindings(def: &WidgetDef, schema: Option<&Schema>) -> Result<()> {
+    let Some(info) = binding_spec(&def.widget_type) else {
+        return Ok(()); // custom types validate via their factory
+    };
+    for attr in info.required {
+        if def.params.get_scalar(attr).is_none() {
+            return Err(WidgetError::MissingBinding {
+                widget: def.name.clone(),
+                attribute: attr,
+            });
+        }
+    }
+    if let Some(schema) = schema {
+        for (attr, col) in bindings_of(def) {
+            if !schema.contains(&col) {
+                return Err(WidgetError::BadBinding {
+                    widget: def.name.clone(),
+                    attribute: attr,
+                    column: col,
+                    available: schema.names().iter().map(|s| s.to_string()).collect(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_flowfile::parse_flow_file;
+    use shareinsights_tabular::DataType;
+
+    fn widget(src: &str) -> WidgetDef {
+        let ff = parse_flow_file("t", src).unwrap();
+        ff.widgets[0].clone()
+    }
+
+    #[test]
+    fn bubble_chart_spec_matches_figure12() {
+        let info = binding_spec("BubbleChart").unwrap();
+        assert!(info.required.contains(&"text") && info.required.contains(&"size"));
+        assert!(info.optional.contains(&"legend_text"));
+        assert!(!info.range_selection);
+        assert!(binding_spec("Slider").unwrap().range_selection);
+        assert!(binding_spec("HoloDeck").is_none());
+    }
+
+    #[test]
+    fn validates_figure12_bindings() {
+        let def = widget(
+            "W:\n  bubble:\n    type: BubbleChart\n    source: D.project_data\n    text: project\n    size: total_wt\n    legend_text: technology\n",
+        );
+        let schema = Schema::of(&[
+            ("project", DataType::Utf8),
+            ("total_wt", DataType::Float64),
+            ("technology", DataType::Utf8),
+        ]);
+        validate_bindings(&def, Some(&schema)).unwrap();
+        assert_eq!(bindings_of(&def).len(), 3);
+
+        let narrow = Schema::of(&[("project", DataType::Utf8)]);
+        let err = validate_bindings(&def, Some(&narrow)).unwrap_err();
+        assert!(matches!(err, WidgetError::BadBinding { .. }));
+    }
+
+    #[test]
+    fn missing_required_attribute_rejected() {
+        let def = widget("W:\n  cloud:\n    type: WordCloud\n    source: D.x\n    text: player\n");
+        let err = validate_bindings(&def, None).unwrap_err();
+        assert!(matches!(
+            err,
+            WidgetError::MissingBinding {
+                attribute: "size",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn map_marker_nested_bindings() {
+        let src = "W:\n  map:\n    type: MapMarker\n    source: D.trt\n    country: IND\n    markers:\n    - marker1:\n        type: circle_marker\n        latlong_value: point_one\n        markersize: noOfTweets\n        fill_color: color\n";
+        let def = widget(src);
+        let b = bindings_of(&def);
+        assert_eq!(b.len(), 3);
+        let schema = Schema::of(&[
+            ("point_one", DataType::Utf8),
+            ("noOfTweets", DataType::Int64),
+            ("color", DataType::Utf8),
+        ]);
+        validate_bindings(&def, Some(&schema)).unwrap();
+    }
+
+    #[test]
+    fn unknown_types_pass_through_to_registry() {
+        let def = widget("W:\n  x:\n    type: CustomThing\n    source: D.a\n");
+        validate_bindings(&def, None).unwrap();
+    }
+}

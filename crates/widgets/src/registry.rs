@@ -1,0 +1,133 @@
+//! Custom widget registry — §4.2's "Widgets API".
+//!
+//! "Commercial and open source widgets can easily be made part of the
+//! platform by implementing this interface." A [`WidgetFactory`] validates
+//! a widget definition against its source schema and renders its data; the
+//! Apache dashboard's weight-slider widget (§3.5: "a custom widget —
+//! written using the platform extension APIs") is the canonical example,
+//! reproduced in the apache_dashboard example binary.
+
+use crate::error::Result;
+use crate::render::RenderNode;
+use parking_lot::RwLock;
+use shareinsights_flowfile::ast::WidgetDef;
+use shareinsights_tabular::{Schema, Table};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A pluggable widget implementation.
+pub trait WidgetFactory: Send + Sync {
+    /// Widget type name as used in `type:`.
+    fn type_name(&self) -> &str;
+
+    /// Validate the definition against the source schema (None = unknown).
+    fn validate(&self, def: &WidgetDef, schema: Option<&Schema>) -> Result<()>;
+
+    /// Render the widget's current data.
+    fn render(&self, def: &WidgetDef, table: &Table) -> RenderNode;
+
+    /// Whether selections are ranges (slider-like) rather than values.
+    fn range_selection(&self) -> bool {
+        false
+    }
+}
+
+/// Registry of custom widget factories.
+#[derive(Clone, Default)]
+pub struct WidgetRegistry {
+    factories: Arc<RwLock<BTreeMap<String, Arc<dyn WidgetFactory>>>>,
+}
+
+impl WidgetRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a factory.
+    pub fn register(&self, factory: Arc<dyn WidgetFactory>) {
+        self.factories
+            .write()
+            .insert(factory.type_name().to_string(), factory);
+    }
+
+    /// Look up by type name.
+    pub fn get(&self, type_name: &str) -> Option<Arc<dyn WidgetFactory>> {
+        self.factories.read().get(type_name).cloned()
+    }
+
+    /// Registered type names.
+    pub fn type_names(&self) -> Vec<String> {
+        self.factories.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::WidgetError;
+    use shareinsights_flowfile::parse_flow_file;
+    use shareinsights_tabular::row;
+
+    /// The Apache dashboard's custom weight-slider widget, as a test
+    /// double: four sliders whose values weight the activity index.
+    struct WeightSliders;
+
+    impl WidgetFactory for WeightSliders {
+        fn type_name(&self) -> &str {
+            "WeightSliders"
+        }
+
+        fn validate(&self, def: &WidgetDef, _schema: Option<&Schema>) -> Result<()> {
+            if def.params.get("weights").is_none() {
+                return Err(WidgetError::Invalid(format!(
+                    "widget '{}': WeightSliders needs a 'weights:' list",
+                    def.name
+                )));
+            }
+            Ok(())
+        }
+
+        fn render(&self, def: &WidgetDef, _table: &Table) -> RenderNode {
+            let weights = def
+                .params
+                .get("weights")
+                .map(|v| v.scalar_items().join(", "))
+                .unwrap_or_default();
+            RenderNode::leaf(&def.name, "WeightSliders", vec![format!("weights: {weights}")])
+        }
+    }
+
+    #[test]
+    fn custom_widget_registers_and_renders() {
+        let reg = WidgetRegistry::new();
+        assert!(reg.get("WeightSliders").is_none());
+        reg.register(Arc::new(WeightSliders));
+        assert_eq!(reg.type_names(), vec!["WeightSliders"]);
+
+        let ff = parse_flow_file(
+            "t",
+            "W:\n  apache_custom_widget:\n    type: WeightSliders\n    weights: [checkins, bugs, contributors, releases]\n",
+        )
+        .unwrap();
+        let def = &ff.widgets[0];
+        let factory = reg.get("WeightSliders").unwrap();
+        factory.validate(def, None).unwrap();
+        let table = Table::from_rows(&["x"], &[row![1i64]]).unwrap();
+        let node = factory.render(def, &table);
+        assert!(node.lines[0].contains("checkins"));
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let reg = WidgetRegistry::new();
+        reg.register(Arc::new(WeightSliders));
+        let ff = parse_flow_file("t", "W:\n  w:\n    type: WeightSliders\n").unwrap();
+        let err = reg
+            .get("WeightSliders")
+            .unwrap()
+            .validate(&ff.widgets[0], None)
+            .unwrap_err();
+        assert!(err.to_string().contains("weights"));
+    }
+}

@@ -1,0 +1,248 @@
+//! The render tree: a deterministic, inspectable stand-in for the browser
+//! dashboard.
+//!
+//! Each widget renders its current data into a [`RenderNode`]; the layout
+//! crate positions nodes on the 12-column grid; the whole tree prints as a
+//! plain-text dashboard (what examples and the hackathon judging model
+//! consume).
+
+use shareinsights_tabular::{Table, Value};
+use std::fmt;
+
+/// One rendered widget (or container) in the dashboard tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderNode {
+    /// Widget name.
+    pub name: String,
+    /// Widget type.
+    pub widget_type: String,
+    /// Rendered content lines (type-specific textual encoding).
+    pub lines: Vec<String>,
+    /// Nested nodes (sub-layouts, tabs).
+    pub children: Vec<RenderNode>,
+}
+
+impl RenderNode {
+    /// Leaf node.
+    pub fn leaf(name: &str, widget_type: &str, lines: Vec<String>) -> Self {
+        RenderNode {
+            name: name.to_string(),
+            widget_type: widget_type.to_string(),
+            lines,
+            children: Vec::new(),
+        }
+    }
+
+    /// Container node.
+    pub fn container(name: &str, widget_type: &str, children: Vec<RenderNode>) -> Self {
+        RenderNode {
+            name: name.to_string(),
+            widget_type: widget_type.to_string(),
+            lines: Vec::new(),
+            children,
+        }
+    }
+
+    /// Total widget count in this subtree (self included).
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(RenderNode::count).sum::<usize>()
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        writeln!(f, "{pad}[{}] {}", self.widget_type, self.name)?;
+        for line in &self.lines {
+            writeln!(f, "{pad}  {line}")?;
+        }
+        for child in &self.children {
+            child.fmt_indented(f, indent + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for RenderNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+fn fmt_num(v: &Value) -> String {
+    v.to_string()
+}
+
+/// Render a table through a widget type's visual encoding. `bindings`
+/// resolves data attributes to columns.
+pub fn render_widget(
+    name: &str,
+    widget_type: &str,
+    table: &Table,
+    get_binding: &dyn Fn(&str) -> Option<String>,
+    max_items: usize,
+) -> RenderNode {
+    let col_values = |attr: &str| -> Vec<Value> {
+        get_binding(attr)
+            .and_then(|col| table.column(&col).ok().cloned())
+            .map(|c| c.iter().collect())
+            .unwrap_or_default()
+    };
+    let lines = match widget_type {
+        "BubbleChart" | "Pie" | "WordCloud" => {
+            let text = col_values("text");
+            let size = col_values("size");
+            let mut pairs: Vec<(String, Value)> = text
+                .iter()
+                .zip(size.iter())
+                .map(|(t, s)| (t.to_string(), s.clone()))
+                .collect();
+            pairs.sort_by(|a, b| b.1.cmp(&a.1));
+            pairs
+                .iter()
+                .take(max_items)
+                .map(|(t, s)| format!("{t} ({})", fmt_num(s)))
+                .collect()
+        }
+        "List" => col_values("text")
+            .iter()
+            .take(max_items)
+            .map(|v| format!("- {v}"))
+            .collect(),
+        "Streamgraph" | "Line" | "Bar" => {
+            let x = col_values("x");
+            let y = col_values("y");
+            let serie = col_values("serie");
+            (0..x.len().min(max_items))
+                .map(|i| {
+                    let s = serie
+                        .get(i)
+                        .map(|v| format!("{v}: "))
+                        .unwrap_or_default();
+                    format!("{}{} -> {}", s, x[i], y.get(i).map(fmt_num).unwrap_or_default())
+                })
+                .collect()
+        }
+        "MapMarker" => {
+            let lat = col_values("latlong_value");
+            let size = col_values("markersize");
+            (0..lat.len().min(max_items))
+                .map(|i| {
+                    format!(
+                        "marker @{} size {}",
+                        lat[i],
+                        size.get(i).map(fmt_num).unwrap_or_default()
+                    )
+                })
+                .collect()
+        }
+        "Slider" => {
+            let vals: Vec<String> = (0..table.num_rows().min(2))
+                .map(|i| table.row(i).0.first().map(|v| v.to_string()).unwrap_or_default())
+                .collect();
+            vec![format!("slider [{}]", vals.join(" .. "))]
+        }
+        "DataGrid" => table
+            .pretty(max_items)
+            .lines()
+            .map(str::to_string)
+            .collect(),
+        "HTML" => {
+            // Show the first row's cells as labelled fields.
+            if table.num_rows() == 0 {
+                vec!["<empty>".to_string()]
+            } else {
+                table
+                    .schema()
+                    .names()
+                    .iter()
+                    .take(max_items)
+                    .map(|c| format!("{c}: {}", table.value(0, c).unwrap_or(Value::Null)))
+                    .collect()
+            }
+        }
+        _ => vec![format!("{} rows", table.num_rows())],
+    };
+    RenderNode::leaf(name, widget_type, lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_tabular::row;
+
+    fn table() -> Table {
+        Table::from_rows(
+            &["player", "count"],
+            &[
+                row!["dhoni", 50i64],
+                row!["kohli", 70i64],
+                row!["rohit", 30i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn binder(attr: &str) -> Option<String> {
+        match attr {
+            "text" => Some("player".into()),
+            "size" => Some("count".into()),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn word_cloud_sorts_by_size() {
+        let node = render_widget("cloud", "WordCloud", &table(), &binder, 10);
+        assert_eq!(
+            node.lines,
+            vec!["kohli (70)", "dhoni (50)", "rohit (30)"]
+        );
+    }
+
+    #[test]
+    fn max_items_truncates() {
+        let node = render_widget("cloud", "WordCloud", &table(), &binder, 1);
+        assert_eq!(node.lines.len(), 1);
+    }
+
+    #[test]
+    fn list_and_grid() {
+        let node = render_widget("l", "List", &table(), &binder, 10);
+        assert_eq!(node.lines[0], "- dhoni");
+        let node = render_widget("g", "DataGrid", &table(), &binder, 10);
+        assert!(node.lines.iter().any(|l| l.contains("player")));
+    }
+
+    #[test]
+    fn slider_renders_bounds() {
+        let t = Table::from_rows(&["value"], &[row!["2013-05-02"], row!["2013-05-27"]]).unwrap();
+        let node = render_widget("s", "Slider", &t, &|_| None, 10);
+        assert_eq!(node.lines, vec!["slider [2013-05-02 .. 2013-05-27]"]);
+    }
+
+    #[test]
+    fn tree_display_and_count() {
+        let tree = RenderNode::container(
+            "root",
+            "Layout",
+            vec![
+                RenderNode::leaf("a", "List", vec!["- x".into()]),
+                RenderNode::container(
+                    "tabs",
+                    "TabLayout",
+                    vec![RenderNode::leaf("b", "WordCloud", vec![])],
+                ),
+            ],
+        );
+        assert_eq!(tree.count(), 4);
+        let s = tree.to_string();
+        assert!(s.contains("[Layout] root"));
+        assert!(s.contains("  [List] a"));
+        assert!(s.contains("- x"));
+    }
+
+    #[test]
+    fn unknown_type_renders_row_count() {
+        let node = render_widget("x", "Mystery", &table(), &binder, 10);
+        assert_eq!(node.lines, vec!["3 rows"]);
+    }
+}

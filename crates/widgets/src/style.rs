@@ -1,0 +1,299 @@
+//! Stylesheet support — §4.2's "Styling" extension point:
+//! "The dashboard look and feel can be changed or enhanced using Cascading
+//! Style Sheets (CSS). Stylesheet authors can use widget names specified in
+//! the flow file as style targets in the CSS file."
+//!
+//! This implements the subset that makes that sentence true for the render
+//! tree: a CSS parser for `selector { property: value; }` rules where a
+//! selector is a widget name (`#name`), a widget type (`.BubbleChart`), or
+//! `*`; [`Stylesheet::resolve`] computes the effective properties for a
+//! widget with last-write-wins within equal specificity and
+//! name > type > universal between them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One parsed rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StyleRule {
+    /// The selector, already classified.
+    pub selector: Selector,
+    /// Declarations in order.
+    pub declarations: Vec<(String, String)>,
+}
+
+/// Selector kinds, in increasing specificity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selector {
+    /// `*` — every widget.
+    Universal,
+    /// `.TypeName` — every widget of a type.
+    Type(String),
+    /// `#widget_name` or bare `widget_name` — one widget.
+    Name(String),
+}
+
+impl Selector {
+    fn specificity(&self) -> u8 {
+        match self {
+            Selector::Universal => 0,
+            Selector::Type(_) => 1,
+            Selector::Name(_) => 2,
+        }
+    }
+
+    fn matches(&self, widget_name: &str, widget_type: &str) -> bool {
+        match self {
+            Selector::Universal => true,
+            Selector::Type(t) => t == widget_type,
+            Selector::Name(n) => n == widget_name,
+        }
+    }
+}
+
+/// Stylesheet parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StyleError {
+    /// 1-based line.
+    pub line: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for StyleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stylesheet error (line {}): {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for StyleError {}
+
+/// A parsed stylesheet.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stylesheet {
+    rules: Vec<StyleRule>,
+}
+
+impl Stylesheet {
+    /// Parse CSS text (comments `/* */`, multiple selectors per rule
+    /// separated by commas).
+    pub fn parse(css: &str) -> Result<Stylesheet, StyleError> {
+        // Strip comments, tracking lines.
+        let mut clean = String::with_capacity(css.len());
+        let mut rest = css;
+        while let Some(start) = rest.find("/*") {
+            clean.push_str(&rest[..start]);
+            match rest[start..].find("*/") {
+                Some(end) => {
+                    // Preserve newlines inside the comment for line numbers.
+                    clean.extend(rest[start..start + end].chars().filter(|c| *c == '\n'));
+                    rest = &rest[start + end + 2..];
+                }
+                None => {
+                    return Err(StyleError {
+                        line: css[..start].lines().count().max(1),
+                        message: "unterminated comment".into(),
+                    })
+                }
+            }
+        }
+        clean.push_str(rest);
+
+        let mut rules = Vec::new();
+        let mut pos = 0usize;
+        let line_of = |offset: usize| clean[..offset].matches('\n').count() + 1;
+        while pos < clean.len() {
+            // Selector up to '{'.
+            let Some(open_rel) = clean[pos..].find('{') else {
+                if clean[pos..].trim().is_empty() {
+                    break;
+                }
+                return Err(StyleError {
+                    line: line_of(pos),
+                    message: "expected '{' after selector".into(),
+                });
+            };
+            let selector_text = clean[pos..pos + open_rel].trim().to_string();
+            let body_start = pos + open_rel + 1;
+            let Some(close_rel) = clean[body_start..].find('}') else {
+                return Err(StyleError {
+                    line: line_of(pos),
+                    message: "unterminated rule (missing '}')".into(),
+                });
+            };
+            let body = &clean[body_start..body_start + close_rel];
+            if selector_text.is_empty() {
+                // Report at the '{' — leading blank lines shouldn't shift
+                // the diagnostic.
+                return Err(StyleError {
+                    line: line_of(pos + open_rel),
+                    message: "empty selector".into(),
+                });
+            }
+
+            let mut declarations = Vec::new();
+            for decl in body.split(';') {
+                let decl = decl.trim();
+                if decl.is_empty() {
+                    continue;
+                }
+                let Some((prop, value)) = decl.split_once(':') else {
+                    return Err(StyleError {
+                        line: line_of(body_start),
+                        message: format!("declaration '{decl}' needs 'property: value'"),
+                    });
+                };
+                declarations.push((prop.trim().to_string(), value.trim().to_string()));
+            }
+
+            for sel in selector_text.split(',') {
+                let sel = sel.trim();
+                let selector = if sel == "*" {
+                    Selector::Universal
+                } else if let Some(t) = sel.strip_prefix('.') {
+                    Selector::Type(t.to_string())
+                } else if let Some(n) = sel.strip_prefix('#') {
+                    Selector::Name(n.to_string())
+                } else {
+                    // Bare identifiers target widget names, per the paper's
+                    // "widget names … as style targets".
+                    Selector::Name(sel.to_string())
+                };
+                rules.push(StyleRule {
+                    selector,
+                    declarations: declarations.clone(),
+                });
+            }
+            pos = body_start + close_rel + 1;
+        }
+        Ok(Stylesheet { rules })
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Effective properties for a widget: universal < type < name; within a
+    /// tier, later rules win.
+    pub fn resolve(&self, widget_name: &str, widget_type: &str) -> BTreeMap<String, String> {
+        let mut out: BTreeMap<String, (u8, String)> = BTreeMap::new();
+        for rule in &self.rules {
+            if !rule.selector.matches(widget_name, widget_type) {
+                continue;
+            }
+            let spec = rule.selector.specificity();
+            for (prop, value) in &rule.declarations {
+                match out.get(prop) {
+                    Some((existing_spec, _)) if *existing_spec > spec => {}
+                    _ => {
+                        out.insert(prop.clone(), (spec, value.clone()));
+                    }
+                }
+            }
+        }
+        out.into_iter().map(|(k, (_, v))| (k, v)).collect()
+    }
+}
+
+/// Annotate a render tree with resolved styles: each node whose widget has
+/// any matching declarations gains a `style: prop=value; …` line.
+pub fn apply_styles(node: &mut crate::render::RenderNode, sheet: &Stylesheet) {
+    let styles = sheet.resolve(&node.name, &node.widget_type);
+    if !styles.is_empty() {
+        let line = styles
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join("; ");
+        node.lines.insert(0, format!("style: {line}"));
+    }
+    for child in &mut node.children {
+        apply_styles(child, sheet);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::RenderNode;
+
+    const CSS: &str = r#"
+/* dashboard theme */
+* { font-family: Inter; }
+.WordCloud { color: steelblue; max-words: 40; }
+#playertweets { color: gold; }
+teams, ipl_duration { border: 1px solid gray; }
+"#;
+
+    #[test]
+    fn parses_rules_and_selectors() {
+        let sheet = Stylesheet::parse(CSS).unwrap();
+        assert_eq!(sheet.len(), 5, "comma selector expands to two rules");
+    }
+
+    #[test]
+    fn specificity_name_beats_type_beats_universal() {
+        let sheet = Stylesheet::parse(CSS).unwrap();
+        let resolved = sheet.resolve("playertweets", "WordCloud");
+        assert_eq!(resolved.get("color").map(String::as_str), Some("gold"));
+        assert_eq!(resolved.get("max-words").map(String::as_str), Some("40"));
+        assert_eq!(resolved.get("font-family").map(String::as_str), Some("Inter"));
+
+        let other_cloud = sheet.resolve("wordtweets", "WordCloud");
+        assert_eq!(other_cloud.get("color").map(String::as_str), Some("steelblue"));
+
+        let list = sheet.resolve("teams", "List");
+        assert_eq!(list.get("border").map(String::as_str), Some("1px solid gray"));
+        assert!(list.get("color").is_none());
+    }
+
+    #[test]
+    fn later_rules_win_within_tier() {
+        let sheet = Stylesheet::parse(".A { x: 1; }\n.A { x: 2; }").unwrap();
+        assert_eq!(sheet.resolve("w", "A").get("x").map(String::as_str), Some("2"));
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let err = Stylesheet::parse("a { x: 1; ").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        let err = Stylesheet::parse("\n\n{ x: 1; }").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(Stylesheet::parse("a { weird }").is_err());
+        assert!(Stylesheet::parse("/* oops").is_err());
+    }
+
+    #[test]
+    fn applies_to_render_tree() {
+        let sheet = Stylesheet::parse(CSS).unwrap();
+        let mut tree = RenderNode::container(
+            "dash",
+            "Dashboard",
+            vec![
+                RenderNode::leaf("playertweets", "WordCloud", vec!["dhoni (5)".into()]),
+                RenderNode::leaf("grid", "DataGrid", vec![]),
+            ],
+        );
+        apply_styles(&mut tree, &sheet);
+        let cloud = &tree.children[0];
+        assert!(cloud.lines[0].starts_with("style: "));
+        assert!(cloud.lines[0].contains("color=gold"));
+        let grid = &tree.children[1];
+        assert_eq!(grid.lines.first().map(String::as_str), Some("style: font-family=Inter"));
+    }
+
+    #[test]
+    fn empty_sheet_is_noop() {
+        let sheet = Stylesheet::parse("").unwrap();
+        assert!(sheet.is_empty());
+        let mut node = RenderNode::leaf("w", "List", vec![]);
+        apply_styles(&mut node, &sheet);
+        assert!(node.lines.is_empty());
+    }
+}

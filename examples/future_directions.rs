@@ -1,0 +1,152 @@
+//! The paper's §6 "Future Directions", implemented and demonstrated:
+//!
+//! 1. **Meta-dashboards** — auto-constructed per-column statistics and
+//!    data-quality warnings for every table a pipeline materialises,
+//!    served as a real dashboard;
+//! 2. **Dataset discovery** — published shared objects ranked by join
+//!    compatibility with your data, with ready-to-paste task snippets;
+//! 3. **Error pin-pointing** — engine errors mapped back to flow-file
+//!    lines with "did you mean …" corrections, without leaking engine
+//!    internals (§5.2.2 observation 7's complaint, fixed).
+//!
+//! Run with: `cargo run --example future_directions`
+
+use shareinsights::core::Platform;
+use shareinsights::datagen::ipl;
+use shareinsights::tabular::io::csv::write_csv;
+
+fn main() {
+    let platform = Platform::new();
+
+    // A pipeline with some dirt in the data (missing locations).
+    let corpus = ipl::generate(&ipl::IplConfig {
+        tweets: 1_000,
+        ..Default::default()
+    });
+    platform.upload_data("ipl", "tweets.json", corpus.tweets_ndjson.clone());
+    platform.upload_data("ipl", "players.txt", corpus.players_dict.clone());
+    platform
+        .save_flow(
+            "ipl",
+            r#"
+D:
+  ipl_tweets: [postedTime => created_at, body => text, location => user.location]
+D.ipl_tweets:
+  source: 'tweets.json'
+  format: json
+T:
+  pipeline:
+    parallel: [T.norm_date, T.extract_players]
+  norm_date:
+    type: map
+    operator: date
+    transform: postedTime
+    input_format: 'E MMM dd HH:mm:ss Z yyyy'
+    output_format: yyyy-MM-dd
+    output: date
+  extract_players:
+    type: map
+    operator: extract
+    transform: body
+    dict: players.txt
+    output: player
+  count:
+    type: groupby
+    groupby: [date, player]
+F:
+  +D.players_tweets: D.ipl_tweets | T.pipeline | T.count
+  D.players_tweets:
+    publish: players_tweets
+"#,
+        )
+        .expect("valid flow");
+
+    // --- 1. the meta-dashboard ----------------------------------------------
+    let (meta, meta_dash) = platform.open_meta_dashboard("ipl").expect("meta builds");
+    println!("=== §6.1 auto-constructed meta-dashboard ===");
+    println!("{}", meta.profile.pretty(12));
+    println!("data-quality warnings:");
+    for w in &meta.warnings {
+        println!("  - {w}");
+    }
+    println!("\nthe meta-dashboard is itself interactive:");
+    meta_dash
+        .select("objects", "text", vec!["ipl_tweets".into()])
+        .unwrap();
+    println!("{}", meta_dash.render_widget("null_bar", 5).unwrap());
+
+    // --- 2. dataset discovery -----------------------------------------------
+    // Another team published reference data; discovery finds it joinable.
+    platform
+        .publish_registry()
+        .publish(
+            "team_players",
+            "reference_data",
+            "team_players",
+            corpus.team_players.schema().clone(),
+            Some(corpus.team_players.clone()),
+        )
+        .unwrap();
+    platform
+        .publish_registry()
+        .publish(
+            "lat_long",
+            "reference_data",
+            "lat_long",
+            corpus.lat_long.schema().clone(),
+            Some(corpus.lat_long.clone()),
+        )
+        .unwrap();
+    // Write some retail data nobody can join with, to show filtering.
+    platform
+        .publish_registry()
+        .publish(
+            "retail_sales",
+            "retail_team",
+            "sales",
+            shareinsights::datagen::retail::generate(&Default::default())
+                .sales
+                .schema()
+                .clone(),
+            None,
+        )
+        .unwrap();
+
+    println!("=== §6.2 dataset discovery for D.players_tweets ===");
+    let suggestions = platform
+        .suggest_enrichments("ipl", "players_tweets")
+        .expect("object exists");
+    for s in &suggestions {
+        println!(
+            "  {} (from {}): join on [{}]{} adds [{}]",
+            s.publish_name,
+            s.producer,
+            s.join_keys.join(", "),
+            if s.key_is_unique { ", unique key" } else { "" },
+            s.new_columns.join(", ")
+        );
+    }
+    if let Some(best) = suggestions.first() {
+        println!("\nready-to-paste task snippet:\n{}", best.task_snippet("players_tweets"));
+    }
+
+    // --- 3. error pin-pointing ----------------------------------------------
+    println!("=== §6.3 error pin-pointing ===");
+    platform
+        .save_flow(
+            "broken",
+            "D:\n  data: [project, year, noOfBugs]\nT:\n  f:\n    type: filter_by\n    filter_expression: projct < 3\nF:\n  +D.out: D.data | T.f\n",
+        )
+        .unwrap();
+    let err = platform.compile_dashboard("broken").unwrap_err();
+    println!("raw error: {err}");
+    let diagnosis = platform.diagnose("broken", &err);
+    println!("diagnosis: {} (line {})", diagnosis.summary, diagnosis.line);
+    for s in &diagnosis.suggestions {
+        println!("  hint: {s}");
+    }
+
+    // The write_csv import keeps the example self-contained for users who
+    // want to dump the profile:
+    let _ = write_csv(&meta.profile, ',');
+}

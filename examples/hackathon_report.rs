@@ -1,0 +1,52 @@
+//! Reproduce the paper's §5 evaluation: simulate Race2Insights against the
+//! real platform and print the three figures' series.
+//!
+//! Run with: `cargo run --release --example hackathon_report`
+//! (optionally pass a team count, default 52 — the paper's roster).
+
+use shareinsights::hackathon::{figures, run_hackathon, HackathonConfig};
+
+fn main() {
+    let teams: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(52);
+    println!("simulating Race2Insights with {teams} teams (seed 2015)…\n");
+    let outcome = run_hackathon(&HackathonConfig {
+        teams,
+        ..Default::default()
+    });
+
+    let figs = figures::extract(&outcome);
+    println!("{}", figs.fig31_text());
+    println!("{}", figs.fig32_text());
+    println!("{}", figs.fig35_text());
+
+    println!("finalists: {:?}", outcome.finalists());
+    println!("winners:   {:?}", outcome.winners());
+
+    // Observation 7's error telemetry: what failed runs looked like.
+    let errors = outcome.platform.log().errors();
+    println!("\n{} failed events; first three error messages:", errors.len());
+    for (dash, msg) in errors.iter().take(3) {
+        let short: String = msg.chars().take(100).collect();
+        println!("  [{dash}] {short}");
+    }
+
+    // Practice/competition correlation, quantified.
+    let xs: Vec<f64> = outcome.teams.iter().map(|t| t.practice_runs as f64).collect();
+    let ys: Vec<f64> = outcome.teams.iter().map(|t| t.score).collect();
+    println!(
+        "\ncorrelation(practice runs, judged score) = {:.2}",
+        pearson(&xs, &ys)
+    );
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let (mx, my) = (xs.iter().sum::<f64>() / n, ys.iter().sum::<f64>() / n);
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum::<f64>().sqrt();
+    let sy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum::<f64>().sqrt();
+    cov / (sx * sy)
+}

@@ -1,0 +1,359 @@
+//! The paper's §3.7 data-sharing use case: the IPL tweet-analysis *flow
+//! file group* — a data-processing dashboard (appendix A.1) that publishes
+//! shared data objects, and a consumption dashboard (appendix A.2) that
+//! builds the interactive "Clash of Titans" view (figure 17) from them.
+//!
+//! Demonstrates:
+//! * hierarchical JSON ingestion with `=>` path mapping (figure 18);
+//! * parallel map composites normalising dates and extracting players,
+//!   teams, locations and words (figures 20–21);
+//! * joins against reference data with rename projections (appendix A.1);
+//! * publish/endpoint sharing and cross-dashboard resolution (§3.4.1);
+//! * slider + list-driven interaction flows filtering streamgraph, word
+//!   clouds and map markers (appendix A.2).
+//!
+//! Run with: `cargo run --example ipl_flow_group`
+
+use shareinsights::core::Platform;
+use shareinsights::datagen::ipl;
+use shareinsights::tabular::io::csv::write_csv;
+
+/// Appendix A.1 — the data-processing dashboard (trimmed to the flows the
+/// consumption dashboard needs; the structure matches the listing).
+const PROCESSING: &str = r#"
+D:
+  ipl_tweets: [
+    postedTime => created_at,
+    body => text,
+    displayName => user.location
+  ]
+  team_players: [player, team_fullName, team, player_id, noOfTweets]
+  dim_teams: [team_number, team, team_fullName, sort_order, color, noOfTweets]
+  lat_long: [state, point_one, point_two, point_three]
+
+D.ipl_tweets:
+  source: 'tweets.json'
+  format: json
+D.team_players:
+  source: 'team_players.csv'
+  format: csv
+D.dim_teams:
+  source: 'dim_teams.csv'
+  format: csv
+D.lat_long:
+  source: 'lat_long.csv'
+  format: csv
+
+T:
+  players_pipeline:
+    parallel: [T.norm_ipldate, T.extract_players]
+  teams_pipeline:
+    parallel: [T.norm_ipldate, T.extract_teams]
+  teams_pipeline_region:
+    parallel: [T.norm_ipldate, T.extract_location, T.extract_teams]
+  word_date_extraction:
+    parallel: [T.norm_ipldate, T.extract_words]
+  norm_ipldate:
+    type: map
+    operator: date
+    transform: postedTime
+    input_format: 'E MMM dd HH:mm:ss Z yyyy'
+    output_format: yyyy-MM-dd
+    output: date
+  extract_players:
+    type: map
+    operator: extract
+    transform: body
+    dict: players.txt
+    output: player
+  extract_teams:
+    type: map
+    operator: extract
+    transform: body
+    dict: teams.csv
+    output: team
+  extract_location:
+    type: map
+    operator: extract_location
+    transform: displayName
+    match: city
+    country: IND
+    output: state
+  extract_words:
+    type: map
+    operator: extract_words
+    transform: body
+    output: word
+  players_count:
+    type: groupby
+    groupby: [date, player]
+  teams_count:
+    type: groupby
+    groupby: [date, team]
+  teams_regions_count:
+    type: groupby
+    groupby: [date, team, state]
+  words_count:
+    type: groupby
+    groupby: [date, word]
+  topwords:
+    type: topn
+    groupby: [date]
+    orderby_column: [count DESC]
+    limit: 20
+  join_player_team:
+    type: join
+    left: players_tweets by player
+    right: team_players by player
+    join_condition: left outer
+    project:
+      players_tweets_date: date
+      players_tweets_player: player
+      players_tweets_count: noOfTweets
+      team_players_team: team
+      team_players_team_fullName: team_fullName
+  join_dim_teams:
+    type: join
+    left: teams_tweets by team
+    right: dim_teams by team_fullName
+    join_condition: left outer
+    project:
+      teams_tweets_date: date
+      teams_tweets_team: team_fullName
+      teams_tweets_count: noOfTweets
+      dim_teams_team: team
+      dim_teams_sort_order: sort_order
+      dim_teams_color: color
+  join_dim_teams_two:
+    type: join
+    left: tm_rgn_raw_cnt by team
+    right: dim_teams by team_fullName
+    join_condition: left outer
+    project:
+      tm_rgn_raw_cnt_date: date
+      tm_rgn_raw_cnt_team: team_fullName
+      tm_rgn_raw_cnt_state: state
+      tm_rgn_raw_cnt_count: noOfTweets
+      dim_teams_team: team
+      dim_teams_color: color
+  join_lat_long:
+    type: join
+    left: tm_rgn_tm_dtls by state
+    right: lat_long by state
+    join_condition: left outer
+    project:
+      tm_rgn_tm_dtls_team_fullName: team_fullName
+      tm_rgn_tm_dtls_state: state
+      tm_rgn_tm_dtls_date: date
+      tm_rgn_tm_dtls_noOfTweets: noOfTweets
+      tm_rgn_tm_dtls_team: team
+      tm_rgn_tm_dtls_color: color
+      lat_long_point_one: point_one
+
+F:
+  D.players_tweets: D.ipl_tweets | T.players_pipeline | T.players_count
+  D.player_tweets: (D.players_tweets, D.team_players) | T.join_player_team
+  D.player_tweets:
+    endpoint: true
+    publish: player_tweets
+
+  D.teams_tweets: D.ipl_tweets | T.teams_pipeline | T.teams_count
+  D.team_tweets: (D.teams_tweets, D.dim_teams) | T.join_dim_teams
+  D.team_tweets:
+    endpoint: true
+    publish: team_tweets
+
+  D.tm_rgn_raw_cnt: D.ipl_tweets | T.teams_pipeline_region | T.teams_regions_count
+  D.tm_rgn_tm_dtls: (D.tm_rgn_raw_cnt, D.dim_teams) | T.join_dim_teams_two
+  D.team_region_tweets: (D.tm_rgn_tm_dtls, D.lat_long) | T.join_lat_long
+  D.team_region_tweets:
+    endpoint: true
+    publish: team_region_tweets
+
+  D.tagcloud_tweets_raw: D.ipl_tweets | T.word_date_extraction | T.words_count
+  D.tagcloud_tweets: D.tagcloud_tweets_raw | T.topwords
+  D.tagcloud_tweets:
+    endpoint: true
+    publish: tagcloud_tweets
+
+  +D.dim_teams_shared: D.dim_teams | T.pass_teams
+  D.dim_teams_shared:
+    publish: dim_teams_shared
+
+T:
+  pass_teams:
+    type: distinct
+    columns: [team]
+"#;
+
+/// Appendix A.2 — the consumption dashboard ("Clash of Titans").
+const CONSUMPTION: &str = r#"
+L:
+  description: Clash of Titans
+  rows:
+  - [span12: W.teams]
+  - [span11: W.ipl_duration]
+  - [span11: W.relative_teamtweets]
+  - [span6: W.word_team_player_tweets, span5: W.region_tweets]
+
+W:
+  ipl_duration:
+    type: Slider
+    source: ['2013-05-02', '2013-05-27']
+    static: true
+    range: true
+    slider_type: date
+
+  relative_teamtweets:
+    type: Streamgraph
+    source: D.team_tweets | T.filter_by_date | T.filter_by_team
+    x: date
+    y: noOfTweets
+    color: color
+    serie: team
+
+  teams:
+    type: List
+    source: D.dim_teams_shared
+    text: team
+    image_position: right
+
+  playertweets:
+    type: WordCloud
+    source: D.player_tweets | T.filter_by_date | T.filter_by_team | T.aggregate_by_player
+    text: player
+    size: noOfTweets
+
+  wordtweets:
+    type: WordCloud
+    source: D.tagcloud_tweets | T.filter_by_date | T.aggregate_by_word
+    text: word
+    size: count
+
+  region_tweets:
+    type: MapMarker
+    source: D.team_region_tweets | T.filter_by_date | T.filter_by_team | T.aggregate_by_team_region
+    country: IND
+    markers:
+    - marker1:
+        type: circle_marker
+        latlong_value: point_one
+        markersize: noOfTweets
+        fill_color: color
+
+  playertweetstab:
+    type: Layout
+    rows:
+    - [span11: W.playertweets]
+  wordtweetstab:
+    type: Layout
+    rows:
+    - [span11: W.wordtweets]
+
+  word_team_player_tweets:
+    type: TabLayout
+    tabs:
+    - name: 'Player'
+      body: W.playertweetstab
+    - name: 'Word'
+      body: W.wordtweetstab
+
+T:
+  aggregate_by_player:
+    type: groupby
+    groupby: [player]
+    aggregates:
+    - operator: sum
+      apply_on: noOfTweets
+      out_field: noOfTweets
+
+  aggregate_by_word:
+    type: groupby
+    groupby: [word]
+    aggregates:
+    - operator: sum
+      apply_on: count
+      out_field: count
+    orderby_aggregates: true
+
+  aggregate_by_team_region:
+    type: groupby
+    groupby: [team, point_one, state, color]
+    aggregates:
+    - operator: sum
+      apply_on: noOfTweets
+      out_field: noOfTweets
+
+  filter_by_date:
+    type: filter_by
+    filter_by: [date]
+    filter_source: W.ipl_duration
+
+  filter_by_team:
+    type: filter_by
+    filter_by: [team]
+    filter_source: W.teams
+    filter_val: [text]
+"#;
+
+fn main() {
+    let platform = Platform::new();
+
+    // --- seed the Gnip-shaped corpus ---------------------------------------
+    let corpus = ipl::generate(&ipl::IplConfig {
+        tweets: 3_000,
+        ..Default::default()
+    });
+    platform.upload_data("ipl_processing", "tweets.json", corpus.tweets_ndjson.clone());
+    platform.upload_data("ipl_processing", "players.txt", corpus.players_dict.clone());
+    platform.upload_data("ipl_processing", "teams.csv", corpus.teams_dict.clone());
+    platform.upload_data("ipl_processing", "team_players.csv", write_csv(&corpus.team_players, ','));
+    platform.upload_data("ipl_processing", "dim_teams.csv", write_csv(&corpus.dim_teams, ','));
+    platform.upload_data("ipl_processing", "lat_long.csv", write_csv(&corpus.lat_long, ','));
+
+    // --- A.1: data-processing mode -----------------------------------------
+    platform
+        .save_flow("ipl_processing", PROCESSING)
+        .expect("processing flow file is valid");
+    let run = platform
+        .run_dashboard("ipl_processing")
+        .expect("processing pipeline runs");
+    println!("processing run:");
+    println!("  source rows: {}", run.result.stats.source_rows);
+    for (name, rows) in &run.published {
+        println!("  published '{name}' with {rows} rows");
+    }
+    assert!(
+        platform.dashboard("ipl_processing").unwrap().is_data_processing_mode(),
+        "A.1 has no widgets"
+    );
+
+    // --- A.2: consumption mode ----------------------------------------------
+    platform
+        .save_flow("ipl_dashboard", CONSUMPTION)
+        .expect("consumption flow file is valid");
+    let dash = platform
+        .open_dashboard("ipl_dashboard")
+        .expect("consumption dashboard resolves the shared objects");
+
+    println!("\n--- initial dashboard (slider default range) ---");
+    println!("{}", dash.render(6).unwrap());
+
+    // Select CSK in the teams list: streamgraph, clouds and map all filter.
+    dash.select("teams", "text", vec!["CSK".into()]).unwrap();
+    // Narrow the date slider.
+    dash.set_range("ipl_duration", "2013-05-02".into(), "2013-05-10".into())
+        .unwrap();
+    println!("--- after selecting CSK and narrowing the dates ---");
+    println!("{}", dash.render_widget("relative_teamtweets", 6).unwrap());
+    println!("{}", dash.render_widget("region_tweets", 6).unwrap());
+
+    let (hits, misses) = dash.cube_stats();
+    println!("data cube: {hits} cache hits, {misses} evaluations");
+
+    // The flow-file group that formed (§4.5.3).
+    println!(
+        "flow file group around 'team_tweets': {:?}",
+        platform.publish_registry().group_of("team_tweets")
+    );
+}

@@ -1,0 +1,37 @@
+//! # ShareInsights
+//!
+//! A from-scratch Rust reproduction of *ShareInsights — An Unified Approach
+//! to Full-stack Data Processing* (SIGMOD 2015): a platform where an entire
+//! data pipeline — ingestion, transformation, visualization and widget
+//! interaction — is described in a single declarative *flow file*.
+//!
+//! This umbrella crate re-exports every workspace crate under one roof:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`tabular`] | `shareinsights-tabular` | columnar table engine & operator kernels |
+//! | [`datagen`] | `shareinsights-datagen` | seeded synthetic datasets |
+//! | [`connectors`] | `shareinsights-connectors` | protocol connectors & data formats |
+//! | [`flowfile`] | `shareinsights-flowfile` | the flow-file DSL |
+//! | [`engine`] | `shareinsights-engine` | compilation, optimization, execution |
+//! | [`widgets`] | `shareinsights-widgets` | widget model, data cube, interaction |
+//! | [`layout`] | `shareinsights-layout` | 12-column responsive grid |
+//! | [`server`] | `shareinsights-server` | REST surface & ad-hoc query language |
+//! | [`collab`] | `shareinsights-collab` | version store, merge, publish registry |
+//! | [`core`] | `shareinsights-core` | the platform facade |
+//! | [`hackathon`] | `shareinsights-hackathon` | Race2Insights evaluation simulator |
+//!
+//! See `examples/quickstart.rs` for the fastest path from a flow file to a
+//! rendered dashboard.
+
+pub use shareinsights_collab as collab;
+pub use shareinsights_connectors as connectors;
+pub use shareinsights_core as core;
+pub use shareinsights_datagen as datagen;
+pub use shareinsights_engine as engine;
+pub use shareinsights_flowfile as flowfile;
+pub use shareinsights_hackathon as hackathon;
+pub use shareinsights_layout as layout;
+pub use shareinsights_server as server;
+pub use shareinsights_tabular as tabular;
+pub use shareinsights_widgets as widgets;

@@ -1,0 +1,433 @@
+//! Property-based tests (proptest) over the engine's core invariants.
+
+use proptest::prelude::*;
+use shareinsights::engine::baseline::execute_naive;
+use shareinsights::engine::compile::{compile, CompileEnv};
+use shareinsights::engine::exec::{ExecContext, Executor};
+use shareinsights::engine::TaskRegistry;
+use shareinsights::flowfile::parse_flow_file;
+use shareinsights::tabular::io::csv::{read_csv, write_csv, CsvOptions};
+use shareinsights::tabular::io::record::{read_records, write_records};
+use shareinsights::tabular::ops::{
+    groupby, join, sort, AggregateSpec, GroupBy, JoinCondition, JoinSpec, SortKey,
+};
+use shareinsights::tabular::agg::AggKind;
+use shareinsights::tabular::{Bitmap, Row, Table, Value};
+
+// ---------------------------------------------------------------------------
+// Value / table generators
+// ---------------------------------------------------------------------------
+
+/// Values that survive CSV's textual round-trip unambiguously.
+fn csv_safe_value() -> impl Strategy<Value = Value> + Clone {
+    prop_oneof![
+        3 => any::<i64>().prop_map(Value::Int),
+        3 => "[a-z]{1,8}".prop_map(Value::Str),
+        1 => Just(Value::Null),
+        1 => any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+/// Any value, including floats with full bit patterns (for the binary
+/// format, which is exact).
+fn any_value() -> impl Strategy<Value = Value> + Clone {
+    prop_oneof![
+        3 => any::<i64>().prop_map(Value::Int),
+        2 => any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+        3 => "[ -~]{0,12}".prop_map(Value::Str),
+        1 => Just(Value::Null),
+        1 => any::<bool>().prop_map(Value::Bool),
+        1 => (-100_000i32..100_000).prop_map(Value::Date),
+    ]
+}
+
+/// A table with `cols` homogeneous columns of `rows` rows.
+fn table(
+    rows: std::ops::Range<usize>,
+    cols: usize,
+    value: impl Strategy<Value = Value> + Clone,
+) -> impl Strategy<Value = Table> {
+    rows.prop_flat_map(move |n| {
+        proptest::collection::vec(
+            proptest::collection::vec(value.clone(), cols),
+            n..=n,
+        )
+        .prop_map(move |rows| {
+            let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+            let rows: Vec<Row> = rows.into_iter().map(Row::from_values).collect();
+            // Mixed-type columns unify through the lossy lattice; that can
+            // stringify cells, so compare via to_rows() after construction.
+            Table::from_rows(&names, &rows).expect("generated tables are rectangular")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- payload formats --------------------------------------------------
+
+    /// The binary record format round-trips any table exactly.
+    #[test]
+    fn record_format_roundtrips(t in table(0..30, 3, any_value())) {
+        let bytes = write_records(&t);
+        let back = read_records(&bytes).unwrap();
+        prop_assert_eq!(&t, &back);
+        prop_assert!(t.schema().same_shape(back.schema()));
+    }
+
+    /// CSV round-trips tables whose cells have unambiguous text forms.
+    #[test]
+    fn csv_roundtrips_safe_tables(t in table(0..30, 3, csv_safe_value())) {
+        let text = write_csv(&t, ',');
+        let back = read_csv(&text, &CsvOptions::default()).unwrap();
+        prop_assert_eq!(t.num_rows(), back.num_rows());
+        prop_assert_eq!(t.to_rows(), back.to_rows());
+    }
+
+    // --- bitmap laws -------------------------------------------------------
+
+    #[test]
+    fn bitmap_boolean_algebra(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let a = Bitmap::from_bools(&bits);
+        let not_a = a.not();
+        prop_assert!(a.and(&not_a).none_set(), "a ∧ ¬a = ∅");
+        prop_assert!(a.or(&not_a).all_set() || a.is_empty(), "a ∨ ¬a = ⊤");
+        prop_assert_eq!(a.not().not(), a.clone(), "double negation");
+        prop_assert_eq!(a.count_ones() + not_a.count_ones(), bits.len());
+        prop_assert_eq!(a.ones().len(), a.count_ones());
+    }
+
+    // --- operator invariants ----------------------------------------------
+
+    /// Group-by partition law: group counts sum to the row count, and the
+    /// per-group sums add up to the column total.
+    #[test]
+    fn groupby_partitions(t in table(0..60, 2, prop_oneof![
+        2 => (0i64..5).prop_map(Value::Int),
+        1 => Just(Value::Null),
+    ])) {
+        let cfg = GroupBy::with_aggregates(
+            &["c0"],
+            vec![
+                AggregateSpec::new(AggKind::CountAll, "", "n"),
+                AggregateSpec::new(AggKind::Sum, "c1", "total"),
+            ],
+        );
+        let out = groupby(&t, &cfg).unwrap();
+        let n_sum: i64 = (0..out.num_rows())
+            .filter_map(|i| out.value(i, "n").unwrap().as_int())
+            .sum();
+        prop_assert_eq!(n_sum as usize, t.num_rows());
+        let group_total: i64 = (0..out.num_rows())
+            .filter_map(|i| out.value(i, "total").unwrap().as_int())
+            .sum();
+        let direct_total: i64 = (0..t.num_rows())
+            .filter_map(|i| t.value(i, "c1").unwrap().as_int())
+            .sum();
+        prop_assert_eq!(group_total, direct_total);
+        // Group keys are unique.
+        let keys: std::collections::HashSet<String> = (0..out.num_rows())
+            .map(|i| out.value(i, "c0").unwrap().to_string())
+            .collect();
+        prop_assert_eq!(keys.len(), out.num_rows());
+    }
+
+    /// Join cardinality laws across all conditions.
+    #[test]
+    fn join_cardinalities(
+        l in table(0..25, 2, (0i64..6).prop_map(Value::Int)),
+        r in table(0..25, 2, (0i64..6).prop_map(Value::Int)),
+    ) {
+        let spec = |c| JoinSpec::on(&["c0"], c);
+        let inner = join(&l, &r, &spec(JoinCondition::Inner)).unwrap();
+        let left = join(&l, &r, &spec(JoinCondition::LeftOuter)).unwrap();
+        let right = join(&l, &r, &spec(JoinCondition::RightOuter)).unwrap();
+        let full = join(&l, &r, &spec(JoinCondition::FullOuter)).unwrap();
+        prop_assert!(inner.num_rows() <= l.num_rows() * r.num_rows());
+        prop_assert!(left.num_rows() >= l.num_rows());
+        prop_assert!(right.num_rows() >= r.num_rows());
+        prop_assert!(full.num_rows() >= left.num_rows().max(right.num_rows()));
+        prop_assert_eq!(
+            full.num_rows(),
+            left.num_rows() + right.num_rows() - inner.num_rows(),
+            "inclusion-exclusion over matches"
+        );
+    }
+
+    /// Sort produces an ordered permutation of its input.
+    #[test]
+    fn sort_is_ordered_permutation(t in table(0..50, 2, any_value())) {
+        let out = sort(&t, &[SortKey::asc("c0"), SortKey::desc("c1")]).unwrap();
+        prop_assert_eq!(out.num_rows(), t.num_rows());
+        let mut a = t.to_rows();
+        let mut b = out.to_rows();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b, "permutation");
+        for i in 1..out.num_rows() {
+            let prev = out.value(i - 1, "c0").unwrap();
+            let cur = out.value(i, "c0").unwrap();
+            prop_assert!(prev <= cur, "ordered by c0");
+        }
+    }
+
+    // --- executor equivalence (design decision 3) ---------------------------
+
+    /// The columnar parallel executor and the naive row baseline agree on a
+    /// filter→groupby pipeline over arbitrary data.
+    #[test]
+    fn executors_agree(t in table(1..60, 2, (0i64..8).prop_map(Value::Int))) {
+        const SRC: &str = r#"
+D:
+  data: [c0, c1]
+T:
+  keep:
+    type: filter_by
+    filter_expression: c1 > 2
+  agg:
+    type: groupby
+    groupby: [c0]
+    aggregates:
+    - operator: sum
+      apply_on: c1
+      out_field: total
+F:
+  +D.out: D.data | T.keep | T.agg
+"#;
+        let ff = parse_flow_file("p", SRC).unwrap();
+        let reg = TaskRegistry::new();
+        let pipeline = compile(&ff, &CompileEnv::bare(&reg)).unwrap();
+        let ctx = ExecContext::new(shareinsights::connectors::Catalog::new())
+            .with_table("data", t);
+        let columnar = Executor::default().execute(&pipeline, &ctx).unwrap();
+        let naive = execute_naive(&pipeline, &ctx).unwrap();
+        let mut a = columnar.table("out").unwrap().to_rows();
+        let mut b = naive.table("out").unwrap().to_rows();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    // --- flow-file language --------------------------------------------------
+
+    /// Serialization round-trips generated flow files (flows + tasks).
+    #[test]
+    fn flowfile_roundtrips(
+        names in proptest::collection::btree_set("[a-z]{2,6}", 1..5),
+        spans in proptest::collection::vec(1u8..=6, 1..3),
+    ) {
+        let names: Vec<String> = names.into_iter().collect();
+        let mut src = String::from("D:\n  src_obj: [k, v]\nT:\n");
+        for n in &names {
+            src.push_str(&format!("  t_{n}:\n    type: filter_by\n    filter_expression: v < 3\n"));
+        }
+        src.push_str("F:\n");
+        for n in &names {
+            src.push_str(&format!("  +D.out_{n}: D.src_obj | T.t_{n}\n"));
+        }
+        src.push_str("W:\n");
+        for n in &names {
+            src.push_str(&format!(
+                "  w_{n}:\n    type: DataGrid\n    source: D.out_{n}\n"
+            ));
+        }
+        src.push_str("L:\n  rows:\n");
+        for (i, s) in spans.iter().enumerate() {
+            let n = &names[i % names.len()];
+            src.push_str(&format!("  - [span{s}: W.w_{n}]\n"));
+        }
+        let ff = parse_flow_file("gen", &src).unwrap();
+        let text = shareinsights::flowfile::to_text(&ff);
+        let ff2 = parse_flow_file("gen", &text).unwrap();
+        let strip = |flows: &[shareinsights::flowfile::Flow]| -> Vec<shareinsights::flowfile::Flow> {
+            flows
+                .iter()
+                .map(|f| {
+                    let mut f = f.clone();
+                    f.line = 0;
+                    f
+                })
+                .collect()
+        };
+        prop_assert_eq!(strip(&ff.flows), strip(&ff2.flows));
+        prop_assert_eq!(ff.tasks.len(), ff2.tasks.len());
+        prop_assert_eq!(
+            ff.layout.map(|l| l.rows),
+            ff2.layout.map(|l| l.rows)
+        );
+    }
+
+    /// Expression parser round-trips through Display.
+    #[test]
+    fn expr_display_roundtrips(
+        col in "[a-z]{1,6}",
+        n in -1000i64..1000,
+        s in "[a-z]{0,6}",
+    ) {
+        use shareinsights::tabular::expr::parse_expr;
+        for src in [
+            format!("{col} < {n}"),
+            format!("{col} == '{s}'"),
+            format!("{col} > {n} and {col} contains '{s}'"),
+            format!("not ({col} != {n}) or {col} in ['{s}', 'zz']"),
+            format!("{col} * 2 + 1 >= {n}"),
+        ] {
+            let e = parse_expr(&src).unwrap();
+            let printed = e.to_string();
+            let e2 = parse_expr(&printed).unwrap();
+            prop_assert_eq!(e, e2, "via '{}'", printed);
+        }
+    }
+
+    // --- dates ------------------------------------------------------------
+
+    /// Civil-calendar conversion round-trips over a wide day range, is
+    /// monotone, and formats/parses consistently.
+    #[test]
+    fn civil_date_roundtrip(days in -2_000_000i32..2_000_000) {
+        use shareinsights::tabular::datefmt::{civil_from_days, days_from_civil, DatePattern};
+        let (y, m, d) = civil_from_days(days);
+        prop_assert_eq!(days_from_civil(y, m, d), days);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+        let (y2, m2, d2) = civil_from_days(days + 1);
+        prop_assert!((y2, m2, d2) > (y, m, d), "monotone");
+        if (0..=9999).contains(&y) {
+            let pat = DatePattern::compile("yyyy-MM-dd").unwrap();
+            let text = format!("{y:04}-{m:02}-{d:02}");
+            let parsed = pat.parse(&text).unwrap();
+            prop_assert_eq!(parsed.epoch_days(), days);
+            prop_assert_eq!(pat.format(&parsed), text);
+        }
+    }
+
+    // --- collaboration -----------------------------------------------------
+
+    /// §4.5.1's merge claim: edits to *different* named tasks never
+    /// conflict, whatever the edits are.
+    #[test]
+    fn disjoint_task_edits_merge_clean(
+        ours_limit in 1u32..100,
+        theirs_limit in 1u32..100,
+    ) {
+        use shareinsights::collab::merge_texts;
+        let base = "T:\n  alpha:\n    type: limit\n    limit: 10\n  beta:\n    type: limit\n    limit: 20\n";
+        let ours = base.replace("limit: 10", &format!("limit: {ours_limit}"));
+        let theirs = base.replace("limit: 20", &format!("limit: {theirs_limit}"));
+        let out = merge_texts("d", base, &ours, &theirs).unwrap();
+        prop_assert!(out.is_clean(), "{:?}", out.conflicts);
+        let merged = out.merged;
+        let ours_s = ours_limit.to_string();
+        let theirs_s = theirs_limit.to_string();
+        prop_assert_eq!(
+            merged.task("alpha").unwrap().params.get_scalar("limit"),
+            Some(ours_s.as_str())
+        );
+        prop_assert_eq!(
+            merged.task("beta").unwrap().params.get_scalar("limit"),
+            Some(theirs_s.as_str())
+        );
+    }
+
+    // --- two execution contexts, one task model (design decision 3) ---------
+
+    /// A widget's interaction flow evaluated through the data cube produces
+    /// the same rows as applying the selection to the batch kernels
+    /// directly: the paper's claim that one task model serves both the
+    /// Hadoop and the JavaScript runtime.
+    #[test]
+    fn cube_equals_batch_under_selection(
+        t in table(1..50, 2, (0i64..6).prop_map(Value::Int)),
+        selected in 0i64..6,
+    ) {
+        use shareinsights::engine::selection::{Selection, StaticSelections};
+        use shareinsights::engine::task::{FilterSource, NamedTask, TaskKind, TaskRuntime};
+        use shareinsights::widgets::DataCube;
+
+        let tasks = vec![
+            NamedTask {
+                name: "filter".into(),
+                kind: TaskKind::FilterBySource {
+                    columns: vec!["c0".into()],
+                    source: FilterSource::Widget("list".into()),
+                    source_columns: vec!["text".into()],
+                },
+            },
+            NamedTask {
+                name: "agg".into(),
+                kind: TaskKind::GroupBy {
+                    builtin: GroupBy::with_aggregates(
+                        &["c0"],
+                        vec![AggregateSpec::new(AggKind::Sum, "c1", "total")],
+                    ),
+                    custom: vec![],
+                },
+            },
+        ];
+        let selections = StaticSelections::new();
+        selections.set("list", "text", Selection::Values(vec![Value::Int(selected)]));
+
+        // Interactive context.
+        let cube = DataCube::new(t.clone());
+        let via_cube = cube.eval("w", &tasks, &selections).unwrap();
+
+        // Batch context: the same kernels with the same runtime.
+        let lookup = |_: &str| None;
+        let rt = TaskRuntime {
+            selections: Some(&selections),
+            lookup_table: &lookup,
+        };
+        let mut via_batch = t;
+        for task in &tasks {
+            via_batch = task
+                .kind
+                .execute(&task.name, std::slice::from_ref(&via_batch), &rt)
+                .unwrap();
+        }
+        let mut a = via_cube.to_rows();
+        let mut b = via_batch.to_rows();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    // --- layout -------------------------------------------------------------
+
+    /// Solved layouts never overlap and never exceed the viewport width.
+    #[test]
+    fn layout_never_overlaps(rows in proptest::collection::vec(
+        proptest::collection::vec(1u8..=6, 1..3),
+        1..5,
+    )) {
+        use shareinsights::flowfile::ast::{LayoutCell, LayoutDef};
+        use shareinsights::layout::{overlaps, solve, Viewport};
+        let mut counter = 0;
+        let layout = LayoutDef {
+            description: None,
+            rows: rows
+                .iter()
+                .map(|r| {
+                    r.iter()
+                        .map(|&s| {
+                            counter += 1;
+                            LayoutCell { span: s, widget: format!("w{counter}") }
+                        })
+                        .collect()
+                })
+                .collect(),
+            line: 0,
+        };
+        for vp in [Viewport::desktop(), Viewport::mobile()] {
+            let placements = solve(&layout, &vp).unwrap();
+            for p in &placements {
+                prop_assert!(p.x + p.width <= vp.width);
+            }
+            for i in 0..placements.len() {
+                for j in i + 1..placements.len() {
+                    prop_assert!(!overlaps(&placements[i], &placements[j]));
+                }
+            }
+        }
+    }
+}
