@@ -84,9 +84,8 @@ fn merge_items<T: Clone + PartialEq>(
     out: &mut Vec<T>,
     conflicts: &mut Vec<MergeConflict>,
 ) {
-    let find = |items: &[T], k: &str| -> Option<T> {
-        items.iter().find(|i| key(i) == k).map(&normalize)
-    };
+    let find =
+        |items: &[T], k: &str| -> Option<T> { items.iter().find(|i| key(i) == k).map(&normalize) };
     let mut keys: Vec<String> = Vec::new();
     let mut seen = BTreeSet::new();
     for item in ours.iter().chain(theirs.iter()).chain(base.iter()) {
@@ -313,7 +312,11 @@ L:
         assert!(c.to_string().contains("edited differently"));
         // Ours wins in the materialised text.
         assert_eq!(
-            out.merged.task("keep").unwrap().params.get_scalar("filter_expression"),
+            out.merged
+                .task("keep")
+                .unwrap()
+                .params
+                .get_scalar("filter_expression"),
             Some("count > 5")
         );
     }
@@ -351,14 +354,8 @@ L:
 
     #[test]
     fn both_add_same_name_differently_conflicts() {
-        let ours = BASE.replace(
-            "T:\n",
-            "T:\n  extra:\n    type: limit\n    limit: 5\n",
-        );
-        let theirs = BASE.replace(
-            "T:\n",
-            "T:\n  extra:\n    type: limit\n    limit: 9\n",
-        );
+        let ours = BASE.replace("T:\n", "T:\n  extra:\n    type: limit\n    limit: 5\n");
+        let theirs = BASE.replace("T:\n", "T:\n  extra:\n    type: limit\n    limit: 9\n");
         let out = merge_texts("d", BASE, &ours, &theirs).unwrap();
         assert_eq!(out.conflicts.len(), 1);
         assert!(out.conflicts[0].description.contains("added differently"));

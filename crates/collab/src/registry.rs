@@ -31,6 +31,10 @@ struct RegistryInner {
     objects: BTreeMap<String, SharedObject>,
     /// publish name -> consuming dashboards.
     consumers: BTreeMap<String, BTreeSet<String>>,
+    /// publish name -> monotonically increasing data generation. Bumped on
+    /// every publish/refresh so downstream caches (the server's
+    /// query-result cache) can invalidate without being told.
+    generations: BTreeMap<String, u64>,
 }
 
 /// The platform-wide shared-objects registry.
@@ -75,6 +79,10 @@ impl PublishRegistry {
                 snapshot,
             },
         );
+        *inner
+            .generations
+            .entry(publish_name.to_string())
+            .or_insert(0) += 1;
         Ok(())
     }
 
@@ -85,6 +93,10 @@ impl PublishRegistry {
             Some(obj) => {
                 obj.schema = snapshot.schema().clone();
                 obj.snapshot = Some(snapshot);
+                *inner
+                    .generations
+                    .entry(publish_name.to_string())
+                    .or_insert(0) += 1;
                 Ok(())
             }
             None => Err(format!("no shared object '{publish_name}'")),
@@ -114,6 +126,18 @@ impl PublishRegistry {
     /// All published names.
     pub fn names(&self) -> Vec<String> {
         self.inner.read().objects.keys().cloned().collect()
+    }
+
+    /// Data generation of a published object: 0 before the first publish,
+    /// bumped by every publish/refresh. Query-result caches key on this to
+    /// invalidate stale entries.
+    pub fn generation(&self, publish_name: &str) -> u64 {
+        self.inner
+            .read()
+            .generations
+            .get(publish_name)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The flow-file group around a published object: producer plus every
@@ -180,14 +204,24 @@ mod tests {
     use shareinsights_tabular::DataType;
 
     fn schema() -> Schema {
-        Schema::of(&[("date", DataType::Utf8), ("player", DataType::Utf8), ("count", DataType::Int64)])
+        Schema::of(&[
+            ("date", DataType::Utf8),
+            ("player", DataType::Utf8),
+            ("count", DataType::Int64),
+        ])
     }
 
     #[test]
     fn publish_resolve_and_group() {
         let reg = PublishRegistry::new();
-        reg.publish("players_tweets", "ipl_processing", "players_tweets", schema(), None)
-            .unwrap();
+        reg.publish(
+            "players_tweets",
+            "ipl_processing",
+            "players_tweets",
+            schema(),
+            None,
+        )
+        .unwrap();
         assert_eq!(reg.names(), vec!["players_tweets"]);
 
         let obj = reg.resolve("players_tweets", "ipl_dashboard").unwrap();
@@ -208,7 +242,25 @@ mod tests {
         let t = Table::from_rows(&["date", "player", "count"], &[row!["d", "x", 1i64]]).unwrap();
         reg.refresh_snapshot("p", t).unwrap();
         assert_eq!(reg.get("p").unwrap().snapshot.unwrap().num_rows(), 1);
-        assert!(reg.refresh_snapshot("ghost", Table::from_rows(&["a"], &[]).unwrap()).is_err());
+        assert!(reg
+            .refresh_snapshot("ghost", Table::from_rows(&["a"], &[]).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn generations_bump_on_publish_and_refresh() {
+        let reg = PublishRegistry::new();
+        assert_eq!(reg.generation("p"), 0);
+        reg.publish("p", "prod", "local", schema(), None).unwrap();
+        assert_eq!(reg.generation("p"), 1);
+        let t = Table::from_rows(&["date", "player", "count"], &[row!["d", "x", 1i64]]).unwrap();
+        reg.refresh_snapshot("p", t).unwrap();
+        assert_eq!(reg.generation("p"), 2);
+        reg.publish("p", "prod", "local", schema(), None).unwrap();
+        assert_eq!(reg.generation("p"), 3);
+        // Failed cross-producer publish does not bump.
+        assert!(reg.publish("p", "other", "x", schema(), None).is_err());
+        assert_eq!(reg.generation("p"), 3);
     }
 
     #[test]

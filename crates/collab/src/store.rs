@@ -122,13 +122,7 @@ impl Repository {
 
     /// Commit new content onto a branch (creating `main`/the branch at the
     /// root commit).
-    pub fn commit(
-        &self,
-        branch: &str,
-        author: &str,
-        message: &str,
-        content: &str,
-    ) -> CommitId {
+    pub fn commit(&self, branch: &str, author: &str, message: &str, content: &str) -> CommitId {
         let mut inner = self.inner.write();
         let parents: Vec<CommitId> = inner.branches.get(branch).cloned().into_iter().collect();
         inner.seq += 1;
@@ -291,7 +285,12 @@ impl Repository {
 
     /// Fork: a new repository seeded with this branch's head content as its
     /// root commit, remembering provenance. Returns the new repo.
-    pub fn fork(&self, new_name: &str, branch: &str, author: &str) -> Result<Repository, StoreError> {
+    pub fn fork(
+        &self,
+        new_name: &str,
+        branch: &str,
+        author: &str,
+    ) -> Result<Repository, StoreError> {
         let head = self.head(branch)?;
         let repo = Repository::new(new_name);
         repo.commit(
@@ -313,7 +312,12 @@ mod tests {
     fn commit_and_log() {
         let repo = Repository::new("apache");
         let c1 = repo.commit("main", "alice", "initial", "D:\n  a: [x]\n");
-        let c2 = repo.commit("main", "bob", "add task", "D:\n  a: [x]\nT:\n  t:\n    type: limit\n    limit: 1\n");
+        let c2 = repo.commit(
+            "main",
+            "bob",
+            "add task",
+            "D:\n  a: [x]\nT:\n  t:\n    type: limit\n    limit: 1\n",
+        );
         assert_ne!(c1, c2);
         let log = repo.log("main").unwrap();
         assert_eq!(log.len(), 2);

@@ -160,15 +160,11 @@ impl Catalog {
                 }
             }
             Payload::Bytes { data, format_hint } => {
-                let format_name = cfg
-                    .format
-                    .clone()
-                    .or(format_hint)
-                    .ok_or_else(|| {
-                        ConnectorError::BadConfig(format!(
-                            "cannot determine format for '{source}'; set 'format:'"
-                        ))
-                    })?;
+                let format_name = cfg.format.clone().or(format_hint).ok_or_else(|| {
+                    ConnectorError::BadConfig(format!(
+                        "cannot determine format for '{source}'; set 'format:'"
+                    ))
+                })?;
                 let format = self
                     .formats
                     .read()
@@ -204,14 +200,22 @@ mod tests {
         cat.data_folder()
             .put_text("stackoverflow.csv", "p,q,a,t\npig,1,2,big\n");
         let cfg = DataObjectConfig {
-            columns: vec!["project".into(), "question".into(), "answer".into(), "tags".into()],
+            columns: vec![
+                "project".into(),
+                "question".into(),
+                "answer".into(),
+                "tags".into(),
+            ],
             source: Some("stackoverflow.csv".into()),
             format: Some("csv".into()),
             separator: Some(','),
             ..Default::default()
         };
         let t = cat.load(&cfg).unwrap();
-        assert_eq!(t.schema().names(), vec!["project", "question", "answer", "tags"]);
+        assert_eq!(
+            t.schema().names(),
+            vec!["project", "question", "answer", "tags"]
+        );
         assert_eq!(t.num_rows(), 1);
     }
 
@@ -282,7 +286,10 @@ mod tests {
             protocol: Some("gopher".into()),
             ..Default::default()
         };
-        assert!(matches!(cat.load(&cfg), Err(ConnectorError::UnknownProtocol(_))));
+        assert!(matches!(
+            cat.load(&cfg),
+            Err(ConnectorError::UnknownProtocol(_))
+        ));
         cat.data_folder().put_text("noext", "a\n1\n");
         let cfg = DataObjectConfig {
             source: Some("noext".into()),

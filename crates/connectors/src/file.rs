@@ -157,7 +157,10 @@ mod tests {
         folder.put_text("data/tweets.json", "{}");
         let c = FileConnector::new(folder);
         assert_eq!(c.protocol(), "file");
-        match c.fetch(&FetchRequest::for_source("data/tweets.json")).unwrap() {
+        match c
+            .fetch(&FetchRequest::for_source("data/tweets.json"))
+            .unwrap()
+        {
             Payload::Bytes { data, format_hint } => {
                 assert_eq!(data, b"{}");
                 assert_eq!(format_hint.as_deref(), Some("json"));

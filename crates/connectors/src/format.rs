@@ -165,7 +165,9 @@ mod tests {
     #[test]
     fn csv_with_declared_columns() {
         let spec = FormatSpec::with_columns(&["p", "q"]);
-        let t = CsvFormat.decode(b"project,question\npig,42\n", &spec).unwrap();
+        let t = CsvFormat
+            .decode(b"project,question\npig,42\n", &spec)
+            .unwrap();
         assert_eq!(t.schema().names(), vec!["p", "q"]);
         assert_eq!(t.num_rows(), 1);
     }
@@ -183,7 +185,9 @@ mod tests {
 
     #[test]
     fn json_needs_schema() {
-        let err = JsonFormat.decode(b"[]", &FormatSpec::default()).unwrap_err();
+        let err = JsonFormat
+            .decode(b"[]", &FormatSpec::default())
+            .unwrap_err();
         assert!(err.to_string().contains("declared schema"));
     }
 
@@ -192,10 +196,7 @@ mod tests {
         let mut spec = FormatSpec::with_columns(&["body", "loc"]);
         spec.paths = vec![Some("text".into()), Some("user.location".into())];
         let t = JsonFormat
-            .decode(
-                br#"[{"text": "hi", "user": {"location": "Pune"}}]"#,
-                &spec,
-            )
+            .decode(br#"[{"text": "hi", "user": {"location": "Pune"}}]"#, &spec)
             .unwrap();
         assert_eq!(t.value(0, "loc").unwrap().to_string(), "Pune");
     }

@@ -37,7 +37,9 @@ impl FtpSimConnector {
             .split_once('/')
             .ok_or_else(|| ConnectorError::BadConfig(format!("ftp url missing path: '{url}'")))?;
         if host.is_empty() || path.is_empty() {
-            return Err(ConnectorError::BadConfig(format!("ftp url malformed: '{url}'")));
+            return Err(ConnectorError::BadConfig(format!(
+                "ftp url malformed: '{url}'"
+            )));
         }
         Ok((host.to_string(), path.to_string()))
     }

@@ -42,7 +42,12 @@ impl HttpSimConnector {
     }
 
     /// Register a plain route.
-    pub fn route(&self, url_prefix: impl Into<String>, body: impl Into<Vec<u8>>, format_hint: Option<&str>) {
+    pub fn route(
+        &self,
+        url_prefix: impl Into<String>,
+        body: impl Into<Vec<u8>>,
+        format_hint: Option<&str>,
+    ) {
         self.routes.write().push(Route {
             url_prefix: url_prefix.into(),
             required_headers: BTreeMap::new(),
@@ -165,7 +170,9 @@ mod tests {
             "{}",
             Some("json"),
         );
-        let err = http.fetch(&FetchRequest::for_source(STACK_URL)).unwrap_err();
+        let err = http
+            .fetch(&FetchRequest::for_source(STACK_URL))
+            .unwrap_err();
         assert!(err.to_string().contains("missing required header"));
 
         let err = http
@@ -193,7 +200,10 @@ mod tests {
         let http = HttpSimConnector::new();
         http.route("https://h/a", "first", None);
         http.route("https://h/", "second", None);
-        match http.fetch(&FetchRequest::for_source("https://h/a/b")).unwrap() {
+        match http
+            .fetch(&FetchRequest::for_source("https://h/a/b"))
+            .unwrap()
+        {
             Payload::Bytes { data, .. } => assert_eq!(data, b"first"),
             _ => panic!(),
         }

@@ -49,11 +49,13 @@ impl JdbcSimConnector {
         let rest = url
             .strip_prefix("jdbc:si://")
             .ok_or_else(|| ConnectorError::BadConfig(format!("not a jdbc:si url: '{url}'")))?;
-        let (db, table) = rest
-            .split_once('/')
-            .ok_or_else(|| ConnectorError::BadConfig(format!("jdbc url needs db/table: '{url}'")))?;
+        let (db, table) = rest.split_once('/').ok_or_else(|| {
+            ConnectorError::BadConfig(format!("jdbc url needs db/table: '{url}'"))
+        })?;
         if db.is_empty() || table.is_empty() {
-            return Err(ConnectorError::BadConfig(format!("jdbc url malformed: '{url}'")));
+            return Err(ConnectorError::BadConfig(format!(
+                "jdbc url malformed: '{url}'"
+            )));
         }
         Ok((db.to_string(), table.to_string()))
     }
@@ -95,10 +97,16 @@ impl JdbcSimConnector {
         let mut limit: Option<usize> = None;
         if let Some(rest) = rest {
             let rl = rest.to_ascii_lowercase();
-            if let Some(stripped) = rl.strip_prefix(" limit ").or_else(|| rl.strip_prefix("limit ")) {
-                limit = Some(stripped.trim().parse().map_err(|_| {
-                    ConnectorError::BadConfig("LIMIT needs a number".into())
-                })?);
+            if let Some(stripped) = rl
+                .strip_prefix(" limit ")
+                .or_else(|| rl.strip_prefix("limit "))
+            {
+                limit = Some(
+                    stripped
+                        .trim()
+                        .parse()
+                        .map_err(|_| ConnectorError::BadConfig("LIMIT needs a number".into()))?,
+                );
             } else {
                 match rl.find(" limit ") {
                     Some(p) => {
@@ -114,7 +122,8 @@ impl JdbcSimConnector {
 
         let mut out = table.clone();
         if let Some(w) = where_expr {
-            let expr = parse_expr(w.trim()).map_err(|e| ConnectorError::BadConfig(e.to_string()))?;
+            let expr =
+                parse_expr(w.trim()).map_err(|e| ConnectorError::BadConfig(e.to_string()))?;
             out = shareinsights_tabular::ops::filter_by_expr(&out, &expr)?;
         }
         if cols_part != "*" {
@@ -193,8 +202,10 @@ mod tests {
     #[test]
     fn adhoc_select_where_limit() {
         let jdbc = seed();
-        let req = FetchRequest::for_source("jdbc:si://warehouse/sales")
-            .with_param("query", "SELECT region, units FROM sales WHERE units > 6 LIMIT 1");
+        let req = FetchRequest::for_source("jdbc:si://warehouse/sales").with_param(
+            "query",
+            "SELECT region, units FROM sales WHERE units > 6 LIMIT 1",
+        );
         match jdbc.fetch(&req).unwrap() {
             Payload::Table(t) => {
                 assert_eq!(t.num_rows(), 1);

@@ -34,7 +34,11 @@ pub struct Enrichment {
 impl Enrichment {
     /// A ready-to-paste join task snippet for the flow file.
     pub fn task_snippet(&self, local_object: &str) -> String {
-        let key = self.join_keys.first().map(String::as_str).unwrap_or("<key>");
+        let key = self
+            .join_keys
+            .first()
+            .map(String::as_str)
+            .unwrap_or("<key>");
         format!(
             "  enrich_with_{name}:\n    type: join\n    left: {local} by {key}\n    right: {name} by {key}\n    join_condition: left outer\n",
             name = self.publish_name,
@@ -179,19 +183,13 @@ mod tests {
 
     #[test]
     fn ranks_clean_dimension_joins_first() {
-        let my_schema = Schema::of(&[
-            ("team", DataType::Utf8),
-            ("score", DataType::Int64),
-        ]);
+        let my_schema = Schema::of(&[("team", DataType::Utf8), ("score", DataType::Int64)]);
         let suggestions = suggest_enrichments(&my_schema, &registry(), None);
         assert_eq!(suggestions.len(), 2, "tickets excluded (no shared columns)");
         assert_eq!(suggestions[0].publish_name, "dim_teams");
         assert!(suggestions[0].key_is_unique);
         assert_eq!(suggestions[0].join_keys, vec!["team"]);
-        assert_eq!(
-            suggestions[0].new_columns,
-            vec!["team_fullName", "color"]
-        );
+        assert_eq!(suggestions[0].new_columns, vec!["team_fullName", "color"]);
         assert_eq!(suggestions[1].publish_name, "team_tweets");
         assert!(!suggestions[1].key_is_unique);
     }

@@ -62,7 +62,11 @@ pub fn closest<'a>(name: &str, candidates: impl IntoIterator<Item = &'a str>) ->
         .filter(|(d, _)| *d <= budget && *d > 0)
         .collect();
     scored.sort();
-    scored.into_iter().take(3).map(|(_, c)| c.to_string()).collect()
+    scored
+        .into_iter()
+        .take(3)
+        .map(|(_, c)| c.to_string())
+        .collect()
 }
 
 /// Extract a `'quoted'` name from an error message (the engine's errors
@@ -241,7 +245,10 @@ mod tests {
         let c = closest("projct", ["project", "year", "noOfBugs"]);
         assert_eq!(c, vec!["project"]);
         assert!(closest("zzzzzz", ["project", "year"]).is_empty());
-        assert!(closest("project", ["project"]).is_empty(), "exact match is not a typo");
+        assert!(
+            closest("project", ["project"]).is_empty(),
+            "exact match is not a typo"
+        );
     }
 
     #[test]

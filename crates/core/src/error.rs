@@ -61,8 +61,7 @@ mod tests {
     fn displays() {
         let e = PlatformError::NoDashboard("x".into());
         assert_eq!(e.to_string(), "no dashboard 'x'");
-        let e: PlatformError =
-            shareinsights_flowfile::FlowError::single(3, "bad section").into();
+        let e: PlatformError = shareinsights_flowfile::FlowError::single(3, "bad section").into();
         assert!(e.to_string().contains("line 3"));
     }
 }

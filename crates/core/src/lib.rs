@@ -46,4 +46,6 @@ pub use doctor::{explain, Diagnosis};
 pub use error::{PlatformError, Result};
 pub use meta::{build_meta_dashboard, profile_table, ColumnProfile, MetaDashboard};
 pub use platform::Platform;
-pub use telemetry::{RunEvent, RunKind, RunLog, UsageCounts};
+pub use telemetry::{
+    ApiMetrics, LatencyHistogram, RouteStats, RunEvent, RunKind, RunLog, UsageCounts,
+};

@@ -161,7 +161,15 @@ pub fn build_meta_from_tables<'a>(
         .collect();
     let profile = Table::from_rows(
         &[
-            "object", "column", "type", "rows", "nulls", "distinct", "min", "max", "top_value",
+            "object",
+            "column",
+            "type",
+            "rows",
+            "nulls",
+            "distinct",
+            "min",
+            "max",
+            "top_value",
             "padded",
         ],
         &rows,
@@ -303,7 +311,11 @@ mod tests {
             .collect();
         assert!(objects.contains("data") && objects.contains("out"));
         // The null in v was noticed.
-        assert!(meta.warnings.iter().any(|w| w.contains("null")), "{:?}", meta.warnings);
+        assert!(
+            meta.warnings.iter().any(|w| w.contains("null")),
+            "{:?}",
+            meta.warnings
+        );
 
         // The generated flow file loads and renders through the platform's
         // one-call API.

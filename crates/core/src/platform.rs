@@ -2,7 +2,7 @@
 
 use crate::dashboard::{Dashboard, RunReport};
 use crate::error::{PlatformError, Result};
-use crate::telemetry::{usage_of, RunEvent, RunKind, RunLog};
+use crate::telemetry::{usage_of, ApiMetrics, RunEvent, RunKind, RunLog};
 use parking_lot::RwLock;
 use shareinsights_collab::PublishRegistry;
 use shareinsights_connectors::Catalog;
@@ -20,9 +20,7 @@ use std::sync::Arc;
 
 /// The declared (all-Utf8) schema of a flow-file data object, used as the
 /// discovery fallback before a run has materialised real types.
-pub(crate) fn declared_schema_of(
-    obj: &shareinsights_flowfile::ast::DataObject,
-) -> Option<Schema> {
+pub(crate) fn declared_schema_of(obj: &shareinsights_flowfile::ast::DataObject) -> Option<Schema> {
     if obj.columns.is_empty() {
         None
     } else {
@@ -38,7 +36,13 @@ pub struct Platform {
     widgets: WidgetRegistry,
     publish: PublishRegistry,
     log: RunLog,
+    api: ApiMetrics,
     dashboards: Arc<RwLock<BTreeMap<String, Dashboard>>>,
+    /// dashboard -> endpoint-data generation, bumped whenever a run
+    /// replaces the dashboard's endpoint tables. Serving-layer caches key
+    /// their entries on this (plus the publish registry's per-object
+    /// generation) to invalidate without coordination.
+    data_gens: Arc<RwLock<BTreeMap<String, u64>>>,
     /// Executor used for batch runs.
     pub executor: Executor,
     /// Optimizer configuration applied at compile time.
@@ -60,7 +64,9 @@ impl Platform {
             widgets: WidgetRegistry::new(),
             publish: PublishRegistry::new(),
             log: RunLog::new(),
+            api: ApiMetrics::new(),
             dashboards: Arc::new(RwLock::new(BTreeMap::new())),
+            data_gens: Arc::new(RwLock::new(BTreeMap::new())),
             executor: Executor::default(),
             optimizer: OptimizerConfig::default(),
         }
@@ -91,6 +97,29 @@ impl Platform {
     /// Telemetry log.
     pub fn log(&self) -> &RunLog {
         &self.log
+    }
+
+    /// Serving-path metrics (per-route counters/latency, `/stats`).
+    pub fn api_metrics(&self) -> &ApiMetrics {
+        &self.api
+    }
+
+    /// The endpoint-data generation of a dashboard: 0 until its first run,
+    /// bumped by every completed run. Combined with
+    /// [`PublishRegistry::generation`] this stamps query-cache entries.
+    pub fn data_generation(&self, dashboard: &str) -> u64 {
+        self.data_gens.read().get(dashboard).copied().unwrap_or(0)
+    }
+
+    /// Bump a dashboard's endpoint-data generation (runs do this
+    /// automatically; exposed for callers that mutate endpoint tables
+    /// directly).
+    pub fn bump_data_generation(&self, dashboard: &str) {
+        *self
+            .data_gens
+            .write()
+            .entry(dashboard.to_string())
+            .or_insert(0) += 1;
     }
 
     // --- development services (§4.3) ------------------------------------
@@ -138,7 +167,11 @@ impl Platform {
 
     /// Save (commit) flow-file text for a dashboard, parsing and validating
     /// it. Returns validation warnings; errors reject the save.
-    pub fn save_flow(&self, name: &str, text: &str) -> Result<Vec<shareinsights_flowfile::Diagnostic>> {
+    pub fn save_flow(
+        &self,
+        name: &str,
+        text: &str,
+    ) -> Result<Vec<shareinsights_flowfile::Diagnostic>> {
         self.save_flow_as(name, text, "analyst")
     }
 
@@ -220,7 +253,9 @@ impl Platform {
     pub fn fork_dashboard(&self, from: &str, to: &str, author: &str) -> Result<()> {
         let source = self.dashboard(from)?;
         if self.dashboards.read().contains_key(to) {
-            return Err(PlatformError::Other(format!("dashboard '{to}' already exists")));
+            return Err(PlatformError::Other(format!(
+                "dashboard '{to}' already exists"
+            )));
         }
         let repo = source
             .repo
@@ -379,6 +414,7 @@ impl Platform {
         if let Some(d) = self.dashboards.write().get_mut(name) {
             d.endpoint_tables = endpoint_tables;
         }
+        self.bump_data_generation(name);
         Ok(report)
     }
 
@@ -475,10 +511,7 @@ impl Platform {
     /// Diagnose a platform error against a dashboard's current flow file
     /// (§6 error pin-pointing).
     pub fn diagnose(&self, dashboard: &str, error: &PlatformError) -> crate::doctor::Diagnosis {
-        let ff = self
-            .dashboard(dashboard)
-            .map(|d| d.ast)
-            .unwrap_or_default();
+        let ff = self.dashboard(dashboard).map(|d| d.ast).unwrap_or_default();
         crate::doctor::explain(error, &ff)
     }
 
@@ -494,8 +527,7 @@ impl Platform {
         }
         // Resolve widget sources against the shared registry.
         for w in &dash.ast.widgets {
-            if let Some(shareinsights_flowfile::ast::WidgetSource::Flow { input, .. }) = &w.source
-            {
+            if let Some(shareinsights_flowfile::ast::WidgetSource::Flow { input, .. }) = &w.source {
                 if !endpoints.contains_key(input) {
                     if let Some(shared) = self.publish.resolve(input, name) {
                         if let Some(snapshot) = shared.snapshot {
@@ -646,9 +678,9 @@ T:
                 .map_err(|e| shareinsights_engine::EngineError::Internal(e.to_string()))
             },
             |t: &shareinsights_tabular::Table| {
-                let col = t.column("description").map_err(|e| {
-                    shareinsights_engine::ext::exec_err("predict_resolution", e)
-                })?;
+                let col = t
+                    .column("description")
+                    .map_err(|e| shareinsights_engine::ext::exec_err("predict_resolution", e))?;
                 let vals: Vec<shareinsights_tabular::Value> = (0..t.num_rows())
                     .map(|i| {
                         let d = col.str_at(i).unwrap_or("");

@@ -3,6 +3,10 @@
 //! application logs, flow file growth, error messages, execution logs —
 //! were used to build dashboards … figure 31 highlights the popular
 //! operators and widgets").
+//!
+//! Also hosts the serving-path observability ([`ApiMetrics`]): per-route
+//! request counts, error counts, cache hit/miss tallies and latency
+//! histograms, recorded by the data-API server and exposed at `/stats`.
 
 use parking_lot::RwLock;
 use shareinsights_flowfile::ast::FlowFile;
@@ -68,11 +72,8 @@ impl UsageCounts {
 
     /// Widgets ranked by popularity.
     pub fn top_widgets(&self) -> Vec<(&str, usize)> {
-        let mut v: Vec<(&str, usize)> = self
-            .widgets
-            .iter()
-            .map(|(k, &c)| (k.as_str(), c))
-            .collect();
+        let mut v: Vec<(&str, usize)> =
+            self.widgets.iter().map(|(k, &c)| (k.as_str(), c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         v
     }
@@ -161,6 +162,131 @@ impl RunLog {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Serving-path metrics (per-route request observability)
+// ---------------------------------------------------------------------------
+
+/// Upper bounds (in microseconds) of the latency histogram buckets; the
+/// last bucket is open-ended.
+pub const LATENCY_BOUNDS_US: [u64; 14] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+    5_000_000,
+];
+
+/// A fixed-bucket latency histogram with exact max tracking.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Sample counts per bucket (one extra open-ended bucket at the end).
+    pub buckets: [u64; LATENCY_BOUNDS_US.len() + 1],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (µs), for mean latency.
+    pub total_us: u64,
+    /// Largest single sample (µs).
+    pub max_us: u64,
+}
+
+impl LatencyHistogram {
+    /// Record one latency sample in microseconds.
+    pub fn record(&mut self, us: u64) {
+        let idx = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the upper bound of the
+    /// bucket containing the q-th sample, clamped to the observed max.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let bound = LATENCY_BOUNDS_US.get(i).copied().unwrap_or(self.max_us);
+                return bound.min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> u64 {
+        self.total_us.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Per-route serving statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouteStats {
+    /// Requests dispatched to this route.
+    pub count: u64,
+    /// Non-2xx responses.
+    pub errors: u64,
+    /// Responses served from the query-result cache.
+    pub cache_hits: u64,
+    /// Cacheable requests that had to recompute.
+    pub cache_misses: u64,
+    /// Latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+/// Thread-safe per-route metrics registry for the serving path.
+#[derive(Debug, Clone, Default)]
+pub struct ApiMetrics {
+    routes: Arc<RwLock<BTreeMap<String, RouteStats>>>,
+}
+
+impl ApiMetrics {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one served request: normalized route label, whether the
+    /// response was 2xx, and the handling latency.
+    pub fn record(&self, route: &str, ok: bool, latency_us: u64) {
+        let mut routes = self.routes.write();
+        let stats = routes.entry(route.to_string()).or_default();
+        stats.count += 1;
+        if !ok {
+            stats.errors += 1;
+        }
+        stats.latency.record(latency_us);
+    }
+
+    /// Record a query-cache outcome for a route.
+    pub fn record_cache(&self, route: &str, hit: bool) {
+        let mut routes = self.routes.write();
+        let stats = routes.entry(route.to_string()).or_default();
+        if hit {
+            stats.cache_hits += 1;
+        } else {
+            stats.cache_misses += 1;
+        }
+    }
+
+    /// Snapshot of every route's stats.
+    pub fn snapshot(&self) -> BTreeMap<String, RouteStats> {
+        self.routes.read().clone()
+    }
+
+    /// Aggregate cache hits/misses across all routes.
+    pub fn cache_totals(&self) -> (u64, u64) {
+        let routes = self.routes.read();
+        routes
+            .values()
+            .fold((0, 0), |(h, m), s| (h + s.cache_hits, m + s.cache_misses))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,8 +308,20 @@ mod tests {
     #[test]
     fn usage_aggregates_runs_only() {
         let log = RunLog::new();
-        log.record(event("t1", RunKind::Run, &["groupby", "filter_by"], &["WordCloud"], 100));
-        log.record(event("t2", RunKind::Run, &["groupby"], &["WordCloud", "Slider"], 200));
+        log.record(event(
+            "t1",
+            RunKind::Run,
+            &["groupby", "filter_by"],
+            &["WordCloud"],
+            100,
+        ));
+        log.record(event(
+            "t2",
+            RunKind::Run,
+            &["groupby"],
+            &["WordCloud", "Slider"],
+            200,
+        ));
         log.record(event("t2", RunKind::Save, &["join"], &[], 200)); // ignored
         let mut failed = event("t3", RunKind::Run, &["join"], &[], 50);
         failed.success = false;
@@ -208,6 +346,44 @@ mod tests {
         assert_eq!(log.starting_sizes().get("team5"), Some(&1500));
         assert_eq!(log.events().len(), 3);
         assert_eq!(log.events()[2].seq, 3);
+    }
+
+    #[test]
+    fn latency_histogram_quantiles() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        for us in [40, 60, 90, 200, 400, 900, 2_000, 4_000, 9_000, 20_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count, 10);
+        assert_eq!(h.max_us, 20_000);
+        // p50 falls in the bucket holding the 5th sample (400 → ≤500).
+        assert_eq!(h.quantile_us(0.5), 500);
+        // p95+ land in the last occupied bucket, clamped to max.
+        assert_eq!(h.quantile_us(0.95), 20_000);
+        assert_eq!(h.quantile_us(1.0), 20_000);
+        assert_eq!(h.mean_us(), 3_669);
+        // One huge sample lands in the open-ended bucket.
+        h.record(10_000_000);
+        assert_eq!(h.quantile_us(1.0), 10_000_000);
+    }
+
+    #[test]
+    fn api_metrics_accumulate_per_route() {
+        let m = ApiMetrics::new();
+        m.record("GET /:dashboard/ds/:dataset/query", true, 120);
+        m.record("GET /:dashboard/ds/:dataset/query", false, 80);
+        m.record("GET /dashboards", true, 30);
+        m.record_cache("GET /:dashboard/ds/:dataset/query", true);
+        m.record_cache("GET /:dashboard/ds/:dataset/query", false);
+        let snap = m.snapshot();
+        let q = &snap["GET /:dashboard/ds/:dataset/query"];
+        assert_eq!(q.count, 2);
+        assert_eq!(q.errors, 1);
+        assert_eq!(q.cache_hits, 1);
+        assert_eq!(q.cache_misses, 1);
+        assert_eq!(snap["GET /dashboards"].count, 1);
+        assert_eq!(m.cache_totals(), (1, 1));
     }
 
     #[test]

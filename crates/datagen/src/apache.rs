@@ -116,21 +116,23 @@ pub fn generate(cfg: &ApacheConfig) -> ApacheCorpus {
 
     ApacheCorpus {
         svn_jira_summary: Table::from_rows(
-            &["project", "year", "noOfBugs", "noOfCheckins", "noOfEmailsTotal"],
+            &[
+                "project",
+                "year",
+                "noOfBugs",
+                "noOfCheckins",
+                "noOfEmailsTotal",
+            ],
             &svn_rows,
         )
         .expect("svn_jira_summary"),
-        stack_summary: Table::from_rows(
-            &["project", "question", "answer", "tags"],
-            &stack_rows,
-        )
-        .expect("stack_summary"),
+        stack_summary: Table::from_rows(&["project", "question", "answer", "tags"], &stack_rows)
+            .expect("stack_summary"),
         releases: Table::from_rows(&["project", "year", "releases"], &release_rows)
             .expect("releases"),
         contributors: Table::from_rows(&["project", "contributors"], &contrib_rows)
             .expect("contributors"),
-        categories: Table::from_rows(&["project", "technology"], &cat_rows)
-            .expect("categories"),
+        categories: Table::from_rows(&["project", "technology"], &cat_rows).expect("categories"),
     }
 }
 
@@ -151,7 +153,13 @@ mod tests {
         let c = generate(&ApacheConfig::default());
         assert_eq!(
             c.svn_jira_summary.schema().names(),
-            vec!["project", "year", "noOfBugs", "noOfCheckins", "noOfEmailsTotal"]
+            vec![
+                "project",
+                "year",
+                "noOfBugs",
+                "noOfCheckins",
+                "noOfEmailsTotal"
+            ]
         );
         assert_eq!(
             c.stack_summary.schema().names(),
@@ -179,7 +187,10 @@ mod tests {
                 }
             }
         }
-        assert!(last_year > first_year, "spark activity should grow: {first_year} -> {last_year}");
+        assert!(
+            last_year > first_year,
+            "spark activity should grow: {first_year} -> {last_year}"
+        );
     }
 
     #[test]

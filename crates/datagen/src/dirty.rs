@@ -169,7 +169,13 @@ mod tests {
 
     fn clean() -> Table {
         let rows: Vec<Row> = (0..200)
-            .map(|i| row![format!("2013-05-{:02}", (i % 28) + 1), format!("name{i}"), i as i64])
+            .map(|i| {
+                row![
+                    format!("2013-05-{:02}", (i % 28) + 1),
+                    format!("name{i}"),
+                    i as i64
+                ]
+            })
             .collect();
         Table::from_rows(&["date", "name", "n"], &rows).unwrap()
     }

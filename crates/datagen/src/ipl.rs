@@ -35,14 +35,62 @@ pub struct Team {
 
 /// The eight franchises the generator models.
 pub const TEAMS: [Team; 8] = [
-    Team { code: "CSK", full_name: "Chennai Super Kings", sort_order: 1, color: "#f9cd05", home_city: "chennai" },
-    Team { code: "MI", full_name: "Mumbai Indians", sort_order: 2, color: "#004ba0", home_city: "mumbai" },
-    Team { code: "RCB", full_name: "Royal Challengers Bangalore", sort_order: 3, color: "#ec1c24", home_city: "bangalore" },
-    Team { code: "KKR", full_name: "Kolkata Knight Riders", sort_order: 4, color: "#3a225d", home_city: "kolkata" },
-    Team { code: "RR", full_name: "Rajasthan Royals", sort_order: 5, color: "#254aa5", home_city: "jaipur" },
-    Team { code: "SRH", full_name: "Sunrisers Hyderabad", sort_order: 6, color: "#ff822a", home_city: "hyderabad" },
-    Team { code: "KXIP", full_name: "Kings XI Punjab", sort_order: 7, color: "#d71920", home_city: "chandigarh" },
-    Team { code: "DD", full_name: "Delhi Daredevils", sort_order: 8, color: "#17449b", home_city: "delhi" },
+    Team {
+        code: "CSK",
+        full_name: "Chennai Super Kings",
+        sort_order: 1,
+        color: "#f9cd05",
+        home_city: "chennai",
+    },
+    Team {
+        code: "MI",
+        full_name: "Mumbai Indians",
+        sort_order: 2,
+        color: "#004ba0",
+        home_city: "mumbai",
+    },
+    Team {
+        code: "RCB",
+        full_name: "Royal Challengers Bangalore",
+        sort_order: 3,
+        color: "#ec1c24",
+        home_city: "bangalore",
+    },
+    Team {
+        code: "KKR",
+        full_name: "Kolkata Knight Riders",
+        sort_order: 4,
+        color: "#3a225d",
+        home_city: "kolkata",
+    },
+    Team {
+        code: "RR",
+        full_name: "Rajasthan Royals",
+        sort_order: 5,
+        color: "#254aa5",
+        home_city: "jaipur",
+    },
+    Team {
+        code: "SRH",
+        full_name: "Sunrisers Hyderabad",
+        sort_order: 6,
+        color: "#ff822a",
+        home_city: "hyderabad",
+    },
+    Team {
+        code: "KXIP",
+        full_name: "Kings XI Punjab",
+        sort_order: 7,
+        color: "#d71920",
+        home_city: "chandigarh",
+    },
+    Team {
+        code: "DD",
+        full_name: "Delhi Daredevils",
+        sort_order: 8,
+        color: "#17449b",
+        home_city: "delhi",
+    },
 ];
 
 /// `(canonical name, surface forms, team code)` for the player dictionary.
@@ -66,8 +114,18 @@ pub const PLAYERS: [(&str, &[&str], &str); 16] = [
 ];
 
 const CITIES: [&str; 12] = [
-    "Mumbai", "Delhi", "Chennai", "Kolkata", "Bangalore", "Hyderabad", "Jaipur", "Pune",
-    "Ahmedabad", "Chandigarh", "Lucknow", "Kochi",
+    "Mumbai",
+    "Delhi",
+    "Chennai",
+    "Kolkata",
+    "Bangalore",
+    "Hyderabad",
+    "Jaipur",
+    "Pune",
+    "Ahmedabad",
+    "Chandigarh",
+    "Lucknow",
+    "Kochi",
 ];
 
 const PHRASES: [&str; 14] = [
@@ -156,8 +214,9 @@ pub fn generate(cfg: &IplConfig) -> IplCorpus {
         let ss = rng.int_range(0, 59);
         let weekday = shareinsights_tabular::datefmt::weekday_from_days(abs_day);
         let wd = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"][weekday as usize];
-        let mon = ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"]
-            [(mo - 1) as usize];
+        let mon = [
+            "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+        ][(mo - 1) as usize];
         let created = format!("{wd} {mon} {dd:02} {hh:02}:{mi:02}:{ss:02} +0530 {y:04}");
 
         // Body: phrase + team mention (usually) + player mention (often).
@@ -195,10 +254,7 @@ pub fn generate(cfg: &IplConfig) -> IplCorpus {
         let location = if rng.chance(0.12) {
             None
         } else if rng.chance(0.5) {
-            Some(format!(
-                "{}, India",
-                capitalize(team.home_city)
-            ))
+            Some(format!("{}, India", capitalize(team.home_city)))
         } else {
             Some(rng.pick(&CITIES).to_string())
         };
@@ -271,7 +327,14 @@ pub fn dim_teams() -> Table {
         })
         .collect();
     Table::from_rows(
-        &["team_number", "team", "team_fullName", "sort_order", "color", "noOfTweets"],
+        &[
+            "team_number",
+            "team",
+            "team_fullName",
+            "sort_order",
+            "color",
+            "noOfTweets",
+        ],
         &rows,
     )
     .expect("static dim_teams")
@@ -367,10 +430,8 @@ mod tests {
             tweets: 50,
             ..Default::default()
         });
-        let pat = shareinsights_tabular::datefmt::DatePattern::compile(
-            "E MMM dd HH:mm:ss Z yyyy",
-        )
-        .unwrap();
+        let pat = shareinsights_tabular::datefmt::DatePattern::compile("E MMM dd HH:mm:ss Z yyyy")
+            .unwrap();
         for line in corpus.tweets_ndjson.lines() {
             let doc = shareinsights_tabular::io::json::parse_json(line).unwrap();
             let created = doc.path("created_at").unwrap().as_str().unwrap();

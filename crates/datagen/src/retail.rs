@@ -86,8 +86,11 @@ pub fn generate(cfg: &RetailConfig) -> RetailCorpus {
         .map(|(b, c, p, _)| row![*b, *c, *p])
         .collect();
     RetailCorpus {
-        sales: Table::from_rows(&["date", "brand", "region", "units", "revenue"], &sales_rows)
-            .expect("sales table"),
+        sales: Table::from_rows(
+            &["date", "brand", "region", "units", "revenue"],
+            &sales_rows,
+        )
+        .expect("sales table"),
         products: Table::from_rows(&["brand", "category", "unit_price"], &product_rows)
             .expect("products table"),
     }

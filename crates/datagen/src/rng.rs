@@ -1,39 +1,84 @@
-//! Thin wrapper over `rand` giving every generator the same seeded,
-//! reproducible source plus the weighted/zipfian helpers the generators
-//! share.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! A self-contained seeded RNG (xoshiro256** seeded through SplitMix64)
+//! giving every generator the same reproducible source plus the
+//! weighted/zipfian helpers the generators share. Implemented locally so
+//! the workspace has no crates.io dependencies.
 
 /// A seeded RNG with dataset-generation helpers.
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SeededRng {
     /// Construct from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state, per the
+        // reference implementation's seeding recommendation.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         SeededRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Next raw 64-bit draw (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// Uniform integer in `[0, n)` (rejection-sampled, unbiased).
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index over empty range");
-        self.inner.random_range(0..n)
+        let n = n as u64;
+        // Largest multiple of n that fits in u64 defines the accept zone.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            if x >= threshold {
+                return (x % n) as usize;
+            }
+        }
     }
 
     /// Uniform integer in `[lo, hi]` inclusive.
     pub fn int_range(&mut self, lo: i64, hi: i64) -> i64 {
         assert!(lo <= hi, "empty int range");
-        self.inner.random_range(lo..=hi)
+        let span = (hi as i128 - lo as i128 + 1) as u64;
+        if span == 0 {
+            // Full i64 range.
+            return self.next_u64() as i64;
+        }
+        let threshold = span.wrapping_neg() % span;
+        let draw = loop {
+            let x = self.next_u64();
+            if x >= threshold {
+                break x % span;
+            }
+        };
+        (lo as i128 + draw as i128) as i64
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 high bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw.
@@ -87,11 +132,6 @@ impl SeededRng {
         let u2: f64 = self.unit();
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         (mean + z * mean.sqrt()).round().max(0.0) as usize
-    }
-
-    /// Access the underlying `rand` RNG for anything else.
-    pub fn raw(&mut self) -> &mut StdRng {
-        &mut self.inner
     }
 }
 
@@ -151,5 +191,8 @@ mod tests {
             let u = r.unit();
             assert!((0.0..1.0).contains(&u));
         }
+        // Extremes don't overflow.
+        r.int_range(i64::MIN, i64::MAX);
+        assert_eq!(r.int_range(3, 3), 3);
     }
 }

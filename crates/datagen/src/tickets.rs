@@ -14,10 +14,18 @@ use shareinsights_tabular::{Row, Table};
 pub const CATEGORIES: [(&str, &[&str], f64); 6] = [
     ("network", &["vpn", "wifi", "dns", "proxy"], 2.0),
     ("hardware", &["laptop", "monitor", "keyboard", "disk"], 5.0),
-    ("access", &["password", "login", "permission", "account"], 1.0),
+    (
+        "access",
+        &["password", "login", "permission", "account"],
+        1.0,
+    ),
     ("email", &["outlook", "mailbox", "spam", "calendar"], 1.5),
     ("software", &["install", "license", "crash", "update"], 3.0),
-    ("database", &["backup", "restore", "query", "replication"], 7.0),
+    (
+        "database",
+        &["backup", "restore", "query", "replication"],
+        7.0,
+    ),
 ];
 
 const FILLER: [&str; 10] = [
@@ -70,7 +78,8 @@ pub fn generate(cfg: &TicketsConfig) -> Table {
     for id in 0..cfg.tickets {
         let (category, keywords, mean_days) = CATEGORIES[rng.zipf(CATEGORIES.len(), 0.7)];
         let opened = cfg.start_day + rng.index(cfg.days) as i32;
-        let priority = ["low", "medium", "high", "critical"][rng.weighted_index(&[4.0, 3.0, 2.0, 1.0])];
+        let priority =
+            ["low", "medium", "high", "critical"][rng.weighted_index(&[4.0, 3.0, 2.0, 1.0])];
         let priority_factor = match priority {
             "critical" => 0.4,
             "high" => 0.7,
@@ -92,7 +101,15 @@ pub fn generate(cfg: &TicketsConfig) -> Table {
         ]);
     }
     Table::from_rows(
-        &["ticket_id", "opened", "closed", "category", "priority", "description", "resolution_days"],
+        &[
+            "ticket_id",
+            "opened",
+            "closed",
+            "category",
+            "priority",
+            "description",
+            "resolution_days",
+        ],
         &rows,
     )
     .expect("tickets table")

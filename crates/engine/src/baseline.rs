@@ -83,9 +83,12 @@ pub fn execute_naive(pipeline: &CompiledPipeline, ctx: &ExecContext) -> Result<E
             let in_rows: usize = current.iter().map(|(_, r)| r.rows.len()).sum();
             current = apply_naive(task, current, &tables, ctx)?;
             let out_rows: usize = current.iter().map(|(_, r)| r.rows.len()).sum();
-            stats
-                .task_runs
-                .push((task.name.clone(), in_rows, out_rows, t0.elapsed().as_micros()));
+            stats.task_runs.push((
+                task.name.clone(),
+                in_rows,
+                out_rows,
+                t0.elapsed().as_micros(),
+            ));
         }
         if current.len() != 1 {
             return Err(EngineError::Execution {
@@ -141,7 +144,11 @@ fn apply_naive(
             let right = current.remove(1 - left_idx.min(1)).1;
             // After removal the left sits at index 0 regardless.
             let left = current.remove(0).1;
-            let (left, right) = if left_idx == 0 { (left, right) } else { (right, left) };
+            let (left, right) = if left_idx == 0 {
+                (left, right)
+            } else {
+                (right, left)
+            };
             Ok(vec![(None, naive_join(task, left, right, j)?)])
         }
         // Everything else reuses the columnar kernels via a table
@@ -180,23 +187,17 @@ fn naive_filter(task: &NamedTask, rs: RowSet, expr: &Expr) -> Result<RowSet> {
     let schema = rs.schema.clone();
     let mut out = Vec::new();
     for row in rs.rows {
-        let lookup = |name: &str| -> Option<Value> {
-            schema.index_of(name).ok().map(|i| row[i].clone())
-        };
-        let keep = expr
-            .eval_row(&lookup)
-            .map_err(|e| EngineError::Execution {
-                task: task.name.clone(),
-                message: e.to_string(),
-            })?;
+        let lookup =
+            |name: &str| -> Option<Value> { schema.index_of(name).ok().map(|i| row[i].clone()) };
+        let keep = expr.eval_row(&lookup).map_err(|e| EngineError::Execution {
+            task: task.name.clone(),
+            message: e.to_string(),
+        })?;
         if matches!(keep, Value::Bool(true)) {
             out.push(row);
         }
     }
-    Ok(RowSet {
-        schema,
-        rows: out,
-    })
+    Ok(RowSet { schema, rows: out })
 }
 
 fn naive_groupby(
@@ -501,8 +502,12 @@ F:
         // Sanity check of the ablation premise: nested loop loses by a wide
         // margin at modest sizes.
         let n = 600;
-        let rows_l: Vec<Row> = (0..n).map(|i| row![format!("k{}", i % 50), i as i64]).collect();
-        let rows_r: Vec<Row> = (0..n).map(|i| row![format!("k{}", i % 50), (i * 2) as i64]).collect();
+        let rows_l: Vec<Row> = (0..n)
+            .map(|i| row![format!("k{}", i % 50), i as i64])
+            .collect();
+        let rows_r: Vec<Row> = (0..n)
+            .map(|i| row![format!("k{}", i % 50), (i * 2) as i64])
+            .collect();
         let l = Table::from_rows(&["k", "v"], &rows_l).unwrap();
         let r = Table::from_rows(&["k", "w"], &rows_r).unwrap();
         let src = r#"

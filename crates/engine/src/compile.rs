@@ -166,7 +166,9 @@ pub fn compile(ff: &FlowFile, env: &CompileEnv<'_>) -> Result<CompiledPipeline> 
         }
     }
     for (name, schema) in &env.shared_schemas {
-        schemas.entry(name.clone()).or_insert_with(|| schema.clone());
+        schemas
+            .entry(name.clone())
+            .or_insert_with(|| schema.clone());
     }
 
     // Any referenced object that is not produced, has no source and no
@@ -257,7 +259,11 @@ pub fn compile(ff: &FlowFile, env: &CompileEnv<'_>) -> Result<CompiledPipeline> 
         .collect();
 
     let endpoints: Vec<String> = {
-        let mut v: Vec<String> = ff.endpoint_objects().iter().map(|s| s.to_string()).collect();
+        let mut v: Vec<String> = ff
+            .endpoint_objects()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         for f in &ordered {
             if f.endpoint && !v.contains(&f.output) {
                 v.push(f.output.clone());
@@ -385,7 +391,13 @@ F:
         let schema = p.schemas.get("checkin_jira_emails").unwrap();
         assert_eq!(
             schema.names(),
-            vec!["project", "year", "total_checkins", "total_jira", "total_emails"]
+            vec![
+                "project",
+                "year",
+                "total_checkins",
+                "total_jira",
+                "total_emails"
+            ]
         );
         assert_eq!(p.endpoints, vec!["checkin_jira_emails"]);
     }
@@ -397,7 +409,10 @@ F:
         let reg = TaskRegistry::new();
         let err = compile(&ff, &CompileEnv::bare(&reg)).unwrap_err();
         let msg = err.to_string();
-        assert!(msg.contains("T.f") && msg.contains("D.b") && msg.contains("missing_col"), "{msg}");
+        assert!(
+            msg.contains("T.f") && msg.contains("D.b") && msg.contains("missing_col"),
+            "{msg}"
+        );
     }
 
     #[test]
@@ -415,10 +430,8 @@ F:
         let ff = parse_flow_file("t", src).unwrap();
         let reg = TaskRegistry::new();
         let mut env = CompileEnv::bare(&reg);
-        env.shared_schemas.insert(
-            "shared_obj".into(),
-            Schema::all_utf8(&["a", "b"]).unwrap(),
-        );
+        env.shared_schemas
+            .insert("shared_obj".into(), Schema::all_utf8(&["a", "b"]).unwrap());
         let p = compile(&ff, &env).unwrap();
         assert_eq!(p.schemas.get("b").unwrap().names(), vec!["a", "b"]);
     }
@@ -434,7 +447,8 @@ F:
 
     #[test]
     fn fan_in_with_union_compiles() {
-        let src = "D:\n  a: [x]\n  b: [x]\nT:\n  u:\n    type: union\nF:\n  D.c: (D.a, D.b) | T.u\n";
+        let src =
+            "D:\n  a: [x]\n  b: [x]\nT:\n  u:\n    type: union\nF:\n  D.c: (D.a, D.b) | T.u\n";
         let ff = parse_flow_file("t", src).unwrap();
         let reg = TaskRegistry::new();
         let p = compile(&ff, &CompileEnv::bare(&reg)).unwrap();
@@ -470,7 +484,8 @@ F:
 
     #[test]
     fn cycle_caught_at_compile() {
-        let src = "T:\n  f:\n    type: limit\n    limit: 1\nF:\n  D.a: D.b | T.f\n  D.b: D.a | T.f\n";
+        let src =
+            "T:\n  f:\n    type: limit\n    limit: 1\nF:\n  D.a: D.b | T.f\n  D.b: D.a | T.f\n";
         let ff = parse_flow_file("t", src).unwrap();
         let reg = TaskRegistry::new();
         let err = compile(&ff, &CompileEnv::bare(&reg)).unwrap_err();
@@ -485,6 +500,9 @@ F:
         assert_eq!(cfg.protocol.as_deref(), Some("http"));
         assert_eq!(cfg.columns, vec!["q", "tags"]);
         assert_eq!(cfg.paths[0].as_deref(), Some("title"));
-        assert_eq!(cfg.headers.get("X-Access-Key").map(String::as_str), Some("XXX"));
+        assert_eq!(
+            cfg.headers.get("X-Access-Key").map(String::as_str),
+            Some("XXX")
+        );
     }
 }

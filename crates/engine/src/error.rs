@@ -67,7 +67,11 @@ impl fmt::Display for EngineError {
             EngineError::Cycle { path } => {
                 write!(f, "flows form a cycle: {}", path.join(" -> "))
             }
-            EngineError::SchemaMismatch { task, flow, message } => {
+            EngineError::SchemaMismatch {
+                task,
+                flow,
+                message,
+            } => {
                 write!(f, "task 'T.{task}' in flow 'D.{flow}': {message}")
             }
             EngineError::UnresolvedData { object, context } => {

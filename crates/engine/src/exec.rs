@@ -4,7 +4,7 @@
 //! parallelism:
 //!
 //! * **inter-flow**: flows in the same DAG level have no dependencies and
-//!   run on crossbeam scoped threads;
+//!   run on scoped threads;
 //! * **intra-task**: row-local tasks (filters, maps) on large tables are
 //!   split into chunks processed concurrently and re-concatenated.
 //!
@@ -171,22 +171,27 @@ impl Executor {
             if self.parallel_flows && level_flows.len() > 1 {
                 type FlowResult = (String, Result<(Table, Vec<TaskRunStat>)>);
                 let results: Mutex<Vec<FlowResult>> = Mutex::new(Vec::new());
-                crossbeam::scope(|scope| {
-                    for flow in &level_flows {
-                        let tables = Arc::clone(&tables);
-                        let results = &results;
-                        let ctx = ctx.clone();
-                        scope.spawn(move |_| {
-                            let r = self.run_flow(flow, &tables, &ctx);
-                            results.lock().push((flow.output.clone(), r));
-                        });
-                    }
-                })
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    std::thread::scope(|scope| {
+                        for flow in &level_flows {
+                            let tables = Arc::clone(&tables);
+                            let results = &results;
+                            let ctx = ctx.clone();
+                            scope.spawn(move || {
+                                let r = self.run_flow(flow, &tables, &ctx);
+                                results.lock().push((flow.output.clone(), r));
+                            });
+                        }
+                    })
+                }))
                 .map_err(|_| EngineError::Internal("flow worker panicked".into()))?;
                 for (output, result) in results.into_inner() {
                     let (table, task_stats) = result?;
                     stats.lock().task_runs.extend(task_stats);
-                    stats.lock().rows_out.insert(output.clone(), table.num_rows());
+                    stats
+                        .lock()
+                        .rows_out
+                        .insert(output.clone(), table.num_rows());
                     tables.write().insert(output, table);
                 }
             } else {
@@ -231,12 +236,14 @@ impl Executor {
         // Gather inputs.
         let mut current: Vec<(Option<String>, Table)> = Vec::with_capacity(flow.inputs.len());
         for i in &flow.inputs {
-            let t = tables.read().get(i).cloned().ok_or_else(|| {
-                EngineError::UnresolvedData {
+            let t = tables
+                .read()
+                .get(i)
+                .cloned()
+                .ok_or_else(|| EngineError::UnresolvedData {
                     object: i.clone(),
                     context: format!("flow 'D.{}' at execution time", flow.output),
-                }
-            })?;
+                })?;
             current.push((Some(i.clone()), t));
         }
 
@@ -247,7 +254,12 @@ impl Executor {
             let in_rows: usize = current.iter().map(|(_, t)| t.num_rows()).sum();
             current = self.apply_task(task, current, tables, selections.as_deref())?;
             let out_rows: usize = current.iter().map(|(_, t)| t.num_rows()).sum();
-            task_stats.push((task.name.clone(), in_rows, out_rows, t0.elapsed().as_micros()));
+            task_stats.push((
+                task.name.clone(),
+                in_rows,
+                out_rows,
+                t0.elapsed().as_micros(),
+            ));
         }
         if current.len() != 1 {
             return Err(EngineError::Execution {
@@ -312,7 +324,8 @@ impl Executor {
                 {
                     self.run_chunked(task, &input, &rt)?
                 } else {
-                    task.kind.execute(&task.name, std::slice::from_ref(&input), &rt)?
+                    task.kind
+                        .execute(&task.name, std::slice::from_ref(&input), &rt)?
                 };
                 Ok(vec![(None, out)])
             }
@@ -329,24 +342,26 @@ impl Executor {
             .collect();
 
         let results: Mutex<Vec<(usize, Result<Table>)>> = Mutex::new(Vec::new());
-        crossbeam::scope(|scope| {
-            for (i, slice) in slices.iter().enumerate() {
-                let results = &results;
-                let task = &task;
-                let rt_sel = rt.selections;
-                scope.spawn(move |_| {
-                    let lookup = |_: &str| None; // row-local tasks never look up tables
-                    let local_rt = TaskRuntime {
-                        selections: rt_sel,
-                        lookup_table: &lookup,
-                    };
-                    let r = task
-                        .kind
-                        .execute(&task.name, std::slice::from_ref(slice), &local_rt);
-                    results.lock().push((i, r));
-                });
-            }
-        })
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|scope| {
+                for (i, slice) in slices.iter().enumerate() {
+                    let results = &results;
+                    let task = &task;
+                    let rt_sel = rt.selections;
+                    scope.spawn(move || {
+                        let lookup = |_: &str| None; // row-local tasks never look up tables
+                        let local_rt = TaskRuntime {
+                            selections: rt_sel,
+                            lookup_table: &lookup,
+                        };
+                        let r =
+                            task.kind
+                                .execute(&task.name, std::slice::from_ref(slice), &local_rt);
+                        results.lock().push((i, r));
+                    });
+                }
+            })
+        }))
         .map_err(|_| EngineError::Internal("chunk worker panicked".into()))?;
 
         let mut parts = results.into_inner();

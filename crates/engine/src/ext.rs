@@ -155,7 +155,7 @@ mod tests {
         reg.register_task(Arc::new(FnTask::new(
             "double",
             |s: &Schema| Ok(s.clone()),
-            |t: &Table| Ok(t.concat(t).map_err(|e| exec_err("double", e))?),
+            |t: &Table| t.concat(t).map_err(|e| exec_err("double", e)),
         )));
         assert!(reg.task("double").is_some());
         assert_eq!(reg.task_names(), vec!["double"]);
@@ -190,7 +190,9 @@ mod tests {
             fn aggregate(&self, values: &[Value]) -> shareinsights_tabular::Result<Value> {
                 let mut v: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
                 v.sort();
-                Ok(v.get(v.len() / 2).map(|v| (*v).clone()).unwrap_or(Value::Null))
+                Ok(v.get(v.len() / 2)
+                    .map(|v| (*v).clone())
+                    .unwrap_or(Value::Null))
             }
         }
         let reg = TaskRegistry::new();
@@ -202,7 +204,8 @@ mod tests {
         );
         let med = reg.aggregate("median").unwrap();
         assert_eq!(
-            med.aggregate(&[Value::Int(3), Value::Int(1), Value::Int(2)]).unwrap(),
+            med.aggregate(&[Value::Int(3), Value::Int(1), Value::Int(2)])
+                .unwrap(),
             Value::Int(2)
         );
         let _ = Field::new("x", med.output_type(DataType::Int64));

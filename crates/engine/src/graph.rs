@@ -90,8 +90,11 @@ impl FlowGraph {
             Grey,
             Black,
         }
-        let mut colour: BTreeMap<&str, Colour> =
-            self.nodes.iter().map(|n| (n.as_str(), Colour::White)).collect();
+        let mut colour: BTreeMap<&str, Colour> = self
+            .nodes
+            .iter()
+            .map(|n| (n.as_str(), Colour::White))
+            .collect();
 
         fn dfs<'a>(
             node: &'a str,
@@ -236,10 +239,7 @@ mod tests {
             flow("team_tweets", &["teams_tweets", "dim_teams"]),
         ];
         let g = FlowGraph::build(&flows).unwrap();
-        assert_eq!(
-            g.sources(),
-            vec!["dim_teams", "ipl_tweets", "team_players"]
-        );
+        assert_eq!(g.sources(), vec!["dim_teams", "ipl_tweets", "team_players"]);
         let topo = g.topo_order();
         let pos = |n: &str| topo.iter().position(|x| x == n).unwrap();
         assert!(pos("players_tweets") < pos("player_tweets"));
@@ -248,13 +248,11 @@ mod tests {
 
     #[test]
     fn detects_cycles_with_path() {
-        let flows = vec![
-            flow("a", &["c"]),
-            flow("b", &["a"]),
-            flow("c", &["b"]),
-        ];
+        let flows = vec![flow("a", &["c"]), flow("b", &["a"]), flow("c", &["b"])];
         let err = FlowGraph::build(&flows).unwrap_err();
-        let EngineError::Cycle { path } = err else { panic!() };
+        let EngineError::Cycle { path } = err else {
+            panic!()
+        };
         assert_eq!(path.len(), 4, "closed path: {path:?}");
         assert_eq!(path.first(), path.last());
     }

@@ -155,7 +155,10 @@ fn insert_projection(flow: &mut crate::compile::CompiledFlow) -> usize {
     else {
         return 0;
     };
-    if !flow.tasks[..reduce_idx].iter().all(|t| t.kind.is_row_local()) {
+    if !flow.tasks[..reduce_idx]
+        .iter()
+        .all(|t| t.kind.is_row_local())
+    {
         return 0;
     }
     // Columns the group-by itself reads. Tasks after it consume its output

@@ -189,7 +189,10 @@ pub fn interpret_task(def: &TaskDef, env: &InterpretEnv<'_>) -> Result<NamedTask
 
 fn interpret_task_inner(def: &TaskDef, env: &InterpretEnv<'_>, depth: usize) -> Result<NamedTask> {
     if depth > 8 {
-        return Err(cfg_err(&def.name, "parallel tasks nested too deeply (cycle?)"));
+        return Err(cfg_err(
+            &def.name,
+            "parallel tasks nested too deeply (cycle?)",
+        ));
     }
     let name = def.name.as_str();
     let kind = match def.task_type.as_str() {
@@ -221,19 +224,32 @@ fn interpret_task_inner(def: &TaskDef, env: &InterpretEnv<'_>, depth: usize) -> 
         "parallel" => {
             let subs = list_param(&def.params, "parallel");
             if subs.is_empty() {
-                return Err(cfg_err(name, "parallel needs a 'parallel: [T.a, T.b]' list"));
+                return Err(cfg_err(
+                    name,
+                    "parallel needs a 'parallel: [T.a, T.b]' list",
+                ));
             }
             let mut tasks = Vec::with_capacity(subs.len());
             for s in subs {
                 let sub_name = match DataRef::parse(&s) {
                     Some(DataRef::Task(t)) => t,
-                    _ => return Err(cfg_err(name, format!("parallel items must be T.*, got '{s}'"))),
+                    _ => {
+                        return Err(cfg_err(
+                            name,
+                            format!("parallel items must be T.*, got '{s}'"),
+                        ))
+                    }
                 };
                 let sub_def = env
                     .all_tasks
                     .iter()
                     .find(|t| t.name == sub_name)
-                    .ok_or_else(|| cfg_err(name, format!("parallel references unknown task 'T.{sub_name}'")))?;
+                    .ok_or_else(|| {
+                        cfg_err(
+                            name,
+                            format!("parallel references unknown task 'T.{sub_name}'"),
+                        )
+                    })?;
                 tasks.push(interpret_task_inner(sub_def, env, depth + 1)?);
             }
             TaskKind::Parallel(tasks)
@@ -243,7 +259,9 @@ fn interpret_task_inner(def: &TaskDef, env: &InterpretEnv<'_>, depth: usize) -> 
             None => {
                 return Err(cfg_err(
                     name,
-                    format!("unknown task type '{custom}' (not built-in, not a registered extension)"),
+                    format!(
+                        "unknown task type '{custom}' (not built-in, not a registered extension)"
+                    ),
                 ))
             }
         },
@@ -271,7 +289,12 @@ fn interpret_filter(def: &TaskDef) -> Result<TaskKind> {
         Some(s) => match DataRef::parse(s) {
             Some(DataRef::Widget(w)) => FilterSource::Widget(w),
             Some(DataRef::Data(d)) => FilterSource::Data(d),
-            _ => return Err(cfg_err(name, format!("filter_source must be W.* or D.*, got '{s}'"))),
+            _ => {
+                return Err(cfg_err(
+                    name,
+                    format!("filter_source must be W.* or D.*, got '{s}'"),
+                ))
+            }
         },
         None => {
             return Err(cfg_err(
@@ -302,7 +325,10 @@ fn interpret_groupby(def: &TaskDef, env: &InterpretEnv<'_>) -> Result<TaskKind> 
     if let Some(ConfigValue::List(items)) = def.params.get("aggregates") {
         for item in items {
             let Some(m) = item.as_map() else {
-                return Err(cfg_err(name, "each aggregate must be an 'operator/apply_on/out_field' block"));
+                return Err(cfg_err(
+                    name,
+                    "each aggregate must be an 'operator/apply_on/out_field' block",
+                ));
             };
             let op = m
                 .get_scalar("operator")
@@ -326,7 +352,9 @@ fn interpret_groupby(def: &TaskDef, env: &InterpretEnv<'_>) -> Result<TaskKind> 
                     None => {
                         return Err(cfg_err(
                             name,
-                            format!("unknown aggregate operator '{op}' (not built-in, not registered)"),
+                            format!(
+                                "unknown aggregate operator '{op}' (not built-in, not registered)"
+                            ),
                         ))
                     }
                 },
@@ -334,19 +362,19 @@ fn interpret_groupby(def: &TaskDef, env: &InterpretEnv<'_>) -> Result<TaskKind> 
         }
     }
     let mut builtin = GroupBy::with_aggregates(&keys, builtin_aggs);
-    builtin.orderby_aggregates = def
-        .params
-        .get_bool("orderby_aggregates")
-        .unwrap_or(false);
+    builtin.orderby_aggregates = def.params.get_bool("orderby_aggregates").unwrap_or(false);
     Ok(TaskKind::GroupBy { builtin, custom })
 }
 
 /// Parse `left: players_tweets by player` / `right: team_players by player,team`.
 fn parse_join_side(name: &str, text: &str) -> Result<(String, Vec<String>)> {
     let lower = text.to_ascii_lowercase();
-    let by = lower
-        .find(" by ")
-        .ok_or_else(|| cfg_err(name, format!("join side must be '<object> by <keys>', got '{text}'")))?;
+    let by = lower.find(" by ").ok_or_else(|| {
+        cfg_err(
+            name,
+            format!("join side must be '<object> by <keys>', got '{text}'"),
+        )
+    })?;
     let obj = text[..by].trim().to_string();
     let keys: Vec<String> = text[by + 4..]
         .split(',')
@@ -376,9 +404,12 @@ fn interpret_join(def: &TaskDef) -> Result<TaskKind> {
     let mut projection = Vec::new();
     if let Some(ConfigValue::Map(proj)) = def.params.get("project") {
         for (key, v, _) in proj.entries() {
-            let out = v
-                .as_scalar()
-                .ok_or_else(|| cfg_err(name, format!("projection '{key}' must map to a column name")))?;
+            let out = v.as_scalar().ok_or_else(|| {
+                cfg_err(
+                    name,
+                    format!("projection '{key}' must map to a column name"),
+                )
+            })?;
             let (from_left, column) = if let Some(rest) = strip_prefix_ci(key, &left_name) {
                 (true, rest)
             } else if let Some(rest) = strip_prefix_ci(key, &right_name) {
@@ -386,7 +417,9 @@ fn interpret_join(def: &TaskDef) -> Result<TaskKind> {
             } else {
                 return Err(cfg_err(
                     name,
-                    format!("projection key '{key}' must start with '{left_name}_' or '{right_name}_'"),
+                    format!(
+                        "projection key '{key}' must start with '{left_name}_' or '{right_name}_'"
+                    ),
                 ));
             };
             projection.push(ProjectSpec {
@@ -453,11 +486,17 @@ fn interpret_map(def: &TaskDef, env: &InterpretEnv<'_>) -> Result<TaskKind> {
             let dict_file = scalar_param(&def.params, "dict")
                 .ok_or_else(|| cfg_err(name, "extract map needs 'dict: <file>'"))?;
             let content = (env.load_text)(dict_file).ok_or_else(|| {
-                cfg_err(name, format!("dictionary file '{dict_file}' not found in the data folder"))
+                cfg_err(
+                    name,
+                    format!("dictionary file '{dict_file}' not found in the data folder"),
+                )
             })?;
             let dict = ExtractDict::parse(&content);
             if dict.is_empty() {
-                return Err(cfg_err(name, format!("dictionary '{dict_file}' has no entries")));
+                return Err(cfg_err(
+                    name,
+                    format!("dictionary '{dict_file}' has no entries"),
+                ));
             }
             TaskKind::MapExtract(ExtractMap {
                 input_column: transform,
@@ -467,7 +506,9 @@ fn interpret_map(def: &TaskDef, env: &InterpretEnv<'_>) -> Result<TaskKind> {
             })
         }
         "extract_location" => {
-            let country = scalar_param(&def.params, "country").unwrap_or("IND").to_string();
+            let country = scalar_param(&def.params, "country")
+                .unwrap_or("IND")
+                .to_string();
             TaskKind::MapLocation(LocationMap {
                 input_column: transform,
                 gazetteer: Gazetteer::india_default(),
@@ -628,9 +669,9 @@ impl TaskKind {
             message: e.to_string(),
         };
         let single = || -> Result<&Schema> {
-            inputs.first().ok_or_else(|| EngineError::Internal(format!(
-                "task '{task_name}' got no input schema"
-            )))
+            inputs.first().ok_or_else(|| {
+                EngineError::Internal(format!("task '{task_name}' got no input schema"))
+            })
         };
         match self {
             TaskKind::FilterExpr(e) => {
@@ -660,26 +701,32 @@ impl TaskKind {
                         message: format!("join needs exactly 2 inputs, got {}", inputs.len()),
                     });
                 }
-                j.spec.output_schema(&inputs[0], &inputs[1]).map_err(sch_err)
+                j.spec
+                    .output_schema(&inputs[0], &inputs[1])
+                    .map_err(sch_err)
             }
             TaskKind::MapDate(m) => {
                 let s = single()?;
-                s.require(std::slice::from_ref(&m.input_column)).map_err(sch_err)?;
+                s.require(std::slice::from_ref(&m.input_column))
+                    .map_err(sch_err)?;
                 Ok(s.upsert_field(Field::new(&m.output_column, DataType::Utf8)))
             }
             TaskKind::MapExtract(m) => {
                 let s = single()?;
-                s.require(std::slice::from_ref(&m.input_column)).map_err(sch_err)?;
+                s.require(std::slice::from_ref(&m.input_column))
+                    .map_err(sch_err)?;
                 Ok(s.upsert_field(Field::new(&m.output_column, DataType::Utf8)))
             }
             TaskKind::MapLocation(m) => {
                 let s = single()?;
-                s.require(std::slice::from_ref(&m.input_column)).map_err(sch_err)?;
+                s.require(std::slice::from_ref(&m.input_column))
+                    .map_err(sch_err)?;
                 Ok(s.upsert_field(Field::new(&m.output_column, DataType::Utf8)))
             }
             TaskKind::MapWords(m) => {
                 let s = single()?;
-                s.require(std::slice::from_ref(&m.input_column)).map_err(sch_err)?;
+                s.require(std::slice::from_ref(&m.input_column))
+                    .map_err(sch_err)?;
                 Ok(s.upsert_field(Field::new(&m.output_column, DataType::Utf8)))
             }
             TaskKind::MapCustom { input, output, .. } => {
@@ -692,8 +739,13 @@ impl TaskKind {
             TaskKind::TopN(t) => {
                 let s = single()?;
                 s.require(&t.groupby).map_err(sch_err)?;
-                s.require(&t.order_by.iter().map(|k| k.column.clone()).collect::<Vec<_>>())
-                    .map_err(sch_err)?;
+                s.require(
+                    &t.order_by
+                        .iter()
+                        .map(|k| k.column.clone())
+                        .collect::<Vec<_>>(),
+                )
+                .map_err(sch_err)?;
                 Ok(s.clone())
             }
             TaskKind::Sort(keys) => {
@@ -764,11 +816,16 @@ fn exec_err(task: &str, e: impl std::fmt::Display) -> EngineError {
 
 impl TaskKind {
     /// Execute the task on its inputs (columnar kernels).
-    pub fn execute(&self, task_name: &str, inputs: &[Table], rt: &TaskRuntime<'_>) -> Result<Table> {
+    pub fn execute(
+        &self,
+        task_name: &str,
+        inputs: &[Table],
+        rt: &TaskRuntime<'_>,
+    ) -> Result<Table> {
         let single = || -> Result<&Table> {
-            inputs.first().ok_or_else(|| {
-                EngineError::Internal(format!("task '{task_name}' got no input"))
-            })
+            inputs
+                .first()
+                .ok_or_else(|| EngineError::Internal(format!("task '{task_name}' got no input")))
         };
         match self {
             TaskKind::FilterExpr(e) => {
@@ -778,7 +835,9 @@ impl TaskKind {
                 columns,
                 source,
                 source_columns,
-            } => execute_filter_by_source(task_name, single()?, columns, source, source_columns, rt),
+            } => {
+                execute_filter_by_source(task_name, single()?, columns, source, source_columns, rt)
+            }
             TaskKind::GroupBy { builtin, custom } => {
                 execute_groupby(task_name, single()?, builtin, custom)
             }
@@ -791,9 +850,7 @@ impl TaskKind {
                 }
                 ops::join(&inputs[0], &inputs[1], &j.spec).map_err(|e| exec_err(task_name, e))
             }
-            TaskKind::MapDate(m) => {
-                ops::map_date(single()?, m).map_err(|e| exec_err(task_name, e))
-            }
+            TaskKind::MapDate(m) => ops::map_date(single()?, m).map_err(|e| exec_err(task_name, e)),
             TaskKind::MapExtract(m) => {
                 ops::map_extract(single()?, m).map_err(|e| exec_err(task_name, e))
             }
@@ -806,7 +863,8 @@ impl TaskKind {
             TaskKind::MapCustom { op, input, output } => {
                 let t = single()?;
                 let col = t.column(input).map_err(|e| exec_err(task_name, e))?;
-                let values: Vec<Value> = (0..t.num_rows()).map(|i| op.apply(&col.value(i))).collect();
+                let values: Vec<Value> =
+                    (0..t.num_rows()).map(|i| op.apply(&col.value(i))).collect();
                 t.with_column(output, shareinsights_tabular::Column::from_values(&values))
                     .map_err(|e| exec_err(task_name, e))
             }
@@ -816,16 +874,14 @@ impl TaskKind {
                 ops::distinct(single()?, cols).map_err(|e| exec_err(task_name, e))
             }
             TaskKind::Limit(n) => Ok(single()?.limit(*n)),
-            TaskKind::Union => {
-                ops::union_all(inputs).map_err(|e| exec_err(task_name, e))
-            }
-            TaskKind::Project(cols) => {
-                single()?.project(cols).map_err(|e| exec_err(task_name, e))
-            }
+            TaskKind::Union => ops::union_all(inputs).map_err(|e| exec_err(task_name, e)),
+            TaskKind::Project(cols) => single()?.project(cols).map_err(|e| exec_err(task_name, e)),
             TaskKind::Parallel(tasks) => {
                 let mut current = single()?.clone();
                 for t in tasks {
-                    current = t.kind.execute(&t.name, std::slice::from_ref(&current), rt)?;
+                    current = t
+                        .kind
+                        .execute(&t.name, std::slice::from_ref(&current), rt)?;
                 }
                 Ok(current)
             }
@@ -916,7 +972,8 @@ fn execute_groupby(
             orderby_aggregates: false,
         };
         let t = ops::groupby(input, &keys_only).map_err(|e| exec_err(task_name, e))?;
-        t.project(&builtin.keys).map_err(|e| exec_err(task_name, e))?
+        t.project(&builtin.keys)
+            .map_err(|e| exec_err(task_name, e))?
     } else {
         ops::groupby(input, builtin).map_err(|e| exec_err(task_name, e))?
     };
@@ -958,7 +1015,10 @@ fn execute_groupby(
             );
         }
         out = out
-            .with_column(&cagg.out_field, shareinsights_tabular::Column::from_values(&vals))
+            .with_column(
+                &cagg.out_field,
+                shareinsights_tabular::Column::from_values(&vals),
+            )
             .map_err(|e| exec_err(task_name, e))?;
     }
     Ok(out)
@@ -1053,7 +1113,9 @@ mod tests {
     fn interprets_extract_with_dict_loading() {
         let src = "T:\n  extract_players:\n    type: map\n    operator: extract\n    transform: body\n    dict: players.txt\n    output: player\n";
         let t = interpret_src(src, "extract_players").unwrap();
-        let TaskKind::MapExtract(m) = &t.kind else { panic!() };
+        let TaskKind::MapExtract(m) = &t.kind else {
+            panic!()
+        };
         assert_eq!(m.dict.len(), 2);
         assert!(m.explode);
 
@@ -1066,7 +1128,9 @@ mod tests {
     fn interprets_parallel_composite() {
         let src = "T:\n  pipeline:\n    parallel: [T.a, T.b]\n  a:\n    type: map\n    operator: extract_words\n    transform: body\n    output: word\n  b:\n    type: limit\n    limit: 5\n";
         let t = interpret_src(src, "pipeline").unwrap();
-        let TaskKind::Parallel(subs) = &t.kind else { panic!() };
+        let TaskKind::Parallel(subs) = &t.kind else {
+            panic!()
+        };
         assert_eq!(subs.len(), 2);
         assert_eq!(subs[0].name, "a");
     }
@@ -1075,7 +1139,9 @@ mod tests {
     fn interprets_topn() {
         let src = "T:\n  topwords:\n    type: topn\n    groupby: [date]\n    orderby_column: [count DESC]\n    limit: 20\n";
         let t = interpret_src(src, "topwords").unwrap();
-        let TaskKind::TopN(tn) = &t.kind else { panic!() };
+        let TaskKind::TopN(tn) = &t.kind else {
+            panic!()
+        };
         assert_eq!(tn.limit, 20);
         assert_eq!(tn.order_by[0].column, "count");
     }
@@ -1091,11 +1157,8 @@ mod tests {
         // The figure-15 interaction filter.
         let src = "T:\n  filter_projects:\n    type: filter_by\n    filter_by: [project]\n    filter_source: W.project_category_bubble\n    filter_val: [text]\n";
         let t = interpret_src(src, "filter_projects").unwrap();
-        let table = Table::from_rows(
-            &["project", "n"],
-            &[row!["pig", 1i64], row!["hive", 2i64]],
-        )
-        .unwrap();
+        let table =
+            Table::from_rows(&["project", "n"], &[row!["pig", 1i64], row!["hive", 2i64]]).unwrap();
 
         // No provider -> pass-through.
         let out = t
@@ -1115,7 +1178,10 @@ mod tests {
             selections: Some(&sel),
             lookup_table: &|_| None,
         };
-        let out = t.kind.execute(&t.name, std::slice::from_ref(&table), &rt).unwrap();
+        let out = t
+            .kind
+            .execute(&t.name, std::slice::from_ref(&table), &rt)
+            .unwrap();
         assert_eq!(out.num_rows(), 1);
         assert_eq!(out.value(0, "project").unwrap().to_string(), "pig");
     }
@@ -1139,7 +1205,10 @@ mod tests {
             selections: Some(&sel),
             lookup_table: &|_| None,
         };
-        let out = t.kind.execute(&t.name, std::slice::from_ref(&table), &rt).unwrap();
+        let out = t
+            .kind
+            .execute(&t.name, std::slice::from_ref(&table), &rt)
+            .unwrap();
         assert_eq!(out.num_rows(), 1);
     }
 
@@ -1153,7 +1222,10 @@ mod tests {
             selections: None,
             lookup_table: &move |name| (name == "dim_teams").then(|| dim.clone()),
         };
-        let out = t.kind.execute(&t.name, std::slice::from_ref(&table), &rt).unwrap();
+        let out = t
+            .kind
+            .execute(&t.name, std::slice::from_ref(&table), &rt)
+            .unwrap();
         assert_eq!(out.num_rows(), 1);
     }
 

@@ -270,9 +270,18 @@ mod tests {
     #[test]
     fn dataref_parse_and_display() {
         assert_eq!(DataRef::parse("D.x"), Some(DataRef::Data("x".into())));
-        assert_eq!(DataRef::parse(" T.my_task "), Some(DataRef::Task("my_task".into())));
-        assert_eq!(DataRef::parse("W.bubble"), Some(DataRef::Widget("bubble".into())));
-        assert_eq!(DataRef::parse("D. spaced"), Some(DataRef::Data("spaced".into())));
+        assert_eq!(
+            DataRef::parse(" T.my_task "),
+            Some(DataRef::Task("my_task".into()))
+        );
+        assert_eq!(
+            DataRef::parse("W.bubble"),
+            Some(DataRef::Widget("bubble".into()))
+        );
+        assert_eq!(
+            DataRef::parse("D. spaced"),
+            Some(DataRef::Data("spaced".into()))
+        );
         assert_eq!(DataRef::parse("X.x"), None);
         assert_eq!(DataRef::parse("D."), None);
         assert_eq!(DataRef::parse("noprefix"), None);

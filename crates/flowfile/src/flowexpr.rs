@@ -41,7 +41,11 @@ pub fn parse_flow_expr(text: &str, line: usize, require_task: bool) -> Result<Fl
             ));
         }
         let inner = &head_trim[1..head_trim.len() - 1];
-        let parts: Vec<&str> = inner.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let parts: Vec<&str> = inner
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
         if parts.is_empty() {
             return Err(FlowError::single(line, "empty fan-in list '()'"));
         }

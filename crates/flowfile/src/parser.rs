@@ -2,8 +2,8 @@
 //! [`crate::ast::FlowFile`] AST.
 
 use crate::ast::{
-    is_identifier, ColumnSpec, DataObject, DataRef, Flow, FlowFile, LayoutCell, LayoutDef,
-    TaskDef, WidgetDef, WidgetSource,
+    is_identifier, ColumnSpec, DataObject, DataRef, Flow, FlowFile, LayoutCell, LayoutDef, TaskDef,
+    WidgetDef, WidgetSource,
 };
 use crate::config::{parse_config, ConfigMap, ConfigValue};
 use crate::diag::{Diagnostic, FlowError, Result};
@@ -42,7 +42,10 @@ pub fn parse_flow_file(name: &str, text: &str) -> Result<FlowFile> {
         }
     }
 
-    if errors.iter().any(|d| d.severity == crate::diag::Severity::Error) {
+    if errors
+        .iter()
+        .any(|d| d.severity == crate::diag::Severity::Error)
+    {
         return Err(FlowError::from_diagnostics(errors));
     }
     Ok(ff)
@@ -84,7 +87,10 @@ fn parse_data_section(
     errors: &mut Vec<Diagnostic>,
 ) {
     let Some(map) = value.as_map() else {
-        errors.push(Diagnostic::error(line, "D section must contain data objects"));
+        errors.push(Diagnostic::error(
+            line,
+            "D section must contain data objects",
+        ));
         return;
     };
     for (key, v, dline) in map.entries() {
@@ -102,7 +108,11 @@ fn parse_data_section(
             ));
             continue;
         }
-        if ff.data.iter().any(|d| d.name == key && !d.columns.is_empty()) {
+        if ff
+            .data
+            .iter()
+            .any(|d| d.name == key && !d.columns.is_empty())
+        {
             errors.push(Diagnostic::error(
                 dline,
                 format!("duplicate data object '{key}'"),
@@ -174,12 +184,18 @@ fn parse_task_section(
     errors: &mut Vec<Diagnostic>,
 ) {
     let Some(map) = value.as_map() else {
-        errors.push(Diagnostic::error(line, "T section must contain task definitions"));
+        errors.push(Diagnostic::error(
+            line,
+            "T section must contain task definitions",
+        ));
         return;
     };
     for (key, v, tline) in map.entries() {
         if !is_identifier(key) {
-            errors.push(Diagnostic::error(tline, format!("invalid task name '{key}'")));
+            errors.push(Diagnostic::error(
+                tline,
+                format!("invalid task name '{key}'"),
+            ));
             continue;
         }
         if ff.tasks.iter().any(|t| t.name == key) {
@@ -288,16 +304,25 @@ fn parse_widget_section(
     errors: &mut Vec<Diagnostic>,
 ) {
     let Some(map) = value.as_map() else {
-        errors.push(Diagnostic::error(line, "W section must contain widget definitions"));
+        errors.push(Diagnostic::error(
+            line,
+            "W section must contain widget definitions",
+        ));
         return;
     };
     for (key, v, wline) in map.entries() {
         if !is_identifier(key) {
-            errors.push(Diagnostic::error(wline, format!("invalid widget name '{key}'")));
+            errors.push(Diagnostic::error(
+                wline,
+                format!("invalid widget name '{key}'"),
+            ));
             continue;
         }
         if ff.widgets.iter().any(|w| w.name == key) {
-            errors.push(Diagnostic::error(wline, format!("duplicate widget '{key}'")));
+            errors.push(Diagnostic::error(
+                wline,
+                format!("duplicate widget '{key}'"),
+            ));
             continue;
         }
         let Some(wmap) = v.as_map() else {
@@ -380,7 +405,10 @@ fn parse_layout_section(
         return;
     }
     let Some(map) = value.as_map() else {
-        errors.push(Diagnostic::error(line, "L section must contain layout entries"));
+        errors.push(Diagnostic::error(
+            line,
+            "L section must contain layout entries",
+        ));
         return;
     };
     let mut layout = LayoutDef {
@@ -436,10 +464,7 @@ pub(crate) fn parse_layout_row(
                 continue;
             };
             let Ok(span) = span_str.parse::<u8>() else {
-                errors.push(Diagnostic::error(
-                    cline,
-                    format!("invalid span '{k}'"),
-                ));
+                errors.push(Diagnostic::error(cline, format!("invalid span '{k}'")));
                 continue;
             };
             if !(1..=12).contains(&span) {
@@ -514,7 +539,10 @@ L:
     fn data_details_merge_into_schema_object() {
         let ff = parse_flow_file("test", SMALL).unwrap();
         let d = ff.data_object("stack_summary").unwrap();
-        assert_eq!(d.column_names(), vec!["project", "question", "answer", "tags"]);
+        assert_eq!(
+            d.column_names(),
+            vec!["project", "question", "answer", "tags"]
+        );
         assert_eq!(d.props.get_scalar("source"), Some("stackoverflow.csv"));
         assert_eq!(d.props.get_scalar("format"), Some("csv"));
         assert_eq!(d.props.get_scalar("separator"), Some(","));
@@ -552,7 +580,13 @@ L:
         let l = ff.layout.as_ref().unwrap();
         assert_eq!(l.description.as_deref(), Some("Test dashboard"));
         assert_eq!(l.rows.len(), 1);
-        assert_eq!(l.rows[0][0], LayoutCell { span: 12, widget: "bubble".into() });
+        assert_eq!(
+            l.rows[0][0],
+            LayoutCell {
+                span: 12,
+                widget: "bubble".into()
+            }
+        );
     }
 
     #[test]
@@ -560,7 +594,10 @@ L:
         let src = "D:\n  ipl_tweets: [\n    postedTime => created_at,\n    body => text,\n    location => user.location\n  ]\n";
         let ff = parse_flow_file("t", src).unwrap();
         let d = ff.data_object("ipl_tweets").unwrap();
-        assert_eq!(d.columns[2], ColumnSpec::mapped("location", "user.location"));
+        assert_eq!(
+            d.columns[2],
+            ColumnSpec::mapped("location", "user.location")
+        );
     }
 
     #[test]

@@ -345,8 +345,16 @@ L:
             assert_eq!(a.columns, b.columns);
             assert_eq!(a.endpoint, b.endpoint);
             assert_eq!(a.publish, b.publish);
-            let ka: Vec<_> = a.props.entries().map(|(k, v, _)| (k.to_string(), v.clone())).collect();
-            let kb: Vec<_> = b.props.entries().map(|(k, v, _)| (k.to_string(), v.clone())).collect();
+            let ka: Vec<_> = a
+                .props
+                .entries()
+                .map(|(k, v, _)| (k.to_string(), v.clone()))
+                .collect();
+            let kb: Vec<_> = b
+                .props
+                .entries()
+                .map(|(k, v, _)| (k.to_string(), v.clone()))
+                .collect();
             assert_eq!(ka, kb, "props of {}", a.name);
         }
         assert_eq!(ff.flows, ff2.flows);

@@ -89,7 +89,10 @@ pub fn validate_with(ff: &FlowFile, opts: &ValidateOptions) -> Vec<Diagnostic> {
                                 if !task_names.contains(sub.as_str()) {
                                     diags.push(Diagnostic::error(
                                         t.line,
-                                        format!("parallel task '{}' references unknown task 'T.{sub}'", t.name),
+                                        format!(
+                                            "parallel task '{}' references unknown task 'T.{sub}'",
+                                            t.name
+                                        ),
                                     ));
                                 } else if sub == t.name {
                                     diags.push(Diagnostic::error(
@@ -100,7 +103,10 @@ pub fn validate_with(ff: &FlowFile, opts: &ValidateOptions) -> Vec<Diagnostic> {
                             }
                             _ => diags.push(Diagnostic::error(
                                 t.line,
-                                format!("parallel task '{}' items must be tasks (T.*), got '{item}'", t.name),
+                                format!(
+                                    "parallel task '{}' items must be tasks (T.*), got '{item}'",
+                                    t.name
+                                ),
                             )),
                         }
                     }
@@ -119,7 +125,10 @@ pub fn validate_with(ff: &FlowFile, opts: &ValidateOptions) -> Vec<Diagnostic> {
                     if !widget_names.contains(w.as_str()) {
                         diags.push(Diagnostic::error(
                             t.line,
-                            format!("task '{}' filter_source references unknown widget 'W.{w}'", t.name),
+                            format!(
+                                "task '{}' filter_source references unknown widget 'W.{w}'",
+                                t.name
+                            ),
                         ));
                     }
                 }
@@ -127,13 +136,19 @@ pub fn validate_with(ff: &FlowFile, opts: &ValidateOptions) -> Vec<Diagnostic> {
                     if !data_names.contains(d.as_str()) {
                         diags.push(Diagnostic::warning(
                             t.line,
-                            format!("task '{}' filter_source references undeclared data 'D.{d}'", t.name),
+                            format!(
+                                "task '{}' filter_source references undeclared data 'D.{d}'",
+                                t.name
+                            ),
                         ));
                     }
                 }
                 _ => diags.push(Diagnostic::error(
                     t.line,
-                    format!("task '{}' filter_source must be W.* or D.*, got '{src}'", t.name),
+                    format!(
+                        "task '{}' filter_source must be W.* or D.*, got '{src}'",
+                        t.name
+                    ),
                 )),
             }
         }
@@ -169,7 +184,10 @@ pub fn validate_with(ff: &FlowFile, opts: &ValidateOptions) -> Vec<Diagnostic> {
                         if !widget_names.contains(cell.widget.as_str()) {
                             diags.push(Diagnostic::error(
                                 w.line,
-                                format!("layout widget '{}' references unknown widget 'W.{}'", w.name, cell.widget),
+                                format!(
+                                    "layout widget '{}' references unknown widget 'W.{}'",
+                                    w.name, cell.widget
+                                ),
                             ));
                         }
                     }
@@ -186,13 +204,19 @@ pub fn validate_with(ff: &FlowFile, opts: &ValidateOptions) -> Vec<Diagnostic> {
                                 if !widget_names.contains(sub.as_str()) {
                                     diags.push(Diagnostic::error(
                                         w.line,
-                                        format!("tab layout '{}' references unknown widget 'W.{sub}'", w.name),
+                                        format!(
+                                            "tab layout '{}' references unknown widget 'W.{sub}'",
+                                            w.name
+                                        ),
                                     ));
                                 }
                             }
                             _ => diags.push(Diagnostic::error(
                                 w.line,
-                                format!("tab body in '{}' must be a widget (W.*), got '{body}'", w.name),
+                                format!(
+                                    "tab body in '{}' must be a widget (W.*), got '{body}'",
+                                    w.name
+                                ),
                             )),
                         }
                     }
@@ -208,7 +232,10 @@ pub fn validate_with(ff: &FlowFile, opts: &ValidateOptions) -> Vec<Diagnostic> {
             if total > 12 {
                 diags.push(Diagnostic::error(
                     layout.line,
-                    format!("layout row {} spans {total} columns; the grid has 12", ri + 1),
+                    format!(
+                        "layout row {} spans {total} columns; the grid has 12",
+                        ri + 1
+                    ),
                 ));
             }
             for cell in row {
@@ -262,7 +289,10 @@ mod tests {
     use crate::parser::parse_flow_file;
 
     fn errors(diags: &[Diagnostic]) -> Vec<&Diagnostic> {
-        diags.iter().filter(|d| d.severity == Severity::Error).collect()
+        diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect()
     }
 
     #[test]
@@ -288,14 +318,18 @@ mod tests {
         let ff = parse_flow_file("t", src).unwrap();
         let diags = validate(&ff);
         assert!(is_valid(&diags), "warning only: {diags:?}");
-        assert!(diags.iter().any(|d| d.message.contains("shared objects list")));
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("shared objects list")));
 
         let opts = ValidateOptions {
             shared_data: vec!["external".into()],
             ..Default::default()
         };
         let diags = validate_with(&ff, &opts);
-        assert!(diags.iter().all(|d| !d.message.contains("shared objects list")));
+        assert!(diags
+            .iter()
+            .all(|d| !d.message.contains("shared objects list")));
     }
 
     #[test]
@@ -329,14 +363,19 @@ mod tests {
 
         let src = "T:\n  p:\n    parallel: [T.p]\n";
         let ff = parse_flow_file("t", src).unwrap();
-        assert!(validate(&ff).iter().any(|d| d.message.contains("references itself")));
+        assert!(validate(&ff)
+            .iter()
+            .any(|d| d.message.contains("references itself")));
     }
 
     #[test]
     fn filter_source_widget_check() {
-        let src = "T:\n  f:\n    type: filter_by\n    filter_by: [team]\n    filter_source: W.teams\n";
+        let src =
+            "T:\n  f:\n    type: filter_by\n    filter_by: [team]\n    filter_source: W.teams\n";
         let ff = parse_flow_file("t", src).unwrap();
-        assert!(validate(&ff).iter().any(|d| d.message.contains("unknown widget 'W.teams'")));
+        assert!(validate(&ff)
+            .iter()
+            .any(|d| d.message.contains("unknown widget 'W.teams'")));
 
         let src = format!("{src}W:\n  teams:\n    type: List\n    source: D.dim_teams\n");
         let ff = parse_flow_file("t", &src).unwrap();
@@ -359,7 +398,8 @@ mod tests {
 
     #[test]
     fn tab_layout_bodies_checked() {
-        let src = "W:\n  tabs:\n    type: TabLayout\n    tabs:\n    - name: 'A'\n      body: W.ghost\n";
+        let src =
+            "W:\n  tabs:\n    type: TabLayout\n    tabs:\n    - name: 'A'\n      body: W.ghost\n";
         let ff = parse_flow_file("t", src).unwrap();
         assert!(validate(&ff).iter().any(|d| d.message.contains("W.ghost")));
     }

@@ -41,13 +41,48 @@ pub struct DatasetSpec {
 /// The seven datasets.
 pub fn dataset_roster() -> Vec<DatasetSpec> {
     vec![
-        DatasetSpec { name: "apache_activity", kind: DatasetKind::Apache, practice_seed: 101, competition_seed: 201 },
-        DatasetSpec { name: "ipl_tweets", kind: DatasetKind::Ipl, practice_seed: 102, competition_seed: 202 },
-        DatasetSpec { name: "service_desk", kind: DatasetKind::Tickets, practice_seed: 103, competition_seed: 203 },
-        DatasetSpec { name: "retail_brands", kind: DatasetKind::Retail, practice_seed: 104, competition_seed: 204 },
-        DatasetSpec { name: "apache_community", kind: DatasetKind::Apache, practice_seed: 105, competition_seed: 205 },
-        DatasetSpec { name: "ipl_regions", kind: DatasetKind::Ipl, practice_seed: 106, competition_seed: 206 },
-        DatasetSpec { name: "retail_regions", kind: DatasetKind::Retail, practice_seed: 107, competition_seed: 207 },
+        DatasetSpec {
+            name: "apache_activity",
+            kind: DatasetKind::Apache,
+            practice_seed: 101,
+            competition_seed: 201,
+        },
+        DatasetSpec {
+            name: "ipl_tweets",
+            kind: DatasetKind::Ipl,
+            practice_seed: 102,
+            competition_seed: 202,
+        },
+        DatasetSpec {
+            name: "service_desk",
+            kind: DatasetKind::Tickets,
+            practice_seed: 103,
+            competition_seed: 203,
+        },
+        DatasetSpec {
+            name: "retail_brands",
+            kind: DatasetKind::Retail,
+            practice_seed: 104,
+            competition_seed: 204,
+        },
+        DatasetSpec {
+            name: "apache_community",
+            kind: DatasetKind::Apache,
+            practice_seed: 105,
+            competition_seed: 205,
+        },
+        DatasetSpec {
+            name: "ipl_regions",
+            kind: DatasetKind::Ipl,
+            practice_seed: 106,
+            competition_seed: 206,
+        },
+        DatasetSpec {
+            name: "retail_regions",
+            kind: DatasetKind::Retail,
+            practice_seed: 107,
+            competition_seed: 207,
+        },
     ]
 }
 
@@ -84,9 +119,18 @@ impl DatasetSpec {
                     ..Default::default()
                 });
                 vec![
-                    ("svn_jira.csv".into(), write_csv(&maybe_dirty(corpus.svn_jira_summary), ',')),
-                    ("releases.csv".into(), write_csv(&maybe_dirty(corpus.releases), ',')),
-                    ("stack_summary.csv".into(), write_csv(&corpus.stack_summary, ',')),
+                    (
+                        "svn_jira.csv".into(),
+                        write_csv(&maybe_dirty(corpus.svn_jira_summary), ','),
+                    ),
+                    (
+                        "releases.csv".into(),
+                        write_csv(&maybe_dirty(corpus.releases), ','),
+                    ),
+                    (
+                        "stack_summary.csv".into(),
+                        write_csv(&corpus.stack_summary, ','),
+                    ),
                     ("categories.csv".into(), write_csv(&corpus.categories, ',')),
                 ]
             }
@@ -118,7 +162,10 @@ impl DatasetSpec {
                     ..Default::default()
                 });
                 vec![
-                    ("sales.csv".into(), write_csv(&maybe_dirty(corpus.sales), ',')),
+                    (
+                        "sales.csv".into(),
+                        write_csv(&maybe_dirty(corpus.sales), ','),
+                    ),
                     ("products.csv".into(), write_csv(&corpus.products, ',')),
                 ]
             }
@@ -375,11 +422,20 @@ mod tests {
                 let vals: Vec<shareinsights_tabular::Value> = (0..t.num_rows())
                     .map(|i| {
                         let d = col.str_at(i).unwrap_or("");
-                        shareinsights_tabular::Value::Int(if d.contains("backup") || d.contains("restore") { 7 } else { 2 })
+                        shareinsights_tabular::Value::Int(
+                            if d.contains("backup") || d.contains("restore") {
+                                7
+                            } else {
+                                2
+                            },
+                        )
                     })
                     .collect();
-                t.with_column("predicted_days", shareinsights_tabular::Column::from_values(&vals))
-                    .map_err(|e| shareinsights_engine::ext::exec_err("predict_resolution", e))
+                t.with_column(
+                    "predicted_days",
+                    shareinsights_tabular::Column::from_values(&vals),
+                )
+                .map_err(|e| shareinsights_engine::ext::exec_err("predict_resolution", e))
             },
         )));
     }

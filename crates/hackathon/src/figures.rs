@@ -214,7 +214,10 @@ mod tests {
         use std::collections::BTreeMap;
         let mut by_dataset: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
         for b in &figs.fig35 {
-            by_dataset.entry(b.dataset.as_str()).or_default().push(b.size_bytes);
+            by_dataset
+                .entry(b.dataset.as_str())
+                .or_default()
+                .push(b.size_bytes);
         }
         for (ds, sizes) in by_dataset {
             assert!(

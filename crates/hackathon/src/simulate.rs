@@ -102,7 +102,10 @@ pub fn register_custom_tasks(platform: &Platform) {
             let vals: Vec<shareinsights_tabular::Value> = (0..t.num_rows())
                 .map(|i| {
                     let d = col.str_at(i).unwrap_or("");
-                    let days = if d.contains("backup") || d.contains("restore") || d.contains("replication") {
+                    let days = if d.contains("backup")
+                        || d.contains("restore")
+                        || d.contains("replication")
+                    {
                         7
                     } else if d.contains("laptop") || d.contains("disk") {
                         5
@@ -174,9 +177,10 @@ pub fn run_hackathon(cfg: &HackathonConfig) -> HackathonOutcome {
         // stages the team completes in six hours and its error rate.
         let practice_effect = (practice_runs as f64 / cfg.max_practice_runs).min(1.0);
         let effectiveness = 0.6 * team.skill + 0.4 * practice_effect;
-        let stages_completed = 1 + (effectiveness * (stages.len() - 1) as f64 + rng.unit() * 0.8)
-            .floor()
-            .min((stages.len() - 1) as f64) as usize;
+        let stages_completed = 1
+            + (effectiveness * (stages.len() - 1) as f64 + rng.unit() * 0.8)
+                .floor()
+                .min((stages.len() - 1) as f64) as usize;
         let competition_runs = rng
             .count_around(3.0 + effectiveness * cfg.max_competition_runs)
             .max(2);
@@ -197,7 +201,9 @@ pub fn run_hackathon(cfg: &HackathonConfig) -> HackathonOutcome {
                 } else {
                     bad
                 };
-                if platform.save_flow_as(&team.name, &bad, &team.members[c % 5]).is_err()
+                if platform
+                    .save_flow_as(&team.name, &bad, &team.members[c % 5])
+                    .is_err()
                     || platform.run_dashboard(&team.name).is_err()
                 {
                     failed_runs += 1;
@@ -233,8 +239,7 @@ pub fn run_hackathon(cfg: &HackathonConfig) -> HackathonOutcome {
     // depth, custom tasks, clean runs); external committee the dashboard
     // (widgets/layout = later stages). Noise models panel subjectivity.
     for o in &mut outcomes {
-        let clean_ratio = 1.0
-            - (o.failed_runs as f64 / o.competition_runs.max(1) as f64).min(1.0);
+        let clean_ratio = 1.0 - (o.failed_runs as f64 / o.competition_runs.max(1) as f64).min(1.0);
         let internal = 0.5 * (o.stages_completed as f64 / 3.0)
             + 0.2 * clean_ratio
             + if o.used_custom_task { 0.3 } else { 0.0 };
@@ -336,7 +341,11 @@ mod tests {
             // Every attempted run (including failures that reached the run
             // stage) is in the log; compile failures at save never reach a
             // run, so logged <= attempted and >= successful runs.
-            assert!(logged >= t.competition_runs - t.failed_runs, "{}", t.team.name);
+            assert!(
+                logged >= t.competition_runs - t.failed_runs,
+                "{}",
+                t.team.name
+            );
         }
         // Forks logged with starting sizes (figure 35's series).
         let sizes = out.platform.log().starting_sizes();

@@ -100,10 +100,17 @@ impl fmt::Display for LayoutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LayoutError::RowOverflow { row, total } => {
-                write!(f, "layout row {} spans {total} of {GRID_COLUMNS} columns", row + 1)
+                write!(
+                    f,
+                    "layout row {} spans {total} of {GRID_COLUMNS} columns",
+                    row + 1
+                )
             }
             LayoutError::BadSpan { widget, span } => {
-                write!(f, "cell for widget '{widget}' has span {span} (must be 1..=12)")
+                write!(
+                    f,
+                    "cell for widget '{widget}' has span {span} (must be 1..=12)"
+                )
             }
         }
     }
@@ -209,8 +216,14 @@ mod tests {
             description: Some("Apache Project Analysis".into()),
             rows: vec![
                 vec![cell(12, "apache_custom_widget")],
-                vec![cell(4, "year_slider_layout"), cell(8, "right_project_info_layout")],
-                vec![cell(5, "project_category_bubble"), cell(7, "right_sliders_layout")],
+                vec![
+                    cell(4, "year_slider_layout"),
+                    cell(8, "right_project_info_layout"),
+                ],
+                vec![
+                    cell(5, "project_category_bubble"),
+                    cell(7, "right_sliders_layout"),
+                ],
             ],
             line: 0,
         }
@@ -269,7 +282,10 @@ mod tests {
             line: 0,
         };
         let err = solve(&bad, &Viewport::desktop()).unwrap_err();
-        assert!(matches!(err, LayoutError::RowOverflow { row: 0, total: 16 }));
+        assert!(matches!(
+            err,
+            LayoutError::RowOverflow { row: 0, total: 16 }
+        ));
     }
 
     #[test]

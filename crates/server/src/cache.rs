@@ -1,0 +1,249 @@
+//! The generation-stamped query-result cache.
+//!
+//! Widget interaction in the paper's §4.4 data explorer re-issues the same
+//! ad-hoc query URL every time a user touches a filter, so the server keeps
+//! the serialized JSON of recent query results keyed on
+//! `(dashboard, dataset, normalized query path)`. Every entry is stamped
+//! with the dataset's *data generation* — a counter the platform bumps on
+//! each dashboard run and the publish registry bumps on each
+//! publish/refresh. A lookup whose stamp no longer matches the live
+//! generation is a miss (and evicts the stale entry), so invalidation
+//! needs no coordination with the execution path.
+//!
+//! Eviction is LRU bounded by both an entry count and a byte budget over
+//! the cached response bodies.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+
+/// Cache statistics for `/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a cached body.
+    pub hits: u64,
+    /// Lookups that found nothing (or found a stale generation).
+    pub misses: u64,
+    /// Entries dropped to stay within budget.
+    pub evictions: u64,
+    /// Entries dropped because their generation went stale.
+    pub invalidations: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Bytes held by live entry bodies.
+    pub bytes: usize,
+}
+
+struct Entry {
+    body: String,
+    generation: u64,
+    lru_seq: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<String, Entry>,
+    /// lru_seq -> key, oldest first. Sequences are unique, so this is a
+    /// total recency order.
+    order: BTreeMap<u64, String>,
+    next_seq: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+/// An LRU + byte-budget query-result cache with generation validation.
+pub struct QueryCache {
+    inner: Mutex<Inner>,
+    max_entries: usize,
+    max_bytes: usize,
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        QueryCache::new(1024, 8 * 1024 * 1024)
+    }
+}
+
+impl QueryCache {
+    /// A cache bounded by `max_entries` entries and `max_bytes` of body
+    /// bytes.
+    pub fn new(max_entries: usize, max_bytes: usize) -> QueryCache {
+        QueryCache {
+            inner: Mutex::new(Inner::default()),
+            max_entries: max_entries.max(1),
+            max_bytes,
+        }
+    }
+
+    /// Look up `key`; only an entry stamped with `generation` counts. A
+    /// stale entry is removed (counted as invalidation + miss).
+    pub fn get(&self, key: &str, generation: u64) -> Option<String> {
+        enum Outcome {
+            Hit(String, u64),
+            Stale,
+            Absent,
+        }
+        let mut inner = self.inner.lock();
+        let outcome = match inner.entries.get(key) {
+            Some(e) if e.generation == generation => Outcome::Hit(e.body.clone(), e.lru_seq),
+            Some(_) => Outcome::Stale,
+            None => Outcome::Absent,
+        };
+        match outcome {
+            Outcome::Hit(body, old_seq) => {
+                // Refresh recency.
+                let new_seq = inner.next_seq;
+                inner.next_seq += 1;
+                inner.order.remove(&old_seq);
+                inner.order.insert(new_seq, key.to_string());
+                inner.entries.get_mut(key).expect("present").lru_seq = new_seq;
+                inner.hits += 1;
+                Some(body)
+            }
+            Outcome::Stale => {
+                let e = inner.entries.remove(key).expect("present");
+                inner.order.remove(&e.lru_seq);
+                inner.bytes -= e.body.len();
+                inner.invalidations += 1;
+                inner.misses += 1;
+                None
+            }
+            Outcome::Absent => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) the cached body for `key` at `generation`,
+    /// evicting least-recently-used entries to stay within budget. Bodies
+    /// larger than the whole byte budget are not cached.
+    pub fn put(&self, key: &str, generation: u64, body: String) {
+        if body.len() > self.max_bytes {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(old) = inner.entries.remove(key) {
+            inner.order.remove(&old.lru_seq);
+            inner.bytes -= old.body.len();
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.bytes += body.len();
+        inner.order.insert(seq, key.to_string());
+        inner.entries.insert(
+            key.to_string(),
+            Entry {
+                body,
+                generation,
+                lru_seq: seq,
+            },
+        );
+        while inner.entries.len() > self.max_entries || inner.bytes > self.max_bytes {
+            let Some((&oldest, _)) = inner.order.iter().next() else {
+                break;
+            };
+            let key = inner.order.remove(&oldest).expect("present");
+            let e = inner.entries.remove(&key).expect("present");
+            inner.bytes -= e.body.len();
+            inner.evictions += 1;
+        }
+    }
+
+    /// Drop every entry (hit/miss counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.order.clear();
+        inner.bytes = 0;
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            invalidations: inner.invalidations,
+            entries: inner.entries.len(),
+            bytes: inner.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_put_at_same_generation() {
+        let c = QueryCache::new(4, 1024);
+        assert_eq!(c.get("k", 1), None);
+        c.put("k", 1, "body".into());
+        assert_eq!(c.get("k", 1).as_deref(), Some("body"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.bytes), (1, 1, 1, 4));
+    }
+
+    #[test]
+    fn generation_bump_invalidates() {
+        let c = QueryCache::new(4, 1024);
+        c.put("k", 1, "old".into());
+        assert_eq!(c.get("k", 2), None, "stale generation is a miss");
+        let s = c.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.entries, 0, "stale entry dropped");
+        c.put("k", 2, "new".into());
+        assert_eq!(c.get("k", 2).as_deref(), Some("new"));
+    }
+
+    #[test]
+    fn lru_eviction_by_entry_count() {
+        let c = QueryCache::new(2, 1024);
+        c.put("a", 1, "1".into());
+        c.put("b", 1, "2".into());
+        assert!(c.get("a", 1).is_some(), "touch a → b is now LRU");
+        c.put("c", 1, "3".into());
+        assert!(c.get("b", 1).is_none(), "b evicted");
+        assert!(c.get("a", 1).is_some());
+        assert!(c.get("c", 1).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_and_rejects_oversize() {
+        let c = QueryCache::new(100, 10);
+        c.put("a", 1, "aaaa".into()); // 4 bytes
+        c.put("b", 1, "bbbb".into()); // 8 bytes total
+        c.put("c", 1, "cccc".into()); // would be 12 → evict a
+        assert!(c.get("a", 1).is_none());
+        assert_eq!(c.stats().bytes, 8);
+        // A body over the whole budget is not cached at all.
+        c.put("huge", 1, "x".repeat(11));
+        assert!(c.get("huge", 1).is_none());
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn replace_updates_bytes() {
+        let c = QueryCache::new(4, 1024);
+        c.put("k", 1, "aaaa".into());
+        c.put("k", 1, "bb".into());
+        let s = c.stats();
+        assert_eq!((s.entries, s.bytes), (1, 2));
+        assert_eq!(c.get("k", 1).as_deref(), Some("bb"));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let c = QueryCache::new(4, 1024);
+        c.put("k", 1, "v".into());
+        c.clear();
+        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.stats().bytes, 0);
+        assert!(c.get("k", 1).is_none());
+    }
+}

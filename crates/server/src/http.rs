@@ -16,6 +16,19 @@ pub enum Method {
     Delete,
 }
 
+impl Method {
+    /// Parse an HTTP method token.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for Method {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -38,10 +51,14 @@ pub enum Status {
     BadRequest,
     /// 404
     NotFound,
+    /// 405 — the path exists but not for this method.
+    MethodNotAllowed,
     /// 409
     Conflict,
     /// 422 — flow-file level errors (compile/validate).
     Unprocessable,
+    /// 503 — worker queue full or per-request deadline exceeded.
+    ServiceUnavailable,
 }
 
 impl Status {
@@ -52,8 +69,24 @@ impl Status {
             Status::Created => 201,
             Status::BadRequest => 400,
             Status::NotFound => 404,
+            Status::MethodNotAllowed => 405,
             Status::Conflict => 409,
             Status::Unprocessable => 422,
+            Status::ServiceUnavailable => 503,
+        }
+    }
+
+    /// HTTP/1.1 reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::Created => "Created",
+            Status::BadRequest => "Bad Request",
+            Status::NotFound => "Not Found",
+            Status::MethodNotAllowed => "Method Not Allowed",
+            Status::Conflict => "Conflict",
+            Status::Unprocessable => "Unprocessable Entity",
+            Status::ServiceUnavailable => "Service Unavailable",
         }
     }
 }

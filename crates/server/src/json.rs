@@ -74,7 +74,10 @@ mod tests {
     fn table_serialises_and_reparses() {
         let t = Table::from_rows(
             &["name", "n", "f"],
-            &[row!["a\"quote", 1i64, 2.5], row![Value::Null, 2i64, Value::Null]],
+            &[
+                row!["a\"quote", 1i64, 2.5],
+                row![Value::Null, 2i64, Value::Null],
+            ],
         )
         .unwrap();
         let json = table_to_json(&t);

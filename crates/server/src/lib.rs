@@ -15,15 +15,26 @@
 //! | `GET /<dashboard>/ds` | figure 27: endpoint data listing |
 //! | `GET /<dashboard>/ds/<dataset>` | figure 28: browse endpoint data (`?limit=&offset=`) |
 //! | `GET /<dashboard>/ds/<dataset>/groupby/<col>/<agg>/<col>` | figure 30: ad-hoc query |
+//! | `GET /stats` | per-route counters/latency + query-cache stats |
+//!
+//! [`serve`] puts the router behind a real `TcpListener` with a bounded
+//! worker pool (see [`serve::ServeOptions`]); query results are cached in a
+//! generation-stamped [`QueryCache`] invalidated by dashboard runs and
+//! publishes.
 //!
 //! Ad-hoc query paths compose left to right:
 //! `/ds/sales/filter/region/north/groupby/brand/sum/revenue/limit/10`.
 
+pub mod cache;
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod query;
 pub mod router;
+pub mod serve;
 
+pub use cache::{CacheStats, QueryCache};
 pub use http::{Method, Request, Response, Status};
 pub use json::table_to_json;
 pub use router::Server;
+pub use serve::{blocking_get, blocking_request, serve, ServeOptions, ServiceHandle};

@@ -1,0 +1,150 @@
+//! Route normalization and the `/stats` payload.
+//!
+//! Every request is attributed to a *route label* — the match arm shape
+//! with path parameters replaced by `:name` placeholders — so per-route
+//! counters aggregate across dashboards and datasets instead of exploding
+//! per URL. The labels, counters and latency histograms live in
+//! [`shareinsights_core::telemetry::ApiMetrics`]; this module renders them
+//! (plus the query-cache counters) as the `/stats` JSON.
+
+use crate::cache::CacheStats;
+use crate::http::Method;
+use shareinsights_core::telemetry::RouteStats;
+use std::collections::BTreeMap;
+
+/// Pool-level rejection label (queue full → 503 before routing).
+pub const ROUTE_REJECTED: &str = "(rejected)";
+/// Pool-level deadline label (request expired in the queue → 503).
+pub const ROUTE_DEADLINE: &str = "(deadline)";
+/// Wire-level parse failure label (unreadable HTTP → 400 before routing).
+pub const ROUTE_MALFORMED: &str = "(malformed)";
+
+/// The normalized label a request is metered under.
+pub fn route_label(method: Method, segments: &[&str]) -> &'static str {
+    match (method, segments) {
+        (Method::Get, ["stats"]) => "GET /stats",
+        (Method::Get, ["dashboards"]) => "GET /dashboards",
+        (Method::Post, ["dashboards", _, "create"]) => "POST /dashboards/:name/create",
+        (Method::Put, ["dashboards", _, "flow"]) => "PUT /dashboards/:name/flow",
+        (Method::Get, ["dashboards", _, "flow"]) => "GET /dashboards/:name/flow",
+        (Method::Post, ["dashboards", _, "run"]) => "POST /dashboards/:name/run",
+        (Method::Post, ["dashboards", _, "fork", _]) => "POST /dashboards/:name/fork/:to",
+        (Method::Get, ["dashboards", _, "explore"]) => "GET /dashboards/:name/explore",
+        (Method::Get, ["dashboards", _, "meta"]) => "GET /dashboards/:name/meta",
+        (Method::Get, ["dashboards", _, "suggest", _]) => "GET /dashboards/:name/suggest/:object",
+        (Method::Get, ["dashboards", _, "log"]) => "GET /dashboards/:name/log",
+        (Method::Get, [_, "ds"]) => "GET /:dashboard/ds",
+        (Method::Get, [_, "ds", _]) => "GET /:dashboard/ds/:dataset",
+        (Method::Get, [_, "ds", _, ..]) => "GET /:dashboard/ds/:dataset/query",
+        _ => "(unmatched)",
+    }
+}
+
+/// Methods a path shape accepts, regardless of the method actually used —
+/// the basis for 405 vs 404 responses.
+pub fn allowed_methods(segments: &[&str]) -> &'static [Method] {
+    match segments {
+        ["stats"] | ["dashboards"] => &[Method::Get],
+        ["dashboards", _, "create"] | ["dashboards", _, "run"] | ["dashboards", _, "fork", _] => {
+            &[Method::Post]
+        }
+        ["dashboards", _, "flow"] => &[Method::Get, Method::Put],
+        ["dashboards", _, "explore"]
+        | ["dashboards", _, "meta"]
+        | ["dashboards", _, "log"]
+        | ["dashboards", _, "suggest", _] => &[Method::Get],
+        [_, "ds"] | [_, "ds", _, ..] => &[Method::Get],
+        _ => &[],
+    }
+}
+
+/// Render the `/stats` document: per-route counters + cache counters.
+pub fn stats_json(routes: &BTreeMap<String, RouteStats>, cache: &CacheStats) -> String {
+    let mut out = String::from("{\"routes\": {");
+    for (i, (label, s)) in routes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{}: {{\"count\": {}, \"errors\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"p50_us\": {}, \"p95_us\": {}, \"max_us\": {}, \"mean_us\": {}}}",
+            crate::json::quote(label),
+            s.count,
+            s.errors,
+            s.cache_hits,
+            s.cache_misses,
+            s.latency.quantile_us(0.50),
+            s.latency.quantile_us(0.95),
+            s.latency.max_us,
+            s.latency.mean_us(),
+        ));
+    }
+    out.push_str(&format!(
+        "}}, \"cache\": {{\"entries\": {}, \"bytes\": {}, \"hits\": {}, \"misses\": {}, \
+         \"evictions\": {}, \"invalidations\": {}}}}}",
+        cache.entries, cache.bytes, cache.hits, cache.misses, cache.evictions, cache.invalidations
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_normalize_parameters() {
+        assert_eq!(
+            route_label(
+                Method::Get,
+                &["retail", "ds", "sales", "groupby", "a", "sum", "b"]
+            ),
+            "GET /:dashboard/ds/:dataset/query"
+        );
+        assert_eq!(
+            route_label(Method::Get, &["retail", "ds", "sales"]),
+            "GET /:dashboard/ds/:dataset"
+        );
+        assert_eq!(
+            route_label(Method::Get, &["retail", "ds"]),
+            "GET /:dashboard/ds"
+        );
+        assert_eq!(route_label(Method::Get, &["stats"]), "GET /stats");
+        assert_eq!(
+            route_label(Method::Post, &["dashboards", "x", "run"]),
+            "POST /dashboards/:name/run"
+        );
+        assert_eq!(route_label(Method::Delete, &["dashboards"]), "(unmatched)");
+    }
+
+    #[test]
+    fn allowed_methods_distinguish_404_from_405() {
+        assert_eq!(allowed_methods(&["dashboards"]), &[Method::Get]);
+        assert_eq!(
+            allowed_methods(&["dashboards", "x", "flow"]),
+            &[Method::Get, Method::Put]
+        );
+        assert!(allowed_methods(&["no", "such", "shape", "here"]).is_empty());
+    }
+
+    #[test]
+    fn stats_json_parses() {
+        let mut routes = BTreeMap::new();
+        let mut s = RouteStats {
+            count: 2,
+            ..RouteStats::default()
+        };
+        s.latency.record(100);
+        s.latency.record(300);
+        routes.insert("GET /stats".to_string(), s);
+        let json = stats_json(&routes, &CacheStats::default());
+        let doc = shareinsights_tabular::io::json::parse_json(&json).unwrap();
+        assert_eq!(
+            doc.path("routes.GET /stats.count")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(2)
+        );
+        assert_eq!(doc.path("cache.hits").unwrap().to_value().as_int(), Some(0));
+    }
+}

@@ -211,7 +211,9 @@ mod tests {
         assert!(parse_ops(&["groupby", "a", "bogus", "b"])
             .unwrap_err()
             .contains("unknown aggregate"));
-        assert!(parse_ops(&["warp", "9"]).unwrap_err().contains("unknown query operation"));
+        assert!(parse_ops(&["warp", "9"])
+            .unwrap_err()
+            .contains("unknown query operation"));
         assert!(parse_ops(&["limit", "abc"]).is_err());
         assert!(parse_ops(&["sort", "a", "sideways"]).is_err());
     }

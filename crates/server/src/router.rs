@@ -1,21 +1,37 @@
 //! The route table over a [`Platform`].
 
+use crate::cache::QueryCache;
 use crate::http::{Method, Request, Response, Status};
 use crate::json::{string_list, table_to_json};
+use crate::metrics::{allowed_methods, route_label, stats_json};
 use crate::query::{parse_ops, run_query};
 use shareinsights_core::Platform;
 use shareinsights_tabular::Table;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// The in-process REST server wrapping a platform instance.
+///
+/// Cloning is cheap and shares the platform state and the query cache, so
+/// a worker pool can hold one clone per thread.
 #[derive(Clone)]
 pub struct Server {
     platform: Platform,
+    cache: Arc<QueryCache>,
 }
 
 impl Server {
-    /// Wrap a platform.
+    /// Wrap a platform with a default-sized query cache.
     pub fn new(platform: Platform) -> Server {
-        Server { platform }
+        Server::with_cache(platform, QueryCache::default())
+    }
+
+    /// Wrap a platform with an explicitly sized query cache.
+    pub fn with_cache(platform: Platform, cache: QueryCache) -> Server {
+        Server {
+            platform,
+            cache: Arc::new(cache),
+        }
     }
 
     /// The wrapped platform.
@@ -23,10 +39,33 @@ impl Server {
         &self.platform
     }
 
-    /// Dispatch a request.
+    /// The query-result cache.
+    pub fn cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    /// Dispatch a request, recording per-route metrics.
     pub fn handle(&self, request: &Request) -> Response {
+        let started = Instant::now();
+        let label = {
+            let segments = request.segments();
+            route_label(request.method, &segments)
+        };
+        let response = self.dispatch(request);
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        self.platform
+            .api_metrics()
+            .record(label, response.is_ok(), elapsed_us);
+        response
+    }
+
+    fn dispatch(&self, request: &Request) -> Response {
         let segments = request.segments();
         match (request.method, segments.as_slice()) {
+            (Method::Get, ["stats"]) => Response::json(stats_json(
+                &self.platform.api_metrics().snapshot(),
+                &self.cache.stats(),
+            )),
             (Method::Get, ["dashboards"]) => {
                 Response::json(string_list(&self.platform.dashboard_names()))
             }
@@ -44,7 +83,10 @@ impl Server {
                 match self.platform.save_flow(name, &request.body) {
                     Ok(warnings) => {
                         let w: Vec<String> = warnings.iter().map(|d| d.to_string()).collect();
-                        Response::json(format!("{{\"saved\": true, \"warnings\": {}}}", string_list(&w)))
+                        Response::json(format!(
+                            "{{\"saved\": true, \"warnings\": {}}}",
+                            string_list(&w)
+                        ))
                     }
                     Err(e) => Response::error(Status::Unprocessable, e.to_string()),
                 }
@@ -56,8 +98,7 @@ impl Server {
             (Method::Post, ["dashboards", name, "run"]) => {
                 match self.platform.run_dashboard(name) {
                     Ok(report) => {
-                        let endpoints: Vec<String> =
-                            report.result.endpoints.to_vec();
+                        let endpoints: Vec<String> = report.result.endpoints.to_vec();
                         Response::json(format!(
                             "{{\"endpoints\": {}, \"published\": {}, \"source_rows\": {}}}",
                             string_list(&endpoints),
@@ -86,19 +127,36 @@ impl Server {
             }
             (Method::Get, ["dashboards", name, "explore"]) => self.explore(name),
             (Method::Get, ["dashboards", name, "meta"]) => self.meta(name),
-            (Method::Get, ["dashboards", name, "suggest", object]) => {
-                self.suggest(name, object)
-            }
+            (Method::Get, ["dashboards", name, "suggest", object]) => self.suggest(name, object),
             (Method::Get, ["dashboards", name, "log"]) => self.commit_log(name),
             // Data API: /<dashboard>/ds[...]
             (Method::Get, [dashboard, "ds"]) => self.list_endpoints(dashboard),
             (Method::Get, [dashboard, "ds", rest @ ..]) if !rest.is_empty() => {
                 self.dataset(request, dashboard, rest[0], &rest[1..])
             }
-            _ => Response::error(
-                Status::NotFound,
-                format!("no route for {} {}", request.method, request.path),
-            ),
+            _ => {
+                let allowed = allowed_methods(&segments);
+                if allowed.is_empty() || allowed.contains(&request.method) {
+                    Response::error(
+                        Status::NotFound,
+                        format!("no route for {} {}", request.method, request.path),
+                    )
+                } else {
+                    let allow: Vec<String> = allowed.iter().map(|m| m.to_string()).collect();
+                    Response {
+                        status: Status::MethodNotAllowed,
+                        body: format!(
+                            "{{\"error\": {}, \"allow\": {}}}",
+                            crate::json::quote(&format!(
+                                "{} not allowed for {}",
+                                request.method, request.path
+                            )),
+                            crate::json::quote(&allow.join(", "))
+                        ),
+                        content_type: "application/json",
+                    }
+                }
+            }
         }
     }
 
@@ -138,7 +196,8 @@ impl Server {
         }
     }
 
-    /// Figure 28 browse + figure 30 ad-hoc queries.
+    /// Figure 28 browse + figure 30 ad-hoc queries, behind the
+    /// generation-stamped result cache.
     fn dataset(
         &self,
         request: &Request,
@@ -146,6 +205,29 @@ impl Server {
         dataset: &str,
         ops_segments: &[&str],
     ) -> Response {
+        let label = if ops_segments.is_empty() {
+            "GET /:dashboard/ds/:dataset"
+        } else {
+            "GET /:dashboard/ds/:dataset/query"
+        };
+        // The live generation: dashboard runs bump the platform side,
+        // publishes/refreshes bump the registry side. Both are monotonic,
+        // so their sum changes whenever either source of the data does.
+        let generation = self.platform.data_generation(dashboard)
+            + self.platform.publish_registry().generation(dataset);
+        let offset = request.query_usize("offset").unwrap_or(0);
+        let limit = request.query_usize("limit");
+        let key = format!(
+            "{dashboard}/{dataset}/{}?offset={offset}&limit={}",
+            ops_segments.join("/"),
+            limit.map_or_else(|| "all".to_string(), |l| l.to_string()),
+        );
+        if let Some(body) = self.cache.get(&key, generation) {
+            self.platform.api_metrics().record_cache(label, true);
+            return Response::json(body);
+        }
+        self.platform.api_metrics().record_cache(label, false);
+
         let table = match self.endpoint_table(dashboard, dataset) {
             Ok(t) => t,
             Err(resp) => return resp,
@@ -159,10 +241,11 @@ impl Server {
             Err(e) => return Response::error(Status::BadRequest, e),
         };
         // Paging on the final result.
-        let offset = request.query_usize("offset").unwrap_or(0);
-        let limit = request.query_usize("limit").unwrap_or(result.num_rows());
+        let limit = limit.unwrap_or(result.num_rows());
         let page = result.slice(offset, limit);
-        Response::json(table_to_json(&page))
+        let body = table_to_json(&page);
+        self.cache.put(&key, generation, body.clone());
+        Response::json(body)
     }
 
     /// §6 meta-dashboard: run + profile every column, return the profile as
@@ -344,7 +427,16 @@ F:
         assert!(r.body.contains("run it first"));
         let r = server.handle(&Request::get("/retail/ds/brand_sales/warp/9"));
         assert_eq!(r.status, Status::BadRequest);
-        let r = server.handle(&Request::new(Method::Put, "/dashboards/bad/flow").with_body("Q:\n  x: 1\n"));
+        assert!(r.body.contains("unknown query operation"), "{}", r.body);
+        let r = server.handle(&Request::get(
+            "/retail/ds/brand_sales/groupby/region/bogus/brand",
+        ));
+        assert_eq!(r.status, Status::BadRequest);
+        assert!(r.body.contains("unknown aggregate"), "{}", r.body);
+        let r = server.handle(&Request::get("/retail/ds/brand_sales/limit/abc"));
+        assert_eq!(r.status, Status::BadRequest, "non-numeric limit");
+        let r = server
+            .handle(&Request::new(Method::Put, "/dashboards/bad/flow").with_body("Q:\n  x: 1\n"));
         assert_eq!(r.status, Status::Unprocessable);
         let r = server.handle(&Request::new(Method::Post, "/dashboards/retail/create"));
         assert_eq!(r.status, Status::Conflict);
@@ -353,9 +445,130 @@ F:
     }
 
     #[test]
+    fn wrong_method_is_405_with_allow_list() {
+        let server = served();
+        let r = server.handle(&Request::new(Method::Post, "/dashboards"));
+        assert_eq!(r.status, Status::MethodNotAllowed);
+        assert!(r.body.contains("\"allow\": \"GET\""), "{}", r.body);
+        let r = server.handle(&Request::new(Method::Delete, "/dashboards/retail/flow"));
+        assert_eq!(r.status, Status::MethodNotAllowed);
+        assert!(r.body.contains("GET, PUT"), "{}", r.body);
+        let r = server.handle(&Request::get("/dashboards/retail/run"));
+        assert_eq!(r.status, Status::MethodNotAllowed);
+        // Unknown shapes stay 404 even with a weird method.
+        let r = server.handle(&Request::new(Method::Delete, "/no/such/route/here"));
+        assert_eq!(r.status, Status::NotFound);
+    }
+
+    #[test]
+    fn repeated_query_hits_cache_and_run_invalidates() {
+        let server = served();
+        let url = "/retail/ds/brand_sales/groupby/region/count/brand";
+        let first = server.handle(&Request::get(url));
+        assert!(first.is_ok());
+        let second = server.handle(&Request::get(url));
+        assert_eq!(second.body, first.body);
+        let s = server.cache().stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+
+        // A re-run bumps the dashboard's data generation → miss.
+        assert!(server
+            .handle(&Request::new(Method::Post, "/dashboards/retail/run"))
+            .is_ok());
+        assert!(server.handle(&Request::get(url)).is_ok());
+        let s = server.cache().stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 2, 1));
+    }
+
+    #[test]
+    fn paging_and_ops_have_distinct_cache_keys() {
+        let server = served();
+        server.handle(&Request::get("/retail/ds/brand_sales"));
+        server.handle(&Request::get("/retail/ds/brand_sales?limit=1"));
+        server.handle(&Request::get("/retail/ds/brand_sales/limit/1"));
+        assert_eq!(server.cache().stats().entries, 3);
+        assert_eq!(server.cache().stats().hits, 0);
+    }
+
+    #[test]
+    fn stats_route_reports_routes_and_cache() {
+        let server = served();
+        let url = "/retail/ds/brand_sales/groupby/region/count/brand";
+        server.handle(&Request::get(url));
+        server.handle(&Request::get(url));
+        server.handle(&Request::get("/retail/ds/ghost_data"));
+        let r = server.handle(&Request::get("/stats"));
+        assert!(r.is_ok(), "{}", r.body);
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        let q = "routes.GET /:dashboard/ds/:dataset/query";
+        assert_eq!(
+            doc.path(&format!("{q}.count")).unwrap().to_value().as_int(),
+            Some(2)
+        );
+        assert_eq!(
+            doc.path(&format!("{q}.cache_hits"))
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(1)
+        );
+        // The ghost browse is an error under the browse label.
+        assert_eq!(
+            doc.path("routes.GET /:dashboard/ds/:dataset.errors")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(1)
+        );
+        assert_eq!(doc.path("cache.hits").unwrap().to_value().as_int(), Some(1));
+        // Latency quantiles are present and sane.
+        let p95 = doc
+            .path(&format!("{q}.p95_us"))
+            .unwrap()
+            .to_value()
+            .as_int()
+            .unwrap();
+        let max = doc
+            .path(&format!("{q}.max_us"))
+            .unwrap()
+            .to_value()
+            .as_int()
+            .unwrap();
+        assert!(p95 <= max.max(1), "p95 {p95} vs max {max}");
+    }
+
+    #[test]
+    fn publish_refresh_invalidates_shared_object_cache() {
+        let server = served();
+        let with_publish = FLOW.replace(
+            "F:\n  +D.brand_sales: D.sales | T.by_brand\n",
+            "F:\n  +D.brand_sales: D.sales | T.by_brand\n  D.brand_sales:\n    publish: brand_sales\n",
+        );
+        server
+            .handle(&Request::new(Method::Put, "/dashboards/retail/flow").with_body(&with_publish));
+        server.handle(&Request::new(Method::Post, "/dashboards/retail/run"));
+        server.handle(&Request::new(Method::Post, "/dashboards/viewer/create"));
+
+        let url = "/viewer/ds/brand_sales";
+        assert!(server.handle(&Request::get(url)).is_ok());
+        assert!(server.handle(&Request::get(url)).is_ok());
+        assert_eq!(server.cache().stats().hits, 1);
+
+        // Re-running the producer refreshes the published snapshot, which
+        // bumps the registry generation seen by the consumer dashboard.
+        server.handle(&Request::new(Method::Post, "/dashboards/retail/run"));
+        assert!(server.handle(&Request::get(url)).is_ok());
+        let s = server.cache().stats();
+        assert_eq!((s.hits, s.invalidations), (1, 1));
+    }
+
+    #[test]
     fn fork_route() {
         let server = served();
-        let r = server.handle(&Request::new(Method::Post, "/dashboards/retail/fork/team_1"));
+        let r = server.handle(&Request::new(
+            Method::Post,
+            "/dashboards/retail/fork/team_1",
+        ));
         assert_eq!(r.status, Status::Created);
         let r = server.handle(&Request::get("/dashboards/team_1/flow"));
         assert!(r.body.contains("brand_sales"));

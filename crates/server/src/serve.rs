@@ -1,0 +1,420 @@
+//! The TCP front end: a real socket server over the in-process router.
+//!
+//! A [`std::net::TcpListener`] accepts connections and hands them to a
+//! fixed pool of worker threads through a *bounded* queue. When the queue
+//! is full the accept loop answers 503 immediately instead of letting the
+//! backlog grow (load shedding), and a request that waited in the queue
+//! past its deadline is also answered 503 without being parsed. Both
+//! conditions are visible in `/stats` under the `(rejected)` and
+//! `(deadline)` pseudo-routes.
+//!
+//! The wire format is a deliberately small HTTP/1.1 subset: request line,
+//! headers (only `Content-Length` is interpreted), optional body, and
+//! `Connection: close` semantics — one request per connection.
+
+use crate::http::{Method, Request, Response, Status};
+use crate::metrics::{ROUTE_DEADLINE, ROUTE_MALFORMED, ROUTE_REJECTED};
+use crate::router::Server;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body (flow files are small).
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// Tuning for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Bounded queue depth between the acceptor and the workers; a full
+    /// queue means immediate 503s.
+    pub queue_depth: usize,
+    /// Maximum time a request may wait in the queue before it is answered
+    /// 503 instead of being processed.
+    pub deadline: Duration,
+    /// Socket read/write timeout (guards against stuck clients).
+    pub io_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 4,
+            queue_depth: 64,
+            deadline: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+struct Job {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
+/// A running service; dropping it (or calling [`ServiceHandle::shutdown`])
+/// stops the acceptor and joins the workers.
+pub struct ServiceHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain the queue, and join every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `server` on a worker pool.
+pub fn serve(server: Server, addr: &str, options: ServeOptions) -> io::Result<ServiceHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (tx, rx) = sync_channel::<Job>(options.queue_depth.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut workers = Vec::with_capacity(options.workers.max(1));
+    for _ in 0..options.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let server = server.clone();
+        let opts = options.clone();
+        workers.push(std::thread::spawn(move || worker_loop(&server, &rx, &opts)));
+    }
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        let server = server.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nonblocking(false);
+                        match tx.try_send(Job {
+                            stream,
+                            accepted: Instant::now(),
+                        }) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(job)) => {
+                                server
+                                    .platform()
+                                    .api_metrics()
+                                    .record(ROUTE_REJECTED, false, 0);
+                                let resp =
+                                    Response::error(Status::ServiceUnavailable, "queue full");
+                                let _ = write_response(&job.stream, &resp);
+                            }
+                            Err(TrySendError::Disconnected(_)) => break,
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                }
+            }
+            // tx drops here; workers drain the queue and exit.
+        })
+    };
+
+    Ok(ServiceHandle {
+        addr: bound,
+        stop,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn worker_loop(server: &Server, rx: &Mutex<Receiver<Job>>, opts: &ServeOptions) {
+    loop {
+        // Hold the lock only while dequeuing, not while handling.
+        let job = match rx.lock().recv() {
+            Ok(job) => job,
+            Err(_) => return, // acceptor gone and queue drained
+        };
+        let waited = job.accepted.elapsed();
+        if waited > opts.deadline {
+            server.platform().api_metrics().record(
+                ROUTE_DEADLINE,
+                false,
+                waited.as_micros() as u64,
+            );
+            let resp = Response::error(Status::ServiceUnavailable, "deadline exceeded in queue");
+            let _ = write_response(&job.stream, &resp);
+            continue;
+        }
+        let _ = job.stream.set_read_timeout(Some(opts.io_timeout));
+        let _ = job.stream.set_write_timeout(Some(opts.io_timeout));
+        let resp = match read_request(&job.stream) {
+            Ok(request) => server.handle(&request),
+            Err(message) => {
+                server
+                    .platform()
+                    .api_metrics()
+                    .record(ROUTE_MALFORMED, false, 0);
+                Response::error(Status::BadRequest, message)
+            }
+        };
+        let _ = write_response(&job.stream, &resp);
+    }
+}
+
+/// Parse one HTTP/1.1 request off the socket.
+fn read_request(mut stream: &TcpStream) -> Result<Request, String> {
+    // Read until the blank line ending the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err("request head too large".to_string());
+        }
+        let mut chunk = [0u8; 1024];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("connection closed mid-request".to_string()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .and_then(Method::parse)
+        .ok_or_else(|| format!("unsupported method in {request_line:?}"))?;
+    let target = parts
+        .next()
+        .filter(|t| t.starts_with('/'))
+        .ok_or_else(|| format!("bad request target in {request_line:?}"))?;
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol {version:?}"));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad content-length {:?}", value.trim()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!("body of {content_length} bytes exceeds limit"));
+    }
+    // Body: whatever followed the head in the buffer, then the rest.
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("connection closed mid-body".to_string()),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let request = Request::new(method, target).with_body(body);
+    Ok(request)
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn write_response(mut stream: &TcpStream, resp: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status.code(),
+        resp.status.reason(),
+        resp.content_type,
+        resp.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+/// A minimal blocking client for tests, examples and load generation:
+/// one request, `Connection: close`, returns `(status code, body)`.
+pub fn blocking_request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &str,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: shareinsights\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body separator"))?;
+    let status: u16 = head
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let expected: Option<usize> = head
+        .lines()
+        .find_map(|l| {
+            l.split_once(':')
+                .filter(|(n, _)| n.trim().eq_ignore_ascii_case("content-length"))
+        })
+        .and_then(|(_, v)| v.trim().parse().ok());
+    if let Some(len) = expected {
+        if payload.len() != len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("truncated body: {} of {len} bytes", payload.len()),
+            ));
+        }
+    }
+    Ok((status, payload.to_string()))
+}
+
+/// GET shorthand over [`blocking_request`].
+pub fn blocking_get(addr: SocketAddr, target: &str) -> io::Result<(u16, String)> {
+    blocking_request(addr, "GET", target, "")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_core::Platform;
+
+    fn service() -> ServiceHandle {
+        let platform = Platform::new();
+        platform.upload_data("demo", "t.csv", "k,v\na,1\nb,2\n");
+        platform.create_dashboard("demo").unwrap();
+        let server = Server::new(platform);
+        serve(server, "127.0.0.1:0", ServeOptions::default()).expect("bind")
+    }
+
+    #[test]
+    fn serves_requests_over_tcp() {
+        let mut svc = service();
+        let (code, body) = blocking_get(svc.local_addr(), "/dashboards").unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, "[\"demo\"]");
+        let (code, _) = blocking_get(svc.local_addr(), "/nope/nope/nope/nope").unwrap();
+        assert_eq!(code, 404);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn put_body_round_trips() {
+        let mut svc = service();
+        let flow = "D:\n  t: [k, v]\nD.t:\n  source: 't.csv'\n  format: csv\nT:\n  by_k:\n    type: groupby\n    groupby: [k]\nF:\n  +D.out: D.t | T.by_k\n";
+        let (code, body) =
+            blocking_request(svc.local_addr(), "PUT", "/dashboards/demo/flow", flow).unwrap();
+        assert_eq!(code, 200, "{body}");
+        let (code, body) =
+            blocking_request(svc.local_addr(), "POST", "/dashboards/demo/run", "").unwrap();
+        assert_eq!(code, 200, "{body}");
+        let (code, body) = blocking_get(svc.local_addr(), "/demo/ds/out").unwrap();
+        assert_eq!(code, 200);
+        assert!(body.contains("\"total_rows\": 2"), "{body}");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_400() {
+        let svc = service();
+        let mut stream = TcpStream::connect(svc.local_addr()).unwrap();
+        stream.write_all(b"NONSENSE /x SMTP/9\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400 Bad Request"), "{out}");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drops_cleanly() {
+        let mut svc = service();
+        let addr = svc.local_addr();
+        svc.shutdown();
+        svc.shutdown();
+        drop(svc);
+        assert!(TcpStream::connect(addr).is_err() || blocking_get(addr, "/dashboards").is_err());
+    }
+
+    #[test]
+    fn queue_overflow_returns_503() {
+        // One worker, depth-1 queue, and the worker is wedged on a slow
+        // client that never sends its head — so the queue fills and the
+        // acceptor starts shedding.
+        let platform = Platform::new();
+        let server = Server::new(platform);
+        let opts = ServeOptions {
+            workers: 1,
+            queue_depth: 1,
+            deadline: Duration::from_secs(30),
+            io_timeout: Duration::from_secs(10),
+        };
+        let mut svc = serve(server, "127.0.0.1:0", opts).expect("bind");
+        let addr = svc.local_addr();
+        // Wedge the worker + fill the queue with idle connections.
+        let _wedge: Vec<TcpStream> = (0..2).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        std::thread::sleep(Duration::from_millis(100));
+        // Subsequent connections are rejected fast.
+        let mut saw_503 = false;
+        for _ in 0..5 {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            let mut out = String::new();
+            if s.read_to_string(&mut out).is_ok() && out.starts_with("HTTP/1.1 503") {
+                saw_503 = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(saw_503, "expected a 503 from the full queue");
+        drop(_wedge);
+        svc.shutdown();
+    }
+}

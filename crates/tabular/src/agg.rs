@@ -255,7 +255,10 @@ mod tests {
 
     #[test]
     fn sum_parses_numeric_strings() {
-        let v = run(AggKind::Sum, &[Value::Str("10".into()), Value::Str("2.5".into())]);
+        let v = run(
+            AggKind::Sum,
+            &[Value::Str("10".into()), Value::Str("2.5".into())],
+        );
         assert_eq!(v, Value::Float(12.5));
     }
 
@@ -327,9 +330,15 @@ mod tests {
     #[test]
     fn output_types() {
         assert_eq!(AggKind::Sum.output_type(DataType::Int64), DataType::Int64);
-        assert_eq!(AggKind::Sum.output_type(DataType::Float64), DataType::Float64);
+        assert_eq!(
+            AggKind::Sum.output_type(DataType::Float64),
+            DataType::Float64
+        );
         assert_eq!(AggKind::Avg.output_type(DataType::Int64), DataType::Float64);
         assert_eq!(AggKind::Min.output_type(DataType::Utf8), DataType::Utf8);
-        assert_eq!(AggKind::Collect.output_type(DataType::Int64), DataType::Utf8);
+        assert_eq!(
+            AggKind::Collect.output_type(DataType::Int64),
+            DataType::Utf8
+        );
     }
 }

@@ -249,9 +249,7 @@ impl Column {
                 for &i in indices {
                     assert!(i < *len, "row {i} out of range {len}");
                 }
-                Column::Null {
-                    len: indices.len(),
-                }
+                Column::Null { len: indices.len() }
             }
         }
     }

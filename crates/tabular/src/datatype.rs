@@ -124,10 +124,7 @@ mod tests {
             Some(DataType::Float64)
         );
         assert_eq!(DataType::Utf8.unify(DataType::Int64), None);
-        assert_eq!(
-            DataType::Utf8.unify_lossy(DataType::Int64),
-            DataType::Utf8
-        );
+        assert_eq!(DataType::Utf8.unify_lossy(DataType::Int64), DataType::Utf8);
     }
 
     #[test]

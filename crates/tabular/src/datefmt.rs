@@ -316,9 +316,7 @@ impl DatePattern {
                 Token::Year4 => out.push_str(&format!("{:04}", dt.year)),
                 Token::Year2 => out.push_str(&format!("{:02}", dt.year.rem_euclid(100))),
                 Token::Month2 => out.push_str(&format!("{:02}", dt.month)),
-                Token::MonthAbbrev => {
-                    out.push_str(MONTHS_ABBREV[(dt.month as usize - 1).min(11)])
-                }
+                Token::MonthAbbrev => out.push_str(MONTHS_ABBREV[(dt.month as usize - 1).min(11)]),
                 Token::Day2 => out.push_str(&format!("{:02}", dt.day)),
                 Token::Day1 => out.push_str(&format!("{}", dt.day)),
                 Token::Hour2 => out.push_str(&format!("{:02}", dt.hour)),
@@ -343,7 +341,11 @@ impl DatePattern {
 
 /// Parse with `input_pattern` and re-format with `output_pattern` — the exact
 /// behaviour of the paper's `date` map operator.
-pub fn reformat(input: &str, input_pattern: &DatePattern, output_pattern: &DatePattern) -> Result<String> {
+pub fn reformat(
+    input: &str,
+    input_pattern: &DatePattern,
+    output_pattern: &DatePattern,
+) -> Result<String> {
     let dt = input_pattern.parse(input)?;
     // Normalise through epoch millis so the offset is folded into UTC before
     // re-formatting (matches Pig/Java behaviour for `Z` patterns).

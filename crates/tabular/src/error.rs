@@ -98,7 +98,10 @@ impl fmt::Display for TabularError {
                 expected,
                 actual,
                 context,
-            } => write!(f, "type mismatch in {context}: expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, got {actual}"
+            ),
             TabularError::LengthMismatch {
                 left,
                 right,

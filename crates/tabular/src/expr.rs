@@ -167,7 +167,9 @@ impl Expr {
     /// Evaluate against a single row context.
     pub fn eval_row(&self, lookup: &dyn Fn(&str) -> Option<Value>) -> Result<Value> {
         match self {
-            Expr::Column(c) => lookup(c).ok_or_else(|| TabularError::column_not_found(c, &[] as &[&str])),
+            Expr::Column(c) => {
+                lookup(c).ok_or_else(|| TabularError::column_not_found(c, &[] as &[&str]))
+            }
             Expr::Literal(v) => Ok(v.clone()),
             Expr::Cmp(op, a, b) => {
                 let (va, vb) = (a.eval_row(lookup)?, b.eval_row(lookup)?);
@@ -175,11 +177,13 @@ impl Expr {
                 // (not null-propagating three-valued logic — the flow-file
                 // language has no IS NULL surface syntax besides == null).
                 if va.is_null() || vb.is_null() {
-                    return Ok(Value::Bool(matches!(
-                        (op, va.is_null() && vb.is_null()),
-                        (CmpOp::Eq, true) | (CmpOp::Ne, false)
-                    ) && *op == CmpOp::Eq
-                        || (*op == CmpOp::Ne && !(va.is_null() && vb.is_null()))));
+                    return Ok(Value::Bool(
+                        matches!(
+                            (op, va.is_null() && vb.is_null()),
+                            (CmpOp::Eq, true) | (CmpOp::Ne, false)
+                        ) && *op == CmpOp::Eq
+                            || (*op == CmpOp::Ne && !(va.is_null() && vb.is_null())),
+                    ));
                 }
                 Ok(Value::Bool(op.apply(compare_coerced(&va, &vb))))
             }
@@ -266,10 +270,12 @@ fn values_eq_coerced(a: &Value, b: &Value) -> bool {
 }
 
 fn arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value> {
-    let err = || TabularError::InvalidOperation(format!(
-        "arithmetic {} on non-numeric values '{a}' and '{b}'",
-        op.symbol()
-    ));
+    let err = || {
+        TabularError::InvalidOperation(format!(
+            "arithmetic {} on non-numeric values '{a}' and '{b}'",
+            op.symbol()
+        ))
+    };
     // String + string concatenates.
     if op == ArithOp::Add {
         if let (Value::Str(x), Value::Str(y)) = (a, b) {
@@ -386,8 +392,7 @@ impl<'a> Parser<'a> {
         let rest = self.rest();
         if rest.len() >= kw.len()
             && rest[..kw.len()].eq_ignore_ascii_case(kw)
-            && !rest[kw.len()..]
-                .starts_with(|c: char| c.is_alphanumeric() || c == '_')
+            && !rest[kw.len()..].starts_with(|c: char| c.is_alphanumeric() || c == '_')
         {
             self.pos += kw.len();
             true
@@ -476,7 +481,9 @@ impl<'a> Parser<'a> {
             {
                 self.pos += 1;
                 ArithOp::Sub
-            } else if self.rest().starts_with('-') && matches!(left, Expr::Column(_) | Expr::Arith(..)) {
+            } else if self.rest().starts_with('-')
+                && matches!(left, Expr::Column(_) | Expr::Arith(..))
+            {
                 // `a -1` after a column is subtraction, not a negative literal.
                 self.pos += 1;
                 ArithOp::Sub
@@ -539,7 +546,10 @@ impl<'a> Parser<'a> {
     fn parse_primary(&mut self) -> Result<Expr> {
         self.skip_ws();
         let rest = self.rest();
-        let first = rest.chars().next().ok_or_else(|| self.err("unexpected end of expression"))?;
+        let first = rest
+            .chars()
+            .next()
+            .ok_or_else(|| self.err("unexpected end of expression"))?;
 
         if first == '(' {
             self.pos += 1;
@@ -604,10 +614,10 @@ impl<'a> Parser<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::column::Column;
+    use crate::datatype::DataType;
     use crate::row;
     use crate::schema::Schema;
-    use crate::datatype::DataType;
-    use crate::column::Column;
 
     fn table() -> Table {
         Table::new(
@@ -677,7 +687,11 @@ mod tests {
         let e = parse_expr("x != null").unwrap();
         assert_eq!(e.eval_mask(&t).unwrap().ones(), vec![0]);
         let e = parse_expr("x < 5").unwrap();
-        assert_eq!(e.eval_mask(&t).unwrap().ones(), vec![0], "null < 5 is false");
+        assert_eq!(
+            e.eval_mask(&t).unwrap().ones(),
+            vec![0],
+            "null < 5 is false"
+        );
     }
 
     #[test]
@@ -693,7 +707,10 @@ mod tests {
     #[test]
     fn referenced_columns_sorted_unique() {
         let e = parse_expr("b < 1 and a > 2 or b == 3").unwrap();
-        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            e.referenced_columns(),
+            vec!["a".to_string(), "b".to_string()]
+        );
     }
 
     #[test]

@@ -123,7 +123,11 @@ pub fn read_csv(content: &str, opts: &CsvOptions) -> Result<Table> {
                     message: "empty input with no explicit column names".into(),
                 });
             }
-            records.remove(0).into_iter().map(|s| s.trim().to_string()).collect()
+            records
+                .remove(0)
+                .into_iter()
+                .map(|s| s.trim().to_string())
+                .collect()
         }
         (None, false) => {
             let width = records.first().map_or(0, |r| r.len());
@@ -181,12 +185,7 @@ pub fn write_csv(table: &Table, sep: char) -> String {
             s.to_string()
         }
     };
-    let header: Vec<String> = table
-        .schema()
-        .names()
-        .iter()
-        .map(|n| quote(n))
-        .collect();
+    let header: Vec<String> = table.schema().names().iter().map(|n| quote(n)).collect();
     out.push_str(&header.join(&sep.to_string()));
     out.push('\n');
     for i in 0..table.num_rows() {
@@ -214,8 +213,14 @@ mod tests {
         )
         .unwrap();
         assert_eq!(t.schema().names(), vec!["project", "year", "stars"]);
-        assert_eq!(t.schema().field("year").unwrap().data_type(), DataType::Int64);
-        assert_eq!(t.schema().field("stars").unwrap().data_type(), DataType::Float64);
+        assert_eq!(
+            t.schema().field("year").unwrap().data_type(),
+            DataType::Int64
+        );
+        assert_eq!(
+            t.schema().field("stars").unwrap().data_type(),
+            DataType::Float64
+        );
         assert_eq!(t.num_rows(), 2);
     }
 

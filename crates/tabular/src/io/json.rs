@@ -206,7 +206,10 @@ impl<'a> JsonParser<'a> {
     fn parse_number(&mut self) -> Result<JsonValue> {
         let start = self.pos;
         while self.pos < self.bytes.len()
-            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
         {
             self.pos += 1;
         }
@@ -259,8 +262,7 @@ impl<'a> JsonParser<'a> {
                                     let lo = u32::from_str_radix(hex2, 16)
                                         .map_err(|_| self.err("bad surrogate"))?;
                                     self.pos += 6;
-                                    let combined =
-                                        0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                                     char::from_u32(combined)
                                         .ok_or_else(|| self.err("bad surrogate pair"))?
                                 } else {
@@ -501,7 +503,10 @@ mod tests {
         assert_eq!(t.schema().names(), vec!["postedTime", "body", "location"]);
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.value(0, "location").unwrap().to_string(), "Chennai");
-        assert!(t.value(1, "location").unwrap().is_null(), "missing path is null");
+        assert!(
+            t.value(1, "location").unwrap().is_null(),
+            "missing path is null"
+        );
     }
 
     #[test]

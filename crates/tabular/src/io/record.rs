@@ -172,9 +172,7 @@ pub fn read_records(buf: &[u8]) -> Result<Table> {
                 DataType::Float64 => Value::Float(f64::from_bits(r.u64()?)),
                 DataType::Utf8 => Value::Str(r.str()?),
                 DataType::Date => Value::Date(r.i32()?),
-                DataType::Null => {
-                    return Err(err("non-null cell in null-typed column"))
-                }
+                DataType::Null => return Err(err("non-null cell in null-typed column")),
             };
             b.push_coerced(&v)?;
         }

@@ -43,12 +43,10 @@ fn decode_entities(s: &str) -> String {
                 "gt" => Some('>'),
                 "quot" => Some('"'),
                 "apos" => Some('\''),
-                e if e.starts_with("#x") || e.starts_with("#X") => {
-                    u32::from_str_radix(&e[2..], 16).ok().and_then(char::from_u32)
-                }
-                e if e.starts_with('#') => {
-                    e[1..].parse::<u32>().ok().and_then(char::from_u32)
-                }
+                e if e.starts_with("#x") || e.starts_with("#X") => u32::from_str_radix(&e[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32),
+                e if e.starts_with('#') => e[1..].parse::<u32>().ok().and_then(char::from_u32),
                 _ => None,
             };
             match decoded {
@@ -200,12 +198,12 @@ impl<'a> XmlParser<'a> {
                         text: text.trim().to_string(),
                     });
                 } else if rest.starts_with("<!--") {
-                    let end = rest.find("-->").ok_or_else(|| err("unterminated comment"))?;
+                    let end = rest
+                        .find("-->")
+                        .ok_or_else(|| err("unterminated comment"))?;
                     self.pos += end + 3;
                 } else if rest.starts_with("<![CDATA[") {
-                    let end = rest
-                        .find("]]>")
-                        .ok_or_else(|| err("unterminated CDATA"))?;
+                    let end = rest.find("]]>").ok_or_else(|| err("unterminated CDATA"))?;
                     text.push_str(&rest[9..end]);
                     self.pos += end + 3;
                 } else {
@@ -299,7 +297,10 @@ mod tests {
         assert_eq!(t.value(0, "name").unwrap().to_string(), "pig");
         assert_eq!(t.value(1, "name").unwrap().to_string(), "hive & hcat");
         assert_eq!(t.value(2, "name").unwrap().to_string(), "a <raw> name");
-        assert_eq!(t.schema().field("year").unwrap().data_type(), DataType::Int64);
+        assert_eq!(
+            t.schema().field("year").unwrap().data_type(),
+            DataType::Int64
+        );
         assert_eq!(t.value(0, "id").unwrap(), Value::Int(1));
     }
 

@@ -62,8 +62,8 @@ mod tests {
 
     #[test]
     fn nulls_are_one_key() {
-        let t = Table::from_rows(&["x"], &[row![Value::Null], row![Value::Null], row![1i64]])
-            .unwrap();
+        let t =
+            Table::from_rows(&["x"], &[row![Value::Null], row![Value::Null], row![1i64]]).unwrap();
         assert_eq!(distinct(&t, &[] as &[&str]).unwrap().num_rows(), 2);
     }
 

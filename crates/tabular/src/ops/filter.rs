@@ -151,11 +151,7 @@ mod tests {
 
     #[test]
     fn range_filter_inclusive() {
-        let r = FilterByValues::range(
-            "date",
-            "2013-05-02".into(),
-            "2013-05-03".into(),
-        );
+        let r = FilterByValues::range("date", "2013-05-02".into(), "2013-05-03".into());
         let out = filter_by_range(&t(), &r).unwrap();
         assert_eq!(out.num_rows(), 3);
     }

@@ -25,7 +25,11 @@ pub struct AggregateSpec {
 
 impl AggregateSpec {
     /// Convenience constructor.
-    pub fn new(operator: AggKind, apply_on: impl Into<String>, out_field: impl Into<String>) -> Self {
+    pub fn new(
+        operator: AggKind,
+        apply_on: impl Into<String>,
+        out_field: impl Into<String>,
+    ) -> Self {
         AggregateSpec {
             operator,
             apply_on: apply_on.into(),
@@ -242,7 +246,8 @@ fn groupby_generic(table: &Table, cfg: &GroupBy) -> Result<Table> {
 
     // Materialise output columns.
     let n_groups = key_rows.len();
-    let mut out_values: Vec<Vec<Value>> = vec![Vec::with_capacity(n_groups); cfg.keys.len() + aggs.len()];
+    let mut out_values: Vec<Vec<Value>> =
+        vec![Vec::with_capacity(n_groups); cfg.keys.len() + aggs.len()];
     let mut finished: Vec<Vec<Value>> = accs
         .into_iter()
         .map(|group_accs| group_accs.into_iter().map(|a| a.finish()).collect())
@@ -353,7 +358,14 @@ mod tests {
     fn orderby_aggregates_sorts_descending() {
         let t = Table::from_rows(
             &["word"],
-            &[row!["a"], row!["b"], row!["b"], row!["b"], row!["c"], row!["c"]],
+            &[
+                row!["a"],
+                row!["b"],
+                row!["b"],
+                row!["b"],
+                row!["c"],
+                row!["c"],
+            ],
         )
         .unwrap();
         let mut cfg = GroupBy::counting(&["word"]);
@@ -369,13 +381,15 @@ mod tests {
     fn null_keys_group_together() {
         let t = Table::from_rows(
             &["k", "v"],
-            &[row![Value::Null, 1i64], row![Value::Null, 2i64], row!["x", 3i64]],
+            &[
+                row![Value::Null, 1i64],
+                row![Value::Null, 2i64],
+                row!["x", 3i64],
+            ],
         )
         .unwrap();
-        let cfg = GroupBy::with_aggregates(
-            &["k"],
-            vec![AggregateSpec::new(AggKind::Sum, "v", "s")],
-        );
+        let cfg =
+            GroupBy::with_aggregates(&["k"], vec![AggregateSpec::new(AggKind::Sum, "v", "s")]);
         let out = groupby(&t, &cfg).unwrap();
         assert_eq!(out.num_rows(), 2);
         assert_eq!(out.value(0, "s").unwrap(), Value::Int(3));
@@ -418,13 +432,7 @@ mod tests {
         // The single-key/int-sum specialization must be invisible: same
         // rows, same order, same schema as the generic kernel.
         let rows: Vec<Row> = (0..500)
-            .map(|i| {
-                crate::row![
-                    format!("k{}", i % 37),
-                    (i % 11) as i64,
-                    (i % 7) as i64
-                ]
-            })
+            .map(|i| crate::row![format!("k{}", i % 37), (i % 11) as i64, (i % 7) as i64])
             .collect();
         let t = Table::from_rows(&["key", "a", "b"], &rows).unwrap();
         for orderby in [false, true] {
@@ -446,25 +454,18 @@ mod tests {
 
     #[test]
     fn fast_path_declines_unsupported_shapes() {
-        let t = Table::from_rows(
-            &["k", "v"],
-            &[crate::row!["a", 1.5], crate::row!["b", 2.5]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows(&["k", "v"], &[crate::row!["a", 1.5], crate::row!["b", 2.5]]).unwrap();
         // Float aggregate column: decline.
-        let cfg = GroupBy::with_aggregates(
-            &["k"],
-            vec![AggregateSpec::new(AggKind::Sum, "v", "s")],
-        );
+        let cfg =
+            GroupBy::with_aggregates(&["k"], vec![AggregateSpec::new(AggKind::Sum, "v", "s")]);
         assert!(try_groupby_fast(&t, &cfg).unwrap().is_none());
         // Multi-key: decline.
         let cfg = GroupBy::counting(&["k", "v"]);
         assert!(try_groupby_fast(&t, &cfg).unwrap().is_none());
         // Avg: decline.
-        let cfg = GroupBy::with_aggregates(
-            &["k"],
-            vec![AggregateSpec::new(AggKind::Avg, "v", "m")],
-        );
+        let cfg =
+            GroupBy::with_aggregates(&["k"], vec![AggregateSpec::new(AggKind::Avg, "v", "m")]);
         assert!(try_groupby_fast(&t, &cfg).unwrap().is_none());
         // Null keys: decline (generic path groups them).
         let t = Table::from_rows(&["k", "v"], &[crate::row![Value::Null, 1i64]]).unwrap();

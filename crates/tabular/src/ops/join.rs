@@ -255,7 +255,11 @@ pub fn join(left: &Table, right: &Table, spec: &JoinSpec) -> Result<Table> {
         spec.projection
             .iter()
             .map(|p| {
-                let side = if p.from_left { left.schema() } else { right.schema() };
+                let side = if p.from_left {
+                    left.schema()
+                } else {
+                    right.schema()
+                };
                 Ok((p.from_left, resolve_column(side, &p.column)?.to_string()))
             })
             .collect::<Result<Vec<_>>>()?
@@ -341,7 +345,10 @@ mod tests {
         );
         assert_eq!(out.num_rows(), 4, "all left rows survive");
         assert_eq!(out.value(0, "team").unwrap(), Value::Str("CSK".into()));
-        assert!(out.value(3, "team").unwrap().is_null(), "unmatched left row");
+        assert!(
+            out.value(3, "team").unwrap().is_null(),
+            "unmatched left row"
+        );
     }
 
     #[test]
@@ -402,10 +409,7 @@ mod tests {
         .unwrap();
         let right = Table::from_rows(&["a", "b", "y"], &[row!["1", "2", 99i64]]).unwrap();
         let mut spec = JoinSpec::on(&["a", "b"], JoinCondition::Inner);
-        spec.projection = vec![
-            ProjectSpec::left("x", "x"),
-            ProjectSpec::right("y", "y"),
-        ];
+        spec.projection = vec![ProjectSpec::left("x", "x"), ProjectSpec::right("y", "y")];
         let out = join(&left, &right, &spec).unwrap();
         assert_eq!(out.num_rows(), 1);
         assert_eq!(out.value(0, "x").unwrap(), Value::Int(20));
@@ -413,9 +417,18 @@ mod tests {
 
     #[test]
     fn condition_parsing() {
-        assert_eq!(JoinCondition::parse("left outer"), Some(JoinCondition::LeftOuter));
-        assert_eq!(JoinCondition::parse("LEFT_OUTER"), Some(JoinCondition::LeftOuter));
-        assert_eq!(JoinCondition::parse("LEFT OUTER"), Some(JoinCondition::LeftOuter));
+        assert_eq!(
+            JoinCondition::parse("left outer"),
+            Some(JoinCondition::LeftOuter)
+        );
+        assert_eq!(
+            JoinCondition::parse("LEFT_OUTER"),
+            Some(JoinCondition::LeftOuter)
+        );
+        assert_eq!(
+            JoinCondition::parse("LEFT OUTER"),
+            Some(JoinCondition::LeftOuter)
+        );
         assert_eq!(JoinCondition::parse("inner"), Some(JoinCondition::Inner));
         assert_eq!(JoinCondition::parse("full"), Some(JoinCondition::FullOuter));
         assert_eq!(JoinCondition::parse("sideways"), None);

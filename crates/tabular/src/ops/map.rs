@@ -231,8 +231,14 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(out.value(0, "date").unwrap(), Value::Str("2013-05-02".into()));
-        assert_eq!(out.value(1, "date").unwrap(), Value::Str("2013-05-03".into()));
+        assert_eq!(
+            out.value(0, "date").unwrap(),
+            Value::Str("2013-05-02".into())
+        );
+        assert_eq!(
+            out.value(1, "date").unwrap(),
+            Value::Str("2013-05-03".into())
+        );
         // Input column is preserved alongside.
         assert!(out.schema().contains("postedTime"));
     }
@@ -248,7 +254,10 @@ mod tests {
             lenient: true,
         };
         let out = map_date(&t, &cfg).unwrap();
-        assert_eq!(out.value(0, "out").unwrap(), Value::Str("2013/05/02".into()));
+        assert_eq!(
+            out.value(0, "out").unwrap(),
+            Value::Str("2013/05/02".into())
+        );
         assert!(out.value(1, "out").unwrap().is_null());
         // Strict mode errors instead.
         let strict = DateMap {
@@ -306,8 +315,14 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(out.value(0, "state").unwrap(), Value::Str("Tamil Nadu".into()));
-        assert_eq!(out.value(1, "state").unwrap(), Value::Str("Karnataka".into()));
+        assert_eq!(
+            out.value(0, "state").unwrap(),
+            Value::Str("Tamil Nadu".into())
+        );
+        assert_eq!(
+            out.value(1, "state").unwrap(),
+            Value::Str("Karnataka".into())
+        );
         assert!(out.value(2, "state").unwrap().is_null());
     }
 

@@ -20,8 +20,8 @@ pub fn union_all(tables: &[Table]) -> Result<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::row;
     use crate::datatype::DataType;
+    use crate::row;
 
     #[test]
     fn unions_and_widens() {
@@ -29,7 +29,10 @@ mod tests {
         let b = Table::from_rows(&["x", "y"], &[row![2.5, "b"]]).unwrap();
         let u = union_all(&[a, b]).unwrap();
         assert_eq!(u.num_rows(), 2);
-        assert_eq!(u.schema().field("x").unwrap().data_type(), DataType::Float64);
+        assert_eq!(
+            u.schema().field("x").unwrap().data_type(),
+            DataType::Float64
+        );
     }
 
     #[test]

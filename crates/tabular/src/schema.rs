@@ -304,10 +304,7 @@ mod tests {
     fn all_utf8_matches_flowfile_declaration() {
         let s = Schema::all_utf8(&["project", "question", "answer", "tags"]).unwrap();
         assert_eq!(s.len(), 4);
-        assert!(s
-            .fields()
-            .iter()
-            .all(|f| f.data_type() == DataType::Utf8));
+        assert!(s.fields().iter().all(|f| f.data_type() == DataType::Utf8));
     }
 
     #[test]

@@ -245,7 +245,11 @@ impl Table {
         let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
         let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
         for r in 0..shown {
-            let row: Vec<String> = self.columns.iter().map(|c| c.value(r).to_string()).collect();
+            let row: Vec<String> = self
+                .columns
+                .iter()
+                .map(|c| c.value(r).to_string())
+                .collect();
             for (w, cell) in widths.iter_mut().zip(&row) {
                 *w = (*w).max(cell.len());
             }
@@ -288,9 +292,7 @@ impl Table {
                 Column::Int64 { data, .. } => data.len() * 8,
                 Column::Float64 { data, .. } => data.len() * 8,
                 Column::Date { data, .. } => data.len() * 4,
-                Column::Utf8 { data, .. } => {
-                    data.iter().map(|s| s.len() + 24).sum::<usize>()
-                }
+                Column::Utf8 { data, .. } => data.iter().map(|s| s.len() + 24).sum::<usize>(),
                 Column::Null { .. } => 0,
             })
             .sum()
@@ -351,7 +353,10 @@ mod tests {
             &[row!["a", 1i64], row!["b", 2.5], row!["c", Value::Null]],
         )
         .unwrap();
-        assert_eq!(t.schema().field("score").unwrap().data_type(), DataType::Float64);
+        assert_eq!(
+            t.schema().field("score").unwrap().data_type(),
+            DataType::Float64
+        );
         assert_eq!(t.num_rows(), 3);
         assert!(t.value(2, "score").unwrap().is_null());
     }
@@ -366,15 +371,16 @@ mod tests {
         let t = sample();
         let p = t.project(&["commits", "project"]).unwrap();
         assert_eq!(p.schema().names(), vec!["commits", "project"]);
-        assert!(Arc::ptr_eq(p.column("commits").unwrap(), t.column("commits").unwrap()));
+        assert!(Arc::ptr_eq(
+            p.column("commits").unwrap(),
+            t.column("commits").unwrap()
+        ));
     }
 
     #[test]
     fn with_column_appends_and_replaces() {
         let t = sample();
-        let t2 = t
-            .with_column("stars", Column::int([1, 2, 3, 4]))
-            .unwrap();
+        let t2 = t.with_column("stars", Column::int([1, 2, 3, 4])).unwrap();
         assert_eq!(t2.num_columns(), 4);
         let t3 = t2
             .with_column("stars", Column::float([0.1, 0.2, 0.3, 0.4]))
@@ -391,7 +397,10 @@ mod tests {
     fn take_filter_limit_slice() {
         let t = sample();
         let taken = t.take(&[3, 0]);
-        assert_eq!(taken.value(0, "project").unwrap(), Value::Str("hive".into()));
+        assert_eq!(
+            taken.value(0, "project").unwrap(),
+            Value::Str("hive".into())
+        );
         let mask = Bitmap::from_bools(&[true, false, false, true]);
         assert_eq!(t.filter(&mask).num_rows(), 2);
         assert_eq!(t.limit(2).num_rows(), 2);
@@ -406,7 +415,10 @@ mod tests {
         let b = Table::from_rows(&["x"], &[row![2.5]]).unwrap();
         let c = a.concat(&b).unwrap();
         assert_eq!(c.num_rows(), 2);
-        assert_eq!(c.schema().field("x").unwrap().data_type(), DataType::Float64);
+        assert_eq!(
+            c.schema().field("x").unwrap().data_type(),
+            DataType::Float64
+        );
     }
 
     #[test]

@@ -72,7 +72,9 @@ impl ExtractDict {
 
     /// Direct lookup of a lowercase surface form.
     pub fn lookup(&self, surface: &str) -> Option<&str> {
-        self.entries.get(&surface.to_lowercase()).map(|s| s.as_str())
+        self.entries
+            .get(&surface.to_lowercase())
+            .map(|s| s.as_str())
     }
 
     /// Find the first canonical name whose surface form occurs in `text`
@@ -134,9 +136,9 @@ pub const STOPWORDS: &[&str] = &[
     "a", "an", "the", "is", "are", "was", "were", "be", "been", "and", "or", "but", "not", "of",
     "in", "on", "at", "to", "for", "with", "by", "from", "as", "it", "its", "this", "that",
     "these", "those", "i", "you", "he", "she", "we", "they", "my", "your", "his", "her", "our",
-    "their", "me", "him", "them", "so", "if", "then", "than", "too", "very", "just", "rt",
-    "via", "amp", "will", "can", "all", "what", "when", "who", "how", "up", "out", "no", "yes",
-    "do", "did", "done", "have", "has", "had", "about", "into", "over", "after", "before",
+    "their", "me", "him", "them", "so", "if", "then", "than", "too", "very", "just", "rt", "via",
+    "amp", "will", "can", "all", "what", "when", "who", "how", "up", "out", "no", "yes", "do",
+    "did", "done", "have", "has", "had", "about", "into", "over", "after", "before",
 ];
 
 /// Extract content words from text: tokens of at least `min_len` characters

@@ -129,10 +129,9 @@ impl Value {
         Ok(match (self, target) {
             (v, t) if v.data_type() == t => v.clone(),
             (Value::Int(i), DataType::Float64) => Value::Float(*i as f64),
-            (Value::Float(f), DataType::Int64)
-                if f.fract() == 0.0 && f.is_finite() => {
-                    Value::Int(*f as i64)
-                }
+            (Value::Float(f), DataType::Int64) if f.fract() == 0.0 && f.is_finite() => {
+                Value::Int(*f as i64)
+            }
             (Value::Str(s), DataType::Int64) => {
                 Value::Int(s.trim().parse::<i64>().map_err(|_| fail())?)
             }
@@ -341,7 +340,7 @@ mod tests {
 
     #[test]
     fn cross_type_ordering_is_total() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Str("a".into()),
             Value::Null,
             Value::Int(1),

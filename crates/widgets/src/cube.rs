@@ -153,8 +153,8 @@ mod tests {
     use super::*;
     use shareinsights_engine::selection::{Selection, StaticSelections};
     use shareinsights_engine::task::FilterSource;
-    use shareinsights_tabular::ops::{AggregateSpec, GroupBy};
     use shareinsights_tabular::agg::AggKind;
+    use shareinsights_tabular::ops::{AggregateSpec, GroupBy};
     use shareinsights_tabular::row;
 
     fn team_tweets() -> Table {

@@ -173,10 +173,12 @@ impl DashboardRuntime {
 
             let (tasks, cube, static_values, schema) = match &def.source {
                 Some(WidgetSource::Flow { input, tasks }) => {
-                    let table = endpoints.get(input).ok_or_else(|| WidgetError::MissingSource {
-                        widget: def.name.clone(),
-                        source: input.clone(),
-                    })?;
+                    let table = endpoints
+                        .get(input)
+                        .ok_or_else(|| WidgetError::MissingSource {
+                            widget: def.name.clone(),
+                            source: input.clone(),
+                        })?;
                     let cube = cubes
                         .entry(input.clone())
                         .or_insert_with(|| Arc::new(DataCube::new(table.clone())))
@@ -208,9 +210,7 @@ impl DashboardRuntime {
                     let schema = ok.then_some(schema);
                     (named, Some(cube), Vec::new(), schema)
                 }
-                Some(WidgetSource::Static(values)) => {
-                    (Vec::new(), None, values.clone(), None)
-                }
+                Some(WidgetSource::Static(values)) => (Vec::new(), None, values.clone(), None),
                 None => (Vec::new(), None, Vec::new(), None),
             };
 
@@ -313,11 +313,11 @@ impl DashboardRuntime {
                     .iter()
                     .map(|v| shareinsights_tabular::Row(vec![Value::Str(v.clone())]))
                     .collect();
-                Table::from_rows(&["value"], &rows)
-                    .map_err(|e| WidgetError::Invalid(e.to_string()))
+                Table::from_rows(&["value"], &rows).map_err(|e| WidgetError::Invalid(e.to_string()))
             }
-            (None, true) => Table::from_rows(&["value"], &[])
-                .map_err(|e| WidgetError::Invalid(e.to_string())),
+            (None, true) => {
+                Table::from_rows(&["value"], &[]).map_err(|e| WidgetError::Invalid(e.to_string()))
+            }
         }
     }
 
@@ -529,7 +529,10 @@ L:
         dash.render(10).unwrap();
         dash.render(10).unwrap();
         let (hits, misses) = dash.cube_stats();
-        assert!(hits >= misses, "second render served from cache: {hits}/{misses}");
+        assert!(
+            hits >= misses,
+            "second render served from cache: {hits}/{misses}"
+        );
     }
 
     #[test]
@@ -592,13 +595,8 @@ T:
             )
             .unwrap(),
         );
-        let dash = DashboardRuntime::build(
-            &ff,
-            &eps,
-            &TaskRegistry::new(),
-            &WidgetRegistry::new(),
-        )
-        .unwrap();
+        let dash = DashboardRuntime::build(&ff, &eps, &TaskRegistry::new(), &WidgetRegistry::new())
+            .unwrap();
         let node = dash.render_widget("cloud", 5).unwrap();
         assert_eq!(node.lines[0], "six (5)");
     }
@@ -623,9 +621,8 @@ W:
             "d".to_string(),
             Table::from_rows(&["x"], &[row!["hello"]]).unwrap(),
         );
-        let dash =
-            DashboardRuntime::build(&ff, &eps, &TaskRegistry::new(), &WidgetRegistry::new())
-                .unwrap();
+        let dash = DashboardRuntime::build(&ff, &eps, &TaskRegistry::new(), &WidgetRegistry::new())
+            .unwrap();
         let node = dash.render_widget("tabs", 5).unwrap();
         assert_eq!(node.children.len(), 1);
         assert_eq!(node.children[0].lines[0], "- hello");

@@ -94,7 +94,11 @@ mod tests {
                 .get("weights")
                 .map(|v| v.scalar_items().join(", "))
                 .unwrap_or_default();
-            RenderNode::leaf(&def.name, "WeightSliders", vec![format!("weights: {weights}")])
+            RenderNode::leaf(
+                &def.name,
+                "WeightSliders",
+                vec![format!("weights: {weights}")],
+            )
         }
     }
 

@@ -113,11 +113,13 @@ pub fn render_widget(
             let serie = col_values("serie");
             (0..x.len().min(max_items))
                 .map(|i| {
-                    let s = serie
-                        .get(i)
-                        .map(|v| format!("{v}: "))
-                        .unwrap_or_default();
-                    format!("{}{} -> {}", s, x[i], y.get(i).map(fmt_num).unwrap_or_default())
+                    let s = serie.get(i).map(|v| format!("{v}: ")).unwrap_or_default();
+                    format!(
+                        "{}{} -> {}",
+                        s,
+                        x[i],
+                        y.get(i).map(fmt_num).unwrap_or_default()
+                    )
                 })
                 .collect()
         }
@@ -136,7 +138,14 @@ pub fn render_widget(
         }
         "Slider" => {
             let vals: Vec<String> = (0..table.num_rows().min(2))
-                .map(|i| table.row(i).0.first().map(|v| v.to_string()).unwrap_or_default())
+                .map(|i| {
+                    table
+                        .row(i)
+                        .0
+                        .first()
+                        .map(|v| v.to_string())
+                        .unwrap_or_default()
+                })
                 .collect();
             vec![format!("slider [{}]", vals.join(" .. "))]
         }
@@ -192,10 +201,7 @@ mod tests {
     #[test]
     fn word_cloud_sorts_by_size() {
         let node = render_widget("cloud", "WordCloud", &table(), &binder, 10);
-        assert_eq!(
-            node.lines,
-            vec!["kohli (70)", "dhoni (50)", "rohit (30)"]
-        );
+        assert_eq!(node.lines, vec!["kohli (70)", "dhoni (50)", "rohit (30)"]);
     }
 
     #[test]

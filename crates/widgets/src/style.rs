@@ -243,20 +243,32 @@ teams, ipl_duration { border: 1px solid gray; }
         let resolved = sheet.resolve("playertweets", "WordCloud");
         assert_eq!(resolved.get("color").map(String::as_str), Some("gold"));
         assert_eq!(resolved.get("max-words").map(String::as_str), Some("40"));
-        assert_eq!(resolved.get("font-family").map(String::as_str), Some("Inter"));
+        assert_eq!(
+            resolved.get("font-family").map(String::as_str),
+            Some("Inter")
+        );
 
         let other_cloud = sheet.resolve("wordtweets", "WordCloud");
-        assert_eq!(other_cloud.get("color").map(String::as_str), Some("steelblue"));
+        assert_eq!(
+            other_cloud.get("color").map(String::as_str),
+            Some("steelblue")
+        );
 
         let list = sheet.resolve("teams", "List");
-        assert_eq!(list.get("border").map(String::as_str), Some("1px solid gray"));
-        assert!(list.get("color").is_none());
+        assert_eq!(
+            list.get("border").map(String::as_str),
+            Some("1px solid gray")
+        );
+        assert!(!list.contains_key("color"));
     }
 
     #[test]
     fn later_rules_win_within_tier() {
         let sheet = Stylesheet::parse(".A { x: 1; }\n.A { x: 2; }").unwrap();
-        assert_eq!(sheet.resolve("w", "A").get("x").map(String::as_str), Some("2"));
+        assert_eq!(
+            sheet.resolve("w", "A").get("x").map(String::as_str),
+            Some("2")
+        );
     }
 
     #[test]
@@ -285,7 +297,10 @@ teams, ipl_duration { border: 1px solid gray; }
         assert!(cloud.lines[0].starts_with("style: "));
         assert!(cloud.lines[0].contains("color=gold"));
         let grid = &tree.children[1];
-        assert_eq!(grid.lines.first().map(String::as_str), Some("style: font-family=Inter"));
+        assert_eq!(
+            grid.lines.first().map(String::as_str),
+            Some("style: font-family=Inter")
+        );
     }
 
     #[test]

@@ -56,7 +56,9 @@ impl WidgetFactory for WeightSliders {
         RenderNode::leaf(
             &def.name,
             "WeightSliders",
-            vec![format!("[checkins]==[bugs]==[contributors]==[releases]  ({weights})")],
+            vec![format!(
+                "[checkins]==[bugs]==[contributors]==[releases]  ({weights})"
+            )],
         )
     }
 }
@@ -185,10 +187,22 @@ fn main() {
 
     // --- seed data --------------------------------------------------------
     let corpus = apache::generate(&apache::ApacheConfig::default());
-    platform.upload_data("apache", "svn_jira.csv", write_csv(&corpus.svn_jira_summary, ','));
+    platform.upload_data(
+        "apache",
+        "svn_jira.csv",
+        write_csv(&corpus.svn_jira_summary, ','),
+    );
     platform.upload_data("apache", "releases.csv", write_csv(&corpus.releases, ','));
-    platform.upload_data("apache", "contributors.csv", write_csv(&corpus.contributors, ','));
-    platform.upload_data("apache", "categories.csv", write_csv(&corpus.categories, ','));
+    platform.upload_data(
+        "apache",
+        "contributors.csv",
+        write_csv(&corpus.contributors, ','),
+    );
+    platform.upload_data(
+        "apache",
+        "categories.csv",
+        write_csv(&corpus.categories, ','),
+    );
 
     // --- extensions: the activity-index task and the custom widget --------
     // Weights from the custom widget's sliders (the §3 "tweak the weightage
@@ -258,12 +272,21 @@ fn main() {
         .ast
         .layout
         .expect("has layout");
-    println!("--- wireframe ---\n{}", shareinsights::layout::wireframe(&layout));
+    println!(
+        "--- wireframe ---\n{}",
+        shareinsights::layout::wireframe(&layout)
+    );
     let desktop = solve(&layout, &Viewport::desktop()).unwrap();
     let mobile = solve(&layout, &Viewport::mobile()).unwrap();
     println!("desktop placements:");
     for p in &desktop {
-        println!("  {:<28} x={:<5} y={:<5} {}x{}", p.widget, p.x, p.y, p.width, p.height);
+        println!(
+            "  {:<28} x={:<5} y={:<5} {}x{}",
+            p.widget, p.x, p.y, p.width, p.height
+        );
     }
-    println!("mobile collapses to {} stacked full-width cells", mobile.len());
+    println!(
+        "mobile collapses to {} stacked full-width cells",
+        mobile.len()
+    );
 }

@@ -127,7 +127,10 @@ F:
         );
     }
     if let Some(best) = suggestions.first() {
-        println!("\nready-to-paste task snippet:\n{}", best.task_snippet("players_tweets"));
+        println!(
+            "\nready-to-paste task snippet:\n{}",
+            best.task_snippet("players_tweets")
+        );
     }
 
     // --- 3. error pin-pointing ----------------------------------------------

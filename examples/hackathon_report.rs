@@ -27,14 +27,21 @@ fn main() {
 
     // Observation 7's error telemetry: what failed runs looked like.
     let errors = outcome.platform.log().errors();
-    println!("\n{} failed events; first three error messages:", errors.len());
+    println!(
+        "\n{} failed events; first three error messages:",
+        errors.len()
+    );
     for (dash, msg) in errors.iter().take(3) {
         let short: String = msg.chars().take(100).collect();
         println!("  [{dash}] {short}");
     }
 
     // Practice/competition correlation, quantified.
-    let xs: Vec<f64> = outcome.teams.iter().map(|t| t.practice_runs as f64).collect();
+    let xs: Vec<f64> = outcome
+        .teams
+        .iter()
+        .map(|t| t.practice_runs as f64)
+        .collect();
     let ys: Vec<f64> = outcome.teams.iter().map(|t| t.score).collect();
     println!(
         "\ncorrelation(practice runs, judged score) = {:.2}",

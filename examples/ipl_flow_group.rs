@@ -304,12 +304,28 @@ fn main() {
         tweets: 3_000,
         ..Default::default()
     });
-    platform.upload_data("ipl_processing", "tweets.json", corpus.tweets_ndjson.clone());
+    platform.upload_data(
+        "ipl_processing",
+        "tweets.json",
+        corpus.tweets_ndjson.clone(),
+    );
     platform.upload_data("ipl_processing", "players.txt", corpus.players_dict.clone());
     platform.upload_data("ipl_processing", "teams.csv", corpus.teams_dict.clone());
-    platform.upload_data("ipl_processing", "team_players.csv", write_csv(&corpus.team_players, ','));
-    platform.upload_data("ipl_processing", "dim_teams.csv", write_csv(&corpus.dim_teams, ','));
-    platform.upload_data("ipl_processing", "lat_long.csv", write_csv(&corpus.lat_long, ','));
+    platform.upload_data(
+        "ipl_processing",
+        "team_players.csv",
+        write_csv(&corpus.team_players, ','),
+    );
+    platform.upload_data(
+        "ipl_processing",
+        "dim_teams.csv",
+        write_csv(&corpus.dim_teams, ','),
+    );
+    platform.upload_data(
+        "ipl_processing",
+        "lat_long.csv",
+        write_csv(&corpus.lat_long, ','),
+    );
 
     // --- A.1: data-processing mode -----------------------------------------
     platform
@@ -324,7 +340,10 @@ fn main() {
         println!("  published '{name}' with {rows} rows");
     }
     assert!(
-        platform.dashboard("ipl_processing").unwrap().is_data_processing_mode(),
+        platform
+            .dashboard("ipl_processing")
+            .unwrap()
+            .is_data_processing_mode(),
         "A.1 has no widgets"
     );
 

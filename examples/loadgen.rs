@@ -1,0 +1,122 @@
+//! Load-generate against the TCP data-API service.
+//!
+//! Starts the service on an ephemeral port, fires N concurrent clients at a
+//! small pool of ad-hoc query URLs, verifies that no response is lost or
+//! malformed, and prints the cache hit rate reported by `/stats`.
+//!
+//! ```text
+//! cargo run --example loadgen [clients] [requests-per-client]
+//! ```
+
+use shareinsights::server::{blocking_get, serve, ServeOptions, Server};
+use shareinsights_core::Platform;
+use std::time::Instant;
+
+const FLOW: &str = r#"
+D:
+  sales: [region, brand, revenue]
+D.sales:
+  source: 'sales.csv'
+  format: csv
+T:
+  by_brand:
+    type: groupby
+    groupby: [region, brand]
+    aggregates:
+    - operator: sum
+      apply_on: revenue
+      out_field: revenue
+F:
+  +D.brand_sales: D.sales | T.by_brand
+"#;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let per_client: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(50);
+
+    // A platform with a modest synthetic dataset.
+    let platform = Platform::new();
+    let mut csv = String::from("region,brand,revenue\n");
+    let regions = ["north", "south", "east", "west"];
+    let brands = ["acme", "zest", "nova", "apex", "lumo"];
+    for i in 0..2000 {
+        csv.push_str(&format!(
+            "{},{},{}\n",
+            regions[i % regions.len()],
+            brands[i % brands.len()],
+            (i * 37) % 500
+        ));
+    }
+    platform.upload_data("retail", "sales.csv", csv);
+    platform.save_flow("retail", FLOW).expect("flow");
+    platform.run_dashboard("retail").expect("run");
+
+    let mut svc = serve(
+        Server::new(platform),
+        "127.0.0.1:0",
+        ServeOptions::default(),
+    )
+    .expect("bind ephemeral port");
+    let addr = svc.local_addr();
+    println!("serving on http://{addr} — {clients} clients x {per_client} requests");
+
+    let targets = [
+        "/retail/ds/brand_sales".to_string(),
+        "/retail/ds/brand_sales/groupby/region/count/brand".to_string(),
+        "/retail/ds/brand_sales/groupby/brand/sum/revenue".to_string(),
+        "/retail/ds/brand_sales/sort/revenue/desc/limit/5".to_string(),
+        "/retail/ds/brand_sales/filter/region/north/limit/10".to_string(),
+    ];
+
+    let started = Instant::now();
+    let ok: usize = std::thread::scope(|scope| {
+        (0..clients)
+            .map(|c| {
+                let targets = &targets;
+                scope.spawn(move || {
+                    let mut ok = 0;
+                    for r in 0..per_client {
+                        let target = &targets[(c + r) % targets.len()];
+                        match blocking_get(addr, target) {
+                            Ok((200, body)) if body.starts_with('{') => ok += 1,
+                            Ok((code, body)) => {
+                                panic!("malformed/failed response {code} for {target}: {body}")
+                            }
+                            Err(e) => panic!("lost response for {target}: {e}"),
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .sum()
+    });
+    let elapsed = started.elapsed();
+    let total = clients * per_client;
+    assert_eq!(ok, total, "every request must get a well-formed response");
+
+    let (code, stats) = blocking_get(addr, "/stats").expect("/stats");
+    assert_eq!(code, 200);
+    let doc = shareinsights_tabular::io::json::parse_json(&stats).expect("stats json");
+    let hits = doc.path("cache.hits").unwrap().to_value().as_int().unwrap();
+    let misses = doc
+        .path("cache.misses")
+        .unwrap()
+        .to_value()
+        .as_int()
+        .unwrap();
+    let rate = 100.0 * hits as f64 / (hits + misses).max(1) as f64;
+
+    println!(
+        "{total} requests in {:.2?} ({:.0} req/s), 0 lost, 0 malformed",
+        elapsed,
+        total as f64 / elapsed.as_secs_f64()
+    );
+    println!("cache: {hits} hits / {misses} misses — {rate:.1}% hit rate");
+    println!("--- /stats ---\n{stats}");
+
+    svc.shutdown();
+}

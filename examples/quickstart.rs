@@ -71,7 +71,10 @@ fn main() {
         "ran pipeline: {} source rows -> endpoints {:?} in {}us",
         run.result.stats.source_rows, run.result.endpoints, run.result.stats.total_micros
     );
-    println!("\nendpoint data:\n{}", run.result.table("region_totals").unwrap());
+    println!(
+        "\nendpoint data:\n{}",
+        run.result.table("region_totals").unwrap()
+    );
 
     // Open the dashboard and render the widget tree.
     let dash = platform.open_dashboard("quickstart").expect("opens");

@@ -1,0 +1,60 @@
+//! Serve the data API over TCP until interrupted.
+//!
+//! The README's "Serving the data API" walkthrough runs against this:
+//!
+//! ```text
+//! cargo run --example serve_api [addr]     # default 127.0.0.1:8080
+//! curl http://127.0.0.1:8080/dashboards
+//! ```
+
+use shareinsights::server::{serve, ServeOptions, Server};
+use shareinsights_core::Platform;
+
+const FLOW: &str = r#"
+D:
+  sales: [region, brand, revenue]
+D.sales:
+  source: 'sales.csv'
+  format: csv
+T:
+  by_brand:
+    type: groupby
+    groupby: [region, brand]
+    aggregates:
+    - operator: sum
+      apply_on: revenue
+      out_field: revenue
+F:
+  +D.brand_sales: D.sales | T.by_brand
+  D.brand_sales:
+    publish: brand_sales
+"#;
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:8080".to_string());
+
+    let platform = Platform::new();
+    platform.upload_data(
+        "retail",
+        "sales.csv",
+        "region,brand,revenue\nnorth,acme,10\nnorth,acme,5\nsouth,zest,20\nnorth,zest,1\n",
+    );
+    platform.save_flow("retail", FLOW).expect("flow");
+    platform.run_dashboard("retail").expect("run");
+
+    let svc = serve(Server::new(platform), &addr, ServeOptions::default())
+        .expect("bind address (try `serve_api 127.0.0.1:0`)");
+    println!("data API listening on http://{}", svc.local_addr());
+    println!(
+        "try: curl http://{}/retail/ds/brand_sales/groupby/region/count/brand",
+        svc.local_addr()
+    );
+    println!("     curl http://{}/stats", svc.local_addr());
+
+    // Serve until the process is interrupted.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

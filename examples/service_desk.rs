@@ -73,7 +73,9 @@ fn main() {
     // --- clean run ----------------------------------------------------------
     let clean = tickets::generate(&tickets::TicketsConfig::default());
     platform.upload_data("service_desk", "tickets.csv", write_csv(&clean, ','));
-    platform.save_flow("service_desk", FLOW).expect("valid flow");
+    platform
+        .save_flow("service_desk", FLOW)
+        .expect("valid flow");
     let run = platform.run_dashboard("service_desk").expect("runs");
     println!("clean data: {} tickets", run.result.stats.source_rows);
     println!("{}", run.result.table("category_accuracy").unwrap());
@@ -82,8 +84,16 @@ fn main() {
     let acc = run.result.table("category_accuracy").unwrap();
     for i in 0..acc.num_rows() {
         let cat = acc.value(i, "category").unwrap().to_string();
-        let actual = acc.value(i, "actual_avg").unwrap().as_float().unwrap_or(0.0);
-        let predicted = acc.value(i, "predicted_avg").unwrap().as_float().unwrap_or(0.0);
+        let actual = acc
+            .value(i, "actual_avg")
+            .unwrap()
+            .as_float()
+            .unwrap_or(0.0);
+        let predicted = acc
+            .value(i, "predicted_avg")
+            .unwrap()
+            .as_float()
+            .unwrap_or(0.0);
         println!("  {cat:<10} actual {actual:>5.2}d predicted {predicted:>5.2}d");
     }
 
@@ -103,7 +113,9 @@ fn main() {
         "F:\n  +D.category_accuracy: D.tickets | T.predictor | T.by_category",
         "  dedupe:\n    type: distinct\n    columns: [ticket_id]\n  drop_null_desc:\n    type: filter_by\n    filter_expression: description != null\nF:\n  +D.category_accuracy: D.tickets | T.dedupe | T.drop_null_desc | T.predictor | T.by_category",
     );
-    platform.save_flow("service_desk", &cleaned_flow).expect("valid");
+    platform
+        .save_flow("service_desk", &cleaned_flow)
+        .expect("valid");
     let cleaned_run = platform.run_dashboard("service_desk").expect("runs");
     let before = dirty_run.result.table("category_accuracy").unwrap();
     let after = cleaned_run.result.table("category_accuracy").unwrap();

@@ -29,9 +29,8 @@ F:
 #[test]
 fn branch_edit_merge_run() {
     // Analyst A adds a widget; analyst B tightens the aggregation.
-    let ours = format!(
-        "{BASE}W:\n  totals_grid:\n    type: DataGrid\n    source: D.region_totals\n"
-    );
+    let ours =
+        format!("{BASE}W:\n  totals_grid:\n    type: DataGrid\n    source: D.region_totals\n");
     let theirs = BASE.replace(
         "    - operator: sum\n      apply_on: revenue\n      out_field: total\n",
         "    - operator: sum\n      apply_on: revenue\n      out_field: total\n    - operator: count\n      apply_on: brand\n      out_field: brands\n",
@@ -92,14 +91,11 @@ fn flow_group_refresh_over_rest() {
         "sales.csv",
         "region,brand,revenue\nnorth,acme,10\n",
     );
-    let producer_flow = format!(
-        "{BASE}  D.region_totals:\n    publish: region_totals\n"
-    );
+    let producer_flow = format!("{BASE}  D.region_totals:\n    publish: region_totals\n");
     let server = Server::new(platform);
 
-    let r = server.handle(
-        &Request::new(Method::Put, "/dashboards/producer/flow").with_body(&producer_flow),
-    );
+    let r = server
+        .handle(&Request::new(Method::Put, "/dashboards/producer/flow").with_body(&producer_flow));
     assert!(r.is_ok(), "{}", r.body);
     assert!(server
         .handle(&Request::new(Method::Post, "/dashboards/producer/run"))
@@ -112,9 +108,8 @@ W:
     type: DataGrid
     source: D.region_totals
 "#;
-    let r = server.handle(
-        &Request::new(Method::Put, "/dashboards/consumer/flow").with_body(consumer_flow),
-    );
+    let r = server
+        .handle(&Request::new(Method::Put, "/dashboards/consumer/flow").with_body(consumer_flow));
     assert!(r.is_ok(), "{}", r.body);
     let dash = server.platform().open_dashboard("consumer").unwrap();
     assert_eq!(dash.data_of("grid").unwrap().num_rows(), 1);
@@ -134,7 +129,10 @@ W:
     assert_eq!(dash.data_of("grid").unwrap().num_rows(), 3);
 
     // The group is tracked.
-    let group = server.platform().publish_registry().group_of("region_totals");
+    let group = server
+        .platform()
+        .publish_registry()
+        .group_of("region_totals");
     assert!(group.contains(&"producer".to_string()));
     assert!(group.contains(&"consumer".to_string()));
 }
@@ -149,13 +147,14 @@ fn forked_dashboards_diverge() {
     platform.fork_dashboard("template", "team_b", "b").unwrap();
 
     // team_a extends; team_b keeps the sample. Both run independently.
-    let extended = format!(
-        "{BASE}W:\n  g:\n    type: DataGrid\n    source: D.region_totals\n"
-    );
+    let extended = format!("{BASE}W:\n  g:\n    type: DataGrid\n    source: D.region_totals\n");
     platform.save_flow("team_a", &extended).unwrap();
     assert!(platform.run_dashboard("team_a").is_ok());
     assert!(platform.run_dashboard("team_b").is_ok());
-    assert!(platform.dashboard("team_a").unwrap().flow_bytes() > platform.dashboard("team_b").unwrap().flow_bytes());
+    assert!(
+        platform.dashboard("team_a").unwrap().flow_bytes()
+            > platform.dashboard("team_b").unwrap().flow_bytes()
+    );
     // Template unchanged.
     assert_eq!(platform.dashboard("template").unwrap().text, BASE);
 }

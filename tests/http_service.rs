@@ -1,0 +1,171 @@
+//! End-to-end test of the TCP data-API service: concurrent clients, the
+//! generation-stamped query cache, and `/stats` observability.
+
+use shareinsights::server::{blocking_get, blocking_request, serve, ServeOptions, Server};
+use shareinsights_core::Platform;
+use shareinsights_tabular::io::json::parse_json;
+
+const FLOW: &str = r#"
+D:
+  sales: [region, brand, revenue]
+D.sales:
+  source: 'sales.csv'
+  format: csv
+T:
+  by_brand:
+    type: groupby
+    groupby: [region, brand]
+    aggregates:
+    - operator: sum
+      apply_on: revenue
+      out_field: revenue
+F:
+  +D.brand_sales: D.sales | T.by_brand
+  D.brand_sales:
+    publish: brand_sales
+"#;
+
+fn stat(stats_body: &str, path: &str) -> i64 {
+    parse_json(stats_body)
+        .unwrap()
+        .path(path)
+        .unwrap_or_else(|| panic!("no {path} in {stats_body}"))
+        .to_value()
+        .as_int()
+        .unwrap_or_else(|| panic!("{path} not an int in {stats_body}"))
+}
+
+#[test]
+fn concurrent_clients_share_the_cache_and_publish_invalidates() {
+    let platform = Platform::new();
+    platform.upload_data(
+        "retail",
+        "sales.csv",
+        "region,brand,revenue\nnorth,acme,10\nnorth,acme,5\nsouth,zest,20\nnorth,zest,1\n",
+    );
+    platform.save_flow("retail", FLOW).unwrap();
+    platform.run_dashboard("retail").unwrap();
+
+    // Clones share state, so this handle can re-upload data mid-test
+    // (the SFTP-upload path of §4.3.2 has no HTTP route).
+    let uploader = platform.clone();
+    let mut svc = serve(
+        Server::new(platform),
+        "127.0.0.1:0",
+        ServeOptions::default(),
+    )
+    .expect("bind ephemeral port");
+    let addr = svc.local_addr();
+    let query = "/retail/ds/brand_sales/groupby/region/count/brand";
+
+    // Two concurrent clients issue the same groupby query.
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                scope.spawn(move || {
+                    let (code, body) = blocking_get(addr, query).expect("request");
+                    assert_eq!(code, 200, "{body}");
+                    body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(bodies[0], bodies[1], "identical queries, identical results");
+
+    // The first query filled the cache; this repeat is a guaranteed hit
+    // (the concurrent pair may have raced, so allow 1 or 2 misses there).
+    let (code, body) = blocking_get(addr, query).unwrap();
+    assert_eq!(code, 200);
+    assert_eq!(body, bodies[0]);
+    let (code, stats) = blocking_get(addr, "/stats").unwrap();
+    assert_eq!(code, 200, "{stats}");
+    let hits = stat(&stats, "cache.hits");
+    let misses = stat(&stats, "cache.misses");
+    assert_eq!(hits + misses, 3, "{stats}");
+    assert!(hits >= 1, "a repeated query must hit the cache: {stats}");
+    assert!(misses <= 2, "{stats}");
+    let route = "routes.GET /:dashboard/ds/:dataset/query";
+    assert_eq!(stat(&stats, &format!("{route}.count")), 3);
+    assert_eq!(stat(&stats, &format!("{route}.cache_hits")), hits);
+    assert_eq!(stat(&stats, &format!("{route}.errors")), 0);
+
+    // A publish (the producer re-runs on new source data, refreshing its
+    // published snapshot) bumps the dataset generation...
+    uploader.upload_data(
+        "retail",
+        "sales.csv",
+        "region,brand,revenue\nnorth,acme,100\nsouth,zest,20\n",
+    );
+    let (code, body) = blocking_request(addr, "POST", "/dashboards/retail/run", "").unwrap();
+    assert_eq!(code, 200, "{body}");
+
+    // ...so the next query is a miss and sees fresh results.
+    let (code, fresh) = blocking_get(addr, query).unwrap();
+    assert_eq!(code, 200);
+    assert_ne!(fresh, bodies[0], "fresh results after the publish");
+    let (_, stats) = blocking_get(addr, "/stats").unwrap();
+    assert_eq!(stat(&stats, "cache.misses"), misses + 1, "{stats}");
+    assert_eq!(stat(&stats, "cache.invalidations"), 1, "{stats}");
+
+    svc.shutdown();
+}
+
+#[test]
+fn loadgen_shape_no_lost_or_malformed_responses() {
+    let platform = Platform::new();
+    platform.upload_data(
+        "retail",
+        "sales.csv",
+        "region,brand,revenue\nn,a,1\ns,b,2\n",
+    );
+    platform.save_flow("retail", FLOW).unwrap();
+    platform.run_dashboard("retail").unwrap();
+
+    let opts = ServeOptions {
+        workers: 4,
+        queue_depth: 256,
+        ..ServeOptions::default()
+    };
+    let mut svc = serve(Server::new(platform), "127.0.0.1:0", opts).expect("bind");
+    let addr = svc.local_addr();
+
+    let clients = 8;
+    let requests_per_client = 10;
+    let oks: usize = std::thread::scope(|scope| {
+        (0..clients)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut ok = 0;
+                    for j in 0..requests_per_client {
+                        let target = if (i + j) % 3 == 0 {
+                            "/retail/ds/brand_sales".to_string()
+                        } else {
+                            format!("/retail/ds/brand_sales/limit/{}", 1 + (j % 2))
+                        };
+                        let (code, body) = blocking_get(addr, &target).expect("response");
+                        assert_eq!(code, 200, "{body}");
+                        assert!(body.starts_with('{'), "malformed body: {body}");
+                        ok += 1;
+                    }
+                    ok
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum()
+    });
+    assert_eq!(oks, clients * requests_per_client, "no lost responses");
+
+    let (_, stats) = blocking_get(addr, "/stats").unwrap();
+    let hits = stat(&stats, "cache.hits");
+    let misses = stat(&stats, "cache.misses");
+    let total = (clients * requests_per_client) as i64;
+    assert_eq!(hits + misses, total);
+    // Three distinct cache keys; concurrent first touches may each miss
+    // once per in-flight worker, but the steady state is all hits.
+    assert!(misses >= 3, "{stats}");
+    assert!(hits >= total / 2, "cache should dominate: {stats}");
+    svc.shutdown();
+}

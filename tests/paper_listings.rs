@@ -4,8 +4,8 @@
 
 use shareinsights::core::Platform;
 use shareinsights::datagen::ipl;
-use shareinsights::flowfile::{parse_flow_file, validate};
 use shareinsights::flowfile::validate::{is_valid, validate_with, ValidateOptions};
+use shareinsights::flowfile::{parse_flow_file, validate};
 use shareinsights::tabular::io::csv::write_csv;
 
 /// Figures 4+5: data source configuration and schema.
@@ -21,7 +21,10 @@ D.stack_summary:
 "#;
     let ff = parse_flow_file("apache", src).unwrap();
     let d = ff.data_object("stack_summary").unwrap();
-    assert_eq!(d.column_names(), vec!["project", "question", "answer", "tags"]);
+    assert_eq!(
+        d.column_names(),
+        vec!["project", "question", "answer", "tags"]
+    );
     assert_eq!(d.props.get_scalar("format"), Some("csv"));
 }
 
@@ -140,7 +143,10 @@ F:
 "#;
     let ff = parse_flow_file("t", src).unwrap();
     assert_eq!(ff.flows.len(), 2);
-    assert_eq!(ff.flows[1].inputs, vec!["temp_release_count", "stack_summary"]);
+    assert_eq!(
+        ff.flows[1].inputs,
+        vec!["temp_release_count", "stack_summary"]
+    );
     let diags = validate(&ff);
     assert!(is_valid(&diags), "{diags:?}");
 }
@@ -645,12 +651,28 @@ fn appendix_flow_group_end_to_end() {
         tweets: 800,
         ..Default::default()
     });
-    platform.upload_data("ipl_processing", "tweets.json", corpus.tweets_ndjson.clone());
+    platform.upload_data(
+        "ipl_processing",
+        "tweets.json",
+        corpus.tweets_ndjson.clone(),
+    );
     platform.upload_data("ipl_processing", "players.txt", corpus.players_dict.clone());
     platform.upload_data("ipl_processing", "teams.csv", corpus.teams_dict.clone());
-    platform.upload_data("ipl_processing", "team_players.csv", write_csv(&corpus.team_players, ','));
-    platform.upload_data("ipl_processing", "dim_teams.csv", write_csv(&corpus.dim_teams, ','));
-    platform.upload_data("ipl_processing", "lat_long.csv", write_csv(&corpus.lat_long, ','));
+    platform.upload_data(
+        "ipl_processing",
+        "team_players.csv",
+        write_csv(&corpus.team_players, ','),
+    );
+    platform.upload_data(
+        "ipl_processing",
+        "dim_teams.csv",
+        write_csv(&corpus.dim_teams, ','),
+    );
+    platform.upload_data(
+        "ipl_processing",
+        "lat_long.csv",
+        write_csv(&corpus.lat_long, ','),
+    );
 
     // A.1 with source details + publishes appended (the appendix assumes
     // them; §3.7.1/figure 19 show the pattern).
@@ -690,7 +712,14 @@ D.tagcloud_tweets:
     assert!(team_tweets.num_rows() > 0);
     assert_eq!(
         team_tweets.schema().names(),
-        vec!["date", "team_fullName", "noOfTweets", "team", "sort_order", "color"]
+        vec![
+            "date",
+            "team_fullName",
+            "noOfTweets",
+            "team",
+            "sort_order",
+            "color"
+        ]
     );
 
     // dim_teams is a raw source; publish it via the registry for A.2's
@@ -722,6 +751,9 @@ D.tagcloud_tweets:
     for i in 0..stream.num_rows() {
         assert_eq!(stream.value(i, "team").unwrap().to_string(), "CSK");
         let date = stream.value(i, "date").unwrap().to_string();
-        assert!(("2013-05-02".."2013-05-11").contains(&date.as_str()), "{date}");
+        assert!(
+            ("2013-05-02".."2013-05-11").contains(&date.as_str()),
+            "{date}"
+        );
     }
 }

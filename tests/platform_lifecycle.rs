@@ -88,7 +88,10 @@ fn producer_consumer_lifecycle_with_telemetry() {
 
     // Producer: data-processing mode.
     platform.save_flow("producer", PRODUCER).unwrap();
-    assert!(platform.dashboard("producer").unwrap().is_data_processing_mode());
+    assert!(platform
+        .dashboard("producer")
+        .unwrap()
+        .is_data_processing_mode());
     let run = platform.run_dashboard("producer").unwrap();
     assert_eq!(run.published.len(), 1);
     let catalog_rows = run.result.table("brand_catalog").unwrap().num_rows();
@@ -96,7 +99,11 @@ fn producer_consumer_lifecycle_with_telemetry() {
 
     // Consumer: consumption mode, resolving the published object.
     platform.save_flow("consumer", CONSUMER).unwrap();
-    assert!(platform.dashboard("consumer").unwrap().ast.is_consumption_mode());
+    assert!(platform
+        .dashboard("consumer")
+        .unwrap()
+        .ast
+        .is_consumption_mode());
     let dash = platform.open_dashboard("consumer").unwrap();
     let pie = dash.data_of("brand_pie").unwrap();
     assert_eq!(pie.num_rows(), catalog_rows);
@@ -173,7 +180,11 @@ fn meta_and_discovery_close_the_loop() {
     }
 
     // A second dashboard with a 'brand' column discovers the catalog.
-    platform.upload_data("marketing", "spend.csv", "brand,channel,spend\nAcme Cola,tv,100\n");
+    platform.upload_data(
+        "marketing",
+        "spend.csv",
+        "brand,channel,spend\nAcme Cola,tv,100\n",
+    );
     platform
         .save_flow(
             "marketing",
@@ -187,7 +198,10 @@ fn meta_and_discovery_close_the_loop() {
     assert_eq!(suggestions.len(), 1);
     assert_eq!(suggestions[0].publish_name, "brand_catalog");
     assert!(suggestions[0].join_keys.contains(&"brand".to_string()));
-    assert!(suggestions[0].key_is_unique, "brand is unique in the catalog");
+    assert!(
+        suggestions[0].key_is_unique,
+        "brand is unique in the catalog"
+    );
 }
 
 #[test]
@@ -204,7 +218,11 @@ fn failed_runs_keep_prior_endpoints_intact() {
         .num_rows();
 
     // Break the data source so the next run fails at load time.
-    platform.upload_data("producer", "sales.csv", "not,a,matching\nheader,count,x,y\n");
+    platform.upload_data(
+        "producer",
+        "sales.csv",
+        "not,a,matching\nheader,count,x,y\n",
+    );
     let err = platform.run_dashboard("producer").unwrap_err();
     assert!(err.to_string().contains("sales"), "{err}");
 
@@ -234,7 +252,9 @@ fn many_dashboards_coexist() {
     // A fork inherits the producer's `publish:` line, so running it
     // verbatim collides with the original's shared-object name — the
     // registry rejects it cleanly instead of silently hijacking.
-    platform.fork_dashboard("producer", "team_0", "bot").unwrap();
+    platform
+        .fork_dashboard("producer", "team_0", "bot")
+        .unwrap();
     let err = platform.run_dashboard("team_0").unwrap_err();
     assert!(
         err.to_string().contains("already published"),

@@ -1,112 +1,160 @@
-//! Property-based tests (proptest) over the engine's core invariants.
+//! Property-style tests over the engine's core invariants.
+//!
+//! Formerly proptest-based; the offline build environment cannot fetch
+//! crates.io, so the same invariants are now exercised with a seeded local
+//! RNG (`datagen::SeededRng`) over 64 generated cases each. Failures are
+//! reproducible: every case derives from a fixed seed.
 
-use proptest::prelude::*;
+use shareinsights::datagen::SeededRng;
 use shareinsights::engine::baseline::execute_naive;
 use shareinsights::engine::compile::{compile, CompileEnv};
 use shareinsights::engine::exec::{ExecContext, Executor};
 use shareinsights::engine::TaskRegistry;
 use shareinsights::flowfile::parse_flow_file;
+use shareinsights::tabular::agg::AggKind;
 use shareinsights::tabular::io::csv::{read_csv, write_csv, CsvOptions};
 use shareinsights::tabular::io::record::{read_records, write_records};
 use shareinsights::tabular::ops::{
     groupby, join, sort, AggregateSpec, GroupBy, JoinCondition, JoinSpec, SortKey,
 };
-use shareinsights::tabular::agg::AggKind;
 use shareinsights::tabular::{Bitmap, Row, Table, Value};
+
+const CASES: usize = 64;
 
 // ---------------------------------------------------------------------------
 // Value / table generators
 // ---------------------------------------------------------------------------
 
+fn lower_string(r: &mut SeededRng, lo: usize, hi: usize) -> String {
+    let len = lo + r.index(hi - lo + 1);
+    (0..len)
+        .map(|_| (b'a' + r.index(26) as u8) as char)
+        .collect()
+}
+
+fn printable_string(r: &mut SeededRng, lo: usize, hi: usize) -> String {
+    let len = lo + r.index(hi - lo + 1);
+    (0..len)
+        .map(|_| (b' ' + r.index(95) as u8) as char)
+        .collect()
+}
+
 /// Values that survive CSV's textual round-trip unambiguously.
-fn csv_safe_value() -> impl Strategy<Value = Value> + Clone {
-    prop_oneof![
-        3 => any::<i64>().prop_map(Value::Int),
-        3 => "[a-z]{1,8}".prop_map(Value::Str),
-        1 => Just(Value::Null),
-        1 => any::<bool>().prop_map(Value::Bool),
-    ]
+fn csv_safe_value(r: &mut SeededRng) -> Value {
+    match r.weighted_index(&[3.0, 3.0, 1.0, 1.0]) {
+        0 => Value::Int(r.int_range(i64::MIN, i64::MAX)),
+        1 => Value::Str(lower_string(r, 1, 8)),
+        2 => Value::Null,
+        _ => Value::Bool(r.chance(0.5)),
+    }
 }
 
-/// Any value, including floats with full bit patterns (for the binary
-/// format, which is exact).
-fn any_value() -> impl Strategy<Value = Value> + Clone {
-    prop_oneof![
-        3 => any::<i64>().prop_map(Value::Int),
-        2 => any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
-        3 => "[ -~]{0,12}".prop_map(Value::Str),
-        1 => Just(Value::Null),
-        1 => any::<bool>().prop_map(Value::Bool),
-        1 => (-100_000i32..100_000).prop_map(Value::Date),
-    ]
+/// Any value, including floats (for the binary format, which is exact).
+fn any_value(r: &mut SeededRng) -> Value {
+    match r.weighted_index(&[3.0, 2.0, 3.0, 1.0, 1.0, 1.0]) {
+        0 => Value::Int(r.int_range(i64::MIN, i64::MAX)),
+        1 => loop {
+            let f = f64::from_bits(r.next_u64());
+            if f.is_finite() {
+                break Value::Float(f);
+            }
+        },
+        2 => Value::Str(printable_string(r, 0, 12)),
+        3 => Value::Null,
+        4 => Value::Bool(r.chance(0.5)),
+        _ => Value::Date(r.int_range(-100_000, 99_999) as i32),
+    }
 }
 
-/// A table with `cols` homogeneous columns of `rows` rows.
-fn table(
-    rows: std::ops::Range<usize>,
+fn small_int(lo: i64, hi_exclusive: i64) -> impl Fn(&mut SeededRng) -> Value {
+    move |r| Value::Int(r.int_range(lo, hi_exclusive - 1))
+}
+
+/// A table with `cols` homogeneous columns and a row count in `[lo, hi)`.
+fn gen_table(
+    r: &mut SeededRng,
+    lo: usize,
+    hi: usize,
     cols: usize,
-    value: impl Strategy<Value = Value> + Clone,
-) -> impl Strategy<Value = Table> {
-    rows.prop_flat_map(move |n| {
-        proptest::collection::vec(
-            proptest::collection::vec(value.clone(), cols),
-            n..=n,
-        )
-        .prop_map(move |rows| {
-            let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
-            let rows: Vec<Row> = rows.into_iter().map(Row::from_values).collect();
-            // Mixed-type columns unify through the lossy lattice; that can
-            // stringify cells, so compare via to_rows() after construction.
-            Table::from_rows(&names, &rows).expect("generated tables are rectangular")
-        })
-    })
+    value: &dyn Fn(&mut SeededRng) -> Value,
+) -> Table {
+    let n = lo + r.index(hi - lo);
+    let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+    let rows: Vec<Row> = (0..n)
+        .map(|_| Row::from_values((0..cols).map(|_| value(r)).collect()))
+        .collect();
+    // Mixed-type columns unify through the lossy lattice; that can
+    // stringify cells, so compare via to_rows() after construction.
+    Table::from_rows(&names, &rows).expect("generated tables are rectangular")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+// ---------------------------------------------------------------------------
+// Payload formats
+// ---------------------------------------------------------------------------
 
-    // --- payload formats --------------------------------------------------
-
-    /// The binary record format round-trips any table exactly.
-    #[test]
-    fn record_format_roundtrips(t in table(0..30, 3, any_value())) {
+/// The binary record format round-trips any table exactly.
+#[test]
+fn record_format_roundtrips() {
+    let mut r = SeededRng::new(0xF0F0_0001);
+    for _ in 0..CASES {
+        let t = gen_table(&mut r, 0, 30, 3, &any_value);
         let bytes = write_records(&t);
         let back = read_records(&bytes).unwrap();
-        prop_assert_eq!(&t, &back);
-        prop_assert!(t.schema().same_shape(back.schema()));
+        assert_eq!(t, back);
+        assert!(t.schema().same_shape(back.schema()));
     }
+}
 
-    /// CSV round-trips tables whose cells have unambiguous text forms.
-    #[test]
-    fn csv_roundtrips_safe_tables(t in table(0..30, 3, csv_safe_value())) {
+/// CSV round-trips tables whose cells have unambiguous text forms.
+#[test]
+fn csv_roundtrips_safe_tables() {
+    let mut r = SeededRng::new(0xF0F0_0002);
+    for _ in 0..CASES {
+        let t = gen_table(&mut r, 0, 30, 3, &csv_safe_value);
         let text = write_csv(&t, ',');
         let back = read_csv(&text, &CsvOptions::default()).unwrap();
-        prop_assert_eq!(t.num_rows(), back.num_rows());
-        prop_assert_eq!(t.to_rows(), back.to_rows());
+        assert_eq!(t.num_rows(), back.num_rows());
+        assert_eq!(t.to_rows(), back.to_rows());
     }
+}
 
-    // --- bitmap laws -------------------------------------------------------
+// ---------------------------------------------------------------------------
+// Bitmap laws
+// ---------------------------------------------------------------------------
 
-    #[test]
-    fn bitmap_boolean_algebra(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
+#[test]
+fn bitmap_boolean_algebra() {
+    let mut r = SeededRng::new(0xF0F0_0003);
+    for _ in 0..CASES {
+        let bits: Vec<bool> = (0..r.index(200)).map(|_| r.chance(0.5)).collect();
         let a = Bitmap::from_bools(&bits);
         let not_a = a.not();
-        prop_assert!(a.and(&not_a).none_set(), "a ∧ ¬a = ∅");
-        prop_assert!(a.or(&not_a).all_set() || a.is_empty(), "a ∨ ¬a = ⊤");
-        prop_assert_eq!(a.not().not(), a.clone(), "double negation");
-        prop_assert_eq!(a.count_ones() + not_a.count_ones(), bits.len());
-        prop_assert_eq!(a.ones().len(), a.count_ones());
+        assert!(a.and(&not_a).none_set(), "a ∧ ¬a = ∅");
+        assert!(a.or(&not_a).all_set() || a.is_empty(), "a ∨ ¬a = ⊤");
+        assert_eq!(a.not().not(), a, "double negation");
+        assert_eq!(a.count_ones() + not_a.count_ones(), bits.len());
+        assert_eq!(a.ones().len(), a.count_ones());
     }
+}
 
-    // --- operator invariants ----------------------------------------------
+// ---------------------------------------------------------------------------
+// Operator invariants
+// ---------------------------------------------------------------------------
 
-    /// Group-by partition law: group counts sum to the row count, and the
-    /// per-group sums add up to the column total.
-    #[test]
-    fn groupby_partitions(t in table(0..60, 2, prop_oneof![
-        2 => (0i64..5).prop_map(Value::Int),
-        1 => Just(Value::Null),
-    ])) {
+/// Group-by partition law: group counts sum to the row count, and the
+/// per-group sums add up to the column total.
+#[test]
+fn groupby_partitions() {
+    let mut r = SeededRng::new(0xF0F0_0004);
+    let value = |r: &mut SeededRng| {
+        if r.weighted_index(&[2.0, 1.0]) == 0 {
+            Value::Int(r.int_range(0, 4))
+        } else {
+            Value::Null
+        }
+    };
+    for _ in 0..CASES {
+        let t = gen_table(&mut r, 0, 60, 2, &value);
         let cfg = GroupBy::with_aggregates(
             &["c0"],
             vec![
@@ -118,67 +166,76 @@ proptest! {
         let n_sum: i64 = (0..out.num_rows())
             .filter_map(|i| out.value(i, "n").unwrap().as_int())
             .sum();
-        prop_assert_eq!(n_sum as usize, t.num_rows());
+        assert_eq!(n_sum as usize, t.num_rows());
         let group_total: i64 = (0..out.num_rows())
             .filter_map(|i| out.value(i, "total").unwrap().as_int())
             .sum();
         let direct_total: i64 = (0..t.num_rows())
             .filter_map(|i| t.value(i, "c1").unwrap().as_int())
             .sum();
-        prop_assert_eq!(group_total, direct_total);
+        assert_eq!(group_total, direct_total);
         // Group keys are unique.
         let keys: std::collections::HashSet<String> = (0..out.num_rows())
             .map(|i| out.value(i, "c0").unwrap().to_string())
             .collect();
-        prop_assert_eq!(keys.len(), out.num_rows());
+        assert_eq!(keys.len(), out.num_rows());
     }
+}
 
-    /// Join cardinality laws across all conditions.
-    #[test]
-    fn join_cardinalities(
-        l in table(0..25, 2, (0i64..6).prop_map(Value::Int)),
-        r in table(0..25, 2, (0i64..6).prop_map(Value::Int)),
-    ) {
+/// Join cardinality laws across all conditions.
+#[test]
+fn join_cardinalities() {
+    let mut r = SeededRng::new(0xF0F0_0005);
+    for _ in 0..CASES {
+        let l = gen_table(&mut r, 0, 25, 2, &small_int(0, 6));
+        let rt = gen_table(&mut r, 0, 25, 2, &small_int(0, 6));
         let spec = |c| JoinSpec::on(&["c0"], c);
-        let inner = join(&l, &r, &spec(JoinCondition::Inner)).unwrap();
-        let left = join(&l, &r, &spec(JoinCondition::LeftOuter)).unwrap();
-        let right = join(&l, &r, &spec(JoinCondition::RightOuter)).unwrap();
-        let full = join(&l, &r, &spec(JoinCondition::FullOuter)).unwrap();
-        prop_assert!(inner.num_rows() <= l.num_rows() * r.num_rows());
-        prop_assert!(left.num_rows() >= l.num_rows());
-        prop_assert!(right.num_rows() >= r.num_rows());
-        prop_assert!(full.num_rows() >= left.num_rows().max(right.num_rows()));
-        prop_assert_eq!(
+        let inner = join(&l, &rt, &spec(JoinCondition::Inner)).unwrap();
+        let left = join(&l, &rt, &spec(JoinCondition::LeftOuter)).unwrap();
+        let right = join(&l, &rt, &spec(JoinCondition::RightOuter)).unwrap();
+        let full = join(&l, &rt, &spec(JoinCondition::FullOuter)).unwrap();
+        assert!(inner.num_rows() <= l.num_rows() * rt.num_rows());
+        assert!(left.num_rows() >= l.num_rows());
+        assert!(right.num_rows() >= rt.num_rows());
+        assert!(full.num_rows() >= left.num_rows().max(right.num_rows()));
+        assert_eq!(
             full.num_rows(),
             left.num_rows() + right.num_rows() - inner.num_rows(),
             "inclusion-exclusion over matches"
         );
     }
+}
 
-    /// Sort produces an ordered permutation of its input.
-    #[test]
-    fn sort_is_ordered_permutation(t in table(0..50, 2, any_value())) {
+/// Sort produces an ordered permutation of its input.
+#[test]
+fn sort_is_ordered_permutation() {
+    let mut r = SeededRng::new(0xF0F0_0006);
+    for _ in 0..CASES {
+        let t = gen_table(&mut r, 0, 50, 2, &any_value);
         let out = sort(&t, &[SortKey::asc("c0"), SortKey::desc("c1")]).unwrap();
-        prop_assert_eq!(out.num_rows(), t.num_rows());
+        assert_eq!(out.num_rows(), t.num_rows());
         let mut a = t.to_rows();
         let mut b = out.to_rows();
         a.sort();
         b.sort();
-        prop_assert_eq!(a, b, "permutation");
+        assert_eq!(a, b, "permutation");
         for i in 1..out.num_rows() {
             let prev = out.value(i - 1, "c0").unwrap();
             let cur = out.value(i, "c0").unwrap();
-            prop_assert!(prev <= cur, "ordered by c0");
+            assert!(prev <= cur, "ordered by c0");
         }
     }
+}
 
-    // --- executor equivalence (design decision 3) ---------------------------
+// ---------------------------------------------------------------------------
+// Executor equivalence (design decision 3)
+// ---------------------------------------------------------------------------
 
-    /// The columnar parallel executor and the naive row baseline agree on a
-    /// filter→groupby pipeline over arbitrary data.
-    #[test]
-    fn executors_agree(t in table(1..60, 2, (0i64..8).prop_map(Value::Int))) {
-        const SRC: &str = r#"
+/// The columnar parallel executor and the naive row baseline agree on a
+/// filter→groupby pipeline over arbitrary data.
+#[test]
+fn executors_agree() {
+    const SRC: &str = r#"
 D:
   data: [c0, c1]
 T:
@@ -195,32 +252,45 @@ T:
 F:
   +D.out: D.data | T.keep | T.agg
 "#;
+    let mut r = SeededRng::new(0xF0F0_0007);
+    for _ in 0..CASES {
+        let t = gen_table(&mut r, 1, 60, 2, &small_int(0, 8));
         let ff = parse_flow_file("p", SRC).unwrap();
         let reg = TaskRegistry::new();
         let pipeline = compile(&ff, &CompileEnv::bare(&reg)).unwrap();
-        let ctx = ExecContext::new(shareinsights::connectors::Catalog::new())
-            .with_table("data", t);
+        let ctx = ExecContext::new(shareinsights::connectors::Catalog::new()).with_table("data", t);
         let columnar = Executor::default().execute(&pipeline, &ctx).unwrap();
         let naive = execute_naive(&pipeline, &ctx).unwrap();
         let mut a = columnar.table("out").unwrap().to_rows();
         let mut b = naive.table("out").unwrap().to_rows();
         a.sort();
         b.sort();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    // --- flow-file language --------------------------------------------------
+// ---------------------------------------------------------------------------
+// Flow-file language
+// ---------------------------------------------------------------------------
 
-    /// Serialization round-trips generated flow files (flows + tasks).
-    #[test]
-    fn flowfile_roundtrips(
-        names in proptest::collection::btree_set("[a-z]{2,6}", 1..5),
-        spans in proptest::collection::vec(1u8..=6, 1..3),
-    ) {
-        let names: Vec<String> = names.into_iter().collect();
+/// Serialization round-trips generated flow files (flows + tasks).
+#[test]
+fn flowfile_roundtrips() {
+    let mut r = SeededRng::new(0xF0F0_0008);
+    for _ in 0..CASES {
+        let names: Vec<String> = {
+            let mut set = std::collections::BTreeSet::new();
+            for _ in 0..1 + r.index(4) {
+                set.insert(lower_string(&mut r, 2, 6));
+            }
+            set.into_iter().collect()
+        };
+        let spans: Vec<u8> = (0..1 + r.index(2)).map(|_| 1 + r.index(6) as u8).collect();
         let mut src = String::from("D:\n  src_obj: [k, v]\nT:\n");
         for n in &names {
-            src.push_str(&format!("  t_{n}:\n    type: filter_by\n    filter_expression: v < 3\n"));
+            src.push_str(&format!(
+                "  t_{n}:\n    type: filter_by\n    filter_expression: v < 3\n"
+            ));
         }
         src.push_str("F:\n");
         for n in &names {
@@ -240,32 +310,32 @@ F:
         let ff = parse_flow_file("gen", &src).unwrap();
         let text = shareinsights::flowfile::to_text(&ff);
         let ff2 = parse_flow_file("gen", &text).unwrap();
-        let strip = |flows: &[shareinsights::flowfile::Flow]| -> Vec<shareinsights::flowfile::Flow> {
-            flows
-                .iter()
-                .map(|f| {
-                    let mut f = f.clone();
-                    f.line = 0;
-                    f
-                })
-                .collect()
-        };
-        prop_assert_eq!(strip(&ff.flows), strip(&ff2.flows));
-        prop_assert_eq!(ff.tasks.len(), ff2.tasks.len());
-        prop_assert_eq!(
-            ff.layout.map(|l| l.rows),
-            ff2.layout.map(|l| l.rows)
-        );
+        let strip =
+            |flows: &[shareinsights::flowfile::Flow]| -> Vec<shareinsights::flowfile::Flow> {
+                flows
+                    .iter()
+                    .map(|f| {
+                        let mut f = f.clone();
+                        f.line = 0;
+                        f
+                    })
+                    .collect()
+            };
+        assert_eq!(strip(&ff.flows), strip(&ff2.flows));
+        assert_eq!(ff.tasks.len(), ff2.tasks.len());
+        assert_eq!(ff.layout.map(|l| l.rows), ff2.layout.map(|l| l.rows));
     }
+}
 
-    /// Expression parser round-trips through Display.
-    #[test]
-    fn expr_display_roundtrips(
-        col in "[a-z]{1,6}",
-        n in -1000i64..1000,
-        s in "[a-z]{0,6}",
-    ) {
-        use shareinsights::tabular::expr::parse_expr;
+/// Expression parser round-trips through Display.
+#[test]
+fn expr_display_roundtrips() {
+    use shareinsights::tabular::expr::parse_expr;
+    let mut r = SeededRng::new(0xF0F0_0009);
+    for _ in 0..CASES {
+        let col = lower_string(&mut r, 1, 6);
+        let n = r.int_range(-1000, 999);
+        let s = lower_string(&mut r, 0, 6);
         for src in [
             format!("{col} < {n}"),
             format!("{col} == '{s}'"),
@@ -276,75 +346,89 @@ F:
             let e = parse_expr(&src).unwrap();
             let printed = e.to_string();
             let e2 = parse_expr(&printed).unwrap();
-            prop_assert_eq!(e, e2, "via '{}'", printed);
+            assert_eq!(e, e2, "via '{printed}'");
         }
     }
+}
 
-    // --- dates ------------------------------------------------------------
+// ---------------------------------------------------------------------------
+// Dates
+// ---------------------------------------------------------------------------
 
-    /// Civil-calendar conversion round-trips over a wide day range, is
-    /// monotone, and formats/parses consistently.
-    #[test]
-    fn civil_date_roundtrip(days in -2_000_000i32..2_000_000) {
-        use shareinsights::tabular::datefmt::{civil_from_days, days_from_civil, DatePattern};
+/// Civil-calendar conversion round-trips over a wide day range, is
+/// monotone, and formats/parses consistently.
+#[test]
+fn civil_date_roundtrip() {
+    use shareinsights::tabular::datefmt::{civil_from_days, days_from_civil, DatePattern};
+    let mut r = SeededRng::new(0xF0F0_000A);
+    for _ in 0..CASES * 4 {
+        let days = r.int_range(-2_000_000, 1_999_999) as i32;
         let (y, m, d) = civil_from_days(days);
-        prop_assert_eq!(days_from_civil(y, m, d), days);
-        prop_assert!((1..=12).contains(&m));
-        prop_assert!((1..=31).contains(&d));
+        assert_eq!(days_from_civil(y, m, d), days);
+        assert!((1..=12).contains(&m));
+        assert!((1..=31).contains(&d));
         let (y2, m2, d2) = civil_from_days(days + 1);
-        prop_assert!((y2, m2, d2) > (y, m, d), "monotone");
+        assert!((y2, m2, d2) > (y, m, d), "monotone");
         if (0..=9999).contains(&y) {
             let pat = DatePattern::compile("yyyy-MM-dd").unwrap();
             let text = format!("{y:04}-{m:02}-{d:02}");
             let parsed = pat.parse(&text).unwrap();
-            prop_assert_eq!(parsed.epoch_days(), days);
-            prop_assert_eq!(pat.format(&parsed), text);
+            assert_eq!(parsed.epoch_days(), days);
+            assert_eq!(pat.format(&parsed), text);
         }
     }
+}
 
-    // --- collaboration -----------------------------------------------------
+// ---------------------------------------------------------------------------
+// Collaboration
+// ---------------------------------------------------------------------------
 
-    /// §4.5.1's merge claim: edits to *different* named tasks never
-    /// conflict, whatever the edits are.
-    #[test]
-    fn disjoint_task_edits_merge_clean(
-        ours_limit in 1u32..100,
-        theirs_limit in 1u32..100,
-    ) {
-        use shareinsights::collab::merge_texts;
+/// §4.5.1's merge claim: edits to *different* named tasks never conflict,
+/// whatever the edits are.
+#[test]
+fn disjoint_task_edits_merge_clean() {
+    use shareinsights::collab::merge_texts;
+    let mut r = SeededRng::new(0xF0F0_000B);
+    for _ in 0..CASES {
+        let ours_limit = r.int_range(1, 99) as u32;
+        let theirs_limit = r.int_range(1, 99) as u32;
         let base = "T:\n  alpha:\n    type: limit\n    limit: 10\n  beta:\n    type: limit\n    limit: 20\n";
         let ours = base.replace("limit: 10", &format!("limit: {ours_limit}"));
         let theirs = base.replace("limit: 20", &format!("limit: {theirs_limit}"));
         let out = merge_texts("d", base, &ours, &theirs).unwrap();
-        prop_assert!(out.is_clean(), "{:?}", out.conflicts);
+        assert!(out.is_clean(), "{:?}", out.conflicts);
         let merged = out.merged;
         let ours_s = ours_limit.to_string();
         let theirs_s = theirs_limit.to_string();
-        prop_assert_eq!(
+        assert_eq!(
             merged.task("alpha").unwrap().params.get_scalar("limit"),
             Some(ours_s.as_str())
         );
-        prop_assert_eq!(
+        assert_eq!(
             merged.task("beta").unwrap().params.get_scalar("limit"),
             Some(theirs_s.as_str())
         );
     }
+}
 
-    // --- two execution contexts, one task model (design decision 3) ---------
+// ---------------------------------------------------------------------------
+// Two execution contexts, one task model (design decision 3)
+// ---------------------------------------------------------------------------
 
-    /// A widget's interaction flow evaluated through the data cube produces
-    /// the same rows as applying the selection to the batch kernels
-    /// directly: the paper's claim that one task model serves both the
-    /// Hadoop and the JavaScript runtime.
-    #[test]
-    fn cube_equals_batch_under_selection(
-        t in table(1..50, 2, (0i64..6).prop_map(Value::Int)),
-        selected in 0i64..6,
-    ) {
-        use shareinsights::engine::selection::{Selection, StaticSelections};
-        use shareinsights::engine::task::{FilterSource, NamedTask, TaskKind, TaskRuntime};
-        use shareinsights::widgets::DataCube;
+/// A widget's interaction flow evaluated through the data cube produces
+/// the same rows as applying the selection to the batch kernels directly:
+/// the paper's claim that one task model serves both the Hadoop and the
+/// JavaScript runtime.
+#[test]
+fn cube_equals_batch_under_selection() {
+    use shareinsights::engine::selection::{Selection, StaticSelections};
+    use shareinsights::engine::task::{FilterSource, NamedTask, TaskKind, TaskRuntime};
+    use shareinsights::widgets::DataCube;
 
+    let mut r = SeededRng::new(0xF0F0_000C);
+    for _ in 0..CASES {
+        let t = gen_table(&mut r, 1, 50, 2, &small_int(0, 6));
+        let selected = r.int_range(0, 5);
         let tasks = vec![
             NamedTask {
                 name: "filter".into(),
@@ -366,7 +450,11 @@ F:
             },
         ];
         let selections = StaticSelections::new();
-        selections.set("list", "text", Selection::Values(vec![Value::Int(selected)]));
+        selections.set(
+            "list",
+            "text",
+            Selection::Values(vec![Value::Int(selected)]),
+        );
 
         // Interactive context.
         let cube = DataCube::new(t.clone());
@@ -389,29 +477,37 @@ F:
         let mut b = via_batch.to_rows();
         a.sort();
         b.sort();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    // --- layout -------------------------------------------------------------
+// ---------------------------------------------------------------------------
+// Layout
+// ---------------------------------------------------------------------------
 
-    /// Solved layouts never overlap and never exceed the viewport width.
-    #[test]
-    fn layout_never_overlaps(rows in proptest::collection::vec(
-        proptest::collection::vec(1u8..=6, 1..3),
-        1..5,
-    )) {
-        use shareinsights::flowfile::ast::{LayoutCell, LayoutDef};
-        use shareinsights::layout::{overlaps, solve, Viewport};
+/// Solved layouts never overlap and never exceed the viewport width.
+#[test]
+fn layout_never_overlaps() {
+    use shareinsights::flowfile::ast::{LayoutCell, LayoutDef};
+    use shareinsights::layout::{overlaps, solve, Viewport};
+    let mut r = SeededRng::new(0xF0F0_000D);
+    for _ in 0..CASES {
+        let rows: Vec<Vec<u8>> = (0..1 + r.index(4))
+            .map(|_| (0..1 + r.index(2)).map(|_| 1 + r.index(6) as u8).collect())
+            .collect();
         let mut counter = 0;
         let layout = LayoutDef {
             description: None,
             rows: rows
                 .iter()
-                .map(|r| {
-                    r.iter()
+                .map(|row| {
+                    row.iter()
                         .map(|&s| {
                             counter += 1;
-                            LayoutCell { span: s, widget: format!("w{counter}") }
+                            LayoutCell {
+                                span: s,
+                                widget: format!("w{counter}"),
+                            }
                         })
                         .collect()
                 })
@@ -421,11 +517,11 @@ F:
         for vp in [Viewport::desktop(), Viewport::mobile()] {
             let placements = solve(&layout, &vp).unwrap();
             for p in &placements {
-                prop_assert!(p.x + p.width <= vp.width);
+                assert!(p.x + p.width <= vp.width);
             }
             for i in 0..placements.len() {
                 for j in i + 1..placements.len() {
-                    prop_assert!(!overlaps(&placements[i], &placements[j]));
+                    assert!(!overlaps(&placements[i], &placements[j]));
                 }
             }
         }
