@@ -238,10 +238,50 @@ pub struct RouteStats {
     pub latency: LatencyHistogram,
 }
 
+/// Upper bounds of the requests-per-connection histogram buckets; the last
+/// bucket is open-ended. A connection that served ≤ 1 request paid full
+/// connect/teardown cost per request; the higher buckets are where
+/// keep-alive amortizes it away.
+pub const CONN_REQUESTS_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Connection-level serving statistics (the keep-alive view of the world,
+/// complementing the per-request [`RouteStats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConnectionStats {
+    /// Connections handed to a worker.
+    pub accepted: u64,
+    /// Connections fully closed (their request counts are final).
+    pub closed: u64,
+    /// Closed connections that served two or more requests — i.e. where
+    /// keep-alive actually saved a connect/teardown.
+    pub reused: u64,
+    /// Total requests served across closed connections.
+    pub requests: u64,
+    /// Connections closed because the client went quiet between requests.
+    pub idle_timeouts: u64,
+    /// Connections closed because the client stalled mid-request.
+    pub io_timeouts: u64,
+    /// Histogram of requests served per closed connection, bucketed by
+    /// [`CONN_REQUESTS_BOUNDS`] (plus one open-ended bucket).
+    pub requests_per_connection: [u64; CONN_REQUESTS_BOUNDS.len() + 1],
+}
+
+impl ConnectionStats {
+    /// Fraction of requests that rode an already-open connection — the
+    /// loadgen "reuse rate": `(requests - closed) / requests`.
+    pub fn reuse_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        (self.requests.saturating_sub(self.closed)) as f64 / self.requests as f64
+    }
+}
+
 /// Thread-safe per-route metrics registry for the serving path.
 #[derive(Debug, Clone, Default)]
 pub struct ApiMetrics {
     routes: Arc<RwLock<BTreeMap<String, RouteStats>>>,
+    connections: Arc<RwLock<ConnectionStats>>,
 }
 
 impl ApiMetrics {
@@ -271,6 +311,41 @@ impl ApiMetrics {
         } else {
             stats.cache_misses += 1;
         }
+    }
+
+    /// Record a connection handed to a worker.
+    pub fn record_conn_accepted(&self) {
+        self.connections.write().accepted += 1;
+    }
+
+    /// Record a connection closing after serving `requests` requests.
+    pub fn record_conn_closed(&self, requests: u64) {
+        let mut c = self.connections.write();
+        c.closed += 1;
+        c.requests += requests;
+        if requests >= 2 {
+            c.reused += 1;
+        }
+        let idx = CONN_REQUESTS_BOUNDS
+            .iter()
+            .position(|&b| requests <= b)
+            .unwrap_or(CONN_REQUESTS_BOUNDS.len());
+        c.requests_per_connection[idx] += 1;
+    }
+
+    /// Record a keep-alive connection closed for idling between requests.
+    pub fn record_idle_timeout(&self) {
+        self.connections.write().idle_timeouts += 1;
+    }
+
+    /// Record a connection closed for stalling mid-request.
+    pub fn record_io_timeout(&self) {
+        self.connections.write().io_timeouts += 1;
+    }
+
+    /// Snapshot of the connection-level counters.
+    pub fn connections(&self) -> ConnectionStats {
+        self.connections.read().clone()
     }
 
     /// Snapshot of every route's stats.
@@ -384,6 +459,33 @@ mod tests {
         assert_eq!(q.cache_misses, 1);
         assert_eq!(snap["GET /dashboards"].count, 1);
         assert_eq!(m.cache_totals(), (1, 1));
+    }
+
+    #[test]
+    fn connection_metrics_accumulate() {
+        let m = ApiMetrics::new();
+        assert_eq!(m.connections().reuse_rate(), 0.0, "no requests yet");
+        m.record_conn_accepted();
+        m.record_conn_accepted();
+        m.record_conn_accepted();
+        m.record_conn_closed(1);
+        m.record_conn_closed(5);
+        m.record_idle_timeout();
+        m.record_conn_closed(200);
+        m.record_io_timeout();
+        let c = m.connections();
+        assert_eq!(c.accepted, 3);
+        assert_eq!(c.closed, 3);
+        assert_eq!(c.reused, 2, "the 5- and 200-request connections");
+        assert_eq!(c.requests, 206);
+        assert_eq!(c.idle_timeouts, 1);
+        assert_eq!(c.io_timeouts, 1);
+        // 1 → bucket ≤1; 5 → bucket ≤8; 200 → open-ended bucket.
+        assert_eq!(c.requests_per_connection[0], 1);
+        assert_eq!(c.requests_per_connection[3], 1);
+        assert_eq!(c.requests_per_connection[CONN_REQUESTS_BOUNDS.len()], 1);
+        let rate = c.reuse_rate();
+        assert!((rate - (206.0 - 3.0) / 206.0).abs() < 1e-9, "{rate}");
     }
 
     #[test]

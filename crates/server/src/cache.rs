@@ -1,4 +1,4 @@
-//! The generation-stamped query-result cache.
+//! The generation-stamped, hash-sharded query-result cache.
 //!
 //! Widget interaction in the paper's §4.4 data explorer re-issues the same
 //! ad-hoc query URL every time a user touches a filter, so the server keeps
@@ -10,13 +10,27 @@
 //! generation is a miss (and evicts the stale entry), so invalidation
 //! needs no coordination with the execution path.
 //!
-//! Eviction is LRU bounded by both an entry count and a byte budget over
-//! the cached response bodies.
+//! The cache is partitioned into N independent shards, each with its own
+//! mutex, LRU list and budget. A key's shard is chosen by FNV-1a over the
+//! normalized path, so concurrent workers touching different keys almost
+//! never contend on the same lock — the single-mutex convoy the ROADMAP
+//! called out disappears once worker counts grow past a handful.
+//!
+//! Eviction is LRU *per shard*, bounded by both an entry count and a byte
+//! budget over the cached response bodies (the global budgets are divided
+//! evenly across shards). [`QueryCache::new`] builds a single-shard cache
+//! with strict global LRU order (what the unit tests pin down);
+//! [`QueryCache::with_shards`] and [`QueryCache::default`] build the
+//! sharded production configuration.
 
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 
-/// Cache statistics for `/stats`.
+/// Shard count used by [`QueryCache::default`].
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+/// Cache statistics for `/stats`. For a sharded cache, [`QueryCache::stats`]
+/// returns the merge (field-wise sum) of every shard's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that returned a cached body.
@@ -33,6 +47,31 @@ pub struct CacheStats {
     pub bytes: usize,
 }
 
+impl CacheStats {
+    /// Field-wise sum, used to merge per-shard snapshots.
+    pub fn merge(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            invalidations: self.invalidations + other.invalidations,
+            entries: self.entries + other.entries,
+            bytes: self.bytes + other.bytes,
+        }
+    }
+}
+
+/// FNV-1a 64-bit over the key bytes — cheap, deterministic, and good enough
+/// spread for URL-shaped keys.
+fn fnv1a(key: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 struct Entry {
     body: String,
     generation: u64,
@@ -40,7 +79,7 @@ struct Entry {
 }
 
 #[derive(Default)]
-struct Inner {
+struct Shard {
     entries: HashMap<String, Entry>,
     /// lru_seq -> key, oldest first. Sequences are unique, so this is a
     /// total recency order.
@@ -53,28 +92,58 @@ struct Inner {
     invalidations: u64,
 }
 
-/// An LRU + byte-budget query-result cache with generation validation.
+impl Shard {
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            invalidations: self.invalidations,
+            entries: self.entries.len(),
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// An LRU + byte-budget query-result cache with generation validation,
+/// hash-partitioned into independently locked shards.
 pub struct QueryCache {
-    inner: Mutex<Inner>,
-    max_entries: usize,
-    max_bytes: usize,
+    shards: Vec<Mutex<Shard>>,
+    max_entries_per_shard: usize,
+    max_bytes_per_shard: usize,
 }
 
 impl Default for QueryCache {
     fn default() -> Self {
-        QueryCache::new(1024, 8 * 1024 * 1024)
+        QueryCache::with_shards(DEFAULT_CACHE_SHARDS, 1024, 8 * 1024 * 1024)
     }
 }
 
 impl QueryCache {
-    /// A cache bounded by `max_entries` entries and `max_bytes` of body
-    /// bytes.
+    /// A single-shard cache bounded by `max_entries` entries and
+    /// `max_bytes` of body bytes, with strict global LRU order.
     pub fn new(max_entries: usize, max_bytes: usize) -> QueryCache {
+        QueryCache::with_shards(1, max_entries, max_bytes)
+    }
+
+    /// A cache partitioned into `shards` shards; the entry and byte budgets
+    /// are divided evenly across them (each shard holds at least one entry).
+    pub fn with_shards(shards: usize, max_entries: usize, max_bytes: usize) -> QueryCache {
+        let shards = shards.max(1);
         QueryCache {
-            inner: Mutex::new(Inner::default()),
-            max_entries: max_entries.max(1),
-            max_bytes,
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            max_entries_per_shard: (max_entries / shards).max(1),
+            max_bytes_per_shard: (max_bytes / shards).max(1),
         }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, key: &str) -> &Mutex<Shard> {
+        &self.shards[(fnv1a(key) % self.shards.len() as u64) as usize]
     }
 
     /// Look up `key`; only an entry stamped with `generation` counts. A
@@ -85,8 +154,8 @@ impl QueryCache {
             Stale,
             Absent,
         }
-        let mut inner = self.inner.lock();
-        let outcome = match inner.entries.get(key) {
+        let mut shard = self.shard_for(key).lock();
+        let outcome = match shard.entries.get(key) {
             Some(e) if e.generation == generation => Outcome::Hit(e.body.clone(), e.lru_seq),
             Some(_) => Outcome::Stale,
             None => Outcome::Absent,
@@ -94,46 +163,47 @@ impl QueryCache {
         match outcome {
             Outcome::Hit(body, old_seq) => {
                 // Refresh recency.
-                let new_seq = inner.next_seq;
-                inner.next_seq += 1;
-                inner.order.remove(&old_seq);
-                inner.order.insert(new_seq, key.to_string());
-                inner.entries.get_mut(key).expect("present").lru_seq = new_seq;
-                inner.hits += 1;
+                let new_seq = shard.next_seq;
+                shard.next_seq += 1;
+                shard.order.remove(&old_seq);
+                shard.order.insert(new_seq, key.to_string());
+                shard.entries.get_mut(key).expect("present").lru_seq = new_seq;
+                shard.hits += 1;
                 Some(body)
             }
             Outcome::Stale => {
-                let e = inner.entries.remove(key).expect("present");
-                inner.order.remove(&e.lru_seq);
-                inner.bytes -= e.body.len();
-                inner.invalidations += 1;
-                inner.misses += 1;
+                let e = shard.entries.remove(key).expect("present");
+                shard.order.remove(&e.lru_seq);
+                shard.bytes -= e.body.len();
+                shard.invalidations += 1;
+                shard.misses += 1;
                 None
             }
             Outcome::Absent => {
-                inner.misses += 1;
+                shard.misses += 1;
                 None
             }
         }
     }
 
     /// Insert (or replace) the cached body for `key` at `generation`,
-    /// evicting least-recently-used entries to stay within budget. Bodies
-    /// larger than the whole byte budget are not cached.
+    /// evicting least-recently-used entries from the key's shard to stay
+    /// within its budget. Bodies larger than a whole shard's byte budget
+    /// are not cached.
     pub fn put(&self, key: &str, generation: u64, body: String) {
-        if body.len() > self.max_bytes {
+        if body.len() > self.max_bytes_per_shard {
             return;
         }
-        let mut inner = self.inner.lock();
-        if let Some(old) = inner.entries.remove(key) {
-            inner.order.remove(&old.lru_seq);
-            inner.bytes -= old.body.len();
+        let mut shard = self.shard_for(key).lock();
+        if let Some(old) = shard.entries.remove(key) {
+            shard.order.remove(&old.lru_seq);
+            shard.bytes -= old.body.len();
         }
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
-        inner.bytes += body.len();
-        inner.order.insert(seq, key.to_string());
-        inner.entries.insert(
+        let seq = shard.next_seq;
+        shard.next_seq += 1;
+        shard.bytes += body.len();
+        shard.order.insert(seq, key.to_string());
+        shard.entries.insert(
             key.to_string(),
             Entry {
                 body,
@@ -141,36 +211,39 @@ impl QueryCache {
                 lru_seq: seq,
             },
         );
-        while inner.entries.len() > self.max_entries || inner.bytes > self.max_bytes {
-            let Some((&oldest, _)) = inner.order.iter().next() else {
+        while shard.entries.len() > self.max_entries_per_shard
+            || shard.bytes > self.max_bytes_per_shard
+        {
+            let Some((&oldest, _)) = shard.order.iter().next() else {
                 break;
             };
-            let key = inner.order.remove(&oldest).expect("present");
-            let e = inner.entries.remove(&key).expect("present");
-            inner.bytes -= e.body.len();
-            inner.evictions += 1;
+            let key = shard.order.remove(&oldest).expect("present");
+            let e = shard.entries.remove(&key).expect("present");
+            shard.bytes -= e.body.len();
+            shard.evictions += 1;
         }
     }
 
-    /// Drop every entry (hit/miss counters are kept).
+    /// Drop every entry in every shard (hit/miss counters are kept).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.entries.clear();
-        inner.order.clear();
-        inner.bytes = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.entries.clear();
+            shard.order.clear();
+            shard.bytes = 0;
+        }
     }
 
-    /// Current statistics snapshot.
+    /// Merged statistics snapshot: the field-wise sum over all shards.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock();
-        CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            invalidations: inner.invalidations,
-            entries: inner.entries.len(),
-            bytes: inner.bytes,
-        }
+        self.shard_stats()
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.merge(s))
+    }
+
+    /// Per-shard statistics snapshots, in shard order.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(|s| s.lock().stats()).collect()
     }
 }
 
@@ -245,5 +318,91 @@ mod tests {
         assert_eq!(c.stats().entries, 0);
         assert_eq!(c.stats().bytes, 0);
         assert!(c.get("k", 1).is_none());
+    }
+
+    #[test]
+    fn shards_spread_keys_and_merge_stats() {
+        // Budgets leave headroom: FNV spread over 4 shards is not exactly
+        // even, and no shard may evict for this test to see all 64 keys.
+        let c = QueryCache::with_shards(4, 256, 256 * 1024);
+        assert_eq!(c.shard_count(), 4);
+        for i in 0..64 {
+            c.put(&format!("key-{i}"), 1, format!("body-{i}"));
+        }
+        // FNV spreads 64 URL-shaped keys over 4 shards: every shard gets some.
+        let per_shard = c.shard_stats();
+        assert!(per_shard.iter().all(|s| s.entries > 0), "{per_shard:?}");
+        for i in 0..64 {
+            assert_eq!(
+                c.get(&format!("key-{i}"), 1).as_deref(),
+                Some(format!("body-{i}").as_str())
+            );
+        }
+        let merged = c.stats();
+        let summed = c
+            .shard_stats()
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.merge(s));
+        assert_eq!(merged, summed);
+        assert_eq!(merged.entries, 64);
+        assert_eq!(merged.hits, 64);
+    }
+
+    #[test]
+    fn sharded_budgets_divide_evenly() {
+        // 4 shards x (8 entries / 4) = 2 entries per shard; hammering one
+        // shard's worth of colliding keys evicts within that shard only.
+        let c = QueryCache::with_shards(4, 8, 4096);
+        for i in 0..32 {
+            c.put(&format!("k{i}"), 1, "x".into());
+        }
+        let s = c.stats();
+        assert!(s.entries <= 8, "per-shard budgets bound the total: {s:?}");
+        assert!(s.evictions >= 24, "{s:?}");
+    }
+
+    #[test]
+    fn concurrent_get_put_bump_never_serves_stale() {
+        // M threads hammer get/put across shards while a bumper advances the
+        // generation; the invariant: a get at generation g only ever returns
+        // a body that was put at exactly g (no lost invalidations).
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let c = QueryCache::with_shards(8, 256, 1 << 20);
+        let generation = AtomicU64::new(1);
+        let threads = 8;
+        let iters = 400;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let c = &c;
+                let generation = &generation;
+                scope.spawn(move || {
+                    for i in 0..iters {
+                        let key = format!("key-{}", (t * 7 + i * 13) % 31);
+                        let g = generation.load(Ordering::SeqCst);
+                        c.put(&key, g, g.to_string());
+                        let g2 = generation.load(Ordering::SeqCst);
+                        if let Some(body) = c.get(&key, g2) {
+                            // The stamp check is the invalidation: a hit at
+                            // g2 must carry g2's body, never an older one.
+                            assert_eq!(body, g2.to_string(), "stale body served");
+                        }
+                        if i % 50 == 0 {
+                            generation.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        let merged = c.stats();
+        let summed = c
+            .shard_stats()
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.merge(s));
+        assert_eq!(merged, summed, "merged stats are the sum of shard stats");
+        assert_eq!(
+            merged.hits + merged.misses,
+            (threads * iters) as u64,
+            "every get is either a hit or a miss"
+        );
     }
 }

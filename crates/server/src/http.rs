@@ -53,6 +53,8 @@ pub enum Status {
     NotFound,
     /// 405 — the path exists but not for this method.
     MethodNotAllowed,
+    /// 408 — the client stalled mid-request past the socket timeout.
+    RequestTimeout,
     /// 409
     Conflict,
     /// 422 — flow-file level errors (compile/validate).
@@ -70,6 +72,7 @@ impl Status {
             Status::BadRequest => 400,
             Status::NotFound => 404,
             Status::MethodNotAllowed => 405,
+            Status::RequestTimeout => 408,
             Status::Conflict => 409,
             Status::Unprocessable => 422,
             Status::ServiceUnavailable => 503,
@@ -84,6 +87,7 @@ impl Status {
             Status::BadRequest => "Bad Request",
             Status::NotFound => "Not Found",
             Status::MethodNotAllowed => "Method Not Allowed",
+            Status::RequestTimeout => "Request Timeout",
             Status::Conflict => "Conflict",
             Status::Unprocessable => "Unprocessable Entity",
             Status::ServiceUnavailable => "Service Unavailable",

@@ -18,9 +18,11 @@
 //! | `GET /stats` | per-route counters/latency + query-cache stats |
 //!
 //! [`serve`] puts the router behind a real `TcpListener` with a bounded
-//! worker pool (see [`serve::ServeOptions`]); query results are cached in a
-//! generation-stamped [`QueryCache`] invalidated by dashboard runs and
-//! publishes.
+//! worker pool (see [`serve::ServeOptions`]). Connections are persistent
+//! (HTTP/1.1 keep-alive, bounded per-connection request counts and idle
+//! windows); [`ClientConnection`] is the matching persistent client. Query
+//! results are cached in a generation-stamped, hash-sharded [`QueryCache`]
+//! invalidated by dashboard runs and publishes.
 //!
 //! Ad-hoc query paths compose left to right:
 //! `/ds/sales/filter/region/north/groupby/brand/sum/revenue/limit/10`.
@@ -33,8 +35,10 @@ pub mod query;
 pub mod router;
 pub mod serve;
 
-pub use cache::{CacheStats, QueryCache};
+pub use cache::{CacheStats, QueryCache, DEFAULT_CACHE_SHARDS};
 pub use http::{Method, Request, Response, Status};
 pub use json::table_to_json;
 pub use router::Server;
-pub use serve::{blocking_get, blocking_request, serve, ServeOptions, ServiceHandle};
+pub use serve::{
+    blocking_get, blocking_request, serve, ClientConnection, ServeOptions, ServiceHandle,
+};

@@ -9,15 +9,18 @@
 
 use crate::cache::CacheStats;
 use crate::http::Method;
-use shareinsights_core::telemetry::RouteStats;
+use shareinsights_core::telemetry::{ConnectionStats, RouteStats};
 use std::collections::BTreeMap;
 
 /// Pool-level rejection label (queue full → 503 before routing).
 pub const ROUTE_REJECTED: &str = "(rejected)";
-/// Pool-level deadline label (request expired in the queue → 503).
+/// Pool-level deadline label (connection expired in the queue → 503).
 pub const ROUTE_DEADLINE: &str = "(deadline)";
 /// Wire-level parse failure label (unreadable HTTP → 400 before routing).
 pub const ROUTE_MALFORMED: &str = "(malformed)";
+/// Wire-level stall label (socket timed out mid-request → 408 when the head
+/// was already parsed, silent close otherwise).
+pub const ROUTE_TIMEOUT: &str = "(timeout)";
 
 /// The normalized label a request is metered under.
 pub fn route_label(method: Method, segments: &[&str]) -> &'static str {
@@ -58,8 +61,13 @@ pub fn allowed_methods(segments: &[&str]) -> &'static [Method] {
     }
 }
 
-/// Render the `/stats` document: per-route counters + cache counters.
-pub fn stats_json(routes: &BTreeMap<String, RouteStats>, cache: &CacheStats) -> String {
+/// Render the `/stats` document: per-route counters + cache counters +
+/// connection-level counters.
+pub fn stats_json(
+    routes: &BTreeMap<String, RouteStats>,
+    cache: &CacheStats,
+    conns: &ConnectionStats,
+) -> String {
     let mut out = String::from("{\"routes\": {");
     for (i, (label, s)) in routes.iter().enumerate() {
         if i > 0 {
@@ -81,8 +89,25 @@ pub fn stats_json(routes: &BTreeMap<String, RouteStats>, cache: &CacheStats) -> 
     }
     out.push_str(&format!(
         "}}, \"cache\": {{\"entries\": {}, \"bytes\": {}, \"hits\": {}, \"misses\": {}, \
-         \"evictions\": {}, \"invalidations\": {}}}}}",
+         \"evictions\": {}, \"invalidations\": {}}}",
         cache.entries, cache.bytes, cache.hits, cache.misses, cache.evictions, cache.invalidations
+    ));
+    let buckets: Vec<String> = conns
+        .requests_per_connection
+        .iter()
+        .map(|n| n.to_string())
+        .collect();
+    out.push_str(&format!(
+        ", \"connections\": {{\"accepted\": {}, \"closed\": {}, \"reused\": {}, \
+         \"requests\": {}, \"idle_timeouts\": {}, \"io_timeouts\": {}, \
+         \"requests_per_connection\": [{}]}}}}",
+        conns.accepted,
+        conns.closed,
+        conns.reused,
+        conns.requests,
+        conns.idle_timeouts,
+        conns.io_timeouts,
+        buckets.join(", ")
     ));
     out
 }
@@ -136,7 +161,16 @@ mod tests {
         s.latency.record(100);
         s.latency.record(300);
         routes.insert("GET /stats".to_string(), s);
-        let json = stats_json(&routes, &CacheStats::default());
+        let mut conns = ConnectionStats {
+            accepted: 3,
+            closed: 2,
+            reused: 1,
+            requests: 9,
+            idle_timeouts: 1,
+            ..ConnectionStats::default()
+        };
+        conns.requests_per_connection[2] = 2;
+        let json = stats_json(&routes, &CacheStats::default(), &conns);
         let doc = shareinsights_tabular::io::json::parse_json(&json).unwrap();
         assert_eq!(
             doc.path("routes.GET /stats.count")
@@ -146,5 +180,23 @@ mod tests {
             Some(2)
         );
         assert_eq!(doc.path("cache.hits").unwrap().to_value().as_int(), Some(0));
+        assert_eq!(
+            doc.path("connections.accepted")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(3)
+        );
+        assert_eq!(
+            doc.path("connections.reused").unwrap().to_value().as_int(),
+            Some(1)
+        );
+        assert_eq!(
+            doc.path("connections.requests_per_connection.2")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(2)
+        );
     }
 }

@@ -65,6 +65,7 @@ impl Server {
             (Method::Get, ["stats"]) => Response::json(stats_json(
                 &self.platform.api_metrics().snapshot(),
                 &self.cache.stats(),
+                &self.platform.api_metrics().connections(),
             )),
             (Method::Get, ["dashboards"]) => {
                 Response::json(string_list(&self.platform.dashboard_names()))

@@ -3,17 +3,27 @@
 //! A [`std::net::TcpListener`] accepts connections and hands them to a
 //! fixed pool of worker threads through a *bounded* queue. When the queue
 //! is full the accept loop answers 503 immediately instead of letting the
-//! backlog grow (load shedding), and a request that waited in the queue
+//! backlog grow (load shedding), and a connection that waited in the queue
 //! past its deadline is also answered 503 without being parsed. Both
 //! conditions are visible in `/stats` under the `(rejected)` and
 //! `(deadline)` pseudo-routes.
 //!
-//! The wire format is a deliberately small HTTP/1.1 subset: request line,
-//! headers (only `Content-Length` is interpreted), optional body, and
-//! `Connection: close` semantics — one request per connection.
+//! The wire format is a small HTTP/1.1 subset: request line, headers (only
+//! `Content-Length` and `Connection` are interpreted), optional body.
+//! Connections are **persistent**: HTTP/1.1 requests keep the connection
+//! open by default (HTTP/1.0 only with an explicit `Connection:
+//! keep-alive`), a worker loops reading requests off the same socket until
+//! the client sends `Connection: close`, goes idle past
+//! [`ServeOptions::idle_timeout`], or exhausts
+//! [`ServeOptions::max_requests_per_connection`]. Pipelined requests are
+//! handled in order: bytes past the current request's body carry over into
+//! the next parse. A client that stalls *mid-request* past
+//! [`ServeOptions::io_timeout`] is counted under the `(timeout)`
+//! pseudo-route and — when its request head already parsed — answered 408
+//! before the close.
 
 use crate::http::{Method, Request, Response, Status};
-use crate::metrics::{ROUTE_DEADLINE, ROUTE_MALFORMED, ROUTE_REJECTED};
+use crate::metrics::{ROUTE_DEADLINE, ROUTE_MALFORMED, ROUTE_REJECTED, ROUTE_TIMEOUT};
 use crate::router::Server;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -33,16 +43,24 @@ const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 /// Tuning for [`serve`].
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
-    /// Worker threads handling requests.
+    /// Worker threads handling connections.
     pub workers: usize,
     /// Bounded queue depth between the acceptor and the workers; a full
     /// queue means immediate 503s.
     pub queue_depth: usize,
-    /// Maximum time a request may wait in the queue before it is answered
-    /// 503 instead of being processed.
+    /// Maximum time a connection may wait in the queue before it is
+    /// answered 503 instead of being served.
     pub deadline: Duration,
-    /// Socket read/write timeout (guards against stuck clients).
+    /// Socket read/write timeout *within* a request (guards against
+    /// clients that stall mid-head or mid-body).
     pub io_timeout: Duration,
+    /// How long a kept-alive connection may sit idle *between* requests
+    /// before the server closes it quietly.
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before the server answers the
+    /// last one with `Connection: close` (bounds how long a worker can be
+    /// owned by a single client).
+    pub max_requests_per_connection: usize,
 }
 
 impl Default for ServeOptions {
@@ -52,6 +70,8 @@ impl Default for ServeOptions {
             queue_depth: 64,
             deadline: Duration::from_secs(5),
             io_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 128,
         }
     }
 }
@@ -120,6 +140,9 @@ pub fn serve(server: Server, addr: &str, options: ServeOptions) -> io::Result<Se
                 match listener.accept() {
                     Ok((stream, _peer)) => {
                         let _ = stream.set_nonblocking(false);
+                        // Responses are written in one buffer, so Nagle only
+                        // adds delayed-ACK stalls on persistent connections.
+                        let _ = stream.set_nodelay(true);
                         match tx.try_send(Job {
                             stream,
                             accepted: Instant::now(),
@@ -132,7 +155,7 @@ pub fn serve(server: Server, addr: &str, options: ServeOptions) -> io::Result<Se
                                     .record(ROUTE_REJECTED, false, 0);
                                 let resp =
                                     Response::error(Status::ServiceUnavailable, "queue full");
-                                let _ = write_response(&job.stream, &resp);
+                                let _ = write_response(&job.stream, &resp, None);
                             }
                             Err(TrySendError::Disconnected(_)) => break,
                         }
@@ -170,151 +193,395 @@ fn worker_loop(server: &Server, rx: &Mutex<Receiver<Job>>, opts: &ServeOptions) 
                 waited.as_micros() as u64,
             );
             let resp = Response::error(Status::ServiceUnavailable, "deadline exceeded in queue");
-            let _ = write_response(&job.stream, &resp);
+            let _ = write_response(&job.stream, &resp, None);
             continue;
         }
-        let _ = job.stream.set_read_timeout(Some(opts.io_timeout));
-        let _ = job.stream.set_write_timeout(Some(opts.io_timeout));
-        let resp = match read_request(&job.stream) {
-            Ok(request) => server.handle(&request),
-            Err(message) => {
-                server
-                    .platform()
-                    .api_metrics()
-                    .record(ROUTE_MALFORMED, false, 0);
-                Response::error(Status::BadRequest, message)
-            }
-        };
-        let _ = write_response(&job.stream, &resp);
+        handle_connection(server, &job.stream, opts);
     }
 }
 
-/// Parse one HTTP/1.1 request off the socket.
-fn read_request(mut stream: &TcpStream) -> Result<Request, String> {
-    // Read until the blank line ending the head.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+/// Serve requests off one connection until it closes: the keep-alive loop.
+fn handle_connection(server: &Server, stream: &TcpStream, opts: &ServeOptions) {
+    let metrics = server.platform().api_metrics();
+    metrics.record_conn_accepted();
+    let _ = stream.set_write_timeout(Some(opts.io_timeout));
+    let max_requests = opts.max_requests_per_connection.max(1) as u64;
+    let mut carry: Vec<u8> = Vec::with_capacity(1024);
+    let mut served: u64 = 0;
+    loop {
+        match read_request(stream, &mut carry, opts.idle_timeout, opts.io_timeout) {
+            ReadOutcome::Request(request, client_keep_alive) => {
+                served += 1;
+                let keep = client_keep_alive && served < max_requests;
+                let response = server.handle(&request);
+                let remaining = max_requests - served;
+                let header = keep.then_some(KeepAlive {
+                    timeout: opts.idle_timeout,
+                    max: remaining,
+                });
+                if write_response(stream, &response, header).is_err() || !keep {
+                    break;
+                }
+            }
+            ReadOutcome::Closed => break,
+            ReadOutcome::IdleTimeout => {
+                // The client simply went quiet between requests; close
+                // without fanfare (it is not an error on any route).
+                metrics.record_idle_timeout();
+                break;
+            }
+            ReadOutcome::TimedOutMidHead => {
+                // Bytes arrived but the head never completed: there is no
+                // parseable request to answer, so just account and close.
+                metrics.record(ROUTE_TIMEOUT, false, 0);
+                metrics.record_io_timeout();
+                break;
+            }
+            ReadOutcome::TimedOutMidBody => {
+                // The head parsed, so the client speaks HTTP — tell it what
+                // happened before closing.
+                metrics.record(ROUTE_TIMEOUT, false, 0);
+                metrics.record_io_timeout();
+                let resp =
+                    Response::error(Status::RequestTimeout, "timed out reading request body");
+                let _ = write_response(stream, &resp, None);
+                break;
+            }
+            ReadOutcome::Malformed(message) => {
+                metrics.record(ROUTE_MALFORMED, false, 0);
+                let resp = Response::error(Status::BadRequest, message);
+                let _ = write_response(stream, &resp, None);
+                break;
+            }
+        }
+    }
+    metrics.record_conn_closed(served);
+}
+
+/// What reading the next request off a persistent connection produced.
+enum ReadOutcome {
+    /// A complete request, plus whether the client permits keep-alive.
+    Request(Request, bool),
+    /// Peer closed cleanly before sending any byte of a new request.
+    Closed,
+    /// No byte of a new request arrived within the idle window.
+    IdleTimeout,
+    /// The socket timed out after some head bytes arrived.
+    TimedOutMidHead,
+    /// The socket timed out after the head parsed, mid-body.
+    TimedOutMidBody,
+    /// Unparseable request.
+    Malformed(String),
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Parse one HTTP/1.1 request off the socket. `carry` holds bytes already
+/// read past the previous request (pipelining); on success it is left
+/// holding any bytes past this request's body.
+fn read_request(
+    mut stream: &TcpStream,
+    carry: &mut Vec<u8>,
+    idle_timeout: Duration,
+    io_timeout: Duration,
+) -> ReadOutcome {
+    // Read until the blank line ending the head. The first byte of a new
+    // request is allowed the (usually longer) idle window; once the request
+    // has started, the stricter io_timeout applies.
     let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
+        if let Some(pos) = find_head_end(carry) {
             break pos;
         }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err("request head too large".to_string());
+        if carry.len() > MAX_HEAD_BYTES {
+            return ReadOutcome::Malformed("request head too large".to_string());
         }
+        let started = !carry.is_empty();
+        let timeout = if started { io_timeout } else { idle_timeout };
+        let _ = stream.set_read_timeout(Some(timeout));
         let mut chunk = [0u8; 1024];
         match stream.read(&mut chunk) {
-            Ok(0) => return Err("connection closed mid-request".to_string()),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) => return Err(format!("read error: {e}")),
+            Ok(0) if started => {
+                return ReadOutcome::Malformed("connection closed mid-request".to_string())
+            }
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                return if started {
+                    ReadOutcome::TimedOutMidHead
+                } else {
+                    ReadOutcome::IdleTimeout
+                }
+            }
+            Err(_) if !started => return ReadOutcome::Closed,
+            Err(e) => return ReadOutcome::Malformed(format!("read error: {e}")),
         }
     };
-    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let head = String::from_utf8_lossy(&carry[..head_end]).into_owned();
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_ascii_whitespace();
-    let method = parts
-        .next()
-        .and_then(Method::parse)
-        .ok_or_else(|| format!("unsupported method in {request_line:?}"))?;
-    let target = parts
-        .next()
-        .filter(|t| t.starts_with('/'))
-        .ok_or_else(|| format!("bad request target in {request_line:?}"))?;
+    let method = match parts.next().and_then(Method::parse) {
+        Some(m) => m,
+        None => return ReadOutcome::Malformed(format!("unsupported method in {request_line:?}")),
+    };
+    let target = match parts.next().filter(|t| t.starts_with('/')) {
+        Some(t) => t.to_string(),
+        None => return ReadOutcome::Malformed(format!("bad request target in {request_line:?}")),
+    };
     let version = parts.next().unwrap_or("");
     if !version.starts_with("HTTP/1.") {
-        return Err(format!("unsupported protocol {version:?}"));
+        return ReadOutcome::Malformed(format!("unsupported protocol {version:?}"));
     }
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 defaults to close.
+    let mut keep_alive = version != "HTTP/1.0";
     let mut content_length = 0usize;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad content-length {:?}", value.trim()))?;
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = match value.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return ReadOutcome::Malformed(format!(
+                            "bad content-length {:?}",
+                            value.trim()
+                        ))
+                    }
+                };
+            } else if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim().to_ascii_lowercase();
+                if value.split(',').any(|t| t.trim() == "close") {
+                    keep_alive = false;
+                } else if value.split(',').any(|t| t.trim() == "keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
     if content_length > MAX_BODY_BYTES {
-        return Err(format!("body of {content_length} bytes exceeds limit"));
+        return ReadOutcome::Malformed(format!("body of {content_length} bytes exceeds limit"));
     }
-    // Body: whatever followed the head in the buffer, then the rest.
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
+    // Body: whatever followed the head in the buffer, then the rest. Bytes
+    // past the body stay in `carry` for the next (pipelined) request.
+    let total = head_end + 4 + content_length;
+    while carry.len() < total {
+        let _ = stream.set_read_timeout(Some(io_timeout));
         let mut chunk = [0u8; 4096];
         match stream.read(&mut chunk) {
-            Ok(0) => return Err("connection closed mid-body".to_string()),
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
-            Err(e) => return Err(format!("read error: {e}")),
+            Ok(0) => return ReadOutcome::Malformed("connection closed mid-body".to_string()),
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => return ReadOutcome::TimedOutMidBody,
+            Err(e) => return ReadOutcome::Malformed(format!("read error: {e}")),
         }
     }
-    body.truncate(content_length);
-    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-    let request = Request::new(method, target).with_body(body);
-    Ok(request)
+    let body_bytes = carry[head_end + 4..total].to_vec();
+    carry.drain(..total);
+    let body = match String::from_utf8(body_bytes) {
+        Ok(b) => b,
+        Err(_) => return ReadOutcome::Malformed("body is not UTF-8".to_string()),
+    };
+    let request = Request::new(method, &target).with_body(body);
+    ReadOutcome::Request(request, keep_alive)
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn write_response(mut stream: &TcpStream, resp: &Response) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+/// Keep-alive terms advertised to the client on a response that leaves the
+/// connection open.
+struct KeepAlive {
+    timeout: Duration,
+    max: u64,
+}
+
+/// Write one response. `keep` carries the keep-alive terms when the
+/// connection stays open; `None` announces `Connection: close`.
+fn write_response(
+    mut stream: &TcpStream,
+    resp: &Response,
+    keep: Option<KeepAlive>,
+) -> io::Result<()> {
+    let connection = match &keep {
+        Some(k) => format!(
+            "Connection: keep-alive\r\nKeep-Alive: timeout={}, max={}",
+            k.timeout.as_secs(),
+            k.max
+        ),
+        None => "Connection: close".to_string(),
+    };
+    // One buffer, one write: a head-then-body pair of writes interacts with
+    // Nagle + delayed ACK to stall keep-alive round trips by ~40ms.
+    let mut wire = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{connection}\r\n\r\n",
         resp.status.code(),
         resp.status.reason(),
         resp.content_type,
         resp.body.len()
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(resp.body.as_bytes())?;
+    wire.push_str(&resp.body);
+    stream.write_all(wire.as_bytes())?;
     stream.flush()
 }
 
-/// A minimal blocking client for tests, examples and load generation:
-/// one request, `Connection: close`, returns `(status code, body)`.
+// ---------------------------------------------------------------------------
+// Clients
+// ---------------------------------------------------------------------------
+
+/// A blocking client that holds one persistent connection and issues
+/// sequential requests over it — what a dashboard session looks like to the
+/// server. Responses are framed by `Content-Length`; when the server
+/// announces `Connection: close` the connection is marked dead and further
+/// requests error with [`io::ErrorKind::NotConnected`].
+pub struct ClientConnection {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    closed: bool,
+}
+
+impl ClientConnection {
+    /// Connect to `addr` with generous socket timeouts.
+    pub fn connect(addr: SocketAddr) -> io::Result<ClientConnection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(ClientConnection {
+            stream,
+            buf: Vec::new(),
+            closed: false,
+        })
+    }
+
+    /// True once the server announced `Connection: close` on a response.
+    pub fn server_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// GET over the persistent connection.
+    pub fn get(&mut self, target: &str) -> io::Result<(u16, String)> {
+        self.request("GET", target, "")
+    }
+
+    /// One request over the persistent connection (keep-alive announced).
+    pub fn request(&mut self, method: &str, target: &str, body: &str) -> io::Result<(u16, String)> {
+        self.send(method, target, body, true)
+    }
+
+    /// One request announcing `Connection: close` — the server responds,
+    /// then closes; this connection is dead afterwards.
+    pub fn request_close(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &str,
+    ) -> io::Result<(u16, String)> {
+        self.send(method, target, body, false)
+    }
+
+    fn send(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &str,
+        keep: bool,
+    ) -> io::Result<(u16, String)> {
+        if self.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "server closed the connection",
+            ));
+        }
+        let connection = if keep { "keep-alive" } else { "close" };
+        let mut wire = format!(
+            "{method} {target} HTTP/1.1\r\nHost: shareinsights\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+            body.len()
+        );
+        wire.push_str(body);
+        self.stream.write_all(wire.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.buf) {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk)? {
+                0 => {
+                    self.closed = true;
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed before a full response head",
+                    ));
+                }
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let status: u16 = head
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let mut content_length = 0usize;
+        let mut close = false;
+        for line in head.lines().skip(1) {
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                } else if name.eq_ignore_ascii_case("connection")
+                    && value.trim().eq_ignore_ascii_case("close")
+                {
+                    close = true;
+                }
+            }
+        }
+        let total = head_end + 4 + content_length;
+        while self.buf.len() < total {
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk)? {
+                0 => {
+                    self.closed = true;
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "truncated body: {} of {content_length} bytes",
+                            self.buf.len() - head_end - 4
+                        ),
+                    ));
+                }
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let body = String::from_utf8_lossy(&self.buf[head_end + 4..total]).into_owned();
+        self.buf.drain(..total);
+        if close {
+            self.closed = true;
+        }
+        Ok((status, body))
+    }
+}
+
+/// A minimal blocking client for tests and examples: one request,
+/// `Connection: close`, returns `(status code, body)`.
 pub fn blocking_request(
     addr: SocketAddr,
     method: &str,
     target: &str,
     body: &str,
 ) -> io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-    let head = format!(
-        "{method} {target} HTTP/1.1\r\nHost: shareinsights\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()?;
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    let text = String::from_utf8_lossy(&raw);
-    let (head, payload) = text
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body separator"))?;
-    let status: u16 = head
-        .split_ascii_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
-    let expected: Option<usize> = head
-        .lines()
-        .find_map(|l| {
-            l.split_once(':')
-                .filter(|(n, _)| n.trim().eq_ignore_ascii_case("content-length"))
-        })
-        .and_then(|(_, v)| v.trim().parse().ok());
-    if let Some(len) = expected {
-        if payload.len() != len {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("truncated body: {} of {len} bytes", payload.len()),
-            ));
-        }
-    }
-    Ok((status, payload.to_string()))
+    ClientConnection::connect(addr)?.request_close(method, target, body)
 }
 
 /// GET shorthand over [`blocking_request`].
@@ -370,6 +637,61 @@ mod tests {
         let mut out = String::new();
         stream.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 400 Bad Request"), "{out}");
+        assert!(out.contains("Connection: close"), "{out}");
+    }
+
+    #[test]
+    fn persistent_connection_serves_many_requests() {
+        let mut svc = service();
+        let mut conn = ClientConnection::connect(svc.local_addr()).unwrap();
+        for _ in 0..5 {
+            let (code, body) = conn.get("/dashboards").unwrap();
+            assert_eq!(code, 200);
+            assert_eq!(body, "[\"demo\"]");
+            assert!(!conn.server_closed());
+        }
+        let (code, _) = conn.request_close("GET", "/dashboards", "").unwrap();
+        assert_eq!(code, 200);
+        assert!(conn.server_closed());
+        assert!(conn.get("/dashboards").is_err(), "dead after close");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_answered_in_order() {
+        let mut svc = service();
+        let mut stream = TcpStream::connect(svc.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Two requests in one write; the second closes.
+        let batch = "GET /dashboards HTTP/1.1\r\nContent-Length: 0\r\n\r\n\
+                     GET /nope/nope/nope/nope HTTP/1.1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+        stream.write_all(batch.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        let first = out.find("HTTP/1.1 200 OK").expect("first response");
+        let second = out.find("HTTP/1.1 404 Not Found").expect("second response");
+        assert!(first < second, "in order: {out}");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn max_requests_per_connection_is_bounded() {
+        let platform = Platform::new();
+        platform.create_dashboard("demo").unwrap();
+        let opts = ServeOptions {
+            max_requests_per_connection: 3,
+            ..ServeOptions::default()
+        };
+        let mut svc = serve(Server::new(platform), "127.0.0.1:0", opts).expect("bind");
+        let mut conn = ClientConnection::connect(svc.local_addr()).unwrap();
+        for i in 0..3 {
+            let (code, _) = conn.get("/dashboards").unwrap();
+            assert_eq!(code, 200, "request {i}");
+        }
+        assert!(conn.server_closed(), "3rd response must announce close");
+        svc.shutdown();
     }
 
     #[test]
@@ -394,6 +716,8 @@ mod tests {
             queue_depth: 1,
             deadline: Duration::from_secs(30),
             io_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(10),
+            ..ServeOptions::default()
         };
         let mut svc = serve(server, "127.0.0.1:0", opts).expect("bind");
         let addr = svc.local_addr();

@@ -1,14 +1,23 @@
-//! Load-generate against the TCP data-API service.
+//! Load-generate against the TCP data-API service over persistent
+//! connections.
 //!
 //! Starts the service on an ephemeral port, fires N concurrent clients at a
-//! small pool of ad-hoc query URLs, verifies that no response is lost or
-//! malformed, and prints the cache hit rate reported by `/stats`.
+//! small pool of ad-hoc query URLs — each client holding one keep-alive
+//! connection and reconnecting only when the server closes it — verifies
+//! that no response is lost or malformed, and reports the connection reuse
+//! rate alongside the cache hit rate from `/stats`. The CI smoke job runs
+//! this binary and relies on its asserts: any lost/malformed response or a
+//! reuse rate at or below 0.9 aborts with a non-zero exit.
 //!
 //! ```text
-//! cargo run --example loadgen [clients] [requests-per-client]
+//! cargo run --example loadgen [clients] [requests-per-client] [--close]
 //! ```
+//!
+//! `--close` forces one connection per request (the pre-keep-alive
+//! behaviour) for before/after comparisons; reuse-rate asserts are skipped
+//! in that mode.
 
-use shareinsights::server::{blocking_get, serve, ServeOptions, Server};
+use shareinsights::server::{blocking_get, serve, ClientConnection, ServeOptions, Server};
 use shareinsights_core::Platform;
 use std::time::Instant;
 
@@ -31,9 +40,11 @@ F:
 "#;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
-    let per_client: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(50);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let close_mode = args.iter().any(|a| a == "--close");
+    let mut nums = args.iter().filter(|a| *a != "--close");
+    let clients: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let per_client: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(50);
 
     // A platform with a modest synthetic dataset.
     let platform = Platform::new();
@@ -59,7 +70,12 @@ fn main() {
     )
     .expect("bind ephemeral port");
     let addr = svc.local_addr();
-    println!("serving on http://{addr} — {clients} clients x {per_client} requests");
+    let mode = if close_mode {
+        "one connection per request"
+    } else {
+        "keep-alive"
+    };
+    println!("serving on http://{addr} — {clients} clients x {per_client} requests ({mode})");
 
     let targets = [
         "/retail/ds/brand_sales".to_string(),
@@ -70,15 +86,29 @@ fn main() {
     ];
 
     let started = Instant::now();
-    let ok: usize = std::thread::scope(|scope| {
+    // Each client holds one persistent connection, reconnecting only when
+    // the server closes it (Connection: close, idle timeout, or the
+    // per-connection request bound). Returns (ok, connections used).
+    let per_thread: Vec<(usize, usize)> = std::thread::scope(|scope| {
         (0..clients)
             .map(|c| {
                 let targets = &targets;
                 scope.spawn(move || {
+                    let mut conn = ClientConnection::connect(addr).expect("connect");
+                    let mut connections = 1;
                     let mut ok = 0;
                     for r in 0..per_client {
                         let target = &targets[(c + r) % targets.len()];
-                        match blocking_get(addr, target) {
+                        if conn.server_closed() {
+                            conn = ClientConnection::connect(addr).expect("reconnect");
+                            connections += 1;
+                        }
+                        let outcome = if close_mode {
+                            conn.request_close("GET", target, "")
+                        } else {
+                            conn.request("GET", target, "")
+                        };
+                        match outcome {
                             Ok((200, body)) if body.starts_with('{') => ok += 1,
                             Ok((code, body)) => {
                                 panic!("malformed/failed response {code} for {target}: {body}")
@@ -86,17 +116,27 @@ fn main() {
                             Err(e) => panic!("lost response for {target}: {e}"),
                         }
                     }
-                    ok
+                    (ok, connections)
                 })
             })
             .collect::<Vec<_>>()
             .into_iter()
             .map(|h| h.join().expect("client thread"))
-            .sum()
+            .collect()
     });
     let elapsed = started.elapsed();
     let total = clients * per_client;
+    let ok: usize = per_thread.iter().map(|(ok, _)| ok).sum();
+    let connections: usize = per_thread.iter().map(|(_, c)| c).sum();
     assert_eq!(ok, total, "every request must get a well-formed response");
+
+    // Reuse rate: the fraction of requests that rode an already-open
+    // connection instead of paying connect/teardown.
+    let reuse = (total - connections) as f64 / total as f64;
+    assert!(
+        close_mode || reuse > 0.9,
+        "keep-alive must amortize connects: reuse {reuse:.3} over {connections} connections"
+    );
 
     let (code, stats) = blocking_get(addr, "/stats").expect("/stats");
     assert_eq!(code, 200);
@@ -109,11 +149,25 @@ fn main() {
         .as_int()
         .unwrap();
     let rate = 100.0 * hits as f64 / (hits + misses).max(1) as f64;
+    let reused = doc
+        .path("connections.reused")
+        .unwrap()
+        .to_value()
+        .as_int()
+        .unwrap();
+    assert!(
+        close_mode || reused > 0,
+        "server must observe reused connections: {stats}"
+    );
 
     println!(
         "{total} requests in {:.2?} ({:.0} req/s), 0 lost, 0 malformed",
         elapsed,
         total as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "connections: {connections} opened for {total} requests — reuse rate {:.1}%",
+        100.0 * reuse
     );
     println!("cache: {hits} hits / {misses} misses — {rate:.1}% hit rate");
     println!("--- /stats ---\n{stats}");

@@ -1,5 +1,9 @@
 //! Serve the data API over TCP until interrupted.
 //!
+//! Connections are HTTP/1.1 keep-alive by default (see `ServeOptions` for
+//! the idle-timeout and requests-per-connection knobs), so `curl` and
+//! friends can reuse one socket across requests.
+//!
 //! The README's "Serving the data API" walkthrough runs against this:
 //!
 //! ```text

@@ -1,9 +1,15 @@
 //! End-to-end test of the TCP data-API service: concurrent clients, the
-//! generation-stamped query cache, and `/stats` observability.
+//! generation-stamped sharded query cache, keep-alive conformance, and
+//! `/stats` observability.
 
-use shareinsights::server::{blocking_get, blocking_request, serve, ServeOptions, Server};
+use shareinsights::server::{
+    blocking_get, blocking_request, serve, ClientConnection, ServeOptions, Server,
+};
 use shareinsights_core::Platform;
 use shareinsights_tabular::io::json::parse_json;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
 
 const FLOW: &str = r#"
 D:
@@ -24,6 +30,18 @@ F:
   D.brand_sales:
     publish: brand_sales
 "#;
+
+fn retail_service(opts: ServeOptions) -> shareinsights::server::ServiceHandle {
+    let platform = Platform::new();
+    platform.upload_data(
+        "retail",
+        "sales.csv",
+        "region,brand,revenue\nnorth,acme,10\nnorth,acme,5\nsouth,zest,20\nnorth,zest,1\n",
+    );
+    platform.save_flow("retail", FLOW).unwrap();
+    platform.run_dashboard("retail").unwrap();
+    serve(Server::new(platform), "127.0.0.1:0", opts).expect("bind ephemeral port")
+}
 
 fn stat(stats_body: &str, path: &str) -> i64 {
     parse_json(stats_body)
@@ -109,6 +127,204 @@ fn concurrent_clients_share_the_cache_and_publish_invalidates() {
     assert_eq!(stat(&stats, "cache.invalidations"), 1, "{stats}");
 
     svc.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Keep-alive conformance
+// ---------------------------------------------------------------------------
+
+/// N sequential requests over one connection get N correct responses, and
+/// `/stats` sees the connection as reused.
+#[test]
+fn keepalive_sequential_requests_over_one_connection() {
+    let mut svc = retail_service(ServeOptions::default());
+    let addr = svc.local_addr();
+    let mut conn = ClientConnection::connect(addr).unwrap();
+    let n = 8;
+    for i in 0..n {
+        let target = if i % 2 == 0 {
+            "/retail/ds/brand_sales"
+        } else {
+            "/retail/ds/brand_sales/groupby/region/count/brand"
+        };
+        let (code, body) = conn.request("GET", target, "").unwrap();
+        assert_eq!(code, 200, "request {i}: {body}");
+        assert!(body.starts_with('{'), "request {i} malformed: {body}");
+        assert!(!conn.server_closed(), "closed early at request {i}");
+    }
+    drop(conn);
+    // The per-connection request count only lands in /stats on close; the
+    // drop above closes the socket, so poll briefly for the worker to see it.
+    let mut reused = 0;
+    for _ in 0..50 {
+        let (_, stats) = blocking_get(addr, "/stats").unwrap();
+        reused = stat(&stats, "connections.reused");
+        if reused >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(reused >= 1, "the 8-request connection counts as reused");
+    svc.shutdown();
+}
+
+/// `Connection: close` on request k terminates the connection after exactly
+/// k responses.
+#[test]
+fn connection_close_on_request_k_terminates_after_k() {
+    let mut svc = retail_service(ServeOptions::default());
+    let mut conn = ClientConnection::connect(svc.local_addr()).unwrap();
+    let (code, _) = conn.request("GET", "/retail/ds", "").unwrap();
+    assert_eq!(code, 200);
+    let (code, _) = conn.request("GET", "/retail/ds/brand_sales", "").unwrap();
+    assert_eq!(code, 200);
+    assert!(!conn.server_closed(), "still open after 2 keep-alives");
+    let (code, body) = conn.request_close("GET", "/retail/ds", "").unwrap();
+    assert_eq!(code, 200, "{body}");
+    assert!(conn.server_closed(), "response 3 announced the close");
+    assert!(
+        conn.request("GET", "/retail/ds", "").is_err(),
+        "request 4 must not be possible"
+    );
+    svc.shutdown();
+}
+
+/// A malformed second request closes the connection with a 400 — without
+/// poisoning the first (well-formed) response.
+#[test]
+fn malformed_second_request_does_not_poison_first_response() {
+    let mut svc = retail_service(ServeOptions::default());
+    let mut stream = TcpStream::connect(svc.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"GET /retail/ds HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+        .unwrap();
+    // Read the complete first response (framed by Content-Length).
+    let first = read_one_response(&mut stream);
+    assert!(first.starts_with("HTTP/1.1 200 OK"), "{first}");
+    assert!(first.contains("brand_sales"), "{first}");
+    // Now send garbage; the server answers 400 and closes.
+    stream.write_all(b"GARBAGE\r\n\r\n").unwrap();
+    let mut rest = String::new();
+    stream.read_to_string(&mut rest).unwrap();
+    assert!(rest.starts_with("HTTP/1.1 400 Bad Request"), "{rest}");
+    assert!(rest.contains("Connection: close"), "{rest}");
+    svc.shutdown();
+}
+
+/// An idle keep-alive connection is closed quietly: EOF for the client, an
+/// `idle_timeouts` tick in `/stats`, and no error on any route.
+#[test]
+fn idle_timeout_closes_quietly() {
+    let opts = ServeOptions {
+        idle_timeout: Duration::from_millis(150),
+        ..ServeOptions::default()
+    };
+    let mut svc = retail_service(opts);
+    let addr = svc.local_addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"GET /retail/ds HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+        .unwrap();
+    let first = read_one_response(&mut stream);
+    assert!(first.starts_with("HTTP/1.1 200 OK"), "{first}");
+    // Go quiet past the idle window; the server closes with a clean EOF
+    // (no 408, no error payload).
+    std::thread::sleep(Duration::from_millis(400));
+    let mut rest = String::new();
+    stream.read_to_string(&mut rest).unwrap();
+    assert_eq!(rest, "", "idle close sends nothing");
+    let (_, stats) = blocking_get(addr, "/stats").unwrap();
+    assert!(
+        stat(&stats, "connections.idle_timeouts") >= 1,
+        "idle close is accounted: {stats}"
+    );
+    let doc = parse_json(&stats).unwrap();
+    assert!(
+        doc.path("routes.(timeout)").is_none(),
+        "an idle close is not a (timeout): {stats}"
+    );
+    assert_eq!(
+        stat(&stats, "routes.GET /:dashboard/ds.errors"),
+        0,
+        "{stats}"
+    );
+    svc.shutdown();
+}
+
+/// Bugfix regression: a socket stall mid-request is accounted under the
+/// `(timeout)` pseudo-route, and answered 408 when the head already parsed.
+#[test]
+fn mid_request_stall_is_counted_and_answered_408() {
+    let opts = ServeOptions {
+        io_timeout: Duration::from_millis(150),
+        idle_timeout: Duration::from_secs(5),
+        ..ServeOptions::default()
+    };
+    let mut svc = retail_service(opts);
+    let addr = svc.local_addr();
+
+    // Head fully parsed, body never arrives → 408 before the close.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"PUT /dashboards/retail/flow HTTP/1.1\r\nContent-Length: 100\r\n\r\npartial")
+        .unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 408 Request Timeout"), "{out}");
+    assert!(out.contains("Connection: close"), "{out}");
+
+    // Head never completes → counted, closed without a response.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"GET /retail/ds HTTP/1.1\r\nHos").unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    assert_eq!(out, "", "mid-head stall gets no response");
+
+    let (_, stats) = blocking_get(addr, "/stats").unwrap();
+    assert_eq!(stat(&stats, "routes.(timeout).count"), 2, "{stats}");
+    assert!(stat(&stats, "connections.io_timeouts") >= 2, "{stats}");
+    svc.shutdown();
+}
+
+fn read_one_response(stream: &mut TcpStream) -> String {
+    let mut buf = Vec::new();
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk).expect("response bytes");
+        assert!(n > 0, "EOF before response head");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let len: usize = head
+        .lines()
+        .find_map(|l| {
+            l.split_once(':')
+                .filter(|(n, _)| n.trim().eq_ignore_ascii_case("content-length"))
+        })
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .expect("content-length");
+    while buf.len() < head_end + 4 + len {
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk).expect("body bytes");
+        assert!(n > 0, "EOF mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    String::from_utf8_lossy(&buf[..head_end + 4 + len]).into_owned()
 }
 
 #[test]

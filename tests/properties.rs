@@ -327,6 +327,114 @@ fn flowfile_roundtrips() {
     }
 }
 
+/// Parse → serialize → parse is a *fixed point* on the canonical text for
+/// generated valid flow files covering every section (D/T/F/W/L): one trip
+/// through the serializer canonicalizes, after which serialization is the
+/// identity. This is what lets the collaboration services (§4.5) diff and
+/// merge flow files textually.
+#[test]
+fn flowfile_serialize_is_fixed_point() {
+    let mut r = SeededRng::new(0xF0F0_000E);
+    for _ in 0..CASES {
+        // D: 1-3 source objects, some columns renamed from a source path.
+        let n_data = 1 + r.index(3);
+        let data_names: Vec<String> = (0..n_data).map(|i| format!("src{i}")).collect();
+        let mut src = String::from("D:\n");
+        for d in &data_names {
+            let cols: Vec<String> = (0..1 + r.index(3))
+                .map(|c| {
+                    if r.chance(0.3) {
+                        format!("c{c} => raw.f{c}")
+                    } else {
+                        format!("c{c}")
+                    }
+                })
+                .collect();
+            src.push_str(&format!("  {d}: [{}]\n", cols.join(", ")));
+        }
+        for d in &data_names {
+            if r.chance(0.7) {
+                src.push_str(&format!("D.{d}:\n  source: '{d}.csv'\n  format: csv\n"));
+                if r.chance(0.3) {
+                    src.push_str("  endpoint: true\n");
+                }
+                if r.chance(0.3) {
+                    src.push_str(&format!("  publish: shared_{d}\n"));
+                }
+            }
+        }
+        // T: a mix of task shapes exercising scalar and list params.
+        let n_tasks = 1 + r.index(3);
+        let task_names: Vec<String> = (0..n_tasks).map(|i| format!("t{i}")).collect();
+        src.push_str("T:\n");
+        for t in &task_names {
+            match r.index(3) {
+                0 => src.push_str(&format!(
+                    "  {t}:\n    type: filter_by\n    filter_expression: c0 < {}\n",
+                    r.int_range(0, 99)
+                )),
+                1 => src.push_str(&format!(
+                    "  {t}:\n    type: limit\n    limit: {}\n",
+                    1 + r.index(50)
+                )),
+                _ => src.push_str(&format!("  {t}:\n    type: groupby\n    groupby: [c0]\n")),
+            }
+        }
+        // F: one flow per task; occasionally a multi-input fan-in.
+        src.push_str("F:\n");
+        for (i, t) in task_names.iter().enumerate() {
+            let plus = if r.chance(0.5) { "+" } else { "" };
+            if n_data >= 2 && r.chance(0.3) {
+                src.push_str(&format!(
+                    "  {plus}D.out{i}: (D.{}, D.{}) | T.{t}\n",
+                    data_names[0], data_names[1]
+                ));
+            } else {
+                let input = &data_names[i % data_names.len()];
+                src.push_str(&format!("  {plus}D.out{i}: D.{input} | T.{t}\n"));
+            }
+        }
+        // W: widgets over flow outputs plus the occasional static source.
+        src.push_str("W:\n");
+        for (i, t) in task_names.iter().enumerate() {
+            if r.chance(0.25) {
+                src.push_str(&format!(
+                    "  w{i}:\n    type: Slider\n    source: ['2013-05-0{}', '2013-05-2{}']\n    range: true\n",
+                    1 + r.index(9),
+                    r.index(8)
+                ));
+            } else {
+                let tail = if r.chance(0.4) {
+                    format!(" | T.{t}")
+                } else {
+                    String::new()
+                };
+                src.push_str(&format!(
+                    "  w{i}:\n    type: DataGrid\n    source: D.out{i}{tail}\n"
+                ));
+            }
+        }
+        // L: every widget placed, sometimes under a description.
+        src.push_str("L:\n");
+        if r.chance(0.5) {
+            src.push_str("  description: generated dashboard\n");
+        }
+        src.push_str("  rows:\n");
+        for i in 0..task_names.len() {
+            src.push_str(&format!("  - [span{}: W.w{i}]\n", 1 + r.index(12)));
+        }
+
+        let ff1 = parse_flow_file("gen", &src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let text1 = shareinsights::flowfile::to_text(&ff1);
+        let ff2 = parse_flow_file("gen", &text1).unwrap_or_else(|e| panic!("{e}\n{text1}"));
+        let text2 = shareinsights::flowfile::to_text(&ff2);
+        assert_eq!(text1, text2, "canonical form is a fixed point for:\n{src}");
+        // And a third trip stays put, so the fixed point is stable.
+        let ff3 = parse_flow_file("gen", &text2).unwrap();
+        assert_eq!(shareinsights::flowfile::to_text(&ff3), text2);
+    }
+}
+
 /// Expression parser round-trips through Display.
 #[test]
 fn expr_display_roundtrips() {
