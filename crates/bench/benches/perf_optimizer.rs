@@ -64,7 +64,7 @@ fn bench(c: &mut Criterion) {
         r.stats.rows_out.values().sum()
     };
     let rows_touched = |r: &shareinsights_engine::exec::ExecResult| -> usize {
-        r.stats.task_runs.iter().map(|(_, i, _, _)| i).sum()
+        r.stats.task_runs.iter().map(|t| t.rows_in).sum()
     };
     eprintln!(
         "PERF-OPT rows materialised across sinks: optimized {} vs unoptimized {} (dead flow skipped)",

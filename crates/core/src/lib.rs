@@ -39,6 +39,7 @@ pub mod error;
 pub mod meta;
 pub mod platform;
 pub mod telemetry;
+pub mod trace;
 
 pub use dashboard::{Dashboard, RunReport};
 pub use discovery::{suggest_enrichments, Enrichment};
@@ -47,5 +48,6 @@ pub use error::{PlatformError, Result};
 pub use meta::{build_meta_dashboard, profile_table, ColumnProfile, MetaDashboard};
 pub use platform::Platform;
 pub use telemetry::{
-    ApiMetrics, LatencyHistogram, RouteStats, RunEvent, RunKind, RunLog, UsageCounts,
+    ApiMetrics, LatencyHistogram, OperatorStats, RouteStats, RunEvent, RunKind, RunLog, UsageCounts,
 };
+pub use trace::{AttrValue, EventLog, Span, SpanRecord, TraceId, TraceRecord, Tracer};

@@ -3,6 +3,7 @@
 use crate::dashboard::{Dashboard, RunReport};
 use crate::error::{PlatformError, Result};
 use crate::telemetry::{usage_of, ApiMetrics, RunEvent, RunKind, RunLog};
+use crate::trace::{Span, Tracer};
 use parking_lot::RwLock;
 use shareinsights_collab::PublishRegistry;
 use shareinsights_connectors::Catalog;
@@ -37,6 +38,7 @@ pub struct Platform {
     publish: PublishRegistry,
     log: RunLog,
     api: ApiMetrics,
+    tracer: Tracer,
     dashboards: Arc<RwLock<BTreeMap<String, Dashboard>>>,
     /// dashboard -> endpoint-data generation, bumped whenever a run
     /// replaces the dashboard's endpoint tables. Serving-layer caches key
@@ -65,6 +67,7 @@ impl Platform {
             publish: PublishRegistry::new(),
             log: RunLog::new(),
             api: ApiMetrics::new(),
+            tracer: Tracer::new(),
             dashboards: Arc::new(RwLock::new(BTreeMap::new())),
             data_gens: Arc::new(RwLock::new(BTreeMap::new())),
             executor: Executor::default(),
@@ -102,6 +105,12 @@ impl Platform {
     /// Serving-path metrics (per-route counters/latency, `/stats`).
     pub fn api_metrics(&self) -> &ApiMetrics {
         &self.api
+    }
+
+    /// Request/operator trace registry: completed traces land here, and
+    /// the sampling knob lives on it.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The endpoint-data generation of a dashboard: 0 until its first run,
@@ -353,7 +362,22 @@ impl Platform {
     /// Compile and run a dashboard's batch flows; publishes shared objects
     /// and stores endpoint tables for consumption.
     pub fn run_dashboard(&self, name: &str) -> Result<RunReport> {
+        self.run_dashboard_traced(name, None)
+    }
+
+    /// Like [`Platform::run_dashboard`], but additionally hangs child spans
+    /// off `parent` — `compile`, `execute`, and one grandchild per source
+    /// load and per executed DAG operator (grafted post hoc from
+    /// [`shareinsights_engine::exec::ExecStats`], so engine spans and stats
+    /// agree by construction). Per-operator latency histograms fold into
+    /// [`ApiMetrics`] regardless of whether the run is traced.
+    pub fn run_dashboard_traced(&self, name: &str, parent: Option<&Span>) -> Result<RunReport> {
+        let compile_span = parent.map(|s| s.child("compile"));
         let pipeline = self.compile_dashboard(name)?;
+        if let Some(mut s) = compile_span {
+            s.set_attr("flows", pipeline.flows.len());
+            s.finish();
+        }
         let dash = self.dashboard(name)?;
 
         // Resolve shared inputs into the execution context.
@@ -373,7 +397,50 @@ impl Platform {
             }
         }
 
+        let exec_span = parent.map(|s| s.child("execute"));
         let exec_result = self.executor.execute(&pipeline, &ctx);
+        if let Ok(r) = &exec_result {
+            for t in &r.stats.task_runs {
+                self.api.record_operator(
+                    &t.task_type,
+                    t.rows_in as u64,
+                    t.rows_out as u64,
+                    t.elapsed_us,
+                );
+            }
+        }
+        if let Some(mut s) = exec_span {
+            if let Ok(r) = &exec_result {
+                // Engine timings are offsets from run start; rebase them
+                // onto this span's start so they nest inside the trace.
+                let base = s.start_offset_us();
+                for l in &r.stats.source_loads {
+                    s.child_at(
+                        &l.source,
+                        base + l.start_us,
+                        l.elapsed_us,
+                        vec![("op", "source".into()), ("rows_out", l.rows.into())],
+                    );
+                }
+                for t in &r.stats.task_runs {
+                    s.child_at(
+                        &t.task,
+                        base + t.start_us,
+                        t.elapsed_us,
+                        vec![
+                            ("op", t.task_type.as_str().into()),
+                            ("flow", t.flow.as_str().into()),
+                            ("rows_in", t.rows_in.into()),
+                            ("rows_out", t.rows_out.into()),
+                        ],
+                    );
+                }
+                s.set_attr("source_rows", r.stats.source_rows);
+                s.set_attr("tasks", r.stats.task_runs.len());
+                s.set_attr("endpoint_bytes", r.stats.endpoint_bytes);
+            }
+            s.finish();
+        }
         let (operators, widget_types) = usage_of(&dash.ast);
         self.log.record(RunEvent {
             dashboard: name.to_string(),
@@ -776,6 +843,52 @@ T:
         for i in 0..data.num_rows() {
             assert_eq!(data.value(i, "player").unwrap().to_string(), "dhoni");
         }
+    }
+
+    #[test]
+    fn traced_run_grafts_operator_spans_and_folds_histograms() {
+        use crate::trace::AttrValue;
+        let platform = seeded();
+        platform.save_flow("ipl_processing", PROCESSING).unwrap();
+        let root = platform
+            .tracer()
+            .start_trace("POST /dashboards/:name/run", None)
+            .unwrap();
+        platform
+            .run_dashboard_traced("ipl_processing", Some(&root))
+            .unwrap();
+        root.finish();
+
+        let trace = platform.tracer().recent(1).remove(0);
+        let root_span = trace.root().expect("root span recorded");
+        let kids = trace.children_of(root_span.id);
+        let names: Vec<&str> = kids.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"compile"), "{names:?}");
+        assert!(names.contains(&"execute"), "{names:?}");
+        let exec = kids.iter().find(|s| s.name == "execute").unwrap();
+        assert_eq!(exec.attr("source_rows"), Some(&AttrValue::Int(4)));
+        let ops = trace.children_of(exec.id);
+        let group = ops
+            .iter()
+            .find(|s| s.attr("op") == Some(&AttrValue::Str("groupby".into())))
+            .expect("groupby operator span");
+        assert_eq!(group.name, "players_count");
+        assert_eq!(group.attr("rows_in"), Some(&AttrValue::Int(4)));
+        assert_eq!(group.attr("rows_out"), Some(&AttrValue::Int(3)));
+        assert!(
+            ops.iter()
+                .any(|s| s.attr("op") == Some(&AttrValue::Str("source".into()))),
+            "source load span present"
+        );
+
+        // Histograms folded into ApiMetrics even for untraced runs.
+        platform.run_dashboard("ipl_processing").unwrap();
+        let operators = platform.api_metrics().operators();
+        let g = &operators["groupby"];
+        assert_eq!(g.runs, 2);
+        assert_eq!(g.rows_in, 8);
+        assert_eq!(g.rows_out, 6);
+        assert_eq!(g.latency.count, 2);
     }
 
     #[test]

@@ -277,11 +277,28 @@ impl ConnectionStats {
     }
 }
 
+/// Per-operator engine execution statistics: how often each DAG operator
+/// type ran, how many rows flowed through it, and its latency
+/// distribution — the engine-side companion to [`RouteStats`], folded in
+/// by the platform after every dashboard run or ad-hoc query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OperatorStats {
+    /// Task executions of this operator type.
+    pub runs: u64,
+    /// Total rows consumed.
+    pub rows_in: u64,
+    /// Total rows emitted.
+    pub rows_out: u64,
+    /// Per-execution latency distribution.
+    pub latency: LatencyHistogram,
+}
+
 /// Thread-safe per-route metrics registry for the serving path.
 #[derive(Debug, Clone, Default)]
 pub struct ApiMetrics {
     routes: Arc<RwLock<BTreeMap<String, RouteStats>>>,
     connections: Arc<RwLock<ConnectionStats>>,
+    operators: Arc<RwLock<BTreeMap<String, OperatorStats>>>,
 }
 
 impl ApiMetrics {
@@ -346,6 +363,22 @@ impl ApiMetrics {
     /// Snapshot of the connection-level counters.
     pub fn connections(&self) -> ConnectionStats {
         self.connections.read().clone()
+    }
+
+    /// Record one engine operator execution: operator type name, rows
+    /// consumed/emitted, and elapsed time.
+    pub fn record_operator(&self, operator: &str, rows_in: u64, rows_out: u64, elapsed_us: u64) {
+        let mut operators = self.operators.write();
+        let stats = operators.entry(operator.to_string()).or_default();
+        stats.runs += 1;
+        stats.rows_in += rows_in;
+        stats.rows_out += rows_out;
+        stats.latency.record(elapsed_us);
+    }
+
+    /// Snapshot of every operator type's stats.
+    pub fn operators(&self) -> BTreeMap<String, OperatorStats> {
+        self.operators.read().clone()
     }
 
     /// Snapshot of every route's stats.
@@ -459,6 +492,23 @@ mod tests {
         assert_eq!(q.cache_misses, 1);
         assert_eq!(snap["GET /dashboards"].count, 1);
         assert_eq!(m.cache_totals(), (1, 1));
+    }
+
+    #[test]
+    fn operator_metrics_accumulate_per_type() {
+        let m = ApiMetrics::new();
+        m.record_operator("groupby", 1000, 10, 250);
+        m.record_operator("groupby", 2000, 20, 750);
+        m.record_operator("filter_by", 500, 400, 90);
+        let ops = m.operators();
+        assert_eq!(ops.len(), 2);
+        let g = &ops["groupby"];
+        assert_eq!(g.runs, 2);
+        assert_eq!(g.rows_in, 3000);
+        assert_eq!(g.rows_out, 30);
+        assert_eq!(g.latency.count, 2);
+        assert_eq!(g.latency.max_us, 750);
+        assert_eq!(ops["filter_by"].runs, 1);
     }
 
     #[test]

@@ -80,15 +80,19 @@ pub fn execute_naive(pipeline: &CompiledPipeline, ctx: &ExecContext) -> Result<E
         }
         for task in &flow.tasks {
             let t0 = Instant::now();
+            let start_us = start.elapsed().as_micros() as u64;
             let in_rows: usize = current.iter().map(|(_, r)| r.rows.len()).sum();
             current = apply_naive(task, current, &tables, ctx)?;
             let out_rows: usize = current.iter().map(|(_, r)| r.rows.len()).sum();
-            stats.task_runs.push((
-                task.name.clone(),
-                in_rows,
-                out_rows,
-                t0.elapsed().as_micros(),
-            ));
+            stats.task_runs.push(crate::exec::TaskRunStat {
+                task: task.name.clone(),
+                task_type: task.kind.type_name().to_string(),
+                flow: flow.output.clone(),
+                rows_in: in_rows,
+                rows_out: out_rows,
+                start_us,
+                elapsed_us: t0.elapsed().as_micros() as u64,
+            });
         }
         if current.len() != 1 {
             return Err(EngineError::Execution {

@@ -54,8 +54,39 @@ impl ExecContext {
     }
 }
 
-/// Per-task timing record: `(task name, input rows, output rows, micros)`.
-pub type TaskRunStat = (String, usize, usize, u128);
+/// One task execution inside a run: which operator ran where, how many
+/// rows it consumed and emitted, and when (offsets from run start) — the
+/// per-node record request traces and operator histograms are built from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskRunStat {
+    /// Task name as written in the flow file (`T.get_count` → `get_count`).
+    pub task: String,
+    /// Operator type name (`groupby`, `filter_by`, `join`, …).
+    pub task_type: String,
+    /// The flow this execution belonged to, named by its output object.
+    pub flow: String,
+    /// Rows consumed (summed across fan-in inputs).
+    pub rows_in: usize,
+    /// Rows emitted.
+    pub rows_out: usize,
+    /// Start offset from run start, in microseconds.
+    pub start_us: u64,
+    /// Elapsed wall time, in microseconds.
+    pub elapsed_us: u64,
+}
+
+/// One source load inside a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceLoadStat {
+    /// Data object name.
+    pub source: String,
+    /// Rows loaded.
+    pub rows: usize,
+    /// Start offset from run start, in microseconds.
+    pub start_us: u64,
+    /// Elapsed wall time, in microseconds.
+    pub elapsed_us: u64,
+}
 
 /// Per-run statistics (the execution-log data the hackathon dashboards of
 /// §5.2.1 were built from).
@@ -65,7 +96,9 @@ pub struct ExecStats {
     pub source_rows: usize,
     /// Rows produced per data object.
     pub rows_out: BTreeMap<String, usize>,
-    /// Task executions: (task name, input rows, output rows, micros).
+    /// Per-source load timings.
+    pub source_loads: Vec<SourceLoadStat>,
+    /// Per-task executions with rows and timing offsets.
     pub task_runs: Vec<TaskRunStat>,
     /// Total wall time in microseconds.
     pub total_micros: u128,
@@ -146,11 +179,21 @@ impl Executor {
         }
         for name in needed_sources {
             let cfg = &pipeline.sources[name];
+            let load_start_us = start.elapsed().as_micros() as u64;
             let t = ctx.catalog.load(cfg).map_err(|e| EngineError::Source {
                 object: name.to_string(),
                 message: e.to_string(),
             })?;
-            stats.lock().source_rows += t.num_rows();
+            {
+                let mut s = stats.lock();
+                s.source_rows += t.num_rows();
+                s.source_loads.push(SourceLoadStat {
+                    source: name.to_string(),
+                    rows: t.num_rows(),
+                    start_us: load_start_us,
+                    elapsed_us: start.elapsed().as_micros() as u64 - load_start_us,
+                });
+            }
             tables.write().insert(name.to_string(), t);
         }
 
@@ -178,7 +221,7 @@ impl Executor {
                             let results = &results;
                             let ctx = ctx.clone();
                             scope.spawn(move || {
-                                let r = self.run_flow(flow, &tables, &ctx);
+                                let r = self.run_flow(flow, &tables, &ctx, start);
                                 results.lock().push((flow.output.clone(), r));
                             });
                         }
@@ -196,7 +239,7 @@ impl Executor {
                 }
             } else {
                 for flow in level_flows {
-                    let (table, task_stats) = self.run_flow(flow, &tables, ctx)?;
+                    let (table, task_stats) = self.run_flow(flow, &tables, ctx, start)?;
                     stats.lock().task_runs.extend(task_stats);
                     stats
                         .lock()
@@ -232,6 +275,7 @@ impl Executor {
         flow: &crate::compile::CompiledFlow,
         tables: &RwLock<BTreeMap<String, Table>>,
         ctx: &ExecContext,
+        run_start: Instant,
     ) -> Result<(Table, Vec<TaskRunStat>)> {
         // Gather inputs.
         let mut current: Vec<(Option<String>, Table)> = Vec::with_capacity(flow.inputs.len());
@@ -251,15 +295,19 @@ impl Executor {
         let mut task_stats = Vec::with_capacity(flow.tasks.len());
         for task in &flow.tasks {
             let t0 = Instant::now();
+            let start_us = run_start.elapsed().as_micros() as u64;
             let in_rows: usize = current.iter().map(|(_, t)| t.num_rows()).sum();
             current = self.apply_task(task, current, tables, selections.as_deref())?;
             let out_rows: usize = current.iter().map(|(_, t)| t.num_rows()).sum();
-            task_stats.push((
-                task.name.clone(),
-                in_rows,
-                out_rows,
-                t0.elapsed().as_micros(),
-            ));
+            task_stats.push(TaskRunStat {
+                task: task.name.clone(),
+                task_type: task.kind.type_name().to_string(),
+                flow: flow.output.clone(),
+                rows_in: in_rows,
+                rows_out: out_rows,
+                start_us,
+                elapsed_us: t0.elapsed().as_micros() as u64,
+            });
         }
         if current.len() != 1 {
             return Err(EngineError::Execution {
@@ -438,6 +486,24 @@ F:
         assert_eq!(result.stats.rows_out.get("checkin_jira"), Some(&2));
         // Optimizer inserts a pruning projection ahead of the groupby.
         assert_eq!(result.stats.task_runs.len(), 2);
+        let group = result
+            .stats
+            .task_runs
+            .iter()
+            .find(|t| t.task == "get_count")
+            .expect("groupby task recorded");
+        assert_eq!(group.task_type, "groupby");
+        assert_eq!(group.flow, "checkin_jira");
+        assert_eq!(group.rows_in, 3);
+        assert_eq!(group.rows_out, 2);
+        assert!(
+            u128::from(group.start_us + group.elapsed_us) <= result.stats.total_micros,
+            "task timing fits inside the run window"
+        );
+        assert_eq!(result.stats.source_loads.len(), 1);
+        let load = &result.stats.source_loads[0];
+        assert_eq!(load.source, "svn_jira_summary");
+        assert_eq!(load.rows, 3);
     }
 
     #[test]

@@ -589,6 +589,30 @@ impl TaskKind {
         )
     }
 
+    /// The operator type name in flow-file vocabulary (`groupby`,
+    /// `filter_by`, `map`, …) — the key engine telemetry aggregates
+    /// per-operator stats under. Custom tasks report their registered name.
+    pub fn type_name(&self) -> &str {
+        match self {
+            TaskKind::FilterExpr(_) | TaskKind::FilterBySource { .. } => "filter_by",
+            TaskKind::GroupBy { .. } => "groupby",
+            TaskKind::Join(_) => "join",
+            TaskKind::MapDate(_)
+            | TaskKind::MapExtract(_)
+            | TaskKind::MapLocation(_)
+            | TaskKind::MapWords(_)
+            | TaskKind::MapCustom { .. } => "map",
+            TaskKind::TopN(_) => "topn",
+            TaskKind::Sort(_) => "sort",
+            TaskKind::Distinct(_) => "distinct",
+            TaskKind::Limit(_) => "limit",
+            TaskKind::Union => "union",
+            TaskKind::Project(_) => "project",
+            TaskKind::Parallel(_) => "parallel",
+            TaskKind::Custom(c) => c.name(),
+        }
+    }
+
     /// Number of inputs the task consumes (None = any).
     pub fn arity(&self) -> Option<usize> {
         match self {

@@ -104,6 +104,8 @@ pub struct Request {
     pub path: String,
     /// Parsed query parameters.
     pub query: BTreeMap<String, String>,
+    /// Request headers, keys lowercased (`x-trace-id`, `content-length`…).
+    pub headers: BTreeMap<String, String>,
     /// Body (flow-file text for saves).
     pub body: String,
 }
@@ -129,6 +131,7 @@ impl Request {
             method,
             path: path.to_string(),
             query,
+            headers: BTreeMap::new(),
             body: String::new(),
         }
     }
@@ -142,6 +145,19 @@ impl Request {
     pub fn with_body(mut self, body: impl Into<String>) -> Request {
         self.body = body.into();
         self
+    }
+
+    /// Attach a header (key lowercased).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Request {
+        self.headers.insert(name.to_ascii_lowercase(), value.into());
+        self
+    }
+
+    /// Header lookup, case-insensitive.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
     }
 
     /// Path segments (empty segments dropped).
@@ -213,6 +229,14 @@ mod tests {
         assert_eq!(r.query_usize("offset"), Some(5));
         assert_eq!(r.query.get("flag").map(String::as_str), Some(""));
         assert_eq!(r.query_usize("missing"), None);
+    }
+
+    #[test]
+    fn headers_are_case_insensitive() {
+        let r = Request::get("/stats").with_header("X-Trace-Id", "10adc0de00000001");
+        assert_eq!(r.header("x-trace-id"), Some("10adc0de00000001"));
+        assert_eq!(r.header("X-TRACE-ID"), Some("10adc0de00000001"));
+        assert_eq!(r.header("x-other"), None);
     }
 
     #[test]

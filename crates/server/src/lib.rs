@@ -15,7 +15,10 @@
 //! | `GET /<dashboard>/ds` | figure 27: endpoint data listing |
 //! | `GET /<dashboard>/ds/<dataset>` | figure 28: browse endpoint data (`?limit=&offset=`) |
 //! | `GET /<dashboard>/ds/<dataset>/groupby/<col>/<agg>/<col>` | figure 30: ad-hoc query |
-//! | `GET /stats` | per-route counters/latency + query-cache stats |
+//! | `GET /stats` | per-route counters/latency + query-cache + operator stats |
+//! | `GET /metrics` | Prometheus text exposition of the same registry |
+//! | `GET /trace/recent` | recent span trees (`?limit=`) |
+//! | `GET /trace/<id>` | one trace by hex id (`X-Trace-Id` to set it) |
 //!
 //! [`serve`] puts the router behind a real `TcpListener` with a bounded
 //! worker pool (see [`serve::ServeOptions`]). Connections are persistent
@@ -34,11 +37,13 @@ pub mod metrics;
 pub mod query;
 pub mod router;
 pub mod serve;
+pub mod traces;
 
 pub use cache::{CacheStats, QueryCache, DEFAULT_CACHE_SHARDS};
 pub use http::{Method, Request, Response, Status};
 pub use json::table_to_json;
-pub use router::Server;
+pub use router::{Handled, Server};
 pub use serve::{
     blocking_get, blocking_request, serve, ClientConnection, ServeOptions, ServiceHandle,
 };
+pub use traces::{trace_json, trace_list_json};

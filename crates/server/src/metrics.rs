@@ -9,8 +9,12 @@
 
 use crate::cache::CacheStats;
 use crate::http::Method;
-use shareinsights_core::telemetry::{ConnectionStats, RouteStats};
+use shareinsights_core::telemetry::{
+    ConnectionStats, LatencyHistogram, OperatorStats, RouteStats, CONN_REQUESTS_BOUNDS,
+    LATENCY_BOUNDS_US,
+};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// Pool-level rejection label (queue full → 503 before routing).
 pub const ROUTE_REJECTED: &str = "(rejected)";
@@ -26,6 +30,9 @@ pub const ROUTE_TIMEOUT: &str = "(timeout)";
 pub fn route_label(method: Method, segments: &[&str]) -> &'static str {
     match (method, segments) {
         (Method::Get, ["stats"]) => "GET /stats",
+        (Method::Get, ["metrics"]) => "GET /metrics",
+        (Method::Get, ["trace", "recent"]) => "GET /trace/recent",
+        (Method::Get, ["trace", _]) => "GET /trace/:id",
         (Method::Get, ["dashboards"]) => "GET /dashboards",
         (Method::Post, ["dashboards", _, "create"]) => "POST /dashboards/:name/create",
         (Method::Put, ["dashboards", _, "flow"]) => "PUT /dashboards/:name/flow",
@@ -47,7 +54,7 @@ pub fn route_label(method: Method, segments: &[&str]) -> &'static str {
 /// the basis for 405 vs 404 responses.
 pub fn allowed_methods(segments: &[&str]) -> &'static [Method] {
     match segments {
-        ["stats"] | ["dashboards"] => &[Method::Get],
+        ["stats"] | ["dashboards"] | ["metrics"] | ["trace", _] => &[Method::Get],
         ["dashboards", _, "create"] | ["dashboards", _, "run"] | ["dashboards", _, "fork", _] => {
             &[Method::Post]
         }
@@ -62,11 +69,12 @@ pub fn allowed_methods(segments: &[&str]) -> &'static [Method] {
 }
 
 /// Render the `/stats` document: per-route counters + cache counters +
-/// connection-level counters.
+/// connection-level counters + per-operator engine stats.
 pub fn stats_json(
     routes: &BTreeMap<String, RouteStats>,
     cache: &CacheStats,
     conns: &ConnectionStats,
+    operators: &BTreeMap<String, OperatorStats>,
 ) -> String {
     let mut out = String::from("{\"routes\": {");
     for (i, (label, s)) in routes.iter().enumerate() {
@@ -100,7 +108,7 @@ pub fn stats_json(
     out.push_str(&format!(
         ", \"connections\": {{\"accepted\": {}, \"closed\": {}, \"reused\": {}, \
          \"requests\": {}, \"idle_timeouts\": {}, \"io_timeouts\": {}, \
-         \"requests_per_connection\": [{}]}}}}",
+         \"requests_per_connection\": [{}]}}",
         conns.accepted,
         conns.closed,
         conns.reused,
@@ -109,6 +117,221 @@ pub fn stats_json(
         conns.io_timeouts,
         buckets.join(", ")
     ));
+    out.push_str(", \"operators\": {");
+    for (i, (name, s)) in operators.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{}: {{\"runs\": {}, \"rows_in\": {}, \"rows_out\": {}, \
+             \"p50_us\": {}, \"p95_us\": {}, \"max_us\": {}, \"mean_us\": {}}}",
+            crate::json::quote(name),
+            s.runs,
+            s.rows_in,
+            s.rows_out,
+            s.latency.quantile_us(0.50),
+            s.latency.quantile_us(0.95),
+            s.latency.max_us,
+            s.latency.mean_us(),
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition (`/metrics`)
+// ---------------------------------------------------------------------------
+
+/// Escape a Prometheus label value (backslash, quote, newline).
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render microseconds as seconds, the canonical Prometheus unit.
+fn seconds(us: u64) -> String {
+    format!("{}", us as f64 / 1e6)
+}
+
+/// Append one cumulative histogram series (`_bucket`/`_sum`/`_count`) for
+/// a latency histogram, bucketed by [`LATENCY_BOUNDS_US`] in seconds.
+fn write_latency_histogram(out: &mut String, name: &str, labels: &str, h: &LatencyHistogram) {
+    let mut cumulative = 0u64;
+    for (i, bound) in LATENCY_BOUNDS_US.iter().enumerate() {
+        cumulative += h.buckets[i];
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}le=\"{}\"}} {cumulative}",
+            seconds(*bound)
+        );
+    }
+    cumulative += h.buckets[LATENCY_BOUNDS_US.len()];
+    let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {cumulative}");
+    let _ = writeln!(
+        out,
+        "{name}_sum{{{labels_trim}}} {}",
+        seconds(h.total_us),
+        labels_trim = labels.trim_end_matches(',')
+    );
+    let _ = writeln!(
+        out,
+        "{name}_count{{{labels_trim}}} {}",
+        h.count,
+        labels_trim = labels.trim_end_matches(',')
+    );
+}
+
+/// Render the `/metrics` document: Prometheus text exposition (format
+/// 0.0.4) generated from the same registries that feed `/stats`. Counters
+/// and histograms only appear once at least one series exists, so every
+/// `# TYPE` line is followed by samples; bucket counts are cumulative with
+/// `le` bounds in seconds.
+pub fn prometheus_text(
+    routes: &BTreeMap<String, RouteStats>,
+    cache: &CacheStats,
+    conns: &ConnectionStats,
+    operators: &BTreeMap<String, OperatorStats>,
+) -> String {
+    let mut out = String::new();
+    if !routes.is_empty() {
+        out.push_str("# TYPE shareinsights_requests_total counter\n");
+        for (label, s) in routes {
+            let _ = writeln!(
+                out,
+                "shareinsights_requests_total{{route=\"{}\"}} {}",
+                escape_label(label),
+                s.count
+            );
+        }
+        out.push_str("# TYPE shareinsights_request_errors_total counter\n");
+        for (label, s) in routes {
+            let _ = writeln!(
+                out,
+                "shareinsights_request_errors_total{{route=\"{}\"}} {}",
+                escape_label(label),
+                s.errors
+            );
+        }
+        out.push_str("# TYPE shareinsights_route_cache_hits_total counter\n");
+        for (label, s) in routes {
+            let _ = writeln!(
+                out,
+                "shareinsights_route_cache_hits_total{{route=\"{}\"}} {}",
+                escape_label(label),
+                s.cache_hits
+            );
+        }
+        out.push_str("# TYPE shareinsights_route_cache_misses_total counter\n");
+        for (label, s) in routes {
+            let _ = writeln!(
+                out,
+                "shareinsights_route_cache_misses_total{{route=\"{}\"}} {}",
+                escape_label(label),
+                s.cache_misses
+            );
+        }
+        out.push_str("# TYPE shareinsights_request_duration_seconds histogram\n");
+        for (label, s) in routes {
+            let labels = format!("route=\"{}\",", escape_label(label));
+            write_latency_histogram(
+                &mut out,
+                "shareinsights_request_duration_seconds",
+                &labels,
+                &s.latency,
+            );
+        }
+    }
+
+    // Query-result cache (entries/bytes are gauges: eviction shrinks them).
+    out.push_str("# TYPE shareinsights_query_cache_entries gauge\n");
+    let _ = writeln!(out, "shareinsights_query_cache_entries {}", cache.entries);
+    out.push_str("# TYPE shareinsights_query_cache_bytes gauge\n");
+    let _ = writeln!(out, "shareinsights_query_cache_bytes {}", cache.bytes);
+    for (name, value) in [
+        ("hits", cache.hits),
+        ("misses", cache.misses),
+        ("evictions", cache.evictions),
+        ("invalidations", cache.invalidations),
+    ] {
+        let _ = writeln!(out, "# TYPE shareinsights_query_cache_{name}_total counter");
+        let _ = writeln!(out, "shareinsights_query_cache_{name}_total {value}");
+    }
+
+    // Connection-level counters and the requests-per-connection histogram.
+    for (name, value) in [
+        ("accepted", conns.accepted),
+        ("closed", conns.closed),
+        ("reused", conns.reused),
+        ("idle_timeouts", conns.idle_timeouts),
+        ("io_timeouts", conns.io_timeouts),
+    ] {
+        let _ = writeln!(out, "# TYPE shareinsights_connections_{name}_total counter");
+        let _ = writeln!(out, "shareinsights_connections_{name}_total {value}");
+    }
+    out.push_str("# TYPE shareinsights_requests_per_connection histogram\n");
+    let mut cumulative = 0u64;
+    for (i, bound) in CONN_REQUESTS_BOUNDS.iter().enumerate() {
+        cumulative += conns.requests_per_connection[i];
+        let _ = writeln!(
+            out,
+            "shareinsights_requests_per_connection_bucket{{le=\"{bound}\"}} {cumulative}"
+        );
+    }
+    cumulative += conns.requests_per_connection[CONN_REQUESTS_BOUNDS.len()];
+    let _ = writeln!(
+        out,
+        "shareinsights_requests_per_connection_bucket{{le=\"+Inf\"}} {cumulative}"
+    );
+    // Sum of requests over closed connections IS the histogram's sum.
+    let _ = writeln!(
+        out,
+        "shareinsights_requests_per_connection_sum {}",
+        conns.requests
+    );
+    let _ = writeln!(
+        out,
+        "shareinsights_requests_per_connection_count {}",
+        conns.closed
+    );
+
+    // Per-operator engine histograms.
+    if !operators.is_empty() {
+        out.push_str("# TYPE shareinsights_operator_runs_total counter\n");
+        for (name, s) in operators {
+            let _ = writeln!(
+                out,
+                "shareinsights_operator_runs_total{{operator=\"{}\"}} {}",
+                escape_label(name),
+                s.runs
+            );
+        }
+        out.push_str("# TYPE shareinsights_operator_rows_total counter\n");
+        for (name, s) in operators {
+            let escaped = escape_label(name);
+            let _ = writeln!(
+                out,
+                "shareinsights_operator_rows_total{{operator=\"{escaped}\",direction=\"in\"}} {}",
+                s.rows_in
+            );
+            let _ = writeln!(
+                out,
+                "shareinsights_operator_rows_total{{operator=\"{escaped}\",direction=\"out\"}} {}",
+                s.rows_out
+            );
+        }
+        out.push_str("# TYPE shareinsights_operator_duration_seconds histogram\n");
+        for (name, s) in operators {
+            let labels = format!("operator=\"{}\",", escape_label(name));
+            write_latency_histogram(
+                &mut out,
+                "shareinsights_operator_duration_seconds",
+                &labels,
+                &s.latency,
+            );
+        }
+    }
     out
 }
 
@@ -170,7 +393,16 @@ mod tests {
             ..ConnectionStats::default()
         };
         conns.requests_per_connection[2] = 2;
-        let json = stats_json(&routes, &CacheStats::default(), &conns);
+        let mut operators = BTreeMap::new();
+        let mut op = OperatorStats {
+            runs: 3,
+            rows_in: 1000,
+            rows_out: 30,
+            ..OperatorStats::default()
+        };
+        op.latency.record(200);
+        operators.insert("groupby".to_string(), op);
+        let json = stats_json(&routes, &CacheStats::default(), &conns, &operators);
         let doc = shareinsights_tabular::io::json::parse_json(&json).unwrap();
         assert_eq!(
             doc.path("routes.GET /stats.count")
@@ -198,5 +430,196 @@ mod tests {
                 .as_int(),
             Some(2)
         );
+        assert_eq!(
+            doc.path("operators.groupby.runs")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(3)
+        );
+        assert_eq!(
+            doc.path("operators.groupby.rows_in")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(1000)
+        );
+    }
+
+    /// One `name{labels} value` sample line.
+    type Sample = (String, String, f64);
+
+    /// Parse exposition text into (TYPE declarations, samples).
+    fn parse_exposition(text: &str) -> (Vec<(String, String)>, Vec<Sample>) {
+        let mut types = Vec::new();
+        let mut samples = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                types.push((
+                    it.next().unwrap().to_string(),
+                    it.next().unwrap().to_string(),
+                ));
+                continue;
+            }
+            assert!(
+                !line.starts_with('#'),
+                "only TYPE comments expected: {line}"
+            );
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            let (name, labels) = match series.split_once('{') {
+                Some((n, l)) => (n.to_string(), l.trim_end_matches('}').to_string()),
+                None => (series.to_string(), String::new()),
+            };
+            samples.push((name, labels, value.parse::<f64>().expect("numeric value")));
+        }
+        (types, samples)
+    }
+
+    fn sample_metrics() -> String {
+        let mut routes = BTreeMap::new();
+        let mut s = RouteStats {
+            count: 3,
+            errors: 1,
+            cache_hits: 1,
+            cache_misses: 2,
+            ..RouteStats::default()
+        };
+        s.latency.record(80);
+        s.latency.record(300);
+        s.latency.record(9_000_000); // lands in the open-ended bucket
+        routes.insert("GET /:dashboard/ds/:dataset/query".to_string(), s);
+        let mut conns = ConnectionStats {
+            accepted: 2,
+            closed: 2,
+            reused: 1,
+            requests: 7,
+            ..ConnectionStats::default()
+        };
+        conns.requests_per_connection[0] = 1;
+        conns.requests_per_connection[3] = 1;
+        let mut operators = BTreeMap::new();
+        let mut op = OperatorStats {
+            runs: 2,
+            rows_in: 2000,
+            rows_out: 50,
+            ..OperatorStats::default()
+        };
+        op.latency.record(400);
+        op.latency.record(600);
+        operators.insert("groupby".to_string(), op);
+        let cache = CacheStats {
+            entries: 4,
+            bytes: 1024,
+            hits: 5,
+            misses: 6,
+            evictions: 1,
+            invalidations: 2,
+        };
+        prometheus_text(&routes, &cache, &conns, &operators)
+    }
+
+    #[test]
+    fn prometheus_every_type_has_samples_and_buckets_are_cumulative() {
+        let text = sample_metrics();
+        let (types, samples) = parse_exposition(&text);
+        assert!(!types.is_empty());
+        for (name, kind) in &types {
+            let matching: Vec<_> = samples
+                .iter()
+                .filter(|(n, _, _)| n == name || (kind == "histogram" && n.starts_with(name)))
+                .collect();
+            assert!(!matching.is_empty(), "TYPE {name} has no samples");
+        }
+        // Histogram buckets: grouped per series, cumulative and monotone,
+        // +Inf equals _count.
+        for (hist, series_labels) in [
+            (
+                "shareinsights_request_duration_seconds",
+                "route=\"GET /:dashboard/ds/:dataset/query\"",
+            ),
+            (
+                "shareinsights_operator_duration_seconds",
+                "operator=\"groupby\"",
+            ),
+            ("shareinsights_requests_per_connection", ""),
+        ] {
+            let bucket_name = format!("{hist}_bucket");
+            let buckets: Vec<f64> = samples
+                .iter()
+                .filter(|(n, l, _)| *n == bucket_name && l.starts_with(series_labels))
+                .map(|(_, _, v)| *v)
+                .collect();
+            assert!(!buckets.is_empty(), "{hist} has buckets");
+            for w in buckets.windows(2) {
+                assert!(
+                    w[0] <= w[1],
+                    "{hist} buckets must be cumulative: {buckets:?}"
+                );
+            }
+            let count = samples
+                .iter()
+                .find(|(n, l, _)| *n == format!("{hist}_count") && l == series_labels)
+                .map(|(_, _, v)| *v)
+                .expect("count sample");
+            assert_eq!(*buckets.last().unwrap(), count, "+Inf bucket == count");
+        }
+    }
+
+    #[test]
+    fn prometheus_values_and_units() {
+        let text = sample_metrics();
+        assert!(text.contains(
+            "shareinsights_requests_total{route=\"GET /:dashboard/ds/:dataset/query\"} 3"
+        ));
+        assert!(text.contains(
+            "shareinsights_request_errors_total{route=\"GET /:dashboard/ds/:dataset/query\"} 1"
+        ));
+        // 80 µs ≤ the 0.0001 s (100 µs) bound; both early samples ≤ 0.0005.
+        assert!(
+            text.contains("le=\"0.0001\"} 1"),
+            "µs bounds render in seconds:\n{text}"
+        );
+        // The 9 s outlier only appears in +Inf.
+        assert!(text.contains(
+            "shareinsights_request_duration_seconds_bucket{route=\"GET /:dashboard/ds/:dataset/query\",le=\"+Inf\"} 3"
+        ));
+        assert!(text.contains("shareinsights_query_cache_hits_total 5"));
+        assert!(text.contains("shareinsights_query_cache_entries 4"));
+        assert!(text.contains("shareinsights_connections_accepted_total 2"));
+        assert!(text.contains(
+            "shareinsights_operator_rows_total{operator=\"groupby\",direction=\"in\"} 2000"
+        ));
+        assert!(text.contains(
+            "shareinsights_operator_rows_total{operator=\"groupby\",direction=\"out\"} 50"
+        ));
+        // requests_per_connection sum/count come from connection totals.
+        assert!(text.contains("shareinsights_requests_per_connection_sum 7"));
+        assert!(text.contains("shareinsights_requests_per_connection_count 2"));
+        // Label escaping.
+        let mut routes = BTreeMap::new();
+        routes.insert("a\"b\\c".to_string(), RouteStats::default());
+        let escaped = prometheus_text(
+            &routes,
+            &CacheStats::default(),
+            &ConnectionStats::default(),
+            &BTreeMap::new(),
+        );
+        assert!(escaped.contains("route=\"a\\\"b\\\\c\""), "{escaped}");
+    }
+
+    #[test]
+    fn new_observability_routes_have_labels() {
+        assert_eq!(route_label(Method::Get, &["metrics"]), "GET /metrics");
+        assert_eq!(
+            route_label(Method::Get, &["trace", "recent"]),
+            "GET /trace/recent"
+        );
+        assert_eq!(
+            route_label(Method::Get, &["trace", "00ff"]),
+            "GET /trace/:id"
+        );
+        assert_eq!(allowed_methods(&["metrics"]), &[Method::Get]);
+        assert_eq!(allowed_methods(&["trace", "recent"]), &[Method::Get]);
     }
 }

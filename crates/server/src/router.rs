@@ -3,12 +3,27 @@
 use crate::cache::QueryCache;
 use crate::http::{Method, Request, Response, Status};
 use crate::json::{string_list, table_to_json};
-use crate::metrics::{allowed_methods, route_label, stats_json};
+use crate::metrics::{allowed_methods, prometheus_text, route_label, stats_json};
 use crate::query::{parse_ops, run_query};
+use crate::traces::{trace_json, trace_list_json};
+use shareinsights_core::trace::{Span, TraceId};
 use shareinsights_core::Platform;
 use shareinsights_tabular::Table;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Outcome of [`Server::handle_traced`]: the response plus the request's
+/// trace id (when the request was sampled) and handling latency — what the
+/// serving loop needs for slow-request logging.
+#[derive(Debug)]
+pub struct Handled {
+    /// The response to write.
+    pub response: Response,
+    /// Trace id of the request's root span, if one was recorded.
+    pub trace_id: Option<TraceId>,
+    /// Handling latency in microseconds.
+    pub elapsed_us: u64,
+}
 
 /// The in-process REST server wrapping a platform instance.
 ///
@@ -46,27 +61,92 @@ impl Server {
 
     /// Dispatch a request, recording per-route metrics.
     pub fn handle(&self, request: &Request) -> Response {
+        self.handle_traced(request).response
+    }
+
+    /// Dispatch a request with per-route metrics *and* tracing: a root
+    /// span wraps router dispatch (with cache-lookup / query-eval /
+    /// operator children hung off it), honoring a client-supplied
+    /// `X-Trace-Id` header. Observability routes (`/stats`, `/metrics`,
+    /// `/trace/*`) are never traced — scraping must not pollute the ring.
+    pub fn handle_traced(&self, request: &Request) -> Handled {
         let started = Instant::now();
         let label = {
             let segments = request.segments();
             route_label(request.method, &segments)
         };
-        let response = self.dispatch(request);
+        let observability = matches!(
+            label,
+            "GET /stats" | "GET /metrics" | "GET /trace/recent" | "GET /trace/:id"
+        );
+        let root = if observability {
+            None
+        } else {
+            let explicit = request.header("x-trace-id").and_then(TraceId::parse);
+            self.platform.tracer().start_trace(label, explicit)
+        };
+        let response = match &root {
+            Some(r) => {
+                let dispatch_span = r.child("dispatch");
+                let response = self.dispatch(request, Some(&dispatch_span));
+                dispatch_span.finish();
+                response
+            }
+            None => self.dispatch(request, None),
+        };
         let elapsed_us = started.elapsed().as_micros() as u64;
+        let trace_id = root.as_ref().map(Span::trace_id);
+        if let Some(mut r) = root {
+            r.set_attr("path", request.path.as_str());
+            r.set_attr("status", i64::from(response.status.code()));
+            r.finish();
+        }
         self.platform
             .api_metrics()
             .record(label, response.is_ok(), elapsed_us);
-        response
+        Handled {
+            response,
+            trace_id,
+            elapsed_us,
+        }
     }
 
-    fn dispatch(&self, request: &Request) -> Response {
+    fn dispatch(&self, request: &Request, span: Option<&Span>) -> Response {
         let segments = request.segments();
         match (request.method, segments.as_slice()) {
             (Method::Get, ["stats"]) => Response::json(stats_json(
                 &self.platform.api_metrics().snapshot(),
                 &self.cache.stats(),
                 &self.platform.api_metrics().connections(),
+                &self.platform.api_metrics().operators(),
             )),
+            (Method::Get, ["metrics"]) => Response {
+                status: Status::Ok,
+                body: prometheus_text(
+                    &self.platform.api_metrics().snapshot(),
+                    &self.cache.stats(),
+                    &self.platform.api_metrics().connections(),
+                    &self.platform.api_metrics().operators(),
+                ),
+                content_type: "text/plain; version=0.0.4",
+            },
+            (Method::Get, ["trace", "recent"]) => {
+                let limit = request.query_usize("limit").unwrap_or(20);
+                Response::json(trace_list_json(&self.platform.tracer().recent(limit)))
+            }
+            (Method::Get, ["trace", id]) => match TraceId::parse(id) {
+                Some(tid) => match self.platform.tracer().find(tid) {
+                    Some(trace) => Response::json(trace_json(&trace)),
+                    None => Response::error(
+                        Status::NotFound,
+                        format!("no completed trace '{tid}' (evicted or never sampled?)"),
+                    ),
+                },
+                None => Response::error(
+                    Status::BadRequest,
+                    format!("'{id}' is not a trace id (expected 1-16 hex digits)"),
+                ),
+            },
             (Method::Get, ["dashboards"]) => {
                 Response::json(string_list(&self.platform.dashboard_names()))
             }
@@ -97,7 +177,7 @@ impl Server {
                 Err(e) => Response::error(Status::NotFound, e.to_string()),
             },
             (Method::Post, ["dashboards", name, "run"]) => {
-                match self.platform.run_dashboard(name) {
+                match self.platform.run_dashboard_traced(name, span) {
                     Ok(report) => {
                         let endpoints: Vec<String> = report.result.endpoints.to_vec();
                         Response::json(format!(
@@ -133,7 +213,7 @@ impl Server {
             // Data API: /<dashboard>/ds[...]
             (Method::Get, [dashboard, "ds"]) => self.list_endpoints(dashboard),
             (Method::Get, [dashboard, "ds", rest @ ..]) if !rest.is_empty() => {
-                self.dataset(request, dashboard, rest[0], &rest[1..])
+                self.dataset(request, dashboard, rest[0], &rest[1..], span)
             }
             _ => {
                 let allowed = allowed_methods(&segments);
@@ -205,6 +285,7 @@ impl Server {
         dashboard: &str,
         dataset: &str,
         ops_segments: &[&str],
+        span: Option<&Span>,
     ) -> Response {
         let label = if ops_segments.is_empty() {
             "GET /:dashboard/ds/:dataset"
@@ -223,12 +304,22 @@ impl Server {
             ops_segments.join("/"),
             limit.map_or_else(|| "all".to_string(), |l| l.to_string()),
         );
-        if let Some(body) = self.cache.get(&key, generation) {
+        let cached = {
+            let mut lookup_span = span.map(|s| s.child("cache_lookup"));
+            let cached = self.cache.get(&key, generation);
+            if let Some(s) = lookup_span.as_mut() {
+                s.set_attr("hit", cached.is_some());
+                s.set_attr("generation", generation);
+            }
+            cached
+        };
+        if let Some(body) = cached {
             self.platform.api_metrics().record_cache(label, true);
             return Response::json(body);
         }
         self.platform.api_metrics().record_cache(label, false);
 
+        let mut eval_span = span.map(|s| s.child("query_eval"));
         let table = match self.endpoint_table(dashboard, dataset) {
             Ok(t) => t,
             Err(resp) => return resp,
@@ -245,6 +336,12 @@ impl Server {
         let limit = limit.unwrap_or(result.num_rows());
         let page = result.slice(offset, limit);
         let body = table_to_json(&page);
+        if let Some(mut s) = eval_span.take() {
+            s.set_attr("rows_in", table.num_rows());
+            s.set_attr("rows_out", page.num_rows());
+            s.set_attr("bytes", body.len());
+            s.finish();
+        }
         self.cache.put(&key, generation, body.clone());
         Response::json(body)
     }
@@ -626,6 +723,145 @@ F:
         let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
         assert!(doc.items().len() >= 2, "{}", r.body);
         assert!(r.body.contains("save"));
+    }
+
+    #[test]
+    fn metrics_route_exposes_prometheus_families() {
+        let server = served();
+        let url = "/retail/ds/brand_sales/groupby/region/count/brand";
+        server.handle(&Request::get(url));
+        server.handle(&Request::get(url));
+        let r = server.handle(&Request::get("/metrics"));
+        assert!(r.is_ok());
+        assert_eq!(r.content_type, "text/plain; version=0.0.4");
+        assert!(
+            r.body
+                .contains("shareinsights_requests_total{route=\"POST /dashboards/:name/run\"} 1"),
+            "{}",
+            r.body
+        );
+        assert!(r.body.contains(
+            "shareinsights_route_cache_hits_total{route=\"GET /:dashboard/ds/:dataset/query\"} 1"
+        ));
+        // The dashboard run folded per-operator histograms into the registry.
+        assert!(
+            r.body
+                .contains("shareinsights_operator_runs_total{operator=\"groupby\"} 1"),
+            "{}",
+            r.body
+        );
+        assert!(r
+            .body
+            .contains("# TYPE shareinsights_operator_duration_seconds histogram"));
+        // Scraping /metrics does not record a trace.
+        let before = server.platform().tracer().len();
+        server.handle(&Request::get("/metrics"));
+        server.handle(&Request::get("/stats"));
+        server.handle(&Request::get("/trace/recent"));
+        assert_eq!(server.platform().tracer().len(), before);
+    }
+
+    #[test]
+    fn explicit_trace_id_is_honored_and_fetchable() {
+        let server = served();
+        let r = server.handle(
+            &Request::get("/retail/ds/brand_sales/groupby/region/count/brand")
+                .with_header("X-Trace-Id", "10adc0de00000001"),
+        );
+        assert!(r.is_ok());
+        let r = server.handle(&Request::get("/trace/10adc0de00000001"));
+        assert!(r.is_ok(), "{}", r.body);
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        assert_eq!(
+            doc.path("trace_id").unwrap().to_value().as_str(),
+            Some("10adc0de00000001")
+        );
+        assert_eq!(
+            doc.path("root.name").unwrap().to_value().as_str(),
+            Some("GET /:dashboard/ds/:dataset/query")
+        );
+        // Root → dispatch → {cache_lookup, query_eval}.
+        assert_eq!(
+            doc.path("root.children.0.name")
+                .unwrap()
+                .to_value()
+                .as_str(),
+            Some("dispatch")
+        );
+        let body = &r.body;
+        assert!(body.contains("\"cache_lookup\""), "{body}");
+        assert!(body.contains("\"query_eval\""), "{body}");
+        assert!(body.contains("\"rows_in\": 3"), "{body}");
+    }
+
+    #[test]
+    fn run_trace_grafts_operator_spans() {
+        let server = served();
+        let r = server.handle(
+            &Request::new(Method::Post, "/dashboards/retail/run").with_header("x-trace-id", "beef"),
+        );
+        assert!(r.is_ok());
+        let r = server.handle(&Request::get("/trace/beef"));
+        assert!(r.is_ok(), "{}", r.body);
+        // compile + execute children under dispatch, operator span with row
+        // counts under execute.
+        assert!(r.body.contains("\"compile\""), "{}", r.body);
+        assert!(r.body.contains("\"execute\""), "{}", r.body);
+        assert!(r.body.contains("\"brand_sales\""), "{}", r.body);
+        assert!(r.body.contains("\"op\": \"groupby\""), "{}", r.body);
+        assert!(r.body.contains("\"rows_in\": 4"), "{}", r.body);
+        assert!(r.body.contains("\"rows_out\": 3"), "{}", r.body);
+        assert!(r.body.contains("\"op\": \"source\""), "{}", r.body);
+    }
+
+    #[test]
+    fn trace_recent_lists_newest_first_with_limit() {
+        let server = served();
+        for i in 0..3 {
+            server.handle(
+                &Request::get("/retail/ds/brand_sales")
+                    .with_header("x-trace-id", format!("{:x}", 0xa0 + i)),
+            );
+        }
+        let r = server.handle(&Request::get("/trace/recent?limit=2"));
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        assert_eq!(doc.path("traces").unwrap().items().len(), 2);
+        assert_eq!(
+            doc.path("traces.0.trace_id").unwrap().to_value().as_str(),
+            Some("00000000000000a2")
+        );
+    }
+
+    #[test]
+    fn trace_errors_and_sampling_off() {
+        let server = served();
+        let r = server.handle(&Request::get("/trace/zzz"));
+        assert_eq!(r.status, Status::BadRequest);
+        assert!(r.body.contains("not a trace id"), "{}", r.body);
+        let r = server.handle(&Request::get("/trace/deadbeef"));
+        assert_eq!(r.status, Status::NotFound);
+
+        // sampling 0 disables tracing entirely, even for explicit ids.
+        server.platform().tracer().set_sample_one_in(0);
+        let before = server.platform().tracer().len();
+        server.handle(&Request::get("/retail/ds/brand_sales").with_header("x-trace-id", "77"));
+        assert_eq!(server.platform().tracer().len(), before);
+        let r = server.handle(&Request::get("/trace/77"));
+        assert_eq!(r.status, Status::NotFound);
+    }
+
+    #[test]
+    fn handle_traced_reports_id_and_latency() {
+        let server = served();
+        let h = server.handle_traced(
+            &Request::get("/retail/ds/brand_sales").with_header("x-trace-id", "c0ffee"),
+        );
+        assert!(h.response.is_ok());
+        assert_eq!(h.trace_id, Some(TraceId(0xc0ffee)));
+        // Observability routes carry no trace id.
+        let h = server.handle_traced(&Request::get("/stats"));
+        assert!(h.response.is_ok());
+        assert_eq!(h.trace_id, None);
     }
 
     #[test]

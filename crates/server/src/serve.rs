@@ -8,8 +8,9 @@
 //! conditions are visible in `/stats` under the `(rejected)` and
 //! `(deadline)` pseudo-routes.
 //!
-//! The wire format is a small HTTP/1.1 subset: request line, headers (only
-//! `Content-Length` and `Connection` are interpreted), optional body.
+//! The wire format is a small HTTP/1.1 subset: request line, headers
+//! (`Content-Length` and `Connection` drive framing; everything else —
+//! notably `X-Trace-Id` — is passed through to the router), optional body.
 //! Connections are **persistent**: HTTP/1.1 requests keep the connection
 //! open by default (HTTP/1.0 only with an explicit `Connection:
 //! keep-alive`), a worker loops reading requests off the same socket until
@@ -21,10 +22,18 @@
 //! [`ServeOptions::io_timeout`] is counted under the `(timeout)`
 //! pseudo-route and — when its request head already parsed — answered 408
 //! before the close.
+//!
+//! Operationally interesting requests go to a structured
+//! [`EventLog`](shareinsights_core::trace::EventLog) as JSON lines: any
+//! response with a 5xx status (`"event": "error"`) and any request slower
+//! than [`ServeOptions::slow_request_threshold`] (`"event":
+//! "slow_request"`), each carrying the trace id when the request was
+//! sampled.
 
 use crate::http::{Method, Request, Response, Status};
 use crate::metrics::{ROUTE_DEADLINE, ROUTE_MALFORMED, ROUTE_REJECTED, ROUTE_TIMEOUT};
 use crate::router::Server;
+use shareinsights_core::trace::{AttrValue, EventLog};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -61,6 +70,14 @@ pub struct ServeOptions {
     /// last one with `Connection: close` (bounds how long a worker can be
     /// owned by a single client).
     pub max_requests_per_connection: usize,
+    /// Requests whose handling latency meets or exceeds this threshold are
+    /// written to [`ServeOptions::event_log`] as `slow_request` events
+    /// (with trace id, when sampled). `None` disables slow-request
+    /// logging.
+    pub slow_request_threshold: Option<Duration>,
+    /// Where `slow_request` / `error` events go (JSON lines). Defaults to
+    /// standard error.
+    pub event_log: EventLog,
 }
 
 impl Default for ServeOptions {
@@ -72,6 +89,8 @@ impl Default for ServeOptions {
             io_timeout: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(5),
             max_requests_per_connection: 128,
+            slow_request_threshold: None,
+            event_log: EventLog::stderr(),
         }
     }
 }
@@ -213,7 +232,9 @@ fn handle_connection(server: &Server, stream: &TcpStream, opts: &ServeOptions) {
             ReadOutcome::Request(request, client_keep_alive) => {
                 served += 1;
                 let keep = client_keep_alive && served < max_requests;
-                let response = server.handle(&request);
+                let handled = server.handle_traced(&request);
+                log_request_events(opts, &request, &handled);
+                let response = handled.response;
                 let remaining = max_requests - served;
                 let header = keep.then_some(KeepAlive {
                     timeout: opts.idle_timeout,
@@ -256,6 +277,34 @@ fn handle_connection(server: &Server, stream: &TcpStream, opts: &ServeOptions) {
         }
     }
     metrics.record_conn_closed(served);
+}
+
+/// Emit `error` / `slow_request` events for one handled request. The trace
+/// id rides along when the request was sampled, so a log line links
+/// straight to `GET /trace/<id>`.
+fn log_request_events(opts: &ServeOptions, request: &Request, handled: &crate::router::Handled) {
+    let code = handled.response.status.code();
+    let slow = opts
+        .slow_request_threshold
+        .is_some_and(|t| handled.elapsed_us >= t.as_micros() as u64);
+    if code < 500 && !slow {
+        return;
+    }
+    let mut fields: Vec<(&str, AttrValue)> = vec![
+        ("method", request.method.to_string().into()),
+        ("path", request.path.as_str().into()),
+        ("status", i64::from(code).into()),
+        ("elapsed_us", handled.elapsed_us.into()),
+    ];
+    if let Some(id) = handled.trace_id {
+        fields.push(("trace_id", id.to_string().into()));
+    }
+    if code >= 500 {
+        opts.event_log.emit("error", &fields);
+    }
+    if slow {
+        opts.event_log.emit("slow_request", &fields);
+    }
 }
 
 /// What reading the next request off a persistent connection produced.
@@ -340,9 +389,11 @@ fn read_request(
     // HTTP/1.1 defaults to keep-alive; HTTP/1.0 defaults to close.
     let mut keep_alive = version != "HTTP/1.0";
     let mut content_length = 0usize;
+    let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim();
+            headers.push((name.to_string(), value.trim().to_string()));
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = match value.trim().parse() {
                     Ok(n) => n,
@@ -385,7 +436,10 @@ fn read_request(
         Ok(b) => b,
         Err(_) => return ReadOutcome::Malformed("body is not UTF-8".to_string()),
     };
-    let request = Request::new(method, &target).with_body(body);
+    let mut request = Request::new(method, &target).with_body(body);
+    for (name, value) in headers {
+        request = request.with_header(&name, value);
+    }
     ReadOutcome::Request(request, keep_alive)
 }
 
@@ -470,7 +524,18 @@ impl ClientConnection {
 
     /// One request over the persistent connection (keep-alive announced).
     pub fn request(&mut self, method: &str, target: &str, body: &str) -> io::Result<(u16, String)> {
-        self.send(method, target, body, true)
+        self.send(method, target, body, true, &[])
+    }
+
+    /// One keep-alive request with extra headers (e.g. `X-Trace-Id`).
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> io::Result<(u16, String)> {
+        self.send(method, target, body, true, headers)
     }
 
     /// One request announcing `Connection: close` — the server responds,
@@ -481,7 +546,7 @@ impl ClientConnection {
         target: &str,
         body: &str,
     ) -> io::Result<(u16, String)> {
-        self.send(method, target, body, false)
+        self.send(method, target, body, false, &[])
     }
 
     fn send(
@@ -490,6 +555,7 @@ impl ClientConnection {
         target: &str,
         body: &str,
         keep: bool,
+        headers: &[(&str, &str)],
     ) -> io::Result<(u16, String)> {
         if self.closed {
             return Err(io::Error::new(
@@ -499,9 +565,13 @@ impl ClientConnection {
         }
         let connection = if keep { "keep-alive" } else { "close" };
         let mut wire = format!(
-            "{method} {target} HTTP/1.1\r\nHost: shareinsights\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+            "{method} {target} HTTP/1.1\r\nHost: shareinsights\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
             body.len()
         );
+        for (name, value) in headers {
+            wire.push_str(&format!("{name}: {value}\r\n"));
+        }
+        wire.push_str("\r\n");
         wire.push_str(body);
         self.stream.write_all(wire.as_bytes())?;
         self.stream.flush()?;
@@ -691,6 +761,65 @@ mod tests {
             assert_eq!(code, 200, "request {i}");
         }
         assert!(conn.server_closed(), "3rd response must announce close");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn slow_request_events_carry_trace_ids() {
+        // Threshold zero: every request is "slow", so the in-memory log
+        // captures each one with its trace id.
+        let platform = Platform::new();
+        platform.create_dashboard("demo").unwrap();
+        let log = EventLog::in_memory();
+        let opts = ServeOptions {
+            slow_request_threshold: Some(Duration::ZERO),
+            event_log: log.clone(),
+            ..ServeOptions::default()
+        };
+        let mut svc = serve(Server::new(platform), "127.0.0.1:0", opts).expect("bind");
+        let mut conn = ClientConnection::connect(svc.local_addr()).unwrap();
+        let (code, _) = conn
+            .request_with_headers(
+                "GET",
+                "/dashboards",
+                "",
+                &[("X-Trace-Id", "feed00000000beef")],
+            )
+            .unwrap();
+        assert_eq!(code, 200);
+        svc.shutdown();
+        let lines = log.lines();
+        assert!(!lines.is_empty(), "slow-request events recorded");
+        let line = &lines[0];
+        let doc = shareinsights_tabular::io::json::parse_json(line).unwrap();
+        assert_eq!(
+            doc.path("event").unwrap().to_value().as_str(),
+            Some("slow_request")
+        );
+        assert_eq!(
+            doc.path("path").unwrap().to_value().as_str(),
+            Some("/dashboards")
+        );
+        assert_eq!(doc.path("status").unwrap().to_value().as_int(), Some(200));
+        assert_eq!(
+            doc.path("trace_id").unwrap().to_value().as_str(),
+            Some("feed00000000beef")
+        );
+        assert!(doc.path("unix_us").unwrap().to_value().as_int().unwrap() > 0);
+    }
+
+    #[test]
+    fn trace_ids_propagate_through_the_tcp_path() {
+        let mut svc = service();
+        let mut conn = ClientConnection::connect(svc.local_addr()).unwrap();
+        let (code, _) = conn
+            .request_with_headers("GET", "/dashboards", "", &[("X-Trace-Id", "ab01")])
+            .unwrap();
+        assert_eq!(code, 200);
+        let (code, body) = conn.get("/trace/ab01").unwrap();
+        assert_eq!(code, 200, "{body}");
+        assert!(body.contains("\"000000000000ab01\""), "{body}");
+        assert!(body.contains("\"GET /dashboards\""), "{body}");
         svc.shutdown();
     }
 

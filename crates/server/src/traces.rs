@@ -1,0 +1,156 @@
+//! JSON rendering of completed traces as span trees.
+//!
+//! A [`TraceRecord`] stores its spans flat; these helpers reassemble the
+//! parent/child structure for `GET /trace/recent` and `GET /trace/<id>`.
+
+use crate::json::quote;
+use shareinsights_core::trace::{SpanRecord, TraceRecord};
+
+/// Render one trace as a JSON object with a nested span tree.
+pub fn trace_json(trace: &TraceRecord) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"trace_id\": {}",
+        quote(&trace.trace_id.to_string())
+    ));
+    out.push_str(&format!(", \"duration_us\": {}", trace.duration_us()));
+    out.push_str(", \"root\": ");
+    match trace.root() {
+        Some(root) => span_node(trace, root, &mut out, 0),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out
+}
+
+/// Render a list of traces (newest first) as `{"traces": [...]}`.
+pub fn trace_list_json(traces: &[TraceRecord]) -> String {
+    let mut out = String::from("{\"traces\": [");
+    for (i, t) in traces.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&trace_json(t));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Append one span node `{name, start_us, elapsed_us, attrs, children}`.
+///
+/// `depth` guards against parent cycles in malformed records; real traces
+/// are trees by construction.
+fn span_node(trace: &TraceRecord, span: &SpanRecord, out: &mut String, depth: usize) {
+    out.push('{');
+    out.push_str(&format!("\"name\": {}", quote(&span.name)));
+    out.push_str(&format!(", \"start_us\": {}", span.start_us));
+    out.push_str(&format!(", \"elapsed_us\": {}", span.elapsed_us));
+    out.push_str(", \"attrs\": {");
+    for (i, (key, value)) in span.attrs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}: {}", quote(key), value.to_json()));
+    }
+    out.push_str("}, \"children\": [");
+    if depth < 64 {
+        for (i, child) in trace.children_of(span.id).into_iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            span_node(trace, child, out, depth + 1);
+        }
+    }
+    out.push_str("]}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_core::trace::{TraceId, Tracer};
+
+    fn completed_trace() -> TraceRecord {
+        let tracer = Tracer::new();
+        let root = tracer
+            .start_trace("GET /q", Some(TraceId(0xabc)))
+            .expect("explicit ids are always sampled");
+        let child = root.child("query_eval");
+        child.child_at(
+            "groupby",
+            child.start_offset_us(),
+            42,
+            vec![("rows_in", 100i64.into()), ("rows_out", 7i64.into())],
+        );
+        child.finish();
+        root.finish();
+        tracer.find(TraceId(0xabc)).expect("trace sealed")
+    }
+
+    #[test]
+    fn renders_nested_span_tree() {
+        let json = trace_json(&completed_trace());
+        let doc = shareinsights_tabular::io::json::parse_json(&json).expect("valid json");
+        assert_eq!(
+            doc.path("trace_id").unwrap().to_value().as_str(),
+            Some("0000000000000abc")
+        );
+        assert_eq!(
+            doc.path("root.name").unwrap().to_value().as_str(),
+            Some("GET /q")
+        );
+        assert_eq!(
+            doc.path("root.children.0.name")
+                .unwrap()
+                .to_value()
+                .as_str(),
+            Some("query_eval")
+        );
+        assert_eq!(
+            doc.path("root.children.0.children.0.name")
+                .unwrap()
+                .to_value()
+                .as_str(),
+            Some("groupby")
+        );
+        assert_eq!(
+            doc.path("root.children.0.children.0.attrs.rows_in")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(100)
+        );
+        assert_eq!(
+            doc.path("root.children.0.children.0.elapsed_us")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn renders_trace_list() {
+        let t = completed_trace();
+        let json = trace_list_json(&[t.clone(), t]);
+        let doc = shareinsights_tabular::io::json::parse_json(&json).expect("valid json");
+        assert_eq!(
+            doc.path("traces.0.trace_id").unwrap().to_value().as_str(),
+            Some("0000000000000abc")
+        );
+        assert_eq!(
+            doc.path("traces.1.root.name").unwrap().to_value().as_str(),
+            Some("GET /q")
+        );
+    }
+
+    #[test]
+    fn empty_list_and_missing_root() {
+        assert_eq!(trace_list_json(&[]), "{\"traces\": []}");
+        let orphan = TraceRecord {
+            trace_id: TraceId(1),
+            spans: Vec::new(),
+        };
+        let json = trace_json(&orphan);
+        assert!(json.contains("\"root\": null"), "{json}");
+    }
+}

@@ -4,18 +4,26 @@
 //! Starts the service on an ephemeral port, fires N concurrent clients at a
 //! small pool of ad-hoc query URLs — each client holding one keep-alive
 //! connection and reconnecting only when the server closes it — verifies
-//! that no response is lost or malformed, and reports the connection reuse
-//! rate alongside the cache hit rate from `/stats`. The CI smoke job runs
-//! this binary and relies on its asserts: any lost/malformed response or a
-//! reuse rate at or below 0.9 aborts with a non-zero exit.
+//! that no response is lost or malformed, and reports client-side latency
+//! percentiles plus the connection reuse rate and cache hit rate from
+//! `/stats`. Every request carries an `X-Trace-Id` with a fixed
+//! `10adc0de` prefix, so its server-side span tree is retrievable from
+//! `/trace/recent`; after the run the tool verifies the correlation and
+//! checks that `/metrics` renders parseable Prometheus exposition (every
+//! `# TYPE` has samples; histogram buckets are cumulative with `+Inf` ==
+//! `_count`). The CI smoke job runs this binary and relies on its asserts:
+//! any lost/malformed response, a reuse rate at or below 0.9, a missing
+//! trace, or a malformed exposition aborts with a non-zero exit.
 //!
 //! ```text
-//! cargo run --example loadgen [clients] [requests-per-client] [--close]
+//! cargo run --example loadgen [clients] [requests-per-client] [--close] [--no-trace]
 //! ```
 //!
 //! `--close` forces one connection per request (the pre-keep-alive
 //! behaviour) for before/after comparisons; reuse-rate asserts are skipped
-//! in that mode.
+//! in that mode. `--no-trace` sets the tracer's sampling knob to 0 and
+//! sends no `X-Trace-Id` — the baseline for measuring tracing overhead
+//! (trace asserts are skipped).
 
 use shareinsights::server::{blocking_get, serve, ClientConnection, ServeOptions, Server};
 use shareinsights_core::Platform;
@@ -42,7 +50,8 @@ F:
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let close_mode = args.iter().any(|a| a == "--close");
-    let mut nums = args.iter().filter(|a| *a != "--close");
+    let no_trace = args.iter().any(|a| a == "--no-trace");
+    let mut nums = args.iter().filter(|a| !a.starts_with("--"));
     let clients: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(8);
     let per_client: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(50);
 
@@ -62,6 +71,11 @@ fn main() {
     platform.upload_data("retail", "sales.csv", csv);
     platform.save_flow("retail", FLOW).expect("flow");
     platform.run_dashboard("retail").expect("run");
+    if no_trace {
+        // Sampling 0 disables tracing entirely (explicit ids included) —
+        // the baseline for measuring the tracing subsystem's overhead.
+        platform.tracer().set_sample_one_in(0);
+    }
 
     let mut svc = serve(
         Server::new(platform),
@@ -88,8 +102,10 @@ fn main() {
     let started = Instant::now();
     // Each client holds one persistent connection, reconnecting only when
     // the server closes it (Connection: close, idle timeout, or the
-    // per-connection request bound). Returns (ok, connections used).
-    let per_thread: Vec<(usize, usize)> = std::thread::scope(|scope| {
+    // per-connection request bound). Every request carries an X-Trace-Id
+    // with the 10adc0de prefix for /trace/recent correlation. Returns
+    // (ok, connections used, per-request latencies in µs).
+    let per_thread: Vec<(usize, usize, Vec<u64>)> = std::thread::scope(|scope| {
         (0..clients)
             .map(|c| {
                 let targets = &targets;
@@ -97,17 +113,28 @@ fn main() {
                     let mut conn = ClientConnection::connect(addr).expect("connect");
                     let mut connections = 1;
                     let mut ok = 0;
+                    let mut latencies_us = Vec::with_capacity(per_client);
                     for r in 0..per_client {
                         let target = &targets[(c + r) % targets.len()];
                         if conn.server_closed() {
                             conn = ClientConnection::connect(addr).expect("reconnect");
                             connections += 1;
                         }
+                        let trace_id = format!("10adc0de{:08x}", c * per_client + r);
+                        let sent = Instant::now();
                         let outcome = if close_mode {
                             conn.request_close("GET", target, "")
-                        } else {
+                        } else if no_trace {
                             conn.request("GET", target, "")
+                        } else {
+                            conn.request_with_headers(
+                                "GET",
+                                target,
+                                "",
+                                &[("X-Trace-Id", &trace_id)],
+                            )
                         };
+                        latencies_us.push(sent.elapsed().as_micros() as u64);
                         match outcome {
                             Ok((200, body)) if body.starts_with('{') => ok += 1,
                             Ok((code, body)) => {
@@ -116,7 +143,7 @@ fn main() {
                             Err(e) => panic!("lost response for {target}: {e}"),
                         }
                     }
-                    (ok, connections)
+                    (ok, connections, latencies_us)
                 })
             })
             .collect::<Vec<_>>()
@@ -126,9 +153,21 @@ fn main() {
     });
     let elapsed = started.elapsed();
     let total = clients * per_client;
-    let ok: usize = per_thread.iter().map(|(ok, _)| ok).sum();
-    let connections: usize = per_thread.iter().map(|(_, c)| c).sum();
+    let ok: usize = per_thread.iter().map(|(ok, _, _)| ok).sum();
+    let connections: usize = per_thread.iter().map(|(_, c, _)| c).sum();
     assert_eq!(ok, total, "every request must get a well-formed response");
+
+    // Client-observed latency percentiles over every request.
+    let mut latencies: Vec<u64> = per_thread
+        .iter()
+        .flat_map(|(_, _, l)| l.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).max(1) - 1;
+        latencies[idx.min(latencies.len() - 1)]
+    };
+    let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
 
     // Reuse rate: the fraction of requests that rode an already-open
     // connection instead of paying connect/teardown.
@@ -160,17 +199,105 @@ fn main() {
         "server must observe reused connections: {stats}"
     );
 
+    // The load ran with explicit X-Trace-Ids; the server's ring must hold
+    // span trees correlatable by the shared prefix.
+    if !close_mode && !no_trace {
+        let (code, recent) = blocking_get(addr, "/trace/recent?limit=5").expect("/trace/recent");
+        assert_eq!(code, 200);
+        assert!(
+            recent.contains("10adc0de"),
+            "recent traces must carry the loadgen X-Trace-Id prefix: {recent}"
+        );
+        assert!(
+            recent.contains("query_eval") || recent.contains("cache_lookup"),
+            "span trees must show dispatch children: {recent}"
+        );
+    }
+
+    let (code, metrics) = blocking_get(addr, "/metrics").expect("/metrics");
+    assert_eq!(code, 200);
+    validate_exposition(&metrics);
+
     println!(
         "{total} requests in {:.2?} ({:.0} req/s), 0 lost, 0 malformed",
         elapsed,
         total as f64 / elapsed.as_secs_f64()
     );
+    println!("client latency: p50 {p50}µs  p95 {p95}µs  p99 {p99}µs");
     println!(
         "connections: {connections} opened for {total} requests — reuse rate {:.1}%",
         100.0 * reuse
     );
     println!("cache: {hits} hits / {misses} misses — {rate:.1}% hit rate");
+    println!("/metrics exposition OK ({} lines)", metrics.lines().count());
     println!("--- /stats ---\n{stats}");
 
     svc.shutdown();
+}
+
+/// Assert the Prometheus text exposition is well-formed: every `# TYPE`
+/// family has at least one sample, histogram buckets are cumulative and
+/// monotone per series, and the `+Inf` bucket equals `_count`.
+fn validate_exposition(text: &str) {
+    use std::collections::BTreeMap;
+    let mut families: Vec<(String, String)> = Vec::new();
+    // (family name, labels-without-le) -> bucket values in order.
+    let mut buckets: BTreeMap<(String, String), Vec<f64>> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut samples: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("family name").to_string();
+            let kind = it.next().expect("family kind").to_string();
+            families.push((name, kind));
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment: {line}");
+        let (series, value) = line.rsplit_once(' ').expect("sample line");
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad value: {line}"));
+        let (name, labels) = match series.split_once('{') {
+            Some((n, l)) => (n.to_string(), l.trim_end_matches('}').to_string()),
+            None => (series.to_string(), String::new()),
+        };
+        if let Some(hist) = name.strip_suffix("_bucket") {
+            let non_le: Vec<&str> = labels
+                .split(',')
+                .filter(|p| !p.starts_with("le=") && !p.is_empty())
+                .collect();
+            buckets
+                .entry((hist.to_string(), non_le.join(",")))
+                .or_default()
+                .push(value);
+        } else if let Some(hist) = name.strip_suffix("_count") {
+            counts.insert((hist.to_string(), labels.clone()), value);
+        }
+        samples.push(name);
+    }
+    assert!(!families.is_empty(), "no # TYPE families in exposition");
+    for (name, kind) in &families {
+        let has = samples
+            .iter()
+            .any(|s| s == name || (kind == "histogram" && s.starts_with(name)));
+        assert!(has, "# TYPE {name} has no samples");
+    }
+    assert!(!buckets.is_empty(), "no histograms in exposition");
+    for ((hist, labels), series) in &buckets {
+        for w in series.windows(2) {
+            assert!(
+                w[0] <= w[1],
+                "{hist}{{{labels}}} buckets must be cumulative: {series:?}"
+            );
+        }
+        let count = counts
+            .get(&(hist.clone(), labels.clone()))
+            .unwrap_or_else(|| panic!("{hist}{{{labels}}} has buckets but no _count"));
+        assert_eq!(
+            *series.last().unwrap(),
+            *count,
+            "{hist}{{{labels}}}: +Inf bucket must equal _count"
+        );
+    }
 }

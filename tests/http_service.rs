@@ -327,6 +327,170 @@ fn read_one_response(stream: &mut TcpStream) -> String {
     String::from_utf8_lossy(&buf[..head_end + 4 + len]).into_owned()
 }
 
+// ---------------------------------------------------------------------------
+// Tracing and the event log
+// ---------------------------------------------------------------------------
+
+/// Two pipelined requests on one keep-alive connection, each with its own
+/// `X-Trace-Id`: both trace trees must be retrievable afterwards, each
+/// labeled with its own request.
+#[test]
+fn trace_ids_propagate_through_pipelined_keepalive_requests() {
+    let mut svc = retail_service(ServeOptions::default());
+    let addr = svc.local_addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let batch = "GET /retail/ds HTTP/1.1\r\nContent-Length: 0\r\nX-Trace-Id: aa01\r\n\r\n\
+                 GET /retail/ds/brand_sales HTTP/1.1\r\nContent-Length: 0\r\nX-Trace-Id: aa02\r\nConnection: close\r\n\r\n";
+    stream.write_all(batch.as_bytes()).unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+    assert_eq!(
+        out.matches("HTTP/1.1 200 OK").count(),
+        2,
+        "both pipelined responses answered: {out}"
+    );
+
+    let (code, body) = blocking_get(addr, "/trace/aa01").unwrap();
+    assert_eq!(code, 200, "{body}");
+    let doc = parse_json(&body).unwrap();
+    assert_eq!(
+        doc.path("root.name").unwrap().to_value().as_str(),
+        Some("GET /:dashboard/ds")
+    );
+    assert_eq!(
+        doc.path("root.attrs.path").unwrap().to_value().as_str(),
+        Some("/retail/ds")
+    );
+    let (code, body) = blocking_get(addr, "/trace/aa02").unwrap();
+    assert_eq!(code, 200, "{body}");
+    let doc = parse_json(&body).unwrap();
+    assert_eq!(
+        doc.path("root.name").unwrap().to_value().as_str(),
+        Some("GET /:dashboard/ds/:dataset")
+    );
+    assert_eq!(
+        doc.path("root.attrs.status").unwrap().to_value().as_int(),
+        Some(200)
+    );
+    svc.shutdown();
+}
+
+/// Concurrent traced requests must each assemble their own complete span
+/// tree — no span leaks into another request's trace.
+#[test]
+fn span_trees_assemble_under_concurrent_requests() {
+    let mut svc = retail_service(ServeOptions::default());
+    let addr = svc.local_addr();
+    let clients = 6;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                let mut conn = ClientConnection::connect(addr).unwrap();
+                let id = format!("cc{c:02x}");
+                let (code, body) = conn
+                    .request_with_headers(
+                        "GET",
+                        "/retail/ds/brand_sales/groupby/region/count/brand",
+                        "",
+                        &[("X-Trace-Id", &id)],
+                    )
+                    .unwrap();
+                assert_eq!(code, 200, "{body}");
+            });
+        }
+    });
+    for c in 0..clients {
+        let (code, body) = blocking_get(addr, &format!("/trace/cc{c:02x}")).unwrap();
+        assert_eq!(code, 200, "trace cc{c:02x}: {body}");
+        let doc = parse_json(&body).unwrap();
+        assert_eq!(
+            doc.path("root.children.0.name")
+                .unwrap()
+                .to_value()
+                .as_str(),
+            Some("dispatch"),
+            "{body}"
+        );
+        // Exactly one root per trace; the dispatch child carries either a
+        // cache_lookup (hit path) or cache_lookup + query_eval (miss path).
+        let dispatch_children = doc.path("root.children.0.children").unwrap().items().len();
+        assert!(
+            (1..=2).contains(&dispatch_children),
+            "dispatch has {dispatch_children} children: {body}"
+        );
+        assert!(body.contains("cache_lookup"), "{body}");
+    }
+    svc.shutdown();
+}
+
+/// The serving loop writes slow-request events (threshold 0 = everything)
+/// with trace ids into the configured event log.
+#[test]
+fn event_log_records_slow_requests_end_to_end() {
+    let log = shareinsights_core::EventLog::in_memory();
+    let opts = ServeOptions {
+        slow_request_threshold: Some(Duration::ZERO),
+        event_log: log.clone(),
+        ..ServeOptions::default()
+    };
+    let mut svc = retail_service(opts);
+    let addr = svc.local_addr();
+    let mut conn = ClientConnection::connect(addr).unwrap();
+    let (code, _) = conn
+        .request_with_headers("GET", "/retail/ds", "", &[("X-Trace-Id", "ee55")])
+        .unwrap();
+    assert_eq!(code, 200);
+    svc.shutdown();
+    let lines = log.lines();
+    assert!(!lines.is_empty(), "event log captured the request");
+    let slow: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains("\"event\": \"slow_request\""))
+        .collect();
+    assert!(!slow.is_empty(), "{lines:?}");
+    let doc = parse_json(slow[0]).unwrap();
+    assert_eq!(
+        doc.path("trace_id").unwrap().to_value().as_str(),
+        Some("000000000000ee55")
+    );
+    assert_eq!(
+        doc.path("path").unwrap().to_value().as_str(),
+        Some("/retail/ds")
+    );
+    assert!(doc
+        .path("elapsed_us")
+        .unwrap()
+        .to_value()
+        .as_int()
+        .is_some());
+}
+
+/// `/metrics` over TCP: Prometheus content type, per-operator histograms
+/// from the dashboard run, and route counters from this very session.
+#[test]
+fn metrics_exposition_over_tcp() {
+    let mut svc = retail_service(ServeOptions::default());
+    let addr = svc.local_addr();
+    blocking_get(addr, "/retail/ds/brand_sales").unwrap();
+    let (code, body) = blocking_get(addr, "/metrics").unwrap();
+    assert_eq!(code, 200);
+    assert!(body.contains("# TYPE shareinsights_requests_total counter"));
+    assert!(
+        body.contains("shareinsights_operator_runs_total{operator=\"groupby\"} 1"),
+        "{body}"
+    );
+    assert!(
+        body.contains("# TYPE shareinsights_request_duration_seconds histogram"),
+        "{body}"
+    );
+    assert!(body.contains("shareinsights_connections_accepted_total"));
+    svc.shutdown();
+}
+
 #[test]
 fn loadgen_shape_no_lost_or_malformed_responses() {
     let platform = Platform::new();
