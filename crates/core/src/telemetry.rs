@@ -293,12 +293,29 @@ pub struct OperatorStats {
     pub latency: LatencyHistogram,
 }
 
+/// Index-acceleration statistics: how many per-column indexes were built
+/// (and how long the builds took), and how query evaluations routed —
+/// through an accelerated kernel (`covered`) or the scan path
+/// (`fallback`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Per-column index builds (lazy, first use per column).
+    pub builds: u64,
+    /// Total time spent building indexes, in microseconds.
+    pub build_us: u64,
+    /// Query evaluations that ran through an accelerated kernel.
+    pub covered: u64,
+    /// Query evaluations that fell back to the scan path.
+    pub fallback: u64,
+}
+
 /// Thread-safe per-route metrics registry for the serving path.
 #[derive(Debug, Clone, Default)]
 pub struct ApiMetrics {
     routes: Arc<RwLock<BTreeMap<String, RouteStats>>>,
     connections: Arc<RwLock<ConnectionStats>>,
     operators: Arc<RwLock<BTreeMap<String, OperatorStats>>>,
+    index: Arc<RwLock<IndexStats>>,
 }
 
 impl ApiMetrics {
@@ -379,6 +396,30 @@ impl ApiMetrics {
     /// Snapshot of every operator type's stats.
     pub fn operators(&self) -> BTreeMap<String, OperatorStats> {
         self.operators.read().clone()
+    }
+
+    /// Record one lazy per-column index build taking `build_us`
+    /// microseconds.
+    pub fn record_index_build(&self, build_us: u64) {
+        let mut ix = self.index.write();
+        ix.builds += 1;
+        ix.build_us += build_us;
+    }
+
+    /// Record how one query evaluation routed: accelerated (`covered`) or
+    /// scan (`fallback`).
+    pub fn record_index_eval(&self, covered: bool) {
+        let mut ix = self.index.write();
+        if covered {
+            ix.covered += 1;
+        } else {
+            ix.fallback += 1;
+        }
+    }
+
+    /// Snapshot of the index-acceleration counters.
+    pub fn index(&self) -> IndexStats {
+        self.index.read().clone()
     }
 
     /// Snapshot of every route's stats.
@@ -509,6 +550,22 @@ mod tests {
         assert_eq!(g.latency.count, 2);
         assert_eq!(g.latency.max_us, 750);
         assert_eq!(ops["filter_by"].runs, 1);
+    }
+
+    #[test]
+    fn index_metrics_accumulate() {
+        let m = ApiMetrics::new();
+        assert_eq!(m.index(), IndexStats::default());
+        m.record_index_build(120);
+        m.record_index_build(80);
+        m.record_index_eval(true);
+        m.record_index_eval(true);
+        m.record_index_eval(false);
+        let ix = m.index();
+        assert_eq!(ix.builds, 2);
+        assert_eq!(ix.build_us, 200);
+        assert_eq!(ix.covered, 2);
+        assert_eq!(ix.fallback, 1);
     }
 
     #[test]

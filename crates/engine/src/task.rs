@@ -18,7 +18,7 @@ use shareinsights_tabular::ops::{
     LocationMap, ProjectSpec, SortKey, TopN, WordsMap,
 };
 use shareinsights_tabular::text::{ExtractDict, Gazetteer};
-use shareinsights_tabular::{DataType, Field, Row, Schema, Table, Value};
+use shareinsights_tabular::{DataType, Field, IndexedTable, Row, Schema, Table, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -912,6 +912,59 @@ impl TaskKind {
             TaskKind::Custom(c) => c.execute(single()?),
         }
     }
+
+    /// Try to execute this task against an indexed base table, using the
+    /// per-column acceleration indexes instead of the scan kernels. Returns
+    /// `None` when the task shape (or the specific columns it touches) is
+    /// not covered — the caller falls back to [`TaskKind::execute`], which
+    /// also reproduces any error the scan path would report. Covered
+    /// shapes: widget-sourced `filter_by` (value sets and ranges), builtin
+    /// `groupby` over a dictionary key, and single-key `sort`.
+    pub fn execute_indexed(&self, indexed: &IndexedTable, rt: &TaskRuntime<'_>) -> Option<Table> {
+        match self {
+            TaskKind::FilterBySource {
+                columns,
+                source: FilterSource::Widget(widget),
+                source_columns,
+            } => {
+                let Some(provider) = rt.selections else {
+                    // No interaction context: the scan path shows all rows.
+                    return Some(indexed.table().clone());
+                };
+                // The first applied constraint runs against the index; the
+                // rest filter the (much smaller) intermediate via scans.
+                let mut current: Option<Table> = None;
+                for (i, col) in columns.iter().enumerate() {
+                    let src_col = source_columns
+                        .get(i)
+                        .or_else(|| source_columns.first())
+                        .map(String::as_str)
+                        .unwrap_or("value");
+                    match provider.selection(widget, src_col) {
+                        Some(Selection::Values(vals)) => {
+                            let spec = FilterByValues::single(col.clone(), vals);
+                            current = Some(match current.take() {
+                                None => indexed.filter_by_values(&spec)?,
+                                Some(t) => ops::filter_by_values(&t, &spec).ok()?,
+                            });
+                        }
+                        Some(Selection::Range(lo, hi)) => {
+                            let range = FilterByValues::range(col.clone(), lo, hi);
+                            current = Some(match current.take() {
+                                None => indexed.filter_by_range(&range)?,
+                                Some(t) => ops::filter::filter_by_range(&t, &range).ok()?,
+                            });
+                        }
+                        None => {} // unconstrained
+                    }
+                }
+                Some(current.unwrap_or_else(|| indexed.table().clone()))
+            }
+            TaskKind::GroupBy { builtin, custom } if custom.is_empty() => indexed.groupby(builtin),
+            TaskKind::Sort(keys) => indexed.sort(keys),
+            _ => None,
+        }
+    }
 }
 
 fn execute_filter_by_source(
@@ -1234,6 +1287,57 @@ mod tests {
             .execute(&t.name, std::slice::from_ref(&table), &rt)
             .unwrap();
         assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn indexed_execute_matches_scan_execute() {
+        let table = Table::from_rows(
+            &["project", "n"],
+            &[
+                row!["pig", 1i64],
+                row!["hive", 2i64],
+                row!["pig", 3i64],
+                row!["spark", 4i64],
+            ],
+        )
+        .unwrap();
+        let indexed = IndexedTable::new(table.clone());
+        let sel = crate::selection::StaticSelections::new();
+        sel.set(
+            "project_category_bubble",
+            "text",
+            Selection::Values(vec!["pig".into(), "spark".into()]),
+        );
+        let rt = TaskRuntime {
+            selections: Some(&sel),
+            lookup_table: &|_| None,
+        };
+
+        let filter_src = "T:\n  f:\n    type: filter_by\n    filter_by: [project]\n    filter_source: W.project_category_bubble\n    filter_val: [text]\n";
+        let groupby_src = "T:\n  g:\n    type: groupby\n    groupby: [project]\n    aggregates:\n    - operator: sum\n      apply_on: n\n      out_field: total\n";
+        let sort_src = "T:\n  s:\n    type: sort\n    orderby_column: [project DESC]\n";
+        for src in [filter_src, groupby_src, sort_src] {
+            let name = src.split_whitespace().nth(1).unwrap().trim_end_matches(':');
+            let t = interpret_src(src, name).unwrap();
+            let scan = t
+                .kind
+                .execute(&t.name, std::slice::from_ref(&table), &rt)
+                .unwrap();
+            let fast = t.kind.execute_indexed(&indexed, &rt).expect("covered");
+            assert_eq!(fast, scan, "task {name}");
+        }
+
+        // No selection provider: pass-through, like the scan path.
+        let t = interpret_src(filter_src, "f").unwrap();
+        let out = t
+            .kind
+            .execute_indexed(&indexed, &TaskRuntime::empty())
+            .unwrap();
+        assert_eq!(out.num_rows(), 4);
+
+        // Uncovered shapes decline.
+        let t = interpret_src("T:\n  l:\n    type: limit\n    limit: 2\n", "l").unwrap();
+        assert!(t.kind.execute_indexed(&indexed, &rt).is_none());
     }
 
     #[test]

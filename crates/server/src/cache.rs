@@ -24,7 +24,9 @@
 //! sharded production configuration.
 
 use parking_lot::Mutex;
+use shareinsights_tabular::Table;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Shard count used by [`QueryCache::default`].
 pub const DEFAULT_CACHE_SHARDS: usize = 8;
@@ -247,6 +249,134 @@ impl QueryCache {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Unpaged query-result cache
+// ---------------------------------------------------------------------------
+
+/// Default entry bound for [`ResultCache`].
+pub const DEFAULT_RESULT_CACHE_ENTRIES: usize = 128;
+
+struct ResultEntry {
+    table: Arc<Table>,
+    generation: u64,
+    lru_seq: u64,
+}
+
+#[derive(Default)]
+struct ResultShard {
+    entries: HashMap<String, ResultEntry>,
+    order: BTreeMap<u64, String>,
+    next_seq: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+/// A generation-stamped LRU cache of *unpaged* query results.
+///
+/// The [`QueryCache`] above holds serialized page bodies keyed on the full
+/// URL (including `offset`/`limit`), so paging through a result used to
+/// re-evaluate the whole query per page. This cache sits underneath it,
+/// keyed on the query alone: the first page evaluates the pipeline once,
+/// and every later page slices the cached [`Table`]. Entries are stamped
+/// with the same data generation as the body cache, so runs and publishes
+/// invalidate both in lockstep.
+pub struct ResultCache {
+    inner: Mutex<ResultShard>,
+    max_entries: usize,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::new(DEFAULT_RESULT_CACHE_ENTRIES)
+    }
+}
+
+impl ResultCache {
+    /// A cache bounded by `max_entries` results (at least one).
+    pub fn new(max_entries: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(ResultShard::default()),
+            max_entries: max_entries.max(1),
+        }
+    }
+
+    /// Look up the unpaged result for `key` at `generation`; a stale entry
+    /// is removed (counted as invalidation + miss).
+    pub fn get(&self, key: &str, generation: u64) -> Option<Arc<Table>> {
+        let mut inner = self.inner.lock();
+        let outcome = match inner.entries.get(key) {
+            Some(e) if e.generation == generation => Some((Arc::clone(&e.table), e.lru_seq)),
+            Some(_) => None,
+            None => {
+                inner.misses += 1;
+                return None;
+            }
+        };
+        match outcome {
+            Some((table, old_seq)) => {
+                let seq = inner.next_seq;
+                inner.next_seq += 1;
+                inner.order.remove(&old_seq);
+                inner.order.insert(seq, key.to_string());
+                inner.entries.get_mut(key).expect("present").lru_seq = seq;
+                inner.hits += 1;
+                Some(table)
+            }
+            None => {
+                let e = inner.entries.remove(key).expect("present");
+                inner.order.remove(&e.lru_seq);
+                inner.invalidations += 1;
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) the result for `key` at `generation`, evicting
+    /// the least-recently-used entries beyond the bound.
+    pub fn put(&self, key: &str, generation: u64, table: Arc<Table>) {
+        let mut inner = self.inner.lock();
+        if let Some(old) = inner.entries.remove(key) {
+            inner.order.remove(&old.lru_seq);
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.order.insert(seq, key.to_string());
+        inner.entries.insert(
+            key.to_string(),
+            ResultEntry {
+                table,
+                generation,
+                lru_seq: seq,
+            },
+        );
+        while inner.entries.len() > self.max_entries {
+            let Some((&oldest, _)) = inner.order.iter().next() else {
+                break;
+            };
+            let key = inner.order.remove(&oldest).expect("present");
+            inner.entries.remove(&key);
+            inner.evictions += 1;
+        }
+    }
+
+    /// Statistics snapshot (the `bytes` field stays zero: entries are
+    /// shared `Arc<Table>`s, not owned bodies).
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            invalidations: inner.invalidations,
+            entries: inner.entries.len(),
+            bytes: 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,5 +534,33 @@ mod tests {
             (threads * iters) as u64,
             "every get is either a hit or a miss"
         );
+    }
+
+    fn one_row(v: i64) -> Arc<Table> {
+        Arc::new(Table::from_rows(&["a"], &[shareinsights_tabular::row![v]]).unwrap())
+    }
+
+    #[test]
+    fn result_cache_stamps_generations_and_evicts_lru() {
+        let c = ResultCache::new(2);
+        assert!(c.get("q1", 1).is_none());
+        c.put("q1", 1, one_row(1));
+        let hit = c.get("q1", 1).expect("hit");
+        assert_eq!(hit.num_rows(), 1);
+        // Stale generation invalidates.
+        assert!(c.get("q1", 2).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 2, 1));
+        // Capacity 2: inserting a third evicts the oldest.
+        c.put("q1", 2, one_row(1));
+        c.put("q2", 2, one_row(2));
+        let _ = c.get("q1", 2); // refresh q1 → q2 is now oldest
+        c.put("q3", 2, one_row(3));
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert!(c.get("q2", 2).is_none(), "q2 was LRU-evicted");
+        assert!(c.get("q1", 2).is_some());
+        assert!(c.get("q3", 2).is_some());
     }
 }

@@ -39,7 +39,9 @@ pub mod router;
 pub mod serve;
 pub mod traces;
 
-pub use cache::{CacheStats, QueryCache, DEFAULT_CACHE_SHARDS};
+pub use cache::{
+    CacheStats, QueryCache, ResultCache, DEFAULT_CACHE_SHARDS, DEFAULT_RESULT_CACHE_ENTRIES,
+};
 pub use http::{Method, Request, Response, Status};
 pub use json::table_to_json;
 pub use router::{Handled, Server};

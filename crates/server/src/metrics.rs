@@ -10,7 +10,7 @@
 use crate::cache::CacheStats;
 use crate::http::Method;
 use shareinsights_core::telemetry::{
-    ConnectionStats, LatencyHistogram, OperatorStats, RouteStats, CONN_REQUESTS_BOUNDS,
+    ConnectionStats, IndexStats, LatencyHistogram, OperatorStats, RouteStats, CONN_REQUESTS_BOUNDS,
     LATENCY_BOUNDS_US,
 };
 use std::collections::BTreeMap;
@@ -69,12 +69,14 @@ pub fn allowed_methods(segments: &[&str]) -> &'static [Method] {
 }
 
 /// Render the `/stats` document: per-route counters + cache counters +
-/// connection-level counters + per-operator engine stats.
+/// connection-level counters + per-operator engine stats + index
+/// acceleration counters.
 pub fn stats_json(
     routes: &BTreeMap<String, RouteStats>,
     cache: &CacheStats,
     conns: &ConnectionStats,
     operators: &BTreeMap<String, OperatorStats>,
+    index: &IndexStats,
 ) -> String {
     let mut out = String::from("{\"routes\": {");
     for (i, (label, s)) in routes.iter().enumerate() {
@@ -135,7 +137,11 @@ pub fn stats_json(
             s.latency.mean_us(),
         ));
     }
-    out.push_str("}}");
+    out.push('}');
+    out.push_str(&format!(
+        ", \"index\": {{\"builds\": {}, \"build_us\": {}, \"covered\": {}, \"fallback\": {}}}}}",
+        index.builds, index.build_us, index.covered, index.fallback
+    ));
     out
 }
 
@@ -193,6 +199,7 @@ pub fn prometheus_text(
     cache: &CacheStats,
     conns: &ConnectionStats,
     operators: &BTreeMap<String, OperatorStats>,
+    index: &IndexStats,
 ) -> String {
     let mut out = String::new();
     if !routes.is_empty() {
@@ -332,6 +339,23 @@ pub fn prometheus_text(
             );
         }
     }
+
+    // Index-acceleration counters: lazy per-column builds, and how query
+    // evaluations routed (accelerated kernel vs scan fallback).
+    for (name, value) in [
+        ("builds", index.builds),
+        ("covered_evals", index.covered),
+        ("fallback_evals", index.fallback),
+    ] {
+        let _ = writeln!(out, "# TYPE shareinsights_index_{name}_total counter");
+        let _ = writeln!(out, "shareinsights_index_{name}_total {value}");
+    }
+    out.push_str("# TYPE shareinsights_index_build_seconds_total counter\n");
+    let _ = writeln!(
+        out,
+        "shareinsights_index_build_seconds_total {}",
+        seconds(index.build_us)
+    );
     out
 }
 
@@ -402,7 +426,13 @@ mod tests {
         };
         op.latency.record(200);
         operators.insert("groupby".to_string(), op);
-        let json = stats_json(&routes, &CacheStats::default(), &conns, &operators);
+        let index = IndexStats {
+            builds: 2,
+            build_us: 1500,
+            covered: 4,
+            fallback: 1,
+        };
+        let json = stats_json(&routes, &CacheStats::default(), &conns, &operators, &index);
         let doc = shareinsights_tabular::io::json::parse_json(&json).unwrap();
         assert_eq!(
             doc.path("routes.GET /stats.count")
@@ -443,6 +473,22 @@ mod tests {
                 .to_value()
                 .as_int(),
             Some(1000)
+        );
+        assert_eq!(
+            doc.path("index.builds").unwrap().to_value().as_int(),
+            Some(2)
+        );
+        assert_eq!(
+            doc.path("index.build_us").unwrap().to_value().as_int(),
+            Some(1500)
+        );
+        assert_eq!(
+            doc.path("index.covered").unwrap().to_value().as_int(),
+            Some(4)
+        );
+        assert_eq!(
+            doc.path("index.fallback").unwrap().to_value().as_int(),
+            Some(1)
         );
     }
 
@@ -516,7 +562,13 @@ mod tests {
             evictions: 1,
             invalidations: 2,
         };
-        prometheus_text(&routes, &cache, &conns, &operators)
+        let index = IndexStats {
+            builds: 3,
+            build_us: 2_000_000,
+            covered: 8,
+            fallback: 2,
+        };
+        prometheus_text(&routes, &cache, &conns, &operators, &index)
     }
 
     #[test]
@@ -596,6 +648,11 @@ mod tests {
         // requests_per_connection sum/count come from connection totals.
         assert!(text.contains("shareinsights_requests_per_connection_sum 7"));
         assert!(text.contains("shareinsights_requests_per_connection_count 2"));
+        // Index-acceleration counters, build time in seconds.
+        assert!(text.contains("shareinsights_index_builds_total 3"));
+        assert!(text.contains("shareinsights_index_covered_evals_total 8"));
+        assert!(text.contains("shareinsights_index_fallback_evals_total 2"));
+        assert!(text.contains("shareinsights_index_build_seconds_total 2"));
         // Label escaping.
         let mut routes = BTreeMap::new();
         routes.insert("a\"b\\c".to_string(), RouteStats::default());
@@ -604,6 +661,7 @@ mod tests {
             &CacheStats::default(),
             &ConnectionStats::default(),
             &BTreeMap::new(),
+            &IndexStats::default(),
         );
         assert!(escaped.contains("route=\"a\\\"b\\\\c\""), "{escaped}");
     }

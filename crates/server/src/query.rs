@@ -19,7 +19,7 @@ use shareinsights_tabular::ops::{
     distinct, filter_by_values, groupby, sort, AggregateSpec, FilterByValues, GroupBy, SortKey,
     SortOrder,
 };
-use shareinsights_tabular::{Table, Value};
+use shareinsights_tabular::{IndexedTable, Table, Value};
 
 /// A parsed query operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,37 +112,96 @@ pub fn parse_ops(segments: &[&str]) -> Result<Vec<QueryOp>, String> {
     Ok(ops)
 }
 
+fn groupby_config(key: &str, agg: AggKind, apply_on: &str) -> GroupBy {
+    let out_field = format!("{}_{}", agg.name(), apply_on);
+    GroupBy::with_aggregates(
+        &[key],
+        vec![AggregateSpec::new(agg, apply_on.to_string(), out_field)],
+    )
+}
+
+/// Apply one operation via the scan kernels.
+fn apply_op(current: &Table, op: &QueryOp) -> Result<Table, String> {
+    Ok(match op {
+        QueryOp::GroupBy { key, agg, apply_on } => {
+            let cfg = groupby_config(key, *agg, apply_on);
+            groupby(current, &cfg).map_err(|e| e.to_string())?
+        }
+        QueryOp::Filter { column, value } => {
+            let spec = FilterByValues::single(column.clone(), vec![value.clone()]);
+            filter_by_values(current, &spec).map_err(|e| e.to_string())?
+        }
+        QueryOp::Sort { column, order } => {
+            let key = SortKey {
+                column: column.clone(),
+                order: *order,
+            };
+            sort(current, &[key]).map_err(|e| e.to_string())?
+        }
+        QueryOp::Distinct(column) => {
+            distinct(current, std::slice::from_ref(column)).map_err(|e| e.to_string())?
+        }
+        QueryOp::Limit(n) => current.limit(*n),
+    })
+}
+
+/// Try to run one operation against the indexed snapshot. `None` means the
+/// index doesn't cover it — run the scan kernel instead.
+fn try_indexed_op(indexed: &IndexedTable, op: &QueryOp) -> Option<Table> {
+    match op {
+        QueryOp::GroupBy { key, agg, apply_on } => {
+            indexed.groupby(&groupby_config(key, *agg, apply_on))
+        }
+        QueryOp::Filter { column, value } => {
+            let spec = FilterByValues::single(column.clone(), vec![value.clone()]);
+            indexed.filter_by_values(&spec)
+        }
+        QueryOp::Sort { column, order } => {
+            let key = SortKey {
+                column: column.clone(),
+                order: *order,
+            };
+            indexed.sort(&[key])
+        }
+        QueryOp::Distinct(_) | QueryOp::Limit(_) => None,
+    }
+}
+
 /// Evaluate a query pipeline against a dataset snapshot.
 pub fn run_query(table: &Table, ops: &[QueryOp]) -> Result<Table, String> {
     let mut current = table.clone();
     for op in ops {
-        current = match op {
-            QueryOp::GroupBy { key, agg, apply_on } => {
-                let out_field = format!("{}_{}", agg.name(), apply_on);
-                let cfg = GroupBy::with_aggregates(
-                    std::slice::from_ref(key),
-                    vec![AggregateSpec::new(*agg, apply_on.clone(), out_field)],
-                );
-                groupby(&current, &cfg).map_err(|e| e.to_string())?
-            }
-            QueryOp::Filter { column, value } => {
-                let spec = FilterByValues::single(column.clone(), vec![value.clone()]);
-                filter_by_values(&current, &spec).map_err(|e| e.to_string())?
-            }
-            QueryOp::Sort { column, order } => {
-                let key = SortKey {
-                    column: column.clone(),
-                    order: *order,
-                };
-                sort(&current, &[key]).map_err(|e| e.to_string())?
-            }
-            QueryOp::Distinct(column) => {
-                distinct(&current, std::slice::from_ref(column)).map_err(|e| e.to_string())?
-            }
-            QueryOp::Limit(n) => current.limit(*n),
-        };
+        current = apply_op(&current, op)?;
     }
     Ok(current)
+}
+
+/// Evaluate a query pipeline against an indexed snapshot: the first
+/// operation runs through an accelerated kernel when a per-column index
+/// covers it (subsequent operations see a derived table, which has no
+/// index), falling back to the scan kernels otherwise. Returns the result
+/// and whether any operation took the indexed path.
+pub fn run_query_indexed(indexed: &IndexedTable, ops: &[QueryOp]) -> Result<(Table, bool), String> {
+    let mut current: Option<Table> = None;
+    let mut index_hit = false;
+    for (i, op) in ops.iter().enumerate() {
+        let fast = if i == 0 {
+            try_indexed_op(indexed, op)
+        } else {
+            None
+        };
+        current = Some(match fast {
+            Some(t) => {
+                index_hit = true;
+                t
+            }
+            None => apply_op(current.as_ref().unwrap_or(indexed.table()), op)?,
+        });
+    }
+    Ok((
+        current.unwrap_or_else(|| indexed.table().clone()),
+        index_hit,
+    ))
 }
 
 #[cfg(test)]
@@ -229,5 +288,47 @@ mod tests {
     fn empty_ops_is_identity() {
         let out = run_query(&projects(), &[]).unwrap();
         assert_eq!(out.num_rows(), 5);
+    }
+
+    #[test]
+    fn indexed_pipeline_matches_scan_and_reports_hits() {
+        let base = projects();
+        let indexed = IndexedTable::new(base.clone());
+        let covered = [
+            vec!["groupby", "category", "sum", "stars"],
+            vec!["filter", "category", "web"],
+            vec!["sort", "category", "desc"],
+            vec!["filter", "stars", "20"],
+            vec![
+                "filter", "category", "web", "groupby", "category", "sum", "stars",
+            ],
+        ];
+        for segs in &covered {
+            let ops = parse_ops(segs).unwrap();
+            let scan = run_query(&base, &ops).unwrap();
+            let (fast, hit) = run_query_indexed(&indexed, &ops).unwrap();
+            assert_eq!(fast, scan, "{segs:?}");
+            assert!(hit, "{segs:?} should take the indexed path");
+        }
+        // Uncovered shapes fall back but still agree.
+        for segs in [
+            vec!["distinct", "category"],
+            vec!["limit", "2"],
+            vec!["sort", "stars", "desc"],
+        ] {
+            let ops = parse_ops(&segs).unwrap();
+            let scan = run_query(&base, &ops).unwrap();
+            let (fast, hit) = run_query_indexed(&indexed, &ops).unwrap();
+            assert_eq!(fast, scan, "{segs:?}");
+            assert!(!hit, "{segs:?} should fall back to scan");
+        }
+    }
+
+    #[test]
+    fn indexed_pipeline_reproduces_scan_errors() {
+        let indexed = IndexedTable::new(projects());
+        let ops = parse_ops(&["groupby", "ghost", "count", "project"]).unwrap();
+        let err = run_query_indexed(&indexed, &ops).unwrap_err();
+        assert!(err.contains("ghost"));
     }
 }

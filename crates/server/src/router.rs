@@ -1,14 +1,16 @@
 //! The route table over a [`Platform`].
 
-use crate::cache::QueryCache;
+use crate::cache::{QueryCache, ResultCache};
 use crate::http::{Method, Request, Response, Status};
 use crate::json::{string_list, table_to_json};
 use crate::metrics::{allowed_methods, prometheus_text, route_label, stats_json};
-use crate::query::{parse_ops, run_query};
+use crate::query::{parse_ops, run_query_indexed};
 use crate::traces::{trace_json, trace_list_json};
+use parking_lot::Mutex;
 use shareinsights_core::trace::{Span, TraceId};
 use shareinsights_core::Platform;
-use shareinsights_tabular::Table;
+use shareinsights_tabular::{IndexedTable, Table};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -25,6 +27,10 @@ pub struct Handled {
     pub elapsed_us: u64,
 }
 
+/// Indexed endpoint snapshots keyed `dashboard/dataset`, stamped with the
+/// data generation they were built at.
+type IndexRegistry = HashMap<String, (u64, Arc<IndexedTable>)>;
+
 /// The in-process REST server wrapping a platform instance.
 ///
 /// Cloning is cheap and shares the platform state and the query cache, so
@@ -33,6 +39,11 @@ pub struct Handled {
 pub struct Server {
     platform: Platform,
     cache: Arc<QueryCache>,
+    results: Arc<ResultCache>,
+    /// Lazily indexed endpoint snapshots — a run or publish bumps the
+    /// generation and the stale wrapper is replaced on next use, dropping
+    /// its indexes with the cached results.
+    indexes: Arc<Mutex<IndexRegistry>>,
 }
 
 impl Server {
@@ -46,6 +57,8 @@ impl Server {
         Server {
             platform,
             cache: Arc::new(cache),
+            results: Arc::new(ResultCache::default()),
+            indexes: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -54,9 +67,14 @@ impl Server {
         &self.platform
     }
 
-    /// The query-result cache.
+    /// The query-result cache (serialized page bodies).
     pub fn cache(&self) -> &QueryCache {
         &self.cache
+    }
+
+    /// The unpaged query-result cache pages are sliced from.
+    pub fn result_cache(&self) -> &ResultCache {
+        &self.results
     }
 
     /// Dispatch a request, recording per-route metrics.
@@ -119,6 +137,7 @@ impl Server {
                 &self.cache.stats(),
                 &self.platform.api_metrics().connections(),
                 &self.platform.api_metrics().operators(),
+                &self.platform.api_metrics().index(),
             )),
             (Method::Get, ["metrics"]) => Response {
                 status: Status::Ok,
@@ -127,6 +146,7 @@ impl Server {
                     &self.cache.stats(),
                     &self.platform.api_metrics().connections(),
                     &self.platform.api_metrics().operators(),
+                    &self.platform.api_metrics().index(),
                 ),
                 content_type: "text/plain; version=0.0.4",
             },
@@ -277,8 +297,42 @@ impl Server {
         }
     }
 
+    /// The indexed wrapper for an endpoint snapshot, rebuilt whenever the
+    /// data generation moves. Index build durations are fed into the
+    /// platform's [`shareinsights_core::telemetry::ApiMetrics`].
+    fn indexed_table(
+        &self,
+        dashboard: &str,
+        dataset: &str,
+        generation: u64,
+        table: Table,
+    ) -> Arc<IndexedTable> {
+        let key = format!("{dashboard}/{dataset}");
+        {
+            let map = self.indexes.lock();
+            if let Some((g, ix)) = map.get(&key) {
+                if *g == generation {
+                    return Arc::clone(ix);
+                }
+            }
+        }
+        let metrics = self.platform.api_metrics().clone();
+        let ix = Arc::new(IndexedTable::with_build_hook(
+            table,
+            Arc::new(move |us| metrics.record_index_build(us)),
+        ));
+        self.indexes
+            .lock()
+            .insert(key, (generation, Arc::clone(&ix)));
+        ix
+    }
+
     /// Figure 28 browse + figure 30 ad-hoc queries, behind the
-    /// generation-stamped result cache.
+    /// generation-stamped result caches: serialized page bodies in the
+    /// [`QueryCache`], unpaged result tables in the [`ResultCache`] (so a
+    /// new page slices the cached result instead of re-evaluating), and
+    /// cold evaluations routed through the indexed snapshot when a
+    /// per-column index covers the first operation.
     fn dataset(
         &self,
         request: &Request,
@@ -299,14 +353,14 @@ impl Server {
             + self.platform.publish_registry().generation(dataset);
         let offset = request.query_usize("offset").unwrap_or(0);
         let limit = request.query_usize("limit");
-        let key = format!(
-            "{dashboard}/{dataset}/{}?offset={offset}&limit={}",
-            ops_segments.join("/"),
+        let result_key = format!("{dashboard}/{dataset}/{}", ops_segments.join("/"));
+        let page_key = format!(
+            "{result_key}?offset={offset}&limit={}",
             limit.map_or_else(|| "all".to_string(), |l| l.to_string()),
         );
         let cached = {
             let mut lookup_span = span.map(|s| s.child("cache_lookup"));
-            let cached = self.cache.get(&key, generation);
+            let cached = self.cache.get(&page_key, generation);
             if let Some(s) = lookup_span.as_mut() {
                 s.set_attr("hit", cached.is_some());
                 s.set_attr("generation", generation);
@@ -320,29 +374,49 @@ impl Server {
         self.platform.api_metrics().record_cache(label, false);
 
         let mut eval_span = span.map(|s| s.child("query_eval"));
-        let table = match self.endpoint_table(dashboard, dataset) {
-            Ok(t) => t,
-            Err(resp) => return resp,
-        };
-        let ops = match parse_ops(ops_segments) {
-            Ok(ops) => ops,
-            Err(e) => return Response::error(Status::BadRequest, e),
-        };
-        let result = match run_query(&table, &ops) {
-            Ok(t) => t,
-            Err(e) => return Response::error(Status::BadRequest, e),
+        let result = match self.results.get(&result_key, generation) {
+            Some(result) => {
+                if let Some(s) = eval_span.as_mut() {
+                    s.set_attr("result_cache_hit", true);
+                }
+                result
+            }
+            None => {
+                let table = match self.endpoint_table(dashboard, dataset) {
+                    Ok(t) => t,
+                    Err(resp) => return resp,
+                };
+                let ops = match parse_ops(ops_segments) {
+                    Ok(ops) => ops,
+                    Err(e) => return Response::error(Status::BadRequest, e),
+                };
+                let indexed = self.indexed_table(dashboard, dataset, generation, table);
+                let (result, index_hit) = match run_query_indexed(&indexed, &ops) {
+                    Ok(r) => r,
+                    Err(e) => return Response::error(Status::BadRequest, e),
+                };
+                self.platform.api_metrics().record_index_eval(index_hit);
+                if let Some(s) = eval_span.as_mut() {
+                    s.set_attr("result_cache_hit", false);
+                    s.set_attr("index_hit", index_hit);
+                    s.set_attr("rows_in", indexed.table().num_rows());
+                }
+                let result = Arc::new(result);
+                self.results
+                    .put(&result_key, generation, Arc::clone(&result));
+                result
+            }
         };
         // Paging on the final result.
         let limit = limit.unwrap_or(result.num_rows());
         let page = result.slice(offset, limit);
         let body = table_to_json(&page);
         if let Some(mut s) = eval_span.take() {
-            s.set_attr("rows_in", table.num_rows());
             s.set_attr("rows_out", page.num_rows());
             s.set_attr("bytes", body.len());
             s.finish();
         }
-        self.cache.put(&key, generation, body.clone());
+        self.cache.put(&page_key, generation, body.clone());
         Response::json(body)
     }
 
@@ -579,13 +653,116 @@ F:
     }
 
     #[test]
-    fn paging_and_ops_have_distinct_cache_keys() {
+    fn paging_slices_cached_result_without_reevaluating() {
         let server = served();
-        server.handle(&Request::get("/retail/ds/brand_sales"));
         server.handle(&Request::get("/retail/ds/brand_sales?limit=1"));
+        server.handle(&Request::get("/retail/ds/brand_sales?limit=1&offset=1"));
         server.handle(&Request::get("/retail/ds/brand_sales/limit/1"));
+        // Distinct pages and ops are distinct serialized bodies...
         assert_eq!(server.cache().stats().entries, 3);
         assert_eq!(server.cache().stats().hits, 0);
+        // ...but the second page sliced the unpaged result cached by the
+        // first instead of re-evaluating the query; `limit/1` is a
+        // different query, so it evaluated.
+        let rs = server.result_cache().stats();
+        assert_eq!((rs.hits, rs.misses), (1, 2));
+        assert_eq!(rs.entries, 2);
+    }
+
+    #[test]
+    fn paged_bodies_agree_with_unpaged_slices() {
+        let server = served();
+        let full = server.handle(&Request::get("/retail/ds/brand_sales"));
+        let p0 = server.handle(&Request::get("/retail/ds/brand_sales?limit=2"));
+        let p1 = server.handle(&Request::get("/retail/ds/brand_sales?limit=2&offset=2"));
+        let full_doc = shareinsights_tabular::io::json::parse_json(&full.body).unwrap();
+        let p0_doc = shareinsights_tabular::io::json::parse_json(&p0.body).unwrap();
+        let p1_doc = shareinsights_tabular::io::json::parse_json(&p1.body).unwrap();
+        assert_eq!(
+            p0_doc.path("total_rows").unwrap().to_value().as_int(),
+            Some(2)
+        );
+        assert_eq!(
+            p1_doc.path("total_rows").unwrap().to_value().as_int(),
+            Some(1)
+        );
+        assert_eq!(
+            full_doc.path("rows.2").unwrap().to_string(),
+            p1_doc.path("rows.0").unwrap().to_string(),
+            "page 2 starts where the full result's third row is"
+        );
+    }
+
+    #[test]
+    fn stats_and_metrics_expose_index_counters() {
+        let server = served();
+        // A covered query: Utf8 key, sum over Int64 → indexed path.
+        server.handle(&Request::get(
+            "/retail/ds/brand_sales/groupby/region/sum/revenue",
+        ));
+        // An uncovered query shape → scan fallback.
+        server.handle(&Request::get("/retail/ds/brand_sales/distinct/region"));
+        let r = server.handle(&Request::get("/stats"));
+        assert!(r.is_ok(), "{}", r.body);
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        let builds = doc
+            .path("index.builds")
+            .unwrap()
+            .to_value()
+            .as_int()
+            .unwrap();
+        assert!(builds >= 1, "dictionary build on 'region': {builds}");
+        assert_eq!(
+            doc.path("index.covered").unwrap().to_value().as_int(),
+            Some(1)
+        );
+        assert_eq!(
+            doc.path("index.fallback").unwrap().to_value().as_int(),
+            Some(1)
+        );
+        let build_us = doc
+            .path("index.build_us")
+            .unwrap()
+            .to_value()
+            .as_int()
+            .unwrap();
+        assert!(build_us >= 0);
+        let m = server.handle(&Request::get("/metrics"));
+        assert!(
+            m.body.contains("shareinsights_index_builds_total"),
+            "{}",
+            m.body
+        );
+        assert!(
+            m.body.contains("shareinsights_index_covered_evals_total 1"),
+            "{}",
+            m.body
+        );
+        assert!(
+            m.body
+                .contains("shareinsights_index_fallback_evals_total 1"),
+            "{}",
+            m.body
+        );
+        assert!(m.body.contains("shareinsights_index_build_seconds_total"));
+    }
+
+    #[test]
+    fn rerun_drops_stale_indexed_snapshot() {
+        let server = served();
+        let url = "/retail/ds/brand_sales/groupby/region/sum/revenue";
+        assert!(server.handle(&Request::get(url)).is_ok());
+        let builds_before = server.platform().api_metrics().index().builds;
+        assert!(builds_before >= 1);
+        // A re-run bumps the generation: the stale wrapper is replaced and
+        // the index is rebuilt on the next cold query.
+        assert!(server
+            .handle(&Request::new(Method::Post, "/dashboards/retail/run"))
+            .is_ok());
+        assert!(server.handle(&Request::get(url)).is_ok());
+        let ix = server.platform().api_metrics().index();
+        assert!(ix.builds > builds_before, "index rebuilt after run");
+        assert_eq!(ix.covered, 2);
     }
 
     #[test]
@@ -792,6 +969,9 @@ F:
         assert!(body.contains("\"cache_lookup\""), "{body}");
         assert!(body.contains("\"query_eval\""), "{body}");
         assert!(body.contains("\"rows_in\": 3"), "{body}");
+        // Cold evaluation spans say how the query routed.
+        assert!(body.contains("\"index_hit\""), "{body}");
+        assert!(body.contains("\"result_cache_hit\": 0"), "{body}");
     }
 
     #[test]

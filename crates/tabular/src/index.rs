@@ -1,0 +1,758 @@
+//! Per-column acceleration indexes and the [`IndexedTable`] wrapper.
+//!
+//! Both interactive execution contexts — the widget data cube (§4.1) and the
+//! data explorer's ad-hoc query route (§4.4) — repeatedly evaluate
+//! filter/groupby/sort chains over an *immutable* endpoint snapshot. The
+//! scan kernels in [`crate::ops`] pay a per-row dynamic-[`Value`] cost on
+//! every evaluation; this module amortises that cost into a one-time,
+//! lazily built index per column:
+//!
+//! - [`DictionaryIndex`] for `Utf8` columns: the distinct strings sorted
+//!   into a dictionary, a per-row `u32` code, and a posting [`Bitmap`] per
+//!   code. Equality predicates become posting-list unions, range predicates
+//!   become contiguous code spans, group-by becomes dense code-indexed
+//!   accumulation, and sort becomes a counting sort over code rank.
+//! - [`ZoneIndex`] for `Int64`/`Float64`/`Date` columns: min–max bounds per
+//!   fixed-size row zone. Range and equality predicates skip zones whose
+//!   bounds cannot intersect the predicate and scan only candidate zones.
+//!
+//! [`IndexedTable`] bundles a [`Table`] with one lazily built
+//! ([`OnceLock`]) index slot per column and exposes accelerated kernels
+//! that mirror the scan kernels' semantics *exactly*. Every accelerated
+//! kernel returns `Option<Table>`: `None` means "not covered — run the
+//! scan kernel instead", the same decline-to-generic contract the
+//! group-by fast path uses. Callers therefore never see a behaviour
+//! difference, only a latency one; the differential tests in this module
+//! and in `tests/` pin that down.
+
+use crate::agg::AggKind;
+use crate::bitmap::Bitmap;
+use crate::column::Column;
+use crate::ops::filter::{FilterByValues, RangeFilter};
+use crate::ops::groupby::GroupBy;
+use crate::ops::sort::{SortKey, SortOrder};
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Sentinel code marking a null cell in [`DictionaryIndex::codes`].
+pub const NULL_CODE: u32 = u32::MAX;
+
+/// Rows per zone in a [`ZoneIndex`].
+pub const ZONE_ROWS: usize = 4096;
+
+/// Compare a dictionary entry against an arbitrary [`Value`] under the
+/// total `Value` order. Strings carry the highest type rank, so a string
+/// cell compares greater than any non-string, non-string value.
+fn cmp_str_value(s: &str, v: &Value) -> Ordering {
+    match v {
+        Value::Str(o) => s.cmp(o.as_str()),
+        _ => Ordering::Greater,
+    }
+}
+
+/// Dictionary encoding of a `Utf8` column: distinct strings sorted into a
+/// dictionary, per-row codes into it ([`NULL_CODE`] for nulls), and a
+/// posting bitmap per code.
+#[derive(Debug, Clone)]
+pub struct DictionaryIndex {
+    dict: Vec<String>,
+    codes: Vec<u32>,
+    postings: Vec<Bitmap>,
+    nulls: Bitmap,
+}
+
+impl DictionaryIndex {
+    fn build(data: &[String], validity: &Bitmap) -> DictionaryIndex {
+        let n = data.len();
+        let mut distinct: BTreeMap<&str, u32> = BTreeMap::new();
+        for (i, s) in data.iter().enumerate() {
+            if validity.get(i) {
+                distinct.entry(s.as_str()).or_insert(0);
+            }
+        }
+        // BTreeMap iterates in key order, so enumeration assigns sorted codes.
+        let dict: Vec<String> = distinct.keys().map(|s| s.to_string()).collect();
+        for (code, slot) in distinct.values_mut().enumerate() {
+            *slot = code as u32;
+        }
+        let mut codes = Vec::with_capacity(n);
+        let mut postings: Vec<Bitmap> = dict.iter().map(|_| Bitmap::new_cleared(n)).collect();
+        let mut nulls = Bitmap::new_cleared(n);
+        for (i, s) in data.iter().enumerate() {
+            if validity.get(i) {
+                let code = distinct[s.as_str()];
+                codes.push(code);
+                postings[code as usize].set(i);
+            } else {
+                codes.push(NULL_CODE);
+                nulls.set(i);
+            }
+        }
+        DictionaryIndex {
+            dict,
+            codes,
+            postings,
+            nulls,
+        }
+    }
+
+    /// The sorted dictionary.
+    pub fn dict(&self) -> &[String] {
+        &self.dict
+    }
+
+    /// Per-row dictionary codes ([`NULL_CODE`] for null cells).
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Number of distinct non-null values.
+    pub fn cardinality(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Dictionary code of `s`, if present.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.dict
+            .binary_search_by(|d| d.as_str().cmp(s))
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// Rows whose cell equals any of `allowed` — the posting-list union
+    /// form of [`crate::ops::filter_by_values`]'s per-column membership
+    /// test. A `Null` in the allowed set selects the null rows (matching
+    /// the scan path, where `Value::Null` set membership matches null
+    /// cells); non-string values never equal a string cell.
+    pub fn rows_for_values(&self, allowed: &[Value]) -> Bitmap {
+        let mut mask = Bitmap::new_cleared(self.codes.len());
+        for v in allowed {
+            match v {
+                Value::Null => mask = mask.or(&self.nulls),
+                Value::Str(s) => {
+                    if let Some(code) = self.code_of(s) {
+                        mask = mask.or(&self.postings[code as usize]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        mask
+    }
+
+    /// Rows whose cell `v` satisfies `!v.is_null() && v >= lo && v <= hi`
+    /// under the total `Value` order. Because the dictionary is sorted, the
+    /// qualifying codes form one contiguous span.
+    pub fn rows_for_range(&self, lo: &Value, hi: &Value) -> Bitmap {
+        let start = self
+            .dict
+            .partition_point(|s| cmp_str_value(s, lo) == Ordering::Less) as u32;
+        let end =
+            self.dict
+                .partition_point(|s| cmp_str_value(s, hi) != Ordering::Greater) as u32;
+        let mut mask = Bitmap::new_cleared(self.codes.len());
+        if start >= end {
+            return mask;
+        }
+        if (end - start) as usize <= 8 {
+            for code in start..end {
+                mask = mask.or(&self.postings[code as usize]);
+            }
+        } else {
+            // Wide spans: one pass over the codes beats unioning many
+            // postings. NULL_CODE is u32::MAX, always outside [start, end).
+            for (i, &c) in self.codes.iter().enumerate() {
+                if c >= start && c < end {
+                    mask.set(i);
+                }
+            }
+        }
+        mask
+    }
+
+    /// True when the column has no null cells.
+    pub fn no_nulls(&self) -> bool {
+        self.nulls.none_set()
+    }
+}
+
+/// Min–max zone map over a numeric or date column: per fixed-size zone,
+/// the smallest and largest non-null value (`None` for all-null zones).
+#[derive(Debug, Clone)]
+pub struct ZoneIndex {
+    zone_rows: usize,
+    zones: Vec<Option<(Value, Value)>>,
+}
+
+impl ZoneIndex {
+    fn build(col: &Column, zone_rows: usize) -> ZoneIndex {
+        let n = col.len();
+        let mut zones = Vec::with_capacity(n.div_ceil(zone_rows.max(1)));
+        let mut start = 0;
+        while start < n {
+            let end = (start + zone_rows).min(n);
+            let mut bounds: Option<(Value, Value)> = None;
+            for i in start..end {
+                let v = col.value(i);
+                if v.is_null() {
+                    continue;
+                }
+                bounds = Some(match bounds.take() {
+                    None => (v.clone(), v),
+                    Some((lo, hi)) => {
+                        let lo = if v < lo { v.clone() } else { lo };
+                        let hi = if v > hi { v } else { hi };
+                        (lo, hi)
+                    }
+                });
+            }
+            zones.push(bounds);
+            start = end;
+        }
+        ZoneIndex { zone_rows, zones }
+    }
+
+    /// Number of zones.
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Rows of `col` satisfying the inclusive range predicate, skipping
+    /// zones whose bounds cannot intersect `[lo, hi]`. Per-row checks in
+    /// candidate zones use exactly the scan predicate, so results match
+    /// [`crate::ops::filter::filter_by_range`] bit for bit.
+    pub fn rows_for_range(&self, col: &Column, lo: &Value, hi: &Value) -> Bitmap {
+        let n = col.len();
+        let mut mask = Bitmap::new_cleared(n);
+        for (z, bounds) in self.zones.iter().enumerate() {
+            let Some((zmin, zmax)) = bounds else { continue };
+            if zmax < lo || zmin > hi {
+                continue;
+            }
+            let start = z * self.zone_rows;
+            let end = (start + self.zone_rows).min(n);
+            for i in start..end {
+                let v = col.value(i);
+                if !v.is_null() && v >= *lo && v <= *hi {
+                    mask.set(i);
+                }
+            }
+        }
+        mask
+    }
+
+    /// Rows of `col` whose cell is a member of `allowed`, pruning zones
+    /// outside `[min(allowed), max(allowed)]`. Declines (`None`) when the
+    /// allowed set contains `Null`: null rows match null set members on the
+    /// scan path but are invisible to zone bounds.
+    pub fn rows_for_values(&self, col: &Column, allowed: &[Value]) -> Option<Bitmap> {
+        if allowed.iter().any(Value::is_null) {
+            return None;
+        }
+        let lo = allowed.iter().min()?;
+        let hi = allowed.iter().max()?;
+        let set: HashSet<&Value> = allowed.iter().collect();
+        let n = col.len();
+        let mut mask = Bitmap::new_cleared(n);
+        for (z, bounds) in self.zones.iter().enumerate() {
+            let Some((zmin, zmax)) = bounds else { continue };
+            if zmax < lo || zmin > hi {
+                continue;
+            }
+            let start = z * self.zone_rows;
+            let end = (start + self.zone_rows).min(n);
+            for i in start..end {
+                if set.contains(&col.value(i)) {
+                    mask.set(i);
+                }
+            }
+        }
+        Some(mask)
+    }
+}
+
+/// A per-column acceleration index.
+#[derive(Debug, Clone)]
+pub enum ColumnIndex {
+    /// Dictionary + postings for `Utf8` columns.
+    Dictionary(DictionaryIndex),
+    /// Min–max zones for `Int64`/`Float64`/`Date` columns.
+    Zones(ZoneIndex),
+}
+
+impl ColumnIndex {
+    /// Build the index kind appropriate for the column type. `Bool` and
+    /// all-null columns gain nothing from indexing and return `None`.
+    pub fn build(col: &Column) -> Option<ColumnIndex> {
+        match col {
+            Column::Utf8 { data, validity } => Some(ColumnIndex::Dictionary(
+                DictionaryIndex::build(data, validity),
+            )),
+            Column::Int64 { .. } | Column::Float64 { .. } | Column::Date { .. } => {
+                Some(ColumnIndex::Zones(ZoneIndex::build(col, ZONE_ROWS)))
+            }
+            Column::Bool { .. } | Column::Null { .. } => None,
+        }
+    }
+}
+
+/// A table plus lazily built per-column indexes, with accelerated
+/// filter/groupby/sort kernels that decline (`None`) whenever the index
+/// does not cover the requested shape.
+///
+/// Index builds happen at most once per column (guarded by [`OnceLock`])
+/// the first time a kernel needs that column; an optional build hook
+/// reports each build's duration in microseconds so callers can surface
+/// build counts/latency in their own telemetry without this crate growing
+/// a telemetry dependency.
+pub struct IndexedTable {
+    table: Table,
+    slots: Vec<OnceLock<Option<Arc<ColumnIndex>>>>,
+    builds: AtomicU64,
+    build_us: AtomicU64,
+    #[allow(clippy::type_complexity)]
+    build_hook: Option<Arc<dyn Fn(u64) + Send + Sync>>,
+}
+
+impl std::fmt::Debug for IndexedTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexedTable")
+            .field("rows", &self.table.num_rows())
+            .field("columns", &self.table.num_columns())
+            .field("builds", &self.builds.load(AtomicOrdering::Relaxed))
+            .finish()
+    }
+}
+
+impl IndexedTable {
+    /// Wrap a table. No indexes are built until a kernel first needs one.
+    pub fn new(table: Table) -> IndexedTable {
+        IndexedTable::with_hook(table, None)
+    }
+
+    /// Wrap a table with a build hook invoked with each index build's
+    /// duration in microseconds.
+    pub fn with_build_hook(table: Table, hook: Arc<dyn Fn(u64) + Send + Sync>) -> IndexedTable {
+        IndexedTable::with_hook(table, Some(hook))
+    }
+
+    fn with_hook(table: Table, build_hook: Option<Arc<dyn Fn(u64) + Send + Sync>>) -> IndexedTable {
+        let slots = (0..table.num_columns()).map(|_| OnceLock::new()).collect();
+        IndexedTable {
+            table,
+            slots,
+            builds: AtomicU64::new(0),
+            build_us: AtomicU64::new(0),
+            build_hook,
+        }
+    }
+
+    /// The wrapped table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// `(index builds, total build time in µs)` so far.
+    pub fn build_stats(&self) -> (u64, u64) {
+        (
+            self.builds.load(AtomicOrdering::Relaxed),
+            self.build_us.load(AtomicOrdering::Relaxed),
+        )
+    }
+
+    /// The index for `column`, building it on first use. `None` when the
+    /// column is missing or its type is not indexable.
+    pub fn index(&self, column: &str) -> Option<Arc<ColumnIndex>> {
+        let i = self.table.schema().index_of(column).ok()?;
+        self.slots[i]
+            .get_or_init(|| {
+                let started = Instant::now();
+                ColumnIndex::build(self.table.column_at(i)).map(|built| {
+                    let us = started.elapsed().as_micros() as u64;
+                    self.builds.fetch_add(1, AtomicOrdering::Relaxed);
+                    self.build_us.fetch_add(us, AtomicOrdering::Relaxed);
+                    if let Some(hook) = &self.build_hook {
+                        hook(us);
+                    }
+                    Arc::new(built)
+                })
+            })
+            .clone()
+    }
+
+    /// Accelerated [`crate::ops::filter_by_values`]: resolve each
+    /// constraint to a row bitmap via the column's index and AND them.
+    /// Declines when any constrained column lacks an index (including
+    /// missing columns, so the scan path reports the error).
+    pub fn filter_by_values(&self, spec: &FilterByValues) -> Option<Table> {
+        let n = self.table.num_rows();
+        let mut mask = Bitmap::new_set(n);
+        for (column, allowed) in &spec.constraints {
+            if allowed.is_empty() {
+                continue; // empty selection = no constraint (scan parity)
+            }
+            let index = self.index(column)?;
+            let m = match index.as_ref() {
+                ColumnIndex::Dictionary(d) => d.rows_for_values(allowed),
+                ColumnIndex::Zones(z) => {
+                    z.rows_for_values(self.table.column(column).ok()?, allowed)?
+                }
+            };
+            mask = mask.and(&m);
+        }
+        Some(self.table.filter(&mask))
+    }
+
+    /// Accelerated [`crate::ops::filter::filter_by_range`].
+    pub fn filter_by_range(&self, range: &RangeFilter) -> Option<Table> {
+        let index = self.index(&range.column)?;
+        let mask = match index.as_ref() {
+            ColumnIndex::Dictionary(d) => d.rows_for_range(&range.lo, &range.hi),
+            ColumnIndex::Zones(z) => {
+                z.rows_for_range(self.table.column(&range.column).ok()?, &range.lo, &range.hi)
+            }
+        };
+        Some(self.table.filter(&mask))
+    }
+
+    /// Accelerated [`crate::ops::groupby`] over dictionary codes: dense
+    /// code-indexed accumulators instead of hashing keys. Covers exactly
+    /// the shapes the scan fast path covers — one null-free `Utf8` key and
+    /// `sum`/`count`/`count_all` aggregates over null-free `Int64` columns
+    /// — and produces bit-identical output (first-seen group order, same
+    /// schema, same optional order-by-aggregate sort).
+    pub fn groupby(&self, cfg: &GroupBy) -> Option<Table> {
+        if cfg.keys.len() != 1 {
+            return None;
+        }
+        let index = self.index(&cfg.keys[0])?;
+        let ColumnIndex::Dictionary(d) = index.as_ref() else {
+            return None;
+        };
+        if !d.no_nulls() {
+            return None; // null keys: the generic scan path groups them
+        }
+        let aggs = cfg.effective_aggregates();
+        enum FastAgg<'a> {
+            Sum(&'a [i64]),
+            Count,
+            CountAll,
+        }
+        let mut fast_aggs: Vec<FastAgg<'_>> = Vec::with_capacity(aggs.len());
+        for a in &aggs {
+            match a.operator {
+                AggKind::CountAll => fast_aggs.push(FastAgg::CountAll),
+                AggKind::Sum | AggKind::Count => {
+                    let col = self.table.column(&a.apply_on).ok()?;
+                    let Column::Int64 { data, validity } = col.as_ref() else {
+                        return None;
+                    };
+                    if validity.count_ones() != data.len() {
+                        return None;
+                    }
+                    fast_aggs.push(match a.operator {
+                        AggKind::Sum => FastAgg::Sum(data),
+                        _ => FastAgg::Count,
+                    });
+                }
+                _ => return None,
+            }
+        }
+
+        // Dense accumulation: code -> group id (first-seen order), one flat
+        // accumulator lane per aggregate. No hashing, no Value allocation.
+        let mut gid_of_code: Vec<usize> = vec![usize::MAX; d.cardinality()];
+        let mut group_codes: Vec<u32> = Vec::new();
+        let mut acc: Vec<Vec<i64>> = vec![Vec::new(); fast_aggs.len()];
+        for (i, &code) in d.codes.iter().enumerate() {
+            let c = code as usize;
+            let gid = if gid_of_code[c] == usize::MAX {
+                let g = group_codes.len();
+                gid_of_code[c] = g;
+                group_codes.push(code);
+                for a in acc.iter_mut() {
+                    a.push(0);
+                }
+                g
+            } else {
+                gid_of_code[c]
+            };
+            for (ai, fa) in fast_aggs.iter().enumerate() {
+                acc[ai][gid] += match fa {
+                    FastAgg::Sum(data) => data[i],
+                    FastAgg::Count | FastAgg::CountAll => 1,
+                };
+            }
+        }
+
+        let mut order: Vec<usize> = (0..group_codes.len()).collect();
+        if cfg.orderby_aggregates && !acc.is_empty() {
+            order.sort_by(|&a, &b| acc[0][b].cmp(&acc[0][a]));
+        }
+
+        let key_out = Column::utf8(
+            order
+                .iter()
+                .map(|&g| d.dict[group_codes[g] as usize].clone()),
+        );
+        let mut columns = vec![key_out];
+        for a in &acc {
+            columns.push(Column::int(order.iter().map(|&g| a[g])));
+        }
+        let mut fields = vec![self.table.schema().field(&cfg.keys[0]).ok()?.clone()];
+        for a in &aggs {
+            fields.push(Field::new(&a.out_field, crate::datatype::DataType::Int64));
+        }
+        Table::new(Schema::new(fields).ok()?, columns).ok()
+    }
+
+    /// Accelerated [`crate::ops::sort`] on a single dictionary-indexed key:
+    /// a counting sort over code rank. Ascending puts nulls first, then
+    /// codes ascending; descending reverses codes and puts nulls last —
+    /// exactly the comparator order of the scan sort, and stable because
+    /// postings yield rows in ascending input order.
+    pub fn sort(&self, keys: &[SortKey]) -> Option<Table> {
+        if keys.len() != 1 {
+            return None;
+        }
+        let index = self.index(&keys[0].column)?;
+        let ColumnIndex::Dictionary(d) = index.as_ref() else {
+            return None;
+        };
+        let mut indices = Vec::with_capacity(self.table.num_rows());
+        match keys[0].order {
+            SortOrder::Asc => {
+                indices.extend(d.nulls.iter_ones());
+                for p in &d.postings {
+                    indices.extend(p.iter_ones());
+                }
+            }
+            SortOrder::Desc => {
+                for p in d.postings.iter().rev() {
+                    indices.extend(p.iter_ones());
+                }
+                indices.extend(d.nulls.iter_ones());
+            }
+        }
+        Some(self.table.take(&indices))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::groupby::AggregateSpec;
+    use crate::ops::{filter_by_values, groupby, sort};
+    use crate::row;
+    use crate::schema::Schema;
+
+    fn indexed(t: &Table) -> IndexedTable {
+        IndexedTable::new(t.clone())
+    }
+
+    fn sample() -> Table {
+        let mut rows = Vec::new();
+        for i in 0..200i64 {
+            let team = format!("t{:02}", i % 17);
+            if i % 23 == 0 {
+                rows.push(row![Value::Null, i, (i * 3) % 50]);
+            } else {
+                rows.push(row![team, i, (i * 3) % 50]);
+            }
+        }
+        Table::from_rows(&["team", "n", "m"], &rows).unwrap()
+    }
+
+    #[test]
+    fn dictionary_assigns_sorted_codes_and_postings() {
+        let t = Table::from_rows(
+            &["k"],
+            &[row!["b"], row!["a"], row![Value::Null], row!["b"]],
+        )
+        .unwrap();
+        let ix = indexed(&t);
+        let idx = ix.index("k").expect("utf8 indexable");
+        let ColumnIndex::Dictionary(d) = idx.as_ref() else {
+            panic!("expected dictionary");
+        };
+        assert_eq!(d.dict(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(d.codes(), &[1, 0, NULL_CODE, 1]);
+        assert_eq!(d.code_of("a"), Some(0));
+        assert_eq!(d.code_of("zz"), None);
+        assert_eq!(d.cardinality(), 2);
+        assert!(!d.no_nulls());
+        // Build is cached: the second lookup does not rebuild.
+        let _ = ix.index("k");
+        assert_eq!(ix.build_stats().0, 1);
+    }
+
+    #[test]
+    fn filter_by_values_matches_scan_including_nulls() {
+        let t = sample();
+        let ix = indexed(&t);
+        let specs = [
+            FilterByValues::single("team", vec!["t03".into(), "t11".into()]),
+            FilterByValues::single("team", vec![Value::Null, "t00".into()]),
+            FilterByValues::single("team", vec!["absent".into()]),
+            FilterByValues::single("team", vec![]),
+            FilterByValues::single("team", vec![Value::Int(3)]),
+            FilterByValues::single("team", vec!["t05".into()]).and("n", vec![Value::Int(5)]),
+        ];
+        for spec in &specs {
+            let scan = filter_by_values(&t, spec).unwrap();
+            let fast = ix.filter_by_values(spec).expect("covered");
+            assert_eq!(fast, scan, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn filter_by_values_declines_missing_column_and_null_on_zones() {
+        let ix = indexed(&sample());
+        let missing = FilterByValues::single("nope", vec!["x".into()]);
+        assert!(ix.filter_by_values(&missing).is_none());
+        // A Null in the allowed set over a zone-indexed column declines.
+        let t = Table::from_rows(&["n"], &[row![1i64], row![Value::Null]]).unwrap();
+        let ix = indexed(&t);
+        let spec = FilterByValues::single("n", vec![Value::Null, Value::Int(1)]);
+        assert!(ix.filter_by_values(&spec).is_none());
+    }
+
+    #[test]
+    fn range_filter_matches_scan_on_strings_and_numbers() {
+        let t = sample();
+        let ix = indexed(&t);
+        let cases = [
+            FilterByValues::range("team", "t03".into(), "t09".into()),
+            FilterByValues::range("team", "t05".into(), "t05".into()),
+            FilterByValues::range("team", "zz".into(), "aa".into()),
+            FilterByValues::range("team", Value::Int(0), Value::Int(10)),
+            FilterByValues::range("n", Value::Int(40), Value::Int(90)),
+            FilterByValues::range("n", Value::Int(500), Value::Int(900)),
+            FilterByValues::range("n", Value::Float(9.5), Value::Int(12)),
+        ];
+        for r in &cases {
+            let scan = crate::ops::filter::filter_by_range(&t, r).unwrap();
+            let fast = ix.filter_by_range(r).expect("covered");
+            assert_eq!(fast, scan, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn zone_index_skips_non_overlapping_zones() {
+        // Two zones' worth of rows with disjoint value bands: the pruned
+        // result must still match the scan exactly.
+        let n = ZONE_ROWS * 2 + 17;
+        let t = Table::new(
+            Schema::of(&[("v", crate::datatype::DataType::Int64)]),
+            vec![Column::int((0..n as i64).map(|i| i * 10))],
+        )
+        .unwrap();
+        let ix = indexed(&t);
+        let idx = ix.index("v").unwrap();
+        let ColumnIndex::Zones(z) = idx.as_ref() else {
+            panic!("expected zones");
+        };
+        assert_eq!(z.zone_count(), 3);
+        let r = FilterByValues::range("v", Value::Int(50), Value::Int(120));
+        let scan = crate::ops::filter::filter_by_range(&t, &r).unwrap();
+        assert_eq!(ix.filter_by_range(&r).unwrap(), scan);
+    }
+
+    #[test]
+    fn groupby_matches_scan_bit_for_bit() {
+        let rows: Vec<crate::row::Row> = (0..500)
+            .map(|i| row![format!("k{}", i % 37), (i % 11) as i64, (i % 7) as i64])
+            .collect();
+        let t = Table::from_rows(&["key", "a", "b"], &rows).unwrap();
+        let ix = indexed(&t);
+        for orderby in [false, true] {
+            let mut cfg = GroupBy::with_aggregates(
+                &["key"],
+                vec![
+                    AggregateSpec::new(AggKind::Sum, "a", "sum_a"),
+                    AggregateSpec::new(AggKind::Count, "b", "n_b"),
+                    AggregateSpec::new(AggKind::CountAll, "", "n"),
+                ],
+            );
+            cfg.orderby_aggregates = orderby;
+            let scan = groupby(&t, &cfg).unwrap();
+            let fast = ix.groupby(&cfg).expect("covered");
+            assert_eq!(fast, scan, "orderby={orderby}");
+            assert!(fast.schema().same_shape(scan.schema()));
+        }
+    }
+
+    #[test]
+    fn groupby_declines_uncovered_shapes() {
+        let t = sample(); // team has nulls
+        let ix = indexed(&t);
+        assert!(ix.groupby(&GroupBy::counting(&["team"])).is_none());
+        // Non-utf8 key.
+        assert!(ix.groupby(&GroupBy::counting(&["n"])).is_none());
+        // Multi-key.
+        assert!(ix.groupby(&GroupBy::counting(&["team", "n"])).is_none());
+        // Unsupported aggregate.
+        let t = Table::from_rows(&["k", "v"], &[row!["a", 1.5]]).unwrap();
+        let ix = indexed(&t);
+        let cfg =
+            GroupBy::with_aggregates(&["k"], vec![AggregateSpec::new(AggKind::Avg, "v", "m")]);
+        assert!(ix.groupby(&cfg).is_none());
+    }
+
+    #[test]
+    fn sort_matches_scan_both_directions_with_nulls() {
+        let t = sample();
+        let ix = indexed(&t);
+        for key in [SortKey::asc("team"), SortKey::desc("team")] {
+            let scan = sort(&t, std::slice::from_ref(&key)).unwrap();
+            let fast = ix.sort(std::slice::from_ref(&key)).expect("covered");
+            assert_eq!(fast, scan, "{key:?}");
+        }
+        // Multi-key and numeric keys decline.
+        assert!(ix
+            .sort(&[SortKey::asc("team"), SortKey::asc("n")])
+            .is_none());
+        assert!(ix.sort(&[SortKey::asc("n")]).is_none());
+    }
+
+    #[test]
+    fn empty_table_and_all_null_column_behave() {
+        let t = Table::from_rows(&["k", "v"], &[]).unwrap();
+        let ix = indexed(&t);
+        // Empty tables infer Null columns, which are not indexable.
+        assert!(ix.index("k").is_none());
+        let t = Table::from_rows(
+            &["k", "v"],
+            &[row![Value::Null, 1i64], row![Value::Null, 2i64]],
+        )
+        .unwrap();
+        let ix = indexed(&t);
+        assert!(ix.index("k").is_none(), "all-null column is not indexable");
+        let idx = ix.index("v");
+        assert!(idx.is_some(), "int column gets zones");
+    }
+
+    #[test]
+    fn build_hook_reports_builds() {
+        use std::sync::atomic::AtomicUsize;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&calls);
+        let ix = IndexedTable::with_build_hook(
+            sample(),
+            Arc::new(move |_us| {
+                seen.fetch_add(1, AtomicOrdering::Relaxed);
+            }),
+        );
+        let _ = ix.index("team");
+        let _ = ix.index("team");
+        let _ = ix.index("n");
+        assert_eq!(calls.load(AtomicOrdering::Relaxed), 2);
+        assert_eq!(ix.build_stats().0, 2);
+    }
+}

@@ -36,6 +36,7 @@ pub mod datatype;
 pub mod datefmt;
 pub mod error;
 pub mod expr;
+pub mod index;
 pub mod io;
 pub mod ops;
 pub mod row;
@@ -48,6 +49,7 @@ pub use bitmap::Bitmap;
 pub use column::{Column, ColumnBuilder};
 pub use datatype::DataType;
 pub use error::{Result, TabularError};
+pub use index::{ColumnIndex, DictionaryIndex, IndexedTable, ZoneIndex};
 pub use row::Row;
 pub use schema::{Field, Schema};
 pub use table::Table;

@@ -5,43 +5,89 @@
 //! it holds an endpoint table in memory and evaluates interaction-flow task
 //! chains against the *current selection state*, caching results per
 //! selection fingerprint so repeated interactions are O(lookup).
+//!
+//! Two layers make cold interactions cheap and hot ones free:
+//!
+//! - The endpoint snapshot is wrapped in an [`IndexedTable`], so the first
+//!   task of a chain (the common `filter_by`/`groupby`/`sort` shapes) runs
+//!   against lazily built per-column indexes instead of a scan whenever
+//!   the index covers it, falling back to the scan kernels otherwise.
+//! - Results are cached per selection fingerprint in a *bounded* LRU map
+//!   guarded by a single mutex (one lock acquisition per eval), so a long
+//!   interactive session cannot grow the cache without limit.
 
 use crate::error::{Result, WidgetError};
 use parking_lot::Mutex;
 use shareinsights_engine::selection::SelectionProvider;
 use shareinsights_engine::task::{NamedTask, TaskKind, TaskRuntime};
-use shareinsights_tabular::Table;
+use shareinsights_tabular::{IndexedTable, Table};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+/// Default bound on cached results per cube.
+pub const DEFAULT_CUBE_CACHE_ENTRIES: usize = 256;
+
+struct CachedResult {
+    table: Arc<Table>,
+    lru_seq: u64,
+}
+
+/// Everything the cube mutates per eval, under one lock: the result map,
+/// its recency order, and the hit/miss/eviction counters.
+#[derive(Default)]
+struct CubeCache {
+    entries: HashMap<u64, CachedResult>,
+    /// lru_seq -> fingerprint, oldest first (sequences are unique).
+    order: BTreeMap<u64, u64>,
+    next_seq: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
 /// A cube over one endpoint data object, with a task chain per widget.
 pub struct DataCube {
-    base: Table,
-    cache: Mutex<HashMap<u64, Arc<Table>>>,
-    /// Cache hit/miss counters (observability for PERF-CUBE).
-    hits: Mutex<(u64, u64)>,
+    indexed: IndexedTable,
+    cache: Mutex<CubeCache>,
+    max_entries: usize,
 }
 
 impl DataCube {
-    /// Build over an endpoint snapshot.
+    /// Build over an endpoint snapshot with the default cache bound.
     pub fn new(base: Table) -> Self {
+        DataCube::with_capacity(base, DEFAULT_CUBE_CACHE_ENTRIES)
+    }
+
+    /// Build with an explicit bound on cached results (at least one).
+    pub fn with_capacity(base: Table, max_entries: usize) -> Self {
         DataCube {
-            base,
-            cache: Mutex::new(HashMap::new()),
-            hits: Mutex::new((0, 0)),
+            indexed: IndexedTable::new(base),
+            cache: Mutex::new(CubeCache::default()),
+            max_entries: max_entries.max(1),
         }
     }
 
     /// The underlying endpoint table.
     pub fn base(&self) -> &Table {
-        &self.base
+        self.indexed.table()
     }
 
     /// `(hits, misses)` so far.
     pub fn cache_stats(&self) -> (u64, u64) {
-        *self.hits.lock()
+        let c = self.cache.lock();
+        (c.hits, c.misses)
+    }
+
+    /// Entries dropped to stay within the cache bound.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.lock().evictions
+    }
+
+    /// `(index builds, total build time in µs)` for the wrapped snapshot.
+    pub fn index_build_stats(&self) -> (u64, u64) {
+        self.indexed.build_stats()
     }
 
     /// The widget/column pairs a task chain depends on — the selection
@@ -63,35 +109,87 @@ impl DataCube {
         selections: &dyn SelectionProvider,
     ) -> Result<Arc<Table>> {
         let key = fingerprint(widget, tasks, selections);
-        if let Some(hit) = self.cache.lock().get(&key).cloned() {
-            self.hits.lock().0 += 1;
-            return Ok(hit);
+        {
+            let mut c = self.cache.lock();
+            let hit = c
+                .entries
+                .get(&key)
+                .map(|e| (Arc::clone(&e.table), e.lru_seq));
+            if let Some((table, old_seq)) = hit {
+                let seq = c.next_seq;
+                c.next_seq += 1;
+                c.order.remove(&old_seq);
+                c.order.insert(seq, key);
+                c.entries.get_mut(&key).expect("present").lru_seq = seq;
+                c.hits += 1;
+                return Ok(table);
+            }
+            c.misses += 1;
         }
-        self.hits.lock().1 += 1;
+
+        // Evaluate outside the lock; the first task runs against the
+        // indexed snapshot when covered, the scan kernels otherwise.
         let lookup = |_: &str| None;
         let rt = TaskRuntime {
             selections: Some(selections),
             lookup_table: &lookup,
         };
-        let mut current = self.base.clone();
-        for t in tasks {
-            current = t
-                .kind
-                .execute(&t.name, std::slice::from_ref(&current), &rt)
-                .map_err(|e| WidgetError::Flow {
-                    widget: widget.to_string(),
-                    message: e.to_string(),
-                })?;
+        let mut current: Option<Table> = None;
+        for (i, t) in tasks.iter().enumerate() {
+            let fast = if i == 0 {
+                t.kind.execute_indexed(&self.indexed, &rt)
+            } else {
+                None
+            };
+            let next = match fast {
+                Some(table) => table,
+                None => {
+                    let input = match &current {
+                        Some(c) => c,
+                        None => self.indexed.table(),
+                    };
+                    t.kind
+                        .execute(&t.name, std::slice::from_ref(input), &rt)
+                        .map_err(|e| WidgetError::Flow {
+                            widget: widget.to_string(),
+                            message: e.to_string(),
+                        })?
+                }
+            };
+            current = Some(next);
         }
-        let arc = Arc::new(current);
-        self.cache.lock().insert(key, Arc::clone(&arc));
+        let arc = Arc::new(current.unwrap_or_else(|| self.indexed.table().clone()));
+
+        let mut c = self.cache.lock();
+        let seq = c.next_seq;
+        c.next_seq += 1;
+        if let Some(old) = c.entries.insert(
+            key,
+            CachedResult {
+                table: Arc::clone(&arc),
+                lru_seq: seq,
+            },
+        ) {
+            c.order.remove(&old.lru_seq);
+        }
+        c.order.insert(seq, key);
+        while c.entries.len() > self.max_entries {
+            let Some((&oldest, _)) = c.order.iter().next() else {
+                break;
+            };
+            let victim = c.order.remove(&oldest).expect("present");
+            c.entries.remove(&victim);
+            c.evictions += 1;
+        }
         Ok(arc)
     }
 
     /// Drop all cached results (called when the endpoint data itself is
-    /// refreshed by a batch run).
+    /// refreshed by a batch run). Counters are kept.
     pub fn invalidate(&self) {
-        self.cache.lock().clear();
+        let mut c = self.cache.lock();
+        c.entries.clear();
+        c.order.clear();
     }
 }
 
@@ -209,6 +307,8 @@ mod tests {
         let out = cube.eval("w", &tasks, &sel).unwrap();
         assert_eq!(out.num_rows(), 1);
         assert_eq!(out.value(0, "noOfTweets").unwrap().as_int(), Some(160));
+        // The filter ran through the dictionary index on `team`.
+        assert!(cube.index_build_stats().0 >= 1);
     }
 
     #[test]
@@ -256,6 +356,54 @@ mod tests {
         cube.invalidate();
         cube.eval("w", &tasks, &sel).unwrap();
         assert_eq!(cube.cache_stats(), (0, 2));
+    }
+
+    #[test]
+    fn cache_is_bounded_with_lru_eviction() {
+        let cube = DataCube::with_capacity(team_tweets(), 2);
+        let sel = StaticSelections::new();
+        let tasks = vec![filter_by_team()];
+        for team in ["CSK", "MI", "RCB"] {
+            sel.set("teams", "text", Selection::Values(vec![team.into()]));
+            cube.eval("w", &tasks, &sel).unwrap();
+        }
+        assert_eq!(cube.cache_evictions(), 1, "third distinct result evicts");
+        // The oldest fingerprint (CSK) was evicted; re-evaluating it misses.
+        sel.set("teams", "text", Selection::Values(vec!["CSK".into()]));
+        cube.eval("w", &tasks, &sel).unwrap();
+        assert_eq!(cube.cache_stats(), (0, 4));
+        // The most recent (RCB) is still cached.
+        sel.set("teams", "text", Selection::Values(vec!["RCB".into()]));
+        cube.eval("w", &tasks, &sel).unwrap();
+        assert_eq!(cube.cache_stats(), (1, 4));
+    }
+
+    #[test]
+    fn indexed_and_scan_chains_agree() {
+        // The same chain evaluated through the cube (indexed first task)
+        // and via the raw scan kernels must be identical.
+        let base = team_tweets();
+        let cube = DataCube::new(base.clone());
+        let sel = StaticSelections::new();
+        sel.set(
+            "teams",
+            "text",
+            Selection::Values(vec!["CSK".into(), "RCB".into()]),
+        );
+        let tasks = vec![filter_by_team(), aggregate_by_team()];
+        let via_cube = cube.eval("w", &tasks, &sel).unwrap();
+        let rt = TaskRuntime {
+            selections: Some(&sel),
+            lookup_table: &|_| None,
+        };
+        let mut scan = base;
+        for t in &tasks {
+            scan = t
+                .kind
+                .execute(&t.name, std::slice::from_ref(&scan), &rt)
+                .unwrap();
+        }
+        assert_eq!(*via_cube, scan);
     }
 
     #[test]

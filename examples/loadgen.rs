@@ -17,6 +17,7 @@
 //!
 //! ```text
 //! cargo run --example loadgen [clients] [requests-per-client] [--close] [--no-trace]
+//! cargo run --release --example loadgen -- --cold [rows] [iterations]
 //! ```
 //!
 //! `--close` forces one connection per request (the pre-keep-alive
@@ -24,8 +25,19 @@
 //! in that mode. `--no-trace` sets the tracer's sampling knob to 0 and
 //! sends no `X-Trace-Id` — the baseline for measuring tracing overhead
 //! (trace asserts are skipped).
+//!
+//! `--cold` switches to the cold-query benchmark: a ~1M-row synthetic
+//! dataset (configurable) is queried through the scan kernels and through
+//! the indexed path ([`shareinsights::tabular::IndexedTable`]), asserting
+//! the two produce byte-identical JSON for every route, then reporting
+//! cold (cache-bypassed, per-evaluation) and warm (served cache hit)
+//! p50/p95 per route as a JSON document on stdout — the source of the
+//! committed `BENCH_adhoc_query.json`. Progress goes to stderr, so
+//! `--cold > BENCH_adhoc_query.json` captures just the document. The CI
+//! bench-smoke job runs this mode on a smaller dataset and relies on the
+//! differential asserts.
 
-use shareinsights::server::{blocking_get, serve, ClientConnection, ServeOptions, Server};
+use shareinsights::server::{blocking_get, serve, ClientConnection, Request, ServeOptions, Server};
 use shareinsights_core::Platform;
 use std::time::Instant;
 
@@ -51,7 +63,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let close_mode = args.iter().any(|a| a == "--close");
     let no_trace = args.iter().any(|a| a == "--no-trace");
+    let cold_mode = args.iter().any(|a| a == "--cold");
     let mut nums = args.iter().filter(|a| !a.starts_with("--"));
+    if cold_mode {
+        let rows: usize = nums
+            .next()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(1_000_000);
+        let iters: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+        cold_query_benchmark(rows, iters);
+        return;
+    }
     let clients: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(8);
     let per_client: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(50);
 
@@ -233,6 +255,139 @@ fn main() {
     println!("--- /stats ---\n{stats}");
 
     svc.shutdown();
+}
+
+/// The `--cold` mode: measure the scan-vs-indexed delta on cold (cache
+/// bypassed) ad-hoc queries over a synthetic dataset, differential-checking
+/// that both paths — and the served HTTP body — agree byte for byte.
+fn cold_query_benchmark(rows: usize, iters: usize) {
+    use shareinsights::server::query::{parse_ops, run_query, run_query_indexed};
+    use shareinsights::server::table_to_json;
+    use shareinsights::tabular::{Column, DataType, Field, IndexedTable, Schema, Table};
+
+    let distinct = 1000usize;
+    eprintln!("cold-query benchmark: {rows} rows, {distinct} distinct keys, {iters} iterations");
+    let keys: Vec<String> = (0..rows)
+        .map(|i| format!("customer-{:04}", (i * 7919) % distinct))
+        .collect();
+    let values: Vec<i64> = (0..rows).map(|i| ((i * 37) % 1000) as i64).collect();
+    let schema = Schema::new(vec![
+        Field::new("key", DataType::Utf8),
+        Field::new("value", DataType::Int64),
+    ])
+    .expect("schema");
+    let table = Table::new(schema, vec![Column::utf8(keys), Column::int(values)]).expect("table");
+
+    // Serve the same dataset over the router (as a shared published
+    // object) so warm numbers measure real cache-hit serving.
+    let platform = Platform::new();
+    platform.create_dashboard("bench").expect("dashboard");
+    platform
+        .publish_registry()
+        .publish(
+            "bench_data",
+            "bench",
+            "bench_data",
+            table.schema().clone(),
+            Some(table.clone()),
+        )
+        .expect("publish");
+    let server = Server::new(platform);
+
+    let routes: [(&str, Vec<&str>); 3] = [
+        ("groupby", vec!["groupby", "key", "sum", "value"]),
+        ("filter", vec!["filter", "key", "customer-0042"]),
+        ("sort", vec!["sort", "key", "desc", "limit", "100"]),
+    ];
+
+    let indexed = IndexedTable::new(table.clone());
+    let pct = |sorted: &[u64], p: f64| -> u64 {
+        let idx = ((sorted.len() as f64 * p).ceil() as usize).max(1) - 1;
+        sorted[idx.min(sorted.len() - 1)]
+    };
+
+    let mut route_docs = Vec::new();
+    for (name, segs) in &routes {
+        let ops = parse_ops(segs).expect("ops");
+        // Warmup evaluations double as the differential check; the first
+        // indexed evaluation also builds the lazy per-column indexes.
+        let scan_result = run_query(&table, &ops).expect("scan");
+        let (indexed_result, index_hit) = run_query_indexed(&indexed, &ops).expect("indexed");
+        assert!(
+            index_hit,
+            "{name}: expected the indexed path to cover this query"
+        );
+        let scan_json = table_to_json(&scan_result);
+        let indexed_json = table_to_json(&indexed_result);
+        assert_eq!(
+            scan_json, indexed_json,
+            "{name}: indexed path disagrees with scan path"
+        );
+        // The served body must agree too (full-stack differential).
+        let url = format!("/bench/ds/bench_data/{}", segs.join("/"));
+        let cold_served = server.handle(&Request::get(&url));
+        assert_eq!(cold_served.body, scan_json, "{name}: served body disagrees");
+
+        let mut scan_us = Vec::with_capacity(iters);
+        let mut indexed_us = Vec::with_capacity(iters);
+        let mut warm_us = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t = Instant::now();
+            let r = run_query(&table, &ops).expect("scan");
+            scan_us.push(t.elapsed().as_micros() as u64);
+            std::hint::black_box(r);
+
+            let t = Instant::now();
+            let r = run_query_indexed(&indexed, &ops).expect("indexed");
+            indexed_us.push(t.elapsed().as_micros() as u64);
+            std::hint::black_box(r);
+
+            let t = Instant::now();
+            let r = server.handle(&Request::get(&url));
+            warm_us.push(t.elapsed().as_micros() as u64);
+            assert!(r.is_ok());
+        }
+        scan_us.sort_unstable();
+        indexed_us.sort_unstable();
+        warm_us.sort_unstable();
+        let (scan_p50, scan_p95) = (pct(&scan_us, 0.50), pct(&scan_us, 0.95));
+        let (ix_p50, ix_p95) = (pct(&indexed_us, 0.50), pct(&indexed_us, 0.95));
+        let (warm_p50, warm_p95) = (pct(&warm_us, 0.50), pct(&warm_us, 0.95));
+        let speedup = scan_p50 as f64 / ix_p50.max(1) as f64;
+        eprintln!(
+            "{name:8} cold scan p50 {scan_p50}µs  cold indexed p50 {ix_p50}µs \
+             ({speedup:.1}x)  warm p50 {warm_p50}µs"
+        );
+        route_docs.push(format!(
+            "    \"{name}\": {{\"cold_scan_p50_us\": {scan_p50}, \"cold_scan_p95_us\": {scan_p95}, \
+             \"cold_indexed_p50_us\": {ix_p50}, \"cold_indexed_p95_us\": {ix_p95}, \
+             \"warm_p50_us\": {warm_p50}, \"warm_p95_us\": {warm_p95}, \
+             \"speedup_p50\": {speedup:.2}}}"
+        ));
+    }
+
+    // The server routed each cold query through the indexed path and the
+    // build hook fed the metrics registry.
+    let ix_stats = server.platform().api_metrics().index();
+    assert!(
+        ix_stats.covered >= routes.len() as u64,
+        "server must route covered queries through the index: {ix_stats:?}"
+    );
+    assert!(ix_stats.builds >= 1, "index builds must be recorded");
+    let (builds, build_us) = indexed.build_stats();
+
+    println!("{{");
+    println!("  \"dataset\": {{\"rows\": {rows}, \"distinct_keys\": {distinct}}},");
+    println!("  \"iterations\": {iters},");
+    println!("  \"index\": {{\"builds\": {builds}, \"build_us\": {build_us}}},");
+    println!("  \"routes\": {{");
+    println!("{}", route_docs.join(",\n"));
+    println!("  }}");
+    println!("}}");
+    eprintln!(
+        "differential checks passed: indexed == scan == served for all {} routes",
+        routes.len()
+    );
 }
 
 /// Assert the Prometheus text exposition is well-formed: every `# TYPE`

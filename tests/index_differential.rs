@@ -1,0 +1,299 @@
+//! Differential property tests for the indexed acceleration layer.
+//!
+//! The contract under test: every accelerated kernel either *declines*
+//! (returns `None`, sending the caller to the scan path) or produces a
+//! table whose JSON serialization is **byte-identical** to the scan
+//! kernel's output — same rows, same order, same formatting. Generated
+//! cases deliberately include nulls, all-null columns (empty
+//! dictionaries), zero-row tables, values absent from the dictionary,
+//! and range predicates entirely outside the data's span.
+//!
+//! Like `properties.rs`, cases come from a seeded local RNG so every
+//! failure is reproducible from the fixed seed.
+
+use shareinsights::datagen::SeededRng;
+use shareinsights::server::query::{parse_ops, run_query, run_query_indexed};
+use shareinsights::server::table_to_json;
+use shareinsights::tabular::agg::AggKind;
+use shareinsights::tabular::ops::filter::{filter_by_range, RangeFilter};
+use shareinsights::tabular::ops::{
+    filter_by_values, groupby, sort, AggregateSpec, FilterByValues, GroupBy, SortKey,
+};
+use shareinsights::tabular::{
+    Column, ColumnBuilder, DataType, Field, IndexedTable, Schema, Table, Value,
+};
+
+const CASES: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// Null probability for a column: mostly light, sometimes total (which
+/// leaves a Utf8 column with an *empty dictionary*).
+fn null_chance(r: &mut SeededRng) -> f64 {
+    match r.weighted_index(&[4.0, 3.0, 1.0]) {
+        0 => 0.0,
+        1 => 0.25,
+        _ => 1.0,
+    }
+}
+
+fn utf8_col(r: &mut SeededRng, n: usize, pool: usize, nulls: f64) -> Column {
+    let mut b = ColumnBuilder::new(DataType::Utf8);
+    for _ in 0..n {
+        if pool == 0 || r.chance(nulls) {
+            b.push_null();
+        } else {
+            b.push_str(format!("k{}", r.index(pool)));
+        }
+    }
+    b.finish()
+}
+
+fn int_col(r: &mut SeededRng, n: usize, nulls: f64) -> Column {
+    let mut b = ColumnBuilder::new(DataType::Int64);
+    for _ in 0..n {
+        if r.chance(nulls) {
+            b.push_null();
+        } else {
+            b.push_coerced(&Value::Int(r.int_range(-50, 49))).unwrap();
+        }
+    }
+    b.finish()
+}
+
+/// A table shaped like endpoint data: a categorical, a second categorical
+/// and a numeric measure. Row count includes 0 (empty table, empty
+/// dictionaries); null chances include 1.0 (all-null columns).
+fn gen_table(r: &mut SeededRng) -> Table {
+    let n = if r.chance(0.1) { 0 } else { 1 + r.index(40) };
+    let pool = r.index(6); // 0 = every value null regardless of chance
+    let schema = Schema::new(vec![
+        Field::new("cat", DataType::Utf8),
+        Field::new("cat2", DataType::Utf8),
+        Field::new("num", DataType::Int64),
+    ])
+    .unwrap();
+    let (nc1, nc2, nc3) = (null_chance(r), null_chance(r), null_chance(r));
+    let columns = vec![
+        utf8_col(r, n, pool, nc1),
+        utf8_col(r, n, 3, nc2),
+        int_col(r, n, nc3),
+    ];
+    Table::new(schema, columns).unwrap()
+}
+
+/// An allowed-values set mixing dictionary members, strings absent from
+/// the dictionary, explicit nulls, and out-of-domain integers.
+fn gen_allowed(r: &mut SeededRng) -> Vec<Value> {
+    let mut allowed: Vec<Value> = Vec::new();
+    for _ in 0..r.index(4) {
+        allowed.push(Value::Str(format!("k{}", r.index(8))));
+    }
+    if r.chance(0.2) {
+        allowed.push(Value::Str("absent".into()));
+    }
+    if r.chance(0.2) {
+        allowed.push(Value::Null);
+    }
+    allowed
+}
+
+fn assert_same_bytes(fast: &Table, scan: &Table, what: &str) {
+    assert_eq!(
+        table_to_json(fast),
+        table_to_json(scan),
+        "indexed {what} diverged from scan"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-level differentials
+// ---------------------------------------------------------------------------
+
+/// Value-set filters through posting lists agree with the scan filter,
+/// including null selections, misses, and empty dictionaries.
+#[test]
+fn filter_by_values_matches_scan() {
+    let mut r = SeededRng::new(0x1D1F_0001);
+    let mut covered = 0usize;
+    for _ in 0..CASES {
+        let t = gen_table(&mut r);
+        let ix = IndexedTable::new(t.clone());
+        for col in ["cat", "cat2", "num"] {
+            let allowed = if col == "num" {
+                let mut a: Vec<Value> = (0..r.index(4))
+                    .map(|_| Value::Int(r.int_range(-60, 59)))
+                    .collect();
+                if r.chance(0.2) {
+                    a.push(Value::Null);
+                }
+                a
+            } else {
+                gen_allowed(&mut r)
+            };
+            let spec = FilterByValues::single(col, allowed);
+            let scan = filter_by_values(&t, &spec).unwrap();
+            if let Some(fast) = ix.filter_by_values(&spec) {
+                assert_same_bytes(&fast, &scan, "filter_by_values");
+                covered += 1;
+            }
+        }
+    }
+    assert!(
+        covered > CASES,
+        "index path should cover most value filters"
+    );
+}
+
+/// Range filters through zones and dictionary spans agree with the scan
+/// filter, including ranges entirely outside the data and inverted bounds.
+#[test]
+fn filter_by_range_matches_scan() {
+    let mut r = SeededRng::new(0x1D1F_0002);
+    let mut covered = 0usize;
+    for _ in 0..CASES {
+        let t = gen_table(&mut r);
+        let ix = IndexedTable::new(t.clone());
+        // Integer ranges: in-range, out-of-range and inverted.
+        let (lo, hi) = match r.index(4) {
+            0 => (r.int_range(-60, 0), r.int_range(0, 59)),
+            1 => (1000, 2000),   // entirely above the data
+            2 => (-2000, -1000), // entirely below the data
+            _ => (40, -40),      // inverted: matches nothing
+        };
+        let rf = RangeFilter {
+            column: "num".into(),
+            lo: Value::Int(lo),
+            hi: Value::Int(hi),
+        };
+        let scan = filter_by_range(&t, &rf).unwrap();
+        if let Some(fast) = ix.filter_by_range(&rf) {
+            assert_same_bytes(&fast, &scan, "filter_by_range(num)");
+            covered += 1;
+        }
+        // String ranges over the dictionary, sometimes past its end.
+        let (slo, shi) = if r.chance(0.3) {
+            ("zz".to_string(), "zzz".to_string())
+        } else {
+            (format!("k{}", r.index(4)), format!("k{}", 4 + r.index(4)))
+        };
+        let rf = RangeFilter {
+            column: "cat".into(),
+            lo: Value::Str(slo),
+            hi: Value::Str(shi),
+        };
+        let scan = filter_by_range(&t, &rf).unwrap();
+        if let Some(fast) = ix.filter_by_range(&rf) {
+            assert_same_bytes(&fast, &scan, "filter_by_range(cat)");
+            covered += 1;
+        }
+    }
+    assert!(covered > 0, "index path should cover some range filters");
+}
+
+/// Dense code-indexed group-by agrees with the scan group-by byte for
+/// byte (group order included) whenever it claims coverage.
+#[test]
+fn groupby_matches_scan() {
+    let mut r = SeededRng::new(0x1D1F_0003);
+    let mut covered = 0usize;
+    for _ in 0..CASES {
+        let t = gen_table(&mut r);
+        let ix = IndexedTable::new(t.clone());
+        let agg = match r.index(3) {
+            0 => AggregateSpec::new(AggKind::CountAll, "", "n"),
+            1 => AggregateSpec::new(AggKind::Sum, "num", "total"),
+            _ => AggregateSpec::new(AggKind::Count, "num", "n"),
+        };
+        let cfg = GroupBy::with_aggregates(&["cat"], vec![agg]);
+        let scan = groupby(&t, &cfg).unwrap();
+        if let Some(fast) = ix.groupby(&cfg) {
+            assert_same_bytes(&fast, &scan, "groupby");
+            covered += 1;
+        }
+    }
+    assert!(covered > 0, "null-free cases should take the indexed path");
+}
+
+/// Sort by dictionary code rank agrees with the scan comparison sort,
+/// nulls-first placement and tie order included.
+#[test]
+fn sort_matches_scan() {
+    let mut r = SeededRng::new(0x1D1F_0004);
+    let mut covered = 0usize;
+    for _ in 0..CASES {
+        let t = gen_table(&mut r);
+        let ix = IndexedTable::new(t.clone());
+        let key = if r.chance(0.5) {
+            SortKey::asc("cat")
+        } else {
+            SortKey::desc("cat")
+        };
+        let scan = sort(&t, std::slice::from_ref(&key)).unwrap();
+        if let Some(fast) = ix.sort(std::slice::from_ref(&key)) {
+            assert_same_bytes(&fast, &scan, "sort");
+            covered += 1;
+        }
+    }
+    assert!(
+        covered > CASES / 2,
+        "utf8 sorts should take the indexed path"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Query-pipeline differential
+// ---------------------------------------------------------------------------
+
+/// Random ad-hoc query pipelines produce byte-identical JSON through
+/// `run_query` (pure scan) and `run_query_indexed` (accelerated first op,
+/// scan thereafter) — and reproduce the same errors.
+#[test]
+fn query_pipelines_match_scan() {
+    let mut r = SeededRng::new(0x1D1F_0005);
+    let mut hits = 0usize;
+    for _ in 0..CASES {
+        let t = gen_table(&mut r);
+        let ix = IndexedTable::new(t.clone());
+        let mut segments: Vec<String> = Vec::new();
+        for _ in 0..1 + r.index(3) {
+            match r.index(5) {
+                0 => {
+                    let agg = ["sum", "count", "min", "max"][r.index(4)];
+                    segments.extend(["groupby".into(), "cat".into(), agg.into(), "num".into()]);
+                }
+                1 => {
+                    let v = if r.chance(0.3) {
+                        "absent".to_string()
+                    } else {
+                        format!("k{}", r.index(6))
+                    };
+                    segments.extend(["filter".into(), "cat".into(), v]);
+                }
+                2 => {
+                    let dir = if r.chance(0.5) { "asc" } else { "desc" };
+                    segments.extend(["sort".into(), "cat".into(), dir.into()]);
+                }
+                3 => segments.extend(["distinct".into(), "cat2".into()]),
+                _ => segments.extend(["limit".into(), r.index(20).to_string()]),
+            }
+        }
+        // Occasionally reference a missing column so errors differentialize.
+        if r.chance(0.15) {
+            segments.extend(["filter".into(), "ghost".into(), "x".into()]);
+        }
+        let refs: Vec<&str> = segments.iter().map(String::as_str).collect();
+        let ops = parse_ops(&refs).unwrap();
+        match (run_query(&t, &ops), run_query_indexed(&ix, &ops)) {
+            (Ok(scan), Ok((fast, hit))) => {
+                assert_same_bytes(&fast, &scan, "query pipeline");
+                hits += usize::from(hit);
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "error divergence"),
+            (a, b) => panic!("paths disagree on success: scan={a:?} indexed={b:?}"),
+        }
+    }
+    assert!(hits > 0, "some pipelines should report index hits");
+}
