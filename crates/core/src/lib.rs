@@ -48,7 +48,7 @@ pub use error::{PlatformError, Result};
 pub use meta::{build_meta_dashboard, profile_table, ColumnProfile, MetaDashboard};
 pub use platform::Platform;
 pub use telemetry::{
-    ApiMetrics, IndexStats, LatencyHistogram, OperatorStats, RouteStats, RunEvent, RunKind, RunLog,
-    UsageCounts,
+    ApiMetrics, IndexStats, LatencyHistogram, OperatorStats, ReactorStats, RouteStats, RunEvent,
+    RunKind, RunLog, UsageCounts,
 };
 pub use trace::{AttrValue, EventLog, Span, SpanRecord, TraceId, TraceRecord, Tracer};

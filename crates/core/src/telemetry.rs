@@ -309,6 +309,30 @@ pub struct IndexStats {
     pub fallback: u64,
 }
 
+/// Event-loop statistics from the epoll reactor serving mode: how many
+/// connections the readiness loop is multiplexing, how often it wakes,
+/// how much readiness each wakeup delivers, and how often socket-level
+/// write backpressure forced an `EPOLLOUT` re-arm. All zeros under the
+/// thread-per-connection mode.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Connections currently registered with the event loop (gauge).
+    pub registered: u64,
+    /// High-water mark of `registered` over the process lifetime.
+    pub peak_registered: u64,
+    /// `epoll_wait` returns that delivered at least one event.
+    pub wakeups: u64,
+    /// Total readiness events delivered across all wakeups (divide by
+    /// `wakeups` for the batching factor — higher means each wakeup
+    /// amortizes over more ready connections).
+    pub ready_events: u64,
+    /// Times a partial write re-armed the connection for `EPOLLOUT`
+    /// instead of blocking a thread (write backpressure).
+    pub epollout_rearms: u64,
+    /// Ready requests handed to the worker pool.
+    pub dispatched: u64,
+}
+
 /// Thread-safe per-route metrics registry for the serving path.
 #[derive(Debug, Clone, Default)]
 pub struct ApiMetrics {
@@ -316,6 +340,7 @@ pub struct ApiMetrics {
     connections: Arc<RwLock<ConnectionStats>>,
     operators: Arc<RwLock<BTreeMap<String, OperatorStats>>>,
     index: Arc<RwLock<IndexStats>>,
+    reactor: Arc<RwLock<ReactorStats>>,
 }
 
 impl ApiMetrics {
@@ -420,6 +445,41 @@ impl ApiMetrics {
     /// Snapshot of the index-acceleration counters.
     pub fn index(&self) -> IndexStats {
         self.index.read().clone()
+    }
+
+    /// Record a connection registered with the reactor's event loop.
+    pub fn record_reactor_register(&self) {
+        let mut r = self.reactor.write();
+        r.registered += 1;
+        r.peak_registered = r.peak_registered.max(r.registered);
+    }
+
+    /// Record a connection deregistered from the reactor's event loop.
+    pub fn record_reactor_deregister(&self) {
+        let mut r = self.reactor.write();
+        r.registered = r.registered.saturating_sub(1);
+    }
+
+    /// Record one `epoll_wait` wakeup that delivered `ready` events.
+    pub fn record_reactor_wakeup(&self, ready: u64) {
+        let mut r = self.reactor.write();
+        r.wakeups += 1;
+        r.ready_events += ready;
+    }
+
+    /// Record a write-backpressure `EPOLLOUT` re-arm.
+    pub fn record_reactor_rearm(&self) {
+        self.reactor.write().epollout_rearms += 1;
+    }
+
+    /// Record a ready request dispatched to the reactor's worker pool.
+    pub fn record_reactor_dispatch(&self) {
+        self.reactor.write().dispatched += 1;
+    }
+
+    /// Snapshot of the reactor event-loop counters.
+    pub fn reactor(&self) -> ReactorStats {
+        self.reactor.read().clone()
     }
 
     /// Snapshot of every route's stats.
@@ -566,6 +626,33 @@ mod tests {
         assert_eq!(ix.build_us, 200);
         assert_eq!(ix.covered, 2);
         assert_eq!(ix.fallback, 1);
+    }
+
+    #[test]
+    fn reactor_metrics_accumulate() {
+        let m = ApiMetrics::new();
+        assert_eq!(m.reactor(), ReactorStats::default());
+        m.record_reactor_register();
+        m.record_reactor_register();
+        m.record_reactor_register();
+        m.record_reactor_deregister();
+        m.record_reactor_wakeup(2);
+        m.record_reactor_wakeup(5);
+        m.record_reactor_rearm();
+        m.record_reactor_dispatch();
+        m.record_reactor_dispatch();
+        let r = m.reactor();
+        assert_eq!(r.registered, 2);
+        assert_eq!(r.peak_registered, 3);
+        assert_eq!(r.wakeups, 2);
+        assert_eq!(r.ready_events, 7);
+        assert_eq!(r.epollout_rearms, 1);
+        assert_eq!(r.dispatched, 2);
+        // Deregister never underflows.
+        m.record_reactor_deregister();
+        m.record_reactor_deregister();
+        m.record_reactor_deregister();
+        assert_eq!(m.reactor().registered, 0);
     }
 
     #[test]

@@ -59,6 +59,8 @@ pub enum Status {
     Conflict,
     /// 422 — flow-file level errors (compile/validate).
     Unprocessable,
+    /// 431 — the request head outgrew the per-connection cap.
+    RequestHeaderFieldsTooLarge,
     /// 503 — worker queue full or per-request deadline exceeded.
     ServiceUnavailable,
 }
@@ -75,6 +77,7 @@ impl Status {
             Status::RequestTimeout => 408,
             Status::Conflict => 409,
             Status::Unprocessable => 422,
+            Status::RequestHeaderFieldsTooLarge => 431,
             Status::ServiceUnavailable => 503,
         }
     }
@@ -90,6 +93,7 @@ impl Status {
             Status::RequestTimeout => "Request Timeout",
             Status::Conflict => "Conflict",
             Status::Unprocessable => "Unprocessable Entity",
+            Status::RequestHeaderFieldsTooLarge => "Request Header Fields Too Large",
             Status::ServiceUnavailable => "Service Unavailable",
         }
     }

@@ -35,9 +35,11 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod query;
+pub mod reactor;
 pub mod router;
 pub mod serve;
 pub mod traces;
+pub mod wire;
 
 pub use cache::{
     CacheStats, QueryCache, ResultCache, DEFAULT_CACHE_SHARDS, DEFAULT_RESULT_CACHE_ENTRIES,
@@ -46,6 +48,7 @@ pub use http::{Method, Request, Response, Status};
 pub use json::table_to_json;
 pub use router::{Handled, Server};
 pub use serve::{
-    blocking_get, blocking_request, serve, ClientConnection, ServeOptions, ServiceHandle,
+    blocking_get, blocking_request, serve, ClientConnection, ServeMode, ServeOptions, ServiceHandle,
 };
 pub use traces::{trace_json, trace_list_json};
+pub use wire::{dechunk, ResponseStream, WireLimits};

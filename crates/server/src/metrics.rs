@@ -10,8 +10,8 @@
 use crate::cache::CacheStats;
 use crate::http::Method;
 use shareinsights_core::telemetry::{
-    ConnectionStats, IndexStats, LatencyHistogram, OperatorStats, RouteStats, CONN_REQUESTS_BOUNDS,
-    LATENCY_BOUNDS_US,
+    ConnectionStats, IndexStats, LatencyHistogram, OperatorStats, ReactorStats, RouteStats,
+    CONN_REQUESTS_BOUNDS, LATENCY_BOUNDS_US,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -70,13 +70,14 @@ pub fn allowed_methods(segments: &[&str]) -> &'static [Method] {
 
 /// Render the `/stats` document: per-route counters + cache counters +
 /// connection-level counters + per-operator engine stats + index
-/// acceleration counters.
+/// acceleration counters + reactor event-loop counters.
 pub fn stats_json(
     routes: &BTreeMap<String, RouteStats>,
     cache: &CacheStats,
     conns: &ConnectionStats,
     operators: &BTreeMap<String, OperatorStats>,
     index: &IndexStats,
+    reactor: &ReactorStats,
 ) -> String {
     let mut out = String::from("{\"routes\": {");
     for (i, (label, s)) in routes.iter().enumerate() {
@@ -139,8 +140,18 @@ pub fn stats_json(
     }
     out.push('}');
     out.push_str(&format!(
-        ", \"index\": {{\"builds\": {}, \"build_us\": {}, \"covered\": {}, \"fallback\": {}}}}}",
+        ", \"index\": {{\"builds\": {}, \"build_us\": {}, \"covered\": {}, \"fallback\": {}}}",
         index.builds, index.build_us, index.covered, index.fallback
+    ));
+    out.push_str(&format!(
+        ", \"reactor\": {{\"registered\": {}, \"peak_registered\": {}, \"wakeups\": {}, \
+         \"ready_events\": {}, \"epollout_rearms\": {}, \"dispatched\": {}}}}}",
+        reactor.registered,
+        reactor.peak_registered,
+        reactor.wakeups,
+        reactor.ready_events,
+        reactor.epollout_rearms,
+        reactor.dispatched
     ));
     out
 }
@@ -200,6 +211,7 @@ pub fn prometheus_text(
     conns: &ConnectionStats,
     operators: &BTreeMap<String, OperatorStats>,
     index: &IndexStats,
+    reactor: &ReactorStats,
 ) -> String {
     let mut out = String::new();
     if !routes.is_empty() {
@@ -356,6 +368,24 @@ pub fn prometheus_text(
         "shareinsights_index_build_seconds_total {}",
         seconds(index.build_us)
     );
+
+    // Reactor event-loop counters (all zero under thread-per-connection).
+    for (name, value) in [
+        ("registered_connections", reactor.registered),
+        ("peak_registered_connections", reactor.peak_registered),
+    ] {
+        let _ = writeln!(out, "# TYPE shareinsights_reactor_{name} gauge");
+        let _ = writeln!(out, "shareinsights_reactor_{name} {value}");
+    }
+    for (name, value) in [
+        ("wakeups", reactor.wakeups),
+        ("ready_events", reactor.ready_events),
+        ("epollout_rearms", reactor.epollout_rearms),
+        ("dispatched", reactor.dispatched),
+    ] {
+        let _ = writeln!(out, "# TYPE shareinsights_reactor_{name}_total counter");
+        let _ = writeln!(out, "shareinsights_reactor_{name}_total {value}");
+    }
     out
 }
 
@@ -432,7 +462,22 @@ mod tests {
             covered: 4,
             fallback: 1,
         };
-        let json = stats_json(&routes, &CacheStats::default(), &conns, &operators, &index);
+        let reactor = ReactorStats {
+            registered: 5,
+            peak_registered: 9,
+            wakeups: 40,
+            ready_events: 120,
+            epollout_rearms: 3,
+            dispatched: 100,
+        };
+        let json = stats_json(
+            &routes,
+            &CacheStats::default(),
+            &conns,
+            &operators,
+            &index,
+            &reactor,
+        );
         let doc = shareinsights_tabular::io::json::parse_json(&json).unwrap();
         assert_eq!(
             doc.path("routes.GET /stats.count")
@@ -489,6 +534,31 @@ mod tests {
         assert_eq!(
             doc.path("index.fallback").unwrap().to_value().as_int(),
             Some(1)
+        );
+        assert_eq!(
+            doc.path("reactor.registered").unwrap().to_value().as_int(),
+            Some(5)
+        );
+        assert_eq!(
+            doc.path("reactor.peak_registered")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(9)
+        );
+        assert_eq!(
+            doc.path("reactor.ready_events")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(120)
+        );
+        assert_eq!(
+            doc.path("reactor.epollout_rearms")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(3)
         );
     }
 
@@ -568,7 +638,15 @@ mod tests {
             covered: 8,
             fallback: 2,
         };
-        prometheus_text(&routes, &cache, &conns, &operators, &index)
+        let reactor = ReactorStats {
+            registered: 4,
+            peak_registered: 6,
+            wakeups: 10,
+            ready_events: 25,
+            epollout_rearms: 2,
+            dispatched: 20,
+        };
+        prometheus_text(&routes, &cache, &conns, &operators, &index, &reactor)
     }
 
     #[test]
@@ -653,6 +731,13 @@ mod tests {
         assert!(text.contains("shareinsights_index_covered_evals_total 8"));
         assert!(text.contains("shareinsights_index_fallback_evals_total 2"));
         assert!(text.contains("shareinsights_index_build_seconds_total 2"));
+        // Reactor event-loop series.
+        assert!(text.contains("shareinsights_reactor_registered_connections 4"));
+        assert!(text.contains("shareinsights_reactor_peak_registered_connections 6"));
+        assert!(text.contains("shareinsights_reactor_wakeups_total 10"));
+        assert!(text.contains("shareinsights_reactor_ready_events_total 25"));
+        assert!(text.contains("shareinsights_reactor_epollout_rearms_total 2"));
+        assert!(text.contains("shareinsights_reactor_dispatched_total 20"));
         // Label escaping.
         let mut routes = BTreeMap::new();
         routes.insert("a\"b\\c".to_string(), RouteStats::default());
@@ -662,6 +747,7 @@ mod tests {
             &ConnectionStats::default(),
             &BTreeMap::new(),
             &IndexStats::default(),
+            &ReactorStats::default(),
         );
         assert!(escaped.contains("route=\"a\\\"b\\\\c\""), "{escaped}");
     }

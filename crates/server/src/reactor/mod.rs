@@ -1,0 +1,567 @@
+//! The event-driven serving core: one epoll loop, many connections.
+//!
+//! [`serve_reactor`] is the [`ServeMode::Reactor`](crate::serve::ServeMode)
+//! implementation behind [`crate::serve`]. Where the thread-per-connection
+//! mode parks a worker thread on every open socket — so 2 000 idle
+//! keep-alive dashboards wedge a 4-thread pool solid — the reactor
+//! registers every connection with a single [`Epoll`] instance and parks
+//! exactly one thread in `epoll_wait`. Idle connections cost one table
+//! entry; the worker pool only ever executes requests that have fully
+//! arrived.
+//!
+//! Shape of the loop:
+//!
+//! * **Token 0** is the listener: readiness means `accept` until
+//!   `WouldBlock`, registering each connection under a fresh token
+//!   (tokens, not fds, key the connection table — an fd number can be
+//!   reused by the kernel the instant a connection closes).
+//! * **Token 1** is the waker, the read half of a `UnixStream` pair.
+//!   Workers finish a request, push the response onto the completion
+//!   list, and write one byte — which pops the reactor out of
+//!   `epoll_wait` to stream responses out.
+//! * **Every other token** is a connection walking the
+//!   `Reading → Dispatched → Writing` machine in [`conn`]. Requests are
+//!   parsed incrementally with [`wire::try_parse`]; responses stream
+//!   through [`wire::ResponseStream`] so a body bigger than the chunk
+//!   budget never sits fully framed in memory; a partial write re-arms
+//!   the connection for `EPOLLOUT` instead of blocking anything.
+//!
+//! Timeout semantics are byte-for-byte those of the blocking mode —
+//! idle connections close silently (`idle_timeouts`), a mid-head stall
+//! closes silently under the `(timeout)` pseudo-route, a mid-body stall
+//! answers 408 first — enforced by a periodic deadline sweep instead of
+//! socket timeouts (nonblocking sockets never block to time out).
+
+pub(crate) mod conn;
+pub(crate) mod epoll;
+
+use self::conn::{Conn, ConnState, ReadProgress, WriteProgress};
+use self::epoll::{Epoll, EpollEvent, EVENT_ERROR, EVENT_HANGUP, EVENT_READ, EVENT_WRITE};
+use crate::http::{Request, Response, Status};
+use crate::metrics::{ROUTE_DEADLINE, ROUTE_MALFORMED, ROUTE_REJECTED, ROUTE_TIMEOUT};
+use crate::router::Server;
+use crate::serve::{log_request_events, ServeOptions, ServiceHandle};
+use crate::wire::{self, KeepAliveTerms, Parsed};
+use shareinsights_core::ApiMetrics;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::TcpListener;
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Token of the accepting listener.
+const TOKEN_LISTENER: u64 = 0;
+/// Token of the worker-completion waker.
+const TOKEN_WAKER: u64 = 1;
+/// First token handed to an accepted connection.
+const FIRST_CONN_TOKEN: u64 = 2;
+/// `epoll_wait` timeout; doubles as the deadline-sweep granularity, so
+/// idle/io timeouts are enforced within ~this much slack.
+const WAIT_MS: i32 = 25;
+/// Readiness events drained per `epoll_wait` call.
+const EVENT_BATCH: usize = 1024;
+
+/// A parsed, ready request on its way to the worker pool.
+struct Job {
+    token: u64,
+    request: Request,
+    /// Keep-alive terms to advertise (None ⇒ `Connection: close`).
+    keep: Option<KeepAliveTerms>,
+    enqueued: Instant,
+}
+
+/// A handled request on its way back to the event loop.
+struct Completion {
+    token: u64,
+    response: Response,
+    keep: Option<KeepAliveTerms>,
+}
+
+/// Bind `addr` and serve `server` through the epoll event loop.
+pub(crate) fn serve_reactor(
+    server: Server,
+    addr: &str,
+    options: ServeOptions,
+) -> io::Result<ServiceHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (wake_tx, wake_rx) = UnixStream::pair()?;
+    wake_tx.set_nonblocking(true)?;
+    wake_rx.set_nonblocking(true)?;
+
+    let (tx, rx) = sync_channel::<Job>(options.queue_depth.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+    let completions = Arc::new(Mutex::new(Vec::<Completion>::new()));
+
+    let mut threads = Vec::with_capacity(options.workers.max(1) + 1);
+    {
+        let stop = Arc::clone(&stop);
+        let server = server.clone();
+        let opts = options.clone();
+        let completions = Arc::clone(&completions);
+        threads.push(std::thread::spawn(move || {
+            event_loop(&server, &listener, wake_rx, tx, &completions, &opts, &stop);
+        }));
+    }
+    for _ in 0..options.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let server = server.clone();
+        let opts = options.clone();
+        let completions = Arc::clone(&completions);
+        let waker = wake_tx.try_clone()?;
+        threads.push(std::thread::spawn(move || {
+            worker_loop(&server, &rx, &opts, &completions, &waker);
+        }));
+    }
+
+    Ok(ServiceHandle::new(bound, stop, threads, Some(wake_tx)))
+}
+
+/// Execute ready requests off the job queue; push responses back through
+/// the completion list and kick the waker.
+fn worker_loop(
+    server: &Server,
+    rx: &Mutex<Receiver<Job>>,
+    opts: &ServeOptions,
+    completions: &Mutex<Vec<Completion>>,
+    waker: &UnixStream,
+) {
+    loop {
+        // Hold the lock only while dequeuing, not while handling.
+        let job = match rx.lock().recv() {
+            Ok(job) => job,
+            Err(_) => return, // reactor gone and queue drained
+        };
+        let waited = job.enqueued.elapsed();
+        let (response, keep) = if waited > opts.deadline {
+            server.platform().api_metrics().record(
+                ROUTE_DEADLINE,
+                false,
+                waited.as_micros() as u64,
+            );
+            let resp = Response::error(Status::ServiceUnavailable, "deadline exceeded in queue");
+            (resp, None)
+        } else {
+            let handled = server.handle_traced(&job.request);
+            log_request_events(opts, &job.request, &handled);
+            (handled.response, job.keep)
+        };
+        completions.lock().push(Completion {
+            token: job.token,
+            response,
+            keep,
+        });
+        // One byte per completion batch member is fine; a full (unread)
+        // waker buffer already guarantees a pending wakeup.
+        let _ = (&*waker).write(&[1]);
+    }
+}
+
+struct Reactor<'a> {
+    metrics: ApiMetrics,
+    epoll: Epoll,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    tx: SyncSender<Job>,
+    opts: &'a ServeOptions,
+}
+
+fn event_loop(
+    server: &Server,
+    listener: &TcpListener,
+    mut wake_rx: UnixStream,
+    tx: SyncSender<Job>,
+    completions: &Mutex<Vec<Completion>>,
+    opts: &ServeOptions,
+    stop: &AtomicBool,
+) {
+    let epoll = match Epoll::new() {
+        Ok(e) => e,
+        Err(e) => {
+            emit_loop_error(opts, &format!("epoll_create1 failed: {e}"));
+            return;
+        }
+    };
+    if let Err(e) = epoll
+        .register(listener.as_raw_fd(), EVENT_READ, TOKEN_LISTENER)
+        .and_then(|()| epoll.register(wake_rx.as_raw_fd(), EVENT_READ, TOKEN_WAKER))
+    {
+        emit_loop_error(opts, &format!("epoll registration failed: {e}"));
+        return;
+    }
+    let mut r = Reactor {
+        metrics: server.platform().api_metrics().clone(),
+        epoll,
+        conns: HashMap::new(),
+        next_token: FIRST_CONN_TOKEN,
+        tx,
+        opts,
+    };
+    let mut events = vec![EpollEvent::empty(); EVENT_BATCH];
+    let mut last_sweep = Instant::now();
+    while !stop.load(Ordering::SeqCst) {
+        let n = match r.epoll.wait(&mut events, WAIT_MS) {
+            Ok(n) => n,
+            Err(e) => {
+                emit_loop_error(opts, &format!("epoll_wait failed: {e}"));
+                return;
+            }
+        };
+        if n > 0 {
+            r.metrics.record_reactor_wakeup(n as u64);
+        }
+        let mut accept = false;
+        let mut drain = false;
+        for ev in &events[..n] {
+            match ev.token() {
+                TOKEN_LISTENER => accept = true,
+                TOKEN_WAKER => drain = true,
+                token => r.conn_event(token, ev.events()),
+            }
+        }
+        if drain {
+            r.drain_completions(&mut wake_rx, completions);
+        }
+        if accept {
+            r.accept_ready(listener);
+        }
+        if last_sweep.elapsed().as_millis() >= WAIT_MS as u128 {
+            r.sweep();
+            last_sweep = Instant::now();
+        }
+    }
+    // Shutdown: dropping the reactor drops `tx`, which lets the workers
+    // drain the queue and exit; every registered connection closes with
+    // its socket. Late completions are simply discarded.
+}
+
+fn emit_loop_error(opts: &ServeOptions, message: &str) {
+    opts.event_log.emit("error", &[("message", message.into())]);
+}
+
+impl Reactor<'_> {
+    /// Accept until `WouldBlock`, registering each connection.
+    fn accept_ready(&mut self, listener: &TcpListener) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .epoll
+                        .register(stream.as_raw_fd(), EVENT_READ, token)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.metrics.record_conn_accepted();
+                    self.metrics.record_reactor_register();
+                    self.conns.insert(token, Conn::new(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Route one readiness event to its connection's state machine.
+    fn conn_event(&mut self, token: u64, mask: u32) {
+        if mask & (EVENT_ERROR | EVENT_HANGUP) != 0 {
+            // Both halves are gone; nothing useful can be written.
+            self.close(token);
+            return;
+        }
+        if mask & EVENT_WRITE != 0
+            && self
+                .conns
+                .get(&token)
+                .is_some_and(|c| c.state == ConnState::Writing)
+        {
+            self.drive_write(token);
+        }
+        if mask & EVENT_READ != 0
+            && self
+                .conns
+                .get(&token)
+                .is_some_and(|c| c.state == ConnState::Reading)
+        {
+            let progress = match self.conns.get_mut(&token) {
+                Some(conn) => conn.read_some(),
+                None => return,
+            };
+            match progress {
+                ReadProgress::Read(_) => self.try_dispatch(token),
+                ReadProgress::WouldBlock => {}
+                ReadProgress::Eof => {
+                    // Same split as the blocking loop: a clean quiet close
+                    // just goes away; a half-sent request gets 400 first.
+                    if self.conns.get(&token).is_some_and(|c| !c.buf.is_empty()) {
+                        self.metrics.record(ROUTE_MALFORMED, false, 0);
+                        self.respond_and_close(
+                            token,
+                            Response::error(Status::BadRequest, "connection closed mid-request"),
+                        );
+                    } else {
+                        self.close(token);
+                    }
+                }
+                ReadProgress::Error => self.close(token),
+            }
+        }
+    }
+
+    /// Parse the buffer; dispatch a complete request to the worker pool,
+    /// answer wire errors, or keep waiting.
+    fn try_dispatch(&mut self, token: u64) {
+        enum Next {
+            Wait,
+            Reject(Status, String),
+            Dispatch(Job),
+            Close,
+        }
+        let next = {
+            let Reactor {
+                conns,
+                epoll,
+                metrics,
+                opts,
+                ..
+            } = self;
+            let Some(conn) = conns.get_mut(&token) else {
+                return;
+            };
+            if conn.state != ConnState::Reading {
+                return;
+            }
+            match wire::try_parse(&conn.buf, &opts.limits) {
+                Parsed::Incomplete { head_complete } => {
+                    conn.head_complete = head_complete;
+                    Next::Wait
+                }
+                Parsed::Error { status, message } => Next::Reject(status, message),
+                Parsed::Complete(parsed) => {
+                    conn.buf.drain(..parsed.consumed);
+                    conn.head_complete = false;
+                    conn.served += 1;
+                    let max = opts.max_requests_per_connection.max(1) as u64;
+                    let keep = (parsed.keep_alive && conn.served < max).then(|| KeepAliveTerms {
+                        timeout: opts.idle_timeout,
+                        max: max - conn.served,
+                    });
+                    // Quiesce read interest while the worker runs: the
+                    // kernel socket buffer is the pipelining backpressure.
+                    conn.state = ConnState::Dispatched;
+                    if conn.interest != 0 {
+                        if epoll.modify(conn.stream.as_raw_fd(), 0, token).is_err() {
+                            Next::Close
+                        } else {
+                            conn.interest = 0;
+                            metrics.record_reactor_dispatch();
+                            Next::Dispatch(Job {
+                                token,
+                                request: parsed.request,
+                                keep,
+                                enqueued: Instant::now(),
+                            })
+                        }
+                    } else {
+                        metrics.record_reactor_dispatch();
+                        Next::Dispatch(Job {
+                            token,
+                            request: parsed.request,
+                            keep,
+                            enqueued: Instant::now(),
+                        })
+                    }
+                }
+            }
+        };
+        match next {
+            Next::Wait => {}
+            Next::Close => self.close(token),
+            Next::Reject(status, message) => {
+                self.metrics.record(ROUTE_MALFORMED, false, 0);
+                self.respond_and_close(token, Response::error(status, message));
+            }
+            Next::Dispatch(job) => match self.tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    // Same shedding contract as the blocking acceptor: a
+                    // full queue answers 503 immediately.
+                    self.metrics.record(ROUTE_REJECTED, false, 0);
+                    self.respond_and_close(
+                        token,
+                        Response::error(Status::ServiceUnavailable, "queue full"),
+                    );
+                }
+                Err(TrySendError::Disconnected(_)) => self.close(token),
+            },
+        }
+    }
+
+    /// Install `response` on the connection and stream it out.
+    fn start_response(&mut self, token: u64, response: Response, keep: Option<KeepAliveTerms>) {
+        let budget = self.opts.chunk_budget;
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.start_response(response, keep, budget);
+        }
+        self.drive_write(token);
+    }
+
+    /// Answer `response` with `Connection: close`, then close.
+    fn respond_and_close(&mut self, token: u64, response: Response) {
+        self.start_response(token, response, None);
+    }
+
+    /// Push pending response bytes; arm `EPOLLOUT` on backpressure, and
+    /// return the connection to `Reading` (or close it) when done.
+    fn drive_write(&mut self, token: u64) {
+        let progress = match self.conns.get_mut(&token) {
+            Some(conn) => conn.write_some(),
+            None => return,
+        };
+        match progress {
+            WriteProgress::Finished => {
+                if self.conns.get(&token).is_none_or(|c| c.close_after_write) {
+                    self.close(token);
+                    return;
+                }
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.state = ConnState::Reading;
+                    conn.head_complete = false;
+                    conn.last_activity = Instant::now();
+                }
+                if !self.set_interest(token, EVENT_READ) {
+                    self.close(token);
+                    return;
+                }
+                // A pipelined successor may already be buffered.
+                self.try_dispatch(token);
+            }
+            WriteProgress::Blocked => {
+                let newly = self
+                    .conns
+                    .get(&token)
+                    .is_some_and(|c| c.interest != EVENT_WRITE);
+                if self.set_interest(token, EVENT_WRITE) {
+                    if newly {
+                        self.metrics.record_reactor_rearm();
+                    }
+                } else {
+                    self.close(token);
+                }
+            }
+            WriteProgress::Error => self.close(token),
+        }
+    }
+
+    /// Point the connection's epoll registration at `mask`. False means
+    /// the kernel refused (the caller should close).
+    fn set_interest(&mut self, token: u64, mask: u32) -> bool {
+        let Reactor { conns, epoll, .. } = self;
+        let Some(conn) = conns.get_mut(&token) else {
+            return false;
+        };
+        if conn.interest == mask {
+            return true;
+        }
+        if epoll.modify(conn.stream.as_raw_fd(), mask, token).is_err() {
+            return false;
+        }
+        conn.interest = mask;
+        true
+    }
+
+    /// Deregister and drop one connection.
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.epoll.deregister(conn.stream.as_raw_fd());
+            self.metrics.record_conn_closed(conn.served);
+            self.metrics.record_reactor_deregister();
+        }
+    }
+
+    /// Absorb the waker bytes and stream out every finished response.
+    fn drain_completions(
+        &mut self,
+        wake_rx: &mut UnixStream,
+        completions: &Mutex<Vec<Completion>>,
+    ) {
+        let mut sink = [0u8; 256];
+        while matches!(wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+        let batch = std::mem::take(&mut *completions.lock());
+        for c in batch {
+            // The connection may have died (hangup) while dispatched.
+            if self.conns.contains_key(&c.token) {
+                self.start_response(c.token, c.response, c.keep);
+            }
+        }
+    }
+
+    /// Enforce idle and io deadlines — the nonblocking analog of the
+    /// blocking mode's socket timeouts, with identical classification.
+    fn sweep(&mut self) {
+        let now = Instant::now();
+        let mut idle = Vec::new();
+        let mut stalled: Vec<(u64, bool)> = Vec::new();
+        let mut broken = Vec::new();
+        for (&token, conn) in &self.conns {
+            let quiet = now.duration_since(conn.last_activity);
+            match conn.state {
+                ConnState::Reading if conn.buf.is_empty() => {
+                    if quiet > self.opts.idle_timeout {
+                        idle.push(token);
+                    }
+                }
+                ConnState::Reading => {
+                    if quiet > self.opts.io_timeout {
+                        stalled.push((token, conn.head_complete));
+                    }
+                }
+                // A response the peer will not read: give up quietly, as
+                // the blocking mode's write timeout does.
+                ConnState::Writing => {
+                    if quiet > self.opts.io_timeout {
+                        broken.push(token);
+                    }
+                }
+                // The worker owns the request; the queue deadline governs.
+                ConnState::Dispatched => {}
+            }
+        }
+        for token in idle {
+            self.metrics.record_idle_timeout();
+            self.close(token);
+        }
+        for (token, head_complete) in stalled {
+            self.metrics.record(ROUTE_TIMEOUT, false, 0);
+            self.metrics.record_io_timeout();
+            if head_complete {
+                // The head parsed, so the client speaks HTTP — tell it
+                // what happened before closing.
+                self.respond_and_close(
+                    token,
+                    Response::error(Status::RequestTimeout, "timed out reading request body"),
+                );
+            } else {
+                self.close(token);
+            }
+        }
+        for token in broken {
+            self.close(token);
+        }
+    }
+}

@@ -138,6 +138,7 @@ impl Server {
                 &self.platform.api_metrics().connections(),
                 &self.platform.api_metrics().operators(),
                 &self.platform.api_metrics().index(),
+                &self.platform.api_metrics().reactor(),
             )),
             (Method::Get, ["metrics"]) => Response {
                 status: Status::Ok,
@@ -147,6 +148,7 @@ impl Server {
                     &self.platform.api_metrics().connections(),
                     &self.platform.api_metrics().operators(),
                     &self.platform.api_metrics().index(),
+                    &self.platform.api_metrics().reactor(),
                 ),
                 content_type: "text/plain; version=0.0.4",
             },

@@ -30,12 +30,16 @@
 //! "slow_request"`), each carrying the trace id when the request was
 //! sampled.
 
-use crate::http::{Method, Request, Response, Status};
+use crate::http::{Request, Response, Status};
 use crate::metrics::{ROUTE_DEADLINE, ROUTE_MALFORMED, ROUTE_REJECTED, ROUTE_TIMEOUT};
 use crate::router::Server;
+use crate::wire::{
+    self, dechunk, find_head_end, KeepAliveTerms, Parsed, ResponseStream, WireLimits,
+};
 use shareinsights_core::trace::{AttrValue, EventLog};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::Arc;
@@ -44,10 +48,23 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-/// Largest accepted request head (request line + headers).
-const MAX_HEAD_BYTES: usize = 16 * 1024;
-/// Largest accepted request body (flow files are small).
-const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Which serving architecture [`serve`] runs. Request semantics — framing,
+/// keep-alive terms, timeout classification, caches, tracing — are
+/// identical in both; the modes differ only in how connections map onto
+/// threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// A pooled worker thread owns each connection for its whole life.
+    /// Simple and predictable, but every idle keep-alive connection pins
+    /// a worker, so a few thousand quiet dashboards starve the pool.
+    #[default]
+    ThreadPerConnection,
+    /// One epoll event loop multiplexes every connection and the worker
+    /// pool only executes requests that have fully arrived — idle
+    /// connections cost a table entry, not a thread (see
+    /// [`crate::reactor`]).
+    Reactor,
+}
 
 /// Tuning for [`serve`].
 #[derive(Debug, Clone)]
@@ -78,6 +95,17 @@ pub struct ServeOptions {
     /// Where `slow_request` / `error` events go (JSON lines). Defaults to
     /// standard error.
     pub event_log: EventLog,
+    /// Serving architecture (see [`ServeMode`]).
+    pub serve_mode: ServeMode,
+    /// Responses whose body exceeds this many bytes are framed with
+    /// `Transfer-Encoding: chunked`, buffering at most one budget-sized
+    /// chunk of wire bytes at a time — bounding per-in-flight-response
+    /// memory regardless of body size. `None` always frames with
+    /// `Content-Length` in a single buffer.
+    pub chunk_budget: Option<usize>,
+    /// Request parsing byte caps: an oversized head is answered
+    /// `431 Request Header Fields Too Large`, an oversized body 400.
+    pub limits: WireLimits,
 }
 
 impl Default for ServeOptions {
@@ -91,6 +119,9 @@ impl Default for ServeOptions {
             max_requests_per_connection: 128,
             slow_request_threshold: None,
             event_log: EventLog::stderr(),
+            serve_mode: ServeMode::ThreadPerConnection,
+            chunk_budget: None,
+            limits: WireLimits::default(),
         }
     }
 }
@@ -105,11 +136,28 @@ struct Job {
 pub struct ServiceHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
+    /// Reactor-mode wake handle: one byte pops the event loop out of
+    /// `epoll_wait`, so shutdown is prompt instead of waiting out a poll
+    /// interval.
+    waker: Option<UnixStream>,
 }
 
 impl ServiceHandle {
+    pub(crate) fn new(
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        threads: Vec<JoinHandle<()>>,
+        waker: Option<UnixStream>,
+    ) -> ServiceHandle {
+        ServiceHandle {
+            addr,
+            stop,
+            threads,
+            waker,
+        }
+    }
+
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
@@ -118,10 +166,10 @@ impl ServiceHandle {
     /// Stop accepting, drain the queue, and join every thread. Idempotent.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
+        if let Some(waker) = &self.waker {
+            let _ = (&*waker).write(&[1]);
         }
-        for h in self.workers.drain(..) {
+        for h in self.threads.drain(..) {
             let _ = h.join();
         }
     }
@@ -133,8 +181,19 @@ impl Drop for ServiceHandle {
     }
 }
 
-/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `server` on a worker pool.
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `server` in the
+/// architecture [`ServeOptions::serve_mode`] selects.
 pub fn serve(server: Server, addr: &str, options: ServeOptions) -> io::Result<ServiceHandle> {
+    match options.serve_mode {
+        ServeMode::ThreadPerConnection => serve_threads(server, addr, options),
+        ServeMode::Reactor => crate::reactor::serve_reactor(server, addr, options),
+    }
+}
+
+/// The [`ServeMode::ThreadPerConnection`] implementation: a bounded queue
+/// between one acceptor and a pool of workers that each own a connection
+/// at a time.
+fn serve_threads(server: Server, addr: &str, options: ServeOptions) -> io::Result<ServiceHandle> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let bound = listener.local_addr()?;
@@ -174,7 +233,7 @@ pub fn serve(server: Server, addr: &str, options: ServeOptions) -> io::Result<Se
                                     .record(ROUTE_REJECTED, false, 0);
                                 let resp =
                                     Response::error(Status::ServiceUnavailable, "queue full");
-                                let _ = write_response(&job.stream, &resp, None);
+                                let _ = write_response(&job.stream, resp, None, None);
                             }
                             Err(TrySendError::Disconnected(_)) => break,
                         }
@@ -189,12 +248,9 @@ pub fn serve(server: Server, addr: &str, options: ServeOptions) -> io::Result<Se
         })
     };
 
-    Ok(ServiceHandle {
-        addr: bound,
-        stop,
-        acceptor: Some(acceptor),
-        workers,
-    })
+    let mut threads = vec![acceptor];
+    threads.append(&mut workers);
+    Ok(ServiceHandle::new(bound, stop, threads, None))
 }
 
 fn worker_loop(server: &Server, rx: &Mutex<Receiver<Job>>, opts: &ServeOptions) {
@@ -212,7 +268,7 @@ fn worker_loop(server: &Server, rx: &Mutex<Receiver<Job>>, opts: &ServeOptions) 
                 waited.as_micros() as u64,
             );
             let resp = Response::error(Status::ServiceUnavailable, "deadline exceeded in queue");
-            let _ = write_response(&job.stream, &resp, None);
+            let _ = write_response(&job.stream, resp, None, None);
             continue;
         }
         handle_connection(server, &job.stream, opts);
@@ -228,7 +284,7 @@ fn handle_connection(server: &Server, stream: &TcpStream, opts: &ServeOptions) {
     let mut carry: Vec<u8> = Vec::with_capacity(1024);
     let mut served: u64 = 0;
     loop {
-        match read_request(stream, &mut carry, opts.idle_timeout, opts.io_timeout) {
+        match read_request(stream, &mut carry, opts) {
             ReadOutcome::Request(request, client_keep_alive) => {
                 served += 1;
                 let keep = client_keep_alive && served < max_requests;
@@ -236,11 +292,11 @@ fn handle_connection(server: &Server, stream: &TcpStream, opts: &ServeOptions) {
                 log_request_events(opts, &request, &handled);
                 let response = handled.response;
                 let remaining = max_requests - served;
-                let header = keep.then_some(KeepAlive {
+                let header = keep.then_some(KeepAliveTerms {
                     timeout: opts.idle_timeout,
                     max: remaining,
                 });
-                if write_response(stream, &response, header).is_err() || !keep {
+                if write_response(stream, response, header, opts.chunk_budget).is_err() || !keep {
                     break;
                 }
             }
@@ -265,13 +321,13 @@ fn handle_connection(server: &Server, stream: &TcpStream, opts: &ServeOptions) {
                 metrics.record_io_timeout();
                 let resp =
                     Response::error(Status::RequestTimeout, "timed out reading request body");
-                let _ = write_response(stream, &resp, None);
+                let _ = write_response(stream, resp, None, opts.chunk_budget);
                 break;
             }
-            ReadOutcome::Malformed(message) => {
+            ReadOutcome::Bad(status, message) => {
                 metrics.record(ROUTE_MALFORMED, false, 0);
-                let resp = Response::error(Status::BadRequest, message);
-                let _ = write_response(stream, &resp, None);
+                let resp = Response::error(status, message);
+                let _ = write_response(stream, resp, None, opts.chunk_budget);
                 break;
             }
         }
@@ -282,7 +338,11 @@ fn handle_connection(server: &Server, stream: &TcpStream, opts: &ServeOptions) {
 /// Emit `error` / `slow_request` events for one handled request. The trace
 /// id rides along when the request was sampled, so a log line links
 /// straight to `GET /trace/<id>`.
-fn log_request_events(opts: &ServeOptions, request: &Request, handled: &crate::router::Handled) {
+pub(crate) fn log_request_events(
+    opts: &ServeOptions,
+    request: &Request,
+    handled: &crate::router::Handled,
+) {
     let code = handled.response.status.code();
     let slow = opts
         .slow_request_threshold
@@ -319,8 +379,9 @@ enum ReadOutcome {
     TimedOutMidHead,
     /// The socket timed out after the head parsed, mid-body.
     TimedOutMidBody,
-    /// Unparseable request.
-    Malformed(String),
+    /// Unacceptable request: answer `status` with the message and close
+    /// (400 for malformed, 431 for an oversized head).
+    Bad(Status, String),
 }
 
 fn is_timeout(e: &io::Error) -> bool {
@@ -330,156 +391,70 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
-/// Parse one HTTP/1.1 request off the socket. `carry` holds bytes already
-/// read past the previous request (pipelining); on success it is left
-/// holding any bytes past this request's body.
-fn read_request(
-    mut stream: &TcpStream,
-    carry: &mut Vec<u8>,
-    idle_timeout: Duration,
-    io_timeout: Duration,
-) -> ReadOutcome {
-    // Read until the blank line ending the head. The first byte of a new
-    // request is allowed the (usually longer) idle window; once the request
-    // has started, the stricter io_timeout applies.
-    let head_end = loop {
-        if let Some(pos) = find_head_end(carry) {
-            break pos;
-        }
-        if carry.len() > MAX_HEAD_BYTES {
-            return ReadOutcome::Malformed("request head too large".to_string());
-        }
+/// Parse one HTTP/1.1 request off the socket via the shared incremental
+/// parser. `carry` holds bytes already read past the previous request
+/// (pipelining); on success it is left holding any bytes past this
+/// request's body. The first byte of a new request is allowed the
+/// (usually longer) idle window; once the request has started, the
+/// stricter io_timeout applies.
+fn read_request(mut stream: &TcpStream, carry: &mut Vec<u8>, opts: &ServeOptions) -> ReadOutcome {
+    loop {
+        let head_complete = match wire::try_parse(carry, &opts.limits) {
+            Parsed::Complete(p) => {
+                carry.drain(..p.consumed);
+                return ReadOutcome::Request(p.request, p.keep_alive);
+            }
+            Parsed::Error { status, message } => return ReadOutcome::Bad(status, message),
+            Parsed::Incomplete { head_complete } => head_complete,
+        };
         let started = !carry.is_empty();
-        let timeout = if started { io_timeout } else { idle_timeout };
+        let timeout = if started {
+            opts.io_timeout
+        } else {
+            opts.idle_timeout
+        };
         let _ = stream.set_read_timeout(Some(timeout));
-        let mut chunk = [0u8; 1024];
+        let mut chunk = [0u8; 4096];
         match stream.read(&mut chunk) {
             Ok(0) if started => {
-                return ReadOutcome::Malformed("connection closed mid-request".to_string())
+                return ReadOutcome::Bad(
+                    Status::BadRequest,
+                    "connection closed mid-request".to_string(),
+                )
             }
             Ok(0) => return ReadOutcome::Closed,
             Ok(n) => carry.extend_from_slice(&chunk[..n]),
             Err(e) if is_timeout(&e) => {
-                return if started {
+                return if head_complete {
+                    ReadOutcome::TimedOutMidBody
+                } else if started {
                     ReadOutcome::TimedOutMidHead
                 } else {
                     ReadOutcome::IdleTimeout
                 }
             }
             Err(_) if !started => return ReadOutcome::Closed,
-            Err(e) => return ReadOutcome::Malformed(format!("read error: {e}")),
-        }
-    };
-    let head = String::from_utf8_lossy(&carry[..head_end]).into_owned();
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or("");
-    let mut parts = request_line.split_ascii_whitespace();
-    let method = match parts.next().and_then(Method::parse) {
-        Some(m) => m,
-        None => return ReadOutcome::Malformed(format!("unsupported method in {request_line:?}")),
-    };
-    let target = match parts.next().filter(|t| t.starts_with('/')) {
-        Some(t) => t.to_string(),
-        None => return ReadOutcome::Malformed(format!("bad request target in {request_line:?}")),
-    };
-    let version = parts.next().unwrap_or("");
-    if !version.starts_with("HTTP/1.") {
-        return ReadOutcome::Malformed(format!("unsupported protocol {version:?}"));
-    }
-    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 defaults to close.
-    let mut keep_alive = version != "HTTP/1.0";
-    let mut content_length = 0usize;
-    let mut headers: Vec<(String, String)> = Vec::new();
-    for line in lines {
-        if let Some((name, value)) = line.split_once(':') {
-            let name = name.trim();
-            headers.push((name.to_string(), value.trim().to_string()));
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = match value.trim().parse() {
-                    Ok(n) => n,
-                    Err(_) => {
-                        return ReadOutcome::Malformed(format!(
-                            "bad content-length {:?}",
-                            value.trim()
-                        ))
-                    }
-                };
-            } else if name.eq_ignore_ascii_case("connection") {
-                let value = value.trim().to_ascii_lowercase();
-                if value.split(',').any(|t| t.trim() == "close") {
-                    keep_alive = false;
-                } else if value.split(',').any(|t| t.trim() == "keep-alive") {
-                    keep_alive = true;
-                }
-            }
+            Err(e) => return ReadOutcome::Bad(Status::BadRequest, format!("read error: {e}")),
         }
     }
-    if content_length > MAX_BODY_BYTES {
-        return ReadOutcome::Malformed(format!("body of {content_length} bytes exceeds limit"));
-    }
-    // Body: whatever followed the head in the buffer, then the rest. Bytes
-    // past the body stay in `carry` for the next (pipelined) request.
-    let total = head_end + 4 + content_length;
-    while carry.len() < total {
-        let _ = stream.set_read_timeout(Some(io_timeout));
-        let mut chunk = [0u8; 4096];
-        match stream.read(&mut chunk) {
-            Ok(0) => return ReadOutcome::Malformed("connection closed mid-body".to_string()),
-            Ok(n) => carry.extend_from_slice(&chunk[..n]),
-            Err(e) if is_timeout(&e) => return ReadOutcome::TimedOutMidBody,
-            Err(e) => return ReadOutcome::Malformed(format!("read error: {e}")),
-        }
-    }
-    let body_bytes = carry[head_end + 4..total].to_vec();
-    carry.drain(..total);
-    let body = match String::from_utf8(body_bytes) {
-        Ok(b) => b,
-        Err(_) => return ReadOutcome::Malformed("body is not UTF-8".to_string()),
-    };
-    let mut request = Request::new(method, &target).with_body(body);
-    for (name, value) in headers {
-        request = request.with_header(&name, value);
-    }
-    ReadOutcome::Request(request, keep_alive)
 }
 
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
-}
-
-/// Keep-alive terms advertised to the client on a response that leaves the
-/// connection open.
-struct KeepAlive {
-    timeout: Duration,
-    max: u64,
-}
-
-/// Write one response. `keep` carries the keep-alive terms when the
-/// connection stays open; `None` announces `Connection: close`.
+/// Write one response through the shared [`ResponseStream`] framer. `keep`
+/// carries the keep-alive terms when the connection stays open; `None`
+/// announces `Connection: close`. With a chunk budget, large bodies go out
+/// chunked a bounded buffer at a time; small responses stay the classic
+/// one-buffer write (which sidesteps Nagle/delayed-ACK stalls).
 fn write_response(
     mut stream: &TcpStream,
-    resp: &Response,
-    keep: Option<KeepAlive>,
+    resp: Response,
+    keep: Option<KeepAliveTerms>,
+    chunk_budget: Option<usize>,
 ) -> io::Result<()> {
-    let connection = match &keep {
-        Some(k) => format!(
-            "Connection: keep-alive\r\nKeep-Alive: timeout={}, max={}",
-            k.timeout.as_secs(),
-            k.max
-        ),
-        None => "Connection: close".to_string(),
-    };
-    // One buffer, one write: a head-then-body pair of writes interacts with
-    // Nagle + delayed ACK to stall keep-alive round trips by ~40ms.
-    let mut wire = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{connection}\r\n\r\n",
-        resp.status.code(),
-        resp.status.reason(),
-        resp.content_type,
-        resp.body.len()
-    );
-    wire.push_str(&resp.body);
-    stream.write_all(wire.as_bytes())?;
+    let mut response = ResponseStream::new(resp, keep, chunk_budget);
+    let mut out = Vec::new();
+    while response.next_wire(&mut out) {
+        stream.write_all(&out)?;
+    }
     stream.flush()
 }
 
@@ -603,6 +578,7 @@ impl ClientConnection {
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
         let mut content_length = 0usize;
         let mut close = false;
+        let mut chunked = false;
         for line in head.lines().skip(1) {
             if let Some((name, value)) = line.split_once(':') {
                 let name = name.trim();
@@ -614,6 +590,42 @@ impl ClientConnection {
                     && value.trim().eq_ignore_ascii_case("close")
                 {
                     close = true;
+                } else if name.eq_ignore_ascii_case("transfer-encoding")
+                    && value.trim().eq_ignore_ascii_case("chunked")
+                {
+                    chunked = true;
+                }
+            }
+        }
+        if chunked {
+            // De-chunk: read until the terminating 0-chunk, decode, and
+            // leave pipelined bytes past it in the buffer.
+            let body_start = head_end + 4;
+            loop {
+                match dechunk(&self.buf[body_start..]) {
+                    Some(Ok((body, used))) => {
+                        self.buf.drain(..body_start + used);
+                        if close {
+                            self.closed = true;
+                        }
+                        return Ok((status, body));
+                    }
+                    Some(Err(message)) => {
+                        return Err(io::Error::new(io::ErrorKind::InvalidData, message));
+                    }
+                    None => {
+                        let mut chunk = [0u8; 4096];
+                        match self.stream.read(&mut chunk)? {
+                            0 => {
+                                self.closed = true;
+                                return Err(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    "truncated chunked body",
+                                ));
+                            }
+                            n => self.buf.extend_from_slice(&chunk[..n]),
+                        }
+                    }
                 }
             }
         }

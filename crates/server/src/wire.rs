@@ -1,0 +1,549 @@
+//! The HTTP/1.1 wire layer shared by both serve modes.
+//!
+//! Two pieces live here, each deliberately free of any socket I/O so the
+//! blocking thread-per-connection loop and the epoll reactor drive the
+//! same bytes-in/bytes-out logic:
+//!
+//! * [`try_parse`] — an incremental request parser over a growable byte
+//!   buffer. Callers append whatever the socket produced and re-invoke;
+//!   the parser answers *need more bytes* (saying whether the head has
+//!   already parsed, which decides 408-vs-silent-close timeout
+//!   semantics), *complete request* (with the byte count to drain, so
+//!   pipelined successors stay in the buffer), or *irrecoverable* with
+//!   the status to answer before closing (400, 413-shaped 400s, or 431
+//!   when the head outgrows [`WireLimits::max_head_bytes`] — the cap
+//!   that stops a slow-drip client growing a per-connection buffer
+//!   without bound).
+//! * [`ResponseStream`] — turns one [`Response`] into wire bytes
+//!   incrementally. Small bodies are framed with `Content-Length` in a
+//!   single buffer; bodies larger than the configured chunk budget are
+//!   sent with `Transfer-Encoding: chunked`, at most one budget-sized
+//!   chunk framed at a time, so peak per-response buffering beyond the
+//!   body itself is bounded by the budget regardless of body size. The
+//!   reactor refills between `EPOLLOUT` readiness; the blocking path
+//!   refills between `write_all` calls.
+
+use crate::http::{Method, Request, Response, Status};
+use std::time::Duration;
+
+/// Byte caps applied while parsing one request.
+#[derive(Debug, Clone, Copy)]
+pub struct WireLimits {
+    /// Largest accepted request head (request line + headers). Exceeding
+    /// it is answered `431 Request Header Fields Too Large` and closed.
+    pub max_head_bytes: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for WireLimits {
+    fn default() -> Self {
+        WireLimits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// A fully parsed request plus its connection-level framing facts.
+#[derive(Debug)]
+pub struct ParsedRequest {
+    /// The request, ready for the router.
+    pub request: Request,
+    /// Whether the client permits keep-alive.
+    pub keep_alive: bool,
+    /// Bytes of the buffer this request consumed (head + body); the
+    /// caller drains exactly this many, leaving pipelined successors.
+    pub consumed: usize,
+}
+
+/// What [`try_parse`] made of the buffer so far.
+#[derive(Debug)]
+pub enum Parsed {
+    /// Not enough bytes yet. `head_complete` is true once the blank line
+    /// ended the head (a subsequent stall is mid-*body*: answer 408; a
+    /// mid-head stall closes silently).
+    Incomplete {
+        /// True when the head parsed and only body bytes are pending.
+        head_complete: bool,
+    },
+    /// One complete request.
+    Complete(Box<ParsedRequest>),
+    /// Unrecoverable: answer `status` with `message` and close.
+    Error {
+        /// Status to answer before closing (400 or 431).
+        status: Status,
+        /// Human-readable reason, sent as the error body.
+        message: String,
+    },
+}
+
+fn parse_error(message: impl Into<String>) -> Parsed {
+    Parsed::Error {
+        status: Status::BadRequest,
+        message: message.into(),
+    }
+}
+
+/// Locate the `\r\n\r\n` terminating a request or response head.
+pub fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Attempt to parse one request from `buf` without consuming it. Pure:
+/// no I/O, no mutation — callers drain [`ParsedRequest::consumed`] bytes
+/// themselves on success.
+pub fn try_parse(buf: &[u8], limits: &WireLimits) -> Parsed {
+    let head_end = match find_head_end(buf) {
+        Some(pos) => pos,
+        None => {
+            // The cap must trip while the head is still incomplete —
+            // that is exactly the slow-drip-headers attack shape.
+            if buf.len() > limits.max_head_bytes {
+                return Parsed::Error {
+                    status: Status::RequestHeaderFieldsTooLarge,
+                    message: format!("request head exceeds {} bytes", limits.max_head_bytes),
+                };
+            }
+            return Parsed::Incomplete {
+                head_complete: false,
+            };
+        }
+    };
+    if head_end > limits.max_head_bytes {
+        return Parsed::Error {
+            status: Status::RequestHeaderFieldsTooLarge,
+            message: format!("request head exceeds {} bytes", limits.max_head_bytes),
+        };
+    }
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = match parts.next().and_then(Method::parse) {
+        Some(m) => m,
+        None => return parse_error(format!("unsupported method in {request_line:?}")),
+    };
+    let target = match parts.next().filter(|t| t.starts_with('/')) {
+        Some(t) => t.to_string(),
+        None => return parse_error(format!("bad request target in {request_line:?}")),
+    };
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return parse_error(format!("unsupported protocol {version:?}"));
+    }
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 defaults to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut content_length = 0usize;
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim();
+            headers.push((name.to_string(), value.trim().to_string()));
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = match value.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => return parse_error(format!("bad content-length {:?}", value.trim())),
+                };
+            } else if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim().to_ascii_lowercase();
+                if value.split(',').any(|t| t.trim() == "close") {
+                    keep_alive = false;
+                } else if value.split(',').any(|t| t.trim() == "keep-alive") {
+                    keep_alive = true;
+                }
+            }
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return parse_error(format!("body of {content_length} bytes exceeds limit"));
+    }
+    let total = head_end + 4 + content_length;
+    if buf.len() < total {
+        return Parsed::Incomplete {
+            head_complete: true,
+        };
+    }
+    let body = match std::str::from_utf8(&buf[head_end + 4..total]) {
+        Ok(b) => b.to_string(),
+        Err(_) => return parse_error("body is not UTF-8"),
+    };
+    let mut request = Request::new(method, &target).with_body(body);
+    for (name, value) in headers {
+        request = request.with_header(&name, value);
+    }
+    Parsed::Complete(Box::new(ParsedRequest {
+        request,
+        keep_alive,
+        consumed: total,
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Response streaming
+// ---------------------------------------------------------------------------
+
+/// Keep-alive terms advertised on a response that leaves the connection
+/// open.
+#[derive(Debug, Clone, Copy)]
+pub struct KeepAliveTerms {
+    /// Idle window the server will tolerate before closing.
+    pub timeout: Duration,
+    /// Requests the client may still send on this connection.
+    pub max: u64,
+}
+
+/// Framing-related overhead on top of one chunk's payload: hex length
+/// (≤16 digits for any usize) plus two `\r\n` pairs.
+const CHUNK_FRAME_OVERHEAD: usize = 16 + 4;
+
+/// Turns one [`Response`] into wire bytes a bounded buffer at a time.
+///
+/// `chunk_budget` decides the framing: `Some(budget)` with a body larger
+/// than `budget` selects `Transfer-Encoding: chunked` and emits one
+/// budget-sized chunk per [`ResponseStream::next_wire`] call; anything
+/// else selects classic `Content-Length` framing where the head and the
+/// whole body are emitted in one buffer (the single-write fast path that
+/// sidesteps Nagle/delayed-ACK stalls on small responses).
+#[derive(Debug)]
+pub struct ResponseStream {
+    body: String,
+    /// Body bytes already framed into an out-buffer.
+    cursor: usize,
+    /// Head bytes, emitted with the first `next_wire` call.
+    head: Option<String>,
+    chunked: bool,
+    budget: usize,
+    /// True once the terminating 0-chunk (or the full body) was emitted.
+    done: bool,
+}
+
+impl ResponseStream {
+    /// Plan the wire framing for `resp`. `keep` carries keep-alive terms
+    /// (absent announces `Connection: close`); `chunk_budget` enables
+    /// chunked framing for bodies that outgrow it.
+    pub fn new(resp: Response, keep: Option<KeepAliveTerms>, chunk_budget: Option<usize>) -> Self {
+        let chunked = chunk_budget.is_some_and(|b| resp.body.len() > b);
+        let connection = match &keep {
+            Some(k) => format!(
+                "Connection: keep-alive\r\nKeep-Alive: timeout={}, max={}",
+                k.timeout.as_secs(),
+                k.max
+            ),
+            None => "Connection: close".to_string(),
+        };
+        let framing = if chunked {
+            "Transfer-Encoding: chunked".to_string()
+        } else {
+            format!("Content-Length: {}", resp.body.len())
+        };
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\n{framing}\r\n{connection}\r\n\r\n",
+            resp.status.code(),
+            resp.status.reason(),
+            resp.content_type,
+        );
+        ResponseStream {
+            body: resp.body,
+            cursor: 0,
+            head: Some(head),
+            chunked,
+            budget: chunk_budget.unwrap_or(usize::MAX),
+            done: false,
+        }
+    }
+
+    /// True once every wire byte has been produced.
+    pub fn finished(&self) -> bool {
+        self.done
+    }
+
+    /// The largest buffer one `next_wire` call may produce: head bytes
+    /// aside, a chunk's payload plus its framing.
+    pub fn max_wire_bytes(&self) -> usize {
+        if self.chunked {
+            self.budget + CHUNK_FRAME_OVERHEAD
+        } else {
+            self.body.len()
+        }
+    }
+
+    /// Produce the next batch of wire bytes into `out` (cleared first).
+    /// Returns false once the response is fully framed and `out` stays
+    /// empty. In chunked mode each call emits at most one budget-sized
+    /// chunk, so `out` never outgrows the budget plus framing overhead.
+    pub fn next_wire(&mut self, out: &mut Vec<u8>) -> bool {
+        out.clear();
+        if self.done {
+            return false;
+        }
+        if let Some(head) = self.head.take() {
+            out.extend_from_slice(head.as_bytes());
+            if !self.chunked {
+                // Content-Length framing: one buffer, one write.
+                out.extend_from_slice(self.body.as_bytes());
+                self.done = true;
+                return true;
+            }
+            return true;
+        }
+        // Chunked body: one chunk per call.
+        let remaining = self.body.len() - self.cursor;
+        if remaining == 0 {
+            out.extend_from_slice(b"0\r\n\r\n");
+            self.done = true;
+            return true;
+        }
+        let take = remaining.min(self.budget);
+        out.extend_from_slice(format!("{take:x}\r\n").as_bytes());
+        out.extend_from_slice(&self.body.as_bytes()[self.cursor..self.cursor + take]);
+        out.extend_from_slice(b"\r\n");
+        self.cursor += take;
+        true
+    }
+}
+
+/// De-chunk a `Transfer-Encoding: chunked` payload already in memory —
+/// the client-side inverse of [`ResponseStream`]'s chunked framing. Used
+/// by the test/bench HTTP client. Returns the decoded body and the total
+/// encoded length consumed, or `None` while the payload is incomplete.
+/// Malformed framing returns `Some(Err(..))`.
+pub fn dechunk(buf: &[u8]) -> Option<Result<(String, usize), String>> {
+    let mut body = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let line_end = buf[pos..].windows(2).position(|w| w == b"\r\n")? + pos;
+        let size_line = match std::str::from_utf8(&buf[pos..line_end]) {
+            Ok(s) => s,
+            Err(_) => return Some(Err("chunk size line is not UTF-8".to_string())),
+        };
+        // Chunk extensions (";ext=…") are tolerated and ignored.
+        let size_token = size_line.split(';').next().unwrap_or("").trim();
+        let size = match usize::from_str_radix(size_token, 16) {
+            Ok(n) => n,
+            Err(_) => return Some(Err(format!("bad chunk size {size_token:?}"))),
+        };
+        let data_start = line_end + 2;
+        // Chunk data plus its trailing CRLF must be present.
+        if buf.len() < data_start + size + 2 {
+            return None;
+        }
+        if size == 0 {
+            // No trailer support: expect the final CRLF immediately.
+            if &buf[data_start..data_start + 2] != b"\r\n" {
+                return Some(Err("unsupported chunked trailer".to_string()));
+            }
+            let decoded = match String::from_utf8(body) {
+                Ok(s) => s,
+                Err(_) => return Some(Err("de-chunked body is not UTF-8".to_string())),
+            };
+            return Some(Ok((decoded, data_start + 2)));
+        }
+        body.extend_from_slice(&buf[data_start..data_start + size]);
+        if &buf[data_start + size..data_start + size + 2] != b"\r\n" {
+            return Some(Err("chunk data missing trailing CRLF".to_string()));
+        }
+        pos = data_start + size + 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> WireLimits {
+        WireLimits::default()
+    }
+
+    #[test]
+    fn incremental_parse_reports_head_progress() {
+        let buf = b"GET /x HTTP/1.1\r\nHos";
+        match try_parse(buf, &limits()) {
+            Parsed::Incomplete { head_complete } => assert!(!head_complete),
+            other => panic!("{other:?}"),
+        }
+        let buf = b"PUT /x HTTP/1.1\r\nContent-Length: 10\r\n\r\npart";
+        match try_parse(buf, &limits()) {
+            Parsed::Incomplete { head_complete } => assert!(head_complete),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn complete_request_reports_consumed_bytes_for_pipelining() {
+        let buf = b"PUT /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nbodyGET /y HTTP/1.1\r\n\r\n";
+        match try_parse(buf, &limits()) {
+            Parsed::Complete(p) => {
+                assert_eq!(p.request.path, "/x");
+                assert_eq!(p.request.body, "body");
+                assert!(p.keep_alive);
+                // Exactly the first request's bytes; /y stays buffered.
+                assert_eq!(&buf[p.consumed..p.consumed + 5], b"GET /");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_header_and_version_drive_keepalive() {
+        let close = b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n";
+        match try_parse(close, &limits()) {
+            Parsed::Complete(p) => assert!(!p.keep_alive),
+            other => panic!("{other:?}"),
+        }
+        let old = b"GET /x HTTP/1.0\r\n\r\n";
+        match try_parse(old, &limits()) {
+            Parsed::Complete(p) => assert!(!p.keep_alive),
+            other => panic!("{other:?}"),
+        }
+        let old_keep = b"GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        match try_parse(old_keep, &limits()) {
+            Parsed::Complete(p) => assert!(p.keep_alive),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_431_even_before_completion() {
+        let tight = WireLimits {
+            max_head_bytes: 64,
+            max_body_bytes: 1024,
+        };
+        // A slow-drip client never finishing its head: the cap trips as
+        // soon as the buffer outgrows the limit.
+        let mut buf = b"GET /x HTTP/1.1\r\n".to_vec();
+        while buf.len() <= 64 {
+            buf.extend_from_slice(b"X-Pad: yyyyyyyy\r\n");
+        }
+        match try_parse(&buf, &tight) {
+            Parsed::Error { status, .. } => {
+                assert_eq!(status, Status::RequestHeaderFieldsTooLarge)
+            }
+            other => panic!("{other:?}"),
+        }
+        // A complete-but-oversized head is also 431.
+        buf.extend_from_slice(b"\r\n\r\n");
+        match try_parse(&buf, &tight) {
+            Parsed::Error { status, .. } => {
+                assert_eq!(status, Status::RequestHeaderFieldsTooLarge)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_400() {
+        for bad in [
+            &b"NONSENSE /x SMTP/9\r\n\r\n"[..],
+            &b"GET nopath HTTP/1.1\r\n\r\n"[..],
+            &b"GET /x HTTP/2\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nContent-Length: zebra\r\n\r\n"[..],
+        ] {
+            match try_parse(bad, &limits()) {
+                Parsed::Error { status, .. } => assert_eq!(status, Status::BadRequest),
+                other => panic!("{bad:?} -> {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_at_the_head() {
+        let tight = WireLimits {
+            max_head_bytes: 1024,
+            max_body_bytes: 8,
+        };
+        let buf = b"PUT /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n";
+        match try_parse(buf, &tight) {
+            Parsed::Error { status, message } => {
+                assert_eq!(status, Status::BadRequest);
+                assert!(message.contains("exceeds limit"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    fn drain_stream(stream: &mut ResponseStream) -> (Vec<u8>, usize) {
+        let mut wire = Vec::new();
+        let mut out = Vec::new();
+        let mut peak = 0usize;
+        while stream.next_wire(&mut out) {
+            peak = peak.max(out.len());
+            wire.extend_from_slice(&out);
+        }
+        (wire, peak)
+    }
+
+    #[test]
+    fn small_bodies_frame_with_content_length_in_one_buffer() {
+        let resp = Response::json("{\"a\": 1}");
+        let mut s = ResponseStream::new(resp, None, Some(1024));
+        let (wire, _) = drain_stream(&mut s);
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 8\r\n"), "{text}");
+        assert!(text.contains("Connection: close"), "{text}");
+        assert!(text.ends_with("{\"a\": 1}"), "{text}");
+        assert!(!text.contains("chunked"));
+    }
+
+    #[test]
+    fn large_bodies_chunk_within_budget_and_dechunk_byte_identically() {
+        let body: String = (0..10_000)
+            .map(|i| ((i % 26) as u8 + b'a') as char)
+            .collect();
+        let budget = 512;
+        let resp = Response::json(body.clone());
+        let terms = KeepAliveTerms {
+            timeout: Duration::from_secs(5),
+            max: 7,
+        };
+        let mut s = ResponseStream::new(resp, Some(terms), Some(budget));
+        assert!(s.max_wire_bytes() <= budget + CHUNK_FRAME_OVERHEAD);
+        let (wire, peak) = drain_stream(&mut s);
+        let text = String::from_utf8_lossy(&wire);
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
+        assert!(text.contains("Keep-Alive: timeout=5, max=7"), "{text}");
+        assert!(!text.contains("Content-Length"), "{text}");
+        // Every refill obeys the budget (head aside, which is tiny).
+        assert!(
+            peak <= budget + CHUNK_FRAME_OVERHEAD,
+            "peak {peak} vs budget {budget}"
+        );
+        // De-chunking restores the body byte for byte.
+        let head_end = find_head_end(&wire).unwrap();
+        let (decoded, consumed) = dechunk(&wire[head_end + 4..])
+            .expect("complete")
+            .expect("well-formed");
+        assert_eq!(decoded, body);
+        assert_eq!(head_end + 4 + consumed, wire.len(), "no trailing bytes");
+    }
+
+    #[test]
+    fn chunking_is_bypassed_when_budget_is_disabled_or_body_fits() {
+        let resp = Response::json("x".repeat(100));
+        let mut s = ResponseStream::new(resp, None, None);
+        let (wire, _) = drain_stream(&mut s);
+        assert!(String::from_utf8_lossy(&wire).contains("Content-Length: 100"));
+        let resp = Response::json("x".repeat(100));
+        let mut s = ResponseStream::new(resp, None, Some(100));
+        let (wire, _) = drain_stream(&mut s);
+        assert!(String::from_utf8_lossy(&wire).contains("Content-Length: 100"));
+    }
+
+    #[test]
+    fn dechunk_handles_partials_and_garbage() {
+        // Incomplete: the chunk promises more data than present.
+        assert!(dechunk(b"10\r\nshort").is_none());
+        // Incomplete: no terminating chunk yet.
+        assert!(dechunk(b"3\r\nabc\r\n").is_none());
+        // Complete two-chunk payload with an extension token.
+        let (body, used) = dechunk(b"3;ext=1\r\nabc\r\n2\r\nde\r\n0\r\n\r\nXX")
+            .unwrap()
+            .unwrap();
+        assert_eq!(body, "abcde");
+        assert_eq!(used, 26, "consumed stops before pipelined bytes");
+        // Garbage sizes are hard errors.
+        assert!(dechunk(b"zz\r\nabc\r\n0\r\n\r\n").unwrap().is_err());
+        assert!(dechunk(b"3\r\nabcXY0\r\n\r\n").unwrap().is_err());
+    }
+}

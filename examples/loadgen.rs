@@ -17,7 +17,9 @@
 //!
 //! ```text
 //! cargo run --example loadgen [clients] [requests-per-client] [--close] [--no-trace]
+//!     [--serve-mode threads|reactor] [--idle-conns N]
 //! cargo run --release --example loadgen -- --cold [rows] [iterations]
+//! cargo run --release --example loadgen -- --concurrency-bench
 //! ```
 //!
 //! `--close` forces one connection per request (the pre-keep-alive
@@ -25,6 +27,20 @@
 //! in that mode. `--no-trace` sets the tracer's sampling knob to 0 and
 //! sends no `X-Trace-Id` — the baseline for measuring tracing overhead
 //! (trace asserts are skipped).
+//!
+//! `--serve-mode reactor` serves through the epoll event loop instead of
+//! the thread-per-connection pool. `--idle-conns N` opens N quiet
+//! keep-alive connections before the load starts and holds them open for
+//! the whole run — in reactor mode the load must be undisturbed (the CI
+//! reactor smoke job runs exactly this and relies on the zero-5xx /
+//! exposition asserts); in thread mode N idle connections pin the worker
+//! pool, so expect the run to abort.
+//!
+//! `--concurrency-bench` measures that contrast instead of asserting it:
+//! both serve modes × idle herds of 0/256/2048, each with 32 active
+//! clients, reporting per-config p50/p95/p99 and 5xx counts as a JSON
+//! document on stdout — the source of the committed
+//! `BENCH_serve_concurrency.json` (progress goes to stderr).
 //!
 //! `--cold` switches to the cold-query benchmark: a ~1M-row synthetic
 //! dataset (configurable) is queried through the scan kernels and through
@@ -37,9 +53,12 @@
 //! bench-smoke job runs this mode on a smaller dataset and relies on the
 //! differential asserts.
 
-use shareinsights::server::{blocking_get, serve, ClientConnection, Request, ServeOptions, Server};
+use shareinsights::server::{
+    blocking_get, serve, ClientConnection, Request, ServeMode, ServeOptions, Server,
+};
 use shareinsights_core::Platform;
-use std::time::Instant;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 const FLOW: &str = r#"
 D:
@@ -59,25 +78,28 @@ F:
   +D.brand_sales: D.sales | T.by_brand
 "#;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let close_mode = args.iter().any(|a| a == "--close");
-    let no_trace = args.iter().any(|a| a == "--no-trace");
-    let cold_mode = args.iter().any(|a| a == "--cold");
-    let mut nums = args.iter().filter(|a| !a.starts_with("--"));
-    if cold_mode {
-        let rows: usize = nums
-            .next()
-            .and_then(|a| a.parse().ok())
-            .unwrap_or(1_000_000);
-        let iters: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(8);
-        cold_query_benchmark(rows, iters);
-        return;
-    }
-    let clients: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(8);
-    let per_client: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(50);
+/// The ad-hoc query pool every serving load cycles through.
+const TARGETS: [&str; 5] = [
+    "/retail/ds/brand_sales",
+    "/retail/ds/brand_sales/groupby/region/count/brand",
+    "/retail/ds/brand_sales/groupby/brand/sum/revenue",
+    "/retail/ds/brand_sales/sort/revenue/desc/limit/5",
+    "/retail/ds/brand_sales/filter/region/north/limit/10",
+];
 
-    // A platform with a modest synthetic dataset.
+/// Remove `name <value>` from `args`, returning the value.
+fn take_value_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    if i + 1 >= args.len() {
+        panic!("{name} needs a value");
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+/// The modest synthetic retail platform the serving loads run against.
+fn retail_platform() -> Platform {
     let platform = Platform::new();
     let mut csv = String::from("region,brand,revenue\n");
     let regions = ["north", "south", "east", "west"];
@@ -93,33 +115,79 @@ fn main() {
     platform.upload_data("retail", "sales.csv", csv);
     platform.save_flow("retail", FLOW).expect("flow");
     platform.run_dashboard("retail").expect("run");
+    platform
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let serve_mode = match take_value_flag(&mut args, "--serve-mode").as_deref() {
+        None | Some("threads") => ServeMode::ThreadPerConnection,
+        Some("reactor") => ServeMode::Reactor,
+        Some(other) => panic!("unknown --serve-mode '{other}' (threads|reactor)"),
+    };
+    let idle_conns: usize = take_value_flag(&mut args, "--idle-conns")
+        .map(|v| v.parse().expect("--idle-conns takes a count"))
+        .unwrap_or(0);
+    let close_mode = args.iter().any(|a| a == "--close");
+    let no_trace = args.iter().any(|a| a == "--no-trace");
+    let cold_mode = args.iter().any(|a| a == "--cold");
+    if args.iter().any(|a| a == "--concurrency-bench") {
+        serve_concurrency_benchmark();
+        return;
+    }
+    let mut nums = args.iter().filter(|a| !a.starts_with("--"));
+    if cold_mode {
+        let rows: usize = nums
+            .next()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(1_000_000);
+        let iters: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+        cold_query_benchmark(rows, iters);
+        return;
+    }
+    let clients: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let per_client: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(50);
+
+    let platform = retail_platform();
     if no_trace {
         // Sampling 0 disables tracing entirely (explicit ids included) —
         // the baseline for measuring the tracing subsystem's overhead.
         platform.tracer().set_sample_one_in(0);
     }
 
-    let mut svc = serve(
-        Server::new(platform),
-        "127.0.0.1:0",
-        ServeOptions::default(),
-    )
-    .expect("bind ephemeral port");
+    let opts = ServeOptions {
+        serve_mode,
+        // The idle herd must outlive the measured load.
+        idle_timeout: if idle_conns > 0 {
+            Duration::from_secs(60)
+        } else {
+            ServeOptions::default().idle_timeout
+        },
+        ..ServeOptions::default()
+    };
+    let mut svc = serve(Server::new(platform), "127.0.0.1:0", opts).expect("bind ephemeral port");
     let addr = svc.local_addr();
     let mode = if close_mode {
         "one connection per request"
     } else {
         "keep-alive"
     };
-    println!("serving on http://{addr} — {clients} clients x {per_client} requests ({mode})");
+    println!(
+        "serving on http://{addr} ({serve_mode:?}) — {clients} clients x {per_client} requests ({mode})"
+    );
 
-    let targets = [
-        "/retail/ds/brand_sales".to_string(),
-        "/retail/ds/brand_sales/groupby/region/count/brand".to_string(),
-        "/retail/ds/brand_sales/groupby/brand/sum/revenue".to_string(),
-        "/retail/ds/brand_sales/sort/revenue/desc/limit/5".to_string(),
-        "/retail/ds/brand_sales/filter/region/north/limit/10".to_string(),
-    ];
+    // The quiet herd: opened before the load, held for its whole
+    // duration. In reactor mode these cost a connection-table entry each
+    // and the load below must be completely undisturbed.
+    let idle: Vec<TcpStream> = (0..idle_conns)
+        .map(|i| TcpStream::connect(addr).unwrap_or_else(|e| panic!("idle conn {i}: {e}")))
+        .collect();
+    if !idle.is_empty() {
+        println!("holding {} idle keep-alive connections", idle.len());
+        std::thread::sleep(Duration::from_millis(200));
+    }
+
+    let targets = TARGETS;
 
     let started = Instant::now();
     // Each client holds one persistent connection, reconnecting only when
@@ -137,7 +205,7 @@ fn main() {
                     let mut ok = 0;
                     let mut latencies_us = Vec::with_capacity(per_client);
                     for r in 0..per_client {
-                        let target = &targets[(c + r) % targets.len()];
+                        let target = targets[(c + r) % targets.len()];
                         if conn.server_closed() {
                             conn = ClientConnection::connect(addr).expect("reconnect");
                             connections += 1;
@@ -252,9 +320,168 @@ fn main() {
     );
     println!("cache: {hits} hits / {misses} misses — {rate:.1}% hit rate");
     println!("/metrics exposition OK ({} lines)", metrics.lines().count());
+
+    if serve_mode == ServeMode::Reactor {
+        // The whole herd (plus at least one active connection) must have
+        // been registered with the event loop, and the reactor series
+        // must export under their Prometheus names.
+        let peak = doc
+            .path("reactor.peak_registered")
+            .unwrap()
+            .to_value()
+            .as_int()
+            .unwrap();
+        assert!(
+            peak as usize > idle_conns,
+            "reactor must register the idle herd: peak {peak} vs {idle_conns} idle"
+        );
+        assert!(
+            metrics.contains("shareinsights_reactor_wakeups_total"),
+            "reactor series missing from /metrics"
+        );
+        println!("reactor: peak {peak} registered connections, zero 5xx");
+    }
     println!("--- /stats ---\n{stats}");
 
+    drop(idle);
     svc.shutdown();
+}
+
+/// The `--concurrency-bench` mode: quantify what the reactor buys. Both
+/// serve modes are loaded with 32 active keep-alive clients while a herd
+/// of 0, 256, or 2048 idle connections sits on the same service; per
+/// configuration the client-observed p50/p95/p99, 5xx count, and lost
+/// count go to stdout as a JSON document — the source of the committed
+/// `BENCH_serve_concurrency.json`. Thread mode is *expected* to shed or
+/// starve under an idle herd (that is the point of the comparison), so
+/// unlike the default load mode nothing here asserts zero failures.
+fn serve_concurrency_benchmark() {
+    use shareinsights_core::trace::EventLog;
+    const ACTIVE_CLIENTS: usize = 32;
+    const PER_CLIENT: usize = 25;
+    const IDLE_LEVELS: [usize; 3] = [0, 256, 2048];
+
+    let pct = |sorted: &[u64], p: f64| -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let idx = ((sorted.len() as f64 * p).ceil() as usize).max(1) - 1;
+        sorted[idx.min(sorted.len() - 1)]
+    };
+
+    let mut config_docs = Vec::new();
+    for mode in [ServeMode::ThreadPerConnection, ServeMode::Reactor] {
+        for idle_conns in IDLE_LEVELS {
+            let mode_name = match mode {
+                ServeMode::ThreadPerConnection => "threads",
+                ServeMode::Reactor => "reactor",
+            };
+            eprintln!("{mode_name} with {idle_conns} idle connections…");
+            let opts = ServeOptions {
+                serve_mode: mode,
+                // The herd must outlive the measured load, and the 5xx
+                // storm thread mode produces should not spam stderr.
+                idle_timeout: Duration::from_secs(120),
+                event_log: EventLog::in_memory(),
+                ..ServeOptions::default()
+            };
+            let mut svc = serve(Server::new(retail_platform()), "127.0.0.1:0", opts)
+                .expect("bind ephemeral port");
+            let addr = svc.local_addr();
+
+            let idle: Vec<TcpStream> = (0..idle_conns)
+                .map(|i| TcpStream::connect(addr).unwrap_or_else(|e| panic!("idle conn {i}: {e}")))
+                .collect();
+            std::thread::sleep(Duration::from_millis(200));
+
+            let started = Instant::now();
+            // Each active client holds one keep-alive connection,
+            // reconnecting whenever the server closes it (including after
+            // every load-shedding 503). (ok, 5xx, lost, ok-latencies µs).
+            let per_thread: Vec<(usize, usize, usize, Vec<u64>)> = std::thread::scope(|scope| {
+                (0..ACTIVE_CLIENTS)
+                    .map(|c| {
+                        scope.spawn(move || {
+                            let mut conn: Option<ClientConnection> = None;
+                            let (mut ok, mut server_5xx, mut lost) = (0usize, 0usize, 0usize);
+                            let mut latencies_us = Vec::with_capacity(PER_CLIENT);
+                            for r in 0..PER_CLIENT {
+                                let target = TARGETS[(c + r) % TARGETS.len()];
+                                if conn.as_ref().is_none_or(|c| c.server_closed()) {
+                                    match ClientConnection::connect(addr) {
+                                        Ok(fresh) => conn = Some(fresh),
+                                        Err(_) => {
+                                            lost += 1;
+                                            continue;
+                                        }
+                                    }
+                                }
+                                let sent = Instant::now();
+                                match conn.as_mut().unwrap().get(target) {
+                                    Ok((200, _)) => {
+                                        ok += 1;
+                                        latencies_us.push(sent.elapsed().as_micros() as u64);
+                                    }
+                                    Ok((code, _)) if code >= 500 => server_5xx += 1,
+                                    Ok((code, body)) => {
+                                        panic!("unexpected {code} for {target}: {body}")
+                                    }
+                                    Err(_) => {
+                                        lost += 1;
+                                        conn = None;
+                                    }
+                                }
+                            }
+                            (ok, server_5xx, lost, latencies_us)
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread"))
+                    .collect()
+            });
+            let elapsed = started.elapsed();
+            drop(idle);
+
+            let ok: usize = per_thread.iter().map(|(ok, _, _, _)| ok).sum();
+            let server_5xx: usize = per_thread.iter().map(|(_, e, _, _)| e).sum();
+            let lost: usize = per_thread.iter().map(|(_, _, l, _)| l).sum();
+            let mut latencies: Vec<u64> = per_thread
+                .iter()
+                .flat_map(|(_, _, _, l)| l.iter().copied())
+                .collect();
+            latencies.sort_unstable();
+            let (p50, p95, p99) = (
+                pct(&latencies, 0.50),
+                pct(&latencies, 0.95),
+                pct(&latencies, 0.99),
+            );
+            let ok_per_sec = ok as f64 / elapsed.as_secs_f64();
+            eprintln!(
+                "  {ok}/{} ok, {server_5xx} 5xx, {lost} lost — \
+                 p50 {p50}µs p95 {p95}µs p99 {p99}µs",
+                ACTIVE_CLIENTS * PER_CLIENT
+            );
+            config_docs.push(format!(
+                "    {{\"serve_mode\": \"{mode_name}\", \"idle_conns\": {idle_conns}, \
+                 \"requests\": {}, \"ok\": {ok}, \"server_5xx\": {server_5xx}, \
+                 \"lost\": {lost}, \"p50_us\": {p50}, \"p95_us\": {p95}, \"p99_us\": {p99}, \
+                 \"elapsed_ms\": {}, \"ok_per_sec\": {ok_per_sec:.0}}}",
+                ACTIVE_CLIENTS * PER_CLIENT,
+                elapsed.as_millis()
+            ));
+            svc.shutdown();
+        }
+    }
+
+    println!("{{");
+    println!("  \"active_clients\": {ACTIVE_CLIENTS},");
+    println!("  \"requests_per_client\": {PER_CLIENT},");
+    println!("  \"idle_levels\": [0, 256, 2048],");
+    println!("  \"configs\": [");
+    println!("{}", config_docs.join(",\n"));
+    println!("  ]");
+    println!("}}");
 }
 
 /// The `--cold` mode: measure the scan-vs-indexed delta on cold (cache

@@ -7,11 +7,15 @@
 //! The README's "Serving the data API" walkthrough runs against this:
 //!
 //! ```text
-//! cargo run --example serve_api [addr]     # default 127.0.0.1:8080
-//! curl http://127.0.0.1:8080/dashboards
+//! cargo run --example serve_api [addr] [--reactor] [--chunk-budget BYTES]
+//! curl http://127.0.0.1:8080/dashboards      # default addr 127.0.0.1:8080
 //! ```
+//!
+//! `--reactor` serves through the epoll event loop instead of the
+//! thread-per-connection pool; `--chunk-budget BYTES` streams responses
+//! larger than BYTES as HTTP/1.1 chunked transfer (both modes).
 
-use shareinsights::server::{serve, ServeOptions, Server};
+use shareinsights::server::{serve, ServeMode, ServeOptions, Server};
 use shareinsights_core::Platform;
 
 const FLOW: &str = r#"
@@ -35,8 +39,21 @@ F:
 "#;
 
 fn main() {
-    let addr = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let serve_mode = if let Some(i) = args.iter().position(|a| a == "--reactor") {
+        args.remove(i);
+        ServeMode::Reactor
+    } else {
+        ServeMode::ThreadPerConnection
+    };
+    let chunk_budget: Option<usize> = args.iter().position(|a| a == "--chunk-budget").map(|i| {
+        let value = args[i + 1].parse().expect("--chunk-budget BYTES");
+        args.drain(i..=i + 1);
+        value
+    });
+    let addr = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "127.0.0.1:8080".to_string());
 
     let platform = Platform::new();
@@ -48,9 +65,17 @@ fn main() {
     platform.save_flow("retail", FLOW).expect("flow");
     platform.run_dashboard("retail").expect("run");
 
-    let svc = serve(Server::new(platform), &addr, ServeOptions::default())
+    let opts = ServeOptions {
+        serve_mode,
+        chunk_budget,
+        ..ServeOptions::default()
+    };
+    let svc = serve(Server::new(platform), &addr, opts)
         .expect("bind address (try `serve_api 127.0.0.1:0`)");
-    println!("data API listening on http://{}", svc.local_addr());
+    println!(
+        "data API listening on http://{} ({serve_mode:?})",
+        svc.local_addr()
+    );
     println!(
         "try: curl http://{}/retail/ds/brand_sales/groupby/region/count/brand",
         svc.local_addr()

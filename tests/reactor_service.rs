@@ -1,0 +1,486 @@
+//! Dual-mode conformance for the serving core.
+//!
+//! Every wire-level behavior — keep-alive negotiation, pipelining,
+//! timeout classification, the 431 head cap, chunked response streaming —
+//! must be observably identical whether the thread-per-connection pool or
+//! the epoll reactor is serving. Each conformance test therefore runs
+//! against both [`ServeMode`]s; the reactor-only tests at the bottom
+//! cover what the blocking mode cannot do (multiplexing thousands of idle
+//! connections, `EPOLLOUT` write backpressure).
+
+use shareinsights::server::{
+    blocking_get, dechunk, serve, ClientConnection, ServeMode, ServeOptions, Server, ServiceHandle,
+    WireLimits,
+};
+use shareinsights_core::Platform;
+use shareinsights_tabular::io::json::parse_json;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const FLOW: &str = r#"
+D:
+  sales: [region, brand, revenue]
+D.sales:
+  source: 'sales.csv'
+  format: csv
+T:
+  by_brand:
+    type: groupby
+    groupby: [region, brand]
+    aggregates:
+    - operator: sum
+      apply_on: revenue
+      out_field: revenue
+F:
+  +D.brand_sales: D.sales | T.by_brand
+  D.brand_sales:
+    publish: brand_sales
+"#;
+
+const BOTH_MODES: [ServeMode; 2] = [ServeMode::ThreadPerConnection, ServeMode::Reactor];
+
+/// A retail dashboard with `rows` sales rows (bigger rows ⇒ bigger
+/// browse responses, which is what exercises chunking).
+fn retail_platform(rows: usize) -> Platform {
+    let platform = Platform::new();
+    let mut csv = String::from("region,brand,revenue\n");
+    for i in 0..rows {
+        let region = if i % 2 == 0 { "north" } else { "south" };
+        csv.push_str(&format!("{region},brand_number_{i},{}\n", i * 3 + 1));
+    }
+    platform.upload_data("retail", "sales.csv", &csv);
+    platform.save_flow("retail", FLOW).unwrap();
+    platform.run_dashboard("retail").unwrap();
+    platform
+}
+
+fn retail_service(rows: usize, opts: ServeOptions) -> ServiceHandle {
+    serve(Server::new(retail_platform(rows)), "127.0.0.1:0", opts).expect("bind ephemeral port")
+}
+
+fn mode_opts(mode: ServeMode) -> ServeOptions {
+    ServeOptions {
+        serve_mode: mode,
+        ..ServeOptions::default()
+    }
+}
+
+fn stat(stats_body: &str, path: &str) -> i64 {
+    parse_json(stats_body)
+        .unwrap()
+        .path(path)
+        .unwrap_or_else(|| panic!("no {path} in {stats_body}"))
+        .to_value()
+        .as_int()
+        .unwrap_or_else(|| panic!("{path} not an int in {stats_body}"))
+}
+
+#[test]
+fn requests_and_keepalive_conform_in_both_modes() {
+    for mode in BOTH_MODES {
+        let mut svc = retail_service(4, mode_opts(mode));
+        let addr = svc.local_addr();
+
+        let (code, body) = blocking_get(addr, "/dashboards").unwrap();
+        assert_eq!(code, 200, "{mode:?}");
+        assert_eq!(body, "[\"retail\"]", "{mode:?}");
+        let (code, _) = blocking_get(addr, "/nope/nope/nope/nope").unwrap();
+        assert_eq!(code, 404, "{mode:?}");
+
+        // A persistent connection serves many requests, then honors an
+        // explicit close.
+        let mut conn = ClientConnection::connect(addr).unwrap();
+        for i in 0..5 {
+            let (code, body) = conn.get("/retail/ds/brand_sales").unwrap();
+            assert_eq!(code, 200, "{mode:?} request {i}: {body}");
+            assert!(!conn.server_closed(), "{mode:?}");
+        }
+        let (code, _) = conn.request_close("GET", "/dashboards", "").unwrap();
+        assert_eq!(code, 200, "{mode:?}");
+        assert!(conn.server_closed(), "{mode:?}");
+        svc.shutdown();
+    }
+}
+
+#[test]
+fn request_cap_per_connection_conforms_in_both_modes() {
+    for mode in BOTH_MODES {
+        let opts = ServeOptions {
+            max_requests_per_connection: 3,
+            ..mode_opts(mode)
+        };
+        let mut svc = retail_service(4, opts);
+        let mut conn = ClientConnection::connect(svc.local_addr()).unwrap();
+        for i in 0..3 {
+            let (code, _) = conn.get("/dashboards").unwrap();
+            assert_eq!(code, 200, "{mode:?} request {i}");
+        }
+        assert!(
+            conn.server_closed(),
+            "{mode:?}: 3rd response must announce close"
+        );
+        svc.shutdown();
+    }
+}
+
+#[test]
+fn pipelined_requests_answered_in_order_in_both_modes() {
+    for mode in BOTH_MODES {
+        let mut svc = retail_service(4, mode_opts(mode));
+        let mut stream = TcpStream::connect(svc.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let batch = "GET /dashboards HTTP/1.1\r\nContent-Length: 0\r\n\r\n\
+                     GET /nope/nope/nope/nope HTTP/1.1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+        stream.write_all(batch.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        let first = out.find("HTTP/1.1 200 OK").expect("first response");
+        let second = out.find("HTTP/1.1 404 Not Found").expect("second response");
+        assert!(first < second, "{mode:?} in order: {out}");
+        svc.shutdown();
+    }
+}
+
+#[test]
+fn malformed_requests_get_400_in_both_modes() {
+    for mode in BOTH_MODES {
+        let svc = retail_service(4, mode_opts(mode));
+        let mut stream = TcpStream::connect(svc.local_addr()).unwrap();
+        stream.write_all(b"NONSENSE /x SMTP/9\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(
+            out.starts_with("HTTP/1.1 400 Bad Request"),
+            "{mode:?}: {out}"
+        );
+        assert!(out.contains("Connection: close"), "{mode:?}: {out}");
+    }
+}
+
+#[test]
+fn oversized_heads_get_431_and_close_in_both_modes() {
+    for mode in BOTH_MODES {
+        let opts = ServeOptions {
+            limits: WireLimits {
+                max_head_bytes: 512,
+                ..WireLimits::default()
+            },
+            ..mode_opts(mode)
+        };
+        let mut svc = retail_service(4, opts);
+        let addr = svc.local_addr();
+
+        // A modest head sails through.
+        let (code, _) = blocking_get(addr, "/dashboards").unwrap();
+        assert_eq!(code, 200, "{mode:?}");
+
+        // A head past the cap is answered 431 and the connection closes —
+        // even though the head never completed (slow-drip shape).
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut head = String::from("GET /dashboards HTTP/1.1\r\n");
+        while head.len() <= 600 {
+            head.push_str("X-Padding: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        stream.write_all(head.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(
+            out.starts_with("HTTP/1.1 431 Request Header Fields Too Large"),
+            "{mode:?}: {out}"
+        );
+        assert!(out.contains("Connection: close"), "{mode:?}: {out}");
+
+        // The rejection is metered under the (malformed) pseudo-route.
+        let (_, stats) = blocking_get(addr, "/stats").unwrap();
+        assert_eq!(stat(&stats, "routes.(malformed).count"), 1, "{mode:?}");
+        svc.shutdown();
+    }
+}
+
+#[test]
+fn timeouts_classify_identically_in_both_modes() {
+    for mode in BOTH_MODES {
+        let opts = ServeOptions {
+            io_timeout: Duration::from_millis(200),
+            idle_timeout: Duration::from_millis(400),
+            ..mode_opts(mode)
+        };
+        let mut svc = retail_service(4, opts);
+        let addr = svc.local_addr();
+
+        // Stall mid-head: silent close (no parseable request to answer).
+        let mut mid_head = TcpStream::connect(addr).unwrap();
+        mid_head
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        mid_head.write_all(b"GET /dashboards HT").unwrap();
+        let mut out = String::new();
+        mid_head.read_to_string(&mut out).unwrap();
+        assert!(out.is_empty(), "{mode:?}: mid-head stall closes silently");
+
+        // Stall mid-body: the head parsed, so the client is answered 408.
+        let mut mid_body = TcpStream::connect(addr).unwrap();
+        mid_body
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        mid_body
+            .write_all(b"PUT /dashboards/retail/flow HTTP/1.1\r\nContent-Length: 50\r\n\r\npartial")
+            .unwrap();
+        let mut out = String::new();
+        mid_body.read_to_string(&mut out).unwrap();
+        assert!(
+            out.starts_with("HTTP/1.1 408 Request Timeout"),
+            "{mode:?}: {out}"
+        );
+
+        // Idle between requests: silent close, not an error on any route.
+        let mut idle = TcpStream::connect(addr).unwrap();
+        idle.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut out = String::new();
+        idle.read_to_string(&mut out).unwrap();
+        assert!(out.is_empty(), "{mode:?}: idle close is silent");
+
+        let (_, stats) = blocking_get(addr, "/stats").unwrap();
+        assert_eq!(stat(&stats, "routes.(timeout).count"), 2, "{mode:?}");
+        assert_eq!(stat(&stats, "connections.io_timeouts"), 2, "{mode:?}");
+        assert_eq!(stat(&stats, "connections.idle_timeouts"), 1, "{mode:?}");
+        svc.shutdown();
+    }
+}
+
+/// The routes whose bodies are deterministic for a fixed fixture, so a
+/// buffered and a chunked service can be compared byte for byte.
+const IDENTITY_ROUTES: [&str; 6] = [
+    "/dashboards",
+    "/dashboards/retail/flow",
+    "/retail/ds",
+    "/retail/ds/brand_sales",
+    "/retail/ds/brand_sales?limit=30&offset=5",
+    "/retail/ds/brand_sales/groupby/region/sum/revenue",
+];
+
+#[test]
+fn chunked_responses_are_byte_identical_to_buffered_in_both_modes() {
+    // One service per framing×mode over identically-prepared platforms.
+    let rows = 120; // browse bodies far exceed the chunk budget
+    let mut buffered = retail_service(rows, ServeOptions::default());
+    for mode in BOTH_MODES {
+        let opts = ServeOptions {
+            chunk_budget: Some(256),
+            ..mode_opts(mode)
+        };
+        let mut chunked = retail_service(rows, opts);
+        let mut want = ClientConnection::connect(buffered.local_addr()).unwrap();
+        let mut got = ClientConnection::connect(chunked.local_addr()).unwrap();
+        for route in IDENTITY_ROUTES {
+            let (want_code, want_body) = want.get(route).unwrap();
+            let (got_code, got_body) = got.get(route).unwrap();
+            assert_eq!(want_code, got_code, "{mode:?} {route}");
+            assert_eq!(want_body, got_body, "{mode:?} {route}");
+        }
+        // Confirm the big routes really were chunked on the wire.
+        let mut raw = TcpStream::connect(chunked.local_addr()).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        raw.write_all(
+            b"GET /retail/ds/brand_sales HTTP/1.1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+        let mut wire = String::new();
+        raw.read_to_string(&mut wire).unwrap();
+        assert!(
+            wire.contains("Transfer-Encoding: chunked\r\n"),
+            "{mode:?}: {}",
+            &wire[..wire.len().min(300)]
+        );
+        assert!(!wire.contains("Content-Length"), "{mode:?}");
+        chunked.shutdown();
+    }
+    buffered.shutdown();
+}
+
+#[test]
+fn pipelined_chunked_responses_straddle_chunk_boundaries() {
+    let rows = 120;
+    let mut buffered = retail_service(rows, ServeOptions::default());
+    let (_, want_body) = ClientConnection::connect(buffered.local_addr())
+        .unwrap()
+        .get("/retail/ds/brand_sales")
+        .unwrap();
+    buffered.shutdown();
+
+    for mode in BOTH_MODES {
+        let opts = ServeOptions {
+            chunk_budget: Some(256),
+            ..mode_opts(mode)
+        };
+        let mut svc = retail_service(rows, opts);
+        // Two pipelined requests in one write: both responses arrive
+        // chunked, back to back, each response's chunk stream ending with
+        // its own 0-terminator. The de-chunker must stop exactly at the
+        // boundary so the second response parses from the leftover bytes.
+        let mut stream = TcpStream::connect(svc.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let batch = "GET /retail/ds/brand_sales HTTP/1.1\r\nContent-Length: 0\r\n\r\n\
+                     GET /retail/ds/brand_sales HTTP/1.1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+        stream.write_all(batch.as_bytes()).unwrap();
+        let mut wire = Vec::new();
+        stream.read_to_end(&mut wire).unwrap();
+
+        let mut rest = &wire[..];
+        for i in 0..2 {
+            let head_end = rest
+                .windows(4)
+                .position(|w| w == b"\r\n\r\n")
+                .unwrap_or_else(|| panic!("{mode:?} response {i} head"));
+            let head = String::from_utf8_lossy(&rest[..head_end]);
+            assert!(head.starts_with("HTTP/1.1 200 OK"), "{mode:?} {head}");
+            assert!(
+                head.contains("Transfer-Encoding: chunked"),
+                "{mode:?} {head}"
+            );
+            let (body, used) = dechunk(&rest[head_end + 4..])
+                .unwrap_or_else(|| panic!("{mode:?} response {i} incomplete"))
+                .unwrap_or_else(|e| panic!("{mode:?} response {i}: {e}"));
+            assert_eq!(body, want_body, "{mode:?} response {i}");
+            rest = &rest[head_end + 4 + used..];
+        }
+        assert!(rest.is_empty(), "{mode:?}: no stray bytes after close");
+        svc.shutdown();
+    }
+}
+
+#[test]
+fn reactor_multiplexes_hundreds_of_idle_connections() {
+    let mut svc = retail_service(4, mode_opts(ServeMode::Reactor));
+    let addr = svc.local_addr();
+
+    // Far more open connections than worker threads — in thread mode
+    // these would wedge the pool solid; the reactor just tables them.
+    let idle: Vec<TcpStream> = (0..300)
+        .map(|i| TcpStream::connect(addr).unwrap_or_else(|e| panic!("idle conn {i}: {e}")))
+        .collect();
+
+    // Active traffic flows unimpeded past the idle herd.
+    let mut conn = ClientConnection::connect(addr).unwrap();
+    for i in 0..50 {
+        let (code, body) = conn.get("/retail/ds/brand_sales").unwrap();
+        assert_eq!(code, 200, "active request {i}: {body}");
+    }
+
+    let (code, stats) = blocking_get(addr, "/stats").unwrap();
+    assert_eq!(code, 200);
+    assert!(
+        stat(&stats, "reactor.registered") >= 300,
+        "all idle conns registered: {stats}"
+    );
+    assert!(stat(&stats, "reactor.peak_registered") >= 301, "{stats}");
+    assert!(stat(&stats, "reactor.wakeups") > 0, "{stats}");
+    assert!(stat(&stats, "reactor.ready_events") > 0, "{stats}");
+    assert!(stat(&stats, "reactor.dispatched") >= 51, "{stats}");
+    // Zero shedding: no 5xx pseudo-routes were touched.
+    assert!(!stats.contains("(rejected)"), "{stats}");
+    assert!(!stats.contains("(deadline)"), "{stats}");
+
+    // The same counters export under the Prometheus names.
+    let (_, metrics) = blocking_get(addr, "/metrics").unwrap();
+    assert!(
+        metrics.contains("# TYPE shareinsights_reactor_registered_connections gauge"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("shareinsights_reactor_wakeups_total"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("shareinsights_reactor_epollout_rearms_total"),
+        "{metrics}"
+    );
+
+    drop(idle);
+    svc.shutdown();
+}
+
+/// Clamp a socket's kernel receive buffer so the peer's writes hit a
+/// small advertised window. Raw `setsockopt` FFI, in the same
+/// dependency-free style as the reactor's epoll wrapper.
+fn clamp_rcvbuf(stream: &TcpStream, bytes: i32) {
+    use std::os::fd::AsRawFd;
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    extern "C" {
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const u8, optlen: u32) -> i32;
+    }
+    let val = bytes.to_ne_bytes();
+    // SAFETY: `val` is a valid 4-byte int the kernel copies during the call.
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_RCVBUF,
+            val.as_ptr(),
+            val.len() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "setsockopt(SO_RCVBUF)");
+}
+
+#[test]
+fn reactor_write_backpressure_rearms_epollout() {
+    // A big chunked response to a client that refuses to read: the kernel
+    // buffers fill, the write blocks, and the reactor re-arms EPOLLOUT
+    // instead of stalling — then finishes once the client drains.
+    // The kernel send buffer autotunes up to tcp_wmem[2] (4MB here), so
+    // the body must outgrow it before the write can ever block.
+    let rows = 160_000; // browse body ≈ 6MB
+    let opts = ServeOptions {
+        chunk_budget: Some(4 * 1024),
+        io_timeout: Duration::from_secs(30),
+        idle_timeout: Duration::from_secs(30),
+        ..mode_opts(ServeMode::Reactor)
+    };
+    let mut svc = retail_service(rows, opts);
+    let addr = svc.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // A clamped receive window keeps the response from vanishing into
+    // kernel buffers — the server must block mid-write. (Not too tiny:
+    // a window of a few KB stalls the eventual drain behind zero-window
+    // probe backoff.)
+    clamp_rcvbuf(&stream, 64 * 1024);
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(b"GET /retail/ds/brand_sales HTTP/1.1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    // Let the server hit the full socket buffer before reading a byte.
+    std::thread::sleep(Duration::from_millis(600));
+
+    let mut wire = Vec::new();
+    stream.read_to_end(&mut wire).unwrap();
+    let head_end = wire.windows(4).position(|w| w == b"\r\n\r\n").unwrap();
+    let (body, _) = dechunk(&wire[head_end + 4..])
+        .expect("complete")
+        .expect("well-formed");
+    assert!(
+        body.len() > 200_000,
+        "a genuinely large body: {}",
+        body.len()
+    );
+
+    let (_, stats) = blocking_get(addr, "/stats").unwrap();
+    assert!(
+        stat(&stats, "reactor.epollout_rearms") >= 1,
+        "write backpressure must re-arm: {stats}"
+    );
+    svc.shutdown();
+}
