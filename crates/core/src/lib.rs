@@ -46,9 +46,9 @@ pub use discovery::{suggest_enrichments, Enrichment};
 pub use doctor::{explain, Diagnosis};
 pub use error::{PlatformError, Result};
 pub use meta::{build_meta_dashboard, profile_table, ColumnProfile, MetaDashboard};
-pub use platform::Platform;
+pub use platform::{Platform, StreamPushReport, StreamStartInfo};
 pub use telemetry::{
     ApiMetrics, IndexStats, LatencyHistogram, OperatorStats, ReactorStats, RouteStats, RunEvent,
-    RunKind, RunLog, UsageCounts,
+    RunKind, RunLog, StreamStats, UsageCounts,
 };
 pub use trace::{AttrValue, EventLog, Span, SpanRecord, TraceId, TraceRecord, Tracer};

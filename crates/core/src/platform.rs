@@ -4,12 +4,13 @@ use crate::dashboard::{Dashboard, RunReport};
 use crate::error::{PlatformError, Result};
 use crate::telemetry::{usage_of, ApiMetrics, RunEvent, RunKind, RunLog};
 use crate::trace::{Span, Tracer};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use shareinsights_collab::PublishRegistry;
 use shareinsights_connectors::Catalog;
 use shareinsights_engine::compile::{compile, CompileEnv, CompiledPipeline};
 use shareinsights_engine::exec::{ExecContext, Executor};
 use shareinsights_engine::optimizer::OptimizerConfig;
+use shareinsights_engine::stream::StreamExec;
 use shareinsights_engine::TaskRegistry;
 use shareinsights_flowfile::parser::parse_flow_file;
 use shareinsights_flowfile::validate::ValidateOptions;
@@ -45,6 +46,10 @@ pub struct Platform {
     /// their entries on this (plus the publish registry's per-object
     /// generation) to invalidate without coordination.
     data_gens: Arc<RwLock<BTreeMap<String, u64>>>,
+    /// Live streaming contexts (the continuous execution context), by
+    /// dashboard name. Created by [`Platform::stream_start`], advanced one
+    /// micro-batch at a time by [`Platform::stream_push`].
+    streams: Arc<Mutex<BTreeMap<String, StreamExec>>>,
     /// Executor used for batch runs.
     pub executor: Executor,
     /// Optimizer configuration applied at compile time.
@@ -70,6 +75,7 @@ impl Platform {
             tracer: Tracer::new(),
             dashboards: Arc::new(RwLock::new(BTreeMap::new())),
             data_gens: Arc::new(RwLock::new(BTreeMap::new())),
+            streams: Arc::new(Mutex::new(BTreeMap::new())),
             executor: Executor::default(),
             optimizer: OptimizerConfig::default(),
         }
@@ -485,6 +491,114 @@ impl Platform {
         Ok(report)
     }
 
+    // --- continuous execution (live flows) ------------------------------
+
+    /// Start (or restart) a streaming context for a dashboard: compile its
+    /// current flow file and attach a [`StreamExec`] that accepts
+    /// micro-batches. Streaming state starts empty; batch endpoint tables
+    /// stay visible until the first push replaces them copy-on-write.
+    pub fn stream_start(&self, name: &str) -> Result<StreamStartInfo> {
+        let pipeline = self.compile_dashboard(name)?;
+        let stream = StreamExec::new(pipeline);
+        let info = StreamStartInfo {
+            dashboard: name.to_string(),
+            sources: stream
+                .pipeline()
+                .graph
+                .sources()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            endpoints: stream.pipeline().endpoints.clone(),
+        };
+        self.streams.lock().insert(name.to_string(), stream);
+        Ok(info)
+    }
+
+    /// True when a streaming context is attached to the dashboard.
+    pub fn stream_active(&self, name: &str) -> bool {
+        self.streams.lock().contains_key(name)
+    }
+
+    /// Detach a dashboard's streaming context, if any. Endpoint tables keep
+    /// their last streamed snapshot.
+    pub fn stream_stop(&self, name: &str) -> bool {
+        self.streams.lock().remove(name).is_some()
+    }
+
+    /// Push one micro-batch (CSV rows) into a source of a streaming
+    /// dashboard. The batch propagates through the continuous DAG, every
+    /// affected endpoint snapshot is swapped copy-on-write, and the
+    /// dashboard's data generation advances — so batch readers and the
+    /// query cache's generation-stamped invalidation work unchanged.
+    ///
+    /// When the source declares columns, the body is headerless CSV in
+    /// declared-column order; otherwise the first record is the header.
+    pub fn stream_push(&self, name: &str, source: &str, csv: &str) -> Result<StreamPushReport> {
+        let columns: Option<Vec<String>> =
+            self.dashboard(name)?
+                .ast
+                .data_object(source)
+                .and_then(|obj| {
+                    let names = obj.column_names();
+                    if names.is_empty() {
+                        None
+                    } else {
+                        Some(names.iter().map(|s| s.to_string()).collect())
+                    }
+                });
+        let opts = match columns {
+            Some(cols) => shareinsights_tabular::io::csv::CsvOptions {
+                has_header: false,
+                column_names: Some(cols),
+                ..Default::default()
+            },
+            None => shareinsights_tabular::io::csv::CsvOptions::default(),
+        };
+        let batch = shareinsights_tabular::io::csv::read_csv(csv, &opts)
+            .map_err(|e| PlatformError::Other(format!("stream batch: {e}")))?;
+
+        let (tick, endpoints) = {
+            let mut streams = self.streams.lock();
+            let stream = streams.get_mut(name).ok_or_else(|| {
+                PlatformError::Other(format!(
+                    "dashboard '{name}' has no active stream (POST /dashboards/{name}/stream/start first)"
+                ))
+            })?;
+            let tick = stream
+                .push_batch(source, batch)
+                .map_err(PlatformError::Execute)?;
+            (tick, stream.pipeline().endpoints.clone())
+        };
+
+        // Copy-on-write endpoint swap, then the generation bump that
+        // invalidates generation-stamped cache entries.
+        let mut updated: Vec<(String, usize)> = Vec::new();
+        {
+            let mut dashboards = self.dashboards.write();
+            if let Some(d) = dashboards.get_mut(name) {
+                for (obj, table) in &tick.updated {
+                    if !endpoints.contains(obj) {
+                        continue;
+                    }
+                    updated.push((obj.clone(), table.num_rows()));
+                    d.endpoint_tables.insert(obj.clone(), table.clone());
+                }
+            }
+        }
+        self.bump_data_generation(name);
+        self.api
+            .record_stream_tick(tick.rows_in as u64, tick.evicted_rows as u64);
+        Ok(StreamPushReport {
+            dashboard: name.to_string(),
+            source: source.to_string(),
+            rows_in: tick.rows_in,
+            evicted_rows: tick.evicted_rows,
+            generation: self.data_generation(name),
+            updated,
+        })
+    }
+
     /// Upload a stylesheet for a dashboard (§4.2 Styling / §4.3.2: the SFTP
     /// interface has "appropriately named folders for task, widgets etc" —
     /// stylesheets land beside the data).
@@ -618,6 +732,34 @@ impl Platform {
         });
         Ok(runtime?)
     }
+}
+
+/// What a freshly started stream accepts and produces.
+#[derive(Debug, Clone)]
+pub struct StreamStartInfo {
+    /// Dashboard the stream is attached to.
+    pub dashboard: String,
+    /// Source data objects accepting pushed micro-batches.
+    pub sources: Vec<String>,
+    /// Endpoint objects whose snapshots advance per tick.
+    pub endpoints: Vec<String>,
+}
+
+/// Outcome of one pushed micro-batch.
+#[derive(Debug, Clone)]
+pub struct StreamPushReport {
+    /// Dashboard the batch went to.
+    pub dashboard: String,
+    /// Source the batch was pushed into.
+    pub source: String,
+    /// Rows ingested.
+    pub rows_in: usize,
+    /// Rows evicted from bounded stream state.
+    pub evicted_rows: usize,
+    /// The dashboard's endpoint-data generation after the tick.
+    pub generation: u64,
+    /// Updated endpoints with their new row counts.
+    pub updated: Vec<(String, usize)>,
 }
 
 #[cfg(test)]
@@ -889,6 +1031,51 @@ T:
         assert_eq!(g.rows_in, 8);
         assert_eq!(g.rows_out, 6);
         assert_eq!(g.latency.count, 2);
+    }
+
+    #[test]
+    fn stream_push_advances_endpoints_and_generation() {
+        let platform = seeded();
+        platform.save_flow("ipl_processing", PROCESSING).unwrap();
+        platform.run_dashboard("ipl_processing").unwrap();
+        let gen0 = platform.data_generation("ipl_processing");
+
+        // Pushing without a stream is rejected.
+        let err = platform
+            .stream_push("ipl_processing", "tweets", "d9,dhoni\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("no active stream"), "{err}");
+
+        let info = platform.stream_start("ipl_processing").unwrap();
+        assert_eq!(info.sources, vec!["tweets"]);
+        assert_eq!(info.endpoints, vec!["players_tweets"]);
+        assert!(platform.stream_active("ipl_processing"));
+
+        // Declared columns [date, player] → headerless CSV bodies.
+        let push = platform
+            .stream_push("ipl_processing", "tweets", "d9,dhoni\nd9,dhoni\nd9,kohli\n")
+            .unwrap();
+        assert_eq!(push.rows_in, 3);
+        assert_eq!(push.generation, gen0 + 1);
+        assert_eq!(push.updated, vec![("players_tweets".to_string(), 2)]);
+
+        let push2 = platform
+            .stream_push("ipl_processing", "tweets", "d9,dhoni\n")
+            .unwrap();
+        assert_eq!(push2.generation, gen0 + 2);
+        // COW snapshot swap: the endpoint table advanced in place.
+        let dash = platform.dashboard("ipl_processing").unwrap();
+        let t = dash.endpoint_tables.get("players_tweets").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(0, "count").unwrap().as_int(), Some(3));
+
+        // Telemetry accumulated per tick.
+        let s = platform.api_metrics().stream();
+        assert_eq!(s.ticks, 2);
+        assert_eq!(s.rows_in, 4);
+
+        assert!(platform.stream_stop("ipl_processing"));
+        assert!(!platform.stream_active("ipl_processing"));
     }
 
     #[test]

@@ -333,6 +333,34 @@ pub struct ReactorStats {
     pub dispatched: u64,
 }
 
+/// Continuous-execution (live flow) statistics: micro-batch ticks pushed
+/// into streaming contexts, generation-delta frames fanned out to SSE
+/// subscribers, and the backpressure outcomes — rows evicted from bounded
+/// operator state and subscribers dropped for not draining their frame
+/// queue. All zeros until a dashboard starts streaming.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Micro-batches pushed into streaming contexts.
+    pub ticks: u64,
+    /// Source rows ingested across all ticks.
+    pub rows_in: u64,
+    /// Rows evicted from bounded operator state (join build sides,
+    /// append-only endpoint accumulations) to hold the memory cap.
+    pub evicted_rows: u64,
+    /// Generation-delta frames delivered to subscriber queues.
+    pub frames_sent: u64,
+    /// Total bytes of delivered frames (wire bytes, chunked framing
+    /// included).
+    pub frame_bytes: u64,
+    /// Live SSE subscribers (gauge).
+    pub subscribers: u64,
+    /// High-water mark of `subscribers` over the process lifetime.
+    pub peak_subscribers: u64,
+    /// Subscribers dropped because their bounded frame queue overflowed
+    /// (slow-reader backpressure).
+    pub dropped_subscribers: u64,
+}
+
 /// Thread-safe per-route metrics registry for the serving path.
 #[derive(Debug, Clone, Default)]
 pub struct ApiMetrics {
@@ -341,6 +369,7 @@ pub struct ApiMetrics {
     operators: Arc<RwLock<BTreeMap<String, OperatorStats>>>,
     index: Arc<RwLock<IndexStats>>,
     reactor: Arc<RwLock<ReactorStats>>,
+    stream: Arc<RwLock<StreamStats>>,
 }
 
 impl ApiMetrics {
@@ -480,6 +509,45 @@ impl ApiMetrics {
     /// Snapshot of the reactor event-loop counters.
     pub fn reactor(&self) -> ReactorStats {
         self.reactor.read().clone()
+    }
+
+    /// Record one streaming micro-batch tick: source rows ingested and
+    /// rows evicted from bounded operator state to absorb it.
+    pub fn record_stream_tick(&self, rows_in: u64, evicted_rows: u64) {
+        let mut s = self.stream.write();
+        s.ticks += 1;
+        s.rows_in += rows_in;
+        s.evicted_rows += evicted_rows;
+    }
+
+    /// Record generation-delta frames delivered to subscriber queues.
+    pub fn record_stream_frames(&self, frames: u64, bytes: u64) {
+        let mut s = self.stream.write();
+        s.frames_sent += frames;
+        s.frame_bytes += bytes;
+    }
+
+    /// Record a new SSE subscriber.
+    pub fn record_stream_subscribe(&self) {
+        let mut s = self.stream.write();
+        s.subscribers += 1;
+        s.peak_subscribers = s.peak_subscribers.max(s.subscribers);
+    }
+
+    /// Record a subscriber going away (disconnect or drop).
+    pub fn record_stream_unsubscribe(&self) {
+        let mut s = self.stream.write();
+        s.subscribers = s.subscribers.saturating_sub(1);
+    }
+
+    /// Record a subscriber dropped for slow-reader backpressure.
+    pub fn record_stream_dropped(&self) {
+        self.stream.write().dropped_subscribers += 1;
+    }
+
+    /// Snapshot of the continuous-execution counters.
+    pub fn stream(&self) -> StreamStats {
+        self.stream.read().clone()
     }
 
     /// Snapshot of every route's stats.
@@ -653,6 +721,35 @@ mod tests {
         m.record_reactor_deregister();
         m.record_reactor_deregister();
         assert_eq!(m.reactor().registered, 0);
+    }
+
+    #[test]
+    fn stream_metrics_accumulate() {
+        let m = ApiMetrics::new();
+        assert_eq!(m.stream(), StreamStats::default());
+        m.record_stream_subscribe();
+        m.record_stream_subscribe();
+        m.record_stream_subscribe();
+        m.record_stream_unsubscribe();
+        m.record_stream_tick(100, 0);
+        m.record_stream_tick(50, 25);
+        m.record_stream_frames(2, 4096);
+        m.record_stream_frames(1, 1024);
+        m.record_stream_dropped();
+        let s = m.stream();
+        assert_eq!(s.subscribers, 2);
+        assert_eq!(s.peak_subscribers, 3);
+        assert_eq!(s.ticks, 2);
+        assert_eq!(s.rows_in, 150);
+        assert_eq!(s.evicted_rows, 25);
+        assert_eq!(s.frames_sent, 3);
+        assert_eq!(s.frame_bytes, 5120);
+        assert_eq!(s.dropped_subscribers, 1);
+        // Unsubscribe never underflows.
+        m.record_stream_unsubscribe();
+        m.record_stream_unsubscribe();
+        m.record_stream_unsubscribe();
+        assert_eq!(m.stream().subscribers, 0);
     }
 
     #[test]

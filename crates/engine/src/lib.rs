@@ -31,6 +31,7 @@ pub mod ext;
 pub mod graph;
 pub mod optimizer;
 pub mod selection;
+pub mod stream;
 pub mod task;
 
 pub use compile::{compile, CompileEnv, CompiledFlow, CompiledPipeline, CompiledTask};
@@ -40,4 +41,5 @@ pub use ext::TaskRegistry;
 pub use graph::FlowGraph;
 pub use optimizer::OptimizerConfig;
 pub use selection::{Selection, SelectionProvider, StaticSelections};
+pub use stream::{StreamExec, StreamTick};
 pub use task::TaskKind;

@@ -1,0 +1,618 @@
+//! Continuous (streaming) execution: the third execution context beside
+//! batch runs and ad-hoc queries.
+//!
+//! A [`StreamExec`] wraps a [`CompiledPipeline`] and accepts micro-batches
+//! pushed into its sources ([`StreamExec::push_batch`]). Each push is one
+//! *tick*: the batch propagates through the DAG and every affected
+//! produced object advances to a fresh snapshot. Operators fall into three
+//! strategies, chosen per flow at stream start:
+//!
+//! * **passthrough** — every task in the chain is row-local (filters,
+//!   maps, projections): the delta flows straight through the batch
+//!   kernels and the output *appends*, bounded by the state cap;
+//! * **incremental group-by** — `stateless* | groupby | stateless*`
+//!   chains keep one merge-able [`Accumulator`] per (group, aggregate),
+//!   exactly the partials the partitioned batch engine folds, and emit a
+//!   full snapshot per tick by finishing *clones* of the accumulators;
+//! * **re-exec** — joins, sorts, unions and custom tasks keep bounded
+//!   input buffers (the join's build side) with FIFO eviction and re-run
+//!   the chain's batch kernels over them per tick.
+//!
+//! Snapshots *replace*; appends *accumulate*. Either way the caller swaps
+//! the resulting endpoint tables copy-on-write and bumps the dashboard's
+//! data generation, so batch readers and generation-stamped caches keep
+//! working unchanged.
+
+use crate::compile::{CompiledFlow, CompiledPipeline};
+use crate::error::{EngineError, Result};
+use crate::task::{NamedTask, TaskKind, TaskRuntime};
+use shareinsights_tabular::agg::{Accumulator, AggKind};
+use shareinsights_tabular::ops::{union_all, GroupBy};
+use shareinsights_tabular::{Column, DataType, Field, Row, Schema, Table};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Default cap on rows retained per bounded stream state (source buffers,
+/// appended endpoints, join build sides).
+pub const DEFAULT_STATE_CAP_ROWS: usize = 100_000;
+
+/// Per-flow execution strategy, fixed at stream start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Strategy {
+    /// Row-local chain: deltas pass through, output appends (bounded).
+    Passthrough,
+    /// `stateless* | groupby | stateless*`: incremental accumulators.
+    Incremental {
+        /// Index of the group-by task within the flow's chain.
+        groupby_at: usize,
+    },
+    /// Bounded input buffers re-executed through the batch kernels.
+    Reexec,
+}
+
+/// Incremental group-by state for one flow: group index in first-seen
+/// order plus one accumulator per (group, aggregate).
+#[derive(Default)]
+struct GroupState {
+    groups: HashMap<Row, usize>,
+    key_rows: Vec<Row>,
+    accs: Vec<Vec<Accumulator>>,
+    /// Schema of the group-by input, captured from the first batch.
+    input_schema: Option<Schema>,
+}
+
+/// Outcome of one micro-batch push.
+#[derive(Debug, Clone)]
+pub struct StreamTick {
+    /// Source the batch was pushed into.
+    pub source: String,
+    /// Rows in the pushed batch.
+    pub rows_in: usize,
+    /// Rows evicted from bounded state to absorb the batch.
+    pub evicted_rows: usize,
+    /// Produced objects that advanced this tick, with their new snapshots.
+    pub updated: BTreeMap<String, Table>,
+}
+
+/// A live streaming context over one compiled pipeline.
+pub struct StreamExec {
+    pipeline: CompiledPipeline,
+    /// Rows retained per bounded object before FIFO eviction.
+    pub state_cap_rows: usize,
+    strategies: BTreeMap<String, Strategy>,
+    current: BTreeMap<String, Table>,
+    group_states: BTreeMap<String, GroupState>,
+}
+
+fn exec_err(task: &str, e: impl std::fmt::Display) -> EngineError {
+    EngineError::Execution {
+        task: task.to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// True for tasks that transform rows independently (safe to run on a
+/// delta without any cross-batch state).
+fn is_stateless(kind: &TaskKind) -> bool {
+    kind.is_row_local() || matches!(kind, TaskKind::Project(_))
+}
+
+impl StreamExec {
+    /// Build a streaming context; flow strategies are classified up front
+    /// from the DAG shape. State starts empty: the first pushes seed it.
+    pub fn new(pipeline: CompiledPipeline) -> StreamExec {
+        let mut strategies = BTreeMap::new();
+        // Objects whose updates arrive as appendable deltas (sources, and
+        // outputs of passthrough flows).
+        let mut delta_kind: BTreeSet<String> = pipeline
+            .graph
+            .sources()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for flow in &pipeline.flows {
+            let inputs_are_deltas = flow.inputs.iter().all(|i| delta_kind.contains(i));
+            let strategy = if flow.inputs.len() == 1 && inputs_are_deltas {
+                if flow.tasks.iter().all(|t| is_stateless(&t.kind)) {
+                    Strategy::Passthrough
+                } else {
+                    classify_incremental(&flow.tasks).unwrap_or(Strategy::Reexec)
+                }
+            } else {
+                Strategy::Reexec
+            };
+            if strategy == Strategy::Passthrough {
+                delta_kind.insert(flow.output.clone());
+            }
+            strategies.insert(flow.output.clone(), strategy);
+        }
+        StreamExec {
+            pipeline,
+            state_cap_rows: DEFAULT_STATE_CAP_ROWS,
+            strategies,
+            current: BTreeMap::new(),
+            group_states: BTreeMap::new(),
+        }
+    }
+
+    /// The wrapped pipeline (sources, endpoints, schemas).
+    pub fn pipeline(&self) -> &CompiledPipeline {
+        &self.pipeline
+    }
+
+    /// Current snapshot of a data object, when it has materialised.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.current.get(name)
+    }
+
+    /// Push one micro-batch into a source and propagate it through every
+    /// affected flow. Returns the tick outcome with fresh snapshots for
+    /// each updated produced object.
+    pub fn push_batch(&mut self, source: &str, batch: Table) -> Result<StreamTick> {
+        let Self {
+            pipeline,
+            state_cap_rows,
+            strategies,
+            current,
+            group_states,
+        } = self;
+        let cap = *state_cap_rows;
+        if pipeline.graph.is_produced(source) || !pipeline.graph.nodes().any(|n| n == source) {
+            return Err(EngineError::UnresolvedData {
+                object: source.to_string(),
+                context: "stream push target must be a source data object".into(),
+            });
+        }
+
+        let rows_in = batch.num_rows();
+        let mut evicted_rows = 0usize;
+        let mut deltas: BTreeMap<String, Table> = BTreeMap::new();
+        let mut touched: BTreeSet<String> = BTreeSet::new();
+        let mut updated: BTreeMap<String, Table> = BTreeMap::new();
+
+        // Buffer the source (bounded) for re-exec consumers, and record
+        // the delta for passthrough/incremental consumers.
+        let (buffered, ev) = append_bounded(current.get(source), &batch, cap)?;
+        evicted_rows += ev;
+        current.insert(source.to_string(), buffered);
+        deltas.insert(source.to_string(), batch);
+        touched.insert(source.to_string());
+
+        // `pipeline.flows` is already topologically ordered.
+        for flow in &pipeline.flows {
+            if !flow.inputs.iter().any(|i| touched.contains(i)) {
+                continue;
+            }
+            let strategy = strategies
+                .get(&flow.output)
+                .copied()
+                .unwrap_or(Strategy::Reexec);
+            match strategy {
+                Strategy::Passthrough => {
+                    let input = &flow.inputs[0];
+                    let Some(delta) = deltas.get(input) else {
+                        continue;
+                    };
+                    let out = run_chain(
+                        flow,
+                        &flow.tasks,
+                        vec![(Some(input.clone()), delta.clone())],
+                        current,
+                    )?;
+                    let (acc, ev) = append_bounded(current.get(&flow.output), &out, cap)?;
+                    evicted_rows += ev;
+                    current.insert(flow.output.clone(), acc.clone());
+                    deltas.insert(flow.output.clone(), out);
+                    touched.insert(flow.output.clone());
+                    updated.insert(flow.output.clone(), acc);
+                }
+                Strategy::Incremental { groupby_at } => {
+                    let input = &flow.inputs[0];
+                    let Some(delta) = deltas.get(input) else {
+                        continue;
+                    };
+                    let pre = run_chain(
+                        flow,
+                        &flow.tasks[..groupby_at],
+                        vec![(Some(input.clone()), delta.clone())],
+                        current,
+                    )?;
+                    let gtask = &flow.tasks[groupby_at];
+                    let TaskKind::GroupBy { builtin, .. } = &gtask.kind else {
+                        return Err(exec_err(&gtask.name, "expected groupby task"));
+                    };
+                    let st = group_states.entry(flow.output.clone()).or_default();
+                    groupby_update(&gtask.name, builtin, st, &pre)?;
+                    let snap = groupby_snapshot(&gtask.name, builtin, st)?;
+                    let out = run_chain(
+                        flow,
+                        &flow.tasks[groupby_at + 1..],
+                        vec![(None, snap)],
+                        current,
+                    )?;
+                    current.insert(flow.output.clone(), out.clone());
+                    touched.insert(flow.output.clone());
+                    updated.insert(flow.output.clone(), out);
+                }
+                Strategy::Reexec => {
+                    let mut inputs = Vec::with_capacity(flow.inputs.len());
+                    let mut complete = true;
+                    for i in &flow.inputs {
+                        let t = current
+                            .get(i)
+                            .cloned()
+                            .or_else(|| pipeline.schemas.get(i).map(|s| Table::empty(s.clone())));
+                        match t {
+                            Some(t) => inputs.push((Some(i.clone()), t)),
+                            None => {
+                                complete = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !complete {
+                        // An input has neither data nor a known schema yet;
+                        // the flow catches up once that side is pushed.
+                        continue;
+                    }
+                    let out = run_chain(flow, &flow.tasks, inputs, current)?;
+                    current.insert(flow.output.clone(), out.clone());
+                    touched.insert(flow.output.clone());
+                    updated.insert(flow.output.clone(), out);
+                }
+            }
+        }
+
+        Ok(StreamTick {
+            source: source.to_string(),
+            rows_in,
+            evicted_rows,
+            updated,
+        })
+    }
+}
+
+/// `stateless* | groupby(builtin only) | stateless*` chains qualify for
+/// incremental accumulation; anything else falls back to re-exec.
+fn classify_incremental(tasks: &[NamedTask]) -> Option<Strategy> {
+    let mut groupby_at = None;
+    for (i, t) in tasks.iter().enumerate() {
+        match &t.kind {
+            TaskKind::GroupBy { custom, .. } if custom.is_empty() => {
+                if groupby_at.is_some() {
+                    return None;
+                }
+                groupby_at = Some(i);
+            }
+            kind if is_stateless(kind) => {}
+            _ => return None,
+        }
+    }
+    groupby_at.map(|groupby_at| Strategy::Incremental { groupby_at })
+}
+
+/// Append a delta to an accumulated table, evicting the oldest rows past
+/// the cap (the bounded build side / bounded endpoint accumulation).
+fn append_bounded(existing: Option<&Table>, delta: &Table, cap: usize) -> Result<(Table, usize)> {
+    let merged = match existing {
+        Some(t) if t.num_rows() > 0 => union_all(&[t.clone(), delta.clone()])
+            .map_err(|e| EngineError::Internal(format!("stream append: {e}")))?,
+        _ => delta.clone(),
+    };
+    let n = merged.num_rows();
+    if n > cap {
+        Ok((merged.slice(n - cap, cap), n - cap))
+    } else {
+        Ok((merged, 0))
+    }
+}
+
+/// Run a task chain over a set of named inputs, mirroring the batch
+/// executor's fan-in handling (joins bind left by input name, unions
+/// drain everything).
+fn run_chain(
+    flow: &CompiledFlow,
+    tasks: &[NamedTask],
+    mut current: Vec<(Option<String>, Table)>,
+    tables: &BTreeMap<String, Table>,
+) -> Result<Table> {
+    let lookup = |name: &str| -> Option<Table> { tables.get(name).cloned() };
+    let rt = TaskRuntime {
+        selections: None,
+        lookup_table: &lookup,
+    };
+    for task in tasks {
+        match &task.kind {
+            TaskKind::Join(j) => {
+                if current.len() != 2 {
+                    return Err(exec_err(
+                        &task.name,
+                        format!("join needs 2 inputs, found {}", current.len()),
+                    ));
+                }
+                let left_idx = current
+                    .iter()
+                    .position(|(n, _)| n.as_deref() == Some(j.left_name.as_str()))
+                    .unwrap_or(0);
+                let right_idx = 1 - left_idx;
+                let inputs = [current[left_idx].1.clone(), current[right_idx].1.clone()];
+                let out = task.kind.execute(&task.name, &inputs, &rt)?;
+                current = vec![(None, out)];
+            }
+            TaskKind::Union => {
+                let inputs: Vec<Table> = current.drain(..).map(|(_, t)| t).collect();
+                let out = union_all(&inputs).map_err(|e| exec_err(&task.name, e))?;
+                current = vec![(None, out)];
+            }
+            _ => {
+                if current.len() != 1 {
+                    return Err(exec_err(
+                        &task.name,
+                        format!("task consumes one input but found {}", current.len()),
+                    ));
+                }
+                let (_, input) = current.remove(0);
+                let out = task
+                    .kind
+                    .execute(&task.name, std::slice::from_ref(&input), &rt)?;
+                current = vec![(None, out)];
+            }
+        }
+    }
+    if current.len() != 1 {
+        return Err(EngineError::Execution {
+            task: format!("flow D.{}", flow.output),
+            message: format!("flow ended with {} unmerged tables", current.len()),
+        });
+    }
+    Ok(current.remove(0).1)
+}
+
+/// Fold one batch into the incremental group-by state.
+fn groupby_update(task: &str, cfg: &GroupBy, st: &mut GroupState, batch: &Table) -> Result<()> {
+    let GroupState {
+        groups,
+        key_rows,
+        accs,
+        input_schema,
+    } = st;
+    if input_schema.is_none() {
+        *input_schema = Some(batch.schema().clone());
+    }
+    let aggs = cfg.effective_aggregates();
+    let key_cols: Vec<_> = cfg
+        .keys
+        .iter()
+        .map(|k| batch.column(k).cloned())
+        .collect::<shareinsights_tabular::Result<Vec<_>>>()
+        .map_err(|e| exec_err(task, e))?;
+    let agg_cols: Vec<Option<_>> = aggs
+        .iter()
+        .map(|a| {
+            if a.operator == AggKind::CountAll {
+                Ok(None)
+            } else {
+                batch.column(&a.apply_on).cloned().map(Some)
+            }
+        })
+        .collect::<shareinsights_tabular::Result<Vec<_>>>()
+        .map_err(|e| exec_err(task, e))?;
+    for i in 0..batch.num_rows() {
+        let key = Row(key_cols.iter().map(|c| c.value(i)).collect());
+        let gid = *groups.entry(key.clone()).or_insert_with(|| {
+            key_rows.push(key.clone());
+            accs.push(aggs.iter().map(|a| a.operator.accumulator()).collect());
+            key_rows.len() - 1
+        });
+        for (ai, col) in agg_cols.iter().enumerate() {
+            let v = match col {
+                Some(c) => c.value(i),
+                None => shareinsights_tabular::Value::Null,
+            };
+            accs[gid][ai].update(&v).map_err(|e| exec_err(task, e))?;
+        }
+    }
+    Ok(())
+}
+
+/// Emit a full snapshot by finishing *clones* of the accumulators, leaving
+/// the running state intact for the next tick.
+fn groupby_snapshot(task: &str, cfg: &GroupBy, st: &GroupState) -> Result<Table> {
+    let Some(schema_in) = st.input_schema.as_ref() else {
+        return Err(exec_err(task, "group-by snapshot before any batch"));
+    };
+    let aggs = cfg.effective_aggregates();
+    let n_groups = st.key_rows.len();
+    let finished: Vec<Vec<shareinsights_tabular::Value>> = st
+        .accs
+        .iter()
+        .map(|group| group.iter().map(|a| a.clone().finish()).collect())
+        .collect();
+
+    let mut order: Vec<usize> = (0..n_groups).collect();
+    if cfg.orderby_aggregates && !finished.is_empty() {
+        order.sort_by(|&a, &b| finished[b][0].cmp(&finished[a][0]));
+    }
+
+    let mut out_values: Vec<Vec<shareinsights_tabular::Value>> =
+        vec![Vec::with_capacity(n_groups); cfg.keys.len() + aggs.len()];
+    for &g in &order {
+        for (ci, v) in st.key_rows[g].0.iter().enumerate() {
+            out_values[ci].push(v.clone());
+        }
+        for (ai, v) in finished[g].iter().enumerate() {
+            out_values[cfg.keys.len() + ai].push(v.clone());
+        }
+    }
+
+    let schema = cfg
+        .output_schema(schema_in)
+        .map_err(|e| exec_err(task, e))?;
+    let columns: Vec<Column> = out_values
+        .iter()
+        .zip(schema.fields())
+        .map(|(vals, f)| {
+            let col = Column::from_values(vals);
+            col.cast(f.data_type()).unwrap_or(col)
+        })
+        .collect();
+    let fields: Vec<Field> = schema
+        .fields()
+        .iter()
+        .zip(&columns)
+        .map(|(f, c)| {
+            if c.data_type() == DataType::Null {
+                f.clone()
+            } else {
+                f.retyped(c.data_type())
+            }
+        })
+        .collect();
+    Table::new(Schema::new(fields).map_err(|e| exec_err(task, e))?, columns)
+        .map_err(|e| exec_err(task, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileEnv};
+    use crate::exec::{ExecContext, Executor};
+    use crate::ext::TaskRegistry;
+    use shareinsights_connectors::Catalog;
+    use shareinsights_flowfile::parse_flow_file;
+    use shareinsights_tabular::{row, Value};
+
+    fn pipeline_of(src: &str) -> CompiledPipeline {
+        let ff = parse_flow_file("t", src).unwrap();
+        let reg = TaskRegistry::new();
+        compile(&ff, &CompileEnv::bare(&reg)).unwrap()
+    }
+
+    fn sales(rows: &[(&str, i64)]) -> Table {
+        let rows: Vec<shareinsights_tabular::Row> =
+            rows.iter().map(|(b, r)| row![b.to_string(), *r]).collect();
+        Table::from_rows(&["brand", "revenue"], &rows).unwrap()
+    }
+
+    const GROUP_FLOW: &str = r#"
+D:
+  sales: [brand, revenue]
+T:
+  by_brand:
+    type: groupby
+    groupby: [brand]
+    aggregates:
+    - operator: sum
+      apply_on: revenue
+      out_field: total
+F:
+  +D.brand_sales: D.sales | T.by_brand
+"#;
+
+    #[test]
+    fn incremental_groupby_matches_batch_reexecution() {
+        let mut stream = StreamExec::new(pipeline_of(GROUP_FLOW));
+        assert_eq!(
+            stream.strategies.get("brand_sales"),
+            Some(&Strategy::Incremental { groupby_at: 1 }),
+            "optimizer projection + groupby classifies incrementally: {:?}",
+            stream.strategies
+        );
+        let t1 = stream
+            .push_batch("sales", sales(&[("acme", 10), ("zeta", 5)]))
+            .unwrap();
+        assert_eq!(t1.rows_in, 2);
+        let t2 = stream
+            .push_batch("sales", sales(&[("acme", 7), ("nova", 1)]))
+            .unwrap();
+        let snap = t2.updated.get("brand_sales").unwrap();
+
+        // The same rows through the batch executor agree exactly.
+        let pipeline = pipeline_of(GROUP_FLOW);
+        let ctx = ExecContext::new(Catalog::new()).with_table(
+            "sales",
+            sales(&[("acme", 10), ("zeta", 5), ("acme", 7), ("nova", 1)]),
+        );
+        let batch = Executor::sequential().execute(&pipeline, &ctx).unwrap();
+        assert_eq!(snap, batch.table("brand_sales").unwrap());
+        assert_eq!(snap.value(0, "total").unwrap(), Value::Int(17));
+    }
+
+    #[test]
+    fn passthrough_appends_and_evicts_at_cap() {
+        const FLOW: &str = r#"
+D:
+  events: [kind, n]
+T:
+  keep:
+    type: filter_by
+    filter_expression: n > 0
+F:
+  +D.live_events: D.events | T.keep
+"#;
+        let mut stream = StreamExec::new(pipeline_of(FLOW));
+        assert_eq!(
+            stream.strategies.get("live_events"),
+            Some(&Strategy::Passthrough)
+        );
+        stream.state_cap_rows = 3;
+        let mk = |vals: &[i64]| {
+            let rows: Vec<shareinsights_tabular::Row> =
+                vals.iter().map(|v| row!["e".to_string(), *v]).collect();
+            Table::from_rows(&["kind", "n"], &rows).unwrap()
+        };
+        let t1 = stream.push_batch("events", mk(&[1, -1, 2])).unwrap();
+        assert_eq!(t1.updated["live_events"].num_rows(), 2);
+        assert_eq!(t1.evicted_rows, 0);
+        let t2 = stream.push_batch("events", mk(&[3, 4])).unwrap();
+        let out = &t2.updated["live_events"];
+        assert_eq!(out.num_rows(), 3, "bounded at the cap");
+        // Oldest row (n=1) evicted; source buffer (5 rows > 3) evicted too.
+        assert_eq!(out.value(0, "n").unwrap(), Value::Int(2));
+        assert!(t2.evicted_rows >= 2, "{}", t2.evicted_rows);
+    }
+
+    #[test]
+    fn join_reexecutes_with_bounded_build_side() {
+        const FLOW: &str = r#"
+D:
+  orders: [sku, qty]
+  products: [sku, label]
+T:
+  enrich:
+    type: join
+    left: orders by sku
+    right: products by sku
+    join_condition: inner
+F:
+  +D.labeled: (D.orders, D.products) | T.enrich
+"#;
+        let mut stream = StreamExec::new(pipeline_of(FLOW));
+        assert_eq!(stream.strategies.get("labeled"), Some(&Strategy::Reexec));
+        stream.state_cap_rows = 2;
+        let orders = |rows: &[(&str, i64)]| {
+            let rows: Vec<shareinsights_tabular::Row> =
+                rows.iter().map(|(s, q)| row![s.to_string(), *q]).collect();
+            Table::from_rows(&["sku", "qty"], &rows).unwrap()
+        };
+        let products =
+            Table::from_rows(&["sku", "label"], &[row!["a", "Alpha"], row!["b", "Beta"]]).unwrap();
+        // Push the probe side first: the build side resolves to an empty
+        // table from its declared schema, so the join emits nothing yet.
+        let t0 = stream.push_batch("orders", orders(&[("a", 1)])).unwrap();
+        assert_eq!(t0.updated["labeled"].num_rows(), 0);
+        stream.push_batch("products", products).unwrap();
+        let t1 = stream.push_batch("orders", orders(&[("b", 2)])).unwrap();
+        assert_eq!(t1.updated["labeled"].num_rows(), 2);
+        // A third order evicts the oldest buffered order (cap 2).
+        let t2 = stream.push_batch("orders", orders(&[("a", 9)])).unwrap();
+        assert_eq!(t2.evicted_rows, 1);
+        assert_eq!(t2.updated["labeled"].num_rows(), 2);
+    }
+
+    #[test]
+    fn push_to_unknown_or_produced_object_rejected() {
+        let mut stream = StreamExec::new(pipeline_of(GROUP_FLOW));
+        assert!(stream.push_batch("ghost", sales(&[])).is_err());
+        assert!(stream.push_batch("brand_sales", sales(&[])).is_err());
+    }
+}

@@ -15,12 +15,15 @@
 //! | `GET /<dashboard>/ds` | figure 27: endpoint data listing |
 //! | `GET /<dashboard>/ds/<dataset>` | figure 28: browse endpoint data (`?limit=&offset=`) |
 //! | `GET /<dashboard>/ds/<dataset>/groupby/<col>/<agg>/<col>` | figure 30: ad-hoc query |
+//! | `POST /dashboards/<name>/stream/start` | start a continuous execution context |
+//! | `POST /dashboards/<name>/stream/push/<source>` | push one CSV micro-batch |
+//! | `GET /<dashboard>/ds/<dataset>/subscribe` | SSE stream of generation deltas |
 //! | `GET /stats` | per-route counters/latency + query-cache + operator stats |
 //! | `GET /metrics` | Prometheus text exposition of the same registry |
 //! | `GET /trace/recent` | recent span trees (`?limit=`) |
 //! | `GET /trace/<id>` | one trace by hex id (`X-Trace-Id` to set it) |
 //!
-//! [`serve`] puts the router behind a real `TcpListener` with a bounded
+//! [`serve()`] puts the router behind a real `TcpListener` with a bounded
 //! worker pool (see [`serve::ServeOptions`]). Connections are persistent
 //! (HTTP/1.1 keep-alive, bounded per-connection request counts and idle
 //! windows); [`ClientConnection`] is the matching persistent client. Query
@@ -38,6 +41,7 @@ pub mod query;
 pub mod reactor;
 pub mod router;
 pub mod serve;
+pub mod stream;
 pub mod traces;
 pub mod wire;
 
@@ -48,7 +52,9 @@ pub use http::{Method, Request, Response, Status};
 pub use json::table_to_json;
 pub use router::{Handled, Server};
 pub use serve::{
-    blocking_get, blocking_request, serve, ClientConnection, ServeMode, ServeOptions, ServiceHandle,
+    blocking_get, blocking_request, serve, ClientConnection, ServeMode, ServeOptions,
+    ServiceHandle, SseSubscriber,
 };
+pub use stream::{StreamHub, Subscription, SubscriptionEnd};
 pub use traces::{trace_json, trace_list_json};
-pub use wire::{dechunk, ResponseStream, WireLimits};
+pub use wire::{dechunk, sse_frame, sse_head, ResponseStream, SseEvent, SseParser, WireLimits};

@@ -11,7 +11,7 @@ use crate::cache::CacheStats;
 use crate::http::Method;
 use shareinsights_core::telemetry::{
     ConnectionStats, IndexStats, LatencyHistogram, OperatorStats, ReactorStats, RouteStats,
-    CONN_REQUESTS_BOUNDS, LATENCY_BOUNDS_US,
+    StreamStats, CONN_REQUESTS_BOUNDS, LATENCY_BOUNDS_US,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -43,8 +43,16 @@ pub fn route_label(method: Method, segments: &[&str]) -> &'static str {
         (Method::Get, ["dashboards", _, "meta"]) => "GET /dashboards/:name/meta",
         (Method::Get, ["dashboards", _, "suggest", _]) => "GET /dashboards/:name/suggest/:object",
         (Method::Get, ["dashboards", _, "log"]) => "GET /dashboards/:name/log",
+        (Method::Post, ["dashboards", _, "stream", "start"]) => {
+            "POST /dashboards/:name/stream/start"
+        }
+        (Method::Post, ["dashboards", _, "stream", "stop"]) => "POST /dashboards/:name/stream/stop",
+        (Method::Post, ["dashboards", _, "stream", "push", _]) => {
+            "POST /dashboards/:name/stream/push/:source"
+        }
         (Method::Get, [_, "ds"]) => "GET /:dashboard/ds",
         (Method::Get, [_, "ds", _]) => "GET /:dashboard/ds/:dataset",
+        (Method::Get, [_, "ds", _, "subscribe"]) => "GET /:dashboard/ds/:dataset/subscribe",
         (Method::Get, [_, "ds", _, ..]) => "GET /:dashboard/ds/:dataset/query",
         _ => "(unmatched)",
     }
@@ -58,6 +66,9 @@ pub fn allowed_methods(segments: &[&str]) -> &'static [Method] {
         ["dashboards", _, "create"] | ["dashboards", _, "run"] | ["dashboards", _, "fork", _] => {
             &[Method::Post]
         }
+        ["dashboards", _, "stream", "start"]
+        | ["dashboards", _, "stream", "stop"]
+        | ["dashboards", _, "stream", "push", _] => &[Method::Post],
         ["dashboards", _, "flow"] => &[Method::Get, Method::Put],
         ["dashboards", _, "explore"]
         | ["dashboards", _, "meta"]
@@ -70,7 +81,8 @@ pub fn allowed_methods(segments: &[&str]) -> &'static [Method] {
 
 /// Render the `/stats` document: per-route counters + cache counters +
 /// connection-level counters + per-operator engine stats + index
-/// acceleration counters + reactor event-loop counters.
+/// acceleration counters + reactor event-loop counters + live-stream
+/// counters.
 pub fn stats_json(
     routes: &BTreeMap<String, RouteStats>,
     cache: &CacheStats,
@@ -78,6 +90,7 @@ pub fn stats_json(
     operators: &BTreeMap<String, OperatorStats>,
     index: &IndexStats,
     reactor: &ReactorStats,
+    stream: &StreamStats,
 ) -> String {
     let mut out = String::from("{\"routes\": {");
     for (i, (label, s)) in routes.iter().enumerate() {
@@ -145,13 +158,26 @@ pub fn stats_json(
     ));
     out.push_str(&format!(
         ", \"reactor\": {{\"registered\": {}, \"peak_registered\": {}, \"wakeups\": {}, \
-         \"ready_events\": {}, \"epollout_rearms\": {}, \"dispatched\": {}}}}}",
+         \"ready_events\": {}, \"epollout_rearms\": {}, \"dispatched\": {}}}",
         reactor.registered,
         reactor.peak_registered,
         reactor.wakeups,
         reactor.ready_events,
         reactor.epollout_rearms,
         reactor.dispatched
+    ));
+    out.push_str(&format!(
+        ", \"stream\": {{\"ticks\": {}, \"rows_in\": {}, \"evicted_rows\": {}, \
+         \"frames_sent\": {}, \"frame_bytes\": {}, \"subscribers\": {}, \
+         \"peak_subscribers\": {}, \"dropped_subscribers\": {}}}}}",
+        stream.ticks,
+        stream.rows_in,
+        stream.evicted_rows,
+        stream.frames_sent,
+        stream.frame_bytes,
+        stream.subscribers,
+        stream.peak_subscribers,
+        stream.dropped_subscribers
     ));
     out
 }
@@ -212,6 +238,7 @@ pub fn prometheus_text(
     operators: &BTreeMap<String, OperatorStats>,
     index: &IndexStats,
     reactor: &ReactorStats,
+    stream: &StreamStats,
 ) -> String {
     let mut out = String::new();
     if !routes.is_empty() {
@@ -386,6 +413,27 @@ pub fn prometheus_text(
         let _ = writeln!(out, "# TYPE shareinsights_reactor_{name}_total counter");
         let _ = writeln!(out, "shareinsights_reactor_{name}_total {value}");
     }
+
+    // Live-flow streaming: subscriber gauges plus per-tick/per-frame
+    // counters (all zero until a stream starts).
+    for (name, value) in [
+        ("subscribers", stream.subscribers),
+        ("peak_subscribers", stream.peak_subscribers),
+    ] {
+        let _ = writeln!(out, "# TYPE shareinsights_stream_{name} gauge");
+        let _ = writeln!(out, "shareinsights_stream_{name} {value}");
+    }
+    for (name, value) in [
+        ("ticks", stream.ticks),
+        ("rows_in", stream.rows_in),
+        ("evicted_rows", stream.evicted_rows),
+        ("frames_sent", stream.frames_sent),
+        ("frame_bytes", stream.frame_bytes),
+        ("dropped_subscribers", stream.dropped_subscribers),
+    ] {
+        let _ = writeln!(out, "# TYPE shareinsights_stream_{name}_total counter");
+        let _ = writeln!(out, "shareinsights_stream_{name}_total {value}");
+    }
     out
 }
 
@@ -470,6 +518,16 @@ mod tests {
             epollout_rearms: 3,
             dispatched: 100,
         };
+        let stream = StreamStats {
+            ticks: 4,
+            rows_in: 200,
+            evicted_rows: 10,
+            frames_sent: 12,
+            frame_bytes: 4096,
+            subscribers: 2,
+            peak_subscribers: 3,
+            dropped_subscribers: 1,
+        };
         let json = stats_json(
             &routes,
             &CacheStats::default(),
@@ -477,6 +535,7 @@ mod tests {
             &operators,
             &index,
             &reactor,
+            &stream,
         );
         let doc = shareinsights_tabular::io::json::parse_json(&json).unwrap();
         assert_eq!(
@@ -559,6 +618,21 @@ mod tests {
                 .to_value()
                 .as_int(),
             Some(3)
+        );
+        assert_eq!(
+            doc.path("stream.ticks").unwrap().to_value().as_int(),
+            Some(4)
+        );
+        assert_eq!(
+            doc.path("stream.subscribers").unwrap().to_value().as_int(),
+            Some(2)
+        );
+        assert_eq!(
+            doc.path("stream.dropped_subscribers")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(1)
         );
     }
 
@@ -646,7 +720,19 @@ mod tests {
             epollout_rearms: 2,
             dispatched: 20,
         };
-        prometheus_text(&routes, &cache, &conns, &operators, &index, &reactor)
+        let stream = StreamStats {
+            ticks: 6,
+            rows_in: 600,
+            evicted_rows: 50,
+            frames_sent: 18,
+            frame_bytes: 9216,
+            subscribers: 5,
+            peak_subscribers: 7,
+            dropped_subscribers: 2,
+        };
+        prometheus_text(
+            &routes, &cache, &conns, &operators, &index, &reactor, &stream,
+        )
     }
 
     #[test]
@@ -738,6 +824,15 @@ mod tests {
         assert!(text.contains("shareinsights_reactor_ready_events_total 25"));
         assert!(text.contains("shareinsights_reactor_epollout_rearms_total 2"));
         assert!(text.contains("shareinsights_reactor_dispatched_total 20"));
+        // Live-stream series.
+        assert!(text.contains("shareinsights_stream_subscribers 5"));
+        assert!(text.contains("shareinsights_stream_peak_subscribers 7"));
+        assert!(text.contains("shareinsights_stream_ticks_total 6"));
+        assert!(text.contains("shareinsights_stream_rows_in_total 600"));
+        assert!(text.contains("shareinsights_stream_evicted_rows_total 50"));
+        assert!(text.contains("shareinsights_stream_frames_sent_total 18"));
+        assert!(text.contains("shareinsights_stream_frame_bytes_total 9216"));
+        assert!(text.contains("shareinsights_stream_dropped_subscribers_total 2"));
         // Label escaping.
         let mut routes = BTreeMap::new();
         routes.insert("a\"b\\c".to_string(), RouteStats::default());
@@ -748,6 +843,7 @@ mod tests {
             &BTreeMap::new(),
             &IndexStats::default(),
             &ReactorStats::default(),
+            &StreamStats::default(),
         );
         assert!(escaped.contains("route=\"a\\\"b\\\\c\""), "{escaped}");
     }
@@ -765,5 +861,34 @@ mod tests {
         );
         assert_eq!(allowed_methods(&["metrics"]), &[Method::Get]);
         assert_eq!(allowed_methods(&["trace", "recent"]), &[Method::Get]);
+    }
+
+    #[test]
+    fn stream_routes_have_labels_and_methods() {
+        assert_eq!(
+            route_label(Method::Post, &["dashboards", "x", "stream", "start"]),
+            "POST /dashboards/:name/stream/start"
+        );
+        assert_eq!(
+            route_label(Method::Post, &["dashboards", "x", "stream", "push", "src"]),
+            "POST /dashboards/:name/stream/push/:source"
+        );
+        // Subscribe matches before the generic query shape.
+        assert_eq!(
+            route_label(Method::Get, &["retail", "ds", "sales", "subscribe"]),
+            "GET /:dashboard/ds/:dataset/subscribe"
+        );
+        assert_eq!(
+            route_label(Method::Get, &["retail", "ds", "sales", "limit", "3"]),
+            "GET /:dashboard/ds/:dataset/query"
+        );
+        assert_eq!(
+            allowed_methods(&["dashboards", "x", "stream", "start"]),
+            &[Method::Post]
+        );
+        assert_eq!(
+            allowed_methods(&["dashboards", "x", "stream", "push", "src"]),
+            &[Method::Post]
+        );
     }
 }

@@ -12,9 +12,11 @@
 
 use super::epoll::EVENT_READ;
 use crate::http::Response;
+use crate::stream::Subscription;
 use crate::wire::{KeepAliveTerms, ResponseStream};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Per-read-event byte cap: keeps one chatty connection from starving
@@ -30,6 +32,9 @@ pub(crate) enum ConnState {
     Dispatched,
     /// A response is streaming out.
     Writing,
+    /// A long-lived SSE subscription: generation-delta frames flow out
+    /// as they are published; the connection never returns to `Reading`.
+    Streaming,
 }
 
 /// What one readable-event drain produced.
@@ -73,6 +78,10 @@ pub(crate) struct Conn {
     pub(crate) close_after_write: bool,
     /// Epoll interest mask currently registered for this connection.
     pub(crate) interest: u32,
+    /// The hub subscription feeding this connection while `Streaming`.
+    pub(crate) sub: Option<Arc<Subscription>>,
+    /// The terminal chunk is queued; close once the out-buffer drains.
+    pub(crate) ending: bool,
     response: Option<ResponseStream>,
     out: Vec<u8>,
     out_pos: usize,
@@ -89,6 +98,8 @@ impl Conn {
             head_complete: false,
             close_after_write: false,
             interest: EVENT_READ,
+            sub: None,
+            ending: false,
             response: None,
             out: Vec::new(),
             out_pos: 0,
@@ -160,6 +171,58 @@ impl Conn {
                     return WriteProgress::Finished;
                 }
                 self.out_pos = 0;
+            }
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return WriteProgress::Error,
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return WriteProgress::Blocked;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return WriteProgress::Error,
+            }
+        }
+    }
+
+    /// Switch into `Streaming` with `head` (the SSE response head) queued
+    /// as the first bytes out. Any pending batch response is abandoned.
+    pub(crate) fn start_streaming(&mut self, sub: Arc<Subscription>, head: &[u8]) {
+        self.response = None;
+        self.out.clear();
+        self.out_pos = 0;
+        self.out.extend_from_slice(head);
+        self.sub = Some(sub);
+        self.ending = false;
+        self.close_after_write = true;
+        self.state = ConnState::Streaming;
+        self.last_activity = Instant::now();
+    }
+
+    /// Queue raw, pre-framed bytes (one SSE frame or the terminal chunk)
+    /// behind whatever is still unflushed.
+    pub(crate) fn enqueue_stream_bytes(&mut self, bytes: &[u8]) {
+        if self.out_pos > 0 {
+            self.out.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Bytes queued but not yet on the wire.
+    pub(crate) fn out_backlog(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// Flush queued stream bytes. `Finished` here means *drained*, not
+    /// that the connection is done — streaming connections stay open
+    /// until the subscription ends or the peer goes away.
+    pub(crate) fn write_stream(&mut self) -> WriteProgress {
+        loop {
+            if self.out_pos == self.out.len() {
+                return WriteProgress::Finished;
             }
             match self.stream.write(&self.out[self.out_pos..]) {
                 Ok(0) => return WriteProgress::Error,

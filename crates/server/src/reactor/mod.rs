@@ -1,10 +1,10 @@
 //! The event-driven serving core: one epoll loop, many connections.
 //!
-//! [`serve_reactor`] is the [`ServeMode::Reactor`](crate::serve::ServeMode)
-//! implementation behind [`crate::serve`]. Where the thread-per-connection
+//! `serve_reactor` is the [`ServeMode::Reactor`](crate::serve::ServeMode)
+//! implementation behind [`crate::serve()`]. Where the thread-per-connection
 //! mode parks a worker thread on every open socket — so 2 000 idle
 //! keep-alive dashboards wedge a 4-thread pool solid — the reactor
-//! registers every connection with a single [`Epoll`] instance and parks
+//! registers every connection with a single `Epoll` instance and parks
 //! exactly one thread in `epoll_wait`. Idle connections cost one table
 //! entry; the worker pool only ever executes requests that have fully
 //! arrived.
@@ -20,7 +20,7 @@
 //!   list, and write one byte — which pops the reactor out of
 //!   `epoll_wait` to stream responses out.
 //! * **Every other token** is a connection walking the
-//!   `Reading → Dispatched → Writing` machine in [`conn`]. Requests are
+//!   `Reading → Dispatched → Writing` machine in `conn`. Requests are
 //!   parsed incrementally with [`wire::try_parse`]; responses stream
 //!   through [`wire::ResponseStream`] so a body bigger than the chunk
 //!   budget never sits fully framed in memory; a partial write re-arms
@@ -41,6 +41,7 @@ use crate::http::{Request, Response, Status};
 use crate::metrics::{ROUTE_DEADLINE, ROUTE_MALFORMED, ROUTE_REJECTED, ROUTE_TIMEOUT};
 use crate::router::Server;
 use crate::serve::{log_request_events, ServeOptions, ServiceHandle};
+use crate::stream::{StreamHub, Subscription, SubscriptionEnd};
 use crate::wire::{self, KeepAliveTerms, Parsed};
 use shareinsights_core::ApiMetrics;
 use std::collections::HashMap;
@@ -66,6 +67,11 @@ const FIRST_CONN_TOKEN: u64 = 2;
 const WAIT_MS: i32 = 25;
 /// Readiness events drained per `epoll_wait` call.
 const EVENT_BATCH: usize = 1024;
+/// Per-connection unflushed-stream-byte soft cap: while at or above it,
+/// the pump stops pulling frames off the subscription queue, so
+/// backpressure lands in the hub's bounded queue (and its eviction
+/// policy) instead of growing the connection's out-buffer without bound.
+const STREAM_OUT_SOFT_CAP: usize = 256 * 1024;
 
 /// A parsed, ready request on its way to the worker pool.
 struct Job {
@@ -81,6 +87,9 @@ struct Completion {
     token: u64,
     response: Response,
     keep: Option<KeepAliveTerms>,
+    /// A subscribe request: the connection switches into SSE streaming
+    /// instead of writing `response`.
+    stream: Option<Arc<Subscription>>,
 }
 
 /// Bind `addr` and serve `server` through the epoll event loop.
@@ -97,6 +106,15 @@ pub(crate) fn serve_reactor(
     let (wake_tx, wake_rx) = UnixStream::pair()?;
     wake_tx.set_nonblocking(true)?;
     wake_rx.set_nonblocking(true)?;
+
+    // Published stream frames land in subscriber queues off-loop (the
+    // push handler runs on a worker); a waker byte tells the event loop
+    // to pump them out. A full waker buffer already means a wakeup is
+    // pending, so the lost write is harmless.
+    let stream_waker = wake_tx.try_clone()?;
+    server.stream_hub().set_notifier(Box::new(move || {
+        let _ = (&stream_waker).write(&[1]);
+    }));
 
     let (tx, rx) = sync_channel::<Job>(options.queue_depth.max(1));
     let rx = Arc::new(Mutex::new(rx));
@@ -142,23 +160,24 @@ fn worker_loop(
             Err(_) => return, // reactor gone and queue drained
         };
         let waited = job.enqueued.elapsed();
-        let (response, keep) = if waited > opts.deadline {
+        let (response, keep, stream) = if waited > opts.deadline {
             server.platform().api_metrics().record(
                 ROUTE_DEADLINE,
                 false,
                 waited.as_micros() as u64,
             );
             let resp = Response::error(Status::ServiceUnavailable, "deadline exceeded in queue");
-            (resp, None)
+            (resp, None, None)
         } else {
             let handled = server.handle_traced(&job.request);
             log_request_events(opts, &job.request, &handled);
-            (handled.response, job.keep)
+            (handled.response, job.keep, handled.stream)
         };
         completions.lock().push(Completion {
             token: job.token,
             response,
             keep,
+            stream,
         });
         // One byte per completion batch member is fine; a full (unread)
         // waker buffer already guarantees a pending wakeup.
@@ -173,6 +192,7 @@ struct Reactor<'a> {
     next_token: u64,
     tx: SyncSender<Job>,
     opts: &'a ServeOptions,
+    hub: Arc<StreamHub>,
 }
 
 fn event_loop(
@@ -205,6 +225,7 @@ fn event_loop(
         next_token: FIRST_CONN_TOKEN,
         tx,
         opts,
+        hub: Arc::clone(server.stream_hub()),
     };
     let mut events = vec![EpollEvent::empty(); EVENT_BATCH];
     let mut last_sweep = Instant::now();
@@ -241,7 +262,9 @@ fn event_loop(
     }
     // Shutdown: dropping the reactor drops `tx`, which lets the workers
     // drain the queue and exit; every registered connection closes with
-    // its socket. Late completions are simply discarded.
+    // its socket. Late completions are simply discarded. Subscriptions
+    // are marked closed so any in-process subscriber handles see the end.
+    server.stream_hub().close_all();
 }
 
 fn emit_loop_error(opts: &ServeOptions, message: &str) {
@@ -284,41 +307,60 @@ impl Reactor<'_> {
             self.close(token);
             return;
         }
-        if mask & EVENT_WRITE != 0
-            && self
-                .conns
-                .get(&token)
-                .is_some_and(|c| c.state == ConnState::Writing)
-        {
-            self.drive_write(token);
+        if mask & EVENT_WRITE != 0 {
+            match self.conns.get(&token).map(|c| c.state) {
+                Some(ConnState::Writing) => self.drive_write(token),
+                Some(ConnState::Streaming) => self.pump_stream(token),
+                _ => {}
+            }
         }
-        if mask & EVENT_READ != 0
-            && self
-                .conns
-                .get(&token)
-                .is_some_and(|c| c.state == ConnState::Reading)
-        {
-            let progress = match self.conns.get_mut(&token) {
-                Some(conn) => conn.read_some(),
-                None => return,
-            };
-            match progress {
-                ReadProgress::Read(_) => self.try_dispatch(token),
-                ReadProgress::WouldBlock => {}
-                ReadProgress::Eof => {
-                    // Same split as the blocking loop: a clean quiet close
-                    // just goes away; a half-sent request gets 400 first.
-                    if self.conns.get(&token).is_some_and(|c| !c.buf.is_empty()) {
-                        self.metrics.record(ROUTE_MALFORMED, false, 0);
-                        self.respond_and_close(
-                            token,
-                            Response::error(Status::BadRequest, "connection closed mid-request"),
-                        );
-                    } else {
-                        self.close(token);
+        if mask & EVENT_READ != 0 {
+            match self.conns.get(&token).map(|c| c.state) {
+                Some(ConnState::Reading) => {
+                    let progress = match self.conns.get_mut(&token) {
+                        Some(conn) => conn.read_some(),
+                        None => return,
+                    };
+                    match progress {
+                        ReadProgress::Read(_) => self.try_dispatch(token),
+                        ReadProgress::WouldBlock => {}
+                        ReadProgress::Eof => {
+                            // Same split as the blocking loop: a clean quiet close
+                            // just goes away; a half-sent request gets 400 first.
+                            if self.conns.get(&token).is_some_and(|c| !c.buf.is_empty()) {
+                                self.metrics.record(ROUTE_MALFORMED, false, 0);
+                                self.respond_and_close(
+                                    token,
+                                    Response::error(
+                                        Status::BadRequest,
+                                        "connection closed mid-request",
+                                    ),
+                                );
+                            } else {
+                                self.close(token);
+                            }
+                        }
+                        ReadProgress::Error => self.close(token),
                     }
                 }
-                ReadProgress::Error => self.close(token),
+                Some(ConnState::Streaming) => {
+                    // A subscriber only ever *reads*; inbound bytes are
+                    // discarded, and EOF is the unsubscribe signal.
+                    let progress = match self.conns.get_mut(&token) {
+                        Some(conn) => conn.read_some(),
+                        None => return,
+                    };
+                    match progress {
+                        ReadProgress::Read(_) => {
+                            if let Some(conn) = self.conns.get_mut(&token) {
+                                conn.buf.clear();
+                            }
+                        }
+                        ReadProgress::WouldBlock => {}
+                        ReadProgress::Eof | ReadProgress::Error => self.close(token),
+                    }
+                }
+                _ => {}
             }
         }
     }
@@ -485,12 +527,17 @@ impl Reactor<'_> {
         true
     }
 
-    /// Deregister and drop one connection.
+    /// Deregister and drop one connection, unhooking any subscription.
     fn close(&mut self, token: u64) {
         if let Some(conn) = self.conns.remove(&token) {
             let _ = self.epoll.deregister(conn.stream.as_raw_fd());
             self.metrics.record_conn_closed(conn.served);
             self.metrics.record_reactor_deregister();
+            if let Some(sub) = conn.sub {
+                sub.close();
+                self.hub.unsubscribe(&sub);
+                self.metrics.record_stream_unsubscribe();
+            }
         }
     }
 
@@ -504,10 +551,124 @@ impl Reactor<'_> {
         while matches!(wake_rx.read(&mut sink), Ok(n) if n > 0) {}
         let batch = std::mem::take(&mut *completions.lock());
         for c in batch {
-            // The connection may have died (hangup) while dispatched.
-            if self.conns.contains_key(&c.token) {
+            if let Some(sub) = c.stream {
+                // A subscribe: switch the connection into SSE streaming
+                // (`c.response` is the in-process acknowledgement body and
+                // never hits the wire — the SSE head takes its place).
+                if self.conns.contains_key(&c.token) {
+                    self.begin_stream(c.token, sub);
+                } else {
+                    // Died while dispatched: tidy the registration.
+                    sub.close();
+                    self.hub.unsubscribe(&sub);
+                    self.metrics.record_stream_unsubscribe();
+                }
+            } else if self.conns.contains_key(&c.token) {
+                // The connection may have died (hangup) while dispatched.
                 self.start_response(c.token, c.response, c.keep);
             }
+        }
+        // The same waker byte announces newly published frames.
+        self.pump_streams();
+    }
+
+    /// Put a freshly subscribed connection on the SSE wire: response head
+    /// first, then whatever frames (the initial snapshot) already queued.
+    fn begin_stream(&mut self, token: u64, sub: Arc<Subscription>) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.start_streaming(sub, wire::sse_head());
+        self.pump_stream(token);
+    }
+
+    /// Move published frames from every streaming connection's
+    /// subscription queue onto its socket.
+    fn pump_streams(&mut self) {
+        let tokens: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.state == ConnState::Streaming)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in tokens {
+            self.pump_stream(token);
+        }
+    }
+
+    /// Pull frames for one streaming connection and flush. Pulling stops
+    /// while the unflushed backlog sits above the soft cap, so a slow
+    /// reader backs up into the hub's bounded queue and gets evicted
+    /// there rather than growing this buffer without limit.
+    fn pump_stream(&mut self, token: u64) {
+        let mut evicted = false;
+        {
+            let Reactor { conns, .. } = self;
+            let Some(conn) = conns.get_mut(&token) else {
+                return;
+            };
+            if conn.state != ConnState::Streaming {
+                return;
+            }
+            if !conn.ending && conn.out_backlog() < STREAM_OUT_SOFT_CAP {
+                if let Some(sub) = conn.sub.clone() {
+                    let (frames, end) = sub.try_take();
+                    for frame in &frames {
+                        conn.enqueue_stream_bytes(frame);
+                    }
+                    match end {
+                        SubscriptionEnd::Open => {}
+                        SubscriptionEnd::Closed => {
+                            conn.enqueue_stream_bytes(wire::sse_done());
+                            conn.ending = true;
+                        }
+                        SubscriptionEnd::Evicted => {
+                            evicted = true;
+                            conn.enqueue_stream_bytes(wire::sse_done());
+                            conn.ending = true;
+                        }
+                    }
+                }
+            }
+        }
+        if evicted {
+            self.metrics.record_stream_dropped();
+        }
+        self.drive_stream_write(token);
+    }
+
+    /// Flush a streaming connection's queued bytes; arm `EPOLLOUT` on
+    /// backpressure, close once the terminal chunk has drained.
+    fn drive_stream_write(&mut self, token: u64) {
+        let progress = match self.conns.get_mut(&token) {
+            Some(conn) => conn.write_stream(),
+            None => return,
+        };
+        match progress {
+            WriteProgress::Finished => {
+                if self.conns.get(&token).is_some_and(|c| c.ending) {
+                    self.close(token);
+                    return;
+                }
+                // Drained: watch for the peer hanging up between frames.
+                if !self.set_interest(token, EVENT_READ) {
+                    self.close(token);
+                }
+            }
+            WriteProgress::Blocked => {
+                let newly = self
+                    .conns
+                    .get(&token)
+                    .is_some_and(|c| c.interest != EVENT_WRITE);
+                if self.set_interest(token, EVENT_WRITE) {
+                    if newly {
+                        self.metrics.record_reactor_rearm();
+                    }
+                } else {
+                    self.close(token);
+                }
+            }
+            WriteProgress::Error => self.close(token),
         }
     }
 
@@ -540,6 +701,13 @@ impl Reactor<'_> {
                 }
                 // The worker owns the request; the queue deadline governs.
                 ConnState::Dispatched => {}
+                // Subscriptions idle indefinitely by design; only a peer
+                // that stopped draining a pending write is given up on.
+                ConnState::Streaming => {
+                    if conn.out_backlog() > 0 && quiet > self.opts.io_timeout {
+                        broken.push(token);
+                    }
+                }
             }
         }
         for token in idle {

@@ -5,7 +5,9 @@ use crate::http::{Method, Request, Response, Status};
 use crate::json::{string_list, table_to_json};
 use crate::metrics::{allowed_methods, prometheus_text, route_label, stats_json};
 use crate::query::{parse_ops, run_query_indexed};
+use crate::stream::{StreamHub, Subscription};
 use crate::traces::{trace_json, trace_list_json};
+use crate::wire::sse_frame;
 use parking_lot::Mutex;
 use shareinsights_core::trace::{Span, TraceId};
 use shareinsights_core::Platform;
@@ -25,6 +27,11 @@ pub struct Handled {
     pub trace_id: Option<TraceId>,
     /// Handling latency in microseconds.
     pub elapsed_us: u64,
+    /// Set when the request subscribed to a live flow: instead of
+    /// writing `response` and moving on, the serving loop must switch
+    /// the connection into streaming mode and deliver this
+    /// subscription's frames until it ends.
+    pub stream: Option<Arc<Subscription>>,
 }
 
 /// Indexed endpoint snapshots keyed `dashboard/dataset`, stamped with the
@@ -44,6 +51,9 @@ pub struct Server {
     /// generation and the stale wrapper is replaced on next use, dropping
     /// its indexes with the cached results.
     indexes: Arc<Mutex<IndexRegistry>>,
+    /// Live-flow subscriber registry: stream pushes publish generation
+    /// delta frames here, subscribe requests register here.
+    hub: Arc<StreamHub>,
 }
 
 impl Server {
@@ -59,6 +69,7 @@ impl Server {
             cache: Arc::new(cache),
             results: Arc::new(ResultCache::default()),
             indexes: Arc::new(Mutex::new(HashMap::new())),
+            hub: Arc::new(StreamHub::new()),
         }
     }
 
@@ -77,9 +88,23 @@ impl Server {
         &self.results
     }
 
-    /// Dispatch a request, recording per-route metrics.
+    /// The live-flow subscriber hub (serve layers register notifiers and
+    /// drain subscriptions through it).
+    pub fn stream_hub(&self) -> &Arc<StreamHub> {
+        &self.hub
+    }
+
+    /// Dispatch a request, recording per-route metrics. A subscribe
+    /// request handled this way (no serving loop to stream frames into)
+    /// is registered and immediately unsubscribed.
     pub fn handle(&self, request: &Request) -> Response {
-        self.handle_traced(request).response
+        let handled = self.handle_traced(request);
+        if let Some(sub) = handled.stream {
+            sub.close();
+            self.hub.unsubscribe(&sub);
+            self.platform.api_metrics().record_stream_unsubscribe();
+        }
+        handled.response
     }
 
     /// Dispatch a request with per-route metrics *and* tracing: a root
@@ -103,14 +128,15 @@ impl Server {
             let explicit = request.header("x-trace-id").and_then(TraceId::parse);
             self.platform.tracer().start_trace(label, explicit)
         };
+        let mut stream = None;
         let response = match &root {
             Some(r) => {
                 let dispatch_span = r.child("dispatch");
-                let response = self.dispatch(request, Some(&dispatch_span));
+                let response = self.dispatch(request, Some(&dispatch_span), &mut stream);
                 dispatch_span.finish();
                 response
             }
-            None => self.dispatch(request, None),
+            None => self.dispatch(request, None, &mut stream),
         };
         let elapsed_us = started.elapsed().as_micros() as u64;
         let trace_id = root.as_ref().map(Span::trace_id);
@@ -126,10 +152,16 @@ impl Server {
             response,
             trace_id,
             elapsed_us,
+            stream,
         }
     }
 
-    fn dispatch(&self, request: &Request, span: Option<&Span>) -> Response {
+    fn dispatch(
+        &self,
+        request: &Request,
+        span: Option<&Span>,
+        stream: &mut Option<Arc<Subscription>>,
+    ) -> Response {
         let segments = request.segments();
         match (request.method, segments.as_slice()) {
             (Method::Get, ["stats"]) => Response::json(stats_json(
@@ -139,6 +171,7 @@ impl Server {
                 &self.platform.api_metrics().operators(),
                 &self.platform.api_metrics().index(),
                 &self.platform.api_metrics().reactor(),
+                &self.platform.api_metrics().stream(),
             )),
             (Method::Get, ["metrics"]) => Response {
                 status: Status::Ok,
@@ -149,6 +182,7 @@ impl Server {
                     &self.platform.api_metrics().operators(),
                     &self.platform.api_metrics().index(),
                     &self.platform.api_metrics().reactor(),
+                    &self.platform.api_metrics().stream(),
                 ),
                 content_type: "text/plain; version=0.0.4",
             },
@@ -232,8 +266,21 @@ impl Server {
             (Method::Get, ["dashboards", name, "meta"]) => self.meta(name),
             (Method::Get, ["dashboards", name, "suggest", object]) => self.suggest(name, object),
             (Method::Get, ["dashboards", name, "log"]) => self.commit_log(name),
+            // Continuous execution: start/stop a stream context, push
+            // micro-batches into it.
+            (Method::Post, ["dashboards", name, "stream", "start"]) => self.stream_start(name),
+            (Method::Post, ["dashboards", name, "stream", "stop"]) => {
+                let stopped = self.platform.stream_stop(name);
+                Response::json(format!("{{\"stopped\": {stopped}}}"))
+            }
+            (Method::Post, ["dashboards", name, "stream", "push", source]) => {
+                self.stream_push(name, source, &request.body)
+            }
             // Data API: /<dashboard>/ds[...]
             (Method::Get, [dashboard, "ds"]) => self.list_endpoints(dashboard),
+            (Method::Get, [dashboard, "ds", dataset, "subscribe"]) => {
+                self.subscribe(dashboard, dataset, stream)
+            }
             (Method::Get, [dashboard, "ds", rest @ ..]) if !rest.is_empty() => {
                 self.dataset(request, dashboard, rest[0], &rest[1..], span)
             }
@@ -286,6 +333,99 @@ impl Server {
                 }
             }
         }
+    }
+
+    /// The generation-stamp formula shared with the query caches:
+    /// dashboard runs and stream ticks bump the platform side,
+    /// publishes bump the registry side.
+    fn live_generation(&self, dashboard: &str, dataset: &str) -> u64 {
+        self.platform.data_generation(dashboard)
+            + self.platform.publish_registry().generation(dataset)
+    }
+
+    /// `POST /dashboards/:name/stream/start`: attach a continuous
+    /// execution context to the dashboard's compiled pipeline.
+    fn stream_start(&self, name: &str) -> Response {
+        match self.platform.stream_start(name) {
+            Ok(info) => Response::json(format!(
+                "{{\"dashboard\": {}, \"sources\": {}, \"endpoints\": {}}}",
+                crate::json::quote(&info.dashboard),
+                string_list(&info.sources),
+                string_list(&info.endpoints),
+            )),
+            Err(e) => Response::error(Status::Unprocessable, e.to_string()),
+        }
+    }
+
+    /// `POST /dashboards/:name/stream/push/:source`: one CSV micro-batch
+    /// in, one tick of endpoint snapshots out. Each updated endpoint is
+    /// framed exactly once at the post-tick generation and the same
+    /// bytes are fanned out to every subscriber — which is what makes
+    /// the two serve modes byte-identical.
+    fn stream_push(&self, name: &str, source: &str, csv: &str) -> Response {
+        let report = match self.platform.stream_push(name, source, csv) {
+            Ok(r) => r,
+            Err(e) => return Response::error(Status::Unprocessable, e.to_string()),
+        };
+        let mut frames = 0u64;
+        let mut bytes = 0u64;
+        for (dataset, _) in &report.updated {
+            let Ok(table) = self.endpoint_table(name, dataset) else {
+                continue;
+            };
+            let generation = self.live_generation(name, dataset);
+            let frame = sse_frame(dataset, generation, &table_to_json(&table));
+            let published = self.hub.publish(name, dataset, &frame);
+            frames += published.delivered as u64;
+            bytes += (published.delivered * frame.len()) as u64;
+        }
+        self.platform
+            .api_metrics()
+            .record_stream_frames(frames, bytes);
+        let updated: Vec<String> = report
+            .updated
+            .iter()
+            .map(|(n, r)| format!("{n}:{r}"))
+            .collect();
+        Response::json(format!(
+            "{{\"source\": {}, \"rows_in\": {}, \"evicted_rows\": {}, \
+             \"generation\": {}, \"updated\": {}}}",
+            crate::json::quote(source),
+            report.rows_in,
+            report.evicted_rows,
+            report.generation,
+            string_list(&updated),
+        ))
+    }
+
+    /// `GET /:dashboard/ds/:dataset/subscribe`: register a live-flow
+    /// subscriber. The subscription starts with a full snapshot frame at
+    /// the current generation; later ticks append delta frames. The
+    /// serving loop sees `Handled::stream` and switches the connection
+    /// into SSE streaming mode.
+    fn subscribe(
+        &self,
+        dashboard: &str,
+        dataset: &str,
+        stream: &mut Option<Arc<Subscription>>,
+    ) -> Response {
+        let table = match self.endpoint_table(dashboard, dataset) {
+            Ok(t) => t,
+            Err(resp) => return resp,
+        };
+        let generation = self.live_generation(dashboard, dataset);
+        let sub = self.hub.subscribe(dashboard, dataset);
+        let frame = sse_frame(dataset, generation, &table_to_json(&table));
+        sub.offer(&frame);
+        self.platform.api_metrics().record_stream_subscribe();
+        self.platform
+            .api_metrics()
+            .record_stream_frames(1, frame.len() as u64);
+        *stream = Some(sub);
+        Response::json(format!(
+            "{{\"subscribed\": {}, \"generation\": {generation}}}",
+            crate::json::quote(&format!("{dashboard}/{dataset}")),
+        ))
     }
 
     /// Figure 27: list endpoint data names.
@@ -1044,6 +1184,140 @@ F:
         let h = server.handle_traced(&Request::get("/stats"));
         assert!(h.response.is_ok());
         assert_eq!(h.trace_id, None);
+    }
+
+    #[test]
+    fn stream_start_push_updates_endpoint_and_invalidates_cache() {
+        let server = served();
+        let url = "/retail/ds/brand_sales";
+        assert!(server.handle(&Request::get(url)).is_ok());
+        assert!(server.handle(&Request::get(url)).is_ok());
+        assert_eq!(server.cache().stats().hits, 1);
+
+        let r = server.handle(&Request::new(
+            Method::Post,
+            "/dashboards/retail/stream/start",
+        ));
+        assert!(r.is_ok(), "{}", r.body);
+        assert!(r.body.contains("\"sources\": [\"sales\"]"), "{}", r.body);
+        assert!(
+            r.body.contains("\"endpoints\": [\"brand_sales\"]"),
+            "{}",
+            r.body
+        );
+
+        // Declared columns [region, brand, revenue] → headerless CSV.
+        let r = server.handle(
+            &Request::new(Method::Post, "/dashboards/retail/stream/push/sales")
+                .with_body("west,acme,7\nwest,acme,3\n"),
+        );
+        assert!(r.is_ok(), "{}", r.body);
+        assert!(r.body.contains("\"rows_in\": 2"), "{}", r.body);
+        assert!(r.body.contains("brand_sales:1"), "{}", r.body);
+
+        // The stream tick bumped the generation: cached pages are stale.
+        let r = server.handle(&Request::get(url));
+        assert!(r.is_ok());
+        assert!(r.body.contains("west"), "{}", r.body);
+        let s = server.cache().stats();
+        assert_eq!((s.hits, s.invalidations), (1, 1));
+
+        // Pushing into a non-source or without a stream is rejected.
+        let r = server.handle(
+            &Request::new(Method::Post, "/dashboards/retail/stream/push/ghost")
+                .with_body("a,b,1\n"),
+        );
+        assert_eq!(r.status, Status::Unprocessable);
+        let r = server.handle(&Request::new(
+            Method::Post,
+            "/dashboards/retail/stream/stop",
+        ));
+        assert!(r.body.contains("\"stopped\": true"), "{}", r.body);
+        let r = server.handle(
+            &Request::new(Method::Post, "/dashboards/retail/stream/push/sales")
+                .with_body("a,b,1\n"),
+        );
+        assert_eq!(r.status, Status::Unprocessable);
+        assert!(r.body.contains("no active stream"), "{}", r.body);
+    }
+
+    #[test]
+    fn subscribe_returns_stream_with_snapshot_frame() {
+        let server = served();
+        let h = server.handle_traced(&Request::get("/retail/ds/brand_sales/subscribe"));
+        assert!(h.response.is_ok(), "{}", h.response.body);
+        let sub = h.stream.expect("subscription attached");
+        let (frames, end) = sub.try_take();
+        assert_eq!(frames.len(), 1, "initial snapshot frame");
+        assert_eq!(end, crate::stream::SubscriptionEnd::Open);
+        let mut parser = crate::wire::SseParser::new();
+        let events = parser.feed(&frames[0]).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].event, "brand_sales");
+        assert!(events[0].data.contains("total_rows"), "{}", events[0].data);
+        let snapshot_generation = events[0].id;
+
+        // A push delivers a delta frame with a larger generation.
+        server.handle(&Request::new(
+            Method::Post,
+            "/dashboards/retail/stream/start",
+        ));
+        server.handle(
+            &Request::new(Method::Post, "/dashboards/retail/stream/push/sales")
+                .with_body("east,zest,9\n"),
+        );
+        let (frames, _) = sub.try_take();
+        assert_eq!(frames.len(), 1);
+        let events = parser.feed(&frames[0]).unwrap();
+        assert!(events[0].id > snapshot_generation);
+        assert!(events[0].data.contains("east"), "{}", events[0].data);
+
+        // The serving loop's tidy-up: deregister and drop the gauge.
+        server.stream_hub().unsubscribe(&sub);
+        server.platform().api_metrics().record_stream_unsubscribe();
+        assert_eq!(server.stream_hub().subscriber_count(), 0);
+
+        // Subscribing to a dataset that doesn't exist is a 404; handle()
+        // without a serving loop tidies its short-lived subscription.
+        let r = server.handle(&Request::get("/retail/ds/ghost/subscribe"));
+        assert_eq!(r.status, Status::NotFound);
+        let r = server.handle(&Request::get("/retail/ds/brand_sales/subscribe"));
+        assert!(r.is_ok());
+        assert_eq!(server.stream_hub().subscriber_count(), 0);
+        assert_eq!(server.platform().api_metrics().stream().subscribers, 0);
+    }
+
+    #[test]
+    fn stream_metrics_surface_in_stats_and_metrics() {
+        let server = served();
+        server.handle(&Request::new(
+            Method::Post,
+            "/dashboards/retail/stream/start",
+        ));
+        server.handle(
+            &Request::new(Method::Post, "/dashboards/retail/stream/push/sales")
+                .with_body("north,acme,2\n"),
+        );
+        let r = server.handle(&Request::get("/stats"));
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        assert_eq!(
+            doc.path("stream.ticks").unwrap().to_value().as_int(),
+            Some(1)
+        );
+        assert_eq!(
+            doc.path("stream.rows_in").unwrap().to_value().as_int(),
+            Some(1)
+        );
+        let m = server.handle(&Request::get("/metrics"));
+        assert!(
+            m.body.contains("shareinsights_stream_ticks_total 1"),
+            "{}",
+            m.body
+        );
+        assert!(m.body.contains("shareinsights_stream_rows_in_total 1"));
+        assert!(m
+            .body
+            .contains("# TYPE shareinsights_stream_subscribers gauge"));
     }
 
     #[test]

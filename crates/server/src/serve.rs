@@ -24,7 +24,7 @@
 //! before the close.
 //!
 //! Operationally interesting requests go to a structured
-//! [`EventLog`](shareinsights_core::trace::EventLog) as JSON lines: any
+//! [`EventLog`] as JSON lines: any
 //! response with a 5xx status (`"event": "error"`) and any request slower
 //! than [`ServeOptions::slow_request_threshold`] (`"event":
 //! "slow_request"`), each carrying the trace id when the request was
@@ -205,9 +205,12 @@ fn serve_threads(server: Server, addr: &str, options: ServeOptions) -> io::Resul
     let mut workers = Vec::with_capacity(options.workers.max(1));
     for _ in 0..options.workers.max(1) {
         let rx = Arc::clone(&rx);
+        let stop = Arc::clone(&stop);
         let server = server.clone();
         let opts = options.clone();
-        workers.push(std::thread::spawn(move || worker_loop(&server, &rx, &opts)));
+        workers.push(std::thread::spawn(move || {
+            worker_loop(&server, &rx, &opts, &stop)
+        }));
     }
 
     let acceptor = {
@@ -244,7 +247,9 @@ fn serve_threads(server: Server, addr: &str, options: ServeOptions) -> io::Resul
                     Err(_) => std::thread::sleep(Duration::from_millis(1)),
                 }
             }
-            // tx drops here; workers drain the queue and exit.
+            // End every live stream so parked subscription writers wake
+            // promptly; tx drops here and workers drain the queue.
+            server.stream_hub().close_all();
         })
     };
 
@@ -253,7 +258,7 @@ fn serve_threads(server: Server, addr: &str, options: ServeOptions) -> io::Resul
     Ok(ServiceHandle::new(bound, stop, threads, None))
 }
 
-fn worker_loop(server: &Server, rx: &Mutex<Receiver<Job>>, opts: &ServeOptions) {
+fn worker_loop(server: &Server, rx: &Mutex<Receiver<Job>>, opts: &ServeOptions, stop: &AtomicBool) {
     loop {
         // Hold the lock only while dequeuing, not while handling.
         let job = match rx.lock().recv() {
@@ -271,12 +276,12 @@ fn worker_loop(server: &Server, rx: &Mutex<Receiver<Job>>, opts: &ServeOptions) 
             let _ = write_response(&job.stream, resp, None, None);
             continue;
         }
-        handle_connection(server, &job.stream, opts);
+        handle_connection(server, &job.stream, opts, stop);
     }
 }
 
 /// Serve requests off one connection until it closes: the keep-alive loop.
-fn handle_connection(server: &Server, stream: &TcpStream, opts: &ServeOptions) {
+fn handle_connection(server: &Server, stream: &TcpStream, opts: &ServeOptions, stop: &AtomicBool) {
     let metrics = server.platform().api_metrics();
     metrics.record_conn_accepted();
     let _ = stream.set_write_timeout(Some(opts.io_timeout));
@@ -290,6 +295,14 @@ fn handle_connection(server: &Server, stream: &TcpStream, opts: &ServeOptions) {
                 let keep = client_keep_alive && served < max_requests;
                 let handled = server.handle_traced(&request);
                 log_request_events(opts, &request, &handled);
+                if let Some(sub) = handled.stream {
+                    // The connection switches into SSE streaming mode and
+                    // never returns to request/response service.
+                    stream_blocking(server, stream, &sub, stop);
+                    server.stream_hub().unsubscribe(&sub);
+                    server.platform().api_metrics().record_stream_unsubscribe();
+                    break;
+                }
                 let response = handled.response;
                 let remaining = max_requests - served;
                 let header = keep.then_some(KeepAliveTerms {
@@ -333,6 +346,71 @@ fn handle_connection(server: &Server, stream: &TcpStream, opts: &ServeOptions) {
         }
     }
     metrics.record_conn_closed(served);
+}
+
+/// Drive one SSE subscription over a blocking socket (thread-per-
+/// connection mode): write the fixed stream head, then park on the
+/// subscription's condvar and write whatever frames it yields, probing
+/// the socket for client disconnect between waits. Returns when the
+/// subscription ends (close/eviction), the client disconnects, the
+/// socket errors, or the service is stopping.
+fn stream_blocking(
+    server: &Server,
+    mut stream: &TcpStream,
+    sub: &Arc<crate::stream::Subscription>,
+    stop: &AtomicBool,
+) {
+    use crate::stream::SubscriptionEnd;
+    if stream.write_all(wire::sse_head()).is_err() {
+        sub.close();
+        return;
+    }
+    let _ = stream.flush();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            sub.close();
+        }
+        let (frames, end) = sub.wait_frames(Duration::from_millis(100));
+        for frame in &frames {
+            if stream.write_all(frame).is_err() {
+                sub.close();
+                return;
+            }
+        }
+        if !frames.is_empty() {
+            let _ = stream.flush();
+        }
+        match end {
+            SubscriptionEnd::Open => {}
+            SubscriptionEnd::Closed | SubscriptionEnd::Evicted => {
+                if end == SubscriptionEnd::Evicted {
+                    server.platform().api_metrics().record_stream_dropped();
+                }
+                let _ = stream.write_all(wire::sse_done());
+                let _ = stream.flush();
+                return;
+            }
+        }
+        if frames.is_empty() {
+            // Nothing arrived this wait: probe for client disconnect so
+            // an abandoned subscriber doesn't pin a worker forever. A
+            // timeout just means the client is (correctly) quiet.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
+            let mut probe = [0u8; 16];
+            match stream.read(&mut probe) {
+                Ok(0) => {
+                    sub.close();
+                    return;
+                }
+                Ok(_) => {} // clients have nothing valid to say mid-stream
+                Err(e) if is_timeout(&e) => {}
+                Err(_) => {
+                    sub.close();
+                    return;
+                }
+            }
+        }
+    }
 }
 
 /// Emit `error` / `slow_request` events for one handled request. The trace
@@ -513,6 +591,68 @@ impl ClientConnection {
         self.send(method, target, body, true, headers)
     }
 
+    /// Subscribe to a live flow (`/:dashboard/ds/:dataset/subscribe`),
+    /// consuming the connection: the server switches it into SSE
+    /// streaming mode, so no further request/response exchanges are
+    /// possible on it. A non-200 answer is surfaced as an error carrying
+    /// the status code.
+    pub fn subscribe(mut self, target: &str) -> io::Result<SseSubscriber> {
+        if self.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "server closed the connection",
+            ));
+        }
+        let wire_req =
+            format!("GET {target} HTTP/1.1\r\nHost: shareinsights\r\nContent-Length: 0\r\n\r\n");
+        self.stream.write_all(wire_req.as_bytes())?;
+        self.stream.flush()?;
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.buf) {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk)? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed before the stream head",
+                    ))
+                }
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let status: u16 = head
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        if status != 200 {
+            return Err(io::Error::other(format!("subscribe failed: {status}")));
+        }
+        if !head.to_ascii_lowercase().contains("text/event-stream") {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "subscribe answered a non-SSE response",
+            ));
+        }
+        let mut parser = wire::SseParser::new();
+        let mut ready = Vec::new();
+        let leftover = self.buf.split_off(head_end + 4);
+        if !leftover.is_empty() {
+            ready = parser
+                .feed(&leftover)
+                .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))?;
+        }
+        Ok(SseSubscriber {
+            stream: self.stream,
+            parser,
+            ready: ready.into(),
+            closed: false,
+        })
+    }
+
     /// One request announcing `Connection: close` — the server responds,
     /// then closes; this connection is dead afterwards.
     pub fn request_close(
@@ -652,6 +792,71 @@ impl ClientConnection {
             self.closed = true;
         }
         Ok((status, body))
+    }
+}
+
+/// A live-flow subscription held by [`ClientConnection::subscribe`]:
+/// reads and parses SSE frames off its dedicated connection.
+pub struct SseSubscriber {
+    stream: TcpStream,
+    parser: wire::SseParser,
+    /// Events parsed but not yet handed to the caller.
+    ready: std::collections::VecDeque<wire::SseEvent>,
+    /// True once the socket hit EOF.
+    closed: bool,
+}
+
+impl SseSubscriber {
+    /// Block until at least one event is available, the stream ends, or
+    /// `timeout` elapses. An empty result means no event arrived in the
+    /// window — check [`SseSubscriber::terminated`] to distinguish a
+    /// finished stream from a quiet one. EOF mid-frame (the server died
+    /// with a frame half-written) is an error.
+    pub fn next_events(&mut self, timeout: Duration) -> io::Result<Vec<wire::SseEvent>> {
+        if !self.ready.is_empty() {
+            return Ok(self.ready.drain(..).collect());
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.terminated() {
+                return Ok(Vec::new());
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(Vec::new());
+            }
+            self.stream
+                .set_read_timeout(Some(remaining.min(Duration::from_millis(250))))?;
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.closed = true;
+                    if self.parser.mid_frame() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "stream closed mid-frame",
+                        ));
+                    }
+                    return Ok(Vec::new());
+                }
+                Ok(n) => {
+                    let events = self
+                        .parser
+                        .feed(&chunk[..n])
+                        .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))?;
+                    if !events.is_empty() {
+                        return Ok(events);
+                    }
+                }
+                Err(e) if is_timeout(&e) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// True once the stream ended — terminal chunk received or EOF.
+    pub fn terminated(&self) -> bool {
+        self.parser.terminated() || self.closed
     }
 }
 

@@ -347,6 +347,150 @@ pub fn dechunk(buf: &[u8]) -> Option<Result<(String, usize), String>> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// SSE framing (live-flow subscriptions)
+// ---------------------------------------------------------------------------
+
+/// Response head for a `GET …/subscribe` stream: an SSE body carried over
+/// chunked transfer encoding on a connection that never goes back to
+/// request/response mode. Both serve modes emit these exact bytes so a
+/// subscriber cannot tell the reactor from the thread pool apart.
+pub fn sse_head() -> &'static [u8] {
+    b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+}
+
+/// Frame one generation-delta event as exactly one HTTP chunk wrapping
+/// one SSE event. Frames are built once (in the router, at publish time)
+/// and delivered verbatim to every subscriber, which is what makes the
+/// two serve modes byte-identical by construction.
+pub fn sse_frame(event: &str, generation: u64, data: &str) -> Vec<u8> {
+    let payload = format!("event: {event}\nid: {generation}\ndata: {data}\n\n");
+    let mut frame = Vec::with_capacity(payload.len() + CHUNK_FRAME_OVERHEAD);
+    frame.extend_from_slice(format!("{:x}\r\n", payload.len()).as_bytes());
+    frame.extend_from_slice(payload.as_bytes());
+    frame.extend_from_slice(b"\r\n");
+    frame
+}
+
+/// The terminal 0-chunk ending an SSE stream gracefully.
+pub fn sse_done() -> &'static [u8] {
+    b"0\r\n\r\n"
+}
+
+/// One parsed SSE event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SseEvent {
+    /// The `event:` field (dataset name for generation deltas).
+    pub event: String,
+    /// The `id:` field — the endpoint-data generation of the frame.
+    pub id: u64,
+    /// The `data:` field (JSON table snapshot). Multi-line `data:`
+    /// fields join with `\n` per the SSE spec.
+    pub data: String,
+    /// The exact payload bytes of this event including the blank-line
+    /// terminator — the unit the dual-mode conformance test compares.
+    pub raw: Vec<u8>,
+}
+
+/// Incremental SSE-over-chunked parser: the client-side inverse of
+/// [`sse_frame`]. Feed it whatever the socket produced *after* the
+/// response head; it de-chunks and splits events, tolerating frames
+/// that straddle feed (or chunk) boundaries arbitrarily.
+#[derive(Debug, Default)]
+pub struct SseParser {
+    /// Wire bytes not yet consumed by chunk framing.
+    wire: Vec<u8>,
+    /// De-chunked payload bytes not yet closed by a blank line.
+    payload: Vec<u8>,
+    /// True once the terminal 0-chunk arrived.
+    done: bool,
+}
+
+impl SseParser {
+    /// Fresh parser positioned just past the response head.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True once the server ended the stream with the terminal chunk.
+    pub fn terminated(&self) -> bool {
+        self.done
+    }
+
+    /// True while bytes of an unfinished chunk or event are pending —
+    /// a disconnect now means the subscriber lost a frame mid-flight.
+    pub fn mid_frame(&self) -> bool {
+        !self.done && (!self.wire.is_empty() || !self.payload.is_empty())
+    }
+
+    /// Append socket bytes and return every event completed by them.
+    /// Malformed chunk framing is a hard error.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Vec<SseEvent>, String> {
+        self.wire.extend_from_slice(bytes);
+        // De-chunk as far as the buffered wire bytes allow.
+        let mut pos = 0usize;
+        while let Some(line_end) = self.wire[pos..].windows(2).position(|w| w == b"\r\n") {
+            let line_end = line_end + pos;
+            let size_line = std::str::from_utf8(&self.wire[pos..line_end])
+                .map_err(|_| "chunk size line is not UTF-8".to_string())?;
+            let size_token = size_line.split(';').next().unwrap_or("").trim();
+            let size = usize::from_str_radix(size_token, 16)
+                .map_err(|_| format!("bad chunk size {size_token:?}"))?;
+            let data_start = line_end + 2;
+            if self.wire.len() < data_start + size + 2 {
+                break;
+            }
+            if size == 0 {
+                if &self.wire[data_start..data_start + 2] != b"\r\n" {
+                    return Err("unsupported chunked trailer".to_string());
+                }
+                self.done = true;
+                pos = data_start + 2;
+                break;
+            }
+            self.payload
+                .extend_from_slice(&self.wire[data_start..data_start + size]);
+            if &self.wire[data_start + size..data_start + size + 2] != b"\r\n" {
+                return Err("chunk data missing trailing CRLF".to_string());
+            }
+            pos = data_start + size + 2;
+        }
+        self.wire.drain(..pos);
+        // Split completed events off the payload.
+        let mut events = Vec::new();
+        while let Some(sep) = self.payload.windows(2).position(|w| w == b"\n\n") {
+            let raw: Vec<u8> = self.payload.drain(..sep + 2).collect();
+            events.push(parse_sse_event(&raw)?);
+        }
+        Ok(events)
+    }
+}
+
+fn parse_sse_event(raw: &[u8]) -> Result<SseEvent, String> {
+    let text = std::str::from_utf8(raw).map_err(|_| "SSE event is not UTF-8".to_string())?;
+    let mut event = String::new();
+    let mut id = 0u64;
+    let mut data: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        if let Some(v) = line.strip_prefix("event:") {
+            event = v.trim_start().to_string();
+        } else if let Some(v) = line.strip_prefix("id:") {
+            id = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad SSE id {:?}", v.trim()))?;
+        } else if let Some(v) = line.strip_prefix("data:") {
+            data.push(v.strip_prefix(' ').unwrap_or(v));
+        }
+    }
+    Ok(SseEvent {
+        event,
+        id,
+        data: data.join("\n"),
+        raw: raw.to_vec(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -545,5 +689,91 @@ mod tests {
         // Garbage sizes are hard errors.
         assert!(dechunk(b"zz\r\nabc\r\n0\r\n\r\n").unwrap().is_err());
         assert!(dechunk(b"3\r\nabcXY0\r\n\r\n").unwrap().is_err());
+    }
+
+    #[test]
+    fn sse_frames_roundtrip_through_parser() {
+        let head = String::from_utf8_lossy(sse_head()).into_owned();
+        assert!(head.contains("text/event-stream"), "{head}");
+        assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+        assert!(head.contains("Connection: close"), "{head}");
+
+        let f1 = sse_frame("brand_sales", 3, "{\"rows\": [1, 2]}");
+        let f2 = sse_frame("brand_sales", 4, "{\"rows\": [3]}");
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&f1);
+        wire.extend_from_slice(&f2);
+        wire.extend_from_slice(sse_done());
+
+        let mut p = SseParser::new();
+        let events = p.feed(&wire).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].event, "brand_sales");
+        assert_eq!(events[0].id, 3);
+        assert_eq!(events[0].data, "{\"rows\": [1, 2]}");
+        assert_eq!(events[1].id, 4);
+        assert!(p.terminated());
+        assert!(!p.mid_frame());
+    }
+
+    #[test]
+    fn sse_frames_straddling_feed_boundaries_reassemble() {
+        // Drip the wire bytes one at a time: every frame straddles many
+        // feed boundaries, and chunk headers split mid-hex-digit.
+        let mut wire = Vec::new();
+        for generation in 1..=5u64 {
+            wire.extend_from_slice(&sse_frame(
+                "players_tweets",
+                generation,
+                &format!("{{\"generation\": {generation}}}"),
+            ));
+        }
+        wire.extend_from_slice(sse_done());
+
+        let mut p = SseParser::new();
+        let mut events = Vec::new();
+        for b in &wire {
+            events.extend(p.feed(std::slice::from_ref(b)).unwrap());
+        }
+        assert_eq!(events.len(), 5);
+        let ids: Vec<u64> = events.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+        // Byte-level reassembly: raw payloads concatenate back to the
+        // exact de-chunked stream.
+        let rebuilt: Vec<u8> = events.iter().flat_map(|e| e.raw.clone()).collect();
+        let (decoded, _) = dechunk(&wire).unwrap().unwrap();
+        assert_eq!(rebuilt, decoded.into_bytes());
+        assert!(p.terminated());
+    }
+
+    #[test]
+    fn sse_disconnect_mid_frame_is_detectable() {
+        let frame = sse_frame("ds", 7, "{\"partial\": true}");
+        let mut p = SseParser::new();
+        // The server died after half a frame: no event surfaces, and the
+        // parser reports the stream stopped mid-frame (subscriber lost
+        // data) rather than at a clean boundary.
+        let events = p.feed(&frame[..frame.len() / 2]).unwrap();
+        assert!(events.is_empty());
+        assert!(!p.terminated());
+        assert!(p.mid_frame());
+        // Delivering the rest completes the frame normally.
+        let events = p.feed(&frame[frame.len() / 2..]).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].id, 7);
+        assert!(!p.mid_frame());
+    }
+
+    #[test]
+    fn sse_multiline_data_and_bad_framing() {
+        // Multi-line data joins with \n per the SSE spec.
+        let payload = "event: ds\nid: 1\ndata: line1\ndata: line2\n\n";
+        let mut wire = format!("{:x}\r\n{payload}\r\n", payload.len()).into_bytes();
+        wire.extend_from_slice(sse_done());
+        let mut p = SseParser::new();
+        let events = p.feed(&wire).unwrap();
+        assert_eq!(events[0].data, "line1\nline2");
+        // Corrupt chunk sizes are hard errors, not silent stalls.
+        assert!(SseParser::new().feed(b"zz\r\nboom\r\n").is_err());
     }
 }

@@ -421,7 +421,7 @@ impl IndexedTable {
         Some(self.table.filter(&mask))
     }
 
-    /// Accelerated [`crate::ops::groupby`] over dictionary codes: dense
+    /// Accelerated [`crate::ops::groupby()`] over dictionary codes: dense
     /// code-indexed accumulators instead of hashing keys. Covers exactly
     /// the shapes the scan fast path covers — one null-free `Utf8` key and
     /// `sum`/`count`/`count_all` aggregates over null-free `Int64` columns
@@ -512,7 +512,7 @@ impl IndexedTable {
         Table::new(Schema::new(fields).ok()?, columns).ok()
     }
 
-    /// Accelerated [`crate::ops::sort`] on a single dictionary-indexed key:
+    /// Accelerated [`crate::ops::sort()`] on a single dictionary-indexed key:
     /// a counting sort over code rank. Ascending puts nulls first, then
     /// codes ascending; descending reverses codes and puts nulls last —
     /// exactly the comparator order of the scan sort, and stable because

@@ -1,0 +1,180 @@
+//! Gate CI on benchmark regressions against the committed baselines.
+//!
+//! Each `<baseline> <fresh>` pair names a committed `BENCH_*.json` and a
+//! freshly generated document of the same shape. The gate walks both
+//! recursively, pairs up every `*p95_us` leaf, prints a side-by-side
+//! table, and exits non-zero when any fresh p95 regresses past the
+//! threshold. Two escape valves keep the gate honest rather than flaky:
+//!
+//! * a zero baseline is skipped — some configurations legitimately record
+//!   no latency (thread mode starved under an idle herd serves zero
+//!   requests), and a ratio against zero is noise;
+//! * an absolute slack floor (default 500µs) must also be cleared — a
+//!   30µs warm-cache sample doubling to 60µs is scheduler jitter, not a
+//!   regression.
+//!
+//! ```text
+//! cargo run --release --example bench_gate -- \
+//!     BENCH_adhoc_query.json fresh_adhoc.json \
+//!     BENCH_serve_concurrency.json fresh_serve.json \
+//!     BENCH_stream_latency.json fresh_stream.json \
+//!     [--threshold 0.25] [--slack-us 500]
+//! ```
+
+use shareinsights::tabular::io::json::{parse_json, JsonValue};
+
+/// One paired p95 leaf.
+struct Row {
+    metric: String,
+    baseline: u64,
+    fresh: Option<u64>,
+}
+
+/// Remove `name <value>` from `args`, returning the value.
+fn take_value_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    if i + 1 >= args.len() {
+        panic!("{name} needs a value");
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+/// A readable label for an array element: benchmark config objects carry
+/// their own identity (`serve_mode`/`idle_conns`), so prefer that to a
+/// bare index.
+fn element_label(index: usize, item: &JsonValue) -> String {
+    match (
+        item.get("serve_mode").and_then(|v| v.as_str()),
+        item.get("idle_conns"),
+    ) {
+        (Some(mode), Some(JsonValue::Number(idle))) => format!("{mode}+{idle}idle"),
+        _ => index.to_string(),
+    }
+}
+
+/// Collect every `*p95_us` leaf under `value` into `rows`, pairing it
+/// with the same path in `fresh`.
+fn collect(prefix: &str, value: &JsonValue, fresh: Option<&JsonValue>, rows: &mut Vec<Row>) {
+    match value {
+        JsonValue::Object(map) => {
+            for (key, child) in map {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                let fresh_child = fresh.and_then(|f| f.get(key));
+                if key.ends_with("p95_us") {
+                    if let JsonValue::Number(n) = child {
+                        rows.push(Row {
+                            metric: path,
+                            baseline: *n as u64,
+                            fresh: match fresh_child {
+                                Some(JsonValue::Number(m)) => Some(*m as u64),
+                                _ => None,
+                            },
+                        });
+                        continue;
+                    }
+                }
+                collect(&path, child, fresh_child, rows);
+            }
+        }
+        JsonValue::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let label = element_label(i, item);
+                let path = format!("{prefix}.{label}");
+                let fresh_item = fresh.and_then(|f| f.items().get(i));
+                collect(&path, item, fresh_item, rows);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threshold: f64 = take_value_flag(&mut args, "--threshold")
+        .map(|v| v.parse().expect("--threshold takes a ratio"))
+        .unwrap_or(0.25);
+    let slack_us: u64 = take_value_flag(&mut args, "--slack-us")
+        .map(|v| v.parse().expect("--slack-us takes microseconds"))
+        .unwrap_or(500);
+    assert!(
+        !args.is_empty() && args.len().is_multiple_of(2),
+        "usage: bench_gate <baseline.json> <fresh.json> [<baseline.json> <fresh.json> ...]"
+    );
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for pair in args.chunks(2) {
+        let (baseline_path, fresh_path) = (&pair[0], &pair[1]);
+        let read = |path: &str| -> JsonValue {
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            parse_json(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+        };
+        let baseline = read(baseline_path);
+        let fresh = read(fresh_path);
+
+        let mut rows = Vec::new();
+        collect("", &baseline, Some(&fresh), &mut rows);
+        assert!(
+            !rows.is_empty(),
+            "{baseline_path}: no *p95_us leaves — wrong file?"
+        );
+
+        println!("== {baseline_path} vs {fresh_path}");
+        println!(
+            "   {:<44} {:>12} {:>12} {:>9}  verdict",
+            "metric", "baseline µs", "fresh µs", "delta"
+        );
+        for row in &rows {
+            let fresh_us = match row.fresh {
+                Some(v) => v,
+                None => {
+                    // A missing leaf means the fresh doc changed shape —
+                    // that is a gate failure, not a silent skip.
+                    println!(
+                        "   {:<44} {:>12} {:>12} {:>9}  MISSING",
+                        row.metric, row.baseline, "-", "-"
+                    );
+                    regressions += 1;
+                    continue;
+                }
+            };
+            if row.baseline == 0 {
+                println!(
+                    "   {:<44} {:>12} {:>12} {:>9}  skip (zero baseline)",
+                    row.metric, row.baseline, fresh_us, "-"
+                );
+                continue;
+            }
+            compared += 1;
+            let delta = fresh_us as f64 / row.baseline as f64 - 1.0;
+            let regressed = delta > threshold && fresh_us.saturating_sub(row.baseline) > slack_us;
+            let verdict = if regressed { "REGRESSED" } else { "ok" };
+            println!(
+                "   {:<44} {:>12} {:>12} {:>+8.1}%  {verdict}",
+                row.metric,
+                row.baseline,
+                fresh_us,
+                delta * 100.0
+            );
+            if regressed {
+                regressions += 1;
+            }
+        }
+    }
+
+    println!(
+        "bench gate: {compared} p95 comparisons, {regressions} regressions \
+         (threshold {:.0}%, slack {slack_us}µs)",
+        threshold * 100.0
+    );
+    if regressions > 0 {
+        std::process::exit(1);
+    }
+}

@@ -20,6 +20,7 @@
 //!     [--serve-mode threads|reactor] [--idle-conns N]
 //! cargo run --release --example loadgen -- --cold [rows] [iterations]
 //! cargo run --release --example loadgen -- --concurrency-bench
+//! cargo run --release --example loadgen -- --stream-bench [subscribers] [ticks]
 //! ```
 //!
 //! `--close` forces one connection per request (the pre-keep-alive
@@ -42,6 +43,18 @@
 //! document on stdout — the source of the committed
 //! `BENCH_serve_concurrency.json` (progress goes to stderr).
 //!
+//! `--stream-bench` measures the live-flow path: the reactor serves a
+//! streaming dashboard to a herd of idle SSE subscribers (default 500)
+//! plus a handful of actively reading probes; micro-batches are pushed
+//! through `POST .../stream/push/<source>` and the tick-to-push latency —
+//! push initiated to frame received — is reported as p50/p95 in a JSON
+//! document on stdout, the source of the committed
+//! `BENCH_stream_latency.json`. The CI streaming smoke job runs this mode
+//! and relies on its asserts: any 5xx, a non-monotonic generation
+//! sequence on any subscriber, an evicted subscriber, or a malformed
+//! `/metrics` exposition (which must include the `shareinsights_stream_*`
+//! families) aborts with a non-zero exit.
+//!
 //! `--cold` switches to the cold-query benchmark: a ~1M-row synthetic
 //! dataset (configurable) is queried through the scan kernels and through
 //! the indexed path ([`shareinsights::tabular::IndexedTable`]), asserting
@@ -54,7 +67,8 @@
 //! differential asserts.
 
 use shareinsights::server::{
-    blocking_get, serve, ClientConnection, Request, ServeMode, ServeOptions, Server,
+    blocking_get, blocking_request, serve, ClientConnection, Request, ServeMode, ServeOptions,
+    Server,
 };
 use shareinsights_core::Platform;
 use std::net::TcpStream;
@@ -135,7 +149,14 @@ fn main() {
         serve_concurrency_benchmark();
         return;
     }
+    let stream_mode = args.iter().any(|a| a == "--stream-bench");
     let mut nums = args.iter().filter(|a| !a.starts_with("--"));
+    if stream_mode {
+        let subscribers: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(500);
+        let ticks: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+        stream_benchmark(subscribers, ticks);
+        return;
+    }
     if cold_mode {
         let rows: usize = nums
             .next()
@@ -482,6 +503,215 @@ fn serve_concurrency_benchmark() {
     println!("{}", config_docs.join(",\n"));
     println!("  ]");
     println!("}}");
+}
+
+/// The `--stream-bench` mode: quantify live-flow delivery. A reactor
+/// service carries `subscribers` idle SSE subscriptions plus a handful of
+/// actively reading probes while `ticks` micro-batches are pushed; the
+/// probes timestamp every generation-delta frame against the instant its
+/// push was initiated, and the resulting tick-to-push p50/p95 goes to
+/// stdout as a JSON document — the source of the committed
+/// `BENCH_stream_latency.json`. Asserts (the CI streaming smoke job
+/// relies on them): zero 5xx, strictly increasing generations on every
+/// subscriber — herd included — zero evictions, and a well-formed
+/// `/metrics` exposition carrying the `shareinsights_stream_*` families.
+fn stream_benchmark(subscribers: usize, ticks: usize) {
+    use shareinsights_core::trace::EventLog;
+    const PROBES: usize = 8;
+
+    eprintln!(
+        "stream benchmark: {subscribers} idle subscribers + {PROBES} probes, {ticks} ticks (reactor)"
+    );
+    let opts = ServeOptions {
+        serve_mode: ServeMode::Reactor,
+        // The herd must outlive the measured run.
+        idle_timeout: Duration::from_secs(120),
+        event_log: EventLog::in_memory(),
+        ..ServeOptions::default()
+    };
+    let mut svc =
+        serve(Server::new(retail_platform()), "127.0.0.1:0", opts).expect("bind ephemeral port");
+    let addr = svc.local_addr();
+
+    let (code, body) = blocking_request(addr, "POST", "/dashboards/retail/stream/start", "")
+        .expect("stream start");
+    assert_eq!(code, 200, "stream start must succeed: {body}");
+
+    // The idle herd holds live subscriptions for the whole run without
+    // reading; everything it is owed sits in kernel socket buffers until
+    // the post-run drain checks it.
+    let mut herd = Vec::with_capacity(subscribers);
+    for i in 0..subscribers {
+        let conn =
+            ClientConnection::connect(addr).unwrap_or_else(|e| panic!("subscriber {i}: {e}"));
+        let sub = conn
+            .subscribe("/retail/ds/brand_sales/subscribe")
+            .unwrap_or_else(|e| panic!("subscribe {i}: {e}"));
+        herd.push(sub);
+    }
+    eprintln!("herd of {subscribers} subscribed");
+
+    let pct = |sorted: &[u64], p: f64| -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let idx = ((sorted.len() as f64 * p).ceil() as usize).max(1) - 1;
+        sorted[idx.min(sorted.len() - 1)]
+    };
+
+    // Probes subscribe, swallow their snapshot, and rendezvous with the
+    // pusher so no probe can subscribe mid-sequence and miss a tick.
+    let barrier = std::sync::Barrier::new(PROBES + 1);
+    let barrier = &barrier;
+    let mut push_t0 = Vec::with_capacity(ticks);
+    let probe_events: Vec<Vec<(u64, Instant)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..PROBES)
+            .map(|p| {
+                scope.spawn(move || {
+                    let conn = ClientConnection::connect(addr).expect("probe connect");
+                    let mut sub = conn
+                        .subscribe("/retail/ds/brand_sales/subscribe")
+                        .expect("probe subscribe");
+                    let mut snapshot = Vec::new();
+                    while snapshot.is_empty() {
+                        snapshot = sub
+                            .next_events(Duration::from_millis(250))
+                            .unwrap_or_else(|e| panic!("probe {p} snapshot: {e}"));
+                    }
+                    barrier.wait();
+                    let mut deltas = Vec::with_capacity(ticks);
+                    let deadline = Instant::now() + Duration::from_secs(30);
+                    while deltas.len() < ticks && Instant::now() < deadline {
+                        let batch = sub
+                            .next_events(Duration::from_millis(250))
+                            .unwrap_or_else(|e| panic!("probe {p}: {e}"));
+                        let received = Instant::now();
+                        deltas.extend(batch.into_iter().map(|ev| (ev.id, received)));
+                    }
+                    assert_eq!(deltas.len(), ticks, "probe {p} missed frames");
+                    deltas
+                })
+            })
+            .collect();
+
+        barrier.wait();
+        for t in 0..ticks {
+            let body = format!(
+                "north,streamed_{t},{}\nsouth,streamed_{t},{}\n",
+                t + 1,
+                t + 2
+            );
+            push_t0.push(Instant::now());
+            let (code, resp) =
+                blocking_request(addr, "POST", "/dashboards/retail/stream/push/sales", &body)
+                    .expect("push");
+            assert_eq!(code, 200, "push {t} must not 5xx: {resp}");
+            // Pace the ticks apart so each frame's delivery is measured
+            // on an otherwise quiet wire.
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("probe thread"))
+            .collect()
+    });
+
+    // Tick-to-push latency: k-th delta frame against the k-th push.
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(PROBES * ticks);
+    for (p, deltas) in probe_events.iter().enumerate() {
+        let mut last = 0u64;
+        for (k, (generation, received)) in deltas.iter().enumerate() {
+            assert!(
+                *generation > last,
+                "probe {p}: generation {generation} after {last} — not monotonic"
+            );
+            last = *generation;
+            latencies_us.push(received.duration_since(push_t0[k]).as_micros() as u64);
+        }
+    }
+    latencies_us.sort_unstable();
+    let (p50, p95, p99) = (
+        pct(&latencies_us, 0.50),
+        pct(&latencies_us, 0.95),
+        pct(&latencies_us, 0.99),
+    );
+    eprintln!("tick-to-push: p50 {p50}µs  p95 {p95}µs  p99 {p99}µs");
+
+    // Drain the herd: every subscriber is owed its snapshot plus one
+    // frame per tick, in strictly increasing generation order.
+    for (i, sub) in herd.iter_mut().enumerate() {
+        let want = 1 + ticks;
+        let mut got = Vec::with_capacity(want);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while got.len() < want && Instant::now() < deadline {
+            got.extend(
+                sub.next_events(Duration::from_millis(100))
+                    .unwrap_or_else(|e| panic!("herd subscriber {i}: {e}")),
+            );
+        }
+        assert_eq!(got.len(), want, "herd subscriber {i} missed frames");
+        let mut last: Option<u64> = None;
+        for ev in &got {
+            assert!(
+                last.is_none_or(|l| ev.id > l),
+                "herd subscriber {i}: generation {} after {last:?}",
+                ev.id
+            );
+            last = Some(ev.id);
+        }
+    }
+    eprintln!(
+        "herd drained: {} frames each, generations monotonic",
+        1 + ticks
+    );
+
+    let (code, stats) = blocking_get(addr, "/stats").expect("/stats");
+    assert_eq!(code, 200);
+    let doc = shareinsights_tabular::io::json::parse_json(&stats).expect("stats json");
+    let stream_stat = |key: &str| -> i64 {
+        doc.path(&format!("stream.{key}"))
+            .unwrap_or_else(|| panic!("no stream.{key} in {stats}"))
+            .to_value()
+            .as_int()
+            .unwrap()
+    };
+    assert_eq!(
+        stream_stat("ticks"),
+        ticks as i64,
+        "every push must be recorded as a tick"
+    );
+    assert_eq!(
+        stream_stat("dropped_subscribers"),
+        0,
+        "no subscriber may be evicted during the paced run: {stats}"
+    );
+    let frames_sent = stream_stat("frames_sent");
+    let peak = stream_stat("peak_subscribers");
+    assert!(
+        peak >= (subscribers + PROBES) as i64,
+        "peak subscriber gauge must cover the herd: {peak}"
+    );
+
+    let (code, metrics) = blocking_get(addr, "/metrics").expect("/metrics");
+    assert_eq!(code, 200);
+    validate_exposition(&metrics);
+    assert!(
+        metrics.contains("shareinsights_stream_frames_sent_total"),
+        "stream series missing from /metrics"
+    );
+    eprintln!("/metrics exposition OK ({} lines)", metrics.lines().count());
+
+    println!("{{");
+    println!("  \"subscribers\": {subscribers},");
+    println!("  \"probes\": {PROBES},");
+    println!("  \"ticks\": {ticks},");
+    println!("  \"frames_sent\": {frames_sent},");
+    println!("  \"evicted_subscribers\": 0,");
+    println!("  \"tick_to_push\": {{\"p50_us\": {p50}, \"p95_us\": {p95}, \"p99_us\": {p99}}}");
+    println!("}}");
+
+    drop(herd);
+    svc.shutdown();
 }
 
 /// The `--cold` mode: measure the scan-vs-indexed delta on cold (cache

@@ -1,0 +1,188 @@
+//! Dual-mode conformance for live streaming flows.
+//!
+//! A subscriber must observe the same stream regardless of which serving
+//! core delivers it: for the same tick sequence, the thread-per-connection
+//! pool and the epoll reactor must push byte-identical generation-delta
+//! frames. That holds by construction — frames are built once, at publish
+//! time, in the router — and these tests pin the construction down at the
+//! wire level.
+
+use shareinsights::server::{
+    blocking_get, blocking_request, serve, ClientConnection, ServeMode, ServeOptions, Server,
+    ServiceHandle, SseSubscriber,
+};
+use shareinsights_core::Platform;
+use shareinsights_tabular::io::json::parse_json;
+use std::time::Duration;
+
+const FLOW: &str = r#"
+D:
+  sales: [region, brand, revenue]
+D.sales:
+  source: 'sales.csv'
+  format: csv
+T:
+  by_brand:
+    type: groupby
+    groupby: [region, brand]
+    aggregates:
+    - operator: sum
+      apply_on: revenue
+      out_field: revenue
+F:
+  +D.brand_sales: D.sales | T.by_brand
+  D.brand_sales:
+    publish: brand_sales
+"#;
+
+const BOTH_MODES: [ServeMode; 2] = [ServeMode::ThreadPerConnection, ServeMode::Reactor];
+
+/// The tick sequence every test pushes — identical across modes, so the
+/// resulting frames must be too.
+const TICKS: [&str; 3] = [
+    "north,stream_brand,5\nsouth,stream_brand,7\n",
+    "north,stream_brand,11\n",
+    "south,other_brand,2\nsouth,other_brand,3\n",
+];
+
+fn retail_platform() -> Platform {
+    let platform = Platform::new();
+    let mut csv = String::from("region,brand,revenue\n");
+    for i in 0..4 {
+        let region = if i % 2 == 0 { "north" } else { "south" };
+        csv.push_str(&format!("{region},brand_number_{i},{}\n", i * 3 + 1));
+    }
+    platform.upload_data("retail", "sales.csv", &csv);
+    platform.save_flow("retail", FLOW).unwrap();
+    platform.run_dashboard("retail").unwrap();
+    platform
+}
+
+fn retail_service(mode: ServeMode) -> ServiceHandle {
+    let opts = ServeOptions {
+        serve_mode: mode,
+        ..ServeOptions::default()
+    };
+    serve(Server::new(retail_platform()), "127.0.0.1:0", opts).expect("bind ephemeral port")
+}
+
+/// Drain events from `sub` until `want` have arrived (or time runs out).
+fn collect(sub: &mut SseSubscriber, want: usize) -> Vec<shareinsights::server::SseEvent> {
+    let mut events = Vec::new();
+    for _ in 0..40 {
+        if events.len() >= want {
+            break;
+        }
+        match sub.next_events(Duration::from_millis(250)) {
+            Ok(batch) => events.extend(batch),
+            Err(e) => panic!("subscriber read failed: {e}"),
+        }
+        if sub.terminated() {
+            break;
+        }
+    }
+    events
+}
+
+fn stat(stats_body: &str, path: &str) -> i64 {
+    parse_json(stats_body)
+        .unwrap()
+        .path(path)
+        .unwrap_or_else(|| panic!("no {path} in {stats_body}"))
+        .to_value()
+        .as_int()
+        .unwrap_or_else(|| panic!("{path} not an int in {stats_body}"))
+}
+
+#[test]
+fn subscribers_receive_identical_frames_in_both_modes() {
+    let mut per_mode: Vec<Vec<Vec<u8>>> = Vec::new();
+    for mode in BOTH_MODES {
+        let mut svc = retail_service(mode);
+        let addr = svc.local_addr();
+
+        let (code, body) =
+            blocking_request(addr, "POST", "/dashboards/retail/stream/start", "").unwrap();
+        assert_eq!(code, 200, "{mode:?}: {body}");
+
+        let conn = ClientConnection::connect(addr).unwrap();
+        let mut sub = conn.subscribe("/retail/ds/brand_sales/subscribe").unwrap();
+
+        // The initial snapshot frame arrives before any tick.
+        let snapshot = collect(&mut sub, 1);
+        assert_eq!(snapshot.len(), 1, "{mode:?}: want one snapshot frame");
+        assert_eq!(snapshot[0].event, "brand_sales", "{mode:?}");
+
+        for tick in TICKS {
+            let (code, body) =
+                blocking_request(addr, "POST", "/dashboards/retail/stream/push/sales", tick)
+                    .unwrap();
+            assert_eq!(code, 200, "{mode:?}: {body}");
+        }
+
+        let deltas = collect(&mut sub, TICKS.len());
+        assert_eq!(deltas.len(), TICKS.len(), "{mode:?}: one frame per tick");
+
+        // Generations advance strictly — every frame supersedes the last.
+        let mut last = snapshot[0].id;
+        for event in &deltas {
+            assert!(
+                event.id > last,
+                "{mode:?}: generation {} after {last}",
+                event.id
+            );
+            last = event.id;
+        }
+
+        per_mode.push(
+            snapshot
+                .iter()
+                .chain(deltas.iter())
+                .map(|e| e.raw.clone())
+                .collect(),
+        );
+        svc.shutdown();
+    }
+
+    // The acceptance bar: byte-identical frames, mode against mode.
+    assert_eq!(
+        per_mode[0], per_mode[1],
+        "thread-mode and reactor subscribers diverged"
+    );
+}
+
+#[test]
+fn disconnecting_subscriber_is_reaped_in_both_modes() {
+    for mode in BOTH_MODES {
+        let mut svc = retail_service(mode);
+        let addr = svc.local_addr();
+
+        let (code, _) =
+            blocking_request(addr, "POST", "/dashboards/retail/stream/start", "").unwrap();
+        assert_eq!(code, 200, "{mode:?}");
+
+        let conn = ClientConnection::connect(addr).unwrap();
+        let mut sub = conn.subscribe("/retail/ds/brand_sales/subscribe").unwrap();
+        assert_eq!(collect(&mut sub, 1).len(), 1, "{mode:?}");
+
+        let (_, stats) = blocking_get(addr, "/stats").unwrap();
+        assert_eq!(stat(&stats, "stream.subscribers"), 1, "{mode:?}: {stats}");
+
+        // Hang up without unsubscribing; the serving loop must notice and
+        // tidy the registration on its own.
+        drop(sub);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let (_, stats) = blocking_get(addr, "/stats").unwrap();
+            if stat(&stats, "stream.subscribers") == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{mode:?}: subscriber gauge never returned to zero: {stats}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        svc.shutdown();
+    }
+}
