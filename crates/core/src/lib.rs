@@ -49,6 +49,6 @@ pub use meta::{build_meta_dashboard, profile_table, ColumnProfile, MetaDashboard
 pub use platform::{Platform, StreamPushReport, StreamStartInfo};
 pub use telemetry::{
     ApiMetrics, IndexStats, LatencyHistogram, OperatorStats, ReactorStats, RouteStats, RunEvent,
-    RunKind, RunLog, StreamStats, UsageCounts,
+    RunKind, RunLog, SqlStats, StreamStats, UsageCounts,
 };
 pub use trace::{AttrValue, EventLog, Span, SpanRecord, TraceId, TraceRecord, Tracer};

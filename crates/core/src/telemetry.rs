@@ -361,6 +361,25 @@ pub struct StreamStats {
     pub dropped_subscribers: u64,
 }
 
+/// SQL frontend statistics: parse/lower outcomes for the `POST
+/// /:dashboard/ds/:dataset/sql` route and the malformed-query counter
+/// both ad-hoc query languages share. All zeros until a SQL (or
+/// malformed path) query arrives.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SqlStats {
+    /// Successfully parsed + lowered SQL queries.
+    pub queries: u64,
+    /// Queries rejected with a diagnostic — SQL texts that failed to
+    /// parse/lower *and* malformed path-segment query ops (both routes
+    /// return the same structured 400 body).
+    pub parse_errors: u64,
+    /// SQL queries whose plan canonicalised to path-grammar segments and
+    /// therefore shared cache entries with the path-segment route.
+    pub path_shared: u64,
+    /// Total parse + lower time across all SQL queries, µs.
+    pub parse_us: u64,
+}
+
 /// Thread-safe per-route metrics registry for the serving path.
 #[derive(Debug, Clone, Default)]
 pub struct ApiMetrics {
@@ -370,6 +389,7 @@ pub struct ApiMetrics {
     index: Arc<RwLock<IndexStats>>,
     reactor: Arc<RwLock<ReactorStats>>,
     stream: Arc<RwLock<StreamStats>>,
+    sql: Arc<RwLock<SqlStats>>,
 }
 
 impl ApiMetrics {
@@ -548,6 +568,27 @@ impl ApiMetrics {
     /// Snapshot of the continuous-execution counters.
     pub fn stream(&self) -> StreamStats {
         self.stream.read().clone()
+    }
+
+    /// Record one successfully parsed + lowered SQL query.
+    pub fn record_sql_query(&self, parse_us: u64, path_shared: bool) {
+        let mut s = self.sql.write();
+        s.queries += 1;
+        s.parse_us += parse_us;
+        if path_shared {
+            s.path_shared += 1;
+        }
+    }
+
+    /// Record a malformed ad-hoc query (either language) rejected with a
+    /// structured parse diagnostic.
+    pub fn record_sql_parse_error(&self) {
+        self.sql.write().parse_errors += 1;
+    }
+
+    /// Snapshot of the SQL frontend counters.
+    pub fn sql(&self) -> SqlStats {
+        self.sql.read().clone()
     }
 
     /// Snapshot of every route's stats.
@@ -750,6 +791,22 @@ mod tests {
         m.record_stream_unsubscribe();
         m.record_stream_unsubscribe();
         assert_eq!(m.stream().subscribers, 0);
+    }
+
+    #[test]
+    fn sql_metrics_accumulate() {
+        let m = ApiMetrics::new();
+        assert_eq!(m.sql(), SqlStats::default());
+        m.record_sql_query(120, true);
+        m.record_sql_query(80, false);
+        m.record_sql_parse_error();
+        m.record_sql_parse_error();
+        m.record_sql_parse_error();
+        let s = m.sql();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.parse_us, 200);
+        assert_eq!(s.path_shared, 1);
+        assert_eq!(s.parse_errors, 3);
     }
 
     #[test]

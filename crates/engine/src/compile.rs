@@ -446,6 +446,32 @@ F:
     }
 
     #[test]
+    fn sql_task_compiles_to_a_pipeline_with_propagated_schema() {
+        let src = "D:\n  sales: [region, brand, revenue]\nT:\n  top:\n    type: sql\n    \
+                   query: \"select region, sum(revenue) from sales group by region \
+                   order by sum_revenue desc limit 3\"\nF:\n  D.best: D.sales | T.top\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        let reg = TaskRegistry::new();
+        let p = compile(&ff, &CompileEnv::bare(&reg)).unwrap();
+        assert_eq!(
+            p.schemas.get("best").unwrap().names(),
+            vec!["region", "sum_revenue"]
+        );
+    }
+
+    #[test]
+    fn sql_task_with_bad_query_reports_the_diagnostic() {
+        let src = "D:\n  sales: [region]\nT:\n  bad:\n    type: sql\n    \
+                   query: \"select from sales\"\nF:\n  D.out: D.sales | T.bad\n";
+        let ff = parse_flow_file("t", src).unwrap();
+        let reg = TaskRegistry::new();
+        let err = compile(&ff, &CompileEnv::bare(&reg)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("invalid SQL"), "{msg}");
+        assert!(msg.contains("line 1"), "spanned: {msg}");
+    }
+
+    #[test]
     fn fan_in_with_union_compiles() {
         let src =
             "D:\n  a: [x]\n  b: [x]\nT:\n  u:\n    type: union\nF:\n  D.c: (D.a, D.b) | T.u\n";

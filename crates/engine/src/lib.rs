@@ -31,6 +31,7 @@ pub mod ext;
 pub mod graph;
 pub mod optimizer;
 pub mod selection;
+pub mod sql;
 pub mod stream;
 pub mod task;
 

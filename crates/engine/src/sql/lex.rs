@@ -1,0 +1,373 @@
+//! Hand-rolled SQL tokenizer. No dependencies, no panics: every byte of
+//! arbitrary input either becomes a token or a spanned [`SqlError`].
+
+use super::SqlError;
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What it is.
+    pub tok: Tok,
+    /// Byte offset of the first character.
+    pub offset: usize,
+}
+
+/// Token payloads. Keywords are not distinguished here — the parser
+/// matches identifiers case-insensitively in context, so `select` stays
+/// usable as a column name wherever the grammar is unambiguous.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier: name plus whether it was `"quoted"`. Quoted
+    /// identifiers are never treated as keywords, so reserved words stay
+    /// usable as column names.
+    Ident(String, bool),
+    /// Single-quoted string literal; `''` escapes a quote.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Punctuation or operator.
+    Sym(Sym),
+}
+
+/// Punctuation and comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `-` (only valid before a numeric literal).
+    Minus,
+    /// `=` or `==`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Sym {
+    /// Spelling used in diagnostics.
+    pub fn spelling(self) -> &'static str {
+        match self {
+            Sym::LParen => "(",
+            Sym::RParen => ")",
+            Sym::Comma => ",",
+            Sym::Star => "*",
+            Sym::Dot => ".",
+            Sym::Semi => ";",
+            Sym::Minus => "-",
+            Sym::Eq => "=",
+            Sym::Ne => "!=",
+            Sym::Lt => "<",
+            Sym::Le => "<=",
+            Sym::Gt => ">",
+            Sym::Ge => ">=",
+        }
+    }
+}
+
+impl Tok {
+    /// Short description for "expected X, found Y" diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s, _) => format!("'{s}'"),
+            Tok::Str(_) => "string literal".to_string(),
+            Tok::Int(i) => format!("'{i}'"),
+            Tok::Float(f) => format!("'{f}'"),
+            Tok::Sym(s) => format!("'{}'", s.spelling()),
+        }
+    }
+}
+
+/// Tokenize a query. Whitespace separates tokens; `--` starts a
+/// line comment. Returns the first lexical error encountered.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => push_sym(&mut out, Sym::LParen, start, &mut i),
+            b')' => push_sym(&mut out, Sym::RParen, start, &mut i),
+            b',' => push_sym(&mut out, Sym::Comma, start, &mut i),
+            b'*' => push_sym(&mut out, Sym::Star, start, &mut i),
+            b'.' => push_sym(&mut out, Sym::Dot, start, &mut i),
+            b';' => push_sym(&mut out, Sym::Semi, start, &mut i),
+            b'-' => push_sym(&mut out, Sym::Minus, start, &mut i),
+            b'=' => {
+                i += if bytes.get(i + 1) == Some(&b'=') {
+                    2
+                } else {
+                    1
+                };
+                out.push(Token {
+                    tok: Tok::Sym(Sym::Eq),
+                    offset: start,
+                });
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    out.push(Token {
+                        tok: Tok::Sym(Sym::Ne),
+                        offset: start,
+                    });
+                } else {
+                    return Err(SqlError::at(src, start, "unexpected character '!'"));
+                }
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    i += 2;
+                    out.push(Token {
+                        tok: Tok::Sym(Sym::Le),
+                        offset: start,
+                    });
+                }
+                Some(b'>') => {
+                    i += 2;
+                    out.push(Token {
+                        tok: Tok::Sym(Sym::Ne),
+                        offset: start,
+                    });
+                }
+                _ => push_sym(&mut out, Sym::Lt, start, &mut i),
+            },
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    out.push(Token {
+                        tok: Tok::Sym(Sym::Ge),
+                        offset: start,
+                    });
+                } else {
+                    push_sym(&mut out, Sym::Gt, start, &mut i);
+                }
+            }
+            b'\'' => {
+                let (s, end) = lex_quoted(src, i, b'\'')?;
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    offset: start,
+                });
+                i = end;
+            }
+            b'"' => {
+                let (s, end) = lex_quoted(src, i, b'"')?;
+                if s.is_empty() {
+                    return Err(SqlError::at(src, start, "empty quoted identifier"));
+                }
+                out.push(Token {
+                    tok: Tok::Ident(s, true),
+                    offset: start,
+                });
+                i = end;
+            }
+            b'0'..=b'9' => {
+                let (tok, end) = lex_number(src, i)?;
+                out.push(Token { tok, offset: start });
+                i = end;
+            }
+            _ if b == b'_' || b.is_ascii_alphabetic() => {
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string(), false),
+                    offset: start,
+                });
+            }
+            _ => {
+                // Render the full (possibly multi-byte) character.
+                let ch = src[super::floor_char_boundary(src, i)..]
+                    .chars()
+                    .next()
+                    .unwrap_or('?');
+                return Err(SqlError::at(
+                    src,
+                    start,
+                    format!("unexpected character '{}'", ch.escape_default()),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn push_sym(out: &mut Vec<Token>, sym: Sym, start: usize, i: &mut usize) {
+    *i += 1;
+    out.push(Token {
+        tok: Tok::Sym(sym),
+        offset: start,
+    });
+}
+
+/// Lex a `'...'` string or `"..."` identifier, with doubled-quote escapes.
+/// Returns the unescaped content and the byte index past the closing quote.
+fn lex_quoted(src: &str, start: usize, quote: u8) -> Result<(String, usize), SqlError> {
+    let bytes = src.as_bytes();
+    let mut i = start + 1;
+    let mut s = String::new();
+    while i < bytes.len() {
+        if bytes[i] == quote {
+            if bytes.get(i + 1) == Some(&quote) {
+                s.push(quote as char);
+                i += 2;
+            } else {
+                return Ok((s, i + 1));
+            }
+        } else {
+            // Copy one whole character (handles UTF-8 content).
+            let rest = &src[i..];
+            let ch = rest.chars().next().unwrap_or('\u{fffd}');
+            s.push(ch);
+            i += ch.len_utf8().max(1);
+        }
+    }
+    let what = if quote == b'\'' {
+        "unterminated string literal"
+    } else {
+        "unterminated quoted identifier"
+    };
+    Err(SqlError::at(src, start, what))
+}
+
+/// Lex an unsigned numeric literal: digits, optional fraction, optional
+/// exponent. Returns the token and the byte index past it.
+fn lex_number(src: &str, start: usize) -> Result<(Tok, usize), SqlError> {
+    let bytes = src.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &src[start..i];
+    if is_float {
+        match text.parse::<f64>() {
+            Ok(f) => Ok((Tok::Float(f), i)),
+            Err(_) => Err(SqlError::at(src, start, format!("bad number '{text}'"))),
+        }
+    } else {
+        match text.parse::<i64>() {
+            Ok(n) => Ok((Tok::Int(n), i)),
+            Err(_) => Err(SqlError::at(
+                src,
+                start,
+                format!("integer literal '{text}' out of range"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("select a, sum(b) from t -- trailing\n"),
+            vec![
+                Tok::Ident("select".into(), false),
+                Tok::Ident("a".into(), false),
+                Tok::Sym(Sym::Comma),
+                Tok::Ident("sum".into(), false),
+                Tok::Sym(Sym::LParen),
+                Tok::Ident("b".into(), false),
+                Tok::Sym(Sym::RParen),
+                Tok::Ident("from".into(), false),
+                Tok::Ident("t".into(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_literals() {
+        assert_eq!(
+            toks("a <= 2.5 and b <> 'it''s' or c == 3e2"),
+            vec![
+                Tok::Ident("a".into(), false),
+                Tok::Sym(Sym::Le),
+                Tok::Float(2.5),
+                Tok::Ident("and".into(), false),
+                Tok::Ident("b".into(), false),
+                Tok::Sym(Sym::Ne),
+                Tok::Str("it's".into()),
+                Tok::Ident("or".into(), false),
+                Tok::Ident("c".into(), false),
+                Tok::Sym(Sym::Eq),
+                Tok::Float(300.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifier_and_errors() {
+        assert_eq!(
+            toks("\"odd name\""),
+            vec![Tok::Ident("odd name".into(), true)]
+        );
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("99999999999999999999").is_err());
+        let err = tokenize("x @ y").unwrap_err();
+        assert_eq!((err.line, err.column), (1, 3));
+    }
+
+    #[test]
+    fn multibyte_content_is_preserved() {
+        assert_eq!(toks("'héllo'"), vec![Tok::Str("héllo".into())]);
+        assert!(tokenize("héllo").is_err(), "non-ascii bare ident rejected");
+    }
+}

@@ -1,0 +1,751 @@
+//! Recursive-descent SQL parser producing a [`SelectStmt`].
+//!
+//! The grammar is a pragmatic `SELECT` subset (see the module docs). The
+//! parser is total: any input — valid, hostile, or random bytes — either
+//! yields an AST or a spanned [`SqlError`]; it never panics and always
+//! advances (expression nesting is depth-capped, so adversarial
+//! `((((...` input errors out instead of exhausting the stack).
+
+use super::lex::{tokenize, Sym, Tok, Token};
+use super::SqlError;
+use shareinsights_tabular::agg::AggKind;
+use shareinsights_tabular::expr::{CmpOp, Expr};
+use shareinsights_tabular::ops::{SortKey, SortOrder};
+use shareinsights_tabular::Value;
+
+/// Maximum boolean-expression nesting depth (parentheses + `NOT`).
+const MAX_DEPTH: usize = 64;
+
+/// Words with grammatical meaning. Bare identifiers matching these are
+/// rejected in name position (quote them — `"from"` — to use as names);
+/// this is what lets the parser stop a select list at `FROM` instead of
+/// swallowing the keyword as a column.
+const RESERVED: &[&str] = &[
+    "select", "distinct", "from", "join", "inner", "on", "where", "group", "order", "by", "asc",
+    "desc", "limit", "offset", "and", "or", "not", "in", "between", "is", "null", "true", "false",
+    "as", "having", "union",
+];
+
+fn is_reserved(name: &str) -> bool {
+    RESERVED.iter().any(|k| name.eq_ignore_ascii_case(k))
+}
+
+/// One `SELECT` list entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The projected thing.
+    pub kind: ItemKind,
+    /// `AS alias` (aggregates only; renames the output column).
+    pub alias: Option<String>,
+    /// Byte offset of the item's first token (for diagnostics).
+    pub offset: usize,
+}
+
+/// What a select item projects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ItemKind {
+    /// `*`
+    Star,
+    /// A bare column.
+    Column(String),
+    /// `agg(col)` or `count(*)` (`apply_on` empty for `count(*)`).
+    Aggregate {
+        /// Aggregate function.
+        func: AggKind,
+        /// Input column (empty for `count(*)`).
+        apply_on: String,
+    },
+}
+
+/// `JOIN other ON left_col = right_col` (inner equi-join).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinClause {
+    /// Right-side endpoint name.
+    pub table: String,
+    /// Key column on the left (FROM) side.
+    pub left_on: String,
+    /// Key column on the joined side.
+    pub right_on: String,
+    /// Byte offset of the `JOIN` keyword.
+    pub offset: usize,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Select list, in source order.
+    pub items: Vec<SelectItem>,
+    /// `FROM` endpoint name.
+    pub table: String,
+    /// Inner joins, in source order.
+    pub joins: Vec<JoinClause>,
+    /// `WHERE` predicate, already in the shared [`Expr`] vocabulary.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` key columns.
+    pub group_by: Vec<String>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<SortKey>,
+    /// `LIMIT n`.
+    pub limit: Option<usize>,
+    /// `OFFSET n`.
+    pub offset_rows: Option<usize>,
+}
+
+/// Parse one `SELECT` statement (an optional trailing `;` is allowed).
+pub fn parse_select(src: &str) -> Result<SelectStmt, SqlError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser {
+        src,
+        toks,
+        pos: 0,
+        depth: 0,
+    };
+    let stmt = p.select_stmt()?;
+    if p.eat_sym(Sym::Semi) {
+        // allow one trailing semicolon
+    }
+    match p.peek() {
+        None => Ok(stmt),
+        Some(t) => Err(p.err_at(
+            t.offset,
+            format!("unexpected {} after end of query", t.tok.describe()),
+        )),
+    }
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    toks: Vec<Token>,
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> usize {
+        self.peek().map(|t| t.offset).unwrap_or(self.src.len())
+    }
+
+    fn err_at(&self, offset: usize, message: impl Into<String>) -> SqlError {
+        SqlError::at(self.src, offset, message)
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> SqlError {
+        self.err_at(self.here(), message)
+    }
+
+    /// Case-insensitive keyword check without consuming. Quoted
+    /// identifiers are never keywords.
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token { tok: Tok::Ident(s, false), .. }) if s.eq_ignore_ascii_case(kw)
+        )
+    }
+
+    /// Consume a keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Require a keyword.
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            let found = match self.peek() {
+                Some(t) => t.tok.describe(),
+                None => "end of query".to_string(),
+            };
+            Err(self.err_here(format!("expected {}, found {found}", kw.to_uppercase())))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: Sym) -> bool {
+        if matches!(self.peek(), Some(Token { tok: Tok::Sym(s), .. }) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: Sym) -> Result<(), SqlError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            let found = match self.peek() {
+                Some(t) => t.tok.describe(),
+                None => "end of query".to_string(),
+            };
+            Err(self.err_here(format!("expected '{}', found {found}", sym.spelling())))
+        }
+    }
+
+    /// Require an identifier (column / table name). Bare reserved words
+    /// are rejected here so clause keywords terminate name lists.
+    fn expect_ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match self.peek() {
+            Some(Token {
+                tok: Tok::Ident(s, quoted),
+                offset,
+            }) => {
+                if !quoted && is_reserved(s) {
+                    return Err(self.err_at(
+                        *offset,
+                        format!("expected {what}, found keyword '{s}' (quote it to use as a name)"),
+                    ));
+                }
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(t) => Err(self.err_at(
+                t.offset,
+                format!("expected {what}, found {}", t.tok.describe()),
+            )),
+            None => Err(self.err_here(format!("expected {what}, found end of query"))),
+        }
+    }
+
+    fn select_stmt(&mut self) -> Result<SelectStmt, SqlError> {
+        self.expect_kw("select")?;
+        // `DISTINCT` as set quantifier, unless it is the `distinct(col)`
+        // aggregate call.
+        let distinct = self.at_kw("distinct")
+            && !matches!(
+                self.peek2(),
+                Some(Token {
+                    tok: Tok::Sym(Sym::LParen),
+                    ..
+                })
+            )
+            && {
+                self.pos += 1;
+                true
+            };
+        let items = self.select_list()?;
+        self.expect_kw("from")?;
+        let table = self.expect_ident("table name")?;
+        let mut joins = Vec::new();
+        loop {
+            let offset = self.here();
+            if self.eat_kw("inner") {
+                self.expect_kw("join")?;
+            } else if !self.eat_kw("join") {
+                break;
+            }
+            joins.push(self.join_clause(&table, offset)?);
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr_or()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expect_ident("GROUP BY column")?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let column = self.expect_ident("ORDER BY column")?;
+                let order = if self.eat_kw("desc") {
+                    SortOrder::Desc
+                } else {
+                    self.eat_kw("asc");
+                    SortOrder::Asc
+                };
+                order_by.push(SortKey { column, order });
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            Some(self.expect_count("LIMIT")?)
+        } else {
+            None
+        };
+        let offset_rows = if self.eat_kw("offset") {
+            Some(self.expect_count("OFFSET")?)
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            items,
+            table,
+            joins,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+            offset_rows,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        let offset = self.here();
+        if self.eat_sym(Sym::Star) {
+            return Ok(SelectItem {
+                kind: ItemKind::Star,
+                alias: None,
+                offset,
+            });
+        }
+        // Aggregate call? (`ident (` — the name may collide with reserved
+        // words like `distinct`, so look ahead before requiring a plain
+        // identifier.)
+        let is_call = matches!(
+            self.peek(),
+            Some(Token {
+                tok: Tok::Ident(..),
+                ..
+            })
+        ) && matches!(
+            self.peek2(),
+            Some(Token {
+                tok: Tok::Sym(Sym::LParen),
+                ..
+            })
+        );
+        let name = if is_call {
+            match self.bump() {
+                Some(Token {
+                    tok: Tok::Ident(s, _),
+                    ..
+                }) => s,
+                _ => unreachable!("peek said ident"),
+            }
+        } else {
+            self.expect_ident("column or aggregate")?
+        };
+        let kind = if self.eat_sym(Sym::LParen) {
+            let func = AggKind::parse(&name).ok_or_else(|| {
+                self.err_at(offset, format!("unknown aggregate function '{name}'"))
+            })?;
+            let apply_on = if self.eat_sym(Sym::Star) {
+                if func != AggKind::CountAll && func != AggKind::Count {
+                    return Err(self.err_at(
+                        offset,
+                        format!("aggregate '{name}' needs a column, not '*'"),
+                    ));
+                }
+                String::new()
+            } else {
+                self.expect_ident("aggregate input column")?
+            };
+            self.expect_sym(Sym::RParen)?;
+            let func = if apply_on.is_empty() {
+                AggKind::CountAll
+            } else {
+                func
+            };
+            ItemKind::Aggregate { func, apply_on }
+        } else {
+            ItemKind::Column(name)
+        };
+        let alias = if self.eat_kw("as") {
+            Some(self.expect_ident("alias")?)
+        } else {
+            None
+        };
+        Ok(SelectItem {
+            kind,
+            alias,
+            offset,
+        })
+    }
+
+    fn join_clause(&mut self, from_table: &str, offset: usize) -> Result<JoinClause, SqlError> {
+        let table = self.expect_ident("join table name")?;
+        self.expect_kw("on")?;
+        let (aq, a) = self.qualified_ident("join key column")?;
+        self.expect_sym(Sym::Eq)?;
+        let (bq, b) = self.qualified_ident("join key column")?;
+        // Qualifiers, when present, decide which side each key belongs to;
+        // unqualified keys read left-to-right as `left = right`.
+        let (left_on, right_on) =
+            if aq.as_deref() == Some(table.as_str()) || bq.as_deref() == Some(from_table) {
+                (b, a)
+            } else {
+                (a, b)
+            };
+        Ok(JoinClause {
+            table,
+            left_on,
+            right_on,
+            offset,
+        })
+    }
+
+    /// `col` or `table.col`; returns (qualifier, column).
+    fn qualified_ident(&mut self, what: &str) -> Result<(Option<String>, String), SqlError> {
+        let first = self.expect_ident(what)?;
+        if self.eat_sym(Sym::Dot) {
+            let col = self.expect_ident(what)?;
+            Ok((Some(first), col))
+        } else {
+            Ok((None, first))
+        }
+    }
+
+    fn expect_count(&mut self, what: &str) -> Result<usize, SqlError> {
+        match self.peek() {
+            Some(Token {
+                tok: Tok::Int(n),
+                offset,
+            }) => {
+                let (n, offset) = (*n, *offset);
+                self.pos += 1;
+                usize::try_from(n)
+                    .map_err(|_| self.err_at(offset, format!("{what} must be non-negative")))
+            }
+            _ => Err(self.err_here(format!("{what} needs a non-negative integer"))),
+        }
+    }
+
+    // ---- WHERE expression grammar -------------------------------------
+
+    fn expr_or(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.expr_and()?;
+        while self.eat_kw("or") {
+            let rhs = self.expr_and()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_and(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.expr_not()?;
+        while self.eat_kw("and") {
+            let rhs = self.expr_not()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_not(&mut self) -> Result<Expr, SqlError> {
+        self.depth += 1;
+        let result = if self.depth > MAX_DEPTH {
+            Err(self.err_here("expression too deeply nested"))
+        } else if self.eat_kw("not") {
+            Ok(Expr::Not(Box::new(self.expr_not()?)))
+        } else {
+            self.expr_predicate()
+        };
+        self.depth -= 1;
+        result
+    }
+
+    fn expr_predicate(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_sym(Sym::LParen) {
+            self.depth += 1;
+            let inner = if self.depth > MAX_DEPTH {
+                Err(self.err_here("expression too deeply nested"))
+            } else {
+                self.expr_or()
+            };
+            self.depth -= 1;
+            let inner = inner?;
+            self.expect_sym(Sym::RParen)?;
+            return Ok(inner);
+        }
+        let lhs = self.operand()?;
+        // Comparison tail?
+        if let Some(op) = self.eat_cmp() {
+            let rhs = self.operand()?;
+            return Ok(normalize_cmp(op, lhs, rhs));
+        }
+        let negated = self.eat_kw("not");
+        if self.eat_kw("in") {
+            self.expect_sym(Sym::LParen)?;
+            let mut values = Vec::new();
+            loop {
+                values.push(self.literal("IN list value")?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_sym(Sym::RParen)?;
+            let e = Expr::InList(Box::new(lhs), values);
+            return Ok(if negated { Expr::Not(Box::new(e)) } else { e });
+        }
+        if self.eat_kw("between") {
+            let lo = self.operand()?;
+            self.expect_kw("and")?;
+            let hi = self.operand()?;
+            let e = Expr::And(
+                Box::new(Expr::Cmp(CmpOp::Ge, Box::new(lhs.clone()), Box::new(lo))),
+                Box::new(Expr::Cmp(CmpOp::Le, Box::new(lhs), Box::new(hi))),
+            );
+            return Ok(if negated { Expr::Not(Box::new(e)) } else { e });
+        }
+        if negated {
+            return Err(self.err_here("expected IN or BETWEEN after NOT"));
+        }
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            let e = Expr::IsNull(Box::new(lhs));
+            return Ok(if negated { Expr::Not(Box::new(e)) } else { e });
+        }
+        // Bare operand: truthy boolean column (`WHERE active`).
+        Ok(lhs)
+    }
+
+    fn eat_cmp(&mut self) -> Option<CmpOp> {
+        let op = match self.peek()?.tok {
+            Tok::Sym(Sym::Eq) => CmpOp::Eq,
+            Tok::Sym(Sym::Ne) => CmpOp::Ne,
+            Tok::Sym(Sym::Lt) => CmpOp::Lt,
+            Tok::Sym(Sym::Le) => CmpOp::Le,
+            Tok::Sym(Sym::Gt) => CmpOp::Gt,
+            Tok::Sym(Sym::Ge) => CmpOp::Ge,
+            _ => return None,
+        };
+        self.pos += 1;
+        Some(op)
+    }
+
+    /// A comparison operand: column reference or literal.
+    fn operand(&mut self) -> Result<Expr, SqlError> {
+        if let Some(v) = self.try_literal()? {
+            return Ok(Expr::Literal(v));
+        }
+        let name = self.expect_ident("column or literal")?;
+        Ok(Expr::Column(name))
+    }
+
+    /// A literal in value position (IN lists).
+    fn literal(&mut self, what: &str) -> Result<Value, SqlError> {
+        match self.try_literal()? {
+            Some(v) => Ok(v),
+            None => Err(self.err_here(format!("expected {what}"))),
+        }
+    }
+
+    /// Consume a literal if the next token(s) form one.
+    fn try_literal(&mut self) -> Result<Option<Value>, SqlError> {
+        let neg = matches!(
+            self.peek(),
+            Some(Token {
+                tok: Tok::Sym(Sym::Minus),
+                ..
+            })
+        );
+        let at = if neg { self.peek2() } else { self.peek() };
+        let v = match at.map(|t| &t.tok) {
+            Some(Tok::Int(n)) => {
+                let n = *n;
+                Value::Int(if neg { -n } else { n })
+            }
+            Some(Tok::Float(f)) => {
+                let f = *f;
+                Value::Float(if neg { -f } else { f })
+            }
+            Some(Tok::Str(s)) if !neg => Value::Str(s.clone()),
+            Some(Tok::Ident(s, false)) if !neg && s.eq_ignore_ascii_case("true") => {
+                Value::Bool(true)
+            }
+            Some(Tok::Ident(s, false)) if !neg && s.eq_ignore_ascii_case("false") => {
+                Value::Bool(false)
+            }
+            Some(Tok::Ident(s, false)) if !neg && s.eq_ignore_ascii_case("null") => Value::Null,
+            _ if neg => {
+                return Err(self.err_here("expected a number after '-'"));
+            }
+            _ => return Ok(None),
+        };
+        self.pos += if neg { 2 } else { 1 };
+        Ok(Some(v))
+    }
+}
+
+/// Normalize comparisons involving `NULL` to `IS [NOT] NULL` semantics,
+/// matching `tabular::expr::parse_expr`'s convention (`x = null` means
+/// "x is null", not the SQL three-valued never-true comparison).
+fn normalize_cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> Expr {
+    let (null_side, other) = match (&lhs, &rhs) {
+        (Expr::Literal(Value::Null), _) => (true, rhs.clone()),
+        (_, Expr::Literal(Value::Null)) => (true, lhs.clone()),
+        _ => (false, Expr::Literal(Value::Null)),
+    };
+    if null_side {
+        match op {
+            CmpOp::Eq => return Expr::IsNull(Box::new(other)),
+            CmpOp::Ne => return Expr::Not(Box::new(Expr::IsNull(Box::new(other)))),
+            _ => {}
+        }
+    }
+    Expr::Cmp(op, Box::new(lhs), Box::new(rhs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_statement_parses() {
+        let s = parse_select(
+            "SELECT brand, sum(revenue) AS total FROM sales \
+             JOIN regions ON region = name \
+             WHERE units > 2 AND region IN ('east', 'west') \
+             GROUP BY brand ORDER BY total DESC, brand LIMIT 10 OFFSET 5;",
+        )
+        .unwrap();
+        assert!(!s.distinct);
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.items[0].kind, ItemKind::Column("brand".into()));
+        assert_eq!(
+            s.items[1].kind,
+            ItemKind::Aggregate {
+                func: AggKind::Sum,
+                apply_on: "revenue".into()
+            }
+        );
+        assert_eq!(s.items[1].alias.as_deref(), Some("total"));
+        assert_eq!(s.table, "sales");
+        assert_eq!(s.joins.len(), 1);
+        assert_eq!(s.joins[0].table, "regions");
+        assert_eq!(s.joins[0].left_on, "region");
+        assert_eq!(s.joins[0].right_on, "name");
+        assert!(s.where_clause.is_some());
+        assert_eq!(s.group_by, vec!["brand"]);
+        assert_eq!(s.order_by.len(), 2);
+        assert_eq!(s.order_by[0].order, SortOrder::Desc);
+        assert_eq!(s.limit, Some(10));
+        assert_eq!(s.offset_rows, Some(5));
+    }
+
+    #[test]
+    fn where_shapes_lower_to_shared_exprs() {
+        let w = |src: &str| {
+            parse_select(&format!("select * from t where {src}"))
+                .unwrap()
+                .where_clause
+                .unwrap()
+        };
+        assert_eq!(
+            w("a = 1"),
+            Expr::cmp(CmpOp::Eq, Expr::col("a"), Expr::lit(1i64))
+        );
+        assert_eq!(
+            w("a between 1 and 3"),
+            Expr::And(
+                Box::new(Expr::cmp(CmpOp::Ge, Expr::col("a"), Expr::lit(1i64))),
+                Box::new(Expr::cmp(CmpOp::Le, Expr::col("a"), Expr::lit(3i64))),
+            )
+        );
+        assert_eq!(
+            w("a in (1, 'x')"),
+            Expr::InList(
+                Box::new(Expr::col("a")),
+                vec![Value::Int(1), Value::Str("x".into())]
+            )
+        );
+        assert_eq!(w("a is null"), Expr::IsNull(Box::new(Expr::col("a"))));
+        assert_eq!(
+            w("a != null"),
+            Expr::Not(Box::new(Expr::IsNull(Box::new(Expr::col("a")))))
+        );
+        assert_eq!(w("a = null"), Expr::IsNull(Box::new(Expr::col("a"))));
+        assert_eq!(
+            w("not (a = 1 or b < -2.5)"),
+            Expr::Not(Box::new(Expr::Or(
+                Box::new(Expr::cmp(CmpOp::Eq, Expr::col("a"), Expr::lit(1i64))),
+                Box::new(Expr::cmp(CmpOp::Lt, Expr::col("b"), Expr::lit(-2.5))),
+            )))
+        );
+    }
+
+    #[test]
+    fn count_star_and_distinct() {
+        let s = parse_select("select count(*) from t").unwrap();
+        assert_eq!(
+            s.items[0].kind,
+            ItemKind::Aggregate {
+                func: AggKind::CountAll,
+                apply_on: String::new()
+            }
+        );
+        let s = parse_select("select distinct region from t").unwrap();
+        assert!(s.distinct);
+        // `distinct(x)` is the count_distinct aggregate, not the quantifier.
+        let s = parse_select("select distinct(x) from t").unwrap();
+        assert!(!s.distinct);
+        assert_eq!(
+            s.items[0].kind,
+            ItemKind::Aggregate {
+                func: AggKind::CountDistinct,
+                apply_on: "x".into()
+            }
+        );
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let e = parse_select("select from t").unwrap_err();
+        assert_eq!((e.line, e.column), (1, 8), "{e}");
+        let e = parse_select("select * from t where a ~ 1").unwrap_err();
+        assert!(e.to_string().contains("line 1, column 25"), "{e}");
+        let e = parse_select("select * from t limit -1").unwrap_err();
+        assert!(e.message.contains("non-negative"), "{e}");
+        let e = parse_select("select bogus(x) from t").unwrap_err();
+        assert!(e.message.contains("unknown aggregate"), "{e}");
+        assert!(parse_select("").is_err());
+        assert!(parse_select("select * from t extra").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let q = format!(
+            "select * from t where {}a = 1{}",
+            "(".repeat(500),
+            ")".repeat(500)
+        );
+        let e = parse_select(&q).unwrap_err();
+        assert!(e.message.contains("deeply nested"), "{e}");
+    }
+}

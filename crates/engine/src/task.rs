@@ -214,6 +214,13 @@ fn interpret_task_inner(def: &TaskDef, env: &InterpretEnv<'_>, depth: usize) -> 
             TaskKind::Limit(n)
         }
         "union" => TaskKind::Union,
+        "sql" => {
+            let query = scalar_param(&def.params, "query")
+                .ok_or_else(|| cfg_err(name, "sql needs 'query: \"SELECT ...\"'"))?;
+            let stages = crate::sql::tasks_for_flow(name, query)
+                .map_err(|e| cfg_err(name, format!("invalid SQL: {e}")))?;
+            TaskKind::Parallel(stages)
+        }
         "project" | "select" => {
             let cols = list_param(&def.params, "columns");
             if cols.is_empty() {

@@ -41,6 +41,7 @@ pub mod query;
 pub mod reactor;
 pub mod router;
 pub mod serve;
+pub mod sql;
 pub mod stream;
 pub mod traces;
 pub mod wire;

@@ -11,7 +11,7 @@ use crate::cache::CacheStats;
 use crate::http::Method;
 use shareinsights_core::telemetry::{
     ConnectionStats, IndexStats, LatencyHistogram, OperatorStats, ReactorStats, RouteStats,
-    StreamStats, CONN_REQUESTS_BOUNDS, LATENCY_BOUNDS_US,
+    SqlStats, StreamStats, CONN_REQUESTS_BOUNDS, LATENCY_BOUNDS_US,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -53,6 +53,7 @@ pub fn route_label(method: Method, segments: &[&str]) -> &'static str {
         (Method::Get, [_, "ds"]) => "GET /:dashboard/ds",
         (Method::Get, [_, "ds", _]) => "GET /:dashboard/ds/:dataset",
         (Method::Get, [_, "ds", _, "subscribe"]) => "GET /:dashboard/ds/:dataset/subscribe",
+        (Method::Post, [_, "ds", _, "sql"]) => "POST /:dashboard/ds/:dataset/sql",
         (Method::Get, [_, "ds", _, ..]) => "GET /:dashboard/ds/:dataset/query",
         _ => "(unmatched)",
     }
@@ -74,6 +75,9 @@ pub fn allowed_methods(segments: &[&str]) -> &'static [Method] {
         | ["dashboards", _, "meta"]
         | ["dashboards", _, "log"]
         | ["dashboards", _, "suggest", _] => &[Method::Get],
+        // `/ds/<name>/sql` also matches the GET query grammar (where it
+        // parses as an invalid op, a 400 — still a GET shape, not a 405).
+        [_, "ds", _, "sql"] => &[Method::Get, Method::Post],
         [_, "ds"] | [_, "ds", _, ..] => &[Method::Get],
         _ => &[],
     }
@@ -82,7 +86,8 @@ pub fn allowed_methods(segments: &[&str]) -> &'static [Method] {
 /// Render the `/stats` document: per-route counters + cache counters +
 /// connection-level counters + per-operator engine stats + index
 /// acceleration counters + reactor event-loop counters + live-stream
-/// counters.
+/// counters + SQL frontend counters.
+#[allow(clippy::too_many_arguments)]
 pub fn stats_json(
     routes: &BTreeMap<String, RouteStats>,
     cache: &CacheStats,
@@ -91,6 +96,7 @@ pub fn stats_json(
     index: &IndexStats,
     reactor: &ReactorStats,
     stream: &StreamStats,
+    sql: &SqlStats,
 ) -> String {
     let mut out = String::from("{\"routes\": {");
     for (i, (label, s)) in routes.iter().enumerate() {
@@ -169,7 +175,7 @@ pub fn stats_json(
     out.push_str(&format!(
         ", \"stream\": {{\"ticks\": {}, \"rows_in\": {}, \"evicted_rows\": {}, \
          \"frames_sent\": {}, \"frame_bytes\": {}, \"subscribers\": {}, \
-         \"peak_subscribers\": {}, \"dropped_subscribers\": {}}}}}",
+         \"peak_subscribers\": {}, \"dropped_subscribers\": {}}}",
         stream.ticks,
         stream.rows_in,
         stream.evicted_rows,
@@ -178,6 +184,11 @@ pub fn stats_json(
         stream.subscribers,
         stream.peak_subscribers,
         stream.dropped_subscribers
+    ));
+    out.push_str(&format!(
+        ", \"sql\": {{\"queries\": {}, \"parse_errors\": {}, \"path_shared\": {}, \
+         \"parse_us\": {}}}}}",
+        sql.queries, sql.parse_errors, sql.path_shared, sql.parse_us
     ));
     out
 }
@@ -231,6 +242,7 @@ fn write_latency_histogram(out: &mut String, name: &str, labels: &str, h: &Laten
 /// and histograms only appear once at least one series exists, so every
 /// `# TYPE` line is followed by samples; bucket counts are cumulative with
 /// `le` bounds in seconds.
+#[allow(clippy::too_many_arguments)]
 pub fn prometheus_text(
     routes: &BTreeMap<String, RouteStats>,
     cache: &CacheStats,
@@ -239,6 +251,7 @@ pub fn prometheus_text(
     index: &IndexStats,
     reactor: &ReactorStats,
     stream: &StreamStats,
+    sql: &SqlStats,
 ) -> String {
     let mut out = String::new();
     if !routes.is_empty() {
@@ -434,6 +447,23 @@ pub fn prometheus_text(
         let _ = writeln!(out, "# TYPE shareinsights_stream_{name}_total counter");
         let _ = writeln!(out, "shareinsights_stream_{name}_total {value}");
     }
+
+    // SQL frontend: parse/lower outcomes and the shared malformed-query
+    // counter (all zero until an ad-hoc SQL query arrives).
+    for (name, value) in [
+        ("queries", sql.queries),
+        ("parse_errors", sql.parse_errors),
+        ("path_shared", sql.path_shared),
+    ] {
+        let _ = writeln!(out, "# TYPE shareinsights_sql_{name}_total counter");
+        let _ = writeln!(out, "shareinsights_sql_{name}_total {value}");
+    }
+    out.push_str("# TYPE shareinsights_sql_parse_seconds_total counter\n");
+    let _ = writeln!(
+        out,
+        "shareinsights_sql_parse_seconds_total {}",
+        seconds(sql.parse_us)
+    );
     out
 }
 
@@ -528,6 +558,12 @@ mod tests {
             peak_subscribers: 3,
             dropped_subscribers: 1,
         };
+        let sql = SqlStats {
+            queries: 8,
+            parse_errors: 2,
+            path_shared: 5,
+            parse_us: 640,
+        };
         let json = stats_json(
             &routes,
             &CacheStats::default(),
@@ -536,6 +572,7 @@ mod tests {
             &index,
             &reactor,
             &stream,
+            &sql,
         );
         let doc = shareinsights_tabular::io::json::parse_json(&json).unwrap();
         assert_eq!(
@@ -634,6 +671,22 @@ mod tests {
                 .as_int(),
             Some(1)
         );
+        assert_eq!(
+            doc.path("sql.queries").unwrap().to_value().as_int(),
+            Some(8)
+        );
+        assert_eq!(
+            doc.path("sql.parse_errors").unwrap().to_value().as_int(),
+            Some(2)
+        );
+        assert_eq!(
+            doc.path("sql.path_shared").unwrap().to_value().as_int(),
+            Some(5)
+        );
+        assert_eq!(
+            doc.path("sql.parse_us").unwrap().to_value().as_int(),
+            Some(640)
+        );
     }
 
     /// One `name{labels} value` sample line.
@@ -730,8 +783,14 @@ mod tests {
             peak_subscribers: 7,
             dropped_subscribers: 2,
         };
+        let sql = SqlStats {
+            queries: 9,
+            parse_errors: 4,
+            path_shared: 6,
+            parse_us: 3_000_000,
+        };
         prometheus_text(
-            &routes, &cache, &conns, &operators, &index, &reactor, &stream,
+            &routes, &cache, &conns, &operators, &index, &reactor, &stream, &sql,
         )
     }
 
@@ -833,6 +892,11 @@ mod tests {
         assert!(text.contains("shareinsights_stream_frames_sent_total 18"));
         assert!(text.contains("shareinsights_stream_frame_bytes_total 9216"));
         assert!(text.contains("shareinsights_stream_dropped_subscribers_total 2"));
+        // SQL frontend series, parse time in seconds.
+        assert!(text.contains("shareinsights_sql_queries_total 9"));
+        assert!(text.contains("shareinsights_sql_parse_errors_total 4"));
+        assert!(text.contains("shareinsights_sql_path_shared_total 6"));
+        assert!(text.contains("shareinsights_sql_parse_seconds_total 3"));
         // Label escaping.
         let mut routes = BTreeMap::new();
         routes.insert("a\"b\\c".to_string(), RouteStats::default());
@@ -844,6 +908,7 @@ mod tests {
             &IndexStats::default(),
             &ReactorStats::default(),
             &StreamStats::default(),
+            &SqlStats::default(),
         );
         assert!(escaped.contains("route=\"a\\\"b\\\\c\""), "{escaped}");
     }
@@ -890,5 +955,24 @@ mod tests {
             allowed_methods(&["dashboards", "x", "stream", "push", "src"]),
             &[Method::Post]
         );
+    }
+
+    #[test]
+    fn sql_route_has_label_and_methods() {
+        assert_eq!(
+            route_label(Method::Post, &["retail", "ds", "sales", "sql"]),
+            "POST /:dashboard/ds/:dataset/sql"
+        );
+        // A GET on the same path falls through to the query grammar.
+        assert_eq!(
+            route_label(Method::Get, &["retail", "ds", "sales", "sql"]),
+            "GET /:dashboard/ds/:dataset/query"
+        );
+        assert_eq!(
+            allowed_methods(&["retail", "ds", "sales", "sql"]),
+            &[Method::Get, Method::Post]
+        );
+        // POSTs elsewhere under /ds stay 405s.
+        assert!(!allowed_methods(&["retail", "ds", "sales", "limit", "3"]).contains(&Method::Post));
     }
 }

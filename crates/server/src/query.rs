@@ -15,9 +15,10 @@
 //! ```
 
 use shareinsights_tabular::agg::AggKind;
+use shareinsights_tabular::expr::Expr;
 use shareinsights_tabular::ops::{
-    distinct, filter_by_values, groupby, sort, AggregateSpec, FilterByValues, GroupBy, SortKey,
-    SortOrder,
+    distinct, filter_by_expr, filter_by_values, groupby, join, sort, AggregateSpec, FilterByValues,
+    GroupBy, JoinCondition, JoinSpec, SortKey, SortOrder,
 };
 use shareinsights_tabular::{IndexedTable, Table, Value};
 
@@ -51,6 +52,47 @@ pub enum QueryOp {
     Distinct(String),
     /// `limit/<n>`
     Limit(usize),
+    /// SQL `WHERE` predicate that is richer than a single equality
+    /// (boolean logic, ranges, `IN`, `IS NULL`). Unreachable from the
+    /// path-segment grammar.
+    FilterExpr(Expr),
+    /// SQL `GROUP BY` with multiple keys and/or aggregates (or aliased /
+    /// global aggregates). Unreachable from the path-segment grammar.
+    GroupByMulti(GroupBy),
+    /// SQL `ORDER BY` with multiple keys.
+    SortMulti(Vec<SortKey>),
+    /// SQL `SELECT DISTINCT`: whole-row dedup (empty) or key-subset.
+    DistinctRows(Vec<String>),
+    /// SQL projection: column selection in select-list order.
+    Project(Vec<String>),
+    /// SQL `OFFSET`: skip the first `n` rows.
+    Offset(usize),
+    /// SQL inner equi-join against a resolved right-side snapshot.
+    Join(JoinOp),
+}
+
+/// A resolved SQL join: the right table is materialised at lowering time
+/// so the op pipeline stays a pure function of its inputs.
+#[derive(Debug, Clone)]
+pub struct JoinOp {
+    /// Right-side endpoint name (identity for cache keys).
+    pub right_name: String,
+    /// Right-side snapshot.
+    pub right: Table,
+    /// Key column on the left.
+    pub left_on: String,
+    /// Key column on the right.
+    pub right_on: String,
+}
+
+impl PartialEq for JoinOp {
+    fn eq(&self, other: &Self) -> bool {
+        // Snapshot identity is the endpoint name: the generation stamp on
+        // every cache key already invalidates on data changes.
+        self.right_name == other.right_name
+            && self.left_on == other.left_on
+            && self.right_on == other.right_on
+    }
 }
 
 /// Parse the path segments following the dataset name.
@@ -142,6 +184,21 @@ fn apply_op(current: &Table, op: &QueryOp) -> Result<Table, String> {
             distinct(current, std::slice::from_ref(column)).map_err(|e| e.to_string())?
         }
         QueryOp::Limit(n) => current.limit(*n),
+        QueryOp::FilterExpr(e) => filter_by_expr(current, e).map_err(|e| e.to_string())?,
+        QueryOp::GroupByMulti(cfg) => groupby(current, cfg).map_err(|e| e.to_string())?,
+        QueryOp::SortMulti(keys) => sort(current, keys).map_err(|e| e.to_string())?,
+        QueryOp::DistinctRows(cols) => distinct(current, cols).map_err(|e| e.to_string())?,
+        QueryOp::Project(cols) => current.project(cols).map_err(|e| e.to_string())?,
+        QueryOp::Offset(n) => current.slice(*n, current.num_rows().saturating_sub(*n)),
+        QueryOp::Join(j) => {
+            let spec = JoinSpec {
+                left_keys: vec![j.left_on.clone()],
+                right_keys: vec![j.right_on.clone()],
+                condition: JoinCondition::Inner,
+                projection: Vec::new(),
+            };
+            join(current, &j.right, &spec).map_err(|e| e.to_string())?
+        }
     })
 }
 
@@ -163,7 +220,18 @@ fn try_indexed_op(indexed: &IndexedTable, op: &QueryOp) -> Option<Table> {
             };
             indexed.sort(&[key])
         }
-        QueryOp::Distinct(_) | QueryOp::Limit(_) => None,
+        // The indexed kernels are decline-based: richer SQL shapes are
+        // offered where an accelerated kernel exists and fall back to the
+        // scan path (differentially pinned byte-identical) otherwise.
+        QueryOp::GroupByMulti(cfg) => indexed.groupby(cfg),
+        QueryOp::SortMulti(keys) => indexed.sort(keys),
+        QueryOp::Distinct(_)
+        | QueryOp::Limit(_)
+        | QueryOp::FilterExpr(_)
+        | QueryOp::DistinctRows(_)
+        | QueryOp::Project(_)
+        | QueryOp::Offset(_)
+        | QueryOp::Join(_) => None,
     }
 }
 

@@ -4,7 +4,8 @@ use crate::cache::{QueryCache, ResultCache};
 use crate::http::{Method, Request, Response, Status};
 use crate::json::{string_list, table_to_json};
 use crate::metrics::{allowed_methods, prometheus_text, route_label, stats_json};
-use crate::query::{parse_ops, run_query_indexed};
+use crate::query::{parse_ops, run_query_indexed, QueryOp};
+use crate::sql::{lower_plan, parse_error_response};
 use crate::stream::{StreamHub, Subscription};
 use crate::traces::{trace_json, trace_list_json};
 use crate::wire::sse_frame;
@@ -172,6 +173,7 @@ impl Server {
                 &self.platform.api_metrics().index(),
                 &self.platform.api_metrics().reactor(),
                 &self.platform.api_metrics().stream(),
+                &self.platform.api_metrics().sql(),
             )),
             (Method::Get, ["metrics"]) => Response {
                 status: Status::Ok,
@@ -183,6 +185,7 @@ impl Server {
                     &self.platform.api_metrics().index(),
                     &self.platform.api_metrics().reactor(),
                     &self.platform.api_metrics().stream(),
+                    &self.platform.api_metrics().sql(),
                 ),
                 content_type: "text/plain; version=0.0.4",
             },
@@ -280,6 +283,9 @@ impl Server {
             (Method::Get, [dashboard, "ds"]) => self.list_endpoints(dashboard),
             (Method::Get, [dashboard, "ds", dataset, "subscribe"]) => {
                 self.subscribe(dashboard, dataset, stream)
+            }
+            (Method::Post, [dashboard, "ds", dataset, "sql"]) => {
+                self.sql_query(request, dashboard, dataset, span)
             }
             (Method::Get, [dashboard, "ds", rest @ ..]) if !rest.is_empty() => {
                 self.dataset(request, dashboard, rest[0], &rest[1..], span)
@@ -491,11 +497,125 @@ impl Server {
         // The live generation: dashboard runs bump the platform side,
         // publishes/refreshes bump the registry side. Both are monotonic,
         // so their sum changes whenever either source of the data does.
-        let generation = self.platform.data_generation(dashboard)
-            + self.platform.publish_registry().generation(dataset);
+        let generation = self.live_generation(dashboard, dataset);
+        let ops = match parse_ops(ops_segments) {
+            Ok(ops) => ops,
+            Err(e) => {
+                self.platform.api_metrics().record_sql_parse_error();
+                return parse_error_response("parse", &e, 0, 0);
+            }
+        };
+        let result_key = format!("{dashboard}/{dataset}/{}", ops_segments.join("/"));
+        self.serve_query(
+            request,
+            label,
+            dashboard,
+            dataset,
+            generation,
+            &result_key,
+            &ops,
+            span,
+        )
+    }
+
+    /// `POST /:dashboard/ds/:dataset/sql`: the SQL spelling of the ad-hoc
+    /// query API. The request body is one SELECT statement whose `FROM`
+    /// must name the URL's dataset; it parses and lowers into the same
+    /// [`QueryOp`]s the path grammar produces, so evaluation, index
+    /// acceleration and the generation-stamped caches are all shared —
+    /// canonical plans even share cache *entries* with the GET route.
+    fn sql_query(
+        &self,
+        request: &Request,
+        dashboard: &str,
+        dataset: &str,
+        span: Option<&Span>,
+    ) -> Response {
+        let label = "POST /:dashboard/ds/:dataset/sql";
+        let src = request.body.as_str();
+        let parse_started = Instant::now();
+        let plan = match shareinsights_engine::sql::parse_select(src)
+            .and_then(|stmt| shareinsights_engine::sql::lower(src, &stmt))
+        {
+            Ok(p) => p,
+            Err(e) => {
+                self.platform.api_metrics().record_sql_parse_error();
+                return parse_error_response("parse", &e.message, e.line, e.column);
+            }
+        };
+        if plan.table != dataset {
+            self.platform.api_metrics().record_sql_parse_error();
+            return parse_error_response(
+                "semantic",
+                &format!(
+                    "FROM names '{}' but this route serves dataset '{dataset}'",
+                    plan.table
+                ),
+                0,
+                0,
+            );
+        }
+        let lowered = match lower_plan(&plan, &mut |name| {
+            self.endpoint_table(dashboard, name).map_err(|_| {
+                format!(
+                    "no endpoint data '{name}' on dashboard '{dashboard}' to join (run it first?)"
+                )
+            })
+        }) {
+            Ok(l) => l,
+            Err(e) => {
+                self.platform.api_metrics().record_sql_parse_error();
+                return parse_error_response("semantic", &e, 0, 0);
+            }
+        };
+        let parse_us = parse_started.elapsed().as_micros() as u64;
+        self.platform
+            .api_metrics()
+            .record_sql_query(parse_us, lowered.shared);
+        if let Some(s) = span {
+            let mut child = s.child("sql_lower");
+            child.set_attr("path_shared", lowered.shared);
+            child.set_attr("stages", lowered.ops.len());
+            child.finish();
+        }
+        // Joined datasets contribute their publish generations so a
+        // republish of the right side invalidates joined results too.
+        let mut generation = self.live_generation(dashboard, dataset);
+        for t in &lowered.join_tables {
+            generation += self.platform.publish_registry().generation(t);
+        }
+        // Canonical plans compute the exact result key the GET route
+        // would, which is what makes the two languages share entries.
+        let result_key = format!("{dashboard}/{dataset}/{}", lowered.cache_path);
+        self.serve_query(
+            request,
+            label,
+            dashboard,
+            dataset,
+            generation,
+            &result_key,
+            &lowered.ops,
+            span,
+        )
+    }
+
+    /// The shared cache/evaluate/page tail of both ad-hoc query routes:
+    /// page-cache lookup, result-cache lookup, indexed evaluation on a
+    /// double miss, then paging + page-cache fill.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_query(
+        &self,
+        request: &Request,
+        label: &'static str,
+        dashboard: &str,
+        dataset: &str,
+        generation: u64,
+        result_key: &str,
+        ops: &[QueryOp],
+        span: Option<&Span>,
+    ) -> Response {
         let offset = request.query_usize("offset").unwrap_or(0);
         let limit = request.query_usize("limit");
-        let result_key = format!("{dashboard}/{dataset}/{}", ops_segments.join("/"));
         let page_key = format!(
             "{result_key}?offset={offset}&limit={}",
             limit.map_or_else(|| "all".to_string(), |l| l.to_string()),
@@ -516,7 +636,7 @@ impl Server {
         self.platform.api_metrics().record_cache(label, false);
 
         let mut eval_span = span.map(|s| s.child("query_eval"));
-        let result = match self.results.get(&result_key, generation) {
+        let result = match self.results.get(result_key, generation) {
             Some(result) => {
                 if let Some(s) = eval_span.as_mut() {
                     s.set_attr("result_cache_hit", true);
@@ -528,12 +648,8 @@ impl Server {
                     Ok(t) => t,
                     Err(resp) => return resp,
                 };
-                let ops = match parse_ops(ops_segments) {
-                    Ok(ops) => ops,
-                    Err(e) => return Response::error(Status::BadRequest, e),
-                };
                 let indexed = self.indexed_table(dashboard, dataset, generation, table);
-                let (result, index_hit) = match run_query_indexed(&indexed, &ops) {
+                let (result, index_hit) = match run_query_indexed(&indexed, ops) {
                     Ok(r) => r,
                     Err(e) => return Response::error(Status::BadRequest, e),
                 };
@@ -545,7 +661,7 @@ impl Server {
                 }
                 let result = Arc::new(result);
                 self.results
-                    .put(&result_key, generation, Arc::clone(&result));
+                    .put(result_key, generation, Arc::clone(&result));
                 result
             }
         };
@@ -1318,6 +1434,174 @@ F:
         assert!(m
             .body
             .contains("# TYPE shareinsights_stream_subscribers gauge"));
+    }
+
+    fn post_sql(server: &Server, query: &str) -> Response {
+        server.handle(&Request::new(Method::Post, "/retail/ds/brand_sales/sql").with_body(query))
+    }
+
+    #[test]
+    fn sql_route_matches_path_route_byte_for_byte() {
+        let server = served();
+        let via_path = server.handle(&Request::get(
+            "/retail/ds/brand_sales/groupby/region/sum/revenue",
+        ));
+        let via_sql = post_sql(
+            &server,
+            "select region, sum(revenue) from brand_sales group by region",
+        );
+        assert!(via_sql.is_ok(), "{}", via_sql.body);
+        assert_eq!(via_path.body, via_sql.body);
+
+        // A shape the path grammar can't spell still evaluates.
+        let r = post_sql(
+            &server,
+            "select region, brand from brand_sales where revenue > 5 order by revenue desc",
+        );
+        assert!(r.is_ok(), "{}", r.body);
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        assert_eq!(doc.path("columns.0").unwrap().as_str(), Some("region"));
+        assert_eq!(doc.path("columns.1").unwrap().as_str(), Some("brand"));
+    }
+
+    #[test]
+    fn canonical_sql_shares_cache_entries_with_path_route() {
+        let server = served();
+        server.handle(&Request::get(
+            "/retail/ds/brand_sales/groupby/region/sum/revenue",
+        ));
+        let before = server.cache().stats();
+        assert_eq!((before.hits, before.entries), (0, 1));
+        // The equivalent SQL computes the same page key → a cache *hit*,
+        // not a second entry.
+        let r = post_sql(
+            &server,
+            "select region, sum(revenue) from brand_sales group by region",
+        );
+        assert!(r.is_ok());
+        let after = server.cache().stats();
+        assert_eq!((after.hits, after.entries), (1, 1));
+        let sql = server.platform().api_metrics().sql();
+        assert_eq!((sql.queries, sql.path_shared), (1, 1));
+    }
+
+    #[test]
+    fn sql_results_cache_and_invalidate_on_generation() {
+        let server = served();
+        // Non-canonical shape: keyed under its own `sql:` result key.
+        let q = "select region, brand from brand_sales where revenue > 5";
+        assert!(post_sql(&server, q).is_ok());
+        assert!(post_sql(&server, q).is_ok());
+        let s = server.cache().stats();
+        assert_eq!((s.hits, s.misses), (1, 1), "same text → page-cache hit");
+        // A re-run bumps the generation: the cached entry is stale.
+        assert!(server
+            .handle(&Request::new(Method::Post, "/dashboards/retail/run"))
+            .is_ok());
+        assert!(post_sql(&server, q).is_ok());
+        let s = server.cache().stats();
+        assert_eq!((s.hits, s.misses), (1, 2), "new generation → miss");
+        let sql = server.platform().api_metrics().sql();
+        assert_eq!((sql.queries, sql.path_shared, sql.parse_errors), (3, 0, 0));
+    }
+
+    #[test]
+    fn malformed_queries_return_the_same_structured_400_on_both_routes() {
+        let server = served();
+        // SQL route: spanned diagnostic.
+        let r = post_sql(&server, "select from brand_sales");
+        assert_eq!(r.status, Status::BadRequest);
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        assert_eq!(doc.path("error.kind").unwrap().as_str(), Some("parse"));
+        assert_eq!(doc.path("error.line").unwrap().to_value().as_int(), Some(1));
+        assert_eq!(
+            doc.path("error.column").unwrap().to_value().as_int(),
+            Some(8)
+        );
+        assert!(doc.path("error.message").unwrap().as_str().is_some());
+        // Path route: same shape, position unknown (line/column 0).
+        let r = server.handle(&Request::get("/retail/ds/brand_sales/warp/9"));
+        assert_eq!(r.status, Status::BadRequest);
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        assert_eq!(doc.path("error.kind").unwrap().as_str(), Some("parse"));
+        assert_eq!(doc.path("error.line").unwrap().to_value().as_int(), Some(0));
+        assert!(doc
+            .path("error.message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unknown query operation"));
+        // Both rejections land on the shared counter.
+        assert_eq!(server.platform().api_metrics().sql().parse_errors, 2);
+    }
+
+    #[test]
+    fn sql_from_must_name_the_url_dataset() {
+        let server = served();
+        let r = post_sql(&server, "select * from other_table");
+        assert_eq!(r.status, Status::BadRequest);
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        assert_eq!(doc.path("error.kind").unwrap().as_str(), Some("semantic"));
+        assert!(doc
+            .path("error.message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("brand_sales"));
+    }
+
+    #[test]
+    fn sql_join_resolves_sibling_endpoints() {
+        let server = served();
+        // Self-join on the grouping key: every row matches itself (and the
+        // other rows sharing its region).
+        let r = post_sql(
+            &server,
+            "select * from brand_sales join brand_sales on region = region limit 2",
+        );
+        assert!(r.is_ok(), "{}", r.body);
+        // A join against a missing endpoint is a structured 400.
+        let r = post_sql(&server, "select * from brand_sales join ghost on a = b");
+        assert_eq!(r.status, Status::BadRequest);
+        assert!(r.body.contains("no endpoint data 'ghost'"), "{}", r.body);
+    }
+
+    #[test]
+    fn sql_counters_surface_in_stats_and_metrics() {
+        let server = served();
+        post_sql(
+            &server,
+            "select region, sum(revenue) from brand_sales group by region",
+        );
+        post_sql(&server, "not sql at all");
+        let r = server.handle(&Request::get("/stats"));
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        assert_eq!(
+            doc.path("sql.queries").unwrap().to_value().as_int(),
+            Some(1)
+        );
+        assert_eq!(
+            doc.path("sql.parse_errors").unwrap().to_value().as_int(),
+            Some(1)
+        );
+        assert_eq!(
+            doc.path("sql.path_shared").unwrap().to_value().as_int(),
+            Some(1)
+        );
+        let m = server.handle(&Request::get("/metrics"));
+        assert!(m.body.contains("shareinsights_sql_queries_total 1"));
+        assert!(m.body.contains("shareinsights_sql_parse_errors_total 1"));
+        assert!(m.body.contains("shareinsights_sql_path_shared_total 1"));
+        assert!(m.body.contains("shareinsights_sql_parse_seconds_total"));
+        // The POST route meters under its own label.
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        assert_eq!(
+            doc.path("routes.POST /:dashboard/ds/:dataset/sql.count")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(2)
+        );
     }
 
     #[test]

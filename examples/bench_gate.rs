@@ -13,6 +13,11 @@
 //!   30µs warm-cache sample doubling to 60µs is scheduler jitter, not a
 //!   regression.
 //!
+//! When the baseline carries a `sql_overhead` block (the ad-hoc query
+//! benchmark), the fresh doc must carry one too and its SQL parse+lower
+//! p50 must stay under 10% of its own indexed-evaluation p50 — a ratio
+//! within the fresh run, so machine speed cancels out.
+//!
 //! ```text
 //! cargo run --release --example bench_gate -- \
 //!     BENCH_adhoc_query.json fresh_adhoc.json \
@@ -162,6 +167,41 @@ fn main() {
                 row.baseline,
                 fresh_us,
                 delta * 100.0
+            );
+            if regressed {
+                regressions += 1;
+            }
+        }
+
+        // The SQL frontend must stay a rounding error next to evaluation:
+        // whenever the baseline carries a `sql_overhead` block, the fresh
+        // doc must too, and its parse+lower p50 must stay under 10% of
+        // its own indexed-evaluation p50. This is a ratio within the
+        // fresh run — machine speed cancels out, so no slack is needed.
+        if baseline.get("sql_overhead").is_some() {
+            let fresh_num = |key: &str| -> f64 {
+                match fresh.get("sql_overhead").and_then(|o| o.get(key)) {
+                    Some(JsonValue::Number(n)) => *n,
+                    _ => panic!(
+                        "{fresh_path}: sql_overhead.{key} missing \
+                         (the baseline carries a sql_overhead block)"
+                    ),
+                }
+            };
+            compared += 1;
+            let parse_p50 = fresh_num("parse_lower_p50_us");
+            let eval_p50 = fresh_num("indexed_eval_p50_us").max(1.0);
+            let ratio = parse_p50 / eval_p50;
+            let regressed = ratio >= 0.10;
+            let verdict = if regressed {
+                "REGRESSED (>= 10%)"
+            } else {
+                "ok (< 10%)"
+            };
+            println!(
+                "   sql_overhead: parse+lower p50 {parse_p50:.1}µs / \
+                 indexed eval p50 {eval_p50:.0}µs = {:.2}%  {verdict}",
+                ratio * 100.0
             );
             if regressed {
                 regressions += 1;

@@ -21,6 +21,7 @@
 //! cargo run --release --example loadgen -- --cold [rows] [iterations]
 //! cargo run --release --example loadgen -- --concurrency-bench
 //! cargo run --release --example loadgen -- --stream-bench [subscribers] [ticks]
+//! cargo run --release --example loadgen -- --sql
 //! ```
 //!
 //! `--close` forces one connection per request (the pre-keep-alive
@@ -54,6 +55,14 @@
 //! sequence on any subscriber, an evicted subscriber, or a malformed
 //! `/metrics` exposition (which must include the `shareinsights_stream_*`
 //! families) aborts with a non-zero exit.
+//!
+//! `--sql` switches to the SQL-frontend smoke: both serve modes get mixed
+//! SQL (`POST /<dashboard>/ds/<dataset>/sql`) and path-segment traffic
+//! over the same logical queries, asserting every SQL payload is
+//! byte-identical to its path-grammar twin, that malformed SQL returns a
+//! structured 400 (never a 5xx), and that the `shareinsights_sql_*`
+//! counter families export on `/metrics`. The CI SQL smoke job runs this
+//! mode and relies on those asserts.
 //!
 //! `--cold` switches to the cold-query benchmark: a ~1M-row synthetic
 //! dataset (configurable) is queried through the scan kernels and through
@@ -147,6 +156,10 @@ fn main() {
     let cold_mode = args.iter().any(|a| a == "--cold");
     if args.iter().any(|a| a == "--concurrency-bench") {
         serve_concurrency_benchmark();
+        return;
+    }
+    if args.iter().any(|a| a == "--sql") {
+        sql_smoke();
         return;
     }
     let stream_mode = args.iter().any(|a| a == "--stream-bench");
@@ -714,12 +727,138 @@ fn stream_benchmark(subscribers: usize, ticks: usize) {
     svc.shutdown();
 }
 
+/// The `--sql` mode: smoke the SQL frontend over the wire. Each serve
+/// mode gets its own retail platform and several rounds of mixed traffic
+/// where every `POST /retail/ds/brand_sales/sql` body is asserted
+/// byte-identical to its path-grammar twin from `TARGETS`, a rich
+/// SQL-only query must serve 200, and malformed SQL must come back as a
+/// structured 400 (never a 5xx). Afterwards `/stats` must show the
+/// canonical queries sharing the path route's cache entries
+/// (`sql.path_shared` == matched pairs) and exactly one parse error, and
+/// `/metrics` must export the `shareinsights_sql_*` families in a
+/// well-formed exposition. The CI SQL smoke job relies on these asserts.
+fn sql_smoke() {
+    // Path targets and their canonical SQL twins: same ops, same cache
+    // entry, byte-identical payload.
+    let pairs: [(&str, &str); 5] = [
+        ("/retail/ds/brand_sales", "select * from brand_sales"),
+        (
+            "/retail/ds/brand_sales/groupby/region/count/brand",
+            "select region, count(brand) from brand_sales group by region",
+        ),
+        (
+            "/retail/ds/brand_sales/groupby/brand/sum/revenue",
+            "select brand, sum(revenue) from brand_sales group by brand",
+        ),
+        (
+            "/retail/ds/brand_sales/sort/revenue/desc/limit/5",
+            "select * from brand_sales order by revenue desc limit 5",
+        ),
+        (
+            "/retail/ds/brand_sales/filter/region/north/limit/10",
+            "select * from brand_sales where region = 'north' limit 10",
+        ),
+    ];
+    // Beyond the path grammar: boolean WHERE, multi-agg GROUP BY with
+    // aliases, multi-key ORDER BY. Must serve 200 without a path twin.
+    let rich = "select brand, sum(revenue) as total, count(revenue) as orders \
+                from brand_sales where region = 'north' or region = 'south' \
+                group by brand order by total desc, brand asc limit 3";
+    let malformed = "select from brand_sales where";
+    let rounds = 8;
+
+    for serve_mode in [ServeMode::ThreadPerConnection, ServeMode::Reactor] {
+        let opts = ServeOptions {
+            serve_mode,
+            ..ServeOptions::default()
+        };
+        let mut svc =
+            serve(Server::new(retail_platform()), "127.0.0.1:0", opts).expect("bind ephemeral");
+        let addr = svc.local_addr();
+        let mut conn = ClientConnection::connect(addr).expect("connect");
+
+        let mut matched = 0usize;
+        for round in 0..rounds {
+            for (path, sql) in &pairs {
+                let (path_code, path_body) = conn.request("GET", path, "").expect("path request");
+                let (sql_code, sql_body) = conn
+                    .request("POST", "/retail/ds/brand_sales/sql", sql)
+                    .expect("sql request");
+                assert_eq!(path_code, 200, "path route failed for {path}: {path_body}");
+                assert_eq!(sql_code, 200, "sql route failed for {sql:?}: {sql_body}");
+                assert_eq!(
+                    path_body, sql_body,
+                    "round {round}: SQL {sql:?} must serve the exact bytes of {path}"
+                );
+                matched += 1;
+            }
+        }
+        let (code, body) = conn
+            .request("POST", "/retail/ds/brand_sales/sql", rich)
+            .expect("rich sql");
+        assert_eq!(code, 200, "rich SQL must serve: {body}");
+        assert!(
+            body.contains("total") && body.contains("orders"),
+            "rich SQL must carry its aliases: {body}"
+        );
+        let (code, body) = conn
+            .request("POST", "/retail/ds/brand_sales/sql", malformed)
+            .expect("malformed sql");
+        assert_eq!(code, 400, "malformed SQL must be a client error: {body}");
+        assert!(
+            body.contains("\"kind\"") && body.contains("\"line\""),
+            "malformed SQL must return the structured error body: {body}"
+        );
+
+        let (code, stats) = blocking_get(addr, "/stats").expect("/stats");
+        assert_eq!(code, 200);
+        let doc = shareinsights_tabular::io::json::parse_json(&stats).expect("stats json");
+        let stat = |path: &str| doc.path(path).unwrap().to_value().as_int().unwrap() as usize;
+        assert_eq!(
+            stat("sql.queries"),
+            matched + 1,
+            "every accepted SQL query must be counted: {stats}"
+        );
+        assert_eq!(
+            stat("sql.path_shared"),
+            matched,
+            "canonical SQL must share the path route's cache entries: {stats}"
+        );
+        assert_eq!(
+            stat("sql.parse_errors"),
+            1,
+            "exactly one malformed query was sent: {stats}"
+        );
+
+        let (code, metrics) = blocking_get(addr, "/metrics").expect("/metrics");
+        assert_eq!(code, 200);
+        validate_exposition(&metrics);
+        for family in [
+            "shareinsights_sql_queries_total",
+            "shareinsights_sql_parse_errors_total",
+            "shareinsights_sql_path_shared_total",
+            "shareinsights_sql_parse_seconds_total",
+        ] {
+            assert!(metrics.contains(family), "{family} missing from /metrics");
+        }
+
+        println!(
+            "sql smoke ({serve_mode:?}): {matched} SQL/path pairs byte-identical, \
+             rich query 200, malformed 400, counters consistent"
+        );
+        svc.shutdown();
+    }
+    println!("sql smoke OK: zero 5xx, all payloads byte-equal across both serve modes");
+}
+
 /// The `--cold` mode: measure the scan-vs-indexed delta on cold (cache
 /// bypassed) ad-hoc queries over a synthetic dataset, differential-checking
 /// that both paths — and the served HTTP body — agree byte for byte.
 fn cold_query_benchmark(rows: usize, iters: usize) {
+    use shareinsights::engine::sql::{lower, parse_select};
     use shareinsights::server::query::{parse_ops, run_query, run_query_indexed};
-    use shareinsights::server::table_to_json;
+    use shareinsights::server::sql::lower_plan;
+    use shareinsights::server::{table_to_json, Method};
     use shareinsights::tabular::{Column, DataType, Field, IndexedTable, Schema, Table};
 
     let distinct = 1000usize;
@@ -764,6 +903,8 @@ fn cold_query_benchmark(rows: usize, iters: usize) {
     };
 
     let mut route_docs = Vec::new();
+    // Captured from the groupby route for the SQL-overhead comparison.
+    let mut groupby_ix_p50 = 0u64;
     for (name, segs) in &routes {
         let ops = parse_ops(segs).expect("ops");
         // Warmup evaluations double as the differential check; the first
@@ -809,6 +950,9 @@ fn cold_query_benchmark(rows: usize, iters: usize) {
         warm_us.sort_unstable();
         let (scan_p50, scan_p95) = (pct(&scan_us, 0.50), pct(&scan_us, 0.95));
         let (ix_p50, ix_p95) = (pct(&indexed_us, 0.50), pct(&indexed_us, 0.95));
+        if *name == "groupby" {
+            groupby_ix_p50 = ix_p50;
+        }
         let (warm_p50, warm_p95) = (pct(&warm_us, 0.50), pct(&warm_us, 0.95));
         let speedup = scan_p50 as f64 / ix_p50.max(1) as f64;
         eprintln!(
@@ -822,6 +966,52 @@ fn cold_query_benchmark(rows: usize, iters: usize) {
              \"speedup_p50\": {speedup:.2}}}"
         ));
     }
+
+    // SQL-frontend overhead: the same groupby expressed as SQL must
+    // (a) canonicalise to the path route's segments, (b) serve the exact
+    // bytes of the path route, and (c) parse+lower in a small fraction of
+    // one cold indexed evaluation — the frontend can never be the
+    // bottleneck. The committed BENCH doc carries the ratio and the bench
+    // gate holds parse+lower p50 under 10% of the indexed eval p50.
+    let sql = "select key, sum(value) from bench_data group by key";
+    let mut no_joins = |name: &str| -> Result<Table, String> {
+        Err(format!("unexpected join on '{name}' in the bench query"))
+    };
+    let stmt = parse_select(sql).expect("sql parse");
+    let plan = lower(sql, &stmt).expect("sql lower");
+    let lowered = lower_plan(&plan, &mut no_joins).expect("sql lower_plan");
+    assert!(
+        lowered.shared,
+        "the bench groupby must canonicalise to path segments"
+    );
+    assert_eq!(lowered.cache_path, "groupby/key/sum/value");
+    let sql_served = server
+        .handle(&Request::new(Method::Post, "/bench/ds/bench_data/sql").with_body(sql.to_string()));
+    let path_served = server.handle(&Request::get("/bench/ds/bench_data/groupby/key/sum/value"));
+    assert!(sql_served.is_ok(), "sql route: {}", sql_served.body);
+    assert_eq!(
+        sql_served.body, path_served.body,
+        "SQL route disagrees with the path route"
+    );
+
+    let reps = (iters * 32).max(256);
+    let mut parse_ns = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let stmt = parse_select(sql).expect("sql parse");
+        let plan = lower(sql, &stmt).expect("sql lower");
+        let lowered = lower_plan(&plan, &mut no_joins).expect("sql lower_plan");
+        parse_ns.push(t.elapsed().as_nanos() as u64);
+        std::hint::black_box(lowered);
+    }
+    parse_ns.sort_unstable();
+    let pl_p50_us = pct(&parse_ns, 0.50) as f64 / 1000.0;
+    let pl_p95_us = pct(&parse_ns, 0.95) as f64 / 1000.0;
+    let overhead_pct = 100.0 * pl_p50_us / groupby_ix_p50.max(1) as f64;
+    eprintln!(
+        "sql      parse+lower p50 {pl_p50_us:.1}µs vs cold indexed p50 {groupby_ix_p50}µs \
+         ({overhead_pct:.2}% overhead)"
+    );
 
     // The server routed each cold query through the indexed path and the
     // build hook fed the metrics registry.
@@ -839,7 +1029,13 @@ fn cold_query_benchmark(rows: usize, iters: usize) {
     println!("  \"index\": {{\"builds\": {builds}, \"build_us\": {build_us}}},");
     println!("  \"routes\": {{");
     println!("{}", route_docs.join(",\n"));
-    println!("  }}");
+    println!("  }},");
+    println!(
+        "  \"sql_overhead\": {{\"parse_lower_p50_us\": {pl_p50_us:.1}, \
+         \"parse_lower_p95_us\": {pl_p95_us:.1}, \
+         \"indexed_eval_p50_us\": {groupby_ix_p50}, \
+         \"overhead_pct\": {overhead_pct:.2}}}"
+    );
     println!("}}");
     eprintln!(
         "differential checks passed: indexed == scan == served for all {} routes",

@@ -635,3 +635,69 @@ fn layout_never_overlaps() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// SQL frontend
+// ---------------------------------------------------------------------------
+
+/// The SQL tokenizer/parser/lowering pipeline is total: any input string —
+/// printable soup, structured fragments, or mutated valid statements —
+/// terminates with either an AST or a spanned diagnostic. No panics, no
+/// unbounded recursion.
+#[test]
+fn sql_parser_is_total() {
+    use shareinsights::engine::sql::{lower, parse_select};
+    let mut r = SeededRng::new(0xF0F0_000E);
+    let seeds = [
+        "select a, b from t where a = 'x' and b in (1, 2) group by a order by a desc limit 9",
+        "select count(*) from t where x between 0 and 10 or y is not null offset 2",
+        "select distinct \"col name\" from t join u on k = k2 -- trailing comment",
+    ];
+    for case in 0..CASES * 4 {
+        let src = match case % 3 {
+            0 => printable_string(&mut r, 0, 160),
+            1 => {
+                // Keyword soup: valid tokens in random order.
+                let words = [
+                    "select", "from", "where", "group", "by", "order", "limit", "offset", "and",
+                    "or", "not", "in", "between", "is", "null", "(", ")", ",", "*", "'s'", "1",
+                    "-2.5e3", "t", "sum", "join", "on", "=", "<>", "<=", ";",
+                ];
+                (0..r.index(30))
+                    .map(|_| *r.pick(&words))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            }
+            _ => {
+                // A valid statement with random single-char edits.
+                let mut s: Vec<char> = r.pick(&seeds).chars().collect();
+                for _ in 0..1 + r.index(5) {
+                    if s.is_empty() {
+                        break;
+                    }
+                    let i = r.index(s.len());
+                    match r.index(3) {
+                        0 => s[i] = (b' ' + r.index(95) as u8) as char,
+                        1 => {
+                            s.remove(i);
+                        }
+                        _ => s.insert(i, (b' ' + r.index(95) as u8) as char),
+                    }
+                }
+                s.into_iter().collect()
+            }
+        };
+        match parse_select(&src) {
+            Ok(stmt) => {
+                // Lowering is equally total, and diagnostics carry spans
+                // inside the source (line 0 = whole statement).
+                if let Err(e) = lower(&src, &stmt) {
+                    assert!(e.line <= src.lines().count().max(1), "{src:?}: {e}");
+                }
+            }
+            Err(e) => {
+                assert!(!e.message.is_empty(), "{src:?}");
+            }
+        }
+    }
+}

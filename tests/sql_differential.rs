@@ -1,0 +1,427 @@
+//! Differential property tests for the SQL frontend.
+//!
+//! The contract under test: SQL is a *frontend*, not a second engine.
+//! Every statement lowers to the same `QueryOp`s the path-segment
+//! grammar produces, evaluates through the same scan and indexed
+//! kernels, and — when the plan canonicalises — computes the exact
+//! cache key the path route would, so the two languages share cache
+//! entries. The proofs here are byte-level: JSON serializations must
+//! be identical across (a) SQL vs path-segment lowering, (b) scan vs
+//! indexed evaluation, and (c) the two HTTP routes end to end. The
+//! parser must never panic, however hostile the input.
+//!
+//! Like `properties.rs`, cases come from a seeded local RNG so every
+//! failure is reproducible from the fixed seed.
+
+use shareinsights::core::Platform;
+use shareinsights::datagen::SeededRng;
+use shareinsights::engine::sql::{lower, parse_select};
+use shareinsights::server::query::{parse_ops, run_query, run_query_indexed};
+use shareinsights::server::sql::lower_plan;
+use shareinsights::server::{table_to_json, Method, Request, Server};
+use shareinsights::tabular::{
+    Column, ColumnBuilder, DataType, Field, IndexedTable, Schema, Table, Value,
+};
+
+const CASES: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn null_chance(r: &mut SeededRng) -> f64 {
+    match r.weighted_index(&[4.0, 3.0, 1.0]) {
+        0 => 0.0,
+        1 => 0.25,
+        _ => 1.0,
+    }
+}
+
+fn utf8_col(r: &mut SeededRng, n: usize, pool: usize, nulls: f64) -> Column {
+    let mut b = ColumnBuilder::new(DataType::Utf8);
+    for _ in 0..n {
+        if pool == 0 || r.chance(nulls) {
+            b.push_null();
+        } else {
+            b.push_str(format!("k{}", r.index(pool)));
+        }
+    }
+    b.finish()
+}
+
+fn int_col(r: &mut SeededRng, n: usize, nulls: f64) -> Column {
+    let mut b = ColumnBuilder::new(DataType::Int64);
+    for _ in 0..n {
+        if r.chance(nulls) {
+            b.push_null();
+        } else {
+            b.push_coerced(&Value::Int(r.int_range(-50, 49))).unwrap();
+        }
+    }
+    b.finish()
+}
+
+/// Endpoint-shaped data: two categoricals and a numeric measure, with
+/// zero-row tables and all-null columns in the distribution.
+fn gen_table(r: &mut SeededRng) -> Table {
+    let n = if r.chance(0.1) { 0 } else { 1 + r.index(40) };
+    let pool = r.index(6);
+    let schema = Schema::new(vec![
+        Field::new("cat", DataType::Utf8),
+        Field::new("cat2", DataType::Utf8),
+        Field::new("num", DataType::Int64),
+    ])
+    .unwrap();
+    let (nc1, nc2, nc3) = (null_chance(r), null_chance(r), null_chance(r));
+    let columns = vec![
+        utf8_col(r, n, pool, nc1),
+        utf8_col(r, n, 3, nc2),
+        int_col(r, n, nc3),
+    ];
+    Table::new(schema, columns).unwrap()
+}
+
+/// One random *canonical* query: SQL text plus the path segments it must
+/// canonicalise to. Shapes follow the path grammar's composition rules
+/// (filters, one single-agg groupby, a sort, a limit).
+fn gen_canonical(r: &mut SeededRng) -> (String, Vec<String>) {
+    let mut select_list = "*".to_string();
+    let mut clauses = Vec::new();
+    let mut segs: Vec<String> = Vec::new();
+
+    if r.chance(0.6) {
+        let (col, val) = if r.chance(0.5) {
+            ("cat", format!("k{}", r.index(6)))
+        } else {
+            ("num", r.int_range(-50, 49).to_string())
+        };
+        let quoted = if col == "cat" {
+            format!("'{val}'")
+        } else {
+            val.clone()
+        };
+        clauses.push(format!("where {col} = {quoted}"));
+        segs.extend(["filter".into(), col.into(), val]);
+    }
+    let grouped = r.chance(0.6);
+    if grouped {
+        let agg = ["sum", "count", "min", "max"][r.index(4)];
+        select_list = format!("cat, {agg}(num)");
+        clauses.push("group by cat".into());
+        segs.extend(["groupby".into(), "cat".into(), agg.into(), "num".into()]);
+        if r.chance(0.5) {
+            let dir = if r.chance(0.5) { "asc" } else { "desc" };
+            let key = if r.chance(0.5) {
+                "cat".to_string()
+            } else {
+                format!("{agg}_num")
+            };
+            clauses.push(format!("order by {key} {dir}"));
+            segs.extend(["sort".into(), key, dir.into()]);
+        }
+    } else if r.chance(0.5) {
+        let key = ["cat", "cat2", "num"][r.index(3)];
+        let dir = if r.chance(0.5) { "asc" } else { "desc" };
+        clauses.push(format!("order by {key} {dir}"));
+        segs.extend(["sort".into(), key.into(), dir.into()]);
+    }
+    if r.chance(0.5) {
+        let n = r.index(20);
+        clauses.push(format!("limit {n}"));
+        segs.extend(["limit".into(), n.to_string()]);
+    }
+    let sql = format!("select {select_list} from t {}", clauses.join(" "));
+    (sql, segs)
+}
+
+/// One random SQL-only shape: boolean `WHERE`s, projections, multi-agg
+/// grouping, aliases, multi-key sorts, `DISTINCT`, `OFFSET`.
+fn gen_rich(r: &mut SeededRng) -> String {
+    let mut clauses = Vec::new();
+    let predicates = [
+        "num > 0",
+        "num <= 10",
+        "num != 3",
+        "cat = 'k1' and num < 20",
+        "cat = 'k0' or cat = 'k1'",
+        "num in (1, 2, 3)",
+        "num between -10 and 10",
+        "cat is null",
+        "cat is not null",
+        "not (num > 5)",
+        "num = -4",
+        "cat in ('k0', 'absent')",
+    ];
+    if r.chance(0.8) {
+        clauses.push(format!("where {}", r.pick(&predicates)));
+    }
+    let select_list = match r.index(4) {
+        0 => {
+            clauses.push("group by cat, cat2".into());
+            "cat, cat2, sum(num), count(num) as n".to_string()
+        }
+        1 => {
+            clauses.push("group by cat".into());
+            "cat, min(num) as lo, max(num) as hi".to_string()
+        }
+        2 => "cat, num".to_string(),
+        _ => "*".to_string(),
+    };
+    if r.chance(0.4) && select_list == "*" {
+        clauses.push("order by cat asc, num desc".into());
+    }
+    if r.chance(0.3) {
+        clauses.push(format!("limit {}", 1 + r.index(10)));
+    }
+    if r.chance(0.2) {
+        clauses.push(format!("offset {}", r.index(5)));
+    }
+    let distinct = if select_list == "cat, num" && r.chance(0.4) {
+        "distinct "
+    } else {
+        ""
+    };
+    format!(
+        "select {distinct}{select_list} from t {}",
+        clauses.join(" ")
+    )
+}
+
+fn ops_for(sql: &str) -> Vec<shareinsights::server::query::QueryOp> {
+    let stmt = parse_select(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+    let plan = lower(sql, &stmt).unwrap_or_else(|e| panic!("{sql}: {e}"));
+    lower_plan(&plan, &mut |n| Err(format!("no join table {n}")))
+        .unwrap_or_else(|e| panic!("{sql}: {e}"))
+        .ops
+}
+
+// ---------------------------------------------------------------------------
+// Lowering differential: SQL == path grammar
+// ---------------------------------------------------------------------------
+
+/// Canonical SQL lowers to the *same ops and cache path* as the segment
+/// grammar, and both evaluate byte-identically through scan and index.
+#[test]
+fn canonical_sql_equals_path_segments() {
+    let mut r = SeededRng::new(0x5D1F_0001);
+    let mut shared = 0usize;
+    for _ in 0..CASES {
+        let t = gen_table(&mut r);
+        let ix = IndexedTable::new(t.clone());
+        let (sql, segs) = gen_canonical(&mut r);
+        let stmt = parse_select(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let plan = lower(&sql, &stmt).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let l = lower_plan(&plan, &mut |n| Err(format!("no join table {n}"))).unwrap();
+        assert!(l.shared, "{sql} must canonicalise");
+        assert_eq!(l.cache_path, segs.join("/"), "{sql}");
+        let refs: Vec<&str> = segs.iter().map(String::as_str).collect();
+        let path_ops = parse_ops(&refs).unwrap();
+        assert_eq!(l.ops, path_ops, "{sql} lowers to the path grammar's ops");
+        shared += 1;
+
+        match (run_query(&t, &l.ops), run_query_indexed(&ix, &l.ops)) {
+            (Ok(scan), Ok((fast, _))) => assert_eq!(
+                table_to_json(&fast),
+                table_to_json(&scan),
+                "{sql}: indexed diverged from scan"
+            ),
+            (Err(a), Err(b)) => assert_eq!(a, b, "{sql}: error divergence"),
+            (a, b) => panic!("{sql}: paths disagree: scan={a:?} indexed={b:?}"),
+        }
+    }
+    assert_eq!(shared, CASES);
+}
+
+/// SQL-only shapes (boolean filters, projections, multi-agg groupings,
+/// `DISTINCT`, `OFFSET`) evaluate byte-identically through the scan and
+/// indexed paths.
+#[test]
+fn rich_sql_matches_scan_through_index() {
+    let mut r = SeededRng::new(0x5D1F_0002);
+    for _ in 0..CASES {
+        let t = gen_table(&mut r);
+        let ix = IndexedTable::new(t.clone());
+        let sql = gen_rich(&mut r);
+        let ops = ops_for(&sql);
+        match (run_query(&t, &ops), run_query_indexed(&ix, &ops)) {
+            (Ok(scan), Ok((fast, _))) => assert_eq!(
+                table_to_json(&fast),
+                table_to_json(&scan),
+                "{sql}: indexed diverged from scan"
+            ),
+            (Err(a), Err(b)) => assert_eq!(a, b, "{sql}: error divergence"),
+            (a, b) => panic!("{sql}: paths disagree: scan={a:?} indexed={b:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Full-stack differential: POST /sql == GET /query
+// ---------------------------------------------------------------------------
+
+fn served_retail() -> Server {
+    // The endpoint is produced by a T.sql task — the flow-level spelling
+    // of the same frontend under test.
+    const FLOW: &str = r#"
+D:
+  sales: [region, brand, revenue]
+D.sales:
+  source: 'sales.csv'
+  format: csv
+T:
+  shape:
+    type: sql
+    query: "select region, brand, revenue from sales"
+F:
+  +D.sales_out: D.sales | T.shape
+"#;
+    let platform = Platform::new();
+    let mut csv = String::from("region,brand,revenue\n");
+    let mut r = SeededRng::new(0x5D1F_0003);
+    for _ in 0..200 {
+        csv.push_str(&format!(
+            "r{},b{},{}\n",
+            r.index(4),
+            r.index(6),
+            r.int_range(0, 99)
+        ));
+    }
+    platform.upload_data("retail", "sales.csv", &csv);
+    let server = Server::new(platform);
+    let r = server.handle(&Request::new(Method::Put, "/dashboards/retail/flow").with_body(FLOW));
+    assert!(r.is_ok(), "{}", r.body);
+    let r = server.handle(&Request::new(Method::Post, "/dashboards/retail/run"));
+    assert!(r.is_ok(), "{}", r.body);
+    server
+}
+
+/// The two HTTP spellings of the same query return byte-identical
+/// payloads — for canonical shapes via the *shared* cache entry, and the
+/// POST route is stable across repeats (second hit served from cache).
+#[test]
+fn http_routes_agree_byte_for_byte() {
+    let server = served_retail();
+    let pairs = [
+        (
+            "/retail/ds/sales_out/groupby/brand/sum/revenue",
+            "select brand, sum(revenue) from sales_out group by brand",
+        ),
+        (
+            "/retail/ds/sales_out/filter/region/r1",
+            "select * from sales_out where region = 'r1'",
+        ),
+        (
+            "/retail/ds/sales_out/filter/region/r2/groupby/brand/count/revenue/sort/count_revenue/desc/limit/3",
+            "select brand, count(revenue) from sales_out where region = 'r2' \
+             group by brand order by count_revenue desc limit 3",
+        ),
+        (
+            "/retail/ds/sales_out/sort/revenue/asc/limit/5",
+            "select * from sales_out order by revenue asc limit 5",
+        ),
+    ];
+    for (path, sql) in pairs {
+        let via_get = server.handle(&Request::get(path));
+        assert!(via_get.is_ok(), "{path}: {}", via_get.body);
+        let post = Request::new(Method::Post, "/retail/ds/sales_out/sql").with_body(sql);
+        let via_sql = server.handle(&post);
+        assert!(via_sql.is_ok(), "{sql}: {}", via_sql.body);
+        assert_eq!(via_get.body, via_sql.body, "{sql} vs {path}");
+        let again = server.handle(&post);
+        assert_eq!(via_sql.body, again.body, "{sql}: cached repeat differs");
+    }
+    // Every pair above canonicalised: the SQL route recorded shared plans
+    // and never evaluated past the page cache the GET route filled.
+    let sql_stats = server.platform().api_metrics().sql();
+    assert_eq!(sql_stats.path_shared, sql_stats.queries);
+    assert_eq!(sql_stats.parse_errors, 0);
+}
+
+/// Rich SQL over HTTP agrees with an in-process scan of the same ops —
+/// the server adds caching and paging, never different answers.
+#[test]
+fn http_sql_matches_inprocess_scan() {
+    let server = served_retail();
+    let table = {
+        let d = server.platform().dashboard("retail").unwrap();
+        d.endpoint_tables.get("sales_out").unwrap().clone()
+    };
+    for sql in [
+        "select region, brand from sales_out where revenue > 50",
+        "select region, sum(revenue) as total, count(*) as n from sales_out \
+         group by region order by total desc",
+        "select distinct region, brand from sales_out limit 20 offset 3",
+        "select * from sales_out where revenue between 10 and 40 and region != 'r0'",
+    ] {
+        let r =
+            server.handle(&Request::new(Method::Post, "/retail/ds/sales_out/sql").with_body(sql));
+        assert!(r.is_ok(), "{sql}: {}", r.body);
+        let ops = ops_for(sql);
+        let scan = run_query(&table, &ops).unwrap();
+        assert_eq!(r.body, table_to_json(&scan), "{sql}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz: the parser terminates without panicking on arbitrary input
+// ---------------------------------------------------------------------------
+
+/// Arbitrary strings — random unicode, random ASCII soup, and mutated
+/// valid statements — always produce `Ok` or a spanned `Err`, never a
+/// panic, hang, or stack overflow.
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    let mut r = SeededRng::new(0x5D1F_0004);
+    let seeds = [
+        "select brand, sum(revenue) from sales group by brand order by sum_revenue desc limit 3",
+        "select * from t where a = 1 and (b > 2 or c in ('x', 'y')) offset 4",
+        "select distinct \"weird name\" from t where x between -1 and 1e3 -- comment",
+        "select count(*) from t where s is not null",
+    ];
+    let alphabet: Vec<char> = ("select from where group by order limit offset and or not in \
+                               between is null ( ) , * ' \" . ; = < > ! 0 1 9 e E + - _ \u{1F600} \
+                               \u{0} \t \n \\ /")
+        .chars()
+        .collect();
+    for case in 0..CASES * 8 {
+        let src = if case % 2 == 0 {
+            // Pure noise.
+            let len = r.index(120);
+            (0..len).map(|_| *r.pick(&alphabet)).collect::<String>()
+        } else {
+            // A valid statement, mutated: splice, truncate, duplicate.
+            let mut s: Vec<char> = r.pick(&seeds).chars().collect();
+            for _ in 0..1 + r.index(6) {
+                if s.is_empty() {
+                    break;
+                }
+                let i = r.index(s.len());
+                match r.index(3) {
+                    0 => s[i] = *r.pick(&alphabet),
+                    1 => {
+                        s.remove(i);
+                    }
+                    _ => s.insert(i, *r.pick(&alphabet)),
+                }
+            }
+            if r.chance(0.2) {
+                let cut = r.index(s.len().max(1));
+                s.truncate(cut);
+            }
+            s.into_iter().collect()
+        };
+        // Must return, not panic; on success lowering must also return.
+        if let Ok(stmt) = parse_select(&src) {
+            if let Ok(plan) = lower(&src, &stmt) {
+                let _ = lower_plan(&plan, &mut |_| Err("no joins here".into()));
+            }
+        }
+    }
+    // Pathological nesting is rejected by depth, not by stack overflow.
+    let deep = format!(
+        "select * from t where {}x = 1{}",
+        "(".repeat(500),
+        ")".repeat(500)
+    );
+    assert!(parse_select(&deep).is_err());
+}
