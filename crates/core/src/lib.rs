@@ -39,6 +39,7 @@ pub mod error;
 pub mod meta;
 pub mod platform;
 pub mod telemetry;
+pub mod telemetry_history;
 pub mod trace;
 
 pub use dashboard::{Dashboard, RunReport};
@@ -48,7 +49,9 @@ pub use error::{PlatformError, Result};
 pub use meta::{build_meta_dashboard, profile_table, ColumnProfile, MetaDashboard};
 pub use platform::{Platform, StreamPushReport, StreamStartInfo};
 pub use telemetry::{
-    ApiMetrics, IndexStats, LatencyHistogram, OperatorStats, ReactorStats, RouteStats, RunEvent,
-    RunKind, RunLog, SqlStats, StreamStats, UsageCounts,
+    process_stats, ApiMetrics, IndexStats, LatencyHistogram, OperatorStats, ProcessStats,
+    ReactorStats, RouteStats, RunEvent, RunKind, RunLog, SelfScrapeStats, SqlStats, StreamStats,
+    UsageCounts,
 };
+pub use telemetry_history::{HistoryStats, Sample, ScrapeOutcome, TelemetryHistory};
 pub use trace::{AttrValue, EventLog, Span, SpanRecord, TraceId, TraceRecord, Tracer};

@@ -3,6 +3,7 @@
 use crate::dashboard::{Dashboard, RunReport};
 use crate::error::{PlatformError, Result};
 use crate::telemetry::{usage_of, ApiMetrics, RunEvent, RunKind, RunLog};
+use crate::telemetry_history::TelemetryHistory;
 use crate::trace::{Span, Tracer};
 use parking_lot::{Mutex, RwLock};
 use shareinsights_collab::PublishRegistry;
@@ -39,6 +40,7 @@ pub struct Platform {
     publish: PublishRegistry,
     log: RunLog,
     api: ApiMetrics,
+    history: TelemetryHistory,
     tracer: Tracer,
     dashboards: Arc<RwLock<BTreeMap<String, Dashboard>>>,
     /// dashboard -> endpoint-data generation, bumped whenever a run
@@ -72,6 +74,7 @@ impl Platform {
             publish: PublishRegistry::new(),
             log: RunLog::new(),
             api: ApiMetrics::new(),
+            history: TelemetryHistory::new(),
             tracer: Tracer::new(),
             dashboards: Arc::new(RwLock::new(BTreeMap::new())),
             data_gens: Arc::new(RwLock::new(BTreeMap::new())),
@@ -111,6 +114,13 @@ impl Platform {
     /// Serving-path metrics (per-route counters/latency, `/stats`).
     pub fn api_metrics(&self) -> &ApiMetrics {
         &self.api
+    }
+
+    /// The self-hosted telemetry time-series the serving layer scrapes
+    /// [`ApiMetrics`] into — the backing store of the built-in `_system`
+    /// dashboard's `telemetry` dataset.
+    pub fn telemetry_history(&self) -> &TelemetryHistory {
+        &self.history
     }
 
     /// Request/operator trace registry: completed traces land here, and
@@ -558,7 +568,7 @@ impl Platform {
         let batch = shareinsights_tabular::io::csv::read_csv(csv, &opts)
             .map_err(|e| PlatformError::Other(format!("stream batch: {e}")))?;
 
-        let (tick, endpoints) = {
+        let (tick, endpoints, strategies) = {
             let mut streams = self.streams.lock();
             let stream = streams.get_mut(name).ok_or_else(|| {
                 PlatformError::Other(format!(
@@ -568,7 +578,12 @@ impl Platform {
             let tick = stream
                 .push_batch(source, batch)
                 .map_err(PlatformError::Execute)?;
-            (tick, stream.pipeline().endpoints.clone())
+            let strategies: Vec<(String, &'static str)> = tick
+                .updated
+                .keys()
+                .filter_map(|obj| stream.strategy_name(obj).map(|s| (obj.clone(), s)))
+                .collect();
+            (tick, stream.pipeline().endpoints.clone(), strategies)
         };
 
         // Copy-on-write endpoint swap, then the generation bump that
@@ -596,6 +611,7 @@ impl Platform {
             evicted_rows: tick.evicted_rows,
             generation: self.data_generation(name),
             updated,
+            strategies,
         })
     }
 
@@ -760,6 +776,9 @@ pub struct StreamPushReport {
     pub generation: u64,
     /// Updated endpoints with their new row counts.
     pub updated: Vec<(String, usize)>,
+    /// Per-updated-object execution strategy names
+    /// (`passthrough` / `incremental` / `reexec`), for span attributes.
+    pub strategies: Vec<(String, &'static str)>,
 }
 
 #[cfg(test)]
@@ -1058,6 +1077,11 @@ T:
         assert_eq!(push.rows_in, 3);
         assert_eq!(push.generation, gen0 + 1);
         assert_eq!(push.updated, vec![("players_tweets".to_string(), 2)]);
+        assert_eq!(
+            push.strategies,
+            vec![("players_tweets".to_string(), "incremental")],
+            "groupby chain classifies incrementally"
+        );
 
         let push2 = platform
             .stream_push("ipl_processing", "tweets", "d9,dhoni\n")

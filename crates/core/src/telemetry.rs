@@ -380,6 +380,81 @@ pub struct SqlStats {
     pub parse_us: u64,
 }
 
+/// Self-scrape statistics: the telemetry-history scraper observing
+/// itself. How many ticks ran, how many samples they appended/evicted,
+/// and the total time spent scraping — so the overhead of
+/// self-observation is itself visible at `/stats` and `/metrics`
+/// (`shareinsights_selfscrape_*`). All zeros until a scraper is enabled.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelfScrapeStats {
+    /// Scrape ticks completed.
+    pub scrapes: u64,
+    /// Samples appended across all ticks.
+    pub samples: u64,
+    /// Samples evicted to hold per-family retention budgets.
+    pub evicted: u64,
+    /// Samples currently retained in the history ring (gauge).
+    pub retained: u64,
+    /// Total time spent scraping, µs.
+    pub elapsed_us: u64,
+}
+
+/// Process-level gauges sampled from `/proc/self` on Linux (zeros where
+/// the platform offers no cheap equivalent).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcessStats {
+    /// Resident set size in bytes.
+    pub rss_bytes: u64,
+    /// Open file descriptors.
+    pub open_fds: u64,
+    /// Live threads.
+    pub threads: u64,
+    /// Seconds since process telemetry came up.
+    pub uptime_seconds: u64,
+}
+
+/// The instant process telemetry first came up, for the uptime gauge.
+/// Touched by [`ApiMetrics::new`] so servers report near-process uptime.
+fn process_epoch() -> std::time::Instant {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    *EPOCH.get_or_init(std::time::Instant::now)
+}
+
+/// Sample the process-level gauges. On Linux these read `/proc/self`
+/// (statm for RSS, the fd directory, status for the thread count); other
+/// platforms degrade gracefully to zeros, keeping the exposition shape.
+pub fn process_stats() -> ProcessStats {
+    let uptime_seconds = process_epoch().elapsed().as_secs();
+    let mut stats = ProcessStats {
+        uptime_seconds,
+        ..ProcessStats::default()
+    };
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(statm) = std::fs::read_to_string("/proc/self/statm") {
+            // statm: size resident shared text lib data dt (pages).
+            if let Some(resident) = statm.split_whitespace().nth(1) {
+                if let Ok(pages) = resident.parse::<u64>() {
+                    stats.rss_bytes = pages * 4096;
+                }
+            }
+        }
+        if let Ok(dir) = std::fs::read_dir("/proc/self/fd") {
+            stats.open_fds = dir.count() as u64;
+        }
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("Threads:") {
+                    stats.threads = rest.trim().parse().unwrap_or(0);
+                    break;
+                }
+            }
+        }
+    }
+    stats
+}
+
 /// Thread-safe per-route metrics registry for the serving path.
 #[derive(Debug, Clone, Default)]
 pub struct ApiMetrics {
@@ -390,11 +465,14 @@ pub struct ApiMetrics {
     reactor: Arc<RwLock<ReactorStats>>,
     stream: Arc<RwLock<StreamStats>>,
     sql: Arc<RwLock<SqlStats>>,
+    selfscrape: Arc<RwLock<SelfScrapeStats>>,
 }
 
 impl ApiMetrics {
-    /// Empty registry.
+    /// Empty registry. Anchors the process-uptime epoch as a side effect,
+    /// so servers report uptime from construction, not first scrape.
     pub fn new() -> Self {
+        process_epoch();
         Self::default()
     }
 
@@ -589,6 +667,22 @@ impl ApiMetrics {
     /// Snapshot of the SQL frontend counters.
     pub fn sql(&self) -> SqlStats {
         self.sql.read().clone()
+    }
+
+    /// Record one telemetry-history scrape tick: samples appended and
+    /// evicted, samples now retained, and time spent scraping.
+    pub fn record_selfscrape(&self, samples: u64, evicted: u64, retained: u64, elapsed_us: u64) {
+        let mut s = self.selfscrape.write();
+        s.scrapes += 1;
+        s.samples += samples;
+        s.evicted += evicted;
+        s.retained = retained;
+        s.elapsed_us += elapsed_us;
+    }
+
+    /// Snapshot of the self-scrape counters.
+    pub fn selfscrape(&self) -> SelfScrapeStats {
+        self.selfscrape.read().clone()
     }
 
     /// Snapshot of every route's stats.
@@ -807,6 +901,30 @@ mod tests {
         assert_eq!(s.parse_us, 200);
         assert_eq!(s.path_shared, 1);
         assert_eq!(s.parse_errors, 3);
+    }
+
+    #[test]
+    fn selfscrape_metrics_accumulate() {
+        let m = ApiMetrics::new();
+        assert_eq!(m.selfscrape(), SelfScrapeStats::default());
+        m.record_selfscrape(40, 0, 40, 120);
+        m.record_selfscrape(40, 10, 70, 80);
+        let s = m.selfscrape();
+        assert_eq!(s.scrapes, 2);
+        assert_eq!(s.samples, 80);
+        assert_eq!(s.evicted, 10);
+        assert_eq!(s.retained, 70, "retained is a gauge, not a sum");
+        assert_eq!(s.elapsed_us, 200);
+    }
+
+    #[test]
+    fn process_stats_populated_on_linux() {
+        let p = process_stats();
+        if cfg!(target_os = "linux") {
+            assert!(p.rss_bytes > 0, "{p:?}");
+            assert!(p.open_fds > 0, "{p:?}");
+            assert!(p.threads > 0, "{p:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,495 @@
+//! Self-hosted telemetry time-series: a bounded in-memory columnar ring
+//! the serving layer scrapes the [`ApiMetrics`] registry into, so the
+//! stack can observe *itself* with its own query machinery instead of
+//! point-in-time `/stats` snapshots that discard history the moment you
+//! read them.
+//!
+//! Samples are `(ts, family, label, value)` rows — family is the registry
+//! block (`routes`, `cache`, `index`, `reactor`, `stream`, `sql`, …),
+//! label is `series|metric` (e.g. `GET /stats|p95_us`), value is an
+//! integer counter or microsecond quantile. Each family has its own
+//! retention budget; the oldest samples of that family are evicted first,
+//! so a chatty family (per-route histograms) cannot starve a quiet one
+//! (reactor gauges) out of history.
+//!
+//! The ring materialises one [`Table`] snapshot per scrape — not per
+//! query — and hands out cheap clones (columns are shared), so the entire
+//! existing query stack (path grammar, SQL, paging, caches, SSE) runs on
+//! the `_system/telemetry` dataset unchanged.
+
+use crate::telemetry::ApiMetrics;
+use parking_lot::RwLock;
+use shareinsights_tabular::{Column, DataType, Field, Schema, Table};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Default samples retained per family before FIFO eviction.
+pub const DEFAULT_FAMILY_BUDGET: usize = 4096;
+
+/// One sampled telemetry point, prior to timestamping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Registry block the sample came from (`routes`, `cache`, …).
+    pub family: String,
+    /// Series within the family, `series|metric` style.
+    pub label: String,
+    /// Integer value (counts, bytes, or microseconds).
+    pub value: i64,
+}
+
+impl Sample {
+    /// Convenience constructor.
+    pub fn new(family: &str, label: impl Into<String>, value: i64) -> Sample {
+        Sample {
+            family: family.to_string(),
+            label: label.into(),
+            value,
+        }
+    }
+}
+
+/// Outcome of one scrape tick, for meta-telemetry and SSE fan-out.
+#[derive(Debug, Clone)]
+pub struct ScrapeOutcome {
+    /// Samples appended this tick.
+    pub samples: usize,
+    /// Samples evicted (across families) to hold the retention budgets.
+    pub evicted: usize,
+    /// Samples currently retained across all families, post-scrape.
+    pub retained: usize,
+    /// Ring generation after the scrape (stamps caches and SSE frames).
+    pub generation: u64,
+    /// Just the rows appended this tick, as a table — the SSE delta frame
+    /// a live widget appends, sparing subscribers the full snapshot.
+    pub delta: Table,
+}
+
+/// Columnar per-family ring: parallel deques, FIFO-evicted at the budget.
+#[derive(Debug, Default)]
+struct FamilyRing {
+    ts_us: VecDeque<i64>,
+    labels: VecDeque<String>,
+    values: VecDeque<i64>,
+}
+
+impl FamilyRing {
+    fn len(&self) -> usize {
+        self.ts_us.len()
+    }
+
+    fn push(&mut self, ts_us: i64, label: String, value: i64) {
+        self.ts_us.push_back(ts_us);
+        self.labels.push_back(label);
+        self.values.push_back(value);
+    }
+
+    fn evict_to(&mut self, budget: usize) -> usize {
+        let mut evicted = 0;
+        while self.ts_us.len() > budget {
+            self.ts_us.pop_front();
+            self.labels.pop_front();
+            self.values.pop_front();
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    families: BTreeMap<String, FamilyRing>,
+    budgets: BTreeMap<String, usize>,
+    generation: u64,
+    scrapes: u64,
+    appended: u64,
+    evicted: u64,
+    snapshot: Option<Table>,
+}
+
+/// Cumulative history-store statistics (surfaced under `/stats`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistoryStats {
+    /// Scrape ticks recorded.
+    pub scrapes: u64,
+    /// Samples appended over the store's lifetime.
+    pub appended: u64,
+    /// Samples evicted to hold retention budgets.
+    pub evicted: u64,
+    /// Samples currently retained.
+    pub retained: u64,
+    /// Distinct families present.
+    pub families: u64,
+    /// Current ring generation.
+    pub generation: u64,
+}
+
+/// The schema every snapshot table carries: `ts, family, label, value`.
+fn history_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("ts", DataType::Int64),
+        Field::new("family", DataType::Utf8),
+        Field::new("label", DataType::Utf8),
+        Field::new("value", DataType::Int64),
+    ])
+    .expect("history schema fields are distinct")
+}
+
+fn table_of(rows: &[(i64, &str, &str, i64)]) -> Table {
+    Table::new(
+        history_schema(),
+        vec![
+            Column::int(rows.iter().map(|r| r.0)),
+            Column::utf8(rows.iter().map(|r| r.1)),
+            Column::utf8(rows.iter().map(|r| r.2)),
+            Column::int(rows.iter().map(|r| r.3)),
+        ],
+    )
+    .expect("history columns are rectangular")
+}
+
+/// Bounded time-series store over the telemetry registry. Cheap to clone
+/// (shared interior); every handle sees the same ring.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryHistory {
+    default_budget: usize,
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl TelemetryHistory {
+    /// Store with the default per-family budget.
+    pub fn new() -> TelemetryHistory {
+        TelemetryHistory::with_budget(DEFAULT_FAMILY_BUDGET)
+    }
+
+    /// Store retaining at most `per_family` samples per family.
+    pub fn with_budget(per_family: usize) -> TelemetryHistory {
+        TelemetryHistory {
+            default_budget: per_family.max(1),
+            inner: Arc::new(RwLock::new(Inner::default())),
+        }
+    }
+
+    /// Override the retention budget of one family.
+    pub fn set_family_budget(&self, family: &str, budget: usize) {
+        let budget = budget.max(1);
+        let mut inner = self.inner.write();
+        inner.budgets.insert(family.to_string(), budget);
+        let evicted = match inner.families.get_mut(family) {
+            Some(ring) => ring.evict_to(budget),
+            None => 0,
+        };
+        inner.evicted += evicted as u64;
+        if evicted > 0 {
+            inner.snapshot = None;
+        }
+    }
+
+    /// Current ring generation. Bumped once per scrape so
+    /// generation-stamped caches invalidate exactly when history advances.
+    pub fn generation(&self) -> u64 {
+        self.inner.read().generation
+    }
+
+    /// Cumulative store statistics.
+    pub fn stats(&self) -> HistoryStats {
+        let inner = self.inner.read();
+        HistoryStats {
+            scrapes: inner.scrapes,
+            appended: inner.appended,
+            evicted: inner.evicted,
+            retained: inner.families.values().map(|r| r.len() as u64).sum(),
+            families: inner.families.len() as u64,
+            generation: inner.generation,
+        }
+    }
+
+    /// Append one scrape tick of samples at `ts_us`, evicting per-family
+    /// overflow, bumping the generation, and rebuilding the snapshot
+    /// lazily (on next read).
+    pub fn record(&self, ts_us: i64, samples: Vec<Sample>) -> ScrapeOutcome {
+        let delta_rows: Vec<(i64, &str, &str, i64)> = samples
+            .iter()
+            .map(|s| (ts_us, s.family.as_str(), s.label.as_str(), s.value))
+            .collect();
+        let delta = table_of(&delta_rows);
+
+        let mut inner = self.inner.write();
+        let appended = samples.len();
+        let mut evicted = 0usize;
+        for s in samples {
+            let budget = inner
+                .budgets
+                .get(&s.family)
+                .copied()
+                .unwrap_or(self.default_budget);
+            let ring = inner.families.entry(s.family).or_default();
+            ring.push(ts_us, s.label, s.value);
+            evicted += ring.evict_to(budget);
+        }
+        inner.scrapes += 1;
+        inner.appended += appended as u64;
+        inner.evicted += evicted as u64;
+        inner.generation += 1;
+        inner.snapshot = None;
+        ScrapeOutcome {
+            samples: appended,
+            evicted,
+            retained: inner.families.values().map(|r| r.len()).sum(),
+            generation: inner.generation,
+            delta,
+        }
+    }
+
+    /// Scrape the registry: collect every family's current counters,
+    /// append them (plus any caller-provided `extra` samples — e.g. the
+    /// server's query-cache block, which lives outside core) at `ts_us`.
+    pub fn scrape(&self, metrics: &ApiMetrics, ts_us: i64, extra: Vec<Sample>) -> ScrapeOutcome {
+        let mut samples = collect_registry_samples(metrics);
+        samples.extend(extra);
+        self.record(ts_us, samples)
+    }
+
+    /// The current history as a table (`ts, family, label, value`), built
+    /// once per scrape and cloned per reader — columns are shared, so this
+    /// is copy-free on the query path.
+    pub fn snapshot_table(&self) -> Table {
+        if let Some(t) = self.inner.read().snapshot.as_ref() {
+            return t.clone();
+        }
+        let mut inner = self.inner.write();
+        if let Some(t) = inner.snapshot.as_ref() {
+            return t.clone();
+        }
+        let total: usize = inner.families.values().map(|r| r.len()).sum();
+        let mut ts = Vec::with_capacity(total);
+        let mut families = Vec::with_capacity(total);
+        let mut labels = Vec::with_capacity(total);
+        let mut values = Vec::with_capacity(total);
+        for (family, ring) in &inner.families {
+            for i in 0..ring.len() {
+                ts.push(ring.ts_us[i]);
+                families.push(family.clone());
+                labels.push(ring.labels[i].clone());
+                values.push(ring.values[i]);
+            }
+        }
+        let table = Table::new(
+            history_schema(),
+            vec![
+                Column::int(ts),
+                Column::utf8(families),
+                Column::utf8(labels),
+                Column::int(values),
+            ],
+        )
+        .expect("history columns are rectangular");
+        inner.snapshot = Some(table.clone());
+        table
+    }
+}
+
+fn clamp_i64(v: u64) -> i64 {
+    v.min(i64::MAX as u64) as i64
+}
+
+/// Walk every [`ApiMetrics`] family and flatten the interesting series
+/// into samples: per-route counters and latency quantiles, aggregate
+/// cache totals, per-operator throughput, and the index / reactor /
+/// stream / sql / connection blocks.
+pub fn collect_registry_samples(metrics: &ApiMetrics) -> Vec<Sample> {
+    let mut out = Vec::with_capacity(128);
+    let mut push = |family: &str, label: String, value: u64| {
+        out.push(Sample {
+            family: family.to_string(),
+            label,
+            value: clamp_i64(value),
+        });
+    };
+
+    for (route, s) in metrics.snapshot() {
+        push("routes", format!("{route}|count"), s.count);
+        push("routes", format!("{route}|errors"), s.errors);
+        push(
+            "routes",
+            format!("{route}|p50_us"),
+            s.latency.quantile_us(0.5),
+        );
+        push(
+            "routes",
+            format!("{route}|p95_us"),
+            s.latency.quantile_us(0.95),
+        );
+        push("routes", format!("{route}|max_us"), s.latency.max_us);
+    }
+
+    let (hits, misses) = metrics.cache_totals();
+    push("cache", "hits".into(), hits);
+    push("cache", "misses".into(), misses);
+
+    let c = metrics.connections();
+    push("connections", "accepted".into(), c.accepted);
+    push("connections", "closed".into(), c.closed);
+    push("connections", "reused".into(), c.reused);
+    push("connections", "requests".into(), c.requests);
+    push("connections", "idle_timeouts".into(), c.idle_timeouts);
+    push("connections", "io_timeouts".into(), c.io_timeouts);
+
+    for (op, s) in metrics.operators() {
+        push("operators", format!("{op}|runs"), s.runs);
+        push("operators", format!("{op}|rows_in"), s.rows_in);
+        push("operators", format!("{op}|rows_out"), s.rows_out);
+        push(
+            "operators",
+            format!("{op}|p95_us"),
+            s.latency.quantile_us(0.95),
+        );
+    }
+
+    let ix = metrics.index();
+    push("index", "builds".into(), ix.builds);
+    push("index", "build_us".into(), ix.build_us);
+    push("index", "covered".into(), ix.covered);
+    push("index", "fallback".into(), ix.fallback);
+
+    let r = metrics.reactor();
+    push("reactor", "registered".into(), r.registered);
+    push("reactor", "peak_registered".into(), r.peak_registered);
+    push("reactor", "wakeups".into(), r.wakeups);
+    push("reactor", "ready_events".into(), r.ready_events);
+    push("reactor", "epollout_rearms".into(), r.epollout_rearms);
+    push("reactor", "dispatched".into(), r.dispatched);
+
+    let st = metrics.stream();
+    push("stream", "ticks".into(), st.ticks);
+    push("stream", "rows_in".into(), st.rows_in);
+    push("stream", "evicted_rows".into(), st.evicted_rows);
+    push("stream", "frames_sent".into(), st.frames_sent);
+    push("stream", "frame_bytes".into(), st.frame_bytes);
+    push("stream", "subscribers".into(), st.subscribers);
+    push(
+        "stream",
+        "dropped_subscribers".into(),
+        st.dropped_subscribers,
+    );
+
+    let q = metrics.sql();
+    push("sql", "queries".into(), q.queries);
+    push("sql", "parse_errors".into(), q.parse_errors);
+    push("sql", "path_shared".into(), q.path_shared);
+    push("sql", "parse_us".into(), q.parse_us);
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shareinsights_tabular::Value;
+
+    fn sample(family: &str, label: &str, value: i64) -> Sample {
+        Sample::new(family, label, value)
+    }
+
+    #[test]
+    fn record_bumps_generation_and_snapshots_lazily() {
+        let h = TelemetryHistory::new();
+        assert_eq!(h.generation(), 0);
+        assert_eq!(h.snapshot_table().num_rows(), 0);
+
+        let out = h.record(1_000, vec![sample("routes", "GET /stats|count", 3)]);
+        assert_eq!(out.generation, 1);
+        assert_eq!(out.samples, 1);
+        assert_eq!(out.evicted, 0);
+        assert_eq!(out.delta.num_rows(), 1);
+
+        let t = h.snapshot_table();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.value(0, "ts").unwrap(), Value::Int(1_000));
+        assert_eq!(t.value(0, "family").unwrap(), Value::Str("routes".into()));
+        assert_eq!(t.value(0, "value").unwrap(), Value::Int(3));
+
+        // Snapshot is cached: same columns handed back until the next scrape.
+        let again = h.snapshot_table();
+        assert_eq!(t, again);
+        h.record(2_000, vec![sample("routes", "GET /stats|count", 4)]);
+        assert_eq!(h.generation(), 2);
+        assert_eq!(h.snapshot_table().num_rows(), 2);
+    }
+
+    #[test]
+    fn per_family_budgets_evict_oldest_of_that_family_only() {
+        let h = TelemetryHistory::with_budget(2);
+        for i in 0..4 {
+            h.record(
+                i * 10,
+                vec![
+                    sample("routes", "r|count", i),
+                    sample("sql", "queries", 100 + i),
+                ],
+            );
+        }
+        let stats = h.stats();
+        assert_eq!(stats.retained, 4, "two families × budget 2");
+        assert_eq!(stats.evicted, 4);
+        assert_eq!(stats.appended, 8);
+        let t = h.snapshot_table();
+        assert_eq!(t.num_rows(), 4);
+        // Oldest two of each family are gone; the survivors are ts 20/30.
+        for row in 0..t.num_rows() {
+            let Value::Int(ts) = t.value(row, "ts").unwrap() else {
+                panic!("ts is int");
+            };
+            assert!(ts >= 20, "ts {ts} should have been evicted");
+        }
+    }
+
+    #[test]
+    fn family_budget_override_trims_existing_ring() {
+        let h = TelemetryHistory::with_budget(100);
+        for i in 0..10 {
+            h.record(i, vec![sample("stream", "ticks", i)]);
+        }
+        h.set_family_budget("stream", 3);
+        assert_eq!(h.stats().retained, 3);
+        h.record(99, vec![sample("stream", "ticks", 99)]);
+        assert_eq!(h.stats().retained, 3, "budget holds on later scrapes");
+    }
+
+    #[test]
+    fn scrape_flattens_every_registry_family() {
+        let m = ApiMetrics::new();
+        m.record("GET /stats", true, 120);
+        m.record_cache("GET /q", true);
+        m.record_operator("groupby", 10, 2, 50);
+        m.record_index_build(75);
+        m.record_reactor_wakeup(3);
+        m.record_stream_tick(5, 0);
+        m.record_sql_query(40, true);
+        m.record_conn_accepted();
+
+        let h = TelemetryHistory::new();
+        let out = h.scrape(&m, 123, vec![sample("cache", "query_entries", 7)]);
+        assert!(out.samples > 20, "{}", out.samples);
+        let t = h.snapshot_table();
+        let mut families: Vec<String> = Vec::new();
+        for row in 0..t.num_rows() {
+            if let Value::Str(f) = t.value(row, "family").unwrap() {
+                if !families.contains(&f) {
+                    families.push(f);
+                }
+            }
+        }
+        for want in [
+            "routes",
+            "cache",
+            "connections",
+            "operators",
+            "index",
+            "reactor",
+            "stream",
+            "sql",
+        ] {
+            assert!(families.iter().any(|f| f == want), "missing {want}");
+        }
+    }
+}

@@ -22,7 +22,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
@@ -467,10 +467,60 @@ impl Tracer {
 enum EventSink {
     /// One line per event to standard error.
     Stderr,
-    /// Append to a file.
-    File(Mutex<File>),
+    /// Append to a file, optionally rotating at a size cap.
+    File(Mutex<FileSink>),
     /// Retain lines in memory (tests, embedded consumers).
     Memory(Mutex<Vec<String>>),
+}
+
+/// The file sink's state: the open handle plus the byte count tracked
+/// across writes, so the size cap never re-stats the file.
+struct FileSink {
+    file: File,
+    /// Bytes in the live file (seeded from its length at open).
+    len: u64,
+    path: PathBuf,
+    /// Rotate before a write would push `len` past this; `None` grows
+    /// without bound (the classic [`EventLog::to_file`] behavior).
+    max_bytes: Option<u64>,
+}
+
+impl FileSink {
+    fn open(path: &Path, max_bytes: Option<u64>) -> std::io::Result<FileSink> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+        Ok(FileSink {
+            file,
+            len,
+            path: path.to_path_buf(),
+            max_bytes,
+        })
+    }
+
+    /// Write one line, rotating first when the cap would be exceeded: the
+    /// live file is renamed to `<path>.1` (replacing any previous `.1`)
+    /// and a fresh file takes its place, so the pair never holds more than
+    /// roughly `2 × max_bytes`. The line being written is never dropped —
+    /// an oversized line still lands in the fresh file.
+    fn write_line(&mut self, line: &str) {
+        let needed = line.len() as u64 + 1;
+        if let Some(max) = self.max_bytes {
+            if self.len > 0 && self.len + needed > max {
+                let rotated = PathBuf::from(format!("{}.1", self.path.display()));
+                let _ = std::fs::rename(&self.path, &rotated);
+                if let Ok(file) = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)
+                {
+                    self.file = file;
+                    self.len = 0;
+                }
+            }
+        }
+        let _ = writeln!(self.file, "{line}");
+        self.len += needed;
+    }
 }
 
 /// A structured JSON-lines event writer for operational events
@@ -514,11 +564,24 @@ impl EventLog {
         }
     }
 
-    /// Append events to a file (created if absent).
+    /// Append events to a file (created if absent), unbounded.
     pub fn to_file(path: &Path) -> std::io::Result<Self> {
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(EventLog {
-            sink: Arc::new(EventSink::File(Mutex::new(file))),
+            sink: Arc::new(EventSink::File(Mutex::new(FileSink::open(path, None)?))),
+        })
+    }
+
+    /// Append events to a file with size-capped rotation: once appending
+    /// would push the file past `max_bytes`, it is renamed to `<path>.1`
+    /// (replacing the previous generation) and writing continues in a
+    /// fresh file — bounding total disk use at about twice the cap without
+    /// ever dropping an event at the rotation boundary.
+    pub fn to_file_rotating(path: &Path, max_bytes: u64) -> std::io::Result<Self> {
+        Ok(EventLog {
+            sink: Arc::new(EventSink::File(Mutex::new(FileSink::open(
+                path,
+                Some(max_bytes.max(1)),
+            )?))),
         })
     }
 
@@ -539,10 +602,7 @@ impl EventLog {
         line.push('}');
         match &*self.sink {
             EventSink::Stderr => eprintln!("{line}"),
-            EventSink::File(f) => {
-                let mut f = f.lock();
-                let _ = writeln!(f, "{line}");
-            }
+            EventSink::File(f) => f.lock().write_line(&line),
             EventSink::Memory(lines) => lines.lock().push(line),
         }
     }
@@ -701,5 +761,48 @@ mod tests {
     fn escape_json_handles_specials() {
         assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn rotating_file_log_caps_size_without_losing_events() {
+        let dir = std::env::temp_dir().join(format!(
+            "shareinsights-rotate-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.log");
+        // Each event line is ~74 bytes, so 20 events (~1.5 KiB) overflow a
+        // 1 KiB cap exactly once — a second rotation would replace `.1`
+        // and legitimately discard its generation, so the test stays under
+        // 2 × cap and every line must survive in the live file or `.1`.
+        let log = EventLog::to_file_rotating(&path, 1024).unwrap();
+        for i in 0..20i64 {
+            log.emit(
+                "error",
+                &[("seq", AttrValue::Int(i)), ("status", AttrValue::Int(500))],
+            );
+        }
+        let live = std::fs::read_to_string(&path).unwrap();
+        let rotated = std::fs::read_to_string(format!("{}.1", path.display())).unwrap_or_default();
+        assert!(
+            live.len() as u64 <= 1024 && rotated.len() as u64 <= 1024,
+            "both files within the cap: live={} rotated={}",
+            live.len(),
+            rotated.len()
+        );
+        assert!(!rotated.is_empty(), "the cap forced a rotation");
+        let all = format!("{rotated}{live}");
+        for i in 0..20 {
+            assert!(
+                all.contains(&format!("\"seq\": {i},")),
+                "event {i} lost across rotation:\n{all}"
+            );
+        }
+        // Lines stay whole JSON objects across the boundary.
+        for line in all.lines() {
+            parse_json(line).expect("whole JSON line");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -139,6 +139,17 @@ impl StreamExec {
         &self.pipeline
     }
 
+    /// The execution strategy chosen for a produced object, as a stable
+    /// name (`passthrough` / `incremental` / `reexec`) — for telemetry
+    /// and span attributes.
+    pub fn strategy_name(&self, output: &str) -> Option<&'static str> {
+        self.strategies.get(output).map(|s| match s {
+            Strategy::Passthrough => "passthrough",
+            Strategy::Incremental { .. } => "incremental",
+            Strategy::Reexec => "reexec",
+        })
+    }
+
     /// Current snapshot of a data object, when it has materialised.
     pub fn table(&self, name: &str) -> Option<&Table> {
         self.current.get(name)

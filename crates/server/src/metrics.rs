@@ -10,8 +10,8 @@
 use crate::cache::CacheStats;
 use crate::http::Method;
 use shareinsights_core::telemetry::{
-    ConnectionStats, IndexStats, LatencyHistogram, OperatorStats, ReactorStats, RouteStats,
-    SqlStats, StreamStats, CONN_REQUESTS_BOUNDS, LATENCY_BOUNDS_US,
+    ConnectionStats, IndexStats, LatencyHistogram, OperatorStats, ProcessStats, ReactorStats,
+    RouteStats, SelfScrapeStats, SqlStats, StreamStats, CONN_REQUESTS_BOUNDS, LATENCY_BOUNDS_US,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -86,7 +86,8 @@ pub fn allowed_methods(segments: &[&str]) -> &'static [Method] {
 /// Render the `/stats` document: per-route counters + cache counters +
 /// connection-level counters + per-operator engine stats + index
 /// acceleration counters + reactor event-loop counters + live-stream
-/// counters + SQL frontend counters.
+/// counters + SQL frontend counters + telemetry self-scrape counters +
+/// process-level gauges.
 #[allow(clippy::too_many_arguments)]
 pub fn stats_json(
     routes: &BTreeMap<String, RouteStats>,
@@ -97,6 +98,8 @@ pub fn stats_json(
     reactor: &ReactorStats,
     stream: &StreamStats,
     sql: &SqlStats,
+    selfscrape: &SelfScrapeStats,
+    process: &ProcessStats,
 ) -> String {
     let mut out = String::from("{\"routes\": {");
     for (i, (label, s)) in routes.iter().enumerate() {
@@ -187,8 +190,22 @@ pub fn stats_json(
     ));
     out.push_str(&format!(
         ", \"sql\": {{\"queries\": {}, \"parse_errors\": {}, \"path_shared\": {}, \
-         \"parse_us\": {}}}}}",
+         \"parse_us\": {}}}",
         sql.queries, sql.parse_errors, sql.path_shared, sql.parse_us
+    ));
+    out.push_str(&format!(
+        ", \"selfscrape\": {{\"scrapes\": {}, \"samples\": {}, \"evicted\": {}, \
+         \"retained\": {}, \"elapsed_us\": {}}}",
+        selfscrape.scrapes,
+        selfscrape.samples,
+        selfscrape.evicted,
+        selfscrape.retained,
+        selfscrape.elapsed_us
+    ));
+    out.push_str(&format!(
+        ", \"process\": {{\"rss_bytes\": {}, \"open_fds\": {}, \"threads\": {}, \
+         \"uptime_seconds\": {}}}}}",
+        process.rss_bytes, process.open_fds, process.threads, process.uptime_seconds
     ));
     out
 }
@@ -252,6 +269,8 @@ pub fn prometheus_text(
     reactor: &ReactorStats,
     stream: &StreamStats,
     sql: &SqlStats,
+    selfscrape: &SelfScrapeStats,
+    process: &ProcessStats,
 ) -> String {
     let mut out = String::new();
     if !routes.is_empty() {
@@ -464,6 +483,41 @@ pub fn prometheus_text(
         "shareinsights_sql_parse_seconds_total {}",
         seconds(sql.parse_us)
     );
+
+    // Telemetry self-scrape: the scraper tick that feeds the `_system`
+    // history ring (all zero until a scrape runs).
+    for (name, value) in [
+        ("scrapes", selfscrape.scrapes),
+        ("samples", selfscrape.samples),
+        ("evicted_samples", selfscrape.evicted),
+    ] {
+        let _ = writeln!(out, "# TYPE shareinsights_selfscrape_{name}_total counter");
+        let _ = writeln!(out, "shareinsights_selfscrape_{name}_total {value}");
+    }
+    out.push_str("# TYPE shareinsights_selfscrape_retained_samples gauge\n");
+    let _ = writeln!(
+        out,
+        "shareinsights_selfscrape_retained_samples {}",
+        selfscrape.retained
+    );
+    out.push_str("# TYPE shareinsights_selfscrape_seconds_total counter\n");
+    let _ = writeln!(
+        out,
+        "shareinsights_selfscrape_seconds_total {}",
+        seconds(selfscrape.elapsed_us)
+    );
+
+    // Process-level gauges read from /proc/self (zero on non-Linux, but
+    // the series always emit so every TYPE line has a sample).
+    for (name, value) in [
+        ("rss_bytes", process.rss_bytes),
+        ("open_fds", process.open_fds),
+        ("threads", process.threads),
+        ("uptime_seconds", process.uptime_seconds),
+    ] {
+        let _ = writeln!(out, "# TYPE shareinsights_process_{name} gauge");
+        let _ = writeln!(out, "shareinsights_process_{name} {value}");
+    }
     out
 }
 
@@ -564,6 +618,19 @@ mod tests {
             path_shared: 5,
             parse_us: 640,
         };
+        let selfscrape = SelfScrapeStats {
+            scrapes: 3,
+            samples: 120,
+            evicted: 7,
+            retained: 113,
+            elapsed_us: 900,
+        };
+        let process = ProcessStats {
+            rss_bytes: 8_388_608,
+            open_fds: 12,
+            threads: 6,
+            uptime_seconds: 42,
+        };
         let json = stats_json(
             &routes,
             &CacheStats::default(),
@@ -573,6 +640,8 @@ mod tests {
             &reactor,
             &stream,
             &sql,
+            &selfscrape,
+            &process,
         );
         let doc = shareinsights_tabular::io::json::parse_json(&json).unwrap();
         assert_eq!(
@@ -687,6 +756,29 @@ mod tests {
             doc.path("sql.parse_us").unwrap().to_value().as_int(),
             Some(640)
         );
+        assert_eq!(
+            doc.path("selfscrape.scrapes").unwrap().to_value().as_int(),
+            Some(3)
+        );
+        assert_eq!(
+            doc.path("selfscrape.retained").unwrap().to_value().as_int(),
+            Some(113)
+        );
+        assert_eq!(
+            doc.path("process.rss_bytes").unwrap().to_value().as_int(),
+            Some(8_388_608)
+        );
+        assert_eq!(
+            doc.path("process.threads").unwrap().to_value().as_int(),
+            Some(6)
+        );
+        assert_eq!(
+            doc.path("process.uptime_seconds")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(42)
+        );
     }
 
     /// One `name{labels} value` sample line.
@@ -789,8 +881,30 @@ mod tests {
             path_shared: 6,
             parse_us: 3_000_000,
         };
+        let selfscrape = SelfScrapeStats {
+            scrapes: 5,
+            samples: 250,
+            evicted: 30,
+            retained: 220,
+            elapsed_us: 4_000_000,
+        };
+        let process = ProcessStats {
+            rss_bytes: 16_777_216,
+            open_fds: 24,
+            threads: 9,
+            uptime_seconds: 77,
+        };
         prometheus_text(
-            &routes, &cache, &conns, &operators, &index, &reactor, &stream, &sql,
+            &routes,
+            &cache,
+            &conns,
+            &operators,
+            &index,
+            &reactor,
+            &stream,
+            &sql,
+            &selfscrape,
+            &process,
         )
     }
 
@@ -897,6 +1011,17 @@ mod tests {
         assert!(text.contains("shareinsights_sql_parse_errors_total 4"));
         assert!(text.contains("shareinsights_sql_path_shared_total 6"));
         assert!(text.contains("shareinsights_sql_parse_seconds_total 3"));
+        // Self-scrape series, scrape time in seconds; retained is a gauge.
+        assert!(text.contains("shareinsights_selfscrape_scrapes_total 5"));
+        assert!(text.contains("shareinsights_selfscrape_samples_total 250"));
+        assert!(text.contains("shareinsights_selfscrape_evicted_samples_total 30"));
+        assert!(text.contains("shareinsights_selfscrape_retained_samples 220"));
+        assert!(text.contains("shareinsights_selfscrape_seconds_total 4"));
+        // Process gauges.
+        assert!(text.contains("shareinsights_process_rss_bytes 16777216"));
+        assert!(text.contains("shareinsights_process_open_fds 24"));
+        assert!(text.contains("shareinsights_process_threads 9"));
+        assert!(text.contains("shareinsights_process_uptime_seconds 77"));
         // Label escaping.
         let mut routes = BTreeMap::new();
         routes.insert("a\"b\\c".to_string(), RouteStats::default());
@@ -909,6 +1034,8 @@ mod tests {
             &ReactorStats::default(),
             &StreamStats::default(),
             &SqlStats::default(),
+            &SelfScrapeStats::default(),
+            &ProcessStats::default(),
         );
         assert!(escaped.contains("route=\"a\\\"b\\\\c\""), "{escaped}");
     }

@@ -17,6 +17,28 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// The reserved virtual dashboard: a read-only namespace the router
+/// resolves from built-in stores instead of saved flows. No user
+/// dashboard may be created, saved, or forked under this name.
+pub const SYSTEM_DASHBOARD: &str = "_system";
+
+/// The built-in telemetry time-series dataset under
+/// [`SYSTEM_DASHBOARD`]: the history ring the scraper tick fills.
+pub const TELEMETRY_DATASET: &str = "telemetry";
+
+/// Rejects writes that would shadow the built-in [`SYSTEM_DASHBOARD`]
+/// namespace: returns the 409 to send when `name` is reserved.
+fn reserved_namespace(name: &str) -> Option<Response> {
+    if name == SYSTEM_DASHBOARD {
+        Some(Response::error(
+            Status::Conflict,
+            format!("'{SYSTEM_DASHBOARD}' is a reserved read-only namespace"),
+        ))
+    } else {
+        None
+    }
+}
+
 /// Outcome of [`Server::handle_traced`]: the response plus the request's
 /// trace id (when the request was sampled) and handling latency — what the
 /// serving loop needs for slow-request logging.
@@ -174,6 +196,8 @@ impl Server {
                 &self.platform.api_metrics().reactor(),
                 &self.platform.api_metrics().stream(),
                 &self.platform.api_metrics().sql(),
+                &self.platform.api_metrics().selfscrape(),
+                &shareinsights_core::process_stats(),
             )),
             (Method::Get, ["metrics"]) => Response {
                 status: Status::Ok,
@@ -186,6 +210,8 @@ impl Server {
                     &self.platform.api_metrics().reactor(),
                     &self.platform.api_metrics().stream(),
                     &self.platform.api_metrics().sql(),
+                    &self.platform.api_metrics().selfscrape(),
+                    &shareinsights_core::process_stats(),
                 ),
                 content_type: "text/plain; version=0.0.4",
             },
@@ -210,6 +236,9 @@ impl Server {
                 Response::json(string_list(&self.platform.dashboard_names()))
             }
             (Method::Post, ["dashboards", name, "create"]) => {
+                if let Some(resp) = reserved_namespace(name) {
+                    return resp;
+                }
                 match self.platform.create_dashboard(name) {
                     Ok(()) => Response {
                         status: Status::Created,
@@ -220,6 +249,9 @@ impl Server {
                 }
             }
             (Method::Put, ["dashboards", name, "flow"]) => {
+                if let Some(resp) = reserved_namespace(name) {
+                    return resp;
+                }
                 match self.platform.save_flow(name, &request.body) {
                     Ok(warnings) => {
                         let w: Vec<String> = warnings.iter().map(|d| d.to_string()).collect();
@@ -256,6 +288,9 @@ impl Server {
                 }
             }
             (Method::Post, ["dashboards", from, "fork", to]) => {
+                if let Some(resp) = reserved_namespace(to) {
+                    return resp;
+                }
                 match self.platform.fork_dashboard(from, to, "api") {
                     Ok(()) => Response {
                         status: Status::Created,
@@ -277,7 +312,7 @@ impl Server {
                 Response::json(format!("{{\"stopped\": {stopped}}}"))
             }
             (Method::Post, ["dashboards", name, "stream", "push", source]) => {
-                self.stream_push(name, source, &request.body)
+                self.stream_push(name, source, &request.body, span)
             }
             // Data API: /<dashboard>/ds[...]
             (Method::Get, [dashboard, "ds"]) => self.list_endpoints(dashboard),
@@ -317,6 +352,24 @@ impl Server {
     }
 
     fn endpoint_table(&self, dashboard: &str, dataset: &str) -> Result<Table, Response> {
+        // The `_system` dashboard is virtual: its datasets come from the
+        // platform's telemetry history ring, not from any saved flow.
+        // Intercepting here (plus in `live_generation`/`list_endpoints`)
+        // is what lets the whole query stack — path grammar, SQL,
+        // paging, caches, indexes, SSE — serve it unchanged.
+        if dashboard == SYSTEM_DASHBOARD {
+            return if dataset == TELEMETRY_DATASET {
+                Ok(self.platform.telemetry_history().snapshot_table())
+            } else {
+                Err(Response::error(
+                    Status::NotFound,
+                    format!(
+                        "no built-in dataset '{dataset}' under '{SYSTEM_DASHBOARD}' \
+                         (only '{TELEMETRY_DATASET}')"
+                    ),
+                ))
+            };
+        }
         let d = self
             .platform
             .dashboard(dashboard)
@@ -345,8 +398,80 @@ impl Server {
     /// dashboard runs and stream ticks bump the platform side,
     /// publishes bump the registry side.
     fn live_generation(&self, dashboard: &str, dataset: &str) -> u64 {
+        // `_system` data advances exactly once per scrape tick, so the
+        // ring generation alone stamps its cache entries and SSE frames.
+        if dashboard == SYSTEM_DASHBOARD {
+            return self.platform.telemetry_history().generation();
+        }
         self.platform.data_generation(dashboard)
             + self.platform.publish_registry().generation(dataset)
+    }
+
+    /// One telemetry scrape tick: sample the whole
+    /// [`ApiMetrics`](shareinsights_core::ApiMetrics) registry (plus the
+    /// server-side cache and process families) into
+    /// the history ring, record the scrape's own cost as
+    /// `selfscrape` meta-telemetry, and fan the delta out to
+    /// `_system/telemetry` SSE subscribers. The serving layer calls this
+    /// on its scraper tick ([`crate::serve::ServeOptions::scrape_interval`]);
+    /// tests and embedders may call it directly.
+    pub fn scrape_telemetry(&self) -> shareinsights_core::ScrapeOutcome {
+        use shareinsights_core::Sample;
+        let started = Instant::now();
+        let ts_us = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as i64)
+            .unwrap_or(0);
+        let qc = self.cache.stats();
+        let rc = self.results.stats();
+        let p = shareinsights_core::process_stats();
+        let extra = vec![
+            Sample::new("cache", "query_entries", qc.entries as i64),
+            Sample::new("cache", "query_bytes", qc.bytes as i64),
+            Sample::new("cache", "query_evictions", qc.evictions as i64),
+            Sample::new("cache", "query_invalidations", qc.invalidations as i64),
+            Sample::new("cache", "result_entries", rc.entries as i64),
+            Sample::new("cache", "result_hits", rc.hits as i64),
+            Sample::new("cache", "result_misses", rc.misses as i64),
+            Sample::new("process", "rss_bytes", p.rss_bytes as i64),
+            Sample::new("process", "open_fds", p.open_fds as i64),
+            Sample::new("process", "threads", p.threads as i64),
+            Sample::new("process", "uptime_seconds", p.uptime_seconds as i64),
+        ];
+        let metrics = self.platform.api_metrics();
+        let outcome = self
+            .platform
+            .telemetry_history()
+            .scrape(metrics, ts_us, extra);
+        metrics.record_selfscrape(
+            outcome.samples as u64,
+            outcome.evicted as u64,
+            outcome.retained as u64,
+            started.elapsed().as_micros() as u64,
+        );
+        // Subscribers get just this tick's rows: a live widget appends
+        // them, sparing the queues the full (budget-sized) snapshot. The
+        // serialisation is skipped outright when nobody is subscribed —
+        // the scraper ticks on an interval forever, so its idle cost must
+        // stay negligible next to the serving path.
+        if self
+            .hub
+            .has_subscribers(SYSTEM_DASHBOARD, TELEMETRY_DATASET)
+        {
+            let frame = sse_frame(
+                TELEMETRY_DATASET,
+                outcome.generation,
+                &table_to_json(&outcome.delta),
+            );
+            let published = self
+                .hub
+                .publish(SYSTEM_DASHBOARD, TELEMETRY_DATASET, &frame);
+            metrics.record_stream_frames(
+                published.delivered as u64,
+                (published.delivered * frame.len()) as u64,
+            );
+        }
+        outcome
     }
 
     /// `POST /dashboards/:name/stream/start`: attach a continuous
@@ -368,11 +493,39 @@ impl Server {
     /// framed exactly once at the post-tick generation and the same
     /// bytes are fanned out to every subscriber — which is what makes
     /// the two serve modes byte-identical.
-    fn stream_push(&self, name: &str, source: &str, csv: &str) -> Response {
+    fn stream_push(&self, name: &str, source: &str, csv: &str, span: Option<&Span>) -> Response {
+        let mut tick_span = span.map(|s| s.child("stream_push"));
         let report = match self.platform.stream_push(name, source, csv) {
             Ok(r) => r,
-            Err(e) => return Response::error(Status::Unprocessable, e.to_string()),
+            Err(e) => {
+                if let Some(mut s) = tick_span.take() {
+                    s.set_attr("error", true);
+                    s.finish();
+                }
+                return Response::error(Status::Unprocessable, e.to_string());
+            }
         };
+        if let Some(s) = tick_span.as_mut() {
+            s.set_attr("source", source);
+            s.set_attr("rows_in", report.rows_in);
+            s.set_attr("evicted_rows", report.evicted_rows);
+            s.set_attr("generation", report.generation);
+            // One grandchild per advanced object, tagged with the
+            // execution strategy the continuous context chose for it.
+            for (obj, strategy) in &report.strategies {
+                let rows = report
+                    .updated
+                    .iter()
+                    .find(|(n, _)| n == obj)
+                    .map(|(_, r)| *r)
+                    .unwrap_or(0);
+                let mut child = s.child(obj);
+                child.set_attr("op", "stream_tick");
+                child.set_attr("strategy", *strategy);
+                child.set_attr("rows_out", rows);
+                child.finish();
+            }
+        }
         let mut frames = 0u64;
         let mut bytes = 0u64;
         for (dataset, _) in &report.updated {
@@ -388,6 +541,10 @@ impl Server {
         self.platform
             .api_metrics()
             .record_stream_frames(frames, bytes);
+        if let Some(mut s) = tick_span.take() {
+            s.set_attr("frames", frames);
+            s.finish();
+        }
         let updated: Vec<String> = report
             .updated
             .iter()
@@ -436,6 +593,9 @@ impl Server {
 
     /// Figure 27: list endpoint data names.
     fn list_endpoints(&self, dashboard: &str) -> Response {
+        if dashboard == SYSTEM_DASHBOARD {
+            return Response::json(string_list(&[TELEMETRY_DATASET.to_string()]));
+        }
         match self.platform.dashboard(dashboard) {
             Ok(d) => {
                 let names: Vec<String> = d.endpoint_tables.keys().cloned().collect();
@@ -534,15 +694,28 @@ impl Server {
         let label = "POST /:dashboard/ds/:dataset/sql";
         let src = request.body.as_str();
         let parse_started = Instant::now();
+        // Text → spanned AST → logical plan, under its own span so parse
+        // cost is visible separately from server-side lowering.
+        let mut parse_span = span.map(|s| s.child("sql_parse"));
+        if let Some(s) = parse_span.as_mut() {
+            s.set_attr("bytes", src.len());
+        }
         let plan = match shareinsights_engine::sql::parse_select(src)
             .and_then(|stmt| shareinsights_engine::sql::lower(src, &stmt))
         {
             Ok(p) => p,
             Err(e) => {
+                if let Some(mut s) = parse_span.take() {
+                    s.set_attr("error", true);
+                    s.finish();
+                }
                 self.platform.api_metrics().record_sql_parse_error();
                 return parse_error_response("parse", &e.message, e.line, e.column);
             }
         };
+        if let Some(s) = parse_span.take() {
+            s.finish();
+        }
         if plan.table != dataset {
             self.platform.api_metrics().record_sql_parse_error();
             return parse_error_response(
@@ -555,6 +728,9 @@ impl Server {
                 0,
             );
         }
+        // Logical plan → QueryOps (+ join resolution + canonical cache
+        // path), the second half of the frontend.
+        let mut lower_span = span.map(|s| s.child("sql_lower"));
         let lowered = match lower_plan(&plan, &mut |name| {
             self.endpoint_table(dashboard, name).map_err(|_| {
                 format!(
@@ -564,6 +740,10 @@ impl Server {
         }) {
             Ok(l) => l,
             Err(e) => {
+                if let Some(mut s) = lower_span.take() {
+                    s.set_attr("error", true);
+                    s.finish();
+                }
                 self.platform.api_metrics().record_sql_parse_error();
                 return parse_error_response("semantic", &e, 0, 0);
             }
@@ -572,11 +752,11 @@ impl Server {
         self.platform
             .api_metrics()
             .record_sql_query(parse_us, lowered.shared);
-        if let Some(s) = span {
-            let mut child = s.child("sql_lower");
-            child.set_attr("path_shared", lowered.shared);
-            child.set_attr("stages", lowered.ops.len());
-            child.finish();
+        if let Some(mut s) = lower_span.take() {
+            s.set_attr("path_shared", lowered.shared);
+            s.set_attr("stages", lowered.ops.len());
+            s.set_attr("joins", lowered.join_tables.len());
+            s.finish();
         }
         // Joined datasets contribute their publish generations so a
         // republish of the right side invalidates joined results too.
@@ -1619,5 +1799,243 @@ F:
         server.handle(&Request::new(Method::Post, "/dashboards/viewer/create"));
         let r = server.handle(&Request::get("/viewer/ds/brand_sales"));
         assert!(r.is_ok(), "{}", r.body);
+    }
+
+    // -- _system self-observability -----------------------------------------
+
+    #[test]
+    fn system_dashboard_serves_scraped_history() {
+        let server = served();
+        // Empty until the first scrape; still a well-formed table.
+        let r = server.handle(&Request::get("/_system/ds/telemetry"));
+        assert!(r.is_ok(), "{}", r.body);
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        assert_eq!(doc.path("total_rows").unwrap().to_value().as_int(), Some(0));
+
+        // Generate some traffic, then scrape.
+        server.handle(&Request::get("/retail/ds/brand_sales"));
+        let outcome = server.scrape_telemetry();
+        assert!(outcome.samples > 0, "registry flattened into samples");
+        let r = server.handle(&Request::get("/_system/ds/telemetry"));
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        let rows = doc.path("total_rows").unwrap().to_value().as_int().unwrap();
+        assert_eq!(rows, outcome.samples as i64);
+        assert_eq!(doc.path("columns.0").unwrap().as_str(), Some("ts"));
+        assert_eq!(doc.path("columns.1").unwrap().as_str(), Some("family"));
+        assert_eq!(doc.path("columns.2").unwrap().as_str(), Some("label"));
+        assert_eq!(doc.path("columns.3").unwrap().as_str(), Some("value"));
+        // The dataset listing exposes the built-in name.
+        let r = server.handle(&Request::get("/_system/ds"));
+        assert_eq!(r.body, "[\"telemetry\"]");
+        // Unknown datasets under _system are 404s, not user-data lookups.
+        let r = server.handle(&Request::get("/_system/ds/ghost"));
+        assert_eq!(r.status, Status::NotFound);
+    }
+
+    #[test]
+    fn system_sql_and_path_queries_are_byte_identical() {
+        let server = served();
+        server.handle(&Request::get("/retail/ds/brand_sales"));
+        server.scrape_telemetry();
+        let via_path = server.handle(&Request::get(
+            "/_system/ds/telemetry/groupby/family/max/value",
+        ));
+        assert!(via_path.is_ok(), "{}", via_path.body);
+        let via_sql = server.handle(
+            &Request::new(Method::Post, "/_system/ds/telemetry/sql")
+                .with_body("select family, max(value) from telemetry group by family"),
+        );
+        assert!(via_sql.is_ok(), "{}", via_sql.body);
+        assert_eq!(via_path.body, via_sql.body);
+        // Live history: the route family the warm-up traffic hit is there.
+        assert!(via_sql.body.contains("route"), "{}", via_sql.body);
+    }
+
+    #[test]
+    fn system_queries_invalidate_on_each_scrape() {
+        let server = served();
+        server.scrape_telemetry();
+        let q = "/_system/ds/telemetry/groupby/family/count/label";
+        server.handle(&Request::get(q));
+        server.handle(&Request::get(q));
+        let s = server.cache().stats();
+        assert_eq!((s.hits, s.misses), (1, 1), "second read hits the cache");
+        // A new scrape bumps the ring generation → cached page is stale.
+        server.scrape_telemetry();
+        server.handle(&Request::get(q));
+        let s = server.cache().stats();
+        assert_eq!((s.hits, s.misses), (1, 2), "scrape invalidates");
+    }
+
+    #[test]
+    fn system_subscribe_receives_scrape_delta_frames() {
+        let server = served();
+        server.scrape_telemetry();
+        let h = server.handle_traced(&Request::get("/_system/ds/telemetry/subscribe"));
+        assert!(h.response.is_ok(), "{}", h.response.body);
+        let sub = h.stream.expect("subscription attached");
+        let (frames, _) = sub.try_take();
+        assert_eq!(frames.len(), 1, "initial snapshot frame");
+        let mut parser = crate::wire::SseParser::new();
+        let events = parser.feed(&frames[0]).unwrap();
+        assert_eq!(events[0].event, "telemetry");
+        let snapshot_generation = events[0].id;
+
+        let outcome = server.scrape_telemetry();
+        let (frames, _) = sub.try_take();
+        assert_eq!(frames.len(), 1, "scrape publishes a delta frame");
+        let events = parser.feed(&frames[0]).unwrap();
+        assert_eq!(events[0].id, outcome.generation);
+        assert!(events[0].id > snapshot_generation);
+        // The delta frame carries only this tick's samples.
+        let doc = shareinsights_tabular::io::json::parse_json(&events[0].data).unwrap();
+        assert_eq!(
+            doc.path("total_rows").unwrap().to_value().as_int(),
+            Some(outcome.delta.num_rows() as i64)
+        );
+        server.stream_hub().unsubscribe(&sub);
+        server.platform().api_metrics().record_stream_unsubscribe();
+    }
+
+    #[test]
+    fn system_namespace_rejects_writes() {
+        let server = served();
+        let r = server.handle(&Request::new(Method::Post, "/dashboards/_system/create"));
+        assert_eq!(r.status, Status::Conflict);
+        assert!(r.body.contains("reserved"), "{}", r.body);
+        let r =
+            server.handle(&Request::new(Method::Put, "/dashboards/_system/flow").with_body(FLOW));
+        assert_eq!(r.status, Status::Conflict);
+        let r = server.handle(&Request::new(
+            Method::Post,
+            "/dashboards/retail/fork/_system",
+        ));
+        assert_eq!(r.status, Status::Conflict);
+    }
+
+    #[test]
+    fn selfscrape_and_process_metrics_surface() {
+        let server = served();
+        server.scrape_telemetry();
+        server.scrape_telemetry();
+        let r = server.handle(&Request::get("/stats"));
+        let doc = shareinsights_tabular::io::json::parse_json(&r.body).unwrap();
+        assert_eq!(
+            doc.path("selfscrape.scrapes").unwrap().to_value().as_int(),
+            Some(2)
+        );
+        assert!(
+            doc.path("selfscrape.samples")
+                .unwrap()
+                .to_value()
+                .as_int()
+                .unwrap()
+                > 0
+        );
+        let retained = doc
+            .path("selfscrape.retained")
+            .unwrap()
+            .to_value()
+            .as_int()
+            .unwrap();
+        assert!(retained > 0, "retained gauge tracks the ring");
+        // Process gauges are live on Linux (zeros elsewhere, still present).
+        let rss = doc
+            .path("process.rss_bytes")
+            .unwrap()
+            .to_value()
+            .as_int()
+            .unwrap();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0, "RSS read from /proc/self");
+        }
+        let m = server.handle(&Request::get("/metrics"));
+        assert!(m.body.contains("shareinsights_selfscrape_scrapes_total 2"));
+        assert!(
+            m.body.contains("shareinsights_selfscrape_retained_samples"),
+            "{}",
+            m.body
+        );
+        assert!(m.body.contains("shareinsights_process_rss_bytes"));
+        assert!(m.body.contains("shareinsights_process_uptime_seconds"));
+    }
+
+    #[test]
+    fn sql_spans_nest_under_the_request_root() {
+        let server = served();
+        let r = server.handle(
+            &Request::new(Method::Post, "/retail/ds/brand_sales/sql")
+                .with_body("select region, sum(revenue) from brand_sales group by region")
+                .with_header("x-trace-id", "beef"),
+        );
+        assert!(r.is_ok(), "{}", r.body);
+        let trace = server
+            .platform()
+            .tracer()
+            .find(shareinsights_core::TraceId(0xbeef))
+            .expect("trace recorded");
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"sql_parse"), "{names:?}");
+        assert!(names.contains(&"sql_lower"), "{names:?}");
+        // Both hang off the dispatch span inside the request's trace tree.
+        let dispatch = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "dispatch")
+            .expect("dispatch span");
+        let kids = trace.children_of(dispatch.id);
+        let kid_names: Vec<&str> = kids.iter().map(|s| s.name.as_str()).collect();
+        assert!(
+            kid_names.contains(&"sql_parse") && kid_names.contains(&"sql_lower"),
+            "parse/lower hang off dispatch: {kid_names:?}"
+        );
+        let lower = kids.iter().find(|s| s.name == "sql_lower").unwrap();
+        assert!(lower.attr("stages").is_some(), "lower span carries attrs");
+    }
+
+    #[test]
+    fn stream_push_spans_carry_strategy_attrs() {
+        let server = served();
+        server.handle(&Request::new(
+            Method::Post,
+            "/dashboards/retail/stream/start",
+        ));
+        let r = server.handle(
+            &Request::new(Method::Post, "/dashboards/retail/stream/push/sales")
+                .with_body("east,zest,9\n")
+                .with_header("x-trace-id", "feed"),
+        );
+        assert!(r.is_ok(), "{}", r.body);
+        let trace = server
+            .platform()
+            .tracer()
+            .find(shareinsights_core::TraceId(0xfeed))
+            .expect("trace recorded");
+        let tick = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "stream_push")
+            .expect("stream_push span");
+        assert_eq!(
+            tick.attr("source"),
+            Some(&shareinsights_core::AttrValue::Str("sales".into()))
+        );
+        assert_eq!(
+            tick.attr("rows_in"),
+            Some(&shareinsights_core::AttrValue::Int(1))
+        );
+        let strategy_span = trace
+            .children_of(tick.id)
+            .into_iter()
+            .find(|s| s.name == "brand_sales")
+            .expect("per-object strategy span");
+        assert_eq!(
+            strategy_span.attr("strategy"),
+            Some(&shareinsights_core::AttrValue::Str("incremental".into()))
+        );
+        assert_eq!(
+            strategy_span.attr("op"),
+            Some(&shareinsights_core::AttrValue::Str("stream_tick".into()))
+        );
     }
 }

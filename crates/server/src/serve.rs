@@ -106,6 +106,11 @@ pub struct ServeOptions {
     /// Request parsing byte caps: an oversized head is answered
     /// `431 Request Header Fields Too Large`, an oversized body 400.
     pub limits: WireLimits,
+    /// When set, a scraper thread samples the telemetry registry into the
+    /// `_system/telemetry` history ring at this interval (see
+    /// [`Server::scrape_telemetry`]). `None` (the default) disables the
+    /// scraper; the `_system` dashboard then serves an empty history.
+    pub scrape_interval: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -122,6 +127,7 @@ impl Default for ServeOptions {
             serve_mode: ServeMode::ThreadPerConnection,
             chunk_budget: None,
             limits: WireLimits::default(),
+            scrape_interval: None,
         }
     }
 }
@@ -182,11 +188,37 @@ impl Drop for ServiceHandle {
 }
 
 /// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `server` in the
-/// architecture [`ServeOptions::serve_mode`] selects.
+/// architecture [`ServeOptions::serve_mode`] selects. With
+/// [`ServeOptions::scrape_interval`] set, a telemetry scraper thread rides
+/// along on the handle — same lifecycle as the serving threads, in either
+/// mode.
 pub fn serve(server: Server, addr: &str, options: ServeOptions) -> io::Result<ServiceHandle> {
-    match options.serve_mode {
+    let scrape_interval = options.scrape_interval;
+    let scraper_server = scrape_interval.map(|_| server.clone());
+    let mut handle = match options.serve_mode {
         ServeMode::ThreadPerConnection => serve_threads(server, addr, options),
         ServeMode::Reactor => crate::reactor::serve_reactor(server, addr, options),
+    }?;
+    if let (Some(interval), Some(server)) = (scrape_interval, scraper_server) {
+        let stop = Arc::clone(&handle.stop);
+        handle.threads.push(std::thread::spawn(move || {
+            scraper_loop(&server, interval, &stop)
+        }));
+    }
+    Ok(handle)
+}
+
+/// The telemetry self-scrape tick: sample the registry into the `_system`
+/// history ring immediately (so the dashboard has data before the first
+/// interval elapses), then every `interval` until shutdown. Sleeps in
+/// short slices so shutdown stays prompt even with long intervals.
+fn scraper_loop(server: &Server, interval: Duration, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        server.scrape_telemetry();
+        let deadline = Instant::now() + interval;
+        while !stop.load(Ordering::SeqCst) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10).min(interval));
+        }
     }
 }
 
@@ -1038,6 +1070,32 @@ mod tests {
         assert!(body.contains("\"000000000000ab01\""), "{body}");
         assert!(body.contains("\"GET /dashboards\""), "{body}");
         svc.shutdown();
+    }
+
+    #[test]
+    fn scraper_thread_fills_system_history_in_both_modes() {
+        for mode in [ServeMode::ThreadPerConnection, ServeMode::Reactor] {
+            let platform = Platform::new();
+            platform.create_dashboard("demo").unwrap();
+            let opts = ServeOptions {
+                scrape_interval: Some(Duration::from_millis(20)),
+                serve_mode: mode,
+                ..ServeOptions::default()
+            };
+            let mut svc = serve(Server::new(platform), "127.0.0.1:0", opts).expect("bind");
+            let mut populated = false;
+            for _ in 0..200 {
+                let (code, body) = blocking_get(svc.local_addr(), "/_system/ds/telemetry").unwrap();
+                assert_eq!(code, 200, "{body}");
+                if !body.contains("\"total_rows\": 0") {
+                    populated = true;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            assert!(populated, "scraper fills the history ring ({mode:?})");
+            svc.shutdown();
+        }
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! keep up accumulates queued frames until [`MAX_QUEUED_BYTES`], at which
 //! point the hub *evicts* the subscription — the stream is closed rather
 //! than buffering without bound or stalling the publisher. Slow readers
-//! lose their stream, never their server.
+//! lose their stream, never their server. The cap bounds backlog, not
+//! frame size: one oversized frame into an empty queue is delivered, so
+//! large initial snapshots never evict a subscriber that is keeping up.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,13 +72,17 @@ impl Subscription {
     /// directly for a new subscriber's initial snapshot frame; ticks go
     /// through [`StreamHub::publish`]). Returns false when the
     /// subscription can no longer accept frames (closed or just evicted
-    /// for exceeding the byte cap).
+    /// for exceeding the byte cap). The cap bounds *backlog*, not frame
+    /// size: a frame offered to an empty queue is always accepted — the
+    /// writer drains it immediately — so a snapshot larger than the cap
+    /// (a full `_system` telemetry ring, a wide endpoint) starts the
+    /// stream instead of evicting the brand-new subscriber.
     pub fn offer(&self, frame: &[u8]) -> bool {
         let mut st = self.state.lock().unwrap();
         if st.closed || st.evicted {
             return false;
         }
-        if st.queued_bytes + frame.len() > MAX_QUEUED_BYTES {
+        if !st.frames.is_empty() && st.queued_bytes + frame.len() > MAX_QUEUED_BYTES {
             // Slow reader: drop the whole queue and end the stream.
             st.evicted = true;
             st.frames.clear();
@@ -257,6 +263,19 @@ impl StreamHub {
     pub fn subscriber_count(&self) -> usize {
         self.subs.lock().unwrap().values().map(Vec::len).sum()
     }
+
+    /// Whether anyone is subscribed to `dashboard/dataset`. Publishers
+    /// with expensive frames (the telemetry scraper serialising its
+    /// per-tick delta) check this first and skip the serialisation
+    /// entirely when nobody is listening.
+    pub fn has_subscribers(&self, dashboard: &str, dataset: &str) -> bool {
+        let key = format!("{dashboard}/{dataset}");
+        self.subs
+            .lock()
+            .unwrap()
+            .get(&key)
+            .is_some_and(|list| !list.is_empty())
+    }
 }
 
 #[cfg(test)]
@@ -349,6 +368,32 @@ mod tests {
         assert_eq!(hub.subscriber_count(), 0, "evicted subs are pruned");
         // Publishing to a fully evicted key is a no-op.
         assert_eq!(hub.publish("d", "x", b"late"), PublishReport::default());
+    }
+
+    #[test]
+    fn oversized_frame_into_empty_queue_is_delivered_not_evicted() {
+        let hub = StreamHub::new();
+        let sub = hub.subscribe("d", "x");
+        // A snapshot bigger than the whole cap (a full telemetry ring, a
+        // wide endpoint) must start the stream, not evict the brand-new
+        // subscriber: the cap bounds backlog, not frame size.
+        let snapshot = vec![b'z'; MAX_QUEUED_BYTES + 1];
+        assert!(sub.offer(&snapshot), "empty queue accepts any frame size");
+        let (frames, end) = sub.try_take();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].len(), MAX_QUEUED_BYTES + 1);
+        assert_eq!(end, SubscriptionEnd::Open);
+        // Drained, later ticks flow normally.
+        assert!(sub.offer(b"tick"));
+        // An oversized frame behind an undrained backlog still evicts.
+        let report = hub.publish("d", "x", &snapshot);
+        assert_eq!(
+            report,
+            PublishReport {
+                delivered: 0,
+                evicted: 1
+            }
+        );
     }
 
     #[test]

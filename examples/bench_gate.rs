@@ -18,6 +18,12 @@
 //! p50 must stay under 10% of its own indexed-evaluation p50 — a ratio
 //! within the fresh run, so machine speed cancels out.
 //!
+//! Likewise for `selfscrape_overhead`: when the baseline carries the
+//! block, the fresh doc's warm served throughput with the telemetry
+//! scraper ticking must stay within 2% of its own no-scraper baseline —
+//! again a ratio within the fresh run. Self-observability must be cheap
+//! enough to leave on.
+//!
 //! ```text
 //! cargo run --release --example bench_gate -- \
 //!     BENCH_adhoc_query.json fresh_adhoc.json \
@@ -202,6 +208,41 @@ fn main() {
                 "   sql_overhead: parse+lower p50 {parse_p50:.1}µs / \
                  indexed eval p50 {eval_p50:.0}µs = {:.2}%  {verdict}",
                 ratio * 100.0
+            );
+            if regressed {
+                regressions += 1;
+            }
+        }
+
+        // Enabling the telemetry self-scraper must stay a rounding error
+        // on the serving path: whenever the baseline carries a
+        // `selfscrape_overhead` block, the fresh doc must too, and its
+        // scraping throughput must stay within 2% of its own no-scraper
+        // throughput. Again a ratio within the fresh run.
+        if baseline.get("selfscrape_overhead").is_some() {
+            let fresh_num = |key: &str| -> f64 {
+                match fresh.get("selfscrape_overhead").and_then(|o| o.get(key)) {
+                    Some(JsonValue::Number(n)) => *n,
+                    _ => panic!(
+                        "{fresh_path}: selfscrape_overhead.{key} missing \
+                         (the baseline carries a selfscrape_overhead block)"
+                    ),
+                }
+            };
+            compared += 1;
+            let baseline_rps = fresh_num("baseline_rps").max(1.0);
+            let scraping_rps = fresh_num("scraping_rps");
+            let overhead = (baseline_rps - scraping_rps).max(0.0) / baseline_rps;
+            let regressed = overhead >= 0.02;
+            let verdict = if regressed {
+                "REGRESSED (>= 2%)"
+            } else {
+                "ok (< 2%)"
+            };
+            println!(
+                "   selfscrape_overhead: {scraping_rps:.0} req/s scraping vs \
+                 {baseline_rps:.0} req/s off = {:.2}% cost  {verdict}",
+                overhead * 100.0
             );
             if regressed {
                 regressions += 1;

@@ -8,12 +8,16 @@
 //!
 //! ```text
 //! cargo run --example serve_api [addr] [--reactor] [--chunk-budget BYTES]
+//!     [--scrape-interval MS]
 //! curl http://127.0.0.1:8080/dashboards      # default addr 127.0.0.1:8080
 //! ```
 //!
 //! `--reactor` serves through the epoll event loop instead of the
 //! thread-per-connection pool; `--chunk-budget BYTES` streams responses
-//! larger than BYTES as HTTP/1.1 chunked transfer (both modes).
+//! larger than BYTES as HTTP/1.1 chunked transfer (both modes);
+//! `--scrape-interval MS` ticks the telemetry scraper so the read-only
+//! `_system` dashboard serves queryable history
+//! (`curl http://.../_system/ds/telemetry`).
 
 use shareinsights::server::{serve, ServeMode, ServeOptions, Server};
 use shareinsights_core::Platform;
@@ -51,6 +55,11 @@ fn main() {
         args.drain(i..=i + 1);
         value
     });
+    let scrape_interval = args.iter().position(|a| a == "--scrape-interval").map(|i| {
+        let ms: u64 = args[i + 1].parse().expect("--scrape-interval MS");
+        args.drain(i..=i + 1);
+        std::time::Duration::from_millis(ms.max(1))
+    });
     let addr = args
         .first()
         .cloned()
@@ -68,6 +77,7 @@ fn main() {
     let opts = ServeOptions {
         serve_mode,
         chunk_budget,
+        scrape_interval,
         ..ServeOptions::default()
     };
     let svc = serve(Server::new(platform), &addr, opts)
