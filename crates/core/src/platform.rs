@@ -615,6 +615,53 @@ impl Platform {
         })
     }
 
+    /// Append already-decoded rows onto an endpoint dataset in place: the
+    /// streamed-ingest counterpart of a full re-run. The merged table is
+    /// swapped copy-on-write (readers keep their old snapshot) and the
+    /// dashboard's data generation advances so generation-stamped caches
+    /// invalidate — but the serving layer can recognise the append and
+    /// merge its warm `IndexedTable` instead of rebuilding.
+    ///
+    /// A dataset that does not exist yet is created from the delta, so
+    /// ingest also bootstraps fresh endpoints. Schema mismatches surface
+    /// as errors from the concat (tabular unifies compatible schemas and
+    /// rejects the rest).
+    pub fn append_endpoint(
+        &self,
+        name: &str,
+        dataset: &str,
+        delta: shareinsights_tabular::Table,
+    ) -> Result<AppendReport> {
+        let rows_appended = delta.num_rows();
+        let total_rows;
+        let merged;
+        {
+            let mut dashboards = self.dashboards.write();
+            let d = dashboards
+                .get_mut(name)
+                .ok_or_else(|| PlatformError::Other(format!("no dashboard '{name}'")))?;
+            let concatenated = match d.endpoint_tables.get(dataset) {
+                Some(existing) => existing
+                    .concat(&delta)
+                    .map_err(|e| PlatformError::Other(format!("append to '{dataset}': {e}")))?,
+                None => delta,
+            };
+            total_rows = concatenated.num_rows();
+            d.endpoint_tables
+                .insert(dataset.to_string(), concatenated.clone());
+            merged = concatenated;
+        }
+        self.bump_data_generation(name);
+        Ok(AppendReport {
+            dashboard: name.to_string(),
+            dataset: dataset.to_string(),
+            rows_appended,
+            total_rows,
+            generation: self.data_generation(name),
+            merged,
+        })
+    }
+
     /// Upload a stylesheet for a dashboard (§4.2 Styling / §4.3.2: the SFTP
     /// interface has "appropriately named folders for task, widgets etc" —
     /// stylesheets land beside the data).
@@ -759,6 +806,25 @@ pub struct StreamStartInfo {
     pub sources: Vec<String>,
     /// Endpoint objects whose snapshots advance per tick.
     pub endpoints: Vec<String>,
+}
+
+/// Outcome of one streamed append onto an endpoint dataset.
+#[derive(Debug, Clone)]
+pub struct AppendReport {
+    /// Dashboard the rows went to.
+    pub dashboard: String,
+    /// Endpoint dataset appended to.
+    pub dataset: String,
+    /// Rows in the delta.
+    pub rows_appended: usize,
+    /// Rows in the dataset after the append.
+    pub total_rows: usize,
+    /// The dashboard's endpoint-data generation after the append.
+    pub generation: u64,
+    /// The post-append endpoint table (column buffers shared with the
+    /// stored copy): lets index maintenance reuse the concat this append
+    /// already paid instead of concatenating again.
+    pub merged: shareinsights_tabular::Table,
 }
 
 /// Outcome of one pushed micro-batch.

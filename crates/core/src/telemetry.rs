@@ -378,6 +378,35 @@ pub struct SqlStats {
     pub path_shared: u64,
     /// Total parse + lower time across all SQL queries, µs.
     pub parse_us: u64,
+    /// Queries answered from the prepared-statement cache (parse + lower
+    /// skipped entirely — the statement text was seen before).
+    pub prepared_hits: u64,
+}
+
+/// Streaming-ingestion statistics: the `POST /dashboards/:n/ds/:ds/ingest`
+/// pipeline that reads request bodies in bounded windows, decodes segments
+/// on parallel workers, and merges warm column indexes instead of
+/// rebuilding them. All zeros until the first ingest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Completed ingest requests (rows committed).
+    pub requests: u64,
+    /// Rows appended across all completed ingests.
+    pub rows: u64,
+    /// Body bytes consumed across all ingests (including aborted ones).
+    pub bytes: u64,
+    /// Record-aligned segments handed to decode workers.
+    pub segments: u64,
+    /// Total segment decode time across all workers, µs.
+    pub decode_us: u64,
+    /// Warm `IndexedTable` merges performed on append (vs. dropped and
+    /// rebuilt cold).
+    pub index_merges: u64,
+    /// Total index merge time, µs.
+    pub index_merge_us: u64,
+    /// Ingests aborted before commit — decode errors, over-cap bodies,
+    /// mid-body client disconnects. The endpoint stays unchanged.
+    pub aborted: u64,
 }
 
 /// Self-scrape statistics: the telemetry-history scraper observing
@@ -466,6 +495,7 @@ pub struct ApiMetrics {
     stream: Arc<RwLock<StreamStats>>,
     sql: Arc<RwLock<SqlStats>>,
     selfscrape: Arc<RwLock<SelfScrapeStats>>,
+    ingest: Arc<RwLock<IngestStats>>,
 }
 
 impl ApiMetrics {
@@ -664,9 +694,45 @@ impl ApiMetrics {
         self.sql.write().parse_errors += 1;
     }
 
+    /// Record a SQL query answered from the prepared-statement cache.
+    pub fn record_sql_prepared_hit(&self) {
+        self.sql.write().prepared_hits += 1;
+    }
+
     /// Snapshot of the SQL frontend counters.
     pub fn sql(&self) -> SqlStats {
         self.sql.read().clone()
+    }
+
+    /// Record one record-aligned segment decoded by an ingest worker.
+    pub fn record_ingest_segment(&self, bytes: u64, decode_us: u64) {
+        let mut s = self.ingest.write();
+        s.segments += 1;
+        s.bytes += bytes;
+        s.decode_us += decode_us;
+    }
+
+    /// Record a committed ingest: rows appended, and whether the warm
+    /// index was merged in place (with the merge time) or left cold.
+    pub fn record_ingest_commit(&self, rows: u64, index_merged: bool, merge_us: u64) {
+        let mut s = self.ingest.write();
+        s.requests += 1;
+        s.rows += rows;
+        if index_merged {
+            s.index_merges += 1;
+            s.index_merge_us += merge_us;
+        }
+    }
+
+    /// Record an ingest aborted before commit (decode error, over-cap
+    /// body, or mid-body disconnect) — the endpoint stays unchanged.
+    pub fn record_ingest_abort(&self) {
+        self.ingest.write().aborted += 1;
+    }
+
+    /// Snapshot of the streaming-ingestion counters.
+    pub fn ingest(&self) -> IngestStats {
+        self.ingest.read().clone()
     }
 
     /// Record one telemetry-history scrape tick: samples appended and
@@ -901,6 +967,28 @@ mod tests {
         assert_eq!(s.parse_us, 200);
         assert_eq!(s.path_shared, 1);
         assert_eq!(s.parse_errors, 3);
+    }
+
+    #[test]
+    fn ingest_metrics_accumulate() {
+        let m = ApiMetrics::new();
+        assert_eq!(m.ingest(), IngestStats::default());
+        m.record_ingest_segment(1024, 50);
+        m.record_ingest_segment(512, 30);
+        m.record_ingest_commit(2000, true, 400);
+        m.record_ingest_commit(10, false, 0);
+        m.record_ingest_abort();
+        m.record_sql_prepared_hit();
+        let s = m.ingest();
+        assert_eq!(s.segments, 2);
+        assert_eq!(s.bytes, 1536);
+        assert_eq!(s.decode_us, 80);
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.rows, 2010);
+        assert_eq!(s.index_merges, 1);
+        assert_eq!(s.index_merge_us, 400);
+        assert_eq!(s.aborted, 1);
+        assert_eq!(m.sql().prepared_hits, 1);
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub enum Status {
     RequestTimeout,
     /// 409
     Conflict,
+    /// 413 — the request body outgrew the configured cap (announced by
+    /// Content-Length, or detected mid-transfer on a streamed body).
+    PayloadTooLarge,
     /// 422 — flow-file level errors (compile/validate).
     Unprocessable,
     /// 431 — the request head outgrew the per-connection cap.
@@ -76,6 +79,7 @@ impl Status {
             Status::MethodNotAllowed => 405,
             Status::RequestTimeout => 408,
             Status::Conflict => 409,
+            Status::PayloadTooLarge => 413,
             Status::Unprocessable => 422,
             Status::RequestHeaderFieldsTooLarge => 431,
             Status::ServiceUnavailable => 503,
@@ -92,6 +96,7 @@ impl Status {
             Status::MethodNotAllowed => "Method Not Allowed",
             Status::RequestTimeout => "Request Timeout",
             Status::Conflict => "Conflict",
+            Status::PayloadTooLarge => "Payload Too Large",
             Status::Unprocessable => "Unprocessable Entity",
             Status::RequestHeaderFieldsTooLarge => "Request Header Fields Too Large",
             Status::ServiceUnavailable => "Service Unavailable",

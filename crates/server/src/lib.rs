@@ -35,6 +35,7 @@
 
 pub mod cache;
 pub mod http;
+pub mod ingest;
 pub mod json;
 pub mod metrics;
 pub mod query;

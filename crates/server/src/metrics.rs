@@ -10,8 +10,9 @@
 use crate::cache::CacheStats;
 use crate::http::Method;
 use shareinsights_core::telemetry::{
-    ConnectionStats, IndexStats, LatencyHistogram, OperatorStats, ProcessStats, ReactorStats,
-    RouteStats, SelfScrapeStats, SqlStats, StreamStats, CONN_REQUESTS_BOUNDS, LATENCY_BOUNDS_US,
+    ConnectionStats, IndexStats, IngestStats, LatencyHistogram, OperatorStats, ProcessStats,
+    ReactorStats, RouteStats, SelfScrapeStats, SqlStats, StreamStats, CONN_REQUESTS_BOUNDS,
+    LATENCY_BOUNDS_US,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -50,6 +51,9 @@ pub fn route_label(method: Method, segments: &[&str]) -> &'static str {
         (Method::Post, ["dashboards", _, "stream", "push", _]) => {
             "POST /dashboards/:name/stream/push/:source"
         }
+        (Method::Post, ["dashboards", _, "ds", _, "ingest"]) => {
+            "POST /dashboards/:name/ds/:dataset/ingest"
+        }
         (Method::Get, [_, "ds"]) => "GET /:dashboard/ds",
         (Method::Get, [_, "ds", _]) => "GET /:dashboard/ds/:dataset",
         (Method::Get, [_, "ds", _, "subscribe"]) => "GET /:dashboard/ds/:dataset/subscribe",
@@ -69,7 +73,8 @@ pub fn allowed_methods(segments: &[&str]) -> &'static [Method] {
         }
         ["dashboards", _, "stream", "start"]
         | ["dashboards", _, "stream", "stop"]
-        | ["dashboards", _, "stream", "push", _] => &[Method::Post],
+        | ["dashboards", _, "stream", "push", _]
+        | ["dashboards", _, "ds", _, "ingest"] => &[Method::Post],
         ["dashboards", _, "flow"] => &[Method::Get, Method::Put],
         ["dashboards", _, "explore"]
         | ["dashboards", _, "meta"]
@@ -86,8 +91,8 @@ pub fn allowed_methods(segments: &[&str]) -> &'static [Method] {
 /// Render the `/stats` document: per-route counters + cache counters +
 /// connection-level counters + per-operator engine stats + index
 /// acceleration counters + reactor event-loop counters + live-stream
-/// counters + SQL frontend counters + telemetry self-scrape counters +
-/// process-level gauges.
+/// counters + SQL frontend counters + streaming-ingest counters +
+/// telemetry self-scrape counters + process-level gauges.
 #[allow(clippy::too_many_arguments)]
 pub fn stats_json(
     routes: &BTreeMap<String, RouteStats>,
@@ -98,6 +103,7 @@ pub fn stats_json(
     reactor: &ReactorStats,
     stream: &StreamStats,
     sql: &SqlStats,
+    ingest: &IngestStats,
     selfscrape: &SelfScrapeStats,
     process: &ProcessStats,
 ) -> String {
@@ -190,8 +196,20 @@ pub fn stats_json(
     ));
     out.push_str(&format!(
         ", \"sql\": {{\"queries\": {}, \"parse_errors\": {}, \"path_shared\": {}, \
-         \"parse_us\": {}}}",
-        sql.queries, sql.parse_errors, sql.path_shared, sql.parse_us
+         \"parse_us\": {}, \"prepared_hits\": {}}}",
+        sql.queries, sql.parse_errors, sql.path_shared, sql.parse_us, sql.prepared_hits
+    ));
+    out.push_str(&format!(
+        ", \"ingest\": {{\"requests\": {}, \"rows\": {}, \"bytes\": {}, \"segments\": {}, \
+         \"decode_us\": {}, \"index_merges\": {}, \"index_merge_us\": {}, \"aborted\": {}}}",
+        ingest.requests,
+        ingest.rows,
+        ingest.bytes,
+        ingest.segments,
+        ingest.decode_us,
+        ingest.index_merges,
+        ingest.index_merge_us,
+        ingest.aborted
     ));
     out.push_str(&format!(
         ", \"selfscrape\": {{\"scrapes\": {}, \"samples\": {}, \"evicted\": {}, \
@@ -269,6 +287,7 @@ pub fn prometheus_text(
     reactor: &ReactorStats,
     stream: &StreamStats,
     sql: &SqlStats,
+    ingest: &IngestStats,
     selfscrape: &SelfScrapeStats,
     process: &ProcessStats,
 ) -> String {
@@ -473,6 +492,7 @@ pub fn prometheus_text(
         ("queries", sql.queries),
         ("parse_errors", sql.parse_errors),
         ("path_shared", sql.path_shared),
+        ("prepared_hits", sql.prepared_hits),
     ] {
         let _ = writeln!(out, "# TYPE shareinsights_sql_{name}_total counter");
         let _ = writeln!(out, "shareinsights_sql_{name}_total {value}");
@@ -482,6 +502,32 @@ pub fn prometheus_text(
         out,
         "shareinsights_sql_parse_seconds_total {}",
         seconds(sql.parse_us)
+    );
+
+    // Streaming ingestion: bounded-window body reads, parallel segment
+    // decode, and warm-index merges (all zero until the first ingest).
+    for (name, value) in [
+        ("requests", ingest.requests),
+        ("rows", ingest.rows),
+        ("bytes", ingest.bytes),
+        ("segments", ingest.segments),
+        ("index_merges", ingest.index_merges),
+        ("aborted", ingest.aborted),
+    ] {
+        let _ = writeln!(out, "# TYPE shareinsights_ingest_{name}_total counter");
+        let _ = writeln!(out, "shareinsights_ingest_{name}_total {value}");
+    }
+    out.push_str("# TYPE shareinsights_ingest_decode_seconds_total counter\n");
+    let _ = writeln!(
+        out,
+        "shareinsights_ingest_decode_seconds_total {}",
+        seconds(ingest.decode_us)
+    );
+    out.push_str("# TYPE shareinsights_ingest_index_merge_seconds_total counter\n");
+    let _ = writeln!(
+        out,
+        "shareinsights_ingest_index_merge_seconds_total {}",
+        seconds(ingest.index_merge_us)
     );
 
     // Telemetry self-scrape: the scraper tick that feeds the `_system`
@@ -617,6 +663,17 @@ mod tests {
             parse_errors: 2,
             path_shared: 5,
             parse_us: 640,
+            prepared_hits: 3,
+        };
+        let ingest = IngestStats {
+            requests: 2,
+            rows: 4000,
+            bytes: 65536,
+            segments: 16,
+            decode_us: 7000,
+            index_merges: 2,
+            index_merge_us: 1200,
+            aborted: 1,
         };
         let selfscrape = SelfScrapeStats {
             scrapes: 3,
@@ -640,6 +697,7 @@ mod tests {
             &reactor,
             &stream,
             &sql,
+            &ingest,
             &selfscrape,
             &process,
         );
@@ -755,6 +813,26 @@ mod tests {
         assert_eq!(
             doc.path("sql.parse_us").unwrap().to_value().as_int(),
             Some(640)
+        );
+        assert_eq!(
+            doc.path("sql.prepared_hits").unwrap().to_value().as_int(),
+            Some(3)
+        );
+        assert_eq!(
+            doc.path("ingest.requests").unwrap().to_value().as_int(),
+            Some(2)
+        );
+        assert_eq!(
+            doc.path("ingest.rows").unwrap().to_value().as_int(),
+            Some(4000)
+        );
+        assert_eq!(
+            doc.path("ingest.index_merges").unwrap().to_value().as_int(),
+            Some(2)
+        );
+        assert_eq!(
+            doc.path("ingest.aborted").unwrap().to_value().as_int(),
+            Some(1)
         );
         assert_eq!(
             doc.path("selfscrape.scrapes").unwrap().to_value().as_int(),
@@ -880,6 +958,17 @@ mod tests {
             parse_errors: 4,
             path_shared: 6,
             parse_us: 3_000_000,
+            prepared_hits: 5,
+        };
+        let ingest = IngestStats {
+            requests: 3,
+            rows: 12_000,
+            bytes: 262_144,
+            segments: 24,
+            decode_us: 5_000_000,
+            index_merges: 2,
+            index_merge_us: 2_000_000,
+            aborted: 1,
         };
         let selfscrape = SelfScrapeStats {
             scrapes: 5,
@@ -903,6 +992,7 @@ mod tests {
             &reactor,
             &stream,
             &sql,
+            &ingest,
             &selfscrape,
             &process,
         )
@@ -1010,7 +1100,17 @@ mod tests {
         assert!(text.contains("shareinsights_sql_queries_total 9"));
         assert!(text.contains("shareinsights_sql_parse_errors_total 4"));
         assert!(text.contains("shareinsights_sql_path_shared_total 6"));
+        assert!(text.contains("shareinsights_sql_prepared_hits_total 5"));
         assert!(text.contains("shareinsights_sql_parse_seconds_total 3"));
+        // Streaming-ingest series, decode/merge time in seconds.
+        assert!(text.contains("shareinsights_ingest_requests_total 3"));
+        assert!(text.contains("shareinsights_ingest_rows_total 12000"));
+        assert!(text.contains("shareinsights_ingest_bytes_total 262144"));
+        assert!(text.contains("shareinsights_ingest_segments_total 24"));
+        assert!(text.contains("shareinsights_ingest_index_merges_total 2"));
+        assert!(text.contains("shareinsights_ingest_aborted_total 1"));
+        assert!(text.contains("shareinsights_ingest_decode_seconds_total 5"));
+        assert!(text.contains("shareinsights_ingest_index_merge_seconds_total 2"));
         // Self-scrape series, scrape time in seconds; retained is a gauge.
         assert!(text.contains("shareinsights_selfscrape_scrapes_total 5"));
         assert!(text.contains("shareinsights_selfscrape_samples_total 250"));
@@ -1034,6 +1134,7 @@ mod tests {
             &ReactorStats::default(),
             &StreamStats::default(),
             &SqlStats::default(),
+            &IngestStats::default(),
             &SelfScrapeStats::default(),
             &ProcessStats::default(),
         );
@@ -1081,6 +1182,29 @@ mod tests {
         assert_eq!(
             allowed_methods(&["dashboards", "x", "stream", "push", "src"]),
             &[Method::Post]
+        );
+    }
+
+    #[test]
+    fn ingest_route_has_label_and_methods() {
+        assert_eq!(
+            route_label(
+                Method::Post,
+                &["dashboards", "retail", "ds", "sales", "ingest"]
+            ),
+            "POST /dashboards/:name/ds/:dataset/ingest"
+        );
+        assert_eq!(
+            allowed_methods(&["dashboards", "retail", "ds", "sales", "ingest"]),
+            &[Method::Post]
+        );
+        // A GET on the ingest path is a 405, not a query-grammar parse.
+        assert_eq!(
+            route_label(
+                Method::Get,
+                &["dashboards", "retail", "ds", "sales", "ingest"]
+            ),
+            "(unmatched)"
         );
     }
 

@@ -35,6 +35,10 @@ pub(crate) enum ConnState {
     /// A long-lived SSE subscription: generation-delta frames flow out
     /// as they are published; the connection never returns to `Reading`.
     Streaming,
+    /// A streamed request body is draining into an ingest pipeline
+    /// (`Conn::ingest`): each readable event feeds the de-framer, and
+    /// body completion dispatches the commit to the worker pool.
+    Ingesting,
 }
 
 /// What one readable-event drain produced.
@@ -82,6 +86,11 @@ pub(crate) struct Conn {
     pub(crate) sub: Option<Arc<Subscription>>,
     /// The terminal chunk is queued; close once the out-buffer drains.
     pub(crate) ending: bool,
+    /// The streamed-body pipeline this connection feeds while `Ingesting`.
+    pub(crate) ingest: Option<crate::ingest::StreamedIngest>,
+    /// Keep-alive terms for the eventual ingest response (decided when
+    /// the head parsed, like a dispatched request's `Job::keep`).
+    pub(crate) pending_keep: Option<KeepAliveTerms>,
     response: Option<ResponseStream>,
     out: Vec<u8>,
     out_pos: usize,
@@ -100,6 +109,8 @@ impl Conn {
             interest: EVENT_READ,
             sub: None,
             ending: false,
+            ingest: None,
+            pending_keep: None,
             response: None,
             out: Vec::new(),
             out_pos: 0,

@@ -76,10 +76,21 @@ const STREAM_OUT_SOFT_CAP: usize = 256 * 1024;
 /// A parsed, ready request on its way to the worker pool.
 struct Job {
     token: u64,
-    request: Request,
+    work: Work,
     /// Keep-alive terms to advertise (None ⇒ `Connection: close`).
     keep: Option<KeepAliveTerms>,
     enqueued: Instant,
+}
+
+/// What a worker executes for one job.
+enum Work {
+    /// A fully buffered request: dispatch through the router.
+    Request(Request),
+    /// A streamed ingest whose body has fully drained: commit it
+    /// (reassemble + append + index merge) off the event loop. Boxed:
+    /// the session carries segment buffers and worker handles, far
+    /// larger than a buffered request.
+    IngestFinish(Box<crate::ingest::StreamedIngest>),
 }
 
 /// A handled request on its way back to the event loop.
@@ -166,12 +177,22 @@ fn worker_loop(
                 false,
                 waited.as_micros() as u64,
             );
+            if let Work::IngestFinish(ingest) = job.work {
+                // The decoded body is dropped with the session — the
+                // endpoint stays unchanged, like any shed request.
+                ingest.abort(Some(Status::ServiceUnavailable));
+            }
             let resp = Response::error(Status::ServiceUnavailable, "deadline exceeded in queue");
             (resp, None, None)
         } else {
-            let handled = server.handle_traced(&job.request);
-            log_request_events(opts, &job.request, &handled);
-            (handled.response, job.keep, handled.stream)
+            match job.work {
+                Work::Request(request) => {
+                    let handled = server.handle_traced(&request);
+                    log_request_events(opts, &request, &handled);
+                    (handled.response, job.keep, handled.stream)
+                }
+                Work::IngestFinish(ingest) => (ingest.finish(), job.keep, None),
+            }
         };
         completions.lock().push(Completion {
             token: job.token,
@@ -193,6 +214,7 @@ struct Reactor<'a> {
     tx: SyncSender<Job>,
     opts: &'a ServeOptions,
     hub: Arc<StreamHub>,
+    server: &'a Server,
 }
 
 fn event_loop(
@@ -226,6 +248,7 @@ fn event_loop(
         tx,
         opts,
         hub: Arc::clone(server.stream_hub()),
+        server,
     };
     let mut events = vec![EpollEvent::empty(); EVENT_BATCH];
     let mut last_sweep = Instant::now();
@@ -343,6 +366,22 @@ impl Reactor<'_> {
                         ReadProgress::Error => self.close(token),
                     }
                 }
+                Some(ConnState::Ingesting) => {
+                    let progress = match self.conns.get_mut(&token) {
+                        Some(conn) => conn.read_some(),
+                        None => return,
+                    };
+                    match progress {
+                        ReadProgress::Read(_) => self.drive_ingest(token),
+                        ReadProgress::WouldBlock => {}
+                        ReadProgress::Eof | ReadProgress::Error => {
+                            // Disconnect mid-body: the pipeline is aborted
+                            // in `close` and the endpoint stays unchanged.
+                            self.metrics.record(ROUTE_MALFORMED, false, 0);
+                            self.close(token);
+                        }
+                    }
+                }
                 Some(ConnState::Streaming) => {
                     // A subscriber only ever *reads*; inbound bytes are
                     // discarded, and EOF is the unsubscribe signal.
@@ -373,6 +412,9 @@ impl Reactor<'_> {
             Reject(Status, String),
             Dispatch(Job),
             Close,
+            /// The head matched a streaming route: the connection enters
+            /// `Ingesting` and body bytes feed the pipeline as they come.
+            Ingest,
         }
         let next = {
             let Reactor {
@@ -380,6 +422,7 @@ impl Reactor<'_> {
                 epoll,
                 metrics,
                 opts,
+                server,
                 ..
             } = self;
             let Some(conn) = conns.get_mut(&token) else {
@@ -388,45 +431,72 @@ impl Reactor<'_> {
             if conn.state != ConnState::Reading {
                 return;
             }
-            match wire::try_parse(&conn.buf, &opts.limits) {
-                Parsed::Incomplete { head_complete } => {
-                    conn.head_complete = head_complete;
-                    Next::Wait
-                }
-                Parsed::Error { status, message } => Next::Reject(status, message),
-                Parsed::Complete(parsed) => {
-                    conn.buf.drain(..parsed.consumed);
-                    conn.head_complete = false;
-                    conn.served += 1;
-                    let max = opts.max_requests_per_connection.max(1) as u64;
-                    let keep = (parsed.keep_alive && conn.served < max).then(|| KeepAliveTerms {
+            // Streaming routes take over as soon as the head parses —
+            // the body is fed to the pipeline window by window instead of
+            // accumulating in `conn.buf`.
+            let streamed = match wire::try_parse_head(&conn.buf, &opts.limits) {
+                wire::HeadParsed::Head(head) if crate::ingest::wants_streaming(&head) => Some(head),
+                _ => None,
+            };
+            if let Some(head) = streamed {
+                conn.buf.drain(..head.consumed);
+                conn.head_complete = true;
+                conn.served += 1;
+                let max = opts.max_requests_per_connection.max(1) as u64;
+                conn.pending_keep =
+                    (head.keep_alive && conn.served < max).then(|| KeepAliveTerms {
                         timeout: opts.idle_timeout,
                         max: max - conn.served,
                     });
-                    // Quiesce read interest while the worker runs: the
-                    // kernel socket buffer is the pipelining backpressure.
-                    conn.state = ConnState::Dispatched;
-                    if conn.interest != 0 {
-                        if epoll.modify(conn.stream.as_raw_fd(), 0, token).is_err() {
-                            Next::Close
+                conn.ingest = Some(crate::ingest::StreamedIngest::begin(
+                    server,
+                    &head,
+                    &opts.limits,
+                ));
+                conn.state = ConnState::Ingesting;
+                Next::Ingest
+            } else {
+                match wire::try_parse(&conn.buf, &opts.limits) {
+                    Parsed::Incomplete { head_complete } => {
+                        conn.head_complete = head_complete;
+                        Next::Wait
+                    }
+                    Parsed::Error { status, message } => Next::Reject(status, message),
+                    Parsed::Complete(parsed) => {
+                        conn.buf.drain(..parsed.consumed);
+                        conn.head_complete = false;
+                        conn.served += 1;
+                        let max = opts.max_requests_per_connection.max(1) as u64;
+                        let keep =
+                            (parsed.keep_alive && conn.served < max).then(|| KeepAliveTerms {
+                                timeout: opts.idle_timeout,
+                                max: max - conn.served,
+                            });
+                        // Quiesce read interest while the worker runs: the
+                        // kernel socket buffer is the pipelining backpressure.
+                        conn.state = ConnState::Dispatched;
+                        if conn.interest != 0 {
+                            if epoll.modify(conn.stream.as_raw_fd(), 0, token).is_err() {
+                                Next::Close
+                            } else {
+                                conn.interest = 0;
+                                metrics.record_reactor_dispatch();
+                                Next::Dispatch(Job {
+                                    token,
+                                    work: Work::Request(parsed.request),
+                                    keep,
+                                    enqueued: Instant::now(),
+                                })
+                            }
                         } else {
-                            conn.interest = 0;
                             metrics.record_reactor_dispatch();
                             Next::Dispatch(Job {
                                 token,
-                                request: parsed.request,
+                                work: Work::Request(parsed.request),
                                 keep,
                                 enqueued: Instant::now(),
                             })
                         }
-                    } else {
-                        metrics.record_reactor_dispatch();
-                        Next::Dispatch(Job {
-                            token,
-                            request: parsed.request,
-                            keep,
-                            enqueued: Instant::now(),
-                        })
                     }
                 }
             }
@@ -434,6 +504,7 @@ impl Reactor<'_> {
         match next {
             Next::Wait => {}
             Next::Close => self.close(token),
+            Next::Ingest => self.drive_ingest(token),
             Next::Reject(status, message) => {
                 self.metrics.record(ROUTE_MALFORMED, false, 0);
                 self.respond_and_close(token, Response::error(status, message));
@@ -450,6 +521,106 @@ impl Reactor<'_> {
                     );
                 }
                 Err(TrySendError::Disconnected(_)) => self.close(token),
+            },
+        }
+    }
+
+    /// Feed buffered body bytes into an `Ingesting` connection's
+    /// pipeline. Early rejections (unknown dashboard, announced over-cap
+    /// body) and mid-transfer framing errors answer and close; body
+    /// completion dispatches the commit to the worker pool so the event
+    /// loop never runs the reassemble + append + index merge. The
+    /// pipeline's bounded segment queue is the memory cap: a stall there
+    /// briefly holds the loop, bounded by two in-flight segment decodes.
+    fn drive_ingest(&mut self, token: u64) {
+        enum After {
+            Wait,
+            Respond(Response),
+            Finish(Job),
+            Close,
+        }
+        let after = {
+            let Reactor {
+                conns,
+                epoll,
+                metrics,
+                ..
+            } = self;
+            let Some(conn) = conns.get_mut(&token) else {
+                return;
+            };
+            if conn.state != ConnState::Ingesting {
+                return;
+            }
+            let Some(ingest) = conn.ingest.as_mut() else {
+                return;
+            };
+            if let Some(resp) = ingest.take_early() {
+                conn.ingest = None;
+                After::Respond(resp)
+            } else {
+                match ingest.feed(&conn.buf) {
+                    Err(resp) => {
+                        conn.ingest = None;
+                        After::Respond(resp)
+                    }
+                    Ok(consumed) => {
+                        conn.buf.drain(..consumed);
+                        if ingest.body_complete() {
+                            let ingest = conn.ingest.take().expect("checked above");
+                            conn.head_complete = false;
+                            // Quiesce read interest while the worker
+                            // commits, exactly like a dispatched request.
+                            conn.state = ConnState::Dispatched;
+                            if conn.interest != 0
+                                && epoll.modify(conn.stream.as_raw_fd(), 0, token).is_err()
+                            {
+                                ingest.abort(None);
+                                After::Close
+                            } else {
+                                if conn.interest != 0 {
+                                    conn.interest = 0;
+                                }
+                                metrics.record_reactor_dispatch();
+                                After::Finish(Job {
+                                    token,
+                                    work: Work::IngestFinish(Box::new(ingest)),
+                                    keep: conn.pending_keep.take(),
+                                    enqueued: Instant::now(),
+                                })
+                            }
+                        } else {
+                            After::Wait
+                        }
+                    }
+                }
+            }
+        };
+        match after {
+            After::Wait => {}
+            After::Close => self.close(token),
+            After::Respond(response) => self.respond_and_close(token, response),
+            After::Finish(job) => match self.tx.try_send(job) {
+                Ok(()) => {}
+                Err(err) => {
+                    let (job, full) = match err {
+                        TrySendError::Full(job) => (job, true),
+                        TrySendError::Disconnected(job) => (job, false),
+                    };
+                    if let Work::IngestFinish(ingest) = job.work {
+                        ingest.abort(None);
+                    }
+                    if full {
+                        // Same shedding contract as a buffered request.
+                        self.metrics.record(ROUTE_REJECTED, false, 0);
+                        self.respond_and_close(
+                            token,
+                            Response::error(Status::ServiceUnavailable, "queue full"),
+                        );
+                    } else {
+                        self.close(token);
+                    }
+                }
             },
         }
     }
@@ -533,6 +704,11 @@ impl Reactor<'_> {
             let _ = self.epoll.deregister(conn.stream.as_raw_fd());
             self.metrics.record_conn_closed(conn.served);
             self.metrics.record_reactor_deregister();
+            if let Some(ingest) = conn.ingest {
+                // A half-fed pipeline dies with its connection; the
+                // endpoint is untouched.
+                ingest.abort(None);
+            }
             if let Some(sub) = conn.sub {
                 sub.close();
                 self.hub.unsubscribe(&sub);
@@ -701,6 +877,13 @@ impl Reactor<'_> {
                 }
                 // The worker owns the request; the queue deadline governs.
                 ConnState::Dispatched => {}
+                // Mid-body by definition: a stall answers 408 (the
+                // pipeline is aborted when the close lands).
+                ConnState::Ingesting => {
+                    if quiet > self.opts.io_timeout {
+                        stalled.push((token, true));
+                    }
+                }
                 // Subscriptions idle indefinitely by design; only a peer
                 // that stopped draining a pending write is given up on.
                 ConnState::Streaming => {

@@ -5,7 +5,7 @@ use crate::http::{Method, Request, Response, Status};
 use crate::json::{string_list, table_to_json};
 use crate::metrics::{allowed_methods, prometheus_text, route_label, stats_json};
 use crate::query::{parse_ops, run_query_indexed, QueryOp};
-use crate::sql::{lower_plan, parse_error_response};
+use crate::sql::{lower_plan, parse_error_response, LoweredSql};
 use crate::stream::{StreamHub, Subscription};
 use crate::traces::{trace_json, trace_list_json};
 use crate::wire::sse_frame;
@@ -28,7 +28,7 @@ pub const TELEMETRY_DATASET: &str = "telemetry";
 
 /// Rejects writes that would shadow the built-in [`SYSTEM_DASHBOARD`]
 /// namespace: returns the 409 to send when `name` is reserved.
-fn reserved_namespace(name: &str) -> Option<Response> {
+pub(crate) fn reserved_namespace(name: &str) -> Option<Response> {
     if name == SYSTEM_DASHBOARD {
         Some(Response::error(
             Status::Conflict,
@@ -77,7 +77,23 @@ pub struct Server {
     /// Live-flow subscriber registry: stream pushes publish generation
     /// delta frames here, subscribe requests register here.
     hub: Arc<StreamHub>,
+    /// Prepared-statement cache: SQL text → lowered plan, so hot
+    /// statements skip the parse + lower frontend entirely. Join-free
+    /// plans only — joins embed resolved table snapshots at lower time.
+    prepared: Arc<Mutex<HashMap<String, PreparedEntry>>>,
 }
+
+/// One prepared SQL statement: the lowered plan plus the `FROM` table
+/// name, so the route-matches-FROM check still runs on cache hits.
+struct PreparedEntry {
+    table: String,
+    lowered: Arc<LoweredSql>,
+}
+
+/// Prepared-statement cache bound. Statement texts and lowered ops are
+/// small; on overflow the whole map is cleared (hot statements repopulate
+/// within one request each).
+const PREPARED_CACHE_CAP: usize = 256;
 
 impl Server {
     /// Wrap a platform with a default-sized query cache.
@@ -93,6 +109,7 @@ impl Server {
             results: Arc::new(ResultCache::default()),
             indexes: Arc::new(Mutex::new(HashMap::new())),
             hub: Arc::new(StreamHub::new()),
+            prepared: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -196,6 +213,7 @@ impl Server {
                 &self.platform.api_metrics().reactor(),
                 &self.platform.api_metrics().stream(),
                 &self.platform.api_metrics().sql(),
+                &self.platform.api_metrics().ingest(),
                 &self.platform.api_metrics().selfscrape(),
                 &shareinsights_core::process_stats(),
             )),
@@ -210,6 +228,7 @@ impl Server {
                     &self.platform.api_metrics().reactor(),
                     &self.platform.api_metrics().stream(),
                     &self.platform.api_metrics().sql(),
+                    &self.platform.api_metrics().ingest(),
                     &self.platform.api_metrics().selfscrape(),
                     &shareinsights_core::process_stats(),
                 ),
@@ -313,6 +332,23 @@ impl Server {
             }
             (Method::Post, ["dashboards", name, "stream", "push", source]) => {
                 self.stream_push(name, source, &request.body, span)
+            }
+            // Bulk append: whole-body fallback for in-process callers;
+            // the serve loops stream bodies into the same session
+            // incrementally (see `crate::ingest`).
+            (Method::Post, ["dashboards", name, "ds", dataset, "ingest"]) => {
+                match crate::ingest::IngestSession::start(
+                    self,
+                    name,
+                    dataset,
+                    request.query.get("format").map(String::as_str),
+                ) {
+                    Ok(mut session) => {
+                        session.push(request.body.as_bytes());
+                        session.finish(span)
+                    }
+                    Err(resp) => resp,
+                }
             }
             // Data API: /<dashboard>/ds[...]
             (Method::Get, [dashboard, "ds"]) => self.list_endpoints(dashboard),
@@ -561,6 +597,152 @@ impl Server {
         ))
     }
 
+    /// Commit one finished ingest: reassemble the decoded segment tables
+    /// into the append delta, swap the endpoint copy-on-write, bump the
+    /// generation, and merge the warm [`IndexedTable`] in place instead
+    /// of dropping it. Called by [`crate::ingest::IngestSession::finish`]
+    /// after every segment decoded cleanly — a failed ingest never
+    /// reaches this point, so the endpoint is all-or-nothing.
+    pub(crate) fn commit_ingest(
+        &self,
+        dashboard: &str,
+        dataset: &str,
+        tables: &[Table],
+        segments: u64,
+        bytes_in: u64,
+        span: Option<&Span>,
+    ) -> Response {
+        let metrics = self.platform.api_metrics().clone();
+        let mut commit_span = span.map(|s| s.child("ingest_commit"));
+        let fail = |mut sp: Option<Span>, status: Status, msg: String| {
+            metrics.record_ingest_abort();
+            if let Some(s) = sp.as_mut() {
+                s.set_attr("error", true);
+            }
+            if let Some(s) = sp.take() {
+                s.finish();
+            }
+            Response::error(status, msg)
+        };
+        let delta = match Table::concat_all(tables) {
+            Ok(t) => t,
+            Err(e) => {
+                return fail(
+                    commit_span,
+                    Status::BadRequest,
+                    format!("ingest segments do not share a schema: {e}"),
+                )
+            }
+        };
+        if delta.num_rows() == 0 {
+            return fail(
+                commit_span,
+                Status::BadRequest,
+                "ingest body contained no records".to_string(),
+            );
+        }
+        let pre_generation = self.live_generation(dashboard, dataset);
+        let report = match self
+            .platform
+            .append_endpoint(dashboard, dataset, delta.clone())
+        {
+            Ok(r) => r,
+            Err(e) => return fail(commit_span, Status::Unprocessable, e.to_string()),
+        };
+        let generation = self.live_generation(dashboard, dataset);
+        let (index_merged, merge_us) =
+            self.merge_index_on_append(dashboard, dataset, pre_generation, generation, &report);
+        metrics.record_ingest_commit(report.rows_appended as u64, index_merged, merge_us);
+        if let Some(s) = commit_span.as_mut() {
+            s.set_attr("dataset", format!("{dashboard}/{dataset}"));
+            s.set_attr("segments", segments);
+            s.set_attr("bytes", bytes_in);
+            s.set_attr("rows_appended", report.rows_appended as u64);
+            s.set_attr("index_merged", index_merged);
+        }
+        // Live subscribers get just the appended rows as a delta frame at
+        // the new generation (the snapshot frame at subscribe time plus
+        // deltas reconstructs the endpoint, same as scrape ticks do).
+        if self.hub.has_subscribers(dashboard, dataset) {
+            let frame = sse_frame(dataset, generation, &table_to_json(&delta));
+            let published = self.hub.publish(dashboard, dataset, &frame);
+            metrics.record_stream_frames(
+                published.delivered as u64,
+                (published.delivered * frame.len()) as u64,
+            );
+        }
+        if let Some(s) = commit_span.take() {
+            s.finish();
+        }
+        Response::json(format!(
+            "{{\"dashboard\": {}, \"dataset\": {}, \"rows_appended\": {}, \
+             \"total_rows\": {}, \"generation\": {}, \"segments\": {}, \"index\": {}}}",
+            crate::json::quote(&report.dashboard),
+            crate::json::quote(&report.dataset),
+            report.rows_appended,
+            report.total_rows,
+            report.generation,
+            segments,
+            crate::json::quote(if index_merged { "merged" } else { "cold" }),
+        ))
+    }
+
+    /// Incremental index maintenance: if a warm [`IndexedTable`] exists
+    /// for the endpoint, merge the appended rows into its dictionaries,
+    /// postings and zone maps and re-stamp it at the new generation —
+    /// instead of letting the generation bump drop it for a cold rebuild.
+    /// The merge reuses the concatenated table the platform append
+    /// already produced ([`shareinsights_core::platform::AppendReport::merged`]),
+    /// so its cost is proportional to the delta, not the endpoint.
+    /// Returns `(merged, merge_micros)`.
+    fn merge_index_on_append(
+        &self,
+        dashboard: &str,
+        dataset: &str,
+        pre_generation: u64,
+        new_generation: u64,
+        report: &shareinsights_core::platform::AppendReport,
+    ) -> (bool, u64) {
+        let key = format!("{dashboard}/{dataset}");
+        let warm = {
+            let map = self.indexes.lock();
+            // Merge only a wrapper stamped at the exact pre-append
+            // generation — the same guard the query path applies. A stale
+            // entry (a re-run or publish bumped the generation without
+            // refreshing the registry) is missing those intervening rows;
+            // merging it would stamp wrong data at the live generation.
+            map.get(&key)
+                .filter(|(g, _)| *g == pre_generation)
+                .map(|(_, ix)| Arc::clone(ix))
+        };
+        let Some(warm) = warm else {
+            return (false, 0);
+        };
+        // The committed table must be exactly the indexed rows plus this
+        // delta; anything else means a writer raced the append and the
+        // wrapper no longer covers the prefix.
+        if warm.table().num_rows() + report.rows_appended != report.total_rows {
+            self.indexes.lock().remove(&key);
+            return (false, 0);
+        }
+        let started = std::time::Instant::now();
+        match warm.append_merged(report.merged.clone()) {
+            Ok(merged) if merged.table().num_rows() == report.total_rows => {
+                let us = started.elapsed().as_micros() as u64;
+                self.indexes
+                    .lock()
+                    .insert(key, (new_generation, Arc::new(merged)));
+                (true, us)
+            }
+            Ok(_) | Err(_) => {
+                // Merge not possible (schema drift under the wrapper):
+                // drop it and fall back to a lazy cold rebuild.
+                self.indexes.lock().remove(&key);
+                (false, 0)
+            }
+        }
+    }
+
     /// `GET /:dashboard/ds/:dataset/subscribe`: register a live-flow
     /// subscriber. The subscription starts with a full snapshot frame at
     /// the current generation; later ticks append delta frames. The
@@ -694,6 +876,46 @@ impl Server {
         let label = "POST /:dashboard/ds/:dataset/sql";
         let src = request.body.as_str();
         let parse_started = Instant::now();
+        // Prepared-statement cache: hot statements skip parse + lower
+        // entirely. Only the FROM-matches-dataset check re-runs, because
+        // the same text can arrive on a different dataset's route.
+        let hit = {
+            let map = self.prepared.lock();
+            map.get(src)
+                .map(|e| (e.table.clone(), Arc::clone(&e.lowered)))
+        };
+        if let Some((table, lowered)) = hit {
+            if table != dataset {
+                self.platform.api_metrics().record_sql_parse_error();
+                return parse_error_response(
+                    "semantic",
+                    &format!("FROM names '{table}' but this route serves dataset '{dataset}'"),
+                    0,
+                    0,
+                );
+            }
+            let parse_us = parse_started.elapsed().as_micros() as u64;
+            let metrics = self.platform.api_metrics();
+            metrics.record_sql_query(parse_us, lowered.shared);
+            metrics.record_sql_prepared_hit();
+            if let Some(s) = span {
+                let mut p = s.child("sql_prepared_hit");
+                p.set_attr("bytes", src.len());
+                p.finish();
+            }
+            let generation = self.live_generation(dashboard, dataset);
+            let result_key = format!("{dashboard}/{dataset}/{}", lowered.cache_path);
+            return self.serve_query(
+                request,
+                label,
+                dashboard,
+                dataset,
+                generation,
+                &result_key,
+                &lowered.ops,
+                span,
+            );
+        }
         // Text → spanned AST → logical plan, under its own span so parse
         // cost is visible separately from server-side lowering.
         let mut parse_span = span.map(|s| s.child("sql_parse"));
@@ -757,6 +979,22 @@ impl Server {
             s.set_attr("stages", lowered.ops.len());
             s.set_attr("joins", lowered.join_tables.len());
             s.finish();
+        }
+        // Cache the lowered plan for the next identical statement. Plans
+        // with joins embed resolved table snapshots at lower time, so
+        // they must re-lower to see fresh data and are never cached.
+        if lowered.join_tables.is_empty() {
+            let mut map = self.prepared.lock();
+            if map.len() >= PREPARED_CACHE_CAP {
+                map.clear();
+            }
+            map.insert(
+                src.to_string(),
+                PreparedEntry {
+                    table: plan.table.clone(),
+                    lowered: Arc::new(lowered.clone()),
+                },
+            );
         }
         // Joined datasets contribute their publish generations so a
         // republish of the right side invalidates joined results too.
@@ -1991,6 +2229,210 @@ F:
         );
         let lower = kids.iter().find(|s| s.name == "sql_lower").unwrap();
         assert!(lower.attr("stages").is_some(), "lower span carries attrs");
+    }
+
+    #[test]
+    fn ingest_creates_and_appends_endpoint_rows() {
+        let server = served();
+        let r = server.handle(
+            &Request::new(Method::Post, "/dashboards/retail/ds/events/ingest")
+                .with_body("region,brand,revenue\nwest,omni,7\n"),
+        );
+        assert!(r.is_ok(), "{}", r.body);
+        assert!(r.body.contains("\"rows_appended\": 1"), "{}", r.body);
+        assert!(r.body.contains("\"total_rows\": 1"), "{}", r.body);
+        let r = server.handle(
+            &Request::new(Method::Post, "/dashboards/retail/ds/events/ingest")
+                .with_body("region,brand,revenue\neast,omni,3\nwest,zest,2\n"),
+        );
+        assert!(r.is_ok(), "{}", r.body);
+        assert!(r.body.contains("\"rows_appended\": 2"), "{}", r.body);
+        assert!(r.body.contains("\"total_rows\": 3"), "{}", r.body);
+        // The appended endpoint serves through the normal data API.
+        let r = server.handle(&Request::get("/retail/ds/events"));
+        assert!(r.is_ok(), "{}", r.body);
+        assert!(
+            r.body.contains("omni") && r.body.contains("zest"),
+            "{}",
+            r.body
+        );
+        let stats = server.platform().api_metrics().ingest();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.rows, 3);
+    }
+
+    #[test]
+    fn ingest_jsonl_derives_columns_from_first_record() {
+        let server = served();
+        let r = server.handle(
+            &Request::new(
+                Method::Post,
+                "/dashboards/retail/ds/clicks/ingest?format=jsonl",
+            )
+            .with_body("{\"page\": \"home\", \"hits\": 3}\n{\"page\": \"docs\", \"hits\": 11}\n"),
+        );
+        assert!(r.is_ok(), "{}", r.body);
+        assert!(r.body.contains("\"rows_appended\": 2"), "{}", r.body);
+        let r = server.handle(&Request::get("/retail/ds/clicks/sort/hits/desc"));
+        assert!(r.is_ok(), "{}", r.body);
+        assert!(r.body.contains("docs"), "{}", r.body);
+    }
+
+    #[test]
+    fn ingest_merges_warm_index_instead_of_rebuilding() {
+        let server = served();
+        // Warm the endpoint's index with a filtered query.
+        let r = server.handle(&Request::get("/retail/ds/brand_sales/filter/brand/acme"));
+        assert!(r.is_ok(), "{}", r.body);
+        let builds_before = server.platform().api_metrics().index().builds;
+        assert!(builds_before > 0, "filter query warms the index");
+        // Append matching-schema rows: the warm index merges in place.
+        let r = server.handle(
+            &Request::new(Method::Post, "/dashboards/retail/ds/brand_sales/ingest")
+                .with_body("region,brand,revenue\nwest,omni,40\n"),
+        );
+        assert!(r.is_ok(), "{}", r.body);
+        assert!(r.body.contains("\"index\": \"merged\""), "{}", r.body);
+        assert_eq!(server.platform().api_metrics().ingest().index_merges, 1);
+        // The re-query sees the appended row without a cold rebuild.
+        let r = server.handle(&Request::get("/retail/ds/brand_sales/filter/brand/omni"));
+        assert!(r.is_ok(), "{}", r.body);
+        assert!(r.body.contains("omni"), "{}", r.body);
+        assert_eq!(
+            server.platform().api_metrics().index().builds,
+            builds_before,
+            "append kept the index warm (no rebuild)"
+        );
+    }
+
+    #[test]
+    fn ingest_skips_merge_when_warm_index_is_stale() {
+        let server = served();
+        // Warm the index, then bump the generation behind the registry's
+        // back (a re-run replaces the endpoint table): the entry is now
+        // stamped at an older generation.
+        let r = server.handle(&Request::get("/retail/ds/brand_sales/filter/brand/acme"));
+        assert!(r.is_ok(), "{}", r.body);
+        server.platform().run_dashboard("retail").unwrap();
+        // The append must refuse to merge the stale wrapper — merging it
+        // would stamp an index missing the re-run's rows at the live
+        // generation — and fall back to a lazy cold rebuild.
+        let r = server.handle(
+            &Request::new(Method::Post, "/dashboards/retail/ds/brand_sales/ingest")
+                .with_body("region,brand,revenue\nwest,omni,40\n"),
+        );
+        assert!(r.is_ok(), "{}", r.body);
+        assert!(r.body.contains("\"index\": \"cold\""), "{}", r.body);
+        assert_eq!(server.platform().api_metrics().ingest().index_merges, 0);
+        // Queries after the append still serve correct, complete data.
+        let r = server.handle(&Request::get("/retail/ds/brand_sales/filter/brand/omni"));
+        assert!(r.is_ok(), "{}", r.body);
+        assert!(r.body.contains("omni"), "{}", r.body);
+        let r = server.handle(&Request::get("/retail/ds/brand_sales/filter/brand/acme"));
+        assert!(r.is_ok() && r.body.contains("acme"), "{}", r.body);
+    }
+
+    #[test]
+    fn ingest_rejects_bad_targets_and_bodies() {
+        let server = served();
+        // Reserved namespace.
+        let r = server.handle(
+            &Request::new(Method::Post, "/dashboards/_system/ds/telemetry/ingest")
+                .with_body("a\n1\n"),
+        );
+        assert_eq!(r.status, Status::Conflict);
+        // Unknown dashboard.
+        let r = server.handle(
+            &Request::new(Method::Post, "/dashboards/nope/ds/x/ingest").with_body("a\n1\n"),
+        );
+        assert_eq!(r.status, Status::NotFound);
+        // Unsupported format.
+        let r = server.handle(
+            &Request::new(
+                Method::Post,
+                "/dashboards/retail/ds/events/ingest?format=parquet",
+            )
+            .with_body("a\n1\n"),
+        );
+        assert_eq!(r.status, Status::BadRequest);
+        // Empty body: no records, endpoint untouched.
+        let r = server.handle(&Request::new(
+            Method::Post,
+            "/dashboards/retail/ds/events/ingest",
+        ));
+        assert_eq!(r.status, Status::BadRequest);
+        let r = server.handle(&Request::get("/retail/ds"));
+        assert!(!r.body.contains("events"), "failed ingest left no endpoint");
+        assert!(server.platform().api_metrics().ingest().aborted >= 1);
+        // GET on the ingest route is a 405 with an Allow-style catch.
+        let r = server.handle(&Request::get("/dashboards/retail/ds/events/ingest"));
+        assert_eq!(r.status, Status::MethodNotAllowed);
+    }
+
+    #[test]
+    fn ingest_decode_error_leaves_endpoint_unchanged() {
+        let server = served();
+        let before = server.handle(&Request::get("/retail/ds"));
+        let r = server.handle(
+            &Request::new(
+                Method::Post,
+                "/dashboards/retail/ds/bad/ingest?format=jsonl",
+            )
+            .with_body("{\"a\": 1}\nnot json at all{{{\n"),
+        );
+        assert_eq!(r.status, Status::BadRequest, "{}", r.body);
+        let after = server.handle(&Request::get("/retail/ds"));
+        assert_eq!(before.body, after.body, "failed ingest is all-or-nothing");
+    }
+
+    #[test]
+    fn prepared_sql_skips_parse_and_lower_on_repeat() {
+        let server = served();
+        let sql = "SELECT brand, revenue FROM brand_sales ORDER BY revenue DESC";
+        let cold =
+            server.handle(&Request::new(Method::Post, "/retail/ds/brand_sales/sql").with_body(sql));
+        assert!(cold.is_ok(), "{}", cold.body);
+        assert_eq!(server.platform().api_metrics().sql().prepared_hits, 0);
+        let warm =
+            server.handle(&Request::new(Method::Post, "/retail/ds/brand_sales/sql").with_body(sql));
+        assert_eq!(cold.body, warm.body, "prepared plan serves identical bytes");
+        let stats = server.platform().api_metrics().sql();
+        assert_eq!(stats.prepared_hits, 1);
+        assert_eq!(stats.queries, 2, "hits still count as SQL queries");
+    }
+
+    #[test]
+    fn prepared_sql_still_checks_from_against_the_route() {
+        let server = served();
+        let sql = "SELECT brand FROM brand_sales";
+        assert!(server
+            .handle(&Request::new(Method::Post, "/retail/ds/brand_sales/sql").with_body(sql))
+            .is_ok());
+        // Same text on a different dataset's route must not reuse the plan.
+        let r = server.handle(&Request::new(Method::Post, "/retail/ds/other/sql").with_body(sql));
+        assert_eq!(r.status, Status::BadRequest);
+        assert!(r.body.contains("FROM names"), "{}", r.body);
+    }
+
+    #[test]
+    fn prepared_sql_sees_appended_rows() {
+        // Generation-stamped caches must invalidate around the prepared
+        // plan: the plan is reused, the result is not.
+        let server = served();
+        let sql = "SELECT brand, revenue FROM brand_sales WHERE brand = 'omni'";
+        let before =
+            server.handle(&Request::new(Method::Post, "/retail/ds/brand_sales/sql").with_body(sql));
+        assert!(before.is_ok(), "{}", before.body);
+        assert!(!before.body.contains("omni"), "{}", before.body);
+        let r = server.handle(
+            &Request::new(Method::Post, "/dashboards/retail/ds/brand_sales/ingest")
+                .with_body("region,brand,revenue\nwest,omni,40\n"),
+        );
+        assert!(r.is_ok(), "{}", r.body);
+        let after =
+            server.handle(&Request::new(Method::Post, "/retail/ds/brand_sales/sql").with_body(sql));
+        assert!(after.body.contains("omni"), "{}", after.body);
+        assert_eq!(server.platform().api_metrics().sql().prepared_hits, 1);
     }
 
     #[test]

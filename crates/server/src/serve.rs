@@ -31,10 +31,11 @@
 //! sampled.
 
 use crate::http::{Request, Response, Status};
+use crate::ingest::StreamedIngest;
 use crate::metrics::{ROUTE_DEADLINE, ROUTE_MALFORMED, ROUTE_REJECTED, ROUTE_TIMEOUT};
 use crate::router::Server;
 use crate::wire::{
-    self, dechunk, find_head_end, KeepAliveTerms, Parsed, ResponseStream, WireLimits,
+    self, dechunk, find_head_end, KeepAliveTerms, Parsed, ParsedHead, ResponseStream, WireLimits,
 };
 use shareinsights_core::trace::{AttrValue, EventLog};
 use std::io::{self, Read, Write};
@@ -345,6 +346,26 @@ fn handle_connection(server: &Server, stream: &TcpStream, opts: &ServeOptions, s
                     break;
                 }
             }
+            ReadOutcome::StreamedBody(head) => {
+                served += 1;
+                let keep = head.keep_alive && served < max_requests;
+                match stream_ingest_body(server, stream, &mut carry, &head, opts) {
+                    StreamedResult::Respond { response, close } => {
+                        let keep = keep && !close;
+                        let remaining = max_requests - served;
+                        let header = keep.then_some(KeepAliveTerms {
+                            timeout: opts.idle_timeout,
+                            max: remaining,
+                        });
+                        if write_response(stream, response, header, opts.chunk_budget).is_err()
+                            || !keep
+                        {
+                            break;
+                        }
+                    }
+                    StreamedResult::Hangup => break,
+                }
+            }
             ReadOutcome::Closed => break,
             ReadOutcome::IdleTimeout => {
                 // The client simply went quiet between requests; close
@@ -378,6 +399,92 @@ fn handle_connection(server: &Server, stream: &TcpStream, opts: &ServeOptions, s
         }
     }
     metrics.record_conn_closed(served);
+}
+
+/// How a streamed-body request ended.
+enum StreamedResult {
+    /// Send `response`; `close` forces `Connection: close` (the body was
+    /// not fully drained, so the stream cannot be resynchronised).
+    Respond { response: Response, close: bool },
+    /// The peer is gone (disconnect mid-body); nothing to send.
+    Hangup,
+}
+
+/// Drain one streamed request body into an ingest pipeline: feed bytes
+/// already read past the head, then keep reading the socket under
+/// `io_timeout` until the body framing says done. Memory stays bounded —
+/// only the de-framer window and the pipeline's bounded segment queue are
+/// ever held. Leftover bytes past the body stay in `carry` for the next
+/// pipelined request.
+fn stream_ingest_body(
+    server: &Server,
+    mut stream: &TcpStream,
+    carry: &mut Vec<u8>,
+    head: &ParsedHead,
+    opts: &ServeOptions,
+) -> StreamedResult {
+    let metrics = server.platform().api_metrics();
+    let mut ingest = StreamedIngest::begin(server, head, &opts.limits);
+    if let Some(response) = ingest.take_early() {
+        return StreamedResult::Respond {
+            response,
+            close: true,
+        };
+    }
+    loop {
+        if !carry.is_empty() {
+            match ingest.feed(carry) {
+                Ok(consumed) => {
+                    carry.drain(..consumed);
+                }
+                Err(response) => {
+                    return StreamedResult::Respond {
+                        response,
+                        close: true,
+                    }
+                }
+            }
+        }
+        if ingest.body_complete() {
+            break;
+        }
+        let _ = stream.set_read_timeout(Some(opts.io_timeout));
+        let mut chunk = [0u8; 65536];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // Disconnect mid-body: abort with the endpoint unchanged.
+                ingest.abort(None);
+                metrics.record(ROUTE_MALFORMED, false, 0);
+                return StreamedResult::Hangup;
+            }
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                // Same classification as a buffered mid-body stall: the
+                // head parsed, so answer 408 before closing.
+                ingest.abort(Some(Status::RequestTimeout));
+                metrics.record(ROUTE_TIMEOUT, false, 0);
+                metrics.record_io_timeout();
+                return StreamedResult::Respond {
+                    response: Response::error(
+                        Status::RequestTimeout,
+                        "timed out reading request body",
+                    ),
+                    close: true,
+                };
+            }
+            Err(e) => {
+                ingest.abort(None);
+                return StreamedResult::Respond {
+                    response: Response::error(Status::BadRequest, format!("read error: {e}")),
+                    close: true,
+                };
+            }
+        }
+    }
+    StreamedResult::Respond {
+        response: ingest.finish(),
+        close: false,
+    }
 }
 
 /// Drive one SSE subscription over a blocking socket (thread-per-
@@ -481,6 +588,10 @@ pub(crate) fn log_request_events(
 enum ReadOutcome {
     /// A complete request, plus whether the client permits keep-alive.
     Request(Request, bool),
+    /// A complete *head* for a streaming route: the body is still (partly)
+    /// on the wire and the caller drains it through a [`StreamedIngest`].
+    /// `carry` holds whatever body bytes were already read.
+    StreamedBody(Box<ParsedHead>),
     /// Peer closed cleanly before sending any byte of a new request.
     Closed,
     /// No byte of a new request arrived within the idle window.
@@ -509,6 +620,15 @@ fn is_timeout(e: &io::Error) -> bool {
 /// stricter io_timeout applies.
 fn read_request(mut stream: &TcpStream, carry: &mut Vec<u8>, opts: &ServeOptions) -> ReadOutcome {
     loop {
+        // Streaming routes take over as soon as the head parses: the body
+        // is handed to the handler window by window instead of being
+        // buffered whole (and so is exempt from the buffered-body cap).
+        if let wire::HeadParsed::Head(head) = wire::try_parse_head(carry, &opts.limits) {
+            if crate::ingest::wants_streaming(&head) {
+                carry.drain(..head.consumed);
+                return ReadOutcome::StreamedBody(head);
+            }
+        }
         let head_complete = match wire::try_parse(carry, &opts.limits) {
             Parsed::Complete(p) => {
                 carry.drain(..p.consumed);

@@ -10,10 +10,18 @@
 //!   already parsed, which decides 408-vs-silent-close timeout
 //!   semantics), *complete request* (with the byte count to drain, so
 //!   pipelined successors stay in the buffer), or *irrecoverable* with
-//!   the status to answer before closing (400, 413-shaped 400s, or 431
-//!   when the head outgrows [`WireLimits::max_head_bytes`] — the cap
-//!   that stops a slow-drip client growing a per-connection buffer
-//!   without bound).
+//!   the status to answer before closing (400, 413 when the announced
+//!   body outgrows [`WireLimits::max_body_bytes`], or 431 when the head
+//!   outgrows [`WireLimits::max_head_bytes`] — the cap that stops a
+//!   slow-drip client growing a per-connection buffer without bound).
+//! * [`try_parse_head`] + [`BodyReader`] — the streaming-ingest variant:
+//!   the head parses alone (reporting the body framing), then the body
+//!   is drained incrementally in bounded windows instead of being
+//!   buffered whole, so a multi-GB upload never holds more than a
+//!   segment's worth of bytes in the connection buffer. Both
+//!   content-length and chunked request bodies are supported, capped by
+//!   [`WireLimits::max_stream_body_bytes`] (over-cap aborts mid-transfer
+//!   with a true 413 and a connection close).
 //! * [`ResponseStream`] — turns one [`Response`] into wire bytes
 //!   incrementally. Small bodies are framed with `Content-Length` in a
 //!   single buffer; bodies larger than the configured chunk budget are
@@ -32,8 +40,15 @@ pub struct WireLimits {
     /// Largest accepted request head (request line + headers). Exceeding
     /// it is answered `431 Request Header Fields Too Large` and closed.
     pub max_head_bytes: usize,
-    /// Largest accepted request body.
+    /// Largest accepted *buffered* request body. Exceeding it is
+    /// answered `413 Payload Too Large` and closed.
     pub max_body_bytes: usize,
+    /// Largest accepted *streamed* request body (ingest uploads drained
+    /// through [`BodyReader`]). Much larger than `max_body_bytes` because
+    /// streamed bodies never buffer whole; the cap still exists so a
+    /// hostile client cannot stream forever — exceeding it aborts the
+    /// transfer with `413` and closes the connection.
+    pub max_stream_body_bytes: usize,
 }
 
 impl Default for WireLimits {
@@ -41,6 +56,7 @@ impl Default for WireLimits {
         WireLimits {
             max_head_bytes: 16 * 1024,
             max_body_bytes: 4 * 1024 * 1024,
+            max_stream_body_bytes: 4 * 1024 * 1024 * 1024,
         }
     }
 }
@@ -90,31 +106,74 @@ pub fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Attempt to parse one request from `buf` without consuming it. Pure:
-/// no I/O, no mutation — callers drain [`ParsedRequest::consumed`] bytes
-/// themselves on success.
-pub fn try_parse(buf: &[u8], limits: &WireLimits) -> Parsed {
+/// How the request body is framed on the wire, per the parsed head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyFraming {
+    /// No body (no `Content-Length`, no `Transfer-Encoding`).
+    None,
+    /// `Content-Length: n` — exactly `n` payload bytes follow the head.
+    ContentLength(usize),
+    /// `Transfer-Encoding: chunked` — hex-sized chunks until a 0-chunk.
+    Chunked,
+}
+
+/// A parsed request *head*: everything but the body, plus how the body
+/// is framed. The streaming-ingest path parses this first, then drains
+/// the body through a [`BodyReader`] instead of buffering it whole.
+#[derive(Debug)]
+pub struct ParsedHead {
+    /// The request with an empty body, ready for route matching.
+    pub request: Request,
+    /// Whether the client permits keep-alive.
+    pub keep_alive: bool,
+    /// Bytes of the buffer the head consumed (including `\r\n\r\n`);
+    /// body bytes start here.
+    pub consumed: usize,
+    /// How the body that follows is framed.
+    pub framing: BodyFraming,
+}
+
+/// What [`try_parse_head`] made of the buffer so far.
+#[derive(Debug)]
+pub enum HeadParsed {
+    /// The terminating blank line has not arrived yet.
+    Incomplete,
+    /// One complete head.
+    Head(Box<ParsedHead>),
+    /// Unrecoverable: answer `status` with `message` and close.
+    Error {
+        /// Status to answer before closing (400 or 431).
+        status: Status,
+        /// Human-readable reason, sent as the error body.
+        message: String,
+    },
+}
+
+/// Parse one request *head* from `buf` without consuming it — the first
+/// half of [`try_parse`], exposed so streaming routes can route-match
+/// and start draining the body before it is complete.
+pub fn try_parse_head(buf: &[u8], limits: &WireLimits) -> HeadParsed {
+    let head_error = |status: Status, message: String| HeadParsed::Error { status, message };
+    let bad = |message: String| head_error(Status::BadRequest, message);
     let head_end = match find_head_end(buf) {
         Some(pos) => pos,
         None => {
             // The cap must trip while the head is still incomplete —
             // that is exactly the slow-drip-headers attack shape.
             if buf.len() > limits.max_head_bytes {
-                return Parsed::Error {
-                    status: Status::RequestHeaderFieldsTooLarge,
-                    message: format!("request head exceeds {} bytes", limits.max_head_bytes),
-                };
+                return head_error(
+                    Status::RequestHeaderFieldsTooLarge,
+                    format!("request head exceeds {} bytes", limits.max_head_bytes),
+                );
             }
-            return Parsed::Incomplete {
-                head_complete: false,
-            };
+            return HeadParsed::Incomplete;
         }
     };
     if head_end > limits.max_head_bytes {
-        return Parsed::Error {
-            status: Status::RequestHeaderFieldsTooLarge,
-            message: format!("request head exceeds {} bytes", limits.max_head_bytes),
-        };
+        return head_error(
+            Status::RequestHeaderFieldsTooLarge,
+            format!("request head exceeds {} bytes", limits.max_head_bytes),
+        );
     }
     let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
     let mut lines = head.split("\r\n");
@@ -122,29 +181,36 @@ pub fn try_parse(buf: &[u8], limits: &WireLimits) -> Parsed {
     let mut parts = request_line.split_ascii_whitespace();
     let method = match parts.next().and_then(Method::parse) {
         Some(m) => m,
-        None => return parse_error(format!("unsupported method in {request_line:?}")),
+        None => return bad(format!("unsupported method in {request_line:?}")),
     };
     let target = match parts.next().filter(|t| t.starts_with('/')) {
         Some(t) => t.to_string(),
-        None => return parse_error(format!("bad request target in {request_line:?}")),
+        None => return bad(format!("bad request target in {request_line:?}")),
     };
     let version = parts.next().unwrap_or("");
     if !version.starts_with("HTTP/1.") {
-        return parse_error(format!("unsupported protocol {version:?}"));
+        return bad(format!("unsupported protocol {version:?}"));
     }
     // HTTP/1.1 defaults to keep-alive; HTTP/1.0 defaults to close.
     let mut keep_alive = version != "HTTP/1.0";
-    let mut content_length = 0usize;
+    let mut framing = BodyFraming::None;
     let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim();
             headers.push((name.to_string(), value.trim().to_string()));
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = match value.trim().parse() {
-                    Ok(n) => n,
-                    Err(_) => return parse_error(format!("bad content-length {:?}", value.trim())),
+                framing = match value.trim().parse() {
+                    Ok(0) => BodyFraming::None,
+                    Ok(n) => BodyFraming::ContentLength(n),
+                    Err(_) => return bad(format!("bad content-length {:?}", value.trim())),
                 };
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                if value.trim().eq_ignore_ascii_case("chunked") {
+                    framing = BodyFraming::Chunked;
+                } else {
+                    return bad(format!("unsupported transfer-encoding {:?}", value.trim()));
+                }
             } else if name.eq_ignore_ascii_case("connection") {
                 let value = value.trim().to_ascii_lowercase();
                 if value.split(',').any(|t| t.trim() == "close") {
@@ -155,28 +221,273 @@ pub fn try_parse(buf: &[u8], limits: &WireLimits) -> Parsed {
             }
         }
     }
-    if content_length > limits.max_body_bytes {
-        return parse_error(format!("body of {content_length} bytes exceeds limit"));
+    let mut request = Request::new(method, &target);
+    for (name, value) in headers {
+        request = request.with_header(&name, value);
     }
-    let total = head_end + 4 + content_length;
+    HeadParsed::Head(Box::new(ParsedHead {
+        request,
+        keep_alive,
+        consumed: head_end + 4,
+        framing,
+    }))
+}
+
+/// Attempt to parse one request from `buf` without consuming it. Pure:
+/// no I/O, no mutation — callers drain [`ParsedRequest::consumed`] bytes
+/// themselves on success.
+pub fn try_parse(buf: &[u8], limits: &WireLimits) -> Parsed {
+    let head = match try_parse_head(buf, limits) {
+        HeadParsed::Incomplete => {
+            return Parsed::Incomplete {
+                head_complete: false,
+            }
+        }
+        HeadParsed::Error { status, message } => return Parsed::Error { status, message },
+        HeadParsed::Head(h) => h,
+    };
+    let content_length = match head.framing {
+        BodyFraming::None => 0,
+        BodyFraming::ContentLength(n) => n,
+        // Chunked request bodies only make sense on routes that drain
+        // them incrementally; buffering callers reject them up front.
+        BodyFraming::Chunked => {
+            return parse_error("chunked request bodies are only accepted on streaming routes")
+        }
+    };
+    if content_length > limits.max_body_bytes {
+        return Parsed::Error {
+            status: Status::PayloadTooLarge,
+            message: format!(
+                "body of {content_length} bytes exceeds the {}-byte limit",
+                limits.max_body_bytes
+            ),
+        };
+    }
+    let total = head.consumed + content_length;
     if buf.len() < total {
         return Parsed::Incomplete {
             head_complete: true,
         };
     }
-    let body = match std::str::from_utf8(&buf[head_end + 4..total]) {
+    let body = match std::str::from_utf8(&buf[head.consumed..total]) {
         Ok(b) => b.to_string(),
         Err(_) => return parse_error("body is not UTF-8"),
     };
-    let mut request = Request::new(method, &target).with_body(body);
-    for (name, value) in headers {
-        request = request.with_header(&name, value);
-    }
+    let ParsedHead {
+        mut request,
+        keep_alive,
+        ..
+    } = *head;
+    request.body = body;
     Parsed::Complete(Box::new(ParsedRequest {
         request,
         keep_alive,
         consumed: total,
     }))
+}
+
+// ---------------------------------------------------------------------------
+// Incremental body draining (streaming ingest)
+// ---------------------------------------------------------------------------
+
+/// Progress of one [`BodyReader::feed`] call.
+#[derive(Debug, Default)]
+pub struct BodyProgress {
+    /// Bytes of the caller's buffer consumed — drain exactly this many.
+    /// Bytes past a completed body are a pipelined successor and stay.
+    pub consumed: usize,
+    /// Payload bytes extracted (chunk framing removed).
+    pub data: Vec<u8>,
+    /// True once the body is complete.
+    pub done: bool,
+}
+
+/// Chunked-transfer de-framing position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChunkPhase {
+    /// Expecting a hex size line terminated by `\r\n`.
+    Size,
+    /// Inside chunk data; `.0` payload bytes remain.
+    Data(usize),
+    /// Expecting the `\r\n` that closes a data chunk.
+    DataEnd,
+    /// Saw the 0-chunk; expecting the final `\r\n`.
+    Trailer,
+}
+
+/// Drains one request body incrementally, handing payload bytes to the
+/// caller as they arrive instead of buffering the body whole. Pure like
+/// [`try_parse`]: the caller appends socket bytes to its own buffer,
+/// calls [`BodyReader::feed`], and drains [`BodyProgress::consumed`].
+/// Supports both `Content-Length` and chunked framing; enforces
+/// [`WireLimits::max_stream_body_bytes`] mid-transfer.
+#[derive(Debug)]
+pub struct BodyReader {
+    framing: BodyFraming,
+    /// Payload bytes still expected (content-length mode).
+    remaining: usize,
+    phase: ChunkPhase,
+    /// Total payload bytes seen so far.
+    total: usize,
+    cap: usize,
+    done: bool,
+}
+
+impl BodyReader {
+    /// A reader for the body the parsed head announced.
+    pub fn new(framing: BodyFraming, limits: &WireLimits) -> BodyReader {
+        BodyReader {
+            framing,
+            remaining: match framing {
+                BodyFraming::ContentLength(n) => n,
+                _ => 0,
+            },
+            phase: ChunkPhase::Size,
+            total: 0,
+            cap: limits.max_stream_body_bytes,
+            done: matches!(framing, BodyFraming::None),
+        }
+    }
+
+    /// True when the head *announced* more bytes than the streaming cap
+    /// allows — callers answer 413 before reading a single body byte.
+    pub fn announced_over_cap(&self) -> bool {
+        matches!(self.framing, BodyFraming::ContentLength(n) if n > self.cap)
+    }
+
+    /// True once the whole body has been drained.
+    pub fn finished(&self) -> bool {
+        self.done
+    }
+
+    /// Total payload bytes drained so far.
+    pub fn bytes_seen(&self) -> usize {
+        self.total
+    }
+
+    /// Consume as much of `buf` as the framing allows, extracting payload
+    /// bytes. An over-cap body (or malformed chunk framing) is an error:
+    /// answer `status` and close — mid-transfer there is no way to
+    /// resynchronise with the peer.
+    pub fn feed(&mut self, buf: &[u8]) -> Result<BodyProgress, (Status, String)> {
+        let mut progress = BodyProgress::default();
+        if self.done {
+            progress.done = true;
+            return Ok(progress);
+        }
+        match self.framing {
+            BodyFraming::None => {
+                self.done = true;
+                progress.done = true;
+                Ok(progress)
+            }
+            BodyFraming::ContentLength(_) => {
+                let take = self.remaining.min(buf.len());
+                progress.data.extend_from_slice(&buf[..take]);
+                progress.consumed = take;
+                self.remaining -= take;
+                self.total += take;
+                if self.total > self.cap {
+                    return Err(over_cap(self.cap));
+                }
+                if self.remaining == 0 {
+                    self.done = true;
+                    progress.done = true;
+                }
+                Ok(progress)
+            }
+            BodyFraming::Chunked => {
+                let mut pos = 0usize;
+                loop {
+                    match self.phase {
+                        ChunkPhase::Size => {
+                            let Some(line_end) = buf[pos..].windows(2).position(|w| w == b"\r\n")
+                            else {
+                                // A size line is at most 16 hex digits
+                                // plus extensions; a "size line" growing
+                                // past 64 bytes is garbage, not patience.
+                                if buf.len() - pos > 64 {
+                                    return Err((
+                                        Status::BadRequest,
+                                        "chunk size line too long".to_string(),
+                                    ));
+                                }
+                                break;
+                            };
+                            let line_end = line_end + pos;
+                            let token = std::str::from_utf8(&buf[pos..line_end])
+                                .ok()
+                                .and_then(|s| s.split(';').next())
+                                .map(str::trim)
+                                .unwrap_or("");
+                            let size = usize::from_str_radix(token, 16).map_err(|_| {
+                                (Status::BadRequest, format!("bad chunk size {token:?}"))
+                            })?;
+                            pos = line_end + 2;
+                            self.phase = if size == 0 {
+                                ChunkPhase::Trailer
+                            } else {
+                                ChunkPhase::Data(size)
+                            };
+                        }
+                        ChunkPhase::Data(left) => {
+                            let take = left.min(buf.len() - pos);
+                            progress.data.extend_from_slice(&buf[pos..pos + take]);
+                            pos += take;
+                            self.total += take;
+                            if self.total > self.cap {
+                                return Err(over_cap(self.cap));
+                            }
+                            if take == left {
+                                self.phase = ChunkPhase::DataEnd;
+                            } else {
+                                self.phase = ChunkPhase::Data(left - take);
+                                break;
+                            }
+                        }
+                        ChunkPhase::DataEnd => {
+                            if buf.len() - pos < 2 {
+                                break;
+                            }
+                            if &buf[pos..pos + 2] != b"\r\n" {
+                                return Err((
+                                    Status::BadRequest,
+                                    "chunk data missing trailing CRLF".to_string(),
+                                ));
+                            }
+                            pos += 2;
+                            self.phase = ChunkPhase::Size;
+                        }
+                        ChunkPhase::Trailer => {
+                            if buf.len() - pos < 2 {
+                                break;
+                            }
+                            if &buf[pos..pos + 2] != b"\r\n" {
+                                return Err((
+                                    Status::BadRequest,
+                                    "unsupported chunked trailer".to_string(),
+                                ));
+                            }
+                            pos += 2;
+                            self.done = true;
+                            break;
+                        }
+                    }
+                }
+                progress.consumed = pos;
+                progress.done = self.done;
+                Ok(progress)
+            }
+        }
+    }
+}
+
+fn over_cap(cap: usize) -> (Status, String) {
+    (
+        Status::PayloadTooLarge,
+        format!("streamed body exceeds the {cap}-byte limit"),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -552,6 +863,7 @@ mod tests {
         let tight = WireLimits {
             max_head_bytes: 64,
             max_body_bytes: 1024,
+            ..WireLimits::default()
         };
         // A slow-drip client never finishing its head: the cap trips as
         // soon as the buffer outgrows the limit.
@@ -591,19 +903,109 @@ mod tests {
     }
 
     #[test]
-    fn oversized_body_is_rejected_at_the_head() {
+    fn oversized_body_is_a_true_413_at_the_head() {
         let tight = WireLimits {
             max_head_bytes: 1024,
             max_body_bytes: 8,
+            ..WireLimits::default()
         };
         let buf = b"PUT /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n";
         match try_parse(buf, &tight) {
             Parsed::Error { status, message } => {
-                assert_eq!(status, Status::BadRequest);
-                assert!(message.contains("exceeds limit"), "{message}");
+                assert_eq!(status, Status::PayloadTooLarge);
+                assert!(message.contains("exceeds"), "{message}");
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn head_parse_reports_body_framing() {
+        let buf = b"POST /d/ds/x/ingest HTTP/1.1\r\nContent-Length: 12\r\n\r\npartial";
+        match try_parse_head(buf, &limits()) {
+            HeadParsed::Head(h) => {
+                assert_eq!(h.request.path, "/d/ds/x/ingest");
+                assert_eq!(h.framing, BodyFraming::ContentLength(12));
+                assert_eq!(&buf[h.consumed..], b"partial");
+            }
+            other => panic!("{other:?}"),
+        }
+        let buf = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        match try_parse_head(buf, &limits()) {
+            HeadParsed::Head(h) => assert_eq!(h.framing, BodyFraming::Chunked),
+            other => panic!("{other:?}"),
+        }
+        // Buffering callers reject chunked request bodies outright.
+        match try_parse(buf, &limits()) {
+            Parsed::Error { status, .. } => assert_eq!(status, Status::BadRequest),
+            other => panic!("{other:?}"),
+        }
+        let buf = b"GET /x HTTP/1.1\r\n\r\n";
+        match try_parse_head(buf, &limits()) {
+            HeadParsed::Head(h) => assert_eq!(h.framing, BodyFraming::None),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn body_reader_drains_content_length_in_windows() {
+        let mut r = BodyReader::new(BodyFraming::ContentLength(10), &limits());
+        let p = r.feed(b"abcd").unwrap();
+        assert_eq!((p.consumed, p.done), (4, false));
+        assert_eq!(p.data, b"abcd");
+        // Final feed stops at the body end; pipelined bytes stay.
+        let p = r.feed(b"efghijGET /next").unwrap();
+        assert_eq!((p.consumed, p.done), (6, true));
+        assert_eq!(p.data, b"efghij");
+        assert!(r.finished());
+        assert_eq!(r.bytes_seen(), 10);
+    }
+
+    #[test]
+    fn body_reader_dechunks_across_arbitrary_boundaries() {
+        // One-shot: consumed stops exactly at the body end, leaving the
+        // pipelined successor in place.
+        let wire = b"3\r\nabc\r\n5;ext=1\r\ndefgh\r\n0\r\n\r\nGET /next";
+        let mut r = BodyReader::new(BodyFraming::Chunked, &limits());
+        let p = r.feed(wire).unwrap();
+        assert!(p.done);
+        assert_eq!(p.data, b"abcdefgh");
+        assert_eq!(&wire[p.consumed..], b"GET /next");
+
+        // Drip one byte at a time: every state straddles a feed boundary.
+        let mut r = BodyReader::new(BodyFraming::Chunked, &limits());
+        let mut buf = Vec::new();
+        let mut payload = Vec::new();
+        for &b in wire.iter() {
+            buf.push(b);
+            let p = r.feed(&buf).unwrap();
+            payload.extend_from_slice(&p.data);
+            buf.drain(..p.consumed);
+            if p.done {
+                break;
+            }
+        }
+        assert_eq!(payload, b"abcdefgh");
+        assert!(r.finished());
+        assert_eq!(r.bytes_seen(), 8);
+    }
+
+    #[test]
+    fn body_reader_aborts_over_cap_streams_mid_transfer() {
+        let tight = WireLimits {
+            max_stream_body_bytes: 8,
+            ..WireLimits::default()
+        };
+        // Announced over-cap: reject before reading the body.
+        let r = BodyReader::new(BodyFraming::ContentLength(9), &tight);
+        assert!(r.announced_over_cap());
+        // A chunked stream cannot announce: the cap trips mid-transfer.
+        let mut r = BodyReader::new(BodyFraming::Chunked, &tight);
+        let p = r.feed(b"6\r\nabcdef\r\n").unwrap();
+        assert_eq!(p.data, b"abcdef");
+        let (status, msg) = r.feed(b"6\r\nghijkl\r\n").unwrap_err();
+        assert_eq!(status, Status::PayloadTooLarge);
+        assert!(msg.contains("exceeds"), "{msg}");
     }
 
     fn drain_stream(stream: &mut ResponseStream) -> (Vec<u8>, usize) {

@@ -180,6 +180,110 @@ impl DictionaryIndex {
     pub fn no_nulls(&self) -> bool {
         self.nulls.none_set()
     }
+
+    /// The posting bitmap of `code` (rows holding that dictionary value).
+    pub fn postings_of(&self, code: u32) -> &Bitmap {
+        &self.postings[code as usize]
+    }
+
+    /// The null-row bitmap.
+    pub fn nulls(&self) -> &Bitmap {
+        &self.nulls
+    }
+
+    /// Merge `prev` (built over the first `n_old` rows) with the appended
+    /// tail of the merged column (`data`/`validity` cover all rows): the
+    /// incremental-maintenance path that keeps an endpoint's dictionary
+    /// warm across appends. Produces *exactly* what a cold
+    /// [`DictionaryIndex::build`] over the full column would — same
+    /// sorted dictionary, same codes, same posting words — because the
+    /// dictionaries merge sorted and posting bitmaps extend
+    /// word-for-word; the differential tests pin this byte-identity.
+    fn append(prev: &DictionaryIndex, data: &[String], validity: &Bitmap) -> DictionaryIndex {
+        let n_old = prev.codes.len();
+        let n = data.len();
+        // Distinct values arriving in the tail that the dictionary has
+        // not seen. BTreeMap iteration keeps them sorted for the merge.
+        let mut fresh: BTreeMap<&str, u32> = BTreeMap::new();
+        for (i, s) in data.iter().enumerate().skip(n_old) {
+            if validity.get(i) && prev.code_of(s).is_none() {
+                fresh.entry(s.as_str()).or_insert(0);
+            }
+        }
+        // Sorted two-way merge of the old dictionary and the fresh
+        // values: assigns every old code its new position in one pass.
+        let mut dict: Vec<String> = Vec::with_capacity(prev.dict.len() + fresh.len());
+        let mut old_to_new: Vec<u32> = Vec::with_capacity(prev.dict.len());
+        {
+            let mut old_iter = prev.dict.iter().peekable();
+            let mut new_iter = fresh.keys().peekable();
+            loop {
+                match (old_iter.peek(), new_iter.peek()) {
+                    (Some(o), Some(f)) if o.as_str() <= **f => {
+                        old_to_new.push(dict.len() as u32);
+                        dict.push(old_iter.next().unwrap().clone());
+                    }
+                    (_, Some(_)) => dict.push(new_iter.next().unwrap().to_string()),
+                    (Some(_), None) => {
+                        old_to_new.push(dict.len() as u32);
+                        dict.push(old_iter.next().unwrap().clone());
+                    }
+                    (None, None) => break,
+                }
+            }
+        }
+        // Old codes remap through the merge; postings move to their new
+        // slot extended word-for-word to the new row count.
+        let identity = old_to_new.iter().enumerate().all(|(i, &c)| c as usize == i);
+        let mut codes: Vec<u32> = Vec::with_capacity(n);
+        if identity {
+            codes.extend_from_slice(&prev.codes);
+        } else {
+            codes.extend(prev.codes.iter().map(|&c| {
+                if c == NULL_CODE {
+                    NULL_CODE
+                } else {
+                    old_to_new[c as usize]
+                }
+            }));
+        }
+        // Each new slot is filled exactly once: carried postings extend
+        // word-for-word via `resized`, fresh slots start cleared. (Filling
+        // directly avoids allocating-and-zeroing throwaway bitmaps for the
+        // carried slots — at high cardinality that zeroing dominates.)
+        let mut new_to_old: Vec<Option<usize>> = vec![None; dict.len()];
+        for (old_code, &new_code) in old_to_new.iter().enumerate() {
+            new_to_old[new_code as usize] = Some(old_code);
+        }
+        let mut postings: Vec<Bitmap> = new_to_old
+            .iter()
+            .map(|slot| match slot {
+                Some(old_code) => prev.postings[*old_code].resized(n),
+                None => Bitmap::new_cleared(n),
+            })
+            .collect();
+        let mut nulls = prev.nulls.resized(n);
+        // Encode the appended rows.
+        for (i, s) in data.iter().enumerate().skip(n_old) {
+            if validity.get(i) {
+                let code = dict
+                    .binary_search_by(|d| d.as_str().cmp(s.as_str()))
+                    .expect("merged dictionary covers every tail value")
+                    as u32;
+                codes.push(code);
+                postings[code as usize].set(i);
+            } else {
+                codes.push(NULL_CODE);
+                nulls.set(i);
+            }
+        }
+        DictionaryIndex {
+            dict,
+            codes,
+            postings,
+            nulls,
+        }
+    }
 }
 
 /// Min–max zone map over a numeric or date column: per fixed-size zone,
@@ -221,6 +325,50 @@ impl ZoneIndex {
     /// Number of zones.
     pub fn zone_count(&self) -> usize {
         self.zones.len()
+    }
+
+    /// Per-zone min–max bounds (`None` for all-null zones).
+    pub fn zones(&self) -> &[Option<(Value, Value)>] {
+        &self.zones
+    }
+
+    /// Merge `prev` (built over the first `n_old` rows of `col`) with the
+    /// appended tail: complete zones are immutable and carry over
+    /// verbatim; only the old partial tail zone (whose bounds may widen)
+    /// and the zones the new rows open are rescanned. Byte-identical to a
+    /// cold [`ZoneIndex::build`] over the full column because zone
+    /// boundaries depend only on row position.
+    fn append(prev: &ZoneIndex, col: &Column, n_old: usize) -> ZoneIndex {
+        let zone_rows = prev.zone_rows.max(1);
+        let n = col.len();
+        let complete = n_old / zone_rows;
+        let mut zones: Vec<Option<(Value, Value)>> =
+            prev.zones.iter().take(complete).cloned().collect();
+        let mut start = complete * zone_rows;
+        while start < n {
+            let end = (start + zone_rows).min(n);
+            let mut bounds: Option<(Value, Value)> = None;
+            for i in start..end {
+                let v = col.value(i);
+                if v.is_null() {
+                    continue;
+                }
+                bounds = Some(match bounds.take() {
+                    None => (v.clone(), v),
+                    Some((lo, hi)) => {
+                        let lo = if v < lo { v.clone() } else { lo };
+                        let hi = if v > hi { v } else { hi };
+                        (lo, hi)
+                    }
+                });
+            }
+            zones.push(bounds);
+            start = end;
+        }
+        ZoneIndex {
+            zone_rows: prev.zone_rows,
+            zones,
+        }
     }
 
     /// Rows of `col` satisfying the inclusive range predicate, skipping
@@ -316,6 +464,10 @@ pub struct IndexedTable {
     slots: Vec<OnceLock<Option<Arc<ColumnIndex>>>>,
     builds: AtomicU64,
     build_us: AtomicU64,
+    /// Indexes carried warm across [`IndexedTable::append`] merges (vs
+    /// `builds`, which counts cold constructions).
+    merges: AtomicU64,
+    merge_us: AtomicU64,
     #[allow(clippy::type_complexity)]
     build_hook: Option<Arc<dyn Fn(u64) + Send + Sync>>,
 }
@@ -349,8 +501,87 @@ impl IndexedTable {
             slots,
             builds: AtomicU64::new(0),
             build_us: AtomicU64::new(0),
+            merges: AtomicU64::new(0),
+            merge_us: AtomicU64::new(0),
             build_hook,
         }
+    }
+
+    /// Append `delta`'s rows, carrying every already built column index
+    /// forward by *incremental merge* instead of dropping it: dictionary
+    /// indexes merge sorted dictionaries and extend posting bitmaps
+    /// word-for-word, zone maps keep complete zones verbatim and rescan
+    /// only the partial tail — so indexes are warm the moment the append
+    /// lands, at a cost proportional to the delta (plus one O(old/64)
+    /// bitmap word copy), not the full table. Merged indexes are
+    /// byte-identical to a cold rebuild over the concatenated table
+    /// (pinned by the differential tests). Columns whose unified type
+    /// changed in the concat (e.g. Int64 widening to Float64) and
+    /// never-built slots stay lazy.
+    pub fn append(&self, delta: &Table) -> crate::error::Result<IndexedTable> {
+        let merged = self.table.concat(delta)?;
+        self.append_merged(merged)
+    }
+
+    /// [`IndexedTable::append`] for callers that already hold the
+    /// concatenated table — e.g. a copy-on-write store whose append
+    /// produced `merged = old.concat(delta)` before index maintenance
+    /// runs. Skipping the second concat makes the merge cost proportional
+    /// to the delta (plus the O(old/64) posting-word copy), not the full
+    /// table. The caller guarantees `merged`'s first `self.table().num_rows()`
+    /// rows are exactly this table's rows; only the row count (and, per
+    /// column, the unified type) is checked here.
+    pub fn append_merged(&self, merged: Table) -> crate::error::Result<IndexedTable> {
+        let n_old = self.table.num_rows();
+        if merged.num_rows() < n_old {
+            return Err(crate::error::TabularError::LengthMismatch {
+                left: n_old,
+                right: merged.num_rows(),
+                context: "append_merged: merged table shorter than the indexed base".to_string(),
+            });
+        }
+        let out = IndexedTable::with_hook(merged, self.build_hook.clone());
+        for i in 0..self.slots.len().min(out.slots.len()) {
+            let Some(built) = self.slots[i].get() else {
+                continue; // never built: stays lazy
+            };
+            let old_type = self.table.column_at(i).data_type();
+            let new_col: &Column = out.table.column_at(i).as_ref();
+            if new_col.data_type() != old_type {
+                continue; // concat widened the type: cold rebuild applies
+            }
+            let started = Instant::now();
+            let carried: Option<Arc<ColumnIndex>> = match built.as_ref().map(Arc::as_ref) {
+                None => None, // unindexable type stays unindexable
+                Some(ColumnIndex::Dictionary(d)) => {
+                    let Column::Utf8 { data, validity } = new_col else {
+                        continue;
+                    };
+                    Some(Arc::new(ColumnIndex::Dictionary(DictionaryIndex::append(
+                        d, data, validity,
+                    ))))
+                }
+                Some(ColumnIndex::Zones(z)) => Some(Arc::new(ColumnIndex::Zones(
+                    ZoneIndex::append(z, new_col, n_old),
+                ))),
+            };
+            if carried.is_some() {
+                let us = started.elapsed().as_micros() as u64;
+                out.merges.fetch_add(1, AtomicOrdering::Relaxed);
+                out.merge_us.fetch_add(us, AtomicOrdering::Relaxed);
+            }
+            let _ = out.slots[i].set(carried);
+        }
+        Ok(out)
+    }
+
+    /// `(index merges, total merge time in µs)` carried into this table
+    /// by [`IndexedTable::append`].
+    pub fn merge_stats(&self) -> (u64, u64) {
+        (
+            self.merges.load(AtomicOrdering::Relaxed),
+            self.merge_us.load(AtomicOrdering::Relaxed),
+        )
     }
 
     /// The wrapped table.
@@ -736,6 +967,134 @@ mod tests {
         assert!(ix.index("k").is_none(), "all-null column is not indexable");
         let idx = ix.index("v");
         assert!(idx.is_some(), "int column gets zones");
+    }
+
+    /// The strict representation-identity check the merge path promises:
+    /// a merged index must be indistinguishable from a cold rebuild down
+    /// to its Debug rendering (dictionary order, code assignment,
+    /// posting words, zone bounds).
+    fn assert_index_identical(merged: &IndexedTable, cold: &IndexedTable, column: &str) {
+        let m = merged.index(column);
+        let c = cold.index(column);
+        match (&m, &c) {
+            (Some(m), Some(c)) => {
+                assert_eq!(format!("{m:?}"), format!("{c:?}"), "column {column}")
+            }
+            (None, None) => {}
+            other => panic!("column {column}: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_merges_dictionary_byte_identically_to_cold_rebuild() {
+        let base = sample();
+        let ix = indexed(&base);
+        // Build the indexes so the merge path has something to carry.
+        let _ = ix.index("team");
+        let _ = ix.index("n");
+        // A delta with a mix of known values, fresh values sorting both
+        // before and after the existing dictionary, and a null.
+        let mut rows = Vec::new();
+        for i in 0..57i64 {
+            match i % 4 {
+                0 => rows.push(row!["aaa-new", 1000 + i, i]),
+                1 => rows.push(row![format!("t{:02}", i % 17), 1000 + i, i]),
+                2 => rows.push(row!["zzz-new", 1000 + i, i]),
+                _ => rows.push(row![Value::Null, 1000 + i, i]),
+            }
+        }
+        let delta = Table::from_rows(&["team", "n", "m"], &rows).unwrap();
+        let merged = ix.append(&delta).unwrap();
+        assert_eq!(merged.table().num_rows(), 257);
+        // Carried warm: no cold builds on the merged wrapper.
+        assert_eq!(merged.merge_stats().0, 2);
+        let cold = indexed(&merged.table().clone());
+        for col in ["team", "n"] {
+            assert_index_identical(&merged, &cold, col);
+        }
+        assert_eq!(merged.build_stats().0, 0, "no cold rebuilds after merge");
+        // The never-built column stays lazy and still works.
+        assert_index_identical(&merged, &cold, "m");
+    }
+
+    #[test]
+    fn append_merged_reuses_precomputed_concat_identically() {
+        let base = sample();
+        let ix = indexed(&base);
+        let _ = ix.index("team");
+        let _ = ix.index("n");
+        let rows: Vec<crate::row::Row> = (0..41i64)
+            .map(|i| row![format!("m{:02}", i % 9), 2000 + i, i])
+            .collect();
+        let delta = Table::from_rows(&["team", "n", "m"], &rows).unwrap();
+        // The caller already paid the concat (copy-on-write append):
+        // append_merged must not redo it and must carry indexes warm.
+        let full = base.concat(&delta).unwrap();
+        let merged = ix.append_merged(full.clone()).unwrap();
+        assert_eq!(merged.table().num_rows(), 241);
+        assert_eq!(merged.merge_stats().0, 2);
+        assert_eq!(merged.build_stats().0, 0);
+        let cold = indexed(&full);
+        for col in ["team", "n", "m"] {
+            assert_index_identical(&merged, &cold, col);
+        }
+        // A "merged" table shorter than the indexed base is rejected.
+        assert!(ix.append_merged(delta).is_err());
+    }
+
+    #[test]
+    fn append_spans_zone_boundaries_identically() {
+        let n = ZONE_ROWS + ZONE_ROWS / 2; // ends mid-zone
+        let base = Table::new(
+            Schema::of(&[("v", crate::datatype::DataType::Int64)]),
+            vec![Column::int((0..n as i64).map(|i| (i * 7) % 1000))],
+        )
+        .unwrap();
+        let ix = indexed(&base);
+        let _ = ix.index("v");
+        // Delta crosses the partial zone, completes it, and opens more.
+        let delta = Table::new(
+            Schema::of(&[("v", crate::datatype::DataType::Int64)]),
+            vec![Column::int((0..(ZONE_ROWS * 2) as i64).map(|i| -i))],
+        )
+        .unwrap();
+        let merged = ix.append(&delta).unwrap();
+        let cold = indexed(&merged.table().clone());
+        assert_index_identical(&merged, &cold, "v");
+        // And the merged index answers queries like the scan path.
+        let r = FilterByValues::range("v", Value::Int(-10), Value::Int(5));
+        let scan = crate::ops::filter::filter_by_range(merged.table(), &r).unwrap();
+        assert_eq!(merged.filter_by_range(&r).unwrap(), scan);
+    }
+
+    #[test]
+    fn append_leaves_type_widened_columns_to_cold_rebuild() {
+        let base = Table::from_rows(&["v"], &[row![1i64], row![2i64]]).unwrap();
+        let ix = indexed(&base);
+        let _ = ix.index("v");
+        // Float delta widens Int64 → Float64: the old zone bounds carry
+        // Int values, so the merge declines and the column rebuilds cold.
+        let delta = Table::from_rows(&["v"], &[row![2.5f64]]).unwrap();
+        let merged = ix.append(&delta).unwrap();
+        assert_eq!(merged.merge_stats().0, 0);
+        let cold = indexed(&merged.table().clone());
+        assert_index_identical(&merged, &cold, "v");
+    }
+
+    #[test]
+    fn repeated_appends_stay_identical_to_cold() {
+        let mut ix = indexed(&sample());
+        let _ = ix.index("team");
+        for round in 0..5i64 {
+            let rows: Vec<crate::row::Row> = (0..13)
+                .map(|i| row![format!("r{round}-{}", i % 3), round * 100 + i, i])
+                .collect();
+            let delta = Table::from_rows(&["team", "n", "m"], &rows).unwrap();
+            ix = ix.append(&delta).unwrap();
+        }
+        let cold = indexed(&ix.table().clone());
+        assert_index_identical(&ix, &cold, "team");
+        assert_eq!(ix.table().num_rows(), 200 + 5 * 13);
     }
 
     #[test]

@@ -237,6 +237,36 @@ impl Table {
         Table::from_refs(Arc::new(schema), columns)
     }
 
+    /// Vertical concatenation of many tables in one pass: schemas unify
+    /// left-to-right, then each output column is built once over every
+    /// input — O(total rows), unlike folding [`Table::concat`] which
+    /// re-copies the accumulated prefix per input. The shape decoded
+    /// ingest segments arrive in.
+    pub fn concat_all(tables: &[Table]) -> Result<Table> {
+        let Some((first, rest)) = tables.split_first() else {
+            return Ok(Table::empty(Schema::empty()));
+        };
+        if rest.is_empty() {
+            return Ok(first.clone());
+        }
+        let mut schema = first.schema().clone();
+        for t in rest {
+            schema = schema.unify(t.schema())?;
+        }
+        let mut columns = Vec::with_capacity(schema.len());
+        for (i, f) in schema.fields().iter().enumerate() {
+            let mut b = ColumnBuilder::new(f.data_type());
+            for t in tables {
+                let c = &t.columns[i];
+                for r in 0..c.len() {
+                    b.push_coerced(&c.value(r))?;
+                }
+            }
+            columns.push(Arc::new(b.finish()));
+        }
+        Table::from_refs(Arc::new(schema), columns)
+    }
+
     /// Render the first `max_rows` rows as an aligned text grid — the shape
     /// the paper's data explorer (§4.4, figure 29) shows for endpoint data.
     pub fn pretty(&self, max_rows: usize) -> String {
@@ -419,6 +449,39 @@ mod tests {
             c.schema().field("x").unwrap().data_type(),
             DataType::Float64
         );
+    }
+
+    #[test]
+    fn concat_all_matches_pairwise_folding() {
+        let parts: Vec<Table> = (0..4)
+            .map(|p| {
+                Table::from_rows(
+                    &["x", "y"],
+                    &[row![p as i64, format!("s{p}")], row![p as i64 + 10, "t"]],
+                )
+                .unwrap()
+            })
+            .collect();
+        let folded = parts[1..]
+            .iter()
+            .fold(parts[0].clone(), |acc, t| acc.concat(t).unwrap());
+        let all = Table::concat_all(&parts).unwrap();
+        assert_eq!(all, folded);
+        // Widening across later segments unifies the whole run.
+        let widen = vec![
+            Table::from_rows(&["x"], &[row![1i64]]).unwrap(),
+            Table::from_rows(&["x"], &[row![2.5]]).unwrap(),
+            Table::from_rows(&["x"], &[row![3i64]]).unwrap(),
+        ];
+        let t = Table::concat_all(&widen).unwrap();
+        assert_eq!(
+            t.schema().field("x").unwrap().data_type(),
+            DataType::Float64
+        );
+        assert_eq!(t.num_rows(), 3);
+        // Degenerate shapes.
+        assert_eq!(Table::concat_all(&[]).unwrap().num_rows(), 0);
+        assert_eq!(Table::concat_all(&widen[..1]).unwrap(), widen[0]);
     }
 
     #[test]

@@ -24,11 +24,19 @@
 //! again a ratio within the fresh run. Self-observability must be cheap
 //! enough to leave on.
 //!
+//! And for the ingest benchmark: when the baseline carries an
+//! `append_vs_rebuild` block, the fresh doc's incremental index merge
+//! must beat its own cold rebuild by at least 3× (a within-run ratio),
+//! and when it carries a `streamed_upload` block, the fresh upload's
+//! peak RSS delta must stay under 12× the body — the tripwire for a
+//! regression back to buffering whole request bodies.
+//!
 //! ```text
 //! cargo run --release --example bench_gate -- \
 //!     BENCH_adhoc_query.json fresh_adhoc.json \
 //!     BENCH_serve_concurrency.json fresh_serve.json \
 //!     BENCH_stream_latency.json fresh_stream.json \
+//!     BENCH_ingest.json fresh_ingest.json \
 //!     [--threshold 0.25] [--slack-us 500]
 //! ```
 
@@ -243,6 +251,72 @@ fn main() {
                 "   selfscrape_overhead: {scraping_rps:.0} req/s scraping vs \
                  {baseline_rps:.0} req/s off = {:.2}% cost  {verdict}",
                 overhead * 100.0
+            );
+            if regressed {
+                regressions += 1;
+            }
+        }
+
+        // Incremental index maintenance must keep earning its complexity:
+        // whenever the baseline carries an `append_vs_rebuild` block, the
+        // fresh doc must too, and its merge p50 must beat its own cold
+        // rebuild p50 by at least 3×. A ratio within the fresh run, so
+        // machine speed cancels out.
+        if baseline.get("append_vs_rebuild").is_some() {
+            let fresh_num = |key: &str| -> f64 {
+                match fresh.get("append_vs_rebuild").and_then(|o| o.get(key)) {
+                    Some(JsonValue::Number(n)) => *n,
+                    _ => panic!(
+                        "{fresh_path}: append_vs_rebuild.{key} missing \
+                         (the baseline carries an append_vs_rebuild block)"
+                    ),
+                }
+            };
+            compared += 1;
+            let append_p50 = fresh_num("append_p50_us").max(1.0);
+            let rebuild_p50 = fresh_num("rebuild_p50_us");
+            let speedup = rebuild_p50 / append_p50;
+            let regressed = speedup < 3.0;
+            let verdict = if regressed {
+                "REGRESSED (< 3x)"
+            } else {
+                "ok (>= 3x)"
+            };
+            println!(
+                "   append_vs_rebuild: merge p50 {append_p50:.0}µs vs cold \
+                 rebuild p50 {rebuild_p50:.0}µs = {speedup:.2}x  {verdict}"
+            );
+            if regressed {
+                regressions += 1;
+            }
+        }
+
+        // Streamed uploads must stay streamed: whenever the baseline
+        // carries a `streamed_upload` block, the fresh upload's peak RSS
+        // delta must stay under 12× the body bytes. The steady-state
+        // footprint (endpoint table + warm indexes) dominates that
+        // budget; buffering whole bodies again would blow through it.
+        if baseline.get("streamed_upload").is_some() {
+            let fresh_num = |key: &str| -> f64 {
+                match fresh.get("streamed_upload").and_then(|o| o.get(key)) {
+                    Some(JsonValue::Number(n)) => *n,
+                    _ => panic!(
+                        "{fresh_path}: streamed_upload.{key} missing \
+                         (the baseline carries a streamed_upload block)"
+                    ),
+                }
+            };
+            compared += 1;
+            let ratio = fresh_num("rss_ratio");
+            let regressed = ratio >= 12.0;
+            let verdict = if regressed {
+                "REGRESSED (>= 12x)"
+            } else {
+                "ok (< 12x)"
+            };
+            println!(
+                "   streamed_upload: peak RSS delta {:.2}x of body bytes  {verdict}",
+                ratio
             );
             if regressed {
                 regressions += 1;

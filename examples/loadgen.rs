@@ -23,6 +23,7 @@
 //! cargo run --release --example loadgen -- --stream-bench [subscribers] [ticks]
 //! cargo run --release --example loadgen -- --sql
 //! cargo run --release --example loadgen -- --self-scrape
+//! cargo run --release --example loadgen -- --ingest-bench [base-rows] [append-rows]
 //! ```
 //!
 //! `--close` forces one connection per request (the pre-keep-alive
@@ -76,6 +77,22 @@
 //! `shareinsights_selfscrape_*` / `shareinsights_process_*` families
 //! export on `/metrics`. The CI self-scrape smoke job runs this mode and
 //! relies on those asserts.
+//!
+//! `--ingest-bench` measures the streaming ingestion pipeline: a bulk CSV
+//! upload (default 1M rows) streams through the chunked ingest route with
+//! RSS sampled throughout — the bounded-window claim shows up as a peak
+//! RSS delta that stays a small multiple of the body size — then the
+//! endpoint's index is warmed and a series of append batches must each
+//! answer 200 with `"index": "merged"` (incremental maintenance, no cold
+//! rebuild) and a strictly increasing generation. An in-process
+//! append-vs-rebuild comparison times `IndexedTable::append` against a
+//! cold rebuild over the concatenated table; the JSON document on stdout
+//! is the source of the committed `BENCH_ingest.json`. The CI ingest
+//! smoke job runs this mode on a smaller dataset and relies on its
+//! asserts: any 5xx, a non-monotonic generation, a cold fallback on a
+//! warm append, an ingest abort, or a malformed `/metrics` exposition
+//! (which must carry the `shareinsights_ingest_*` families) aborts with a
+//! non-zero exit.
 //!
 //! `--cold` switches to the cold-query benchmark: a ~1M-row synthetic
 //! dataset (configurable) is queried through the scan kernels and through
@@ -179,8 +196,18 @@ fn main() {
         self_scrape_smoke();
         return;
     }
+    let ingest_mode = args.iter().any(|a| a == "--ingest-bench");
     let stream_mode = args.iter().any(|a| a == "--stream-bench");
     let mut nums = args.iter().filter(|a| !a.starts_with("--"));
+    if ingest_mode {
+        let base_rows: usize = nums
+            .next()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(1_000_000);
+        let append_rows: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
+        ingest_benchmark(base_rows, append_rows);
+        return;
+    }
     if stream_mode {
         let subscribers: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(500);
         let ticks: usize = nums.next().and_then(|a| a.parse().ok()).unwrap_or(20);
@@ -1004,6 +1031,297 @@ fn self_scrape_smoke() {
         svc.shutdown();
     }
     println!("self-scrape smoke OK: _system dashboard live across both serve modes");
+}
+
+/// The `--ingest-bench` mode: measure the streaming ingestion pipeline
+/// end to end. A bulk CSV body streams through the chunked ingest route
+/// with RSS sampled throughout (bounded-window check), the endpoint's
+/// index is warmed, and append batches must each merge the warm index
+/// (`"index": "merged"`) at a strictly increasing generation with zero
+/// 5xx. An in-process micro-benchmark then times `IndexedTable::append`
+/// against a cold rebuild over the concatenated table. The JSON document
+/// on stdout is the source of the committed `BENCH_ingest.json`; the CI
+/// ingest smoke job runs a smaller config and relies on the asserts.
+fn ingest_benchmark(base_rows: usize, append_rows: usize) {
+    use shareinsights::tabular::{Column, DataType, Field, IndexedTable, Schema, Table};
+    use shareinsights_core::telemetry::process_stats;
+    use shareinsights_core::trace::EventLog;
+    use std::io::{Read, Write};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const DISTINCT: usize = 1000;
+    const BATCHES: usize = 5;
+    const ITERS: usize = 5;
+
+    let per_batch = (append_rows / BATCHES).max(1);
+    eprintln!(
+        "ingest benchmark: {base_rows}-row bulk upload, then {BATCHES} append \
+         batches of {per_batch} rows (reactor)"
+    );
+
+    let platform = Platform::new();
+    platform.create_dashboard("bench").expect("dashboard");
+    let opts = ServeOptions {
+        serve_mode: ServeMode::Reactor,
+        idle_timeout: Duration::from_secs(120),
+        event_log: EventLog::in_memory(),
+        ..ServeOptions::default()
+    };
+    let mut svc = serve(Server::new(platform), "127.0.0.1:0", opts).expect("bind ephemeral port");
+    let addr = svc.local_addr();
+
+    // Deterministic CSV rows; `start` keeps every batch's rows distinct.
+    let csv_rows = |start: usize, rows: usize| -> String {
+        let mut body = String::with_capacity(rows * 24 + 16);
+        body.push_str("key,value\n");
+        for i in start..start + rows {
+            body.push_str(&format!(
+                "customer-{:04},{}\n",
+                (i * 7919) % DISTINCT,
+                (i * 37) % 1000
+            ));
+        }
+        body
+    };
+
+    // Stream one chunked upload; returns (status, response body, elapsed).
+    let stream_upload = |body: &str| -> (u32, String, Duration) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(
+                b"POST /dashboards/bench/ds/events/ingest HTTP/1.1\r\n\
+                  Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            )
+            .expect("head");
+        let started = Instant::now();
+        for chunk in body.as_bytes().chunks(256 * 1024) {
+            stream
+                .write_all(format!("{:x}\r\n", chunk.len()).as_bytes())
+                .expect("chunk size");
+            stream.write_all(chunk).expect("chunk");
+            stream.write_all(b"\r\n").expect("chunk end");
+        }
+        stream.write_all(b"0\r\n\r\n").expect("terminal chunk");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("response");
+        let elapsed = started.elapsed();
+        let code: u32 = out
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        let body = out
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (code, body, elapsed)
+    };
+    let resp_int = |body: &str, key: &str| -> i64 {
+        shareinsights_tabular::io::json::parse_json(body)
+            .expect("response json")
+            .path(key)
+            .unwrap_or_else(|| panic!("no {key} in {body}"))
+            .to_value()
+            .as_int()
+            .unwrap()
+    };
+
+    // Bulk upload with RSS sampled throughout. The body is built (and
+    // the baseline taken) before the upload starts, so the delta
+    // reflects the server-side pipeline, not the client's body string.
+    let body = csv_rows(0, base_rows);
+    let body_bytes = body.len();
+    let rss_baseline = process_stats().rss_bytes;
+    let rss_peak = Arc::new(AtomicU64::new(rss_baseline));
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let (rss_peak, stop) = (Arc::clone(&rss_peak), Arc::clone(&stop));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                rss_peak.fetch_max(process_stats().rss_bytes, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+    let (code, resp, elapsed) = stream_upload(&body);
+    stop.store(true, Ordering::SeqCst);
+    sampler.join().expect("rss sampler");
+    assert_eq!(code, 200, "bulk upload must succeed: {resp}");
+    assert_eq!(resp_int(&resp, "rows_appended"), base_rows as i64, "{resp}");
+    let mut last_generation = resp_int(&resp, "generation");
+    drop(body);
+    let rss_peak = rss_peak.load(Ordering::SeqCst);
+    let rss_delta = rss_peak.saturating_sub(rss_baseline);
+    let rss_ratio = rss_delta as f64 / body_bytes.max(1) as f64;
+    let mb_per_sec = body_bytes as f64 / 1e6 / elapsed.as_secs_f64();
+    let upload_rows_per_sec = base_rows as f64 / elapsed.as_secs_f64();
+    eprintln!(
+        "bulk     {body_bytes} bytes in {elapsed:.2?} ({mb_per_sec:.0} MB/s, \
+         {upload_rows_per_sec:.0} rows/s) — peak RSS +{rss_delta} bytes \
+         ({rss_ratio:.1}x body)"
+    );
+
+    // Warm the endpoint's index, then every append batch must merge it
+    // incrementally — `"index": "merged"` is the warm-index assertion.
+    let (code, warm_body) =
+        blocking_get(addr, "/bench/ds/events/groupby/key/sum/value").expect("warm query");
+    assert_eq!(code, 200, "warm query must serve: {warm_body}");
+
+    let pct = |sorted: &[u64], p: f64| -> u64 {
+        let idx = ((sorted.len() as f64 * p).ceil() as usize).max(1) - 1;
+        sorted[idx.min(sorted.len() - 1)]
+    };
+    let mut batch_us = Vec::with_capacity(BATCHES);
+    let batches_started = Instant::now();
+    for b in 0..BATCHES {
+        let body = csv_rows(base_rows + b * per_batch, per_batch);
+        let (code, resp, elapsed) = stream_upload(&body);
+        assert!(code < 500, "batch {b} must not 5xx: {code} {resp}");
+        assert_eq!(code, 200, "batch {b}: {resp}");
+        assert!(
+            resp.contains("\"index\": \"merged\""),
+            "batch {b}: the warm index must merge, not fall back cold: {resp}"
+        );
+        assert_eq!(resp_int(&resp, "rows_appended"), per_batch as i64, "{resp}");
+        let generation = resp_int(&resp, "generation");
+        assert!(
+            generation > last_generation,
+            "batch {b}: generation must increase: {generation} after {last_generation}"
+        );
+        last_generation = generation;
+        batch_us.push(elapsed.as_micros() as u64);
+    }
+    let batches_elapsed = batches_started.elapsed();
+    batch_us.sort_unstable();
+    let (batch_p50, batch_p95) = (pct(&batch_us, 0.50), pct(&batch_us, 0.95));
+    let batch_rows_per_sec = (BATCHES * per_batch) as f64 / batches_elapsed.as_secs_f64();
+    eprintln!(
+        "append   {BATCHES} batches of {per_batch} rows: p50 {batch_p50}µs \
+         p95 {batch_p95}µs ({batch_rows_per_sec:.0} rows/s), all merged"
+    );
+
+    // Server-side accounting must agree: every request counted, every
+    // row landed, every batch merged, nothing aborted.
+    let (code, stats) = blocking_get(addr, "/stats").expect("/stats");
+    assert_eq!(code, 200);
+    let doc = shareinsights_tabular::io::json::parse_json(&stats).expect("stats json");
+    let stat = |path: &str| -> i64 {
+        doc.path(path)
+            .unwrap_or_else(|| panic!("no {path} in {stats}"))
+            .to_value()
+            .as_int()
+            .unwrap()
+    };
+    assert_eq!(stat("ingest.requests"), 1 + BATCHES as i64, "{stats}");
+    assert_eq!(
+        stat("ingest.rows"),
+        (base_rows + BATCHES * per_batch) as i64,
+        "{stats}"
+    );
+    assert_eq!(stat("ingest.aborted"), 0, "{stats}");
+    assert!(stat("ingest.index_merges") >= BATCHES as i64, "{stats}");
+    let segments = stat("ingest.segments");
+
+    let (code, metrics) = blocking_get(addr, "/metrics").expect("/metrics");
+    assert_eq!(code, 200);
+    validate_exposition(&metrics);
+    for family in [
+        "shareinsights_ingest_requests_total",
+        "shareinsights_ingest_rows_total",
+        "shareinsights_ingest_index_merges_total",
+        "shareinsights_ingest_decode_seconds_total",
+    ] {
+        assert!(metrics.contains(family), "{family} missing from /metrics");
+    }
+    svc.shutdown();
+
+    // Incremental index maintenance vs cold rebuild, in process. Both
+    // sides start from the concatenated table the store's append already
+    // produced (the server path hands it over via `AppendReport::merged`),
+    // so the contrast is pure index work: merge-the-built-indexes against
+    // rebuild-them-from-scratch.
+    let make_table = |start: usize, rows: usize| -> Table {
+        let keys: Vec<String> = (start..start + rows)
+            .map(|i| format!("customer-{:04}", (i * 7919) % DISTINCT))
+            .collect();
+        let values: Vec<i64> = (start..start + rows)
+            .map(|i| ((i * 37) % 1000) as i64)
+            .collect();
+        let schema = Schema::new(vec![
+            Field::new("key", DataType::Utf8),
+            Field::new("value", DataType::Int64),
+        ])
+        .expect("schema");
+        Table::new(schema, vec![Column::utf8(keys), Column::int(values)]).expect("table")
+    };
+    let base = make_table(0, base_rows);
+    let delta = make_table(base_rows, append_rows);
+    let warm = IndexedTable::new(base.clone());
+    warm.index("key");
+    warm.index("value");
+    let full = base.concat(&delta).expect("concat");
+    let mut append_us = Vec::with_capacity(ITERS);
+    let mut rebuild_us = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        let t = Instant::now();
+        // Table clones are Arc-per-column, so the timed region is the merge.
+        let merged = warm.append_merged(full.clone()).expect("append_merged");
+        append_us.push(t.elapsed().as_micros() as u64);
+        assert_eq!(merged.table().num_rows(), base_rows + append_rows);
+        let (merges, _) = merged.merge_stats();
+        assert!(merges >= 1, "append must carry the built indexes forward");
+        std::hint::black_box(merged);
+
+        let t = Instant::now();
+        let cold = IndexedTable::new(full.clone());
+        cold.index("key");
+        cold.index("value");
+        rebuild_us.push(t.elapsed().as_micros() as u64);
+        std::hint::black_box(cold);
+    }
+    append_us.sort_unstable();
+    rebuild_us.sort_unstable();
+    let (append_p50, append_p95) = (pct(&append_us, 0.50), pct(&append_us, 0.95));
+    let (rebuild_p50, rebuild_p95) = (pct(&rebuild_us, 0.50), pct(&rebuild_us, 0.95));
+    let speedup = rebuild_p50 as f64 / append_p50.max(1) as f64;
+    eprintln!(
+        "index    append {append_rows} rows onto {base_rows}: merge p50 \
+         {append_p50}µs vs cold rebuild p50 {rebuild_p50}µs ({speedup:.1}x)"
+    );
+    if base_rows >= 500_000 {
+        assert!(
+            speedup >= 3.0,
+            "incremental maintenance must beat a cold rebuild by >= 3x at \
+             full size: {speedup:.2}x"
+        );
+    }
+
+    println!("{{");
+    println!(
+        "  \"dataset\": {{\"base_rows\": {base_rows}, \"append_rows\": {append_rows}, \
+         \"distinct_keys\": {DISTINCT}}},"
+    );
+    println!(
+        "  \"streamed_upload\": {{\"body_bytes\": {body_bytes}, \"elapsed_ms\": {}, \
+         \"mb_per_sec\": {mb_per_sec:.1}, \"rows_per_sec\": {upload_rows_per_sec:.0}, \
+         \"segments\": {segments}, \"rss_baseline_bytes\": {rss_baseline}, \
+         \"rss_peak_bytes\": {rss_peak}, \"rss_delta_bytes\": {rss_delta}, \
+         \"rss_ratio\": {rss_ratio:.2}}},",
+        elapsed.as_millis()
+    );
+    println!(
+        "  \"append_batches\": {{\"batches\": {BATCHES}, \"rows_per_batch\": {per_batch}, \
+         \"p50_us\": {batch_p50}, \"p95_us\": {batch_p95}, \
+         \"rows_per_sec\": {batch_rows_per_sec:.0}}},"
+    );
+    println!(
+        "  \"append_vs_rebuild\": {{\"iterations\": {ITERS}, \
+         \"append_p50_us\": {append_p50}, \"append_p95_us\": {append_p95}, \
+         \"rebuild_p50_us\": {rebuild_p50}, \"rebuild_p95_us\": {rebuild_p95}, \
+         \"speedup_p50\": {speedup:.2}}}"
+    );
+    println!("}}");
 }
 
 /// The `--cold` mode: measure the scan-vs-indexed delta on cold (cache

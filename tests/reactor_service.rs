@@ -255,6 +255,180 @@ fn timeouts_classify_identically_in_both_modes() {
     }
 }
 
+/// A chunked CSV upload drip-fed in slices that straddle both chunk and
+/// record boundaries: the ingest segmenter must reassemble records no
+/// matter where the wire split them, and the connection must stay usable
+/// for a pipelined request after the streamed body.
+#[test]
+fn streamed_ingest_conforms_in_both_modes() {
+    for mode in BOTH_MODES {
+        let mut svc = retail_service(4, mode_opts(mode));
+        let addr = svc.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(
+                b"POST /dashboards/retail/ds/events/ingest HTTP/1.1\r\n\
+                  Transfer-Encoding: chunked\r\n\r\n",
+            )
+            .unwrap();
+        // Chunk boundaries deliberately cut the CSV header and a data
+        // record mid-field.
+        let slices = [
+            "region,brand,rev",
+            "enue\neast,acme,5\neast,be",
+            "ta,7\nwest,acme,9\n",
+        ];
+        for slice in slices {
+            let framed = format!("{:x}\r\n{slice}\r\n", slice.len());
+            stream.write_all(framed.as_bytes()).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(40));
+        }
+        // Terminal chunk plus a pipelined follow-up in the same write.
+        stream
+            .write_all(b"0\r\n\r\nGET /retail/ds/events HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200 OK"), "{mode:?}: {out}");
+        assert!(out.contains("\"rows_appended\": 3"), "{mode:?}: {out}");
+        let second = out.rfind("HTTP/1.1 200 OK").expect("pipelined response");
+        assert!(second > 0, "{mode:?}: expected two responses: {out}");
+        assert!(
+            out.contains("beta"),
+            "{mode:?}: appended rows must be readable: {out}"
+        );
+
+        let (_, stats) = blocking_get(addr, "/stats").unwrap();
+        assert_eq!(stat(&stats, "ingest.requests"), 1, "{mode:?}");
+        assert_eq!(stat(&stats, "ingest.rows"), 3, "{mode:?}");
+        svc.shutdown();
+    }
+}
+
+/// A client that vanishes mid-body must leave the endpoint untouched and
+/// be accounted as an ingest abort — identically in both serve modes.
+#[test]
+fn streamed_ingest_disconnect_leaves_endpoint_unchanged_in_both_modes() {
+    for mode in BOTH_MODES {
+        let mut svc = retail_service(4, mode_opts(mode));
+        let addr = svc.local_addr();
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(
+                    b"POST /dashboards/retail/ds/events/ingest HTTP/1.1\r\n\
+                      Content-Length: 4096\r\n\r\nregion,brand,revenue\neast,acme,5\n",
+                )
+                .unwrap();
+            // Drop the socket with most of the announced body unsent.
+        }
+        // The abort lands when the serve loop notices the EOF — poll.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let (_, stats) = blocking_get(addr, "/stats").unwrap();
+            if stat(&stats, "ingest.aborted") >= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{mode:?}: no ingest abort recorded"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let (code, list) = blocking_get(addr, "/retail/ds").unwrap();
+        assert_eq!(code, 200, "{mode:?}");
+        assert!(
+            !list.contains("events"),
+            "{mode:?}: aborted ingest must not create the endpoint: {list}"
+        );
+        let (_, stats) = blocking_get(addr, "/stats").unwrap();
+        assert_eq!(stat(&stats, "ingest.rows"), 0, "{mode:?}");
+        svc.shutdown();
+    }
+}
+
+/// True 413 conformance: an announced over-cap body is refused before a
+/// single body byte is read, and an unannounced (chunked) body that
+/// crosses the cap mid-transfer is cut off with 413 plus a close.
+#[test]
+fn streamed_ingest_over_cap_gets_413_in_both_modes() {
+    for mode in BOTH_MODES {
+        let opts = ServeOptions {
+            limits: WireLimits {
+                max_stream_body_bytes: 4096,
+                ..WireLimits::default()
+            },
+            ..mode_opts(mode)
+        };
+        let mut svc = retail_service(4, opts);
+        let addr = svc.local_addr();
+
+        // Announced over-cap: rejected from the Content-Length alone.
+        let mut announced = TcpStream::connect(addr).unwrap();
+        announced
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        announced
+            .write_all(
+                b"POST /dashboards/retail/ds/events/ingest HTTP/1.1\r\n\
+                  Content-Length: 1048576\r\n\r\n",
+            )
+            .unwrap();
+        let mut out = String::new();
+        announced.read_to_string(&mut out).unwrap();
+        assert!(
+            out.starts_with("HTTP/1.1 413 Payload Too Large"),
+            "{mode:?}: {out}"
+        );
+        assert!(out.contains("Connection: close"), "{mode:?}: {out}");
+
+        // Chunked over-cap: the cap trips mid-transfer. Stop writing
+        // right after crossing it so the server drains everything sent
+        // (no unread bytes ⇒ clean close, the 413 is readable).
+        let mut chunked = TcpStream::connect(addr).unwrap();
+        chunked
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        chunked
+            .write_all(
+                b"POST /dashboards/retail/ds/events/ingest HTTP/1.1\r\n\
+                  Transfer-Encoding: chunked\r\n\r\n",
+            )
+            .unwrap();
+        let header = "region,brand,revenue\n";
+        chunked
+            .write_all(format!("{:x}\r\n{header}\r\n", header.len()).as_bytes())
+            .unwrap();
+        let record = "north,overflow_brand,1234567\n".repeat(20); // 580 bytes
+        for _ in 0..8 {
+            // 8 × 580 = 4640 payload bytes > the 4096 cap.
+            let framed = format!("{:x}\r\n{record}\r\n", record.len());
+            chunked.write_all(framed.as_bytes()).unwrap();
+            chunked.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let mut out = String::new();
+        chunked.read_to_string(&mut out).unwrap();
+        assert!(
+            out.starts_with("HTTP/1.1 413 Payload Too Large"),
+            "{mode:?}: {out}"
+        );
+        assert!(out.contains("Connection: close"), "{mode:?}: {out}");
+
+        // Neither attempt touched the platform.
+        let (_, list) = blocking_get(addr, "/retail/ds").unwrap();
+        assert!(!list.contains("events"), "{mode:?}: {list}");
+        let (_, stats) = blocking_get(addr, "/stats").unwrap();
+        assert_eq!(stat(&stats, "ingest.rows"), 0, "{mode:?}");
+        assert!(stat(&stats, "ingest.aborted") >= 2, "{mode:?}");
+        svc.shutdown();
+    }
+}
+
 /// The routes whose bodies are deterministic for a fixed fixture, so a
 /// buffered and a chunked service can be compared byte for byte.
 const IDENTITY_ROUTES: [&str; 6] = [
