@@ -381,6 +381,8 @@ pub struct SqlStats {
     /// Queries answered from the prepared-statement cache (parse + lower
     /// skipped entirely — the statement text was seen before).
     pub prepared_hits: u64,
+    /// Prepared statements evicted to hold the cache's entry/byte budget.
+    pub prepared_evictions: u64,
 }
 
 /// Streaming-ingestion statistics: the `POST /dashboards/:n/ds/:ds/ingest`
@@ -407,6 +409,60 @@ pub struct IngestStats {
     /// Ingests aborted before commit — decode errors, over-cap bodies,
     /// mid-body client disconnects. The endpoint stays unchanged.
     pub aborted: u64,
+    /// Appends where the warm index *declined* the in-place merge (writer
+    /// race or schema drift, e.g. a widened column) and the endpoint fell
+    /// back to a lazy cold rebuild. Each one also emits an
+    /// `ingest_cold_rebuild` event-log record naming the cause.
+    pub cold_rebuilds: u64,
+}
+
+/// Sharded data-plane statistics: the router-side view of scatter/gather
+/// execution across the in-process shard workers. All zeros until a
+/// server is built `with_shards`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Configured shard workers (gauge; 0 = sharding disabled).
+    pub workers: u64,
+    /// Queries executed via scatter/gather.
+    pub scatters: u64,
+    /// Per-shard sub-queries dispatched (scatters × owning shards).
+    pub subqueries: u64,
+    /// Rows gathered from shard partial results.
+    pub partial_rows: u64,
+    /// Total merge (gather) time across all scatters, µs.
+    pub gather_us: u64,
+    /// Slice loads fanned out to workers (first touch or new generation).
+    pub loads: u64,
+    /// Rows shipped across all slice loads.
+    pub load_rows: u64,
+    /// Invalidations fanned out on append/publish/stream-push.
+    pub invalidations: u64,
+    /// Scatters that hit a stale worker generation (a concurrent
+    /// invalidation) and succeeded after one reload + retry.
+    pub stale_retries: u64,
+    /// Shard-eligible queries served unsharded — plan not worth
+    /// scattering, or the endpoint below the partition row floor.
+    pub fallbacks: u64,
+}
+
+/// One shard worker's own counters, reported over the internal stats
+/// frame and surfaced as the per-shard block under `/stats`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardWorkerStats {
+    /// Shard id (dense, 0-based).
+    pub shard: u64,
+    /// Endpoint slices currently loaded (gauge).
+    pub slices: u64,
+    /// Rows across loaded slices (gauge).
+    pub rows: u64,
+    /// Sub-queries answered.
+    pub queries: u64,
+    /// Sub-queries answered from the worker's result cache.
+    pub result_hits: u64,
+    /// Sub-queries refused for a stale generation stamp (409).
+    pub stale_rejects: u64,
+    /// Total time spent handling frames, µs.
+    pub busy_us: u64,
 }
 
 /// Self-scrape statistics: the telemetry-history scraper observing
@@ -496,6 +552,7 @@ pub struct ApiMetrics {
     sql: Arc<RwLock<SqlStats>>,
     selfscrape: Arc<RwLock<SelfScrapeStats>>,
     ingest: Arc<RwLock<IngestStats>>,
+    shard: Arc<RwLock<ShardStats>>,
 }
 
 impl ApiMetrics {
@@ -699,6 +756,11 @@ impl ApiMetrics {
         self.sql.write().prepared_hits += 1;
     }
 
+    /// Record prepared statements evicted to hold the cache budget.
+    pub fn record_sql_prepared_evictions(&self, evicted: u64) {
+        self.sql.write().prepared_evictions += evicted;
+    }
+
     /// Snapshot of the SQL frontend counters.
     pub fn sql(&self) -> SqlStats {
         self.sql.read().clone()
@@ -730,9 +792,58 @@ impl ApiMetrics {
         self.ingest.write().aborted += 1;
     }
 
+    /// Record an append whose warm index declined the in-place merge and
+    /// fell back to a lazy cold rebuild.
+    pub fn record_ingest_cold_rebuild(&self) {
+        self.ingest.write().cold_rebuilds += 1;
+    }
+
     /// Snapshot of the streaming-ingestion counters.
     pub fn ingest(&self) -> IngestStats {
         self.ingest.read().clone()
+    }
+
+    /// Record the configured shard-worker count (gauge).
+    pub fn record_shard_workers(&self, workers: u64) {
+        self.shard.write().workers = workers;
+    }
+
+    /// Record one scatter/gather execution: sub-queries dispatched, rows
+    /// gathered from partials, and time spent merging.
+    pub fn record_shard_scatter(&self, subqueries: u64, partial_rows: u64, gather_us: u64) {
+        let mut s = self.shard.write();
+        s.scatters += 1;
+        s.subqueries += subqueries;
+        s.partial_rows += partial_rows;
+        s.gather_us += gather_us;
+    }
+
+    /// Record slice loads fanned out to workers.
+    pub fn record_shard_load(&self, loads: u64, rows: u64) {
+        let mut s = self.shard.write();
+        s.loads += loads;
+        s.load_rows += rows;
+    }
+
+    /// Record an invalidation fanned out to all workers.
+    pub fn record_shard_invalidation(&self) {
+        self.shard.write().invalidations += 1;
+    }
+
+    /// Record a scatter that hit a stale worker generation and succeeded
+    /// after one reload + retry.
+    pub fn record_shard_stale_retry(&self) {
+        self.shard.write().stale_retries += 1;
+    }
+
+    /// Record a shard-eligible query served unsharded.
+    pub fn record_shard_fallback(&self) {
+        self.shard.write().fallbacks += 1;
+    }
+
+    /// Snapshot of the sharded data-plane counters.
+    pub fn shard(&self) -> ShardStats {
+        self.shard.read().clone()
     }
 
     /// Record one telemetry-history scrape tick: samples appended and

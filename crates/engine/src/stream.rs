@@ -11,9 +11,9 @@
 //!   maps, projections): the delta flows straight through the batch
 //!   kernels and the output *appends*, bounded by the state cap;
 //! * **incremental group-by** — `stateless* | groupby | stateless*`
-//!   chains keep one merge-able [`Accumulator`] per (group, aggregate),
-//!   exactly the partials the partitioned batch engine folds, and emit a
-//!   full snapshot per tick by finishing *clones* of the accumulators;
+//!   chains keep one merge-able [`GroupByPartial`] per flow — exactly
+//!   the partial the sharded data plane scatters — and emit a full
+//!   snapshot per tick by finishing *clones* of the accumulators;
 //! * **re-exec** — joins, sorts, unions and custom tasks keep bounded
 //!   input buffers (the join's build side) with FIFO eviction and re-run
 //!   the chain's batch kernels over them per tick.
@@ -26,10 +26,9 @@
 use crate::compile::{CompiledFlow, CompiledPipeline};
 use crate::error::{EngineError, Result};
 use crate::task::{NamedTask, TaskKind, TaskRuntime};
-use shareinsights_tabular::agg::{Accumulator, AggKind};
-use shareinsights_tabular::ops::{union_all, GroupBy};
-use shareinsights_tabular::{Column, DataType, Field, Row, Schema, Table};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use shareinsights_tabular::ops::{union_all, GroupByPartial};
+use shareinsights_tabular::Table;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Default cap on rows retained per bounded stream state (source buffers,
 /// appended endpoints, join build sides).
@@ -49,16 +48,9 @@ enum Strategy {
     Reexec,
 }
 
-/// Incremental group-by state for one flow: group index in first-seen
-/// order plus one accumulator per (group, aggregate).
-#[derive(Default)]
-struct GroupState {
-    groups: HashMap<Row, usize>,
-    key_rows: Vec<Row>,
-    accs: Vec<Vec<Accumulator>>,
-    /// Schema of the group-by input, captured from the first batch.
-    input_schema: Option<Schema>,
-}
+// Incremental group-by state is one [`GroupByPartial`] per flow — the
+// same merge-able partial the partitioned batch engine scatters, so a
+// tick's snapshot and a sharded gather finish through one code path.
 
 /// Outcome of one micro-batch push.
 #[derive(Debug, Clone)]
@@ -80,7 +72,7 @@ pub struct StreamExec {
     pub state_cap_rows: usize,
     strategies: BTreeMap<String, Strategy>,
     current: BTreeMap<String, Table>,
-    group_states: BTreeMap<String, GroupState>,
+    group_states: BTreeMap<String, GroupByPartial>,
 }
 
 fn exec_err(task: &str, e: impl std::fmt::Display) -> EngineError {
@@ -231,9 +223,11 @@ impl StreamExec {
                     let TaskKind::GroupBy { builtin, .. } = &gtask.kind else {
                         return Err(exec_err(&gtask.name, "expected groupby task"));
                     };
-                    let st = group_states.entry(flow.output.clone()).or_default();
-                    groupby_update(&gtask.name, builtin, st, &pre)?;
-                    let snap = groupby_snapshot(&gtask.name, builtin, st)?;
+                    let st = group_states
+                        .entry(flow.output.clone())
+                        .or_insert_with(|| GroupByPartial::new(builtin.clone()));
+                    st.update(&pre).map_err(|e| exec_err(&gtask.name, e))?;
+                    let snap = st.snapshot().map_err(|e| exec_err(&gtask.name, e))?;
                     let out = run_chain(
                         flow,
                         &flow.tasks[groupby_at + 1..],
@@ -376,110 +370,6 @@ fn run_chain(
         });
     }
     Ok(current.remove(0).1)
-}
-
-/// Fold one batch into the incremental group-by state.
-fn groupby_update(task: &str, cfg: &GroupBy, st: &mut GroupState, batch: &Table) -> Result<()> {
-    let GroupState {
-        groups,
-        key_rows,
-        accs,
-        input_schema,
-    } = st;
-    if input_schema.is_none() {
-        *input_schema = Some(batch.schema().clone());
-    }
-    let aggs = cfg.effective_aggregates();
-    let key_cols: Vec<_> = cfg
-        .keys
-        .iter()
-        .map(|k| batch.column(k).cloned())
-        .collect::<shareinsights_tabular::Result<Vec<_>>>()
-        .map_err(|e| exec_err(task, e))?;
-    let agg_cols: Vec<Option<_>> = aggs
-        .iter()
-        .map(|a| {
-            if a.operator == AggKind::CountAll {
-                Ok(None)
-            } else {
-                batch.column(&a.apply_on).cloned().map(Some)
-            }
-        })
-        .collect::<shareinsights_tabular::Result<Vec<_>>>()
-        .map_err(|e| exec_err(task, e))?;
-    for i in 0..batch.num_rows() {
-        let key = Row(key_cols.iter().map(|c| c.value(i)).collect());
-        let gid = *groups.entry(key.clone()).or_insert_with(|| {
-            key_rows.push(key.clone());
-            accs.push(aggs.iter().map(|a| a.operator.accumulator()).collect());
-            key_rows.len() - 1
-        });
-        for (ai, col) in agg_cols.iter().enumerate() {
-            let v = match col {
-                Some(c) => c.value(i),
-                None => shareinsights_tabular::Value::Null,
-            };
-            accs[gid][ai].update(&v).map_err(|e| exec_err(task, e))?;
-        }
-    }
-    Ok(())
-}
-
-/// Emit a full snapshot by finishing *clones* of the accumulators, leaving
-/// the running state intact for the next tick.
-fn groupby_snapshot(task: &str, cfg: &GroupBy, st: &GroupState) -> Result<Table> {
-    let Some(schema_in) = st.input_schema.as_ref() else {
-        return Err(exec_err(task, "group-by snapshot before any batch"));
-    };
-    let aggs = cfg.effective_aggregates();
-    let n_groups = st.key_rows.len();
-    let finished: Vec<Vec<shareinsights_tabular::Value>> = st
-        .accs
-        .iter()
-        .map(|group| group.iter().map(|a| a.clone().finish()).collect())
-        .collect();
-
-    let mut order: Vec<usize> = (0..n_groups).collect();
-    if cfg.orderby_aggregates && !finished.is_empty() {
-        order.sort_by(|&a, &b| finished[b][0].cmp(&finished[a][0]));
-    }
-
-    let mut out_values: Vec<Vec<shareinsights_tabular::Value>> =
-        vec![Vec::with_capacity(n_groups); cfg.keys.len() + aggs.len()];
-    for &g in &order {
-        for (ci, v) in st.key_rows[g].0.iter().enumerate() {
-            out_values[ci].push(v.clone());
-        }
-        for (ai, v) in finished[g].iter().enumerate() {
-            out_values[cfg.keys.len() + ai].push(v.clone());
-        }
-    }
-
-    let schema = cfg
-        .output_schema(schema_in)
-        .map_err(|e| exec_err(task, e))?;
-    let columns: Vec<Column> = out_values
-        .iter()
-        .zip(schema.fields())
-        .map(|(vals, f)| {
-            let col = Column::from_values(vals);
-            col.cast(f.data_type()).unwrap_or(col)
-        })
-        .collect();
-    let fields: Vec<Field> = schema
-        .fields()
-        .iter()
-        .zip(&columns)
-        .map(|(f, c)| {
-            if c.data_type() == DataType::Null {
-                f.clone()
-            } else {
-                f.retyped(c.data_type())
-            }
-        })
-        .collect();
-    Table::new(Schema::new(fields).map_err(|e| exec_err(task, e))?, columns)
-        .map_err(|e| exec_err(task, e))
 }
 
 #[cfg(test)]

@@ -362,6 +362,14 @@ impl ResultCache {
         }
     }
 
+    /// Drop every entry (hit/miss counters survive). Bench harnesses use
+    /// this to force cold evaluations without restarting the server.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.order.clear();
+    }
+
     /// Statistics snapshot (the `bytes` field stays zero: entries are
     /// shared `Arc<Table>`s, not owned bodies).
     pub fn stats(&self) -> CacheStats {

@@ -42,6 +42,7 @@ pub mod query;
 pub mod reactor;
 pub mod router;
 pub mod serve;
+pub mod shard;
 pub mod sql;
 pub mod stream;
 pub mod traces;
@@ -57,6 +58,7 @@ pub use serve::{
     blocking_get, blocking_request, serve, ClientConnection, ServeMode, ServeOptions,
     ServiceHandle, SseSubscriber,
 };
+pub use shard::{plan::ScatterPlan, ShardSet};
 pub use stream::{StreamHub, Subscription, SubscriptionEnd};
 pub use traces::{trace_json, trace_list_json};
 pub use wire::{dechunk, sse_frame, sse_head, ResponseStream, SseEvent, SseParser, WireLimits};

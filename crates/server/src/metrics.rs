@@ -11,8 +11,8 @@ use crate::cache::CacheStats;
 use crate::http::Method;
 use shareinsights_core::telemetry::{
     ConnectionStats, IndexStats, IngestStats, LatencyHistogram, OperatorStats, ProcessStats,
-    ReactorStats, RouteStats, SelfScrapeStats, SqlStats, StreamStats, CONN_REQUESTS_BOUNDS,
-    LATENCY_BOUNDS_US,
+    ReactorStats, RouteStats, SelfScrapeStats, ShardStats, ShardWorkerStats, SqlStats, StreamStats,
+    CONN_REQUESTS_BOUNDS, LATENCY_BOUNDS_US,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -92,7 +92,8 @@ pub fn allowed_methods(segments: &[&str]) -> &'static [Method] {
 /// connection-level counters + per-operator engine stats + index
 /// acceleration counters + reactor event-loop counters + live-stream
 /// counters + SQL frontend counters + streaming-ingest counters +
-/// telemetry self-scrape counters + process-level gauges.
+/// sharded data-plane counters (with a per-shard block) + telemetry
+/// self-scrape counters + process-level gauges.
 #[allow(clippy::too_many_arguments)]
 pub fn stats_json(
     routes: &BTreeMap<String, RouteStats>,
@@ -104,6 +105,8 @@ pub fn stats_json(
     stream: &StreamStats,
     sql: &SqlStats,
     ingest: &IngestStats,
+    shard: &ShardStats,
+    shard_workers: &[ShardWorkerStats],
     selfscrape: &SelfScrapeStats,
     process: &ProcessStats,
 ) -> String {
@@ -196,12 +199,18 @@ pub fn stats_json(
     ));
     out.push_str(&format!(
         ", \"sql\": {{\"queries\": {}, \"parse_errors\": {}, \"path_shared\": {}, \
-         \"parse_us\": {}, \"prepared_hits\": {}}}",
-        sql.queries, sql.parse_errors, sql.path_shared, sql.parse_us, sql.prepared_hits
+         \"parse_us\": {}, \"prepared_hits\": {}, \"prepared_evictions\": {}}}",
+        sql.queries,
+        sql.parse_errors,
+        sql.path_shared,
+        sql.parse_us,
+        sql.prepared_hits,
+        sql.prepared_evictions
     ));
     out.push_str(&format!(
         ", \"ingest\": {{\"requests\": {}, \"rows\": {}, \"bytes\": {}, \"segments\": {}, \
-         \"decode_us\": {}, \"index_merges\": {}, \"index_merge_us\": {}, \"aborted\": {}}}",
+         \"decode_us\": {}, \"index_merges\": {}, \"index_merge_us\": {}, \
+         \"cold_rebuilds\": {}, \"aborted\": {}}}",
         ingest.requests,
         ingest.rows,
         ingest.bytes,
@@ -209,8 +218,35 @@ pub fn stats_json(
         ingest.decode_us,
         ingest.index_merges,
         ingest.index_merge_us,
+        ingest.cold_rebuilds,
         ingest.aborted
     ));
+    out.push_str(&format!(
+        ", \"shard\": {{\"workers\": {}, \"scatters\": {}, \"subqueries\": {}, \
+         \"partial_rows\": {}, \"gather_us\": {}, \"loads\": {}, \"load_rows\": {}, \
+         \"invalidations\": {}, \"stale_retries\": {}, \"fallbacks\": {}, \"per_worker\": [",
+        shard.workers,
+        shard.scatters,
+        shard.subqueries,
+        shard.partial_rows,
+        shard.gather_us,
+        shard.loads,
+        shard.load_rows,
+        shard.invalidations,
+        shard.stale_retries,
+        shard.fallbacks
+    ));
+    for (i, w) in shard_workers.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"shard\": {}, \"slices\": {}, \"rows\": {}, \"queries\": {}, \
+             \"result_hits\": {}, \"stale_rejects\": {}, \"busy_us\": {}}}",
+            w.shard, w.slices, w.rows, w.queries, w.result_hits, w.stale_rejects, w.busy_us
+        ));
+    }
+    out.push_str("]}");
     out.push_str(&format!(
         ", \"selfscrape\": {{\"scrapes\": {}, \"samples\": {}, \"evicted\": {}, \
          \"retained\": {}, \"elapsed_us\": {}}}",
@@ -288,6 +324,8 @@ pub fn prometheus_text(
     stream: &StreamStats,
     sql: &SqlStats,
     ingest: &IngestStats,
+    shard: &ShardStats,
+    shard_workers: &[ShardWorkerStats],
     selfscrape: &SelfScrapeStats,
     process: &ProcessStats,
 ) -> String {
@@ -493,6 +531,7 @@ pub fn prometheus_text(
         ("parse_errors", sql.parse_errors),
         ("path_shared", sql.path_shared),
         ("prepared_hits", sql.prepared_hits),
+        ("prepared_evictions", sql.prepared_evictions),
     ] {
         let _ = writeln!(out, "# TYPE shareinsights_sql_{name}_total counter");
         let _ = writeln!(out, "shareinsights_sql_{name}_total {value}");
@@ -512,6 +551,7 @@ pub fn prometheus_text(
         ("bytes", ingest.bytes),
         ("segments", ingest.segments),
         ("index_merges", ingest.index_merges),
+        ("cold_rebuilds", ingest.cold_rebuilds),
         ("aborted", ingest.aborted),
     ] {
         let _ = writeln!(out, "# TYPE shareinsights_ingest_{name}_total counter");
@@ -529,6 +569,80 @@ pub fn prometheus_text(
         "shareinsights_ingest_index_merge_seconds_total {}",
         seconds(ingest.index_merge_us)
     );
+
+    // Sharded data plane: scatter/gather totals, plus per-shard series
+    // (labelled by dense shard id) only when workers exist — every TYPE
+    // line must be followed by at least one sample.
+    out.push_str("# TYPE shareinsights_shard_workers gauge\n");
+    let _ = writeln!(out, "shareinsights_shard_workers {}", shard.workers);
+    for (name, value) in [
+        ("scatters", shard.scatters),
+        ("subqueries", shard.subqueries),
+        ("partial_rows", shard.partial_rows),
+        ("loads", shard.loads),
+        ("load_rows", shard.load_rows),
+        ("invalidations", shard.invalidations),
+        ("stale_retries", shard.stale_retries),
+        ("fallbacks", shard.fallbacks),
+    ] {
+        let _ = writeln!(out, "# TYPE shareinsights_shard_{name}_total counter");
+        let _ = writeln!(out, "shareinsights_shard_{name}_total {value}");
+    }
+    out.push_str("# TYPE shareinsights_shard_gather_seconds_total counter\n");
+    let _ = writeln!(
+        out,
+        "shareinsights_shard_gather_seconds_total {}",
+        seconds(shard.gather_us)
+    );
+    if !shard_workers.is_empty() {
+        for (name, get) in [
+            (
+                "slices",
+                (|w: &ShardWorkerStats| w.slices) as fn(&ShardWorkerStats) -> u64,
+            ),
+            ("rows", |w| w.rows),
+        ] {
+            let _ = writeln!(out, "# TYPE shareinsights_shard_worker_{name} gauge");
+            for w in shard_workers {
+                let _ = writeln!(
+                    out,
+                    "shareinsights_shard_worker_{name}{{shard=\"{}\"}} {}",
+                    w.shard,
+                    get(w)
+                );
+            }
+        }
+        for (name, get) in [
+            (
+                "queries",
+                (|w: &ShardWorkerStats| w.queries) as fn(&ShardWorkerStats) -> u64,
+            ),
+            ("result_hits", |w| w.result_hits),
+            ("stale_rejects", |w| w.stale_rejects),
+        ] {
+            let _ = writeln!(
+                out,
+                "# TYPE shareinsights_shard_worker_{name}_total counter"
+            );
+            for w in shard_workers {
+                let _ = writeln!(
+                    out,
+                    "shareinsights_shard_worker_{name}_total{{shard=\"{}\"}} {}",
+                    w.shard,
+                    get(w)
+                );
+            }
+        }
+        out.push_str("# TYPE shareinsights_shard_worker_busy_seconds_total counter\n");
+        for w in shard_workers {
+            let _ = writeln!(
+                out,
+                "shareinsights_shard_worker_busy_seconds_total{{shard=\"{}\"}} {}",
+                w.shard,
+                seconds(w.busy_us)
+            );
+        }
+    }
 
     // Telemetry self-scrape: the scraper tick that feeds the `_system`
     // history ring (all zero until a scrape runs).
@@ -664,6 +778,7 @@ mod tests {
             path_shared: 5,
             parse_us: 640,
             prepared_hits: 3,
+            prepared_evictions: 2,
         };
         let ingest = IngestStats {
             requests: 2,
@@ -673,8 +788,41 @@ mod tests {
             decode_us: 7000,
             index_merges: 2,
             index_merge_us: 1200,
+            cold_rebuilds: 1,
             aborted: 1,
         };
+        let shard = ShardStats {
+            workers: 4,
+            scatters: 6,
+            subqueries: 24,
+            partial_rows: 480,
+            gather_us: 900,
+            loads: 8,
+            load_rows: 4000,
+            invalidations: 2,
+            stale_retries: 1,
+            fallbacks: 3,
+        };
+        let shard_workers = vec![
+            ShardWorkerStats {
+                shard: 0,
+                slices: 1,
+                rows: 500,
+                queries: 6,
+                result_hits: 2,
+                stale_rejects: 1,
+                busy_us: 400,
+            },
+            ShardWorkerStats {
+                shard: 1,
+                slices: 1,
+                rows: 500,
+                queries: 6,
+                result_hits: 2,
+                stale_rejects: 0,
+                busy_us: 380,
+            },
+        ];
         let selfscrape = SelfScrapeStats {
             scrapes: 3,
             samples: 120,
@@ -698,6 +846,8 @@ mod tests {
             &stream,
             &sql,
             &ingest,
+            &shard,
+            &shard_workers,
             &selfscrape,
             &process,
         );
@@ -819,6 +969,13 @@ mod tests {
             Some(3)
         );
         assert_eq!(
+            doc.path("sql.prepared_evictions")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(2)
+        );
+        assert_eq!(
             doc.path("ingest.requests").unwrap().to_value().as_int(),
             Some(2)
         );
@@ -833,6 +990,39 @@ mod tests {
         assert_eq!(
             doc.path("ingest.aborted").unwrap().to_value().as_int(),
             Some(1)
+        );
+        assert_eq!(
+            doc.path("ingest.cold_rebuilds")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(1)
+        );
+        assert_eq!(
+            doc.path("shard.workers").unwrap().to_value().as_int(),
+            Some(4)
+        );
+        assert_eq!(
+            doc.path("shard.scatters").unwrap().to_value().as_int(),
+            Some(6)
+        );
+        assert_eq!(
+            doc.path("shard.stale_retries").unwrap().to_value().as_int(),
+            Some(1)
+        );
+        assert_eq!(
+            doc.path("shard.per_worker.1.rows")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(500)
+        );
+        assert_eq!(
+            doc.path("shard.per_worker.0.result_hits")
+                .unwrap()
+                .to_value()
+                .as_int(),
+            Some(2)
         );
         assert_eq!(
             doc.path("selfscrape.scrapes").unwrap().to_value().as_int(),
@@ -959,6 +1149,7 @@ mod tests {
             path_shared: 6,
             parse_us: 3_000_000,
             prepared_hits: 5,
+            prepared_evictions: 7,
         };
         let ingest = IngestStats {
             requests: 3,
@@ -968,8 +1159,30 @@ mod tests {
             decode_us: 5_000_000,
             index_merges: 2,
             index_merge_us: 2_000_000,
+            cold_rebuilds: 3,
             aborted: 1,
         };
+        let shard = ShardStats {
+            workers: 2,
+            scatters: 11,
+            subqueries: 22,
+            partial_rows: 700,
+            gather_us: 4_000_000,
+            loads: 4,
+            load_rows: 9000,
+            invalidations: 3,
+            stale_retries: 1,
+            fallbacks: 5,
+        };
+        let shard_workers = vec![ShardWorkerStats {
+            shard: 0,
+            slices: 2,
+            rows: 4500,
+            queries: 11,
+            result_hits: 3,
+            stale_rejects: 1,
+            busy_us: 2_000_000,
+        }];
         let selfscrape = SelfScrapeStats {
             scrapes: 5,
             samples: 250,
@@ -993,6 +1206,8 @@ mod tests {
             &stream,
             &sql,
             &ingest,
+            &shard,
+            &shard_workers,
             &selfscrape,
             &process,
         )
@@ -1101,6 +1316,7 @@ mod tests {
         assert!(text.contains("shareinsights_sql_parse_errors_total 4"));
         assert!(text.contains("shareinsights_sql_path_shared_total 6"));
         assert!(text.contains("shareinsights_sql_prepared_hits_total 5"));
+        assert!(text.contains("shareinsights_sql_prepared_evictions_total 7"));
         assert!(text.contains("shareinsights_sql_parse_seconds_total 3"));
         // Streaming-ingest series, decode/merge time in seconds.
         assert!(text.contains("shareinsights_ingest_requests_total 3"));
@@ -1111,6 +1327,24 @@ mod tests {
         assert!(text.contains("shareinsights_ingest_aborted_total 1"));
         assert!(text.contains("shareinsights_ingest_decode_seconds_total 5"));
         assert!(text.contains("shareinsights_ingest_index_merge_seconds_total 2"));
+        assert!(text.contains("shareinsights_ingest_cold_rebuilds_total 3"));
+        // Sharded data plane: global totals plus per-worker series.
+        assert!(text.contains("shareinsights_shard_workers 2"));
+        assert!(text.contains("shareinsights_shard_scatters_total 11"));
+        assert!(text.contains("shareinsights_shard_subqueries_total 22"));
+        assert!(text.contains("shareinsights_shard_partial_rows_total 700"));
+        assert!(text.contains("shareinsights_shard_loads_total 4"));
+        assert!(text.contains("shareinsights_shard_load_rows_total 9000"));
+        assert!(text.contains("shareinsights_shard_invalidations_total 3"));
+        assert!(text.contains("shareinsights_shard_stale_retries_total 1"));
+        assert!(text.contains("shareinsights_shard_fallbacks_total 5"));
+        assert!(text.contains("shareinsights_shard_gather_seconds_total 4"));
+        assert!(text.contains("shareinsights_shard_worker_slices{shard=\"0\"} 2"));
+        assert!(text.contains("shareinsights_shard_worker_rows{shard=\"0\"} 4500"));
+        assert!(text.contains("shareinsights_shard_worker_queries_total{shard=\"0\"} 11"));
+        assert!(text.contains("shareinsights_shard_worker_result_hits_total{shard=\"0\"} 3"));
+        assert!(text.contains("shareinsights_shard_worker_stale_rejects_total{shard=\"0\"} 1"));
+        assert!(text.contains("shareinsights_shard_worker_busy_seconds_total{shard=\"0\"} 2"));
         // Self-scrape series, scrape time in seconds; retained is a gauge.
         assert!(text.contains("shareinsights_selfscrape_scrapes_total 5"));
         assert!(text.contains("shareinsights_selfscrape_samples_total 250"));
@@ -1135,6 +1369,8 @@ mod tests {
             &StreamStats::default(),
             &SqlStats::default(),
             &IngestStats::default(),
+            &ShardStats::default(),
+            &[],
             &SelfScrapeStats::default(),
             &ProcessStats::default(),
         );

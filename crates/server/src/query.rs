@@ -17,8 +17,8 @@
 use shareinsights_tabular::agg::AggKind;
 use shareinsights_tabular::expr::Expr;
 use shareinsights_tabular::ops::{
-    distinct, filter_by_expr, filter_by_values, groupby, join, sort, AggregateSpec, FilterByValues,
-    GroupBy, JoinCondition, JoinSpec, SortKey, SortOrder,
+    distinct, filter_by_expr, filter_by_values, groupby, join, sort, sort_limit, AggregateSpec,
+    FilterByValues, GroupBy, JoinCondition, JoinSpec, SortKey, SortOrder,
 };
 use shareinsights_tabular::{IndexedTable, Table, Value};
 
@@ -69,6 +69,16 @@ pub enum QueryOp {
     Offset(usize),
     /// SQL inner equi-join against a resolved right-side snapshot.
     Join(JoinOp),
+    /// Fused `sort | limit`: the first `n` rows under `keys` (original row
+    /// order breaking ties), computed by bounded selection instead of a
+    /// full sort. Synthesized by the scatter planner for shard-local
+    /// pipelines — never produced by either query language's parser.
+    TopN {
+        /// Ordering keys.
+        keys: Vec<SortKey>,
+        /// Rows kept.
+        n: usize,
+    },
 }
 
 /// A resolved SQL join: the right table is materialised at lowering time
@@ -154,7 +164,7 @@ pub fn parse_ops(segments: &[&str]) -> Result<Vec<QueryOp>, String> {
     Ok(ops)
 }
 
-fn groupby_config(key: &str, agg: AggKind, apply_on: &str) -> GroupBy {
+pub(crate) fn groupby_config(key: &str, agg: AggKind, apply_on: &str) -> GroupBy {
     let out_field = format!("{}_{}", agg.name(), apply_on);
     GroupBy::with_aggregates(
         &[key],
@@ -199,6 +209,7 @@ fn apply_op(current: &Table, op: &QueryOp) -> Result<Table, String> {
             };
             join(current, &j.right, &spec).map_err(|e| e.to_string())?
         }
+        QueryOp::TopN { keys, n } => sort_limit(current, keys, *n).map_err(|e| e.to_string())?,
     })
 }
 
@@ -231,7 +242,8 @@ fn try_indexed_op(indexed: &IndexedTable, op: &QueryOp) -> Option<Table> {
         | QueryOp::DistinctRows(_)
         | QueryOp::Project(_)
         | QueryOp::Offset(_)
-        | QueryOp::Join(_) => None,
+        | QueryOp::Join(_)
+        | QueryOp::TopN { .. } => None,
     }
 }
 

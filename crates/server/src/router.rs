@@ -5,13 +5,14 @@ use crate::http::{Method, Request, Response, Status};
 use crate::json::{string_list, table_to_json};
 use crate::metrics::{allowed_methods, prometheus_text, route_label, stats_json};
 use crate::query::{parse_ops, run_query_indexed, QueryOp};
+use crate::shard::ShardSet;
 use crate::sql::{lower_plan, parse_error_response, LoweredSql};
 use crate::stream::{StreamHub, Subscription};
 use crate::traces::{trace_json, trace_list_json};
 use crate::wire::sse_frame;
 use parking_lot::Mutex;
 use shareinsights_core::trace::{Span, TraceId};
-use shareinsights_core::Platform;
+use shareinsights_core::{EventLog, Partitioning, Platform, ShardWorkerStats};
 use shareinsights_tabular::{IndexedTable, Table};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -80,7 +81,14 @@ pub struct Server {
     /// Prepared-statement cache: SQL text → lowered plan, so hot
     /// statements skip the parse + lower frontend entirely. Join-free
     /// plans only — joins embed resolved table snapshots at lower time.
-    prepared: Arc<Mutex<HashMap<String, PreparedEntry>>>,
+    prepared: Arc<Mutex<PreparedCache>>,
+    /// Scatter/gather shard set (see [`crate::shard`]). `None` keeps
+    /// single-shard execution; [`Server::with_shards`] attaches one.
+    shards: Option<Arc<ShardSet>>,
+    /// Structured sink for data-plane incidents the hot path would
+    /// otherwise swallow (warm-index drops on appends). Defaults to
+    /// standard error; [`Server::with_event_log`] redirects it.
+    event_log: EventLog,
 }
 
 /// One prepared SQL statement: the lowered plan plus the `FROM` table
@@ -88,12 +96,88 @@ pub struct Server {
 struct PreparedEntry {
     table: String,
     lowered: Arc<LoweredSql>,
+    /// Approximate heap cost charged against [`PREPARED_CACHE_BYTES`].
+    bytes: usize,
+    /// LRU stamp: the cache clock at the entry's last touch.
+    last_used: u64,
 }
 
-/// Prepared-statement cache bound. Statement texts and lowered ops are
-/// small; on overflow the whole map is cleared (hot statements repopulate
-/// within one request each).
+/// Prepared-statement cache entry bound. Statement texts and lowered ops
+/// are small; with at most this many entries the O(n) LRU victim scan in
+/// [`PreparedCache::insert`] is trivial.
 const PREPARED_CACHE_CAP: usize = 256;
+
+/// Prepared-statement cache byte budget over statement texts plus an
+/// estimated per-op plan cost — the second bound that keeps a few huge
+/// generated statements from pinning the whole cap.
+const PREPARED_CACHE_BYTES: usize = 1 << 20;
+
+/// LRU prepared-statement cache bounded by entries *and* bytes. Evictions
+/// are one-at-a-time (oldest stamp first) and surface in the
+/// `sql.prepared_evictions` counter rather than silently clearing the map.
+#[derive(Default)]
+struct PreparedCache {
+    entries: HashMap<String, PreparedEntry>,
+    bytes: usize,
+    clock: u64,
+}
+
+impl PreparedCache {
+    /// Look up a statement, refreshing its LRU stamp on hit.
+    fn get(&mut self, src: &str) -> Option<(String, Arc<LoweredSql>)> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(src).map(|e| {
+            e.last_used = clock;
+            (e.table.clone(), Arc::clone(&e.lowered))
+        })
+    }
+
+    /// Insert a statement, evicting least-recently-used entries until both
+    /// budgets hold. Returns how many entries were evicted.
+    fn insert(&mut self, src: String, table: String, lowered: Arc<LoweredSql>) -> u64 {
+        let bytes = prepared_cost(&src, &lowered);
+        if let Some(old) = self.entries.remove(&src) {
+            self.bytes -= old.bytes;
+        }
+        let mut evicted = 0u64;
+        while !self.entries.is_empty()
+            && (self.entries.len() >= PREPARED_CACHE_CAP
+                || self.bytes + bytes > PREPARED_CACHE_BYTES)
+        {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim.and_then(|k| self.entries.remove(&k)) {
+                Some(e) => {
+                    self.bytes -= e.bytes;
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        self.clock += 1;
+        self.bytes += bytes;
+        self.entries.insert(
+            src,
+            PreparedEntry {
+                table,
+                lowered,
+                bytes,
+                last_used: self.clock,
+            },
+        );
+        evicted
+    }
+}
+
+/// Approximate heap cost of one prepared entry: the statement text, the
+/// canonical cache path, and a flat per-op charge for the lowered plan.
+fn prepared_cost(src: &str, lowered: &LoweredSql) -> usize {
+    src.len() + lowered.cache_path.len() + lowered.ops.len() * 128 + 64
+}
 
 impl Server {
     /// Wrap a platform with a default-sized query cache.
@@ -109,8 +193,36 @@ impl Server {
             results: Arc::new(ResultCache::default()),
             indexes: Arc::new(Mutex::new(HashMap::new())),
             hub: Arc::new(StreamHub::new()),
-            prepared: Arc::new(Mutex::new(HashMap::new())),
+            prepared: Arc::new(Mutex::new(PreparedCache::default())),
+            shards: None,
+            event_log: EventLog::stderr(),
         }
+    }
+
+    /// Attach a shared-nothing shard set: endpoint snapshots are
+    /// range-partitioned across `shards` in-process workers and
+    /// splittable queries scatter over them with a router-side gather
+    /// (see [`crate::shard`] — responses stay byte-identical to
+    /// single-shard execution). `shards <= 1` leaves sharding off.
+    pub fn with_shards(mut self, shards: usize) -> Server {
+        if shards <= 1 {
+            self.shards = None;
+            return self;
+        }
+        let partitioning = Partitioning::even(shards);
+        self.platform.set_partitioning(partitioning);
+        self.shards = Some(Arc::new(ShardSet::new(
+            partitioning,
+            self.platform.api_metrics().clone(),
+        )));
+        self
+    }
+
+    /// Route data-plane events (`ingest_cold_rebuild`, …) to `log`
+    /// instead of standard error.
+    pub fn with_event_log(mut self, log: EventLog) -> Server {
+        self.event_log = log;
+        self
     }
 
     /// The wrapped platform.
@@ -132,6 +244,45 @@ impl Server {
     /// drain subscriptions through it).
     pub fn stream_hub(&self) -> &Arc<StreamHub> {
         &self.hub
+    }
+
+    /// The attached shard set, when scatter/gather execution is enabled.
+    pub fn shards(&self) -> Option<&Arc<ShardSet>> {
+        self.shards.as_ref()
+    }
+
+    /// Per-shard worker counters for `/stats` and `/metrics` (empty when
+    /// sharding is disabled).
+    fn shard_worker_stats(&self) -> Vec<ShardWorkerStats> {
+        self.shards
+            .as_ref()
+            .map(|s| s.worker_stats())
+            .unwrap_or_default()
+    }
+
+    /// Drop every derived cache tier — page cache, result cache, indexed
+    /// snapshots, shard-local slices and result caches — without touching
+    /// endpoint data. Bench harnesses call this to force cold
+    /// evaluations without restarting the server.
+    pub fn clear_derived_caches(&self) {
+        self.cache.clear();
+        self.results.clear();
+        self.indexes.lock().clear();
+        if let Some(shards) = &self.shards {
+            shards.clear_caches();
+        }
+    }
+
+    /// Generation-stamped invalidation fan-out: drop the shard slices
+    /// for `dashboard/dataset` after its data moved (append, stream
+    /// tick, re-run or publish). Correctness never depends on this —
+    /// every scatter carries the live generation and stale slices are
+    /// refused by the workers — but eager fan-out frees worker memory
+    /// and saves the reload round-trip on the next query.
+    fn invalidate_shards(&self, dashboard: &str, dataset: &str) {
+        if let Some(shards) = &self.shards {
+            shards.invalidate(&format!("{dashboard}/{dataset}"));
+        }
     }
 
     /// Dispatch a request, recording per-route metrics. A subscribe
@@ -214,6 +365,8 @@ impl Server {
                 &self.platform.api_metrics().stream(),
                 &self.platform.api_metrics().sql(),
                 &self.platform.api_metrics().ingest(),
+                &self.platform.api_metrics().shard(),
+                &self.shard_worker_stats(),
                 &self.platform.api_metrics().selfscrape(),
                 &shareinsights_core::process_stats(),
             )),
@@ -229,6 +382,8 @@ impl Server {
                     &self.platform.api_metrics().stream(),
                     &self.platform.api_metrics().sql(),
                     &self.platform.api_metrics().ingest(),
+                    &self.platform.api_metrics().shard(),
+                    &self.shard_worker_stats(),
                     &self.platform.api_metrics().selfscrape(),
                     &shareinsights_core::process_stats(),
                 ),
@@ -290,6 +445,12 @@ impl Server {
                 match self.platform.run_dashboard_traced(name, span) {
                     Ok(report) => {
                         let endpoints: Vec<String> = report.result.endpoints.to_vec();
+                        for e in &endpoints {
+                            self.invalidate_shards(name, e);
+                        }
+                        for (obj, _) in &report.published {
+                            self.invalidate_shards(name, obj);
+                        }
                         Response::json(format!(
                             "{{\"endpoints\": {}, \"published\": {}, \"source_rows\": {}}}",
                             string_list(&endpoints),
@@ -565,6 +726,7 @@ impl Server {
         let mut frames = 0u64;
         let mut bytes = 0u64;
         for (dataset, _) in &report.updated {
+            self.invalidate_shards(name, dataset);
             let Ok(table) = self.endpoint_table(name, dataset) else {
                 continue;
             };
@@ -650,6 +812,7 @@ impl Server {
             Err(e) => return fail(commit_span, Status::Unprocessable, e.to_string()),
         };
         let generation = self.live_generation(dashboard, dataset);
+        self.invalidate_shards(dashboard, dataset);
         let (index_merged, merge_us) =
             self.merge_index_on_append(dashboard, dataset, pre_generation, generation, &report);
         metrics.record_ingest_commit(report.rows_appended as u64, index_merged, merge_us);
@@ -723,6 +886,7 @@ impl Server {
         // wrapper no longer covers the prefix.
         if warm.table().num_rows() + report.rows_appended != report.total_rows {
             self.indexes.lock().remove(&key);
+            self.note_cold_rebuild(&key, "writer_raced", report);
             return (false, 0);
         }
         let started = std::time::Instant::now();
@@ -738,9 +902,33 @@ impl Server {
                 // Merge not possible (schema drift under the wrapper):
                 // drop it and fall back to a lazy cold rebuild.
                 self.indexes.lock().remove(&key);
+                self.note_cold_rebuild(&key, "schema_drift", report);
                 (false, 0)
             }
         }
+    }
+
+    /// Surface a dropped warm index: the append could not be merged, so
+    /// the next query pays a full rebuild. Until this counter and event
+    /// existed the drop was silent — a schema-widening append would
+    /// quietly turn every subsequent query cold with nothing in `/stats`
+    /// or the logs explaining the latency cliff.
+    fn note_cold_rebuild(
+        &self,
+        key: &str,
+        reason: &str,
+        report: &shareinsights_core::platform::AppendReport,
+    ) {
+        self.platform.api_metrics().record_ingest_cold_rebuild();
+        self.event_log.emit(
+            "ingest_cold_rebuild",
+            &[
+                ("dataset", key.into()),
+                ("reason", reason.into()),
+                ("rows_appended", (report.rows_appended as u64).into()),
+                ("total_rows", (report.total_rows as u64).into()),
+            ],
+        );
     }
 
     /// `GET /:dashboard/ds/:dataset/subscribe`: register a live-flow
@@ -879,11 +1067,7 @@ impl Server {
         // Prepared-statement cache: hot statements skip parse + lower
         // entirely. Only the FROM-matches-dataset check re-runs, because
         // the same text can arrive on a different dataset's route.
-        let hit = {
-            let map = self.prepared.lock();
-            map.get(src)
-                .map(|e| (e.table.clone(), Arc::clone(&e.lowered)))
-        };
+        let hit = self.prepared.lock().get(src);
         if let Some((table, lowered)) = hit {
             if table != dataset {
                 self.platform.api_metrics().record_sql_parse_error();
@@ -984,17 +1168,16 @@ impl Server {
         // with joins embed resolved table snapshots at lower time, so
         // they must re-lower to see fresh data and are never cached.
         if lowered.join_tables.is_empty() {
-            let mut map = self.prepared.lock();
-            if map.len() >= PREPARED_CACHE_CAP {
-                map.clear();
-            }
-            map.insert(
+            let evicted = self.prepared.lock().insert(
                 src.to_string(),
-                PreparedEntry {
-                    table: plan.table.clone(),
-                    lowered: Arc::new(lowered.clone()),
-                },
+                plan.table.clone(),
+                Arc::new(lowered.clone()),
             );
+            if evicted > 0 {
+                self.platform
+                    .api_metrics()
+                    .record_sql_prepared_evictions(evicted);
+            }
         }
         // Joined datasets contribute their publish generations so a
         // republish of the right side invalidates joined results too.
@@ -1066,16 +1249,40 @@ impl Server {
                     Ok(t) => t,
                     Err(resp) => return resp,
                 };
-                let indexed = self.indexed_table(dashboard, dataset, generation, table);
-                let (result, index_hit) = match run_query_indexed(&indexed, ops) {
-                    Ok(r) => r,
-                    Err(e) => return Response::error(Status::BadRequest, e),
+                let rows_in = table.num_rows();
+                // Scatter/gather: with a shard set attached, a splittable
+                // pipeline over a large-enough snapshot executes
+                // shard-local with a router-side gather — byte-identical
+                // to the single-shard path by construction (see
+                // [`crate::shard`]). `None` means the planner declined
+                // (unshardable head, lossy aggregate, tiny table) and the
+                // query falls through to ordinary indexed evaluation.
+                let sharded = self.shards.as_ref().and_then(|shards| {
+                    shards.execute(
+                        &format!("{dashboard}/{dataset}"),
+                        generation,
+                        result_key,
+                        &table,
+                        ops,
+                        eval_span.as_mut(),
+                    )
+                });
+                let (result, index_hit) = match sharded {
+                    Some(Ok(r)) => r,
+                    Some(Err(e)) => return Response::error(Status::BadRequest, e),
+                    None => {
+                        let indexed = self.indexed_table(dashboard, dataset, generation, table);
+                        match run_query_indexed(&indexed, ops) {
+                            Ok(r) => r,
+                            Err(e) => return Response::error(Status::BadRequest, e),
+                        }
+                    }
                 };
                 self.platform.api_metrics().record_index_eval(index_hit);
                 if let Some(s) = eval_span.as_mut() {
                     s.set_attr("result_cache_hit", false);
                     s.set_attr("index_hit", index_hit);
-                    s.set_attr("rows_in", indexed.table().num_rows());
+                    s.set_attr("rows_in", rows_in);
                 }
                 let result = Arc::new(result);
                 self.results

@@ -239,6 +239,8 @@ fn op_key(op: &QueryOp) -> String {
         QueryOp::Project(cols) => format!("project({cols:?})"),
         QueryOp::Offset(n) => format!("offset({n})"),
         QueryOp::Join(j) => format!("join({};{};{})", j.right_name, j.left_on, j.right_on),
+        // Planner-internal fusion; never reaches SQL lowering or cache keys.
+        QueryOp::TopN { keys, n } => format!("topn({keys:?};{n})"),
     }
 }
 

@@ -184,6 +184,44 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Fold another accumulator's partial state into this one. `other`
+    /// must cover rows that come *after* this accumulator's rows in the
+    /// original input — order-sensitive aggregates (`first`, `last`,
+    /// `collect`) concatenate in call order, which is what makes
+    /// partition-ordered scatter/gather byte-identical to a single pass.
+    pub fn merge(&mut self, other: Accumulator) -> Result<()> {
+        if self.kind != other.kind {
+            return Err(TabularError::TypeMismatch {
+                expected: self.kind.to_string(),
+                actual: other.kind.to_string(),
+                context: "accumulator merge".into(),
+            });
+        }
+        self.count += other.count;
+        self.sum_i += other.sum_i;
+        self.sum_f += other.sum_f;
+        self.saw_float |= other.saw_float;
+        if let Some(v) = other.extreme {
+            let keep = match self.kind {
+                AggKind::Min => self.extreme.as_ref().is_none_or(|e| &v < e),
+                AggKind::Max => self.extreme.as_ref().is_none_or(|e| &v > e),
+                _ => false,
+            };
+            if keep {
+                self.extreme = Some(v);
+            }
+        }
+        if self.first.is_none() {
+            self.first = other.first;
+        }
+        if other.last.is_some() {
+            self.last = other.last;
+        }
+        self.distinct.extend(other.distinct);
+        self.collected.extend(other.collected);
+        Ok(())
+    }
+
     /// Produce the final aggregate value.
     pub fn finish(self) -> Value {
         match self.kind {
@@ -303,6 +341,62 @@ mod tests {
         assert_eq!(run(AggKind::Last, &vals), Value::Str("a".into()));
         assert_eq!(run(AggKind::CountDistinct, &vals), Value::Int(2));
         assert_eq!(run(AggKind::Collect, &vals), Value::Str("a,b,a".into()));
+    }
+
+    #[test]
+    fn merged_partials_match_single_pass() {
+        // Every split point of every aggregate kind must agree with the
+        // single-accumulator result — the scatter/gather invariant.
+        let vals = [
+            Value::Int(3),
+            Value::Null,
+            Value::Str("b".into()),
+            Value::Str("a".into()),
+            Value::Float(1.5),
+            Value::Int(3),
+        ];
+        for kind in [
+            AggKind::Sum,
+            AggKind::Count,
+            AggKind::CountAll,
+            AggKind::Avg,
+            AggKind::Min,
+            AggKind::Max,
+            AggKind::First,
+            AggKind::Last,
+            AggKind::CountDistinct,
+            AggKind::Collect,
+        ] {
+            // Sum/Avg reject the non-numeric strings; use numeric data.
+            let data: Vec<Value> = if matches!(kind, AggKind::Sum | AggKind::Avg) {
+                vec![Value::Int(3), Value::Null, Value::Float(1.5), Value::Int(3)]
+            } else {
+                vals.to_vec()
+            };
+            let mut whole = kind.accumulator();
+            for v in &data {
+                whole.update(v).unwrap();
+            }
+            let expect = whole.finish();
+            for split in 0..=data.len() {
+                let mut left = kind.accumulator();
+                for v in &data[..split] {
+                    left.update(v).unwrap();
+                }
+                let mut right = kind.accumulator();
+                for v in &data[split..] {
+                    right.update(v).unwrap();
+                }
+                left.merge(right).unwrap();
+                assert_eq!(left.finish(), expect, "{kind} split at {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rejects_kind_mismatch() {
+        let mut a = AggKind::Sum.accumulator();
+        assert!(a.merge(AggKind::Count.accumulator()).is_err());
     }
 
     #[test]

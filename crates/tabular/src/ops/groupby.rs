@@ -4,7 +4,7 @@
 use crate::agg::AggKind;
 use crate::column::Column;
 use crate::datatype::DataType;
-use crate::error::Result;
+use crate::error::{Result, TabularError};
 use crate::row::Row;
 use crate::schema::{Field, Schema};
 use crate::table::Table;
@@ -205,94 +205,208 @@ fn try_groupby_fast(table: &Table, cfg: &GroupBy) -> Result<Option<Table>> {
 }
 
 fn groupby_generic(table: &Table, cfg: &GroupBy) -> Result<Table> {
-    let aggs = cfg.effective_aggregates();
-    // Resolve columns up front.
-    let key_cols: Vec<_> = cfg
-        .keys
-        .iter()
-        .map(|k| table.column(k).cloned())
-        .collect::<Result<Vec<_>>>()?;
-    let agg_cols: Vec<Option<_>> = aggs
-        .iter()
-        .map(|a| {
-            if a.operator == AggKind::CountAll {
-                Ok(None)
-            } else {
-                table.column(&a.apply_on).cloned().map(Some)
+    let mut partial = GroupByPartial::new(cfg.clone());
+    partial.update(table)?;
+    partial.into_table()
+}
+
+/// Mergeable group-by state: the group index and accumulators of a
+/// partial scan. One partial per partition (or per micro-batch stream),
+/// merged **in partition order** so first-seen group order — and with it
+/// order-sensitive aggregates like `first`/`collect` — match a single
+/// pass over the concatenated input exactly. Both the batch kernel
+/// ([`groupby`]'s generic path) and the scatter/gather and streaming
+/// contexts finish through this one materialisation, which is what pins
+/// their outputs byte-identical.
+#[derive(Debug, Clone)]
+pub struct GroupByPartial {
+    cfg: GroupBy,
+    /// Captured from the first batch; output schema derives from it.
+    input_schema: Option<Schema>,
+    groups: HashMap<Row, usize>,
+    key_rows: Vec<Row>,
+    accs: Vec<Vec<crate::agg::Accumulator>>,
+}
+
+impl GroupByPartial {
+    /// Empty state for a group-by configuration.
+    pub fn new(cfg: GroupBy) -> GroupByPartial {
+        GroupByPartial {
+            cfg,
+            input_schema: None,
+            groups: HashMap::new(),
+            key_rows: Vec::new(),
+            accs: Vec::new(),
+        }
+    }
+
+    /// The configuration this partial accumulates for.
+    pub fn config(&self) -> &GroupBy {
+        &self.cfg
+    }
+
+    /// Distinct groups seen so far.
+    pub fn num_groups(&self) -> usize {
+        self.key_rows.len()
+    }
+
+    /// True before the first [`GroupByPartial::update`].
+    pub fn is_empty_state(&self) -> bool {
+        self.input_schema.is_none()
+    }
+
+    /// Fold one batch of input rows into the state.
+    pub fn update(&mut self, batch: &Table) -> Result<()> {
+        if self.input_schema.is_none() {
+            self.input_schema = Some(batch.schema().clone());
+        }
+        let aggs = self.cfg.effective_aggregates();
+        // Resolve columns up front.
+        let key_cols: Vec<_> = self
+            .cfg
+            .keys
+            .iter()
+            .map(|k| batch.column(k).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        let agg_cols: Vec<Option<_>> = aggs
+            .iter()
+            .map(|a| {
+                if a.operator == AggKind::CountAll {
+                    Ok(None)
+                } else {
+                    batch.column(&a.apply_on).cloned().map(Some)
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        for i in 0..batch.num_rows() {
+            let key = Row(key_cols.iter().map(|c| c.value(i)).collect());
+            let gid = *self.groups.entry(key.clone()).or_insert_with(|| {
+                self.key_rows.push(key.clone());
+                self.accs
+                    .push(aggs.iter().map(|a| a.operator.accumulator()).collect());
+                self.key_rows.len() - 1
+            });
+            for (ai, col) in agg_cols.iter().enumerate() {
+                let v = match col {
+                    Some(c) => c.value(i),
+                    None => Value::Null, // CountAll ignores the value
+                };
+                self.accs[gid][ai].update(&v)?;
             }
-        })
-        .collect::<Result<Vec<_>>>()?;
-
-    // Group index: key row -> group id, first-seen order.
-    let mut groups: HashMap<Row, usize> = HashMap::new();
-    let mut key_rows: Vec<Row> = Vec::new();
-    let mut accs: Vec<Vec<crate::agg::Accumulator>> = Vec::new();
-
-    for i in 0..table.num_rows() {
-        let key = Row(key_cols.iter().map(|c| c.value(i)).collect());
-        let gid = *groups.entry(key.clone()).or_insert_with(|| {
-            key_rows.push(key.clone());
-            accs.push(aggs.iter().map(|a| a.operator.accumulator()).collect());
-            key_rows.len() - 1
-        });
-        for (ai, col) in agg_cols.iter().enumerate() {
-            let v = match col {
-                Some(c) => c.value(i),
-                None => Value::Null, // CountAll ignores the value
-            };
-            accs[gid][ai].update(&v)?;
         }
+        Ok(())
     }
 
-    // Materialise output columns.
-    let n_groups = key_rows.len();
-    let mut out_values: Vec<Vec<Value>> =
-        vec![Vec::with_capacity(n_groups); cfg.keys.len() + aggs.len()];
-    let mut finished: Vec<Vec<Value>> = accs
-        .into_iter()
-        .map(|group_accs| group_accs.into_iter().map(|a| a.finish()).collect())
-        .collect();
-
-    // Optional ordering by first aggregate, descending.
-    let mut order: Vec<usize> = (0..n_groups).collect();
-    if cfg.orderby_aggregates && !finished.is_empty() {
-        order.sort_by(|&a, &b| finished[b][0].cmp(&finished[a][0]));
-    }
-
-    for &g in &order {
-        for (ci, v) in key_rows[g].iter().enumerate() {
-            out_values[ci].push(v.clone());
+    /// Fold another partial into this one. `other` must cover rows that
+    /// come after this partial's rows: groups first seen in `other` are
+    /// appended in `other`'s order, reproducing global first-seen order.
+    pub fn merge(&mut self, other: GroupByPartial) -> Result<()> {
+        if self.cfg != other.cfg {
+            return Err(TabularError::InvalidOperation(
+                "group-by partial merge with mismatched configurations".into(),
+            ));
         }
-        for (ai, v) in finished[g].drain(..).enumerate() {
-            out_values[cfg.keys.len() + ai].push(v);
+        if self.input_schema.is_none() {
+            self.input_schema = other.input_schema;
         }
-    }
-
-    let schema = cfg.output_schema(table.schema())?;
-    let columns: Vec<Column> = out_values
-        .iter()
-        .zip(schema.fields())
-        .map(|(vals, f)| {
-            // Honour the declared output type where possible; fall back to
-            // inference for heterogenous results.
-            let col = Column::from_values(vals);
-            col.cast(f.data_type()).unwrap_or(col)
-        })
-        .collect();
-    // Schema types may have been adjusted by fallback; rebuild from columns.
-    let fields: Vec<Field> = schema
-        .fields()
-        .iter()
-        .zip(&columns)
-        .map(|(f, c)| {
-            if c.data_type() == DataType::Null {
-                f.clone()
-            } else {
-                f.retyped(c.data_type())
+        let aggs = self.cfg.effective_aggregates();
+        for (key, accs) in other.key_rows.into_iter().zip(other.accs) {
+            let gid = *self.groups.entry(key.clone()).or_insert_with(|| {
+                self.key_rows.push(key.clone());
+                self.accs
+                    .push(aggs.iter().map(|a| a.operator.accumulator()).collect());
+                self.key_rows.len() - 1
+            });
+            for (ai, acc) in accs.into_iter().enumerate() {
+                self.accs[gid][ai].merge(acc)?;
             }
-        })
-        .collect();
-    Table::new(Schema::new(fields)?, columns)
+        }
+        Ok(())
+    }
+
+    /// Finish *clones* of the accumulators, leaving the running state
+    /// intact — the streaming context snapshots per tick.
+    pub fn snapshot(&self) -> Result<Table> {
+        let finished: Vec<Vec<Value>> = self
+            .accs
+            .iter()
+            .map(|group| group.iter().map(|a| a.clone().finish()).collect())
+            .collect();
+        self.materialize(finished)
+    }
+
+    /// Finish the state into the output table.
+    pub fn into_table(mut self) -> Result<Table> {
+        let finished: Vec<Vec<Value>> = std::mem::take(&mut self.accs)
+            .into_iter()
+            .map(|group| group.into_iter().map(|a| a.finish()).collect())
+            .collect();
+        self.materialize(finished)
+    }
+
+    /// Materialise output columns (shared by snapshot and finish).
+    fn materialize(&self, mut finished: Vec<Vec<Value>>) -> Result<Table> {
+        let Some(input_schema) = self.input_schema.as_ref() else {
+            return Err(TabularError::InvalidOperation(
+                "group-by finish before any input batch".into(),
+            ));
+        };
+        let cfg = &self.cfg;
+        let aggs = cfg.effective_aggregates();
+        let n_groups = self.key_rows.len();
+        let mut out_values: Vec<Vec<Value>> =
+            vec![Vec::with_capacity(n_groups); cfg.keys.len() + aggs.len()];
+
+        // Optional ordering by first aggregate, descending.
+        let mut order: Vec<usize> = (0..n_groups).collect();
+        if cfg.orderby_aggregates && !finished.is_empty() {
+            order.sort_by(|&a, &b| finished[b][0].cmp(&finished[a][0]));
+        }
+
+        for &g in &order {
+            for (ci, v) in self.key_rows[g].iter().enumerate() {
+                out_values[ci].push(v.clone());
+            }
+            for (ai, v) in finished[g].drain(..).enumerate() {
+                out_values[cfg.keys.len() + ai].push(v);
+            }
+        }
+
+        let schema = cfg.output_schema(input_schema)?;
+        let columns: Vec<Column> = out_values
+            .iter()
+            .zip(schema.fields())
+            .map(|(vals, f)| {
+                // Honour the declared output type where possible; fall back to
+                // inference for heterogenous results.
+                let col = Column::from_values(vals);
+                col.cast(f.data_type()).unwrap_or(col)
+            })
+            .collect();
+        // Schema types may have been adjusted by fallback; rebuild from columns.
+        let fields: Vec<Field> = schema
+            .fields()
+            .iter()
+            .zip(&columns)
+            .map(|(f, c)| {
+                if c.data_type() == DataType::Null {
+                    f.clone()
+                } else {
+                    f.retyped(c.data_type())
+                }
+            })
+            .collect();
+        Table::new(Schema::new(fields)?, columns)
+    }
+}
+
+/// Accumulate one table into a fresh partial (the scatter side of a
+/// partitioned group-by).
+pub fn groupby_partial(table: &Table, cfg: &GroupBy) -> Result<GroupByPartial> {
+    let mut partial = GroupByPartial::new(cfg.clone());
+    partial.update(table)?;
+    Ok(partial)
 }
 
 #[cfg(test)]
@@ -471,6 +585,68 @@ mod tests {
         let t = Table::from_rows(&["k", "v"], &[crate::row![Value::Null, 1i64]]).unwrap();
         let cfg = GroupBy::counting(&["k"]);
         assert!(try_groupby_fast(&t, &cfg).unwrap().is_none());
+    }
+
+    #[test]
+    fn merged_partials_match_whole_table_groupby() {
+        // Partition the input at every split point, accumulate each slice
+        // into its own partial, merge in partition order, and require the
+        // finished table to equal the single-pass group-by byte for byte —
+        // including first-seen group order and orderby_aggregates ties.
+        let rows: Vec<Row> = (0..120)
+            .map(|i| {
+                let v = if i % 13 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int((i % 9) as i64)
+                };
+                crate::row![format!("k{}", i % 17), v, (i % 5) as f64]
+            })
+            .collect();
+        let t = Table::from_rows(&["key", "a", "f"], &rows).unwrap();
+        for orderby in [false, true] {
+            let mut cfg = GroupBy::with_aggregates(
+                &["key"],
+                vec![
+                    AggregateSpec::new(AggKind::Sum, "a", "sum_a"),
+                    AggregateSpec::new(AggKind::Avg, "a", "avg_a"),
+                    AggregateSpec::new(AggKind::Min, "f", "min_f"),
+                    AggregateSpec::new(AggKind::Max, "f", "max_f"),
+                    AggregateSpec::new(AggKind::First, "key", "first_k"),
+                    AggregateSpec::new(AggKind::Last, "key", "last_k"),
+                    AggregateSpec::new(AggKind::CountDistinct, "a", "nd_a"),
+                    AggregateSpec::new(AggKind::Collect, "a", "c_a"),
+                ],
+            );
+            cfg.orderby_aggregates = orderby;
+            let whole = groupby(&t, &cfg).unwrap();
+            for splits in [vec![0], vec![40, 80], vec![1, 2, 119], vec![60]] {
+                let mut bounds = vec![0];
+                bounds.extend(&splits);
+                bounds.push(t.num_rows());
+                let mut merged = GroupByPartial::new(cfg.clone());
+                for w in bounds.windows(2) {
+                    let slice = t.slice(w[0], w[1] - w[0]);
+                    merged
+                        .merge(groupby_partial(&slice, &cfg).unwrap())
+                        .unwrap();
+                }
+                let out = merged.into_table().unwrap();
+                assert_eq!(out, whole, "orderby={orderby} splits={splits:?}");
+                assert!(out.schema().same_shape(whole.schema()));
+            }
+        }
+    }
+
+    #[test]
+    fn partial_merge_rejects_mismatched_configs() {
+        let mut a = GroupByPartial::new(GroupBy::counting(&["k"]));
+        let b = GroupByPartial::new(GroupBy::counting(&["other"]));
+        assert!(a.merge(b).is_err());
+        // Finishing a never-updated partial has no schema to derive from.
+        assert!(GroupByPartial::new(GroupBy::counting(&["k"]))
+            .into_table()
+            .is_err());
     }
 
     #[test]

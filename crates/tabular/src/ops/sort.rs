@@ -90,6 +90,53 @@ pub fn sort(table: &Table, keys: &[SortKey]) -> Result<Table> {
     Ok(table.take(&indices))
 }
 
+/// The first `n` rows of [`sort`] without materialising the full order:
+/// a bounded selection over (keys, original index) — the index tiebreak
+/// makes the order total, so the output equals `sort(table, keys).limit(n)`
+/// byte for byte (stable sort ties resolve to the lower index). Cost is one
+/// tail comparison per losing row instead of `O(rows log rows)`, which is
+/// what lets a partitioned top-n ship `n` rows per shard to the gather
+/// stage rather than a whole sorted slice.
+pub fn sort_limit(table: &Table, keys: &[SortKey], n: usize) -> Result<Table> {
+    let cols: Vec<_> = keys
+        .iter()
+        .map(|k| table.column(&k.column).cloned())
+        .collect::<Result<Vec<_>>>()?;
+    if n == 0 {
+        return Ok(table.limit(0));
+    }
+    if n >= table.num_rows() {
+        return sort(table, keys);
+    }
+    let cmp = |a: usize, b: usize| -> Ordering {
+        for (key, col) in keys.iter().zip(&cols) {
+            let ord = col.value(a).cmp(&col.value(b));
+            let ord = match key.order {
+                SortOrder::Asc => ord,
+                SortOrder::Desc => ord.reverse(),
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        a.cmp(&b)
+    };
+    // Current best n indices in sorted order; most rows lose against the
+    // running worst in one comparison.
+    let mut best: Vec<usize> = Vec::with_capacity(n + 1);
+    for i in 0..table.num_rows() {
+        if best.len() == n && cmp(i, best[n - 1]) != Ordering::Less {
+            continue;
+        }
+        let pos = best.partition_point(|&j| cmp(j, i) == Ordering::Less);
+        best.insert(pos, i);
+        if best.len() > n {
+            best.pop();
+        }
+    }
+    Ok(table.take(&best))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +206,35 @@ mod tests {
     #[test]
     fn missing_column_errors() {
         assert!(sort(&t(), &[SortKey::asc("nope")]).is_err());
+        assert!(sort_limit(&t(), &[SortKey::asc("nope")], 2).is_err());
+    }
+
+    #[test]
+    fn sort_limit_matches_sort_then_limit() {
+        // Heavy ties + nulls: the bounded selection must reproduce the
+        // stable sort's head exactly, for every n and direction.
+        let rows: Vec<crate::row::Row> = (0..200)
+            .map(|i| {
+                let v = if i % 11 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(((i * 7) % 13) as i64)
+                };
+                row![v, format!("t{}", i % 5)]
+            })
+            .collect();
+        let table = Table::from_rows(&["x", "tag"], &rows).unwrap();
+        let key_sets = [
+            vec![SortKey::asc("x")],
+            vec![SortKey::desc("x")],
+            vec![SortKey::asc("tag"), SortKey::desc("x")],
+        ];
+        for keys in &key_sets {
+            let full = sort(&table, keys).unwrap();
+            for n in [0, 1, 7, 50, 200, 500] {
+                let bounded = sort_limit(&table, keys, n).unwrap();
+                assert_eq!(bounded, full.limit(n), "keys={keys:?} n={n}");
+            }
+        }
     }
 }
